@@ -1,0 +1,19 @@
+//! Baseline systems the paper positions MDS-2 against (§11).
+//!
+//! * [`mds1`] — the centralized push-everything directory of MDS-1
+//!   (§11.1): ingest load grows with the grid, data is push-period
+//!   stale, and dead providers linger (no soft-state expiry);
+//! * [`multicast`] — SLP/SDS/Jini-style multicast-scoped discovery
+//!   (§11.2): coverage follows physical topology rather than VO
+//!   membership, and flood cost follows subnet population.
+//!
+//! Both are implemented as simulator actors so experiments E7 and E11
+//! can compare them head-to-head with the MDS-2 architecture.
+
+#![warn(missing_docs)]
+
+pub mod mds1;
+pub mod multicast;
+
+pub use mds1::{mean_staleness_secs, Mds1Central, Mds1Client, Mds1Msg, Mds1Provider};
+pub use multicast::{McastAgent, McastClient, McastGroups, McastMsg, ScopeId};

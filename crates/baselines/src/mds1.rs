@@ -1,0 +1,339 @@
+//! MDS-1-style centralized directory baseline (§11.1).
+//!
+//! "We employed this approach in early versions of MDS-1. While this
+//! system pioneered information services for the Grid, the strategy of
+//! collecting all information into a database inevitably limited
+//! scalability and reliability."
+//!
+//! Providers push their complete entry set to a single central server on
+//! a fixed period; queries are answered from the central database.
+//! Experiment E7 compares this against MDS-2's pull/cache GIIS: central
+//! ingest load grows linearly with provider count and data is as stale
+//! as the push period, while the distributed architecture keeps per-query
+//! freshness and spreads load.
+
+use gis_gris::InfoProvider;
+use gis_ldap::{Dit, Entry, Filter};
+use gis_netsim::{Actor, Ctx, NodeId, SimDuration, SimTime};
+use gis_proto::{RequestId, SearchSpec};
+
+/// Messages of the centralized baseline.
+#[derive(Debug, Clone)]
+pub enum Mds1Msg {
+    /// A provider pushes its full entry set.
+    Push {
+        /// Pushing provider's name.
+        provider: String,
+        /// All of its entries.
+        entries: Vec<Entry>,
+    },
+    /// A client query.
+    Query {
+        /// Request id.
+        id: RequestId,
+        /// What to search.
+        spec: SearchSpec,
+    },
+    /// The central server's answer.
+    Result {
+        /// Request id.
+        id: RequestId,
+        /// Matching entries.
+        entries: Vec<Entry>,
+    },
+}
+
+/// The central directory server.
+pub struct Mds1Central {
+    dit: Dit,
+    /// Push messages ingested.
+    pub pushes_received: u64,
+    /// Entries ingested (total over all pushes).
+    pub entries_ingested: u64,
+    /// Queries answered.
+    pub queries: u64,
+}
+
+impl Mds1Central {
+    /// Empty central directory.
+    pub fn new() -> Mds1Central {
+        Mds1Central {
+            dit: Dit::new(),
+            pushes_received: 0,
+            entries_ingested: 0,
+            queries: 0,
+        }
+    }
+
+    /// Entries currently stored.
+    pub fn stored(&self) -> usize {
+        self.dit.len()
+    }
+}
+
+impl Default for Mds1Central {
+    fn default() -> Self {
+        Mds1Central::new()
+    }
+}
+
+impl Actor<Mds1Msg> for Mds1Central {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Mds1Msg>, from: NodeId, msg: Mds1Msg) {
+        match msg {
+            Mds1Msg::Push { entries, .. } => {
+                self.pushes_received += 1;
+                self.entries_ingested += entries.len() as u64;
+                for e in entries {
+                    self.dit.upsert(e);
+                }
+            }
+            Mds1Msg::Query { id, spec } => {
+                self.queries += 1;
+                let entries = self.dit.search(
+                    &spec.base,
+                    spec.scope,
+                    &spec.filter,
+                    &spec.attrs,
+                    spec.size_limit as usize,
+                );
+                ctx.send(from, Mds1Msg::Result { id, entries });
+            }
+            Mds1Msg::Result { .. } => {}
+        }
+    }
+}
+
+/// A provider node that pushes all of its information to the central
+/// directory every `push_interval`.
+pub struct Mds1Provider {
+    providers: Vec<Box<dyn InfoProvider>>,
+    central: NodeId,
+    name: String,
+    /// How often a full push happens.
+    pub push_interval: SimDuration,
+    /// Pushes sent.
+    pub pushes_sent: u64,
+}
+
+impl Mds1Provider {
+    /// Wrap a set of information sources.
+    pub fn new(
+        name: impl Into<String>,
+        providers: Vec<Box<dyn InfoProvider>>,
+        central: NodeId,
+        push_interval: SimDuration,
+    ) -> Mds1Provider {
+        Mds1Provider {
+            providers,
+            central,
+            name: name.into(),
+            push_interval,
+            pushes_sent: 0,
+        }
+    }
+
+    fn push_all(&mut self, ctx: &mut Ctx<'_, Mds1Msg>) {
+        let now = ctx.now();
+        let mut entries = Vec::new();
+        for p in &mut self.providers {
+            let spec = SearchSpec::subtree(p.namespace().clone(), Filter::always());
+            if let Ok(mut es) = p.fetch(&spec, now) {
+                entries.append(&mut es);
+            }
+        }
+        self.pushes_sent += 1;
+        ctx.send(
+            self.central,
+            Mds1Msg::Push {
+                provider: self.name.clone(),
+                entries,
+            },
+        );
+    }
+}
+
+impl Actor<Mds1Msg> for Mds1Provider {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Mds1Msg>) {
+        self.push_all(ctx);
+        ctx.set_timer(self.push_interval, 0);
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Mds1Msg>, _from: NodeId, _msg: Mds1Msg) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Mds1Msg>, _token: u64) {
+        self.push_all(ctx);
+        ctx.set_timer(self.push_interval, 0);
+    }
+}
+
+/// A query client for the centralized baseline.
+#[derive(Default)]
+pub struct Mds1Client {
+    next_id: RequestId,
+    /// Results received: `(id, arrival time, entries)`.
+    pub results: Vec<(RequestId, SimTime, Vec<Entry>)>,
+}
+
+impl Mds1Client {
+    /// New client.
+    pub fn new() -> Mds1Client {
+        Mds1Client {
+            next_id: 1,
+            results: Vec::new(),
+        }
+    }
+
+    /// Issue a query to the central server (drive via `Sim::invoke`).
+    pub fn query(&mut self, ctx: &mut Ctx<'_, Mds1Msg>, central: NodeId, spec: SearchSpec) -> RequestId {
+        let id = self.next_id;
+        self.next_id += 1;
+        ctx.send(central, Mds1Msg::Query { id, spec });
+        id
+    }
+
+    /// Entries of a completed query.
+    pub fn result(&self, id: RequestId) -> Option<&[Entry]> {
+        self.results
+            .iter()
+            .find(|(rid, _, _)| *rid == id)
+            .map(|(_, _, e)| e.as_slice())
+    }
+}
+
+impl Actor<Mds1Msg> for Mds1Client {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Mds1Msg>, _from: NodeId, msg: Mds1Msg) {
+        if let Mds1Msg::Result { id, entries } = msg {
+            self.results.push((id, ctx.now(), entries));
+        }
+    }
+}
+
+/// Mean staleness (seconds) of `measuredat`-stamped entries at `now`: the
+/// headline weakness of push-everything designs.
+pub fn mean_staleness_secs(entries: &[Entry], now: SimTime) -> Option<f64> {
+    let ages: Vec<f64> = entries
+        .iter()
+        .filter_map(|e| e.get_i64("measuredat"))
+        .map(|at| now.since(SimTime(at as u64)).as_secs_f64())
+        .collect();
+    if ages.is_empty() {
+        return None;
+    }
+    Some(ages.iter().sum::<f64>() / ages.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_gris::{DynamicHostProvider, HostSpec, StaticHostProvider};
+    use gis_ldap::Dn;
+    use gis_netsim::{secs, Sim};
+
+    fn build(seed: u64, n_hosts: usize, push_interval: SimDuration) -> (Sim<Mds1Msg>, NodeId, NodeId) {
+        let mut sim: Sim<Mds1Msg> = Sim::new(seed);
+        let central = sim.add_node("central", Box::new(Mds1Central::new()));
+        for i in 0..n_hosts {
+            let host = HostSpec::linux(&format!("h{i}"), 2);
+            let providers: Vec<Box<dyn InfoProvider>> = vec![
+                Box::new(StaticHostProvider::new(host.clone())),
+                Box::new(DynamicHostProvider::new(&host, i as u64, 1.0, secs(10), secs(30))),
+            ];
+            sim.add_node(
+                format!("prov{i}"),
+                Box::new(Mds1Provider::new(
+                    format!("h{i}"),
+                    providers,
+                    central,
+                    push_interval,
+                )),
+            );
+        }
+        let client = sim.add_node("client", Box::new(Mds1Client::new()));
+        (sim, central, client)
+    }
+
+    #[test]
+    fn pushes_populate_central_database() {
+        let (mut sim, central, _) = build(1, 3, secs(30));
+        sim.run_until(SimTime::ZERO + secs(1));
+        let c = sim.actor::<Mds1Central>(central).unwrap();
+        assert_eq!(c.pushes_received, 3);
+        assert_eq!(c.stored(), 6, "host + perf entry per host");
+    }
+
+    #[test]
+    fn queries_answered_from_database() {
+        let (mut sim, central, client) = build(2, 3, secs(30));
+        sim.run_until(SimTime::ZERO + secs(1));
+        let id = sim.invoke::<Mds1Client, _>(client, |c, ctx| {
+            c.query(
+                ctx,
+                central,
+                SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
+            )
+        });
+        sim.run_for(secs(1));
+        let c = sim.actor::<Mds1Client>(client).unwrap();
+        assert_eq!(c.result(id).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn central_ingest_load_scales_with_providers() {
+        let count_pushes = |n: usize| {
+            let (mut sim, central, _) = build(3, n, secs(10));
+            sim.run_until(SimTime::ZERO + secs(60));
+            sim.actor::<Mds1Central>(central).unwrap().pushes_received
+        };
+        let small = count_pushes(5);
+        let large = count_pushes(20);
+        assert!(
+            large >= small * 3,
+            "ingest load must grow with provider count: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn staleness_bounded_by_push_interval() {
+        let (mut sim, central, client) = build(4, 1, secs(30));
+        // Query just before the second push (t≈29.9): data is ~30s old.
+        sim.run_until(SimTime::ZERO + secs(29));
+        let id = sim.invoke::<Mds1Client, _>(client, |c, ctx| {
+            c.query(
+                ctx,
+                central,
+                SearchSpec::subtree(Dn::root(), Filter::parse("(load5=*)").unwrap()),
+            )
+        });
+        sim.run_for(secs(1));
+        let cl = sim.actor::<Mds1Client>(client).unwrap();
+        let entries = cl.result(id).unwrap().to_vec();
+        let staleness = mean_staleness_secs(&entries, sim.now()).unwrap();
+        assert!(
+            (25.0..35.0).contains(&staleness),
+            "staleness {staleness} should be near the push interval"
+        );
+    }
+
+    #[test]
+    fn dead_provider_leaves_stale_entries_behind() {
+        // Unlike soft-state GRRP, a centralized push design has no expiry:
+        // a crashed provider's data lingers forever.
+        let (mut sim, central, client) = build(5, 2, secs(10));
+        sim.run_until(SimTime::ZERO + secs(1));
+        let prov0 = sim.lookup("prov0").unwrap();
+        sim.crash(prov0);
+        sim.run_until(SimTime::ZERO + secs(120));
+        let id = sim.invoke::<Mds1Client, _>(client, |c, ctx| {
+            c.query(
+                ctx,
+                central,
+                SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
+            )
+        });
+        sim.run_for(secs(1));
+        let cl = sim.actor::<Mds1Client>(client).unwrap();
+        assert_eq!(
+            cl.result(id).unwrap().len(),
+            2,
+            "crashed host still listed — the baseline's reliability flaw"
+        );
+    }
+}

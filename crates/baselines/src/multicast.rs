@@ -1,0 +1,269 @@
+//! Multicast-scoped service-discovery baseline (§11.2).
+//!
+//! SLP, SDS, Jini and WASRV "rely on IP multicast to locate or to
+//! disseminate service descriptions ... the reliance on IP multicast
+//! makes them inappropriate for our use": multicast scope follows
+//! *physical* topology (a subnet/administrative domain), while VO
+//! membership is *virtual* and crosses those boundaries.
+//!
+//! This baseline models agents on physical subnets. A discovery floods a
+//! query to every agent in the querier's multicast scope; matching agents
+//! reply. Experiment E11 shows the two failure modes the paper argues:
+//! coverage loss (VO members on other subnets are invisible) and message
+//! cost proportional to subnet population rather than VO relevance.
+
+use gis_ldap::Entry;
+use gis_netsim::{Actor, Ctx, NodeId, SimTime};
+use gis_proto::RequestId;
+use gis_ldap::Filter;
+use std::collections::BTreeMap;
+
+/// A physical multicast scope (subnet / administrative domain).
+pub type ScopeId = u32;
+
+/// Messages of the multicast-discovery baseline.
+#[derive(Debug, Clone)]
+pub enum McastMsg {
+    /// A flooded discovery query.
+    Query {
+        /// Request id (per querier).
+        id: RequestId,
+        /// Matching criterion.
+        filter: Filter,
+    },
+    /// A positive response from a matching agent.
+    Response {
+        /// The query id being answered.
+        id: RequestId,
+        /// The responder's description.
+        entry: Entry,
+    },
+}
+
+/// The "network's" multicast group membership: scope -> member nodes.
+/// (In a real deployment this is switch/router state; here the driver
+/// builds it and hands each agent its member list.)
+#[derive(Debug, Clone, Default)]
+pub struct McastGroups {
+    members: BTreeMap<ScopeId, Vec<NodeId>>,
+}
+
+impl McastGroups {
+    /// Empty membership.
+    pub fn new() -> McastGroups {
+        McastGroups::default()
+    }
+
+    /// Add a node to a scope.
+    pub fn join(&mut self, scope: ScopeId, node: NodeId) {
+        self.members.entry(scope).or_default().push(node);
+    }
+
+    /// Members of a scope.
+    pub fn members(&self, scope: ScopeId) -> &[NodeId] {
+        self.members
+            .get(&scope)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// A service agent: belongs to one physical scope, may belong to a VO
+/// (attribute `vo` on its entry), answers matching flooded queries.
+pub struct McastAgent {
+    /// Description this agent advertises.
+    pub entry: Entry,
+    /// Queries this agent received (message-cost accounting).
+    pub queries_seen: u64,
+}
+
+impl McastAgent {
+    /// Create an agent advertising `entry`.
+    pub fn new(entry: Entry) -> McastAgent {
+        McastAgent {
+            entry,
+            queries_seen: 0,
+        }
+    }
+}
+
+impl Actor<McastMsg> for McastAgent {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, McastMsg>, from: NodeId, msg: McastMsg) {
+        if let McastMsg::Query { id, filter } = msg {
+            self.queries_seen += 1;
+            if filter.matches(&self.entry) {
+                ctx.send(
+                    from,
+                    McastMsg::Response {
+                        id,
+                        entry: self.entry.clone(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// A discovery client: floods queries to its local scope and collects
+/// responses.
+pub struct McastClient {
+    groups: McastGroups,
+    /// The client's physical scope.
+    pub scope: ScopeId,
+    next_id: RequestId,
+    /// Responses per query.
+    pub responses: BTreeMap<RequestId, Vec<(SimTime, Entry)>>,
+    /// Messages sent by this client's floods.
+    pub messages_sent: u64,
+}
+
+impl McastClient {
+    /// Create a client on `scope` with a snapshot of group membership.
+    pub fn new(scope: ScopeId, groups: McastGroups) -> McastClient {
+        McastClient {
+            groups,
+            scope,
+            next_id: 1,
+            responses: BTreeMap::new(),
+            messages_sent: 0,
+        }
+    }
+
+    /// Flood a discovery query to the local scope (drive via
+    /// `Sim::invoke`). Returns the query id.
+    pub fn discover(&mut self, ctx: &mut Ctx<'_, McastMsg>, filter: Filter) -> RequestId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let members: Vec<NodeId> = self.groups.members(self.scope).to_vec();
+        for node in members {
+            if node != ctx.id() {
+                self.messages_sent += 1;
+                ctx.send(node, McastMsg::Query {
+                    id,
+                    filter: filter.clone(),
+                });
+            }
+        }
+        self.responses.entry(id).or_default();
+        id
+    }
+
+    /// Entries discovered by a query so far.
+    pub fn discovered(&self, id: RequestId) -> Vec<&Entry> {
+        self.responses
+            .get(&id)
+            .map(|v| v.iter().map(|(_, e)| e).collect())
+            .unwrap_or_default()
+    }
+}
+
+impl Actor<McastMsg> for McastClient {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, McastMsg>, _from: NodeId, msg: McastMsg) {
+        if let McastMsg::Response { id, entry } = msg {
+            self.responses.entry(id).or_default().push((ctx.now(), entry));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_netsim::{secs, Sim, SimTime};
+
+    /// Two subnets. The VO spans both; irrelevant agents share the
+    /// subnets.
+    fn build() -> (Sim<McastMsg>, NodeId, usize) {
+        let mut sim: Sim<McastMsg> = Sim::new(9);
+        let mut groups = McastGroups::new();
+        let mut vo_total = 0;
+
+        // Subnet 0: 3 VO members + 5 unrelated agents.
+        // Subnet 1: 2 VO members + 4 unrelated agents.
+        for (scope, vo_members, others) in [(0u32, 3usize, 5usize), (1, 2, 4)] {
+            for i in 0..vo_members {
+                let entry = Entry::at(&format!("hn=vo-s{scope}-{i}"))
+                    .unwrap()
+                    .with_class("computer")
+                    .with("vo", "physics");
+                let node = sim.add_node(
+                    format!("vo-{scope}-{i}"),
+                    Box::new(McastAgent::new(entry)),
+                );
+                groups.join(scope, node);
+                vo_total += 1;
+            }
+            for i in 0..others {
+                let entry = Entry::at(&format!("hn=other-s{scope}-{i}"))
+                    .unwrap()
+                    .with_class("printer");
+                let node = sim.add_node(
+                    format!("other-{scope}-{i}"),
+                    Box::new(McastAgent::new(entry)),
+                );
+                groups.join(scope, node);
+            }
+        }
+
+        let client = sim.add_node("client", Box::new(McastClient::new(0, groups.clone())));
+        // The client is also a member of subnet 0 (it needn't be an agent).
+        (sim, client, vo_total)
+    }
+
+    #[test]
+    fn discovery_limited_to_physical_scope() {
+        let (mut sim, client, vo_total) = build();
+        sim.run_until(SimTime::ZERO + secs(1));
+        let id = sim.invoke::<McastClient, _>(client, |c, ctx| {
+            c.discover(ctx, Filter::parse("(vo=physics)").unwrap())
+        });
+        sim.run_for(secs(2));
+        let c = sim.actor::<McastClient>(client).unwrap();
+        let found = c.discovered(id).len();
+        assert_eq!(found, 3, "only subnet-0 VO members found");
+        assert!(found < vo_total, "VO members on subnet 1 are invisible");
+    }
+
+    #[test]
+    fn flood_cost_is_subnet_population_not_vo_size() {
+        let (mut sim, client, _) = build();
+        sim.run_until(SimTime::ZERO + secs(1));
+        sim.invoke::<McastClient, _>(client, |c, ctx| {
+            c.discover(ctx, Filter::parse("(vo=physics)").unwrap())
+        });
+        sim.run_for(secs(2));
+        let c = sim.actor::<McastClient>(client).unwrap();
+        assert_eq!(
+            c.messages_sent, 8,
+            "all 8 subnet-0 agents polled for 3 relevant members"
+        );
+        // Every irrelevant agent on the subnet paid the query cost.
+        let other0 = sim.lookup("other-0-0").unwrap();
+        assert_eq!(sim.actor::<McastAgent>(other0).unwrap().queries_seen, 1);
+    }
+
+    #[test]
+    fn scope_crossing_requires_membership_change() {
+        // Moving the client to subnet 1 flips which VO members it sees —
+        // discovery is coupled to physical topology, not the VO.
+        let (mut sim, _, _) = build();
+        // Rebuild membership view for a subnet-1 client.
+        let mut groups = McastGroups::new();
+        for scope in [0u32, 1] {
+            for i in 0..10 {
+                for prefix in ["vo", "other"] {
+                    if let Some(node) = sim.lookup(&format!("{prefix}-{scope}-{i}")) {
+                        groups.join(scope, node);
+                    }
+                }
+            }
+        }
+        let client1 = sim.add_node("client1", Box::new(McastClient::new(1, groups)));
+        sim.run_until(SimTime::ZERO + secs(1));
+        let id = sim.invoke::<McastClient, _>(client1, |c, ctx| {
+            c.discover(ctx, Filter::parse("(vo=physics)").unwrap())
+        });
+        sim.run_for(secs(2));
+        let c = sim.actor::<McastClient>(client1).unwrap();
+        assert_eq!(c.discovered(id).len(), 2, "subnet-1 members only");
+    }
+}

@@ -1,0 +1,47 @@
+//! Microbenchmarks: Bloom summary construction and membership probes
+//! (the lossy-aggregation routing path, §5.1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gis_giis::{attr_token, BloomFilter};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    g.sample_size(60).measurement_time(Duration::from_secs(2));
+
+    let tokens: Vec<String> = (0..1000)
+        .map(|i| attr_token("system", &format!("os-{i}")))
+        .collect();
+
+    g.bench_function("build_1000_tokens_10bpe", |b| {
+        b.iter_batched(
+            || BloomFilter::for_capacity(1000, 10),
+            |mut bf| {
+                for t in &tokens {
+                    bf.insert(t);
+                }
+                bf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut bf = BloomFilter::for_capacity(1000, 10);
+    for t in &tokens {
+        bf.insert(t);
+    }
+    g.bench_function("probe_hit", |b| {
+        b.iter(|| black_box(&bf).may_contain(black_box(&tokens[500])))
+    });
+    g.bench_function("probe_miss", |b| {
+        b.iter(|| black_box(&bf).may_contain(black_box("system=absent")))
+    });
+    g.bench_function("attr_token_format", |b| {
+        b.iter(|| attr_token(black_box("System"), black_box("Linux 2.4")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

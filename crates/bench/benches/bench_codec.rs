@@ -1,0 +1,76 @@
+//! Microbenchmarks: wire codec encode/decode for the protocol frames —
+//! every message between components pays this cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gis_ldap::{Dn, Entry, Filter, LdapUrl, Wire};
+use gis_netsim::{secs, SimTime};
+use gis_proto::{GripReply, GripRequest, GrrpMessage, ProtocolMessage, ResultCode, SearchSpec};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn search_request() -> ProtocolMessage {
+    ProtocolMessage::Request(GripRequest::Search {
+        id: 42,
+        spec: SearchSpec::subtree(
+            Dn::parse("o=O1").unwrap(),
+            Filter::parse("(&(objectclass=computer)(load5<=1.0))").unwrap(),
+        )
+        .select(&["system", "load5"])
+        .limit(100),
+    })
+}
+
+fn search_result(n_entries: usize) -> ProtocolMessage {
+    let entries = (0..n_entries)
+        .map(|i| {
+            Entry::at(&format!("hn=h{i}, o=O1"))
+                .unwrap()
+                .with_class("computer")
+                .with("system", "linux 2.4")
+                .with("cpucount", (i % 16) as i64)
+                .with("load5", (i % 30) as f64 / 10.0)
+        })
+        .collect();
+    ProtocolMessage::Reply(GripReply::SearchResult {
+        id: 42,
+        code: ResultCode::Success,
+        entries,
+        referrals: vec![LdapUrl::server("gris.other")],
+    })
+}
+
+fn grrp() -> ProtocolMessage {
+    ProtocolMessage::Grrp(GrrpMessage::register(
+        LdapUrl::server("gris.hostX"),
+        Dn::parse("hn=hostX, o=O1").unwrap(),
+        SimTime::ZERO + secs(100),
+        secs(90),
+    ))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.sample_size(60).measurement_time(Duration::from_secs(2));
+
+    for (name, msg) in [
+        ("search_request", search_request()),
+        ("grrp_register", grrp()),
+        ("result_10_entries", search_result(10)),
+        ("result_100_entries", search_result(100)),
+    ] {
+        let bytes = msg.to_wire();
+        g.bench_function(format!("encode_{name}"), |b| {
+            b.iter(|| black_box(&msg).to_wire())
+        });
+        g.bench_function(format!("decode_{name}"), |b| {
+            b.iter(|| ProtocolMessage::from_wire(black_box(&bytes)).unwrap())
+        });
+        g.bench_function(format!("roundtrip_{name}"), |b| {
+            b.iter(|| ProtocolMessage::from_wire(&black_box(&msg).to_wire()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Microbenchmarks: DIT scoped search over a populated tree (the local
+//! answer path of a harvesting GIIS).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gis_ldap::{Dit, Dn, Entry, Filter, Rdn, Scope};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// 100 orgs x 20 hosts x (host + perf entry) = 4000 entries.
+fn build_dit() -> Dit {
+    let mut dit = Dit::new();
+    for o in 0..100 {
+        let org = Dn::from_rdns(vec![Rdn::new("o", format!("O{o}"))]);
+        for h in 0..20 {
+            let host_dn = org.child(Rdn::new("hn", format!("h{h}")));
+            dit.upsert(
+                Entry::new(host_dn.clone())
+                    .with_class("computer")
+                    .with("system", if h % 2 == 0 { "linux" } else { "irix" })
+                    .with("cpucount", (1 + h % 8) as i64),
+            );
+            dit.upsert(
+                Entry::new(host_dn.child(Rdn::new("perf", "load")))
+                    .with_class("loadaverage")
+                    .with("load5", (h % 30) as f64 / 10.0),
+            );
+        }
+    }
+    dit
+}
+
+fn bench(c: &mut Criterion) {
+    let dit = build_dit();
+    let mut g = c.benchmark_group("dit");
+    g.sample_size(40).measurement_time(Duration::from_secs(2));
+
+    let all = Filter::always();
+    let selective = Filter::parse("(&(objectclass=computer)(system=linux)(cpucount>=4))").unwrap();
+    let root = Dn::root();
+    let one_org = Dn::parse("o=O42").unwrap();
+    let one_host = Dn::parse("hn=h7, o=O42").unwrap();
+
+    g.bench_function("lookup_base", |b| {
+        b.iter(|| dit.search(black_box(&one_host), Scope::Base, &all, &[], 0))
+    });
+    g.bench_function("subtree_org_scoped", |b| {
+        b.iter(|| dit.search(black_box(&one_org), Scope::Sub, &selective, &[], 0))
+    });
+    g.bench_function("subtree_root_selective", |b| {
+        b.iter(|| dit.search(black_box(&root), Scope::Sub, &selective, &[], 0))
+    });
+    g.bench_function("subtree_root_match_all", |b| {
+        b.iter(|| dit.search(black_box(&root), Scope::Sub, &all, &[], 0))
+    });
+    g.bench_function("one_level_org", |b| {
+        b.iter(|| dit.search(black_box(&one_org), Scope::One, &all, &[], 0))
+    });
+    g.bench_function("upsert_delete", |b| {
+        let mut dit = build_dit();
+        let dn = Dn::parse("hn=new, o=O0").unwrap();
+        b.iter(|| {
+            dit.upsert(Entry::new(dn.clone()).with_class("computer"));
+            dit.delete(&dn);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

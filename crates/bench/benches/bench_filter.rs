@@ -1,0 +1,78 @@
+//! Microbenchmarks: RFC 2254 filter parsing and evaluation — the hot
+//! path of every GRIP search.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gis_ldap::{Entry, Filter};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sample_entry() -> Entry {
+    Entry::at("perf=load, hn=hostX, o=O1")
+        .unwrap()
+        .with_class("perf")
+        .with_class("loadaverage")
+        .with("system", "linux 2.4")
+        .with("arch", "x86")
+        .with("cpucount", 8i64)
+        .with("memorymb", 4096i64)
+        .with("load1", 0.8f64)
+        .with("load5", 1.2f64)
+        .with("free", 33515i64)
+        .with("path", "/disks/scratch1")
+}
+
+const SIMPLE: &str = "(objectclass=computer)";
+const COMPLEX: &str =
+    "(&(objectclass=loadaverage)(|(load5<=1.5)(cpucount>=16))(!(system=*irix*))(arch=x86))";
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter");
+    g.sample_size(60).measurement_time(Duration::from_secs(2));
+
+    g.bench_function("parse_simple", |b| {
+        b.iter(|| Filter::parse(black_box(SIMPLE)).unwrap())
+    });
+    g.bench_function("parse_complex", |b| {
+        b.iter(|| Filter::parse(black_box(COMPLEX)).unwrap())
+    });
+
+    let entry = sample_entry();
+    let simple = Filter::parse(SIMPLE).unwrap();
+    let complex = Filter::parse(COMPLEX).unwrap();
+    g.bench_function("eval_simple", |b| {
+        b.iter(|| black_box(&simple).matches(black_box(&entry)))
+    });
+    g.bench_function("eval_complex", |b| {
+        b.iter(|| black_box(&complex).matches(black_box(&entry)))
+    });
+
+    g.bench_function("display_complex", |b| {
+        b.iter_batched(
+            || complex.clone(),
+            |f| f.to_string(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Evaluation over a batch of 1000 entries — the per-search workload
+    // of a mid-sized GRIS.
+    let entries: Vec<Entry> = (0..1000)
+        .map(|i| {
+            sample_entry()
+                .with("idx", i as i64)
+                .with("load5", (i % 40) as f64 / 10.0)
+        })
+        .collect();
+    g.bench_function("eval_complex_x1000", |b| {
+        b.iter(|| {
+            entries
+                .iter()
+                .filter(|e| complex.matches(e))
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

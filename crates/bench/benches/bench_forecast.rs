@@ -1,0 +1,65 @@
+//! Microbenchmarks: NWS forecaster battery throughput (per-observation
+//! cost of keeping every method's model current).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gis_nws::{Battery, LinkId, Metric, Nws, Sensor, SensorModel};
+use gis_netsim::{secs, SimDuration, SimTime};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forecast");
+    g.sample_size(40).measurement_time(Duration::from_secs(2));
+
+    g.bench_function("battery_observe_1000", |b| {
+        let mut sensor = Sensor::new(SensorModel::bandwidth(100.0), 7);
+        let samples: Vec<f64> = (0..1000).map(|_| sensor.measure()).collect();
+        b.iter_batched(
+            Battery::standard,
+            |mut battery| {
+                for &s in &samples {
+                    battery.observe(s);
+                }
+                battery.predict()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("battery_predict_warm", |b| {
+        let mut sensor = Sensor::new(SensorModel::latency(50.0), 9);
+        let mut battery = Battery::standard();
+        for _ in 0..500 {
+            battery.observe(sensor.measure());
+        }
+        b.iter(|| battery.predict())
+    });
+
+    g.bench_function("sensor_measure", |b| {
+        let mut sensor = Sensor::new(SensorModel::bandwidth(100.0), 11);
+        b.iter(|| sensor.measure())
+    });
+
+    g.bench_function("nws_query_cold_link", |b| {
+        let mut i = 0u64;
+        let mut nws = Nws::new(13, SimDuration::ZERO);
+        b.iter(|| {
+            i += 1;
+            nws.query(
+                &LinkId::new(format!("s{i}"), "dst"),
+                Metric::BandwidthMbps,
+                SimTime::ZERO + secs(i),
+            )
+        })
+    });
+
+    g.bench_function("nws_query_cached", |b| {
+        let mut nws = Nws::new(17, SimDuration::from_secs(3600));
+        let link = LinkId::new("a", "b");
+        nws.query(&link, Metric::LatencyMs, SimTime::ZERO);
+        b.iter(|| nws.query(&link, Metric::LatencyMs, SimTime::ZERO + secs(1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

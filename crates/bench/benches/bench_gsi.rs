@@ -1,0 +1,92 @@
+//! Microbenchmarks: security-path costs — signing, verification, bind
+//! tokens, ACL redaction (the per-message overheads behind experiment
+//! E10's trust-model message counts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gis_gsi::{
+    sign_registration, verify_signed_registration, Acl, Authenticator, BindToken, CertAuthority,
+    Grant, KeyPair, Principal, Requester, TrustStore,
+};
+use gis_ldap::Entry;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gsi");
+    g.sample_size(40).measurement_time(Duration::from_secs(2));
+
+    let kp = KeyPair::generate(1);
+    let msg = b"register: ldap://gris.hostX:389 hn=hostX,o=O1 valid 90s";
+    g.bench_function("sign", |b| b.iter(|| kp.sign(black_box(msg))));
+    let sig = kp.sign(msg);
+    g.bench_function("verify", |b| {
+        b.iter(|| kp.public.verify(black_box(msg), black_box(&sig)))
+    });
+
+    let ca = CertAuthority::new("/O=Grid/CN=CA", 2);
+    let mut trust = TrustStore::new();
+    trust.add_ca(&ca);
+    let alice = ca.issue("/O=Grid/CN=alice");
+    let proxy = alice.delegate(3);
+
+    g.bench_function("issue_credential", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ca.issue(format!("/O=Grid/CN=user{i}"))
+        })
+    });
+
+    g.bench_function("verify_chain_depth1", |b| {
+        b.iter(|| trust.verify_chain(black_box(&alice.chain)))
+    });
+    g.bench_function("verify_chain_depth2_proxy", |b| {
+        b.iter(|| trust.verify_chain(black_box(&proxy.chain)))
+    });
+
+    let token_bytes = BindToken::create(&alice, "ldap://gris.h:389").to_bytes();
+    let auth = Authenticator::new(trust.clone(), "ldap://gris.h:389");
+    g.bench_function("bind_token_create", |b| {
+        b.iter(|| BindToken::create(black_box(&alice), "ldap://gris.h:389"))
+    });
+    g.bench_function("authenticate_bind", |b| {
+        b.iter(|| auth.authenticate(black_box(&token_bytes)))
+    });
+
+    let body = b"grrp message canonical bytes ...";
+    let blob = sign_registration(&alice, body);
+    g.bench_function("sign_registration", |b| {
+        b.iter(|| sign_registration(black_box(&alice), black_box(body)))
+    });
+    g.bench_function("verify_registration", |b| {
+        b.iter(|| verify_signed_registration(black_box(&trust), black_box(body), black_box(&blob)))
+    });
+
+    // ACL redaction over a typical host entry.
+    let entry = Entry::at("hn=hostX")
+        .unwrap()
+        .with_class("computer")
+        .with("system", "linux 2.4")
+        .with("arch", "x86")
+        .with("cpucount", 8i64)
+        .with("memorymb", 4096i64)
+        .with("load5", 1.2f64);
+    let acl = Acl::default()
+        .with_rule(
+            Principal::Anonymous,
+            Grant::Attrs(vec!["objectclass".into(), "system".into()]),
+        )
+        .with_rule(Principal::Authenticated, Grant::All);
+    let anon = Requester::anonymous();
+    let user = Requester::subject("/CN=u");
+    g.bench_function("acl_redact_anonymous", |b| {
+        b.iter(|| acl.redact(black_box(&entry), black_box(&anon)))
+    });
+    g.bench_function("acl_redact_full", |b| {
+        b.iter(|| acl.redact(black_box(&entry), black_box(&user)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

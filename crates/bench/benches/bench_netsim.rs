@@ -1,0 +1,94 @@
+//! Microbenchmarks: discrete-event simulator throughput — bounds how
+//! large the partition/scalability experiments can go.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gis_netsim::{ms, Actor, Ctx, LinkConfig, NodeId, Sim, SimDuration, SimTime};
+use std::time::Duration;
+
+/// A ring node: forwards each received token to the next node.
+struct RingNode {
+    next: NodeId,
+    hops_remaining: u64,
+}
+
+impl Actor<u64> for RingNode {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, u64>) {}
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _from: NodeId, msg: u64) {
+        if self.hops_remaining > 0 {
+            self.hops_remaining -= 1;
+            ctx.send(self.next, msg + 1);
+        }
+    }
+}
+
+/// Build a ring of `n` nodes and inject one token that circulates for
+/// `hops` total deliveries.
+fn ring_sim(n: u32, hops: u64) -> Sim<u64> {
+    let mut sim: Sim<u64> = Sim::new(1);
+    sim.set_default_link(LinkConfig {
+        latency: ms(1),
+        jitter: SimDuration::ZERO,
+        loss: 0.0,
+    });
+    for i in 0..n {
+        let next = NodeId((i + 1) % n);
+        sim.add_node(
+            format!("n{i}"),
+            Box::new(RingNode {
+                next,
+                hops_remaining: hops,
+            }),
+        );
+    }
+    sim.send_external(NodeId(0), 0);
+    sim
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    for (nodes, hops) in [(10u32, 10_000u64), (1000, 10_000)] {
+        g.bench_function(format!("ring_{nodes}_nodes_{hops}_events"), |b| {
+            b.iter_batched(
+                || ring_sim(nodes, hops),
+                |mut sim| {
+                    sim.run_until(SimTime::ZERO + SimDuration::from_secs(100_000));
+                    sim.metrics().delivered
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    g.bench_function("timer_churn_10k", |b| {
+        struct TimerNode;
+        impl Actor<u64> for TimerNode {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                ctx.set_timer(ms(1), 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: NodeId, _: u64) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, t: u64) {
+                if t < 10_000 {
+                    ctx.set_timer(ms(1), t + 1);
+                }
+            }
+        }
+        b.iter_batched(
+            || {
+                let mut sim: Sim<u64> = Sim::new(2);
+                sim.add_node("t", Box::new(TimerNode));
+                sim
+            },
+            |mut sim| {
+                sim.run_until(SimTime::ZERO + SimDuration::from_secs(100));
+                sim.metrics().timers_fired
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

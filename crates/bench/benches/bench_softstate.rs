@@ -1,0 +1,91 @@
+//! Microbenchmarks: soft-state registry operations — the GIIS's GRRP
+//! ingest path (§10.4: "these actions comprise little more than
+//! management of a list of active providers").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gis_ldap::{Dn, LdapUrl};
+use gis_netsim::{secs, SimTime};
+use gis_proto::{GrrpMessage, SoftStateRegistry};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn populated(n: usize, now: SimTime) -> SoftStateRegistry {
+    let mut reg = SoftStateRegistry::new();
+    for i in 0..n {
+        reg.observe(
+            GrrpMessage::register(
+                LdapUrl::server(format!("gris.h{i}")),
+                Dn::parse(&format!("hn=h{i}")).unwrap(),
+                now,
+                secs(90),
+            ),
+            now,
+        );
+    }
+    reg
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("softstate");
+    g.sample_size(40).measurement_time(Duration::from_secs(2));
+    let t0 = SimTime::ZERO;
+
+    g.bench_function("observe_new", |b| {
+        b.iter_batched(
+            SoftStateRegistry::new,
+            |mut reg| {
+                reg.observe(
+                    GrrpMessage::register(
+                        LdapUrl::server("gris.new"),
+                        Dn::parse("hn=new").unwrap(),
+                        t0,
+                        secs(90),
+                    ),
+                    t0,
+                );
+                reg
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut refresh_reg = populated(1000, t0);
+    g.bench_function("observe_refresh_in_1000", |b| {
+        b.iter(|| {
+            refresh_reg.observe(
+                GrrpMessage::register(
+                    LdapUrl::server("gris.h500"),
+                    Dn::parse("hn=h500").unwrap(),
+                    t0 + secs(1),
+                    secs(90),
+                ),
+                t0 + secs(1),
+            )
+        })
+    });
+
+    for n in [100usize, 1000, 10_000] {
+        let reg = populated(n, t0);
+        g.bench_function(format!("active_iter_{n}"), |b| {
+            b.iter(|| black_box(&reg).active(t0 + secs(10)).count())
+        });
+        g.bench_function(format!("sweep_none_expired_{n}"), |b| {
+            b.iter_batched(
+                || reg.clone(),
+                |mut r| r.sweep(t0 + secs(10)),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("sweep_all_expired_{n}"), |b| {
+            b.iter_batched(
+                || reg.clone(),
+                |mut r| r.sweep(t0 + secs(1000)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! A2 — ablation: push vs pull information movement (§3, §6).
+//!
+//! "Both push and pull models can be used to move information from
+//! providers to directories" (§3); "in pull mode, a query-response
+//! exchange supports on-demand access ... in push mode, an initial
+//! subscription request requests subsequent asynchronous delivery" (§6).
+//!
+//! A client needs a host's load average continuously. Compare polling at
+//! several periods against a periodic push subscription and an on-change
+//! push subscription, measuring message cost and the mean age of the
+//! client's knowledge (staleness).
+
+use gis_bench::{banner, f2, section, Table};
+use gis_core::{ClientActor, SimDeployment};
+use gis_gris::{DynamicHostProvider, Gris, GrisConfig, HostSpec};
+use gis_ldap::{Dn, Filter, LdapUrl};
+use gis_netsim::{secs, SimDuration};
+use gis_proto::{GripReply, GripRequest, SearchSpec, SubscriptionMode};
+
+const RUN_SECS: u64 = 600;
+
+fn fresh_deployment() -> (SimDeployment, LdapUrl, gis_netsim::NodeId) {
+    let mut dep = SimDeployment::new(8);
+    let host = HostSpec::linux("h", 2);
+    let url = LdapUrl::server("gris.h");
+    let mut gris = Gris::new(GrisConfig::open(url.clone(), host.dn()), secs(30), secs(90));
+    // Load changes every 10 s; no GRIS-side caching so the comparison
+    // isolates the transport pattern.
+    gris.add_provider(Box::new(DynamicHostProvider::new(
+        &host,
+        4,
+        1.5,
+        secs(10),
+        SimDuration::ZERO,
+    )));
+    dep.add_gris(gris);
+    let client = dep.add_client("watcher");
+    dep.run_for(secs(1));
+    (dep, url, client)
+}
+
+/// Mean age of knowledge for a sequence of update instants over the run,
+/// assuming the underlying value changes continuously: between updates
+/// the knowledge age grows linearly, so mean age = mean over time of
+/// (t - last_update).
+fn mean_age(update_times: &[f64], horizon: f64) -> f64 {
+    if update_times.is_empty() {
+        return horizon / 2.0;
+    }
+    let mut area = 0.0;
+    let mut last = update_times[0];
+    // Before the first update the client knows nothing; charge from t=0.
+    area += last * last / 2.0;
+    for &t in &update_times[1..] {
+        let gap = t - last;
+        area += gap * gap / 2.0;
+        last = t;
+    }
+    let tail = horizon - last;
+    area += tail * tail / 2.0;
+    area / horizon
+}
+
+fn main() {
+    banner(
+        "A2",
+        "push vs pull delivery: message cost against staleness",
+        "§3 (push and pull index maintenance), §6 (subscription modes)",
+    );
+    println!("one dynamic attribute (changes every 10 s), watched for {RUN_SECS} s.\n");
+
+    // Watch the load value itself (project away the measurement
+    // timestamp so on-change fires when the *value* changes).
+    let spec = || {
+        SearchSpec::subtree(
+            Dn::parse("perf=load, hn=h").expect("dn"),
+            Filter::parse("(load5=*)").expect("filter"),
+        )
+        .select(&["load5"])
+    };
+    let mut table = Table::new(&["strategy", "messages", "updates seen", "mean age (s)"]);
+
+    // --- Pull: poll at various periods. ----------------------------------
+    for poll_s in [5u64, 15, 60, 180] {
+        let (mut dep, url, client) = fresh_deployment();
+        let base_msgs = dep.sim.metrics().sent;
+        let polls = RUN_SECS / poll_s;
+        let mut ids = Vec::new();
+        for _ in 0..polls {
+            let id = dep.search(client, &url, spec());
+            ids.push(id);
+            dep.run_for(secs(poll_s));
+        }
+        let msgs = dep.sim.metrics().sent - base_msgs;
+        let c = dep.client(client);
+        let times: Vec<f64> = ids
+            .iter()
+            .filter_map(|id| c.replies.get(id))
+            .filter_map(|v| v.first())
+            .map(|(t, _)| t.as_secs_f64() - 1.0)
+            .collect();
+        table.row(vec![
+            format!("poll every {poll_s}s"),
+            msgs.to_string(),
+            times.len().to_string(),
+            f2(mean_age(&times, RUN_SECS as f64)),
+        ]);
+    }
+
+    // --- Push: periodic and on-change subscriptions. ---------------------
+    for (label, mode) in [
+        ("push periodic 15s", SubscriptionMode::Periodic(secs(15))),
+        ("push on-change", SubscriptionMode::OnChange),
+    ] {
+        let (mut dep, url, client) = fresh_deployment();
+        let base_msgs = dep.sim.metrics().sent;
+        let sub_id = dep.sim.invoke::<ClientActor, _>(client, |c, ctx| {
+            c.request(ctx, &url, |id| GripRequest::Subscribe {
+                id,
+                spec: spec(),
+                mode,
+            })
+        });
+        dep.run_for(secs(RUN_SECS));
+        let msgs = dep.sim.metrics().sent - base_msgs;
+        let c = dep.client(client);
+        let times: Vec<f64> = c
+            .replies
+            .get(&sub_id)
+            .map(|v| {
+                v.iter()
+                    .filter(|(_, r)| matches!(r, GripReply::Update { .. }))
+                    .map(|(t, _)| t.as_secs_f64() - 1.0)
+                    .collect()
+            })
+            .unwrap_or_default();
+        table.row(vec![
+            label.into(),
+            msgs.to_string(),
+            times.len().to_string(),
+            f2(mean_age(&times, RUN_SECS as f64)),
+        ]);
+    }
+
+    section("results");
+    table.print();
+    println!(
+        "\nexpected shape: polling pays 2 messages per sample and staleness\n\
+         ~period/2; slow polling is cheap but stale, fast polling fresh but\n\
+         chatty. Push halves the message count for the same freshness (one\n\
+         update message per delivery, no request), and on-change delivery\n\
+         tracks the 10 s dynamism of the source — the paper's rationale for\n\
+         supporting both modes in GRIP."
+    );
+}

@@ -1,0 +1,144 @@
+//! E6 — §4.3: the failure-detection tradeoff.
+//!
+//! "There is thus a tradeoff to be made, when choosing the criteria used
+//! to decide that a producer has failed, between likelihood of an
+//! erroneous decision and timeliness of failure detection." The paper
+//! cites wide-area loss studies (Bolot '93, Paxson '97) and reports that
+//! "failure detectors can operate effectively despite often high packet
+//! loss rates."
+//!
+//! Sweep: packet-loss rate p × suspicion threshold K (multiples of the
+//! 10 s registration interval). A provider heartbeats over a lossy link
+//! for an hour, then crashes. We report false suspicions per hour
+//! (erroneous decisions) and detection latency after the real crash.
+
+use gis_bench::{banner, f2, section, Table};
+use gis_ldap::{Dn, LdapUrl};
+use gis_netsim::{secs, Actor, Ctx, LinkConfig, NodeId, Sim, SimDuration, SimTime};
+use gis_proto::{GrrpMessage, RegistrationAgent};
+use gis_services::HeartbeatMonitor;
+
+/// The provider side: a registration agent on a timer.
+struct Sender {
+    agent: RegistrationAgent,
+    monitor: NodeId,
+}
+
+impl Actor<GrrpMessage> for Sender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GrrpMessage>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+    fn on_message(&mut self, _: &mut Ctx<'_, GrrpMessage>, _: NodeId, _: GrrpMessage) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GrrpMessage>, _: u64) {
+        for (_, msg) in self.agent.due_messages(ctx.now()) {
+            ctx.send(self.monitor, msg);
+        }
+        ctx.set_timer(self.agent.interval, 0);
+    }
+}
+
+/// The directory side: a heartbeat monitor scanning every second.
+struct Monitor {
+    hm: HeartbeatMonitor,
+}
+
+impl Actor<GrrpMessage> for Monitor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GrrpMessage>) {
+        ctx.set_timer(secs(1), 0);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, GrrpMessage>, _: NodeId, msg: GrrpMessage) {
+        self.hm.heard_from(&msg.service_url, ctx.now());
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GrrpMessage>, _: u64) {
+        self.hm.scan(ctx.now());
+        ctx.set_timer(secs(1), 0);
+    }
+}
+
+fn run_once(seed: u64, loss: f64, k: u64) -> (usize, Option<f64>) {
+    let interval = secs(10);
+    let service = LdapUrl::server("gris.p");
+    let mut sim: Sim<GrrpMessage> = Sim::new(seed);
+    sim.set_default_link(LinkConfig {
+        latency: SimDuration::from_millis(30),
+        jitter: SimDuration::from_millis(20),
+        loss,
+    });
+    let monitor = sim.add_node(
+        "monitor",
+        Box::new(Monitor {
+            hm: HeartbeatMonitor::new(SimDuration::from_secs(10 * k)),
+        }),
+    );
+    let agent = {
+        let mut a = RegistrationAgent::new(service.clone(), Dn::root(), interval, interval.mul_f64(k as f64));
+        a.add_target(LdapUrl::server("monitor"));
+        a
+    };
+    let sender = sim.add_node("sender", Box::new(Sender { agent, monitor }));
+
+    // One hour of normal operation, then a crash.
+    let fail_at = SimTime::ZERO + secs(3600);
+    sim.run_until(fail_at);
+    sim.crash(sender);
+    // Generous post-crash window.
+    sim.run_until(fail_at + secs(600));
+
+    let m = &sim.actor::<Monitor>(monitor).unwrap().hm;
+    let false_pos = m.false_suspicions(&service, fail_at);
+    let latency = m
+        .detection_latency(&service, fail_at)
+        .map(|d| d.as_secs_f64());
+    (false_pos, latency)
+}
+
+fn main() {
+    banner(
+        "E6",
+        "failure-detector timeliness vs erroneous-suspicion tradeoff",
+        "§4.3 (GRRP as an unreliable failure detector)",
+    );
+    println!("registration interval 10 s; suspicion threshold K x interval;");
+    println!("1 h of heartbeats over a lossy link, then a real crash; 10 seeds each.\n");
+
+    let reps = 10u64;
+    let mut table = Table::new(&[
+        "loss p",
+        "K",
+        "false susp./hour",
+        "mean detect latency (s)",
+    ]);
+    for loss in [0.0, 0.05, 0.10, 0.20, 0.40] {
+        for k in [1u64, 2, 3, 5] {
+            let mut fp_total = 0usize;
+            let mut lat_total = 0.0;
+            let mut lat_n = 0usize;
+            for rep in 0..reps {
+                let (fp, lat) = run_once(1000 + rep, loss, k);
+                fp_total += fp;
+                if let Some(l) = lat {
+                    lat_total += l;
+                    lat_n += 1;
+                }
+            }
+            table.row(vec![
+                f2(loss),
+                k.to_string(),
+                f2(fp_total as f64 / reps as f64),
+                if lat_n > 0 {
+                    f2(lat_total / lat_n as f64)
+                } else {
+                    "never".into()
+                },
+            ]);
+        }
+    }
+    section("results");
+    table.print();
+    println!(
+        "\nexpected shape: false suspicions grow with loss and shrink rapidly\n\
+         with K (K=1 suspects on any single lost message; K>=3 is quiet even\n\
+         at 20% loss), while detection latency grows linearly with K — the\n\
+         paper's robustness/timeliness dial."
+    );
+}

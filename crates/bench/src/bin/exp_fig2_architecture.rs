@@ -1,0 +1,111 @@
+//! F2 — Figure 2: architecture overview.
+//!
+//! "Using the GRid Information protocol (GRIP), users can query aggregate
+//! directory services to discover relevant entities, and/or query
+//! information providers to obtain information about individual
+//! entities"; providers announce themselves with GRRP.
+//!
+//! This experiment traces the full flow — registration (GRRP), discovery
+//! through a directory (GRIP search), then direct enquiry at a provider
+//! (GRIP lookup) — and accounts for every message.
+
+use gis_bench::{banner, f2, section, Table};
+use gis_core::SimDeployment;
+use gis_giis::{Giis, GiisConfig};
+use gis_gris::HostSpec;
+use gis_ldap::{Dn, Filter, LdapUrl};
+use gis_netsim::secs;
+use gis_proto::SearchSpec;
+
+fn main() {
+    banner(
+        "F2",
+        "registration / discovery / enquiry roles of GRRP and GRIP",
+        "Figure 2 (architecture overview)",
+    );
+
+    let mut dep = SimDeployment::new(7);
+    let vo_url = LdapUrl::server("giis.vo");
+    let vo = dep.add_giis(Giis::new(
+        GiisConfig::chaining(vo_url.clone(), Dn::root()),
+        secs(30),
+        secs(90),
+    ));
+    let n_hosts = 4;
+    let mut host_urls = Vec::new();
+    for i in 0..n_hosts {
+        let host = HostSpec::linux(&format!("p{i}"), 2);
+        let (_, url) = dep.add_standard_host(&host, i as u64, std::slice::from_ref(&vo_url));
+        host_urls.push((host, url));
+    }
+    let client = dep.add_client("user");
+
+    // Phase 1: registration.
+    dep.run_for(secs(2));
+    let after_reg = dep.sim.metrics();
+    let regs = dep.giis(vo).stats.grrp_received;
+    section("phase 1: providers register via GRRP (soft state)");
+    println!("  {regs} GRRP registrations accepted by the directory");
+    println!("  {} messages on the wire so far", after_reg.sent);
+
+    // Phase 2: discovery through the aggregate directory.
+    section("phase 2: discovery — GRIP search at the aggregate directory");
+    let (code, entries, _) = dep
+        .search_and_wait(
+            client,
+            &vo_url,
+            SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
+            secs(10),
+        )
+        .expect("discovery reply");
+    let after_disc = dep.sim.metrics();
+    println!("  result: {code:?}, {} computers discovered", entries.len());
+    println!(
+        "  messages for discovery: {} (1 client->GIIS, {n_hosts} chained each way, 1 reply)",
+        after_disc.sent - after_reg.sent
+    );
+
+    // Phase 3: direct enquiry at one provider.
+    section("phase 3: enquiry — direct GRIP lookup at one provider");
+    let (host, gris_url) = &host_urls[0];
+    let before = dep.sim.metrics();
+    let (code, entries, _) = dep
+        .search_and_wait(
+            client,
+            gris_url,
+            SearchSpec::lookup(host.dn()),
+            secs(10),
+        )
+        .expect("lookup reply");
+    let after = dep.sim.metrics();
+    let id = dep
+        .client(client)
+        .replies
+        .keys()
+        .last()
+        .copied()
+        .expect("a request completed");
+    let latency = dep.client(client).latency(id).unwrap();
+    println!(
+        "  result: {code:?}, {} entry; {} messages; round trip {}",
+        entries.len(),
+        after.sent - before.sent,
+        latency
+    );
+
+    section("message accounting");
+    let m = dep.sim.metrics();
+    let mut t = Table::new(&["counter", "value"]);
+    t.row(vec!["sent".into(), m.sent.to_string()]);
+    t.row(vec!["delivered".into(), m.delivered.to_string()]);
+    t.row(vec!["GRRP received at GIIS".into(), regs.to_string()]);
+    t.row(vec![
+        "GIIS chained requests".into(),
+        dep.giis(vo).stats.chained_requests.to_string(),
+    ]);
+    t.row(vec![
+        "delivery ratio".into(),
+        f2(m.delivered as f64 / m.sent as f64),
+    ]);
+    t.print();
+}

@@ -1,0 +1,134 @@
+//! F4 — Figure 4: fault-tolerant registration.
+//!
+//! "Information providers register with aggregate directories to provide
+//! user communities with listings of available resources. The redundant
+//! VO-A directories converge, while the VO-B directories cannot due to
+//! network partition."
+//!
+//! Both VOs run two replicated directories; every provider registers
+//! with both replicas of its VO. We partition VO-B's replica 1 away from
+//! half the providers and track the *agreement* (Jaccard index of the
+//! active-registration sets) between each VO's replicas over time, then
+//! heal and watch VO-B re-converge through nothing but ordinary
+//! soft-state refresh.
+
+use gis_bench::{banner, f3, section, Table};
+use gis_core::SimDeployment;
+use gis_giis::{Giis, GiisConfig};
+use gis_gris::HostSpec;
+use gis_ldap::{Dn, LdapUrl};
+use gis_netsim::{secs, NodeId, SimTime};
+
+fn jaccard(a: &[LdapUrl], b: &[LdapUrl]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: std::collections::BTreeSet<_> = a.iter().collect();
+    let sb: std::collections::BTreeSet<_> = b.iter().collect();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+fn main() {
+    banner(
+        "F4",
+        "replicated directories: convergence vs divergence under partition",
+        "Figure 4 (fault-tolerant registration)",
+    );
+
+    let mut dep = SimDeployment::new(99);
+    let mut dirs = Vec::new(); // (vo, replica, node, url)
+    for vo in ["a", "b"] {
+        for replica in 0..2 {
+            let url = LdapUrl::server(format!("giis.vo-{vo}{replica}"));
+            let node = dep.add_giis(Giis::new(
+                GiisConfig::chaining(url.clone(), Dn::root()),
+                secs(10),
+                secs(30),
+            ));
+            dirs.push((vo.to_string(), replica, node, url));
+        }
+    }
+    let dir_urls = |vo: &str| -> Vec<LdapUrl> {
+        dirs.iter()
+            .filter(|(v, _, _, _)| v == vo)
+            .map(|(_, _, _, u)| u.clone())
+            .collect()
+    };
+
+    // 6 providers per VO; each registers with both replicas.
+    let mut provider_nodes: std::collections::HashMap<String, Vec<NodeId>> = Default::default();
+    for vo in ["a", "b"] {
+        for i in 0..6 {
+            let host = HostSpec::linux(&format!("{vo}{i}"), 2).at(gis_core::org(vo));
+            let mut gris = SimDeployment::standard_host_gris(&host, i);
+            gris.agent.interval = secs(10);
+            gris.agent.ttl = secs(30);
+            for url in dir_urls(vo) {
+                gris.agent.add_target(url);
+            }
+            let node = dep.add_gris(gris);
+            provider_nodes.entry(vo.to_string()).or_default().push(node);
+        }
+    }
+
+    // Partition plan: VO-B replica 1 loses contact with providers b0..b2.
+    let vo_b1_node = dirs
+        .iter()
+        .find(|(v, r, _, _)| v == "b" && *r == 1)
+        .map(|(_, _, n, _)| *n)
+        .unwrap();
+    let cut_providers: Vec<NodeId> = provider_nodes["b"][..3].to_vec();
+
+    let sample = |dep: &SimDeployment, now: SimTime| -> (f64, f64) {
+        let children = |vo: &str, replica: usize| -> Vec<LdapUrl> {
+            let node = dirs
+                .iter()
+                .find(|(v, r, _, _)| v == vo && *r == replica)
+                .map(|(_, _, n, _)| *n)
+                .unwrap();
+            dep.giis(node).active_children(now)
+        };
+        (
+            jaccard(&children("a", 0), &children("a", 1)),
+            jaccard(&children("b", 0), &children("b", 1)),
+        )
+    };
+
+    let partition_at = 30u64;
+    let heal_at = 120u64;
+    let mut table = Table::new(&["t (s)", "phase", "VO-A agreement", "VO-B agreement"]);
+    for step in 0..=18 {
+        let t = step * 10;
+        let target = SimTime::ZERO + secs(t + 5);
+        if dep.now() < target {
+            let gap = target.since(dep.now());
+            dep.run_for(gap);
+        }
+        if t == partition_at {
+            dep.sim.partition_between(&cut_providers, &[vo_b1_node]);
+        }
+        if t == heal_at {
+            dep.sim.heal_all();
+        }
+        let phase = if t < partition_at {
+            "connected"
+        } else if t < heal_at {
+            "PARTITIONED"
+        } else {
+            "healed"
+        };
+        let (a, b) = sample(&dep, dep.now());
+        table.row(vec![t.to_string(), phase.into(), f3(a), f3(b)]);
+    }
+
+    section("replica agreement (Jaccard of active registration sets)");
+    table.print();
+    println!(
+        "\nexpected: VO-A stays at 1.000 throughout; VO-B drops to ~0.5 once the\n\
+         cut providers' soft state expires at replica 1 (TTL 30s), then returns\n\
+         to 1.000 within one refresh interval of healing — no repair protocol,\n\
+         just the registration stream."
+    );
+}

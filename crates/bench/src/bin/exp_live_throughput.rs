@@ -1,0 +1,155 @@
+//! LIVE — throughput of the live multi-threaded runtime.
+//!
+//! The architecture claims transport independence: the same GRIS/GIIS
+//! engines run over the deterministic simulator and over real OS threads.
+//! This experiment drives the threaded runtime with parallel clients and
+//! measures sustained query throughput and latency percentiles — the
+//! wall-clock (not simulated) performance of the implementation, scaling
+//! the client thread count.
+
+use gis_bench::{banner, f2, section, Table};
+use gis_core::{LiveRuntime, SimDeployment};
+use gis_giis::{Giis, GiisConfig, GiisMode};
+use gis_gris::HostSpec;
+use gis_ldap::{Dn, Filter, LdapUrl};
+use gis_netsim::SimDuration;
+use gis_proto::SearchSpec;
+use std::time::{Duration, Instant};
+
+const QUERIES_PER_CLIENT: usize = 200;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct Run {
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    ok: usize,
+    total: usize,
+}
+
+fn drive(rt: &LiveRuntime, target: &LdapUrl, threads: usize, direct_lookup: bool) -> Run {
+    let mut handles = Vec::new();
+    let start = Instant::now();
+    for _ in 0..threads {
+        let mut client = rt.client();
+        let target = target.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut latencies = Vec::with_capacity(QUERIES_PER_CLIENT);
+            let mut ok = 0;
+            for _ in 0..QUERIES_PER_CLIENT {
+                let spec = if direct_lookup {
+                    SearchSpec::lookup(Dn::parse("hn=live0").expect("dn"))
+                } else {
+                    SearchSpec::subtree(
+                        Dn::root(),
+                        Filter::parse("(objectclass=computer)").expect("filter"),
+                    )
+                };
+                let t0 = Instant::now();
+                if client.search(&target, spec, Duration::from_secs(10)).is_some() {
+                    ok += 1;
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+                }
+            }
+            (ok, latencies)
+        }));
+    }
+    let mut all_latencies = Vec::new();
+    let mut ok = 0;
+    for h in handles {
+        let (o, lats) = h.join().expect("client thread");
+        ok += o;
+        all_latencies.extend(lats);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    all_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Run {
+        qps: ok as f64 / elapsed,
+        p50_us: percentile(&all_latencies, 0.50),
+        p99_us: percentile(&all_latencies, 0.99),
+        ok,
+        total: threads * QUERIES_PER_CLIENT,
+    }
+}
+
+fn main() {
+    banner(
+        "LIVE",
+        "threaded-runtime query throughput vs client parallelism",
+        "transport independence of the sans-IO engines (implementation property)",
+    );
+    println!("4 GRIS + 1 chaining GIIS on their own threads; {QUERIES_PER_CLIENT} queries per client.\n");
+
+    let mut rt = LiveRuntime::new(Duration::from_millis(5));
+    let vo_url = LdapUrl::server("giis.live");
+    let mut giis = Giis::new(
+        GiisConfig::chaining(vo_url.clone(), Dn::root()),
+        SimDuration::from_millis(200),
+        SimDuration::from_millis(800),
+    );
+    giis.config.mode = GiisMode::Chain {
+        timeout: SimDuration::from_millis(1000),
+    };
+    rt.spawn_giis(giis);
+    let mut gris0_url = None;
+    for i in 0..4 {
+        let host = HostSpec::linux(&format!("live{i}"), 2);
+        let mut gris = SimDeployment::standard_host_gris(&host, i);
+        gris.agent.interval = SimDuration::from_millis(200);
+        gris.agent.ttl = SimDuration::from_millis(800);
+        gris.agent.add_target(vo_url.clone());
+        if i == 0 {
+            gris0_url = Some(gris.config.url.clone());
+        }
+        rt.spawn_gris(gris);
+    }
+    let gris0_url = gris0_url.expect("gris0");
+    std::thread::sleep(Duration::from_millis(600));
+
+    let mut table = Table::new(&[
+        "workload",
+        "client threads",
+        "throughput (q/s)",
+        "p50 (us)",
+        "p99 (us)",
+        "ok",
+    ]);
+    for &threads in &[1usize, 2, 4, 8, 16] {
+        let r = drive(&rt, &gris0_url, threads, true);
+        table.row(vec![
+            "direct GRIS lookup".into(),
+            threads.to_string(),
+            f2(r.qps),
+            f2(r.p50_us),
+            f2(r.p99_us),
+            format!("{}/{}", r.ok, r.total),
+        ]);
+    }
+    for &threads in &[1usize, 4, 8] {
+        let r = drive(&rt, &vo_url, threads, false);
+        table.row(vec![
+            "chained discovery".into(),
+            threads.to_string(),
+            f2(r.qps),
+            f2(r.p50_us),
+            f2(r.p99_us),
+            format!("{}/{}", r.ok, r.total),
+        ]);
+    }
+    section("results (wall-clock, this machine)");
+    table.print();
+    println!(
+        "\nexpected shape: direct-lookup throughput scales with client threads\n\
+         until the single GRIS thread saturates; chained discovery pays the\n\
+         GIIS fan-out (4 children) per query and saturates earlier. All\n\
+         queries complete — no loss under contention."
+    );
+    rt.shutdown();
+}

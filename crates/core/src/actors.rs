@@ -1,0 +1,278 @@
+//! Simulation-runtime actors: GRIS, GIIS and client state machines bound
+//! to the deterministic network simulator.
+//!
+//! The protocol engines in `gis-gris`/`gis-giis` are sans-IO; these
+//! adapters move their messages over `gis-netsim` and drive their timers.
+//! Service endpoints are addressed by LDAP URL; a shared [`NameService`]
+//! (the deployment's bootstrap "DNS") maps URLs to simulator nodes.
+
+use gis_giis::{Giis, GiisAction};
+use gis_gris::Gris;
+use gis_ldap::LdapUrl;
+use gis_netsim::{Actor, Ctx, NodeId, SimDuration, SimTime};
+use gis_proto::{GripReply, GripRequest, ProtocolMessage, RequestId, SearchSpec};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Maps service URLs to simulator nodes (and back). Stands in for DNS +
+/// the static bootstrap configuration of §9.
+#[derive(Clone, Default)]
+pub struct NameService {
+    inner: Arc<RwLock<NameMaps>>,
+}
+
+#[derive(Default)]
+struct NameMaps {
+    by_url: HashMap<String, NodeId>,
+    by_node: HashMap<NodeId, LdapUrl>,
+}
+
+impl NameService {
+    /// Empty name service.
+    pub fn new() -> NameService {
+        NameService::default()
+    }
+
+    /// Register a service endpoint.
+    pub fn register(&self, url: &LdapUrl, node: NodeId) {
+        let mut maps = self.inner.write();
+        maps.by_url.insert(url.to_string(), node);
+        maps.by_node.insert(node, url.clone());
+    }
+
+    /// Resolve a URL to its node.
+    pub fn resolve(&self, url: &LdapUrl) -> Option<NodeId> {
+        self.inner.read().by_url.get(&url.to_string()).copied()
+    }
+
+    /// Reverse-resolve a node to its URL.
+    pub fn url_of(&self, node: NodeId) -> Option<LdapUrl> {
+        self.inner.read().by_node.get(&node).cloned()
+    }
+}
+
+/// Timer token used by service actors for their periodic tick.
+const TICK: u64 = 0;
+
+/// A GRIS bound to a simulator node.
+pub struct GrisActor {
+    /// The protocol engine (public so experiments can inspect stats and
+    /// inject provider failures via `Sim::actor_mut`).
+    pub gris: Gris,
+    names: NameService,
+    tick_every: SimDuration,
+}
+
+impl GrisActor {
+    /// Wrap a GRIS engine; `tick_every` bounds timer granularity
+    /// (registration refresh and subscription delivery cadence).
+    pub fn new(gris: Gris, names: NameService, tick_every: SimDuration) -> GrisActor {
+        GrisActor {
+            gris,
+            names,
+            tick_every,
+        }
+    }
+
+    fn flush_tick(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>) {
+        let out = self.gris.tick(ctx.now());
+        for (dir, msg) in out.registrations {
+            if let Some(node) = self.names.resolve(&dir) {
+                ctx.send(node, ProtocolMessage::Grrp(msg));
+            }
+        }
+        for (client, reply) in out.updates {
+            ctx.send(NodeId(client as u32), ProtocolMessage::Reply(reply));
+        }
+    }
+}
+
+impl Actor<ProtocolMessage> for GrisActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>) {
+        self.flush_tick(ctx);
+        ctx.set_timer(self.tick_every, TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>, from: NodeId, msg: ProtocolMessage) {
+        match msg {
+            ProtocolMessage::Request(req) => {
+                let now = ctx.now();
+                for reply in self.gris.handle_request(u64::from(from.0), req, now) {
+                    ctx.send(from, ProtocolMessage::Reply(reply));
+                }
+            }
+            ProtocolMessage::Grrp(msg) => {
+                self.gris.handle_grrp(&msg);
+            }
+            ProtocolMessage::Reply(_) => { /* a GRIS issues no requests */ }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>, _token: u64) {
+        self.flush_tick(ctx);
+        ctx.set_timer(self.tick_every, TICK);
+    }
+}
+
+/// A GIIS bound to a simulator node.
+pub struct GiisActor {
+    /// The protocol engine.
+    pub giis: Giis,
+    names: NameService,
+    tick_every: SimDuration,
+}
+
+impl GiisActor {
+    /// Wrap a GIIS engine.
+    pub fn new(giis: Giis, names: NameService, tick_every: SimDuration) -> GiisActor {
+        GiisActor {
+            giis,
+            names,
+            tick_every,
+        }
+    }
+
+    fn perform(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>, actions: Vec<GiisAction>) {
+        for action in actions {
+            match action {
+                GiisAction::SendRequest { to, request } => {
+                    if let Some(node) = self.names.resolve(&to) {
+                        ctx.send(node, ProtocolMessage::Request(request));
+                    }
+                    // Unresolvable children simply never answer; the
+                    // pending-query deadline converts that into partial
+                    // results, exactly like a partitioned child.
+                }
+                GiisAction::SendGrrp { to, message } => {
+                    if let Some(node) = self.names.resolve(&to) {
+                        ctx.send(node, ProtocolMessage::Grrp(message));
+                    }
+                }
+                GiisAction::Reply { client, reply } => {
+                    ctx.send(NodeId(client as u32), ProtocolMessage::Reply(reply));
+                }
+            }
+        }
+    }
+}
+
+impl Actor<ProtocolMessage> for GiisActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>) {
+        let actions = self.giis.tick(ctx.now());
+        self.perform(ctx, actions);
+        ctx.set_timer(self.tick_every, TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>, from: NodeId, msg: ProtocolMessage) {
+        let now = ctx.now();
+        let actions = match msg {
+            ProtocolMessage::Request(req) => self.giis.handle_request(u64::from(from.0), req, now),
+            ProtocolMessage::Reply(reply) => {
+                let from_url = self
+                    .names
+                    .url_of(from)
+                    .unwrap_or_else(|| LdapUrl::server("unknown"));
+                self.giis.handle_reply(&from_url, reply, now)
+            }
+            ProtocolMessage::Grrp(msg) => self.giis.handle_grrp(msg, now),
+        };
+        self.perform(ctx, actions);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>, _token: u64) {
+        let actions = self.giis.tick(ctx.now());
+        self.perform(ctx, actions);
+        ctx.set_timer(self.tick_every, TICK);
+    }
+}
+
+/// A scriptable client: experiments inject requests via `Sim::invoke` and
+/// read the recorded replies afterwards.
+pub struct ClientActor {
+    names: NameService,
+    next_id: RequestId,
+    /// When each request was sent.
+    pub sent_at: BTreeMap<RequestId, SimTime>,
+    /// Replies received, in arrival order, per request id (subscriptions
+    /// accumulate several).
+    pub replies: BTreeMap<RequestId, Vec<(SimTime, GripReply)>>,
+}
+
+impl ClientActor {
+    /// Create a client.
+    pub fn new(names: NameService) -> ClientActor {
+        ClientActor {
+            names,
+            next_id: 1,
+            sent_at: BTreeMap::new(),
+            replies: BTreeMap::new(),
+        }
+    }
+
+    /// Send an arbitrary GRIP request to `target`; returns the request id.
+    pub fn request(
+        &mut self,
+        ctx: &mut Ctx<'_, ProtocolMessage>,
+        target: &LdapUrl,
+        build: impl FnOnce(RequestId) -> GripRequest,
+    ) -> RequestId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sent_at.insert(id, ctx.now());
+        if let Some(node) = self.names.resolve(target) {
+            ctx.send(node, ProtocolMessage::Request(build(id)));
+        }
+        id
+    }
+
+    /// Issue a search.
+    pub fn search(
+        &mut self,
+        ctx: &mut Ctx<'_, ProtocolMessage>,
+        target: &LdapUrl,
+        spec: SearchSpec,
+    ) -> RequestId {
+        self.request(ctx, target, |id| GripRequest::Search { id, spec })
+    }
+
+    /// The first terminal search result for a request, if it has arrived.
+    pub fn search_result(&self, id: RequestId) -> Option<&GripReply> {
+        self.replies
+            .get(&id)?
+            .iter()
+            .map(|(_, r)| r)
+            .find(|r| matches!(r, GripReply::SearchResult { .. } | GripReply::BindResult { .. }))
+    }
+
+    /// All updates received for a subscription.
+    pub fn updates(&self, id: RequestId) -> Vec<&GripReply> {
+        self.replies
+            .get(&id)
+            .map(|v| {
+                v.iter()
+                    .map(|(_, r)| r)
+                    .filter(|r| matches!(r, GripReply::Update { .. }))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Round-trip latency of a completed request.
+    pub fn latency(&self, id: RequestId) -> Option<SimDuration> {
+        let sent = *self.sent_at.get(&id)?;
+        let (arrived, _) = self.replies.get(&id)?.first()?;
+        Some(arrived.since(sent))
+    }
+}
+
+impl Actor<ProtocolMessage> for ClientActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>, _from: NodeId, msg: ProtocolMessage) {
+        if let ProtocolMessage::Reply(reply) = msg {
+            self.replies
+                .entry(reply.id())
+                .or_default()
+                .push((ctx.now(), reply));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Configuring information services (§9): how a provider finds the
+//! directories it should register with.
+//!
+//! The paper lists three techniques; all are implemented here.
+//!
+//! 1. **Manual configuration** — "users or system administrators can
+//!    configure information providers with the addresses of directories":
+//!    [`manual_join`] (and note that registering a site *directory* adds
+//!    the whole organization at once).
+//! 2. **Automated discovery based on a hierarchical discovery service** —
+//!    [`discover_directories`] searches a name-serving root directory for
+//!    registered aggregate directories matching the provider's namespace,
+//!    and [`join_via_hierarchy`] wires the result into the provider's
+//!    registration agent.
+//! 3. **Automated discovery based on other information services** (SLP /
+//!    DNS-style local defaults) — [`local_default_directory`] resolves a
+//!    site's conventional well-known directory name.
+
+use crate::actors::NameService;
+use crate::deploy::SimDeployment;
+use gis_ldap::{Dn, Filter, LdapUrl};
+use gis_netsim::{secs, NodeId};
+use gis_proto::SearchSpec;
+
+/// Technique 1 — manual configuration: point a provider's registration
+/// agent at explicit directory addresses.
+pub fn manual_join(dep: &mut SimDeployment, gris_node: NodeId, directories: &[LdapUrl]) {
+    let gris = dep.gris_mut(gris_node);
+    for d in directories {
+        gris.agent.add_target(d.clone());
+    }
+}
+
+/// Technique 2a — query a (name-serving) root directory for registered
+/// aggregate directories whose namespace is related to `namespace`
+/// (either could scope the other). Returns their GRIP endpoints.
+pub fn discover_directories(
+    dep: &mut SimDeployment,
+    client: NodeId,
+    root: &LdapUrl,
+    namespace: &Dn,
+) -> Vec<LdapUrl> {
+    let Some((_, entries, _)) = dep.search_and_wait(
+        client,
+        root,
+        SearchSpec::subtree(
+            Dn::root(),
+            Filter::parse("(objectclass=registration)").expect("valid filter"),
+        ),
+        secs(10),
+    ) else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter(|e| {
+            let ns = e.dn();
+            ns.is_under(namespace) || namespace.is_under(ns)
+        })
+        .filter_map(|e| e.get_str("url"))
+        .filter_map(|u| LdapUrl::parse(u).ok())
+        .collect()
+}
+
+/// Technique 2b — full flow: discover matching directories through the
+/// hierarchy and register the provider with each. Returns how many
+/// directories were joined.
+pub fn join_via_hierarchy(
+    dep: &mut SimDeployment,
+    gris_node: NodeId,
+    client: NodeId,
+    root: &LdapUrl,
+) -> usize {
+    let namespace = dep.gris(gris_node).config.suffix.clone();
+    let dirs = discover_directories(dep, client, root, &namespace);
+    let n = dirs.len();
+    manual_join(dep, gris_node, &dirs);
+    n
+}
+
+/// Technique 3 — a local default service in the SLP role: "clients can
+/// use SLP to locate a default local directory from which to initiate VO
+/// resource discovery." We model the convention that each site exposes
+/// its default directory under a well-known name.
+pub fn local_default_directory(names: &NameService, site: &str) -> Option<LdapUrl> {
+    let url = LdapUrl::server(format!("giis.default.{site}"));
+    names.resolve(&url).map(|_| url)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_giis::{Giis, GiisConfig, GiisMode};
+    use gis_gris::HostSpec;
+
+    /// Root name directory + two site chaining directories registered in
+    /// it; a new host bootstraps itself via the hierarchy.
+    #[test]
+    fn hierarchy_bootstrap_joins_matching_directories() {
+        let mut dep = SimDeployment::new(71);
+        let root_url = LdapUrl::server("giis.root");
+        let mut root_config = GiisConfig::chaining(root_url.clone(), Dn::root());
+        root_config.mode = GiisMode::Name;
+        dep.add_giis(Giis::new(root_config, secs(30), secs(90)));
+
+        for org in ["O1", "O2"] {
+            let url = LdapUrl::server(format!("giis.site.{org}"));
+            let mut site = Giis::new(
+                GiisConfig::chaining(url, Dn::parse(&format!("o={org}")).unwrap()),
+                secs(30),
+                secs(90),
+            );
+            site.agent.add_target(root_url.clone());
+            dep.add_giis(site);
+        }
+        let client = dep.add_client("bootstrap");
+        dep.run_for(secs(2)); // site directories register with the root
+
+        // A host in O1 discovers its site directory through the root.
+        let host = HostSpec::linux("newbie", 2).at(Dn::parse("o=O1").unwrap());
+        let (gris_node, _) = dep.add_standard_host(&host, 3, &[]);
+        dep.run_for(secs(1));
+        let joined = join_via_hierarchy(&mut dep, gris_node, client, &root_url);
+        assert_eq!(joined, 1, "only the O1 site directory matches");
+        assert_eq!(
+            dep.gris(gris_node).agent.targets(),
+            &[LdapUrl::server("giis.site.O1")]
+        );
+
+        // After the bootstrap, the host becomes discoverable through the
+        // site directory.
+        dep.run_for(secs(35)); // next refresh cycle registers it
+        let (_, entries, _) = dep
+            .search_and_wait(
+                client,
+                &LdapUrl::server("giis.site.O1"),
+                SearchSpec::subtree(
+                    Dn::root(),
+                    Filter::parse("(objectclass=computer)").unwrap(),
+                ),
+                secs(10),
+            )
+            .unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].get_str("hn"), Some("newbie"));
+    }
+
+    #[test]
+    fn discovery_filters_by_namespace() {
+        let mut dep = SimDeployment::new(72);
+        let root_url = LdapUrl::server("giis.root");
+        let mut root_config = GiisConfig::chaining(root_url.clone(), Dn::root());
+        root_config.mode = GiisMode::Name;
+        dep.add_giis(Giis::new(root_config, secs(30), secs(90)));
+        for org in ["O1", "O2", "O3"] {
+            let url = LdapUrl::server(format!("giis.site.{org}"));
+            let mut site = Giis::new(
+                GiisConfig::chaining(url, Dn::parse(&format!("o={org}")).unwrap()),
+                secs(30),
+                secs(90),
+            );
+            site.agent.add_target(root_url.clone());
+            dep.add_giis(site);
+        }
+        let client = dep.add_client("c");
+        dep.run_for(secs(2));
+
+        let o2 = discover_directories(
+            &mut dep,
+            client,
+            &root_url,
+            &Dn::parse("hn=x, o=O2").unwrap(),
+        );
+        assert_eq!(o2, vec![LdapUrl::server("giis.site.O2")]);
+
+        // A root-scoped consumer (e.g. a whole-VO directory) matches all.
+        let all = discover_directories(&mut dep, client, &root_url, &Dn::root());
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn manual_join_is_additive() {
+        let mut dep = SimDeployment::new(73);
+        let host = HostSpec::linux("m", 2);
+        let (gris_node, _) = dep.add_standard_host(&host, 1, &[]);
+        manual_join(
+            &mut dep,
+            gris_node,
+            &[LdapUrl::server("d1"), LdapUrl::server("d2")],
+        );
+        manual_join(&mut dep, gris_node, &[LdapUrl::server("d2")]);
+        assert_eq!(dep.gris(gris_node).agent.targets().len(), 2);
+    }
+
+    #[test]
+    fn local_default_lookup() {
+        let mut dep = SimDeployment::new(74);
+        let url = LdapUrl::server("giis.default.anl");
+        dep.add_giis(Giis::new(
+            GiisConfig::chaining(url.clone(), Dn::root()),
+            secs(30),
+            secs(90),
+        ));
+        assert_eq!(local_default_directory(&dep.names, "anl"), Some(url));
+        assert_eq!(local_default_directory(&dep.names, "unknown-site"), None);
+    }
+}

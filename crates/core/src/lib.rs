@@ -1,0 +1,30 @@
+//! MDS-2 assembly: deployments, runtimes and scenario topologies.
+//!
+//! This crate binds the sans-IO protocol engines (`gis-gris`,
+//! `gis-giis`) to executable runtimes:
+//!
+//! * [`actors`] + [`deploy`] — the deterministic simulated runtime used
+//!   by tests and experiments (Figures 1, 4, 5 become reproducible
+//!   simulations);
+//! * [`scenario`] — prebuilt topologies matching the paper's figures;
+//! * [`live`] — a multi-threaded in-process runtime (crossbeam channels,
+//!   one thread per service) demonstrating that the same engines run
+//!   over real concurrency.
+
+#![warn(missing_docs)]
+
+pub mod actors;
+pub mod bootstrap;
+pub mod deploy;
+pub mod live;
+pub mod naming;
+pub mod scenario;
+
+pub use actors::{ClientActor, GiisActor, GrisActor, NameService};
+pub use bootstrap::{
+    discover_directories, join_via_hierarchy, local_default_directory, manual_join,
+};
+pub use naming::{Guid, GuidGenerator, NamingAuthority};
+pub use deploy::{org, SimDeployment, DEFAULT_TICK};
+pub use live::{LiveClient, LiveRuntime};
+pub use scenario::{figure5, two_vos, HierarchyScenario, TwoVoScenario};

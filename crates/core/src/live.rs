@@ -1,0 +1,507 @@
+//! Live multi-threaded runtime: the same GRIS/GIIS engines that run in
+//! the simulator, executed over real OS threads and crossbeam channels.
+//!
+//! One thread per service; a shared [`Router`] plays the network. Clock
+//! readings map wall time onto [`SimTime`] from the runtime's epoch, so
+//! every soft-state TTL and cache TTL behaves identically to the
+//! simulated runtime. This demonstrates the architecture's transport
+//! independence and provides the substrate for the parallel-client
+//! throughput benchmarks.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use gis_giis::{Giis, GiisAction};
+use gis_gris::Gris;
+use gis_ldap::{Entry, LdapUrl};
+use gis_proto::{GripReply, GripRequest, GrrpMessage, RequestId, ResultCode, SearchSpec};
+use gis_netsim::SimTime;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where a message came from / should go back to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Address {
+    /// A client handle.
+    Client(u64),
+    /// A service, by URL string (chained requests).
+    Service(String),
+}
+
+/// Messages carried between live threads.
+#[derive(Debug)]
+pub enum LiveMsg {
+    /// A GRIP request with its reply address.
+    Request {
+        /// Who asked.
+        from: Address,
+        /// The request.
+        request: GripRequest,
+    },
+    /// A GRIP reply delivered to a *service* (chained-query responses).
+    ReplyToService {
+        /// URL of the replying server.
+        from_url: String,
+        /// The reply.
+        reply: GripReply,
+    },
+    /// A GRRP notification.
+    Grrp(GrrpMessage),
+    /// Stop the service thread.
+    Shutdown,
+}
+
+/// The shared "network": routes messages to service inboxes and client
+/// reply channels.
+#[derive(Default)]
+pub struct Router {
+    services: RwLock<HashMap<String, Sender<LiveMsg>>>,
+    clients: RwLock<HashMap<u64, Sender<GripReply>>>,
+}
+
+impl Router {
+    fn send_to_service(&self, url: &str, msg: LiveMsg) {
+        if let Some(tx) = self.services.read().get(url) {
+            let _ = tx.send(msg);
+        }
+        // Unknown or shut-down services silently drop traffic — exactly
+        // the partition/failure semantics the protocols are built for.
+    }
+
+    fn send_to_client(&self, id: u64, reply: GripReply) {
+        if let Some(tx) = self.clients.read().get(&id) {
+            let _ = tx.send(reply);
+        }
+    }
+
+    fn send_back(&self, addr: &Address, self_url: &str, reply: GripReply) {
+        match addr {
+            Address::Client(id) => self.send_to_client(*id, reply),
+            Address::Service(url) => self.send_to_service(
+                url,
+                LiveMsg::ReplyToService {
+                    from_url: self_url.to_owned(),
+                    reply,
+                },
+            ),
+        }
+    }
+}
+
+/// The live runtime: spawns service threads, hands out client handles.
+pub struct LiveRuntime {
+    router: Arc<Router>,
+    epoch: Instant,
+    handles: Vec<(Sender<LiveMsg>, JoinHandle<()>)>,
+    next_client: AtomicU64,
+    tick: Duration,
+}
+
+impl LiveRuntime {
+    /// Create a runtime whose service threads tick at `tick` granularity.
+    pub fn new(tick: Duration) -> LiveRuntime {
+        LiveRuntime {
+            router: Arc::new(Router::default()),
+            epoch: Instant::now(),
+            handles: Vec::new(),
+            next_client: AtomicU64::new(1),
+            tick,
+        }
+    }
+
+    /// Wall time mapped onto the simulation clock type.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Run a GRIS on its own thread.
+    pub fn spawn_gris(&mut self, mut gris: Gris) {
+        let url = gris.config.url.to_string();
+        let (tx, rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
+        self.router.services.write().insert(url.clone(), tx.clone());
+        let router = Arc::clone(&self.router);
+        let epoch = self.epoch;
+        let tick = self.tick;
+        let handle = std::thread::spawn(move || {
+            let now = || SimTime(epoch.elapsed().as_micros() as u64);
+            // Client-id interning: the engine keys sessions by u64.
+            let mut ids: HashMap<Address, u64> = HashMap::new();
+            let mut addrs: HashMap<u64, Address> = HashMap::new();
+            let mut next = 1u64;
+            loop {
+                match rx.recv_timeout(tick) {
+                    Ok(LiveMsg::Shutdown) => break,
+                    Ok(LiveMsg::Request { from, request }) => {
+                        let cid = *ids.entry(from.clone()).or_insert_with(|| {
+                            let id = next;
+                            next += 1;
+                            addrs.insert(id, from.clone());
+                            id
+                        });
+                        for reply in gris.handle_request(cid, request, now()) {
+                            router.send_back(&from, &url, reply);
+                        }
+                    }
+                    Ok(LiveMsg::Grrp(msg)) => {
+                        gris.handle_grrp(&msg);
+                    }
+                    Ok(LiveMsg::ReplyToService { .. }) => {}
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+                let out = gris.tick(now());
+                for (dir, msg) in out.registrations {
+                    router.send_to_service(&dir.to_string(), LiveMsg::Grrp(msg));
+                }
+                for (cid, reply) in out.updates {
+                    if let Some(addr) = addrs.get(&cid) {
+                        router.send_back(addr, &url, reply);
+                    }
+                }
+            }
+        });
+        self.handles.push((tx, handle));
+    }
+
+    /// Run a GIIS on its own thread.
+    pub fn spawn_giis(&mut self, mut giis: Giis) {
+        let url = giis.config.url.to_string();
+        let (tx, rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
+        self.router.services.write().insert(url.clone(), tx.clone());
+        let router = Arc::clone(&self.router);
+        let epoch = self.epoch;
+        let tick = self.tick;
+        let handle = std::thread::spawn(move || {
+            let now = || SimTime(epoch.elapsed().as_micros() as u64);
+            let mut ids: HashMap<Address, u64> = HashMap::new();
+            let mut addrs: HashMap<u64, Address> = HashMap::new();
+            let mut next = 1u64;
+            let perform = |actions: Vec<GiisAction>,
+                               router: &Router,
+                               addrs: &HashMap<u64, Address>| {
+                for action in actions {
+                    match action {
+                        GiisAction::SendRequest { to, request } => router.send_to_service(
+                            &to.to_string(),
+                            LiveMsg::Request {
+                                from: Address::Service(url.clone()),
+                                request,
+                            },
+                        ),
+                        GiisAction::SendGrrp { to, message } => {
+                            router.send_to_service(&to.to_string(), LiveMsg::Grrp(message))
+                        }
+                        GiisAction::Reply { client, reply } => {
+                            if let Some(addr) = addrs.get(&client) {
+                                router.send_back(addr, &url, reply);
+                            }
+                        }
+                    }
+                }
+            };
+            loop {
+                match rx.recv_timeout(tick) {
+                    Ok(LiveMsg::Shutdown) => break,
+                    Ok(LiveMsg::Request { from, request }) => {
+                        let cid = *ids.entry(from.clone()).or_insert_with(|| {
+                            let id = next;
+                            next += 1;
+                            addrs.insert(id, from.clone());
+                            id
+                        });
+                        let actions = giis.handle_request(cid, request, now());
+                        perform(actions, &router, &addrs);
+                    }
+                    Ok(LiveMsg::ReplyToService { from_url, reply }) => {
+                        let from = LdapUrl::parse(&from_url)
+                            .unwrap_or_else(|_| LdapUrl::server("unknown"));
+                        let actions = giis.handle_reply(&from, reply, now());
+                        perform(actions, &router, &addrs);
+                    }
+                    Ok(LiveMsg::Grrp(msg)) => {
+                        let actions = giis.handle_grrp(msg, now());
+                        perform(actions, &router, &addrs);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+                let actions = giis.tick(now());
+                perform(actions, &router, &addrs);
+            }
+        });
+        self.handles.push((tx, handle));
+    }
+
+    /// Create a synchronous client handle. Handles are `Send`: spread
+    /// them across threads for parallel-load benchmarks.
+    pub fn client(&self) -> LiveClient {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1024);
+        self.router.clients.write().insert(id, tx);
+        LiveClient {
+            id,
+            rx,
+            router: Arc::clone(&self.router),
+            next_req: 1,
+        }
+    }
+
+    /// Simulate a service failure: unregister its inbox and stop the
+    /// thread. Soft state at directories will expire naturally.
+    pub fn kill_service(&mut self, url: &LdapUrl) {
+        if let Some(tx) = self.router.services.write().remove(&url.to_string()) {
+            let _ = tx.send(LiveMsg::Shutdown);
+        }
+    }
+
+    /// Shut down every service thread and join them.
+    pub fn shutdown(mut self) {
+        self.router.services.write().clear();
+        for (tx, _) in &self.handles {
+            let _ = tx.send(LiveMsg::Shutdown);
+        }
+        for (_, handle) in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A synchronous client of the live runtime.
+pub struct LiveClient {
+    id: u64,
+    rx: Receiver<GripReply>,
+    router: Arc<Router>,
+    next_req: RequestId,
+}
+
+impl LiveClient {
+    /// Send a raw request.
+    pub fn send(&mut self, target: &LdapUrl, build: impl FnOnce(RequestId) -> GripRequest) -> RequestId {
+        let id = self.next_req;
+        self.next_req += 1;
+        self.router.send_to_service(
+            &target.to_string(),
+            LiveMsg::Request {
+                from: Address::Client(self.id),
+                request: build(id),
+            },
+        );
+        id
+    }
+
+    /// Issue a search and block (up to `timeout`) for its result.
+    pub fn search(
+        &mut self,
+        target: &LdapUrl,
+        spec: SearchSpec,
+        timeout: Duration,
+    ) -> Option<(ResultCode, Vec<Entry>, Vec<LdapUrl>)> {
+        let id = self.send(target, |id| GripRequest::Search { id, spec });
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            match self.rx.recv_timeout(remaining) {
+                Ok(GripReply::SearchResult {
+                    id: rid,
+                    code,
+                    entries,
+                    referrals,
+                }) if rid == id => return Some((code, entries, referrals)),
+                Ok(_) => continue, // stale reply from an earlier timeout
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Receive the next asynchronous reply (subscription updates).
+    pub fn recv(&mut self, timeout: Duration) -> Option<GripReply> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::SimDeployment;
+    use gis_giis::{Giis, GiisConfig};
+    use gis_gris::HostSpec;
+    use gis_ldap::{Dn, Filter};
+    use gis_netsim::SimDuration;
+
+    fn fast_host_gris(name: &str, seed: u64, dirs: &[LdapUrl]) -> Gris {
+        let host = HostSpec::linux(name, 2);
+        let mut gris = SimDeployment::standard_host_gris(&host, seed);
+        gris.agent.interval = SimDuration::from_millis(100);
+        gris.agent.ttl = SimDuration::from_millis(400);
+        for d in dirs {
+            gris.agent.add_target(d.clone());
+        }
+        gris
+    }
+
+    #[test]
+    fn live_direct_query() {
+        let mut rt = LiveRuntime::new(Duration::from_millis(10));
+        let gris = fast_host_gris("n1", 1, &[]);
+        let url = gris.config.url.clone();
+        rt.spawn_gris(gris);
+        let mut client = rt.client();
+        let result = client.search(
+            &url,
+            SearchSpec::subtree(Dn::parse("hn=n1").unwrap(), Filter::always()),
+            Duration::from_secs(5),
+        );
+        let (code, entries, _) = result.expect("live reply");
+        assert_eq!(code, ResultCode::Success);
+        assert_eq!(entries.len(), 4);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_registration_and_chained_search() {
+        let mut rt = LiveRuntime::new(Duration::from_millis(10));
+        let giis_url = LdapUrl::server("giis.vo");
+        let mut giis = Giis::new(
+            GiisConfig::chaining(giis_url.clone(), Dn::root()),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+        );
+        // Tighter chaining deadline for a fast test.
+        giis.config.mode = gis_giis::GiisMode::Chain {
+            timeout: SimDuration::from_millis(500),
+        };
+        rt.spawn_giis(giis);
+        for (i, name) in ["n1", "n2"].iter().enumerate() {
+            rt.spawn_gris(fast_host_gris(name, i as u64, std::slice::from_ref(&giis_url)));
+        }
+        // Let registrations propagate.
+        std::thread::sleep(Duration::from_millis(400));
+        let mut client = rt.client();
+        let (code, entries, _) = client
+            .search(
+                &giis_url,
+                SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
+                Duration::from_secs(5),
+            )
+            .expect("chained reply");
+        assert_eq!(code, ResultCode::Success);
+        assert_eq!(entries.len(), 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_killed_service_expires_from_directory() {
+        let mut rt = LiveRuntime::new(Duration::from_millis(10));
+        let giis_url = LdapUrl::server("giis.vo");
+        let mut giis = Giis::new(
+            GiisConfig::chaining(giis_url.clone(), Dn::root()),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+        );
+        giis.config.mode = gis_giis::GiisMode::Chain {
+            timeout: SimDuration::from_millis(300),
+        };
+        rt.spawn_giis(giis);
+        let gris = fast_host_gris("n1", 1, std::slice::from_ref(&giis_url));
+        let gris_url = gris.config.url.clone();
+        rt.spawn_gris(gris);
+        std::thread::sleep(Duration::from_millis(400));
+
+        let mut client = rt.client();
+        let (_, entries, _) = client
+            .search(
+                &giis_url,
+                SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
+                Duration::from_secs(5),
+            )
+            .expect("host visible");
+        assert_eq!(entries.len(), 1);
+
+        rt.kill_service(&gris_url);
+        // TTL 400ms: after ~1s the registration is swept.
+        std::thread::sleep(Duration::from_millis(1200));
+        let (code, entries, _) = client
+            .search(
+                &giis_url,
+                SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
+                Duration::from_secs(5),
+            )
+            .expect("directory still answers");
+        assert_eq!(code, ResultCode::Success);
+        assert!(entries.is_empty(), "dead host no longer listed");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_subscription_updates_flow() {
+        use gis_proto::{GripRequest, SubscriptionMode};
+        let mut rt = LiveRuntime::new(Duration::from_millis(10));
+        let gris = fast_host_gris("n1", 1, &[]);
+        let url = gris.config.url.clone();
+        rt.spawn_gris(gris);
+        let mut client = rt.client();
+        let sub_id = client.send(&url, |id| GripRequest::Subscribe {
+            id,
+            spec: SearchSpec::subtree(
+                Dn::parse("perf=load, hn=n1").unwrap(),
+                Filter::parse("(load5=*)").unwrap(),
+            ),
+            mode: SubscriptionMode::Periodic(SimDuration::from_millis(100)),
+        });
+        // Initial snapshot + at least two periodic deliveries within 1s.
+        let mut updates = 0;
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while updates < 3 && std::time::Instant::now() < deadline {
+            if let Some(reply) = client.recv(Duration::from_millis(200)) {
+                if matches!(reply, gis_proto::GripReply::Update { id, .. } if id == sub_id) {
+                    updates += 1;
+                }
+            }
+        }
+        assert!(updates >= 3, "periodic updates over live threads: {updates}");
+        // Unsubscribe stops the stream (allow in-flight deliveries).
+        client.send(&url, |_| GripRequest::Unsubscribe { id: sub_id });
+        std::thread::sleep(Duration::from_millis(300));
+        while client.recv(Duration::from_millis(50)).is_some() {}
+        assert!(
+            client.recv(Duration::from_millis(300)).is_none(),
+            "no updates after unsubscribe"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_parallel_clients() {
+        let mut rt = LiveRuntime::new(Duration::from_millis(5));
+        let gris = fast_host_gris("n1", 1, &[]);
+        let url = gris.config.url.clone();
+        rt.spawn_gris(gris);
+
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let mut client = rt.client();
+            let url = url.clone();
+            threads.push(std::thread::spawn(move || {
+                let mut ok = 0;
+                for _ in 0..20 {
+                    if client
+                        .search(
+                            &url,
+                            SearchSpec::lookup(Dn::parse("hn=n1").unwrap()),
+                            Duration::from_secs(5),
+                        )
+                        .is_some()
+                    {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        let total: u32 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(total, 160, "all parallel queries answered");
+        rt.shutdown();
+    }
+}

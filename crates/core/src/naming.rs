@@ -1,0 +1,204 @@
+//! Unique-name generation (§8 of the paper).
+//!
+//! "We describe two possible approaches, one based on naming authorities
+//! and one on probabilistic techniques."
+//!
+//! * [`NamingAuthority`] — allocates names guaranteed unique within its
+//!   scope; authorities nest hierarchically ("particularly in the latter
+//!   case, a hierarchical organization of this service will be important,
+//!   for scalability"), mirroring §5.1's observation that each aggregate
+//!   directory can serve as a local naming authority. Names are only
+//!   *relatively* unique: distinct authorities may issue the same local
+//!   name under different scopes.
+//! * [`GuidGenerator`] — "we assign names at random from a large name
+//!   space, hence obtaining a name that is highly likely to be unique
+//!   ... such names do not contain any structural information", so GUIDs
+//!   compose with (rather than replace) hierarchical scoping.
+
+use gis_ldap::{Dn, Rdn};
+use gis_netsim::SimRng;
+use std::collections::BTreeSet;
+
+/// A naming authority for one scope.
+#[derive(Debug)]
+pub struct NamingAuthority {
+    scope: Dn,
+    issued: BTreeSet<String>,
+    counter: u64,
+}
+
+impl NamingAuthority {
+    /// Create an authority over `scope` (the DN suffix all of its names
+    /// share). The root authority has the empty scope.
+    pub fn new(scope: Dn) -> NamingAuthority {
+        NamingAuthority {
+            scope,
+            issued: BTreeSet::new(),
+            counter: 0,
+        }
+    }
+
+    /// The scope within which this authority's names are unique.
+    pub fn scope(&self) -> &Dn {
+        &self.scope
+    }
+
+    /// Number of names issued so far.
+    pub fn issued_count(&self) -> usize {
+        self.issued.len()
+    }
+
+    /// Claim a specific name (e.g. a host registering its own hostname).
+    /// Fails if the name is already taken within this scope.
+    pub fn claim(&mut self, attr: &str, value: &str) -> Option<Dn> {
+        let key = format!("{}={value}", attr.to_ascii_lowercase());
+        if !self.issued.insert(key) {
+            return None;
+        }
+        Some(self.scope.child(Rdn::new(attr, value)))
+    }
+
+    /// Allocate a fresh name with the given attribute type and prefix,
+    /// unique within this scope: `prefix-<n>`.
+    pub fn allocate(&mut self, attr: &str, prefix: &str) -> Dn {
+        loop {
+            self.counter += 1;
+            let value = format!("{prefix}-{}", self.counter);
+            if let Some(dn) = self.claim(attr, &value) {
+                return dn;
+            }
+        }
+    }
+
+    /// Spawn a child authority for a sub-scope. The delegation itself is
+    /// a claimed name, so sibling sub-scopes cannot collide.
+    pub fn delegate(&mut self, attr: &str, value: &str) -> Option<NamingAuthority> {
+        let scope = self.claim(attr, value)?;
+        Some(NamingAuthority::new(scope))
+    }
+}
+
+/// A 128-bit globally-unique-identifier generator (probabilistic
+/// uniqueness, no structure).
+#[derive(Debug)]
+pub struct GuidGenerator {
+    rng: SimRng,
+}
+
+/// A 128-bit identifier rendered as 32 hex digits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Guid(pub u128);
+
+impl std::fmt::Display for Guid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl GuidGenerator {
+    /// Create a generator (seeded; the simulation's entropy source).
+    pub fn new(seed: u64) -> GuidGenerator {
+        GuidGenerator {
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Draw a fresh GUID.
+    #[allow(clippy::should_implement_trait)] // deliberate: "draw the next id"
+    pub fn next(&mut self) -> Guid {
+        let hi = self.rng.next_u64() as u128;
+        let lo = self.rng.next_u64() as u128;
+        Guid((hi << 64) | lo)
+    }
+
+    /// A GUID as an entry name under a scope: `guid=<hex>, <scope>` —
+    /// combining probabilistic uniqueness with hierarchical scoping, the
+    /// composition §8 recommends ("we can use other techniques, such as
+    /// the hierarchies of Section 5.1, for that purpose").
+    pub fn next_dn(&mut self, scope: &Dn) -> Dn {
+        scope.child(Rdn::new("guid", self.next().to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn authority_allocates_unique_names() {
+        let mut auth = NamingAuthority::new(Dn::parse("o=O1").unwrap());
+        let a = auth.allocate("hn", "node");
+        let b = auth.allocate("hn", "node");
+        assert_ne!(a, b);
+        assert!(a.is_under(auth.scope()));
+        assert_eq!(a.to_string(), "hn=node-1, o=O1");
+        assert_eq!(auth.issued_count(), 2);
+    }
+
+    #[test]
+    fn claim_rejects_duplicates() {
+        let mut auth = NamingAuthority::new(Dn::root());
+        assert!(auth.claim("hn", "hostX").is_some());
+        assert!(auth.claim("hn", "hostX").is_none());
+        assert!(auth.claim("HN", "hostX").is_none(), "attr case-insensitive");
+        assert!(auth.claim("hn", "hostY").is_some());
+    }
+
+    #[test]
+    fn allocate_skips_claimed_names() {
+        let mut auth = NamingAuthority::new(Dn::root());
+        auth.claim("hn", "n-1").unwrap();
+        let dn = auth.allocate("hn", "n");
+        assert_eq!(dn.to_string(), "hn=n-2");
+    }
+
+    #[test]
+    fn delegation_creates_nested_scopes() {
+        let mut root = NamingAuthority::new(Dn::root());
+        let mut o1 = root.delegate("o", "O1").unwrap();
+        let mut o2 = root.delegate("o", "O2").unwrap();
+        assert!(root.delegate("o", "O1").is_none(), "scope already delegated");
+
+        // The same local name in different scopes: relatively unique (§8).
+        let a = o1.claim("hn", "R1").unwrap();
+        let b = o2.claim("hn", "R1").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "hn=R1, o=O1");
+        assert_eq!(b.to_string(), "hn=R1, o=O2");
+    }
+
+    #[test]
+    fn guids_are_distinct_and_structureless() {
+        let mut g = GuidGenerator::new(7);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(g.next()), "collision in 10k draws");
+        }
+    }
+
+    #[test]
+    fn guid_display_is_32_hex_digits() {
+        let mut g = GuidGenerator::new(1);
+        let s = g.next().to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn guid_dn_composes_with_scope() {
+        let mut g = GuidGenerator::new(2);
+        let scope = Dn::parse("o=O1").unwrap();
+        let dn = g.next_dn(&scope);
+        assert!(dn.is_strictly_under(&scope));
+        assert_eq!(dn.rdn().unwrap().attr(), "guid");
+        // Scoped search finds it; the GUID itself carries no structure.
+        assert!(dn.is_under(&scope));
+    }
+
+    #[test]
+    fn generators_with_same_seed_agree() {
+        let mut a = GuidGenerator::new(9);
+        let mut b = GuidGenerator::new(9);
+        assert_eq!(a.next(), b.next());
+    }
+}

@@ -1,0 +1,312 @@
+//! Prebuilt topologies matching the paper's figures, shared by tests,
+//! examples and the experiment harness.
+
+use crate::deploy::{org, SimDeployment};
+use gis_giis::{Giis, GiisConfig, GiisMode};
+use gis_gris::HostSpec;
+use gis_ldap::{Dn, LdapUrl};
+use gis_netsim::{secs, NodeId, SimDuration};
+
+/// Figure 5's hierarchy: two resource centers and one individual
+/// contribute resources to a VO; site directories aggregate their own
+/// hosts and register with the VO root directory.
+pub struct HierarchyScenario {
+    /// The deployment.
+    pub dep: SimDeployment,
+    /// VO root directory node.
+    pub vo_giis: NodeId,
+    /// VO root directory URL.
+    pub vo_url: LdapUrl,
+    /// Center directories: `(node, url, org suffix)`.
+    pub centers: Vec<(NodeId, LdapUrl, Dn)>,
+    /// All host GRIS nodes with their URLs and namespaces.
+    pub hosts: Vec<(NodeId, LdapUrl, Dn)>,
+    /// A client node.
+    pub client: NodeId,
+}
+
+/// Build Figure 5: center O1 contributes R1..R3, center O2 contributes
+/// R1..R2 (names are only *relatively* unique, §8 — the same `hn=R1`
+/// exists in both organizations), and an individual contributes `hn=R1`
+/// with no organization.
+pub fn figure5(seed: u64) -> HierarchyScenario {
+    let mut dep = SimDeployment::new(seed);
+
+    let vo_url = LdapUrl::server("giis.vo");
+    let vo_giis = dep.add_giis(Giis::new(
+        GiisConfig::chaining(vo_url.clone(), Dn::root()),
+        secs(30),
+        secs(90),
+    ));
+
+    let mut centers = Vec::new();
+    let mut hosts = Vec::new();
+    let mut host_seed = seed.wrapping_mul(31);
+
+    for (org_name, host_names) in [("O1", vec!["R1", "R2", "R3"]), ("O2", vec!["R1", "R2"])] {
+        let suffix = org(org_name);
+        let center_url = LdapUrl::server(format!("giis.center.{org_name}"));
+        let mut center = Giis::new(
+            GiisConfig::chaining(center_url.clone(), suffix.clone()),
+            secs(30),
+            secs(90),
+        );
+        center.agent.add_target(vo_url.clone());
+        let center_node = dep.add_giis(center);
+        centers.push((center_node, center_url.clone(), suffix.clone()));
+
+        for name in host_names {
+            host_seed = host_seed.wrapping_add(1);
+            let host = HostSpec::linux(name, 2 + (host_seed % 6) as u32).at(suffix.clone());
+            let ns = host.dn();
+            let (node, url) = dep.add_standard_host(&host, host_seed, std::slice::from_ref(&center_url));
+            hosts.push((node, url, ns));
+        }
+    }
+
+    // The individual's host registers directly with the VO directory.
+    let host = HostSpec::irix("R1", 4);
+    let ns = host.dn();
+    let (node, url) = dep.add_standard_host(&host, seed ^ 0xdead, std::slice::from_ref(&vo_url));
+    hosts.push((node, url, ns));
+
+    let client = dep.add_client("user");
+    HierarchyScenario {
+        dep,
+        vo_giis,
+        vo_url,
+        centers,
+        hosts,
+        client,
+    }
+}
+
+/// Figures 1/4: two VOs with (partially) overlapping resources; VO-B's
+/// directory is replicated so the partition experiment can split it.
+pub struct TwoVoScenario {
+    /// The deployment.
+    pub dep: SimDeployment,
+    /// VO-A directory.
+    pub vo_a: (NodeId, LdapUrl),
+    /// VO-B's two replicated directories.
+    pub vo_b: [(NodeId, LdapUrl); 2],
+    /// Host nodes in VO-A only.
+    pub hosts_a: Vec<(NodeId, LdapUrl)>,
+    /// Host nodes in VO-B only, split into the two halves that the
+    /// partition will separate.
+    pub hosts_b: [Vec<(NodeId, LdapUrl)>; 2],
+    /// Hosts contributing to both VOs.
+    pub shared: Vec<(NodeId, LdapUrl)>,
+    /// Clients near each directory: `[client_a, client_b0, client_b1]`.
+    pub clients: [NodeId; 3],
+}
+
+/// Build the two-VO overlap topology. `hosts_per_group` controls scale
+/// (VO-A exclusive, each VO-B half, and the shared pool each get this
+/// many hosts). Registration interval/TTL are 10s/30s so partition
+/// effects appear within a minute of simulated time.
+pub fn two_vos(seed: u64, hosts_per_group: usize) -> TwoVoScenario {
+    let mut dep = SimDeployment::new(seed);
+
+    let make_giis = |name: &str| {
+        let url = LdapUrl::server(name);
+        (
+            Giis::new(
+                GiisConfig {
+                    url: url.clone(),
+                    namespace: Dn::root(),
+                    mode: GiisMode::Chain {
+                        timeout: SimDuration::from_secs(2),
+                    },
+                    accept: gis_giis::AcceptPolicy::All,
+                    policy: gis_gsi::PolicyMap::open(),
+                    authenticator: None,
+                    credential: None,
+                    grrp_trust: None,
+                    result_cache_ttl: None,
+                },
+                secs(10),
+                secs(30),
+            ),
+            url,
+        )
+    };
+
+    let (giis_a, url_a) = make_giis("giis.vo-a");
+    let vo_a_node = dep.add_giis(giis_a);
+    let (giis_b0, url_b0) = make_giis("giis.vo-b0");
+    let vo_b0 = dep.add_giis(giis_b0);
+    let (giis_b1, url_b1) = make_giis("giis.vo-b1");
+    let vo_b1 = dep.add_giis(giis_b1);
+
+    let mut host_seed = seed;
+    let mut add_hosts = |dep: &mut SimDeployment, prefix: &str, n: usize, dirs: &[LdapUrl]| {
+        let mut out = Vec::new();
+        for i in 0..n {
+            host_seed = host_seed.wrapping_add(1);
+            let host = HostSpec::linux(&format!("{prefix}{i}"), 2).at(org(prefix));
+            let mut gris = SimDeployment::standard_host_gris(&host, host_seed);
+            // Faster soft-state cadence for partition experiments.
+            gris.agent.interval = secs(10);
+            gris.agent.ttl = secs(30);
+            for d in dirs {
+                gris.agent.add_target(d.clone());
+            }
+            let url = gris.config.url.clone();
+            let node = dep.add_gris(gris);
+            out.push((node, url));
+        }
+        out
+    };
+
+    let hosts_a = add_hosts(&mut dep, "a", hosts_per_group, std::slice::from_ref(&url_a));
+    let hosts_b0 = add_hosts(
+        &mut dep,
+        "b0-",
+        hosts_per_group,
+        &[url_b0.clone(), url_b1.clone()],
+    );
+    let hosts_b1 = add_hosts(
+        &mut dep,
+        "b1-",
+        hosts_per_group,
+        &[url_b0.clone(), url_b1.clone()],
+    );
+    let shared = add_hosts(
+        &mut dep,
+        "s",
+        hosts_per_group,
+        &[url_a.clone(), url_b0.clone(), url_b1.clone()],
+    );
+
+    let clients = [
+        dep.add_client("client-a"),
+        dep.add_client("client-b0"),
+        dep.add_client("client-b1"),
+    ];
+
+    TwoVoScenario {
+        dep,
+        vo_a: (vo_a_node, url_a),
+        vo_b: [(vo_b0, url_b0), (vo_b1, url_b1)],
+        hosts_a,
+        hosts_b: [hosts_b0, hosts_b1],
+        shared,
+        clients,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ldap::Filter;
+    use gis_proto::{ResultCode, SearchSpec};
+
+    #[test]
+    fn figure5_scoped_and_root_discovery() {
+        let mut sc = figure5(11);
+        // Registrations: hosts -> centers, centers -> VO root.
+        sc.dep.run_for(secs(3));
+
+        // Root search discovers all 6 hosts through the hierarchy.
+        let (code, entries, _) = sc
+            .dep
+            .search_and_wait(
+                sc.client,
+                &sc.vo_url,
+                SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
+                secs(20),
+            )
+            .expect("root search completes");
+        assert_eq!(code, ResultCode::Success);
+        assert_eq!(entries.len(), 6, "3 + 2 + 1 hosts");
+
+        // Scoped search touches only O1.
+        let (_, entries, _) = sc
+            .dep
+            .search_and_wait(
+                sc.client,
+                &sc.vo_url,
+                SearchSpec::subtree(org("O1"), Filter::parse("(objectclass=computer)").unwrap()),
+                secs(20),
+            )
+            .expect("scoped search completes");
+        assert_eq!(entries.len(), 3);
+        assert!(entries.iter().all(|e| e.dn().is_under(&org("O1"))));
+
+        // Relative uniqueness (§8): two distinct R1 entries exist, with
+        // different global names.
+        let (_, entries, _) = sc
+            .dep
+            .search_and_wait(
+                sc.client,
+                &sc.vo_url,
+                SearchSpec::subtree(Dn::root(), Filter::parse("(hn=R1)").unwrap()),
+                secs(20),
+            )
+            .expect("name search completes");
+        assert_eq!(entries.len(), 3, "R1 in O1, R1 in O2, individual R1");
+    }
+
+    #[test]
+    fn two_vo_partition_keeps_fragments_alive() {
+        let mut sc = two_vos(5, 2);
+        sc.dep.run_for(secs(5));
+
+        // Pre-partition: VO-B directories see both halves + shared.
+        let q = SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap());
+        let (_, entries, _) = sc
+            .dep
+            .search_and_wait(sc.clients[1], &sc.vo_b[0].1, q.clone(), secs(20))
+            .expect("pre-partition query");
+        assert_eq!(entries.len(), 6, "2 + 2 + 2 shared");
+
+        // Partition VO-B: half 0 (+ b0 directory + its client) away from
+        // half 1 (+ b1 directory).
+        let side0: Vec<_> = sc.hosts_b[0]
+            .iter()
+            .map(|(n, _)| *n)
+            .chain([sc.vo_b[0].0, sc.clients[1]])
+            .collect();
+        let side1: Vec<_> = sc.hosts_b[1]
+            .iter()
+            .map(|(n, _)| *n)
+            .chain([sc.vo_b[1].0, sc.clients[2]])
+            .collect();
+        sc.dep.sim.partition_between(&side0, &side1);
+
+        // Soft state for the unreachable half expires (TTL 30s).
+        sc.dep.run_for(secs(45));
+
+        let (code, entries, _) = sc
+            .dep
+            .search_and_wait(sc.clients[1], &sc.vo_b[0].1, q.clone(), secs(20))
+            .expect("fragment 0 still answers");
+        assert_eq!(code, ResultCode::Success, "expired children are not chained");
+        // Fragment 0 sees its own half + shared pool (shared hosts are
+        // not partitioned from side 0).
+        assert_eq!(entries.len(), 4, "2 local + 2 shared");
+
+        let (_, entries, _) = sc
+            .dep
+            .search_and_wait(sc.clients[2], &sc.vo_b[1].1, q.clone(), secs(20))
+            .expect("fragment 1 still answers");
+        assert_eq!(entries.len(), 4, "disjoint fragment keeps operating");
+
+        // VO-A is unaffected throughout.
+        let (_, entries, _) = sc
+            .dep
+            .search_and_wait(sc.clients[0], &sc.vo_a.1, q.clone(), secs(20))
+            .expect("VO-A unaffected");
+        assert_eq!(entries.len(), 4, "2 exclusive + 2 shared");
+
+        // Healing re-converges.
+        sc.dep.sim.heal_all();
+        sc.dep.run_for(secs(30));
+        let (_, entries, _) = sc
+            .dep
+            .search_and_wait(sc.clients[1], &sc.vo_b[0].1, q, secs(20))
+            .expect("post-heal query");
+        assert_eq!(entries.len(), 6, "full view restored");
+    }
+}

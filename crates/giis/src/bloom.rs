@@ -1,0 +1,163 @@
+//! Bloom filters for lossy index aggregation.
+//!
+//! §5.1: "aggregate directories could also use lossy aggregation
+//! techniques, as in the Service Discovery Service, which hashes
+//! descriptions and summarizes hashes via Bloom filtering." A GIIS in
+//! Bloom-chaining mode summarizes each child's `attr=value` tokens and
+//! routes equality queries only to children whose summary may match
+//! (ablation experiment A1 sweeps the false-positive tradeoff).
+
+/// A fixed-size Bloom filter over string tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    n_bits: usize,
+    n_hashes: u32,
+    inserted: usize,
+}
+
+fn fnv(data: &[u8], seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325 ^ seed;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl BloomFilter {
+    /// Create with `n_bits` bits (rounded up to a multiple of 64) and
+    /// `n_hashes` hash functions.
+    pub fn new(n_bits: usize, n_hashes: u32) -> BloomFilter {
+        let n_bits = n_bits.max(64).next_multiple_of(64);
+        BloomFilter {
+            bits: vec![0; n_bits / 64],
+            n_bits,
+            n_hashes: n_hashes.max(1),
+            inserted: 0,
+        }
+    }
+
+    /// Sizing helper: bits-per-element and the standard k = b·ln2.
+    pub fn for_capacity(elements: usize, bits_per_element: usize) -> BloomFilter {
+        let n_bits = elements.max(1) * bits_per_element.max(1);
+        let k = ((bits_per_element as f64) * std::f64::consts::LN_2).round() as u32;
+        BloomFilter::new(n_bits, k.max(1))
+    }
+
+    fn positions(&self, token: &str) -> impl Iterator<Item = usize> + '_ {
+        // Double hashing: h1 + i*h2.
+        let h1 = fnv(token.as_bytes(), 0);
+        let h2 = fnv(token.as_bytes(), 0x9e3779b97f4a7c15) | 1;
+        let n = self.n_bits as u64;
+        (0..self.n_hashes).map(move |i| (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % n) as usize)
+    }
+
+    /// Insert a token.
+    pub fn insert(&mut self, token: &str) {
+        let positions: Vec<usize> = self.positions(token).collect();
+        for pos in positions {
+            self.bits[pos / 64] |= 1u64 << (pos % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Might the token have been inserted? (No false negatives.)
+    pub fn may_contain(&self, token: &str) -> bool {
+        self.positions(token)
+            .all(|pos| self.bits[pos / 64] & (1u64 << (pos % 64)) != 0)
+    }
+
+    /// Number of insertions performed.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Size in bits.
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Fraction of bits set (load factor; ~0.5 is the classic target).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        f64::from(set) / self.n_bits as f64
+    }
+
+    /// Clear all bits.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+    }
+}
+
+/// The canonical token for an `attr=value` pair as summarized by the
+/// Bloom index (lowercased attribute, verbatim value).
+pub fn attr_token(attr: &str, value: &str) -> String {
+    format!("{}={value}", attr.to_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::for_capacity(100, 10);
+        let tokens: Vec<String> = (0..100).map(|i| format!("system=linux-{i}")).collect();
+        for t in &tokens {
+            bf.insert(t);
+        }
+        for t in &tokens {
+            assert!(bf.may_contain(t));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut bf = BloomFilter::for_capacity(1000, 10);
+        for i in 0..1000 {
+            bf.insert(&format!("member-{i}"));
+        }
+        let fp = (0..10_000)
+            .filter(|i| bf.may_contain(&format!("absent-{i}")))
+            .count();
+        // 10 bits/element, k=7 → theoretical ~1%; allow generous slack.
+        assert!(fp < 500, "false positives: {fp}/10000");
+    }
+
+    #[test]
+    fn tiny_filter_saturates() {
+        let mut bf = BloomFilter::new(64, 4);
+        for i in 0..200 {
+            bf.insert(&format!("t{i}"));
+        }
+        assert!(bf.fill_ratio() > 0.9);
+        // Saturated filter says yes to everything — lossy but safe.
+        assert!(bf.may_contain("never-inserted"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut bf = BloomFilter::new(256, 3);
+        bf.insert("x");
+        assert!(bf.may_contain("x"));
+        bf.clear();
+        assert!(!bf.may_contain("x"));
+        assert_eq!(bf.inserted(), 0);
+        assert_eq!(bf.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn rounding_and_minimums() {
+        let bf = BloomFilter::new(1, 0);
+        assert_eq!(bf.n_bits(), 64);
+        let bf = BloomFilter::new(65, 2);
+        assert_eq!(bf.n_bits(), 128);
+    }
+
+    #[test]
+    fn attr_token_normalizes_attr_case() {
+        assert_eq!(attr_token("System", "Linux"), "system=Linux");
+    }
+}

@@ -1,0 +1,20 @@
+//! GIIS — the Grid Index Information Service (§5 and §10.4 of the paper).
+//!
+//! "We define an aggregate directory as a service that uses GRRP and GRIP
+//! to obtain information (from a set of information providers) about a
+//! set of entities, and then replies to queries concerning those
+//! entities."
+//!
+//! * [`server`] — the GIIS engine: soft-state GRRP handling with
+//!   membership policy, four index/search modes (name-serving, chaining,
+//!   harvesting/relational, Bloom-routed chaining), invitation, referral
+//!   and partial-result semantics;
+//! * [`bloom`] — the lossy-aggregation Bloom filters (§5.1).
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod server;
+
+pub use bloom::{attr_token, BloomFilter};
+pub use server::{AcceptPolicy, ClientId, Giis, GiisAction, GiisConfig, GiisMode, GiisStats};

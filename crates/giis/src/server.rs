@@ -1,0 +1,1836 @@
+//! The GIIS server engine (§5, §10.4).
+//!
+//! "The GIIS framework comprises three major components: generic GRRP
+//! handling, pluggable index construction, and pluggable search handling."
+//!
+//! All three are here:
+//!
+//! * GRRP handling — a [`SoftStateRegistry`] fed by `handle_grrp`, with a
+//!   membership [`AcceptPolicy`] ("administrators ... will want to control
+//!   membership", §2.3) and invitation support;
+//! * index construction — [`GiisMode`] selects what is precomputed: name
+//!   records only, a harvested entry cache (the "relational aggregate
+//!   directory" of §3), or per-child Bloom summaries (§5.1);
+//! * search handling — local answering, chaining with namespace scoping
+//!   (Figure 5), Bloom-pruned chaining, and LDAP referrals when data may
+//!   not be relayed (§10.4).
+//!
+//! The engine is sans-IO and asynchronous: methods return [`GiisAction`]s
+//! (messages to send, replies to deliver) that the runtime executes.
+//! Chained queries are correlated through pending-query state and expire
+//! against a deadline, which is what yields *partial results* rather than
+//! hangs when children are partitioned away (Figures 1 and 4).
+
+use crate::bloom::{attr_token, BloomFilter};
+use gis_gsi::{Authenticator, PolicyMap, Requester};
+use gis_ldap::{Dit, Dn, Entry, Filter, LdapUrl, Scope};
+use gis_netsim::{SimDuration, SimTime};
+use gis_proto::{
+    result_digest, GripReply, GripRequest, GrrpMessage, Notification, RegistrationAgent,
+    RequestId, ResultCode, SearchSpec, SoftStateRegistry, SubscriptionMode, SubscriptionTable,
+};
+use std::collections::BTreeMap;
+
+/// Identifies a client connection (assigned by the runtime).
+pub type ClientId = u64;
+
+/// How the directory builds its index and answers searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GiisMode {
+    /// Name-serving directory (§3): "simply records the name of each
+    /// entity for which a GRRP registration was recorded, and supports
+    /// only name-resolution queries." Searches are answered from
+    /// registration records; referrals point at the providers.
+    Name,
+    /// MDS-2.1's simple aggregate directory (§10.4): "we implement
+    /// chaining: GRIP requests directed to the GIIS are simply forwarded
+    /// on to the appropriate information provider", scoped by registered
+    /// namespace. Unanswered children time out into partial results.
+    Chain {
+        /// How long to wait for children before answering partially.
+        timeout: SimDuration,
+    },
+    /// Relational-style directory (§3): "follows up each registration of
+    /// a new entity with a GRIP query to determine its properties, which
+    /// it records" locally; searches are answered from the harvested
+    /// cache (freshness bounded by the refresh interval).
+    Harvest {
+        /// Re-harvest cadence (the §12 freshness-vs-cost knob).
+        refresh: SimDuration,
+    },
+    /// Chaining with SDS-style lossy Bloom routing (§5.1): harvested
+    /// summaries prune which children receive each equality query.
+    BloomChain {
+        /// Chaining deadline.
+        timeout: SimDuration,
+        /// Summary refresh cadence.
+        refresh: SimDuration,
+        /// Bloom sizing: bits per indexed token.
+        bits_per_element: usize,
+    },
+}
+
+/// Which GRRP registrations this directory accepts — the VO membership
+/// policy of §2.3/§7.
+#[derive(Debug, Clone)]
+pub enum AcceptPolicy {
+    /// Accept any registration.
+    All,
+    /// Accept only services whose namespace falls under a suffix (a VO
+    /// that only federates one organization's resources).
+    NamespaceUnder(Dn),
+    /// Accept only messages carrying one of these authenticated subjects
+    /// (signed GRRP, §7).
+    Subjects(Vec<String>),
+}
+
+impl AcceptPolicy {
+    /// Does the policy admit this message?
+    pub fn admits(&self, msg: &GrrpMessage) -> bool {
+        match self {
+            AcceptPolicy::All => true,
+            AcceptPolicy::NamespaceUnder(suffix) => msg.namespace.is_under(suffix),
+            AcceptPolicy::Subjects(allowed) => msg
+                .subject
+                .as_ref()
+                .is_some_and(|s| allowed.iter().any(|a| a == s)),
+        }
+    }
+}
+
+/// An effect the runtime must carry out for the GIIS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GiisAction {
+    /// Send a GRIP request to another server (chained query or harvest).
+    SendRequest {
+        /// Target server.
+        to: LdapUrl,
+        /// The request (its id is GIIS-generated and unique).
+        request: GripRequest,
+    },
+    /// Send a GRRP message (parent registration or invitation).
+    SendGrrp {
+        /// Target server.
+        to: LdapUrl,
+        /// The notification.
+        message: GrrpMessage,
+    },
+    /// Deliver a reply to a connected client.
+    Reply {
+        /// The client.
+        client: ClientId,
+        /// The reply.
+        reply: GripReply,
+    },
+}
+
+/// Operational counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GiisStats {
+    /// GRRP messages received.
+    pub grrp_received: u64,
+    /// GRRP messages rejected by the accept policy.
+    pub grrp_rejected: u64,
+    /// Registrations that expired (soft-state purges).
+    pub expirations: u64,
+    /// Searches served.
+    pub searches: u64,
+    /// Searches answered entirely from local state.
+    pub local_answers: u64,
+    /// Requests chained to children.
+    pub chained_requests: u64,
+    /// Children pruned from a fan-out by Bloom routing.
+    pub bloom_pruned: u64,
+    /// Harvest queries issued.
+    pub harvests: u64,
+    /// Fan-outs that timed out waiting for at least one child.
+    pub timeouts: u64,
+    /// Referrals returned to clients.
+    pub referrals_issued: u64,
+    /// Entries returned to clients.
+    pub entries_returned: u64,
+    /// Chained searches answered from the GIIS result cache.
+    pub result_cache_hits: u64,
+}
+
+/// GIIS configuration.
+pub struct GiisConfig {
+    /// This directory's own endpoint (also its name when registering with
+    /// parents).
+    pub url: LdapUrl,
+    /// The namespace this directory aggregates (its registration
+    /// namespace when joining parent directories; `root` for a whole-VO
+    /// directory).
+    pub namespace: Dn,
+    /// Index/search mode.
+    pub mode: GiisMode,
+    /// Membership policy for incoming registrations.
+    pub accept: AcceptPolicy,
+    /// Access policy applied to outgoing results.
+    pub policy: PolicyMap,
+    /// Bind verification; `None` leaves all clients anonymous.
+    pub authenticator: Option<Authenticator>,
+    /// When present, the directory authenticates to children before
+    /// harvesting (§7's trusted-directory model: "the provider can
+    /// respond to any authenticated query from the directory, which it
+    /// trusts to apply its policy on its behalf").
+    pub credential: Option<gis_gsi::Credential>,
+    /// When present, incoming registrations must carry a valid signature
+    /// chaining to this trust store; the verified subject *replaces* any
+    /// claimed subject before the accept policy runs ("(1) ensure that
+    /// registration messages are authentic, and (2) control which
+    /// registration events are accepted", §7).
+    pub grrp_trust: Option<gis_gsi::TrustStore>,
+    /// Result cache TTL for chaining modes ("performance concerns make
+    /// caching data within the GIIS desirable, and this capability is
+    /// provided as part of the basic GIIS framework", §10.4). Cached
+    /// results are keyed per requester identity, because "access control
+    /// issues complicate caching" — one client's view must never be
+    /// served to another. `None` disables caching.
+    pub result_cache_ttl: Option<SimDuration>,
+}
+
+impl GiisConfig {
+    /// An open chaining directory with a 2-second fan-out deadline.
+    pub fn chaining(url: LdapUrl, namespace: Dn) -> GiisConfig {
+        GiisConfig {
+            url,
+            namespace,
+            mode: GiisMode::Chain {
+                timeout: SimDuration::from_secs(2),
+            },
+            accept: AcceptPolicy::All,
+            policy: PolicyMap::open(),
+            authenticator: None,
+            credential: None,
+            grrp_trust: None,
+            result_cache_ttl: None,
+        }
+    }
+}
+
+struct ChildState {
+    /// DNs currently held in the harvested cache for this child.
+    harvested: Vec<Dn>,
+    last_harvest: Option<SimTime>,
+    bloom: Option<BloomFilter>,
+    /// Whether this directory has authenticated to the child.
+    bound: bool,
+}
+
+struct PendingQuery {
+    client: ClientId,
+    client_req: RequestId,
+    cache_key: String,
+    outstanding: Vec<u64>,
+    merged: BTreeMap<String, Entry>,
+    referrals: Vec<LdapUrl>,
+    partial: bool,
+    deadline: SimTime,
+    spec: SearchSpec,
+    requester: Requester,
+}
+
+struct CachedResult {
+    at: SimTime,
+    code: ResultCode,
+    entries: Vec<Entry>,
+    referrals: Vec<LdapUrl>,
+}
+
+/// Cache key: the full query shape plus the requester identity.
+fn cache_key(spec: &SearchSpec, requester: &Requester) -> String {
+    format!(
+        "{}|{:?}|{}|{:?}|{}|{:?}",
+        spec.base, spec.scope, spec.filter, spec.attrs, spec.size_limit, requester.subject
+    )
+}
+
+enum OutboundKind {
+    Chained { query: u64, child: LdapUrl },
+    Harvest { child: LdapUrl },
+    HarvestBind { child: LdapUrl },
+}
+
+/// A Grid Index Information Service instance.
+pub struct Giis {
+    /// Configuration.
+    pub config: GiisConfig,
+    /// The soft-state registration table (public: experiments inspect it).
+    pub registry: SoftStateRegistry,
+    /// Registers this GIIS with parent directories (hierarchy, Figure 5).
+    pub agent: RegistrationAgent,
+    /// Operational counters.
+    pub stats: GiisStats,
+    sessions: BTreeMap<ClientId, Requester>,
+    subs: SubscriptionTable<ClientId>,
+    sub_requester: BTreeMap<(ClientId, RequestId), Requester>,
+    sub_next_due: BTreeMap<(ClientId, RequestId), SimTime>,
+    children: BTreeMap<String, ChildState>,
+    cache: Dit,
+    result_cache: BTreeMap<String, CachedResult>,
+    pending: BTreeMap<u64, PendingQuery>,
+    outbound: BTreeMap<u64, OutboundKind>,
+    next_outbound: u64,
+    next_query: u64,
+}
+
+impl Giis {
+    /// Create a GIIS; `reg_interval`/`reg_ttl` pace its own registrations
+    /// with parent directories.
+    pub fn new(config: GiisConfig, reg_interval: SimDuration, reg_ttl: SimDuration) -> Giis {
+        let agent = RegistrationAgent::new(
+            config.url.clone(),
+            config.namespace.clone(),
+            reg_interval,
+            reg_ttl,
+        );
+        Giis {
+            config,
+            registry: SoftStateRegistry::new(),
+            agent,
+            stats: GiisStats::default(),
+            sessions: BTreeMap::new(),
+            subs: SubscriptionTable::new(),
+            sub_requester: BTreeMap::new(),
+            sub_next_due: BTreeMap::new(),
+            children: BTreeMap::new(),
+            cache: Dit::new(),
+            result_cache: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            outbound: BTreeMap::new(),
+            next_outbound: 1,
+            next_query: 1,
+        }
+    }
+
+    /// The children (service URLs) currently fresh in the registry.
+    pub fn active_children(&self, now: SimTime) -> Vec<LdapUrl> {
+        self.registry
+            .active(now)
+            .map(|r| r.message.service_url.clone())
+            .collect()
+    }
+
+    /// Number of harvested entries currently cached.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Issue an invitation asking `service` to register here (§10.4's
+    /// invitation flow; also how "an entire organization's resources can
+    /// be added to a VO by registering the appropriate directory", §9).
+    pub fn invite(&self, service: LdapUrl, now: SimTime, ttl: SimDuration) -> GiisAction {
+        GiisAction::SendGrrp {
+            to: service.clone(),
+            message: GrrpMessage::invite(service, self.config.url.clone(), now, ttl),
+        }
+    }
+
+    /// Handle an incoming GRRP message.
+    pub fn handle_grrp(&mut self, msg: GrrpMessage, now: SimTime) -> Vec<GiisAction> {
+        self.stats.grrp_received += 1;
+        match msg.notification {
+            Notification::Invite => {
+                // This directory was itself invited to join a parent.
+                self.agent.accept_invite(&msg);
+                Vec::new()
+            }
+            Notification::Register => {
+                let mut msg = msg;
+                if let Some(trust) = &self.config.grrp_trust {
+                    // Authenticity gate: unsigned or badly-signed
+                    // registrations are dropped, and the subject the
+                    // policy sees is the *verified* one.
+                    let verified = msg.signature.as_ref().and_then(|sig| {
+                        gis_gsi::verify_signed_registration(
+                            trust,
+                            &msg.signable_bytes(),
+                            sig,
+                        )
+                    });
+                    match verified {
+                        Some(subject) => msg.subject = Some(subject),
+                        None => {
+                            self.stats.grrp_rejected += 1;
+                            return Vec::new();
+                        }
+                    }
+                }
+                if !self.config.accept.admits(&msg) {
+                    self.stats.grrp_rejected += 1;
+                    return Vec::new();
+                }
+                let url = msg.service_url.clone();
+                let is_new = self.registry.observe(msg, now);
+                let harvesting = self.harvest_refresh().is_some();
+                let key = url.to_string();
+                let state = self.children.entry(key).or_insert(ChildState {
+                    harvested: Vec::new(),
+                    last_harvest: None,
+                    bloom: None,
+                    bound: false,
+                });
+                // New children are harvested immediately in harvesting
+                // modes ("follows up each registration of a new entity
+                // with a GRIP query", §3).
+                let needs_harvest = is_new && harvesting && state.last_harvest.is_none();
+                if needs_harvest {
+                    state.last_harvest = Some(now);
+                    return self.issue_harvest(url);
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn harvest_refresh(&self) -> Option<SimDuration> {
+        match self.config.mode {
+            GiisMode::Harvest { refresh } => Some(refresh),
+            GiisMode::BloomChain { refresh, .. } => Some(refresh),
+            _ => None,
+        }
+    }
+
+    fn issue_harvest(&mut self, child: LdapUrl) -> Vec<GiisAction> {
+        // Authenticate first when operating as a trusted directory.
+        if let Some(cred) = &self.config.credential {
+            let bound = self
+                .children
+                .get(&child.to_string())
+                .is_some_and(|s| s.bound);
+            if !bound {
+                let token = gis_gsi::BindToken::create(cred, &child.to_string()).to_bytes();
+                let id = self.next_outbound;
+                self.next_outbound += 1;
+                self.outbound.insert(
+                    id,
+                    OutboundKind::HarvestBind {
+                        child: child.clone(),
+                    },
+                );
+                return vec![GiisAction::SendRequest {
+                    to: child,
+                    request: GripRequest::Bind {
+                        id,
+                        subject: cred.subject().to_owned(),
+                        token,
+                    },
+                }];
+            }
+        }
+        let id = self.next_outbound;
+        self.next_outbound += 1;
+        self.outbound.insert(
+            id,
+            OutboundKind::Harvest {
+                child: child.clone(),
+            },
+        );
+        self.stats.harvests += 1;
+        let namespace = self
+            .registry
+            .get(&child)
+            .map(|r| r.message.namespace.clone())
+            .unwrap_or_else(Dn::root);
+        vec![GiisAction::SendRequest {
+            to: child,
+            request: GripRequest::Search {
+                id,
+                spec: SearchSpec::subtree(namespace, Filter::always()),
+            },
+        }]
+    }
+
+    /// Handle one GRIP request from a client.
+    pub fn handle_request(
+        &mut self,
+        client: ClientId,
+        req: GripRequest,
+        now: SimTime,
+    ) -> Vec<GiisAction> {
+        match req {
+            GripRequest::Bind { id, subject: _, token } => {
+                let outcome = self
+                    .config
+                    .authenticator
+                    .as_ref()
+                    .and_then(|a| a.authenticate(&token));
+                let (ok, subject) = match outcome {
+                    Some(s) => {
+                        self.sessions.insert(client, Requester::subject(s.clone()));
+                        (true, Some(s))
+                    }
+                    None => (false, None),
+                };
+                vec![GiisAction::Reply {
+                    client,
+                    reply: GripReply::BindResult { id, ok, subject },
+                }]
+            }
+            GripRequest::Search { id, spec } => self.start_search(client, id, spec, now),
+            GripRequest::Subscribe { id, spec, mode } => {
+                // MDS-2.1 shipped "with the exception of push operations"
+                // (§10); §12 lists subscription push as future work. We
+                // implement it for the local-answer modes, where the
+                // directory can evaluate the watch against its own state.
+                // Chaining modes would need fan-out subscriptions; those
+                // watches belong at the authoritative GRIS, so they are
+                // declined.
+                match self.config.mode {
+                    GiisMode::Name | GiisMode::Harvest { .. } => {
+                        let requester = self.requester_of(client);
+                        self.subs.subscribe(client, id, spec.clone(), mode);
+                        self.sub_requester.insert((client, id), requester.clone());
+                        if let SubscriptionMode::Periodic(period) = mode {
+                            self.sub_next_due.insert((client, id), now + period);
+                        }
+                        let entries = self.subscription_snapshot(&spec, &requester, now);
+                        self.note_delivery(client, id, &entries);
+                        vec![GiisAction::Reply {
+                            client,
+                            reply: GripReply::Update { id, entries },
+                        }]
+                    }
+                    _ => vec![GiisAction::Reply {
+                        client,
+                        reply: GripReply::SubscriptionDone {
+                            id,
+                            code: ResultCode::UnwillingToPerform,
+                        },
+                    }],
+                }
+            }
+            GripRequest::Unsubscribe { id } => {
+                let existed = self.subs.unsubscribe(client, id);
+                self.sub_requester.remove(&(client, id));
+                self.sub_next_due.remove(&(client, id));
+                vec![GiisAction::Reply {
+                    client,
+                    reply: GripReply::SubscriptionDone {
+                        id,
+                        code: if existed {
+                            ResultCode::Success
+                        } else {
+                            ResultCode::NoSuchObject
+                        },
+                    },
+                }]
+            }
+        }
+    }
+
+    fn requester_of(&self, client: ClientId) -> Requester {
+        self.sessions
+            .get(&client)
+            .cloned()
+            .unwrap_or_else(Requester::anonymous)
+    }
+
+    fn start_search(
+        &mut self,
+        client: ClientId,
+        id: RequestId,
+        spec: SearchSpec,
+        now: SimTime,
+    ) -> Vec<GiisAction> {
+        self.stats.searches += 1;
+        let requester = self.requester_of(client);
+        match self.config.mode {
+            GiisMode::Name => {
+                self.stats.local_answers += 1;
+                let (entries, referrals) = self.name_answer(&spec, &requester, now);
+                self.stats.entries_returned += entries.len() as u64;
+                self.stats.referrals_issued += referrals.len() as u64;
+                vec![GiisAction::Reply {
+                    client,
+                    reply: GripReply::SearchResult {
+                        id,
+                        code: ResultCode::Success,
+                        entries,
+                        referrals,
+                    },
+                }]
+            }
+            GiisMode::Harvest { .. } => {
+                self.stats.local_answers += 1;
+                let entries = self.local_answer(&spec, &requester);
+                self.stats.entries_returned += entries.len() as u64;
+                vec![GiisAction::Reply {
+                    client,
+                    reply: GripReply::SearchResult {
+                        id,
+                        code: ResultCode::Success,
+                        entries,
+                        referrals: Vec::new(),
+                    },
+                }]
+            }
+            GiisMode::Chain { timeout } => self.chain(client, id, spec, requester, now, timeout, false),
+            GiisMode::BloomChain { timeout, .. } => {
+                self.chain(client, id, spec, requester, now, timeout, true)
+            }
+        }
+    }
+
+    /// Name-serving answer: one entry per fresh registration, carrying
+    /// the service URL; referrals point clients at the providers.
+    fn name_answer(
+        &self,
+        spec: &SearchSpec,
+        requester: &Requester,
+        now: SimTime,
+    ) -> (Vec<Entry>, Vec<LdapUrl>) {
+        let mut entries = Vec::new();
+        let mut referrals = Vec::new();
+        for reg in self.registry.active(now) {
+            let ns = &reg.message.namespace;
+            let in_scope = match spec.scope {
+                Scope::Base => ns == &spec.base,
+                Scope::One => ns.parent().as_ref() == Some(&spec.base),
+                Scope::Sub => ns.is_under(&spec.base),
+            };
+            if !in_scope {
+                continue;
+            }
+            let mut e = Entry::new(ns.clone())
+                .with_class("registration")
+                .with("url", reg.message.service_url.to_string())
+                .with("registeredsince", reg.first_seen.micros())
+                .with("refreshcount", reg.refresh_count);
+            e.normalize_naming_attr();
+            let Some(redacted) = self.config.policy.redact(&e, requester) else {
+                continue;
+            };
+            if !spec.filter.matches(&redacted) {
+                continue;
+            }
+            referrals.push(reg.message.service_url.clone());
+            entries.push(redacted.project(&spec.attrs));
+            if spec.size_limit != 0 && entries.len() >= spec.size_limit as usize {
+                break;
+            }
+        }
+        (entries, referrals)
+    }
+
+    /// Answer from the harvested cache.
+    fn local_answer(&self, spec: &SearchSpec, requester: &Requester) -> Vec<Entry> {
+        let raw = self.cache.search(
+            &spec.base,
+            spec.scope,
+            &spec.filter,
+            &[],
+            0,
+        );
+        let mut out = Vec::new();
+        for e in raw {
+            let Some(redacted) = self.config.policy.redact(&e, requester) else {
+                continue;
+            };
+            if !spec.filter.matches(&redacted) {
+                continue;
+            }
+            out.push(redacted.project(&spec.attrs));
+            if spec.size_limit != 0 && out.len() >= spec.size_limit as usize {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The equality tokens a child must contain for this filter to
+    /// possibly match there: conservative — only top-level `Eq` terms of
+    /// the filter (or of a top-level `And`) are usable for pruning.
+    fn prunable_tokens(filter: &Filter) -> Vec<String> {
+        match filter {
+            Filter::Eq(a, v) => vec![attr_token(a, v)],
+            Filter::And(fs) => fs
+                .iter()
+                .filter_map(|f| match f {
+                    Filter::Eq(a, v) => Some(attr_token(a, v)),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn chain(
+        &mut self,
+        client: ClientId,
+        id: RequestId,
+        spec: SearchSpec,
+        requester: Requester,
+        now: SimTime,
+        timeout: SimDuration,
+        bloom_route: bool,
+    ) -> Vec<GiisAction> {
+        // Result cache (§10.4): a fresh identical query from the same
+        // requester is answered locally.
+        let key = cache_key(&spec, &requester);
+        if let Some(ttl) = self.config.result_cache_ttl {
+            if let Some(hit) = self.result_cache.get(&key) {
+                if now.since(hit.at) < ttl {
+                    self.stats.result_cache_hits += 1;
+                    self.stats.entries_returned += hit.entries.len() as u64;
+                    return vec![GiisAction::Reply {
+                        client,
+                        reply: GripReply::SearchResult {
+                            id,
+                            code: hit.code,
+                            entries: hit.entries.clone(),
+                            referrals: hit.referrals.clone(),
+                        },
+                    }];
+                }
+            }
+        }
+
+        // Namespace scoping (Figure 5): only children whose registered
+        // namespace intersects the search base are consulted.
+        let mut targets: Vec<LdapUrl> = Vec::new();
+        let tokens = if bloom_route {
+            Self::prunable_tokens(&spec.filter)
+        } else {
+            Vec::new()
+        };
+        for reg in self.registry.active(now) {
+            let ns = &reg.message.namespace;
+            if !(ns.is_under(&spec.base) || spec.base.is_under(ns)) {
+                continue;
+            }
+            if !tokens.is_empty() {
+                if let Some(state) = self.children.get(&reg.message.service_url.to_string()) {
+                    if let Some(bloom) = &state.bloom {
+                        if tokens.iter().any(|t| !bloom.may_contain(t)) {
+                            self.stats.bloom_pruned += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            targets.push(reg.message.service_url.clone());
+        }
+
+        if targets.is_empty() {
+            return vec![GiisAction::Reply {
+                client,
+                reply: GripReply::SearchResult {
+                    id,
+                    code: ResultCode::Success,
+                    entries: Vec::new(),
+                    referrals: Vec::new(),
+                },
+            }];
+        }
+
+        let query = self.next_query;
+        self.next_query += 1;
+        let mut actions = Vec::with_capacity(targets.len());
+        let mut outstanding = Vec::with_capacity(targets.len());
+        for child in targets {
+            let out_id = self.next_outbound;
+            self.next_outbound += 1;
+            self.outbound.insert(
+                out_id,
+                OutboundKind::Chained {
+                    query,
+                    child: child.clone(),
+                },
+            );
+            self.stats.chained_requests += 1;
+            outstanding.push(out_id);
+            actions.push(GiisAction::SendRequest {
+                to: child,
+                request: GripRequest::Search {
+                    id: out_id,
+                    spec: spec.clone(),
+                },
+            });
+        }
+        self.pending.insert(
+            query,
+            PendingQuery {
+                client,
+                client_req: id,
+                cache_key: key,
+                outstanding,
+                merged: BTreeMap::new(),
+                referrals: Vec::new(),
+                partial: false,
+                deadline: now + timeout,
+                spec,
+                requester,
+            },
+        );
+        actions
+    }
+
+    /// Handle a GRIP reply arriving from a child server.
+    pub fn handle_reply(&mut self, from: &LdapUrl, reply: GripReply, now: SimTime) -> Vec<GiisAction> {
+        let out_id = reply.id();
+        let Some(kind) = self.outbound.remove(&out_id) else {
+            return Vec::new(); // late reply for an expired query
+        };
+        match kind {
+            OutboundKind::HarvestBind { child } => {
+                // Whether or not the bind succeeded, proceed to harvest:
+                // a failed bind just yields the child's anonymous view.
+                if let GripReply::BindResult { ok, .. } = reply {
+                    if let Some(state) = self.children.get_mut(&child.to_string()) {
+                        state.bound = ok;
+                    }
+                }
+                self.issue_harvest(child)
+            }
+            OutboundKind::Harvest { child } => {
+                if let GripReply::SearchResult { entries, .. } = reply {
+                    self.integrate_harvest(&child, entries, now);
+                }
+                Vec::new()
+            }
+            OutboundKind::Chained { query, child } => {
+                debug_assert_eq!(&child, from, "reply source mismatch");
+                let Some(p) = self.pending.get_mut(&query) else {
+                    return Vec::new();
+                };
+                p.outstanding.retain(|&o| o != out_id);
+                if let GripReply::SearchResult {
+                    code,
+                    entries,
+                    referrals,
+                    ..
+                } = reply
+                {
+                    match code {
+                        ResultCode::InsufficientAccess => {
+                            // The child will not tell *us*; point the
+                            // client at it directly (§10.4's referral
+                            // fallback in the absence of delegation).
+                            p.referrals.push(child);
+                        }
+                        ResultCode::PartialResults | ResultCode::Unavailable => {
+                            p.partial = true;
+                        }
+                        _ => {}
+                    }
+                    for e in entries {
+                        match p.merged.get_mut(&e.dn().to_string()) {
+                            Some(existing) => existing.merge_from(&e),
+                            None => {
+                                p.merged.insert(e.dn().to_string(), e);
+                            }
+                        }
+                    }
+                    p.referrals.extend(referrals);
+                }
+                if self
+                    .pending
+                    .get(&query)
+                    .is_some_and(|p| p.outstanding.is_empty())
+                {
+                    return self.finalize(query, now);
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn integrate_harvest(&mut self, child: &LdapUrl, entries: Vec<Entry>, now: SimTime) {
+        let bits_per_element = match self.config.mode {
+            GiisMode::BloomChain {
+                bits_per_element, ..
+            } => Some(bits_per_element),
+            _ => None,
+        };
+        let Some(state) = self.children.get_mut(&child.to_string()) else {
+            return;
+        };
+        for dn in state.harvested.drain(..) {
+            self.cache.delete(&dn);
+        }
+        let mut bloom = bits_per_element.map(|b| {
+            let tokens: usize = entries.iter().map(Entry::attr_count).sum();
+            BloomFilter::for_capacity(tokens.max(8), b)
+        });
+        for e in &entries {
+            if let Some(bloom) = bloom.as_mut() {
+                for (attr, values) in e.attrs() {
+                    for v in values {
+                        bloom.insert(&attr_token(attr, v.as_str()));
+                    }
+                }
+            }
+            state.harvested.push(e.dn().clone());
+            self.cache.upsert(e.clone());
+        }
+        state.bloom = bloom;
+        state.last_harvest = Some(now);
+    }
+
+    fn finalize(&mut self, query: u64, now: SimTime) -> Vec<GiisAction> {
+        let Some(p) = self.pending.remove(&query) else {
+            return Vec::new();
+        };
+        let mut entries = Vec::new();
+        for e in p.merged.into_values() {
+            // The GIIS applies its own policy on top of whatever the
+            // children released to it.
+            let Some(redacted) = self.config.policy.redact(&e, &p.requester) else {
+                continue;
+            };
+            if !p.spec.filter.matches(&redacted) {
+                continue;
+            }
+            entries.push(redacted.project(&p.spec.attrs));
+            if p.spec.size_limit != 0 && entries.len() >= p.spec.size_limit as usize {
+                break;
+            }
+        }
+        let code = if p.partial || !p.outstanding.is_empty() {
+            ResultCode::PartialResults
+        } else {
+            ResultCode::Success
+        };
+        self.stats.entries_returned += entries.len() as u64;
+        self.stats.referrals_issued += p.referrals.len() as u64;
+        if self.config.result_cache_ttl.is_some() && code == ResultCode::Success {
+            // Partial answers are never cached: a healed partition should
+            // become visible at the next query, not a TTL later.
+            self.result_cache.insert(
+                p.cache_key,
+                CachedResult {
+                    at: now,
+                    code,
+                    entries: entries.clone(),
+                    referrals: p.referrals.clone(),
+                },
+            );
+        }
+        vec![GiisAction::Reply {
+            client: p.client,
+            reply: GripReply::SearchResult {
+                id: p.client_req,
+                code,
+                entries,
+                referrals: p.referrals,
+            },
+        }]
+    }
+
+    /// Evaluate a subscription's spec against local state.
+    fn subscription_snapshot(
+        &self,
+        spec: &SearchSpec,
+        requester: &Requester,
+        now: SimTime,
+    ) -> Vec<Entry> {
+        match self.config.mode {
+            GiisMode::Name => self.name_answer(spec, requester, now).0,
+            _ => self.local_answer(spec, requester),
+        }
+    }
+
+    fn note_delivery(&mut self, client: ClientId, id: RequestId, entries: &[Entry]) {
+        let digest = result_digest(entries);
+        for (c, i, sub) in self.subs.iter_mut() {
+            if c == client && i == id {
+                sub.last_digest = Some(digest);
+            }
+        }
+    }
+
+    /// Evaluate due subscriptions; returns the updates to deliver.
+    fn subscription_updates(&mut self, now: SimTime) -> Vec<GiisAction> {
+        let mut due: Vec<(ClientId, RequestId, SearchSpec, SubscriptionMode, Option<u64>)> =
+            Vec::new();
+        for (client, id, sub) in self.subs.iter_mut() {
+            due.push((client, id, sub.spec.clone(), sub.mode, sub.last_digest));
+        }
+        let mut out = Vec::new();
+        for (client, id, spec, mode, last_digest) in due {
+            let requester = self
+                .sub_requester
+                .get(&(client, id))
+                .cloned()
+                .unwrap_or_else(Requester::anonymous);
+            match mode {
+                SubscriptionMode::Periodic(period) => {
+                    let due_at = self
+                        .sub_next_due
+                        .get(&(client, id))
+                        .copied()
+                        .unwrap_or(now);
+                    if now < due_at {
+                        continue;
+                    }
+                    let entries = self.subscription_snapshot(&spec, &requester, now);
+                    self.note_delivery(client, id, &entries);
+                    self.sub_next_due.insert((client, id), due_at + period);
+                    out.push(GiisAction::Reply {
+                        client,
+                        reply: GripReply::Update { id, entries },
+                    });
+                }
+                SubscriptionMode::OnChange => {
+                    let entries = self.subscription_snapshot(&spec, &requester, now);
+                    if last_digest == Some(result_digest(&entries)) {
+                        continue;
+                    }
+                    self.note_delivery(client, id, &entries);
+                    out.push(GiisAction::Reply {
+                        client,
+                        reply: GripReply::Update { id, entries },
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Advance timers: registry sweep, parent registrations, harvest
+    /// refreshes, fan-out deadlines, and subscription deliveries. Call at
+    /// least as often as the finest deadline granularity required.
+    pub fn tick(&mut self, now: SimTime) -> Vec<GiisAction> {
+        let mut actions = Vec::new();
+
+        // Soft-state sweep: purge expired children and their cache rows.
+        for url in self.registry.sweep(now) {
+            self.stats.expirations += 1;
+            if let Some(state) = self.children.remove(&url.to_string()) {
+                for dn in state.harvested {
+                    self.cache.delete(&dn);
+                }
+            }
+        }
+
+        // Result-cache expiry (bound memory; stale rows are useless).
+        if let Some(ttl) = self.config.result_cache_ttl {
+            self.result_cache.retain(|_, c| now.since(c.at) < ttl);
+        }
+
+        // Own registrations to parent directories.
+        for (dir, msg) in self.agent.due_messages(now) {
+            actions.push(GiisAction::SendGrrp {
+                to: dir,
+                message: msg,
+            });
+        }
+
+        // Harvest refreshes.
+        if let Some(refresh) = self.harvest_refresh() {
+            let due: Vec<LdapUrl> = self
+                .registry
+                .active(now)
+                .filter(|reg| {
+                    self.children
+                        .get(&reg.message.service_url.to_string())
+                        .is_none_or(|s| {
+                            s.last_harvest
+                                .is_none_or(|at| now.since(at) >= refresh)
+                        })
+                })
+                .map(|reg| reg.message.service_url.clone())
+                .collect();
+            for child in due {
+                // Mark eagerly so a slow child is not re-harvested every
+                // tick while its reply is in flight.
+                if let Some(state) = self.children.get_mut(&child.to_string()) {
+                    state.last_harvest = Some(now);
+                }
+                actions.extend(self.issue_harvest(child));
+            }
+        }
+
+        // Subscription deliveries (local modes only; the table is empty
+        // otherwise).
+        actions.extend(self.subscription_updates(now));
+
+        // Expired fan-outs answer partially.
+        let expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| now >= p.deadline)
+            .map(|(&q, _)| q)
+            .collect();
+        for query in expired {
+            self.stats.timeouts += 1;
+            if let Some(p) = self.pending.get_mut(&query) {
+                for out_id in std::mem::take(&mut p.outstanding) {
+                    self.outbound.remove(&out_id);
+                }
+                p.partial = true;
+            }
+            actions.extend(self.finalize(query, now));
+        }
+
+        actions
+    }
+
+    /// Forget a disconnected client's session state.
+    pub fn drop_client(&mut self, client: ClientId) {
+        self.sessions.remove(&client);
+        self.subs.drop_subscriber(client);
+        self.sub_requester.retain(|(c, _), _| *c != client);
+        self.sub_next_due.retain(|(c, _), _| *c != client);
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_netsim::{ms, secs};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + secs(s)
+    }
+
+    fn url(host: &str) -> LdapUrl {
+        LdapUrl::server(host)
+    }
+
+    fn reg(host: &str, ns: &str, now: SimTime) -> GrrpMessage {
+        GrrpMessage::register(url(host), Dn::parse(ns).unwrap(), now, secs(90))
+    }
+
+    fn chaining_giis() -> Giis {
+        Giis::new(
+            GiisConfig::chaining(url("giis.vo"), Dn::root()),
+            secs(30),
+            secs(90),
+        )
+    }
+
+    fn search_actions(giis: &mut Giis, base: &str, filter: &str, now: SimTime) -> Vec<GiisAction> {
+        giis.handle_request(
+            1,
+            GripRequest::Search {
+                id: 100,
+                spec: SearchSpec::subtree(
+                    Dn::parse(base).unwrap(),
+                    Filter::parse(filter).unwrap(),
+                ),
+            },
+            now,
+        )
+    }
+
+    #[test]
+    fn registration_and_expiry() {
+        let mut giis = chaining_giis();
+        giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+        giis.handle_grrp(reg("gris.b", "hn=b", t(0)), t(0));
+        assert_eq!(giis.active_children(t(10)).len(), 2);
+        // No refresh: both expire at t=90.
+        giis.tick(t(100));
+        assert_eq!(giis.active_children(t(100)).len(), 0);
+        assert_eq!(giis.stats.expirations, 2);
+    }
+
+    #[test]
+    fn accept_policy_namespace() {
+        let mut config = GiisConfig::chaining(url("giis.o1"), Dn::parse("o=O1").unwrap());
+        config.accept = AcceptPolicy::NamespaceUnder(Dn::parse("o=O1").unwrap());
+        let mut giis = Giis::new(config, secs(30), secs(90));
+        giis.handle_grrp(reg("gris.in", "hn=a, o=O1", t(0)), t(0));
+        giis.handle_grrp(reg("gris.out", "hn=b, o=O2", t(0)), t(0));
+        assert_eq!(giis.active_children(t(1)).len(), 1);
+        assert_eq!(giis.stats.grrp_rejected, 1);
+    }
+
+    #[test]
+    fn accept_policy_subjects() {
+        let mut config = GiisConfig::chaining(url("giis"), Dn::root());
+        config.accept = AcceptPolicy::Subjects(vec!["/CN=trusted".into()]);
+        let mut giis = Giis::new(config, secs(30), secs(90));
+        giis.handle_grrp(reg("gris.x", "hn=x", t(0)).with_subject("/CN=trusted"), t(0));
+        giis.handle_grrp(reg("gris.y", "hn=y", t(0)).with_subject("/CN=rogue"), t(0));
+        giis.handle_grrp(reg("gris.z", "hn=z", t(0)), t(0)); // unsigned
+        assert_eq!(giis.active_children(t(1)).len(), 1);
+        assert_eq!(giis.stats.grrp_rejected, 2);
+    }
+
+    #[test]
+    fn chaining_fans_out_and_merges() {
+        let mut giis = chaining_giis();
+        giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+        giis.handle_grrp(reg("gris.b", "hn=b", t(0)), t(0));
+
+        let actions = search_actions(&mut giis, "", "(objectclass=*)", t(1));
+        let sends: Vec<&GiisAction> = actions
+            .iter()
+            .filter(|a| matches!(a, GiisAction::SendRequest { .. }))
+            .collect();
+        assert_eq!(sends.len(), 2);
+
+        // Children reply.
+        let mut out_ids = Vec::new();
+        for a in &actions {
+            if let GiisAction::SendRequest { request, .. } = a {
+                out_ids.push(request.id());
+            }
+        }
+        let e_a = Entry::at("hn=a").unwrap().with_class("computer");
+        let replies = giis.handle_reply(
+            &url("gris.a"),
+            GripReply::SearchResult {
+                id: out_ids[0],
+                code: ResultCode::Success,
+                entries: vec![e_a],
+                referrals: vec![],
+            },
+            t(1),
+        );
+        assert!(replies.is_empty(), "still waiting for gris.b");
+        let e_b = Entry::at("hn=b").unwrap().with_class("computer");
+        let replies = giis.handle_reply(
+            &url("gris.b"),
+            GripReply::SearchResult {
+                id: out_ids[1],
+                code: ResultCode::Success,
+                entries: vec![e_b],
+                referrals: vec![],
+            },
+            t(1),
+        );
+        assert_eq!(replies.len(), 1);
+        match &replies[0] {
+            GiisAction::Reply {
+                client,
+                reply: GripReply::SearchResult { code, entries, .. },
+            } => {
+                assert_eq!(*client, 1);
+                assert_eq!(*code, ResultCode::Success);
+                assert_eq!(entries.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn namespace_scoping_routes_fan_out() {
+        let mut giis = chaining_giis();
+        giis.handle_grrp(reg("gris.o1", "o=O1", t(0)), t(0));
+        giis.handle_grrp(reg("gris.o2", "o=O2", t(0)), t(0));
+        // A search scoped to o=O1 reaches only that child (Figure 5).
+        let actions = search_actions(&mut giis, "o=O1", "(objectclass=*)", t(1));
+        let targets: Vec<&LdapUrl> = actions
+            .iter()
+            .filter_map(|a| match a {
+                GiisAction::SendRequest { to, .. } => Some(to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![&url("gris.o1")]);
+    }
+
+    #[test]
+    fn timeout_yields_partial_results() {
+        let mut giis = chaining_giis();
+        giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+        giis.handle_grrp(reg("gris.b", "hn=b", t(0)), t(0));
+        let actions = search_actions(&mut giis, "", "(objectclass=*)", t(1));
+        let out_ids: Vec<u64> = actions
+            .iter()
+            .filter_map(|a| match a {
+                GiisAction::SendRequest { request, .. } => Some(request.id()),
+                _ => None,
+            })
+            .collect();
+        // Only gris.a answers; gris.b is partitioned away.
+        giis.handle_reply(
+            &url("gris.a"),
+            GripReply::SearchResult {
+                id: out_ids[0],
+                code: ResultCode::Success,
+                entries: vec![Entry::at("hn=a").unwrap().with_class("computer")],
+                referrals: vec![],
+            },
+            t(1),
+        );
+        // Deadline (2s default) passes.
+        let actions = giis.tick(t(4));
+        assert_eq!(giis.stats.timeouts, 1);
+        match &actions[..] {
+            [GiisAction::Reply {
+                reply: GripReply::SearchResult { code, entries, .. },
+                ..
+            }] => {
+                assert_eq!(*code, ResultCode::PartialResults);
+                assert_eq!(entries.len(), 1, "partial view still served");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A very late reply from gris.b is dropped harmlessly.
+        let late = giis.handle_reply(
+            &url("gris.b"),
+            GripReply::SearchResult {
+                id: out_ids[1],
+                code: ResultCode::Success,
+                entries: vec![],
+                referrals: vec![],
+            },
+            t(5),
+        );
+        assert!(late.is_empty());
+    }
+
+    #[test]
+    fn insufficient_access_becomes_referral() {
+        let mut giis = chaining_giis();
+        giis.handle_grrp(reg("gris.private", "hn=p", t(0)), t(0));
+        let actions = search_actions(&mut giis, "", "(objectclass=*)", t(1));
+        let out_id = match &actions[0] {
+            GiisAction::SendRequest { request, .. } => request.id(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let replies = giis.handle_reply(
+            &url("gris.private"),
+            GripReply::SearchResult {
+                id: out_id,
+                code: ResultCode::InsufficientAccess,
+                entries: vec![],
+                referrals: vec![],
+            },
+            t(1),
+        );
+        match &replies[0] {
+            GiisAction::Reply {
+                reply: GripReply::SearchResult { referrals, .. },
+                ..
+            } => assert_eq!(referrals, &vec![url("gris.private")]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(giis.stats.referrals_issued, 1);
+    }
+
+    #[test]
+    fn name_mode_answers_locally_with_referrals() {
+        let mut config = GiisConfig::chaining(url("giis.names"), Dn::root());
+        config.mode = GiisMode::Name;
+        let mut giis = Giis::new(config, secs(30), secs(90));
+        giis.handle_grrp(reg("gris.a", "hn=a, o=O1", t(0)), t(0));
+        giis.handle_grrp(reg("gris.b", "hn=b, o=O2", t(0)), t(0));
+
+        let actions = search_actions(&mut giis, "o=O1", "(objectclass=registration)", t(1));
+        match &actions[..] {
+            [GiisAction::Reply {
+                reply:
+                    GripReply::SearchResult {
+                        code,
+                        entries,
+                        referrals,
+                        ..
+                    },
+                ..
+            }] => {
+                assert_eq!(*code, ResultCode::Success);
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].get_str("url"), Some("ldap://gris.a:389"));
+                assert_eq!(referrals, &vec![url("gris.a")]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(giis.stats.local_answers, 1);
+        assert_eq!(giis.stats.chained_requests, 0);
+    }
+
+    #[test]
+    fn harvest_mode_builds_and_serves_cache() {
+        let mut config = GiisConfig::chaining(url("giis.h"), Dn::root());
+        config.mode = GiisMode::Harvest { refresh: secs(60) };
+        let mut giis = Giis::new(config, secs(30), secs(90));
+
+        // Registration triggers an immediate harvest query.
+        let actions = giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+        let out_id = match &actions[..] {
+            [GiisAction::SendRequest { to, request }] => {
+                assert_eq!(to, &url("gris.a"));
+                request.id()
+            }
+            other => panic!("expected harvest, got {other:?}"),
+        };
+        assert_eq!(giis.stats.harvests, 1);
+
+        // Child returns its subtree.
+        giis.handle_reply(
+            &url("gris.a"),
+            GripReply::SearchResult {
+                id: out_id,
+                code: ResultCode::Success,
+                entries: vec![
+                    Entry::at("hn=a").unwrap().with_class("computer").with("system", "linux"),
+                    Entry::at("perf=load, hn=a").unwrap().with_class("perf").with("load5", 0.3f64),
+                ],
+                referrals: vec![],
+            },
+            t(0),
+        );
+        assert_eq!(giis.cached_entries(), 2);
+
+        // Searches are answered locally.
+        let actions = search_actions(&mut giis, "", "(system=linux)", t(1));
+        match &actions[..] {
+            [GiisAction::Reply {
+                reply: GripReply::SearchResult { entries, .. },
+                ..
+            }] => assert_eq!(entries.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Expiry purges the harvested rows.
+        giis.tick(t(100));
+        assert_eq!(giis.cached_entries(), 0);
+    }
+
+    #[test]
+    fn harvest_refresh_reissues_queries() {
+        let mut config = GiisConfig::chaining(url("giis.h"), Dn::root());
+        config.mode = GiisMode::Harvest { refresh: secs(60) };
+        let mut giis = Giis::new(config, secs(10), secs(300));
+        giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+        assert_eq!(giis.stats.harvests, 1);
+        // Keep the registration alive and advance past the refresh.
+        giis.handle_grrp(reg("gris.a", "hn=a", t(50)), t(50));
+        giis.tick(t(30));
+        assert_eq!(giis.stats.harvests, 1, "not due yet");
+        giis.tick(t(61));
+        assert_eq!(giis.stats.harvests, 2, "refresh due");
+    }
+
+    #[test]
+    fn bloom_routing_prunes_children() {
+        let mut config = GiisConfig::chaining(url("giis.b"), Dn::root());
+        config.mode = GiisMode::BloomChain {
+            timeout: ms(2000),
+            refresh: secs(60),
+            bits_per_element: 10,
+        };
+        let mut giis = Giis::new(config, secs(30), secs(300));
+
+        // Register two children and complete their harvests.
+        for (host, ns, system) in [("gris.a", "hn=a", "linux"), ("gris.b", "hn=b", "irix")] {
+            let actions = giis.handle_grrp(reg(host, ns, t(0)), t(0));
+            let out_id = match &actions[..] {
+                [GiisAction::SendRequest { request, .. }] => request.id(),
+                other => panic!("expected harvest, got {other:?}"),
+            };
+            giis.handle_reply(
+                &url(host),
+                GripReply::SearchResult {
+                    id: out_id,
+                    code: ResultCode::Success,
+                    entries: vec![Entry::at(ns)
+                        .unwrap()
+                        .with_class("computer")
+                        .with("system", system)],
+                    referrals: vec![],
+                },
+                t(0),
+            );
+        }
+
+        // An equality query for linux must go only to gris.a.
+        let actions = search_actions(&mut giis, "", "(system=linux)", t(1));
+        let targets: Vec<&LdapUrl> = actions
+            .iter()
+            .filter_map(|a| match a {
+                GiisAction::SendRequest { to, .. } => Some(to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![&url("gris.a")]);
+        assert_eq!(giis.stats.bloom_pruned, 1);
+
+        // A presence query cannot be pruned: both children consulted.
+        let actions = search_actions(&mut giis, "", "(system=*)", t(1));
+        let sends = actions
+            .iter()
+            .filter(|a| matches!(a, GiisAction::SendRequest { .. }))
+            .count();
+        assert_eq!(sends, 2);
+    }
+
+    #[test]
+    fn result_cache_short_circuits_repeat_queries() {
+        let mut config = GiisConfig::chaining(url("giis.cached"), Dn::root());
+        config.result_cache_ttl = Some(secs(10));
+        let mut giis = Giis::new(config, secs(30), secs(300));
+        giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+
+        // First query fans out.
+        let actions = search_actions(&mut giis, "", "(objectclass=*)", t(1));
+        let out_id = match &actions[0] {
+            GiisAction::SendRequest { request, .. } => request.id(),
+            other => panic!("unexpected {other:?}"),
+        };
+        giis.handle_reply(
+            &url("gris.a"),
+            GripReply::SearchResult {
+                id: out_id,
+                code: ResultCode::Success,
+                entries: vec![Entry::at("hn=a").unwrap().with_class("computer")],
+                referrals: vec![],
+            },
+            t(1),
+        );
+        assert_eq!(giis.stats.chained_requests, 1);
+
+        // Second identical query inside the TTL: answered locally.
+        let actions = search_actions(&mut giis, "", "(objectclass=*)", t(5));
+        match &actions[..] {
+            [GiisAction::Reply {
+                reply: GripReply::SearchResult { entries, .. },
+                ..
+            }] => assert_eq!(entries.len(), 1),
+            other => panic!("expected cached reply, got {other:?}"),
+        }
+        assert_eq!(giis.stats.chained_requests, 1, "no second fan-out");
+        assert_eq!(giis.stats.result_cache_hits, 1);
+
+        // A *different* query is not served from the cache.
+        let actions = search_actions(&mut giis, "", "(objectclass=computer)", t(6));
+        assert!(matches!(actions[0], GiisAction::SendRequest { .. }));
+
+        // Past the TTL the original query chains again.
+        let actions = search_actions(&mut giis, "", "(objectclass=*)", t(20));
+        assert!(matches!(actions[0], GiisAction::SendRequest { .. }));
+    }
+
+    #[test]
+    fn result_cache_never_stores_partial_results() {
+        let mut config = GiisConfig::chaining(url("giis.cached"), Dn::root());
+        config.result_cache_ttl = Some(secs(100));
+        let mut giis = Giis::new(config, secs(30), secs(300));
+        giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+
+        let actions = search_actions(&mut giis, "", "(objectclass=*)", t(1));
+        let out_id = match &actions[0] {
+            GiisAction::SendRequest { request, .. } => request.id(),
+            other => panic!("unexpected {other:?}"),
+        };
+        // The child reports partial results: must NOT be cached (a healed
+        // partition should become visible at the next query, not a TTL
+        // later).
+        giis.handle_reply(
+            &url("gris.a"),
+            GripReply::SearchResult {
+                id: out_id,
+                code: ResultCode::PartialResults,
+                entries: vec![],
+                referrals: vec![],
+            },
+            t(1),
+        );
+        let actions = search_actions(&mut giis, "", "(objectclass=*)", t(2));
+        assert!(
+            matches!(actions[0], GiisAction::SendRequest { .. }),
+            "partial results are never served from cache"
+        );
+        assert_eq!(giis.stats.result_cache_hits, 0);
+    }
+
+    #[test]
+    fn signed_grrp_verified_and_forgeries_rejected() {
+        use gis_gsi::{sign_registration, CertAuthority, TrustStore};
+        let ca = CertAuthority::new("/O=Grid/CN=CA", 31);
+        let mut trust = TrustStore::new();
+        trust.add_ca(&ca);
+        let mut config = GiisConfig::chaining(url("giis.secure"), Dn::root());
+        config.grrp_trust = Some(trust);
+        // Membership restricted to one signed identity.
+        config.accept = AcceptPolicy::Subjects(vec!["/O=Grid/CN=gris.good".into()]);
+        let mut giis = Giis::new(config, secs(30), secs(90));
+
+        // Properly signed registration from the allowed identity.
+        let good = ca.issue("/O=Grid/CN=gris.good");
+        let mut msg = reg("gris.good", "hn=good", t(0));
+        msg.subject = Some(good.subject().to_owned());
+        msg.signature = Some(sign_registration(&good, &msg.signable_bytes()));
+        giis.handle_grrp(msg, t(0));
+        assert_eq!(giis.active_children(t(1)).len(), 1);
+
+        // Unsigned registration: dropped even if the claimed subject is
+        // allowed.
+        let unsigned = reg("gris.unsigned", "hn=u", t(0)).with_subject("/O=Grid/CN=gris.good");
+        giis.handle_grrp(unsigned, t(0));
+        assert_eq!(giis.active_children(t(1)).len(), 1);
+
+        // Signed by a different (valid) identity claiming to be the
+        // allowed one: the verified subject overrides the claim, so the
+        // accept policy rejects it.
+        let impostor = ca.issue("/O=Grid/CN=gris.evil");
+        let mut forged = reg("gris.forged", "hn=f", t(0));
+        forged.subject = Some("/O=Grid/CN=gris.good".into());
+        forged.signature = Some(sign_registration(&impostor, &forged.signable_bytes()));
+        giis.handle_grrp(forged, t(0));
+        assert_eq!(giis.active_children(t(1)).len(), 1);
+
+        // Signature over different bytes (tampered message): dropped.
+        let mut tampered = reg("gris.tampered", "hn=t1", t(0));
+        tampered.subject = Some(good.subject().to_owned());
+        tampered.signature = Some(sign_registration(&good, b"other bytes"));
+        giis.handle_grrp(tampered, t(0));
+        assert_eq!(giis.active_children(t(1)).len(), 1);
+
+        assert_eq!(giis.stats.grrp_rejected, 3);
+    }
+
+    #[test]
+    fn credentialed_harvest_binds_first() {
+        use gis_gsi::CertAuthority;
+        let ca = CertAuthority::new("/O=Grid/CN=CA", 77);
+        let mut config = GiisConfig::chaining(url("giis.trusted"), Dn::root());
+        config.mode = GiisMode::Harvest { refresh: secs(60) };
+        config.credential = Some(ca.issue("/O=Grid/CN=giis.trusted"));
+        let mut giis = Giis::new(config, secs(30), secs(90));
+
+        // Registration triggers a Bind, not a Search.
+        let actions = giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+        let bind_id = match &actions[..] {
+            [GiisAction::SendRequest {
+                to,
+                request: GripRequest::Bind { id, subject, .. },
+            }] => {
+                assert_eq!(to, &url("gris.a"));
+                assert_eq!(subject, "/O=Grid/CN=giis.trusted");
+                *id
+            }
+            other => panic!("expected bind, got {other:?}"),
+        };
+        assert_eq!(giis.stats.harvests, 0);
+
+        // A successful bind is followed by the harvest search.
+        let actions = giis.handle_reply(
+            &url("gris.a"),
+            GripReply::BindResult {
+                id: bind_id,
+                ok: true,
+                subject: Some("/O=Grid/CN=giis.trusted".into()),
+            },
+            t(0),
+        );
+        let harvest_id = match &actions[..] {
+            [GiisAction::SendRequest {
+                request: GripRequest::Search { id, .. },
+                ..
+            }] => *id,
+            other => panic!("expected harvest search, got {other:?}"),
+        };
+        assert_eq!(giis.stats.harvests, 1);
+
+        giis.handle_reply(
+            &url("gris.a"),
+            GripReply::SearchResult {
+                id: harvest_id,
+                code: ResultCode::Success,
+                entries: vec![Entry::at("hn=a").unwrap().with_class("computer")],
+                referrals: vec![],
+            },
+            t(0),
+        );
+        assert_eq!(giis.cached_entries(), 1);
+
+        // Subsequent harvests reuse the bound session: no second bind.
+        // Keep the registration alive, then force a refresh.
+        giis.handle_grrp(reg("gris.a", "hn=a", t(50)), t(50));
+        let actions = giis.tick(t(61));
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, GiisAction::SendRequest { request: GripRequest::Search { .. }, .. })),
+            "refresh harvest goes straight to search: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn hierarchy_registration_flows_upward() {
+        let mut giis = chaining_giis();
+        giis.agent.add_target(url("giis.root"));
+        let actions = giis.tick(t(0));
+        match &actions[..] {
+            [GiisAction::SendGrrp { to, message }] => {
+                assert_eq!(to, &url("giis.root"));
+                assert_eq!(message.service_url, url("giis.vo"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invitation_flow_adds_parent() {
+        let mut giis = chaining_giis();
+        let parent = Giis::new(
+            GiisConfig::chaining(url("giis.parent"), Dn::root()),
+            secs(30),
+            secs(90),
+        );
+        let invite = parent.invite(url("giis.vo"), t(0), secs(60));
+        match invite {
+            GiisAction::SendGrrp { to, message } => {
+                assert_eq!(to, url("giis.vo"));
+                giis.handle_grrp(message, t(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let actions = giis.tick(t(0));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            GiisAction::SendGrrp { to, .. } if to == &url("giis.parent")
+        )));
+    }
+
+    #[test]
+    fn empty_directory_answers_empty() {
+        let mut giis = chaining_giis();
+        let actions = search_actions(&mut giis, "", "(objectclass=*)", t(0));
+        match &actions[..] {
+            [GiisAction::Reply {
+                reply: GripReply::SearchResult { code, entries, .. },
+                ..
+            }] => {
+                assert_eq!(*code, ResultCode::Success);
+                assert!(entries.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn harvest_mode_subscription_delivers_on_change() {
+        let mut config = GiisConfig::chaining(url("giis.sub"), Dn::root());
+        config.mode = GiisMode::Harvest { refresh: secs(60) };
+        let mut giis = Giis::new(config, secs(30), secs(300));
+
+        // Register + harvest one child.
+        let actions = giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+        let out_id = match &actions[..] {
+            [GiisAction::SendRequest { request, .. }] => request.id(),
+            other => panic!("expected harvest, got {other:?}"),
+        };
+        giis.handle_reply(
+            &url("gris.a"),
+            GripReply::SearchResult {
+                id: out_id,
+                code: ResultCode::Success,
+                entries: vec![Entry::at("hn=a").unwrap().with_class("computer")],
+                referrals: vec![],
+            },
+            t(0),
+        );
+
+        // Subscribe on-change to the computer set.
+        let actions = giis.handle_request(
+            9,
+            GripRequest::Subscribe {
+                id: 1,
+                spec: SearchSpec::subtree(
+                    Dn::root(),
+                    Filter::parse("(objectclass=computer)").unwrap(),
+                ),
+                mode: gis_proto::SubscriptionMode::OnChange,
+            },
+            t(1),
+        );
+        match &actions[..] {
+            [GiisAction::Reply {
+                reply: GripReply::Update { entries, .. },
+                ..
+            }] => assert_eq!(entries.len(), 1, "initial snapshot"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(giis.subscription_count(), 1);
+
+        // No change, no update.
+        assert!(giis
+            .tick(t(5))
+            .iter()
+            .all(|a| !matches!(a, GiisAction::Reply { reply: GripReply::Update { .. }, .. })));
+
+        // A second child registers and is harvested: the set changes.
+        let actions = giis.handle_grrp(reg("gris.b", "hn=b", t(6)), t(6));
+        let out_id = match &actions[..] {
+            [GiisAction::SendRequest { request, .. }] => request.id(),
+            other => panic!("expected harvest, got {other:?}"),
+        };
+        giis.handle_reply(
+            &url("gris.b"),
+            GripReply::SearchResult {
+                id: out_id,
+                code: ResultCode::Success,
+                entries: vec![Entry::at("hn=b").unwrap().with_class("computer")],
+                referrals: vec![],
+            },
+            t(6),
+        );
+        let updates: Vec<_> = giis
+            .tick(t(7))
+            .into_iter()
+            .filter(|a| matches!(a, GiisAction::Reply { reply: GripReply::Update { .. }, .. }))
+            .collect();
+        assert_eq!(updates.len(), 1, "change delivered");
+        match &updates[0] {
+            GiisAction::Reply {
+                client,
+                reply: GripReply::Update { entries, .. },
+            } => {
+                assert_eq!(*client, 9);
+                assert_eq!(entries.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Expiry of a child also triggers an update (the watched set
+        // shrinks when soft state lapses).
+        // Both registrations expire (ttl 90s in reg()); the same tick
+        // sweeps them and delivers the shrunken view.
+        let updates: Vec<_> = giis
+            .tick(t(400))
+            .into_iter()
+            .filter(|a| matches!(a, GiisAction::Reply { reply: GripReply::Update { .. }, .. }))
+            .collect();
+        assert!(!updates.is_empty(), "expiry-driven update");
+
+        // Unsubscribe.
+        let actions = giis.handle_request(9, GripRequest::Unsubscribe { id: 1 }, t(402));
+        assert!(matches!(
+            actions[..],
+            [GiisAction::Reply {
+                reply: GripReply::SubscriptionDone {
+                    code: ResultCode::Success,
+                    ..
+                },
+                ..
+            }]
+        ));
+        assert_eq!(giis.subscription_count(), 0);
+    }
+
+    #[test]
+    fn subscribe_rejected_politely() {
+        let mut giis = chaining_giis();
+        let actions = giis.handle_request(
+            1,
+            GripRequest::Subscribe {
+                id: 7,
+                spec: SearchSpec::lookup(Dn::root()),
+                mode: gis_proto::SubscriptionMode::OnChange,
+            },
+            t(0),
+        );
+        match &actions[..] {
+            [GiisAction::Reply {
+                reply: GripReply::SubscriptionDone { code, .. },
+                ..
+            }] => assert_eq!(*code, ResultCode::UnwillingToPerform),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

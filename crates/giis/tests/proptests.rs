@@ -1,0 +1,156 @@
+//! Property tests for the GIIS: Bloom filter soundness and directory
+//! invariants under arbitrary registration/expiry interleavings.
+
+use gis_giis::{AcceptPolicy, BloomFilter, Giis, GiisAction, GiisConfig, GiisMode};
+use gis_ldap::{Dn, LdapUrl, Rdn};
+use gis_netsim::{SimDuration, SimTime};
+use gis_proto::{GripRequest, GrrpMessage, SearchSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bloom_no_false_negatives(
+        tokens in prop::collection::vec("[ -~]{1,20}", 0..200),
+        bits_per_element in 1usize..16,
+        hashes in 1u32..8,
+    ) {
+        let mut bf = BloomFilter::new(tokens.len().max(1) * bits_per_element, hashes);
+        for t in &tokens {
+            bf.insert(t);
+        }
+        for t in &tokens {
+            prop_assert!(bf.may_contain(t), "false negative for {t:?}");
+        }
+    }
+
+    #[test]
+    fn bloom_clear_restores_emptiness(tokens in prop::collection::vec("[a-z]{1,10}", 1..50)) {
+        let mut bf = BloomFilter::for_capacity(tokens.len(), 10);
+        for t in &tokens {
+            bf.insert(t);
+        }
+        bf.clear();
+        prop_assert_eq!(bf.fill_ratio(), 0.0);
+        prop_assert_eq!(bf.inserted(), 0);
+    }
+
+    /// Arbitrary interleavings of register / advance-time / sweep must
+    /// keep the directory's soft-state view consistent: active children
+    /// are exactly the unexpired ones, and chained fan-outs only target
+    /// active children.
+    #[test]
+    fn giis_registry_consistency(
+        events in prop::collection::vec((0u8..3, 0u32..10, 1u64..100), 1..60)
+    ) {
+        let mut giis = Giis::new(
+            GiisConfig::chaining(LdapUrl::server("giis"), Dn::root()),
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(90),
+        );
+        let mut now = SimTime::ZERO;
+        let ttl = SimDuration::from_secs(50);
+
+        for (kind, who, dt) in events {
+            match kind {
+                0 => {
+                    // register/refresh child `who`
+                    let url = LdapUrl::server(format!("gris.c{who}"));
+                    let ns = Dn::from_rdns(vec![Rdn::new("hn", format!("c{who}"))]);
+                    giis.handle_grrp(GrrpMessage::register(url, ns, now, ttl), now);
+                }
+                1 => {
+                    now += SimDuration::from_secs(dt);
+                }
+                _ => {
+                    giis.tick(now);
+                }
+            }
+            // Invariant: every active child is fresh in the registry.
+            for child in giis.active_children(now) {
+                prop_assert!(giis.registry.is_fresh(&child, now));
+            }
+        }
+
+        // A fan-out at the end targets exactly the active children.
+        let active = giis.active_children(now);
+        let actions = giis.handle_request(
+            1,
+            GripRequest::Search {
+                id: 999,
+                spec: SearchSpec::subtree(Dn::root(), gis_ldap::Filter::always()),
+            },
+            now,
+        );
+        let targets: Vec<&LdapUrl> = actions
+            .iter()
+            .filter_map(|a| match a {
+                GiisAction::SendRequest { to, .. } => Some(to),
+                _ => None,
+            })
+            .collect();
+        if active.is_empty() {
+            prop_assert!(targets.is_empty());
+            let is_single_reply = matches!(actions[..], [GiisAction::Reply { .. }]);
+            prop_assert!(is_single_reply);
+        } else {
+            prop_assert_eq!(targets.len(), active.len());
+            for t in targets {
+                prop_assert!(active.contains(t));
+            }
+        }
+    }
+
+    /// The namespace accept policy admits exactly the registrations under
+    /// its suffix.
+    #[test]
+    fn accept_policy_namespace_exactness(
+        suffix_val in "[A-Z][0-9]",
+        regs in prop::collection::vec(("[a-z]{1,5}", prop::bool::ANY), 1..20)
+    ) {
+        let suffix = Dn::from_rdns(vec![Rdn::new("o", suffix_val.clone())]);
+        let policy = AcceptPolicy::NamespaceUnder(suffix.clone());
+        let mut expected = 0;
+        let mut giis = Giis::new(
+            GiisConfig {
+                url: LdapUrl::server("giis"),
+                namespace: suffix.clone(),
+                mode: GiisMode::Name,
+                accept: policy,
+                policy: gis_gsi::PolicyMap::open(),
+                authenticator: None,
+                credential: None,
+                grrp_trust: None,
+                result_cache_ttl: None,
+            },
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(90),
+        );
+        let now = SimTime::ZERO;
+        for (i, (host, inside)) in regs.iter().enumerate() {
+            let ns = if *inside {
+                Dn::from_rdns(vec![Rdn::new("hn", host.clone())]).under(&suffix)
+            } else {
+                Dn::from_rdns(vec![Rdn::new("hn", host.clone()), Rdn::new("o", "other")])
+            };
+            if *inside {
+                expected += 1;
+            }
+            giis.handle_grrp(
+                GrrpMessage::register(
+                    LdapUrl::server(format!("gris.{i}")),
+                    ns,
+                    now,
+                    SimDuration::from_secs(60),
+                ),
+                now,
+            );
+        }
+        prop_assert_eq!(giis.active_children(now).len(), expected);
+        prop_assert_eq!(
+            giis.stats.grrp_rejected as usize,
+            regs.len() - expected
+        );
+    }
+}

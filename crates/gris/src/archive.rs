@@ -1,0 +1,268 @@
+//! Archival information provider — the §6 GRIP *extension* example.
+//!
+//! "The retrieval of archival information can require the support of
+//! more powerful database query interfaces, to reduce search costs over
+//! a continuously growing mountain of data. ... Resources may offer
+//! additional information delivery capabilities beyond those provided by
+//! GRIP. For example, an information provider that interfaces to a large
+//! archive might implement protocol extensions to support richer
+//! relational queries."
+//!
+//! This provider serves a host's load-average *history* under
+//! `archive=load, <host>`: one entry per sampling period, named
+//! `t=<micros>`. The history is unbounded, so plain subtree searches are
+//! refused; the extension is that queries must carry **time-range
+//! constraints** (`(t>=..)(t<=..)` terms in the filter), which the
+//! provider interprets *before* generating entries — a query-shaped
+//! interface rather than an enumerable tree, with results generated
+//! lazily from the deterministic measurement series.
+
+use crate::provider::{InfoProvider, ProviderError};
+use crate::providers::DynamicHostProvider;
+use gis_ldap::{Dn, Entry, Filter, Rdn};
+use gis_netsim::{SimDuration, SimTime};
+use gis_proto::SearchSpec;
+
+/// Maximum samples returned for one query; wider ranges are refused
+/// (the "reduce search costs" discipline).
+pub const MAX_SAMPLES: u64 = 1000;
+
+/// Time-range bounds extracted from a filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeRange {
+    /// Inclusive lower bound, microseconds.
+    pub from: u64,
+    /// Inclusive upper bound, microseconds.
+    pub to: u64,
+}
+
+/// Scan a filter for top-level `t>=`/`t<=` constraints (inside the
+/// outermost `And`s). Returns `None` when either bound is missing.
+pub fn extract_time_range(filter: &Filter) -> Option<TimeRange> {
+    fn walk(f: &Filter, lo: &mut Option<u64>, hi: &mut Option<u64>) {
+        match f {
+            Filter::And(fs) => {
+                for sub in fs {
+                    walk(sub, lo, hi);
+                }
+            }
+            Filter::Ge(attr, v) if attr == "t" => {
+                if let Ok(x) = v.trim().parse::<u64>() {
+                    *lo = Some(lo.map_or(x, |cur: u64| cur.max(x)));
+                }
+            }
+            Filter::Le(attr, v) if attr == "t" => {
+                if let Ok(x) = v.trim().parse::<u64>() {
+                    *hi = Some(hi.map_or(x, |cur: u64| cur.min(x)));
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut lo = None;
+    let mut hi = None;
+    walk(filter, &mut lo, &mut hi);
+    match (lo, hi) {
+        (Some(from), Some(to)) if from <= to => Some(TimeRange { from, to }),
+        _ => None,
+    }
+}
+
+/// A load-history archive for one host.
+pub struct ArchiveProvider {
+    namespace: Dn,
+    name: String,
+    /// The measurement source whose deterministic series is archived.
+    source: DynamicHostProvider,
+    /// Sampling period of the archive.
+    pub period: SimDuration,
+    /// Range queries answered.
+    pub queries_answered: u64,
+    /// Samples generated in total.
+    pub samples_served: u64,
+}
+
+impl ArchiveProvider {
+    /// Archive the given dynamic-host source at its own change period.
+    pub fn new(source: DynamicHostProvider) -> ArchiveProvider {
+        let host_dn = source.host_dn().clone();
+        let namespace = host_dn.child(Rdn::new("archive", "load"));
+        let name = format!("archive:{}", host_dn);
+        let period = source.period;
+        ArchiveProvider {
+            namespace,
+            name,
+            source,
+            period,
+            queries_answered: 0,
+            samples_served: 0,
+        }
+    }
+}
+
+impl InfoProvider for ArchiveProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn namespace(&self) -> &Dn {
+        &self.namespace
+    }
+    fn cache_ttl(&self) -> SimDuration {
+        SimDuration::ZERO // every range query is answered fresh
+    }
+    fn cacheable(&self) -> bool {
+        false
+    }
+    fn fetch(&mut self, spec: &SearchSpec, now: SimTime) -> Result<Vec<Entry>, ProviderError> {
+        let Some(range) = extract_time_range(&spec.filter) else {
+            return Err(ProviderError::TooWide(format!(
+                "archive {} requires (t>=..)(t<=..) range constraints",
+                self.namespace
+            )));
+        };
+        let to = range.to.min(now.micros());
+        if range.from > to {
+            return Ok(Vec::new());
+        }
+        let period = self.period.micros().max(1);
+        let first_step = range.from.div_ceil(period);
+        let last_step = to / period;
+        if last_step.saturating_sub(first_step) + 1 > MAX_SAMPLES {
+            return Err(ProviderError::TooWide(format!(
+                "range spans {} samples; limit is {MAX_SAMPLES}",
+                last_step - first_step + 1
+            )));
+        }
+        let mut out = Vec::new();
+        for step in first_step..=last_step {
+            let t = step * period;
+            let load = self.source.true_load(SimTime(t));
+            out.push(
+                Entry::new(self.namespace.child(Rdn::new("t", t.to_string())))
+                    .with_class("perfarchive")
+                    .with("t", t)
+                    .with("load5", load),
+            );
+        }
+        self.queries_answered += 1;
+        self.samples_served += out.len() as u64;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::providers::HostSpec;
+    use gis_netsim::secs;
+
+    fn provider() -> ArchiveProvider {
+        let host = HostSpec::linux("h", 2);
+        ArchiveProvider::new(DynamicHostProvider::new(&host, 5, 1.0, secs(10), secs(30)))
+    }
+
+    fn range_spec(from_s: u64, to_s: u64) -> SearchSpec {
+        let f = Filter::parse(&format!(
+            "(&(objectclass=perfarchive)(t>={})(t<={}))",
+            from_s * 1_000_000,
+            to_s * 1_000_000
+        ))
+        .unwrap();
+        SearchSpec::subtree(Dn::parse("archive=load, hn=h").unwrap(), f)
+    }
+
+    #[test]
+    fn range_query_returns_one_sample_per_period() {
+        let mut p = provider();
+        let entries = p.fetch(&range_spec(100, 200), SimTime::ZERO + secs(1000)).unwrap();
+        assert_eq!(entries.len(), 11, "t=100..=200 step 10");
+        assert!(entries.iter().all(|e| e.has_class("perfarchive")));
+        let t0 = entries[0].get_i64("t").unwrap();
+        assert_eq!(t0, 100_000_000);
+        assert_eq!(p.samples_served, 11);
+    }
+
+    #[test]
+    fn history_is_reproducible() {
+        let mut p1 = provider();
+        let mut p2 = provider();
+        let now = SimTime::ZERO + secs(1000);
+        assert_eq!(
+            p1.fetch(&range_spec(0, 500), now).unwrap(),
+            p2.fetch(&range_spec(0, 500), now).unwrap()
+        );
+    }
+
+    #[test]
+    fn unbounded_queries_refused() {
+        let mut p = provider();
+        let now = SimTime::ZERO + secs(100);
+        for f in ["(objectclass=*)", "(t>=0)", "(t<=1000)"] {
+            let spec = SearchSpec::subtree(
+                Dn::parse("archive=load, hn=h").unwrap(),
+                Filter::parse(f).unwrap(),
+            );
+            assert!(
+                matches!(p.fetch(&spec, now), Err(ProviderError::TooWide(_))),
+                "{f} must be refused"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_range_refused() {
+        let mut p = provider();
+        // 20000 s / 10 s period = 2000 samples > 1000 cap.
+        let err = p
+            .fetch(&range_spec(0, 20_000), SimTime::ZERO + secs(30_000))
+            .unwrap_err();
+        assert!(matches!(err, ProviderError::TooWide(_)));
+    }
+
+    #[test]
+    fn future_samples_not_fabricated() {
+        let mut p = provider();
+        // Ask for t in [100 s, 200 s] when now = 150 s: only the past half.
+        let entries = p.fetch(&range_spec(100, 200), SimTime::ZERO + secs(150)).unwrap();
+        assert_eq!(entries.len(), 6, "t=100..=150");
+    }
+
+    #[test]
+    fn empty_range_is_empty() {
+        let mut p = provider();
+        // from > now entirely.
+        let entries = p.fetch(&range_spec(500, 600), SimTime::ZERO + secs(100)).unwrap();
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn extract_range_combines_bounds() {
+        let f = Filter::parse("(&(a=1)(t>=100)(&(t<=900)(t<=500))(t>=200))").unwrap();
+        assert_eq!(
+            extract_time_range(&f),
+            Some(TimeRange { from: 200, to: 500 }),
+            "tightest bounds win"
+        );
+        assert_eq!(extract_time_range(&Filter::parse("(t>=5)").unwrap()), None);
+        assert_eq!(
+            extract_time_range(&Filter::parse("(&(t>=10)(t<=5))").unwrap()),
+            None,
+            "inverted range rejected"
+        );
+        // Bounds under Or are not safe to use.
+        assert_eq!(
+            extract_time_range(&Filter::parse("(|(t>=1)(t<=2))").unwrap()),
+            None
+        );
+    }
+
+    #[test]
+    fn archived_values_match_live_source() {
+        let host = HostSpec::linux("h", 2);
+        let live = DynamicHostProvider::new(&host, 5, 1.0, secs(10), secs(30));
+        let mut p = provider();
+        let entries = p.fetch(&range_spec(100, 100), SimTime::ZERO + secs(1000)).unwrap();
+        let archived = entries[0].get_f64("load5").unwrap();
+        assert_eq!(archived, live.true_load(SimTime::ZERO + secs(100)));
+    }
+}

@@ -1,0 +1,104 @@
+//! The information-provider API (§10.3).
+//!
+//! "The GRIS communicates with an information provider via a well-defined
+//! API ... a GRIS is configured by specifying the type of information to
+//! be produced by a provider and the provider-defined set of routines
+//! that implement the GRIS API."
+//!
+//! Providers are *pull-mode* sources: the GRIS invokes [`InfoProvider::fetch`]
+//! when (and only when) a query needs them and their cached results have
+//! expired. A provider may return a superset of what the query asked for;
+//! the GRIS performs the mandatory final filtering.
+
+use gis_ldap::{Dn, Entry};
+use gis_netsim::{SimDuration, SimTime};
+use gis_proto::SearchSpec;
+use std::fmt;
+
+/// Why a provider could not answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProviderError {
+    /// The backing source is down or unreachable.
+    Unavailable(String),
+    /// The query's scope is too wide for a non-enumerable namespace
+    /// (§4.1: such providers "might signal an error and/or return partial
+    /// results for searches that use too wide a scope").
+    TooWide(String),
+}
+
+impl fmt::Display for ProviderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProviderError::Unavailable(s) => write!(f, "provider unavailable: {s}"),
+            ProviderError::TooWide(s) => write!(f, "scope too wide: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ProviderError {}
+
+/// An information source pluggable into a GRIS.
+///
+/// The `Any` supertrait lets callers downcast a configured provider back
+/// to its concrete type for inspection and failure injection.
+pub trait InfoProvider: Send + std::any::Any {
+    /// Stable provider name (cache key and diagnostics).
+    fn name(&self) -> &str;
+
+    /// The DN subtree this provider's entries live under. Used to "prune
+    /// search processing: a specific provider's results are only
+    /// considered if the provider's namespace intersects the query
+    /// scope."
+    fn namespace(&self) -> &Dn;
+
+    /// How long this provider's results may be cached. "The appropriate
+    /// value depends greatly on both the dynamism of the modeled resource
+    /// and the cost of the provider mechanism."
+    fn cache_ttl(&self) -> SimDuration;
+
+    /// Whether the GRIS-side cache applies. Providers over non-enumerable
+    /// namespaces answer per-query and manage their own caching.
+    fn cacheable(&self) -> bool {
+        true
+    }
+
+    /// Produce entries relevant to `spec` (possibly a superset). The GRIS
+    /// applies scope, filter, ACL and projection afterwards.
+    fn fetch(&mut self, spec: &SearchSpec, now: SimTime) -> Result<Vec<Entry>, ProviderError>;
+}
+
+/// True when a provider whose entries live under `namespace` could
+/// contribute to a search rooted at `base`: the two subtrees intersect.
+/// (Conservative: returns true on any containment either way.)
+pub fn namespace_intersects(namespace: &Dn, base: &Dn) -> bool {
+    namespace.is_under(base) || base.is_under(namespace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_cases() {
+        let host = Dn::parse("hn=hostX").unwrap();
+        let perf = Dn::parse("perf=load5, hn=hostX").unwrap();
+        let other = Dn::parse("hn=hostY").unwrap();
+        let root = Dn::root();
+
+        // Search at the root reaches every provider.
+        assert!(namespace_intersects(&host, &root));
+        // Search below a provider's namespace reaches it.
+        assert!(namespace_intersects(&host, &perf));
+        // Provider below the search base is reached.
+        assert!(namespace_intersects(&perf, &host));
+        // Disjoint subtrees are pruned.
+        assert!(!namespace_intersects(&host, &other));
+        assert!(!namespace_intersects(&perf, &other));
+    }
+
+    #[test]
+    fn provider_error_display() {
+        assert!(ProviderError::Unavailable("x".into()).to_string().contains("x"));
+        assert!(ProviderError::TooWide("y".into()).to_string().contains("y"));
+    }
+}

@@ -1,0 +1,535 @@
+//! The standard MDS-2 provider set (§10.3): "static host information
+//! (operating system version, CPU type, number of processors, etc.),
+//! dynamic host information (load average, queue entries, etc.), storage
+//! system information (available disk space, total disk space, etc.), and
+//! network information via the Network Weather Service."
+//!
+//! Host sensors are synthetic but deterministic functions of simulated
+//! time (see DESIGN.md §3): dynamic values change on a fixed period so
+//! staleness experiments are reproducible.
+
+use crate::provider::{InfoProvider, ProviderError};
+use gis_ldap::{Dn, Entry, Rdn, Scope};
+use gis_netsim::{SimDuration, SimTime};
+use gis_nws::{LinkId, Metric, Nws};
+use gis_proto::SearchSpec;
+
+/// Deterministic per-step noise in `[-1, 1)` derived from a seed and a
+/// time step.
+fn step_noise(seed: u64, step: u64) -> f64 {
+    let mut z = seed ^ step.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    ((z >> 11) as f64) * (2.0 / (1u64 << 53) as f64) - 1.0
+}
+
+/// Static description of a host.
+#[derive(Debug, Clone)]
+pub struct HostSpec {
+    /// Host name (`hn` attribute and RDN).
+    pub hostname: String,
+    /// Namespace the host lives under (e.g. `o=O1`); root for
+    /// organization-less individuals (Figure 5's lone contributor).
+    pub parent: Dn,
+    /// Operating system string, e.g. `"mips irix"` or `"linux 2.4"`.
+    pub system: String,
+    /// Processor architecture, e.g. `"x86"`, `"mips"`.
+    pub arch: String,
+    /// Number of CPUs.
+    pub cpu_count: u32,
+    /// Physical memory in MB.
+    pub memory_mb: u64,
+}
+
+impl HostSpec {
+    /// A convenience Linux box.
+    pub fn linux(hostname: &str, cpus: u32) -> HostSpec {
+        HostSpec {
+            hostname: hostname.to_owned(),
+            parent: Dn::root(),
+            system: "linux 2.4".to_owned(),
+            arch: "x86".to_owned(),
+            cpu_count: cpus,
+            memory_mb: 512 * u64::from(cpus),
+        }
+    }
+
+    /// The Figure 3 IRIX host.
+    pub fn irix(hostname: &str, cpus: u32) -> HostSpec {
+        HostSpec {
+            hostname: hostname.to_owned(),
+            parent: Dn::root(),
+            system: "mips irix".to_owned(),
+            arch: "mips".to_owned(),
+            cpu_count: cpus,
+            memory_mb: 1024,
+        }
+    }
+
+    /// Re-home the host under an organization namespace (builder style).
+    pub fn at(mut self, parent: Dn) -> HostSpec {
+        self.parent = parent;
+        self
+    }
+
+    /// The host's DN: `hn=<hostname>` under its parent namespace.
+    pub fn dn(&self) -> Dn {
+        self.parent.child(Rdn::new("hn", self.hostname.clone()))
+    }
+}
+
+/// Static host information provider: configuration that "changes rarely".
+#[derive(Debug)]
+pub struct StaticHostProvider {
+    spec: HostSpec,
+    namespace: Dn,
+    name: String,
+    /// Invocation counter (experiments read this to measure intrusiveness).
+    pub invocations: u64,
+}
+
+impl StaticHostProvider {
+    /// Create the provider for a host.
+    pub fn new(spec: HostSpec) -> StaticHostProvider {
+        let namespace = spec.dn();
+        let name = format!("static-host:{}", spec.hostname);
+        StaticHostProvider {
+            spec,
+            namespace,
+            name,
+            invocations: 0,
+        }
+    }
+}
+
+impl InfoProvider for StaticHostProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn namespace(&self) -> &Dn {
+        &self.namespace
+    }
+    fn cache_ttl(&self) -> SimDuration {
+        // Static data: long TTL (§10.3 — value depends on dynamism).
+        SimDuration::from_secs(3600)
+    }
+    fn fetch(&mut self, _spec: &SearchSpec, _now: SimTime) -> Result<Vec<Entry>, ProviderError> {
+        self.invocations += 1;
+        let e = Entry::new(self.namespace.clone())
+            .with_class("computer")
+            .with("hn", self.spec.hostname.clone())
+            .with("system", self.spec.system.clone())
+            .with("arch", self.spec.arch.clone())
+            .with("cpucount", i64::from(self.spec.cpu_count))
+            .with("memorymb", self.spec.memory_mb);
+        Ok(vec![e])
+    }
+}
+
+/// Dynamic host information: load averages and a queue-length reading,
+/// regenerated each `period` of simulated time.
+#[derive(Debug)]
+pub struct DynamicHostProvider {
+    host_dn: Dn,
+    namespace: Dn,
+    name: String,
+    seed: u64,
+    /// Base (long-run mean) 5-minute load.
+    pub base_load: f64,
+    /// How often the underlying value changes.
+    pub period: SimDuration,
+    ttl: SimDuration,
+    /// Invocation counter.
+    pub invocations: u64,
+    /// When set, `fetch` fails (failure-injection for tests/experiments).
+    pub fail: bool,
+}
+
+impl DynamicHostProvider {
+    /// Create with the given base load, change period, and cache TTL.
+    pub fn new(host: &HostSpec, seed: u64, base_load: f64, period: SimDuration, ttl: SimDuration) -> DynamicHostProvider {
+        let host_dn = host.dn();
+        DynamicHostProvider {
+            namespace: host_dn.child(Rdn::new("perf", "load")),
+            name: format!("dynamic-host:{}", host.hostname),
+            host_dn,
+            seed,
+            base_load,
+            period,
+            ttl,
+            invocations: 0,
+            fail: false,
+        }
+    }
+
+    /// The true instantaneous load at `now` (ground truth for staleness
+    /// experiments): base + slow diurnal-ish wave + per-step noise. The
+    /// value is piecewise-constant over `period` (load averages are
+    /// sampled quantities, and experiments need a discrete change
+    /// process).
+    pub fn true_load(&self, now: SimTime) -> f64 {
+        let step = now.micros() / self.period.micros().max(1);
+        let step_secs = (step * self.period.micros()) as f64 / 1e6;
+        let wave = (step_secs / 300.0 * std::f64::consts::TAU).sin();
+        (self.base_load + 0.8 * wave + 0.6 * step_noise(self.seed, step)).max(0.0)
+    }
+}
+
+impl InfoProvider for DynamicHostProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn namespace(&self) -> &Dn {
+        &self.namespace
+    }
+    fn cache_ttl(&self) -> SimDuration {
+        self.ttl
+    }
+    fn fetch(&mut self, _spec: &SearchSpec, now: SimTime) -> Result<Vec<Entry>, ProviderError> {
+        if self.fail {
+            return Err(ProviderError::Unavailable(self.name.clone()));
+        }
+        self.invocations += 1;
+        let load5 = self.true_load(now);
+        let load1 = (load5 + 0.4 * step_noise(self.seed ^ 1, now.micros() / self.period.micros().max(1))).max(0.0);
+        let e = Entry::new(self.namespace.clone())
+            .with_class("perf")
+            .with_class("loadaverage")
+            .with("period", (self.period.micros() / 1_000_000) as i64)
+            .with("load1", load1)
+            .with("load5", load5)
+            .with("measuredat", now.micros());
+        Ok(vec![e])
+    }
+}
+
+impl DynamicHostProvider {
+    /// The DN of the host this provider describes.
+    pub fn host_dn(&self) -> &Dn {
+        &self.host_dn
+    }
+}
+
+/// Storage (filesystem) information provider.
+#[derive(Debug)]
+pub struct FilesystemProvider {
+    namespace: Dn,
+    name: String,
+    /// Mount path.
+    pub path: String,
+    /// Total capacity in MB.
+    pub total_mb: u64,
+    seed: u64,
+    period: SimDuration,
+    ttl: SimDuration,
+    /// Invocation counter.
+    pub invocations: u64,
+}
+
+impl FilesystemProvider {
+    /// Create for store `store_name` on `host`.
+    pub fn new(
+        host: &HostSpec,
+        store_name: &str,
+        path: &str,
+        total_mb: u64,
+        seed: u64,
+        ttl: SimDuration,
+    ) -> FilesystemProvider {
+        FilesystemProvider {
+            namespace: host.dn().child(Rdn::new("store", store_name)),
+            name: format!("filesystem:{}:{store_name}", host.hostname),
+            path: path.to_owned(),
+            total_mb,
+            seed,
+            period: SimDuration::from_secs(60),
+            ttl,
+            invocations: 0,
+        }
+    }
+
+    /// Ground-truth free space at `now`: 30–90% of capacity, wandering.
+    pub fn true_free_mb(&self, now: SimTime) -> u64 {
+        let step = now.micros() / self.period.micros().max(1);
+        let frac = 0.6 + 0.3 * step_noise(self.seed, step);
+        (self.total_mb as f64 * frac) as u64
+    }
+}
+
+impl InfoProvider for FilesystemProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn namespace(&self) -> &Dn {
+        &self.namespace
+    }
+    fn cache_ttl(&self) -> SimDuration {
+        self.ttl
+    }
+    fn fetch(&mut self, _spec: &SearchSpec, now: SimTime) -> Result<Vec<Entry>, ProviderError> {
+        self.invocations += 1;
+        let e = Entry::new(self.namespace.clone())
+            .with_class("storage")
+            .with_class("filesystem")
+            .with("path", self.path.clone())
+            .with("total", self.total_mb)
+            .with("free", self.true_free_mb(now));
+        Ok(vec![e])
+    }
+}
+
+/// Batch-queue information provider (Figure 3's `queue=default` entry).
+#[derive(Debug)]
+pub struct QueueProvider {
+    namespace: Dn,
+    name: String,
+    url: String,
+    seed: u64,
+    /// Mean number of queued jobs.
+    pub mean_jobs: f64,
+    ttl: SimDuration,
+    /// Invocation counter.
+    pub invocations: u64,
+}
+
+impl QueueProvider {
+    /// Create for queue `queue_name` on `host`.
+    pub fn new(host: &HostSpec, queue_name: &str, mean_jobs: f64, seed: u64, ttl: SimDuration) -> QueueProvider {
+        QueueProvider {
+            namespace: host.dn().child(Rdn::new("queue", queue_name)),
+            name: format!("queue:{}:{queue_name}", host.hostname),
+            url: format!("gram://{}/{queue_name}", host.hostname),
+            seed,
+            mean_jobs,
+            ttl,
+            invocations: 0,
+        }
+    }
+}
+
+impl InfoProvider for QueueProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn namespace(&self) -> &Dn {
+        &self.namespace
+    }
+    fn cache_ttl(&self) -> SimDuration {
+        self.ttl
+    }
+    fn fetch(&mut self, _spec: &SearchSpec, now: SimTime) -> Result<Vec<Entry>, ProviderError> {
+        self.invocations += 1;
+        let step = now.micros() / 30_000_000; // 30s resolution
+        let jobs = (self.mean_jobs * (1.0 + step_noise(self.seed, step))).max(0.0) as i64;
+        let e = Entry::new(self.namespace.clone())
+            .with_class("service")
+            .with_class("queue")
+            .with("url", self.url.clone())
+            .with("dispatchtype", "immediate")
+            .with("jobcount", jobs);
+        Ok(vec![e])
+    }
+}
+
+/// NWS gateway provider: serves the non-enumerable `link=<src>-<dst>`
+/// namespace by handing queries to the Network Weather Service (§4.1).
+pub struct NwsGatewayProvider {
+    namespace: Dn,
+    name: String,
+    nws: Nws,
+    /// Invocation counter (actual NWS hand-offs).
+    pub invocations: u64,
+}
+
+impl NwsGatewayProvider {
+    /// Create a gateway serving `nn=<network_name>` with the given NWS
+    /// backend.
+    pub fn new(network_name: &str, nws: Nws) -> NwsGatewayProvider {
+        NwsGatewayProvider {
+            namespace: Dn::from_rdns(vec![Rdn::new("nn", network_name)]),
+            name: format!("nws:{network_name}"),
+            nws,
+            invocations: 0,
+        }
+    }
+
+    /// Access to the underlying NWS (for experiment reporting).
+    pub fn nws(&self) -> &Nws {
+        &self.nws
+    }
+
+    /// Parse `link=src-dst` from the most specific RDN of a DN.
+    fn parse_link(dn: &Dn) -> Option<LinkId> {
+        let rdn = dn.rdn()?;
+        if rdn.attr() != "link" {
+            return None;
+        }
+        let (src, dst) = rdn.value().split_once('-')?;
+        if src.is_empty() || dst.is_empty() {
+            return None;
+        }
+        Some(LinkId::new(src, dst))
+    }
+}
+
+impl InfoProvider for NwsGatewayProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn namespace(&self) -> &Dn {
+        &self.namespace
+    }
+    fn cache_ttl(&self) -> SimDuration {
+        SimDuration::ZERO // self-caching inside the NWS
+    }
+    fn cacheable(&self) -> bool {
+        false
+    }
+    fn fetch(&mut self, spec: &SearchSpec, now: SimTime) -> Result<Vec<Entry>, ProviderError> {
+        // The namespace is infinite: only queries naming a specific link
+        // can be materialized. A subtree search rooted at (or above) the
+        // gateway itself is "too wide" (§4.1).
+        let link = match Self::parse_link(&spec.base) {
+            Some(link)
+                if spec.base.is_under(&self.namespace) && matches!(spec.scope, Scope::Base) =>
+            {
+                link
+            }
+            _ => {
+                return Err(ProviderError::TooWide(format!(
+                    "namespace {} is not enumerable; look up a specific link=src-dst entry",
+                    self.namespace
+                )));
+            }
+        };
+        self.invocations += 1;
+        let bw = self.nws.query(&link, Metric::BandwidthMbps, now);
+        let lat = self.nws.query(&link, Metric::LatencyMs, now);
+        let e = Entry::new(spec.base.clone())
+            .with_class("networklink")
+            .with("src", link.src.clone())
+            .with("dst", link.dst.clone())
+            .with("bandwidth", bw.measured)
+            .with("predictedbandwidth", bw.predicted)
+            .with("latency", lat.measured)
+            .with("predictedlatency", lat.predicted)
+            .with("measuredat", bw.measured_at.micros());
+        Ok(vec![e])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_netsim::secs;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + secs(s)
+    }
+
+    fn any_spec(base: &str) -> SearchSpec {
+        SearchSpec::subtree(Dn::parse(base).unwrap(), gis_ldap::Filter::always())
+    }
+
+    #[test]
+    fn static_host_entry_shape() {
+        let mut p = StaticHostProvider::new(HostSpec::irix("hostX", 8));
+        let entries = p.fetch(&any_spec("hn=hostX"), t(0)).unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert!(e.has_class("computer"));
+        assert_eq!(e.get_str("system"), Some("mips irix"));
+        assert_eq!(e.get_i64("cpucount"), Some(8));
+        assert_eq!(p.invocations, 1);
+    }
+
+    #[test]
+    fn dynamic_load_changes_over_time_and_is_deterministic() {
+        let host = HostSpec::linux("h1", 4);
+        let mut p = DynamicHostProvider::new(&host, 42, 1.5, secs(10), secs(30));
+        let a = p.fetch(&any_spec("hn=h1"), t(0)).unwrap()[0].get_f64("load5").unwrap();
+        let b = p.fetch(&any_spec("hn=h1"), t(100)).unwrap()[0].get_f64("load5").unwrap();
+        assert_ne!(a, b, "load must vary");
+        // Deterministic: a fresh provider with the same seed agrees.
+        let mut q = DynamicHostProvider::new(&host, 42, 1.5, secs(10), secs(30));
+        let a2 = q.fetch(&any_spec("hn=h1"), t(0)).unwrap()[0].get_f64("load5").unwrap();
+        assert_eq!(a, a2);
+        assert!(a >= 0.0 && b >= 0.0);
+    }
+
+    #[test]
+    fn dynamic_failure_injection() {
+        let host = HostSpec::linux("h1", 4);
+        let mut p = DynamicHostProvider::new(&host, 42, 1.5, secs(10), secs(30));
+        p.fail = true;
+        assert!(matches!(
+            p.fetch(&any_spec("hn=h1"), t(0)),
+            Err(ProviderError::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn filesystem_free_space_bounded() {
+        let host = HostSpec::linux("h1", 4);
+        let mut p = FilesystemProvider::new(&host, "scratch", "/disks/scratch1", 40_000, 7, secs(60));
+        for s in [0u64, 60, 600, 3600] {
+            let e = &p.fetch(&any_spec("hn=h1"), t(s)).unwrap()[0];
+            let free = e.get_i64("free").unwrap() as u64;
+            assert!(free <= 40_000);
+            assert_eq!(e.get_str("path"), Some("/disks/scratch1"));
+        }
+    }
+
+    #[test]
+    fn queue_provider_entry() {
+        let host = HostSpec::irix("hostX", 4);
+        let mut p = QueueProvider::new(&host, "default", 5.0, 3, secs(30));
+        let e = &p.fetch(&any_spec("hn=hostX"), t(0)).unwrap()[0];
+        assert!(e.has_class("queue"));
+        assert_eq!(e.get_str("url"), Some("gram://hostX/default"));
+        assert!(e.get_i64("jobcount").unwrap() >= 0);
+        assert_eq!(e.dn().to_string(), "queue=default, hn=hostX");
+    }
+
+    #[test]
+    fn nws_gateway_serves_named_links_lazily() {
+        let nws = Nws::new(1, secs(10));
+        let mut p = NwsGatewayProvider::new("wan", nws);
+        let spec = SearchSpec::lookup(Dn::parse("link=siteA-siteB, nn=wan").unwrap());
+        let e = &p.fetch(&spec, t(0)).unwrap()[0];
+        assert!(e.has_class("networklink"));
+        assert_eq!(e.get_str("src"), Some("siteA"));
+        assert_eq!(e.get_str("dst"), Some("siteB"));
+        assert!(e.get_f64("bandwidth").unwrap() > 0.0);
+        assert!(e.get_f64("predictedlatency").unwrap() > 0.0);
+        assert_eq!(p.invocations, 1);
+    }
+
+    #[test]
+    fn nws_gateway_rejects_wide_searches() {
+        let nws = Nws::new(1, secs(10));
+        let mut p = NwsGatewayProvider::new("wan", nws);
+        // Subtree search over the whole gateway: non-enumerable.
+        let err = p.fetch(&any_spec("nn=wan"), t(0)).unwrap_err();
+        assert!(matches!(err, ProviderError::TooWide(_)));
+    }
+
+    #[test]
+    fn nws_gateway_rejects_malformed_links() {
+        let nws = Nws::new(1, secs(10));
+        let mut p = NwsGatewayProvider::new("wan", nws);
+        for bad in ["link=nodash, nn=wan", "link=-b, nn=wan", "link=a-, nn=wan", "x=y, nn=wan"] {
+            let spec = SearchSpec::lookup(Dn::parse(bad).unwrap());
+            assert!(p.fetch(&spec, t(0)).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn nws_gateway_outside_namespace() {
+        let nws = Nws::new(1, secs(10));
+        let mut p = NwsGatewayProvider::new("wan", nws);
+        let spec = SearchSpec::lookup(Dn::parse("link=a-b, nn=other").unwrap());
+        assert!(p.fetch(&spec, t(0)).is_err());
+    }
+}

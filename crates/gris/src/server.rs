@@ -1,0 +1,917 @@
+//! The GRIS server engine (§10.3).
+//!
+//! "GRIS authenticates and parses each incoming GRIP request and then
+//! dispatches those requests to one or more 'local' information
+//! providers, depending on the type of information named in the request.
+//! Results are then merged back to the client. To efficiently prune
+//! search processing, a specific provider's results are only considered
+//! if the provider's namespace intersects the query scope."
+//!
+//! The engine is sans-IO: `handle_request` consumes a request and yields
+//! replies; `tick` advances timers (registration refreshes, subscription
+//! deliveries). Runtimes in `gis-core` move the messages.
+
+use crate::provider::{namespace_intersects, InfoProvider, ProviderError};
+use gis_gsi::{Authenticator, PolicyMap, Requester};
+use gis_ldap::{Dn, Entry, LdapUrl, Schema, Scope, Strictness};
+use gis_netsim::{SimDuration, SimTime};
+use gis_proto::{
+    result_digest, GripReply, GripRequest, GrrpMessage, RegistrationAgent, RequestId, ResultCode,
+    SearchSpec, SubscriptionMode, SubscriptionTable,
+};
+use std::collections::BTreeMap;
+
+/// Identifies a client connection to this server (assigned by the
+/// runtime: a sim node id, a channel index, ...).
+pub type ClientId = u64;
+
+/// Operational counters (experiments report these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GrisStats {
+    /// Search/lookup requests served.
+    pub queries: u64,
+    /// Provider `fetch` calls actually made.
+    pub provider_invocations: u64,
+    /// Queries (per provider touched) answered from the result cache.
+    pub cache_hits: u64,
+    /// Cache misses (fetch required).
+    pub cache_misses: u64,
+    /// Entries returned to clients.
+    pub entries_returned: u64,
+    /// Successful binds.
+    pub binds_ok: u64,
+    /// Failed binds.
+    pub binds_failed: u64,
+    /// Subscription updates pushed.
+    pub updates_sent: u64,
+    /// Provider entries dropped for violating the configured schema.
+    pub schema_violations: u64,
+}
+
+struct Slot {
+    provider: Box<dyn InfoProvider>,
+    cached: Option<(SimTime, Vec<Entry>)>,
+}
+
+/// GRIS configuration.
+pub struct GrisConfig {
+    /// This server's own GRIP endpoint (its global name, §4.1).
+    pub url: LdapUrl,
+    /// The DN suffix this server serves (e.g. `hn=hostX`).
+    pub suffix: Dn,
+    /// Per-subtree access control (§7).
+    pub policy: PolicyMap,
+    /// When present, binds are verified against this; when absent, all
+    /// clients remain anonymous (§7's open model).
+    pub authenticator: Option<Authenticator>,
+    /// When present, outgoing GRRP registrations are signed with this
+    /// credential ("we can cryptographically sign each GRRP message with
+    /// the credentials of the registering entity", §7).
+    pub credential: Option<gis_gsi::Credential>,
+    /// When present, provider output is validated against this schema
+    /// (§8's type authorities: "it can be desirable to be able to enforce
+    /// standard formats for entity descriptions"). Invalid entries are
+    /// dropped and counted, never served. `None` skips validation — the
+    /// paper's "support but not force" stance.
+    pub schema: Option<(Schema, Strictness)>,
+}
+
+impl GrisConfig {
+    /// An open (no-security) GRIS at `url` serving `suffix`.
+    pub fn open(url: LdapUrl, suffix: Dn) -> GrisConfig {
+        GrisConfig {
+            url,
+            suffix,
+            policy: PolicyMap::open(),
+            authenticator: None,
+            credential: None,
+            schema: None,
+        }
+    }
+}
+
+/// A Grid Resource Information Service instance.
+pub struct Gris {
+    /// Configuration (public for inspection).
+    pub config: GrisConfig,
+    slots: Vec<Slot>,
+    /// The GRRP refresh agent; add directory targets to join VOs.
+    pub agent: RegistrationAgent,
+    sessions: BTreeMap<ClientId, Requester>,
+    subs: SubscriptionTable<ClientId>,
+    sub_requester: BTreeMap<(ClientId, RequestId), Requester>,
+    sub_next_due: BTreeMap<(ClientId, RequestId), SimTime>,
+    /// Operational counters.
+    pub stats: GrisStats,
+}
+
+/// What a `tick` produced: messages for the runtime to transmit.
+#[derive(Debug, Default)]
+pub struct TickOutput {
+    /// GRRP registrations to send, as `(directory, message)`.
+    pub registrations: Vec<(LdapUrl, GrrpMessage)>,
+    /// Subscription updates to deliver, as `(client, reply)`.
+    pub updates: Vec<(ClientId, GripReply)>,
+}
+
+impl Gris {
+    /// Create a GRIS with the given registration cadence. The TTL attached
+    /// to registrations should exceed the interval (typically 3×) so
+    /// isolated message loss does not expire the soft state (§4.3).
+    pub fn new(config: GrisConfig, reg_interval: SimDuration, reg_ttl: SimDuration) -> Gris {
+        let agent = RegistrationAgent::new(
+            config.url.clone(),
+            config.suffix.clone(),
+            reg_interval,
+            reg_ttl,
+        );
+        Gris {
+            config,
+            slots: Vec::new(),
+            agent,
+            sessions: BTreeMap::new(),
+            subs: SubscriptionTable::new(),
+            sub_requester: BTreeMap::new(),
+            sub_next_due: BTreeMap::new(),
+            stats: GrisStats::default(),
+        }
+    }
+
+    /// Plug in an information provider.
+    pub fn add_provider(&mut self, provider: Box<dyn InfoProvider>) {
+        self.slots.push(Slot {
+            provider,
+            cached: None,
+        });
+    }
+
+    /// Number of configured providers.
+    pub fn provider_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Mutable access to a provider by name, downcast to its concrete
+    /// type (experiments use this for failure injection and counter
+    /// reads).
+    pub fn provider_mut<T: InfoProvider>(&mut self, name: &str) -> Option<&mut T> {
+        self.slots
+            .iter_mut()
+            .find(|s| s.provider.name() == name)
+            .and_then(|s| {
+                let any: &mut dyn std::any::Any = s.provider.as_mut();
+                any.downcast_mut::<T>()
+            })
+    }
+
+    /// Shared access to a provider by name, downcast to its concrete type.
+    pub fn provider<T: InfoProvider>(&self, name: &str) -> Option<&T> {
+        self.slots
+            .iter()
+            .find(|s| s.provider.name() == name)
+            .and_then(|s| {
+                let any: &dyn std::any::Any = s.provider.as_ref();
+                any.downcast_ref::<T>()
+            })
+    }
+
+    /// The requester identity associated with a client (anonymous until a
+    /// successful bind).
+    pub fn requester_of(&self, client: ClientId) -> Requester {
+        self.sessions
+            .get(&client)
+            .cloned()
+            .unwrap_or_else(Requester::anonymous)
+    }
+
+    /// Handle one GRIP request from `client`, returning the replies to
+    /// send back to that client.
+    pub fn handle_request(
+        &mut self,
+        client: ClientId,
+        req: GripRequest,
+        now: SimTime,
+    ) -> Vec<GripReply> {
+        match req {
+            GripRequest::Bind { id, subject: _, token } => {
+                let outcome = self
+                    .config
+                    .authenticator
+                    .as_ref()
+                    .and_then(|auth| auth.authenticate(&token));
+                match outcome {
+                    Some(subject) => {
+                        self.stats.binds_ok += 1;
+                        self.sessions
+                            .insert(client, Requester::subject(subject.clone()));
+                        vec![GripReply::BindResult {
+                            id,
+                            ok: true,
+                            subject: Some(subject),
+                        }]
+                    }
+                    None => {
+                        self.stats.binds_failed += 1;
+                        vec![GripReply::BindResult {
+                            id,
+                            ok: false,
+                            subject: None,
+                        }]
+                    }
+                }
+            }
+            GripRequest::Search { id, spec } => {
+                let requester = self.requester_of(client);
+                let (code, entries) = self.search(&spec, &requester, now);
+                self.stats.entries_returned += entries.len() as u64;
+                vec![GripReply::SearchResult {
+                    id,
+                    code,
+                    entries,
+                    referrals: Vec::new(),
+                }]
+            }
+            GripRequest::Subscribe { id, spec, mode } => {
+                let requester = self.requester_of(client);
+                self.subs.subscribe(client, id, spec.clone(), mode);
+                self.sub_requester.insert((client, id), requester.clone());
+                if let SubscriptionMode::Periodic(period) = mode {
+                    self.sub_next_due.insert((client, id), now + period);
+                }
+                // Initial snapshot is delivered immediately.
+                let (_, entries) = self.search(&spec, &requester, now);
+                self.note_delivery(client, id, &entries);
+                self.stats.updates_sent += 1;
+                vec![GripReply::Update { id, entries }]
+            }
+            GripRequest::Unsubscribe { id } => {
+                let existed = self.subs.unsubscribe(client, id);
+                self.sub_requester.remove(&(client, id));
+                self.sub_next_due.remove(&(client, id));
+                vec![GripReply::SubscriptionDone {
+                    id,
+                    code: if existed {
+                        ResultCode::Success
+                    } else {
+                        ResultCode::NoSuchObject
+                    },
+                }]
+            }
+        }
+    }
+
+    /// Handle an incoming GRRP message (a GRIS receives invitations).
+    /// Returns true if the invitation added a new registration target.
+    pub fn handle_grrp(&mut self, msg: &GrrpMessage) -> bool {
+        self.agent.accept_invite(msg)
+    }
+
+    /// Forget all session/subscription state for a disconnected client.
+    pub fn drop_client(&mut self, client: ClientId) {
+        self.sessions.remove(&client);
+        self.subs.drop_subscriber(client);
+        self.sub_requester.retain(|(c, _), _| *c != client);
+        self.sub_next_due.retain(|(c, _), _| *c != client);
+    }
+
+    /// Advance timers: emit due GRRP registrations and subscription
+    /// deliveries.
+    pub fn tick(&mut self, now: SimTime) -> TickOutput {
+        let mut registrations = self.agent.due_messages(now);
+        if let Some(cred) = &self.config.credential {
+            for (_, msg) in &mut registrations {
+                msg.subject = Some(cred.subject().to_owned());
+                let blob = gis_gsi::sign_registration(cred, &msg.signable_bytes());
+                msg.signature = Some(blob);
+            }
+        }
+        let mut out = TickOutput {
+            registrations,
+            updates: Vec::new(),
+        };
+        // Evaluate subscriptions. Collect due work first to avoid holding
+        // a borrow of `subs` across the search.
+        let mut due: Vec<(ClientId, RequestId, SearchSpec, SubscriptionMode, Option<u64>)> =
+            Vec::new();
+        for (client, id, sub) in self.subs.iter_mut() {
+            match sub.mode {
+                SubscriptionMode::Periodic(_) => due.push((
+                    client,
+                    id,
+                    sub.spec.clone(),
+                    sub.mode,
+                    sub.last_digest,
+                )),
+                SubscriptionMode::OnChange => due.push((
+                    client,
+                    id,
+                    sub.spec.clone(),
+                    sub.mode,
+                    sub.last_digest,
+                )),
+            }
+        }
+        for (client, id, spec, mode, last_digest) in due {
+            match mode {
+                SubscriptionMode::Periodic(period) => {
+                    let due_at = self
+                        .sub_next_due
+                        .get(&(client, id))
+                        .copied()
+                        .unwrap_or(now);
+                    if now < due_at {
+                        continue;
+                    }
+                    let requester = self
+                        .sub_requester
+                        .get(&(client, id))
+                        .cloned()
+                        .unwrap_or_else(Requester::anonymous);
+                    let (_, entries) = self.search(&spec, &requester, now);
+                    self.note_delivery(client, id, &entries);
+                    self.sub_next_due.insert((client, id), due_at + period);
+                    self.stats.updates_sent += 1;
+                    out.updates.push((client, GripReply::Update { id, entries }));
+                }
+                SubscriptionMode::OnChange => {
+                    let requester = self
+                        .sub_requester
+                        .get(&(client, id))
+                        .cloned()
+                        .unwrap_or_else(Requester::anonymous);
+                    let (_, entries) = self.search(&spec, &requester, now);
+                    let digest = result_digest(&entries);
+                    if last_digest == Some(digest) {
+                        continue;
+                    }
+                    self.note_delivery(client, id, &entries);
+                    self.stats.updates_sent += 1;
+                    out.updates.push((client, GripReply::Update { id, entries }));
+                }
+            }
+        }
+        out
+    }
+
+    fn note_delivery(&mut self, client: ClientId, id: RequestId, entries: &[Entry]) {
+        let digest = result_digest(entries);
+        for (c, i, sub) in self.subs.iter_mut() {
+            if c == client && i == id {
+                sub.last_digest = Some(digest);
+            }
+        }
+    }
+
+    /// The core search path: prune providers by namespace, consult caches,
+    /// merge, redact, filter, project.
+    pub fn search(
+        &mut self,
+        spec: &SearchSpec,
+        requester: &Requester,
+        now: SimTime,
+    ) -> (ResultCode, Vec<Entry>) {
+        self.stats.queries += 1;
+
+        // A search rooted entirely outside this server's namespace names
+        // nothing we serve.
+        if !namespace_intersects(&self.config.suffix, &spec.base) && !self.config.suffix.is_root()
+        {
+            return (ResultCode::NoSuchObject, Vec::new());
+        }
+
+        let mut partial = false;
+        let mut too_wide = false;
+        let mut merged: BTreeMap<String, Entry> = BTreeMap::new();
+
+        for slot in &mut self.slots {
+            if !namespace_intersects(slot.provider.namespace(), &spec.base) {
+                continue;
+            }
+            let use_cache = slot.provider.cacheable()
+                && slot
+                    .cached
+                    .as_ref()
+                    .is_some_and(|(at, _)| now.since(*at) < slot.provider.cache_ttl());
+            let entries: Vec<Entry> = if use_cache {
+                self.stats.cache_hits += 1;
+                slot.cached.as_ref().expect("cache checked").1.clone()
+            } else {
+                self.stats.cache_misses += 1;
+                match slot.provider.fetch(spec, now) {
+                    Ok(entries) => {
+                        self.stats.provider_invocations += 1;
+                        if slot.provider.cacheable() {
+                            slot.cached = Some((now, entries.clone()));
+                        }
+                        entries
+                    }
+                    Err(ProviderError::Unavailable(_)) => {
+                        partial = true;
+                        continue;
+                    }
+                    Err(ProviderError::TooWide(_)) => {
+                        too_wide = true;
+                        continue;
+                    }
+                }
+            };
+            for e in entries {
+                if let Some((schema, strictness)) = &self.config.schema {
+                    if schema.validate(&e, *strictness).is_err() {
+                        self.stats.schema_violations += 1;
+                        continue;
+                    }
+                }
+                match merged.get_mut(&e.dn().to_string()) {
+                    Some(existing) => existing.merge_from(&e),
+                    None => {
+                        merged.insert(e.dn().to_string(), e);
+                    }
+                }
+            }
+        }
+
+        // Mandatory final filtering (§10.3): scope and filter semantics
+        // are enforced here, not in providers — and ACL redaction happens
+        // *before* filter evaluation so filters cannot probe hidden
+        // attributes.
+        let mut results = Vec::new();
+        let mut truncated = false;
+        for entry in merged.into_values() {
+            let dn = entry.dn();
+            let in_scope = match spec.scope {
+                Scope::Base => dn == &spec.base,
+                Scope::One => dn.parent().as_ref() == Some(&spec.base),
+                Scope::Sub => dn.is_under(&spec.base),
+            };
+            if !in_scope {
+                continue;
+            }
+            let Some(redacted) = self.config.policy.redact(&entry, requester) else {
+                continue;
+            };
+            if !spec.filter.matches(&redacted) {
+                continue;
+            }
+            results.push(redacted.project(&spec.attrs));
+            if spec.size_limit != 0 && results.len() >= spec.size_limit as usize {
+                truncated = true;
+                break;
+            }
+        }
+
+        let code = if truncated {
+            ResultCode::SizeLimitExceeded
+        } else if too_wide && results.is_empty() {
+            ResultCode::UnwillingToPerform
+        } else if partial {
+            ResultCode::PartialResults
+        } else {
+            ResultCode::Success
+        };
+        (code, results)
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::providers::{
+        DynamicHostProvider, FilesystemProvider, HostSpec, QueueProvider, StaticHostProvider,
+    };
+    use gis_gsi::{Acl, CertAuthority, Grant, Principal, TrustStore};
+    use gis_ldap::Filter;
+    use gis_netsim::secs;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + secs(s)
+    }
+
+    /// A GRIS for Figure 3's hostX with all four standard providers.
+    fn host_gris() -> Gris {
+        let host = HostSpec::irix("hostX", 8);
+        let config = GrisConfig::open(LdapUrl::server("gris.hostX"), host.dn());
+        let mut gris = Gris::new(config, secs(30), secs(90));
+        gris.add_provider(Box::new(StaticHostProvider::new(host.clone())));
+        gris.add_provider(Box::new(DynamicHostProvider::new(
+            &host,
+            42,
+            1.5,
+            secs(10),
+            secs(30),
+        )));
+        gris.add_provider(Box::new(FilesystemProvider::new(
+            &host, "scratch", "/disks/scratch1", 40_000, 7, secs(60),
+        )));
+        gris.add_provider(Box::new(QueueProvider::new(&host, "default", 4.0, 9, secs(30))));
+        gris
+    }
+
+    fn search(gris: &mut Gris, spec: SearchSpec, now: SimTime) -> (ResultCode, Vec<Entry>) {
+        let replies = gris.handle_request(1, GripRequest::Search { id: 1, spec }, now);
+        match replies.into_iter().next().unwrap() {
+            GripReply::SearchResult { code, entries, .. } => (code, entries),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subtree_search_merges_all_providers() {
+        let mut gris = host_gris();
+        let (code, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(Dn::parse("hn=hostX").unwrap(), Filter::always()),
+            t(0),
+        );
+        assert_eq!(code, ResultCode::Success);
+        // host + perf + store + queue entries.
+        assert_eq!(entries.len(), 4);
+    }
+
+    #[test]
+    fn lookup_returns_single_entry() {
+        let mut gris = host_gris();
+        let (code, entries) = search(
+            &mut gris,
+            SearchSpec::lookup(Dn::parse("queue=default, hn=hostX").unwrap()),
+            t(0),
+        );
+        assert_eq!(code, ResultCode::Success);
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].has_class("queue"));
+    }
+
+    #[test]
+    fn filter_selects_by_attributes() {
+        let mut gris = host_gris();
+        let (_, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(
+                Dn::parse("hn=hostX").unwrap(),
+                Filter::parse("(objectclass=computer)").unwrap(),
+            ),
+            t(0),
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].get_str("system"), Some("mips irix"));
+    }
+
+    #[test]
+    fn namespace_pruning_skips_unrelated_providers() {
+        let mut gris = host_gris();
+        // A lookup under the store subtree prunes the dynamic-host and
+        // queue providers (disjoint subtrees). The static host provider's
+        // namespace *contains* the base, so it cannot be pruned.
+        let (_, entries) = search(
+            &mut gris,
+            SearchSpec::lookup(Dn::parse("store=scratch, hn=hostX").unwrap()),
+            t(0),
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            gris.stats.provider_invocations, 2,
+            "fs + static-host run; perf and queue are pruned"
+        );
+    }
+
+    #[test]
+    fn cache_prevents_repeated_invocations() {
+        let mut gris = host_gris();
+        // The lookup touches the dynamic provider (TTL 30s) and the
+        // static host provider whose namespace contains the base
+        // (TTL 1h).
+        let spec = SearchSpec::lookup(Dn::parse("perf=load, hn=hostX").unwrap());
+        search(&mut gris, spec.clone(), t(0));
+        assert_eq!(gris.stats.provider_invocations, 2);
+        search(&mut gris, spec.clone(), t(5)); // both within TTL
+        assert_eq!(gris.stats.provider_invocations, 2);
+        assert_eq!(gris.stats.cache_hits, 2);
+        search(&mut gris, spec, t(31)); // dynamic TTL expired, static cached
+        assert_eq!(gris.stats.provider_invocations, 3);
+        assert_eq!(gris.stats.cache_hits, 3);
+    }
+
+    #[test]
+    fn provider_failure_yields_partial_results() {
+        let mut gris = host_gris();
+        gris.provider_mut::<DynamicHostProvider>("dynamic-host:hostX")
+            .unwrap()
+            .fail = true;
+        let (code, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(Dn::parse("hn=hostX").unwrap(), Filter::always()),
+            t(0),
+        );
+        assert_eq!(code, ResultCode::PartialResults);
+        assert_eq!(entries.len(), 3, "other providers still answer");
+    }
+
+    #[test]
+    fn search_outside_suffix_is_no_such_object() {
+        let mut gris = host_gris();
+        let (code, entries) = search(
+            &mut gris,
+            SearchSpec::lookup(Dn::parse("hn=hostY").unwrap()),
+            t(0),
+        );
+        assert_eq!(code, ResultCode::NoSuchObject);
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        let mut gris = host_gris();
+        let (code, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(Dn::parse("hn=hostX").unwrap(), Filter::always()).limit(2),
+            t(0),
+        );
+        assert_eq!(code, ResultCode::SizeLimitExceeded);
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn attribute_projection() {
+        let mut gris = host_gris();
+        let (_, entries) = search(
+            &mut gris,
+            SearchSpec::lookup(Dn::parse("hn=hostX").unwrap()).select(&["system"]),
+            t(0),
+        );
+        assert!(entries[0].has("system"));
+        assert!(!entries[0].has("cpucount"));
+    }
+
+    #[test]
+    fn acl_restricts_attributes_and_filter_cannot_probe() {
+        let host = HostSpec::linux("h", 4);
+        let mut config = GrisConfig::open(LdapUrl::server("gris.h"), host.dn());
+        // Anonymous users may see the system type but not load averages.
+        config.policy.set(
+            host.dn(),
+            Acl::default()
+                .with_rule(
+                    Principal::Anonymous,
+                    Grant::Attrs(vec!["system".into(), "objectclass".into()]),
+                )
+                .with_rule(Principal::Authenticated, Grant::All),
+        );
+        let mut gris = Gris::new(config, secs(30), secs(90));
+        gris.add_provider(Box::new(StaticHostProvider::new(host.clone())));
+        gris.add_provider(Box::new(DynamicHostProvider::new(
+            &host, 1, 1.0, secs(10), secs(30),
+        )));
+
+        // Anonymous: load5 invisible, and a filter on load5 matches nothing.
+        let (_, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(host.dn(), Filter::parse("(load5=*)").unwrap()),
+            t(0),
+        );
+        assert!(entries.is_empty(), "filter must not see hidden attributes");
+        let (_, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(host.dn(), Filter::parse("(system=*)").unwrap()),
+            t(0),
+        );
+        assert_eq!(entries.len(), 1);
+        assert!(!entries[0].has("cpucount"), "cpucount not granted");
+    }
+
+    #[test]
+    fn bind_flow_with_authenticator() {
+        let ca = CertAuthority::new("/O=Grid/CN=CA", 11);
+        let mut trust = TrustStore::new();
+        trust.add_ca(&ca);
+        let url = LdapUrl::server("gris.h");
+        let host = HostSpec::linux("h", 2);
+        let mut config = GrisConfig::open(url.clone(), host.dn());
+        config.authenticator = Some(Authenticator::new(trust, url.to_string()));
+        config.policy = PolicyMap::with_default(Acl::authenticated_only());
+        let mut gris = Gris::new(config, secs(30), secs(90));
+        gris.add_provider(Box::new(StaticHostProvider::new(host.clone())));
+
+        // Anonymous search is denied everything.
+        let (_, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(host.dn(), Filter::always()),
+            t(0),
+        );
+        assert!(entries.is_empty());
+
+        // Bind as alice, then the search succeeds.
+        let alice = ca.issue("/O=Grid/CN=alice");
+        let token = gis_gsi::BindToken::create(&alice, &url.to_string()).to_bytes();
+        let replies = gris.handle_request(
+            1,
+            GripRequest::Bind {
+                id: 9,
+                subject: "/O=Grid/CN=alice".into(),
+                token,
+            },
+            t(1),
+        );
+        assert!(matches!(
+            replies[0],
+            GripReply::BindResult { ok: true, .. }
+        ));
+        let (_, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(host.dn(), Filter::always()),
+            t(2),
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(gris.stats.binds_ok, 1);
+
+        // A different client is still anonymous.
+        let replies = gris.handle_request(
+            2,
+            GripRequest::Search {
+                id: 1,
+                spec: SearchSpec::subtree(host.dn(), Filter::always()),
+            },
+            t(3),
+        );
+        match &replies[0] {
+            GripReply::SearchResult { entries, .. } => assert!(entries.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_without_authenticator_fails_closed() {
+        let mut gris = host_gris();
+        let replies = gris.handle_request(
+            1,
+            GripRequest::Bind {
+                id: 1,
+                subject: "/CN=anyone".into(),
+                token: vec![],
+            },
+            t(0),
+        );
+        assert!(matches!(replies[0], GripReply::BindResult { ok: false, .. }));
+        assert_eq!(gris.stats.binds_failed, 1);
+    }
+
+    #[test]
+    fn periodic_subscription_delivers_on_schedule() {
+        let mut gris = host_gris();
+        let spec = SearchSpec::lookup(Dn::parse("perf=load, hn=hostX").unwrap());
+        let replies = gris.handle_request(
+            5,
+            GripRequest::Subscribe {
+                id: 77,
+                spec,
+                mode: SubscriptionMode::Periodic(secs(10)),
+            },
+            t(0),
+        );
+        assert!(matches!(replies[0], GripReply::Update { .. }), "initial snapshot");
+        assert_eq!(gris.subscription_count(), 1);
+
+        assert!(gris.tick(t(5)).updates.is_empty(), "not due yet");
+        let out = gris.tick(t(10));
+        assert_eq!(out.updates.len(), 1);
+        assert_eq!(out.updates[0].0, 5);
+
+        // Unsubscribe stops delivery.
+        gris.handle_request(5, GripRequest::Unsubscribe { id: 77 }, t(11));
+        assert!(gris.tick(t(20)).updates.is_empty());
+        assert_eq!(gris.subscription_count(), 0);
+    }
+
+    #[test]
+    fn on_change_subscription_suppresses_unchanged() {
+        let mut gris = host_gris();
+        // Static host data never changes: after the initial snapshot, no
+        // further updates arrive.
+        let spec = SearchSpec::lookup(Dn::parse("hn=hostX").unwrap());
+        gris.handle_request(
+            6,
+            GripRequest::Subscribe {
+                id: 1,
+                spec,
+                mode: SubscriptionMode::OnChange,
+            },
+            t(0),
+        );
+        assert!(gris.tick(t(100)).updates.is_empty());
+        assert!(gris.tick(t(5000)).updates.is_empty());
+
+        // Dynamic data does change (cache TTL 30s, load period 10s).
+        let spec = SearchSpec::lookup(Dn::parse("perf=load, hn=hostX").unwrap());
+        gris.handle_request(
+            6,
+            GripRequest::Subscribe {
+                id: 2,
+                spec,
+                mode: SubscriptionMode::OnChange,
+            },
+            t(5000),
+        );
+        let out = gris.tick(t(5040));
+        assert_eq!(out.updates.len(), 1, "load changed after TTL expiry");
+    }
+
+    #[test]
+    fn tick_emits_registrations() {
+        let mut gris = host_gris();
+        gris.agent.add_target(LdapUrl::server("giis.vo-a"));
+        let out = gris.tick(t(0));
+        assert_eq!(out.registrations.len(), 1);
+        let (dir, msg) = &out.registrations[0];
+        assert_eq!(dir, &LdapUrl::server("giis.vo-a"));
+        assert_eq!(msg.service_url, LdapUrl::server("gris.hostX"));
+        // Not due again immediately.
+        assert!(gris.tick(t(1)).registrations.is_empty());
+        assert_eq!(gris.tick(t(30)).registrations.len(), 1);
+    }
+
+    #[test]
+    fn invitation_adds_target() {
+        let mut gris = host_gris();
+        let invite = GrrpMessage::invite(
+            LdapUrl::server("gris.hostX"),
+            LdapUrl::server("giis.vo-b"),
+            t(0),
+            secs(60),
+        );
+        assert!(gris.handle_grrp(&invite));
+        let out = gris.tick(t(0));
+        assert_eq!(out.registrations.len(), 1);
+        assert_eq!(out.registrations[0].0, LdapUrl::server("giis.vo-b"));
+    }
+
+    #[test]
+    fn schema_validation_drops_invalid_entries() {
+        use gis_ldap::{ObjectClassDef, Schema, Strictness};
+        // A provider that emits one valid and one invalid entry.
+        struct SloppyProvider {
+            ns: Dn,
+        }
+        impl crate::provider::InfoProvider for SloppyProvider {
+            fn name(&self) -> &str {
+                "sloppy"
+            }
+            fn namespace(&self) -> &Dn {
+                &self.ns
+            }
+            fn cache_ttl(&self) -> SimDuration {
+                SimDuration::ZERO
+            }
+            fn fetch(
+                &mut self,
+                _spec: &SearchSpec,
+                _now: SimTime,
+            ) -> Result<Vec<Entry>, crate::provider::ProviderError> {
+                Ok(vec![
+                    Entry::new(self.ns.clone())
+                        .with_class("widget")
+                        .with("serial", "123"),
+                    Entry::new(self.ns.child(gis_ldap::Rdn::new("w", "bad")))
+                        .with_class("widget"), // missing required "serial"
+                ])
+            }
+        }
+
+        let ns = Dn::parse("hn=w").unwrap();
+        let mut schema = Schema::new();
+        schema.define(ObjectClassDef::new("widget").requires("serial"));
+        let mut config = GrisConfig::open(LdapUrl::server("gris.w"), ns.clone());
+        config.schema = Some((schema, Strictness::Lenient));
+        let mut gris = Gris::new(config, secs(30), secs(90));
+        gris.add_provider(Box::new(SloppyProvider { ns: ns.clone() }));
+
+        let (code, entries) = gris.search(
+            &SearchSpec::subtree(ns, Filter::always()),
+            &gis_gsi::Requester::anonymous(),
+            t(0),
+        );
+        assert_eq!(code, ResultCode::Success);
+        assert_eq!(entries.len(), 1, "invalid entry dropped");
+        assert_eq!(gris.stats.schema_violations, 1);
+    }
+
+    #[test]
+    fn drop_client_clears_state() {
+        let mut gris = host_gris();
+        gris.handle_request(
+            3,
+            GripRequest::Subscribe {
+                id: 1,
+                spec: SearchSpec::lookup(Dn::parse("hn=hostX").unwrap()),
+                mode: SubscriptionMode::Periodic(secs(5)),
+            },
+            t(0),
+        );
+        assert_eq!(gris.subscription_count(), 1);
+        gris.drop_client(3);
+        assert_eq!(gris.subscription_count(), 0);
+        assert!(gris.tick(t(10)).updates.is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Mutual authentication: GRIP bind tokens and GRRP message signing.
+//!
+//! §7: "GSI public-key security mechanisms are used to verify credentials
+//! and to achieve mutual authentication between information consumers and
+//! information providers", and for registration, "we can
+//! cryptographically sign each GRRP message with the credentials of the
+//! registering entity."
+
+use crate::cert::{Certificate, Credential, Subject, TrustStore};
+use crate::keys::{PublicKey, Signature};
+use bytes::{BufMut, BytesMut};
+use gis_ldap::codec::{put_bytes, put_str, Wire, WireReader};
+use gis_ldap::{LdapError, Result};
+
+impl Wire for Certificate {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_str(buf, &self.subject);
+        put_str(buf, &self.issuer);
+        put_bytes(buf, &self.public_key.to_bytes());
+        buf.put_u8(u8::from(self.is_proxy));
+        put_bytes(buf, &self.signature.to_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Certificate> {
+        let subject = r.read_str()?;
+        let issuer = r.read_str()?;
+        let public_key = PublicKey::from_bytes(r.read_bytes()?)
+            .ok_or_else(|| LdapError::Codec("malformed public key".into()))?;
+        let is_proxy = match r.read_u8()? {
+            0 => false,
+            1 => true,
+            b => return Err(LdapError::Codec(format!("bad proxy flag {b}"))),
+        };
+        let signature = Signature::from_bytes(r.read_bytes()?)
+            .ok_or_else(|| LdapError::Codec("malformed signature".into()))?;
+        Ok(Certificate {
+            subject,
+            issuer,
+            public_key,
+            is_proxy,
+            signature,
+        })
+    }
+}
+
+/// A bind token: the byte payload of `gis_proto`'s `GripRequest::Bind`.
+/// Carries the client's certificate chain and a proof-of-possession
+/// signature binding the authentication to the target service (so a token
+/// replayed against another service fails).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindToken {
+    /// The client's certificate chain, leaf first.
+    pub chain: Vec<Certificate>,
+    /// Signature over `bind:<subject>:<target>` by the leaf key.
+    pub proof: Signature,
+}
+
+fn bind_payload(subject: &str, target: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(subject.len() + target.len() + 6);
+    out.extend_from_slice(b"bind:");
+    out.extend_from_slice(subject.as_bytes());
+    out.push(b':');
+    out.extend_from_slice(target.as_bytes());
+    out
+}
+
+impl BindToken {
+    /// Create a token authenticating `credential` to the service named
+    /// `target` (the service's LDAP URL string).
+    pub fn create(credential: &Credential, target: &str) -> BindToken {
+        let payload = bind_payload(&credential.chain[0].subject, target);
+        BindToken {
+            chain: credential.chain.clone(),
+            proof: credential.sign(&payload),
+        }
+    }
+
+    /// Serialize to the opaque byte form carried in `GripRequest::Bind`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        self.chain.encode(&mut buf);
+        put_bytes(&mut buf, &self.proof.to_bytes());
+        buf.to_vec()
+    }
+
+    /// Deserialize.
+    pub fn from_bytes(bytes: &[u8]) -> Result<BindToken> {
+        let mut r = WireReader::new(bytes);
+        let chain = Vec::<Certificate>::decode(&mut r)?;
+        let proof = Signature::from_bytes(r.read_bytes()?)
+            .ok_or_else(|| LdapError::Codec("malformed proof".into()))?;
+        if !r.is_done() {
+            return Err(LdapError::Codec("trailing bytes in bind token".into()));
+        }
+        Ok(BindToken { chain, proof })
+    }
+}
+
+/// Server-side authenticator: a trust store plus the service's own name
+/// (tokens are only valid when minted for this service).
+#[derive(Debug, Clone)]
+pub struct Authenticator {
+    /// CAs this service trusts.
+    pub trust: TrustStore,
+    /// The service's own name, as clients see it.
+    pub service_name: String,
+}
+
+impl Authenticator {
+    /// Create an authenticator for the named service.
+    pub fn new(trust: TrustStore, service_name: impl Into<String>) -> Authenticator {
+        Authenticator {
+            trust,
+            service_name: service_name.into(),
+        }
+    }
+
+    /// Verify an incoming bind token. On success, returns the
+    /// authenticated effective subject.
+    pub fn authenticate(&self, token_bytes: &[u8]) -> Option<Subject> {
+        let token = BindToken::from_bytes(token_bytes).ok()?;
+        let subject = self.trust.verify_chain(&token.chain)?;
+        let leaf_subject = &token.chain.first()?.subject;
+        let payload = bind_payload(leaf_subject, &self.service_name);
+        let leaf_key = &token.chain.first()?.public_key;
+        if !leaf_key.verify(&payload, &token.proof) {
+            return None;
+        }
+        Some(subject)
+    }
+}
+
+/// Sign a GRRP message body (its wire bytes) with a credential; the
+/// receiver checks it with [`verify_signed_registration`].
+pub fn sign_registration(credential: &Credential, body: &[u8]) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    credential.chain.encode(&mut buf);
+    put_bytes(&mut buf, &credential.sign(body).to_bytes());
+    buf.to_vec()
+}
+
+/// Verify a signed registration produced by [`sign_registration`]; on
+/// success returns the registrant's effective subject.
+pub fn verify_signed_registration(
+    trust: &TrustStore,
+    body: &[u8],
+    signature_blob: &[u8],
+) -> Option<Subject> {
+    let mut r = WireReader::new(signature_blob);
+    let chain = Vec::<Certificate>::decode(&mut r).ok()?;
+    let sig = Signature::from_bytes(r.read_bytes().ok()?)?;
+    let subject = trust.verify_chain(&chain)?;
+    if !chain.first()?.public_key.verify(body, &sig) {
+        return None;
+    }
+    Some(subject)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::CertAuthority;
+
+    fn setup() -> (CertAuthority, TrustStore) {
+        let ca = CertAuthority::new("/O=Grid/CN=CA", 99);
+        let mut trust = TrustStore::new();
+        trust.add_ca(&ca);
+        (ca, trust)
+    }
+
+    #[test]
+    fn bind_roundtrip_and_authenticate() {
+        let (ca, trust) = setup();
+        let alice = ca.issue("/O=Grid/CN=alice");
+        let auth = Authenticator::new(trust, "ldap://gris.a:389");
+        let token = BindToken::create(&alice, "ldap://gris.a:389");
+        let bytes = token.to_bytes();
+        assert_eq!(BindToken::from_bytes(&bytes).unwrap(), token);
+        assert_eq!(auth.authenticate(&bytes).as_deref(), Some("/O=Grid/CN=alice"));
+    }
+
+    #[test]
+    fn token_bound_to_target_service() {
+        let (ca, trust) = setup();
+        let alice = ca.issue("/O=Grid/CN=alice");
+        let auth_b = Authenticator::new(trust, "ldap://gris.b:389");
+        // Token minted for service A must not authenticate to service B.
+        let token = BindToken::create(&alice, "ldap://gris.a:389");
+        assert_eq!(auth_b.authenticate(&token.to_bytes()), None);
+    }
+
+    #[test]
+    fn untrusted_issuer_rejected() {
+        let (_, trust) = setup();
+        let rogue_ca = CertAuthority::new("/O=Rogue/CN=CA", 13);
+        let mallory = rogue_ca.issue("/O=Grid/CN=alice");
+        let auth = Authenticator::new(trust, "svc");
+        let token = BindToken::create(&mallory, "svc");
+        assert_eq!(auth.authenticate(&token.to_bytes()), None);
+    }
+
+    #[test]
+    fn garbage_token_rejected() {
+        let (_, trust) = setup();
+        let auth = Authenticator::new(trust, "svc");
+        assert_eq!(auth.authenticate(b"not a token"), None);
+        assert_eq!(auth.authenticate(&[]), None);
+    }
+
+    #[test]
+    fn proxy_binds_as_delegator() {
+        let (ca, trust) = setup();
+        let giis = ca.issue("/O=Grid/CN=giis");
+        let proxy = giis.delegate(7);
+        let auth = Authenticator::new(trust, "svc");
+        let token = BindToken::create(&proxy, "svc");
+        assert_eq!(auth.authenticate(&token.to_bytes()).as_deref(), Some("/O=Grid/CN=giis"));
+    }
+
+    #[test]
+    fn signed_registration_verifies() {
+        let (ca, trust) = setup();
+        let gris = ca.issue("/O=Grid/CN=gris.a");
+        let body = b"grrp message bytes";
+        let blob = sign_registration(&gris, body);
+        assert_eq!(
+            verify_signed_registration(&trust, body, &blob).as_deref(),
+            Some("/O=Grid/CN=gris.a")
+        );
+        // Altered body fails.
+        assert_eq!(verify_signed_registration(&trust, b"tampered", &blob), None);
+        // Truncated blob fails.
+        assert_eq!(verify_signed_registration(&trust, body, &blob[..10]), None);
+    }
+
+    #[test]
+    fn certificate_wire_roundtrip() {
+        let (ca, _) = setup();
+        let cred = ca.issue("/O=Grid/CN=x");
+        let cert = cred.chain[0].clone();
+        let bytes = cert.to_wire();
+        assert_eq!(Certificate::from_wire(&bytes).unwrap(), cert);
+    }
+}

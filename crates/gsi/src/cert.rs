@@ -1,0 +1,325 @@
+//! Certificates, certificate authorities, proxy delegation, and trust
+//! evaluation.
+//!
+//! Models the GSI single sign-on world (§7, §10.2): every Grid subject
+//! holds a certificate issued by a community CA; services verify chains
+//! against their trust store; delegation is expressed by proxy
+//! certificates signed by the delegating identity (the §12 "delegation"
+//! extension, needed for a GIIS to query providers on a client's behalf).
+
+use crate::keys::{hash64, KeyPair, PublicKey, Signature};
+use std::collections::BTreeMap;
+
+/// An X.500-style subject name, e.g. `/O=Grid/O=ANL/CN=alice`.
+pub type Subject = String;
+
+/// A certificate binding a subject name to a public key, signed by an
+/// issuer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The certified subject.
+    pub subject: Subject,
+    /// Who signed this certificate.
+    pub issuer: Subject,
+    /// The subject's public key.
+    pub public_key: PublicKey,
+    /// True for proxy certificates (impersonation credentials delegated
+    /// by the end entity).
+    pub is_proxy: bool,
+    /// Issuer's signature over the to-be-signed bytes.
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// Canonical bytes covered by the issuer signature.
+    fn tbs(subject: &str, issuer: &str, public_key: &PublicKey, is_proxy: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(subject.as_bytes());
+        out.push(0);
+        out.extend_from_slice(issuer.as_bytes());
+        out.push(0);
+        out.extend_from_slice(&public_key.to_bytes());
+        out.push(u8::from(is_proxy));
+        out
+    }
+
+    /// Verify this certificate's signature with the issuer's public key.
+    pub fn verify_with(&self, issuer_key: &PublicKey) -> bool {
+        let tbs = Certificate::tbs(&self.subject, &self.issuer, &self.public_key, self.is_proxy);
+        issuer_key.verify(&tbs, &self.signature)
+    }
+}
+
+/// A certificate authority: issues identity certificates for a community.
+#[derive(Debug, Clone)]
+pub struct CertAuthority {
+    /// The CA's own subject name.
+    pub name: Subject,
+    keys: KeyPair,
+}
+
+impl CertAuthority {
+    /// Create a CA whose keys derive deterministically from `seed`.
+    pub fn new(name: impl Into<String>, seed: u64) -> CertAuthority {
+        CertAuthority {
+            name: name.into(),
+            keys: KeyPair::generate(seed),
+        }
+    }
+
+    /// The CA's public key, to be placed in trust stores.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.keys.public
+    }
+
+    /// Issue an identity credential for `subject`; the subject's key pair
+    /// derives from the CA seed and the subject name.
+    pub fn issue(&self, subject: impl Into<String>) -> Credential {
+        let subject = subject.into();
+        let subject_keys = KeyPair::generate(
+            hash64(subject.as_bytes()) ^ self.keys.public.fingerprint(),
+        );
+        let tbs = Certificate::tbs(&subject, &self.name, &subject_keys.public, false);
+        let signature = self.keys.sign(&tbs);
+        Credential {
+            chain: vec![Certificate {
+                subject,
+                issuer: self.name.clone(),
+                public_key: subject_keys.public.clone(),
+                is_proxy: false,
+                signature,
+            }],
+            keys: subject_keys,
+        }
+    }
+}
+
+/// A credential: a certificate chain (leaf first) plus the leaf's private
+/// key; what a user or service holds to authenticate and sign.
+#[derive(Debug, Clone)]
+pub struct Credential {
+    /// Certificate chain, most specific (leaf) first, ending at a
+    /// CA-issued identity certificate.
+    pub chain: Vec<Certificate>,
+    keys: KeyPair,
+}
+
+impl Credential {
+    /// The effective subject: proxy certificates act *as* the identity
+    /// that delegated them, so this is the first non-proxy subject in the
+    /// chain.
+    pub fn subject(&self) -> &str {
+        self.chain
+            .iter()
+            .find(|c| !c.is_proxy)
+            .map(|c| c.subject.as_str())
+            .unwrap_or("")
+    }
+
+    /// Sign arbitrary bytes with the leaf key.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.keys.sign(message)
+    }
+
+    /// The leaf public key.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.keys.public
+    }
+
+    /// Delegate a proxy credential: a new key pair whose certificate is
+    /// signed by *this* credential's key. The proxy authenticates as the
+    /// same subject (GSI single sign-on delegation).
+    pub fn delegate(&self, seed: u64) -> Credential {
+        let proxy_keys = KeyPair::generate(seed);
+        let proxy_subject = format!("{}/CN=proxy", self.chain[0].subject);
+        let tbs = Certificate::tbs(
+            &proxy_subject,
+            &self.chain[0].subject,
+            &proxy_keys.public,
+            true,
+        );
+        let signature = self.keys.sign(&tbs);
+        let mut chain = Vec::with_capacity(self.chain.len() + 1);
+        chain.push(Certificate {
+            subject: proxy_subject,
+            issuer: self.chain[0].subject.clone(),
+            public_key: proxy_keys.public.clone(),
+            is_proxy: true,
+            signature,
+        });
+        chain.extend(self.chain.iter().cloned());
+        Credential {
+            chain,
+            keys: proxy_keys,
+        }
+    }
+}
+
+/// A verifier's set of trusted CAs.
+#[derive(Debug, Clone, Default)]
+pub struct TrustStore {
+    cas: BTreeMap<Subject, PublicKey>,
+}
+
+impl TrustStore {
+    /// Empty store (trusts no one; all verification fails).
+    pub fn new() -> TrustStore {
+        TrustStore::default()
+    }
+
+    /// Trust a CA.
+    pub fn add_ca(&mut self, ca: &CertAuthority) {
+        self.cas.insert(ca.name.clone(), ca.public_key().clone());
+    }
+
+    /// Number of trusted CAs.
+    pub fn len(&self) -> usize {
+        self.cas.len()
+    }
+
+    /// True if no CAs are trusted.
+    pub fn is_empty(&self) -> bool {
+        self.cas.is_empty()
+    }
+
+    /// Verify a certificate chain (leaf first). On success returns the
+    /// effective subject (the first non-proxy subject).
+    ///
+    /// Chain rules: each certificate must be signed by the next one's key
+    /// (proxy links), and the final certificate must be signed by a
+    /// trusted CA. Proxies may only be issued by the subject they proxy.
+    pub fn verify_chain(&self, chain: &[Certificate]) -> Option<Subject> {
+        if chain.is_empty() || chain.len() > 8 {
+            return None;
+        }
+        for window in chain.windows(2) {
+            let (cert, parent) = (&window[0], &window[1]);
+            if !cert.is_proxy {
+                // Only proxies may be issued by non-CA links.
+                return None;
+            }
+            if cert.issuer != parent.subject {
+                return None;
+            }
+            if !cert.verify_with(&parent.public_key) {
+                return None;
+            }
+        }
+        let root = chain.last().expect("nonempty");
+        if root.is_proxy {
+            return None;
+        }
+        let ca_key = self.cas.get(&root.issuer)?;
+        if !root.verify_with(ca_key) {
+            return None;
+        }
+        Some(root.subject.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CertAuthority, TrustStore) {
+        let ca = CertAuthority::new("/O=Grid/CN=Community CA", 1000);
+        let mut store = TrustStore::new();
+        store.add_ca(&ca);
+        (ca, store)
+    }
+
+    #[test]
+    fn issued_credential_verifies() {
+        let (ca, store) = setup();
+        let cred = ca.issue("/O=Grid/CN=alice");
+        assert_eq!(
+            store.verify_chain(&cred.chain).as_deref(),
+            Some("/O=Grid/CN=alice")
+        );
+        assert_eq!(cred.subject(), "/O=Grid/CN=alice");
+    }
+
+    #[test]
+    fn untrusted_ca_rejected() {
+        let rogue = CertAuthority::new("/O=Rogue/CN=CA", 666);
+        let (_, store) = setup();
+        let cred = rogue.issue("/O=Grid/CN=alice");
+        assert_eq!(store.verify_chain(&cred.chain), None);
+    }
+
+    #[test]
+    fn tampered_subject_rejected() {
+        let (ca, store) = setup();
+        let mut cred = ca.issue("/O=Grid/CN=alice");
+        cred.chain[0].subject = "/O=Grid/CN=mallory".into();
+        assert_eq!(store.verify_chain(&cred.chain), None);
+    }
+
+    #[test]
+    fn proxy_chain_verifies_as_delegator() {
+        let (ca, store) = setup();
+        let cred = ca.issue("/O=Grid/CN=alice");
+        let proxy = cred.delegate(777);
+        assert_eq!(proxy.chain.len(), 2);
+        assert_eq!(
+            store.verify_chain(&proxy.chain).as_deref(),
+            Some("/O=Grid/CN=alice"),
+            "proxy authenticates as the delegating subject"
+        );
+        assert_eq!(proxy.subject(), "/O=Grid/CN=alice");
+    }
+
+    #[test]
+    fn second_level_delegation() {
+        let (ca, store) = setup();
+        let cred = ca.issue("/O=Grid/CN=giis");
+        let p1 = cred.delegate(1);
+        let p2 = p1.delegate(2);
+        assert_eq!(p2.chain.len(), 3);
+        assert_eq!(store.verify_chain(&p2.chain).as_deref(), Some("/O=Grid/CN=giis"));
+    }
+
+    #[test]
+    fn forged_proxy_rejected() {
+        let (ca, store) = setup();
+        let alice = ca.issue("/O=Grid/CN=alice");
+        let mallory = ca.issue("/O=Grid/CN=mallory");
+        // Mallory tries to splice her own proxy onto alice's identity.
+        let mproxy = mallory.delegate(3);
+        let mut forged = vec![mproxy.chain[0].clone()];
+        forged.extend(alice.chain.iter().cloned());
+        assert_eq!(store.verify_chain(&forged), None);
+    }
+
+    #[test]
+    fn signatures_bind_to_credential() {
+        let (ca, _) = setup();
+        let alice = ca.issue("/O=Grid/CN=alice");
+        let bob = ca.issue("/O=Grid/CN=bob");
+        let sig = alice.sign(b"payload");
+        assert!(alice.public_key().verify(b"payload", &sig));
+        assert!(!bob.public_key().verify(b"payload", &sig));
+    }
+
+    #[test]
+    fn empty_and_oversized_chains_rejected() {
+        let (ca, store) = setup();
+        assert_eq!(store.verify_chain(&[]), None);
+        let mut cred = ca.issue("/O=Grid/CN=deep");
+        for i in 0..9 {
+            cred = cred.delegate(i);
+        }
+        assert_eq!(store.verify_chain(&cred.chain), None, "chain too long");
+    }
+
+    #[test]
+    fn non_proxy_mid_chain_rejected() {
+        let (ca, store) = setup();
+        let alice = ca.issue("/O=Grid/CN=alice");
+        let bob = ca.issue("/O=Grid/CN=bob");
+        // A non-proxy cert sitting above another identity cert is invalid.
+        let forged: Vec<Certificate> =
+            vec![alice.chain[0].clone(), bob.chain[0].clone()];
+        assert_eq!(store.verify_chain(&forged), None);
+    }
+}

@@ -1,0 +1,238 @@
+//! Keys and signatures for the simulated GSI.
+//!
+//! The paper's MDS-2 uses GSI public-key mechanisms (§7, §10.2). Real
+//! X.509/RSA adds nothing to the architecture claims, so we substitute a
+//! self-contained **Lamport one-time signature** scheme over a 64-bit
+//! hash: the verification mathematics is genuine (revealed preimages are
+//! checked against the public hash commitments), while parameters are toy
+//! sized and key reuse is permitted — sufficient to exercise every
+//! authentication/authorization code path. See DESIGN.md §3.
+
+/// A 64-bit FNV-1a hash: the "cryptographic" hash of the simulated PKI.
+pub fn hash64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Hash of a 64-bit word (domain-separated from byte-string hashing).
+fn hash_word(w: u64) -> u64 {
+    let mut buf = [0u8; 9];
+    buf[0] = 0x57; // domain tag
+    buf[1..].copy_from_slice(&w.to_le_bytes());
+    hash64(&buf)
+}
+
+/// Number of message-hash bits signed.
+const BITS: usize = 64;
+
+/// The private half of a key pair: preimages for each bit value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrivateKey {
+    secrets: [[u64; 2]; BITS],
+}
+
+/// The public half: hash commitments to each preimage.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    commitments: [[u64; 2]; BITS],
+}
+
+/// A signature: one revealed preimage per message-hash bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    reveals: [u64; BITS],
+}
+
+/// A key pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPair {
+    /// Public commitments (distributable).
+    pub public: PublicKey,
+    /// Secret preimages (never serialized onto the wire).
+    pub private: PrivateKey,
+}
+
+impl KeyPair {
+    /// Deterministically derive a key pair from a seed (the simulation's
+    /// entropy source).
+    pub fn generate(seed: u64) -> KeyPair {
+        let mut state = seed ^ 0x6a09e667f3bcc908;
+        let mut next = move || {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let mut secrets = [[0u64; 2]; BITS];
+        let mut commitments = [[0u64; 2]; BITS];
+        for i in 0..BITS {
+            for b in 0..2 {
+                let s = next();
+                secrets[i][b] = s;
+                commitments[i][b] = hash_word(s);
+            }
+        }
+        KeyPair {
+            public: PublicKey { commitments },
+            private: PrivateKey { secrets },
+        }
+    }
+
+    /// Sign a message.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let digest = hash64(message);
+        let mut reveals = [0u64; BITS];
+        for (i, slot) in reveals.iter_mut().enumerate() {
+            let bit = ((digest >> i) & 1) as usize;
+            *slot = self.private.secrets[i][bit];
+        }
+        Signature { reveals }
+    }
+}
+
+impl PublicKey {
+    /// Verify a signature over `message`.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        let digest = hash64(message);
+        for i in 0..BITS {
+            let bit = ((digest >> i) & 1) as usize;
+            if hash_word(sig.reveals[i]) != self.commitments[i][bit] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A compact fingerprint used to name the key in certificates.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(BITS * 2 * 8);
+        for pair in &self.commitments {
+            for &c in pair {
+                bytes.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        hash64(&bytes)
+    }
+
+    /// Serialize for embedding in certificates.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(BITS * 2 * 8);
+        for pair in &self.commitments {
+            for &c in pair {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserialize; `None` on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<PublicKey> {
+        if bytes.len() != BITS * 2 * 8 {
+            return None;
+        }
+        let mut commitments = [[0u64; 2]; BITS];
+        let mut it = bytes.chunks_exact(8);
+        for pair in commitments.iter_mut() {
+            for slot in pair.iter_mut() {
+                let chunk = it.next()?;
+                *slot = u64::from_le_bytes(chunk.try_into().ok()?);
+            }
+        }
+        Some(PublicKey { commitments })
+    }
+}
+
+impl Signature {
+    /// Serialize for embedding in wire tokens.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(BITS * 8);
+        for &r in &self.reveals {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize; `None` on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Signature> {
+        if bytes.len() != BITS * 8 {
+            return None;
+        }
+        let mut reveals = [0u64; BITS];
+        for (slot, chunk) in reveals.iter_mut().zip(bytes.chunks_exact(8)) {
+            *slot = u64::from_le_bytes(chunk.try_into().ok()?);
+        }
+        Some(Signature { reveals })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::generate(42);
+        let msg = b"register: ldap://gris.a:389";
+        let sig = kp.sign(msg);
+        assert!(kp.public.verify(msg, &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let kp = KeyPair::generate(42);
+        let sig = kp.sign(b"message one");
+        assert!(!kp.public.verify(b"message two", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = KeyPair::generate(1);
+        let kp2 = KeyPair::generate(2);
+        let sig = kp1.sign(b"hello");
+        assert!(!kp2.public.verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = KeyPair::generate(7);
+        let mut sig = kp.sign(b"hello");
+        sig.reveals[13] ^= 1;
+        assert!(!kp.public.verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(KeyPair::generate(5), KeyPair::generate(5));
+        assert_ne!(KeyPair::generate(5).public, KeyPair::generate(6).public);
+    }
+
+    #[test]
+    fn public_key_bytes_roundtrip() {
+        let kp = KeyPair::generate(9);
+        let bytes = kp.public.to_bytes();
+        assert_eq!(PublicKey::from_bytes(&bytes).unwrap(), kp.public);
+        assert!(PublicKey::from_bytes(&bytes[1..]).is_none());
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let kp = KeyPair::generate(11);
+        let sig = kp.sign(b"x");
+        let bytes = sig.to_bytes();
+        assert_eq!(Signature::from_bytes(&bytes).unwrap(), sig);
+        assert!(Signature::from_bytes(&bytes[..8]).is_none());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_keys() {
+        let a = KeyPair::generate(1).public.fingerprint();
+        let b = KeyPair::generate(2).public.fingerprint();
+        assert_ne!(a, b);
+    }
+}

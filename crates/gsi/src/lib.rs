@@ -1,0 +1,31 @@
+//! Simulated Grid Security Infrastructure (GSI) for the MDS-2
+//! reproduction (§7 and §10.2 of the paper).
+//!
+//! Provides identities, certificate authorities, proxy delegation,
+//! mutual-authentication bind tokens, signed GRRP registrations,
+//! capability-based group membership, and per-attribute access control —
+//! the full §7 control flow. The cryptography is a self-contained Lamport
+//! one-time-signature scheme over a 64-bit hash: real verification
+//! mathematics with toy parameters (see DESIGN.md §3 for the
+//! substitution rationale).
+//!
+//! * [`keys`] — key pairs and signatures;
+//! * [`cert`] — certificates, CAs, proxy chains, trust stores;
+//! * [`auth`] — bind tokens and registration signing;
+//! * [`acl`] — principals, capabilities, ACLs, policy maps, and the four
+//!   §7 provider/directory trust models.
+
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod auth;
+pub mod cert;
+pub mod keys;
+
+pub use acl::{
+    apply_capability, Acl, AclRule, Capability, CommunityAuthz, Grant, PolicyMap, Principal,
+    Requester, TrustModel, Visibility,
+};
+pub use auth::{sign_registration, verify_signed_registration, Authenticator, BindToken};
+pub use cert::{CertAuthority, Certificate, Credential, Subject, TrustStore};
+pub use keys::{hash64, KeyPair, PublicKey, Signature};

@@ -1,0 +1,416 @@
+//! Binary wire codec for LDAP-model values.
+//!
+//! MDS-2 carried GRIP/GRRP over the LDAP v3 BER encoding; we implement a
+//! simplified length-prefixed encoding with the same role: a compact,
+//! self-delimiting representation of DNs, entries, filters and the protocol
+//! messages built on them (`gis-proto` composes these primitives into full
+//! GRIP/GRRP frames). Integers use LEB128 varints; strings and sequences
+//! are length-prefixed.
+
+use crate::dn::Dn;
+use crate::entry::{AttrValue, Entry};
+use crate::error::{LdapError, Result};
+use crate::filter::Filter;
+use crate::url::LdapUrl;
+use bytes::{BufMut, BytesMut};
+
+/// Maximum nesting/sequence length accepted by the decoder; a defensive
+/// limit against corrupted frames.
+const MAX_SEQ: u64 = 1 << 24;
+
+/// Incremental decoder over a byte slice.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Start reading from the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the whole buffer has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn err(&self, msg: &str) -> LdapError {
+        LdapError::Codec(format!("{msg} at offset {}", self.pos))
+    }
+
+    /// Read one raw byte.
+    pub fn read_u8(&mut self) -> Result<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| self.err("unexpected end of frame"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read a LEB128 varint.
+    pub fn read_varint(&mut self) -> Result<u64> {
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.read_u8()?;
+            if shift >= 64 {
+                return Err(self.err("varint overflow"));
+            }
+            out |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn read_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.read_varint()?;
+        if len > MAX_SEQ {
+            return Err(self.err("oversized byte field"));
+        }
+        let len = len as usize;
+        if self.remaining() < len {
+            return Err(self.err("byte field overruns frame"));
+        }
+        let out = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn read_str(&mut self) -> Result<String> {
+        let bytes = self.read_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| LdapError::Codec("invalid UTF-8 in string field".into()))
+    }
+
+    /// Read a sequence length, bounds-checked.
+    pub fn read_len(&mut self) -> Result<usize> {
+        let n = self.read_varint()?;
+        if n > MAX_SEQ {
+            return Err(self.err("oversized sequence"));
+        }
+        Ok(n as usize)
+    }
+}
+
+/// Append a LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Append a length-prefixed byte slice.
+pub fn put_bytes(buf: &mut BytesMut, bytes: &[u8]) {
+    put_varint(buf, bytes.len() as u64);
+    buf.put_slice(bytes);
+}
+
+/// Append a length-prefixed string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// A value with a binary wire form.
+pub trait Wire: Sized {
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decode a value from the reader.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self>;
+
+    /// Encode into a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.to_vec()
+    }
+
+    /// Decode from a complete frame, requiring full consumption.
+    fn from_wire(bytes: &[u8]) -> Result<Self> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if !r.is_done() {
+            return Err(LdapError::Codec(format!(
+                "{} trailing bytes after value",
+                r.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, *self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<u64> {
+        r.read_varint()
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, u64::from(*self));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<u32> {
+        u32::try_from(r.read_varint()?).map_err(|_| LdapError::Codec("u32 overflow".into()))
+    }
+}
+
+impl Wire for u16 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, u64::from(*self));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<u16> {
+        u16::try_from(r.read_varint()?).map_err(|_| LdapError::Codec("u16 overflow".into()))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<bool> {
+        match r.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(LdapError::Codec(format!("invalid bool byte {b}"))),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_str(buf, self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<String> {
+        r.read_str()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.len() as u64);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Vec<T>> {
+        let n = r.read_len()?;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Option<T>> {
+        match r.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(LdapError::Codec(format!("invalid option tag {b}"))),
+        }
+    }
+}
+
+impl Wire for Dn {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_str(buf, &self.to_string());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Dn> {
+        Dn::parse(&r.read_str()?)
+    }
+}
+
+impl Wire for Filter {
+    // Filters travel in their RFC 2254 string form: the parser/printer
+    // round-trips exactly (property-tested), and the text form doubles as a
+    // debugging aid in traces.
+    fn encode(&self, buf: &mut BytesMut) {
+        put_str(buf, &self.to_string());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Filter> {
+        Filter::parse(&r.read_str()?)
+    }
+}
+
+impl Wire for AttrValue {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_str(buf, self.as_str());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<AttrValue> {
+        Ok(AttrValue::new(r.read_str()?))
+    }
+}
+
+impl Wire for Entry {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.dn().encode(buf);
+        put_varint(buf, self.attr_count() as u64);
+        for (name, values) in self.attrs() {
+            put_str(buf, name);
+            put_varint(buf, values.len() as u64);
+            for v in values {
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Entry> {
+        let dn = Dn::decode(r)?;
+        let mut entry = Entry::new(dn);
+        let attrs = r.read_len()?;
+        for _ in 0..attrs {
+            let name = r.read_str()?;
+            let count = r.read_len()?;
+            let mut values = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                values.push(AttrValue::decode(r)?);
+            }
+            entry.put(&name, values);
+        }
+        Ok(entry)
+    }
+}
+
+impl Wire for LdapUrl {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_str(buf, &self.to_string());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<LdapUrl> {
+        LdapUrl::parse(&r.read_str()?)
+    }
+}
+
+impl Wire for crate::dit::Scope {
+    fn encode(&self, buf: &mut BytesMut) {
+        use crate::dit::Scope;
+        buf.put_u8(match self {
+            Scope::Base => 0,
+            Scope::One => 1,
+            Scope::Sub => 2,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<crate::dit::Scope> {
+        use crate::dit::Scope;
+        match r.read_u8()? {
+            0 => Ok(Scope::Base),
+            1 => Ok(Scope::One),
+            2 => Ok(Scope::Sub),
+            b => Err(LdapError::Codec(format!("invalid scope tag {b}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dit::Scope;
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut r = WireReader::new(&buf);
+            assert_eq!(r.read_varint().unwrap(), v);
+            assert!(r.is_done());
+        }
+    }
+
+    #[test]
+    fn entry_roundtrip() {
+        let e = Entry::at("perf=load5, hn=hostX")
+            .unwrap()
+            .with_class("perf")
+            .with_class("loadaverage")
+            .with("period", 10i64)
+            .with("load5", 3.2f64);
+        let bytes = e.to_wire();
+        assert_eq!(Entry::from_wire(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn filter_roundtrip() {
+        let f = Filter::parse("(&(objectclass=computer)(load5<=1.0))").unwrap();
+        assert_eq!(Filter::from_wire(&f.to_wire()).unwrap(), f);
+    }
+
+    #[test]
+    fn option_and_vec_roundtrip() {
+        let v: Vec<Option<String>> = vec![Some("a".into()), None, Some("".into())];
+        assert_eq!(Vec::<Option<String>>::from_wire(&v.to_wire()).unwrap(), v);
+    }
+
+    #[test]
+    fn scope_roundtrip() {
+        for s in [Scope::Base, Scope::One, Scope::Sub] {
+            assert_eq!(Scope::from_wire(&s.to_wire()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn url_roundtrip() {
+        let u = LdapUrl::parse("ldap://gris.site.edu:2135/hn=hostX").unwrap();
+        assert_eq!(LdapUrl::from_wire(&u.to_wire()).unwrap(), u);
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let e = Entry::at("hn=h").unwrap().with("x", "y");
+        let bytes = e.to_wire();
+        for cut in 0..bytes.len() {
+            assert!(
+                Entry::from_wire(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 42u64.to_wire();
+        bytes.push(0);
+        assert!(u64::from_wire(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags() {
+        assert!(bool::from_wire(&[7]).is_err());
+        assert!(Option::<u64>::from_wire(&[9]).is_err());
+    }
+
+    #[test]
+    fn oversized_sequence_rejected() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, u64::MAX);
+        let mut r = WireReader::new(&buf);
+        assert!(r.read_len().is_err());
+    }
+}

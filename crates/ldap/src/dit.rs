@@ -1,0 +1,375 @@
+//! The Directory Information Tree: a hierarchical entry store with
+//! LDAP-style scoped search.
+//!
+//! GRIS and GIIS both present their information as a DIT; searches carry a
+//! base DN, a scope (base / one-level / subtree), a filter, and an optional
+//! attribute selection (§4.1).
+
+use crate::dn::Dn;
+use crate::entry::Entry;
+use crate::error::{LdapError, Result};
+use crate::filter::Filter;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// LDAP search scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// The base entry only (lookup / enquiry).
+    Base,
+    /// Immediate children of the base.
+    One,
+    /// The base entry and all descendants (discovery).
+    Sub,
+}
+
+/// An in-memory DIT. Entries are keyed by DN; hierarchy is implicit in the
+/// DN structure, so interior "glue" nodes need not exist for descendants to
+/// be stored (providers generate subtrees lazily and sparsely).
+///
+/// Searches whose filter pins an object class (a top-level
+/// `(objectclass=X)` term, possibly inside `And`s) are served from a
+/// class index instead of a full scan — the common GIIS discovery query
+/// (`(objectclass=computer)`) touches only matching entries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dit {
+    /// Key: DN rendered in normalized form. BTreeMap gives deterministic
+    /// iteration order for reproducible experiment output.
+    entries: BTreeMap<String, Entry>,
+    /// Lowercased object class -> DN keys of entries carrying it.
+    class_index: BTreeMap<String, BTreeSet<String>>,
+}
+
+fn key(dn: &Dn) -> String {
+    dn.to_string()
+}
+
+impl Dit {
+    /// An empty tree.
+    pub fn new() -> Dit {
+        Dit::default()
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index key normalisation must mirror the filter evaluator's
+    /// equality semantics (trimmed, case-insensitive), or the index could
+    /// produce false negatives.
+    fn class_key(class: &str) -> String {
+        class.trim().to_ascii_lowercase()
+    }
+
+    fn index_insert(&mut self, k: &str, entry: &Entry) {
+        for class in entry.object_classes() {
+            self.class_index
+                .entry(Self::class_key(class))
+                .or_default()
+                .insert(k.to_owned());
+        }
+    }
+
+    fn index_remove(&mut self, k: &str, entry: &Entry) {
+        for class in entry.object_classes() {
+            let lc = Self::class_key(class);
+            if let Some(set) = self.class_index.get_mut(&lc) {
+                set.remove(k);
+                if set.is_empty() {
+                    self.class_index.remove(&lc);
+                }
+            }
+        }
+    }
+
+    /// Insert an entry, failing if one already exists at its DN.
+    pub fn add(&mut self, mut entry: Entry) -> Result<()> {
+        entry.normalize_naming_attr();
+        let k = key(entry.dn());
+        if self.entries.contains_key(&k) {
+            return Err(LdapError::EntryExists(k));
+        }
+        self.index_insert(&k, &entry);
+        self.entries.insert(k, entry);
+        Ok(())
+    }
+
+    /// Insert or replace an entry at its DN.
+    pub fn upsert(&mut self, mut entry: Entry) {
+        entry.normalize_naming_attr();
+        let k = key(entry.dn());
+        if let Some(old) = self.entries.remove(&k) {
+            self.index_remove(&k, &old);
+        }
+        self.index_insert(&k, &entry);
+        self.entries.insert(k, entry);
+    }
+
+    /// Remove the entry at `dn`. Returns it if present.
+    pub fn delete(&mut self, dn: &Dn) -> Option<Entry> {
+        let k = key(dn);
+        let old = self.entries.remove(&k)?;
+        self.index_remove(&k, &old);
+        Some(old)
+    }
+
+    /// Remove `dn` and every descendant. Returns the number removed.
+    pub fn delete_subtree(&mut self, dn: &Dn) -> usize {
+        let doomed: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.dn().is_under(dn))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let n = doomed.len();
+        for k in doomed {
+            if let Some(old) = self.entries.remove(&k) {
+                self.index_remove(&k, &old);
+            }
+        }
+        n
+    }
+
+    /// Fetch the entry at `dn`.
+    pub fn get(&self, dn: &Dn) -> Option<&Entry> {
+        self.entries.get(&key(dn))
+    }
+
+    /// Mutable fetch.
+    pub fn get_mut(&mut self, dn: &Dn) -> Option<&mut Entry> {
+        self.entries.get_mut(&key(dn))
+    }
+
+    /// Iterate all entries in deterministic (DN string) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.values()
+    }
+
+    /// An object class that every match of `filter` must carry: a
+    /// top-level `(objectclass=X)` equality, possibly nested in `And`s.
+    fn pinned_class(filter: &Filter) -> Option<&str> {
+        match filter {
+            Filter::Eq(attr, v) if attr == "objectclass" => Some(v.as_str()),
+            Filter::And(fs) => fs.iter().find_map(Self::pinned_class),
+            _ => None,
+        }
+    }
+
+    /// Scoped, filtered search. Returns matching entries, projected onto
+    /// `selection` when non-empty. `size_limit` of 0 means unlimited.
+    pub fn search(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        selection: &[String],
+        size_limit: usize,
+    ) -> Vec<Entry> {
+        if let Some(class) = Self::pinned_class(filter) {
+            if let Some(keys) = self.class_index.get(&Self::class_key(class)) {
+                return self.search_over(
+                    keys.iter().filter_map(|k| self.entries.get(k)),
+                    base,
+                    scope,
+                    filter,
+                    selection,
+                    size_limit,
+                );
+            }
+            return Vec::new(); // class never seen: nothing can match
+        }
+        self.search_over(self.entries.values(), base, scope, filter, selection, size_limit)
+    }
+
+    fn search_over<'a>(
+        &self,
+        candidates: impl Iterator<Item = &'a Entry>,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        selection: &[String],
+        size_limit: usize,
+    ) -> Vec<Entry> {
+        let mut out = Vec::new();
+        for entry in candidates {
+            let dn = entry.dn();
+            let in_scope = match scope {
+                Scope::Base => dn == base,
+                Scope::One => dn.parent().as_ref() == Some(base),
+                Scope::Sub => dn.is_under(base),
+            };
+            if in_scope && filter.matches(entry) {
+                out.push(entry.project(selection));
+                if size_limit != 0 && out.len() >= size_limit {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Immediate children of `dn` (by DN structure).
+    pub fn children(&self, dn: &Dn) -> Vec<&Entry> {
+        self.entries
+            .values()
+            .filter(|e| e.dn().parent().as_ref() == Some(dn))
+            .collect()
+    }
+
+    /// Re-home every entry under a new suffix: each stored DN `d` becomes
+    /// `d.under(suffix)`. Used when a directory mounts a provider's
+    /// namespace inside its own (Figure 5).
+    pub fn rebased(&self, suffix: &Dn) -> Dit {
+        let mut out = Dit::new();
+        for e in self.entries.values() {
+            let mut e = e.clone();
+            e.set_dn(e.dn().under(suffix));
+            out.upsert(e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dit {
+        let mut dit = Dit::new();
+        dit.add(
+            Entry::at("hn=hostX")
+                .unwrap()
+                .with_class("computer")
+                .with("system", "mips irix"),
+        )
+        .unwrap();
+        dit.add(
+            Entry::at("queue=default, hn=hostX")
+                .unwrap()
+                .with_class("service")
+                .with_class("queue")
+                .with("dispatchtype", "immediate"),
+        )
+        .unwrap();
+        dit.add(
+            Entry::at("perf=load5, hn=hostX")
+                .unwrap()
+                .with_class("perf")
+                .with_class("loadaverage")
+                .with("load5", 3.2f64),
+        )
+        .unwrap();
+        dit.add(
+            Entry::at("store=scratch, hn=hostX")
+                .unwrap()
+                .with_class("storage")
+                .with_class("filesystem")
+                .with("free", 33515i64),
+        )
+        .unwrap();
+        dit.add(
+            Entry::at("hn=hostY")
+                .unwrap()
+                .with_class("computer")
+                .with("system", "linux"),
+        )
+        .unwrap();
+        dit
+    }
+
+    #[test]
+    fn add_rejects_duplicates() {
+        let mut dit = sample();
+        let dup = Entry::at("hn=hostX").unwrap().with_class("computer");
+        assert!(matches!(dit.add(dup), Err(LdapError::EntryExists(_))));
+    }
+
+    #[test]
+    fn base_scope_is_lookup() {
+        let dit = sample();
+        let base = Dn::parse("hn=hostX").unwrap();
+        let hits = dit.search(&base, Scope::Base, &Filter::always(), &[], 0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].dn(), &base);
+    }
+
+    #[test]
+    fn one_scope_lists_children() {
+        let dit = sample();
+        let base = Dn::parse("hn=hostX").unwrap();
+        let hits = dit.search(&base, Scope::One, &Filter::always(), &[], 0);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|e| e.dn().parent().as_ref() == Some(&base)));
+    }
+
+    #[test]
+    fn sub_scope_includes_base_and_descendants() {
+        let dit = sample();
+        let base = Dn::parse("hn=hostX").unwrap();
+        let hits = dit.search(&base, Scope::Sub, &Filter::always(), &[], 0);
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn root_subtree_sees_everything() {
+        let dit = sample();
+        let hits = dit.search(&Dn::root(), Scope::Sub, &Filter::always(), &[], 0);
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn filter_applies_within_scope() {
+        let dit = sample();
+        let f = Filter::parse("(objectclass=computer)").unwrap();
+        let hits = dit.search(&Dn::root(), Scope::Sub, &f, &[], 0);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn selection_projects_attributes() {
+        let dit = sample();
+        let base = Dn::parse("hn=hostX").unwrap();
+        let hits = dit.search(&base, Scope::Base, &Filter::always(), &["system".into()], 0);
+        assert_eq!(hits[0].attr_count(), 1);
+    }
+
+    #[test]
+    fn size_limit_truncates() {
+        let dit = sample();
+        let hits = dit.search(&Dn::root(), Scope::Sub, &Filter::always(), &[], 2);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn delete_subtree_removes_descendants() {
+        let mut dit = sample();
+        let n = dit.delete_subtree(&Dn::parse("hn=hostX").unwrap());
+        assert_eq!(n, 4);
+        assert_eq!(dit.len(), 1);
+    }
+
+    #[test]
+    fn rebase_moves_namespace() {
+        let dit = sample();
+        let org = Dn::parse("o=O1").unwrap();
+        let rebased = dit.rebased(&org);
+        assert_eq!(rebased.len(), dit.len());
+        assert!(rebased
+            .get(&Dn::parse("hn=hostX, o=O1").unwrap())
+            .is_some());
+        assert!(rebased.get(&Dn::parse("hn=hostX").unwrap()).is_none());
+    }
+
+    #[test]
+    fn naming_attr_added_on_insert() {
+        let dit = sample();
+        let e = dit.get(&Dn::parse("hn=hostX").unwrap()).unwrap();
+        assert_eq!(e.get_str("hn"), Some("hostX"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Distinguished names (DNs).
+//!
+//! The paper adopts the LDAP data model (Figure 3): every entry is named by
+//! a hierarchical distinguished name such as `perf=load5, hn=hostX, o=O1`.
+//! The *leftmost* RDN is the most specific component; each suffix of the RDN
+//! sequence names an ancestor. Attribute types compare case-insensitively;
+//! values compare case-sensitively (MDS values like hostnames are treated
+//! as exact strings).
+
+use crate::error::{LdapError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A relative distinguished name: one `type=value` component of a DN.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Rdn {
+    /// Attribute type, stored lowercase (types are case-insensitive).
+    attr: String,
+    /// Attribute value, stored verbatim.
+    value: String,
+}
+
+impl Rdn {
+    /// Build an RDN from an attribute type and value.
+    ///
+    /// The type is normalised to ASCII lowercase.
+    pub fn new(attr: impl Into<String>, value: impl Into<String>) -> Rdn {
+        Rdn {
+            attr: attr.into().to_ascii_lowercase(),
+            value: value.into(),
+        }
+    }
+
+    /// The (lowercased) attribute type.
+    pub fn attr(&self) -> &str {
+        &self.attr
+    }
+
+    /// The attribute value.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+
+    fn parse(s: &str) -> Result<Rdn> {
+        let mut parts = s.splitn(2, '=');
+        let attr = parts.next().unwrap_or("").trim();
+        let value = parts
+            .next()
+            .ok_or_else(|| LdapError::InvalidDn(format!("RDN missing '=': {s:?}")))?
+            .trim();
+        if attr.is_empty() {
+            return Err(LdapError::InvalidDn(format!("empty attribute in RDN {s:?}")));
+        }
+        if value.is_empty() {
+            return Err(LdapError::InvalidDn(format!("empty value in RDN {s:?}")));
+        }
+        if !attr.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+            return Err(LdapError::InvalidDn(format!("bad attribute type {attr:?}")));
+        }
+        Ok(Rdn::new(attr, value))
+    }
+}
+
+impl fmt::Display for Rdn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.attr, self.value)
+    }
+}
+
+/// A distinguished name: a sequence of RDNs, most specific first.
+///
+/// `Dn::root()` is the empty DN naming the DIT root.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Dn {
+    rdns: Vec<Rdn>,
+}
+
+impl Dn {
+    /// The empty DN (the root of the directory tree).
+    pub fn root() -> Dn {
+        Dn { rdns: Vec::new() }
+    }
+
+    /// Build a DN from a sequence of RDNs (most specific first).
+    pub fn from_rdns(rdns: Vec<Rdn>) -> Dn {
+        Dn { rdns }
+    }
+
+    /// Parse a DN from its string form, e.g. `"perf=load5, hn=hostX"`.
+    ///
+    /// Whitespace around separators is ignored. The empty string parses to
+    /// the root DN.
+    pub fn parse(s: &str) -> Result<Dn> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Dn::root());
+        }
+        let rdns = s
+            .split(',')
+            .map(Rdn::parse)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Dn { rdns })
+    }
+
+    /// The RDNs of this DN, most specific first.
+    pub fn rdns(&self) -> &[Rdn] {
+        &self.rdns
+    }
+
+    /// The most specific RDN, if any.
+    pub fn rdn(&self) -> Option<&Rdn> {
+        self.rdns.first()
+    }
+
+    /// Number of RDN components (0 for the root).
+    pub fn depth(&self) -> usize {
+        self.rdns.len()
+    }
+
+    /// True for the root DN.
+    pub fn is_root(&self) -> bool {
+        self.rdns.is_empty()
+    }
+
+    /// The parent DN (dropping the most specific RDN). Root has no parent.
+    pub fn parent(&self) -> Option<Dn> {
+        if self.rdns.is_empty() {
+            None
+        } else {
+            Some(Dn {
+                rdns: self.rdns[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Prefix a new most-specific RDN onto this DN, naming a child.
+    pub fn child(&self, rdn: Rdn) -> Dn {
+        let mut rdns = Vec::with_capacity(self.rdns.len() + 1);
+        rdns.push(rdn);
+        rdns.extend_from_slice(&self.rdns);
+        Dn { rdns }
+    }
+
+    /// Append `suffix` below this DN: `self` becomes the most-specific part.
+    ///
+    /// `Dn("hn=hostX").under(Dn("o=O1"))` is `hn=hostX, o=O1`. This is how
+    /// a site directory re-homes provider names inside its own namespace
+    /// (Figure 5).
+    pub fn under(&self, suffix: &Dn) -> Dn {
+        let mut rdns = self.rdns.clone();
+        rdns.extend_from_slice(&suffix.rdns);
+        Dn { rdns }
+    }
+
+    /// True if `self` equals `other` or lies beneath it in the tree.
+    ///
+    /// Every DN is a descendant-or-self of the root.
+    pub fn is_under(&self, other: &Dn) -> bool {
+        if other.rdns.len() > self.rdns.len() {
+            return false;
+        }
+        let offset = self.rdns.len() - other.rdns.len();
+        self.rdns[offset..] == other.rdns[..]
+    }
+
+    /// True if `self` is a strict descendant of `other`.
+    pub fn is_strictly_under(&self, other: &Dn) -> bool {
+        self.rdns.len() > other.rdns.len() && self.is_under(other)
+    }
+
+    /// The remainder of `self` above `suffix`: if `self = prefix + suffix`,
+    /// returns `prefix` as a DN. Returns `None` when `self` is not under
+    /// `suffix`.
+    pub fn strip_suffix(&self, suffix: &Dn) -> Option<Dn> {
+        if !self.is_under(suffix) {
+            return None;
+        }
+        Some(Dn {
+            rdns: self.rdns[..self.rdns.len() - suffix.rdns.len()].to_vec(),
+        })
+    }
+}
+
+impl fmt::Display for Dn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for rdn in &self.rdns {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{rdn}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Dn {
+    type Err = LdapError;
+    fn from_str(s: &str) -> Result<Dn> {
+        Dn::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let dn = Dn::parse("perf=load5, hn=hostX, o=O1").unwrap();
+        assert_eq!(dn.depth(), 3);
+        assert_eq!(dn.to_string(), "perf=load5, hn=hostX, o=O1");
+    }
+
+    #[test]
+    fn attr_type_is_case_insensitive() {
+        let a = Dn::parse("HN=hostX").unwrap();
+        let b = Dn::parse("hn=hostX").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn value_is_case_sensitive() {
+        let a = Dn::parse("hn=HostX").unwrap();
+        let b = Dn::parse("hn=hostx").unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn root_parses_from_empty() {
+        assert!(Dn::parse("").unwrap().is_root());
+        assert!(Dn::parse("   ").unwrap().is_root());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Dn::parse("nodelimiter").is_err());
+        assert!(Dn::parse("=value").is_err());
+        assert!(Dn::parse("attr=").is_err());
+        assert!(Dn::parse("a b=c").is_err());
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let dn = Dn::parse("queue=default, hn=hostX").unwrap();
+        let parent = dn.parent().unwrap();
+        assert_eq!(parent.to_string(), "hn=hostX");
+        assert_eq!(parent.child(Rdn::new("queue", "default")), dn);
+        assert_eq!(Dn::root().parent(), None);
+    }
+
+    #[test]
+    fn hierarchy_predicates() {
+        let host = Dn::parse("hn=hostX, o=O1").unwrap();
+        let queue = Dn::parse("queue=default, hn=hostX, o=O1").unwrap();
+        let other = Dn::parse("hn=hostY, o=O1").unwrap();
+        assert!(queue.is_under(&host));
+        assert!(queue.is_strictly_under(&host));
+        assert!(host.is_under(&host));
+        assert!(!host.is_strictly_under(&host));
+        assert!(!other.is_under(&host));
+        assert!(host.is_under(&Dn::root()));
+    }
+
+    #[test]
+    fn under_and_strip_suffix() {
+        let local = Dn::parse("hn=hostX").unwrap();
+        let org = Dn::parse("o=O1").unwrap();
+        let global = local.under(&org);
+        assert_eq!(global.to_string(), "hn=hostX, o=O1");
+        assert_eq!(global.strip_suffix(&org).unwrap(), local);
+        assert_eq!(global.strip_suffix(&global).unwrap(), Dn::root());
+        assert!(org.strip_suffix(&global).is_none());
+    }
+
+    #[test]
+    fn whitespace_tolerant_parse() {
+        let a = Dn::parse("hn = hostX ,  o = O1").unwrap();
+        let b = Dn::parse("hn=hostX, o=O1").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type shared across the LDAP substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating LDAP data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LdapError {
+    /// A distinguished name could not be parsed.
+    InvalidDn(String),
+    /// A search filter could not be parsed.
+    InvalidFilter(String),
+    /// An LDIF document could not be parsed.
+    InvalidLdif(String),
+    /// An LDAP URL could not be parsed.
+    InvalidUrl(String),
+    /// A wire message could not be decoded.
+    Codec(String),
+    /// An entry failed schema validation.
+    Schema(String),
+    /// The requested entry does not exist in the DIT.
+    NoSuchEntry(String),
+    /// The entry already exists in the DIT.
+    EntryExists(String),
+}
+
+impl fmt::Display for LdapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LdapError::InvalidDn(s) => write!(f, "invalid DN: {s}"),
+            LdapError::InvalidFilter(s) => write!(f, "invalid filter: {s}"),
+            LdapError::InvalidLdif(s) => write!(f, "invalid LDIF: {s}"),
+            LdapError::InvalidUrl(s) => write!(f, "invalid LDAP URL: {s}"),
+            LdapError::Codec(s) => write!(f, "codec error: {s}"),
+            LdapError::Schema(s) => write!(f, "schema violation: {s}"),
+            LdapError::NoSuchEntry(s) => write!(f, "no such entry: {s}"),
+            LdapError::EntryExists(s) => write!(f, "entry already exists: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LdapError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LdapError>;

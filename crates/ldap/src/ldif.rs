@@ -1,0 +1,154 @@
+//! LDIF serialization: the interchange text format used by experiment
+//! output and configuration fixtures (Figure 3 is rendered in LDIF form in
+//! the paper).
+//!
+//! Supported subset: `dn:` line followed by `attr: value` lines, records
+//! separated by blank lines, `#` comment lines.
+
+use crate::dn::Dn;
+use crate::entry::Entry;
+use crate::error::{LdapError, Result};
+use std::fmt::Write as _;
+
+/// Render one entry as an LDIF record (no trailing blank line).
+pub fn entry_to_ldif(entry: &Entry) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "dn: {}", entry.dn());
+    for (name, values) in entry.attrs() {
+        for v in values {
+            let _ = writeln!(out, "{name}: {v}");
+        }
+    }
+    out
+}
+
+/// Render a sequence of entries as an LDIF document.
+pub fn to_ldif<'a>(entries: impl IntoIterator<Item = &'a Entry>) -> String {
+    let mut out = String::new();
+    for (i, e) in entries.into_iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&entry_to_ldif(e));
+    }
+    out
+}
+
+/// Parse an LDIF document into entries.
+pub fn parse_ldif(src: &str) -> Result<Vec<Entry>> {
+    let mut entries = Vec::new();
+    let mut current: Option<Entry> = None;
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.trim_start().starts_with('#') {
+            continue;
+        }
+        if line.trim().is_empty() {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            LdapError::InvalidLdif(format!("line {}: missing ':' in {line:?}", lineno + 1))
+        })?;
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("dn") {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            current = Some(Entry::new(Dn::parse(value)?));
+        } else {
+            let entry = current.as_mut().ok_or_else(|| {
+                LdapError::InvalidLdif(format!(
+                    "line {}: attribute before any dn line",
+                    lineno + 1
+                ))
+            })?;
+            if name.is_empty() {
+                return Err(LdapError::InvalidLdif(format!(
+                    "line {}: empty attribute name",
+                    lineno + 1
+                )));
+            }
+            entry.add(name, value);
+        }
+    }
+    if let Some(e) = current.take() {
+        entries.push(e);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3: &str = "\
+dn: hn=hostX
+objectclass: computer
+system: mips irix
+
+dn: queue=default, hn=hostX
+objectclass: service
+objectclass: queue
+url: gram://hostX/default
+dispatchtype: immediate
+
+dn: perf=load5, hn=hostX
+objectclass: perf
+objectclass: loadaverage
+period: 10
+load5: 3.2
+
+dn: store=scratch, hn=hostX
+objectclass: storage
+objectclass: filesystem
+free: 33515
+path: /disks/scratch1
+";
+
+    #[test]
+    fn parses_figure3_document() {
+        let entries = parse_ldif(FIG3).unwrap();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].get_str("system"), Some("mips irix"));
+        assert_eq!(entries[1].get("objectclass").len(), 2);
+        assert_eq!(entries[2].get_f64("load5"), Some(3.2));
+        assert_eq!(entries[3].get_str("path"), Some("/disks/scratch1"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let entries = parse_ldif(FIG3).unwrap();
+        let doc = to_ldif(&entries);
+        let back = parse_ldif(&doc).unwrap();
+        assert_eq!(entries, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# header\n\n\ndn: a=b\n# mid\nx: 1\n\n";
+        let entries = parse_ldif(src).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].get_str("x"), Some("1"));
+    }
+
+    #[test]
+    fn value_with_colon_preserved() {
+        let src = "dn: a=b\nurl: ldap://host:389/o=G\n";
+        let entries = parse_ldif(src).unwrap();
+        assert_eq!(entries[0].get_str("url"), Some("ldap://host:389/o=G"));
+    }
+
+    #[test]
+    fn rejects_attr_without_dn() {
+        assert!(parse_ldif("x: 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_colon() {
+        assert!(parse_ldif("dn: a=b\nnovalue\n").is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! LDAP substrate for the MDS-2 Grid Information Services reproduction.
+//!
+//! The paper (§4.1) adopts LDAP as GRIP's *data model, query language and
+//! wire protocol* — explicitly "not an implementation vehicle". This crate
+//! implements those three things from scratch:
+//!
+//! * [`dn`] — hierarchical distinguished names (Figure 3's namespace),
+//! * [`entry`] — typed attribute/value objects with object classes,
+//! * [`filter`] — the RFC 2254 search-filter grammar and evaluator,
+//! * [`dit`] — a directory information tree with base/one/sub scoped search,
+//! * [`schema`] — opt-in object-class typing (§8's "type authorities"),
+//! * [`ldif`] — text interchange format,
+//! * [`url`] — LDAP URLs (global names and referrals),
+//! * [`codec`] — a compact binary wire encoding (our stand-in for BER).
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod dit;
+pub mod dn;
+pub mod entry;
+pub mod error;
+pub mod filter;
+pub mod ldif;
+pub mod schema;
+pub mod url;
+
+pub use codec::{Wire, WireReader};
+pub use dit::{Dit, Scope};
+pub use dn::{Dn, Rdn};
+pub use entry::{AttrValue, Entry, OBJECT_CLASS};
+pub use error::{LdapError, Result};
+pub use filter::Filter;
+pub use ldif::{entry_to_ldif, parse_ldif, to_ldif};
+pub use schema::{ObjectClassDef, Schema, Strictness};
+pub use url::LdapUrl;

@@ -1,0 +1,284 @@
+//! Object-class schema: "a convenient and extensible mechanism for defining
+//! information types" (§8).
+//!
+//! The paper argues naming/typing should be *supported but not forced*;
+//! accordingly validation is opt-in, and unknown object classes are only an
+//! error under [`Strictness::Strict`].
+
+use crate::entry::Entry;
+use crate::error::{LdapError, Result};
+use std::collections::BTreeMap;
+
+/// How to treat entries whose classes are not in the schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strictness {
+    /// Unknown object classes are ignored (Condor-matchmaker style informal
+    /// typing, §8).
+    Lenient,
+    /// Every object class must be defined and every required attribute
+    /// present.
+    Strict,
+}
+
+/// Definition of one object class.
+#[derive(Debug, Clone)]
+pub struct ObjectClassDef {
+    /// Class name, lowercase.
+    pub name: String,
+    /// Superclass, if any (requirements are inherited).
+    pub parent: Option<String>,
+    /// Attributes that must be present.
+    pub required: Vec<String>,
+    /// Attributes that may be present (informational; extra attributes are
+    /// always allowed, matching MDS's extensible entries).
+    pub optional: Vec<String>,
+}
+
+impl ObjectClassDef {
+    /// Define a class with no superclass.
+    pub fn new(name: &str) -> ObjectClassDef {
+        ObjectClassDef {
+            name: name.to_ascii_lowercase(),
+            parent: None,
+            required: Vec::new(),
+            optional: Vec::new(),
+        }
+    }
+
+    /// Set the superclass.
+    pub fn extends(mut self, parent: &str) -> ObjectClassDef {
+        self.parent = Some(parent.to_ascii_lowercase());
+        self
+    }
+
+    /// Add a required attribute.
+    pub fn requires(mut self, attr: &str) -> ObjectClassDef {
+        self.required.push(attr.to_ascii_lowercase());
+        self
+    }
+
+    /// Add an optional attribute.
+    pub fn allows(mut self, attr: &str) -> ObjectClassDef {
+        self.optional.push(attr.to_ascii_lowercase());
+        self
+    }
+}
+
+/// A registry of object-class definitions; the paper's "type authority".
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    classes: BTreeMap<String, ObjectClassDef>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// The standard MDS core schema used by the GRIS providers: the object
+    /// classes appearing in Figure 3 plus the network classes served by the
+    /// NWS gateway.
+    pub fn mds_core() -> Schema {
+        let mut s = Schema::new();
+        s.define(ObjectClassDef::new("computer").requires("hn").allows("system"));
+        s.define(ObjectClassDef::new("service").requires("url"));
+        s.define(
+            ObjectClassDef::new("queue")
+                .extends("service")
+                .allows("dispatchtype"),
+        );
+        s.define(ObjectClassDef::new("perf").requires("period"));
+        s.define(
+            ObjectClassDef::new("loadaverage")
+                .extends("perf")
+                .requires("load5"),
+        );
+        s.define(ObjectClassDef::new("storage").requires("free"));
+        s.define(
+            ObjectClassDef::new("filesystem")
+                .extends("storage")
+                .requires("path"),
+        );
+        s.define(
+            ObjectClassDef::new("networklink")
+                .requires("src")
+                .requires("dst")
+                .allows("bandwidth")
+                .allows("latency"),
+        );
+        s.define(ObjectClassDef::new("organization").requires("o"));
+        s.define(ObjectClassDef::new("vo").requires("vo"));
+        s
+    }
+
+    /// Register (or replace) a class definition.
+    pub fn define(&mut self, def: ObjectClassDef) {
+        self.classes.insert(def.name.clone(), def);
+    }
+
+    /// Look up a class definition.
+    pub fn get(&self, name: &str) -> Option<&ObjectClassDef> {
+        self.classes.get(&name.to_ascii_lowercase())
+    }
+
+    /// Number of defined classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True if no classes are defined.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// All attributes required by `class`, including inherited ones.
+    /// Detects and truncates inheritance cycles defensively.
+    pub fn required_attrs(&self, class: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = Some(class.to_ascii_lowercase());
+        let mut hops = 0;
+        while let Some(name) = cur {
+            if hops > self.classes.len() {
+                break; // cycle guard
+            }
+            hops += 1;
+            match self.classes.get(&name) {
+                Some(def) => {
+                    out.extend(def.required.iter().cloned());
+                    cur = def.parent.clone();
+                }
+                None => break,
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Validate an entry against the schema.
+    pub fn validate(&self, entry: &Entry, strictness: Strictness) -> Result<()> {
+        let mut any_class = false;
+        for class in entry.object_classes() {
+            any_class = true;
+            if self.get(class).is_none() {
+                match strictness {
+                    Strictness::Lenient => continue,
+                    Strictness::Strict => {
+                        return Err(entry.schema_err(format!("unknown object class {class:?}")))
+                    }
+                }
+            }
+            for attr in self.required_attrs(class) {
+                if !entry.has(&attr) {
+                    return Err(entry.schema_err(format!(
+                        "class {class:?} requires attribute {attr:?}"
+                    )));
+                }
+            }
+        }
+        if !any_class && strictness == Strictness::Strict {
+            return Err(LdapError::Schema(format!(
+                "{}: entry has no object class",
+                entry.dn()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mds_core_validates_figure3_entries() {
+        let s = Schema::mds_core();
+        let host = Entry::at("hn=hostX")
+            .unwrap()
+            .with_class("computer")
+            .with("hn", "hostX")
+            .with("system", "mips irix");
+        s.validate(&host, Strictness::Strict).unwrap();
+
+        let queue = Entry::at("queue=default, hn=hostX")
+            .unwrap()
+            .with_class("service")
+            .with_class("queue")
+            .with("url", "gram://hostX/default")
+            .with("dispatchtype", "immediate");
+        s.validate(&queue, Strictness::Strict).unwrap();
+
+        let load = Entry::at("perf=load5, hn=hostX")
+            .unwrap()
+            .with_class("perf")
+            .with_class("loadaverage")
+            .with("period", 10i64)
+            .with("load5", 3.2f64);
+        s.validate(&load, Strictness::Strict).unwrap();
+
+        let fs = Entry::at("store=scratch, hn=hostX")
+            .unwrap()
+            .with_class("storage")
+            .with_class("filesystem")
+            .with("free", 33515i64)
+            .with("path", "/disks/scratch1");
+        s.validate(&fs, Strictness::Strict).unwrap();
+    }
+
+    #[test]
+    fn missing_required_attr_rejected() {
+        let s = Schema::mds_core();
+        let bad = Entry::at("hn=hostX").unwrap().with_class("computer");
+        // "hn" is auto-derivable from the RDN but this entry was built
+        // without normalisation, so validation must flag it.
+        assert!(s.validate(&bad, Strictness::Strict).is_err());
+        assert!(s.validate(&bad, Strictness::Lenient).is_err());
+    }
+
+    #[test]
+    fn inherited_requirements_enforced() {
+        let s = Schema::mds_core();
+        // loadaverage extends perf, so "period" is required transitively.
+        let bad = Entry::at("perf=load5, hn=h")
+            .unwrap()
+            .with_class("loadaverage")
+            .with("load5", 1.0f64);
+        let err = s.validate(&bad, Strictness::Lenient).unwrap_err();
+        assert!(err.to_string().contains("period"), "{err}");
+    }
+
+    #[test]
+    fn unknown_class_lenient_vs_strict() {
+        let s = Schema::mds_core();
+        let e = Entry::at("x=y").unwrap().with_class("exotic");
+        assert!(s.validate(&e, Strictness::Lenient).is_ok());
+        assert!(s.validate(&e, Strictness::Strict).is_err());
+    }
+
+    #[test]
+    fn classless_entry() {
+        let s = Schema::mds_core();
+        let e = Entry::at("x=y").unwrap();
+        assert!(s.validate(&e, Strictness::Lenient).is_ok());
+        assert!(s.validate(&e, Strictness::Strict).is_err());
+    }
+
+    #[test]
+    fn required_attrs_includes_parents() {
+        let s = Schema::mds_core();
+        let req = s.required_attrs("filesystem");
+        assert!(req.contains(&"free".to_string()));
+        assert!(req.contains(&"path".to_string()));
+    }
+
+    #[test]
+    fn inheritance_cycle_is_survived() {
+        let mut s = Schema::new();
+        s.define(ObjectClassDef::new("a").extends("b").requires("x"));
+        s.define(ObjectClassDef::new("b").extends("a").requires("y"));
+        let req = s.required_attrs("a");
+        assert!(req.contains(&"x".to_string()));
+        assert!(req.contains(&"y".to_string()));
+    }
+}

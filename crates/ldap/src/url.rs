@@ -1,0 +1,154 @@
+//! LDAP URLs: `ldap://host:port/dn`.
+//!
+//! The paper uses LDAP URLs in two roles: as the *globally unique name* of
+//! information ("combination of name of information within the scope of the
+//! provider and the name of the provider", §4.1), and as the referral
+//! target a GIIS returns when it may not cache restricted data (§10.4).
+//! GRRP messages also carry "a URL to which GRIP messages can be directed"
+//! (§4.3).
+
+use crate::dn::Dn;
+use crate::error::{LdapError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Default LDAP port, used when a URL omits one.
+pub const DEFAULT_PORT: u16 = 389;
+
+/// A parsed `ldap://host:port/dn` URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LdapUrl {
+    /// Host name of the serving provider or directory.
+    pub host: String,
+    /// TCP port (conceptually; the simulator maps this to actor addresses).
+    pub port: u16,
+    /// Base DN within the server's namespace.
+    pub dn: Dn,
+}
+
+impl LdapUrl {
+    /// Construct a URL.
+    pub fn new(host: impl Into<String>, port: u16, dn: Dn) -> LdapUrl {
+        LdapUrl {
+            host: host.into(),
+            port,
+            dn,
+        }
+    }
+
+    /// Construct a URL for the server root on the default port.
+    pub fn server(host: impl Into<String>) -> LdapUrl {
+        LdapUrl::new(host, DEFAULT_PORT, Dn::root())
+    }
+
+    /// Parse from string form.
+    pub fn parse(s: &str) -> Result<LdapUrl> {
+        let rest = s
+            .strip_prefix("ldap://")
+            .ok_or_else(|| LdapError::InvalidUrl(format!("missing ldap:// scheme in {s:?}")))?;
+        let (authority, path) = match rest.find('/') {
+            Some(idx) => (&rest[..idx], &rest[idx + 1..]),
+            None => (rest, ""),
+        };
+        if authority.is_empty() {
+            return Err(LdapError::InvalidUrl(format!("empty host in {s:?}")));
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p
+                    .parse()
+                    .map_err(|_| LdapError::InvalidUrl(format!("bad port in {s:?}")))?;
+                (h, port)
+            }
+            None => (authority, DEFAULT_PORT),
+        };
+        if host.is_empty() {
+            return Err(LdapError::InvalidUrl(format!("empty host in {s:?}")));
+        }
+        let dn = Dn::parse(&path.replace("%20", " "))?;
+        Ok(LdapUrl {
+            host: host.to_owned(),
+            port,
+            dn,
+        })
+    }
+
+    /// The globally unique name for `local_dn` served by this endpoint:
+    /// same host/port, with the DN replaced.
+    pub fn naming(&self, dn: Dn) -> LdapUrl {
+        LdapUrl {
+            host: self.host.clone(),
+            port: self.port,
+            dn,
+        }
+    }
+}
+
+impl fmt::Display for LdapUrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ldap://{}:{}", self.host, self.port)?;
+        if !self.dn.is_root() {
+            write!(f, "/{}", self.dn.to_string().replace(' ', "%20"))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for LdapUrl {
+    type Err = LdapError;
+    fn from_str(s: &str) -> Result<LdapUrl> {
+        LdapUrl::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_form() {
+        let u = LdapUrl::parse("ldap://giis.vo-a.org:2135/hn=hostX,%20o=O1").unwrap();
+        assert_eq!(u.host, "giis.vo-a.org");
+        assert_eq!(u.port, 2135);
+        assert_eq!(u.dn, Dn::parse("hn=hostX, o=O1").unwrap());
+    }
+
+    #[test]
+    fn default_port_and_root_dn() {
+        let u = LdapUrl::parse("ldap://gris.site.edu").unwrap();
+        assert_eq!(u.port, DEFAULT_PORT);
+        assert!(u.dn.is_root());
+        let u2 = LdapUrl::parse("ldap://gris.site.edu/").unwrap();
+        assert_eq!(u, u2);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "ldap://a.example:389",
+            "ldap://a.example:2135/hn=h",
+            "ldap://b:1/perf=load5,%20hn=h,%20o=O1",
+        ] {
+            let u = LdapUrl::parse(s).unwrap();
+            assert_eq!(LdapUrl::parse(&u.to_string()).unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(LdapUrl::parse("http://x").is_err());
+        assert!(LdapUrl::parse("ldap://").is_err());
+        assert!(LdapUrl::parse("ldap://host:notaport/").is_err());
+    }
+
+    #[test]
+    fn naming_combines_provider_and_local_name() {
+        let server = LdapUrl::server("gris.site.edu");
+        let name = server.naming(Dn::parse("perf=load5, hn=hostX").unwrap());
+        assert_eq!(
+            name.to_string(),
+            "ldap://gris.site.edu:389/perf=load5,%20hn=hostX"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Property-based tests for the LDAP substrate: round-trips and invariants
+//! on arbitrary inputs.
+
+use gis_ldap::{Dit, Dn, Entry, Filter, Rdn, Scope, Wire};
+use proptest::prelude::*;
+
+/// Attribute types are restricted identifiers. "dn" is excluded because it
+/// is reserved in LDIF record syntax.
+fn attr_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,8}".prop_filter("dn is reserved", |s| s != "dn")
+}
+
+/// Values: printable, no leading/trailing space (DN parsing trims), and
+/// excluding characters with syntactic meaning in DN string form.
+fn dn_value() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.:/][a-zA-Z0-9_.:/ ]{0,10}[a-zA-Z0-9_.:/]|[a-zA-Z0-9_.:/]"
+}
+
+/// Arbitrary filter values (escaping must handle anything printable).
+fn filter_value() -> impl Strategy<Value = String> {
+    "[ -~]{1,12}"
+}
+
+fn rdn() -> impl Strategy<Value = Rdn> {
+    (attr_name(), dn_value()).prop_map(|(a, v)| Rdn::new(a, v))
+}
+
+fn dn(max_depth: usize) -> impl Strategy<Value = Dn> {
+    prop::collection::vec(rdn(), 0..=max_depth).prop_map(Dn::from_rdns)
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    let leaf = prop_oneof![
+        (attr_name(), filter_value()).prop_map(|(a, v)| Filter::Eq(a, v)),
+        (attr_name(), filter_value()).prop_map(|(a, v)| Filter::Ge(a, v)),
+        (attr_name(), filter_value()).prop_map(|(a, v)| Filter::Le(a, v)),
+        (attr_name(), filter_value()).prop_map(|(a, v)| Filter::Approx(a, v)),
+        attr_name().prop_map(Filter::Present),
+        (
+            attr_name(),
+            prop::option::of(filter_value()),
+            prop::collection::vec(filter_value(), 0..3),
+            prop::option::of(filter_value())
+        )
+            // A substring with no components at all is syntactically a
+            // presence filter; exclude that degenerate case.
+            .prop_filter("substring needs a component", |(_, i, a, f)| {
+                i.is_some() || !a.is_empty() || f.is_some()
+            })
+            .prop_map(|(attr, initial, any, final_)| Filter::Substring {
+                attr,
+                initial,
+                any,
+                final_,
+            }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Filter::And),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Filter::Or),
+            inner.prop_map(|f| Filter::Not(Box::new(f))),
+        ]
+    })
+}
+
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    (
+        dn(3),
+        prop::collection::vec((attr_name(), prop::collection::vec(filter_value(), 1..3)), 0..5),
+    )
+        .prop_map(|(dn, attrs)| {
+            let mut e = Entry::new(dn);
+            for (name, values) in attrs {
+                for v in values {
+                    e.add(&name, v);
+                }
+            }
+            e
+        })
+}
+
+proptest! {
+    #[test]
+    fn dn_parse_print_roundtrip(d in dn(5)) {
+        let s = d.to_string();
+        let back = Dn::parse(&s).unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn dn_parent_child_inverse(d in dn(5), r in rdn()) {
+        let child = d.child(r);
+        prop_assert_eq!(child.parent().unwrap(), d.clone());
+        prop_assert!(child.is_strictly_under(&d));
+    }
+
+    #[test]
+    fn dn_under_transitive(a in dn(2), b in dn(2), c in dn(2)) {
+        let ab = a.under(&b);
+        let abc = ab.under(&c);
+        prop_assert!(ab.is_under(&b));
+        prop_assert!(abc.is_under(&c));
+        prop_assert!(abc.is_under(&b.under(&c)));
+    }
+
+    #[test]
+    fn dn_strip_suffix_inverts_under(a in dn(3), b in dn(3)) {
+        let joined = a.under(&b);
+        prop_assert_eq!(joined.strip_suffix(&b).unwrap(), a.clone());
+    }
+
+    #[test]
+    fn filter_print_parse_roundtrip(f in arb_filter()) {
+        let s = f.to_string();
+        let back = Filter::parse(&s)
+            .unwrap_or_else(|e| panic!("failed to reparse {s:?}: {e}"));
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn filter_not_is_complement(f in arb_filter(), e in arb_entry()) {
+        let neg = Filter::Not(Box::new(f.clone()));
+        prop_assert_eq!(neg.matches(&e), !f.matches(&e));
+    }
+
+    #[test]
+    fn filter_and_or_duality(fs in prop::collection::vec(arb_filter(), 0..4), e in arb_entry()) {
+        // De Morgan: !(f1 & f2 & ...) == (!f1 | !f2 | ...)
+        let and = Filter::And(fs.clone());
+        let or_of_nots = Filter::Or(fs.iter().cloned().map(|f| Filter::Not(Box::new(f))).collect());
+        prop_assert_eq!(!and.matches(&e), or_of_nots.matches(&e));
+    }
+
+    #[test]
+    fn entry_wire_roundtrip(e in arb_entry()) {
+        let bytes = e.to_wire();
+        prop_assert_eq!(Entry::from_wire(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn filter_wire_roundtrip(f in arb_filter()) {
+        let bytes = f.to_wire();
+        prop_assert_eq!(Filter::from_wire(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn dit_search_scopes_nest(entries in prop::collection::vec(arb_entry(), 0..12), base in dn(2)) {
+        let mut dit = Dit::new();
+        for e in entries {
+            dit.upsert(e);
+        }
+        let f = Filter::And(vec![]); // absolute true
+        let base_hits = dit.search(&base, Scope::Base, &f, &[], 0);
+        let one_hits = dit.search(&base, Scope::One, &f, &[], 0);
+        let sub_hits = dit.search(&base, Scope::Sub, &f, &[], 0);
+        // Base and one-level results are disjoint subsets of subtree results.
+        prop_assert!(base_hits.len() <= 1);
+        prop_assert!(base_hits.len() + one_hits.len() <= sub_hits.len());
+        for e in &base_hits {
+            prop_assert!(sub_hits.contains(e));
+        }
+        for e in &one_hits {
+            prop_assert!(sub_hits.contains(e));
+            prop_assert!(!base_hits.contains(e));
+        }
+        // Every subtree hit is under the base.
+        for e in &sub_hits {
+            prop_assert!(e.dn().is_under(&base));
+        }
+    }
+
+    #[test]
+    fn dit_size_limit_is_prefix(entries in prop::collection::vec(arb_entry(), 0..12), limit in 1usize..6) {
+        let mut dit = Dit::new();
+        for e in entries {
+            dit.upsert(e);
+        }
+        let f = Filter::And(vec![]);
+        let all = dit.search(&Dn::root(), Scope::Sub, &f, &[], 0);
+        let limited = dit.search(&Dn::root(), Scope::Sub, &f, &[], limit);
+        prop_assert_eq!(limited.len(), all.len().min(limit));
+        prop_assert_eq!(&limited[..], &all[..limited.len()]);
+    }
+
+    #[test]
+    fn class_indexed_search_equals_full_scan(
+        entries in prop::collection::vec(arb_entry(), 0..15),
+        classes in prop::collection::vec("[a-c]", 0..10),
+        probe_class in "[a-d]",
+        base in dn(2),
+    ) {
+        // Tag entries with small-class-alphabet objectclasses so pinned
+        // searches sometimes hit, sometimes miss.
+        let mut dit = Dit::new();
+        let mut tagged = Vec::new();
+        for (i, mut e) in entries.into_iter().enumerate() {
+            if let Some(c) = classes.get(i % classes.len().max(1)) {
+                e.add("objectclass", c.clone());
+            }
+            dit.upsert(e.clone());
+            tagged.push(e);
+        }
+        let filter = Filter::parse(&format!("(objectclass={probe_class})")).unwrap();
+        let indexed = dit.search(&base, Scope::Sub, &filter, &[], 0);
+        // Reference: a linear scan using only public evaluation semantics.
+        // The DIT normalizes naming attributes on insert, so compare DNs.
+        let mut expected: Vec<String> = dit
+            .iter()
+            .filter(|e| e.dn().is_under(&base) && filter.matches(e))
+            .map(|e| e.dn().to_string())
+            .collect();
+        let mut got: Vec<String> = indexed.iter().map(|e| e.dn().to_string()).collect();
+        expected.sort();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn class_index_survives_updates_and_deletes(
+        ops in prop::collection::vec((0u8..3, 0u8..6, "[a-b]"), 1..40)
+    ) {
+        let mut dit = Dit::new();
+        for (op, slot, class) in ops {
+            let dn = Dn::parse(&format!("hn=h{slot}")).unwrap();
+            match op {
+                0 => dit.upsert(Entry::new(dn).with("objectclass", class)),
+                1 => {
+                    dit.delete(&dn);
+                }
+                _ => dit.upsert(Entry::new(dn).with("objectclass", "other")),
+            }
+            // Invariant: pinned searches agree with linear scans after
+            // every mutation.
+            for probe in ["a", "b", "other", "never"] {
+                let filter = Filter::parse(&format!("(objectclass={probe})")).unwrap();
+                let indexed: Vec<String> = dit
+                    .search(&Dn::root(), Scope::Sub, &filter, &[], 0)
+                    .iter()
+                    .map(|e| e.dn().to_string())
+                    .collect();
+                let scanned: Vec<String> = dit
+                    .iter()
+                    .filter(|e| filter.matches(e))
+                    .map(|e| e.dn().to_string())
+                    .collect();
+                prop_assert_eq!(indexed, scanned);
+            }
+        }
+    }
+
+    #[test]
+    fn ldif_roundtrip(entries in prop::collection::vec(arb_entry(), 0..6)) {
+        // LDIF trims values; restrict to entries whose values survive.
+        let entries: Vec<Entry> = entries
+            .into_iter()
+            // LDIF cannot represent the root DN as a record.
+            .filter(|e| !e.dn().is_root())
+            .filter(|e| {
+                e.attrs().all(|(_, vs)| {
+                    vs.iter().all(|v| {
+                        let s = v.as_str();
+                        s == s.trim() && !s.is_empty() && !s.contains('\n') && !s.starts_with('#')
+                    })
+                })
+            })
+            .collect();
+        let doc = gis_ldap::to_ldif(&entries);
+        let back = gis_ldap::parse_ldif(&doc).unwrap();
+        prop_assert_eq!(back, entries);
+    }
+}

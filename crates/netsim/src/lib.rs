@@ -1,0 +1,21 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! This crate is the testbed substrate for the MDS-2 reproduction: the
+//! paper's distribution-related claims (robustness under partition,
+//! soft-state convergence, failure-detection tradeoffs) are exercised by
+//! running the real protocol state machines over this simulated network.
+//!
+//! Design goals, in order: **determinism** (same seed, same trace),
+//! **fault injection** (loss, partition, crash/restart), and **speed**
+//! (binary-heap event loop, no allocation in the hot path beyond the
+//! messages themselves).
+
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod sim;
+pub mod time;
+
+pub use rng::SimRng;
+pub use sim::{Actor, Ctx, LinkConfig, NetMetrics, NodeId, Sim};
+pub use time::{ms, secs, SimDuration, SimTime};

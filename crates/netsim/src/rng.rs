@@ -1,0 +1,176 @@
+//! Deterministic PRNG for the simulator.
+//!
+//! The simulator's central guarantee is *replayability*: the same seed must
+//! produce the same event trace on every run and every platform. We
+//! therefore pin the generator algorithm (SplitMix64, Steele et al. 2014)
+//! rather than depending on an external crate whose stream might change
+//! across versions.
+
+/// A SplitMix64 generator: tiny state, full 64-bit period, passes BigCrush
+/// when used as a one-stream generator — ample quality for simulation
+/// workloads (latency jitter, Bernoulli loss, workload arrival times).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng { state: seed }
+    }
+
+    /// Derive an independent child generator (used to give each node its
+    /// own stream so adding a node does not perturb others' randomness).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.next_u64() ^ 0x9e3779b97f4a7c15)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 significant bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // simulation spans (< 2^32).
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean (inter-arrival
+    /// times of Poisson processes).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Approximately normal sample (Irwin–Hall sum of 12 uniforms): cheap,
+    /// deterministic, and adequate for latency jitter.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let sum: f64 = (0..12).map(|_| self.next_f64()).sum();
+        mean + (sum - 6.0) * std_dev
+    }
+
+    /// Pick a uniformly random element of a slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.range_u64(0, items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(7);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = SimRng::new(9);
+        for _ in 0..1000 {
+            let x = r.range_u64(10, 20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn chance_frequency_plausible() {
+        let mut r = SimRng::new(5);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn exponential_mean_plausible() {
+        let mut r = SimRng::new(11);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| r.exponential(5.0)).sum();
+        let mean = total / n as f64;
+        assert!((4.5..5.5).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_moments_plausible() {
+        let mut r = SimRng::new(13);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((9.9..10.1).contains(&mean), "mean = {mean}");
+        assert!((3.5..4.5).contains(&var), "var = {var}");
+    }
+
+    #[test]
+    fn fork_streams_independent() {
+        let mut parent = SimRng::new(17);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..32).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Simulated time: microsecond-resolution virtual clock values.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Microseconds since the epoch.
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Construct from fractional seconds (negative values clamp to zero).
+    pub fn from_secs_f64(s: f64) -> SimDuration {
+        SimDuration((s.max(0.0) * 1e6) as u64)
+    }
+
+    /// The span in microseconds.
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// The span in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scale by a float factor (clamped at zero).
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration((self.0 as f64 * k).max(0.0) as u64)
+    }
+}
+
+/// Shorthand: a duration of `ms` milliseconds.
+pub fn ms(ms: u64) -> SimDuration {
+    SimDuration::from_millis(ms)
+}
+
+/// Shorthand: a duration of `s` seconds.
+pub fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, other: SimTime) -> SimDuration {
+        self.since(other)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}us", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.1}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + secs(2) + ms(500);
+        assert_eq!(t.micros(), 2_500_000);
+        assert_eq!((t - SimTime(500_000)).micros(), 2_000_000);
+        assert_eq!(SimTime(1).since(SimTime(5)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_secs_f64(1.5).micros(), 1_500_000);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert!((secs(3).as_secs_f64() - 3.0).abs() < 1e-12);
+        assert_eq!(ms(250).mul_f64(2.0), ms(500));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SimDuration(999).to_string(), "999us");
+        assert_eq!(ms(1).to_string(), "1.0ms");
+        assert_eq!(secs(2).to_string(), "2.000s");
+        assert_eq!((SimTime::ZERO + ms(1500)).to_string(), "1.500s");
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests for the simulator: determinism, causality and
+//! conservation invariants over randomized workloads.
+
+use gis_netsim::{ms, Actor, Ctx, LinkConfig, NodeId, Sim, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A recording actor: logs (time, from, payload) of everything it
+/// receives and relays a configurable number of times.
+struct Recorder {
+    received: Vec<(SimTime, NodeId, u64)>,
+    relay_to: Option<NodeId>,
+    relay_budget: u32,
+}
+
+impl Actor<u64> for Recorder {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: NodeId, msg: u64) {
+        self.received.push((ctx.now(), from, msg));
+        if self.relay_budget > 0 {
+            if let Some(to) = self.relay_to {
+                self.relay_budget -= 1;
+                ctx.send(to, msg + 1);
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Workload {
+    n_nodes: u32,
+    seed: u64,
+    loss: f64,
+    latency_ms: u64,
+    jitter_ms: u64,
+    injections: Vec<(u32, u64)>, // (target index, payload)
+}
+
+fn workload() -> impl Strategy<Value = Workload> {
+    (
+        2u32..8,
+        0u64..1000,
+        0.0f64..0.9,
+        1u64..100,
+        0u64..50,
+        prop::collection::vec((0u32..8, 0u64..1000), 1..20),
+    )
+        .prop_map(|(n_nodes, seed, loss, latency_ms, jitter_ms, injections)| Workload {
+            n_nodes,
+            seed,
+            loss,
+            latency_ms,
+            jitter_ms,
+            injections,
+        })
+}
+
+type NodeLog = Vec<(SimTime, NodeId, u64)>;
+
+fn run(w: &Workload) -> (Vec<NodeLog>, gis_netsim::NetMetrics) {
+    let mut sim: Sim<u64> = Sim::new(w.seed);
+    sim.set_default_link(LinkConfig {
+        latency: ms(w.latency_ms),
+        jitter: ms(w.jitter_ms),
+        loss: w.loss,
+    });
+    let mut nodes = Vec::new();
+    for i in 0..w.n_nodes {
+        let relay_to = if w.n_nodes > 1 {
+            Some(NodeId((i + 1) % w.n_nodes))
+        } else {
+            None
+        };
+        nodes.push(sim.add_node(
+            format!("n{i}"),
+            Box::new(Recorder {
+                received: Vec::new(),
+                relay_to,
+                relay_budget: 3,
+            }),
+        ));
+    }
+    for (target, payload) in &w.injections {
+        sim.send_external(NodeId(target % w.n_nodes), *payload);
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+    let logs = nodes
+        .iter()
+        .map(|&n| sim.actor::<Recorder>(n).unwrap().received.clone())
+        .collect();
+    (logs, sim.metrics())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn same_seed_same_trace(w in workload()) {
+        let (logs1, m1) = run(&w);
+        let (logs2, m2) = run(&w);
+        prop_assert_eq!(logs1, logs2);
+        prop_assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn message_conservation(w in workload()) {
+        let (_, m) = run(&w);
+        prop_assert_eq!(
+            m.sent,
+            m.delivered + m.dropped_loss + m.dropped_partition + m.dropped_down,
+            "every sent message is delivered or accounted as dropped"
+        );
+    }
+
+    #[test]
+    fn delivery_times_respect_minimum_latency(w in workload()) {
+        let (logs, _) = run(&w);
+        // Every delivery happens at or after the link's base latency
+        // (external injections included).
+        for log in &logs {
+            for (t, _, _) in log {
+                prop_assert!(t.micros() >= w.latency_ms * 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn delivery_order_is_chronological_per_node(w in workload()) {
+        let (logs, _) = run(&w);
+        for log in &logs {
+            for pair in log.windows(2) {
+                prop_assert!(pair[0].0 <= pair[1].0, "per-node delivery times are monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_network_delivers_everything(mut w in workload()) {
+        w.loss = 0.0;
+        let (_, m) = run(&w);
+        prop_assert_eq!(m.dropped_loss, 0);
+        prop_assert_eq!(m.sent, m.delivered);
+    }
+
+    #[test]
+    fn full_loss_delivers_only_external(mut w in workload()) {
+        w.loss = 1.0;
+        let (_, m) = run(&w);
+        // Externally injected messages bypass loss; all relayed traffic dies.
+        prop_assert_eq!(m.delivered, w.injections.len() as u64);
+    }
+
+    #[test]
+    fn partition_blocks_exactly_cross_traffic(w in workload()) {
+        // Partition node 0 from everyone else before injecting.
+        let mut sim: Sim<u64> = Sim::new(w.seed);
+        sim.set_default_link(LinkConfig {
+            latency: ms(w.latency_ms),
+            jitter: ms(w.jitter_ms),
+            loss: 0.0,
+        });
+        let mut nodes = Vec::new();
+        for i in 0..w.n_nodes.max(2) {
+            let n = w.n_nodes.max(2);
+            nodes.push(sim.add_node(
+                format!("n{i}"),
+                Box::new(Recorder {
+                    received: Vec::new(),
+                    relay_to: Some(NodeId((i + 1) % n)),
+                    relay_budget: 1,
+                }),
+            ));
+        }
+        let others: Vec<NodeId> = nodes[1..].to_vec();
+        sim.partition_between(&[nodes[0]], &others);
+        for (target, payload) in &w.injections {
+            sim.send_external(NodeId(target % w.n_nodes.max(2)), *payload);
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+        let m = sim.metrics();
+        prop_assert_eq!(m.dropped_loss, 0);
+        prop_assert_eq!(m.sent, m.delivered + m.dropped_partition);
+        // Node 0 receives only external injections (its ring neighbours
+        // cannot reach it).
+        let n0 = sim.actor::<Recorder>(nodes[0]).unwrap();
+        for (_, from, _) in &n0.received {
+            prop_assert_eq!(*from, NodeId::EXTERNAL);
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Time-series forecasters and the adaptive forecaster battery.
+//!
+//! The Network Weather Service (Wolski, HPDC'97 — the paper's reference
+//! \[40]) runs a battery of simple predictors over each measurement series
+//! and reports the forecast of whichever predictor currently has the
+//! lowest error. We reimplement that scheme: it is what makes the NWS
+//! gateway provider's "predicted bandwidth/latency" attributes (§10.3)
+//! meaningful.
+
+use std::collections::VecDeque;
+
+/// A single-series, one-step-ahead forecaster.
+pub trait Forecaster: std::fmt::Debug {
+    /// Human-readable method name (appears in experiment output).
+    fn name(&self) -> &'static str;
+    /// Incorporate a new observation.
+    fn update(&mut self, value: f64);
+    /// Predict the next observation; `None` until enough data is seen.
+    fn predict(&self) -> Option<f64>;
+}
+
+/// Predicts the last observed value (random-walk model).
+#[derive(Debug, Clone, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl Forecaster for LastValue {
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+    fn update(&mut self, value: f64) {
+        self.last = Some(value);
+    }
+    fn predict(&self) -> Option<f64> {
+        self.last
+    }
+}
+
+/// Predicts the mean of all observations (stationary model).
+#[derive(Debug, Clone, Default)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl Forecaster for RunningMean {
+    fn name(&self) -> &'static str {
+        "running-mean"
+    }
+    fn update(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+    fn predict(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// Mean over a sliding window of `w` observations.
+#[derive(Debug, Clone)]
+pub struct SlidingMean {
+    window: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+}
+
+impl SlidingMean {
+    /// Window of `capacity` observations (must be ≥ 1).
+    pub fn new(capacity: usize) -> SlidingMean {
+        assert!(capacity >= 1);
+        SlidingMean {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+        }
+    }
+}
+
+impl Forecaster for SlidingMean {
+    fn name(&self) -> &'static str {
+        "sliding-mean"
+    }
+    fn update(&mut self, value: f64) {
+        if self.window.len() == self.capacity {
+            self.sum -= self.window.pop_front().expect("nonempty at capacity");
+        }
+        self.window.push_back(value);
+        self.sum += value;
+    }
+    fn predict(&self) -> Option<f64> {
+        (!self.window.is_empty()).then(|| self.sum / self.window.len() as f64)
+    }
+}
+
+/// Median over a sliding window (robust to measurement spikes).
+#[derive(Debug, Clone)]
+pub struct SlidingMedian {
+    window: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl SlidingMedian {
+    /// Window of `capacity` observations (must be ≥ 1).
+    pub fn new(capacity: usize) -> SlidingMedian {
+        assert!(capacity >= 1);
+        SlidingMedian {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+}
+
+impl Forecaster for SlidingMedian {
+    fn name(&self) -> &'static str {
+        "sliding-median"
+    }
+    fn update(&mut self, value: f64) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(value);
+    }
+    fn predict(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.window.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+        let mid = sorted.len() / 2;
+        Some(if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            0.5 * (sorted[mid - 1] + sorted[mid])
+        })
+    }
+}
+
+/// Exponential smoothing with gain `alpha`.
+#[derive(Debug, Clone)]
+pub struct ExpSmoothing {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl ExpSmoothing {
+    /// `alpha` in `(0, 1]`: weight of the newest observation.
+    pub fn new(alpha: f64) -> ExpSmoothing {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        ExpSmoothing { alpha, state: None }
+    }
+}
+
+impl Forecaster for ExpSmoothing {
+    fn name(&self) -> &'static str {
+        "exp-smoothing"
+    }
+    fn update(&mut self, value: f64) {
+        self.state = Some(match self.state {
+            None => value,
+            Some(s) => s + self.alpha * (value - s),
+        });
+    }
+    fn predict(&self) -> Option<f64> {
+        self.state
+    }
+}
+
+/// First-order autoregressive model fitted online: predicts
+/// `mean + phi * (last - mean)` with `phi` estimated from lag-1
+/// covariance.
+#[derive(Debug, Clone, Default)]
+pub struct Ar1 {
+    n: u64,
+    sum: f64,
+    sum_sq: f64,
+    lag_products: f64,
+    lag_count: u64,
+    prev: Option<f64>,
+    last: Option<f64>,
+}
+
+impl Forecaster for Ar1 {
+    fn name(&self) -> &'static str {
+        "ar1"
+    }
+    fn update(&mut self, value: f64) {
+        self.n += 1;
+        self.sum += value;
+        self.sum_sq += value * value;
+        if let Some(prev) = self.last {
+            self.lag_products += prev * value;
+            self.lag_count += 1;
+        }
+        self.prev = self.last;
+        self.last = Some(value);
+    }
+    fn predict(&self) -> Option<f64> {
+        let last = self.last?;
+        if self.n < 3 || self.lag_count < 2 {
+            return Some(last);
+        }
+        let n = self.n as f64;
+        let mean = self.sum / n;
+        let var = self.sum_sq / n - mean * mean;
+        if var <= 1e-12 {
+            return Some(mean);
+        }
+        let lag_cov = self.lag_products / self.lag_count as f64 - mean * mean;
+        let phi = (lag_cov / var).clamp(-0.999, 0.999);
+        Some(mean + phi * (last - mean))
+    }
+}
+
+/// Per-forecaster error tracking inside the battery.
+#[derive(Debug)]
+struct Tracked {
+    forecaster: Box<dyn Forecaster + Send>,
+    sq_err_sum: f64,
+    err_count: u64,
+}
+
+/// The NWS forecaster battery: runs every method in parallel, scores each
+/// by mean squared one-step-ahead error, and forecasts with the current
+/// best.
+#[derive(Debug)]
+pub struct Battery {
+    tracked: Vec<Tracked>,
+    observations: u64,
+}
+
+impl Battery {
+    /// The standard battery (the methods NWS documents).
+    pub fn standard() -> Battery {
+        Battery::new(vec![
+            Box::new(LastValue::default()),
+            Box::new(RunningMean::default()),
+            Box::new(SlidingMean::new(10)),
+            Box::new(SlidingMedian::new(10)),
+            Box::new(ExpSmoothing::new(0.3)),
+            Box::new(Ar1::default()),
+        ])
+    }
+
+    /// A battery over a custom set of forecasters.
+    pub fn new(forecasters: Vec<Box<dyn Forecaster + Send>>) -> Battery {
+        assert!(!forecasters.is_empty());
+        Battery {
+            tracked: forecasters
+                .into_iter()
+                .map(|forecaster| Tracked {
+                    forecaster,
+                    sq_err_sum: 0.0,
+                    err_count: 0,
+                })
+                .collect(),
+            observations: 0,
+        }
+    }
+
+    /// Feed an observation: first score every method's pending prediction
+    /// against it, then update the models.
+    pub fn observe(&mut self, value: f64) {
+        for t in &mut self.tracked {
+            if let Some(pred) = t.forecaster.predict() {
+                let err = pred - value;
+                t.sq_err_sum += err * err;
+                t.err_count += 1;
+            }
+            t.forecaster.update(value);
+        }
+        self.observations += 1;
+    }
+
+    /// Number of observations fed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Current mean squared error per method, as `(name, mse)` pairs
+    /// (`None` until a method has been scored).
+    pub fn mse_by_method(&self) -> Vec<(&'static str, Option<f64>)> {
+        self.tracked
+            .iter()
+            .map(|t| {
+                (
+                    t.forecaster.name(),
+                    (t.err_count > 0).then(|| t.sq_err_sum / t.err_count as f64),
+                )
+            })
+            .collect()
+    }
+
+    /// The name of the currently best (lowest-MSE) method.
+    pub fn best_method(&self) -> &'static str {
+        self.best_index()
+            .map(|i| self.tracked[i].forecaster.name())
+            .unwrap_or("last-value")
+    }
+
+    fn best_index(&self) -> Option<usize> {
+        self.tracked
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.err_count > 0 && t.forecaster.predict().is_some())
+            .min_by(|(_, a), (_, b)| {
+                let ma = a.sq_err_sum / a.err_count as f64;
+                let mb = b.sq_err_sum / b.err_count as f64;
+                ma.partial_cmp(&mb).expect("finite MSE")
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Forecast the next observation with the best method; falls back to
+    /// any method with a prediction before scoring data exists.
+    pub fn predict(&self) -> Option<f64> {
+        if let Some(i) = self.best_index() {
+            return self.tracked[i].forecaster.predict();
+        }
+        self.tracked.iter().find_map(|t| t.forecaster.predict())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_tracks() {
+        let mut f = LastValue::default();
+        assert_eq!(f.predict(), None);
+        f.update(3.0);
+        f.update(5.0);
+        assert_eq!(f.predict(), Some(5.0));
+    }
+
+    #[test]
+    fn running_mean_converges() {
+        let mut f = RunningMean::default();
+        for v in [2.0, 4.0, 6.0] {
+            f.update(v);
+        }
+        assert_eq!(f.predict(), Some(4.0));
+    }
+
+    #[test]
+    fn sliding_mean_window() {
+        let mut f = SlidingMean::new(2);
+        for v in [10.0, 2.0, 4.0] {
+            f.update(v);
+        }
+        assert_eq!(f.predict(), Some(3.0), "only the last two count");
+    }
+
+    #[test]
+    fn sliding_median_robust_to_spike() {
+        let mut f = SlidingMedian::new(5);
+        for v in [1.0, 1.0, 100.0, 1.0, 1.0] {
+            f.update(v);
+        }
+        assert_eq!(f.predict(), Some(1.0));
+        // Even-length window takes the midpoint average.
+        let mut g = SlidingMedian::new(4);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            g.update(v);
+        }
+        assert_eq!(g.predict(), Some(2.5));
+    }
+
+    #[test]
+    fn exp_smoothing_moves_toward_new_values() {
+        let mut f = ExpSmoothing::new(0.5);
+        f.update(0.0);
+        f.update(10.0);
+        assert_eq!(f.predict(), Some(5.0));
+    }
+
+    #[test]
+    fn ar1_learns_alternating_series() {
+        // x_{t+1} = -x_t: a perfectly anti-correlated series. AR(1)
+        // should learn phi ≈ -1 and beat last-value.
+        let mut ar = Ar1::default();
+        let mut last = LastValue::default();
+        let mut ar_err = 0.0;
+        let mut lv_err = 0.0;
+        let mut x = 1.0;
+        for _ in 0..200 {
+            x = -x;
+            if let (Some(pa), Some(pl)) = (ar.predict(), last.predict()) {
+                ar_err += (pa - x).powi(2);
+                lv_err += (pl - x).powi(2);
+            }
+            ar.update(x);
+            last.update(x);
+        }
+        assert!(ar_err < lv_err * 0.5, "ar {ar_err} vs last {lv_err}");
+    }
+
+    #[test]
+    fn battery_picks_winner_for_constant_series() {
+        let mut b = Battery::standard();
+        for _ in 0..50 {
+            b.observe(7.5);
+        }
+        assert_eq!(b.predict(), Some(7.5));
+        // All methods are perfect; MSE is 0 for each.
+        for (_, mse) in b.mse_by_method() {
+            assert_eq!(mse, Some(0.0));
+        }
+    }
+
+    #[test]
+    fn battery_prefers_mean_for_noisy_stationary_series() {
+        // Deterministic "noise": a fixed repeating pattern around 10.
+        let pattern = [9.0, 11.0, 10.5, 9.5, 10.0, 8.5, 11.5, 10.0];
+        let mut b = Battery::standard();
+        for i in 0..400 {
+            b.observe(pattern[i % pattern.len()]);
+        }
+        let best = b.best_method();
+        assert_ne!(best, "last-value", "averaging methods must win; got {best}");
+        let p = b.predict().unwrap();
+        assert!((9.0..11.0).contains(&p), "prediction {p}");
+    }
+
+    #[test]
+    fn battery_observation_count() {
+        let mut b = Battery::standard();
+        assert_eq!(b.observations(), 0);
+        assert_eq!(b.predict(), None);
+        b.observe(1.0);
+        assert_eq!(b.observations(), 1);
+        assert!(b.predict().is_some());
+    }
+}

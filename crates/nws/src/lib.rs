@@ -1,0 +1,24 @@
+//! Network Weather Service substrate (the paper's reference \[40]).
+//!
+//! MDS-2's GRIS includes "network information via the Network Weather
+//! Service (network bandwidth and latency, both measured and predicted)"
+//! (§10.3), and §4.1 uses NWS to motivate non-enumerable lazy namespaces.
+//! This crate reimplements the relevant core of NWS:
+//!
+//! * [`sensor`] — deterministic synthetic measurement processes standing
+//!   in for active network probes (substitution documented in DESIGN.md);
+//! * [`forecast`] — the forecaster battery (last value, means, median,
+//!   exponential smoothing, AR(1)) with adaptive best-method selection;
+//! * [`system`] — the queryable per-link service with experiment caching.
+
+#![warn(missing_docs)]
+
+pub mod forecast;
+pub mod sensor;
+pub mod system;
+
+pub use forecast::{
+    Ar1, Battery, ExpSmoothing, Forecaster, LastValue, RunningMean, SlidingMean, SlidingMedian,
+};
+pub use sensor::{Metric, Sensor, SensorModel};
+pub use system::{LinkForecast, LinkId, Nws};

@@ -1,0 +1,151 @@
+//! Synthetic network sensors.
+//!
+//! The real NWS measures wide-area links with active probes. Our
+//! substitute generates measurement series with the statistical character
+//! the networking literature the paper cites describes (Bolot '93,
+//! Paxson '97): a slowly wandering mean-reverting baseline with
+//! heavy-tailed spikes (congestion episodes). The generator is
+//! deterministic given its seed.
+
+use gis_netsim::SimRng;
+
+/// What a sensor measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Available bandwidth, Mbit/s.
+    BandwidthMbps,
+    /// Round-trip latency, milliseconds.
+    LatencyMs,
+}
+
+/// Parameters of the synthetic measurement process.
+#[derive(Debug, Clone, Copy)]
+pub struct SensorModel {
+    /// Long-run mean of the series.
+    pub mean: f64,
+    /// Mean-reversion rate per step, in `(0, 1]`.
+    pub reversion: f64,
+    /// Standard deviation of per-step innovation.
+    pub noise: f64,
+    /// Probability of a congestion spike per step.
+    pub spike_prob: f64,
+    /// Multiplier applied during a spike (e.g. 0.25 for bandwidth
+    /// collapse, 4.0 for latency inflation).
+    pub spike_factor: f64,
+    /// Hard floor for the measurement (bandwidth cannot go negative).
+    pub floor: f64,
+}
+
+impl SensorModel {
+    /// A plausible wide-area bandwidth process around `mean` Mbit/s.
+    pub fn bandwidth(mean: f64) -> SensorModel {
+        SensorModel {
+            mean,
+            reversion: 0.2,
+            noise: mean * 0.08,
+            spike_prob: 0.03,
+            spike_factor: 0.25,
+            floor: 0.1,
+        }
+    }
+
+    /// A plausible wide-area latency process around `mean` ms.
+    pub fn latency(mean: f64) -> SensorModel {
+        SensorModel {
+            mean,
+            reversion: 0.3,
+            noise: mean * 0.10,
+            spike_prob: 0.05,
+            spike_factor: 4.0,
+            floor: 0.1,
+        }
+    }
+}
+
+/// A deterministic synthetic sensor producing one measurement per call.
+#[derive(Debug)]
+pub struct Sensor {
+    model: SensorModel,
+    state: f64,
+    rng: SimRng,
+    produced: u64,
+}
+
+impl Sensor {
+    /// Create a sensor with its own random stream.
+    pub fn new(model: SensorModel, seed: u64) -> Sensor {
+        Sensor {
+            state: model.mean,
+            model,
+            rng: SimRng::new(seed),
+            produced: 0,
+        }
+    }
+
+    /// Draw the next measurement.
+    pub fn measure(&mut self) -> f64 {
+        let m = &self.model;
+        // Ornstein-Uhlenbeck-style mean reversion with Gaussian-ish noise.
+        let innovation = self.rng.normal(0.0, m.noise);
+        self.state += m.reversion * (m.mean - self.state) + innovation;
+        if self.state < m.floor {
+            self.state = m.floor;
+        }
+        self.produced += 1;
+        if self.rng.chance(m.spike_prob) {
+            (self.state * m.spike_factor).max(m.floor)
+        } else {
+            self.state
+        }
+    }
+
+    /// Number of measurements produced.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &SensorModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Sensor::new(SensorModel::bandwidth(100.0), 7);
+        let mut b = Sensor::new(SensorModel::bandwidth(100.0), 7);
+        for _ in 0..100 {
+            assert_eq!(a.measure(), b.measure());
+        }
+    }
+
+    #[test]
+    fn bandwidth_stays_positive_and_near_mean() {
+        let mut s = Sensor::new(SensorModel::bandwidth(100.0), 11);
+        let n = 5000;
+        let samples: Vec<f64> = (0..n).map(|_| s.measure()).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((60.0..130.0).contains(&mean), "mean {mean}");
+        assert_eq!(s.produced(), n as u64);
+    }
+
+    #[test]
+    fn latency_spikes_occur() {
+        let mut s = Sensor::new(SensorModel::latency(50.0), 13);
+        let samples: Vec<f64> = (0..2000).map(|_| s.measure()).collect();
+        let spikes = samples.iter().filter(|&&x| x > 120.0).count();
+        assert!(spikes > 20, "expected congestion spikes, saw {spikes}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Sensor::new(SensorModel::latency(50.0), 1);
+        let mut b = Sensor::new(SensorModel::latency(50.0), 2);
+        assert_ne!(a.measure(), b.measure());
+    }
+}

@@ -1,0 +1,262 @@
+//! The NWS system: lazily instantiated per-link sensors with forecaster
+//! batteries, queried by endpoint pair.
+//!
+//! This is the backend behind the paper's flagship non-enumerable
+//! namespace example (§4.1): "an information provider that allows users
+//! to request bandwidth information for entities corresponding to network
+//! links connecting specified endpoints. In practice, such requests do
+//! not access a database maintained within the information provider, but
+//! are handed off to the Network Weather Service, which may variously
+//! access cached data or perform an experiment."
+
+use crate::forecast::Battery;
+use crate::sensor::{Metric, Sensor, SensorModel};
+use gis_netsim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// A directed link between two named endpoints.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId {
+    /// Source endpoint (hostname).
+    pub src: String,
+    /// Destination endpoint (hostname).
+    pub dst: String,
+}
+
+impl LinkId {
+    /// Construct a link id.
+    pub fn new(src: impl Into<String>, dst: impl Into<String>) -> LinkId {
+        LinkId {
+            src: src.into(),
+            dst: dst.into(),
+        }
+    }
+}
+
+/// A measurement+forecast answer for one link metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkForecast {
+    /// The most recent measurement.
+    pub measured: f64,
+    /// The battery's one-step-ahead prediction.
+    pub predicted: f64,
+    /// When the last measurement (or experiment) ran.
+    pub measured_at: SimTime,
+}
+
+struct LinkState {
+    sensor: Sensor,
+    battery: Battery,
+    last: Option<LinkForecast>,
+}
+
+/// One metric's worth of per-link state.
+struct MetricTable {
+    links: BTreeMap<LinkId, LinkState>,
+    model_for: fn(&LinkId) -> SensorModel,
+}
+
+/// The NWS: per-link, per-metric sensors and forecasters. Links are
+/// created lazily on first query — the namespace is never enumerated.
+pub struct Nws {
+    seed: u64,
+    /// Measurements younger than this are served from cache instead of
+    /// re-running the experiment ("may variously access cached data or
+    /// perform an experiment").
+    pub cache_ttl: SimDuration,
+    bandwidth: MetricTable,
+    latency: MetricTable,
+    /// Number of actual experiments run (cache misses).
+    pub experiments_run: u64,
+    /// Number of queries answered from cache.
+    pub cache_hits: u64,
+}
+
+fn default_bandwidth_model(link: &LinkId) -> SensorModel {
+    // Derive a stable per-link mean from the endpoint names so distinct
+    // links have distinct characteristics, deterministically.
+    let h = gis_hash(&format!("{}->{}", link.src, link.dst));
+    let mean = 20.0 + (h % 180) as f64; // 20..200 Mbit/s
+    SensorModel::bandwidth(mean)
+}
+
+fn default_latency_model(link: &LinkId) -> SensorModel {
+    let h = gis_hash(&format!("{}=>{}", link.src, link.dst));
+    let mean = 5.0 + (h % 120) as f64; // 5..125 ms
+    SensorModel::latency(mean)
+}
+
+fn gis_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Nws {
+    /// Create an NWS instance; all sensors derive from `seed`.
+    pub fn new(seed: u64, cache_ttl: SimDuration) -> Nws {
+        Nws {
+            seed,
+            cache_ttl,
+            bandwidth: MetricTable {
+                links: BTreeMap::new(),
+                model_for: default_bandwidth_model,
+            },
+            latency: MetricTable {
+                links: BTreeMap::new(),
+                model_for: default_latency_model,
+            },
+            experiments_run: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Query a link metric at time `now`: serves from cache when fresh,
+    /// otherwise runs an experiment (draws a measurement and updates the
+    /// battery).
+    pub fn query(&mut self, link: &LinkId, metric: Metric, now: SimTime) -> LinkForecast {
+        let seed = self.seed;
+        let ttl = self.cache_ttl;
+        let table = match metric {
+            Metric::BandwidthMbps => &mut self.bandwidth,
+            Metric::LatencyMs => &mut self.latency,
+        };
+        let state = table.links.entry(link.clone()).or_insert_with(|| {
+            let model = (table.model_for)(link);
+            let sensor_seed =
+                seed ^ gis_hash(&format!("{:?}:{}:{}", metric, link.src, link.dst));
+            LinkState {
+                sensor: Sensor::new(model, sensor_seed),
+                battery: Battery::standard(),
+                last: None,
+            }
+        });
+        if let Some(prev) = state.last {
+            if now.since(prev.measured_at) < ttl {
+                self.cache_hits += 1;
+                return prev;
+            }
+        }
+        let measured = state.sensor.measure();
+        state.battery.observe(measured);
+        let predicted = state.battery.predict().unwrap_or(measured);
+        let result = LinkForecast {
+            measured,
+            predicted,
+            measured_at: now,
+        };
+        state.last = Some(result);
+        self.experiments_run += 1;
+        result
+    }
+
+    /// Links instantiated so far for a metric (the *materialized* part of
+    /// the infinite namespace).
+    pub fn known_links(&self, metric: Metric) -> Vec<LinkId> {
+        let table = match metric {
+            Metric::BandwidthMbps => &self.bandwidth,
+            Metric::LatencyMs => &self.latency,
+        };
+        table.links.keys().cloned().collect()
+    }
+
+    /// Forecast-error summary for a link: `(method, mse)` pairs.
+    pub fn mse_report(&self, link: &LinkId, metric: Metric) -> Vec<(&'static str, Option<f64>)> {
+        let table = match metric {
+            Metric::BandwidthMbps => &self.bandwidth,
+            Metric::LatencyMs => &self.latency,
+        };
+        table
+            .links
+            .get(link)
+            .map(|s| s.battery.mse_by_method())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_netsim::{secs, SimTime};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + secs(s)
+    }
+
+    #[test]
+    fn lazy_namespace_materializes_on_query() {
+        let mut nws = Nws::new(1, secs(10));
+        assert!(nws.known_links(Metric::BandwidthMbps).is_empty());
+        nws.query(&LinkId::new("a", "b"), Metric::BandwidthMbps, t(0));
+        nws.query(&LinkId::new("a", "c"), Metric::BandwidthMbps, t(0));
+        assert_eq!(nws.known_links(Metric::BandwidthMbps).len(), 2);
+        assert!(nws.known_links(Metric::LatencyMs).is_empty());
+    }
+
+    #[test]
+    fn cache_serves_fresh_queries() {
+        let mut nws = Nws::new(1, secs(10));
+        let link = LinkId::new("a", "b");
+        let first = nws.query(&link, Metric::LatencyMs, t(0));
+        let cached = nws.query(&link, Metric::LatencyMs, t(5));
+        assert_eq!(first, cached);
+        assert_eq!(nws.experiments_run, 1);
+        assert_eq!(nws.cache_hits, 1);
+        // Past the TTL, a new experiment runs.
+        let fresh = nws.query(&link, Metric::LatencyMs, t(11));
+        assert_eq!(nws.experiments_run, 2);
+        assert_eq!(fresh.measured_at, t(11));
+    }
+
+    #[test]
+    fn distinct_links_have_distinct_characteristics() {
+        let mut nws = Nws::new(1, SimDuration::ZERO);
+        let mut means = Vec::new();
+        for (s, d) in [("a", "b"), ("c", "d"), ("e", "f")] {
+            let link = LinkId::new(s, d);
+            let total: f64 = (0..200)
+                .map(|i| nws.query(&link, Metric::BandwidthMbps, t(i)).measured)
+                .sum();
+            means.push(total / 200.0);
+        }
+        assert!(
+            (means[0] - means[1]).abs() > 1.0 || (means[1] - means[2]).abs() > 1.0,
+            "links should differ: {means:?}"
+        );
+    }
+
+    #[test]
+    fn predictions_track_measurements() {
+        let mut nws = Nws::new(3, SimDuration::ZERO);
+        let link = LinkId::new("x", "y");
+        let mut err = 0.0;
+        let mut prev_pred = None;
+        let n = 500;
+        for i in 0..n {
+            let f = nws.query(&link, Metric::BandwidthMbps, t(i));
+            if let Some(p) = prev_pred {
+                let e: f64 = p - f.measured;
+                err += e.abs() / f.measured.max(1.0);
+            }
+            prev_pred = Some(f.predicted);
+        }
+        let mape = err / (n - 1) as f64;
+        assert!(mape < 0.5, "mean relative error {mape}");
+    }
+
+    #[test]
+    fn mse_report_available_after_queries() {
+        let mut nws = Nws::new(4, SimDuration::ZERO);
+        let link = LinkId::new("p", "q");
+        for i in 0..50 {
+            nws.query(&link, Metric::LatencyMs, t(i));
+        }
+        let report = nws.mse_report(&link, Metric::LatencyMs);
+        assert_eq!(report.len(), 6, "all standard battery methods");
+        assert!(report.iter().all(|(_, mse)| mse.is_some()));
+        assert!(nws.mse_report(&LinkId::new("no", "link"), Metric::LatencyMs).is_empty());
+    }
+}

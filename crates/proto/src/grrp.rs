@@ -1,0 +1,573 @@
+//! GRRP — the GRid Registration Protocol (§4.3).
+//!
+//! GRRP is a **soft-state** notification protocol: a provider pushes a
+//! stream of registration messages naming itself; state established at the
+//! receiver is discarded unless refreshed. "Such protocols have the
+//! advantages of being both resilient to failure (a single lost message
+//! does not cause irretrievable harm) and simple (no reliable 'de-notify'
+//! protocol message is required)."
+//!
+//! Each message carries the name of the described service (an LDAP URL to
+//! which GRIP messages can be directed), the notification type, and
+//! timestamps bounding the interval over which the notification holds.
+//!
+//! This module provides the message type, the receiver-side
+//! [`SoftStateRegistry`], the sender-side [`RegistrationAgent`] refresh
+//! schedule, and the [`FailureDetector`] view (GRRP "provides a discoverer
+//! with an unreliable failure detector").
+
+use gis_ldap::{Dn, LdapUrl};
+use gis_netsim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// The kind of a GRRP notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Notification {
+    /// A service announces (or refreshes) its availability for indexing:
+    /// "in effect, it joins a VO" (§10.4).
+    Register,
+    /// A directory (or third party) asks a service to join; if the service
+    /// agrees "it turns around and uses GRRP to register itself" (§10.4).
+    Invite,
+}
+
+/// A GRRP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrrpMessage {
+    /// Notification type.
+    pub notification: Notification,
+    /// The service being described: where GRIP messages can be directed.
+    pub service_url: LdapUrl,
+    /// The DN suffix the service's information lives under (used by
+    /// hierarchical directories to scope chained searches, Figure 5).
+    pub namespace: Dn,
+    /// Start of the validity interval.
+    pub valid_from: SimTime,
+    /// End of the validity interval; receiver state expires at this time
+    /// unless refreshed.
+    pub valid_until: SimTime,
+    /// For invitations: the directory the invitee should register with.
+    /// For registrations this is the sender itself and may be omitted.
+    pub reply_to: Option<LdapUrl>,
+    /// Authenticated subject, when the message travelled over a secure
+    /// channel or was signed (§7); checked by the receiver's policy hook.
+    pub subject: Option<String>,
+    /// Detached signature blob over [`GrrpMessage::signable_bytes`],
+    /// produced and verified by `gis-gsi` ("we can cryptographically
+    /// sign each GRRP message with the credentials of the registering
+    /// entity", §7). Opaque at this layer.
+    pub signature: Option<Vec<u8>>,
+}
+
+impl GrrpMessage {
+    /// Construct a registration for `service_url` serving `namespace`,
+    /// valid for `ttl` from `now`.
+    pub fn register(service_url: LdapUrl, namespace: Dn, now: SimTime, ttl: SimDuration) -> GrrpMessage {
+        GrrpMessage {
+            notification: Notification::Register,
+            service_url,
+            namespace,
+            valid_from: now,
+            valid_until: now + ttl,
+            reply_to: None,
+            subject: None,
+            signature: None,
+        }
+    }
+
+    /// Construct an invitation asking `service_url` to register with
+    /// `directory`.
+    pub fn invite(
+        service_url: LdapUrl,
+        directory: LdapUrl,
+        now: SimTime,
+        ttl: SimDuration,
+    ) -> GrrpMessage {
+        GrrpMessage {
+            notification: Notification::Invite,
+            service_url,
+            namespace: Dn::root(),
+            valid_from: now,
+            valid_until: now + ttl,
+            reply_to: Some(directory),
+            subject: None,
+            signature: None,
+        }
+    }
+
+    /// True if the message's validity interval covers `now`.
+    pub fn is_valid_at(&self, now: SimTime) -> bool {
+        self.valid_from <= now && now < self.valid_until
+    }
+
+    /// Attach an authenticated subject (builder style).
+    pub fn with_subject(mut self, subject: impl Into<String>) -> GrrpMessage {
+        self.subject = Some(subject.into());
+        self
+    }
+
+    /// The canonical bytes a registration signature covers: the wire
+    /// encoding of the message with its signature field cleared.
+    pub fn signable_bytes(&self) -> Vec<u8> {
+        use gis_ldap::Wire;
+        let mut unsigned = self.clone();
+        unsigned.signature = None;
+        unsigned.to_wire()
+    }
+}
+
+/// One live registration held by a directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registration {
+    /// The most recent message for this service.
+    pub message: GrrpMessage,
+    /// When the first message for this service arrived (registration age).
+    pub first_seen: SimTime,
+    /// When the most recent message arrived.
+    pub last_seen: SimTime,
+    /// How many messages have been received for this service.
+    pub refresh_count: u64,
+}
+
+impl Registration {
+    /// The instant this registration's soft state lapses.
+    pub fn expires_at(&self) -> SimTime {
+        self.message.valid_until
+    }
+}
+
+/// Receiver-side soft-state table: the core of every aggregate directory.
+///
+/// Invariants (property-tested):
+/// * `active(now)` never yields an expired registration;
+/// * observing a refresh never shortens knowledge of a service;
+/// * `sweep(now)` removes exactly the expired registrations.
+#[derive(Debug, Clone, Default)]
+pub struct SoftStateRegistry {
+    /// Keyed by service URL string for deterministic iteration.
+    regs: BTreeMap<String, Registration>,
+}
+
+impl SoftStateRegistry {
+    /// Empty registry.
+    pub fn new() -> SoftStateRegistry {
+        SoftStateRegistry::default()
+    }
+
+    /// Record a registration message received at `now`. Returns `true` if
+    /// this created a new registration (as opposed to refreshing one).
+    ///
+    /// Messages that are already expired at `now` (or not yet valid) are
+    /// ignored — a late duplicate of an old announcement must not
+    /// resurrect state.
+    pub fn observe(&mut self, msg: GrrpMessage, now: SimTime) -> bool {
+        if !msg.is_valid_at(now) {
+            return false;
+        }
+        let key = msg.service_url.to_string();
+        match self.regs.get_mut(&key) {
+            Some(reg) => {
+                // Never let an out-of-order older message shorten validity.
+                if msg.valid_until > reg.message.valid_until {
+                    reg.message = msg;
+                }
+                reg.last_seen = now;
+                reg.refresh_count += 1;
+                false
+            }
+            None => {
+                self.regs.insert(
+                    key,
+                    Registration {
+                        message: msg,
+                        first_seen: now,
+                        last_seen: now,
+                        refresh_count: 1,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Drop expired registrations; returns the services purged. "After
+    /// some time without a refresh, the directory can assume the provider
+    /// has become unavailable, and purge knowledge of it" (§4.3).
+    pub fn sweep(&mut self, now: SimTime) -> Vec<LdapUrl> {
+        let doomed: Vec<String> = self
+            .regs
+            .iter()
+            .filter(|(_, r)| r.expires_at() <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        doomed
+            .into_iter()
+            .map(|k| self.regs.remove(&k).expect("key collected above").message.service_url)
+            .collect()
+    }
+
+    /// Explicitly forget a service (used when a directory applies policy,
+    /// not part of the protocol: GRRP deliberately has no de-notify).
+    pub fn forget(&mut self, url: &LdapUrl) -> Option<Registration> {
+        self.regs.remove(&url.to_string())
+    }
+
+    /// Iterate registrations that are fresh at `now`, in URL order.
+    pub fn active(&self, now: SimTime) -> impl Iterator<Item = &Registration> {
+        self.regs.values().filter(move |r| now < r.expires_at())
+    }
+
+    /// Count of registrations fresh at `now`.
+    pub fn active_count(&self, now: SimTime) -> usize {
+        self.active(now).count()
+    }
+
+    /// Total table size including not-yet-swept stale entries.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Fetch the registration for a service, fresh or not.
+    pub fn get(&self, url: &LdapUrl) -> Option<&Registration> {
+        self.regs.get(&url.to_string())
+    }
+
+    /// True if the service is registered and fresh at `now`.
+    pub fn is_fresh(&self, url: &LdapUrl, now: SimTime) -> bool {
+        self.get(url).is_some_and(|r| now < r.expires_at())
+    }
+}
+
+/// Sender-side refresh schedule: "the provider then sustains a stream of
+/// registration messages to each directory" (§4.3).
+///
+/// The agent is sans-IO: callers ask [`RegistrationAgent::due_messages`]
+/// at timer ticks and transmit the returned messages themselves.
+#[derive(Debug, Clone)]
+pub struct RegistrationAgent {
+    /// This service's own GRIP endpoint.
+    pub service_url: LdapUrl,
+    /// The namespace this service serves.
+    pub namespace: Dn,
+    /// Interval between registration messages.
+    pub interval: SimDuration,
+    /// Validity attached to each message. A TTL of `k × interval` lets the
+    /// receiver survive `k − 1` consecutive lost messages (§4.3's
+    /// robustness/timeliness tradeoff).
+    pub ttl: SimDuration,
+    /// Directories to keep registered with.
+    targets: Vec<LdapUrl>,
+    next_due: SimTime,
+}
+
+impl RegistrationAgent {
+    /// Create an agent with the given refresh interval and message TTL.
+    pub fn new(
+        service_url: LdapUrl,
+        namespace: Dn,
+        interval: SimDuration,
+        ttl: SimDuration,
+    ) -> RegistrationAgent {
+        RegistrationAgent {
+            service_url,
+            namespace,
+            interval,
+            ttl,
+            targets: Vec::new(),
+            next_due: SimTime::ZERO,
+        }
+    }
+
+    /// Add a directory to register with ("under the direction of local and
+    /// VO-specific policies, an information provider determines the
+    /// directory(s) with which it will register").
+    pub fn add_target(&mut self, directory: LdapUrl) {
+        if !self.targets.contains(&directory) {
+            self.targets.push(directory);
+        }
+    }
+
+    /// Stop registering with a directory (the registration will simply
+    /// expire at the receiver: soft state needs no de-notify).
+    pub fn remove_target(&mut self, directory: &LdapUrl) {
+        self.targets.retain(|t| t != directory);
+    }
+
+    /// Current targets.
+    pub fn targets(&self) -> &[LdapUrl] {
+        &self.targets
+    }
+
+    /// Accept an invitation: start registering with the inviting
+    /// directory. Returns `true` if the target was new.
+    pub fn accept_invite(&mut self, invite: &GrrpMessage) -> bool {
+        match (&invite.notification, &invite.reply_to) {
+            (Notification::Invite, Some(dir)) => {
+                let new = !self.targets.contains(dir);
+                self.add_target(dir.clone());
+                new
+            }
+            _ => false,
+        }
+    }
+
+    /// If a refresh is due at `now`, return one registration message per
+    /// target and schedule the next refresh.
+    pub fn due_messages(&mut self, now: SimTime) -> Vec<(LdapUrl, GrrpMessage)> {
+        if now < self.next_due {
+            return Vec::new();
+        }
+        self.next_due = now + self.interval;
+        self.targets
+            .iter()
+            .map(|dir| {
+                (
+                    dir.clone(),
+                    GrrpMessage::register(
+                        self.service_url.clone(),
+                        self.namespace.clone(),
+                        now,
+                        self.ttl,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// When the next refresh is due.
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
+    }
+}
+
+/// The unreliable failure detector implied by GRRP (§4.3): a service is
+/// *suspected* once no registration has been received for longer than the
+/// suspicion threshold.
+///
+/// "There is thus a tradeoff to be made ... between likelihood of an
+/// erroneous decision and timeliness of failure detection." Experiment E6
+/// sweeps this threshold against packet-loss rates.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    /// Time without any message after which a service is suspected.
+    pub suspicion_after: SimDuration,
+    last_seen: BTreeMap<String, SimTime>,
+}
+
+impl FailureDetector {
+    /// Create a detector with the given suspicion threshold.
+    pub fn new(suspicion_after: SimDuration) -> FailureDetector {
+        FailureDetector {
+            suspicion_after,
+            last_seen: BTreeMap::new(),
+        }
+    }
+
+    /// Record that a message from `service` arrived at `now`.
+    pub fn heard_from(&mut self, service: &LdapUrl, now: SimTime) {
+        self.last_seen.insert(service.to_string(), now);
+    }
+
+    /// Services currently suspected of having failed.
+    pub fn suspected(&self, now: SimTime) -> Vec<String> {
+        self.last_seen
+            .iter()
+            .filter(|(_, &seen)| now.since(seen) > self.suspicion_after)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// True if `service` is currently suspected.
+    pub fn is_suspected(&self, service: &LdapUrl, now: SimTime) -> bool {
+        self.last_seen
+            .get(&service.to_string())
+            .is_none_or(|&seen| now.since(seen) > self.suspicion_after)
+    }
+
+    /// Number of services ever heard from.
+    pub fn known(&self) -> usize {
+        self.last_seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_netsim::{ms, secs};
+
+    fn url(host: &str) -> LdapUrl {
+        LdapUrl::server(host)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + secs(s)
+    }
+
+    #[test]
+    fn observe_then_expire() {
+        let mut reg = SoftStateRegistry::new();
+        let msg = GrrpMessage::register(url("gris.a"), Dn::root(), t(0), secs(30));
+        assert!(reg.observe(msg, t(0)));
+        assert_eq!(reg.active_count(t(10)), 1);
+        assert!(reg.is_fresh(&url("gris.a"), t(29)));
+        assert!(!reg.is_fresh(&url("gris.a"), t(30)));
+        assert_eq!(reg.active_count(t(31)), 0);
+        let purged = reg.sweep(t(31));
+        assert_eq!(purged, vec![url("gris.a")]);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn refresh_extends_validity() {
+        let mut reg = SoftStateRegistry::new();
+        reg.observe(GrrpMessage::register(url("g"), Dn::root(), t(0), secs(30)), t(0));
+        // Refresh at t=20 with a new 30s TTL: now valid to t=50.
+        let created = reg.observe(GrrpMessage::register(url("g"), Dn::root(), t(20), secs(30)), t(20));
+        assert!(!created, "refresh is not a new registration");
+        assert!(reg.is_fresh(&url("g"), t(45)));
+        assert_eq!(reg.get(&url("g")).unwrap().refresh_count, 2);
+        assert_eq!(reg.get(&url("g")).unwrap().first_seen, t(0));
+    }
+
+    #[test]
+    fn out_of_order_refresh_does_not_shorten() {
+        let mut reg = SoftStateRegistry::new();
+        reg.observe(GrrpMessage::register(url("g"), Dn::root(), t(20), secs(30)), t(20));
+        // A delayed older message (valid only to t=30) arrives late.
+        reg.observe(GrrpMessage::register(url("g"), Dn::root(), t(0), secs(30)), t(25));
+        assert!(reg.is_fresh(&url("g"), t(45)), "validity must not shrink");
+    }
+
+    #[test]
+    fn expired_message_ignored() {
+        let mut reg = SoftStateRegistry::new();
+        let stale = GrrpMessage::register(url("g"), Dn::root(), t(0), secs(5));
+        assert!(!reg.observe(stale, t(10)));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn single_lost_message_is_harmless_with_ttl_headroom() {
+        // TTL = 3 × interval: missing one or two refreshes keeps state.
+        let mut agent =
+            RegistrationAgent::new(url("g"), Dn::root(), secs(10), secs(30));
+        agent.add_target(url("giis"));
+        let mut reg = SoftStateRegistry::new();
+
+        // t=0 message arrives.
+        for (_, m) in agent.due_messages(t(0)) {
+            reg.observe(m, t(0));
+        }
+        // t=10 and t=20 messages are lost; t=25: still fresh.
+        let _ = agent.due_messages(t(10));
+        let _ = agent.due_messages(t(20));
+        assert!(reg.is_fresh(&url("g"), t(25)));
+        // t=30 message arrives: refreshed through t=60.
+        for (_, m) in agent.due_messages(t(30)) {
+            reg.observe(m, t(30));
+        }
+        assert!(reg.is_fresh(&url("g"), t(55)));
+    }
+
+    #[test]
+    fn agent_schedule_paces_messages() {
+        let mut agent = RegistrationAgent::new(url("g"), Dn::root(), secs(10), secs(30));
+        agent.add_target(url("d1"));
+        agent.add_target(url("d2"));
+        assert_eq!(agent.due_messages(t(0)).len(), 2);
+        assert!(agent.due_messages(t(5)).is_empty(), "not due yet");
+        assert_eq!(agent.due_messages(t(10)).len(), 2);
+        assert_eq!(agent.next_due(), t(20));
+    }
+
+    #[test]
+    fn agent_dedups_targets() {
+        let mut agent = RegistrationAgent::new(url("g"), Dn::root(), secs(10), secs(30));
+        agent.add_target(url("d"));
+        agent.add_target(url("d"));
+        assert_eq!(agent.targets().len(), 1);
+        agent.remove_target(&url("d"));
+        assert!(agent.targets().is_empty());
+    }
+
+    #[test]
+    fn invitation_flow() {
+        let mut agent = RegistrationAgent::new(url("g"), Dn::root(), secs(10), secs(30));
+        let invite = GrrpMessage::invite(url("g"), url("giis.vo"), t(0), secs(60));
+        assert!(agent.accept_invite(&invite));
+        assert!(!agent.accept_invite(&invite), "already a target");
+        assert_eq!(agent.targets(), &[url("giis.vo")]);
+        // A plain registration is not an invitation.
+        let not_invite = GrrpMessage::register(url("x"), Dn::root(), t(0), secs(60));
+        assert!(!agent.accept_invite(&not_invite));
+    }
+
+    #[test]
+    fn failure_detector_suspicion() {
+        let mut fd = FailureDetector::new(secs(25));
+        fd.heard_from(&url("g"), t(0));
+        assert!(!fd.is_suspected(&url("g"), t(20)));
+        assert!(fd.is_suspected(&url("g"), t(26)));
+        fd.heard_from(&url("g"), t(30));
+        assert!(!fd.is_suspected(&url("g"), t(50)));
+        assert_eq!(fd.suspected(t(60)), vec![url("g").to_string()]);
+        // Unknown services are suspected by definition.
+        assert!(fd.is_suspected(&url("never-seen"), t(0)));
+    }
+
+    #[test]
+    fn registry_active_iteration_is_deterministic() {
+        let mut reg = SoftStateRegistry::new();
+        for host in ["c", "a", "b"] {
+            reg.observe(GrrpMessage::register(url(host), Dn::root(), t(0), secs(30)), t(0));
+        }
+        let order: Vec<String> = reg
+            .active(t(1))
+            .map(|r| r.message.service_url.host.clone())
+            .collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn validity_window_semantics() {
+        let msg = GrrpMessage::register(url("g"), Dn::root(), t(10), secs(10));
+        assert!(!msg.is_valid_at(t(9)));
+        assert!(msg.is_valid_at(t(10)));
+        assert!(msg.is_valid_at(t(19)));
+        assert!(!msg.is_valid_at(t(20)));
+    }
+
+    #[test]
+    fn sweep_only_removes_expired() {
+        let mut reg = SoftStateRegistry::new();
+        reg.observe(GrrpMessage::register(url("short"), Dn::root(), t(0), secs(10)), t(0));
+        reg.observe(GrrpMessage::register(url("long"), Dn::root(), t(0), secs(100)), t(0));
+        let purged = reg.sweep(t(50));
+        assert_eq!(purged, vec![url("short")]);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.is_fresh(&url("long"), t(50)));
+    }
+
+    #[test]
+    fn forget_is_immediate() {
+        let mut reg = SoftStateRegistry::new();
+        reg.observe(GrrpMessage::register(url("g"), Dn::root(), t(0), secs(100)), t(0));
+        assert!(reg.forget(&url("g")).is_some());
+        assert!(reg.forget(&url("g")).is_none());
+        assert_eq!(reg.active_count(t(1)), 0);
+    }
+
+    #[test]
+    fn ms_granularity_intervals() {
+        let mut agent = RegistrationAgent::new(url("g"), Dn::root(), ms(500), ms(1500));
+        agent.add_target(url("d"));
+        assert_eq!(agent.due_messages(SimTime::ZERO).len(), 1);
+        assert!(agent.due_messages(SimTime::ZERO + ms(499)).is_empty());
+        assert_eq!(agent.due_messages(SimTime::ZERO + ms(500)).len(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! GRIP and GRRP: the two base protocols of the Grid information service
+//! architecture (§4 of the paper).
+//!
+//! "Interactions between higher-level services (or users) and providers
+//! are defined in terms of two basic protocols: a soft-state registration
+//! protocol for identifying entities participating in the information
+//! service, and an enquiry protocol for retrieval of information about
+//! those entities, whether via query or subscription."
+//!
+//! * [`grip`] — the enquiry protocol: search, lookup, subscription;
+//! * [`grrp`] — the registration protocol: soft-state registry, refresh
+//!   agent, failure detector;
+//! * [`wire`] — binary encodings and the top-level [`ProtocolMessage`]
+//!   frame moved by the runtimes.
+//!
+//! Everything here is sans-IO: state machines take messages and clock
+//! readings in and yield messages out, so the same code runs over the
+//! deterministic simulator and the live threaded runtime.
+
+#![warn(missing_docs)]
+
+pub mod grip;
+pub mod grrp;
+pub mod wire;
+
+pub use grip::{
+    result_digest, GripReply, GripRequest, RequestId, ResultCode, SearchSpec, Subscription,
+    SubscriptionMode, SubscriptionTable,
+};
+pub use grrp::{
+    FailureDetector, GrrpMessage, Notification, Registration, RegistrationAgent,
+    SoftStateRegistry,
+};
+pub use wire::ProtocolMessage;

@@ -1,0 +1,425 @@
+//! Wire encodings for GRIP and GRRP messages.
+//!
+//! MDS-2.1 mapped GRRP onto LDAP add operations "for pragmatic reasons"
+//! (§10.1); analogously, we reuse the LDAP substrate's codec primitives so
+//! both protocols share one frame format. [`ProtocolMessage`] is the
+//! top-level frame carried by the runtimes.
+
+use crate::grip::{GripReply, GripRequest, ResultCode, SearchSpec, SubscriptionMode};
+use crate::grrp::{GrrpMessage, Notification};
+use bytes::{BufMut, BytesMut};
+use gis_ldap::codec::{put_str, put_varint, Wire, WireReader};
+use gis_ldap::{Dn, Entry, Filter, LdapError, LdapUrl, Result, Scope};
+use gis_netsim::{SimDuration, SimTime};
+
+/// Top-level protocol frame: everything that travels between information
+/// service components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolMessage {
+    /// A GRIP request (client to server).
+    Request(GripRequest),
+    /// A GRIP reply (server to client).
+    Reply(GripReply),
+    /// A GRRP notification (provider to directory, or directory inviting).
+    Grrp(GrrpMessage),
+}
+
+// `SimTime`/`SimDuration` are foreign to both this crate and the codec
+// trait's crate, so they get helper functions rather than `Wire` impls.
+
+fn put_time(buf: &mut BytesMut, t: SimTime) {
+    put_varint(buf, t.micros());
+}
+
+fn read_time(r: &mut WireReader<'_>) -> Result<SimTime> {
+    Ok(SimTime(r.read_varint()?))
+}
+
+fn put_duration(buf: &mut BytesMut, d: SimDuration) {
+    put_varint(buf, d.micros());
+}
+
+fn read_duration(r: &mut WireReader<'_>) -> Result<SimDuration> {
+    Ok(SimDuration(r.read_varint()?))
+}
+
+impl Wire for Notification {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(match self {
+            Notification::Register => 0,
+            Notification::Invite => 1,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Notification> {
+        match r.read_u8()? {
+            0 => Ok(Notification::Register),
+            1 => Ok(Notification::Invite),
+            b => Err(LdapError::Codec(format!("bad notification tag {b}"))),
+        }
+    }
+}
+
+impl Wire for GrrpMessage {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.notification.encode(buf);
+        self.service_url.encode(buf);
+        self.namespace.encode(buf);
+        put_time(buf, self.valid_from);
+        put_time(buf, self.valid_until);
+        self.reply_to.encode(buf);
+        self.subject.encode(buf);
+        match &self.signature {
+            None => buf.put_u8(0),
+            Some(sig) => {
+                buf.put_u8(1);
+                gis_ldap::codec::put_bytes(buf, sig);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<GrrpMessage> {
+        Ok(GrrpMessage {
+            notification: Notification::decode(r)?,
+            service_url: LdapUrl::decode(r)?,
+            namespace: Dn::decode(r)?,
+            valid_from: read_time(r)?,
+            valid_until: read_time(r)?,
+            reply_to: Option::<LdapUrl>::decode(r)?,
+            subject: Option::<String>::decode(r)?,
+            signature: match r.read_u8()? {
+                0 => None,
+                1 => Some(r.read_bytes()?.to_vec()),
+                b => return Err(LdapError::Codec(format!("bad signature tag {b}"))),
+            },
+        })
+    }
+}
+
+impl Wire for ResultCode {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(match self {
+            ResultCode::Success => 0,
+            ResultCode::NoSuchObject => 1,
+            ResultCode::SizeLimitExceeded => 2,
+            ResultCode::InsufficientAccess => 3,
+            ResultCode::Unavailable => 4,
+            ResultCode::PartialResults => 5,
+            ResultCode::UnwillingToPerform => 6,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<ResultCode> {
+        Ok(match r.read_u8()? {
+            0 => ResultCode::Success,
+            1 => ResultCode::NoSuchObject,
+            2 => ResultCode::SizeLimitExceeded,
+            3 => ResultCode::InsufficientAccess,
+            4 => ResultCode::Unavailable,
+            5 => ResultCode::PartialResults,
+            6 => ResultCode::UnwillingToPerform,
+            b => return Err(LdapError::Codec(format!("bad result code {b}"))),
+        })
+    }
+}
+
+impl Wire for SubscriptionMode {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            SubscriptionMode::Periodic(d) => {
+                buf.put_u8(0);
+                put_duration(buf, *d);
+            }
+            SubscriptionMode::OnChange => buf.put_u8(1),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<SubscriptionMode> {
+        match r.read_u8()? {
+            0 => Ok(SubscriptionMode::Periodic(read_duration(r)?)),
+            1 => Ok(SubscriptionMode::OnChange),
+            b => Err(LdapError::Codec(format!("bad subscription mode {b}"))),
+        }
+    }
+}
+
+impl Wire for SearchSpec {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.base.encode(buf);
+        self.scope.encode(buf);
+        self.filter.encode(buf);
+        self.attrs.encode(buf);
+        put_varint(buf, u64::from(self.size_limit));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<SearchSpec> {
+        Ok(SearchSpec {
+            base: Dn::decode(r)?,
+            scope: Scope::decode(r)?,
+            filter: Filter::decode(r)?,
+            attrs: Vec::<String>::decode(r)?,
+            size_limit: u32::try_from(r.read_varint()?)
+                .map_err(|_| LdapError::Codec("size limit overflow".into()))?,
+        })
+    }
+}
+
+impl Wire for GripRequest {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            GripRequest::Bind { id, subject, token } => {
+                buf.put_u8(0);
+                put_varint(buf, *id);
+                put_str(buf, subject);
+                gis_ldap::codec::put_bytes(buf, token);
+            }
+            GripRequest::Search { id, spec } => {
+                buf.put_u8(1);
+                put_varint(buf, *id);
+                spec.encode(buf);
+            }
+            GripRequest::Subscribe { id, spec, mode } => {
+                buf.put_u8(2);
+                put_varint(buf, *id);
+                spec.encode(buf);
+                mode.encode(buf);
+            }
+            GripRequest::Unsubscribe { id } => {
+                buf.put_u8(3);
+                put_varint(buf, *id);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<GripRequest> {
+        match r.read_u8()? {
+            0 => Ok(GripRequest::Bind {
+                id: r.read_varint()?,
+                subject: r.read_str()?,
+                token: r.read_bytes()?.to_vec(),
+            }),
+            1 => Ok(GripRequest::Search {
+                id: r.read_varint()?,
+                spec: SearchSpec::decode(r)?,
+            }),
+            2 => Ok(GripRequest::Subscribe {
+                id: r.read_varint()?,
+                spec: SearchSpec::decode(r)?,
+                mode: SubscriptionMode::decode(r)?,
+            }),
+            3 => Ok(GripRequest::Unsubscribe {
+                id: r.read_varint()?,
+            }),
+            b => Err(LdapError::Codec(format!("bad request tag {b}"))),
+        }
+    }
+}
+
+impl Wire for GripReply {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            GripReply::BindResult { id, ok, subject } => {
+                buf.put_u8(0);
+                put_varint(buf, *id);
+                ok.encode(buf);
+                subject.encode(buf);
+            }
+            GripReply::SearchResult {
+                id,
+                code,
+                entries,
+                referrals,
+            } => {
+                buf.put_u8(1);
+                put_varint(buf, *id);
+                code.encode(buf);
+                entries.encode(buf);
+                referrals.encode(buf);
+            }
+            GripReply::Update { id, entries } => {
+                buf.put_u8(2);
+                put_varint(buf, *id);
+                entries.encode(buf);
+            }
+            GripReply::SubscriptionDone { id, code } => {
+                buf.put_u8(3);
+                put_varint(buf, *id);
+                code.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<GripReply> {
+        match r.read_u8()? {
+            0 => Ok(GripReply::BindResult {
+                id: r.read_varint()?,
+                ok: bool::decode(r)?,
+                subject: Option::<String>::decode(r)?,
+            }),
+            1 => Ok(GripReply::SearchResult {
+                id: r.read_varint()?,
+                code: ResultCode::decode(r)?,
+                entries: Vec::<Entry>::decode(r)?,
+                referrals: Vec::<LdapUrl>::decode(r)?,
+            }),
+            2 => Ok(GripReply::Update {
+                id: r.read_varint()?,
+                entries: Vec::<Entry>::decode(r)?,
+            }),
+            3 => Ok(GripReply::SubscriptionDone {
+                id: r.read_varint()?,
+                code: ResultCode::decode(r)?,
+            }),
+            b => Err(LdapError::Codec(format!("bad reply tag {b}"))),
+        }
+    }
+}
+
+impl Wire for ProtocolMessage {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ProtocolMessage::Request(m) => {
+                buf.put_u8(0);
+                m.encode(buf);
+            }
+            ProtocolMessage::Reply(m) => {
+                buf.put_u8(1);
+                m.encode(buf);
+            }
+            ProtocolMessage::Grrp(m) => {
+                buf.put_u8(2);
+                m.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<ProtocolMessage> {
+        match r.read_u8()? {
+            0 => Ok(ProtocolMessage::Request(GripRequest::decode(r)?)),
+            1 => Ok(ProtocolMessage::Reply(GripReply::decode(r)?)),
+            2 => Ok(ProtocolMessage::Grrp(GrrpMessage::decode(r)?)),
+            b => Err(LdapError::Codec(format!("bad frame tag {b}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_netsim::secs;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_wire();
+        assert_eq!(T::from_wire(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn grrp_roundtrip() {
+        roundtrip(GrrpMessage::register(
+            LdapUrl::server("gris.a"),
+            Dn::parse("hn=hostX").unwrap(),
+            SimTime::ZERO + secs(5),
+            secs(30),
+        ));
+        roundtrip(
+            GrrpMessage::invite(
+                LdapUrl::server("gris.a"),
+                LdapUrl::server("giis.vo"),
+                SimTime::ZERO,
+                secs(60),
+            )
+            .with_subject("/O=Grid/CN=giis"),
+        );
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip(GripRequest::Bind {
+            id: 1,
+            subject: "/O=Grid/CN=alice".into(),
+            token: vec![1, 2, 3],
+        });
+        roundtrip(GripRequest::Search {
+            id: 2,
+            spec: SearchSpec::subtree(
+                Dn::parse("o=O1").unwrap(),
+                Filter::parse("(&(objectclass=computer)(load5<=1.0))").unwrap(),
+            )
+            .select(&["load5"])
+            .limit(50),
+        });
+        roundtrip(GripRequest::Subscribe {
+            id: 3,
+            spec: SearchSpec::lookup(Dn::parse("perf=load5, hn=h").unwrap()),
+            mode: SubscriptionMode::Periodic(secs(10)),
+        });
+        roundtrip(GripRequest::Subscribe {
+            id: 4,
+            spec: SearchSpec::lookup(Dn::root()),
+            mode: SubscriptionMode::OnChange,
+        });
+        roundtrip(GripRequest::Unsubscribe { id: 5 });
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        roundtrip(GripReply::BindResult {
+            id: 1,
+            ok: true,
+            subject: Some("/O=Grid/CN=alice".into()),
+        });
+        roundtrip(GripReply::SearchResult {
+            id: 2,
+            code: ResultCode::PartialResults,
+            entries: vec![Entry::at("hn=h").unwrap().with("load5", 0.5f64)],
+            referrals: vec![LdapUrl::server("gris.b")],
+        });
+        roundtrip(GripReply::Update {
+            id: 3,
+            entries: vec![],
+        });
+        roundtrip(GripReply::SubscriptionDone {
+            id: 4,
+            code: ResultCode::Unavailable,
+        });
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        roundtrip(ProtocolMessage::Request(GripRequest::Unsubscribe { id: 9 }));
+        roundtrip(ProtocolMessage::Reply(GripReply::Update {
+            id: 9,
+            entries: vec![],
+        }));
+        roundtrip(ProtocolMessage::Grrp(GrrpMessage::register(
+            LdapUrl::server("g"),
+            Dn::root(),
+            SimTime::ZERO,
+            secs(1),
+        )));
+    }
+
+    #[test]
+    fn all_result_codes_roundtrip() {
+        for code in [
+            ResultCode::Success,
+            ResultCode::NoSuchObject,
+            ResultCode::SizeLimitExceeded,
+            ResultCode::InsufficientAccess,
+            ResultCode::Unavailable,
+            ResultCode::PartialResults,
+            ResultCode::UnwillingToPerform,
+        ] {
+            roundtrip(code);
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_rejected() {
+        let msg = ProtocolMessage::Request(GripRequest::Search {
+            id: 1,
+            spec: SearchSpec::lookup(Dn::parse("hn=h").unwrap()),
+        });
+        let bytes = msg.to_wire();
+        // Bad top-level tag.
+        let mut bad = bytes.clone();
+        bad[0] = 99;
+        assert!(ProtocolMessage::from_wire(&bad).is_err());
+        // Truncations at every prefix length.
+        for cut in 0..bytes.len() {
+            assert!(ProtocolMessage::from_wire(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the protocol layer: soft-state registry
+//! invariants and wire round-trips on arbitrary messages.
+
+use gis_ldap::{Dn, LdapUrl, Rdn, Wire};
+use gis_netsim::{SimDuration, SimTime};
+use gis_proto::{
+    GripReply, GripRequest, GrrpMessage, ProtocolMessage, ResultCode, SearchSpec,
+    SoftStateRegistry, SubscriptionMode,
+};
+use proptest::prelude::*;
+
+fn url() -> impl Strategy<Value = LdapUrl> {
+    ("[a-z]{1,8}", 1u16..10000).prop_map(|(h, p)| LdapUrl::new(h, p, Dn::root()))
+}
+
+fn dn() -> impl Strategy<Value = Dn> {
+    prop::collection::vec(("[a-z]{1,4}", "[a-zA-Z0-9]{1,6}"), 0..3)
+        .prop_map(|parts| Dn::from_rdns(parts.into_iter().map(|(a, v)| Rdn::new(a, v)).collect()))
+}
+
+fn time() -> impl Strategy<Value = SimTime> {
+    (0u64..1_000_000_000).prop_map(SimTime)
+}
+
+fn duration() -> impl Strategy<Value = SimDuration> {
+    (1u64..1_000_000_000).prop_map(SimDuration)
+}
+
+fn grrp() -> impl Strategy<Value = GrrpMessage> {
+    (url(), dn(), time(), duration(), prop::option::of("[ -~]{0,20}")).prop_map(
+        |(service_url, namespace, from, ttl, subject)| {
+            let mut m = GrrpMessage::register(service_url, namespace, from, ttl);
+            m.subject = subject;
+            m
+        },
+    )
+}
+
+/// Registry driven by an arbitrary schedule of (message, observation
+/// time) events, observed in time order.
+fn schedule() -> impl Strategy<Value = Vec<(GrrpMessage, SimTime)>> {
+    prop::collection::vec((grrp(), time()), 0..40).prop_map(|mut v| {
+        v.sort_by_key(|(_, t)| *t);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn registry_never_serves_expired(events in schedule(), probe in time()) {
+        let mut reg = SoftStateRegistry::new();
+        for (msg, at) in &events {
+            reg.observe(msg.clone(), *at);
+        }
+        for r in reg.active(probe) {
+            prop_assert!(probe < r.expires_at(), "active() must exclude expired entries");
+        }
+    }
+
+    #[test]
+    fn sweep_removes_exactly_expired(events in schedule(), probe in time()) {
+        let mut reg = SoftStateRegistry::new();
+        for (msg, at) in &events {
+            reg.observe(msg.clone(), *at);
+        }
+        let active_before = reg.active_count(probe);
+        let purged = reg.sweep(probe);
+        prop_assert_eq!(reg.len(), active_before, "survivors are exactly the active set");
+        // Everything purged was expired; everything kept is fresh.
+        for url in &purged {
+            prop_assert!(reg.get(url).is_none());
+        }
+        for r in reg.active(probe) {
+            prop_assert!(probe < r.expires_at());
+        }
+        // Sweeping again at the same instant is a no-op.
+        prop_assert!(reg.sweep(probe).is_empty());
+    }
+
+    #[test]
+    fn refresh_never_shrinks_validity(base in grrp(), t1 in time(), extra in duration()) {
+        // Observe a message, then a refresh with any later validity;
+        // expiry must be monotone non-decreasing.
+        let mut reg = SoftStateRegistry::new();
+        let t0 = base.valid_from;
+        if !base.is_valid_at(t0) {
+            return Ok(()); // degenerate zero-ttl case
+        }
+        reg.observe(base.clone(), t0);
+        let before = reg.get(&base.service_url).unwrap().expires_at();
+
+        let mut refresh = base.clone();
+        refresh.valid_from = t1;
+        refresh.valid_until = t1 + extra;
+        let observe_at = t1;
+        if refresh.is_valid_at(observe_at) {
+            reg.observe(refresh, observe_at);
+        }
+        if let Some(r) = reg.get(&base.service_url) {
+            prop_assert!(r.expires_at() >= before.min(r.expires_at()));
+            prop_assert!(r.expires_at() >= before || r.expires_at() == before,
+                "validity must never shrink");
+        }
+    }
+
+    #[test]
+    fn registration_count_bounded_by_distinct_urls(events in schedule()) {
+        let mut reg = SoftStateRegistry::new();
+        let mut distinct = std::collections::BTreeSet::new();
+        for (msg, at) in &events {
+            distinct.insert(msg.service_url.to_string());
+            reg.observe(msg.clone(), *at);
+        }
+        prop_assert!(reg.len() <= distinct.len());
+    }
+
+    #[test]
+    fn grrp_wire_roundtrip(m in grrp()) {
+        let bytes = m.to_wire();
+        prop_assert_eq!(GrrpMessage::from_wire(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn protocol_frame_roundtrip(m in grrp(), id in 0u64..1000, limit in 0u32..100) {
+        let frames = vec![
+            ProtocolMessage::Grrp(m.clone()),
+            ProtocolMessage::Request(GripRequest::Search {
+                id,
+                spec: SearchSpec::subtree(m.namespace.clone(), gis_ldap::Filter::always())
+                    .limit(limit),
+            }),
+            ProtocolMessage::Request(GripRequest::Subscribe {
+                id,
+                spec: SearchSpec::lookup(m.namespace.clone()),
+                mode: SubscriptionMode::Periodic(SimDuration(1 + u64::from(limit))),
+            }),
+            ProtocolMessage::Reply(GripReply::SearchResult {
+                id,
+                code: ResultCode::PartialResults,
+                entries: vec![],
+                referrals: vec![m.service_url.clone()],
+            }),
+        ];
+        for frame in frames {
+            let bytes = frame.to_wire();
+            prop_assert_eq!(ProtocolMessage::from_wire(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Arbitrary bytes must decode to Ok or Err, never panic.
+        let _ = ProtocolMessage::from_wire(&bytes);
+        let _ = GrrpMessage::from_wire(&bytes);
+        let _ = GripRequest::from_wire(&bytes);
+        let _ = GripReply::from_wire(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_corrupted_valid_frames(
+        m in grrp(),
+        flips in prop::collection::vec((0usize..512, 0u8..8), 1..8)
+    ) {
+        let mut bytes = ProtocolMessage::Grrp(m).to_wire();
+        for (pos, bit) in flips {
+            if !bytes.is_empty() {
+                let idx = pos % bytes.len();
+                bytes[idx] ^= 1 << bit;
+            }
+        }
+        let _ = ProtocolMessage::from_wire(&bytes);
+    }
+}

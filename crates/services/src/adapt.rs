@@ -1,0 +1,160 @@
+//! Application adaptation agent (§1).
+//!
+//! "An application adaptation agent monitors both a running application
+//! and external resource availability and modifies application behavior
+//! ... and/or its resource consumption (e.g., migrates to other
+//! resources) if ... these changes are thought likely to improve
+//! performance."
+//!
+//! Pure decision logic with hysteresis: the agent requires `patience`
+//! consecutive over-threshold observations before migrating, and only
+//! migrates when the alternative is meaningfully better (improvement
+//! factor), preventing oscillation.
+
+use gis_ldap::Dn;
+use gis_netsim::SimTime;
+
+/// One migration record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Migration {
+    /// When the agent decided to move.
+    pub at: SimTime,
+    /// Where it moved from.
+    pub from: Dn,
+    /// Where it moved to.
+    pub to: Dn,
+}
+
+/// The adaptation agent's decision state.
+#[derive(Debug)]
+pub struct AdaptationAgent {
+    /// Where the application currently runs.
+    pub current_host: Dn,
+    /// Load above which the host is considered overloaded.
+    pub load_threshold: f64,
+    /// Consecutive overloaded observations required before migrating.
+    pub patience: u32,
+    /// The alternative must have load below `improvement_factor ×
+    /// current` to justify a move.
+    pub improvement_factor: f64,
+    consecutive_over: u32,
+    /// Completed migrations, oldest first.
+    pub migrations: Vec<Migration>,
+}
+
+impl AdaptationAgent {
+    /// Create an agent running on `host`.
+    pub fn new(host: Dn, load_threshold: f64, patience: u32) -> AdaptationAgent {
+        AdaptationAgent {
+            current_host: host,
+            load_threshold,
+            patience,
+            improvement_factor: 0.5,
+            consecutive_over: 0,
+            migrations: Vec::new(),
+        }
+    }
+
+    /// Feed one monitoring observation: the current host's load and the
+    /// best known alternative `(host, load)`. Returns the new host when
+    /// the agent decides to migrate.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        current_load: f64,
+        best_alternative: Option<(Dn, f64)>,
+    ) -> Option<Dn> {
+        if current_load <= self.load_threshold {
+            self.consecutive_over = 0;
+            return None;
+        }
+        self.consecutive_over += 1;
+        if self.consecutive_over < self.patience {
+            return None;
+        }
+        let (alt, alt_load) = best_alternative?;
+        if alt == self.current_host {
+            return None;
+        }
+        if alt_load >= current_load * self.improvement_factor {
+            return None; // not enough improvement to justify a move
+        }
+        self.migrations.push(Migration {
+            at: now,
+            from: self.current_host.clone(),
+            to: alt.clone(),
+        });
+        self.current_host = alt.clone();
+        self.consecutive_over = 0;
+        Some(alt)
+    }
+
+    /// How many consecutive overload observations are pending.
+    pub fn pressure(&self) -> u32 {
+        self.consecutive_over
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_netsim::secs;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + secs(s)
+    }
+
+    #[test]
+    fn migrates_after_sustained_overload() {
+        let mut agent = AdaptationAgent::new(dn("hn=busy"), 2.0, 3);
+        let alt = Some((dn("hn=idle"), 0.1));
+        assert_eq!(agent.observe(t(0), 5.0, alt.clone()), None);
+        assert_eq!(agent.observe(t(10), 5.0, alt.clone()), None);
+        assert_eq!(agent.pressure(), 2);
+        let moved = agent.observe(t(20), 5.0, alt);
+        assert_eq!(moved, Some(dn("hn=idle")));
+        assert_eq!(agent.current_host, dn("hn=idle"));
+        assert_eq!(agent.migrations.len(), 1);
+        assert_eq!(agent.migrations[0].from, dn("hn=busy"));
+    }
+
+    #[test]
+    fn transient_spike_does_not_migrate() {
+        let mut agent = AdaptationAgent::new(dn("hn=a"), 2.0, 3);
+        let alt = Some((dn("hn=b"), 0.1));
+        agent.observe(t(0), 5.0, alt.clone());
+        agent.observe(t(10), 5.0, alt.clone());
+        // Load recovers: pressure resets.
+        agent.observe(t(20), 1.0, alt.clone());
+        assert_eq!(agent.pressure(), 0);
+        agent.observe(t(30), 5.0, alt.clone());
+        agent.observe(t(40), 5.0, alt);
+        assert!(agent.migrations.is_empty());
+    }
+
+    #[test]
+    fn insufficient_improvement_blocks_migration() {
+        let mut agent = AdaptationAgent::new(dn("hn=a"), 2.0, 1);
+        // Alternative at 80% of current load: below the 0.5 factor? No.
+        assert_eq!(agent.observe(t(0), 5.0, Some((dn("hn=b"), 4.0))), None);
+        assert!(agent.migrations.is_empty());
+        // A genuinely better host triggers the move.
+        assert_eq!(
+            agent.observe(t(10), 5.0, Some((dn("hn=b"), 1.0))),
+            Some(dn("hn=b"))
+        );
+    }
+
+    #[test]
+    fn no_alternative_means_no_move() {
+        let mut agent = AdaptationAgent::new(dn("hn=a"), 2.0, 1);
+        assert_eq!(agent.observe(t(0), 9.0, None), None);
+        // Alternative equal to current host is not a move.
+        assert_eq!(agent.observe(t(1), 9.0, Some((dn("hn=a"), 0.0))), None);
+        assert!(agent.migrations.is_empty());
+    }
+}

@@ -1,0 +1,331 @@
+//! Performance diagnosis tool (§1).
+//!
+//! "A performance diagnosis tool, invoked by a user when anomalous
+//! behavior is detected, discovers what information sources are
+//! associated with an application and its resources (e.g., application
+//! sensors, network sensors, historical information sources) and
+//! accesses these information sources as it seeks to diagnose the poor
+//! performance."
+//!
+//! Given where an application runs and which peer it talks to, the tool
+//! gathers host load, queue depth, filesystem space and NWS link
+//! forecasts through the information service, applies thresholds, and
+//! returns a ranked list of suspected causes.
+
+use gis_core::SimDeployment;
+use gis_ldap::{Dn, Filter, LdapUrl};
+use gis_netsim::{NodeId, SimDuration};
+use gis_proto::SearchSpec;
+
+/// A suspected cause of poor performance, ranked by severity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Finding {
+    /// Host load exceeds the CPU count (compute contention).
+    HostOverloaded {
+        /// Observed 5-minute load.
+        load5: f64,
+        /// CPUs available.
+        cpus: i64,
+    },
+    /// Batch queue backlog (scheduling delay).
+    QueueBacklog {
+        /// Jobs waiting.
+        jobs: i64,
+    },
+    /// Scratch space nearly exhausted (I/O stalls, failed writes).
+    DiskNearlyFull {
+        /// Free MB remaining.
+        free_mb: i64,
+        /// Fraction free.
+        fraction_free: f64,
+    },
+    /// The network path to the peer is predicted to be slow.
+    SlowLink {
+        /// Peer host.
+        peer: String,
+        /// Predicted bandwidth, Mbit/s.
+        predicted_mbps: f64,
+    },
+    /// A required information source could not be reached — itself a
+    /// diagnosis ("extended failure of critical services").
+    SourceUnavailable {
+        /// What could not be consulted.
+        what: String,
+    },
+}
+
+impl Finding {
+    /// Rough severity for ranking (higher = report first).
+    fn severity(&self) -> u8 {
+        match self {
+            Finding::SourceUnavailable { .. } => 5,
+            Finding::HostOverloaded { .. } => 4,
+            Finding::DiskNearlyFull { .. } => 3,
+            Finding::SlowLink { .. } => 2,
+            Finding::QueueBacklog { .. } => 1,
+        }
+    }
+}
+
+/// A complete diagnosis.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// Suspected causes, most severe first. Empty = nothing anomalous.
+    pub findings: Vec<Finding>,
+    /// How many information sources were consulted.
+    pub sources_consulted: usize,
+}
+
+/// Thresholds for the heuristics.
+#[derive(Debug, Clone)]
+pub struct DiagnosisConfig {
+    /// VO directory to discover through.
+    pub directory: LdapUrl,
+    /// NWS gateway GRIS (optional; link checks skipped without it).
+    pub nws_gris: Option<LdapUrl>,
+    /// NWS network name.
+    pub network: String,
+    /// Load per CPU above which the host counts as overloaded.
+    pub load_per_cpu: f64,
+    /// Queue depth above which backlog is reported.
+    pub queue_threshold: i64,
+    /// Fraction of disk free below which the disk is "nearly full".
+    pub min_fraction_free: f64,
+    /// Predicted bandwidth below which the link is "slow" (Mbit/s).
+    pub min_bandwidth_mbps: f64,
+    /// Per-query wait bound.
+    pub query_wait: SimDuration,
+}
+
+impl DiagnosisConfig {
+    /// Reasonable defaults over a VO directory.
+    pub fn new(directory: LdapUrl) -> DiagnosisConfig {
+        DiagnosisConfig {
+            directory,
+            nws_gris: None,
+            network: "wan".into(),
+            load_per_cpu: 1.0,
+            queue_threshold: 10,
+            min_fraction_free: 0.10,
+            min_bandwidth_mbps: 10.0,
+            query_wait: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// Run a diagnosis for an application on `host` talking to `peer`.
+pub fn diagnose(
+    dep: &mut SimDeployment,
+    client: NodeId,
+    config: &DiagnosisConfig,
+    host: &Dn,
+    peer: Option<&str>,
+) -> Diagnosis {
+    let mut findings = Vec::new();
+    let mut sources = 0;
+
+    // Discover every information source under the host's namespace.
+    let subtree = dep.search_and_wait(
+        client,
+        &config.directory,
+        SearchSpec::subtree(host.clone(), Filter::always()),
+        config.query_wait,
+    );
+    let Some((_, entries, _)) = subtree else {
+        return Diagnosis {
+            findings: vec![Finding::SourceUnavailable {
+                what: format!("directory {}", config.directory),
+            }],
+            sources_consulted: 0,
+        };
+    };
+    if entries.is_empty() {
+        findings.push(Finding::SourceUnavailable {
+            what: format!("host subtree {host}"),
+        });
+    }
+    sources += 1;
+
+    let mut cpus = 1i64;
+    for e in &entries {
+        if e.has_class("computer") {
+            cpus = e.get_i64("cpucount").unwrap_or(1).max(1);
+        }
+    }
+    for e in &entries {
+        if e.has_class("loadaverage") {
+            if let Some(load5) = e.get_f64("load5") {
+                sources += 1;
+                if load5 > config.load_per_cpu * cpus as f64 {
+                    findings.push(Finding::HostOverloaded { load5, cpus });
+                }
+            }
+        }
+        if e.has_class("queue") {
+            if let Some(jobs) = e.get_i64("jobcount") {
+                sources += 1;
+                if jobs > config.queue_threshold {
+                    findings.push(Finding::QueueBacklog { jobs });
+                }
+            }
+        }
+        if e.has_class("filesystem") {
+            if let (Some(free), Some(total)) = (e.get_i64("free"), e.get_i64("total")) {
+                sources += 1;
+                let fraction = free as f64 / total.max(1) as f64;
+                if fraction < config.min_fraction_free {
+                    findings.push(Finding::DiskNearlyFull {
+                        free_mb: free,
+                        fraction_free: fraction,
+                    });
+                }
+            }
+        }
+    }
+
+    // Network path to the peer via the NWS gateway.
+    if let (Some(nws), Some(peer)) = (&config.nws_gris, peer) {
+        let host_name = host
+            .rdns()
+            .iter()
+            .find(|r| r.attr() == "hn")
+            .map(|r| r.value().to_owned())
+            .unwrap_or_default();
+        let link_dn = Dn::parse(&format!("link={host_name}-{peer}, nn={}", config.network))
+            .expect("valid link dn");
+        match dep.search_and_wait(client, nws, SearchSpec::lookup(link_dn), config.query_wait) {
+            Some((_, link_entries, _)) if !link_entries.is_empty() => {
+                sources += 1;
+                if let Some(bw) = link_entries[0].get_f64("predictedbandwidth") {
+                    if bw < config.min_bandwidth_mbps {
+                        findings.push(Finding::SlowLink {
+                            peer: peer.to_owned(),
+                            predicted_mbps: bw,
+                        });
+                    }
+                }
+            }
+            _ => findings.push(Finding::SourceUnavailable {
+                what: format!("NWS gateway {nws}"),
+            }),
+        }
+    }
+
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity()));
+    Diagnosis {
+        findings,
+        sources_consulted: sources,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_core::SimDeployment;
+    use gis_giis::{Giis, GiisConfig};
+    use gis_gris::{Gris, GrisConfig, HostSpec, NwsGatewayProvider};
+    use gis_netsim::secs;
+    use gis_nws::Nws;
+
+    fn build() -> (SimDeployment, DiagnosisConfig, NodeId, Dn) {
+        let mut dep = SimDeployment::new(81);
+        let vo_url = LdapUrl::server("giis.vo");
+        dep.add_giis(Giis::new(
+            GiisConfig::chaining(vo_url.clone(), Dn::root()),
+            secs(30),
+            secs(90),
+        ));
+        let host = HostSpec::linux("app", 2);
+        dep.add_standard_host(&host, 3, std::slice::from_ref(&vo_url));
+        // NWS gateway.
+        let nws_url = LdapUrl::server("gris.nws");
+        let mut nws_gris = Gris::new(
+            GrisConfig::open(nws_url.clone(), Dn::parse("nn=wan").unwrap()),
+            secs(30),
+            secs(90),
+        );
+        nws_gris.add_provider(Box::new(NwsGatewayProvider::new(
+            "wan",
+            Nws::new(5, secs(10)),
+        )));
+        dep.add_gris(nws_gris);
+        let client = dep.add_client("diagnoser");
+        dep.run_for(secs(2));
+
+        let mut config = DiagnosisConfig::new(vo_url);
+        config.nws_gris = Some(nws_url);
+        (dep, config, client, host.dn())
+    }
+
+    #[test]
+    fn healthy_system_yields_no_findings() {
+        let (mut dep, mut config, client, host) = build();
+        // Thresholds far above anything the synthetic sensors produce.
+        config.load_per_cpu = 1000.0;
+        config.queue_threshold = 1_000_000;
+        config.min_fraction_free = 0.0;
+        config.min_bandwidth_mbps = 0.0;
+        let d = diagnose(&mut dep, client, &config, &host, Some("peer"));
+        assert!(d.findings.is_empty(), "{:?}", d.findings);
+        assert!(d.sources_consulted >= 4, "host, load, queue, fs, link");
+    }
+
+    #[test]
+    fn overload_detected_and_ranked_first() {
+        let (mut dep, mut config, client, host) = build();
+        // Absurdly strict thresholds: everything fires.
+        config.load_per_cpu = 0.0;
+        config.queue_threshold = -1;
+        config.min_fraction_free = 1.1;
+        config.min_bandwidth_mbps = 1e9;
+        let d = diagnose(&mut dep, client, &config, &host, Some("peer"));
+        assert!(d.findings.len() >= 4);
+        // Severity ordering: overload before disk before link before queue.
+        let severities: Vec<u8> = d
+            .findings
+            .iter()
+            .map(|f| match f {
+                Finding::SourceUnavailable { .. } => 5,
+                Finding::HostOverloaded { .. } => 4,
+                Finding::DiskNearlyFull { .. } => 3,
+                Finding::SlowLink { .. } => 2,
+                Finding::QueueBacklog { .. } => 1,
+            })
+            .collect();
+        let mut sorted = severities.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(severities, sorted, "findings ranked by severity");
+    }
+
+    #[test]
+    fn missing_nws_reported_as_source_unavailable() {
+        let (mut dep, mut config, client, host) = build();
+        config.nws_gris = Some(LdapUrl::server("gris.nws-gone"));
+        config.load_per_cpu = 1000.0;
+        config.queue_threshold = 1_000_000;
+        config.min_fraction_free = 0.0;
+        let d = diagnose(&mut dep, client, &config, &host, Some("peer"));
+        assert_eq!(
+            d.findings,
+            vec![Finding::SourceUnavailable {
+                what: "NWS gateway ldap://gris.nws-gone:389".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn unknown_host_reported() {
+        let (mut dep, config, client, _) = build();
+        let d = diagnose(
+            &mut dep,
+            client,
+            &config,
+            &Dn::parse("hn=ghost").unwrap(),
+            None,
+        );
+        assert!(matches!(
+            d.findings[0],
+            Finding::SourceUnavailable { .. }
+        ));
+    }
+}

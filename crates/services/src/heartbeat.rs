@@ -1,0 +1,174 @@
+//! Heartbeat monitor: the Globus Heartbeat Monitor successor built on
+//! GRRP's unreliable failure detector (§4.3).
+//!
+//! Wraps [`gis_proto::FailureDetector`] with suspicion-transition
+//! tracking so experiments can score *detection latency* against ground
+//! truth and count *false suspicions* — the §4.3 tradeoff: "between
+//! likelihood of an erroneous decision and timeliness of failure
+//! detection."
+
+use gis_ldap::LdapUrl;
+use gis_netsim::{SimDuration, SimTime};
+use gis_proto::FailureDetector;
+use std::collections::BTreeSet;
+
+/// A suspicion state transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// When the monitor changed its mind.
+    pub at: SimTime,
+    /// Which service.
+    pub service: String,
+    /// `true` = now suspected failed, `false` = cleared.
+    pub suspected: bool,
+}
+
+/// The heartbeat monitor.
+#[derive(Debug)]
+pub struct HeartbeatMonitor {
+    fd: FailureDetector,
+    currently_suspected: BTreeSet<String>,
+    /// Every suspicion transition, in order.
+    pub transitions: Vec<Transition>,
+}
+
+impl HeartbeatMonitor {
+    /// Create with the given suspicion threshold.
+    pub fn new(suspicion_after: SimDuration) -> HeartbeatMonitor {
+        HeartbeatMonitor {
+            fd: FailureDetector::new(suspicion_after),
+            currently_suspected: BTreeSet::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Record a heartbeat (registration message) from a service.
+    pub fn heard_from(&mut self, service: &LdapUrl, now: SimTime) {
+        self.fd.heard_from(service, now);
+    }
+
+    /// Re-evaluate suspicions; returns the transitions that occurred.
+    pub fn scan(&mut self, now: SimTime) -> Vec<Transition> {
+        let suspected_now: BTreeSet<String> = self.fd.suspected(now).into_iter().collect();
+        let mut out = Vec::new();
+        for s in suspected_now.difference(&self.currently_suspected) {
+            out.push(Transition {
+                at: now,
+                service: s.clone(),
+                suspected: true,
+            });
+        }
+        for s in self.currently_suspected.difference(&suspected_now) {
+            out.push(Transition {
+                at: now,
+                service: s.clone(),
+                suspected: false,
+            });
+        }
+        self.currently_suspected = suspected_now;
+        self.transitions.extend(out.clone());
+        out
+    }
+
+    /// Is this service currently suspected?
+    pub fn is_suspected(&self, service: &LdapUrl) -> bool {
+        self.currently_suspected.contains(&service.to_string())
+    }
+
+    /// Number of services ever heard from.
+    pub fn known(&self) -> usize {
+        self.fd.known()
+    }
+
+    /// Score against ground truth: given the true failure time of a
+    /// service, the detection latency is the gap to the first suspicion
+    /// transition after it.
+    pub fn detection_latency(&self, service: &LdapUrl, failed_at: SimTime) -> Option<SimDuration> {
+        let key = service.to_string();
+        self.transitions
+            .iter()
+            .find(|t| t.service == key && t.suspected && t.at >= failed_at)
+            .map(|t| t.at.since(failed_at))
+    }
+
+    /// Count suspicion transitions for a service strictly before
+    /// `failed_at` (false positives caused by message loss).
+    pub fn false_suspicions(&self, service: &LdapUrl, failed_at: SimTime) -> usize {
+        let key = service.to_string();
+        self.transitions
+            .iter()
+            .filter(|t| t.service == key && t.suspected && t.at < failed_at)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_netsim::secs;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + secs(s)
+    }
+
+    fn svc(name: &str) -> LdapUrl {
+        LdapUrl::server(name)
+    }
+
+    #[test]
+    fn detects_silence_after_threshold() {
+        let mut hm = HeartbeatMonitor::new(secs(25));
+        for s in [0u64, 10, 20, 30] {
+            hm.heard_from(&svc("g"), t(s));
+            assert!(hm.scan(t(s)).is_empty());
+        }
+        // Service dies at t=30 (last heartbeat). Scans at 40, 50: quiet.
+        assert!(hm.scan(t(40)).is_empty());
+        assert!(hm.scan(t(50)).is_empty());
+        // At t=56 the 25s threshold has passed.
+        let trans = hm.scan(t(56));
+        assert_eq!(trans.len(), 1);
+        assert!(trans[0].suspected);
+        assert!(hm.is_suspected(&svc("g")));
+        assert_eq!(hm.detection_latency(&svc("g"), t(30)), Some(secs(26)));
+    }
+
+    #[test]
+    fn recovery_clears_suspicion() {
+        let mut hm = HeartbeatMonitor::new(secs(25));
+        hm.heard_from(&svc("g"), t(0));
+        hm.scan(t(30));
+        assert!(hm.is_suspected(&svc("g")));
+        hm.heard_from(&svc("g"), t(35));
+        let trans = hm.scan(t(36));
+        assert_eq!(trans.len(), 1);
+        assert!(!trans[0].suspected);
+        assert!(!hm.is_suspected(&svc("g")));
+    }
+
+    #[test]
+    fn false_suspicion_counting() {
+        let mut hm = HeartbeatMonitor::new(secs(15));
+        // Heartbeats at 0, then a gap (lost messages), then 40, then real
+        // failure at 40.
+        hm.heard_from(&svc("g"), t(0));
+        hm.scan(t(20)); // false suspicion (messages lost, not dead)
+        hm.heard_from(&svc("g"), t(40));
+        hm.scan(t(41)); // cleared
+        hm.scan(t(60)); // real detection
+        assert_eq!(hm.false_suspicions(&svc("g"), t(40)), 1);
+        assert_eq!(hm.detection_latency(&svc("g"), t(40)), Some(secs(20)));
+    }
+
+    #[test]
+    fn multiple_services_tracked_independently() {
+        let mut hm = HeartbeatMonitor::new(secs(10));
+        hm.heard_from(&svc("a"), t(0));
+        hm.heard_from(&svc("b"), t(0));
+        hm.heard_from(&svc("a"), t(10));
+        let trans = hm.scan(t(15));
+        assert_eq!(trans.len(), 1, "only b is silent past threshold");
+        assert_eq!(trans[0].service, svc("b").to_string());
+        assert_eq!(hm.known(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! Higher-level Grid services built on the information service (§1, §6
+//! of the paper): "these same protocols, and many of the same
+//! strategies, can be used to construct a variety of other services and
+//! applications, concerned ... with such things as brokering,
+//! monitoring, application adaptation, troubleshooting, and performance
+//! diagnosis."
+//!
+//! * [`broker`] — the superscheduler (two-phase static/dynamic
+//!   selection);
+//! * [`replica`] — replica selection over storage + NWS predictions;
+//! * [`troubleshoot`] — anomaly sweeps (overload, lost/recovered
+//!   services);
+//! * [`mod@diagnose`] — the performance diagnosis tool (source discovery +
+//!   ranked findings);
+//! * [`adapt`] — the application adaptation agent (migration with
+//!   hysteresis);
+//! * [`heartbeat`] — the Heartbeat-Monitor successor scoring GRRP's
+//!   unreliable failure detector;
+//! * [`matchmaker`] — §5.3's Condor-style two-sided matchmaking as an
+//!   alternative query-evaluation mechanism over directory contents.
+
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod broker;
+pub mod diagnose;
+pub mod heartbeat;
+pub mod matchmaker;
+pub mod replica;
+pub mod troubleshoot;
+
+pub use adapt::{AdaptationAgent, Migration};
+pub use broker::{Broker, Requirements, Selection};
+#[doc(inline)]
+pub use diagnose::{diagnose, Diagnosis, DiagnosisConfig, Finding};
+pub use heartbeat::{HeartbeatMonitor, Transition};
+pub use matchmaker::{matchmake, JobAd, MachineAd, Match, Rank};
+pub use replica::{ReplicaChoice, ReplicaSelector};
+pub use troubleshoot::{Alert, Troubleshooter};

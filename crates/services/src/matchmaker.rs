@@ -1,0 +1,256 @@
+//! Condor-style matchmaking over directory contents (§5.3).
+//!
+//! "We can construct directories that employ the Condor matchmaking
+//! algorithm as a query evaluation mechanism" — the paper's example of an
+//! *alternative* query model layered on the same GRIP/GRRP substrate
+//! (reference \[23], Livny's matchmaker; used by \[38] for replica
+//! selection).
+//!
+//! A simplified ClassAd model: both sides advertise. A **job ad** carries
+//! requirements (a filter the machine must satisfy), a rank expression
+//! (attribute to maximize/minimize), and its own attributes. A **machine
+//! ad** is any directory entry, with optional symmetric requirements over
+//! the job's attributes. The matchmaker pairs each job with the
+//! best-ranked machine satisfying both sides — the *two-sided* matching
+//! that one-directional LDAP search cannot express (§4.2's join
+//! limitation, §8's note that Condor needs no enforced type system).
+
+use gis_ldap::{Dn, Entry, Filter};
+
+/// Rank direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rank {
+    /// Prefer the machine with the largest value of the attribute.
+    Maximize(&'static str),
+    /// Prefer the machine with the smallest value of the attribute.
+    Minimize(&'static str),
+}
+
+/// A job advertisement.
+#[derive(Debug, Clone)]
+pub struct JobAd {
+    /// Job name (diagnostics).
+    pub name: String,
+    /// What the machine must satisfy.
+    pub requirements: Filter,
+    /// How to order acceptable machines.
+    pub rank: Rank,
+    /// The job's own attributes, visible to machine-side requirements
+    /// (e.g. `memoryneeded`, `owner`, `vo`).
+    pub ad: Entry,
+}
+
+impl JobAd {
+    /// Build a job ad; `ad_attrs` become the job's advertised attributes.
+    pub fn new(
+        name: &str,
+        requirements: Filter,
+        rank: Rank,
+        ad_attrs: &[(&str, &str)],
+    ) -> JobAd {
+        let mut ad = Entry::new(Dn::parse(&format!("job={name}")).expect("valid job dn"))
+            .with_class("job");
+        for (k, v) in ad_attrs {
+            ad.add(k, *v);
+        }
+        JobAd {
+            name: name.to_owned(),
+            requirements,
+            rank,
+            ad,
+        }
+    }
+}
+
+/// A machine advertisement: the entry plus optional symmetric
+/// requirements over the job ad.
+#[derive(Debug, Clone)]
+pub struct MachineAd {
+    /// The machine's attributes (typically a `computer` entry from the
+    /// directory).
+    pub entry: Entry,
+    /// What the *job* must satisfy for this machine to accept it; `None`
+    /// accepts anything.
+    pub requirements: Option<Filter>,
+}
+
+impl MachineAd {
+    /// A machine that accepts any job.
+    pub fn open(entry: Entry) -> MachineAd {
+        MachineAd {
+            entry,
+            requirements: None,
+        }
+    }
+
+    /// A machine with its own admission policy.
+    pub fn demanding(entry: Entry, requirements: Filter) -> MachineAd {
+        MachineAd {
+            entry,
+            requirements: Some(requirements),
+        }
+    }
+}
+
+/// One successful match.
+#[derive(Debug, Clone)]
+pub struct Match {
+    /// The job.
+    pub job: String,
+    /// The matched machine's DN.
+    pub machine: Dn,
+    /// The rank value that won.
+    pub rank_value: f64,
+}
+
+/// Match each job against the machine pool. Machines are not consumed:
+/// this is the matchmaking *evaluation*, not the claiming protocol.
+/// Returns one best match per matchable job, jobs in input order.
+pub fn matchmake(jobs: &[JobAd], machines: &[MachineAd]) -> Vec<Match> {
+    let mut out = Vec::new();
+    for job in jobs {
+        let mut best: Option<(f64, &MachineAd)> = None;
+        for m in machines {
+            // Two-sided acceptance.
+            if !job.requirements.matches(&m.entry) {
+                continue;
+            }
+            if let Some(mreq) = &m.requirements {
+                if !mreq.matches(&job.ad) {
+                    continue;
+                }
+            }
+            let attr = match job.rank {
+                Rank::Maximize(a) | Rank::Minimize(a) => a,
+            };
+            let Some(v) = m.entry.get_f64(attr) else {
+                continue;
+            };
+            let better = match (&best, job.rank) {
+                (None, _) => true,
+                (Some((cur, _)), Rank::Maximize(_)) => v > *cur,
+                (Some((cur, _)), Rank::Minimize(_)) => v < *cur,
+            };
+            if better {
+                best = Some((v, m));
+            }
+        }
+        if let Some((rank_value, m)) = best {
+            out.push(Match {
+                job: job.name.clone(),
+                machine: m.entry.dn().clone(),
+                rank_value,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(name: &str, system: &str, cpus: i64, load: f64) -> Entry {
+        Entry::at(&format!("hn={name}"))
+            .unwrap()
+            .with_class("computer")
+            .with("system", system)
+            .with("cpucount", cpus)
+            .with("load5", load)
+    }
+
+    #[test]
+    fn basic_match_ranks_machines() {
+        let jobs = vec![JobAd::new(
+            "sim",
+            Filter::parse("(&(objectclass=computer)(system=linux*))").unwrap(),
+            Rank::Minimize("load5"),
+            &[],
+        )];
+        let machines = vec![
+            MachineAd::open(machine("a", "linux 2.4", 4, 2.0)),
+            MachineAd::open(machine("b", "linux 2.4", 4, 0.5)),
+            MachineAd::open(machine("c", "mips irix", 8, 0.1)), // wrong OS
+        ];
+        let matches = matchmake(&jobs, &machines);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].machine.to_string(), "hn=b");
+        assert_eq!(matches[0].rank_value, 0.5);
+    }
+
+    #[test]
+    fn two_sided_requirements() {
+        // The machine only accepts jobs from the physics VO — a
+        // constraint the job-side filter alone cannot express.
+        let accept_physics = Filter::parse("(vo=physics)").unwrap();
+        let machines = vec![
+            MachineAd::demanding(machine("picky", "linux", 8, 0.1), accept_physics),
+            MachineAd::open(machine("open", "linux", 2, 0.9)),
+        ];
+        let any_linux = Filter::parse("(system=linux)").unwrap();
+
+        let physics_job = JobAd::new(
+            "phys",
+            any_linux.clone(),
+            Rank::Maximize("cpucount"),
+            &[("vo", "physics")],
+        );
+        let bio_job = JobAd::new(
+            "bio",
+            any_linux,
+            Rank::Maximize("cpucount"),
+            &[("vo", "biology")],
+        );
+        let matches = matchmake(&[physics_job, bio_job], &machines);
+        assert_eq!(matches.len(), 2);
+        assert_eq!(matches[0].machine.to_string(), "hn=picky", "physics gets the big box");
+        assert_eq!(matches[1].machine.to_string(), "hn=open", "biology rejected by picky");
+    }
+
+    #[test]
+    fn unmatched_jobs_absent_from_result() {
+        let jobs = vec![JobAd::new(
+            "impossible",
+            Filter::parse("(cpucount>=512)").unwrap(),
+            Rank::Minimize("load5"),
+            &[],
+        )];
+        let machines = vec![MachineAd::open(machine("a", "linux", 4, 0.1))];
+        assert!(matchmake(&jobs, &machines).is_empty());
+    }
+
+    #[test]
+    fn missing_rank_attribute_disqualifies() {
+        let jobs = vec![JobAd::new(
+            "j",
+            Filter::always(),
+            Rank::Minimize("load5"),
+            &[],
+        )];
+        let mut no_load = machine("x", "linux", 4, 0.0);
+        no_load.remove("load5");
+        let machines = vec![MachineAd::open(no_load), MachineAd::open(machine("y", "linux", 2, 3.0))];
+        let matches = matchmake(&jobs, &machines);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].machine.to_string(), "hn=y");
+    }
+
+    #[test]
+    fn no_type_enforcement_needed() {
+        // §8: the matchmaker "does not enforce a type system" — ads with
+        // informal attributes still match.
+        let jobs = vec![JobAd::new(
+            "adhoc",
+            Filter::parse("(&(colour=blue)(wheels>=4))").unwrap(),
+            Rank::Maximize("wheels"),
+            &[],
+        )];
+        let mut car = Entry::at("thing=car").unwrap();
+        car.add("colour", "blue").add("wheels", "4");
+        let mut truck = Entry::at("thing=truck").unwrap();
+        truck.add("colour", "blue").add("wheels", "6");
+        let machines = vec![MachineAd::open(car), MachineAd::open(truck)];
+        let matches = matchmake(&jobs, &machines);
+        assert_eq!(matches[0].machine.to_string(), "thing=truck");
+    }
+}

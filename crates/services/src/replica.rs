@@ -1,0 +1,212 @@
+//! Replica selection service (§1).
+//!
+//! "A replica selection service within a data grid responds to requests
+//! for the 'best' copy of files that are replicated on multiple storage
+//! systems. Here, information sources can once again include system
+//! configuration, instantaneous performance, and predictions, but for
+//! storage systems and networks rather than computers."
+//!
+//! Phase 1 finds storage systems with a replica and enough free space
+//! (via the VO directory); phase 2 asks the NWS gateway for the
+//! *predicted* bandwidth from the consumer's site to each replica host
+//! and picks the best.
+
+use gis_core::SimDeployment;
+use gis_ldap::{Dn, Filter, LdapUrl};
+use gis_netsim::{NodeId, SimDuration};
+use gis_proto::SearchSpec;
+
+/// A replica choice.
+#[derive(Debug, Clone)]
+pub struct ReplicaChoice {
+    /// The chosen storage entry's DN.
+    pub store: Dn,
+    /// Host part of the replica's location (the `hn` RDN value).
+    pub host: String,
+    /// Predicted bandwidth from the consumer to that host, Mbit/s.
+    pub predicted_bandwidth: f64,
+    /// How many replicas were considered.
+    pub considered: usize,
+}
+
+/// The replica selection service.
+#[derive(Debug, Clone)]
+pub struct ReplicaSelector {
+    /// VO directory listing storage systems.
+    pub directory: LdapUrl,
+    /// The GRIS fronting the NWS gateway.
+    pub nws_gris: LdapUrl,
+    /// Network name served by the gateway (`nn=<name>`).
+    pub network: String,
+    /// Per-query wait bound.
+    pub query_wait: SimDuration,
+}
+
+impl ReplicaSelector {
+    /// Create a selector.
+    pub fn new(directory: LdapUrl, nws_gris: LdapUrl, network: &str) -> ReplicaSelector {
+        ReplicaSelector {
+            directory,
+            nws_gris,
+            network: network.to_owned(),
+            query_wait: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Pick the replica of best predicted bandwidth to `consumer_site`
+    /// among stores with at least `min_free_mb` free.
+    pub fn select(
+        &self,
+        dep: &mut SimDeployment,
+        client: NodeId,
+        consumer_site: &str,
+        min_free_mb: i64,
+    ) -> Option<ReplicaChoice> {
+        // Phase 1: storage discovery.
+        let filter = Filter::parse(&format!("(&(objectclass=filesystem)(free>={min_free_mb}))"))
+            .expect("valid filter");
+        let (_, stores, _) = dep.search_and_wait(
+            client,
+            &self.directory,
+            SearchSpec::subtree(Dn::root(), filter),
+            self.query_wait,
+        )?;
+        let replicas: Vec<(Dn, String)> = stores
+            .iter()
+            .filter_map(|e| {
+                let host = e
+                    .dn()
+                    .rdns()
+                    .iter()
+                    .find(|r| r.attr() == "hn")
+                    .map(|r| r.value().to_owned())?;
+                Some((e.dn().clone(), host))
+            })
+            .collect();
+        if replicas.is_empty() {
+            return None;
+        }
+
+        // Phase 2: predicted bandwidth per replica via the NWS gateway's
+        // non-enumerable link namespace.
+        let mut best: Option<ReplicaChoice> = None;
+        let considered = replicas.len();
+        for (store, host) in replicas {
+            let link_dn = Dn::parse(&format!(
+                "link={consumer_site}-{host}, nn={}",
+                self.network
+            ))
+            .expect("valid link dn");
+            let Some((_, entries, _)) = dep.search_and_wait(
+                client,
+                &self.nws_gris,
+                SearchSpec::lookup(link_dn),
+                self.query_wait,
+            ) else {
+                continue;
+            };
+            let Some(bw) = entries
+                .iter()
+                .find_map(|e| e.get_f64("predictedbandwidth"))
+            else {
+                continue;
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| bw > b.predicted_bandwidth)
+            {
+                best = Some(ReplicaChoice {
+                    store,
+                    host,
+                    predicted_bandwidth: bw,
+                    considered,
+                });
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_core::SimDeployment;
+    use gis_giis::{Giis, GiisConfig};
+    use gis_gris::{Gris, GrisConfig, HostSpec, NwsGatewayProvider};
+    use gis_netsim::{secs, SimDuration};
+    use gis_nws::Nws;
+
+    /// Deployment: 3 storage hosts registered in a VO directory plus an
+    /// NWS gateway GRIS.
+    fn build() -> (SimDeployment, ReplicaSelector, NodeId) {
+        let mut dep = SimDeployment::new(31);
+        let vo_url = LdapUrl::server("giis.datagrid");
+        dep.add_giis(Giis::new(
+            GiisConfig::chaining(vo_url.clone(), Dn::root()),
+            secs(30),
+            secs(90),
+        ));
+        for (i, name) in ["store1", "store2", "store3"].iter().enumerate() {
+            let host = HostSpec::linux(name, 2);
+            dep.add_standard_host(&host, 100 + i as u64, std::slice::from_ref(&vo_url));
+        }
+        // NWS gateway GRIS.
+        let nws_url = LdapUrl::server("gris.nws");
+        let mut nws_gris = Gris::new(
+            GrisConfig::open(nws_url.clone(), Dn::parse("nn=wan").unwrap()),
+            secs(30),
+            secs(90),
+        );
+        nws_gris.add_provider(Box::new(NwsGatewayProvider::new(
+            "wan",
+            Nws::new(7, SimDuration::from_secs(10)),
+        )));
+        dep.add_gris(nws_gris);
+
+        let client = dep.add_client("consumer");
+        let selector = ReplicaSelector::new(vo_url, nws_url, "wan");
+        (dep, selector, client)
+    }
+
+    #[test]
+    fn selects_highest_predicted_bandwidth_replica() {
+        let (mut dep, selector, client) = build();
+        dep.run_for(secs(3));
+        let choice = selector
+            .select(&mut dep, client, "clientsite", 1)
+            .expect("a replica is chosen");
+        assert_eq!(choice.considered, 3);
+        assert!(choice.predicted_bandwidth > 0.0);
+        assert!(["store1", "store2", "store3"].contains(&choice.host.as_str()));
+
+        // The choice is the argmax over the three links: verify against
+        // direct gateway queries.
+        let mut best_direct: Option<(String, f64)> = None;
+        for host in ["store1", "store2", "store3"] {
+            let dn = Dn::parse(&format!("link=clientsite-{host}, nn=wan")).unwrap();
+            let (_, entries, _) = dep
+                .search_and_wait(
+                    client,
+                    &selector.nws_gris,
+                    SearchSpec::lookup(dn),
+                    secs(10),
+                )
+                .unwrap();
+            let bw = entries[0].get_f64("predictedbandwidth").unwrap();
+            if best_direct.as_ref().is_none_or(|(_, b)| bw > *b) {
+                best_direct = Some((host.to_owned(), bw));
+            }
+        }
+        assert_eq!(choice.host, best_direct.unwrap().0);
+    }
+
+    #[test]
+    fn free_space_floor_filters_replicas() {
+        let (mut dep, selector, client) = build();
+        dep.run_for(secs(3));
+        // An absurd floor removes every replica.
+        assert!(selector
+            .select(&mut dep, client, "clientsite", 10_000_000)
+            .is_none());
+    }
+}

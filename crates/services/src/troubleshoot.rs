@@ -1,0 +1,200 @@
+//! Troubleshooting service (§1).
+//!
+//! "A troubleshooting service monitors Grid resources, looking for
+//! anomalous behaviors such as excessive load or extended failure of
+//! critical services."
+//!
+//! The sweep logic is pure (easily unit-tested): it consumes the current
+//! directory view and produces alerts, tracking appearance/disappearance
+//! across sweeps so a resource whose soft state expired raises a
+//! `ServiceLost` alert.
+
+use gis_ldap::{Dn, Entry};
+use gis_netsim::SimTime;
+use std::collections::BTreeMap;
+
+/// An anomaly found by the troubleshooter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Alert {
+    /// A host's load exceeds the configured threshold.
+    Overload {
+        /// The load entry's DN.
+        source: Dn,
+        /// Observed 5-minute load.
+        load5: f64,
+    },
+    /// A previously-seen resource vanished from the directory (its soft
+    /// state expired — the §4.3 failure-detection signal).
+    ServiceLost {
+        /// The resource's DN.
+        source: Dn,
+        /// When it was last observed.
+        last_seen: SimTime,
+    },
+    /// A previously-lost resource reappeared.
+    ServiceRecovered {
+        /// The resource's DN.
+        source: Dn,
+    },
+}
+
+/// The troubleshooter's persistent state across sweeps.
+#[derive(Debug)]
+pub struct Troubleshooter {
+    /// Load-average threshold above which an overload alert fires.
+    pub load_threshold: f64,
+    /// Resources currently believed present: DN -> last seen.
+    present: BTreeMap<String, (Dn, SimTime)>,
+    /// Resources currently believed lost.
+    lost: BTreeMap<String, Dn>,
+    /// Total alerts raised (all kinds).
+    pub alerts_raised: u64,
+}
+
+impl Troubleshooter {
+    /// Create with a load threshold.
+    pub fn new(load_threshold: f64) -> Troubleshooter {
+        Troubleshooter {
+            load_threshold,
+            present: BTreeMap::new(),
+            lost: BTreeMap::new(),
+            alerts_raised: 0,
+        }
+    }
+
+    /// Process one directory sweep: `computers` is the current set of
+    /// host entries, `loads` the current load-average entries.
+    pub fn sweep(&mut self, computers: &[Entry], loads: &[Entry], now: SimTime) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+
+        // Overloads.
+        for e in loads {
+            if let Some(load5) = e.get_f64("load5") {
+                if load5 > self.load_threshold {
+                    alerts.push(Alert::Overload {
+                        source: e.dn().clone(),
+                        load5,
+                    });
+                }
+            }
+        }
+
+        // Presence tracking.
+        let current: BTreeMap<String, Dn> = computers
+            .iter()
+            .map(|e| (e.dn().to_string(), e.dn().clone()))
+            .collect();
+        // Disappearances.
+        let gone: Vec<(String, Dn, SimTime)> = self
+            .present
+            .iter()
+            .filter(|(k, _)| !current.contains_key(*k))
+            .map(|(k, (dn, seen))| (k.clone(), dn.clone(), *seen))
+            .collect();
+        for (k, dn, last_seen) in gone {
+            self.present.remove(&k);
+            self.lost.insert(k, dn.clone());
+            alerts.push(Alert::ServiceLost {
+                source: dn,
+                last_seen,
+            });
+        }
+        // Appearances / recoveries.
+        for (k, dn) in current {
+            if self.lost.remove(&k).is_some() {
+                alerts.push(Alert::ServiceRecovered { source: dn.clone() });
+            }
+            self.present.insert(k, (dn, now));
+        }
+
+        self.alerts_raised += alerts.len() as u64;
+        alerts
+    }
+
+    /// Number of resources currently believed present.
+    pub fn present_count(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Number of resources currently believed lost.
+    pub fn lost_count(&self) -> usize {
+        self.lost.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_netsim::secs;
+
+    fn host(n: &str) -> Entry {
+        Entry::at(&format!("hn={n}")).unwrap().with_class("computer")
+    }
+
+    fn load(n: &str, l: f64) -> Entry {
+        Entry::at(&format!("perf=load, hn={n}"))
+            .unwrap()
+            .with_class("loadaverage")
+            .with("load5", l)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + secs(s)
+    }
+
+    #[test]
+    fn overload_detection() {
+        let mut ts = Troubleshooter::new(2.0);
+        let alerts = ts.sweep(
+            &[host("a"), host("b")],
+            &[load("a", 0.5), load("b", 5.5)],
+            t(0),
+        );
+        assert_eq!(alerts.len(), 1);
+        assert!(matches!(&alerts[0], Alert::Overload { load5, .. } if *load5 == 5.5));
+    }
+
+    #[test]
+    fn disappearance_and_recovery() {
+        let mut ts = Troubleshooter::new(10.0);
+        assert!(ts.sweep(&[host("a"), host("b")], &[], t(0)).is_empty());
+        assert_eq!(ts.present_count(), 2);
+
+        // b vanishes.
+        let alerts = ts.sweep(&[host("a")], &[], t(60));
+        assert_eq!(alerts.len(), 1);
+        match &alerts[0] {
+            Alert::ServiceLost { source, last_seen } => {
+                assert_eq!(source.to_string(), "hn=b");
+                assert_eq!(*last_seen, t(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ts.lost_count(), 1);
+
+        // b comes back.
+        let alerts = ts.sweep(&[host("a"), host("b")], &[], t(120));
+        assert_eq!(alerts.len(), 1);
+        assert!(matches!(&alerts[0], Alert::ServiceRecovered { source } if source.to_string() == "hn=b"));
+        assert_eq!(ts.lost_count(), 0);
+        assert_eq!(ts.present_count(), 2);
+    }
+
+    #[test]
+    fn stable_view_raises_nothing() {
+        let mut ts = Troubleshooter::new(2.0);
+        let hosts = [host("a"), host("b")];
+        let loads = [load("a", 0.2), load("b", 0.3)];
+        for s in 0..10 {
+            assert!(ts.sweep(&hosts, &loads, t(s * 30)).is_empty());
+        }
+        assert_eq!(ts.alerts_raised, 0);
+    }
+
+    #[test]
+    fn missing_load_attribute_ignored() {
+        let mut ts = Troubleshooter::new(1.0);
+        let bad_load = Entry::at("perf=load, hn=x").unwrap().with("note", "no numeric load");
+        assert!(ts.sweep(&[host("x")], &[bad_load], t(0)).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Performance diagnosis + archival history (§1 and §6).
+//!
+//! A user notices their application is slow. The diagnosis tool sweeps
+//! the associated information sources (host, queue, disk, network) and
+//! ranks suspected causes; the archival provider then supplies the load
+//! history around the incident via a time-range GRIP extension query.
+//!
+//! ```text
+//! cargo run --example diagnosis_and_history
+//! ```
+
+use grid_info_services::core::SimDeployment;
+use grid_info_services::giis::{Giis, GiisConfig};
+use grid_info_services::gris::{
+    ArchiveProvider, DynamicHostProvider, Gris, GrisConfig, HostSpec, NwsGatewayProvider,
+};
+use grid_info_services::ldap::{Dn, Filter, LdapUrl};
+use grid_info_services::netsim::secs;
+use grid_info_services::nws::Nws;
+use grid_info_services::proto::SearchSpec;
+use grid_info_services::services::{diagnose, DiagnosisConfig};
+
+fn main() {
+    let mut dep = SimDeployment::new(404);
+    let vo_url = LdapUrl::server("giis.vo");
+    dep.add_giis(Giis::new(
+        GiisConfig::chaining(vo_url.clone(), Dn::root()),
+        secs(30),
+        secs(90),
+    ));
+
+    // The application host, with an archival provider alongside the
+    // standard set.
+    let host = HostSpec::linux("apphost", 2);
+    let mut gris = SimDeployment::standard_host_gris(&host, 11);
+    gris.add_provider(Box::new(ArchiveProvider::new(DynamicHostProvider::new(
+        &host,
+        11,
+        1.0 + (11 % 3) as f64, // same series as the standard dynamic provider
+        secs(10),
+        secs(30),
+    ))));
+    gris.agent.add_target(vo_url.clone());
+    let gris_url = gris.config.url.clone();
+    dep.add_gris(gris);
+
+    // NWS gateway for the path to the peer.
+    let nws_url = LdapUrl::server("gris.nws");
+    let mut nws_gris = Gris::new(
+        GrisConfig::open(nws_url.clone(), Dn::parse("nn=wan").unwrap()),
+        secs(30),
+        secs(90),
+    );
+    nws_gris.add_provider(Box::new(NwsGatewayProvider::new(
+        "wan",
+        Nws::new(12, secs(10)),
+    )));
+    dep.add_gris(nws_gris);
+
+    let client = dep.add_client("user");
+    dep.run_for(secs(600)); // the application has been running a while
+
+    // --- The diagnosis sweep. --------------------------------------------
+    let mut config = DiagnosisConfig::new(vo_url);
+    config.nws_gris = Some(nws_url);
+    // Deliberately strict thresholds so the demo surfaces findings.
+    config.load_per_cpu = 0.5;
+    config.min_bandwidth_mbps = 100.0;
+    config.min_fraction_free = 0.45;
+
+    let d = diagnose(&mut dep, client, &config, &host.dn(), Some("fileserver"));
+    println!("== diagnosis for [{}] talking to fileserver ==", host.dn());
+    println!("consulted {} information sources", d.sources_consulted);
+    if d.findings.is_empty() {
+        println!("no anomalies found");
+    }
+    for (i, f) in d.findings.iter().enumerate() {
+        println!("  #{}: {f:?}", i + 1);
+    }
+
+    // --- Historical context from the archive (§6 extension). -------------
+    let now_us = dep.now().micros();
+    let from = now_us.saturating_sub(120_000_000); // last 2 minutes
+    let filter = Filter::parse(&format!(
+        "(&(objectclass=perfarchive)(t>={from})(t<={now_us}))"
+    ))
+    .unwrap();
+    let (_, history, _) = dep
+        .search_and_wait(
+            client,
+            &gris_url,
+            SearchSpec::subtree(Dn::parse("archive=load, hn=apphost").unwrap(), filter),
+            secs(10),
+        )
+        .expect("archive reply");
+    println!("\n== load history, last 2 minutes ({} samples) ==", history.len());
+    for e in &history {
+        let t = e.get_i64("t").unwrap() as f64 / 1e6;
+        let load = e.get_f64("load5").unwrap();
+        let bar = "#".repeat((load * 10.0).min(60.0) as usize);
+        println!("  t={t:>7.0}s  load5={load:>5.2}  {bar}");
+    }
+
+    // An unbounded history query is refused — the §6 discipline.
+    let (code, _, _) = dep
+        .search_and_wait(
+            client,
+            &gris_url,
+            SearchSpec::subtree(
+                Dn::parse("archive=load, hn=apphost").unwrap(),
+                Filter::parse("(objectclass=perfarchive)").unwrap(),
+            ),
+            secs(10),
+        )
+        .expect("archive reply");
+    println!("\nunbounded archive query -> {code:?} (range constraints required)");
+}

@@ -1,0 +1,91 @@
+//! Monitoring example (§6): subscriptions (push mode), the
+//! troubleshooter, and the heartbeat failure detector working together.
+//!
+//! ```text
+//! cargo run --example monitoring
+//! ```
+
+use grid_info_services::core::{ClientActor, SimDeployment};
+use grid_info_services::giis::{Giis, GiisConfig};
+use grid_info_services::gris::HostSpec;
+use grid_info_services::ldap::{Dn, Filter, LdapUrl};
+use grid_info_services::netsim::secs;
+use grid_info_services::proto::{GripRequest, SearchSpec, SubscriptionMode};
+use grid_info_services::services::Troubleshooter;
+
+fn main() {
+    let mut dep = SimDeployment::new(99);
+    let vo_url = LdapUrl::server("giis.vo");
+    dep.add_giis(Giis::new(
+        GiisConfig::chaining(vo_url.clone(), Dn::root()),
+        secs(10),
+        secs(30),
+    ));
+
+    let mut gris_urls = Vec::new();
+    let mut host_nodes = Vec::new();
+    for i in 0..3 {
+        let host = HostSpec::linux(&format!("n{i}"), 2);
+        let (node, url) = dep.add_standard_host(&host, i, std::slice::from_ref(&vo_url));
+        gris_urls.push(url);
+        host_nodes.push(node);
+    }
+    let client = dep.add_client("monitor");
+    dep.run_for(secs(2));
+
+    // --- Push mode: subscribe to n0's load with periodic delivery. ------
+    let sub_id = dep.sim.invoke::<ClientActor, _>(client, |c, ctx| {
+        c.request(ctx, &gris_urls[0], |id| GripRequest::Subscribe {
+            id,
+            spec: SearchSpec::subtree(
+                Dn::parse("hn=n0").unwrap(),
+                Filter::parse("(load5=*)").unwrap(),
+            ),
+            mode: SubscriptionMode::Periodic(secs(15)),
+        })
+    });
+    dep.run_for(secs(61));
+    let updates = dep.client(client).updates(sub_id);
+    println!("== periodic subscription: {} load updates in 60s ==", updates.len());
+    for u in &updates {
+        if let grid_info_services::proto::GripReply::Update { entries, .. } = u {
+            if let Some(load) = entries.first().and_then(|e| e.get_f64("load5")) {
+                println!("  load5 = {load:.2}");
+            }
+        }
+    }
+
+    // --- Troubleshooter sweeps through the directory. -------------------
+    let mut ts = Troubleshooter::new(1.8);
+    let computers_q =
+        SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap());
+    let loads_q =
+        SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=loadaverage)").unwrap());
+
+    println!("\n== troubleshooter sweeps (threshold load5 > 1.8) ==");
+    for sweep in 0..4 {
+        if sweep == 2 {
+            // Crash n2 between sweeps: its soft state will expire.
+            let node = host_nodes[2];
+            dep.sim.crash(node);
+            println!("  *** n2 crashes ***");
+        }
+        let (_, computers, _) = dep
+            .search_and_wait(client, &vo_url, computers_q.clone(), secs(10))
+            .unwrap();
+        let (_, loads, _) = dep
+            .search_and_wait(client, &vo_url, loads_q.clone(), secs(10))
+            .unwrap();
+        let alerts = ts.sweep(&computers, &loads, dep.now());
+        println!(
+            "  sweep {sweep} at t={}: {} hosts visible, {} alerts",
+            dep.now(),
+            computers.len(),
+            alerts.len()
+        );
+        for a in alerts {
+            println!("    alert: {a:?}");
+        }
+        dep.run_for(secs(40));
+    }
+}

@@ -1,0 +1,67 @@
+//! Partition tolerance (Figures 1 and 4): a VO split by network failure
+//! keeps operating as two disjoint fragments, each serving the partial
+//! view it can reach, and re-converges after healing.
+//!
+//! ```text
+//! cargo run --example partition_tolerance
+//! ```
+
+use grid_info_services::core::scenario::two_vos;
+use grid_info_services::ldap::{Dn, Filter};
+use grid_info_services::netsim::secs;
+use grid_info_services::proto::SearchSpec;
+
+fn main() {
+    let mut sc = two_vos(7, 3); // 3 hosts per group
+    sc.dep.run_for(secs(5));
+
+    let q = || SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap());
+    let count = |sc: &mut grid_info_services::core::TwoVoScenario, client, url: &_| {
+        sc.dep
+            .search_and_wait(client, url, q(), secs(20))
+            .map(|(code, entries, _)| (code, entries.len()))
+    };
+
+    println!("t={:>6}  -- before partition --", sc.dep.now());
+    let (vo_b0_url, vo_b1_url) = (sc.vo_b[0].1.clone(), sc.vo_b[1].1.clone());
+    let (c_a, c_b0, c_b1) = (sc.clients[0], sc.clients[1], sc.clients[2]);
+    let vo_a_url = sc.vo_a.1.clone();
+    println!("  VO-A  view: {:?}", count(&mut sc, c_a, &vo_a_url));
+    println!("  VO-B0 view: {:?}", count(&mut sc, c_b0, &vo_b0_url));
+    println!("  VO-B1 view: {:?}", count(&mut sc, c_b1, &vo_b1_url));
+
+    // Split VO-B down the middle (Figure 1's lightning bolt).
+    let side0: Vec<_> = sc.hosts_b[0]
+        .iter()
+        .map(|(n, _)| *n)
+        .chain([sc.vo_b[0].0, c_b0])
+        .collect();
+    let side1: Vec<_> = sc.hosts_b[1]
+        .iter()
+        .map(|(n, _)| *n)
+        .chain([sc.vo_b[1].0, c_b1])
+        .collect();
+    sc.dep.sim.partition_between(&side0, &side1);
+    println!("\n*** network partition splits VO-B ***");
+
+    // Soft state for unreachable providers expires (TTL 30s).
+    sc.dep.run_for(secs(45));
+    println!("\nt={:>6}  -- during partition (soft state expired) --", sc.dep.now());
+    println!("  VO-A  view: {:?}  (unaffected)", count(&mut sc, c_a, &vo_a_url));
+    println!("  VO-B0 view: {:?}  (its half + shared pool)", count(&mut sc, c_b0, &vo_b0_url));
+    println!("  VO-B1 view: {:?}  (disjoint fragment keeps working)", count(&mut sc, c_b1, &vo_b1_url));
+
+    // Heal: replicas re-converge via ordinary soft-state refresh.
+    sc.dep.sim.heal_all();
+    sc.dep.run_for(secs(30));
+    println!("\n*** partition heals ***\n");
+    println!("t={:>6}  -- after healing --", sc.dep.now());
+    println!("  VO-B0 view: {:?}", count(&mut sc, c_b0, &vo_b0_url));
+    println!("  VO-B1 view: {:?}", count(&mut sc, c_b1, &vo_b1_url));
+
+    let m = sc.dep.sim.metrics();
+    println!(
+        "\nnetwork: {} sent, {} delivered, {} dropped by partition",
+        m.sent, m.delivered, m.dropped_partition
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: stand up a one-host Grid information service, register it
+//! in a VO directory, and run discovery + enquiry queries.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use grid_info_services::core::SimDeployment;
+use grid_info_services::giis::{Giis, GiisConfig};
+use grid_info_services::gris::HostSpec;
+use grid_info_services::ldap::{to_ldif, Dn, Filter, LdapUrl};
+use grid_info_services::netsim::secs;
+use grid_info_services::proto::SearchSpec;
+
+fn main() {
+    // A deterministic simulated deployment (seed 42).
+    let mut dep = SimDeployment::new(42);
+
+    // A VO aggregate directory (GIIS) in chaining mode.
+    let vo_url = LdapUrl::server("giis.demo-vo");
+    dep.add_giis(Giis::new(
+        GiisConfig::chaining(vo_url.clone(), Dn::root()),
+        secs(30), // registration refresh interval
+        secs(90), // registration TTL (3x interval survives lost messages)
+    ));
+
+    // One compute host with the standard provider set (static host info,
+    // dynamic load, filesystem, batch queue), registering with the VO.
+    let host = HostSpec::irix("hostX", 8);
+    let (_, gris_url) = dep.add_standard_host(&host, 7, std::slice::from_ref(&vo_url));
+
+    // A user.
+    let client = dep.add_client("alice");
+
+    // Let the soft-state registration flow.
+    dep.run_for(secs(2));
+
+    // --- Discovery: ask the VO directory for computers. -----------------
+    let (code, entries, _) = dep
+        .search_and_wait(
+            client,
+            &vo_url,
+            SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
+            secs(10),
+        )
+        .expect("directory reply");
+    println!("== discovery via {vo_url} ({code:?}) ==");
+    println!("{}", to_ldif(&entries));
+
+    // --- Enquiry: look up the host's full subtree directly. -------------
+    let (code, entries, _) = dep
+        .search_and_wait(
+            client,
+            &gris_url,
+            SearchSpec::subtree(host.dn(), Filter::always()),
+            secs(10),
+        )
+        .expect("GRIS reply");
+    println!("== enquiry via {gris_url} ({code:?}) ==");
+    println!("{}", to_ldif(&entries));
+
+    // --- A qualitative query: lightly-loaded storage-rich hosts. --------
+    let filter = Filter::parse("(&(objectclass=filesystem)(free>=1000))").unwrap();
+    let (_, entries, _) = dep
+        .search_and_wait(
+            client,
+            &gris_url,
+            SearchSpec::subtree(host.dn(), filter).select(&["free", "path"]),
+            secs(10),
+        )
+        .expect("GRIS reply");
+    println!("== filesystems with >= 1 GB free (projected) ==");
+    println!("{}", to_ldif(&entries));
+}

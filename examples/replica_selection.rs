@@ -1,0 +1,78 @@
+//! Replica selection example (§1): choose the best copy of a replicated
+//! file using storage information from the VO directory plus bandwidth
+//! *predictions* from the Network Weather Service gateway's
+//! non-enumerable `link=src-dst` namespace (§4.1).
+//!
+//! ```text
+//! cargo run --example replica_selection
+//! ```
+
+use grid_info_services::core::SimDeployment;
+use grid_info_services::giis::{Giis, GiisConfig};
+use grid_info_services::gris::{Gris, GrisConfig, HostSpec, NwsGatewayProvider};
+use grid_info_services::ldap::{Dn, LdapUrl};
+use grid_info_services::netsim::{secs, SimDuration};
+use grid_info_services::nws::Nws;
+use grid_info_services::proto::SearchSpec;
+use grid_info_services::services::ReplicaSelector;
+
+fn main() {
+    let mut dep = SimDeployment::new(1234);
+
+    // A data-grid VO directory.
+    let vo_url = LdapUrl::server("giis.datagrid");
+    dep.add_giis(Giis::new(
+        GiisConfig::chaining(vo_url.clone(), Dn::root()),
+        secs(30),
+        secs(90),
+    ));
+
+    // Four storage sites hold replicas.
+    for (i, name) in ["sdsc", "anl", "isi", "npaci"].iter().enumerate() {
+        let host = HostSpec::linux(name, 4);
+        dep.add_standard_host(&host, 50 + i as u64, std::slice::from_ref(&vo_url));
+    }
+
+    // The NWS gateway: an information provider over an *infinite*
+    // namespace — links are materialized lazily per query.
+    let nws_url = LdapUrl::server("gris.nws");
+    let mut nws_gris = Gris::new(
+        GrisConfig::open(nws_url.clone(), Dn::parse("nn=wan").unwrap()),
+        secs(30),
+        secs(90),
+    );
+    nws_gris.add_provider(Box::new(NwsGatewayProvider::new(
+        "wan",
+        Nws::new(77, SimDuration::from_secs(10)),
+    )));
+    dep.add_gris(nws_gris);
+
+    let client = dep.add_client("physicist");
+    dep.run_for(secs(3));
+
+    // Show the raw network view first.
+    println!("== predicted bandwidth from 'lab' to each replica site ==");
+    for site in ["sdsc", "anl", "isi", "npaci"] {
+        let dn = Dn::parse(&format!("link=lab-{site}, nn=wan")).unwrap();
+        let (_, entries, _) = dep
+            .search_and_wait(client, &nws_url, SearchSpec::lookup(dn), secs(10))
+            .expect("NWS reply");
+        let e = &entries[0];
+        println!(
+            "  lab -> {site}: measured {:>7.2} Mbit/s, predicted {:>7.2} Mbit/s, latency {:>6.2} ms",
+            e.get_f64("bandwidth").unwrap(),
+            e.get_f64("predictedbandwidth").unwrap(),
+            e.get_f64("latency").unwrap(),
+        );
+    }
+
+    // The service combines storage + network information.
+    let selector = ReplicaSelector::new(vo_url, nws_url, "wan");
+    match selector.select(&mut dep, client, "lab", 1_000) {
+        Some(choice) => println!(
+            "\nselected replica on [{}] ({:.2} Mbit/s predicted, {} replicas considered)\n  store entry: {}",
+            choice.host, choice.predicted_bandwidth, choice.considered, choice.store
+        ),
+        None => println!("\nno replica satisfies the constraints"),
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the MDS-2 Grid Information Services reproduction.
+//!
+//! Re-exports every workspace crate under one root so examples and
+//! integration tests can use a single dependency. See `README.md` for the
+//! architecture overview and `DESIGN.md` for the system inventory.
+
+pub use gis_baselines as baselines;
+pub use gis_core as core;
+pub use gis_giis as giis;
+pub use gis_gris as gris;
+pub use gis_gsi as gsi;
+pub use gis_ldap as ldap;
+pub use gis_netsim as netsim;
+pub use gis_nws as nws;
+pub use gis_proto as proto;
+pub use gis_services as services;
