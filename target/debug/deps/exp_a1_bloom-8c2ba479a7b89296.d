@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_a1_bloom-8c2ba479a7b89296.d: crates/bench/src/bin/exp_a1_bloom.rs
+
+/root/repo/target/debug/deps/exp_a1_bloom-8c2ba479a7b89296: crates/bench/src/bin/exp_a1_bloom.rs
+
+crates/bench/src/bin/exp_a1_bloom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_a2_push_pull-a273e333f55ea8b4.d: crates/bench/src/bin/exp_a2_push_pull.rs
+
+/root/repo/target/debug/deps/exp_a2_push_pull-a273e333f55ea8b4: crates/bench/src/bin/exp_a2_push_pull.rs
+
+crates/bench/src/bin/exp_a2_push_pull.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_a3_giis_cache-3078c9313d3f1aa7.d: crates/bench/src/bin/exp_a3_giis_cache.rs
+
+/root/repo/target/debug/deps/exp_a3_giis_cache-3078c9313d3f1aa7: crates/bench/src/bin/exp_a3_giis_cache.rs
+
+crates/bench/src/bin/exp_a3_giis_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e10_security-13b816c84245c040.d: crates/bench/src/bin/exp_e10_security.rs
+
+/root/repo/target/debug/deps/exp_e10_security-13b816c84245c040: crates/bench/src/bin/exp_e10_security.rs
+
+crates/bench/src/bin/exp_e10_security.rs:

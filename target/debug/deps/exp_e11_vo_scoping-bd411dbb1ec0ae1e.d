@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e11_vo_scoping-bd411dbb1ec0ae1e.d: crates/bench/src/bin/exp_e11_vo_scoping.rs
+
+/root/repo/target/debug/deps/exp_e11_vo_scoping-bd411dbb1ec0ae1e: crates/bench/src/bin/exp_e11_vo_scoping.rs
+
+crates/bench/src/bin/exp_e11_vo_scoping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e12_nws-be4d08f45e39d95a.d: crates/bench/src/bin/exp_e12_nws.rs
+
+/root/repo/target/debug/deps/exp_e12_nws-be4d08f45e39d95a: crates/bench/src/bin/exp_e12_nws.rs
+
+crates/bench/src/bin/exp_e12_nws.rs:

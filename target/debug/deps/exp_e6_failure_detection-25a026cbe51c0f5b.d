@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e6_failure_detection-25a026cbe51c0f5b.d: crates/bench/src/bin/exp_e6_failure_detection.rs
+
+/root/repo/target/debug/deps/exp_e6_failure_detection-25a026cbe51c0f5b: crates/bench/src/bin/exp_e6_failure_detection.rs
+
+crates/bench/src/bin/exp_e6_failure_detection.rs:

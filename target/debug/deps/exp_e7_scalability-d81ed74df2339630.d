@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e7_scalability-d81ed74df2339630.d: crates/bench/src/bin/exp_e7_scalability.rs
+
+/root/repo/target/debug/deps/exp_e7_scalability-d81ed74df2339630: crates/bench/src/bin/exp_e7_scalability.rs
+
+crates/bench/src/bin/exp_e7_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e8_cache_ttl-faa0272f24cb63cc.d: crates/bench/src/bin/exp_e8_cache_ttl.rs
+
+/root/repo/target/debug/deps/exp_e8_cache_ttl-faa0272f24cb63cc: crates/bench/src/bin/exp_e8_cache_ttl.rs
+
+crates/bench/src/bin/exp_e8_cache_ttl.rs:

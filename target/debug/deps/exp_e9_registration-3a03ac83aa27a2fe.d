@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e9_registration-3a03ac83aa27a2fe.d: crates/bench/src/bin/exp_e9_registration.rs
+
+/root/repo/target/debug/deps/exp_e9_registration-3a03ac83aa27a2fe: crates/bench/src/bin/exp_e9_registration.rs
+
+crates/bench/src/bin/exp_e9_registration.rs:

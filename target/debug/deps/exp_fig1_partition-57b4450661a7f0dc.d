@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig1_partition-57b4450661a7f0dc.d: crates/bench/src/bin/exp_fig1_partition.rs
+
+/root/repo/target/debug/deps/exp_fig1_partition-57b4450661a7f0dc: crates/bench/src/bin/exp_fig1_partition.rs
+
+crates/bench/src/bin/exp_fig1_partition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2_architecture-d25a2f5822b95294.d: crates/bench/src/bin/exp_fig2_architecture.rs
+
+/root/repo/target/debug/deps/exp_fig2_architecture-d25a2f5822b95294: crates/bench/src/bin/exp_fig2_architecture.rs
+
+crates/bench/src/bin/exp_fig2_architecture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_datamodel-3cf23659414ec6da.d: crates/bench/src/bin/exp_fig3_datamodel.rs
+
+/root/repo/target/debug/deps/exp_fig3_datamodel-3cf23659414ec6da: crates/bench/src/bin/exp_fig3_datamodel.rs
+
+crates/bench/src/bin/exp_fig3_datamodel.rs:

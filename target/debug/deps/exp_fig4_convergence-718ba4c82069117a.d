@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_convergence-718ba4c82069117a.d: crates/bench/src/bin/exp_fig4_convergence.rs
+
+/root/repo/target/debug/deps/exp_fig4_convergence-718ba4c82069117a: crates/bench/src/bin/exp_fig4_convergence.rs
+
+crates/bench/src/bin/exp_fig4_convergence.rs:

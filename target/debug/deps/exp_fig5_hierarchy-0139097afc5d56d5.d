@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5_hierarchy-0139097afc5d56d5.d: crates/bench/src/bin/exp_fig5_hierarchy.rs
+
+/root/repo/target/debug/deps/exp_fig5_hierarchy-0139097afc5d56d5: crates/bench/src/bin/exp_fig5_hierarchy.rs
+
+crates/bench/src/bin/exp_fig5_hierarchy.rs:

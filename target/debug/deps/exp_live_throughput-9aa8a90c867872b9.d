@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_live_throughput-9aa8a90c867872b9.d: crates/bench/src/bin/exp_live_throughput.rs
+
+/root/repo/target/debug/deps/exp_live_throughput-9aa8a90c867872b9: crates/bench/src/bin/exp_live_throughput.rs
+
+crates/bench/src/bin/exp_live_throughput.rs:

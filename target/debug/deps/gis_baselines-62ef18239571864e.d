@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gis_baselines-62ef18239571864e.d: crates/baselines/src/lib.rs crates/baselines/src/mds1.rs crates/baselines/src/multicast.rs
+
+/root/repo/target/debug/deps/gis_baselines-62ef18239571864e: crates/baselines/src/lib.rs crates/baselines/src/mds1.rs crates/baselines/src/multicast.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/mds1.rs:
+crates/baselines/src/multicast.rs:

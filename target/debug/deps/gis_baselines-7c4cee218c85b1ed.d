@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gis_baselines-7c4cee218c85b1ed.d: crates/baselines/src/lib.rs crates/baselines/src/mds1.rs crates/baselines/src/multicast.rs
+
+/root/repo/target/debug/deps/libgis_baselines-7c4cee218c85b1ed.rlib: crates/baselines/src/lib.rs crates/baselines/src/mds1.rs crates/baselines/src/multicast.rs
+
+/root/repo/target/debug/deps/libgis_baselines-7c4cee218c85b1ed.rmeta: crates/baselines/src/lib.rs crates/baselines/src/mds1.rs crates/baselines/src/multicast.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/mds1.rs:
+crates/baselines/src/multicast.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gis_bench-48a25ae3ffd14cf5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgis_bench-48a25ae3ffd14cf5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgis_bench-48a25ae3ffd14cf5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

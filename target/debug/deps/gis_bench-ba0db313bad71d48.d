@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gis_bench-ba0db313bad71d48.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gis_bench-ba0db313bad71d48: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

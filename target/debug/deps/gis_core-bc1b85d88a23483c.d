@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gis_core-bc1b85d88a23483c.d: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/bootstrap.rs crates/core/src/deploy.rs crates/core/src/live.rs crates/core/src/naming.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/gis_core-bc1b85d88a23483c: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/bootstrap.rs crates/core/src/deploy.rs crates/core/src/live.rs crates/core/src/naming.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/actors.rs:
+crates/core/src/bootstrap.rs:
+crates/core/src/deploy.rs:
+crates/core/src/live.rs:
+crates/core/src/naming.rs:
+crates/core/src/scenario.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gis_core-dbf112c59fc4fbf3.d: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/bootstrap.rs crates/core/src/deploy.rs crates/core/src/live.rs crates/core/src/naming.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/libgis_core-dbf112c59fc4fbf3.rlib: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/bootstrap.rs crates/core/src/deploy.rs crates/core/src/live.rs crates/core/src/naming.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/libgis_core-dbf112c59fc4fbf3.rmeta: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/bootstrap.rs crates/core/src/deploy.rs crates/core/src/live.rs crates/core/src/naming.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/actors.rs:
+crates/core/src/bootstrap.rs:
+crates/core/src/deploy.rs:
+crates/core/src/live.rs:
+crates/core/src/naming.rs:
+crates/core/src/scenario.rs:

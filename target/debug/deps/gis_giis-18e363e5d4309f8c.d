@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gis_giis-18e363e5d4309f8c.d: crates/giis/src/lib.rs crates/giis/src/bloom.rs crates/giis/src/server.rs
+
+/root/repo/target/debug/deps/libgis_giis-18e363e5d4309f8c.rlib: crates/giis/src/lib.rs crates/giis/src/bloom.rs crates/giis/src/server.rs
+
+/root/repo/target/debug/deps/libgis_giis-18e363e5d4309f8c.rmeta: crates/giis/src/lib.rs crates/giis/src/bloom.rs crates/giis/src/server.rs
+
+crates/giis/src/lib.rs:
+crates/giis/src/bloom.rs:
+crates/giis/src/server.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gis_giis-5401ca7f0c4676ba.d: crates/giis/src/lib.rs crates/giis/src/bloom.rs crates/giis/src/server.rs
+
+/root/repo/target/debug/deps/gis_giis-5401ca7f0c4676ba: crates/giis/src/lib.rs crates/giis/src/bloom.rs crates/giis/src/server.rs
+
+crates/giis/src/lib.rs:
+crates/giis/src/bloom.rs:
+crates/giis/src/server.rs:

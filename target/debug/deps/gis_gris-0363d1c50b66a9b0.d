@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gis_gris-0363d1c50b66a9b0.d: crates/gris/src/lib.rs crates/gris/src/archive.rs crates/gris/src/provider.rs crates/gris/src/providers.rs crates/gris/src/server.rs
+
+/root/repo/target/debug/deps/libgis_gris-0363d1c50b66a9b0.rlib: crates/gris/src/lib.rs crates/gris/src/archive.rs crates/gris/src/provider.rs crates/gris/src/providers.rs crates/gris/src/server.rs
+
+/root/repo/target/debug/deps/libgis_gris-0363d1c50b66a9b0.rmeta: crates/gris/src/lib.rs crates/gris/src/archive.rs crates/gris/src/provider.rs crates/gris/src/providers.rs crates/gris/src/server.rs
+
+crates/gris/src/lib.rs:
+crates/gris/src/archive.rs:
+crates/gris/src/provider.rs:
+crates/gris/src/providers.rs:
+crates/gris/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gis_gris-d60a168463a940f3.d: crates/gris/src/lib.rs crates/gris/src/archive.rs crates/gris/src/provider.rs crates/gris/src/providers.rs crates/gris/src/server.rs
+
+/root/repo/target/debug/deps/gis_gris-d60a168463a940f3: crates/gris/src/lib.rs crates/gris/src/archive.rs crates/gris/src/provider.rs crates/gris/src/providers.rs crates/gris/src/server.rs
+
+crates/gris/src/lib.rs:
+crates/gris/src/archive.rs:
+crates/gris/src/provider.rs:
+crates/gris/src/providers.rs:
+crates/gris/src/server.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gis_gsi-c5d78a3da0b8bf5e.d: crates/gsi/src/lib.rs crates/gsi/src/acl.rs crates/gsi/src/auth.rs crates/gsi/src/cert.rs crates/gsi/src/keys.rs
+
+/root/repo/target/debug/deps/libgis_gsi-c5d78a3da0b8bf5e.rlib: crates/gsi/src/lib.rs crates/gsi/src/acl.rs crates/gsi/src/auth.rs crates/gsi/src/cert.rs crates/gsi/src/keys.rs
+
+/root/repo/target/debug/deps/libgis_gsi-c5d78a3da0b8bf5e.rmeta: crates/gsi/src/lib.rs crates/gsi/src/acl.rs crates/gsi/src/auth.rs crates/gsi/src/cert.rs crates/gsi/src/keys.rs
+
+crates/gsi/src/lib.rs:
+crates/gsi/src/acl.rs:
+crates/gsi/src/auth.rs:
+crates/gsi/src/cert.rs:
+crates/gsi/src/keys.rs:

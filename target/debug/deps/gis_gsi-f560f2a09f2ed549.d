@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gis_gsi-f560f2a09f2ed549.d: crates/gsi/src/lib.rs crates/gsi/src/acl.rs crates/gsi/src/auth.rs crates/gsi/src/cert.rs crates/gsi/src/keys.rs
+
+/root/repo/target/debug/deps/gis_gsi-f560f2a09f2ed549: crates/gsi/src/lib.rs crates/gsi/src/acl.rs crates/gsi/src/auth.rs crates/gsi/src/cert.rs crates/gsi/src/keys.rs
+
+crates/gsi/src/lib.rs:
+crates/gsi/src/acl.rs:
+crates/gsi/src/auth.rs:
+crates/gsi/src/cert.rs:
+crates/gsi/src/keys.rs:

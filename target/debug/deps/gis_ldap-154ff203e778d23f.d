@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gis_ldap-154ff203e778d23f.d: crates/ldap/src/lib.rs crates/ldap/src/codec.rs crates/ldap/src/dit.rs crates/ldap/src/dn.rs crates/ldap/src/entry.rs crates/ldap/src/error.rs crates/ldap/src/filter.rs crates/ldap/src/ldif.rs crates/ldap/src/schema.rs crates/ldap/src/url.rs
+
+/root/repo/target/debug/deps/libgis_ldap-154ff203e778d23f.rlib: crates/ldap/src/lib.rs crates/ldap/src/codec.rs crates/ldap/src/dit.rs crates/ldap/src/dn.rs crates/ldap/src/entry.rs crates/ldap/src/error.rs crates/ldap/src/filter.rs crates/ldap/src/ldif.rs crates/ldap/src/schema.rs crates/ldap/src/url.rs
+
+/root/repo/target/debug/deps/libgis_ldap-154ff203e778d23f.rmeta: crates/ldap/src/lib.rs crates/ldap/src/codec.rs crates/ldap/src/dit.rs crates/ldap/src/dn.rs crates/ldap/src/entry.rs crates/ldap/src/error.rs crates/ldap/src/filter.rs crates/ldap/src/ldif.rs crates/ldap/src/schema.rs crates/ldap/src/url.rs
+
+crates/ldap/src/lib.rs:
+crates/ldap/src/codec.rs:
+crates/ldap/src/dit.rs:
+crates/ldap/src/dn.rs:
+crates/ldap/src/entry.rs:
+crates/ldap/src/error.rs:
+crates/ldap/src/filter.rs:
+crates/ldap/src/ldif.rs:
+crates/ldap/src/schema.rs:
+crates/ldap/src/url.rs:

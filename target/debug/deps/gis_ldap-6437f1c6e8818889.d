@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gis_ldap-6437f1c6e8818889.d: crates/ldap/src/lib.rs crates/ldap/src/codec.rs crates/ldap/src/dit.rs crates/ldap/src/dn.rs crates/ldap/src/entry.rs crates/ldap/src/error.rs crates/ldap/src/filter.rs crates/ldap/src/ldif.rs crates/ldap/src/schema.rs crates/ldap/src/url.rs
+
+/root/repo/target/debug/deps/gis_ldap-6437f1c6e8818889: crates/ldap/src/lib.rs crates/ldap/src/codec.rs crates/ldap/src/dit.rs crates/ldap/src/dn.rs crates/ldap/src/entry.rs crates/ldap/src/error.rs crates/ldap/src/filter.rs crates/ldap/src/ldif.rs crates/ldap/src/schema.rs crates/ldap/src/url.rs
+
+crates/ldap/src/lib.rs:
+crates/ldap/src/codec.rs:
+crates/ldap/src/dit.rs:
+crates/ldap/src/dn.rs:
+crates/ldap/src/entry.rs:
+crates/ldap/src/error.rs:
+crates/ldap/src/filter.rs:
+crates/ldap/src/ldif.rs:
+crates/ldap/src/schema.rs:
+crates/ldap/src/url.rs:

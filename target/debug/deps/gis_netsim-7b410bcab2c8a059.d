@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gis_netsim-7b410bcab2c8a059.d: crates/netsim/src/lib.rs crates/netsim/src/rng.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/libgis_netsim-7b410bcab2c8a059.rlib: crates/netsim/src/lib.rs crates/netsim/src/rng.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/libgis_netsim-7b410bcab2c8a059.rmeta: crates/netsim/src/lib.rs crates/netsim/src/rng.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/time.rs:

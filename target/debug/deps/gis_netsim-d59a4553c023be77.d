@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gis_netsim-d59a4553c023be77.d: crates/netsim/src/lib.rs crates/netsim/src/rng.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/gis_netsim-d59a4553c023be77: crates/netsim/src/lib.rs crates/netsim/src/rng.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gis_nws-34e3a18341f203fd.d: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/sensor.rs crates/nws/src/system.rs
+
+/root/repo/target/debug/deps/libgis_nws-34e3a18341f203fd.rlib: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/sensor.rs crates/nws/src/system.rs
+
+/root/repo/target/debug/deps/libgis_nws-34e3a18341f203fd.rmeta: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/sensor.rs crates/nws/src/system.rs
+
+crates/nws/src/lib.rs:
+crates/nws/src/forecast.rs:
+crates/nws/src/sensor.rs:
+crates/nws/src/system.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gis_nws-ca7132c721f744d1.d: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/sensor.rs crates/nws/src/system.rs
+
+/root/repo/target/debug/deps/gis_nws-ca7132c721f744d1: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/sensor.rs crates/nws/src/system.rs
+
+crates/nws/src/lib.rs:
+crates/nws/src/forecast.rs:
+crates/nws/src/sensor.rs:
+crates/nws/src/system.rs:

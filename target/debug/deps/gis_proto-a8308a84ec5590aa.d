@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gis_proto-a8308a84ec5590aa.d: crates/proto/src/lib.rs crates/proto/src/grip.rs crates/proto/src/grrp.rs crates/proto/src/wire.rs
+
+/root/repo/target/debug/deps/libgis_proto-a8308a84ec5590aa.rlib: crates/proto/src/lib.rs crates/proto/src/grip.rs crates/proto/src/grrp.rs crates/proto/src/wire.rs
+
+/root/repo/target/debug/deps/libgis_proto-a8308a84ec5590aa.rmeta: crates/proto/src/lib.rs crates/proto/src/grip.rs crates/proto/src/grrp.rs crates/proto/src/wire.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/grip.rs:
+crates/proto/src/grrp.rs:
+crates/proto/src/wire.rs:

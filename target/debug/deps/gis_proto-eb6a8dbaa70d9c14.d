@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gis_proto-eb6a8dbaa70d9c14.d: crates/proto/src/lib.rs crates/proto/src/grip.rs crates/proto/src/grrp.rs crates/proto/src/wire.rs
+
+/root/repo/target/debug/deps/gis_proto-eb6a8dbaa70d9c14: crates/proto/src/lib.rs crates/proto/src/grip.rs crates/proto/src/grrp.rs crates/proto/src/wire.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/grip.rs:
+crates/proto/src/grrp.rs:
+crates/proto/src/wire.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gis_services-364532f95062bfd1.d: crates/services/src/lib.rs crates/services/src/adapt.rs crates/services/src/broker.rs crates/services/src/diagnose.rs crates/services/src/heartbeat.rs crates/services/src/matchmaker.rs crates/services/src/replica.rs crates/services/src/troubleshoot.rs
+
+/root/repo/target/debug/deps/libgis_services-364532f95062bfd1.rlib: crates/services/src/lib.rs crates/services/src/adapt.rs crates/services/src/broker.rs crates/services/src/diagnose.rs crates/services/src/heartbeat.rs crates/services/src/matchmaker.rs crates/services/src/replica.rs crates/services/src/troubleshoot.rs
+
+/root/repo/target/debug/deps/libgis_services-364532f95062bfd1.rmeta: crates/services/src/lib.rs crates/services/src/adapt.rs crates/services/src/broker.rs crates/services/src/diagnose.rs crates/services/src/heartbeat.rs crates/services/src/matchmaker.rs crates/services/src/replica.rs crates/services/src/troubleshoot.rs
+
+crates/services/src/lib.rs:
+crates/services/src/adapt.rs:
+crates/services/src/broker.rs:
+crates/services/src/diagnose.rs:
+crates/services/src/heartbeat.rs:
+crates/services/src/matchmaker.rs:
+crates/services/src/replica.rs:
+crates/services/src/troubleshoot.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gis_services-84b303d8054dde68.d: crates/services/src/lib.rs crates/services/src/adapt.rs crates/services/src/broker.rs crates/services/src/diagnose.rs crates/services/src/heartbeat.rs crates/services/src/matchmaker.rs crates/services/src/replica.rs crates/services/src/troubleshoot.rs
+
+/root/repo/target/debug/deps/gis_services-84b303d8054dde68: crates/services/src/lib.rs crates/services/src/adapt.rs crates/services/src/broker.rs crates/services/src/diagnose.rs crates/services/src/heartbeat.rs crates/services/src/matchmaker.rs crates/services/src/replica.rs crates/services/src/troubleshoot.rs
+
+crates/services/src/lib.rs:
+crates/services/src/adapt.rs:
+crates/services/src/broker.rs:
+crates/services/src/diagnose.rs:
+crates/services/src/heartbeat.rs:
+crates/services/src/matchmaker.rs:
+crates/services/src/replica.rs:
+crates/services/src/troubleshoot.rs:

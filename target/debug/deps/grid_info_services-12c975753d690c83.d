@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/grid_info_services-12c975753d690c83.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgrid_info_services-12c975753d690c83.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgrid_info_services-12c975753d690c83.rmeta: src/lib.rs
+
+src/lib.rs:

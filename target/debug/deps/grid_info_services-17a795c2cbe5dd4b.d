@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grid_info_services-17a795c2cbe5dd4b.d: src/lib.rs
+
+/root/repo/target/debug/deps/grid_info_services-17a795c2cbe5dd4b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4349dd4dc3d20108.d: crates/proto/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4349dd4dc3d20108: crates/proto/tests/proptests.rs
+
+crates/proto/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-75119ff85384bc69.d: crates/ldap/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-75119ff85384bc69: crates/ldap/tests/proptests.rs
+
+crates/ldap/tests/proptests.rs:

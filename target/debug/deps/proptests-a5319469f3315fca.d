@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a5319469f3315fca.d: crates/gsi/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a5319469f3315fca: crates/gsi/tests/proptests.rs
+
+crates/gsi/tests/proptests.rs:

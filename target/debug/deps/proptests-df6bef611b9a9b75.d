@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-df6bef611b9a9b75.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-df6bef611b9a9b75: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

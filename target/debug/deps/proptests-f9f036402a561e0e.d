@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f9f036402a561e0e.d: crates/giis/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f9f036402a561e0e: crates/giis/tests/proptests.rs
+
+crates/giis/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-33df6daa84663c6e.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-33df6daa84663c6e.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-33df6daa84663c6e.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

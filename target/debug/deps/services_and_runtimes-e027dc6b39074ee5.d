@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/services_and_runtimes-e027dc6b39074ee5.d: tests/services_and_runtimes.rs
+
+/root/repo/target/debug/deps/services_and_runtimes-e027dc6b39074ee5: tests/services_and_runtimes.rs
+
+tests/services_and_runtimes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-edff8e2c8e4c4605.d: tests/soak.rs
+
+/root/repo/target/debug/deps/soak-edff8e2c8e4c4605: tests/soak.rs
+
+tests/soak.rs:

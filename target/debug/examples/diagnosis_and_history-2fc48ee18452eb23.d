@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnosis_and_history-2fc48ee18452eb23.d: examples/diagnosis_and_history.rs
+
+/root/repo/target/debug/examples/diagnosis_and_history-2fc48ee18452eb23: examples/diagnosis_and_history.rs
+
+examples/diagnosis_and_history.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_grid-a4545373a8b82f91.d: examples/live_grid.rs
+
+/root/repo/target/debug/examples/live_grid-a4545373a8b82f91: examples/live_grid.rs
+
+examples/live_grid.rs:

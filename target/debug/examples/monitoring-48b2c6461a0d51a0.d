@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/monitoring-48b2c6461a0d51a0.d: examples/monitoring.rs
+
+/root/repo/target/debug/examples/monitoring-48b2c6461a0d51a0: examples/monitoring.rs
+
+examples/monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_tolerance-1db1c66e420e30ac.d: examples/partition_tolerance.rs
+
+/root/repo/target/debug/examples/partition_tolerance-1db1c66e420e30ac: examples/partition_tolerance.rs
+
+examples/partition_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-200594d90549bec1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-200594d90549bec1: examples/quickstart.rs
+
+examples/quickstart.rs:

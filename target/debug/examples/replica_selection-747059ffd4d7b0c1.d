@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/replica_selection-747059ffd4d7b0c1.d: examples/replica_selection.rs
+
+/root/repo/target/debug/examples/replica_selection-747059ffd4d7b0c1: examples/replica_selection.rs
+
+examples/replica_selection.rs:

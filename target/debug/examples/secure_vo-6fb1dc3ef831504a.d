@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_vo-6fb1dc3ef831504a.d: examples/secure_vo.rs
+
+/root/repo/target/debug/examples/secure_vo-6fb1dc3ef831504a: examples/secure_vo.rs
+
+examples/secure_vo.rs:

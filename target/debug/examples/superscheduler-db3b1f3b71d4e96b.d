@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/superscheduler-db3b1f3b71d4e96b.d: examples/superscheduler.rs
+
+/root/repo/target/debug/examples/superscheduler-db3b1f3b71d4e96b: examples/superscheduler.rs
+
+examples/superscheduler.rs:

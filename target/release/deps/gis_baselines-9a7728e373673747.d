@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gis_baselines-9a7728e373673747.d: crates/baselines/src/lib.rs crates/baselines/src/mds1.rs crates/baselines/src/multicast.rs
+
+/root/repo/target/release/deps/libgis_baselines-9a7728e373673747.rlib: crates/baselines/src/lib.rs crates/baselines/src/mds1.rs crates/baselines/src/multicast.rs
+
+/root/repo/target/release/deps/libgis_baselines-9a7728e373673747.rmeta: crates/baselines/src/lib.rs crates/baselines/src/mds1.rs crates/baselines/src/multicast.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/mds1.rs:
+crates/baselines/src/multicast.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gis_core-67d1adfaa632e772.d: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/bootstrap.rs crates/core/src/deploy.rs crates/core/src/live.rs crates/core/src/naming.rs crates/core/src/scenario.rs
+
+/root/repo/target/release/deps/libgis_core-67d1adfaa632e772.rlib: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/bootstrap.rs crates/core/src/deploy.rs crates/core/src/live.rs crates/core/src/naming.rs crates/core/src/scenario.rs
+
+/root/repo/target/release/deps/libgis_core-67d1adfaa632e772.rmeta: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/bootstrap.rs crates/core/src/deploy.rs crates/core/src/live.rs crates/core/src/naming.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/actors.rs:
+crates/core/src/bootstrap.rs:
+crates/core/src/deploy.rs:
+crates/core/src/live.rs:
+crates/core/src/naming.rs:
+crates/core/src/scenario.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gis_giis-f21c442a352a03e2.d: crates/giis/src/lib.rs crates/giis/src/bloom.rs crates/giis/src/server.rs
+
+/root/repo/target/release/deps/libgis_giis-f21c442a352a03e2.rlib: crates/giis/src/lib.rs crates/giis/src/bloom.rs crates/giis/src/server.rs
+
+/root/repo/target/release/deps/libgis_giis-f21c442a352a03e2.rmeta: crates/giis/src/lib.rs crates/giis/src/bloom.rs crates/giis/src/server.rs
+
+crates/giis/src/lib.rs:
+crates/giis/src/bloom.rs:
+crates/giis/src/server.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gis_gris-03ea72729d336406.d: crates/gris/src/lib.rs crates/gris/src/archive.rs crates/gris/src/provider.rs crates/gris/src/providers.rs crates/gris/src/server.rs
+
+/root/repo/target/release/deps/libgis_gris-03ea72729d336406.rlib: crates/gris/src/lib.rs crates/gris/src/archive.rs crates/gris/src/provider.rs crates/gris/src/providers.rs crates/gris/src/server.rs
+
+/root/repo/target/release/deps/libgis_gris-03ea72729d336406.rmeta: crates/gris/src/lib.rs crates/gris/src/archive.rs crates/gris/src/provider.rs crates/gris/src/providers.rs crates/gris/src/server.rs
+
+crates/gris/src/lib.rs:
+crates/gris/src/archive.rs:
+crates/gris/src/provider.rs:
+crates/gris/src/providers.rs:
+crates/gris/src/server.rs:

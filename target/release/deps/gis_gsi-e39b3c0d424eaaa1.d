@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gis_gsi-e39b3c0d424eaaa1.d: crates/gsi/src/lib.rs crates/gsi/src/acl.rs crates/gsi/src/auth.rs crates/gsi/src/cert.rs crates/gsi/src/keys.rs
+
+/root/repo/target/release/deps/libgis_gsi-e39b3c0d424eaaa1.rlib: crates/gsi/src/lib.rs crates/gsi/src/acl.rs crates/gsi/src/auth.rs crates/gsi/src/cert.rs crates/gsi/src/keys.rs
+
+/root/repo/target/release/deps/libgis_gsi-e39b3c0d424eaaa1.rmeta: crates/gsi/src/lib.rs crates/gsi/src/acl.rs crates/gsi/src/auth.rs crates/gsi/src/cert.rs crates/gsi/src/keys.rs
+
+crates/gsi/src/lib.rs:
+crates/gsi/src/acl.rs:
+crates/gsi/src/auth.rs:
+crates/gsi/src/cert.rs:
+crates/gsi/src/keys.rs:

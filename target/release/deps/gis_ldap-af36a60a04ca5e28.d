@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gis_ldap-af36a60a04ca5e28.d: crates/ldap/src/lib.rs crates/ldap/src/codec.rs crates/ldap/src/dit.rs crates/ldap/src/dn.rs crates/ldap/src/entry.rs crates/ldap/src/error.rs crates/ldap/src/filter.rs crates/ldap/src/ldif.rs crates/ldap/src/schema.rs crates/ldap/src/url.rs
+
+/root/repo/target/release/deps/libgis_ldap-af36a60a04ca5e28.rlib: crates/ldap/src/lib.rs crates/ldap/src/codec.rs crates/ldap/src/dit.rs crates/ldap/src/dn.rs crates/ldap/src/entry.rs crates/ldap/src/error.rs crates/ldap/src/filter.rs crates/ldap/src/ldif.rs crates/ldap/src/schema.rs crates/ldap/src/url.rs
+
+/root/repo/target/release/deps/libgis_ldap-af36a60a04ca5e28.rmeta: crates/ldap/src/lib.rs crates/ldap/src/codec.rs crates/ldap/src/dit.rs crates/ldap/src/dn.rs crates/ldap/src/entry.rs crates/ldap/src/error.rs crates/ldap/src/filter.rs crates/ldap/src/ldif.rs crates/ldap/src/schema.rs crates/ldap/src/url.rs
+
+crates/ldap/src/lib.rs:
+crates/ldap/src/codec.rs:
+crates/ldap/src/dit.rs:
+crates/ldap/src/dn.rs:
+crates/ldap/src/entry.rs:
+crates/ldap/src/error.rs:
+crates/ldap/src/filter.rs:
+crates/ldap/src/ldif.rs:
+crates/ldap/src/schema.rs:
+crates/ldap/src/url.rs:

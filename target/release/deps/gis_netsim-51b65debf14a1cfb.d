@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gis_netsim-51b65debf14a1cfb.d: crates/netsim/src/lib.rs crates/netsim/src/rng.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs
+
+/root/repo/target/release/deps/libgis_netsim-51b65debf14a1cfb.rlib: crates/netsim/src/lib.rs crates/netsim/src/rng.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs
+
+/root/repo/target/release/deps/libgis_netsim-51b65debf14a1cfb.rmeta: crates/netsim/src/lib.rs crates/netsim/src/rng.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/time.rs:

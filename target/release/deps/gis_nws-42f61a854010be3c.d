@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gis_nws-42f61a854010be3c.d: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/sensor.rs crates/nws/src/system.rs
+
+/root/repo/target/release/deps/libgis_nws-42f61a854010be3c.rlib: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/sensor.rs crates/nws/src/system.rs
+
+/root/repo/target/release/deps/libgis_nws-42f61a854010be3c.rmeta: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/sensor.rs crates/nws/src/system.rs
+
+crates/nws/src/lib.rs:
+crates/nws/src/forecast.rs:
+crates/nws/src/sensor.rs:
+crates/nws/src/system.rs:

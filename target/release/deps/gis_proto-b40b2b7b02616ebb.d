@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gis_proto-b40b2b7b02616ebb.d: crates/proto/src/lib.rs crates/proto/src/grip.rs crates/proto/src/grrp.rs crates/proto/src/wire.rs
+
+/root/repo/target/release/deps/libgis_proto-b40b2b7b02616ebb.rlib: crates/proto/src/lib.rs crates/proto/src/grip.rs crates/proto/src/grrp.rs crates/proto/src/wire.rs
+
+/root/repo/target/release/deps/libgis_proto-b40b2b7b02616ebb.rmeta: crates/proto/src/lib.rs crates/proto/src/grip.rs crates/proto/src/grrp.rs crates/proto/src/wire.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/grip.rs:
+crates/proto/src/grrp.rs:
+crates/proto/src/wire.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gis_services-45800fb52066d6af.d: crates/services/src/lib.rs crates/services/src/adapt.rs crates/services/src/broker.rs crates/services/src/diagnose.rs crates/services/src/heartbeat.rs crates/services/src/matchmaker.rs crates/services/src/replica.rs crates/services/src/troubleshoot.rs
+
+/root/repo/target/release/deps/libgis_services-45800fb52066d6af.rlib: crates/services/src/lib.rs crates/services/src/adapt.rs crates/services/src/broker.rs crates/services/src/diagnose.rs crates/services/src/heartbeat.rs crates/services/src/matchmaker.rs crates/services/src/replica.rs crates/services/src/troubleshoot.rs
+
+/root/repo/target/release/deps/libgis_services-45800fb52066d6af.rmeta: crates/services/src/lib.rs crates/services/src/adapt.rs crates/services/src/broker.rs crates/services/src/diagnose.rs crates/services/src/heartbeat.rs crates/services/src/matchmaker.rs crates/services/src/replica.rs crates/services/src/troubleshoot.rs
+
+crates/services/src/lib.rs:
+crates/services/src/adapt.rs:
+crates/services/src/broker.rs:
+crates/services/src/diagnose.rs:
+crates/services/src/heartbeat.rs:
+crates/services/src/matchmaker.rs:
+crates/services/src/replica.rs:
+crates/services/src/troubleshoot.rs:

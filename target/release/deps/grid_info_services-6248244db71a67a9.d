@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/grid_info_services-6248244db71a67a9.d: src/lib.rs
+
+/root/repo/target/release/deps/libgrid_info_services-6248244db71a67a9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgrid_info_services-6248244db71a67a9.rmeta: src/lib.rs
+
+src/lib.rs:

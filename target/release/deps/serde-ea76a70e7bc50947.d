@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-ea76a70e7bc50947.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ea76a70e7bc50947.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ea76a70e7bc50947.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

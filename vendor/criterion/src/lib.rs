@@ -1,0 +1,260 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API this workspace's benches
+//! use — `benchmark_group`, `sample_size`/`measurement_time`,
+//! `bench_function`, `Bencher::{iter, iter_batched}` — with real
+//! wall-clock measurement. Results are printed one line per benchmark
+//! and written to `target/criterion/<group>/<bench>/new/estimates.json`
+//! in the same shape real criterion uses (`mean.point_estimate` etc. in
+//! nanoseconds), so downstream tooling like `scripts/bench_snapshot.sh`
+//! can harvest them identically.
+
+use std::env;
+use std::fs;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver; owns global defaults.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+            default_measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI configuration, mirroring criterion's
+    /// builder API.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (n, t) = (self.default_sample_size, self.default_measurement_time);
+        run_bench("standalone", &id.into(), n, t, f);
+        self
+    }
+
+    /// No-op summary hook, for API parity.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Measures `f` and records the estimate under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            &self.name,
+            &id.into(),
+            self.sample_size,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; estimates are written eagerly).
+    pub fn finish(self) {}
+}
+
+/// How batched inputs are grouped; only a hint in this stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times back-to-back.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine
+    /// is on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Locates the criterion output directory: `$CRITERION_HOME`, then
+/// `$CARGO_TARGET_DIR/criterion`, then the nearest enclosing `target/`.
+fn criterion_dir() -> PathBuf {
+    if let Ok(home) = env::var("CRITERION_HOME") {
+        return PathBuf::from(home);
+    }
+    if let Ok(target) = env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(target).join("criterion");
+    }
+    let mut dir = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let t = dir.join("target");
+        if t.is_dir() {
+            return t.join("criterion");
+        }
+        if !dir.pop() {
+            return PathBuf::from("target/criterion");
+        }
+    }
+}
+
+fn run_bench<F>(group: &str, name: &str, samples: usize, mtime: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration pass: estimate per-iteration cost from a single run,
+    // then refine with a short growing warm-up so fast routines get
+    // enough iterations per sample to out-resolve timer noise.
+    let mut per_iter_ns = {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        (b.elapsed.as_nanos() as f64).max(1.0)
+    };
+    let mut warm_iters: u64 = 1;
+    while per_iter_ns * (warm_iters as f64) < 1_000_000.0 && warm_iters < (1 << 20) {
+        warm_iters *= 2;
+        let mut b = Bencher {
+            iters: warm_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns = (b.elapsed.as_nanos() as f64 / warm_iters as f64).max(0.1);
+    }
+
+    let per_sample_budget_ns =
+        (mtime.as_nanos() as f64 / samples as f64).max(200_000.0);
+    let iters = ((per_sample_budget_ns / per_iter_ns).floor() as u64).clamp(1, 1 << 28);
+
+    let mut sample_means = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        sample_means.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    sample_means.sort_by(f64::total_cmp);
+    let mean = sample_means.iter().sum::<f64>() / sample_means.len() as f64;
+    let median = sample_means[sample_means.len() / 2];
+    let lo = sample_means[0];
+    let hi = sample_means[sample_means.len() - 1];
+
+    println!("{group}/{name:<40} time: [{lo:>12.2} ns {mean:>12.2} ns {hi:>12.2} ns]");
+
+    let dir = criterion_dir().join(group).join(name).join("new");
+    if fs::create_dir_all(&dir).is_ok() {
+        let json = format!(
+            concat!(
+                "{{\"mean\":{{\"point_estimate\":{mean}}},",
+                "\"median\":{{\"point_estimate\":{median}}},",
+                "\"min\":{{\"point_estimate\":{lo}}},",
+                "\"max\":{{\"point_estimate\":{hi}}},",
+                "\"iters_per_sample\":{iters},\"samples\":{samples}}}"
+            ),
+            mean = mean,
+            median = median,
+            lo = lo,
+            hi = hi,
+            iters = iters,
+            samples = samples,
+        );
+        let _ = fs::write(dir.join("estimates.json"), json);
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

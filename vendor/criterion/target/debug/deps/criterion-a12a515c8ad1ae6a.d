@@ -1,0 +1,5 @@
+/root/repo/vendor/criterion/target/debug/deps/criterion-a12a515c8ad1ae6a.d: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/libcriterion-a12a515c8ad1ae6a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,250 @@
+//! Offline stand-in for `crossbeam`: just the `channel` module surface
+//! the live runtime uses — MPMC channels with timeout receive and
+//! disconnect detection, built on `Mutex` + `Condvar`.
+
+pub mod channel {
+    //! MPMC channels with crossbeam's API shape.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half of a channel. Cloneable (multi-producer).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a channel. Cloneable (multi-consumer).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the undelivered message.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout elapsed.
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is currently empty.
+        Empty,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// Creates a channel with unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Creates a channel with bounded capacity. This stand-in does not
+    /// enforce the bound (sends never block); the workspace only uses
+    /// bounded channels as ample mailboxes, not for backpressure.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, failing if every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.senders += 1;
+            drop(inner);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.senders -= 1;
+            let none_left = inner.senders == 0;
+            drop(inner);
+            if none_left {
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, waiting at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .ready
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
+            }
+        }
+
+        /// Receives a message, blocking until one arrives or all senders
+        /// disconnect.
+        pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                inner = self
+                    .shared
+                    .ready
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(msg) = inner.queue.pop_front() {
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.receivers += 1;
+            drop(inner);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.receivers -= 1;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        }
+
+        #[test]
+        fn timeout_when_empty() {
+            let (_tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn disconnected_when_senders_gone() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(1));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = bounded(4);
+            let t = thread::spawn(move || {
+                for i in 0..100u64 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while got.len() < 100 {
+                got.push(rx.recv_timeout(Duration::from_secs(1)).unwrap());
+            }
+            t.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::rng::TestRng;
+use crate::strategy::{Rejection, Strategy};
+
+/// Strategy type behind [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+/// Fair coin-flip strategy.
+pub const ANY: BoolAny = BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn try_gen(&self, rng: &mut TestRng) -> Result<bool, Rejection> {
+        Ok(rng.next_bool())
+    }
+}

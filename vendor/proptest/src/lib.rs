@@ -1,0 +1,173 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A real (if miniature) property-testing engine: deterministic PRNG
+//! seeded per test, strategy combinators (`prop_map`, `prop_filter`,
+//! `prop_recursive`, tuples, ranges, regex-subset strings, collections)
+//! and a case runner honouring `ProptestConfig::with_cases`. It covers
+//! the API surface this workspace's test suites use; shrinking is not
+//! implemented — failures report the generated inputs instead.
+
+pub mod arbitrary;
+pub mod bool_any;
+pub mod collection;
+pub mod option;
+pub mod rng;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespaced strategies (`prop::collection::vec`, `prop::option::of`,
+/// `prop::bool::ANY`), mirroring proptest's module layout.
+pub mod prop {
+    pub use crate::bool_any as bool;
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+/// Common imports for test modules.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Fails the current case (with an optional formatted message) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Discards the current case when the condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(unreachable_code, unused_mut)]
+        fn $name() {
+            let config = $cfg;
+            let strategies = ($($strat,)+);
+            $crate::test_runner::run(
+                &config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |rng| {
+                    let generated = match $crate::strategy::Strategy::try_gen(&strategies, rng) {
+                        ::std::result::Result::Ok(v) => v,
+                        ::std::result::Result::Err(rej) => {
+                            return ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Reject(rej.0),
+                            )
+                        }
+                    };
+                    let repr = format!("{:?}", generated);
+                    let ($($pat,)+) = generated;
+                    let outcome = (move || -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    outcome.map_err(|e| match e {
+                        $crate::test_runner::TestCaseError::Fail(msg) => {
+                            $crate::test_runner::TestCaseError::Fail(
+                                format!("{msg}\n  inputs: {repr}"),
+                            )
+                        }
+                        reject => reject,
+                    })
+                },
+            );
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}

@@ -1,0 +1,25 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::rng::TestRng;
+use crate::strategy::{Rejection, Strategy};
+
+/// Strategy for `Option<T>`: even odds of `None` and `Some`.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Generates `None` or `Some` of a value from `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn try_gen(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+        if rng.next_bool() {
+            Ok(Some(self.inner.try_gen(rng)?))
+        } else {
+            Ok(None)
+        }
+    }
+}

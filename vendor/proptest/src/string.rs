@@ -1,0 +1,179 @@
+//! `&str` regex-pattern strategies: the subset of regex syntax this
+//! workspace's tests use — character classes with ranges, `{n}`/`{m,n}`
+//! repetition, `?`, literal characters, and top-level alternation.
+
+use crate::rng::TestRng;
+use crate::strategy::{Rejection, Strategy};
+
+impl Strategy for &str {
+    type Value = String;
+    fn try_gen(&self, rng: &mut TestRng) -> Result<String, Rejection> {
+        Ok(gen_from_pattern(self, rng))
+    }
+}
+
+fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let alts = split_alternatives(pattern);
+    let pick = alts[rng.below(alts.len())];
+    gen_sequence(pick, rng)
+}
+
+/// Splits on `|` outside character classes. Groups are unsupported.
+fn split_alternatives(pattern: &str) -> Vec<&str> {
+    let bytes = pattern.as_bytes();
+    let mut alts = Vec::new();
+    let mut start = 0;
+    let mut in_class = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 1,
+            b'[' => in_class = true,
+            b']' => in_class = false,
+            b'|' if !in_class => {
+                alts.push(&pattern[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    alts.push(&pattern[start..]);
+    alts
+}
+
+fn gen_sequence(pattern: &str, rng: &mut TestRng) -> String {
+    let bytes = pattern.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let (choices, next) = parse_atom(pattern, i);
+        i = next;
+        let (lo, hi, next) = parse_repeat(pattern, i);
+        i = next;
+        let n = lo + rng.below(hi - lo + 1);
+        for _ in 0..n {
+            out.push(choices[rng.below(choices.len())]);
+        }
+    }
+    out
+}
+
+/// Parses one atom at byte offset `i`: a character class, an escaped
+/// character, or a literal. Returns the candidate characters and the
+/// offset just past the atom.
+fn parse_atom(pattern: &str, i: usize) -> (Vec<char>, usize) {
+    let bytes = pattern.as_bytes();
+    match bytes[i] {
+        b'[' => parse_class(pattern, i),
+        b'\\' => (vec![bytes[i + 1] as char], i + 2),
+        b => (vec![b as char], i + 1),
+    }
+}
+
+/// Parses a character class starting at `[`. Supports ranges (`a-z`),
+/// literal members, and a literal `-` when first or last.
+fn parse_class(pattern: &str, open: usize) -> (Vec<char>, usize) {
+    let bytes = pattern.as_bytes();
+    let mut set = Vec::new();
+    let mut j = open + 1;
+    while j < bytes.len() && bytes[j] != b']' {
+        if bytes[j] == b'\\' {
+            set.push(bytes[j + 1] as char);
+            j += 2;
+        } else if j + 2 < bytes.len() && bytes[j + 1] == b'-' && bytes[j + 2] != b']' {
+            for c in bytes[j]..=bytes[j + 2] {
+                set.push(c as char);
+            }
+            j += 3;
+        } else {
+            set.push(bytes[j] as char);
+            j += 1;
+        }
+    }
+    assert!(
+        j < bytes.len() && !set.is_empty(),
+        "malformed character class in pattern {pattern:?}"
+    );
+    (set, j + 1)
+}
+
+/// Parses an optional repetition suffix (`{n}`, `{m,n}`, `?`) at `i`.
+/// Returns (min, max, next offset).
+fn parse_repeat(pattern: &str, i: usize) -> (usize, usize, usize) {
+    let bytes = pattern.as_bytes();
+    if i < bytes.len() && bytes[i] == b'?' {
+        return (0, 1, i + 1);
+    }
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return (1, 1, i);
+    }
+    let close = pattern[i..]
+        .find('}')
+        .map(|o| i + o)
+        .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"));
+    let body = &pattern[i + 1..close];
+    let (lo, hi) = match body.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().expect("bad repetition bound"),
+            hi.parse().expect("bad repetition bound"),
+        ),
+        None => {
+            let n = body.parse().expect("bad repetition count");
+            (n, n)
+        }
+    };
+    (lo, hi, close + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("string-tests")
+    }
+
+    #[test]
+    fn class_with_range_and_trailing_dash() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = gen_from_pattern("[a-z0-9-]{1,8}", &mut r);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_covers_printables() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = gen_from_pattern("[ -~]{1,12}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn alternation_and_concatenation() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = gen_from_pattern("[A-Z][0-9]|x", &mut r);
+            assert!(
+                s == "x"
+                    || (s.len() == 2
+                        && s.chars().next().unwrap().is_ascii_uppercase()
+                        && s.chars().nth(1).unwrap().is_ascii_digit()),
+                "unexpected {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_count_repetition() {
+        let mut r = rng();
+        let s = gen_from_pattern("[ab]{4}", &mut r);
+        assert_eq!(s.len(), 4);
+    }
+}

@@ -1,0 +1,6 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace declares `rand` as a dependency but has no call sites
+//! (the simulator carries its own deterministic PRNG), so this vendored
+//! stub only needs to satisfy dependency resolution in a network-less
+//! build environment.

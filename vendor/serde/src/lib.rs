@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace imports `serde::{Serialize, Deserialize}` purely as
+//! derive annotations; no serializer ever runs. This stub provides the
+//! trait names (empty marker traits) and re-exports the no-op derive
+//! macros from the companion `serde_derive` stub so `#[derive(...)]`
+//! attributes resolve.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

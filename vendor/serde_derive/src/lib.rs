@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace actually serializes through serde today —
+//! the derives are forward-looking annotations — so in the network-less
+//! build environment the derive macros simply emit no code. The `serde`
+//! helper attribute is declared so `#[serde(...)]` annotations remain
+//! legal.
+
+use proc_macro::TokenStream;
+
+/// Derives a (no-op) `Serialize` implementation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives a (no-op) `Deserialize` implementation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
