@@ -182,7 +182,12 @@ impl Mds1Client {
     }
 
     /// Issue a query to the central server (drive via `Sim::invoke`).
-    pub fn query(&mut self, ctx: &mut Ctx<'_, Mds1Msg>, central: NodeId, spec: SearchSpec) -> RequestId {
+    pub fn query(
+        &mut self,
+        ctx: &mut Ctx<'_, Mds1Msg>,
+        central: NodeId,
+        spec: SearchSpec,
+    ) -> RequestId {
         let id = self.next_id;
         self.next_id += 1;
         ctx.send(central, Mds1Msg::Query { id, spec });
@@ -227,14 +232,24 @@ mod tests {
     use gis_ldap::Dn;
     use gis_netsim::{secs, Sim};
 
-    fn build(seed: u64, n_hosts: usize, push_interval: SimDuration) -> (Sim<Mds1Msg>, NodeId, NodeId) {
+    fn build(
+        seed: u64,
+        n_hosts: usize,
+        push_interval: SimDuration,
+    ) -> (Sim<Mds1Msg>, NodeId, NodeId) {
         let mut sim: Sim<Mds1Msg> = Sim::new(seed);
         let central = sim.add_node("central", Box::new(Mds1Central::new()));
         for i in 0..n_hosts {
             let host = HostSpec::linux(&format!("h{i}"), 2);
             let providers: Vec<Box<dyn InfoProvider>> = vec![
                 Box::new(StaticHostProvider::new(host.clone())),
-                Box::new(DynamicHostProvider::new(&host, i as u64, 1.0, secs(10), secs(30))),
+                Box::new(DynamicHostProvider::new(
+                    &host,
+                    i as u64,
+                    1.0,
+                    secs(10),
+                    secs(30),
+                )),
             ];
             sim.add_node(
                 format!("prov{i}"),

@@ -13,9 +13,9 @@
 //! cost proportional to subnet population rather than VO relevance.
 
 use gis_ldap::Entry;
+use gis_ldap::Filter;
 use gis_netsim::{Actor, Ctx, NodeId, SimTime};
 use gis_proto::RequestId;
-use gis_ldap::Filter;
 use std::collections::BTreeMap;
 
 /// A physical multicast scope (subnet / administrative domain).
@@ -61,10 +61,7 @@ impl McastGroups {
 
     /// Members of a scope.
     pub fn members(&self, scope: ScopeId) -> &[NodeId] {
-        self.members
-            .get(&scope)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.members.get(&scope).map(Vec::as_slice).unwrap_or(&[])
     }
 }
 
@@ -138,10 +135,13 @@ impl McastClient {
         for node in members {
             if node != ctx.id() {
                 self.messages_sent += 1;
-                ctx.send(node, McastMsg::Query {
-                    id,
-                    filter: filter.clone(),
-                });
+                ctx.send(
+                    node,
+                    McastMsg::Query {
+                        id,
+                        filter: filter.clone(),
+                    },
+                );
             }
         }
         self.responses.entry(id).or_default();
@@ -160,7 +160,10 @@ impl McastClient {
 impl Actor<McastMsg> for McastClient {
     fn on_message(&mut self, ctx: &mut Ctx<'_, McastMsg>, _from: NodeId, msg: McastMsg) {
         if let McastMsg::Response { id, entry } = msg {
-            self.responses.entry(id).or_default().push((ctx.now(), entry));
+            self.responses
+                .entry(id)
+                .or_default()
+                .push((ctx.now(), entry));
         }
     }
 }
@@ -185,10 +188,8 @@ mod tests {
                     .unwrap()
                     .with_class("computer")
                     .with("vo", "physics");
-                let node = sim.add_node(
-                    format!("vo-{scope}-{i}"),
-                    Box::new(McastAgent::new(entry)),
-                );
+                let node =
+                    sim.add_node(format!("vo-{scope}-{i}"), Box::new(McastAgent::new(entry)));
                 groups.join(scope, node);
                 vo_total += 1;
             }

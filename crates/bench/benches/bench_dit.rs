@@ -64,6 +64,88 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    bench_deep(c);
+}
+
+/// 5-level DIT: 5 orgs x 5 ous x 20 hosts x 10 services x 1 sensor
+/// = 10,530 entries. Models a large VO-wide GIIS cache.
+fn build_deep_dit() -> Dit {
+    let mut dit = Dit::new();
+    for o in 0..5 {
+        let org = Dn::from_rdns(vec![Rdn::new("o", format!("O{o}"))]);
+        dit.upsert(Entry::new(org.clone()).with_class("organization"));
+        for u in 0..5 {
+            let ou = org.child(Rdn::new("ou", format!("U{u}")));
+            dit.upsert(Entry::new(ou.clone()).with_class("organizationalunit"));
+            for h in 0..20 {
+                let host = ou.child(Rdn::new("hn", format!("h{h}")));
+                dit.upsert(
+                    Entry::new(host.clone())
+                        .with_class("computer")
+                        .with("system", if h % 2 == 0 { "linux" } else { "irix" }),
+                );
+                for s in 0..10 {
+                    let svc = host.child(Rdn::new("svc", format!("s{s}")));
+                    dit.upsert(
+                        Entry::new(svc.clone())
+                            .with_class("service")
+                            .with("free", ((h * 7 + s * 13) % 500) as i64),
+                    );
+                    dit.upsert(
+                        Entry::new(svc.child(Rdn::new("perf", "load")))
+                            .with_class("loadaverage")
+                            .with("load5", ((h + s) % 30) as f64 / 10.0)
+                            .with("free", ((h * 11 + s) % 500) as i64),
+                    );
+                }
+            }
+        }
+    }
+    dit
+}
+
+/// Deep-tree cases isolating the hierarchical index: the filter is
+/// deliberately *not* class-pinned (`free>=250` — no equality term an
+/// index could serve), so scoping is the only thing saving work.
+fn bench_deep(c: &mut Criterion) {
+    let dit = build_deep_dit();
+    assert!(dit.len() >= 10_000, "deep tree holds {} entries", dit.len());
+    let mut g = c.benchmark_group("dit_deep");
+    g.sample_size(40).measurement_time(Duration::from_secs(2));
+
+    let unpinned = Filter::parse("(free>=250)").unwrap();
+    let root = Dn::root();
+    let org = Dn::parse("o=O1").unwrap();
+    let ou = Dn::parse("ou=U2, o=O1").unwrap();
+    let host = Dn::parse("hn=h7, ou=U2, o=O1").unwrap();
+
+    // Root-scoped scan: every entry is in scope, so this bounds what any
+    // implementation must do — and is what a scoped search also cost
+    // before the subtree range index existed.
+    g.bench_function("root_scan_unpinned", |b| {
+        b.iter(|| dit.search(black_box(&root), Scope::Sub, &unpinned, &[], 0))
+    });
+    g.bench_function("subtree_org_unpinned", |b| {
+        b.iter(|| dit.search(black_box(&org), Scope::Sub, &unpinned, &[], 0))
+    });
+    g.bench_function("subtree_host_unpinned", |b| {
+        b.iter(|| dit.search(black_box(&host), Scope::Sub, &unpinned, &[], 0))
+    });
+    g.bench_function("one_level_ou", |b| {
+        b.iter(|| dit.search(black_box(&ou), Scope::One, &Filter::always(), &[], 0))
+    });
+    // Equality-index path on a deep tree: naming-attr term intersected
+    // with a class term.
+    let pinned = Filter::parse("(&(objectclass=computer)(hn=h7))").unwrap();
+    g.bench_function("indexed_and_intersection", |b| {
+        b.iter(|| dit.search(black_box(&root), Scope::Sub, &pinned, &[], 0))
+    });
+    // Shared-handle hot path: no per-entry deep copies on the way out.
+    g.bench_function("subtree_org_shared", |b| {
+        b.iter(|| dit.search_shared(black_box(&org), Scope::Sub, &unpinned, &[], 0))
+    });
+    g.finish();
 }
 
 criterion_group!(benches, bench);

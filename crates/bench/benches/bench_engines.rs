@@ -108,10 +108,7 @@ fn bench(c: &mut Criterion) {
                     1,
                     GripRequest::Search {
                         id: 1,
-                        spec: SearchSpec::subtree(
-                            Dn::parse("o=O25").unwrap(),
-                            Filter::always(),
-                        ),
+                        spec: SearchSpec::subtree(Dn::parse("o=O25").unwrap(), Filter::always()),
                     },
                     t0 + secs(1),
                 )

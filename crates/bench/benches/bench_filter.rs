@@ -46,12 +46,24 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(&complex).matches(black_box(&entry)))
     });
 
+    // The three evaluator paths rebuilt to run without per-comparison
+    // allocations: substring scan, approx token match, and
+    // non-numeric ordering.
+    let substr = Filter::parse("(path=*scratch*)").unwrap();
+    g.bench_function("eval_substring", |b| {
+        b.iter(|| black_box(&substr).matches(black_box(&entry)))
+    });
+    let approx = Filter::Approx("system".into(), "LINUX   2.4".into());
+    g.bench_function("eval_approx", |b| {
+        b.iter(|| black_box(&approx).matches(black_box(&entry)))
+    });
+    let lexico = Filter::parse("(arch>=x10)").unwrap();
+    g.bench_function("eval_ordering_lexicographic", |b| {
+        b.iter(|| black_box(&lexico).matches(black_box(&entry)))
+    });
+
     g.bench_function("display_complex", |b| {
-        b.iter_batched(
-            || complex.clone(),
-            |f| f.to_string(),
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| complex.clone(), |f| f.to_string(), BatchSize::SmallInput)
     });
 
     // Evaluation over a batch of 1000 entries — the per-search workload
@@ -64,12 +76,7 @@ fn bench(c: &mut Criterion) {
         })
         .collect();
     g.bench_function("eval_complex_x1000", |b| {
-        b.iter(|| {
-            entries
-                .iter()
-                .filter(|e| complex.matches(e))
-                .count()
-        })
+        b.iter(|| entries.iter().filter(|e| complex.matches(e)).count())
     });
     g.finish();
 }

@@ -2,8 +2,8 @@
 //! cost of keeping every method's model current).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use gis_nws::{Battery, LinkId, Metric, Nws, Sensor, SensorModel};
 use gis_netsim::{secs, SimDuration, SimTime};
+use gis_nws::{Battery, LinkId, Metric, Nws, Sensor, SensorModel};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {

@@ -16,7 +16,9 @@ use gis_netsim::{secs, SimTime};
 use gis_proto::{GripReply, GripRequest, GrrpMessage, ResultCode, SearchSpec};
 
 fn theoretical_fp(bits_per_element: usize) -> f64 {
-    let k = ((bits_per_element as f64) * std::f64::consts::LN_2).round().max(1.0);
+    let k = ((bits_per_element as f64) * std::f64::consts::LN_2)
+        .round()
+        .max(1.0);
     let exponent = -k / bits_per_element as f64;
     (1.0 - exponent.exp()).powf(k)
 }
@@ -30,7 +32,12 @@ fn main() {
 
     // --- Part 1: measured vs theoretical false-positive rate. ------------
     section("false-positive rate vs bits per element (1000 tokens inserted)");
-    let mut t = Table::new(&["bits/element", "measured fp", "theoretical fp", "fill ratio"]);
+    let mut t = Table::new(&[
+        "bits/element",
+        "measured fp",
+        "theoretical fp",
+        "fill ratio",
+    ]);
     for bpe in [2usize, 4, 6, 8, 10, 16] {
         let mut bf = BloomFilter::for_capacity(1000, bpe);
         for i in 0..1000 {

@@ -117,10 +117,7 @@ fn run(model: Model) -> Outcome {
             secs(10),
         )
         .expect("directory answers");
-    let dir_visible_attrs = computers
-        .first()
-        .map(|e| e.attr_count())
-        .unwrap_or(0);
+    let dir_visible_attrs = computers.first().map(|e| e.attr_count()).unwrap_or(0);
 
     // Phase 1b: are load averages available through the directory?
     let (_, loads, _) = dep

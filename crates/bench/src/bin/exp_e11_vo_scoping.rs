@@ -13,8 +13,8 @@
 //! the grid grows. Multicast: all agents share subnets; measure flood
 //! cost and coverage for the same logical VO.
 
-use gis_bench::{banner, f2, section, Table};
 use gis_baselines::{McastAgent, McastClient, McastGroups, McastMsg};
+use gis_bench::{banner, f2, section, Table};
 use gis_core::SimDeployment;
 use gis_giis::{Giis, GiisConfig};
 use gis_gris::HostSpec;

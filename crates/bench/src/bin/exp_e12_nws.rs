@@ -107,11 +107,41 @@ fn main() {
             nws.cache_hits.to_string(),
         ]);
     };
-    step(&mut gris, "lookup link=isi-anl (cold)", "link=isi-anl, nn=wan", false, 0);
-    step(&mut gris, "lookup link=isi-anl (warm, +10s)", "link=isi-anl, nn=wan", false, 10);
-    step(&mut gris, "lookup link=isi-anl (expired, +60s)", "link=isi-anl, nn=wan", false, 60);
-    step(&mut gris, "lookup link=anl-npaci (cold)", "link=anl-npaci, nn=wan", false, 60);
-    step(&mut gris, "subtree search nn=wan (too wide)", "nn=wan", true, 61);
+    step(
+        &mut gris,
+        "lookup link=isi-anl (cold)",
+        "link=isi-anl, nn=wan",
+        false,
+        0,
+    );
+    step(
+        &mut gris,
+        "lookup link=isi-anl (warm, +10s)",
+        "link=isi-anl, nn=wan",
+        false,
+        10,
+    );
+    step(
+        &mut gris,
+        "lookup link=isi-anl (expired, +60s)",
+        "link=isi-anl, nn=wan",
+        false,
+        60,
+    );
+    step(
+        &mut gris,
+        "lookup link=anl-npaci (cold)",
+        "link=anl-npaci, nn=wan",
+        false,
+        60,
+    );
+    step(
+        &mut gris,
+        "subtree search nn=wan (too wide)",
+        "nn=wan",
+        true,
+        61,
+    );
     t.print();
 
     let nws = gris
@@ -139,7 +169,10 @@ fn main() {
         }
         prev = Some(f.predicted);
     }
-    println!("  mean relative one-step prediction error: {}", f3(err / 199.0));
+    println!(
+        "  mean relative one-step prediction error: {}",
+        f3(err / 199.0)
+    );
     println!(
         "\nexpected shape: averaging/AR methods beat last-value on these noisy\n\
          mean-reverting series; repeated lookups inside the cache TTL run no\n\

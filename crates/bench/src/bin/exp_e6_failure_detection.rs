@@ -71,7 +71,12 @@ fn run_once(seed: u64, loss: f64, k: u64) -> (usize, Option<f64>) {
         }),
     );
     let agent = {
-        let mut a = RegistrationAgent::new(service.clone(), Dn::root(), interval, interval.mul_f64(k as f64));
+        let mut a = RegistrationAgent::new(
+            service.clone(),
+            Dn::root(),
+            interval,
+            interval.mul_f64(k as f64),
+        );
         a.add_target(LdapUrl::server("monitor"));
         a
     };
@@ -102,12 +107,7 @@ fn main() {
     println!("1 h of heartbeats over a lossy link, then a real crash; 10 seeds each.\n");
 
     let reps = 10u64;
-    let mut table = Table::new(&[
-        "loss p",
-        "K",
-        "false susp./hour",
-        "mean detect latency (s)",
-    ]);
+    let mut table = Table::new(&["loss p", "K", "false susp./hour", "mean detect latency (s)"]);
     for loss in [0.0, 0.05, 0.10, 0.20, 0.40] {
         for k in [1u64, 2, 3, 5] {
             let mut fp_total = 0usize;

@@ -14,8 +14,8 @@
 //! message load, and the load concentrated on the central/most-loaded
 //! server.
 
-use gis_bench::{banner, f2, section, Table};
 use gis_baselines::{Mds1Central, Mds1Client, Mds1Msg, Mds1Provider};
+use gis_bench::{banner, f2, section, Table};
 use gis_core::SimDeployment;
 use gis_giis::{Giis, GiisConfig, GiisMode};
 use gis_gris::{DynamicHostProvider, HostSpec, InfoProvider, StaticHostProvider};
@@ -93,11 +93,22 @@ fn run_mds1(n: usize) -> Mds1Result {
         let host = HostSpec::linux(&format!("h{i}"), 2);
         let providers: Vec<Box<dyn InfoProvider>> = vec![
             Box::new(StaticHostProvider::new(host.clone())),
-            Box::new(DynamicHostProvider::new(&host, i as u64, 1.0, secs(10), secs(30))),
+            Box::new(DynamicHostProvider::new(
+                &host,
+                i as u64,
+                1.0,
+                secs(10),
+                secs(30),
+            )),
         ];
         sim.add_node(
             format!("p{i}"),
-            Box::new(Mds1Provider::new(format!("h{i}"), providers, central, secs(30))),
+            Box::new(Mds1Provider::new(
+                format!("h{i}"),
+                providers,
+                central,
+                secs(30),
+            )),
         );
     }
     let client = sim.add_node("client", Box::new(Mds1Client::new()));
@@ -157,12 +168,7 @@ fn main() {
     ]);
     for &n in &sizes {
         let harvest = run_mds2(n, GiisMode::Harvest { refresh: secs(60) });
-        let chain = run_mds2(
-            n,
-            GiisMode::Chain {
-                timeout: secs(5),
-            },
-        );
+        let chain = run_mds2(n, GiisMode::Chain { timeout: secs(5) });
         let mds1 = run_mds1(n);
         table.row(vec![
             n.to_string(),

@@ -46,9 +46,11 @@ fn main() {
             secs(30),
             secs(90),
         );
-        let provider = DynamicHostProvider::new(&host, 7, 1.5, secs(10), SimDuration::from_secs(ttl_s));
+        let provider =
+            DynamicHostProvider::new(&host, 7, 1.5, secs(10), SimDuration::from_secs(ttl_s));
         // A reference copy for ground truth (same seed => same series).
-        let truth = DynamicHostProvider::new(&host, 7, 1.5, secs(10), SimDuration::from_secs(ttl_s));
+        let truth =
+            DynamicHostProvider::new(&host, 7, 1.5, secs(10), SimDuration::from_secs(ttl_s));
         gris.add_provider(Box::new(provider));
 
         let spec = SearchSpec::subtree(

@@ -26,8 +26,11 @@ fn main() {
     let mut sc = two_vos(42, hosts_per_group);
     let q = SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap());
 
-    let (vo_a_url, vo_b0_url, vo_b1_url) =
-        (sc.vo_a.1.clone(), sc.vo_b[0].1.clone(), sc.vo_b[1].1.clone());
+    let (vo_a_url, vo_b0_url, vo_b1_url) = (
+        sc.vo_a.1.clone(),
+        sc.vo_b[0].1.clone(),
+        sc.vo_b[1].1.clone(),
+    );
     let (c_a, c_b0, c_b1) = (sc.clients[0], sc.clients[1], sc.clients[2]);
 
     let side0: Vec<_> = sc.hosts_b[0]

@@ -70,12 +70,7 @@ fn main() {
     let (host, gris_url) = &host_urls[0];
     let before = dep.sim.metrics();
     let (code, entries, _) = dep
-        .search_and_wait(
-            client,
-            gris_url,
-            SearchSpec::lookup(host.dn()),
-            secs(10),
-        )
+        .search_and_wait(client, gris_url, SearchSpec::lookup(host.dn()), secs(10))
         .expect("lookup reply");
     let after = dep.sim.metrics();
     let id = dep

@@ -84,7 +84,11 @@ fn main() {
         let (_, es, _) = dep
             .search_and_wait(client, &gris_url, spec, secs(10))
             .unwrap();
-        t.row(vec![host.dn().to_string(), scope_name.into(), es.len().to_string()]);
+        t.row(vec![
+            host.dn().to_string(),
+            scope_name.into(),
+            es.len().to_string(),
+        ]);
     }
     t.print();
 

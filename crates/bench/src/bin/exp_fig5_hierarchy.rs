@@ -42,8 +42,16 @@ fn main() {
     let computer = Filter::parse("(objectclass=computer)").unwrap();
     let cases: Vec<(&str, Dn, Filter)> = vec![
         ("root (all orgs)", Dn::root(), computer.clone()),
-        ("scoped to o=O1", Dn::parse("o=O1").unwrap(), computer.clone()),
-        ("scoped to o=O2", Dn::parse("o=O2").unwrap(), computer.clone()),
+        (
+            "scoped to o=O1",
+            Dn::parse("o=O1").unwrap(),
+            computer.clone(),
+        ),
+        (
+            "scoped to o=O2",
+            Dn::parse("o=O2").unwrap(),
+            computer.clone(),
+        ),
         (
             "name resolution hn=R1",
             Dn::root(),
@@ -61,13 +69,7 @@ fn main() {
         ),
     ];
 
-    let mut table = Table::new(&[
-        "query",
-        "found",
-        "msgs",
-        "vo fan-out",
-        "entries (DNs)",
-    ]);
+    let mut table = Table::new(&["query", "found", "msgs", "vo fan-out", "entries (DNs)"]);
     for (label, base, filter) in cases {
         let before_msgs = sc.dep.sim.metrics().sent;
         let before_chained = sc.dep.giis(sc.vo_giis).stats.chained_requests;

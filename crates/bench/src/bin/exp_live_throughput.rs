@@ -53,7 +53,10 @@ fn drive(rt: &LiveRuntime, target: &LdapUrl, threads: usize, direct_lookup: bool
                     )
                 };
                 let t0 = Instant::now();
-                if client.search(&target, spec, Duration::from_secs(10)).is_some() {
+                if client
+                    .search(&target, spec, Duration::from_secs(10))
+                    .is_some()
+                {
                     ok += 1;
                     latencies.push(t0.elapsed().as_secs_f64() * 1e6);
                 }
@@ -85,7 +88,9 @@ fn main() {
         "threaded-runtime query throughput vs client parallelism",
         "transport independence of the sans-IO engines (implementation property)",
     );
-    println!("4 GRIS + 1 chaining GIIS on their own threads; {QUERIES_PER_CLIENT} queries per client.\n");
+    println!(
+        "4 GRIS + 1 chaining GIIS on their own threads; {QUERIES_PER_CLIENT} queries per client.\n"
+    );
 
     let mut rt = LiveRuntime::new(Duration::from_millis(5));
     let vo_url = LdapUrl::server("giis.live");

@@ -94,7 +94,12 @@ impl Actor<ProtocolMessage> for GrisActor {
         ctx.set_timer(self.tick_every, TICK);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>, from: NodeId, msg: ProtocolMessage) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, ProtocolMessage>,
+        from: NodeId,
+        msg: ProtocolMessage,
+    ) {
         match msg {
             ProtocolMessage::Request(req) => {
                 let now = ctx.now();
@@ -164,7 +169,12 @@ impl Actor<ProtocolMessage> for GiisActor {
         ctx.set_timer(self.tick_every, TICK);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>, from: NodeId, msg: ProtocolMessage) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, ProtocolMessage>,
+        from: NodeId,
+        msg: ProtocolMessage,
+    ) {
         let now = ctx.now();
         let actions = match msg {
             ProtocolMessage::Request(req) => self.giis.handle_request(u64::from(from.0), req, now),
@@ -238,11 +248,12 @@ impl ClientActor {
 
     /// The first terminal search result for a request, if it has arrived.
     pub fn search_result(&self, id: RequestId) -> Option<&GripReply> {
-        self.replies
-            .get(&id)?
-            .iter()
-            .map(|(_, r)| r)
-            .find(|r| matches!(r, GripReply::SearchResult { .. } | GripReply::BindResult { .. }))
+        self.replies.get(&id)?.iter().map(|(_, r)| r).find(|r| {
+            matches!(
+                r,
+                GripReply::SearchResult { .. } | GripReply::BindResult { .. }
+            )
+        })
     }
 
     /// All updates received for a subscription.
@@ -267,7 +278,12 @@ impl ClientActor {
 }
 
 impl Actor<ProtocolMessage> for ClientActor {
-    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>, _from: NodeId, msg: ProtocolMessage) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, ProtocolMessage>,
+        _from: NodeId,
+        msg: ProtocolMessage,
+    ) {
         if let ProtocolMessage::Reply(reply) = msg {
             self.replies
                 .entry(reply.id())

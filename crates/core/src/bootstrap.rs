@@ -134,10 +134,7 @@ mod tests {
             .search_and_wait(
                 client,
                 &LdapUrl::server("giis.site.O1"),
-                SearchSpec::subtree(
-                    Dn::root(),
-                    Filter::parse("(objectclass=computer)").unwrap(),
-                ),
+                SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
                 secs(10),
             )
             .unwrap();

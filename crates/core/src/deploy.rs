@@ -71,7 +71,11 @@ impl SimDeployment {
         label_parts.reverse();
         let url = LdapUrl::server(format!("gris.{}", label_parts.join(".")));
         let config = GrisConfig::open(url, host.dn());
-        let mut gris = Gris::new(config, SimDuration::from_secs(30), SimDuration::from_secs(90));
+        let mut gris = Gris::new(
+            config,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(90),
+        );
         gris.add_provider(Box::new(StaticHostProvider::new(host.clone())));
         gris.add_provider(Box::new(DynamicHostProvider::new(
             host,
@@ -277,11 +281,7 @@ mod tests {
         let (_, gris_url) = dep.add_standard_host(&host, 7, &[]);
         let client = dep.add_client("c");
         dep.run_for(secs(1));
-        let id = dep.search(
-            client,
-            &gris_url,
-            SearchSpec::lookup(host.dn()),
-        );
+        let id = dep.search(client, &gris_url, SearchSpec::lookup(host.dn()));
         dep.run_for(secs(2));
         let latency = dep.client(client).latency(id).expect("completed");
         assert!(latency > SimDuration::ZERO);

@@ -24,7 +24,7 @@ pub use actors::{ClientActor, GiisActor, GrisActor, NameService};
 pub use bootstrap::{
     discover_directories, join_via_hierarchy, local_default_directory, manual_join,
 };
-pub use naming::{Guid, GuidGenerator, NamingAuthority};
 pub use deploy::{org, SimDeployment, DEFAULT_TICK};
 pub use live::{LiveClient, LiveRuntime};
+pub use naming::{Guid, GuidGenerator, NamingAuthority};
 pub use scenario::{figure5, two_vos, HierarchyScenario, TwoVoScenario};

@@ -12,8 +12,8 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use gis_giis::{Giis, GiisAction};
 use gis_gris::Gris;
 use gis_ldap::{Entry, LdapUrl};
-use gis_proto::{GripReply, GripRequest, GrrpMessage, RequestId, ResultCode, SearchSpec};
 use gis_netsim::SimTime;
+use gis_proto::{GripReply, GripRequest, GrrpMessage, RequestId, ResultCode, SearchSpec};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -178,29 +178,28 @@ impl LiveRuntime {
             let mut ids: HashMap<Address, u64> = HashMap::new();
             let mut addrs: HashMap<u64, Address> = HashMap::new();
             let mut next = 1u64;
-            let perform = |actions: Vec<GiisAction>,
-                               router: &Router,
-                               addrs: &HashMap<u64, Address>| {
-                for action in actions {
-                    match action {
-                        GiisAction::SendRequest { to, request } => router.send_to_service(
-                            &to.to_string(),
-                            LiveMsg::Request {
-                                from: Address::Service(url.clone()),
-                                request,
-                            },
-                        ),
-                        GiisAction::SendGrrp { to, message } => {
-                            router.send_to_service(&to.to_string(), LiveMsg::Grrp(message))
-                        }
-                        GiisAction::Reply { client, reply } => {
-                            if let Some(addr) = addrs.get(&client) {
-                                router.send_back(addr, &url, reply);
+            let perform =
+                |actions: Vec<GiisAction>, router: &Router, addrs: &HashMap<u64, Address>| {
+                    for action in actions {
+                        match action {
+                            GiisAction::SendRequest { to, request } => router.send_to_service(
+                                &to.to_string(),
+                                LiveMsg::Request {
+                                    from: Address::Service(url.clone()),
+                                    request,
+                                },
+                            ),
+                            GiisAction::SendGrrp { to, message } => {
+                                router.send_to_service(&to.to_string(), LiveMsg::Grrp(message))
+                            }
+                            GiisAction::Reply { client, reply } => {
+                                if let Some(addr) = addrs.get(&client) {
+                                    router.send_back(addr, &url, reply);
+                                }
                             }
                         }
                     }
-                }
-            };
+                };
             loop {
                 match rx.recv_timeout(tick) {
                     Ok(LiveMsg::Shutdown) => break,
@@ -278,7 +277,11 @@ pub struct LiveClient {
 
 impl LiveClient {
     /// Send a raw request.
-    pub fn send(&mut self, target: &LdapUrl, build: impl FnOnce(RequestId) -> GripRequest) -> RequestId {
+    pub fn send(
+        &mut self,
+        target: &LdapUrl,
+        build: impl FnOnce(RequestId) -> GripRequest,
+    ) -> RequestId {
         let id = self.next_req;
         self.next_req += 1;
         self.router.send_to_service(
@@ -374,7 +377,11 @@ mod tests {
         };
         rt.spawn_giis(giis);
         for (i, name) in ["n1", "n2"].iter().enumerate() {
-            rt.spawn_gris(fast_host_gris(name, i as u64, std::slice::from_ref(&giis_url)));
+            rt.spawn_gris(fast_host_gris(
+                name,
+                i as u64,
+                std::slice::from_ref(&giis_url),
+            ));
         }
         // Let registrations propagate.
         std::thread::sleep(Duration::from_millis(400));
@@ -460,7 +467,10 @@ mod tests {
                 }
             }
         }
-        assert!(updates >= 3, "periodic updates over live threads: {updates}");
+        assert!(
+            updates >= 3,
+            "periodic updates over live threads: {updates}"
+        );
         // Unsubscribe stops the stream (allow in-flight deliveries).
         client.send(&url, |_| GripRequest::Unsubscribe { id: sub_id });
         std::thread::sleep(Duration::from_millis(300));

@@ -157,7 +157,10 @@ mod tests {
         let mut root = NamingAuthority::new(Dn::root());
         let mut o1 = root.delegate("o", "O1").unwrap();
         let mut o2 = root.delegate("o", "O2").unwrap();
-        assert!(root.delegate("o", "O1").is_none(), "scope already delegated");
+        assert!(
+            root.delegate("o", "O1").is_none(),
+            "scope already delegated"
+        );
 
         // The same local name in different scopes: relatively unique (§8).
         let a = o1.claim("hn", "R1").unwrap();

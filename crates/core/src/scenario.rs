@@ -59,7 +59,8 @@ pub fn figure5(seed: u64) -> HierarchyScenario {
             host_seed = host_seed.wrapping_add(1);
             let host = HostSpec::linux(name, 2 + (host_seed % 6) as u32).at(suffix.clone());
             let ns = host.dn();
-            let (node, url) = dep.add_standard_host(&host, host_seed, std::slice::from_ref(&center_url));
+            let (node, url) =
+                dep.add_standard_host(&host, host_seed, std::slice::from_ref(&center_url));
             hosts.push((node, url, ns));
         }
     }
@@ -282,7 +283,11 @@ mod tests {
             .dep
             .search_and_wait(sc.clients[1], &sc.vo_b[0].1, q.clone(), secs(20))
             .expect("fragment 0 still answers");
-        assert_eq!(code, ResultCode::Success, "expired children are not chained");
+        assert_eq!(
+            code,
+            ResultCode::Success,
+            "expired children are not chained"
+        );
         // Fragment 0 sees its own half + shared pool (shared hosts are
         // not partitioned from side 0).
         assert_eq!(entries.len(), 4, "2 local + 2 shared");

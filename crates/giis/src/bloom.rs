@@ -50,7 +50,8 @@ impl BloomFilter {
         let h1 = fnv(token.as_bytes(), 0);
         let h2 = fnv(token.as_bytes(), 0x9e3779b97f4a7c15) | 1;
         let n = self.n_bits as u64;
-        (0..self.n_hashes).map(move |i| (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % n) as usize)
+        (0..self.n_hashes)
+            .map(move |i| (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % n) as usize)
     }
 
     /// Insert a token.

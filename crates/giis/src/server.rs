@@ -26,8 +26,8 @@ use gis_gsi::{Authenticator, PolicyMap, Requester};
 use gis_ldap::{Dit, Dn, Entry, Filter, LdapUrl, Scope};
 use gis_netsim::{SimDuration, SimTime};
 use gis_proto::{
-    result_digest, GripReply, GripRequest, GrrpMessage, Notification, RegistrationAgent,
-    RequestId, ResultCode, SearchSpec, SoftStateRegistry, SubscriptionMode, SubscriptionTable,
+    result_digest, GripReply, GripRequest, GrrpMessage, Notification, RegistrationAgent, RequestId,
+    ResultCode, SearchSpec, SoftStateRegistry, SubscriptionMode, SubscriptionTable,
 };
 use std::collections::BTreeMap;
 
@@ -343,11 +343,7 @@ impl Giis {
                     // registrations are dropped, and the subject the
                     // policy sees is the *verified* one.
                     let verified = msg.signature.as_ref().and_then(|sig| {
-                        gis_gsi::verify_signed_registration(
-                            trust,
-                            &msg.signable_bytes(),
-                            sig,
-                        )
+                        gis_gsi::verify_signed_registration(trust, &msg.signable_bytes(), sig)
                     });
                     match verified {
                         Some(subject) => msg.subject = Some(subject),
@@ -450,7 +446,11 @@ impl Giis {
         now: SimTime,
     ) -> Vec<GiisAction> {
         match req {
-            GripRequest::Bind { id, subject: _, token } => {
+            GripRequest::Bind {
+                id,
+                subject: _,
+                token,
+            } => {
                 let outcome = self
                     .config
                     .authenticator
@@ -566,7 +566,9 @@ impl Giis {
                     },
                 }]
             }
-            GiisMode::Chain { timeout } => self.chain(client, id, spec, requester, now, timeout, false),
+            GiisMode::Chain { timeout } => {
+                self.chain(client, id, spec, requester, now, timeout, false)
+            }
             GiisMode::BloomChain { timeout, .. } => {
                 self.chain(client, id, spec, requester, now, timeout, true)
             }
@@ -587,7 +589,7 @@ impl Giis {
             let ns = &reg.message.namespace;
             let in_scope = match spec.scope {
                 Scope::Base => ns == &spec.base,
-                Scope::One => ns.parent().as_ref() == Some(&spec.base),
+                Scope::One => ns.is_child_of(&spec.base),
                 Scope::Sub => ns.is_under(&spec.base),
             };
             if !in_scope {
@@ -614,15 +616,12 @@ impl Giis {
         (entries, referrals)
     }
 
-    /// Answer from the harvested cache.
+    /// Answer from the harvested cache. Uses the shared-handle search so
+    /// cached entries reach redaction without being deep-copied.
     fn local_answer(&self, spec: &SearchSpec, requester: &Requester) -> Vec<Entry> {
-        let raw = self.cache.search(
-            &spec.base,
-            spec.scope,
-            &spec.filter,
-            &[],
-            0,
-        );
+        let raw = self
+            .cache
+            .search_shared(&spec.base, spec.scope, &spec.filter, &[], 0);
         let mut out = Vec::new();
         for e in raw {
             let Some(redacted) = self.config.policy.redact(&e, requester) else {
@@ -769,7 +768,12 @@ impl Giis {
     }
 
     /// Handle a GRIP reply arriving from a child server.
-    pub fn handle_reply(&mut self, from: &LdapUrl, reply: GripReply, now: SimTime) -> Vec<GiisAction> {
+    pub fn handle_reply(
+        &mut self,
+        from: &LdapUrl,
+        reply: GripReply,
+        now: SimTime,
+    ) -> Vec<GiisAction> {
         let out_id = reply.id();
         let Some(kind) = self.outbound.remove(&out_id) else {
             return Vec::new(); // late reply for an expired query
@@ -944,8 +948,13 @@ impl Giis {
 
     /// Evaluate due subscriptions; returns the updates to deliver.
     fn subscription_updates(&mut self, now: SimTime) -> Vec<GiisAction> {
-        let mut due: Vec<(ClientId, RequestId, SearchSpec, SubscriptionMode, Option<u64>)> =
-            Vec::new();
+        let mut due: Vec<(
+            ClientId,
+            RequestId,
+            SearchSpec,
+            SubscriptionMode,
+            Option<u64>,
+        )> = Vec::new();
         for (client, id, sub) in self.subs.iter_mut() {
             due.push((client, id, sub.spec.clone(), sub.mode, sub.last_digest));
         }
@@ -958,11 +967,7 @@ impl Giis {
                 .unwrap_or_else(Requester::anonymous);
             match mode {
                 SubscriptionMode::Periodic(period) => {
-                    let due_at = self
-                        .sub_next_due
-                        .get(&(client, id))
-                        .copied()
-                        .unwrap_or(now);
+                    let due_at = self.sub_next_due.get(&(client, id)).copied().unwrap_or(now);
                     if now < due_at {
                         continue;
                     }
@@ -1027,10 +1032,7 @@ impl Giis {
                 .filter(|reg| {
                     self.children
                         .get(&reg.message.service_url.to_string())
-                        .is_none_or(|s| {
-                            s.last_harvest
-                                .is_none_or(|at| now.since(at) >= refresh)
-                        })
+                        .is_none_or(|s| s.last_harvest.is_none_or(|at| now.since(at) >= refresh))
                 })
                 .map(|reg| reg.message.service_url.clone())
                 .collect();
@@ -1113,10 +1115,7 @@ mod tests {
             1,
             GripRequest::Search {
                 id: 100,
-                spec: SearchSpec::subtree(
-                    Dn::parse(base).unwrap(),
-                    Filter::parse(filter).unwrap(),
-                ),
+                spec: SearchSpec::subtree(Dn::parse(base).unwrap(), Filter::parse(filter).unwrap()),
             },
             now,
         )
@@ -1150,7 +1149,10 @@ mod tests {
         let mut config = GiisConfig::chaining(url("giis"), Dn::root());
         config.accept = AcceptPolicy::Subjects(vec!["/CN=trusted".into()]);
         let mut giis = Giis::new(config, secs(30), secs(90));
-        giis.handle_grrp(reg("gris.x", "hn=x", t(0)).with_subject("/CN=trusted"), t(0));
+        giis.handle_grrp(
+            reg("gris.x", "hn=x", t(0)).with_subject("/CN=trusted"),
+            t(0),
+        );
         giis.handle_grrp(reg("gris.y", "hn=y", t(0)).with_subject("/CN=rogue"), t(0));
         giis.handle_grrp(reg("gris.z", "hn=z", t(0)), t(0)); // unsigned
         assert_eq!(giis.active_children(t(1)).len(), 1);
@@ -1366,8 +1368,14 @@ mod tests {
                 id: out_id,
                 code: ResultCode::Success,
                 entries: vec![
-                    Entry::at("hn=a").unwrap().with_class("computer").with("system", "linux"),
-                    Entry::at("perf=load, hn=a").unwrap().with_class("perf").with("load5", 0.3f64),
+                    Entry::at("hn=a")
+                        .unwrap()
+                        .with_class("computer")
+                        .with("system", "linux"),
+                    Entry::at("perf=load, hn=a")
+                        .unwrap()
+                        .with_class("perf")
+                        .with("load5", 0.3f64),
                 ],
                 referrals: vec![],
             },
@@ -1643,9 +1651,13 @@ mod tests {
         giis.handle_grrp(reg("gris.a", "hn=a", t(50)), t(50));
         let actions = giis.tick(t(61));
         assert!(
-            actions
-                .iter()
-                .any(|a| matches!(a, GiisAction::SendRequest { request: GripRequest::Search { .. }, .. })),
+            actions.iter().any(|a| matches!(
+                a,
+                GiisAction::SendRequest {
+                    request: GripRequest::Search { .. },
+                    ..
+                }
+            )),
             "refresh harvest goes straight to search: {actions:?}"
         );
     }
@@ -1749,10 +1761,13 @@ mod tests {
         assert_eq!(giis.subscription_count(), 1);
 
         // No change, no update.
-        assert!(giis
-            .tick(t(5))
-            .iter()
-            .all(|a| !matches!(a, GiisAction::Reply { reply: GripReply::Update { .. }, .. })));
+        assert!(giis.tick(t(5)).iter().all(|a| !matches!(
+            a,
+            GiisAction::Reply {
+                reply: GripReply::Update { .. },
+                ..
+            }
+        )));
 
         // A second child registers and is harvested: the set changes.
         let actions = giis.handle_grrp(reg("gris.b", "hn=b", t(6)), t(6));
@@ -1773,7 +1788,15 @@ mod tests {
         let updates: Vec<_> = giis
             .tick(t(7))
             .into_iter()
-            .filter(|a| matches!(a, GiisAction::Reply { reply: GripReply::Update { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    GiisAction::Reply {
+                        reply: GripReply::Update { .. },
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(updates.len(), 1, "change delivered");
         match &updates[0] {
@@ -1794,7 +1817,15 @@ mod tests {
         let updates: Vec<_> = giis
             .tick(t(400))
             .into_iter()
-            .filter(|a| matches!(a, GiisAction::Reply { reply: GripReply::Update { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    GiisAction::Reply {
+                        reply: GripReply::Update { .. },
+                        ..
+                    }
+                )
+            })
             .collect();
         assert!(!updates.is_empty(), "expiry-driven update");
 

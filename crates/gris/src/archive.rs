@@ -174,7 +174,9 @@ mod tests {
     #[test]
     fn range_query_returns_one_sample_per_period() {
         let mut p = provider();
-        let entries = p.fetch(&range_spec(100, 200), SimTime::ZERO + secs(1000)).unwrap();
+        let entries = p
+            .fetch(&range_spec(100, 200), SimTime::ZERO + secs(1000))
+            .unwrap();
         assert_eq!(entries.len(), 11, "t=100..=200 step 10");
         assert!(entries.iter().all(|e| e.has_class("perfarchive")));
         let t0 = entries[0].get_i64("t").unwrap();
@@ -223,7 +225,9 @@ mod tests {
     fn future_samples_not_fabricated() {
         let mut p = provider();
         // Ask for t in [100 s, 200 s] when now = 150 s: only the past half.
-        let entries = p.fetch(&range_spec(100, 200), SimTime::ZERO + secs(150)).unwrap();
+        let entries = p
+            .fetch(&range_spec(100, 200), SimTime::ZERO + secs(150))
+            .unwrap();
         assert_eq!(entries.len(), 6, "t=100..=150");
     }
 
@@ -231,7 +235,9 @@ mod tests {
     fn empty_range_is_empty() {
         let mut p = provider();
         // from > now entirely.
-        let entries = p.fetch(&range_spec(500, 600), SimTime::ZERO + secs(100)).unwrap();
+        let entries = p
+            .fetch(&range_spec(500, 600), SimTime::ZERO + secs(100))
+            .unwrap();
         assert!(entries.is_empty());
     }
 
@@ -261,7 +267,9 @@ mod tests {
         let host = HostSpec::linux("h", 2);
         let live = DynamicHostProvider::new(&host, 5, 1.0, secs(10), secs(30));
         let mut p = provider();
-        let entries = p.fetch(&range_spec(100, 100), SimTime::ZERO + secs(1000)).unwrap();
+        let entries = p
+            .fetch(&range_spec(100, 100), SimTime::ZERO + secs(1000))
+            .unwrap();
         let archived = entries[0].get_f64("load5").unwrap();
         assert_eq!(archived, live.true_load(SimTime::ZERO + secs(100)));
     }

@@ -98,7 +98,9 @@ mod tests {
 
     #[test]
     fn provider_error_display() {
-        assert!(ProviderError::Unavailable("x".into()).to_string().contains("x"));
+        assert!(ProviderError::Unavailable("x".into())
+            .to_string()
+            .contains("x"));
         assert!(ProviderError::TooWide("y".into()).to_string().contains("y"));
     }
 }

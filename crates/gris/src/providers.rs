@@ -148,7 +148,13 @@ pub struct DynamicHostProvider {
 
 impl DynamicHostProvider {
     /// Create with the given base load, change period, and cache TTL.
-    pub fn new(host: &HostSpec, seed: u64, base_load: f64, period: SimDuration, ttl: SimDuration) -> DynamicHostProvider {
+    pub fn new(
+        host: &HostSpec,
+        seed: u64,
+        base_load: f64,
+        period: SimDuration,
+        ttl: SimDuration,
+    ) -> DynamicHostProvider {
         let host_dn = host.dn();
         DynamicHostProvider {
             namespace: host_dn.child(Rdn::new("perf", "load")),
@@ -192,7 +198,9 @@ impl InfoProvider for DynamicHostProvider {
         }
         self.invocations += 1;
         let load5 = self.true_load(now);
-        let load1 = (load5 + 0.4 * step_noise(self.seed ^ 1, now.micros() / self.period.micros().max(1))).max(0.0);
+        let load1 = (load5
+            + 0.4 * step_noise(self.seed ^ 1, now.micros() / self.period.micros().max(1)))
+        .max(0.0);
         let e = Entry::new(self.namespace.clone())
             .with_class("perf")
             .with_class("loadaverage")
@@ -295,7 +303,13 @@ pub struct QueueProvider {
 
 impl QueueProvider {
     /// Create for queue `queue_name` on `host`.
-    pub fn new(host: &HostSpec, queue_name: &str, mean_jobs: f64, seed: u64, ttl: SimDuration) -> QueueProvider {
+    pub fn new(
+        host: &HostSpec,
+        queue_name: &str,
+        mean_jobs: f64,
+        seed: u64,
+        ttl: SimDuration,
+    ) -> QueueProvider {
         QueueProvider {
             namespace: host.dn().child(Rdn::new("queue", queue_name)),
             name: format!("queue:{}:{queue_name}", host.hostname),
@@ -448,12 +462,18 @@ mod tests {
     fn dynamic_load_changes_over_time_and_is_deterministic() {
         let host = HostSpec::linux("h1", 4);
         let mut p = DynamicHostProvider::new(&host, 42, 1.5, secs(10), secs(30));
-        let a = p.fetch(&any_spec("hn=h1"), t(0)).unwrap()[0].get_f64("load5").unwrap();
-        let b = p.fetch(&any_spec("hn=h1"), t(100)).unwrap()[0].get_f64("load5").unwrap();
+        let a = p.fetch(&any_spec("hn=h1"), t(0)).unwrap()[0]
+            .get_f64("load5")
+            .unwrap();
+        let b = p.fetch(&any_spec("hn=h1"), t(100)).unwrap()[0]
+            .get_f64("load5")
+            .unwrap();
         assert_ne!(a, b, "load must vary");
         // Deterministic: a fresh provider with the same seed agrees.
         let mut q = DynamicHostProvider::new(&host, 42, 1.5, secs(10), secs(30));
-        let a2 = q.fetch(&any_spec("hn=h1"), t(0)).unwrap()[0].get_f64("load5").unwrap();
+        let a2 = q.fetch(&any_spec("hn=h1"), t(0)).unwrap()[0]
+            .get_f64("load5")
+            .unwrap();
         assert_eq!(a, a2);
         assert!(a >= 0.0 && b >= 0.0);
     }
@@ -472,7 +492,8 @@ mod tests {
     #[test]
     fn filesystem_free_space_bounded() {
         let host = HostSpec::linux("h1", 4);
-        let mut p = FilesystemProvider::new(&host, "scratch", "/disks/scratch1", 40_000, 7, secs(60));
+        let mut p =
+            FilesystemProvider::new(&host, "scratch", "/disks/scratch1", 40_000, 7, secs(60));
         for s in [0u64, 60, 600, 3600] {
             let e = &p.fetch(&any_spec("hn=h1"), t(s)).unwrap()[0];
             let free = e.get_i64("free").unwrap() as u64;
@@ -519,7 +540,12 @@ mod tests {
     fn nws_gateway_rejects_malformed_links() {
         let nws = Nws::new(1, secs(10));
         let mut p = NwsGatewayProvider::new("wan", nws);
-        for bad in ["link=nodash, nn=wan", "link=-b, nn=wan", "link=a-, nn=wan", "x=y, nn=wan"] {
+        for bad in [
+            "link=nodash, nn=wan",
+            "link=-b, nn=wan",
+            "link=a-, nn=wan",
+            "x=y, nn=wan",
+        ] {
             let spec = SearchSpec::lookup(Dn::parse(bad).unwrap());
             assert!(p.fetch(&spec, t(0)).is_err(), "should reject {bad}");
         }

@@ -192,7 +192,11 @@ impl Gris {
         now: SimTime,
     ) -> Vec<GripReply> {
         match req {
-            GripRequest::Bind { id, subject: _, token } => {
+            GripRequest::Bind {
+                id,
+                subject: _,
+                token,
+            } => {
                 let outcome = self
                     .config
                     .authenticator
@@ -290,34 +294,27 @@ impl Gris {
         };
         // Evaluate subscriptions. Collect due work first to avoid holding
         // a borrow of `subs` across the search.
-        let mut due: Vec<(ClientId, RequestId, SearchSpec, SubscriptionMode, Option<u64>)> =
-            Vec::new();
+        let mut due: Vec<(
+            ClientId,
+            RequestId,
+            SearchSpec,
+            SubscriptionMode,
+            Option<u64>,
+        )> = Vec::new();
         for (client, id, sub) in self.subs.iter_mut() {
             match sub.mode {
-                SubscriptionMode::Periodic(_) => due.push((
-                    client,
-                    id,
-                    sub.spec.clone(),
-                    sub.mode,
-                    sub.last_digest,
-                )),
-                SubscriptionMode::OnChange => due.push((
-                    client,
-                    id,
-                    sub.spec.clone(),
-                    sub.mode,
-                    sub.last_digest,
-                )),
+                SubscriptionMode::Periodic(_) => {
+                    due.push((client, id, sub.spec.clone(), sub.mode, sub.last_digest))
+                }
+                SubscriptionMode::OnChange => {
+                    due.push((client, id, sub.spec.clone(), sub.mode, sub.last_digest))
+                }
             }
         }
         for (client, id, spec, mode, last_digest) in due {
             match mode {
                 SubscriptionMode::Periodic(period) => {
-                    let due_at = self
-                        .sub_next_due
-                        .get(&(client, id))
-                        .copied()
-                        .unwrap_or(now);
+                    let due_at = self.sub_next_due.get(&(client, id)).copied().unwrap_or(now);
                     if now < due_at {
                         continue;
                     }
@@ -330,7 +327,8 @@ impl Gris {
                     self.note_delivery(client, id, &entries);
                     self.sub_next_due.insert((client, id), due_at + period);
                     self.stats.updates_sent += 1;
-                    out.updates.push((client, GripReply::Update { id, entries }));
+                    out.updates
+                        .push((client, GripReply::Update { id, entries }));
                 }
                 SubscriptionMode::OnChange => {
                     let requester = self
@@ -345,7 +343,8 @@ impl Gris {
                     }
                     self.note_delivery(client, id, &entries);
                     self.stats.updates_sent += 1;
-                    out.updates.push((client, GripReply::Update { id, entries }));
+                    out.updates
+                        .push((client, GripReply::Update { id, entries }));
                 }
             }
         }
@@ -373,8 +372,7 @@ impl Gris {
 
         // A search rooted entirely outside this server's namespace names
         // nothing we serve.
-        if !namespace_intersects(&self.config.suffix, &spec.base) && !self.config.suffix.is_root()
-        {
+        if !namespace_intersects(&self.config.suffix, &spec.base) && !self.config.suffix.is_root() {
             return (ResultCode::NoSuchObject, Vec::new());
         }
 
@@ -440,7 +438,7 @@ impl Gris {
             let dn = entry.dn();
             let in_scope = match spec.scope {
                 Scope::Base => dn == &spec.base,
-                Scope::One => dn.parent().as_ref() == Some(&spec.base),
+                Scope::One => dn.is_child_of(&spec.base),
                 Scope::Sub => dn.is_under(&spec.base),
             };
             if !in_scope {
@@ -505,9 +503,20 @@ mod tests {
             secs(30),
         )));
         gris.add_provider(Box::new(FilesystemProvider::new(
-            &host, "scratch", "/disks/scratch1", 40_000, 7, secs(60),
+            &host,
+            "scratch",
+            "/disks/scratch1",
+            40_000,
+            7,
+            secs(60),
         )));
-        gris.add_provider(Box::new(QueueProvider::new(&host, "default", 4.0, 9, secs(30))));
+        gris.add_provider(Box::new(QueueProvider::new(
+            &host,
+            "default",
+            4.0,
+            9,
+            secs(30),
+        )));
         gris
     }
 
@@ -663,7 +672,11 @@ mod tests {
         let mut gris = Gris::new(config, secs(30), secs(90));
         gris.add_provider(Box::new(StaticHostProvider::new(host.clone())));
         gris.add_provider(Box::new(DynamicHostProvider::new(
-            &host, 1, 1.0, secs(10), secs(30),
+            &host,
+            1,
+            1.0,
+            secs(10),
+            secs(30),
         )));
 
         // Anonymous: load5 invisible, and a filter on load5 matches nothing.
@@ -715,10 +728,7 @@ mod tests {
             },
             t(1),
         );
-        assert!(matches!(
-            replies[0],
-            GripReply::BindResult { ok: true, .. }
-        ));
+        assert!(matches!(replies[0], GripReply::BindResult { ok: true, .. }));
         let (_, entries) = search(
             &mut gris,
             SearchSpec::subtree(host.dn(), Filter::always()),
@@ -754,7 +764,10 @@ mod tests {
             },
             t(0),
         );
-        assert!(matches!(replies[0], GripReply::BindResult { ok: false, .. }));
+        assert!(matches!(
+            replies[0],
+            GripReply::BindResult { ok: false, .. }
+        ));
         assert_eq!(gris.stats.binds_failed, 1);
     }
 
@@ -771,7 +784,10 @@ mod tests {
             },
             t(0),
         );
-        assert!(matches!(replies[0], GripReply::Update { .. }), "initial snapshot");
+        assert!(
+            matches!(replies[0], GripReply::Update { .. }),
+            "initial snapshot"
+        );
         assert_eq!(gris.subscription_count(), 1);
 
         assert!(gris.tick(t(5)).updates.is_empty(), "not due yet");
@@ -873,8 +889,7 @@ mod tests {
                     Entry::new(self.ns.clone())
                         .with_class("widget")
                         .with("serial", "123"),
-                    Entry::new(self.ns.child(gis_ldap::Rdn::new("w", "bad")))
-                        .with_class("widget"), // missing required "serial"
+                    Entry::new(self.ns.child(gis_ldap::Rdn::new("w", "bad"))).with_class("widget"), // missing required "serial"
                 ])
             }
         }

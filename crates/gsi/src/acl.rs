@@ -229,7 +229,8 @@ impl PolicyMap {
         self.rules.retain(|(d, _)| d != &base);
         self.rules.push((base, acl));
         // Deepest-first so the first match is the most specific.
-        self.rules.sort_by_key(|(dn, _)| std::cmp::Reverse(dn.depth()));
+        self.rules
+            .sort_by_key(|(dn, _)| std::cmp::Reverse(dn.depth()));
     }
 
     /// The ACL governing `dn`.
@@ -430,7 +431,10 @@ mod tests {
     fn visibility_union_escalates() {
         let acl = Acl::default()
             .with_rule(Principal::Anonymous, Grant::ExistenceOnly)
-            .with_rule(Principal::Authenticated, Grant::Attrs(vec!["system".into()]))
+            .with_rule(
+                Principal::Authenticated,
+                Grant::Attrs(vec!["system".into()]),
+            )
             .with_rule(Principal::Subject("/CN=admin".into()), Grant::All);
         assert_eq!(
             acl.visibility(&Requester::anonymous()),
@@ -450,13 +454,12 @@ mod tests {
     fn policy_map_most_specific_wins() {
         let mut map = PolicyMap::open();
         map.set(Dn::parse("o=O1").unwrap(), Acl::authenticated_only());
-        map.set(
-            Dn::parse("hn=hostX, o=O1").unwrap(),
-            Acl::existence_only(),
-        );
+        map.set(Dn::parse("hn=hostX, o=O1").unwrap(), Acl::existence_only());
         let anon = Requester::anonymous();
         // Deepest rule governs the host subtree.
-        let host = Entry::at("perf=load5, hn=hostX, o=O1").unwrap().with("load5", 1.0f64);
+        let host = Entry::at("perf=load5, hn=hostX, o=O1")
+            .unwrap()
+            .with("load5", 1.0f64);
         let redacted = map.redact(&host, &anon).unwrap();
         assert!(!redacted.has("load5"));
         // Sibling host inherits the org-wide authenticated-only rule.
@@ -489,7 +492,12 @@ mod tests {
         let rogue_cas = CommunityAuthz::new(&rogue_ca, "/O=Grid/CN=cas");
         let rogue_cap = rogue_cas.grant("/CN=alice", "vo-a");
         let mut alice2 = Requester::subject("/CN=alice");
-        assert!(!apply_capability(&trust, &rogue_cas, &rogue_cap, &mut alice2));
+        assert!(!apply_capability(
+            &trust,
+            &rogue_cas,
+            &rogue_cap,
+            &mut alice2
+        ));
     }
 
     #[test]

@@ -175,7 +175,10 @@ mod tests {
         let token = BindToken::create(&alice, "ldap://gris.a:389");
         let bytes = token.to_bytes();
         assert_eq!(BindToken::from_bytes(&bytes).unwrap(), token);
-        assert_eq!(auth.authenticate(&bytes).as_deref(), Some("/O=Grid/CN=alice"));
+        assert_eq!(
+            auth.authenticate(&bytes).as_deref(),
+            Some("/O=Grid/CN=alice")
+        );
     }
 
     #[test]
@@ -213,7 +216,10 @@ mod tests {
         let proxy = giis.delegate(7);
         let auth = Authenticator::new(trust, "svc");
         let token = BindToken::create(&proxy, "svc");
-        assert_eq!(auth.authenticate(&token.to_bytes()).as_deref(), Some("/O=Grid/CN=giis"));
+        assert_eq!(
+            auth.authenticate(&token.to_bytes()).as_deref(),
+            Some("/O=Grid/CN=giis")
+        );
     }
 
     #[test]

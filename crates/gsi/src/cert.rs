@@ -76,9 +76,8 @@ impl CertAuthority {
     /// derives from the CA seed and the subject name.
     pub fn issue(&self, subject: impl Into<String>) -> Credential {
         let subject = subject.into();
-        let subject_keys = KeyPair::generate(
-            hash64(subject.as_bytes()) ^ self.keys.public.fingerprint(),
-        );
+        let subject_keys =
+            KeyPair::generate(hash64(subject.as_bytes()) ^ self.keys.public.fingerprint());
         let tbs = Certificate::tbs(&subject, &self.name, &subject_keys.public, false);
         let signature = self.keys.sign(&tbs);
         Credential {
@@ -276,7 +275,10 @@ mod tests {
         let p1 = cred.delegate(1);
         let p2 = p1.delegate(2);
         assert_eq!(p2.chain.len(), 3);
-        assert_eq!(store.verify_chain(&p2.chain).as_deref(), Some("/O=Grid/CN=giis"));
+        assert_eq!(
+            store.verify_chain(&p2.chain).as_deref(),
+            Some("/O=Grid/CN=giis")
+        );
     }
 
     #[test]
@@ -318,8 +320,7 @@ mod tests {
         let alice = ca.issue("/O=Grid/CN=alice");
         let bob = ca.issue("/O=Grid/CN=bob");
         // A non-proxy cert sitting above another identity cert is invalid.
-        let forged: Vec<Certificate> =
-            vec![alice.chain[0].clone(), bob.chain[0].clone()];
+        let forged: Vec<Certificate> = vec![alice.chain[0].clone(), bob.chain[0].clone()];
         assert_eq!(store.verify_chain(&forged), None);
     }
 }

@@ -2,8 +2,8 @@
 //! tampering, chain verification, ACL monotonicity.
 
 use gis_gsi::{
-    Acl, Authenticator, BindToken, CertAuthority, Grant, KeyPair, Principal, Requester,
-    TrustStore, Visibility,
+    Acl, Authenticator, BindToken, CertAuthority, Grant, KeyPair, Principal, Requester, TrustStore,
+    Visibility,
 };
 use gis_ldap::Entry;
 use proptest::prelude::*;

@@ -4,13 +4,39 @@
 //! GRIS and GIIS both present their information as a DIT; searches carry a
 //! base DN, a scope (base / one-level / subtree), a filter, and an optional
 //! attribute selection (§4.1).
+//!
+//! # Index structures
+//!
+//! The store maintains three indexes beside the primary entry map so the
+//! query hot path never scans entries outside the requested scope:
+//!
+//! * a **parent index** (`children`): parent DN key → set of child DN keys.
+//!   [`Scope::One`] becomes a single map lookup instead of testing every
+//!   entry's parent.
+//! * a **suffix-major order** (`suffix_index`): the DN's RDNs rendered
+//!   root-first and joined with `\x00` sort every subtree into one
+//!   contiguous key range, so [`Scope::Sub`] on a non-root base is a range
+//!   scan over exactly the subtree (`O(log n + m)` for `m` descendants).
+//! * an **equality attribute index** (`attr_index`): attribute → normalized
+//!   value → DN keys, over a configurable set of indexed attributes.
+//!   `objectclass` is always indexed; naming (RDN) attributes are indexed
+//!   automatically on first use. `Eq` filter terms over indexed attributes
+//!   — including terms nested under `And`/`Or` — are answered from the
+//!   index, with candidate-set intersection for `And` and union for `Or`.
+//!
+//! Search results are always produced in primary-key (DN string) order, so
+//! index-served and scan-served queries return identical output and a
+//! size-limited result is a prefix of the unlimited one.
 
 use crate::dn::Dn;
 use crate::entry::Entry;
 use crate::error::{LdapError, Result};
 use crate::filter::Filter;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// LDAP search scope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -27,27 +53,109 @@ pub enum Scope {
 /// DN structure, so interior "glue" nodes need not exist for descendants to
 /// be stored (providers generate subtrees lazily and sparsely).
 ///
-/// Searches whose filter pins an object class (a top-level
-/// `(objectclass=X)` term, possibly inside `And`s) are served from a
-/// class index instead of a full scan — the common GIIS discovery query
-/// (`(objectclass=computer)`) touches only matching entries.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// See the [module docs](self) for the index structures maintained beside
+/// the primary map and the complexity they buy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dit {
     /// Key: DN rendered in normalized form. BTreeMap gives deterministic
-    /// iteration order for reproducible experiment output.
-    entries: BTreeMap<String, Entry>,
-    /// Lowercased object class -> DN keys of entries carrying it.
-    class_index: BTreeMap<String, BTreeSet<String>>,
+    /// iteration order for reproducible experiment output. Entries are
+    /// reference-counted so searches without an attribute selection can
+    /// return them without deep-copying.
+    entries: BTreeMap<String, Arc<Entry>>,
+    /// Parent DN key → keys of its immediate children.
+    children: BTreeMap<String, BTreeSet<String>>,
+    /// Suffix-major (root-first) rendering of each DN → its primary key.
+    /// Every subtree occupies one contiguous range of this map.
+    suffix_index: BTreeMap<String, String>,
+    /// Indexed attribute → normalized value → keys of entries carrying it.
+    attr_index: BTreeMap<String, BTreeMap<String, BTreeSet<String>>>,
+    /// Attributes covered by `attr_index`. Always contains `objectclass`;
+    /// naming attributes are added (with a one-time backfill) on insert.
+    indexed_attrs: BTreeSet<String>,
 }
 
 fn key(dn: &Dn) -> String {
     dn.to_string()
 }
 
+/// Primary key of `dn`'s parent, without materializing a `Dn`.
+fn parent_key(dn: &Dn) -> Option<String> {
+    let rdns = dn.rdns();
+    if rdns.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    for (i, rdn) in rdns[1..].iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{rdn}");
+    }
+    Some(out)
+}
+
+/// Suffix-major rendering: RDNs root-first, joined with `\x00`. Because
+/// `\x00` sorts below every character that can appear in an RDN, the keys
+/// of a subtree rooted at `d` are exactly those in `[rev_key(d),
+/// rev_key(d) + "\x01")`.
+fn rev_key(dn: &Dn) -> String {
+    let mut out = String::new();
+    for (i, rdn) in dn.rdns().iter().rev().enumerate() {
+        if i > 0 {
+            out.push('\u{0}');
+        }
+        let _ = write!(out, "{rdn}");
+    }
+    out
+}
+
+/// Index value normalisation must mirror the filter evaluator's equality
+/// semantics (trimmed, case-insensitive), or the index could produce
+/// false negatives.
+fn norm_value(value: &str) -> String {
+    value.trim().to_ascii_lowercase()
+}
+
+/// Append `entry` to `out` (shared when no selection, projected otherwise)
+/// if the filter matches. Returns `true` once the size limit is reached.
+fn push_if_match(
+    out: &mut Vec<Arc<Entry>>,
+    entry: &Arc<Entry>,
+    filter: &Filter,
+    selection: &[String],
+    limit: usize,
+) -> bool {
+    if filter.matches(entry) {
+        out.push(if selection.is_empty() {
+            Arc::clone(entry)
+        } else {
+            Arc::new(entry.project(selection))
+        });
+        if out.len() >= limit {
+            return true;
+        }
+    }
+    false
+}
+
+impl Default for Dit {
+    fn default() -> Dit {
+        Dit::new()
+    }
+}
+
 impl Dit {
     /// An empty tree.
     pub fn new() -> Dit {
-        Dit::default()
+        let mut dit = Dit {
+            entries: BTreeMap::new(),
+            children: BTreeMap::new(),
+            suffix_index: BTreeMap::new(),
+            attr_index: BTreeMap::new(),
+            indexed_attrs: BTreeSet::new(),
+        };
+        dit.indexed_attrs.insert("objectclass".to_owned());
+        dit
     }
 
     /// Number of entries stored.
@@ -60,32 +168,102 @@ impl Dit {
         self.entries.is_empty()
     }
 
-    /// Index key normalisation must mirror the filter evaluator's
-    /// equality semantics (trimmed, case-insensitive), or the index could
-    /// produce false negatives.
-    fn class_key(class: &str) -> String {
-        class.trim().to_ascii_lowercase()
+    /// The attributes currently served by the equality index.
+    pub fn indexed_attrs(&self) -> impl Iterator<Item = &str> {
+        self.indexed_attrs.iter().map(String::as_str)
+    }
+
+    /// Add `attr` to the set of indexed attributes, backfilling the index
+    /// over existing entries (one-time `O(n)`). `objectclass` and every
+    /// naming attribute seen at insert time are indexed automatically.
+    pub fn add_indexed_attr(&mut self, attr: &str) {
+        let a = attr.trim().to_ascii_lowercase();
+        if a.is_empty() || !self.indexed_attrs.insert(a.clone()) {
+            return;
+        }
+        let mut idx: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (k, e) in &self.entries {
+            for v in e.get(&a) {
+                idx.entry(norm_value(v.as_str()))
+                    .or_default()
+                    .insert(k.clone());
+            }
+        }
+        if !idx.is_empty() {
+            self.attr_index.insert(a, idx);
+        }
+    }
+
+    fn ensure_naming_indexed(&mut self, entry: &Entry) {
+        if let Some(rdn) = entry.dn().rdn() {
+            if !self.indexed_attrs.contains(rdn.attr()) {
+                self.add_indexed_attr(rdn.attr());
+            }
+        }
     }
 
     fn index_insert(&mut self, k: &str, entry: &Entry) {
-        for class in entry.object_classes() {
-            self.class_index
-                .entry(Self::class_key(class))
-                .or_default()
-                .insert(k.to_owned());
+        for a in &self.indexed_attrs {
+            let vals = entry.get(a);
+            if vals.is_empty() {
+                continue;
+            }
+            let idx = self.attr_index.entry(a.clone()).or_default();
+            for v in vals {
+                idx.entry(norm_value(v.as_str()))
+                    .or_default()
+                    .insert(k.to_owned());
+            }
         }
     }
 
     fn index_remove(&mut self, k: &str, entry: &Entry) {
-        for class in entry.object_classes() {
-            let lc = Self::class_key(class);
-            if let Some(set) = self.class_index.get_mut(&lc) {
+        for a in &self.indexed_attrs {
+            let Some(idx) = self.attr_index.get_mut(a) else {
+                continue;
+            };
+            for v in entry.get(a) {
+                let nv = norm_value(v.as_str());
+                if let Some(set) = idx.get_mut(&nv) {
+                    set.remove(k);
+                    if set.is_empty() {
+                        idx.remove(&nv);
+                    }
+                }
+            }
+            if idx.is_empty() {
+                self.attr_index.remove(a);
+            }
+        }
+    }
+
+    /// Remove the entry at `k` from the primary map and every index.
+    fn remove_key(&mut self, k: &str) -> Option<Arc<Entry>> {
+        let arc = self.entries.remove(k)?;
+        self.suffix_index.remove(&rev_key(arc.dn()));
+        if let Some(pk) = parent_key(arc.dn()) {
+            if let Some(set) = self.children.get_mut(&pk) {
                 set.remove(k);
                 if set.is_empty() {
-                    self.class_index.remove(&lc);
+                    self.children.remove(&pk);
                 }
             }
         }
+        self.index_remove(k, &arc);
+        Some(arc)
+    }
+
+    /// Install `entry` at `k` (which must equal `key(entry.dn())`),
+    /// replacing any previous occupant, and wire up every index.
+    fn insert_at(&mut self, k: String, entry: Entry) {
+        self.remove_key(&k);
+        self.ensure_naming_indexed(&entry);
+        self.suffix_index.insert(rev_key(entry.dn()), k.clone());
+        if let Some(pk) = parent_key(entry.dn()) {
+            self.children.entry(pk).or_default().insert(k.clone());
+        }
+        self.index_insert(&k, &entry);
+        self.entries.insert(k, Arc::new(entry));
     }
 
     /// Insert an entry, failing if one already exists at its DN.
@@ -95,8 +273,7 @@ impl Dit {
         if self.entries.contains_key(&k) {
             return Err(LdapError::EntryExists(k));
         }
-        self.index_insert(&k, &entry);
-        self.entries.insert(k, entry);
+        self.insert_at(k, entry);
         Ok(())
     }
 
@@ -104,61 +281,212 @@ impl Dit {
     pub fn upsert(&mut self, mut entry: Entry) {
         entry.normalize_naming_attr();
         let k = key(entry.dn());
-        if let Some(old) = self.entries.remove(&k) {
-            self.index_remove(&k, &old);
-        }
-        self.index_insert(&k, &entry);
-        self.entries.insert(k, entry);
+        self.insert_at(k, entry);
     }
 
     /// Remove the entry at `dn`. Returns it if present.
     pub fn delete(&mut self, dn: &Dn) -> Option<Entry> {
-        let k = key(dn);
-        let old = self.entries.remove(&k)?;
-        self.index_remove(&k, &old);
-        Some(old)
+        let arc = self.remove_key(&key(dn))?;
+        Some(Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone()))
     }
 
     /// Remove `dn` and every descendant. Returns the number removed.
+    ///
+    /// The doomed set is a single contiguous range of the suffix-major
+    /// index, so entries outside the subtree are never visited.
     pub fn delete_subtree(&mut self, dn: &Dn) -> usize {
-        let doomed: Vec<String> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.dn().is_under(dn))
-            .map(|(k, _)| k.clone())
-            .collect();
+        let doomed: Vec<String> = if dn.is_root() {
+            self.entries.keys().cloned().collect()
+        } else {
+            let prefix = rev_key(dn);
+            let mut end = prefix.clone();
+            end.push('\u{1}');
+            self.suffix_index
+                .range(prefix..end)
+                .map(|(_, k)| k.clone())
+                .collect()
+        };
         let n = doomed.len();
-        for k in doomed {
-            if let Some(old) = self.entries.remove(&k) {
-                self.index_remove(&k, &old);
-            }
+        for k in &doomed {
+            self.remove_key(k);
         }
         n
     }
 
     /// Fetch the entry at `dn`.
     pub fn get(&self, dn: &Dn) -> Option<&Entry> {
-        self.entries.get(&key(dn))
+        self.entries.get(&key(dn)).map(Arc::as_ref)
     }
 
-    /// Mutable fetch.
+    /// Mutable fetch (copy-on-write when the entry is shared with search
+    /// results). Mutating attributes through this handle bypasses the
+    /// attribute index; callers changing indexed attributes should
+    /// re-`upsert` the entry instead.
     pub fn get_mut(&mut self, dn: &Dn) -> Option<&mut Entry> {
-        self.entries.get_mut(&key(dn))
+        self.entries.get_mut(&key(dn)).map(Arc::make_mut)
     }
 
     /// Iterate all entries in deterministic (DN string) order.
     pub fn iter(&self) -> impl Iterator<Item = &Entry> {
-        self.entries.values()
+        self.entries.values().map(Arc::as_ref)
     }
 
-    /// An object class that every match of `filter` must carry: a
-    /// top-level `(objectclass=X)` equality, possibly nested in `And`s.
-    fn pinned_class(filter: &Filter) -> Option<&str> {
+    /// Keys of entries that could satisfy `filter`, from the equality
+    /// index. `None` means the filter is not indexable and every in-scope
+    /// entry must be tested. The returned set is a superset of the true
+    /// matches (the full filter is always re-evaluated), and is in
+    /// primary-key order.
+    fn candidate_keys(&self, filter: &Filter) -> Option<Cow<'_, BTreeSet<String>>> {
         match filter {
-            Filter::Eq(attr, v) if attr == "objectclass" => Some(v.as_str()),
-            Filter::And(fs) => fs.iter().find_map(Self::pinned_class),
+            Filter::Eq(attr, value) => {
+                let a = attr.trim().to_ascii_lowercase();
+                if !self.indexed_attrs.contains(&a) {
+                    return None;
+                }
+                Some(
+                    match self
+                        .attr_index
+                        .get(&a)
+                        .and_then(|idx| idx.get(&norm_value(value)))
+                    {
+                        Some(set) => Cow::Borrowed(set),
+                        // Indexed attribute, value never seen: nothing matches.
+                        None => Cow::Owned(BTreeSet::new()),
+                    },
+                )
+            }
+            Filter::And(fs) => {
+                // Any indexable conjunct bounds the candidates; intersect
+                // all of them. Non-indexable conjuncts are enforced by the
+                // re-evaluation pass.
+                let mut sets = fs.iter().filter_map(|f| self.candidate_keys(f));
+                let mut acc = sets.next()?;
+                for s in sets {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc = Cow::Owned(acc.intersection(&s).cloned().collect());
+                }
+                Some(acc)
+            }
+            Filter::Or(fs) => {
+                // Sound only when every branch is indexable — a single
+                // opaque branch could match entries outside the union.
+                let mut acc = BTreeSet::new();
+                for f in fs {
+                    acc.extend(self.candidate_keys(f)?.iter().cloned());
+                }
+                Some(Cow::Owned(acc))
+            }
             _ => None,
         }
+    }
+
+    /// Scoped, filtered search returning shared handles: entries are
+    /// reference-counted, so matches with an empty `selection` are
+    /// returned without copying any attribute data. This is the query
+    /// hot path used by the servers; [`Dit::search`] wraps it for callers
+    /// needing owned entries.
+    pub fn search_shared(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &Filter,
+        selection: &[String],
+        size_limit: usize,
+    ) -> Vec<Arc<Entry>> {
+        let limit = if size_limit == 0 {
+            usize::MAX
+        } else {
+            size_limit
+        };
+        let mut out = Vec::new();
+        match scope {
+            Scope::Base => {
+                if let Some(e) = self.entries.get(&key(base)) {
+                    push_if_match(&mut out, e, filter, selection, limit);
+                }
+            }
+            Scope::One => {
+                let Some(kids) = self.children.get(&key(base)) else {
+                    return out;
+                };
+                match self.candidate_keys(filter) {
+                    Some(cands) => {
+                        // Iterate the smaller set, membership-test the
+                        // other; both are sorted by primary key.
+                        let (walk, probe): (&BTreeSet<String>, &BTreeSet<String>) =
+                            if cands.len() < kids.len() {
+                                (&cands, kids)
+                            } else {
+                                (kids, &cands)
+                            };
+                        for k in walk {
+                            if !probe.contains(k) {
+                                continue;
+                            }
+                            let Some(e) = self.entries.get(k) else {
+                                continue;
+                            };
+                            if push_if_match(&mut out, e, filter, selection, limit) {
+                                break;
+                            }
+                        }
+                    }
+                    None => {
+                        for k in kids {
+                            let Some(e) = self.entries.get(k) else {
+                                continue;
+                            };
+                            if push_if_match(&mut out, e, filter, selection, limit) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            Scope::Sub => {
+                if let Some(cands) = self.candidate_keys(filter) {
+                    for k in cands.iter() {
+                        let Some(e) = self.entries.get(k) else {
+                            continue;
+                        };
+                        if e.dn().is_under(base)
+                            && push_if_match(&mut out, e, filter, selection, limit)
+                        {
+                            break;
+                        }
+                    }
+                } else if base.is_root() {
+                    for e in self.entries.values() {
+                        if push_if_match(&mut out, e, filter, selection, limit) {
+                            break;
+                        }
+                    }
+                } else {
+                    // Range-scan exactly the subtree in suffix-major
+                    // order, then restore primary-key output order.
+                    let prefix = rev_key(base);
+                    let mut end = prefix.clone();
+                    end.push('\u{1}');
+                    let mut keys: Vec<&String> = self
+                        .suffix_index
+                        .range(prefix..end)
+                        .map(|(_, k)| k)
+                        .collect();
+                    keys.sort_unstable();
+                    for k in keys {
+                        let Some(e) = self.entries.get(k) else {
+                            continue;
+                        };
+                        if push_if_match(&mut out, e, filter, selection, limit) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Scoped, filtered search. Returns matching entries, projected onto
@@ -171,55 +499,22 @@ impl Dit {
         selection: &[String],
         size_limit: usize,
     ) -> Vec<Entry> {
-        if let Some(class) = Self::pinned_class(filter) {
-            if let Some(keys) = self.class_index.get(&Self::class_key(class)) {
-                return self.search_over(
-                    keys.iter().filter_map(|k| self.entries.get(k)),
-                    base,
-                    scope,
-                    filter,
-                    selection,
-                    size_limit,
-                );
-            }
-            return Vec::new(); // class never seen: nothing can match
-        }
-        self.search_over(self.entries.values(), base, scope, filter, selection, size_limit)
-    }
-
-    fn search_over<'a>(
-        &self,
-        candidates: impl Iterator<Item = &'a Entry>,
-        base: &Dn,
-        scope: Scope,
-        filter: &Filter,
-        selection: &[String],
-        size_limit: usize,
-    ) -> Vec<Entry> {
-        let mut out = Vec::new();
-        for entry in candidates {
-            let dn = entry.dn();
-            let in_scope = match scope {
-                Scope::Base => dn == base,
-                Scope::One => dn.parent().as_ref() == Some(base),
-                Scope::Sub => dn.is_under(base),
-            };
-            if in_scope && filter.matches(entry) {
-                out.push(entry.project(selection));
-                if size_limit != 0 && out.len() >= size_limit {
-                    break;
-                }
-            }
-        }
-        out
-    }
-
-    /// Immediate children of `dn` (by DN structure).
-    pub fn children(&self, dn: &Dn) -> Vec<&Entry> {
-        self.entries
-            .values()
-            .filter(|e| e.dn().parent().as_ref() == Some(dn))
+        self.search_shared(base, scope, filter, selection, size_limit)
+            .into_iter()
+            .map(|a| Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()))
             .collect()
+    }
+
+    /// Immediate children of `dn` (by DN structure), via the parent index.
+    pub fn children(&self, dn: &Dn) -> Vec<&Entry> {
+        match self.children.get(&key(dn)) {
+            Some(kids) => kids
+                .iter()
+                .filter_map(|k| self.entries.get(k))
+                .map(Arc::as_ref)
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Re-home every entry under a new suffix: each stored DN `d` becomes
@@ -227,10 +522,15 @@ impl Dit {
     /// namespace inside its own (Figure 5).
     pub fn rebased(&self, suffix: &Dn) -> Dit {
         let mut out = Dit::new();
+        // Entries were normalized on insert and rebasing preserves the
+        // most-specific RDN, so re-normalization is unnecessary; carrying
+        // the indexed-attribute set over avoids per-entry backfills.
+        out.indexed_attrs = self.indexed_attrs.clone();
         for e in self.entries.values() {
-            let mut e = e.clone();
+            let mut e = (**e).clone();
             e.set_dn(e.dn().under(suffix));
-            out.upsert(e);
+            let k = key(e.dn());
+            out.insert_at(k, e);
         }
         out
     }
@@ -360,9 +660,7 @@ mod tests {
         let org = Dn::parse("o=O1").unwrap();
         let rebased = dit.rebased(&org);
         assert_eq!(rebased.len(), dit.len());
-        assert!(rebased
-            .get(&Dn::parse("hn=hostX, o=O1").unwrap())
-            .is_some());
+        assert!(rebased.get(&Dn::parse("hn=hostX, o=O1").unwrap()).is_some());
         assert!(rebased.get(&Dn::parse("hn=hostX").unwrap()).is_none());
     }
 
@@ -371,5 +669,121 @@ mod tests {
         let dit = sample();
         let e = dit.get(&Dn::parse("hn=hostX").unwrap()).unwrap();
         assert_eq!(e.get_str("hn"), Some("hostX"));
+    }
+
+    #[test]
+    fn subtree_excludes_sibling_with_prefix_name() {
+        // "hn=hostXY" must not be mistaken for a descendant of
+        // "hn=hostX" by the suffix-major range scan.
+        let mut dit = sample();
+        dit.add(Entry::at("hn=hostXY").unwrap().with_class("computer"))
+            .unwrap();
+        let base = Dn::parse("hn=hostX").unwrap();
+        // Non-indexable filter forces the range-scan path.
+        let f = Filter::parse("(system=*)").unwrap();
+        let hits = dit.search(&base, Scope::Sub, &f, &[], 0);
+        assert!(hits.iter().all(|e| e.dn().is_under(&base)));
+        let all = dit.search(&base, Scope::Sub, &Filter::always(), &[], 0);
+        assert_eq!(all.len(), 4, "hostXY is a sibling, not a descendant");
+    }
+
+    #[test]
+    fn naming_attr_queries_use_equality_index() {
+        let dit = sample();
+        // "hn" was auto-indexed when hn=hostX was inserted.
+        assert!(dit.indexed_attrs().any(|a| a == "hn"));
+        let f = Filter::parse("(hn=hostY)").unwrap();
+        let hits = dit.search(&Dn::root(), Scope::Sub, &f, &[], 0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].dn().to_string(), "hn=hostY");
+    }
+
+    #[test]
+    fn index_lookup_is_case_and_space_insensitive() {
+        let dit = sample();
+        let f = Filter::parse("(objectclass=COMPUTER)").unwrap();
+        assert_eq!(dit.search(&Dn::root(), Scope::Sub, &f, &[], 0).len(), 2);
+        let f = Filter::Eq("objectclass".into(), "  Computer ".into());
+        assert_eq!(dit.search(&Dn::root(), Scope::Sub, &f, &[], 0).len(), 2);
+    }
+
+    #[test]
+    fn and_intersects_candidate_sets() {
+        let dit = sample();
+        let f = Filter::parse("(&(objectclass=computer)(hn=hostX))").unwrap();
+        let hits = dit.search(&Dn::root(), Scope::Sub, &f, &[], 0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].dn().to_string(), "hn=hostX");
+    }
+
+    #[test]
+    fn or_unions_candidate_sets() {
+        let dit = sample();
+        let f = Filter::parse("(|(hn=hostX)(hn=hostY))").unwrap();
+        let hits = dit.search(&Dn::root(), Scope::Sub, &f, &[], 0);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn or_with_unindexable_branch_still_correct() {
+        let dit = sample();
+        // The substring branch is not indexable, so the whole Or must
+        // fall back to a scan rather than return only index hits.
+        let f = Filter::parse("(|(hn=hostY)(system=mips*))").unwrap();
+        let hits = dit.search(&Dn::root(), Scope::Sub, &f, &[], 0);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn search_shared_avoids_copies_without_selection() {
+        let dit = sample();
+        let base = Dn::parse("hn=hostX").unwrap();
+        let shared = dit.search_shared(&base, Scope::Base, &Filter::always(), &[], 0);
+        let stored = dit.get(&base).unwrap();
+        assert!(std::ptr::eq(shared[0].as_ref(), stored));
+    }
+
+    #[test]
+    fn upsert_and_delete_keep_indexes_consistent() {
+        let mut dit = sample();
+        // Re-class hostY: old class must leave the index, new one enter.
+        dit.upsert(Entry::at("hn=hostY").unwrap().with_class("storage"));
+        let f = Filter::parse("(objectclass=computer)").unwrap();
+        assert_eq!(dit.search(&Dn::root(), Scope::Sub, &f, &[], 0).len(), 1);
+        let f = Filter::parse("(objectclass=storage)").unwrap();
+        assert_eq!(dit.search(&Dn::root(), Scope::Sub, &f, &[], 0).len(), 2);
+        // Delete drops the entry from every index.
+        dit.delete(&Dn::parse("hn=hostY").unwrap());
+        assert_eq!(dit.search(&Dn::root(), Scope::Sub, &f, &[], 0).len(), 1);
+        let one = dit.search(&Dn::root(), Scope::One, &Filter::always(), &[], 0);
+        assert_eq!(one.len(), 1, "parent index updated on delete");
+    }
+
+    #[test]
+    fn children_uses_parent_index() {
+        let dit = sample();
+        let kids = dit.children(&Dn::parse("hn=hostX").unwrap());
+        assert_eq!(kids.len(), 3);
+        let none = dit.children(&Dn::parse("hn=absent").unwrap());
+        assert!(none.is_empty());
+        let top = dit.children(&Dn::root());
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn rebased_tree_answers_indexed_queries() {
+        let dit = sample();
+        let rebased = dit.rebased(&Dn::parse("o=O1").unwrap());
+        let f = Filter::parse("(objectclass=computer)").unwrap();
+        let hits = rebased.search(&Dn::parse("o=O1").unwrap(), Scope::Sub, &f, &[], 0);
+        assert_eq!(hits.len(), 2);
+        let one = rebased.search(
+            &Dn::parse("hn=hostX, o=O1").unwrap(),
+            Scope::One,
+            &Filter::always(),
+            &[],
+            0,
+        );
+        assert_eq!(one.len(), 3);
     }
 }

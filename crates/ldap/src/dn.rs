@@ -50,12 +50,17 @@ impl Rdn {
             .ok_or_else(|| LdapError::InvalidDn(format!("RDN missing '=': {s:?}")))?
             .trim();
         if attr.is_empty() {
-            return Err(LdapError::InvalidDn(format!("empty attribute in RDN {s:?}")));
+            return Err(LdapError::InvalidDn(format!(
+                "empty attribute in RDN {s:?}"
+            )));
         }
         if value.is_empty() {
             return Err(LdapError::InvalidDn(format!("empty value in RDN {s:?}")));
         }
-        if !attr.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+        if !attr
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
             return Err(LdapError::InvalidDn(format!("bad attribute type {attr:?}")));
         }
         Ok(Rdn::new(attr, value))
@@ -96,10 +101,7 @@ impl Dn {
         if s.is_empty() {
             return Ok(Dn::root());
         }
-        let rdns = s
-            .split(',')
-            .map(Rdn::parse)
-            .collect::<Result<Vec<_>>>()?;
+        let rdns = s.split(',').map(Rdn::parse).collect::<Result<Vec<_>>>()?;
         Ok(Dn { rdns })
     }
 
@@ -167,6 +169,13 @@ impl Dn {
     /// True if `self` is a strict descendant of `other`.
     pub fn is_strictly_under(&self, other: &Dn) -> bool {
         self.rdns.len() > other.rdns.len() && self.is_under(other)
+    }
+
+    /// True if `self` is an immediate child of `parent`. Equivalent to
+    /// `self.parent().as_ref() == Some(parent)` but compares RDN slices
+    /// in place instead of materializing the parent DN.
+    pub fn is_child_of(&self, parent: &Dn) -> bool {
+        self.rdns.len() == parent.rdns.len() + 1 && self.is_under(parent)
     }
 
     /// The remainder of `self` above `suffix`: if `self = prefix + suffix`,

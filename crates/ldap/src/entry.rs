@@ -180,8 +180,7 @@ impl Entry {
 
     /// True if tagged with `class` (case-insensitive).
     pub fn has_class(&self, class: &str) -> bool {
-        self.object_classes()
-            .any(|c| c.eq_ignore_ascii_case(class))
+        self.object_classes().any(|c| c.eq_ignore_ascii_case(class))
     }
 
     /// Iterate `(attribute name, values)` pairs in sorted name order.

@@ -90,10 +90,7 @@ impl Filter {
             Filter::And(fs) => fs.iter().all(|f| f.matches(entry)),
             Filter::Or(fs) => fs.iter().any(|f| f.matches(entry)),
             Filter::Not(f) => !f.matches(entry),
-            Filter::Eq(attr, value) => entry
-                .get(attr)
-                .iter()
-                .any(|v| values_eq(v.as_str(), value)),
+            Filter::Eq(attr, value) => entry.get(attr).iter().any(|v| values_eq(v.as_str(), value)),
             Filter::Ge(attr, value) => entry
                 .get(attr)
                 .iter()
@@ -103,10 +100,9 @@ impl Filter {
                 .iter()
                 .any(|v| values_cmp(v.as_str(), value) <= std::cmp::Ordering::Equal),
             Filter::Present(attr) => entry.has(attr),
-            Filter::Approx(attr, value) => entry
-                .get(attr)
-                .iter()
-                .any(|v| approx_eq(v.as_str(), value)),
+            Filter::Approx(attr, value) => {
+                entry.get(attr).iter().any(|v| approx_eq(v.as_str(), value))
+            }
             Filter::Substring {
                 attr,
                 initial,
@@ -161,51 +157,85 @@ fn values_eq(a: &str, b: &str) -> bool {
 }
 
 /// Numeric comparison when both parse as f64, case-insensitive
-/// lexicographic otherwise.
+/// lexicographic otherwise. Byte-wise over folded bytes, so no
+/// intermediate lowercased strings are built (filters run once per
+/// candidate entry on the query hot path).
 fn values_cmp(a: &str, b: &str) -> std::cmp::Ordering {
     if let (Ok(x), Ok(y)) = (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
         return x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal);
     }
-    let a = a.trim().to_ascii_lowercase();
-    let b = b.trim().to_ascii_lowercase();
-    a.cmp(&b)
+    let a = a.trim().as_bytes();
+    let b = b.trim().as_bytes();
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.to_ascii_lowercase().cmp(&y.to_ascii_lowercase()) {
+            std::cmp::Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
 }
 
 /// Approximate match: case-insensitive with interior whitespace collapsed.
+/// Compares whitespace-split token streams in place instead of joining
+/// them into normalized strings.
 fn approx_eq(a: &str, b: &str) -> bool {
-    let norm = |s: &str| {
-        s.split_whitespace()
-            .collect::<Vec<_>>()
-            .join(" ")
-            .to_ascii_lowercase()
-    };
-    norm(a) == norm(b)
+    let mut ta = a.split_whitespace();
+    let mut tb = b.split_whitespace();
+    loop {
+        match (ta.next(), tb.next()) {
+            (None, None) => return true,
+            (Some(x), Some(y)) if x.eq_ignore_ascii_case(y) => {}
+            _ => return false,
+        }
+    }
 }
 
-/// Case-insensitive substring component matching.
-fn substring_match(value: &str, initial: Option<&str>, any: &[String], final_: Option<&str>) -> bool {
-    let hay = value.to_ascii_lowercase();
+/// Case-insensitive `starts_with` over raw bytes.
+fn starts_with_ci(hay: &[u8], needle: &[u8]) -> bool {
+    hay.len() >= needle.len() && hay[..needle.len()].eq_ignore_ascii_case(needle)
+}
+
+/// First case-insensitive occurrence of `needle` in `hay`.
+fn find_ci(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() {
+        return Some(0);
+    }
+    if hay.len() < needle.len() {
+        return None;
+    }
+    (0..=hay.len() - needle.len()).find(|&i| hay[i..i + needle.len()].eq_ignore_ascii_case(needle))
+}
+
+/// Case-insensitive substring component matching. Works over byte slices
+/// with ASCII case folding (multi-byte UTF-8 sequences are unaffected by
+/// ASCII folding, so byte-window comparison is exact) — no lowercased
+/// copies of the value or the pattern fragments are allocated.
+fn substring_match(
+    value: &str,
+    initial: Option<&str>,
+    any: &[String],
+    final_: Option<&str>,
+) -> bool {
+    let hay = value.as_bytes();
     let mut pos = 0usize;
     if let Some(init) = initial {
-        let init = init.to_ascii_lowercase();
-        if !hay.starts_with(&init) {
+        if !starts_with_ci(hay, init.as_bytes()) {
             return false;
         }
         pos = init.len();
     }
     for frag in any {
-        let frag = frag.to_ascii_lowercase();
-        match hay[pos..].find(&frag) {
+        match find_ci(&hay[pos..], frag.as_bytes()) {
             Some(idx) => pos += idx + frag.len(),
             None => return false,
         }
     }
     if let Some(fin) = final_ {
-        let fin = fin.to_ascii_lowercase();
+        let fin = fin.as_bytes();
         if hay.len() < pos + fin.len() {
             return false;
         }
-        if !hay.ends_with(&fin) {
+        if !hay[hay.len() - fin.len()..].eq_ignore_ascii_case(fin) {
             return false;
         }
     }
@@ -331,7 +361,10 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')) {
+        while matches!(
+            self.peek(),
+            Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')
+        ) {
             self.pos += 1;
         }
     }
@@ -396,10 +429,9 @@ impl<'a> Parser<'a> {
                     let hi = self.bump().ok_or_else(|| self.err("truncated escape"))?;
                     let lo = self.bump().ok_or_else(|| self.err("truncated escape"))?;
                     let hex = [hi, lo];
-                    let hex = std::str::from_utf8(&hex)
-                        .map_err(|_| self.err("bad escape"))?;
-                    let byte = u8::from_str_radix(hex, 16)
-                        .map_err(|_| self.err("bad hex escape"))?;
+                    let hex = std::str::from_utf8(&hex).map_err(|_| self.err("bad escape"))?;
+                    let byte =
+                        u8::from_str_radix(hex, 16).map_err(|_| self.err("bad hex escape"))?;
                     out.push(byte as char);
                 }
                 Some(b) => {
@@ -585,17 +617,7 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "",
-            "(",
-            "()",
-            "(a=b",
-            "a=b",
-            "(a=b))",
-            "(a=)",
-            "(=b)",
-            "(a!b)",
-            "(a=b(c)",
-            "(a=\\zz)",
+            "", "(", "()", "(a=b", "a=b", "(a=b))", "(a=)", "(=b)", "(a!b)", "(a=b(c)", "(a=\\zz)",
         ] {
             assert!(Filter::parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -612,7 +634,10 @@ mod tests {
     #[test]
     fn attributes_collection() {
         let f = Filter::parse("(&(a=1)(|(b>=2)(!(c=*)))(a~=x))").unwrap();
-        assert_eq!(f.attributes(), vec!["a".to_string(), "b".into(), "c".into()]);
+        assert_eq!(
+            f.attributes(),
+            vec!["a".to_string(), "b".into(), "c".into()]
+        );
     }
 
     #[test]

@@ -61,10 +61,7 @@ pub fn parse_ldif(src: &str) -> Result<Vec<Entry>> {
             current = Some(Entry::new(Dn::parse(value)?));
         } else {
             let entry = current.as_mut().ok_or_else(|| {
-                LdapError::InvalidLdif(format!(
-                    "line {}: attribute before any dn line",
-                    lineno + 1
-                ))
+                LdapError::InvalidLdif(format!("line {}: attribute before any dn line", lineno + 1))
             })?;
             if name.is_empty() {
                 return Err(LdapError::InvalidLdif(format!(

@@ -81,7 +81,11 @@ impl Schema {
     /// NWS gateway.
     pub fn mds_core() -> Schema {
         let mut s = Schema::new();
-        s.define(ObjectClassDef::new("computer").requires("hn").allows("system"));
+        s.define(
+            ObjectClassDef::new("computer")
+                .requires("hn")
+                .allows("system"),
+        );
         s.define(ObjectClassDef::new("service").requires("url"));
         s.define(
             ObjectClassDef::new("queue")
@@ -171,9 +175,9 @@ impl Schema {
             }
             for attr in self.required_attrs(class) {
                 if !entry.has(&attr) {
-                    return Err(entry.schema_err(format!(
-                        "class {class:?} requires attribute {attr:?}"
-                    )));
+                    return Err(
+                        entry.schema_err(format!("class {class:?} requires attribute {attr:?}"))
+                    );
                 }
             }
         }

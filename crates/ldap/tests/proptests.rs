@@ -63,10 +63,81 @@ fn arb_filter() -> impl Strategy<Value = Filter> {
     })
 }
 
+/// A DN from a root-first path over a tiny alphabet, so random entries
+/// form real parent/child/sibling relationships. Level `d` uses naming
+/// attribute `l{d}a{a}` and value `v{v}`.
+fn path_dn(path: &[(u8, u8)]) -> Dn {
+    let rdns: Vec<Rdn> = path
+        .iter()
+        .enumerate()
+        .map(|(depth, (a, v))| Rdn::new(format!("l{depth}a{a}"), format!("v{v}")))
+        .rev()
+        .collect();
+    Dn::from_rdns(rdns)
+}
+
+/// Entries arranged in a tree (depth ≤ 5) with object classes from a
+/// small alphabet, so scoped and indexed searches hit real structure.
+fn tree_entries() -> impl Strategy<Value = Vec<Entry>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((0u8..3u8, 0u8..3u8), 0..5),
+            "[a-c]",
+            "v[0-3]",
+        ),
+        0..20,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(path, class, extra)| {
+                Entry::new(path_dn(&path))
+                    .with("objectclass", class)
+                    .with("extra", extra)
+            })
+            .collect()
+    })
+}
+
+/// Filters over the tree vocabulary: naming attributes, `objectclass`,
+/// and the non-indexed `extra` attribute, combined with every operator
+/// the evaluator supports (so both index-served and scan-served paths
+/// are exercised).
+fn tree_filter() -> impl Strategy<Value = Filter> {
+    let attr = prop_oneof![
+        Just("objectclass".to_string()),
+        "l[0-4]a[0-2]".boxed(),
+        Just("extra".to_string()),
+    ];
+    let value = prop_oneof!["v[0-3]".boxed(), "[a-d]".boxed()];
+    let leaf = prop_oneof![
+        (attr.clone(), value.clone()).prop_map(|(a, v)| Filter::Eq(a, v)),
+        (attr.clone(), value.clone()).prop_map(|(a, v)| Filter::Ge(a, v)),
+        (attr.clone(), value.clone()).prop_map(|(a, v)| Filter::Approx(a, v)),
+        attr.clone().prop_map(Filter::Present),
+        (attr, value).prop_map(|(a, v)| Filter::Substring {
+            attr: a,
+            initial: Some(v),
+            any: vec![],
+            final_: None,
+        }),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Filter::And),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Filter::Or),
+            inner.prop_map(|f| Filter::Not(Box::new(f))),
+        ]
+    })
+}
+
 fn arb_entry() -> impl Strategy<Value = Entry> {
     (
         dn(3),
-        prop::collection::vec((attr_name(), prop::collection::vec(filter_value(), 1..3)), 0..5),
+        prop::collection::vec(
+            (attr_name(), prop::collection::vec(filter_value(), 1..3)),
+            0..5,
+        ),
     )
         .prop_map(|(dn, attrs)| {
             let mut e = Entry::new(dn);
@@ -245,6 +316,108 @@ proptest! {
                     .collect();
                 prop_assert_eq!(indexed, scanned);
             }
+        }
+    }
+
+    #[test]
+    fn indexed_search_equals_naive_scan(
+        entries in tree_entries(),
+        base_path in prop::collection::vec((0u8..3u8, 0u8..3u8), 0..3),
+        filter in tree_filter(),
+    ) {
+        // Oracle: the index-accelerated search must agree, entry for
+        // entry and in order, with a naive full scan using only public
+        // evaluation semantics — for every scope and for arbitrary
+        // filters, including non-indexable Not/Substring/Ge forms.
+        let mut dit = Dit::new();
+        for e in entries {
+            dit.upsert(e);
+        }
+        let base = path_dn(&base_path);
+        for scope in [Scope::Base, Scope::One, Scope::Sub] {
+            let got: Vec<String> = dit
+                .search(&base, scope, &filter, &[], 0)
+                .iter()
+                .map(|e| e.dn().to_string())
+                .collect();
+            let want: Vec<String> = dit
+                .iter()
+                .filter(|e| match scope {
+                    Scope::Base => e.dn() == &base,
+                    Scope::One => e.dn().parent().as_ref() == Some(&base),
+                    Scope::Sub => e.dn().is_under(&base),
+                })
+                .filter(|e| filter.matches(e))
+                .map(|e| e.dn().to_string())
+                .collect();
+            prop_assert_eq!(got, want, "scope {:?} disagreed with naive scan", scope);
+        }
+    }
+
+    #[test]
+    fn tree_indexes_survive_mutation(
+        ops in prop::collection::vec(
+            (0u8..4u8, prop::collection::vec((0u8..2u8, 0u8..2u8), 0..3), "[a-b]"),
+            1..30,
+        )
+    ) {
+        // Every index (equality, parent, suffix-order) must stay
+        // consistent with the entry map across upserts, deletes, and
+        // subtree deletes.
+        let mut dit = Dit::new();
+        let probes = [
+            "(objectclass=a)",
+            "(objectclass=b)",
+            "(l0a0=v0)",
+            "(l1a1=v1)",
+            "(&(objectclass=a)(l0a0=v0))",
+            "(|(l0a0=v0)(l0a1=v1))",
+        ];
+        for (op, path, class) in ops {
+            let dn = path_dn(&path);
+            match op {
+                1 => {
+                    dit.delete(&dn);
+                }
+                2 => {
+                    dit.delete_subtree(&dn);
+                }
+                _ => dit.upsert(Entry::new(dn.clone()).with("objectclass", class)),
+            }
+            for probe in probes {
+                let filter = Filter::parse(probe).unwrap();
+                for (base, scope) in [
+                    (Dn::root(), Scope::Sub),
+                    (dn.clone(), Scope::Sub),
+                    (dn.clone(), Scope::One),
+                ] {
+                    let got: Vec<String> = dit
+                        .search(&base, scope, &filter, &[], 0)
+                        .iter()
+                        .map(|e| e.dn().to_string())
+                        .collect();
+                    let want: Vec<String> = dit
+                        .iter()
+                        .filter(|e| match scope {
+                            Scope::Base => e.dn() == &base,
+                            Scope::One => e.dn().parent().as_ref() == Some(&base),
+                            Scope::Sub => e.dn().is_under(&base),
+                        })
+                        .filter(|e| filter.matches(e))
+                        .map(|e| e.dn().to_string())
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            // The parent index behind children() must agree with a scan.
+            let got_kids: Vec<String> =
+                dit.children(&dn).iter().map(|e| e.dn().to_string()).collect();
+            let want_kids: Vec<String> = dit
+                .iter()
+                .filter(|e| e.dn().parent().as_ref() == Some(&dn))
+                .map(|e| e.dn().to_string())
+                .collect();
+            prop_assert_eq!(got_kids, want_kids);
         }
     }
 

@@ -43,14 +43,16 @@ fn workload() -> impl Strategy<Value = Workload> {
         0u64..50,
         prop::collection::vec((0u32..8, 0u64..1000), 1..20),
     )
-        .prop_map(|(n_nodes, seed, loss, latency_ms, jitter_ms, injections)| Workload {
-            n_nodes,
-            seed,
-            loss,
-            latency_ms,
-            jitter_ms,
-            injections,
-        })
+        .prop_map(
+            |(n_nodes, seed, loss, latency_ms, jitter_ms, injections)| Workload {
+                n_nodes,
+                seed,
+                loss,
+                latency_ms,
+                jitter_ms,
+                injections,
+            },
+        )
 }
 
 type NodeLog = Vec<(SimTime, NodeId, u64)>;

@@ -126,8 +126,7 @@ impl Nws {
         };
         let state = table.links.entry(link.clone()).or_insert_with(|| {
             let model = (table.model_for)(link);
-            let sensor_seed =
-                seed ^ gis_hash(&format!("{:?}:{}:{}", metric, link.src, link.dst));
+            let sensor_seed = seed ^ gis_hash(&format!("{:?}:{}:{}", metric, link.src, link.dst));
             LinkState {
                 sensor: Sensor::new(model, sensor_seed),
                 battery: Battery::standard(),
@@ -257,6 +256,8 @@ mod tests {
         let report = nws.mse_report(&link, Metric::LatencyMs);
         assert_eq!(report.len(), 6, "all standard battery methods");
         assert!(report.iter().all(|(_, mse)| mse.is_some()));
-        assert!(nws.mse_report(&LinkId::new("no", "link"), Metric::LatencyMs).is_empty());
+        assert!(nws
+            .mse_report(&LinkId::new("no", "link"), Metric::LatencyMs)
+            .is_empty());
     }
 }

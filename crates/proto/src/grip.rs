@@ -373,6 +373,9 @@ mod tests {
     #[test]
     fn digest_distinguishes_multiplicity() {
         let a = Entry::at("hn=a").unwrap().with("x", "1");
-        assert_ne!(result_digest(std::slice::from_ref(&a)), result_digest(&[a.clone(), a]));
+        assert_ne!(
+            result_digest(std::slice::from_ref(&a)),
+            result_digest(&[a.clone(), a])
+        );
     }
 }

@@ -18,7 +18,8 @@
 
 use gis_ldap::{Dn, LdapUrl};
 use gis_netsim::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// The kind of a GRRP notification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,7 +63,12 @@ pub struct GrrpMessage {
 impl GrrpMessage {
     /// Construct a registration for `service_url` serving `namespace`,
     /// valid for `ttl` from `now`.
-    pub fn register(service_url: LdapUrl, namespace: Dn, now: SimTime, ttl: SimDuration) -> GrrpMessage {
+    pub fn register(
+        service_url: LdapUrl,
+        namespace: Dn,
+        now: SimTime,
+        ttl: SimDuration,
+    ) -> GrrpMessage {
         GrrpMessage {
             notification: Notification::Register,
             service_url,
@@ -142,10 +148,24 @@ impl Registration {
 /// * `active(now)` never yields an expired registration;
 /// * observing a refresh never shortens knowledge of a service;
 /// * `sweep(now)` removes exactly the expired registrations.
+///
+/// Expiry is tracked with a min-heap of `(expires_at, key)` epochs with
+/// lazy invalidation: each observation that establishes a new validity
+/// end-time pushes an epoch, and a refresh simply strands the old epoch
+/// rather than searching the heap for it. `sweep` pops epochs up to
+/// `now` — `O(k log n)` for `k` newly expired registrations — and returns
+/// immediately without touching the table when the earliest epoch is
+/// still in the future. Stranded epochs are reclaimed lazily and by an
+/// occasional rebuild, bounding the heap at a small multiple of the
+/// table size.
 #[derive(Debug, Clone, Default)]
 pub struct SoftStateRegistry {
     /// Keyed by service URL string for deterministic iteration.
     regs: BTreeMap<String, Registration>,
+    /// Min-heap of `(expires_at, key)` epochs. An epoch is live iff the
+    /// registration at `key` still has that exact expiry; all others are
+    /// stale and skipped when popped.
+    expiry_heap: BinaryHeap<Reverse<(SimTime, String)>>,
 }
 
 impl SoftStateRegistry {
@@ -170,12 +190,19 @@ impl SoftStateRegistry {
                 // Never let an out-of-order older message shorten validity.
                 if msg.valid_until > reg.message.valid_until {
                     reg.message = msg;
+                    // New validity end-time: push a fresh epoch; the old
+                    // one is now stale and will be skipped when popped.
+                    self.expiry_heap
+                        .push(Reverse((reg.message.valid_until, key)));
                 }
                 reg.last_seen = now;
                 reg.refresh_count += 1;
+                self.maybe_compact_heap();
                 false
             }
             None => {
+                self.expiry_heap
+                    .push(Reverse((msg.valid_until, key.clone())));
                 self.regs.insert(
                     key,
                     Registration {
@@ -190,20 +217,43 @@ impl SoftStateRegistry {
         }
     }
 
-    /// Drop expired registrations; returns the services purged. "After
-    /// some time without a refresh, the directory can assume the provider
-    /// has become unavailable, and purge knowledge of it" (§4.3).
+    /// Rebuild the heap from live registrations when stranded epochs
+    /// dominate it, keeping memory proportional to the table.
+    fn maybe_compact_heap(&mut self) {
+        if self.expiry_heap.len() > 2 * self.regs.len() + 64 {
+            self.expiry_heap = self
+                .regs
+                .iter()
+                .map(|(k, r)| Reverse((r.expires_at(), k.clone())))
+                .collect();
+        }
+    }
+
+    /// Drop expired registrations; returns the services purged (in URL
+    /// order). "After some time without a refresh, the directory can
+    /// assume the provider has become unavailable, and purge knowledge of
+    /// it" (§4.3).
+    ///
+    /// Cost is `O(k log n)` in the number of expired registrations `k`;
+    /// when the earliest tracked expiry is still in the future this
+    /// returns without examining the table at all.
     pub fn sweep(&mut self, now: SimTime) -> Vec<LdapUrl> {
-        let doomed: Vec<String> = self
-            .regs
-            .iter()
-            .filter(|(_, r)| r.expires_at() <= now)
-            .map(|(k, _)| k.clone())
-            .collect();
-        doomed
-            .into_iter()
-            .map(|k| self.regs.remove(&k).expect("key collected above").message.service_url)
-            .collect()
+        let mut purged = Vec::new();
+        while let Some(Reverse((epoch, _))) = self.expiry_heap.peek() {
+            if *epoch > now {
+                break; // earliest possible expiry is in the future
+            }
+            let Reverse((epoch, key)) = self.expiry_heap.pop().expect("peeked above");
+            // The epoch is live only if the registration still expires at
+            // exactly this time; otherwise it was refreshed (or forgotten)
+            // after the epoch was pushed and the pop is a lazy discard.
+            if self.regs.get(&key).is_some_and(|r| r.expires_at() == epoch) {
+                let reg = self.regs.remove(&key).expect("checked above");
+                purged.push(reg.message.service_url);
+            }
+        }
+        purged.sort_by_cached_key(|u| u.to_string());
+        purged
     }
 
     /// Explicitly forget a service (used when a directory applies policy,
@@ -218,8 +268,20 @@ impl SoftStateRegistry {
     }
 
     /// Count of registrations fresh at `now`.
+    ///
+    /// When the earliest tracked expiry lies in the future — the steady
+    /// state right after a `sweep` — every registration is fresh and the
+    /// count is answered in `O(1)` from the table size without iterating.
     pub fn active_count(&self, now: SimTime) -> usize {
-        self.active(now).count()
+        match self.expiry_heap.peek() {
+            // Every live registration keeps its current epoch in the
+            // heap, so an empty heap means an empty table.
+            None => 0,
+            // Stale epochs are lower bounds on their registration's real
+            // expiry, so a future minimum proves nothing has lapsed.
+            Some(Reverse((min, _))) if *min > now => self.regs.len(),
+            Some(_) => self.active(now).count(),
+        }
     }
 
     /// Total table size including not-yet-swept stale entries.
@@ -425,9 +487,15 @@ mod tests {
     #[test]
     fn refresh_extends_validity() {
         let mut reg = SoftStateRegistry::new();
-        reg.observe(GrrpMessage::register(url("g"), Dn::root(), t(0), secs(30)), t(0));
+        reg.observe(
+            GrrpMessage::register(url("g"), Dn::root(), t(0), secs(30)),
+            t(0),
+        );
         // Refresh at t=20 with a new 30s TTL: now valid to t=50.
-        let created = reg.observe(GrrpMessage::register(url("g"), Dn::root(), t(20), secs(30)), t(20));
+        let created = reg.observe(
+            GrrpMessage::register(url("g"), Dn::root(), t(20), secs(30)),
+            t(20),
+        );
         assert!(!created, "refresh is not a new registration");
         assert!(reg.is_fresh(&url("g"), t(45)));
         assert_eq!(reg.get(&url("g")).unwrap().refresh_count, 2);
@@ -437,9 +505,15 @@ mod tests {
     #[test]
     fn out_of_order_refresh_does_not_shorten() {
         let mut reg = SoftStateRegistry::new();
-        reg.observe(GrrpMessage::register(url("g"), Dn::root(), t(20), secs(30)), t(20));
+        reg.observe(
+            GrrpMessage::register(url("g"), Dn::root(), t(20), secs(30)),
+            t(20),
+        );
         // A delayed older message (valid only to t=30) arrives late.
-        reg.observe(GrrpMessage::register(url("g"), Dn::root(), t(0), secs(30)), t(25));
+        reg.observe(
+            GrrpMessage::register(url("g"), Dn::root(), t(0), secs(30)),
+            t(25),
+        );
         assert!(reg.is_fresh(&url("g"), t(45)), "validity must not shrink");
     }
 
@@ -454,8 +528,7 @@ mod tests {
     #[test]
     fn single_lost_message_is_harmless_with_ttl_headroom() {
         // TTL = 3 × interval: missing one or two refreshes keeps state.
-        let mut agent =
-            RegistrationAgent::new(url("g"), Dn::root(), secs(10), secs(30));
+        let mut agent = RegistrationAgent::new(url("g"), Dn::root(), secs(10), secs(30));
         agent.add_target(url("giis"));
         let mut reg = SoftStateRegistry::new();
 
@@ -524,7 +597,10 @@ mod tests {
     fn registry_active_iteration_is_deterministic() {
         let mut reg = SoftStateRegistry::new();
         for host in ["c", "a", "b"] {
-            reg.observe(GrrpMessage::register(url(host), Dn::root(), t(0), secs(30)), t(0));
+            reg.observe(
+                GrrpMessage::register(url(host), Dn::root(), t(0), secs(30)),
+                t(0),
+            );
         }
         let order: Vec<String> = reg
             .active(t(1))
@@ -545,8 +621,14 @@ mod tests {
     #[test]
     fn sweep_only_removes_expired() {
         let mut reg = SoftStateRegistry::new();
-        reg.observe(GrrpMessage::register(url("short"), Dn::root(), t(0), secs(10)), t(0));
-        reg.observe(GrrpMessage::register(url("long"), Dn::root(), t(0), secs(100)), t(0));
+        reg.observe(
+            GrrpMessage::register(url("short"), Dn::root(), t(0), secs(10)),
+            t(0),
+        );
+        reg.observe(
+            GrrpMessage::register(url("long"), Dn::root(), t(0), secs(100)),
+            t(0),
+        );
         let purged = reg.sweep(t(50));
         assert_eq!(purged, vec![url("short")]);
         assert_eq!(reg.len(), 1);
@@ -556,7 +638,10 @@ mod tests {
     #[test]
     fn forget_is_immediate() {
         let mut reg = SoftStateRegistry::new();
-        reg.observe(GrrpMessage::register(url("g"), Dn::root(), t(0), secs(100)), t(0));
+        reg.observe(
+            GrrpMessage::register(url("g"), Dn::root(), t(0), secs(100)),
+            t(0),
+        );
         assert!(reg.forget(&url("g")).is_some());
         assert!(reg.forget(&url("g")).is_none());
         assert_eq!(reg.active_count(t(1)), 0);

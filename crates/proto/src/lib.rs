@@ -28,7 +28,6 @@ pub use grip::{
     SubscriptionMode, SubscriptionTable,
 };
 pub use grrp::{
-    FailureDetector, GrrpMessage, Notification, Registration, RegistrationAgent,
-    SoftStateRegistry,
+    FailureDetector, GrrpMessage, Notification, Registration, RegistrationAgent, SoftStateRegistry,
 };
 pub use wire::ProtocolMessage;

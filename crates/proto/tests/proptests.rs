@@ -27,13 +27,18 @@ fn duration() -> impl Strategy<Value = SimDuration> {
 }
 
 fn grrp() -> impl Strategy<Value = GrrpMessage> {
-    (url(), dn(), time(), duration(), prop::option::of("[ -~]{0,20}")).prop_map(
-        |(service_url, namespace, from, ttl, subject)| {
+    (
+        url(),
+        dn(),
+        time(),
+        duration(),
+        prop::option::of("[ -~]{0,20}"),
+    )
+        .prop_map(|(service_url, namespace, from, ttl, subject)| {
             let mut m = GrrpMessage::register(service_url, namespace, from, ttl);
             m.subject = subject;
             m
-        },
-    )
+        })
 }
 
 /// Registry driven by an arbitrary schedule of (message, observation

@@ -323,9 +323,6 @@ mod tests {
             &Dn::parse("hn=ghost").unwrap(),
             None,
         );
-        assert!(matches!(
-            d.findings[0],
-            Finding::SourceUnavailable { .. }
-        ));
+        assert!(matches!(d.findings[0], Finding::SourceUnavailable { .. }));
     }
 }

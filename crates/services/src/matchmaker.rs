@@ -42,14 +42,9 @@ pub struct JobAd {
 
 impl JobAd {
     /// Build a job ad; `ad_attrs` become the job's advertised attributes.
-    pub fn new(
-        name: &str,
-        requirements: Filter,
-        rank: Rank,
-        ad_attrs: &[(&str, &str)],
-    ) -> JobAd {
-        let mut ad = Entry::new(Dn::parse(&format!("job={name}")).expect("valid job dn"))
-            .with_class("job");
+    pub fn new(name: &str, requirements: Filter, rank: Rank, ad_attrs: &[(&str, &str)]) -> JobAd {
+        let mut ad =
+            Entry::new(Dn::parse(&format!("job={name}")).expect("valid job dn")).with_class("job");
         for (k, v) in ad_attrs {
             ad.add(k, *v);
         }
@@ -203,8 +198,16 @@ mod tests {
         );
         let matches = matchmake(&[physics_job, bio_job], &machines);
         assert_eq!(matches.len(), 2);
-        assert_eq!(matches[0].machine.to_string(), "hn=picky", "physics gets the big box");
-        assert_eq!(matches[1].machine.to_string(), "hn=open", "biology rejected by picky");
+        assert_eq!(
+            matches[0].machine.to_string(),
+            "hn=picky",
+            "physics gets the big box"
+        );
+        assert_eq!(
+            matches[1].machine.to_string(),
+            "hn=open",
+            "biology rejected by picky"
+        );
     }
 
     #[test]
@@ -229,7 +232,10 @@ mod tests {
         )];
         let mut no_load = machine("x", "linux", 4, 0.0);
         no_load.remove("load5");
-        let machines = vec![MachineAd::open(no_load), MachineAd::open(machine("y", "linux", 2, 3.0))];
+        let machines = vec![
+            MachineAd::open(no_load),
+            MachineAd::open(machine("y", "linux", 2, 3.0)),
+        ];
         let matches = matchmake(&jobs, &machines);
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].machine.to_string(), "hn=y");

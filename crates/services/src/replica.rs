@@ -92,11 +92,8 @@ impl ReplicaSelector {
         let mut best: Option<ReplicaChoice> = None;
         let considered = replicas.len();
         for (store, host) in replicas {
-            let link_dn = Dn::parse(&format!(
-                "link={consumer_site}-{host}, nn={}",
-                self.network
-            ))
-            .expect("valid link dn");
+            let link_dn = Dn::parse(&format!("link={consumer_site}-{host}, nn={}", self.network))
+                .expect("valid link dn");
             let Some((_, entries, _)) = dep.search_and_wait(
                 client,
                 &self.nws_gris,
@@ -105,16 +102,10 @@ impl ReplicaSelector {
             ) else {
                 continue;
             };
-            let Some(bw) = entries
-                .iter()
-                .find_map(|e| e.get_f64("predictedbandwidth"))
-            else {
+            let Some(bw) = entries.iter().find_map(|e| e.get_f64("predictedbandwidth")) else {
                 continue;
             };
-            if best
-                .as_ref()
-                .is_none_or(|b| bw > b.predicted_bandwidth)
-            {
+            if best.as_ref().is_none_or(|b| bw > b.predicted_bandwidth) {
                 best = Some(ReplicaChoice {
                     store,
                     host,
@@ -185,12 +176,7 @@ mod tests {
         for host in ["store1", "store2", "store3"] {
             let dn = Dn::parse(&format!("link=clientsite-{host}, nn=wan")).unwrap();
             let (_, entries, _) = dep
-                .search_and_wait(
-                    client,
-                    &selector.nws_gris,
-                    SearchSpec::lookup(dn),
-                    secs(10),
-                )
+                .search_and_wait(client, &selector.nws_gris, SearchSpec::lookup(dn), secs(10))
                 .unwrap();
             let bw = entries[0].get_f64("predictedbandwidth").unwrap();
             if best_direct.as_ref().is_none_or(|(_, b)| bw > *b) {

@@ -128,7 +128,9 @@ mod tests {
     use gis_netsim::secs;
 
     fn host(n: &str) -> Entry {
-        Entry::at(&format!("hn={n}")).unwrap().with_class("computer")
+        Entry::at(&format!("hn={n}"))
+            .unwrap()
+            .with_class("computer")
     }
 
     fn load(n: &str, l: f64) -> Entry {
@@ -175,7 +177,9 @@ mod tests {
         // b comes back.
         let alerts = ts.sweep(&[host("a"), host("b")], &[], t(120));
         assert_eq!(alerts.len(), 1);
-        assert!(matches!(&alerts[0], Alert::ServiceRecovered { source } if source.to_string() == "hn=b"));
+        assert!(
+            matches!(&alerts[0], Alert::ServiceRecovered { source } if source.to_string() == "hn=b")
+        );
         assert_eq!(ts.lost_count(), 0);
         assert_eq!(ts.present_count(), 2);
     }
@@ -194,7 +198,9 @@ mod tests {
     #[test]
     fn missing_load_attribute_ignored() {
         let mut ts = Troubleshooter::new(1.0);
-        let bad_load = Entry::at("perf=load, hn=x").unwrap().with("note", "no numeric load");
+        let bad_load = Entry::at("perf=load, hn=x")
+            .unwrap()
+            .with("note", "no numeric load");
         assert!(ts.sweep(&[host("x")], &[bad_load], t(0)).is_empty());
     }
 }

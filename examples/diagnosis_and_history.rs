@@ -93,7 +93,10 @@ fn main() {
             secs(10),
         )
         .expect("archive reply");
-    println!("\n== load history, last 2 minutes ({} samples) ==", history.len());
+    println!(
+        "\n== load history, last 2 minutes ({} samples) ==",
+        history.len()
+    );
     for e in &history {
         let t = e.get_i64("t").unwrap() as f64 / 1e6;
         let load = e.get_f64("load5").unwrap();

@@ -46,7 +46,10 @@ fn main() {
     });
     dep.run_for(secs(61));
     let updates = dep.client(client).updates(sub_id);
-    println!("== periodic subscription: {} load updates in 60s ==", updates.len());
+    println!(
+        "== periodic subscription: {} load updates in 60s ==",
+        updates.len()
+    );
     for u in &updates {
         if let grid_info_services::proto::GripReply::Update { entries, .. } = u {
             if let Some(load) = entries.first().and_then(|e| e.get_f64("load5")) {
@@ -59,8 +62,10 @@ fn main() {
     let mut ts = Troubleshooter::new(1.8);
     let computers_q =
         SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap());
-    let loads_q =
-        SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=loadaverage)").unwrap());
+    let loads_q = SearchSpec::subtree(
+        Dn::root(),
+        Filter::parse("(objectclass=loadaverage)").unwrap(),
+    );
 
     println!("\n== troubleshooter sweeps (threshold load5 > 1.8) ==");
     for sweep in 0..4 {

@@ -46,10 +46,22 @@ fn main() {
 
     // Soft state for unreachable providers expires (TTL 30s).
     sc.dep.run_for(secs(45));
-    println!("\nt={:>6}  -- during partition (soft state expired) --", sc.dep.now());
-    println!("  VO-A  view: {:?}  (unaffected)", count(&mut sc, c_a, &vo_a_url));
-    println!("  VO-B0 view: {:?}  (its half + shared pool)", count(&mut sc, c_b0, &vo_b0_url));
-    println!("  VO-B1 view: {:?}  (disjoint fragment keeps working)", count(&mut sc, c_b1, &vo_b1_url));
+    println!(
+        "\nt={:>6}  -- during partition (soft state expired) --",
+        sc.dep.now()
+    );
+    println!(
+        "  VO-A  view: {:?}  (unaffected)",
+        count(&mut sc, c_a, &vo_a_url)
+    );
+    println!(
+        "  VO-B0 view: {:?}  (its half + shared pool)",
+        count(&mut sc, c_b0, &vo_b0_url)
+    );
+    println!(
+        "  VO-B1 view: {:?}  (disjoint fragment keeps working)",
+        count(&mut sc, c_b1, &vo_b1_url)
+    );
 
     // Heal: replicas re-converge via ordinary soft-state refresh.
     sc.dep.sim.heal_all();

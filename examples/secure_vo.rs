@@ -10,7 +10,9 @@
 //! ```
 
 use grid_info_services::core::{ClientActor, SimDeployment};
-use grid_info_services::gris::{Gris, GrisConfig, HostSpec, StaticHostProvider, DynamicHostProvider};
+use grid_info_services::gris::{
+    DynamicHostProvider, Gris, GrisConfig, HostSpec, StaticHostProvider,
+};
 use grid_info_services::gsi::{
     Acl, Authenticator, BindToken, CertAuthority, Grant, Principal, TrustStore,
 };
@@ -53,7 +55,13 @@ fn main() {
     );
     let mut gris = Gris::new(config, secs(30), secs(90));
     gris.add_provider(Box::new(StaticHostProvider::new(host.clone())));
-    gris.add_provider(Box::new(DynamicHostProvider::new(&host, 5, 1.5, secs(10), secs(30))));
+    gris.add_provider(Box::new(DynamicHostProvider::new(
+        &host,
+        5,
+        1.5,
+        secs(10),
+        secs(30),
+    )));
 
     let mut dep = SimDeployment::new(5);
     dep.add_gris(gris);
@@ -76,7 +84,10 @@ fn main() {
             secs(10),
         )
         .unwrap();
-    println!("anonymous '(load5=*)' probe matches {} entries (good: 0)", probed.len());
+    println!(
+        "anonymous '(load5=*)' probe matches {} entries (good: 0)",
+        probed.len()
+    );
 
     // --- Alice binds with her credential, then sees everything. ----------
     let token = BindToken::create(&alice, &url.to_string()).to_bytes();

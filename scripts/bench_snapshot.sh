@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs the query-path benchmarks and collects their criterion estimates
+# into a single JSON snapshot (BENCH_PR1.json) for before/after
+# comparison. Mean estimates are in nanoseconds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR1.json}"
+
+for bench in bench_dit bench_filter bench_softstate; do
+    echo "==> cargo bench --bench $bench"
+    cargo bench --offline -p gis-bench --bench "$bench"
+done
+
+echo "==> harvesting estimates into $OUT"
+python3 - "$OUT" <<'EOF'
+import json, os, sys
+
+root = "target/criterion"
+snapshot = {}
+for group in sorted(os.listdir(root)):
+    gdir = os.path.join(root, group)
+    if not os.path.isdir(gdir):
+        continue
+    for name in sorted(os.listdir(gdir)):
+        est = os.path.join(gdir, name, "new", "estimates.json")
+        if not os.path.isfile(est):
+            continue
+        with open(est) as f:
+            data = json.load(f)
+        snapshot[f"{group}/{name}"] = {
+            "mean_ns": round(data["mean"]["point_estimate"], 2),
+            "median_ns": round(data["median"]["point_estimate"], 2),
+        }
+
+def mean(key):
+    return snapshot[key]["mean_ns"] if key in snapshot else None
+
+# Headline ratios for the PR's acceptance criteria.
+derived = {}
+scan = mean("dit_deep/root_scan_unpinned")
+host = mean("dit_deep/subtree_host_unpinned")
+org = mean("dit_deep/subtree_org_unpinned")
+if scan and host:
+    derived["deep_scan_over_host_subtree"] = round(scan / host, 1)
+if scan and org:
+    derived["deep_scan_over_org_subtree"] = round(scan / org, 1)
+s100 = mean("softstate/sweep_none_expired_100")
+s10k = mean("softstate/sweep_none_expired_10000")
+if s100 and s10k:
+    derived["sweep_noop_10k_over_100"] = round(s10k / s100, 1)
+
+out = sys.argv[1]
+with open(out, "w") as f:
+    json.dump({"benchmarks": snapshot, "derived": derived}, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out} ({len(snapshot)} benchmarks)")
+EOF

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: release build, workspace tests, clippy (deny warnings),
+# and formatting. Run before every push; CI runs the same sequence.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test (workspace)"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "All checks passed."

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_bloom-2c15660c72e3f7ab.d: crates/bench/benches/bench_bloom.rs
+
+/root/repo/target/debug/deps/bench_bloom-2c15660c72e3f7ab: crates/bench/benches/bench_bloom.rs
+
+crates/bench/benches/bench_bloom.rs:

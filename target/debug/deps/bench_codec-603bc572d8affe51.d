@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_codec-603bc572d8affe51.d: crates/bench/benches/bench_codec.rs
+
+/root/repo/target/debug/deps/bench_codec-603bc572d8affe51: crates/bench/benches/bench_codec.rs
+
+crates/bench/benches/bench_codec.rs:

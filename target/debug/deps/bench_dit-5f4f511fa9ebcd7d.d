@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_dit-5f4f511fa9ebcd7d.d: crates/bench/benches/bench_dit.rs
+
+/root/repo/target/debug/deps/bench_dit-5f4f511fa9ebcd7d: crates/bench/benches/bench_dit.rs
+
+crates/bench/benches/bench_dit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_engines-379ed6f6479fe38d.d: crates/bench/benches/bench_engines.rs
+
+/root/repo/target/debug/deps/bench_engines-379ed6f6479fe38d: crates/bench/benches/bench_engines.rs
+
+crates/bench/benches/bench_engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_filter-411ba2cae9610d5c.d: crates/bench/benches/bench_filter.rs
+
+/root/repo/target/debug/deps/bench_filter-411ba2cae9610d5c: crates/bench/benches/bench_filter.rs
+
+crates/bench/benches/bench_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_forecast-5960d2b2b040c2ab.d: crates/bench/benches/bench_forecast.rs
+
+/root/repo/target/debug/deps/bench_forecast-5960d2b2b040c2ab: crates/bench/benches/bench_forecast.rs
+
+crates/bench/benches/bench_forecast.rs:

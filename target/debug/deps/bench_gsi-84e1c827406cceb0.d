@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_gsi-84e1c827406cceb0.d: crates/bench/benches/bench_gsi.rs
+
+/root/repo/target/debug/deps/bench_gsi-84e1c827406cceb0: crates/bench/benches/bench_gsi.rs
+
+crates/bench/benches/bench_gsi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_netsim-92f1581b06fd215d.d: crates/bench/benches/bench_netsim.rs
+
+/root/repo/target/debug/deps/bench_netsim-92f1581b06fd215d: crates/bench/benches/bench_netsim.rs
+
+crates/bench/benches/bench_netsim.rs:

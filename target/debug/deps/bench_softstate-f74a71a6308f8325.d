@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_softstate-f74a71a6308f8325.d: crates/bench/benches/bench_softstate.rs
+
+/root/repo/target/debug/deps/bench_softstate-f74a71a6308f8325: crates/bench/benches/bench_softstate.rs
+
+crates/bench/benches/bench_softstate.rs:

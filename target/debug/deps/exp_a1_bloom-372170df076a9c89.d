@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_a1_bloom-372170df076a9c89.d: crates/bench/src/bin/exp_a1_bloom.rs
+
+/root/repo/target/debug/deps/exp_a1_bloom-372170df076a9c89: crates/bench/src/bin/exp_a1_bloom.rs
+
+crates/bench/src/bin/exp_a1_bloom.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_a1_bloom-d8e1d6b7a62d7f4c.d: crates/bench/src/bin/exp_a1_bloom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_a1_bloom-d8e1d6b7a62d7f4c.rmeta: crates/bench/src/bin/exp_a1_bloom.rs Cargo.toml
+
+crates/bench/src/bin/exp_a1_bloom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

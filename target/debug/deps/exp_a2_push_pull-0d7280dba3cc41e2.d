@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_a2_push_pull-0d7280dba3cc41e2.d: crates/bench/src/bin/exp_a2_push_pull.rs
+
+/root/repo/target/debug/deps/exp_a2_push_pull-0d7280dba3cc41e2: crates/bench/src/bin/exp_a2_push_pull.rs
+
+crates/bench/src/bin/exp_a2_push_pull.rs:

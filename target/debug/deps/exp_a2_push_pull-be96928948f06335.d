@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_a2_push_pull-be96928948f06335.d: crates/bench/src/bin/exp_a2_push_pull.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_a2_push_pull-be96928948f06335.rmeta: crates/bench/src/bin/exp_a2_push_pull.rs Cargo.toml
+
+crates/bench/src/bin/exp_a2_push_pull.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

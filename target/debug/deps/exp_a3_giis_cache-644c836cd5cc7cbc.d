@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_a3_giis_cache-644c836cd5cc7cbc.d: crates/bench/src/bin/exp_a3_giis_cache.rs
+
+/root/repo/target/debug/deps/exp_a3_giis_cache-644c836cd5cc7cbc: crates/bench/src/bin/exp_a3_giis_cache.rs
+
+crates/bench/src/bin/exp_a3_giis_cache.rs:

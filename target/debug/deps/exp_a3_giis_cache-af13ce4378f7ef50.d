@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_a3_giis_cache-af13ce4378f7ef50.d: crates/bench/src/bin/exp_a3_giis_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_a3_giis_cache-af13ce4378f7ef50.rmeta: crates/bench/src/bin/exp_a3_giis_cache.rs Cargo.toml
+
+crates/bench/src/bin/exp_a3_giis_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

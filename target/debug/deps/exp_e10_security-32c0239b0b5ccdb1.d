@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e10_security-32c0239b0b5ccdb1.d: crates/bench/src/bin/exp_e10_security.rs
+
+/root/repo/target/debug/deps/exp_e10_security-32c0239b0b5ccdb1: crates/bench/src/bin/exp_e10_security.rs
+
+crates/bench/src/bin/exp_e10_security.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e10_security-f11f6b9ae5e697cd.d: crates/bench/src/bin/exp_e10_security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e10_security-f11f6b9ae5e697cd.rmeta: crates/bench/src/bin/exp_e10_security.rs Cargo.toml
+
+crates/bench/src/bin/exp_e10_security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

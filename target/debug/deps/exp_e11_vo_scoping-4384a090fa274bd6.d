@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e11_vo_scoping-4384a090fa274bd6.d: crates/bench/src/bin/exp_e11_vo_scoping.rs
+
+/root/repo/target/debug/deps/exp_e11_vo_scoping-4384a090fa274bd6: crates/bench/src/bin/exp_e11_vo_scoping.rs
+
+crates/bench/src/bin/exp_e11_vo_scoping.rs:

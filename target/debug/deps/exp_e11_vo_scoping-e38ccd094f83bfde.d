@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e11_vo_scoping-e38ccd094f83bfde.d: crates/bench/src/bin/exp_e11_vo_scoping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e11_vo_scoping-e38ccd094f83bfde.rmeta: crates/bench/src/bin/exp_e11_vo_scoping.rs Cargo.toml
+
+crates/bench/src/bin/exp_e11_vo_scoping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e12_nws-9e297b56018f0045.d: crates/bench/src/bin/exp_e12_nws.rs
+
+/root/repo/target/debug/deps/exp_e12_nws-9e297b56018f0045: crates/bench/src/bin/exp_e12_nws.rs
+
+crates/bench/src/bin/exp_e12_nws.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e12_nws-a62b87340dd819c1.d: crates/bench/src/bin/exp_e12_nws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e12_nws-a62b87340dd819c1.rmeta: crates/bench/src/bin/exp_e12_nws.rs Cargo.toml
+
+crates/bench/src/bin/exp_e12_nws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e6_failure_detection-a3a7140f5f1b5cc4.d: crates/bench/src/bin/exp_e6_failure_detection.rs
+
+/root/repo/target/debug/deps/exp_e6_failure_detection-a3a7140f5f1b5cc4: crates/bench/src/bin/exp_e6_failure_detection.rs
+
+crates/bench/src/bin/exp_e6_failure_detection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e6_failure_detection-d8991ed34533f543.d: crates/bench/src/bin/exp_e6_failure_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e6_failure_detection-d8991ed34533f543.rmeta: crates/bench/src/bin/exp_e6_failure_detection.rs Cargo.toml
+
+crates/bench/src/bin/exp_e6_failure_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e7_scalability-5bba293b2289ae3c.d: crates/bench/src/bin/exp_e7_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e7_scalability-5bba293b2289ae3c.rmeta: crates/bench/src/bin/exp_e7_scalability.rs Cargo.toml
+
+crates/bench/src/bin/exp_e7_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

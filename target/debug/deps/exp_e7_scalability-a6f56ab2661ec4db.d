@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e7_scalability-a6f56ab2661ec4db.d: crates/bench/src/bin/exp_e7_scalability.rs
+
+/root/repo/target/debug/deps/exp_e7_scalability-a6f56ab2661ec4db: crates/bench/src/bin/exp_e7_scalability.rs
+
+crates/bench/src/bin/exp_e7_scalability.rs:

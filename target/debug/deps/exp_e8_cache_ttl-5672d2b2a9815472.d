@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e8_cache_ttl-5672d2b2a9815472.d: crates/bench/src/bin/exp_e8_cache_ttl.rs
+
+/root/repo/target/debug/deps/exp_e8_cache_ttl-5672d2b2a9815472: crates/bench/src/bin/exp_e8_cache_ttl.rs
+
+crates/bench/src/bin/exp_e8_cache_ttl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e8_cache_ttl-ec880cc716e0d9fa.d: crates/bench/src/bin/exp_e8_cache_ttl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e8_cache_ttl-ec880cc716e0d9fa.rmeta: crates/bench/src/bin/exp_e8_cache_ttl.rs Cargo.toml
+
+crates/bench/src/bin/exp_e8_cache_ttl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

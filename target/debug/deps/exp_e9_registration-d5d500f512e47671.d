@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e9_registration-d5d500f512e47671.d: crates/bench/src/bin/exp_e9_registration.rs
+
+/root/repo/target/debug/deps/exp_e9_registration-d5d500f512e47671: crates/bench/src/bin/exp_e9_registration.rs
+
+crates/bench/src/bin/exp_e9_registration.rs:

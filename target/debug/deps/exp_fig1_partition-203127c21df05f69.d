@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig1_partition-203127c21df05f69.d: crates/bench/src/bin/exp_fig1_partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig1_partition-203127c21df05f69.rmeta: crates/bench/src/bin/exp_fig1_partition.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig1_partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

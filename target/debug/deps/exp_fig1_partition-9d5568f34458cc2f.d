@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig1_partition-9d5568f34458cc2f.d: crates/bench/src/bin/exp_fig1_partition.rs
+
+/root/repo/target/debug/deps/exp_fig1_partition-9d5568f34458cc2f: crates/bench/src/bin/exp_fig1_partition.rs
+
+crates/bench/src/bin/exp_fig1_partition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2_architecture-27cfed0e619120b1.d: crates/bench/src/bin/exp_fig2_architecture.rs
+
+/root/repo/target/debug/deps/exp_fig2_architecture-27cfed0e619120b1: crates/bench/src/bin/exp_fig2_architecture.rs
+
+crates/bench/src/bin/exp_fig2_architecture.rs:

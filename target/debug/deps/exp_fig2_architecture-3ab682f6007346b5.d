@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig2_architecture-3ab682f6007346b5.d: crates/bench/src/bin/exp_fig2_architecture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig2_architecture-3ab682f6007346b5.rmeta: crates/bench/src/bin/exp_fig2_architecture.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig2_architecture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

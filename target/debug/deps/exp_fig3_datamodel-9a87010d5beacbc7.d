@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_datamodel-9a87010d5beacbc7.d: crates/bench/src/bin/exp_fig3_datamodel.rs
+
+/root/repo/target/debug/deps/exp_fig3_datamodel-9a87010d5beacbc7: crates/bench/src/bin/exp_fig3_datamodel.rs
+
+crates/bench/src/bin/exp_fig3_datamodel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig3_datamodel-e8effc412c4d1afd.d: crates/bench/src/bin/exp_fig3_datamodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig3_datamodel-e8effc412c4d1afd.rmeta: crates/bench/src/bin/exp_fig3_datamodel.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig3_datamodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

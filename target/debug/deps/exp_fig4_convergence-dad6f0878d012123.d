@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig4_convergence-dad6f0878d012123.d: crates/bench/src/bin/exp_fig4_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig4_convergence-dad6f0878d012123.rmeta: crates/bench/src/bin/exp_fig4_convergence.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig4_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

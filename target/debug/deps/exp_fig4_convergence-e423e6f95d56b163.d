@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4_convergence-e423e6f95d56b163.d: crates/bench/src/bin/exp_fig4_convergence.rs
+
+/root/repo/target/debug/deps/exp_fig4_convergence-e423e6f95d56b163: crates/bench/src/bin/exp_fig4_convergence.rs
+
+crates/bench/src/bin/exp_fig4_convergence.rs:

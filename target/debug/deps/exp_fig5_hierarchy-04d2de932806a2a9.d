@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5_hierarchy-04d2de932806a2a9.d: crates/bench/src/bin/exp_fig5_hierarchy.rs
+
+/root/repo/target/debug/deps/exp_fig5_hierarchy-04d2de932806a2a9: crates/bench/src/bin/exp_fig5_hierarchy.rs
+
+crates/bench/src/bin/exp_fig5_hierarchy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig5_hierarchy-50767707a7c1287d.d: crates/bench/src/bin/exp_fig5_hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig5_hierarchy-50767707a7c1287d.rmeta: crates/bench/src/bin/exp_fig5_hierarchy.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig5_hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

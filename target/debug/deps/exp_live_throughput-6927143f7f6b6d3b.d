@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_live_throughput-6927143f7f6b6d3b.d: crates/bench/src/bin/exp_live_throughput.rs
+
+/root/repo/target/debug/deps/exp_live_throughput-6927143f7f6b6d3b: crates/bench/src/bin/exp_live_throughput.rs
+
+crates/bench/src/bin/exp_live_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_live_throughput-e56e55538444284c.d: crates/bench/src/bin/exp_live_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_live_throughput-e56e55538444284c.rmeta: crates/bench/src/bin/exp_live_throughput.rs Cargo.toml
+
+crates/bench/src/bin/exp_live_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

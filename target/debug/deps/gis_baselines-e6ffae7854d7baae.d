@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gis_baselines-e6ffae7854d7baae.d: crates/baselines/src/lib.rs crates/baselines/src/mds1.rs crates/baselines/src/multicast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgis_baselines-e6ffae7854d7baae.rmeta: crates/baselines/src/lib.rs crates/baselines/src/mds1.rs crates/baselines/src/multicast.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/mds1.rs:
+crates/baselines/src/multicast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

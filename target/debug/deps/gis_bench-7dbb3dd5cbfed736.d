@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gis_bench-7dbb3dd5cbfed736.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgis_bench-7dbb3dd5cbfed736.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

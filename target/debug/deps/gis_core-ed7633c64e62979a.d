@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gis_core-ed7633c64e62979a.d: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/bootstrap.rs crates/core/src/deploy.rs crates/core/src/live.rs crates/core/src/naming.rs crates/core/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgis_core-ed7633c64e62979a.rmeta: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/bootstrap.rs crates/core/src/deploy.rs crates/core/src/live.rs crates/core/src/naming.rs crates/core/src/scenario.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/actors.rs:
+crates/core/src/bootstrap.rs:
+crates/core/src/deploy.rs:
+crates/core/src/live.rs:
+crates/core/src/naming.rs:
+crates/core/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

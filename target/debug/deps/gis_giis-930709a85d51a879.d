@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gis_giis-930709a85d51a879.d: crates/giis/src/lib.rs crates/giis/src/bloom.rs crates/giis/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgis_giis-930709a85d51a879.rmeta: crates/giis/src/lib.rs crates/giis/src/bloom.rs crates/giis/src/server.rs Cargo.toml
+
+crates/giis/src/lib.rs:
+crates/giis/src/bloom.rs:
+crates/giis/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gis_gris-37756b2aa9b40578.d: crates/gris/src/lib.rs crates/gris/src/archive.rs crates/gris/src/provider.rs crates/gris/src/providers.rs crates/gris/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgis_gris-37756b2aa9b40578.rmeta: crates/gris/src/lib.rs crates/gris/src/archive.rs crates/gris/src/provider.rs crates/gris/src/providers.rs crates/gris/src/server.rs Cargo.toml
+
+crates/gris/src/lib.rs:
+crates/gris/src/archive.rs:
+crates/gris/src/provider.rs:
+crates/gris/src/providers.rs:
+crates/gris/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gis_gsi-e56de85d9997929e.d: crates/gsi/src/lib.rs crates/gsi/src/acl.rs crates/gsi/src/auth.rs crates/gsi/src/cert.rs crates/gsi/src/keys.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgis_gsi-e56de85d9997929e.rmeta: crates/gsi/src/lib.rs crates/gsi/src/acl.rs crates/gsi/src/auth.rs crates/gsi/src/cert.rs crates/gsi/src/keys.rs Cargo.toml
+
+crates/gsi/src/lib.rs:
+crates/gsi/src/acl.rs:
+crates/gsi/src/auth.rs:
+crates/gsi/src/cert.rs:
+crates/gsi/src/keys.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gis_ldap-093186d9f77be7b5.d: crates/ldap/src/lib.rs crates/ldap/src/codec.rs crates/ldap/src/dit.rs crates/ldap/src/dn.rs crates/ldap/src/entry.rs crates/ldap/src/error.rs crates/ldap/src/filter.rs crates/ldap/src/ldif.rs crates/ldap/src/schema.rs crates/ldap/src/url.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgis_ldap-093186d9f77be7b5.rmeta: crates/ldap/src/lib.rs crates/ldap/src/codec.rs crates/ldap/src/dit.rs crates/ldap/src/dn.rs crates/ldap/src/entry.rs crates/ldap/src/error.rs crates/ldap/src/filter.rs crates/ldap/src/ldif.rs crates/ldap/src/schema.rs crates/ldap/src/url.rs Cargo.toml
+
+crates/ldap/src/lib.rs:
+crates/ldap/src/codec.rs:
+crates/ldap/src/dit.rs:
+crates/ldap/src/dn.rs:
+crates/ldap/src/entry.rs:
+crates/ldap/src/error.rs:
+crates/ldap/src/filter.rs:
+crates/ldap/src/ldif.rs:
+crates/ldap/src/schema.rs:
+crates/ldap/src/url.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gis_netsim-d466737e497f9f07.d: crates/netsim/src/lib.rs crates/netsim/src/rng.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgis_netsim-d466737e497f9f07.rmeta: crates/netsim/src/lib.rs crates/netsim/src/rng.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

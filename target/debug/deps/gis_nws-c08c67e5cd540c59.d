@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gis_nws-c08c67e5cd540c59.d: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/sensor.rs crates/nws/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgis_nws-c08c67e5cd540c59.rmeta: crates/nws/src/lib.rs crates/nws/src/forecast.rs crates/nws/src/sensor.rs crates/nws/src/system.rs Cargo.toml
+
+crates/nws/src/lib.rs:
+crates/nws/src/forecast.rs:
+crates/nws/src/sensor.rs:
+crates/nws/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

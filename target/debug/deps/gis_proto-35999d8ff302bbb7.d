@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gis_proto-35999d8ff302bbb7.d: crates/proto/src/lib.rs crates/proto/src/grip.rs crates/proto/src/grrp.rs crates/proto/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgis_proto-35999d8ff302bbb7.rmeta: crates/proto/src/lib.rs crates/proto/src/grip.rs crates/proto/src/grrp.rs crates/proto/src/wire.rs Cargo.toml
+
+crates/proto/src/lib.rs:
+crates/proto/src/grip.rs:
+crates/proto/src/grrp.rs:
+crates/proto/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

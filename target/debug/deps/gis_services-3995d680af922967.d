@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gis_services-3995d680af922967.d: crates/services/src/lib.rs crates/services/src/adapt.rs crates/services/src/broker.rs crates/services/src/diagnose.rs crates/services/src/heartbeat.rs crates/services/src/matchmaker.rs crates/services/src/replica.rs crates/services/src/troubleshoot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgis_services-3995d680af922967.rmeta: crates/services/src/lib.rs crates/services/src/adapt.rs crates/services/src/broker.rs crates/services/src/diagnose.rs crates/services/src/heartbeat.rs crates/services/src/matchmaker.rs crates/services/src/replica.rs crates/services/src/troubleshoot.rs Cargo.toml
+
+crates/services/src/lib.rs:
+crates/services/src/adapt.rs:
+crates/services/src/broker.rs:
+crates/services/src/diagnose.rs:
+crates/services/src/heartbeat.rs:
+crates/services/src/matchmaker.rs:
+crates/services/src/replica.rs:
+crates/services/src/troubleshoot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

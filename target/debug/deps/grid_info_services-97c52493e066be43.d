@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grid_info_services-97c52493e066be43.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrid_info_services-97c52493e066be43.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

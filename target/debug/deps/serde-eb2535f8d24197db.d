@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-eb2535f8d24197db.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-eb2535f8d24197db.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libgis_netsim.rlib: /root/repo/crates/netsim/src/lib.rs /root/repo/crates/netsim/src/rng.rs /root/repo/crates/netsim/src/sim.rs /root/repo/crates/netsim/src/time.rs

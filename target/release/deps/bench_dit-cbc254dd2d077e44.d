@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_dit-cbc254dd2d077e44.d: crates/bench/benches/bench_dit.rs
+
+/root/repo/target/release/deps/bench_dit-cbc254dd2d077e44: crates/bench/benches/bench_dit.rs
+
+crates/bench/benches/bench_dit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_filter-31c5631b9905d371.d: crates/bench/benches/bench_filter.rs
+
+/root/repo/target/release/deps/bench_filter-31c5631b9905d371: crates/bench/benches/bench_filter.rs
+
+crates/bench/benches/bench_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_softstate-2e775b21e9a6782c.d: crates/bench/benches/bench_softstate.rs
+
+/root/repo/target/release/deps/bench_softstate-2e775b21e9a6782c: crates/bench/benches/bench_softstate.rs
+
+crates/bench/benches/bench_softstate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_a1_bloom-644e532b08dc791b.d: crates/bench/src/bin/exp_a1_bloom.rs
+
+/root/repo/target/release/deps/exp_a1_bloom-644e532b08dc791b: crates/bench/src/bin/exp_a1_bloom.rs
+
+crates/bench/src/bin/exp_a1_bloom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_a2_push_pull-179a2510d0aa52ac.d: crates/bench/src/bin/exp_a2_push_pull.rs
+
+/root/repo/target/release/deps/exp_a2_push_pull-179a2510d0aa52ac: crates/bench/src/bin/exp_a2_push_pull.rs
+
+crates/bench/src/bin/exp_a2_push_pull.rs:

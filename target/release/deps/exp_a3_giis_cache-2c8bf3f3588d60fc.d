@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_a3_giis_cache-2c8bf3f3588d60fc.d: crates/bench/src/bin/exp_a3_giis_cache.rs
+
+/root/repo/target/release/deps/exp_a3_giis_cache-2c8bf3f3588d60fc: crates/bench/src/bin/exp_a3_giis_cache.rs
+
+crates/bench/src/bin/exp_a3_giis_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e10_security-02def42319a293c8.d: crates/bench/src/bin/exp_e10_security.rs
+
+/root/repo/target/release/deps/exp_e10_security-02def42319a293c8: crates/bench/src/bin/exp_e10_security.rs
+
+crates/bench/src/bin/exp_e10_security.rs:

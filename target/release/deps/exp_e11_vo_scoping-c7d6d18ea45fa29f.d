@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e11_vo_scoping-c7d6d18ea45fa29f.d: crates/bench/src/bin/exp_e11_vo_scoping.rs
+
+/root/repo/target/release/deps/exp_e11_vo_scoping-c7d6d18ea45fa29f: crates/bench/src/bin/exp_e11_vo_scoping.rs
+
+crates/bench/src/bin/exp_e11_vo_scoping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e12_nws-36b9436ee2a28fb5.d: crates/bench/src/bin/exp_e12_nws.rs
+
+/root/repo/target/release/deps/exp_e12_nws-36b9436ee2a28fb5: crates/bench/src/bin/exp_e12_nws.rs
+
+crates/bench/src/bin/exp_e12_nws.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e6_failure_detection-cce221c2be669cb9.d: crates/bench/src/bin/exp_e6_failure_detection.rs
+
+/root/repo/target/release/deps/exp_e6_failure_detection-cce221c2be669cb9: crates/bench/src/bin/exp_e6_failure_detection.rs
+
+crates/bench/src/bin/exp_e6_failure_detection.rs:

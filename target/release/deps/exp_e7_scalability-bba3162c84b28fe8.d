@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e7_scalability-bba3162c84b28fe8.d: crates/bench/src/bin/exp_e7_scalability.rs
+
+/root/repo/target/release/deps/exp_e7_scalability-bba3162c84b28fe8: crates/bench/src/bin/exp_e7_scalability.rs
+
+crates/bench/src/bin/exp_e7_scalability.rs:

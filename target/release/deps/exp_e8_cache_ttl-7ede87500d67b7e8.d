@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e8_cache_ttl-7ede87500d67b7e8.d: crates/bench/src/bin/exp_e8_cache_ttl.rs
+
+/root/repo/target/release/deps/exp_e8_cache_ttl-7ede87500d67b7e8: crates/bench/src/bin/exp_e8_cache_ttl.rs
+
+crates/bench/src/bin/exp_e8_cache_ttl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e9_registration-75b4bb814c1a5e8c.d: crates/bench/src/bin/exp_e9_registration.rs
+
+/root/repo/target/release/deps/exp_e9_registration-75b4bb814c1a5e8c: crates/bench/src/bin/exp_e9_registration.rs
+
+crates/bench/src/bin/exp_e9_registration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig1_partition-07e1eb691e3f6d23.d: crates/bench/src/bin/exp_fig1_partition.rs
+
+/root/repo/target/release/deps/exp_fig1_partition-07e1eb691e3f6d23: crates/bench/src/bin/exp_fig1_partition.rs
+
+crates/bench/src/bin/exp_fig1_partition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig2_architecture-318cd22a43647fe8.d: crates/bench/src/bin/exp_fig2_architecture.rs
+
+/root/repo/target/release/deps/exp_fig2_architecture-318cd22a43647fe8: crates/bench/src/bin/exp_fig2_architecture.rs
+
+crates/bench/src/bin/exp_fig2_architecture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3_datamodel-a0555ca0eebca7f7.d: crates/bench/src/bin/exp_fig3_datamodel.rs
+
+/root/repo/target/release/deps/exp_fig3_datamodel-a0555ca0eebca7f7: crates/bench/src/bin/exp_fig3_datamodel.rs
+
+crates/bench/src/bin/exp_fig3_datamodel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig4_convergence-c721c48e1396725d.d: crates/bench/src/bin/exp_fig4_convergence.rs
+
+/root/repo/target/release/deps/exp_fig4_convergence-c721c48e1396725d: crates/bench/src/bin/exp_fig4_convergence.rs
+
+crates/bench/src/bin/exp_fig4_convergence.rs:

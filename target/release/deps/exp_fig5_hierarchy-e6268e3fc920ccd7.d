@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5_hierarchy-e6268e3fc920ccd7.d: crates/bench/src/bin/exp_fig5_hierarchy.rs
+
+/root/repo/target/release/deps/exp_fig5_hierarchy-e6268e3fc920ccd7: crates/bench/src/bin/exp_fig5_hierarchy.rs
+
+crates/bench/src/bin/exp_fig5_hierarchy.rs:

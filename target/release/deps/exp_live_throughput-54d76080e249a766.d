@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_live_throughput-54d76080e249a766.d: crates/bench/src/bin/exp_live_throughput.rs
+
+/root/repo/target/release/deps/exp_live_throughput-54d76080e249a766: crates/bench/src/bin/exp_live_throughput.rs
+
+crates/bench/src/bin/exp_live_throughput.rs:

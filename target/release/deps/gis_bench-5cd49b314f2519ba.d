@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gis_bench-5cd49b314f2519ba.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgis_bench-5cd49b314f2519ba.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgis_bench-5cd49b314f2519ba.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

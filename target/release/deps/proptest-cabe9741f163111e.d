@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/proptest-cabe9741f163111e.d: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/bool_any.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/rng.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-cabe9741f163111e.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/bool_any.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/rng.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-cabe9741f163111e.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/bool_any.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/rng.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/bool_any.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/option.rs:
+vendor/proptest/src/rng.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/string.rs:
+vendor/proptest/src/test_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diagnosis_and_history-3f9ac8ac3f5f18ee.d: examples/diagnosis_and_history.rs
+
+/root/repo/target/release/examples/diagnosis_and_history-3f9ac8ac3f5f18ee: examples/diagnosis_and_history.rs
+
+examples/diagnosis_and_history.rs:

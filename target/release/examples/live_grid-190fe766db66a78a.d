@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_grid-190fe766db66a78a.d: examples/live_grid.rs
+
+/root/repo/target/release/examples/live_grid-190fe766db66a78a: examples/live_grid.rs
+
+examples/live_grid.rs:

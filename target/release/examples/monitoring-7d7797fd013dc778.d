@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/monitoring-7d7797fd013dc778.d: examples/monitoring.rs
+
+/root/repo/target/release/examples/monitoring-7d7797fd013dc778: examples/monitoring.rs
+
+examples/monitoring.rs:

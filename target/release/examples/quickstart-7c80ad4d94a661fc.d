@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7c80ad4d94a661fc.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7c80ad4d94a661fc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -163,9 +163,9 @@ fn authenticated_access_end_to_end() {
             .with_rule(Principal::Subject("/O=Grid/CN=alice".into()), Grant::All),
     );
     let mut gris = Gris::new(config, secs(30), secs(90));
-    gris.add_provider(Box::new(
-        grid_info_services::gris::StaticHostProvider::new(host.clone()),
-    ));
+    gris.add_provider(Box::new(grid_info_services::gris::StaticHostProvider::new(
+        host.clone(),
+    )));
     dep.add_gris(gris);
     let client = dep.add_client("alice");
     dep.run_for(secs(1));
@@ -384,12 +384,8 @@ fn invitation_builds_vo_dynamically() {
 
     // The new directory invites the provider: send the GRRP invitation
     // from the directory node to the provider node.
-    let invite_msg = grid_info_services::proto::GrrpMessage::invite(
-        gris_url,
-        new_vo_url,
-        dep.now(),
-        secs(60),
-    );
+    let invite_msg =
+        grid_info_services::proto::GrrpMessage::invite(gris_url, new_vo_url, dep.now(), secs(60));
     dep.sim
         .invoke::<grid_info_services::core::GiisActor, _>(new_vo, |_, ctx| {
             ctx.send(

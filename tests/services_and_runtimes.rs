@@ -61,7 +61,10 @@ fn broker_and_adaptation_agent_cooperate() {
             .search_and_wait(
                 sc.client,
                 &sc.vo_url,
-                SearchSpec::subtree(agent.current_host.clone(), Filter::parse("(load5=*)").unwrap()),
+                SearchSpec::subtree(
+                    agent.current_host.clone(),
+                    Filter::parse("(load5=*)").unwrap(),
+                ),
                 secs(10),
             )
             .and_then(|(_, es, _)| es.iter().find_map(|e| e.get_f64("load5")));
@@ -92,8 +95,7 @@ fn troubleshooter_detects_partition_loss_and_recovery() {
     let mut ts = Troubleshooter::new(1e9); // only track presence
     let q = || SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap());
 
-    let sweep = |sc: &mut grid_info_services::core::TwoVoScenario,
-                 ts: &mut Troubleshooter| {
+    let sweep = |sc: &mut grid_info_services::core::TwoVoScenario, ts: &mut Troubleshooter| {
         let url = sc.vo_b[0].1.clone();
         let (_, computers, _) = sc
             .dep
@@ -128,7 +130,12 @@ fn troubleshooter_detects_partition_loss_and_recovery() {
     let alerts = sweep(&mut sc, &mut ts);
     let recovered = alerts
         .iter()
-        .filter(|a| matches!(a, grid_info_services::services::Alert::ServiceRecovered { .. }))
+        .filter(|a| {
+            matches!(
+                a,
+                grid_info_services::services::Alert::ServiceRecovered { .. }
+            )
+        })
         .count();
     assert_eq!(recovered, 2, "both hosts recover after healing");
 }

@@ -132,7 +132,9 @@ impl Bencher {
     }
 
     /// Times `routine` over inputs produced by `setup`; only the routine
-    /// is on the clock.
+    /// is on the clock — the returned value is dropped after the timer
+    /// stops, so benchmarks can move expensive-to-drop state into their
+    /// output to keep deallocation off the measurement.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
@@ -142,8 +144,9 @@ impl Bencher {
         for _ in 0..self.iters {
             let input = setup();
             let start = Instant::now();
-            black_box(routine(input));
+            let output = black_box(routine(input));
             total += start.elapsed();
+            drop(output);
         }
         self.elapsed = total;
     }
@@ -176,29 +179,34 @@ where
 {
     // Calibration pass: estimate per-iteration cost from a single run,
     // then refine with a short growing warm-up so fast routines get
-    // enough iterations per sample to out-resolve timer noise.
-    let mut per_iter_ns = {
+    // enough iterations per sample to out-resolve timer noise. Sizing is
+    // based on *wall* time per iteration — which includes un-timed
+    // iter_batched setup work — so a cheap routine with an expensive
+    // setup doesn't get scheduled for millions of iterations.
+    let mut wall_per_iter_ns = {
         let mut b = Bencher {
             iters: 1,
             elapsed: Duration::ZERO,
         };
+        let wall = Instant::now();
         f(&mut b);
-        (b.elapsed.as_nanos() as f64).max(1.0)
+        (wall.elapsed().as_nanos() as f64).max(1.0)
     };
     let mut warm_iters: u64 = 1;
-    while per_iter_ns * (warm_iters as f64) < 1_000_000.0 && warm_iters < (1 << 20) {
+    while wall_per_iter_ns * (warm_iters as f64) < 1_000_000.0 && warm_iters < (1 << 20) {
         warm_iters *= 2;
         let mut b = Bencher {
             iters: warm_iters,
             elapsed: Duration::ZERO,
         };
+        let wall = Instant::now();
         f(&mut b);
-        per_iter_ns = (b.elapsed.as_nanos() as f64 / warm_iters as f64).max(0.1);
+        wall_per_iter_ns = (wall.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.1);
     }
 
     let per_sample_budget_ns =
         (mtime.as_nanos() as f64 / samples as f64).max(200_000.0);
-    let iters = ((per_sample_budget_ns / per_iter_ns).floor() as u64).clamp(1, 1 << 28);
+    let iters = ((per_sample_budget_ns / wall_per_iter_ns).floor() as u64).clamp(1, 1 << 28);
 
     let mut sample_means = Vec::with_capacity(samples);
     for _ in 0..samples {

@@ -156,6 +156,14 @@ pub struct Union<V> {
     options: Vec<BoxedStrategy<V>>,
 }
 
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
 impl<V> Union<V> {
     /// Builds a union over `options` (must be non-empty).
     pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
