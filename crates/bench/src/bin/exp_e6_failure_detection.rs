@@ -71,7 +71,9 @@ fn run_once(seed: u64, loss: f64, k: u64) -> (usize, Option<f64>) {
         }),
     );
     let agent = {
-        let mut a = RegistrationAgent::new(
+        // The sweep includes K < 2 on purpose (that flappy regime is the
+        // point of the experiment), so bypass the ttl >= 2x interval guard.
+        let mut a = RegistrationAgent::new_unchecked(
             service.clone(),
             Dn::root(),
             interval,

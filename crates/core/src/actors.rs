@@ -90,6 +90,11 @@ impl GrisActor {
 
 impl Actor<ProtocolMessage> for GrisActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>) {
+        // Runs on boot *and* on simulator restart: re-announce
+        // immediately rather than waiting out the refresh interval, so
+        // directories re-learn a recovered service as fast as the
+        // network allows.
+        self.gris.agent.reannounce();
         self.flush_tick(ctx);
         ctx.set_timer(self.tick_every, TICK);
     }
@@ -164,6 +169,8 @@ impl GiisActor {
 
 impl Actor<ProtocolMessage> for GiisActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>) {
+        // As for GrisActor: restart re-announces to parents immediately.
+        self.giis.agent.reannounce();
         let actions = self.giis.tick(ctx.now());
         self.perform(ctx, actions);
         ctx.set_timer(self.tick_every, TICK);

@@ -25,6 +25,6 @@ pub use bootstrap::{
     discover_directories, join_via_hierarchy, local_default_directory, manual_join,
 };
 pub use deploy::{org, SimDeployment, DEFAULT_TICK};
-pub use live::{LiveClient, LiveRuntime};
+pub use live::{LiveClient, LiveNetMetrics, LiveRuntime, RetryPolicy, ServiceFault};
 pub use naming::{Guid, GuidGenerator, NamingAuthority};
 pub use scenario::{figure5, two_vos, HierarchyScenario, TwoVoScenario};

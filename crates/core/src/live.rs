@@ -12,9 +12,9 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use gis_giis::{Giis, GiisAction};
 use gis_gris::Gris;
 use gis_ldap::{Entry, LdapUrl};
-use gis_netsim::SimTime;
+use gis_netsim::{SimRng, SimTime};
 use gis_proto::{GripReply, GripRequest, GrrpMessage, RequestId, ResultCode, SearchSpec};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -49,25 +49,145 @@ pub enum LiveMsg {
     },
     /// A GRRP notification.
     Grrp(GrrpMessage),
+    /// Control message: re-announce to registration targets immediately
+    /// (sent by the runtime when a paused service is resumed).
+    Reannounce,
     /// Stop the service thread.
     Shutdown,
 }
 
+/// Injected fault state for one service's inbound link, mirroring the
+/// simulator's [`gis_netsim::LinkConfig`] loss/latency knobs plus the
+/// crash-style `paused` blackhole.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceFault {
+    /// Probability in `[0, 1]` that an inbound message is dropped.
+    pub drop: f64,
+    /// Extra delivery latency added to every inbound message.
+    pub latency: Duration,
+    /// When true, all inbound traffic is discarded (the live analogue of
+    /// a simulator crash or partition: the thread keeps running but the
+    /// network no longer reaches it).
+    pub paused: bool,
+}
+
+/// The fault-injection plan attached to the live [`Router`]: per-service
+/// fault state plus a seeded RNG so drop decisions replay deterministically
+/// for a given seed and message order.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    faults: HashMap<String, ServiceFault>,
+    rng: Option<SimRng>,
+}
+
+/// What the fault plan decided for one message.
+enum Verdict {
+    Deliver,
+    DeliverAfter(Duration),
+    DropFault,
+    DropPaused,
+}
+
+impl FaultPlan {
+    fn verdict(&mut self, url: &str) -> Verdict {
+        let Some(fault) = self.faults.get(url) else {
+            return Verdict::Deliver;
+        };
+        if fault.paused {
+            return Verdict::DropPaused;
+        }
+        if fault.drop > 0.0 {
+            let hit = self
+                .rng
+                .get_or_insert_with(|| SimRng::new(0))
+                .chance(fault.drop);
+            if hit {
+                return Verdict::DropFault;
+            }
+        }
+        if fault.latency > Duration::ZERO {
+            return Verdict::DeliverAfter(fault.latency);
+        }
+        Verdict::Deliver
+    }
+}
+
+/// Counters the live router keeps, mirroring the simulator's
+/// [`gis_netsim::NetMetrics`]: every send is accounted for, including the
+/// previously-invisible drops to unknown services.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveNetMetrics {
+    /// Messages handed to the router for a service.
+    pub sent: u64,
+    /// Messages placed on a service inbox.
+    pub delivered: u64,
+    /// Drops because no service with that URL is registered (killed,
+    /// never spawned, or mis-addressed).
+    pub dropped_unknown: u64,
+    /// Drops from an injected loss probability.
+    pub dropped_fault: u64,
+    /// Drops because the destination service is paused.
+    pub dropped_paused: u64,
+    /// Deliveries that had injected latency applied.
+    pub delayed: u64,
+}
+
+#[derive(Default)]
+struct RouterCounters {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped_unknown: AtomicU64,
+    dropped_fault: AtomicU64,
+    dropped_paused: AtomicU64,
+    delayed: AtomicU64,
+}
+
 /// The shared "network": routes messages to service inboxes and client
-/// reply channels.
+/// reply channels, applying the [`FaultPlan`] on the way.
 #[derive(Default)]
 pub struct Router {
     services: RwLock<HashMap<String, Sender<LiveMsg>>>,
     clients: RwLock<HashMap<u64, Sender<GripReply>>>,
+    faults: Mutex<FaultPlan>,
+    counters: RouterCounters,
 }
 
 impl Router {
-    fn send_to_service(&self, url: &str, msg: LiveMsg) {
-        if let Some(tx) = self.services.read().get(url) {
-            let _ = tx.send(msg);
+    fn send_to_service(self: &Arc<Self>, url: &str, msg: LiveMsg) {
+        self.counters.sent.fetch_add(1, Ordering::Relaxed);
+        match self.faults.lock().verdict(url) {
+            Verdict::Deliver => self.deliver(url, msg),
+            Verdict::DropFault => {
+                self.counters.dropped_fault.fetch_add(1, Ordering::Relaxed);
+            }
+            Verdict::DropPaused => {
+                self.counters.dropped_paused.fetch_add(1, Ordering::Relaxed);
+            }
+            Verdict::DeliverAfter(delay) => {
+                self.counters.delayed.fetch_add(1, Ordering::Relaxed);
+                let router = Arc::clone(self);
+                let url = url.to_owned();
+                std::thread::spawn(move || {
+                    std::thread::sleep(delay);
+                    router.deliver(&url, msg);
+                });
+            }
         }
-        // Unknown or shut-down services silently drop traffic — exactly
-        // the partition/failure semantics the protocols are built for.
+    }
+
+    fn deliver(&self, url: &str, msg: LiveMsg) {
+        if let Some(tx) = self.services.read().get(url) {
+            if tx.send(msg).is_ok() {
+                self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        // Unknown or shut-down services drop traffic — the partition /
+        // failure semantics the protocols are built for — but the drop
+        // is now counted rather than silent.
+        self.counters
+            .dropped_unknown
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     fn send_to_client(&self, id: u64, reply: GripReply) {
@@ -76,7 +196,7 @@ impl Router {
         }
     }
 
-    fn send_back(&self, addr: &Address, self_url: &str, reply: GripReply) {
+    fn send_back(self: &Arc<Self>, addr: &Address, self_url: &str, reply: GripReply) {
         match addr {
             Address::Client(id) => self.send_to_client(*id, reply),
             Address::Service(url) => self.send_to_service(
@@ -86,6 +206,17 @@ impl Router {
                     reply,
                 },
             ),
+        }
+    }
+
+    fn metrics(&self) -> LiveNetMetrics {
+        LiveNetMetrics {
+            sent: self.counters.sent.load(Ordering::Relaxed),
+            delivered: self.counters.delivered.load(Ordering::Relaxed),
+            dropped_unknown: self.counters.dropped_unknown.load(Ordering::Relaxed),
+            dropped_fault: self.counters.dropped_fault.load(Ordering::Relaxed),
+            dropped_paused: self.counters.dropped_paused.load(Ordering::Relaxed),
+            delayed: self.counters.delayed.load(Ordering::Relaxed),
         }
     }
 }
@@ -147,6 +278,7 @@ impl LiveRuntime {
                     Ok(LiveMsg::Grrp(msg)) => {
                         gris.handle_grrp(&msg);
                     }
+                    Ok(LiveMsg::Reannounce) => gris.agent.reannounce(),
                     Ok(LiveMsg::ReplyToService { .. }) => {}
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
@@ -179,7 +311,7 @@ impl LiveRuntime {
             let mut addrs: HashMap<u64, Address> = HashMap::new();
             let mut next = 1u64;
             let perform =
-                |actions: Vec<GiisAction>, router: &Router, addrs: &HashMap<u64, Address>| {
+                |actions: Vec<GiisAction>, router: &Arc<Router>, addrs: &HashMap<u64, Address>| {
                     for action in actions {
                         match action {
                             GiisAction::SendRequest { to, request } => router.send_to_service(
@@ -214,15 +346,19 @@ impl LiveRuntime {
                         perform(actions, &router, &addrs);
                     }
                     Ok(LiveMsg::ReplyToService { from_url, reply }) => {
-                        let from = LdapUrl::parse(&from_url)
-                            .unwrap_or_else(|_| LdapUrl::server("unknown"));
-                        let actions = giis.handle_reply(&from, reply, now());
-                        perform(actions, &router, &addrs);
+                        // A malformed source URL cannot be correlated to
+                        // a child; drop the reply instead of attributing
+                        // it to a placeholder server.
+                        if let Ok(from) = LdapUrl::parse(&from_url) {
+                            let actions = giis.handle_reply(&from, reply, now());
+                            perform(actions, &router, &addrs);
+                        }
                     }
                     Ok(LiveMsg::Grrp(msg)) => {
                         let actions = giis.handle_grrp(msg, now());
                         perform(actions, &router, &addrs);
                     }
+                    Ok(LiveMsg::Reannounce) => giis.agent.reannounce(),
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
@@ -244,15 +380,67 @@ impl LiveRuntime {
             rx,
             router: Arc::clone(&self.router),
             next_req: 1,
+            rng: SimRng::new(id),
         }
     }
 
     /// Simulate a service failure: unregister its inbox and stop the
-    /// thread. Soft state at directories will expire naturally.
+    /// thread. Soft state at directories will expire naturally. A
+    /// crash+restart is this followed by `spawn_gris`/`spawn_giis` with a
+    /// fresh engine; the new agent re-announces on its first tick.
     pub fn kill_service(&mut self, url: &LdapUrl) {
         if let Some(tx) = self.router.services.write().remove(&url.to_string()) {
             let _ = tx.send(LiveMsg::Shutdown);
         }
+    }
+
+    /// Install (or replace) the injected fault state for one service's
+    /// inbound link.
+    pub fn set_fault(&self, url: &LdapUrl, fault: ServiceFault) {
+        self.router
+            .faults
+            .lock()
+            .faults
+            .insert(url.to_string(), fault);
+    }
+
+    /// Remove the injected fault state for one service.
+    pub fn clear_fault(&self, url: &LdapUrl) {
+        self.router.faults.lock().faults.remove(&url.to_string());
+    }
+
+    /// Remove all injected faults (the netsim `heal_all` analogue).
+    pub fn heal_all(&self) {
+        self.router.faults.lock().faults.clear();
+    }
+
+    /// Seed the fault plan's RNG so drop decisions are reproducible for
+    /// a given seed and message order.
+    pub fn set_fault_seed(&self, seed: u64) {
+        self.router.faults.lock().rng = Some(SimRng::new(seed));
+    }
+
+    /// Pause a service: blackhole its inbound traffic (netsim's crash
+    /// semantics — the thread lives, the network no longer reaches it).
+    pub fn pause_service(&self, url: &LdapUrl) {
+        let mut plan = self.router.faults.lock();
+        plan.faults.entry(url.to_string()).or_default().paused = true;
+    }
+
+    /// Resume a paused service and tell it to re-announce immediately,
+    /// closing the visibility gap before the next scheduled refresh.
+    pub fn resume_service(&self, url: &LdapUrl) {
+        {
+            let mut plan = self.router.faults.lock();
+            plan.faults.entry(url.to_string()).or_default().paused = false;
+        }
+        self.router
+            .send_to_service(&url.to_string(), LiveMsg::Reannounce);
+    }
+
+    /// Snapshot of the router's traffic counters.
+    pub fn net_metrics(&self) -> LiveNetMetrics {
+        self.router.metrics()
     }
 
     /// Shut down every service thread and join them.
@@ -267,12 +455,42 @@ impl LiveRuntime {
     }
 }
 
+/// Client-side retry policy: per-attempt deadline plus jittered
+/// exponential backoff between attempts ("retry storms" are the client
+/// half of the thundering-herd problem the GRRP jitter addresses on the
+/// registration path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Deadline for each individual attempt.
+    pub attempt_timeout: Duration,
+    /// Total attempts (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempt_timeout: Duration::from_secs(1),
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
 /// A synchronous client of the live runtime.
 pub struct LiveClient {
     id: u64,
     rx: Receiver<GripReply>,
     router: Arc<Router>,
     next_req: RequestId,
+    /// Jitter source for retry backoff, seeded from the client id so a
+    /// fleet of clients desynchronizes deterministically.
+    rng: SimRng,
 }
 
 impl LiveClient {
@@ -316,6 +534,33 @@ impl LiveClient {
                 Err(_) => return None,
             }
         }
+    }
+
+    /// Issue a search with per-attempt deadlines and jittered exponential
+    /// backoff between attempts. Each attempt is a fresh request id, so a
+    /// late reply to an abandoned attempt is discarded, not mistaken for
+    /// the current one.
+    pub fn search_with_retry(
+        &mut self,
+        target: &LdapUrl,
+        spec: &SearchSpec,
+        policy: RetryPolicy,
+    ) -> Option<(ResultCode, Vec<Entry>, Vec<LdapUrl>)> {
+        for attempt in 0..policy.max_attempts.max(1) {
+            if let Some(result) = self.search(target, spec.clone(), policy.attempt_timeout) {
+                return Some(result);
+            }
+            if attempt + 1 < policy.max_attempts {
+                let exp = policy
+                    .base_backoff
+                    .saturating_mul(1u32 << attempt.min(16))
+                    .min(policy.max_backoff);
+                // Full-jitter half-spread: sleep in [exp/2, exp).
+                let frac = 0.5 + self.rng.next_f64() / 2.0;
+                std::thread::sleep(exp.mul_f64(frac));
+            }
+        }
+        None
     }
 
     /// Receive the next asynchronous reply (subscription updates).
@@ -479,6 +724,139 @@ mod tests {
             client.recv(Duration::from_millis(300)).is_none(),
             "no updates after unsubscribe"
         );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_paused_service_blackholes_then_resumes() {
+        let mut rt = LiveRuntime::new(Duration::from_millis(10));
+        let gris = fast_host_gris("n1", 1, &[]);
+        let url = gris.config.url.clone();
+        rt.spawn_gris(gris);
+        let mut client = rt.client();
+        let spec = SearchSpec::lookup(Dn::parse("hn=n1").unwrap());
+
+        rt.pause_service(&url);
+        assert!(
+            client
+                .search(&url, spec.clone(), Duration::from_millis(300))
+                .is_none(),
+            "paused service is unreachable"
+        );
+        let m = rt.net_metrics();
+        assert!(m.dropped_paused >= 1, "pause drops are counted: {m:?}");
+
+        rt.resume_service(&url);
+        assert!(
+            client.search(&url, spec, Duration::from_secs(5)).is_some(),
+            "resumed service answers again"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_injected_latency_delays_delivery() {
+        let mut rt = LiveRuntime::new(Duration::from_millis(10));
+        let gris = fast_host_gris("n1", 1, &[]);
+        let url = gris.config.url.clone();
+        rt.spawn_gris(gris);
+        rt.set_fault(
+            &url,
+            ServiceFault {
+                drop: 0.0,
+                latency: Duration::from_millis(200),
+                paused: false,
+            },
+        );
+        let mut client = rt.client();
+        let started = Instant::now();
+        let result = client.search(
+            &url,
+            SearchSpec::lookup(Dn::parse("hn=n1").unwrap()),
+            Duration::from_secs(5),
+        );
+        assert!(result.is_some(), "delayed message still delivered");
+        assert!(
+            started.elapsed() >= Duration::from_millis(200),
+            "request path carried the injected latency"
+        );
+        assert!(rt.net_metrics().delayed >= 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_full_loss_drops_deterministically() {
+        let mut rt = LiveRuntime::new(Duration::from_millis(10));
+        let gris = fast_host_gris("n1", 1, &[]);
+        let url = gris.config.url.clone();
+        rt.spawn_gris(gris);
+        rt.set_fault_seed(42);
+        rt.set_fault(
+            &url,
+            ServiceFault {
+                drop: 1.0,
+                latency: Duration::ZERO,
+                paused: false,
+            },
+        );
+        let mut client = rt.client();
+        assert!(
+            client
+                .search(
+                    &url,
+                    SearchSpec::lookup(Dn::parse("hn=n1").unwrap()),
+                    Duration::from_millis(300),
+                )
+                .is_none(),
+            "total loss yields no answer"
+        );
+        assert!(rt.net_metrics().dropped_fault >= 1);
+
+        rt.heal_all();
+        assert!(
+            client
+                .search(
+                    &url,
+                    SearchSpec::lookup(Dn::parse("hn=n1").unwrap()),
+                    Duration::from_secs(5),
+                )
+                .is_some(),
+            "healed link delivers"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_search_with_retry_outlasts_transient_outage() {
+        let mut rt = LiveRuntime::new(Duration::from_millis(10));
+        let gris = fast_host_gris("n1", 1, &[]);
+        let url = gris.config.url.clone();
+        rt.spawn_gris(gris);
+        rt.pause_service(&url);
+
+        // Heal the outage from another thread while the client is mid-retry.
+        let rt_ref = &rt;
+        let heal_url = url.clone();
+        let result = std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(350));
+                rt_ref.resume_service(&heal_url);
+            });
+            let mut client = rt_ref.client();
+            client.search_with_retry(
+                &url,
+                &SearchSpec::lookup(Dn::parse("hn=n1").unwrap()),
+                RetryPolicy {
+                    attempt_timeout: Duration::from_millis(200),
+                    max_attempts: 8,
+                    base_backoff: Duration::from_millis(40),
+                    max_backoff: Duration::from_millis(200),
+                },
+            )
+        });
+        let (code, entries, _) = result.expect("a later attempt lands after the heal");
+        assert_eq!(code, ResultCode::Success);
+        assert_eq!(entries.len(), 1);
         rt.shutdown();
     }
 

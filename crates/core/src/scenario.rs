@@ -125,6 +125,7 @@ pub fn two_vos(seed: u64, hosts_per_group: usize) -> TwoVoScenario {
                     credential: None,
                     grrp_trust: None,
                     result_cache_ttl: None,
+                    breaker: None,
                 },
                 secs(10),
                 secs(30),

@@ -17,4 +17,6 @@ pub mod bloom;
 pub mod server;
 
 pub use bloom::{attr_token, BloomFilter};
-pub use server::{AcceptPolicy, ClientId, Giis, GiisAction, GiisConfig, GiisMode, GiisStats};
+pub use server::{
+    AcceptPolicy, BreakerConfig, ClientId, Giis, GiisAction, GiisConfig, GiisMode, GiisStats,
+};

@@ -151,6 +151,18 @@ pub struct GiisStats {
     pub entries_returned: u64,
     /// Chained searches answered from the GIIS result cache.
     pub result_cache_hits: u64,
+    /// Children skipped from a fan-out because their circuit was open.
+    pub breaker_skips: u64,
+    /// Circuits opened (child reached the consecutive-failure threshold).
+    pub breaker_opens: u64,
+    /// Half-open probe requests issued to suspect children.
+    pub breaker_probes: u64,
+    /// Probes that failed, re-opening the circuit for another cooldown.
+    pub breaker_reopens: u64,
+    /// Circuits closed again after a reply (children re-admitted).
+    pub breaker_closes: u64,
+    /// Chained requests re-sent once inside the fan-out deadline.
+    pub chain_retries: u64,
 }
 
 /// GIIS configuration.
@@ -188,6 +200,52 @@ pub struct GiisConfig {
     /// issues complicate caching" — one client's view must never be
     /// served to another. `None` disables caching.
     pub result_cache_ttl: Option<SimDuration>,
+    /// Per-child circuit breaker for the chaining modes. `None` (the
+    /// default) preserves the passive behaviour: a dead child eats the
+    /// full fan-out deadline on every query until its registration
+    /// expires. With a breaker, K consecutive timeouts open the child's
+    /// circuit and subsequent fan-outs skip it instantly (the answer is
+    /// marked partial); after a cooldown, one live query doubles as a
+    /// half-open probe that re-admits the child if it answers.
+    pub breaker: Option<BreakerConfig>,
+}
+
+/// Circuit-breaker tuning for chained queries (health-aware routing, the
+/// fault-tolerant-BDII idiom layered on §5's partial-result semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive chained-request timeouts that open a child's circuit.
+    pub failure_threshold: u32,
+    /// How long an open circuit rests before a half-open probe is tried.
+    pub cooldown: SimDuration,
+    /// When true, a still-unanswered chained request is re-sent once at
+    /// the fan-out deadline midpoint, recovering isolated message loss
+    /// without waiting for the deadline to declare partial results.
+    pub retry: bool,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(10),
+            retry: true,
+        }
+    }
+}
+
+/// Health of one registered child's chained-query circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Circuit {
+    /// Normal operation; requests flow.
+    Closed,
+    /// Skipping this child until the cooldown lapses.
+    Open {
+        /// When a half-open probe becomes permissible.
+        until: SimTime,
+    },
+    /// One probe request is in flight; further fan-outs still skip.
+    HalfOpen,
 }
 
 impl GiisConfig {
@@ -205,6 +263,7 @@ impl GiisConfig {
             credential: None,
             grrp_trust: None,
             result_cache_ttl: None,
+            breaker: None,
         }
     }
 }
@@ -216,6 +275,10 @@ struct ChildState {
     bloom: Option<BloomFilter>,
     /// Whether this directory has authenticated to the child.
     bound: bool,
+    /// Consecutive chained-request timeouts (breaker input).
+    consec_failures: u32,
+    /// Chained-query circuit state.
+    circuit: Circuit,
 }
 
 struct PendingQuery {
@@ -226,7 +289,12 @@ struct PendingQuery {
     merged: BTreeMap<String, Entry>,
     referrals: Vec<LdapUrl>,
     partial: bool,
+    /// A child answered from its serve-stale cache (`StaleResults`).
+    degraded: bool,
     deadline: SimTime,
+    /// When set, still-unanswered children are re-asked once at this
+    /// instant (the in-deadline retry); cleared after firing.
+    retry_at: Option<SimTime>,
     spec: SearchSpec,
     requester: Requester,
 }
@@ -366,6 +434,8 @@ impl Giis {
                     last_harvest: None,
                     bloom: None,
                     bound: false,
+                    consec_failures: 0,
+                    circuit: Circuit::Closed,
                 });
                 // New children are harvested immediately in harvesting
                 // modes ("follows up each registration of a new entity
@@ -690,6 +760,7 @@ impl Giis {
         // Namespace scoping (Figure 5): only children whose registered
         // namespace intersects the search base are consulted.
         let mut targets: Vec<LdapUrl> = Vec::new();
+        let mut skipped_by_breaker = false;
         let tokens = if bloom_route {
             Self::prunable_tokens(&spec.filter)
         } else {
@@ -710,6 +781,27 @@ impl Giis {
                     }
                 }
             }
+            // Circuit breaker: open children are skipped instantly
+            // (answer marked partial) instead of burning the deadline;
+            // once the cooldown lapses, this query doubles as the
+            // half-open probe.
+            if self.config.breaker.is_some() {
+                if let Some(state) = self.children.get_mut(&reg.message.service_url.to_string()) {
+                    match state.circuit {
+                        Circuit::Closed => {}
+                        Circuit::Open { until } if now >= until => {
+                            state.circuit = Circuit::HalfOpen;
+                            self.stats.breaker_probes += 1;
+                        }
+                        Circuit::Open { .. } | Circuit::HalfOpen => {
+                            // At most one in-flight probe per child.
+                            self.stats.breaker_skips += 1;
+                            skipped_by_breaker = true;
+                            continue;
+                        }
+                    }
+                }
+            }
             targets.push(reg.message.service_url.clone());
         }
 
@@ -718,7 +810,13 @@ impl Giis {
                 client,
                 reply: GripReply::SearchResult {
                     id,
-                    code: ResultCode::Success,
+                    // With every eligible child behind an open circuit
+                    // the instant empty answer is still a partial view.
+                    code: if skipped_by_breaker {
+                        ResultCode::PartialResults
+                    } else {
+                        ResultCode::Success
+                    },
                     entries: Vec::new(),
                     referrals: Vec::new(),
                 },
@@ -749,6 +847,11 @@ impl Giis {
                 },
             });
         }
+        let retry_at = self
+            .config
+            .breaker
+            .filter(|b| b.retry)
+            .map(|_| now + SimDuration::from_micros(timeout.micros() / 2));
         self.pending.insert(
             query,
             PendingQuery {
@@ -758,8 +861,10 @@ impl Giis {
                 outstanding,
                 merged: BTreeMap::new(),
                 referrals: Vec::new(),
-                partial: false,
+                partial: skipped_by_breaker,
+                degraded: false,
                 deadline: now + timeout,
+                retry_at,
                 spec,
                 requester,
             },
@@ -797,6 +902,10 @@ impl Giis {
             }
             OutboundKind::Chained { query, child } => {
                 debug_assert_eq!(&child, from, "reply source mismatch");
+                // Any reply — whatever its code — proves the child is
+                // reachable: reset its failure streak and close its
+                // circuit (a successful half-open probe re-admits it).
+                self.record_child_success(&child);
                 let Some(p) = self.pending.get_mut(&query) else {
                     return Vec::new();
                 };
@@ -818,6 +927,9 @@ impl Giis {
                         ResultCode::PartialResults | ResultCode::Unavailable => {
                             p.partial = true;
                         }
+                        ResultCode::StaleResults => {
+                            p.degraded = true;
+                        }
                         _ => {}
                     }
                     for e in entries {
@@ -838,6 +950,49 @@ impl Giis {
                     return self.finalize(query, now);
                 }
                 Vec::new()
+            }
+        }
+    }
+
+    /// Breaker bookkeeping: a reply arrived from `child`.
+    fn record_child_success(&mut self, child: &LdapUrl) {
+        if self.config.breaker.is_none() {
+            return;
+        }
+        if let Some(state) = self.children.get_mut(&child.to_string()) {
+            state.consec_failures = 0;
+            if state.circuit != Circuit::Closed {
+                state.circuit = Circuit::Closed;
+                self.stats.breaker_closes += 1;
+            }
+        }
+    }
+
+    /// Breaker bookkeeping: a chained request to `child` timed out.
+    fn record_child_failure(&mut self, child: &LdapUrl, now: SimTime) {
+        let Some(bk) = self.config.breaker else {
+            return;
+        };
+        let Some(state) = self.children.get_mut(&child.to_string()) else {
+            return;
+        };
+        match state.circuit {
+            Circuit::HalfOpen => {
+                // The probe went unanswered: rest for another cooldown.
+                state.circuit = Circuit::Open {
+                    until: now + bk.cooldown,
+                };
+                self.stats.breaker_reopens += 1;
+            }
+            Circuit::Open { .. } => {}
+            Circuit::Closed => {
+                state.consec_failures += 1;
+                if state.consec_failures >= bk.failure_threshold {
+                    state.circuit = Circuit::Open {
+                        until: now + bk.cooldown,
+                    };
+                    self.stats.breaker_opens += 1;
+                }
             }
         }
     }
@@ -895,6 +1050,9 @@ impl Giis {
         }
         let code = if p.partial || !p.outstanding.is_empty() {
             ResultCode::PartialResults
+        } else if p.degraded {
+            // Complete, but some child served last-known-good entries.
+            ResultCode::StaleResults
         } else {
             ResultCode::Success
         };
@@ -1050,7 +1208,59 @@ impl Giis {
         // otherwise).
         actions.extend(self.subscription_updates(now));
 
-        // Expired fan-outs answer partially.
+        // In-deadline retry: re-ask children still unanswered at the
+        // deadline midpoint, so an isolated lost message does not turn
+        // into a partial answer.
+        let retry_due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.retry_at.is_some_and(|at| now >= at) && now < p.deadline)
+            .map(|(&q, _)| q)
+            .collect();
+        for query in retry_due {
+            let Some(p) = self.pending.get_mut(&query) else {
+                continue;
+            };
+            p.retry_at = None;
+            let spec = p.spec.clone();
+            let old = std::mem::take(&mut p.outstanding);
+            let mut fresh = Vec::with_capacity(old.len());
+            let mut sends = Vec::with_capacity(old.len());
+            for out_id in old {
+                match self.outbound.remove(&out_id) {
+                    Some(OutboundKind::Chained { query: q, child }) => {
+                        let new_id = self.next_outbound;
+                        self.next_outbound += 1;
+                        self.outbound.insert(
+                            new_id,
+                            OutboundKind::Chained {
+                                query: q,
+                                child: child.clone(),
+                            },
+                        );
+                        self.stats.chain_retries += 1;
+                        fresh.push(new_id);
+                        sends.push(GiisAction::SendRequest {
+                            to: child,
+                            request: GripRequest::Search {
+                                id: new_id,
+                                spec: spec.clone(),
+                            },
+                        });
+                    }
+                    Some(other) => {
+                        self.outbound.insert(out_id, other);
+                        fresh.push(out_id);
+                    }
+                    None => {}
+                }
+            }
+            p.outstanding = fresh;
+            actions.extend(sends);
+        }
+
+        // Expired fan-outs answer partially; each unanswered child is a
+        // timeout the breaker counts against it.
         let expired: Vec<u64> = self
             .pending
             .iter()
@@ -1059,11 +1269,18 @@ impl Giis {
             .collect();
         for query in expired {
             self.stats.timeouts += 1;
+            let mut unanswered: Vec<LdapUrl> = Vec::new();
             if let Some(p) = self.pending.get_mut(&query) {
                 for out_id in std::mem::take(&mut p.outstanding) {
-                    self.outbound.remove(&out_id);
+                    if let Some(OutboundKind::Chained { child, .. }) = self.outbound.remove(&out_id)
+                    {
+                        unanswered.push(child);
+                    }
                 }
                 p.partial = true;
+            }
+            for child in unanswered {
+                self.record_child_failure(&child, now);
             }
             actions.extend(self.finalize(query, now));
         }
@@ -1842,6 +2059,196 @@ mod tests {
             }]
         ));
         assert_eq!(giis.subscription_count(), 0);
+    }
+
+    fn breaker_giis(threshold: u32, retry: bool) -> Giis {
+        let mut config = GiisConfig::chaining(url("giis.vo"), Dn::root());
+        config.breaker = Some(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: secs(10),
+            retry,
+        });
+        Giis::new(config, secs(30), secs(90))
+    }
+
+    fn search_id(giis: &mut Giis, id: u64, now: SimTime) -> Vec<GiisAction> {
+        giis.handle_request(
+            1,
+            GripRequest::Search {
+                id,
+                spec: SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=*)").unwrap()),
+            },
+            now,
+        )
+    }
+
+    fn sends(actions: &[GiisAction]) -> Vec<(LdapUrl, u64)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                GiisAction::SendRequest { to, request } => Some((to.clone(), request.id())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn ok_reply(giis: &mut Giis, child: &str, id: u64, now: SimTime) -> Vec<GiisAction> {
+        giis.handle_reply(
+            &url(child),
+            GripReply::SearchResult {
+                id,
+                code: ResultCode::Success,
+                entries: vec![Entry::at(&format!("hn={child}"))
+                    .unwrap()
+                    .with_class("computer")],
+                referrals: vec![],
+            },
+            now,
+        )
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_skips_instantly() {
+        let mut giis = breaker_giis(2, false);
+        giis.handle_grrp(reg("gris.a", "hn=gris.a", t(0)), t(0));
+        giis.handle_grrp(reg("gris.b", "hn=gris.b", t(0)), t(0));
+
+        // Two rounds where gris.b never answers: consecutive failures
+        // accumulate until the circuit opens.
+        for (round, start) in [(0u64, 1u64), (1, 5)] {
+            let actions = search_id(&mut giis, 100 + round, t(start));
+            let out = sends(&actions);
+            assert_eq!(out.len(), 2, "circuit still closed in round {round}");
+            let (_, a_id) = out.iter().find(|(to, _)| *to == url("gris.a")).unwrap();
+            ok_reply(&mut giis, "gris.a", *a_id, t(start));
+            giis.tick(t(start + 3)); // past the 2s chain deadline
+        }
+        assert_eq!(giis.stats.breaker_opens, 1);
+
+        // Next query skips gris.b without waiting: gris.a's reply alone
+        // finalizes the answer well before the chaining deadline, marked
+        // partial because a child was bypassed.
+        let actions = search_id(&mut giis, 102, t(9));
+        let out = sends(&actions);
+        assert_eq!(out, vec![(url("gris.a"), out[0].1)]);
+        assert_eq!(giis.stats.breaker_skips, 1);
+        let replies = ok_reply(&mut giis, "gris.a", out[0].1, t(9));
+        match &replies[..] {
+            [GiisAction::Reply {
+                reply: GripReply::SearchResult { code, entries, .. },
+                ..
+            }] => {
+                assert_eq!(*code, ResultCode::PartialResults);
+                assert_eq!(entries.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn half_open_probe_readmits_child_on_reply() {
+        let mut giis = breaker_giis(1, false);
+        giis.handle_grrp(reg("gris.a", "hn=gris.a", t(0)), t(0));
+        giis.handle_grrp(reg("gris.b", "hn=gris.b", t(0)), t(0));
+
+        // One timeout opens the circuit (threshold 1) until t(4)+10s.
+        let actions = search_id(&mut giis, 100, t(1));
+        let out = sends(&actions);
+        let (_, a_id) = out.iter().find(|(to, _)| *to == url("gris.a")).unwrap();
+        ok_reply(&mut giis, "gris.a", *a_id, t(1));
+        giis.tick(t(4));
+        assert_eq!(giis.stats.breaker_opens, 1);
+
+        // After the cooldown lapses the next query doubles as a probe:
+        // gris.b is included again in half-open state.
+        let actions = search_id(&mut giis, 101, t(15));
+        let out = sends(&actions);
+        assert_eq!(out.len(), 2, "probe rides the live query");
+        assert_eq!(giis.stats.breaker_probes, 1);
+        let (_, b_id) = out.iter().find(|(to, _)| *to == url("gris.b")).unwrap();
+        ok_reply(&mut giis, "gris.b", *b_id, t(15));
+        assert_eq!(giis.stats.breaker_closes, 1, "any reply closes the circuit");
+        let (_, a_id) = out.iter().find(|(to, _)| *to == url("gris.a")).unwrap();
+        let replies = ok_reply(&mut giis, "gris.a", *a_id, t(15));
+        match &replies[..] {
+            [GiisAction::Reply {
+                reply: GripReply::SearchResult { code, entries, .. },
+                ..
+            }] => {
+                assert_eq!(*code, ResultCode::Success, "complete answer after heal");
+                assert_eq!(entries.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn half_open_probe_timeout_reopens_circuit() {
+        let mut giis = breaker_giis(1, false);
+        giis.handle_grrp(reg("gris.a", "hn=gris.a", t(0)), t(0));
+        giis.handle_grrp(reg("gris.b", "hn=gris.b", t(0)), t(0));
+
+        let actions = search_id(&mut giis, 100, t(1));
+        let (_, a_id) = sends(&actions)
+            .into_iter()
+            .find(|(to, _)| *to == url("gris.a"))
+            .unwrap();
+        ok_reply(&mut giis, "gris.a", a_id, t(1));
+        giis.tick(t(4)); // opens until t(14)
+
+        // Probe at t(15) also times out: straight back to open, no
+        // threshold accumulation in half-open state.
+        let actions = search_id(&mut giis, 101, t(15));
+        assert_eq!(sends(&actions).len(), 2);
+        let (_, a_id) = sends(&actions)
+            .into_iter()
+            .find(|(to, _)| *to == url("gris.a"))
+            .unwrap();
+        ok_reply(&mut giis, "gris.a", a_id, t(15));
+        giis.tick(t(18));
+        assert_eq!(giis.stats.breaker_reopens, 1);
+
+        // Still skipped while the new cooldown runs.
+        let actions = search_id(&mut giis, 102, t(20));
+        assert_eq!(sends(&actions).len(), 1);
+        assert_eq!(giis.stats.breaker_skips, 1);
+    }
+
+    #[test]
+    fn in_deadline_retry_recovers_lost_request() {
+        let mut giis = breaker_giis(3, true);
+        giis.handle_grrp(reg("gris.a", "hn=gris.a", t(0)), t(0));
+
+        // First send is "lost" (never answered). At the deadline midpoint
+        // the engine re-asks with a fresh request id.
+        let actions = search_id(&mut giis, 100, t(1));
+        let out = sends(&actions);
+        assert_eq!(out.len(), 1);
+        let old_id = out[0].1;
+
+        let actions = giis.tick(t(2));
+        let retried = sends(&actions);
+        assert_eq!(retried.len(), 1, "one in-deadline retry");
+        assert_eq!(retried[0].0, url("gris.a"));
+        assert_ne!(retried[0].1, old_id, "retry uses a fresh outbound id");
+        assert_eq!(giis.stats.chain_retries, 1);
+
+        // A late reply to the superseded id is dropped...
+        assert!(ok_reply(&mut giis, "gris.a", old_id, t(2)).is_empty());
+
+        // ...while the retry's reply completes the answer in time.
+        let replies = ok_reply(&mut giis, "gris.a", retried[0].1, t(2));
+        match &replies[..] {
+            [GiisAction::Reply {
+                reply: GripReply::SearchResult { code, entries, .. },
+                ..
+            }] => {
+                assert_eq!(*code, ResultCode::Success);
+                assert_eq!(entries.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(giis.stats.timeouts, 0, "no timeout was charged");
     }
 
     #[test]

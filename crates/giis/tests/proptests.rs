@@ -123,6 +123,7 @@ proptest! {
                 credential: None,
                 grrp_trust: None,
                 result_cache_ttl: None,
+                breaker: None,
             },
             SimDuration::from_secs(30),
             SimDuration::from_secs(90),

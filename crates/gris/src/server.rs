@@ -46,6 +46,12 @@ pub struct GrisStats {
     pub updates_sent: u64,
     /// Provider entries dropped for violating the configured schema.
     pub schema_violations: u64,
+    /// Provider failures answered from the last-known-good cache
+    /// (serve-stale degraded mode).
+    pub stale_served: u64,
+    /// Provider failures with no cache to fall back on (entries omitted,
+    /// answer partial).
+    pub provider_failures: u64,
 }
 
 struct Slot {
@@ -74,6 +80,14 @@ pub struct GrisConfig {
     /// dropped and counted, never served. `None` skips validation — the
     /// paper's "support but not force" stance.
     pub schema: Option<(Schema, Strictness)>,
+    /// Serve-stale window: when a provider reports `Unavailable` and its
+    /// last successful fetch is at most this old, the cached entries are
+    /// served anyway — stamped `stale: TRUE` with their age — instead of
+    /// silently vanishing from the answer (the fault-tolerant-BDII
+    /// last-known-good idiom; the paper's "as much partial or even
+    /// inconsistent information as is available", §2.2). `None` disables
+    /// the degraded mode: failures omit the provider's entries.
+    pub stale_ttl: Option<SimDuration>,
 }
 
 impl GrisConfig {
@@ -86,6 +100,7 @@ impl GrisConfig {
             authenticator: None,
             credential: None,
             schema: None,
+            stale_ttl: None,
         }
     }
 }
@@ -377,9 +392,11 @@ impl Gris {
         }
 
         let mut partial = false;
+        let mut degraded = false;
         let mut too_wide = false;
         let mut merged: BTreeMap<String, Entry> = BTreeMap::new();
 
+        let stale_ttl = self.config.stale_ttl;
         for slot in &mut self.slots {
             if !namespace_intersects(slot.provider.namespace(), &spec.base) {
                 continue;
@@ -391,7 +408,10 @@ impl Gris {
                     .is_some_and(|(at, _)| now.since(*at) < slot.provider.cache_ttl());
             let entries: Vec<Entry> = if use_cache {
                 self.stats.cache_hits += 1;
-                slot.cached.as_ref().expect("cache checked").1.clone()
+                match &slot.cached {
+                    Some((_, entries)) => entries.clone(),
+                    None => Vec::new(),
+                }
             } else {
                 self.stats.cache_misses += 1;
                 match slot.provider.fetch(spec, now) {
@@ -403,8 +423,36 @@ impl Gris {
                         entries
                     }
                     Err(ProviderError::Unavailable(_)) => {
-                        partial = true;
-                        continue;
+                        // Degraded serve-stale mode: fall back to the
+                        // last-known-good fetch when it is still inside
+                        // the stale window, stamping each entry so
+                        // consumers can see (and filter on) its age.
+                        let stale = stale_ttl.and_then(|window| {
+                            slot.cached
+                                .as_ref()
+                                .filter(|(at, _)| now.since(*at) <= window)
+                        });
+                        match stale {
+                            Some((at, entries)) => {
+                                self.stats.stale_served += 1;
+                                degraded = true;
+                                let age_secs = now.since(*at).micros() / 1_000_000;
+                                entries
+                                    .iter()
+                                    .map(|e| {
+                                        let mut e = e.clone();
+                                        e.add("stale", "TRUE");
+                                        e.add("staleage", age_secs);
+                                        e
+                                    })
+                                    .collect()
+                            }
+                            None => {
+                                self.stats.provider_failures += 1;
+                                partial = true;
+                                continue;
+                            }
+                        }
                     }
                     Err(ProviderError::TooWide(_)) => {
                         too_wide = true;
@@ -462,7 +510,11 @@ impl Gris {
         } else if too_wide && results.is_empty() {
             ResultCode::UnwillingToPerform
         } else if partial {
+            // Entries are genuinely missing (a failed provider had no
+            // usable last-known-good data). Dominates StaleResults.
             ResultCode::PartialResults
+        } else if degraded {
+            ResultCode::StaleResults
         } else {
             ResultCode::Success
         };
@@ -617,6 +669,71 @@ mod tests {
         );
         assert_eq!(code, ResultCode::PartialResults);
         assert_eq!(entries.len(), 3, "other providers still answer");
+    }
+
+    #[test]
+    fn serve_stale_within_window_marks_entries_and_code() {
+        let mut gris = host_gris();
+        gris.config.stale_ttl = Some(secs(300));
+        // Populate the dynamic provider's cache, then fail it.
+        search(
+            &mut gris,
+            SearchSpec::subtree(Dn::parse("hn=hostX").unwrap(), Filter::always()),
+            t(0),
+        );
+        gris.provider_mut::<DynamicHostProvider>("dynamic-host:hostX")
+            .unwrap()
+            .fail = true;
+        // t=40: past the 30s cache TTL, inside the 300s stale window.
+        let (code, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(Dn::parse("hn=hostX").unwrap(), Filter::always()),
+            t(40),
+        );
+        assert_eq!(code, ResultCode::StaleResults);
+        assert_eq!(entries.len(), 4, "failed provider's entries retained");
+        let perf = entries
+            .iter()
+            .find(|e| e.dn().to_string().starts_with("perf="))
+            .expect("stale perf entry present");
+        assert_eq!(perf.get_str("stale"), Some("TRUE"));
+        assert_eq!(perf.get_str("staleage"), Some("40"));
+        assert_eq!(gris.stats.stale_served, 1);
+
+        // Recovery: once the provider heals, answers are fresh again.
+        gris.provider_mut::<DynamicHostProvider>("dynamic-host:hostX")
+            .unwrap()
+            .fail = false;
+        let (code, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(Dn::parse("hn=hostX").unwrap(), Filter::always()),
+            t(80),
+        );
+        assert_eq!(code, ResultCode::Success);
+        assert!(entries.iter().all(|e| !e.has("stale")));
+    }
+
+    #[test]
+    fn serve_stale_window_expiry_degrades_to_partial() {
+        let mut gris = host_gris();
+        gris.config.stale_ttl = Some(secs(300));
+        search(
+            &mut gris,
+            SearchSpec::subtree(Dn::parse("hn=hostX").unwrap(), Filter::always()),
+            t(0),
+        );
+        gris.provider_mut::<DynamicHostProvider>("dynamic-host:hostX")
+            .unwrap()
+            .fail = true;
+        // t=400: even the stale window has lapsed — the data is gone.
+        let (code, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(Dn::parse("hn=hostX").unwrap(), Filter::always()),
+            t(400),
+        );
+        assert_eq!(code, ResultCode::PartialResults);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(gris.stats.provider_failures, 1);
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub enum ResultCode {
     /// namespaces might signal an error ... for searches that use too wide
     /// a scope", §4.1).
     UnwillingToPerform,
+    /// Every information source was consulted, but some entries were
+    /// served from a last-known-good cache because their provider is
+    /// currently unavailable (degraded serve-stale mode). Stale entries
+    /// carry a `stale: TRUE` attribute. Weaker than `Success`, stronger
+    /// than `PartialResults`: nothing is *missing*, but some of it is old.
+    StaleResults,
 }
 
 /// How subscription updates are produced.

@@ -17,7 +17,7 @@
 //! with an unreliable failure detector").
 
 use gis_ldap::{Dn, LdapUrl};
-use gis_netsim::{SimDuration, SimTime};
+use gis_netsim::{SimDuration, SimRng, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
@@ -320,8 +320,19 @@ pub struct RegistrationAgent {
     pub interval: SimDuration,
     /// Validity attached to each message. A TTL of `k × interval` lets the
     /// receiver survive `k − 1` consecutive lost messages (§4.3's
-    /// robustness/timeliness tradeoff).
+    /// robustness/timeliness tradeoff). Construction requires `k >= 2`:
+    /// with `ttl < 2 × interval`, a *single* lost refresh expires the
+    /// receiver's soft state, so the registration flaps under the very
+    /// message loss GRRP is designed to absorb.
     pub ttl: SimDuration,
+    /// Fraction of `interval` (0..=1) by which each refresh is randomly
+    /// advanced. Zero (the default) reproduces a fixed cadence; a
+    /// positive value desynchronizes fleets of agents that started at
+    /// the same instant, so a large VO does not hit its directory with
+    /// one registration burst per interval.
+    jitter_frac: f64,
+    /// Deterministic source for the jitter offsets.
+    rng: SimRng,
     /// Directories to keep registered with.
     targets: Vec<LdapUrl>,
     next_due: SimTime,
@@ -329,20 +340,69 @@ pub struct RegistrationAgent {
 
 impl RegistrationAgent {
     /// Create an agent with the given refresh interval and message TTL.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ttl >= 2 × interval`: anything tighter flaps on a
+    /// single lost refresh (see [`RegistrationAgent::ttl`]).
     pub fn new(
         service_url: LdapUrl,
         namespace: Dn,
         interval: SimDuration,
         ttl: SimDuration,
     ) -> RegistrationAgent {
+        assert!(
+            ttl.micros() >= 2 * interval.micros(),
+            "registration ttl ({ttl:?}) must be at least twice the refresh \
+             interval ({interval:?}); a tighter ratio expires on a single lost message"
+        );
+        Self::new_unchecked(service_url, namespace, interval, ttl)
+    }
+
+    /// Like [`RegistrationAgent::new`] but without the `ttl >= 2 × interval`
+    /// guard. Only for experiments that deliberately study under-provisioned
+    /// ratios (e.g. the §4.3 failure-detection sweep runs `ttl == interval`
+    /// to measure how tight ratios flap under loss). Production deployments
+    /// should use [`RegistrationAgent::new`].
+    pub fn new_unchecked(
+        service_url: LdapUrl,
+        namespace: Dn,
+        interval: SimDuration,
+        ttl: SimDuration,
+    ) -> RegistrationAgent {
+        // Seed the jitter stream from the service URL so two runs of the
+        // same deployment draw the same offsets (deterministic replay).
+        let mut seed: u64 = 0xcbf29ce484222325;
+        for b in service_url.to_string().bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
         RegistrationAgent {
             service_url,
             namespace,
             interval,
             ttl,
+            jitter_frac: 0.0,
+            rng: SimRng::new(seed),
             targets: Vec::new(),
             next_due: SimTime::ZERO,
         }
+    }
+
+    /// Enable jittered scheduling (builder style): each refresh fires up
+    /// to `frac × interval` early. The clamp keeps at least half the
+    /// interval between refreshes so jitter can never starve the TTL.
+    pub fn with_jitter(mut self, frac: f64) -> RegistrationAgent {
+        self.jitter_frac = frac.clamp(0.0, 0.5);
+        self
+    }
+
+    /// Make the next refresh due immediately. Call on service restart:
+    /// re-announcing right away closes the visibility gap between the
+    /// restart and the next scheduled refresh (directories holding
+    /// expired state re-learn the service without waiting an interval).
+    pub fn reannounce(&mut self) {
+        self.next_due = SimTime::ZERO;
     }
 
     /// Add a directory to register with ("under the direction of local and
@@ -379,12 +439,19 @@ impl RegistrationAgent {
     }
 
     /// If a refresh is due at `now`, return one registration message per
-    /// target and schedule the next refresh.
+    /// target and schedule the next refresh (jittered when configured).
     pub fn due_messages(&mut self, now: SimTime) -> Vec<(LdapUrl, GrrpMessage)> {
         if now < self.next_due {
             return Vec::new();
         }
-        self.next_due = now + self.interval;
+        let mut next = self.interval.micros();
+        if self.jitter_frac > 0.0 && next > 0 {
+            // Fire early by up to `frac × interval`; never late, so the
+            // receiver-side TTL margin is preserved.
+            let spread = (next as f64 * self.jitter_frac) as u64;
+            next -= self.rng.range_u64(0, spread + 1);
+        }
+        self.next_due = now + SimDuration::from_micros(next);
         self.targets
             .iter()
             .map(|dir| {
@@ -654,5 +721,47 @@ mod tests {
         assert_eq!(agent.due_messages(SimTime::ZERO).len(), 1);
         assert!(agent.due_messages(SimTime::ZERO + ms(499)).is_empty());
         assert_eq!(agent.due_messages(SimTime::ZERO + ms(500)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least twice")]
+    fn flappy_ttl_interval_ratio_rejected() {
+        // ttl < 2 × interval would expire on one lost refresh.
+        let _ = RegistrationAgent::new(url("g"), Dn::root(), secs(10), secs(19));
+    }
+
+    #[test]
+    fn jitter_fires_early_never_late_and_is_deterministic() {
+        let run = || {
+            let mut agent =
+                RegistrationAgent::new(url("g"), Dn::root(), secs(10), secs(30)).with_jitter(0.3);
+            agent.add_target(url("d"));
+            let mut fire_times = Vec::new();
+            let mut now = SimTime::ZERO;
+            for _ in 0..50 {
+                assert!(!agent.due_messages(now).is_empty());
+                fire_times.push(now);
+                now = agent.next_due();
+            }
+            fire_times
+        };
+        let times = run();
+        for pair in times.windows(2) {
+            let gap = pair[1].since(pair[0]);
+            assert!(gap <= secs(10), "never later than the interval: {gap:?}");
+            assert!(gap >= secs(7), "never earlier than frac allows: {gap:?}");
+        }
+        // Seeded from the service URL: replays identically.
+        assert_eq!(times, run());
+    }
+
+    #[test]
+    fn reannounce_makes_refresh_due_immediately() {
+        let mut agent = RegistrationAgent::new(url("g"), Dn::root(), secs(10), secs(30));
+        agent.add_target(url("d"));
+        assert_eq!(agent.due_messages(t(0)).len(), 1);
+        assert!(agent.due_messages(t(3)).is_empty(), "not due yet");
+        agent.reannounce();
+        assert_eq!(agent.due_messages(t(3)).len(), 1, "restart re-announces");
     }
 }

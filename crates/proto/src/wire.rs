@@ -104,6 +104,7 @@ impl Wire for ResultCode {
             ResultCode::Unavailable => 4,
             ResultCode::PartialResults => 5,
             ResultCode::UnwillingToPerform => 6,
+            ResultCode::StaleResults => 7,
         });
     }
     fn decode(r: &mut WireReader<'_>) -> Result<ResultCode> {
@@ -115,6 +116,7 @@ impl Wire for ResultCode {
             4 => ResultCode::Unavailable,
             5 => ResultCode::PartialResults,
             6 => ResultCode::UnwillingToPerform,
+            7 => ResultCode::StaleResults,
             b => return Err(LdapError::Codec(format!("bad result code {b}"))),
         })
     }
@@ -401,6 +403,7 @@ mod tests {
             ResultCode::Unavailable,
             ResultCode::PartialResults,
             ResultCode::UnwillingToPerform,
+            ResultCode::StaleResults,
         ] {
             roundtrip(code);
         }

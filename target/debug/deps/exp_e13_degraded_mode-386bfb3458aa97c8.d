@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e13_degraded_mode-386bfb3458aa97c8.d: crates/bench/src/bin/exp_e13_degraded_mode.rs
+
+/root/repo/target/debug/deps/exp_e13_degraded_mode-386bfb3458aa97c8: crates/bench/src/bin/exp_e13_degraded_mode.rs
+
+crates/bench/src/bin/exp_e13_degraded_mode.rs:

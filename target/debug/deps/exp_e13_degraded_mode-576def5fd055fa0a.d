@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_e13_degraded_mode-576def5fd055fa0a.d: crates/bench/src/bin/exp_e13_degraded_mode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_e13_degraded_mode-576def5fd055fa0a.rmeta: crates/bench/src/bin/exp_e13_degraded_mode.rs Cargo.toml
+
+crates/bench/src/bin/exp_e13_degraded_mode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_e13_degraded_mode-805853c28b279214.d: crates/bench/src/bin/exp_e13_degraded_mode.rs
+
+/root/repo/target/debug/deps/exp_e13_degraded_mode-805853c28b279214: crates/bench/src/bin/exp_e13_degraded_mode.rs
+
+crates/bench/src/bin/exp_e13_degraded_mode.rs:

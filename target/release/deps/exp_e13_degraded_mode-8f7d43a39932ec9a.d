@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_e13_degraded_mode-8f7d43a39932ec9a.d: crates/bench/src/bin/exp_e13_degraded_mode.rs
+
+/root/repo/target/release/deps/exp_e13_degraded_mode-8f7d43a39932ec9a: crates/bench/src/bin/exp_e13_degraded_mode.rs
+
+crates/bench/src/bin/exp_e13_degraded_mode.rs:

@@ -306,6 +306,84 @@ fn signed_registration_end_to_end() {
 }
 
 #[test]
+fn partitioned_child_yields_marked_partial_within_deadline() {
+    use grid_info_services::giis::BreakerConfig;
+
+    let mut dep = SimDeployment::new(109);
+    let vo_url = LdapUrl::server("giis.vo");
+    let mut config = GiisConfig::chaining(vo_url.clone(), Dn::root());
+    config.breaker = Some(BreakerConfig {
+        failure_threshold: 2,
+        cooldown: secs(20),
+        retry: true,
+    });
+    let vo = dep.add_giis(Giis::new(config, secs(30), secs(90)));
+
+    let mut host_nodes = Vec::new();
+    for i in 0..3 {
+        let host = HostSpec::linux(&format!("p{i}"), 2);
+        let (node, _) = dep.add_standard_host(&host, i as u64, std::slice::from_ref(&vo_url));
+        host_nodes.push(node);
+    }
+    let client = dep.add_client("u");
+    dep.run_for(secs(2));
+
+    // Cut host p0 off from the rest of the world. Its registration is
+    // still live (TTL 90s), so the directory chains to it and waits.
+    let rest: Vec<_> = host_nodes[1..]
+        .iter()
+        .copied()
+        .chain([vo, client])
+        .collect();
+    dep.sim.partition_between(&host_nodes[..1], &rest);
+
+    let q = SearchSpec::subtree(Dn::root(), computers());
+    let before = dep.now();
+    let (code, entries, _) = dep
+        .search_and_wait(client, &vo_url, q.clone(), secs(10))
+        .expect("partial answer still arrives");
+    assert_eq!(code, ResultCode::PartialResults, "answer is marked partial");
+    assert_eq!(entries.len(), 2, "reachable children are still served");
+    assert!(
+        dep.now().since(before) <= secs(3),
+        "answer within the 2s chaining deadline, not the 10s client budget"
+    );
+    assert!(
+        dep.giis(vo).stats.chain_retries >= 1,
+        "in-deadline retry was attempted before giving up"
+    );
+
+    // A second timeout reaches the breaker threshold; the third query is
+    // answered fast because the dead child is skipped instantly.
+    dep.search_and_wait(client, &vo_url, q.clone(), secs(10))
+        .expect("second partial answer");
+    assert_eq!(dep.giis(vo).stats.breaker_opens, 1);
+    let before = dep.now();
+    let (code, entries, _) = dep
+        .search_and_wait(client, &vo_url, q.clone(), secs(10))
+        .expect("third answer");
+    assert_eq!(code, ResultCode::PartialResults);
+    assert_eq!(entries.len(), 2);
+    assert!(
+        dep.now().since(before) < secs(1),
+        "open circuit avoids waiting out the chaining deadline"
+    );
+    assert!(dep.giis(vo).stats.breaker_skips >= 1);
+
+    // Heal; once the cooldown lapses, the next query doubles as the
+    // half-open probe and the full view returns.
+    dep.sim.heal_all();
+    dep.run_for(secs(25));
+    let (code, entries, _) = dep
+        .search_and_wait(client, &vo_url, q, secs(10))
+        .expect("post-heal answer");
+    assert_eq!(code, ResultCode::Success, "probe re-admitted the child");
+    assert_eq!(entries.len(), 3, "complete view restored");
+    assert!(dep.giis(vo).stats.breaker_probes >= 1);
+    assert_eq!(dep.giis(vo).stats.breaker_closes, 1);
+}
+
+#[test]
 fn deep_hierarchy_three_levels() {
     // host GRIS -> site GIIS -> region GIIS -> root GIIS.
     let mut dep = SimDeployment::new(106);

@@ -201,6 +201,56 @@ fn soak_is_deterministic() {
     assert_eq!(run(), run());
 }
 
+#[test]
+fn giis_crash_restart_mid_query_soak() {
+    // The directory itself is the fault domain: crash it while a chained
+    // fan-out is in flight, restart it, and require (a) recovery to the
+    // full view and (b) no duplicate or ghost answers for the queries
+    // that were caught mid-chain.
+    use grid_info_services::netsim::ms;
+
+    let mut soak = Soak::new(404);
+    let vo_node = soak.dep.names.resolve(&soak.vo_url).unwrap();
+    let q = || SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap());
+
+    let mut caught_mid_chain = Vec::new();
+    for round in 0..6 {
+        // Launch a query and crash the directory 100ms later — inside
+        // the 2s chaining deadline, with the fan-out outstanding.
+        caught_mid_chain.push(soak.dep.search(soak.client, &soak.vo_url, q()));
+        soak.dep.run_for(ms(100));
+        soak.dep.sim.crash(vo_node);
+        soak.dep.run_for(secs(5));
+        soak.dep.sim.restart(vo_node);
+        // Hosts refresh every 10s; give one full cycle plus margin for
+        // re-registration and for the revived directory to sweep the
+        // interrupted query's deadline.
+        soak.dep.run_for(secs(15));
+
+        let (_, entries, _) = soak
+            .dep
+            .search_and_wait(soak.client, &soak.vo_url, q(), secs(20))
+            .unwrap_or_else(|| panic!("round {round}: query after restart must terminate"));
+        assert_eq!(
+            entries.len(),
+            N_HOSTS,
+            "round {round}: full view after directory restart"
+        );
+    }
+
+    // Queries interrupted by the crash may be answered late (the revived
+    // directory sweeps their lapsed deadline) or never — but never twice,
+    // and never with hosts that were not up.
+    let client = soak.dep.client(soak.client);
+    for id in caught_mid_chain {
+        let n = client.replies.get(&id).map(Vec::len).unwrap_or(0);
+        assert!(
+            n <= 1,
+            "query {id} caught by the crash answered {n} times (duplicate terminal replies)"
+        );
+    }
+}
+
 // Unused-import guard: ClientActor is used through SimDeployment's client()
 // accessor type; keep a direct reference so the import is honest.
 #[allow(dead_code)]
