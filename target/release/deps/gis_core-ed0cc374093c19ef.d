@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gis_core-ed0cc374093c19ef.d: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/bootstrap.rs crates/core/src/deploy.rs crates/core/src/live.rs crates/core/src/naming.rs crates/core/src/scenario.rs
+
+/root/repo/target/release/deps/gis_core-ed0cc374093c19ef: crates/core/src/lib.rs crates/core/src/actors.rs crates/core/src/bootstrap.rs crates/core/src/deploy.rs crates/core/src/live.rs crates/core/src/naming.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/actors.rs:
+crates/core/src/bootstrap.rs:
+crates/core/src/deploy.rs:
+crates/core/src/live.rs:
+crates/core/src/naming.rs:
+crates/core/src/scenario.rs:

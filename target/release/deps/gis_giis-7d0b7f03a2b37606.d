@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gis_giis-7d0b7f03a2b37606.d: crates/giis/src/lib.rs crates/giis/src/bloom.rs crates/giis/src/server.rs
+
+/root/repo/target/release/deps/gis_giis-7d0b7f03a2b37606: crates/giis/src/lib.rs crates/giis/src/bloom.rs crates/giis/src/server.rs
+
+crates/giis/src/lib.rs:
+crates/giis/src/bloom.rs:
+crates/giis/src/server.rs:

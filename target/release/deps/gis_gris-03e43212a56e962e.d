@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gis_gris-03e43212a56e962e.d: crates/gris/src/lib.rs crates/gris/src/archive.rs crates/gris/src/provider.rs crates/gris/src/providers.rs crates/gris/src/server.rs
+
+/root/repo/target/release/deps/gis_gris-03e43212a56e962e: crates/gris/src/lib.rs crates/gris/src/archive.rs crates/gris/src/provider.rs crates/gris/src/providers.rs crates/gris/src/server.rs
+
+crates/gris/src/lib.rs:
+crates/gris/src/archive.rs:
+crates/gris/src/provider.rs:
+crates/gris/src/providers.rs:
+crates/gris/src/server.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/gis_proto-73125b0fa8e3f1b5.d: crates/proto/src/lib.rs crates/proto/src/grip.rs crates/proto/src/grrp.rs crates/proto/src/wire.rs
+
+/root/repo/target/release/deps/gis_proto-73125b0fa8e3f1b5: crates/proto/src/lib.rs crates/proto/src/grip.rs crates/proto/src/grrp.rs crates/proto/src/wire.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/grip.rs:
+crates/proto/src/grrp.rs:
+crates/proto/src/wire.rs:

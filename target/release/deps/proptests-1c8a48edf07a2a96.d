@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-1c8a48edf07a2a96.d: crates/giis/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-1c8a48edf07a2a96: crates/giis/tests/proptests.rs
+
+crates/giis/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-855578b96a330fd2.d: crates/proto/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-855578b96a330fd2: crates/proto/tests/proptests.rs
+
+crates/proto/tests/proptests.rs:
