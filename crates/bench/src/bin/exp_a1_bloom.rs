@@ -112,7 +112,7 @@ fn main() {
         // exactly the 5 matching children (plus Bloom false positives).
         let mut consulted_total = 0usize;
         let mut missed = 0usize;
-        let before_pruned = giis.stats.bloom_pruned;
+        let before_pruned = giis.stats().bloom_pruned;
         for os in 0..10 {
             let filter = Filter::parse(&format!("(system=os-{os})")).expect("filter");
             let actions = giis.handle_request(
@@ -132,7 +132,7 @@ fn main() {
                 missed += 5 - consulted; // a real match was pruned: impossible for Bloom
             }
         }
-        let pruned = giis.stats.bloom_pruned - before_pruned;
+        let pruned = giis.stats().bloom_pruned - before_pruned;
         t.row(vec![
             bpe.to_string(),
             f2(consulted_total as f64 / 10.0),

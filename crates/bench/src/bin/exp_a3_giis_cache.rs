@@ -40,7 +40,7 @@ fn run(cache_ttl_s: Option<u64>) -> Sample {
     dep.run_for(secs(5));
 
     let msgs_before = dep.sim.metrics().sent;
-    let chained_before = dep.giis(vo).stats.chained_requests;
+    let chained_before = dep.giis(vo).stats().chained_requests;
     let queries = RUN_S / QUERY_PERIOD_S;
     let q = || SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap());
     for _ in 0..queries {
@@ -56,8 +56,8 @@ fn run(cache_ttl_s: Option<u64>) -> Sample {
         .map(|d| d.as_secs_f64() * 1e3)
         .collect();
     Sample {
-        chained: dep.giis(vo).stats.chained_requests - chained_before,
-        cache_hits: dep.giis(vo).stats.result_cache_hits,
+        chained: dep.giis(vo).stats().chained_requests - chained_before,
+        cache_hits: dep.giis(vo).stats().result_cache_hits,
         msgs: dep.sim.metrics().sent - msgs_before,
         mean_latency_ms: latencies.iter().sum::<f64>() / latencies.len() as f64,
     }

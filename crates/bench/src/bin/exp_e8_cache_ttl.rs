@@ -74,7 +74,7 @@ fn main() {
                 samples += 1;
             }
         }
-        let s = gris.stats;
+        let s = gris.stats();
         table.row(vec![
             ttl_s.to_string(),
             s.provider_invocations.to_string(),

@@ -43,7 +43,7 @@ fn main() {
     // Phase 1: registration.
     dep.run_for(secs(2));
     let after_reg = dep.sim.metrics();
-    let regs = dep.giis(vo).stats.grrp_received;
+    let regs = dep.giis(vo).stats().grrp_received;
     section("phase 1: providers register via GRRP (soft state)");
     println!("  {regs} GRRP registrations accepted by the directory");
     println!("  {} messages on the wire so far", after_reg.sent);
@@ -96,7 +96,7 @@ fn main() {
     t.row(vec!["GRRP received at GIIS".into(), regs.to_string()]);
     t.row(vec![
         "GIIS chained requests".into(),
-        dep.giis(vo).stats.chained_requests.to_string(),
+        dep.giis(vo).stats().chained_requests.to_string(),
     ]);
     t.row(vec![
         "delivery ratio".into(),

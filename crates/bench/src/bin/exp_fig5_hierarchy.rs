@@ -72,7 +72,7 @@ fn main() {
     let mut table = Table::new(&["query", "found", "msgs", "vo fan-out", "entries (DNs)"]);
     for (label, base, filter) in cases {
         let before_msgs = sc.dep.sim.metrics().sent;
-        let before_chained = sc.dep.giis(sc.vo_giis).stats.chained_requests;
+        let before_chained = sc.dep.giis(sc.vo_giis).stats().chained_requests;
         let (_, entries, _) = sc
             .dep
             .search_and_wait(
@@ -83,7 +83,7 @@ fn main() {
             )
             .expect("query completes");
         let msgs = sc.dep.sim.metrics().sent - before_msgs;
-        let fan_out = sc.dep.giis(sc.vo_giis).stats.chained_requests - before_chained;
+        let fan_out = sc.dep.giis(sc.vo_giis).stats().chained_requests - before_chained;
         let dns: Vec<String> = entries.iter().map(|e| format!("[{}]", e.dn())).collect();
         table.row(vec![
             label.into(),

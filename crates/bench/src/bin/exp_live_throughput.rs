@@ -4,19 +4,48 @@
 //! engines run over the deterministic simulator and over real OS threads.
 //! This experiment drives the threaded runtime with parallel clients and
 //! measures sustained query throughput and latency percentiles — the
-//! wall-clock (not simulated) performance of the implementation, scaling
-//! the client thread count.
+//! wall-clock (not simulated) performance of the implementation — along
+//! two axes:
+//!
+//! 1. client parallelism against single-threaded services (the PR2
+//!    baseline shape), and
+//! 2. **query-worker parallelism**: one GRIS spawned with an N-thread
+//!    worker pool answering searches concurrently off the shared read
+//!    path, under a fixed parallel-client load.
+//!
+//! The worker sweep models the paper's dominant GRIS cost: information
+//! providers are external programs (§5 — fork/exec of a sensor script,
+//! a scheduler query, an NWS probe) whose invocation takes wall-clock
+//! time. Each sweep query lands on a non-cacheable probe provider with a
+//! fixed per-invocation latency; the worker pool's job is to overlap
+//! those blocked invocations, so throughput scales with workers even on
+//! a single core, while the shared snapshot read path keeps the merge /
+//! redact / project work lock-free.
+//!
+//! With `--json PATH` the raw numbers are also written as JSON for the
+//! benchmark snapshot script.
 
 use gis_bench::{banner, f2, section, Table};
 use gis_core::{LiveRuntime, SimDeployment};
 use gis_giis::{Giis, GiisConfig, GiisMode};
-use gis_gris::HostSpec;
-use gis_ldap::{Dn, Filter, LdapUrl};
-use gis_netsim::SimDuration;
+use gis_gris::{Gris, GrisConfig, HostSpec, InfoProvider, ProviderError};
+use gis_ldap::{Dn, Entry, Filter, LdapUrl};
+use gis_netsim::{SimDuration, SimTime};
 use gis_proto::SearchSpec;
 use std::time::{Duration, Instant};
 
 const QUERIES_PER_CLIENT: usize = 200;
+/// Fixed client load for the worker-count sweep.
+const SWEEP_CLIENTS: usize = 8;
+/// Probe providers in the sweep GRIS — one per sweep client so queries
+/// in flight land on distinct slots (distinct striped locks).
+const PROBE_COUNT: usize = 8;
+/// Entries each probe returns: enough merge + redact + project work per
+/// query that the snapshot read path is exercised, not just channels.
+const PROBE_ENTRIES: usize = 24;
+/// Wall-clock cost of one provider invocation (the external program the
+/// paper's GRIS forks per query).
+const PROBE_MS: u64 = 2;
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -34,27 +63,81 @@ struct Run {
     total: usize,
 }
 
-fn drive(rt: &LiveRuntime, target: &LdapUrl, threads: usize, direct_lookup: bool) -> Run {
+/// A record of one measured configuration, for the JSON dump.
+struct JsonRow {
+    workload: &'static str,
+    clients: usize,
+    /// `None` for the client sweep (single-threaded services).
+    workers: Option<usize>,
+    run: Run,
+}
+
+/// One site's inventory behind a deliberately slow, non-cacheable
+/// provider: every search pays one external-program invocation, like the
+/// paper's fork/exec information providers.
+#[derive(Debug)]
+struct ProbeProvider {
+    namespace: Dn,
+    entries: Vec<Entry>,
+    probe: Duration,
+}
+
+impl ProbeProvider {
+    fn new(site: usize, hosts: usize, probe: Duration) -> ProbeProvider {
+        let namespace = Dn::parse(&format!("ou=site{site}, o=fleet")).expect("site dn");
+        let entries = (0..hosts)
+            .map(|i| {
+                Entry::new(Dn::parse(&format!("hn=h{i}, ou=site{site}, o=fleet")).expect("host dn"))
+                    .with_class("computer")
+                    .with("hn", format!("h{i}"))
+                    .with("system", "linux")
+                    .with("arch", if i % 2 == 0 { "x86_64" } else { "aarch64" })
+                    .with("cpucount", (2 + (i % 7)) as i64)
+                    .with("memorymb", (1024 * (1 + i % 16)) as i64)
+            })
+            .collect();
+        ProbeProvider {
+            namespace,
+            entries,
+            probe,
+        }
+    }
+}
+
+impl InfoProvider for ProbeProvider {
+    fn name(&self) -> &str {
+        "site-probe"
+    }
+    fn namespace(&self) -> &Dn {
+        &self.namespace
+    }
+    fn cache_ttl(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+    fn cacheable(&self) -> bool {
+        false
+    }
+    fn fetch(&mut self, _spec: &SearchSpec, _now: SimTime) -> Result<Vec<Entry>, ProviderError> {
+        std::thread::sleep(self.probe);
+        Ok(self.entries.clone())
+    }
+}
+
+/// Drive `threads` parallel clients; client `i` issues `specs[i % len]`.
+fn drive(rt: &LiveRuntime, target: &LdapUrl, threads: usize, specs: &[SearchSpec]) -> Run {
     let mut handles = Vec::new();
     let start = Instant::now();
-    for _ in 0..threads {
+    for i in 0..threads {
         let mut client = rt.client();
         let target = target.clone();
+        let spec = specs[i % specs.len()].clone();
         handles.push(std::thread::spawn(move || {
             let mut latencies = Vec::with_capacity(QUERIES_PER_CLIENT);
             let mut ok = 0;
             for _ in 0..QUERIES_PER_CLIENT {
-                let spec = if direct_lookup {
-                    SearchSpec::lookup(Dn::parse("hn=live0").expect("dn"))
-                } else {
-                    SearchSpec::subtree(
-                        Dn::root(),
-                        Filter::parse("(objectclass=computer)").expect("filter"),
-                    )
-                };
                 let t0 = Instant::now();
                 if client
-                    .search(&target, spec, Duration::from_secs(10))
+                    .search(&target, spec.clone(), Duration::from_secs(10))
                     .is_some()
                 {
                     ok += 1;
@@ -82,15 +165,91 @@ fn drive(rt: &LiveRuntime, target: &LdapUrl, threads: usize, direct_lookup: bool
     }
 }
 
+/// One worker-sweep measurement: a fresh runtime, one pooled GRIS over
+/// `PROBE_COUNT` slow probe providers, fixed parallel-client load. Each
+/// client queries its own site subtree, so concurrent queries block in
+/// distinct provider invocations — the work a pool can overlap.
+fn run_worker_config(workers: usize) -> Run {
+    let mut rt = LiveRuntime::new(Duration::from_millis(5));
+    let url = LdapUrl::server("gris.pool");
+    let mut gris = Gris::new(
+        GrisConfig::open(url.clone(), Dn::parse("o=fleet").expect("suffix")),
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(180),
+    );
+    for site in 0..PROBE_COUNT {
+        gris.add_provider(Box::new(ProbeProvider::new(
+            site,
+            PROBE_ENTRIES,
+            Duration::from_millis(PROBE_MS),
+        )));
+    }
+    rt.spawn_gris_pooled(gris, workers);
+    let specs: Vec<SearchSpec> = (0..PROBE_COUNT)
+        .map(|site| {
+            SearchSpec::subtree(
+                Dn::parse(&format!("ou=site{site}, o=fleet")).expect("base"),
+                Filter::parse("(objectclass=computer)").expect("filter"),
+            )
+        })
+        .collect();
+    // One query outside the measured window so the service thread (and
+    // any workers) are demonstrably up before timing starts.
+    let mut warm = rt.client();
+    warm.search(&url, specs[0].clone(), Duration::from_secs(10))
+        .expect("warmup query");
+    let run = drive(&rt, &url, SWEEP_CLIENTS, &specs);
+    rt.shutdown();
+    run
+}
+
+fn write_json(path: &str, rows: &[JsonRow]) {
+    let mut body = String::from("{\n  \"queries_per_client\": ");
+    body.push_str(&QUERIES_PER_CLIENT.to_string());
+    body.push_str(",\n  \"probe_count\": ");
+    body.push_str(&PROBE_COUNT.to_string());
+    body.push_str(",\n  \"probe_entries\": ");
+    body.push_str(&PROBE_ENTRIES.to_string());
+    body.push_str(",\n  \"probe_ms\": ");
+    body.push_str(&PROBE_MS.to_string());
+    body.push_str(",\n  \"runs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"clients\": {}, \"workers\": {}, \
+             \"qps\": {:.2}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"ok\": {}, \"total\": {}}}{}\n",
+            row.workload,
+            row.clients,
+            row.workers
+                .map_or_else(|| "null".to_string(), |w| w.to_string()),
+            row.run.qps,
+            row.run.p50_us,
+            row.run.p99_us,
+            row.run.ok,
+            row.run.total,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body).expect("write json");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
     banner(
         "LIVE",
-        "threaded-runtime query throughput vs client parallelism",
+        "threaded-runtime query throughput vs client and worker parallelism",
         "transport independence of the sans-IO engines (implementation property)",
     );
     println!(
         "4 GRIS + 1 chaining GIIS on their own threads; {QUERIES_PER_CLIENT} queries per client.\n"
     );
+    let mut json_rows: Vec<JsonRow> = Vec::new();
 
     let mut rt = LiveRuntime::new(Duration::from_millis(5));
     let vo_url = LdapUrl::server("giis.live");
@@ -118,6 +277,11 @@ fn main() {
     let gris0_url = gris0_url.expect("gris0");
     std::thread::sleep(Duration::from_millis(600));
 
+    let lookup_spec = SearchSpec::lookup(Dn::parse("hn=live0").expect("dn"));
+    let chained_spec = SearchSpec::subtree(
+        Dn::root(),
+        Filter::parse("(objectclass=computer)").expect("filter"),
+    );
     let mut table = Table::new(&[
         "workload",
         "client threads",
@@ -127,7 +291,7 @@ fn main() {
         "ok",
     ]);
     for &threads in &[1usize, 2, 4, 8, 16] {
-        let r = drive(&rt, &gris0_url, threads, true);
+        let r = drive(&rt, &gris0_url, threads, std::slice::from_ref(&lookup_spec));
         table.row(vec![
             "direct GRIS lookup".into(),
             threads.to_string(),
@@ -136,9 +300,15 @@ fn main() {
             f2(r.p99_us),
             format!("{}/{}", r.ok, r.total),
         ]);
+        json_rows.push(JsonRow {
+            workload: "direct_lookup",
+            clients: threads,
+            workers: None,
+            run: r,
+        });
     }
     for &threads in &[1usize, 4, 8] {
-        let r = drive(&rt, &vo_url, threads, false);
+        let r = drive(&rt, &vo_url, threads, std::slice::from_ref(&chained_spec));
         table.row(vec![
             "chained discovery".into(),
             threads.to_string(),
@@ -147,14 +317,68 @@ fn main() {
             f2(r.p99_us),
             format!("{}/{}", r.ok, r.total),
         ]);
+        json_rows.push(JsonRow {
+            workload: "chained_discovery",
+            clients: threads,
+            workers: None,
+            run: r,
+        });
     }
-    section("results (wall-clock, this machine)");
+    section("results: client parallelism (wall-clock, this machine)");
     table.print();
+    rt.shutdown();
+
+    println!(
+        "\nWorker-pool sweep: one GRIS over {PROBE_COUNT} non-cacheable probe\n\
+         providers ({PROBE_ENTRIES} entries each, {PROBE_MS} ms per invocation —\n\
+         the external information-provider program), {SWEEP_CLIENTS} client\n\
+         threads each querying its own site subtree, spawn_gris_pooled with\n\
+         N query workers (0 = the single-threaded owner loop).\n"
+    );
+    let mut wtable = Table::new(&[
+        "query workers",
+        "client threads",
+        "throughput (q/s)",
+        "p50 (us)",
+        "p99 (us)",
+        "ok",
+    ]);
+    for &workers in &[0usize, 1, 2, 4, 8] {
+        let r = run_worker_config(workers);
+        wtable.row(vec![
+            if workers == 0 {
+                "0 (owner loop)".into()
+            } else {
+                workers.to_string()
+            },
+            SWEEP_CLIENTS.to_string(),
+            f2(r.qps),
+            f2(r.p50_us),
+            f2(r.p99_us),
+            format!("{}/{}", r.ok, r.total),
+        ]);
+        json_rows.push(JsonRow {
+            workload: "worker_sweep",
+            clients: SWEEP_CLIENTS,
+            workers: Some(workers),
+            run: r,
+        });
+    }
+    section("results: query-worker parallelism (wall-clock, this machine)");
+    wtable.print();
     println!(
         "\nexpected shape: direct-lookup throughput scales with client threads\n\
          until the single GRIS thread saturates; chained discovery pays the\n\
-         GIIS fan-out (4 children) per query and saturates earlier. All\n\
-         queries complete — no loss under contention."
+         GIIS fan-out (4 children) per query and saturates earlier. In the\n\
+         worker sweep a single thread serializes every {PROBE_MS} ms probe, so\n\
+         throughput grows near-linearly with workers (overlapped provider\n\
+         invocations against the shared snapshot read path) until the client\n\
+         count or available cores cap it. All queries complete — no loss\n\
+         under contention."
     );
-    rt.shutdown();
+
+    if let Some(path) = json_path {
+        write_json(&path, &json_rows);
+        println!("\njson written to {path}");
+    }
 }

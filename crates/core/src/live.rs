@@ -1,15 +1,31 @@
 //! Live multi-threaded runtime: the same GRIS/GIIS engines that run in
 //! the simulator, executed over real OS threads and crossbeam channels.
 //!
-//! One thread per service; a shared [`Router`] plays the network. Clock
-//! readings map wall time onto [`SimTime`] from the runtime's epoch, so
-//! every soft-state TTL and cache TTL behaves identically to the
-//! simulated runtime. This demonstrates the architecture's transport
-//! independence and provides the substrate for the parallel-client
-//! throughput benchmarks.
+//! A shared [`Router`] plays the network. Clock readings map wall time
+//! onto [`SimTime`] from the runtime's epoch, so every soft-state TTL and
+//! cache TTL behaves identically to the simulated runtime. This
+//! demonstrates the architecture's transport independence and provides
+//! the substrate for the parallel-client throughput benchmarks.
+//!
+//! # Threading model
+//!
+//! Each service has one *owner* thread that holds the engine (`&mut`) and
+//! performs every mutation: GRRP soft-state, harvest integration, chained
+//! fan-out correlation, subscriptions, and the periodic `tick`. With
+//! [`LiveRuntime::spawn_gris_pooled`] / [`spawn_giis_pooled`], N extra
+//! *query worker* threads pull from the service's shared inbox and answer
+//! the read path concurrently through the engine's cloneable query handle
+//! ([`gis_gris::GrisQueryPath`] / [`gis_giis::GiisQueryPath`]); anything a
+//! worker cannot handle (binds, subscriptions, GRRP, cache-missing
+//! chained searches) is forwarded to the owner's private channel. The
+//! plain `spawn_gris`/`spawn_giis` are the `workers = 0` special case:
+//! the owner consumes the inbox directly, exactly the old single-thread
+//! loop.
+//!
+//! [`spawn_giis_pooled`]: LiveRuntime::spawn_giis_pooled
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use gis_giis::{Giis, GiisAction};
+use gis_giis::{Giis, GiisAction, GiisQueryPath};
 use gis_gris::Gris;
 use gis_ldap::{Entry, LdapUrl};
 use gis_netsim::{SimRng, SimTime};
@@ -54,6 +70,48 @@ pub enum LiveMsg {
     Reannounce,
     /// Stop the service thread.
     Shutdown,
+}
+
+/// Interns reply addresses as the `u64` client ids the engines key
+/// sessions by. Shared between a service's owner thread and its query
+/// workers so an id minted by either side means the same address.
+#[derive(Clone)]
+struct ClientInterner {
+    inner: Arc<Mutex<InternerState>>,
+}
+
+struct InternerState {
+    ids: HashMap<Address, u64>,
+    addrs: HashMap<u64, Address>,
+    next: u64,
+}
+
+impl ClientInterner {
+    fn new() -> ClientInterner {
+        ClientInterner {
+            inner: Arc::new(Mutex::new(InternerState {
+                ids: HashMap::new(),
+                addrs: HashMap::new(),
+                next: 1,
+            })),
+        }
+    }
+
+    fn intern(&self, addr: &Address) -> u64 {
+        let mut s = self.inner.lock();
+        if let Some(&id) = s.ids.get(addr) {
+            return id;
+        }
+        let id = s.next;
+        s.next += 1;
+        s.ids.insert(addr.clone(), id);
+        s.addrs.insert(id, addr.clone());
+        id
+    }
+
+    fn address_of(&self, id: u64) -> Option<Address> {
+        self.inner.lock().addrs.get(&id).cloned()
+    }
 }
 
 /// Injected fault state for one service's inbound link, mirroring the
@@ -221,6 +279,35 @@ impl Router {
     }
 }
 
+/// Execute a batch of GIIS effects against the live network. Shared by
+/// the owner loop and the query workers.
+fn perform_giis_actions(
+    actions: Vec<GiisAction>,
+    router: &Arc<Router>,
+    interner: &ClientInterner,
+    url: &str,
+) {
+    for action in actions {
+        match action {
+            GiisAction::SendRequest { to, request } => router.send_to_service(
+                &to.to_string(),
+                LiveMsg::Request {
+                    from: Address::Service(url.to_owned()),
+                    request,
+                },
+            ),
+            GiisAction::SendGrrp { to, message } => {
+                router.send_to_service(&to.to_string(), LiveMsg::Grrp(message))
+            }
+            GiisAction::Reply { client, reply } => {
+                if let Some(addr) = interner.address_of(client) {
+                    router.send_back(&addr, url, reply);
+                }
+            }
+        }
+    }
+}
+
 /// The live runtime: spawns service threads, hands out client handles.
 pub struct LiveRuntime {
     router: Arc<Router>,
@@ -247,30 +334,85 @@ impl LiveRuntime {
         SimTime(self.epoch.elapsed().as_micros() as u64)
     }
 
-    /// Run a GRIS on its own thread.
-    pub fn spawn_gris(&mut self, mut gris: Gris) {
+    /// Run a GRIS on its own thread (no query workers).
+    pub fn spawn_gris(&mut self, gris: Gris) {
+        self.spawn_gris_pooled(gris, 0);
+    }
+
+    /// Run a GRIS with `workers` query threads sharing its inbox. Workers
+    /// answer `Search` requests concurrently through the engine's
+    /// [`gis_gris::GrisQueryPath`]; binds, subscriptions, GRRP traffic
+    /// and the periodic tick stay on the owner thread. `workers = 0`
+    /// degenerates to the single-threaded loop.
+    pub fn spawn_gris_pooled(&mut self, mut gris: Gris, workers: usize) {
         let url = gris.config.url.to_string();
-        let (tx, rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
-        self.router.services.write().insert(url.clone(), tx.clone());
-        let router = Arc::clone(&self.router);
+        let (owner_tx, owner_rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
+        let interner = ClientInterner::new();
         let epoch = self.epoch;
         let tick = self.tick;
+
+        let inbox_tx = if workers == 0 {
+            owner_tx.clone()
+        } else {
+            let query = gris.query_path();
+            let (in_tx, in_rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
+            for _ in 0..workers {
+                let worker_in_tx = in_tx.clone();
+                let in_rx = in_rx.clone();
+                let owner_tx = owner_tx.clone();
+                let query = query.clone();
+                let interner = interner.clone();
+                let router = Arc::clone(&self.router);
+                let url = url.clone();
+                let handle = std::thread::spawn(move || {
+                    let now = || SimTime(epoch.elapsed().as_micros() as u64);
+                    loop {
+                        match in_rx.recv() {
+                            Ok(LiveMsg::Request { from, request }) => {
+                                let cid = interner.intern(&from);
+                                match query.handle_query(cid, request, now()) {
+                                    Ok(replies) => {
+                                        for reply in replies {
+                                            router.send_back(&from, &url, reply);
+                                        }
+                                    }
+                                    // Mutation-path request: the owner's.
+                                    Err(request) => {
+                                        let _ = owner_tx.send(LiveMsg::Request { from, request });
+                                    }
+                                }
+                            }
+                            Ok(LiveMsg::Shutdown) => {
+                                // Propagate to sibling workers and the
+                                // owner, then exit.
+                                let _ = worker_in_tx.send(LiveMsg::Shutdown);
+                                let _ = owner_tx.send(LiveMsg::Shutdown);
+                                break;
+                            }
+                            Ok(other) => {
+                                let _ = owner_tx.send(other);
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                });
+                self.handles.push((in_tx.clone(), handle));
+            }
+            in_tx
+        };
+
+        self.router
+            .services
+            .write()
+            .insert(url.clone(), inbox_tx.clone());
+        let router = Arc::clone(&self.router);
         let handle = std::thread::spawn(move || {
             let now = || SimTime(epoch.elapsed().as_micros() as u64);
-            // Client-id interning: the engine keys sessions by u64.
-            let mut ids: HashMap<Address, u64> = HashMap::new();
-            let mut addrs: HashMap<u64, Address> = HashMap::new();
-            let mut next = 1u64;
             loop {
-                match rx.recv_timeout(tick) {
+                match owner_rx.recv_timeout(tick) {
                     Ok(LiveMsg::Shutdown) => break,
                     Ok(LiveMsg::Request { from, request }) => {
-                        let cid = *ids.entry(from.clone()).or_insert_with(|| {
-                            let id = next;
-                            next += 1;
-                            addrs.insert(id, from.clone());
-                            id
-                        });
+                        let cid = interner.intern(&from);
                         for reply in gris.handle_request(cid, request, now()) {
                             router.send_back(&from, &url, reply);
                         }
@@ -288,62 +430,92 @@ impl LiveRuntime {
                     router.send_to_service(&dir.to_string(), LiveMsg::Grrp(msg));
                 }
                 for (cid, reply) in out.updates {
-                    if let Some(addr) = addrs.get(&cid) {
-                        router.send_back(addr, &url, reply);
+                    if let Some(addr) = interner.address_of(cid) {
+                        router.send_back(&addr, &url, reply);
                     }
                 }
             }
         });
-        self.handles.push((tx, handle));
+        self.handles.push((inbox_tx, handle));
     }
 
-    /// Run a GIIS on its own thread.
-    pub fn spawn_giis(&mut self, mut giis: Giis) {
+    /// Run a GIIS on its own thread (no query workers).
+    pub fn spawn_giis(&mut self, giis: Giis) {
+        self.spawn_giis_pooled(giis, 0);
+    }
+
+    /// Run a GIIS with `workers` query threads sharing its inbox. Workers
+    /// answer what the engine's [`GiisQueryPath`] can serve without the
+    /// owner — harvested-cache searches, chained-result-cache hits — and
+    /// forward everything else (registrations, fan-out replies, cache
+    /// misses) to the owner thread. `workers = 0` degenerates to the
+    /// single-threaded loop.
+    pub fn spawn_giis_pooled(&mut self, mut giis: Giis, workers: usize) {
         let url = giis.config.url.to_string();
-        let (tx, rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
-        self.router.services.write().insert(url.clone(), tx.clone());
-        let router = Arc::clone(&self.router);
+        let (owner_tx, owner_rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
+        let interner = ClientInterner::new();
         let epoch = self.epoch;
         let tick = self.tick;
-        let handle = std::thread::spawn(move || {
-            let now = || SimTime(epoch.elapsed().as_micros() as u64);
-            let mut ids: HashMap<Address, u64> = HashMap::new();
-            let mut addrs: HashMap<u64, Address> = HashMap::new();
-            let mut next = 1u64;
-            let perform =
-                |actions: Vec<GiisAction>, router: &Arc<Router>, addrs: &HashMap<u64, Address>| {
-                    for action in actions {
-                        match action {
-                            GiisAction::SendRequest { to, request } => router.send_to_service(
-                                &to.to_string(),
-                                LiveMsg::Request {
-                                    from: Address::Service(url.clone()),
-                                    request,
-                                },
-                            ),
-                            GiisAction::SendGrrp { to, message } => {
-                                router.send_to_service(&to.to_string(), LiveMsg::Grrp(message))
-                            }
-                            GiisAction::Reply { client, reply } => {
-                                if let Some(addr) = addrs.get(&client) {
-                                    router.send_back(addr, &url, reply);
+
+        let inbox_tx = if workers == 0 {
+            owner_tx.clone()
+        } else {
+            let query: GiisQueryPath = giis.query_path();
+            let (in_tx, in_rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
+            for _ in 0..workers {
+                let worker_in_tx = in_tx.clone();
+                let in_rx = in_rx.clone();
+                let owner_tx = owner_tx.clone();
+                let query = query.clone();
+                let interner = interner.clone();
+                let router = Arc::clone(&self.router);
+                let url = url.clone();
+                let handle = std::thread::spawn(move || {
+                    let now = || SimTime(epoch.elapsed().as_micros() as u64);
+                    loop {
+                        match in_rx.recv() {
+                            Ok(LiveMsg::Request { from, request }) => {
+                                let cid = interner.intern(&from);
+                                match query.handle_query(cid, request, now()) {
+                                    Ok(actions) => {
+                                        perform_giis_actions(actions, &router, &interner, &url)
+                                    }
+                                    Err(request) => {
+                                        let _ = owner_tx.send(LiveMsg::Request { from, request });
+                                    }
                                 }
                             }
+                            Ok(LiveMsg::Shutdown) => {
+                                let _ = worker_in_tx.send(LiveMsg::Shutdown);
+                                let _ = owner_tx.send(LiveMsg::Shutdown);
+                                break;
+                            }
+                            Ok(other) => {
+                                let _ = owner_tx.send(other);
+                            }
+                            Err(_) => break,
                         }
                     }
-                };
+                });
+                self.handles.push((in_tx.clone(), handle));
+            }
+            in_tx
+        };
+
+        self.router
+            .services
+            .write()
+            .insert(url.clone(), inbox_tx.clone());
+        let router = Arc::clone(&self.router);
+        let handle = std::thread::spawn(move || {
+            let now = || SimTime(epoch.elapsed().as_micros() as u64);
             loop {
-                match rx.recv_timeout(tick) {
+                match owner_rx.recv_timeout(tick) {
                     Ok(LiveMsg::Shutdown) => break,
                     Ok(LiveMsg::Request { from, request }) => {
-                        let cid = *ids.entry(from.clone()).or_insert_with(|| {
-                            let id = next;
-                            next += 1;
-                            addrs.insert(id, from.clone());
-                            id
-                        });
+                        let cid = interner.intern(&from);
                         let actions = giis.handle_request(cid, request, now());
-                        perform(actions, &router, &addrs);
+                        perform_giis_actions(actions, &router, &interner, &url);
                     }
                     Ok(LiveMsg::ReplyToService { from_url, reply }) => {
                         // A malformed source URL cannot be correlated to
@@ -351,22 +523,22 @@ impl LiveRuntime {
                         // it to a placeholder server.
                         if let Ok(from) = LdapUrl::parse(&from_url) {
                             let actions = giis.handle_reply(&from, reply, now());
-                            perform(actions, &router, &addrs);
+                            perform_giis_actions(actions, &router, &interner, &url);
                         }
                     }
                     Ok(LiveMsg::Grrp(msg)) => {
                         let actions = giis.handle_grrp(msg, now());
-                        perform(actions, &router, &addrs);
+                        perform_giis_actions(actions, &router, &interner, &url);
                     }
                     Ok(LiveMsg::Reannounce) => giis.agent.reannounce(),
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
                 let actions = giis.tick(now());
-                perform(actions, &router, &addrs);
+                perform_giis_actions(actions, &router, &interner, &url);
             }
         });
-        self.handles.push((tx, handle));
+        self.handles.push((inbox_tx, handle));
     }
 
     /// Create a synchronous client handle. Handles are `Send`: spread
@@ -857,6 +1029,154 @@ mod tests {
         let (code, entries, _) = result.expect("a later attempt lands after the heal");
         assert_eq!(code, ResultCode::Success);
         assert_eq!(entries.len(), 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_pooled_gris_answers_in_parallel() {
+        let mut rt = LiveRuntime::new(Duration::from_millis(5));
+        let gris = fast_host_gris("n1", 1, &[]);
+        let url = gris.config.url.clone();
+        rt.spawn_gris_pooled(gris, 4);
+
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let mut client = rt.client();
+            let url = url.clone();
+            threads.push(std::thread::spawn(move || {
+                let mut ok = 0;
+                for _ in 0..20 {
+                    if client
+                        .search(
+                            &url,
+                            SearchSpec::lookup(Dn::parse("hn=n1").unwrap()),
+                            Duration::from_secs(5),
+                        )
+                        .is_some()
+                    {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        let total: u32 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(total, 160, "all queries answered through the worker pool");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_pooled_gris_mutation_path_still_works() {
+        use gis_proto::{GripRequest, SubscriptionMode};
+        let mut rt = LiveRuntime::new(Duration::from_millis(10));
+        let gris = fast_host_gris("n1", 1, &[]);
+        let url = gris.config.url.clone();
+        rt.spawn_gris_pooled(gris, 2);
+        let mut client = rt.client();
+        // Subscriptions are owner-thread work: a worker must forward the
+        // request, and updates must still reach the client.
+        let sub_id = client.send(&url, |id| GripRequest::Subscribe {
+            id,
+            spec: SearchSpec::subtree(
+                Dn::parse("perf=load, hn=n1").unwrap(),
+                Filter::parse("(load5=*)").unwrap(),
+            ),
+            mode: SubscriptionMode::Periodic(SimDuration::from_millis(100)),
+        });
+        let mut updates = 0;
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while updates < 2 && std::time::Instant::now() < deadline {
+            if let Some(reply) = client.recv(Duration::from_millis(200)) {
+                if matches!(reply, gis_proto::GripReply::Update { id, .. } if id == sub_id) {
+                    updates += 1;
+                }
+            }
+        }
+        assert!(updates >= 2, "subscription updates via pooled spawn");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_pooled_giis_serves_harvested_snapshots() {
+        let mut rt = LiveRuntime::new(Duration::from_millis(10));
+        let giis_url = LdapUrl::server("giis.vo");
+        let mut giis = Giis::new(
+            GiisConfig::chaining(giis_url.clone(), Dn::root()),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+        );
+        giis.config.mode = gis_giis::GiisMode::Harvest {
+            refresh: SimDuration::from_millis(200),
+        };
+        rt.spawn_giis_pooled(giis, 4);
+        for (i, name) in ["n1", "n2"].iter().enumerate() {
+            rt.spawn_gris(fast_host_gris(
+                name,
+                i as u64,
+                std::slice::from_ref(&giis_url),
+            ));
+        }
+        // Registration + first harvest round-trip.
+        std::thread::sleep(Duration::from_millis(600));
+        let mut threads = Vec::new();
+        for _ in 0..4 {
+            let mut client = rt.client();
+            let giis_url = giis_url.clone();
+            threads.push(std::thread::spawn(move || {
+                let mut ok = 0;
+                for _ in 0..10 {
+                    if let Some((code, entries, _)) = client.search(
+                        &giis_url,
+                        SearchSpec::subtree(
+                            Dn::root(),
+                            Filter::parse("(objectclass=computer)").unwrap(),
+                        ),
+                        Duration::from_secs(5),
+                    ) {
+                        if code == ResultCode::Success && entries.len() == 2 {
+                            ok += 1;
+                        }
+                    }
+                }
+                ok
+            }));
+        }
+        let total: u32 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(total, 40, "workers answer from the harvested snapshot");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_pooled_giis_chained_miss_reaches_owner() {
+        let mut rt = LiveRuntime::new(Duration::from_millis(10));
+        let giis_url = LdapUrl::server("giis.vo");
+        let mut giis = Giis::new(
+            GiisConfig::chaining(giis_url.clone(), Dn::root()),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+        );
+        giis.config.mode = gis_giis::GiisMode::Chain {
+            timeout: SimDuration::from_millis(500),
+        };
+        rt.spawn_giis_pooled(giis, 2);
+        for (i, name) in ["n1", "n2"].iter().enumerate() {
+            rt.spawn_gris(fast_host_gris(
+                name,
+                i as u64,
+                std::slice::from_ref(&giis_url),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(400));
+        let mut client = rt.client();
+        let (code, entries, _) = client
+            .search(
+                &giis_url,
+                SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
+                Duration::from_secs(5),
+            )
+            .expect("worker forwards the miss; owner fans out");
+        assert_eq!(code, ResultCode::Success);
+        assert_eq!(entries.len(), 2);
         rt.shutdown();
     }
 

@@ -18,5 +18,6 @@ pub mod server;
 
 pub use bloom::{attr_token, BloomFilter};
 pub use server::{
-    AcceptPolicy, BreakerConfig, ClientId, Giis, GiisAction, GiisConfig, GiisMode, GiisStats,
+    AcceptPolicy, BreakerConfig, ClientId, Giis, GiisAction, GiisConfig, GiisMode, GiisQueryPath,
+    GiisStats,
 };

@@ -23,13 +23,15 @@
 
 use crate::bloom::{attr_token, BloomFilter};
 use gis_gsi::{Authenticator, PolicyMap, Requester};
-use gis_ldap::{Dit, Dn, Entry, Filter, LdapUrl, Scope};
+use gis_ldap::{Dn, Entry, Filter, LdapUrl, Scope, SharedDit};
 use gis_netsim::{SimDuration, SimTime};
 use gis_proto::{
-    result_digest, GripReply, GripRequest, GrrpMessage, Notification, RegistrationAgent, RequestId,
-    ResultCode, SearchSpec, SoftStateRegistry, SubscriptionMode, SubscriptionTable,
+    result_digest, Counter, GripReply, GripRequest, GrrpMessage, Notification, RegistrationAgent,
+    RequestId, ResultCode, SearchSpec, SoftStateRegistry, SubscriptionMode, SubscriptionTable,
 };
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Identifies a client connection (assigned by the runtime).
 pub type ClientId = u64;
@@ -163,6 +165,55 @@ pub struct GiisStats {
     pub breaker_closes: u64,
     /// Chained requests re-sent once inside the fan-out deadline.
     pub chain_retries: u64,
+}
+
+/// The atomic counterpart of [`GiisStats`], shared between the owner and
+/// query workers.
+#[derive(Debug, Default)]
+struct GiisStatsAtomic {
+    grrp_received: Counter,
+    grrp_rejected: Counter,
+    expirations: Counter,
+    searches: Counter,
+    local_answers: Counter,
+    chained_requests: Counter,
+    bloom_pruned: Counter,
+    harvests: Counter,
+    timeouts: Counter,
+    referrals_issued: Counter,
+    entries_returned: Counter,
+    result_cache_hits: Counter,
+    breaker_skips: Counter,
+    breaker_opens: Counter,
+    breaker_probes: Counter,
+    breaker_reopens: Counter,
+    breaker_closes: Counter,
+    chain_retries: Counter,
+}
+
+impl GiisStatsAtomic {
+    fn snapshot(&self) -> GiisStats {
+        GiisStats {
+            grrp_received: self.grrp_received.get(),
+            grrp_rejected: self.grrp_rejected.get(),
+            expirations: self.expirations.get(),
+            searches: self.searches.get(),
+            local_answers: self.local_answers.get(),
+            chained_requests: self.chained_requests.get(),
+            bloom_pruned: self.bloom_pruned.get(),
+            harvests: self.harvests.get(),
+            timeouts: self.timeouts.get(),
+            referrals_issued: self.referrals_issued.get(),
+            entries_returned: self.entries_returned.get(),
+            result_cache_hits: self.result_cache_hits.get(),
+            breaker_skips: self.breaker_skips.get(),
+            breaker_opens: self.breaker_opens.get(),
+            breaker_probes: self.breaker_probes.get(),
+            breaker_reopens: self.breaker_reopens.get(),
+            breaker_closes: self.breaker_closes.get(),
+            chain_retries: self.chain_retries.get(),
+        }
+    }
 }
 
 /// GIIS configuration.
@@ -306,6 +357,57 @@ struct CachedResult {
     referrals: Vec<LdapUrl>,
 }
 
+/// Search a harvested-cache snapshot: scope/filter against the tree, then
+/// redact, filter and project per requester. Shared by the engine's own
+/// local answering and by [`GiisQueryPath`] workers.
+fn snapshot_answer(
+    snapshot: &gis_ldap::Dit,
+    policy: &PolicyMap,
+    spec: &SearchSpec,
+    requester: &Requester,
+) -> Vec<Entry> {
+    let raw = snapshot.search_shared(&spec.base, spec.scope, &spec.filter, &[], 0);
+    let mut out = Vec::new();
+    for e in raw {
+        let Some(redacted) = policy.redact(&e, requester) else {
+            continue;
+        };
+        if !spec.filter.matches(&redacted) {
+            continue;
+        }
+        out.push(redacted.project(&spec.attrs));
+        if spec.size_limit != 0 && out.len() >= spec.size_limit as usize {
+            break;
+        }
+    }
+    out
+}
+
+/// Probe the chained-result cache. On a fresh hit, counts it and returns
+/// the ready-to-send reply. Shared by the engine and query workers.
+fn result_cache_probe(
+    result_cache: &RwLock<BTreeMap<String, CachedResult>>,
+    stats: &GiisStatsAtomic,
+    key: &str,
+    ttl: SimDuration,
+    id: RequestId,
+    now: SimTime,
+) -> Option<GripReply> {
+    let cache = result_cache.read();
+    let hit = cache.get(key)?;
+    if now.since(hit.at) >= ttl {
+        return None;
+    }
+    stats.result_cache_hits.bump();
+    stats.entries_returned.add(hit.entries.len() as u64);
+    Some(GripReply::SearchResult {
+        id,
+        code: hit.code,
+        entries: hit.entries.clone(),
+        referrals: hit.referrals.clone(),
+    })
+}
+
 /// Cache key: the full query shape plus the requester identity.
 fn cache_key(spec: &SearchSpec, requester: &Requester) -> String {
     format!(
@@ -320,6 +422,88 @@ enum OutboundKind {
     HarvestBind { child: LdapUrl },
 }
 
+/// A cloneable handle over a GIIS's concurrent query state: what a
+/// worker thread can answer without the engine's owner. Harvest-mode
+/// searches run against the shared cache snapshot; chain-mode searches
+/// are answered only on a result-cache hit (a miss needs the owner's
+/// fan-out machinery). Created by [`Giis::query_path`].
+#[derive(Clone)]
+pub struct GiisQueryPath {
+    mode: GiisMode,
+    policy: PolicyMap,
+    result_cache_ttl: Option<SimDuration>,
+    cache: Arc<SharedDit>,
+    result_cache: Arc<RwLock<BTreeMap<String, CachedResult>>>,
+    sessions: Arc<RwLock<BTreeMap<ClientId, Requester>>>,
+    stats: Arc<GiisStatsAtomic>,
+}
+
+impl GiisQueryPath {
+    /// Handle a request if it is query-path work; everything else —
+    /// binds, subscriptions, Name-mode answering, chain-mode cache
+    /// misses — is returned to the caller for the engine's owner.
+    // Err carries the request back unboxed: the worker forwards it to
+    // the owner channel by value, so boxing would be an extra
+    // allocation on a path taken for every non-Search message.
+    #[allow(clippy::result_large_err)]
+    pub fn handle_query(
+        &self,
+        client: ClientId,
+        req: GripRequest,
+        now: SimTime,
+    ) -> Result<Vec<GiisAction>, GripRequest> {
+        let GripRequest::Search { id, spec } = req else {
+            return Err(req);
+        };
+        match self.mode {
+            GiisMode::Harvest { .. } => {
+                self.stats.searches.bump();
+                self.stats.local_answers.bump();
+                let requester = self.requester_of(client);
+                let entries =
+                    snapshot_answer(&self.cache.snapshot(), &self.policy, &spec, &requester);
+                self.stats.entries_returned.add(entries.len() as u64);
+                Ok(vec![GiisAction::Reply {
+                    client,
+                    reply: GripReply::SearchResult {
+                        id,
+                        code: ResultCode::Success,
+                        entries,
+                        referrals: Vec::new(),
+                    },
+                }])
+            }
+            GiisMode::Chain { .. } | GiisMode::BloomChain { .. } => {
+                let Some(ttl) = self.result_cache_ttl else {
+                    return Err(GripRequest::Search { id, spec });
+                };
+                let requester = self.requester_of(client);
+                let key = cache_key(&spec, &requester);
+                match result_cache_probe(&self.result_cache, &self.stats, &key, ttl, id, now) {
+                    Some(reply) => {
+                        // Counted here (not by the owner) because the
+                        // request never reaches `start_search`.
+                        self.stats.searches.bump();
+                        Ok(vec![GiisAction::Reply { client, reply }])
+                    }
+                    None => Err(GripRequest::Search { id, spec }),
+                }
+            }
+            // Name-serving answers come from the soft-state registry,
+            // which the owner mutates freely.
+            GiisMode::Name => Err(GripRequest::Search { id, spec }),
+        }
+    }
+
+    fn requester_of(&self, client: ClientId) -> Requester {
+        self.sessions
+            .read()
+            .get(&client)
+            .cloned()
+            .unwrap_or_else(Requester::anonymous)
+    }
+}
+
 /// A Grid Index Information Service instance.
 pub struct Giis {
     /// Configuration.
@@ -328,15 +512,16 @@ pub struct Giis {
     pub registry: SoftStateRegistry,
     /// Registers this GIIS with parent directories (hierarchy, Figure 5).
     pub agent: RegistrationAgent,
-    /// Operational counters.
-    pub stats: GiisStats,
-    sessions: BTreeMap<ClientId, Requester>,
+    stats: Arc<GiisStatsAtomic>,
+    sessions: Arc<RwLock<BTreeMap<ClientId, Requester>>>,
     subs: SubscriptionTable<ClientId>,
     sub_requester: BTreeMap<(ClientId, RequestId), Requester>,
     sub_next_due: BTreeMap<(ClientId, RequestId), SimTime>,
     children: BTreeMap<String, ChildState>,
-    cache: Dit,
-    result_cache: BTreeMap<String, CachedResult>,
+    /// The harvested entry cache, published as shared snapshots so query
+    /// workers can answer from it while the owner integrates harvests.
+    cache: Arc<SharedDit>,
+    result_cache: Arc<RwLock<BTreeMap<String, CachedResult>>>,
     pending: BTreeMap<u64, PendingQuery>,
     outbound: BTreeMap<u64, OutboundKind>,
     next_outbound: u64,
@@ -357,14 +542,14 @@ impl Giis {
             config,
             registry: SoftStateRegistry::new(),
             agent,
-            stats: GiisStats::default(),
-            sessions: BTreeMap::new(),
+            stats: Arc::new(GiisStatsAtomic::default()),
+            sessions: Arc::new(RwLock::new(BTreeMap::new())),
             subs: SubscriptionTable::new(),
             sub_requester: BTreeMap::new(),
             sub_next_due: BTreeMap::new(),
             children: BTreeMap::new(),
-            cache: Dit::new(),
-            result_cache: BTreeMap::new(),
+            cache: Arc::new(SharedDit::new()),
+            result_cache: Arc::new(RwLock::new(BTreeMap::new())),
             pending: BTreeMap::new(),
             outbound: BTreeMap::new(),
             next_outbound: 1,
@@ -385,6 +570,28 @@ impl Giis {
         self.cache.len()
     }
 
+    /// Snapshot of the operational counters.
+    pub fn stats(&self) -> GiisStats {
+        self.stats.snapshot()
+    }
+
+    /// A cloneable concurrent-query handle sharing this directory's
+    /// harvested cache, result cache, sessions and counters. The config
+    /// slice it captures (mode, policy, cache TTL) is frozen at this
+    /// point. Registry-backed answering (Name mode) and fan-out state
+    /// stay with the engine's owner.
+    pub fn query_path(&self) -> GiisQueryPath {
+        GiisQueryPath {
+            mode: self.config.mode,
+            policy: self.config.policy.clone(),
+            result_cache_ttl: self.config.result_cache_ttl,
+            cache: Arc::clone(&self.cache),
+            result_cache: Arc::clone(&self.result_cache),
+            sessions: Arc::clone(&self.sessions),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
     /// Issue an invitation asking `service` to register here (§10.4's
     /// invitation flow; also how "an entire organization's resources can
     /// be added to a VO by registering the appropriate directory", §9).
@@ -397,7 +604,7 @@ impl Giis {
 
     /// Handle an incoming GRRP message.
     pub fn handle_grrp(&mut self, msg: GrrpMessage, now: SimTime) -> Vec<GiisAction> {
-        self.stats.grrp_received += 1;
+        self.stats.grrp_received.bump();
         match msg.notification {
             Notification::Invite => {
                 // This directory was itself invited to join a parent.
@@ -416,13 +623,13 @@ impl Giis {
                     match verified {
                         Some(subject) => msg.subject = Some(subject),
                         None => {
-                            self.stats.grrp_rejected += 1;
+                            self.stats.grrp_rejected.bump();
                             return Vec::new();
                         }
                     }
                 }
                 if !self.config.accept.admits(&msg) {
-                    self.stats.grrp_rejected += 1;
+                    self.stats.grrp_rejected.bump();
                     return Vec::new();
                 }
                 let url = msg.service_url.clone();
@@ -493,7 +700,7 @@ impl Giis {
                 child: child.clone(),
             },
         );
-        self.stats.harvests += 1;
+        self.stats.harvests.bump();
         let namespace = self
             .registry
             .get(&child)
@@ -528,7 +735,9 @@ impl Giis {
                     .and_then(|a| a.authenticate(&token));
                 let (ok, subject) = match outcome {
                     Some(s) => {
-                        self.sessions.insert(client, Requester::subject(s.clone()));
+                        self.sessions
+                            .write()
+                            .insert(client, Requester::subject(s.clone()));
                         (true, Some(s))
                     }
                     None => (false, None),
@@ -592,6 +801,7 @@ impl Giis {
 
     fn requester_of(&self, client: ClientId) -> Requester {
         self.sessions
+            .read()
             .get(&client)
             .cloned()
             .unwrap_or_else(Requester::anonymous)
@@ -604,14 +814,14 @@ impl Giis {
         spec: SearchSpec,
         now: SimTime,
     ) -> Vec<GiisAction> {
-        self.stats.searches += 1;
+        self.stats.searches.bump();
         let requester = self.requester_of(client);
         match self.config.mode {
             GiisMode::Name => {
-                self.stats.local_answers += 1;
+                self.stats.local_answers.bump();
                 let (entries, referrals) = self.name_answer(&spec, &requester, now);
-                self.stats.entries_returned += entries.len() as u64;
-                self.stats.referrals_issued += referrals.len() as u64;
+                self.stats.entries_returned.add(entries.len() as u64);
+                self.stats.referrals_issued.add(referrals.len() as u64);
                 vec![GiisAction::Reply {
                     client,
                     reply: GripReply::SearchResult {
@@ -623,9 +833,9 @@ impl Giis {
                 }]
             }
             GiisMode::Harvest { .. } => {
-                self.stats.local_answers += 1;
+                self.stats.local_answers.bump();
                 let entries = self.local_answer(&spec, &requester);
-                self.stats.entries_returned += entries.len() as u64;
+                self.stats.entries_returned.add(entries.len() as u64);
                 vec![GiisAction::Reply {
                     client,
                     reply: GripReply::SearchResult {
@@ -686,26 +896,12 @@ impl Giis {
         (entries, referrals)
     }
 
-    /// Answer from the harvested cache. Uses the shared-handle search so
-    /// cached entries reach redaction without being deep-copied.
+    /// Answer from the harvested cache. Runs against a point-in-time
+    /// snapshot — concurrent harvest integration never tears a result —
+    /// and uses the shared-handle search so cached entries reach
+    /// redaction without being deep-copied.
     fn local_answer(&self, spec: &SearchSpec, requester: &Requester) -> Vec<Entry> {
-        let raw = self
-            .cache
-            .search_shared(&spec.base, spec.scope, &spec.filter, &[], 0);
-        let mut out = Vec::new();
-        for e in raw {
-            let Some(redacted) = self.config.policy.redact(&e, requester) else {
-                continue;
-            };
-            if !spec.filter.matches(&redacted) {
-                continue;
-            }
-            out.push(redacted.project(&spec.attrs));
-            if spec.size_limit != 0 && out.len() >= spec.size_limit as usize {
-                break;
-            }
-        }
-        out
+        snapshot_answer(&self.cache.snapshot(), &self.config.policy, spec, requester)
     }
 
     /// The equality tokens a child must contain for this filter to
@@ -740,20 +936,10 @@ impl Giis {
         // requester is answered locally.
         let key = cache_key(&spec, &requester);
         if let Some(ttl) = self.config.result_cache_ttl {
-            if let Some(hit) = self.result_cache.get(&key) {
-                if now.since(hit.at) < ttl {
-                    self.stats.result_cache_hits += 1;
-                    self.stats.entries_returned += hit.entries.len() as u64;
-                    return vec![GiisAction::Reply {
-                        client,
-                        reply: GripReply::SearchResult {
-                            id,
-                            code: hit.code,
-                            entries: hit.entries.clone(),
-                            referrals: hit.referrals.clone(),
-                        },
-                    }];
-                }
+            if let Some(reply) =
+                result_cache_probe(&self.result_cache, &self.stats, &key, ttl, id, now)
+            {
+                return vec![GiisAction::Reply { client, reply }];
             }
         }
 
@@ -775,7 +961,7 @@ impl Giis {
                 if let Some(state) = self.children.get(&reg.message.service_url.to_string()) {
                     if let Some(bloom) = &state.bloom {
                         if tokens.iter().any(|t| !bloom.may_contain(t)) {
-                            self.stats.bloom_pruned += 1;
+                            self.stats.bloom_pruned.bump();
                             continue;
                         }
                     }
@@ -791,11 +977,11 @@ impl Giis {
                         Circuit::Closed => {}
                         Circuit::Open { until } if now >= until => {
                             state.circuit = Circuit::HalfOpen;
-                            self.stats.breaker_probes += 1;
+                            self.stats.breaker_probes.bump();
                         }
                         Circuit::Open { .. } | Circuit::HalfOpen => {
                             // At most one in-flight probe per child.
-                            self.stats.breaker_skips += 1;
+                            self.stats.breaker_skips.bump();
                             skipped_by_breaker = true;
                             continue;
                         }
@@ -837,7 +1023,7 @@ impl Giis {
                     child: child.clone(),
                 },
             );
-            self.stats.chained_requests += 1;
+            self.stats.chained_requests.bump();
             outstanding.push(out_id);
             actions.push(GiisAction::SendRequest {
                 to: child,
@@ -963,7 +1149,7 @@ impl Giis {
             state.consec_failures = 0;
             if state.circuit != Circuit::Closed {
                 state.circuit = Circuit::Closed;
-                self.stats.breaker_closes += 1;
+                self.stats.breaker_closes.bump();
             }
         }
     }
@@ -982,7 +1168,7 @@ impl Giis {
                 state.circuit = Circuit::Open {
                     until: now + bk.cooldown,
                 };
-                self.stats.breaker_reopens += 1;
+                self.stats.breaker_reopens.bump();
             }
             Circuit::Open { .. } => {}
             Circuit::Closed => {
@@ -991,7 +1177,7 @@ impl Giis {
                     state.circuit = Circuit::Open {
                         until: now + bk.cooldown,
                     };
-                    self.stats.breaker_opens += 1;
+                    self.stats.breaker_opens.bump();
                 }
             }
         }
@@ -1007,9 +1193,7 @@ impl Giis {
         let Some(state) = self.children.get_mut(&child.to_string()) else {
             return;
         };
-        for dn in state.harvested.drain(..) {
-            self.cache.delete(&dn);
-        }
+        let stale: Vec<Dn> = state.harvested.drain(..).collect();
         let mut bloom = bits_per_element.map(|b| {
             let tokens: usize = entries.iter().map(Entry::attr_count).sum();
             BloomFilter::for_capacity(tokens.max(8), b)
@@ -1023,10 +1207,19 @@ impl Giis {
                 }
             }
             state.harvested.push(e.dn().clone());
-            self.cache.upsert(e.clone());
         }
         state.bloom = bloom;
         state.last_harvest = Some(now);
+        // One published snapshot per harvest: queries see either the
+        // child's old entry set or its new one, never a mix.
+        self.cache.mutate(|dit| {
+            for dn in &stale {
+                dit.delete(dn);
+            }
+            for e in entries {
+                dit.upsert(e);
+            }
+        });
     }
 
     fn finalize(&mut self, query: u64, now: SimTime) -> Vec<GiisAction> {
@@ -1056,12 +1249,12 @@ impl Giis {
         } else {
             ResultCode::Success
         };
-        self.stats.entries_returned += entries.len() as u64;
-        self.stats.referrals_issued += p.referrals.len() as u64;
+        self.stats.entries_returned.add(entries.len() as u64);
+        self.stats.referrals_issued.add(p.referrals.len() as u64);
         if self.config.result_cache_ttl.is_some() && code == ResultCode::Success {
             // Partial answers are never cached: a healed partition should
             // become visible at the next query, not a TTL later.
-            self.result_cache.insert(
+            self.result_cache.write().insert(
                 p.cache_key,
                 CachedResult {
                     at: now,
@@ -1159,19 +1352,28 @@ impl Giis {
     pub fn tick(&mut self, now: SimTime) -> Vec<GiisAction> {
         let mut actions = Vec::new();
 
-        // Soft-state sweep: purge expired children and their cache rows.
+        // Soft-state sweep: purge expired children and their cache rows
+        // (one published snapshot for the whole sweep).
+        let mut purged: Vec<Dn> = Vec::new();
         for url in self.registry.sweep(now) {
-            self.stats.expirations += 1;
+            self.stats.expirations.bump();
             if let Some(state) = self.children.remove(&url.to_string()) {
-                for dn in state.harvested {
-                    self.cache.delete(&dn);
-                }
+                purged.extend(state.harvested);
             }
+        }
+        if !purged.is_empty() {
+            self.cache.mutate(|dit| {
+                for dn in &purged {
+                    dit.delete(dn);
+                }
+            });
         }
 
         // Result-cache expiry (bound memory; stale rows are useless).
         if let Some(ttl) = self.config.result_cache_ttl {
-            self.result_cache.retain(|_, c| now.since(c.at) < ttl);
+            self.result_cache
+                .write()
+                .retain(|_, c| now.since(c.at) < ttl);
         }
 
         // Own registrations to parent directories.
@@ -1238,7 +1440,7 @@ impl Giis {
                                 child: child.clone(),
                             },
                         );
-                        self.stats.chain_retries += 1;
+                        self.stats.chain_retries.bump();
                         fresh.push(new_id);
                         sends.push(GiisAction::SendRequest {
                             to: child,
@@ -1268,7 +1470,7 @@ impl Giis {
             .map(|(&q, _)| q)
             .collect();
         for query in expired {
-            self.stats.timeouts += 1;
+            self.stats.timeouts.bump();
             let mut unanswered: Vec<LdapUrl> = Vec::new();
             if let Some(p) = self.pending.get_mut(&query) {
                 for out_id in std::mem::take(&mut p.outstanding) {
@@ -1290,7 +1492,7 @@ impl Giis {
 
     /// Forget a disconnected client's session state.
     pub fn drop_client(&mut self, client: ClientId) {
-        self.sessions.remove(&client);
+        self.sessions.write().remove(&client);
         self.subs.drop_subscriber(client);
         self.sub_requester.retain(|(c, _), _| *c != client);
         self.sub_next_due.retain(|(c, _), _| *c != client);
@@ -1347,7 +1549,7 @@ mod tests {
         // No refresh: both expire at t=90.
         giis.tick(t(100));
         assert_eq!(giis.active_children(t(100)).len(), 0);
-        assert_eq!(giis.stats.expirations, 2);
+        assert_eq!(giis.stats().expirations, 2);
     }
 
     #[test]
@@ -1358,7 +1560,7 @@ mod tests {
         giis.handle_grrp(reg("gris.in", "hn=a, o=O1", t(0)), t(0));
         giis.handle_grrp(reg("gris.out", "hn=b, o=O2", t(0)), t(0));
         assert_eq!(giis.active_children(t(1)).len(), 1);
-        assert_eq!(giis.stats.grrp_rejected, 1);
+        assert_eq!(giis.stats().grrp_rejected, 1);
     }
 
     #[test]
@@ -1373,7 +1575,7 @@ mod tests {
         giis.handle_grrp(reg("gris.y", "hn=y", t(0)).with_subject("/CN=rogue"), t(0));
         giis.handle_grrp(reg("gris.z", "hn=z", t(0)), t(0)); // unsigned
         assert_eq!(giis.active_children(t(1)).len(), 1);
-        assert_eq!(giis.stats.grrp_rejected, 2);
+        assert_eq!(giis.stats().grrp_rejected, 2);
     }
 
     #[test]
@@ -1476,7 +1678,7 @@ mod tests {
         );
         // Deadline (2s default) passes.
         let actions = giis.tick(t(4));
-        assert_eq!(giis.stats.timeouts, 1);
+        assert_eq!(giis.stats().timeouts, 1);
         match &actions[..] {
             [GiisAction::Reply {
                 reply: GripReply::SearchResult { code, entries, .. },
@@ -1527,7 +1729,7 @@ mod tests {
             } => assert_eq!(referrals, &vec![url("gris.private")]),
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(giis.stats.referrals_issued, 1);
+        assert_eq!(giis.stats().referrals_issued, 1);
     }
 
     #[test]
@@ -1557,8 +1759,8 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(giis.stats.local_answers, 1);
-        assert_eq!(giis.stats.chained_requests, 0);
+        assert_eq!(giis.stats().local_answers, 1);
+        assert_eq!(giis.stats().chained_requests, 0);
     }
 
     #[test]
@@ -1576,7 +1778,7 @@ mod tests {
             }
             other => panic!("expected harvest, got {other:?}"),
         };
-        assert_eq!(giis.stats.harvests, 1);
+        assert_eq!(giis.stats().harvests, 1);
 
         // Child returns its subtree.
         giis.handle_reply(
@@ -1621,13 +1823,13 @@ mod tests {
         config.mode = GiisMode::Harvest { refresh: secs(60) };
         let mut giis = Giis::new(config, secs(10), secs(300));
         giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
-        assert_eq!(giis.stats.harvests, 1);
+        assert_eq!(giis.stats().harvests, 1);
         // Keep the registration alive and advance past the refresh.
         giis.handle_grrp(reg("gris.a", "hn=a", t(50)), t(50));
         giis.tick(t(30));
-        assert_eq!(giis.stats.harvests, 1, "not due yet");
+        assert_eq!(giis.stats().harvests, 1, "not due yet");
         giis.tick(t(61));
-        assert_eq!(giis.stats.harvests, 2, "refresh due");
+        assert_eq!(giis.stats().harvests, 2, "refresh due");
     }
 
     #[test]
@@ -1672,7 +1874,7 @@ mod tests {
             })
             .collect();
         assert_eq!(targets, vec![&url("gris.a")]);
-        assert_eq!(giis.stats.bloom_pruned, 1);
+        assert_eq!(giis.stats().bloom_pruned, 1);
 
         // A presence query cannot be pruned: both children consulted.
         let actions = search_actions(&mut giis, "", "(system=*)", t(1));
@@ -1706,7 +1908,7 @@ mod tests {
             },
             t(1),
         );
-        assert_eq!(giis.stats.chained_requests, 1);
+        assert_eq!(giis.stats().chained_requests, 1);
 
         // Second identical query inside the TTL: answered locally.
         let actions = search_actions(&mut giis, "", "(objectclass=*)", t(5));
@@ -1717,8 +1919,8 @@ mod tests {
             }] => assert_eq!(entries.len(), 1),
             other => panic!("expected cached reply, got {other:?}"),
         }
-        assert_eq!(giis.stats.chained_requests, 1, "no second fan-out");
-        assert_eq!(giis.stats.result_cache_hits, 1);
+        assert_eq!(giis.stats().chained_requests, 1, "no second fan-out");
+        assert_eq!(giis.stats().result_cache_hits, 1);
 
         // A *different* query is not served from the cache.
         let actions = search_actions(&mut giis, "", "(objectclass=computer)", t(6));
@@ -1759,7 +1961,7 @@ mod tests {
             matches!(actions[0], GiisAction::SendRequest { .. }),
             "partial results are never served from cache"
         );
-        assert_eq!(giis.stats.result_cache_hits, 0);
+        assert_eq!(giis.stats().result_cache_hits, 0);
     }
 
     #[test]
@@ -1805,7 +2007,7 @@ mod tests {
         giis.handle_grrp(tampered, t(0));
         assert_eq!(giis.active_children(t(1)).len(), 1);
 
-        assert_eq!(giis.stats.grrp_rejected, 3);
+        assert_eq!(giis.stats().grrp_rejected, 3);
     }
 
     #[test]
@@ -1830,7 +2032,7 @@ mod tests {
             }
             other => panic!("expected bind, got {other:?}"),
         };
-        assert_eq!(giis.stats.harvests, 0);
+        assert_eq!(giis.stats().harvests, 0);
 
         // A successful bind is followed by the harvest search.
         let actions = giis.handle_reply(
@@ -1849,7 +2051,7 @@ mod tests {
             }] => *id,
             other => panic!("expected harvest search, got {other:?}"),
         };
-        assert_eq!(giis.stats.harvests, 1);
+        assert_eq!(giis.stats().harvests, 1);
 
         giis.handle_reply(
             &url("gris.a"),
@@ -2123,7 +2325,7 @@ mod tests {
             ok_reply(&mut giis, "gris.a", *a_id, t(start));
             giis.tick(t(start + 3)); // past the 2s chain deadline
         }
-        assert_eq!(giis.stats.breaker_opens, 1);
+        assert_eq!(giis.stats().breaker_opens, 1);
 
         // Next query skips gris.b without waiting: gris.a's reply alone
         // finalizes the answer well before the chaining deadline, marked
@@ -2131,7 +2333,7 @@ mod tests {
         let actions = search_id(&mut giis, 102, t(9));
         let out = sends(&actions);
         assert_eq!(out, vec![(url("gris.a"), out[0].1)]);
-        assert_eq!(giis.stats.breaker_skips, 1);
+        assert_eq!(giis.stats().breaker_skips, 1);
         let replies = ok_reply(&mut giis, "gris.a", out[0].1, t(9));
         match &replies[..] {
             [GiisAction::Reply {
@@ -2157,17 +2359,21 @@ mod tests {
         let (_, a_id) = out.iter().find(|(to, _)| *to == url("gris.a")).unwrap();
         ok_reply(&mut giis, "gris.a", *a_id, t(1));
         giis.tick(t(4));
-        assert_eq!(giis.stats.breaker_opens, 1);
+        assert_eq!(giis.stats().breaker_opens, 1);
 
         // After the cooldown lapses the next query doubles as a probe:
         // gris.b is included again in half-open state.
         let actions = search_id(&mut giis, 101, t(15));
         let out = sends(&actions);
         assert_eq!(out.len(), 2, "probe rides the live query");
-        assert_eq!(giis.stats.breaker_probes, 1);
+        assert_eq!(giis.stats().breaker_probes, 1);
         let (_, b_id) = out.iter().find(|(to, _)| *to == url("gris.b")).unwrap();
         ok_reply(&mut giis, "gris.b", *b_id, t(15));
-        assert_eq!(giis.stats.breaker_closes, 1, "any reply closes the circuit");
+        assert_eq!(
+            giis.stats().breaker_closes,
+            1,
+            "any reply closes the circuit"
+        );
         let (_, a_id) = out.iter().find(|(to, _)| *to == url("gris.a")).unwrap();
         let replies = ok_reply(&mut giis, "gris.a", *a_id, t(15));
         match &replies[..] {
@@ -2206,12 +2412,12 @@ mod tests {
             .unwrap();
         ok_reply(&mut giis, "gris.a", a_id, t(15));
         giis.tick(t(18));
-        assert_eq!(giis.stats.breaker_reopens, 1);
+        assert_eq!(giis.stats().breaker_reopens, 1);
 
         // Still skipped while the new cooldown runs.
         let actions = search_id(&mut giis, 102, t(20));
         assert_eq!(sends(&actions).len(), 1);
-        assert_eq!(giis.stats.breaker_skips, 1);
+        assert_eq!(giis.stats().breaker_skips, 1);
     }
 
     #[test]
@@ -2231,7 +2437,7 @@ mod tests {
         assert_eq!(retried.len(), 1, "one in-deadline retry");
         assert_eq!(retried[0].0, url("gris.a"));
         assert_ne!(retried[0].1, old_id, "retry uses a fresh outbound id");
-        assert_eq!(giis.stats.chain_retries, 1);
+        assert_eq!(giis.stats().chain_retries, 1);
 
         // A late reply to the superseded id is dropped...
         assert!(ok_reply(&mut giis, "gris.a", old_id, t(2)).is_empty());
@@ -2248,7 +2454,7 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(giis.stats.timeouts, 0, "no timeout was charged");
+        assert_eq!(giis.stats().timeouts, 0, "no timeout was charged");
     }
 
     #[test]

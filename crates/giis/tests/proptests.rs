@@ -150,7 +150,7 @@ proptest! {
         }
         prop_assert_eq!(giis.active_children(now).len(), expected);
         prop_assert_eq!(
-            giis.stats.grrp_rejected as usize,
+            giis.stats().grrp_rejected as usize,
             regs.len() - expected
         );
     }

@@ -27,4 +27,4 @@ pub use providers::{
     DynamicHostProvider, FilesystemProvider, HostSpec, NwsGatewayProvider, QueueProvider,
     StaticHostProvider,
 };
-pub use server::{ClientId, Gris, GrisConfig, GrisStats, TickOutput};
+pub use server::{ClientId, Gris, GrisConfig, GrisQueryPath, GrisStats, TickOutput};

@@ -10,22 +10,45 @@
 //! The engine is sans-IO: `handle_request` consumes a request and yields
 //! replies; `tick` advances timers (registration refreshes, subscription
 //! deliveries). Runtimes in `gis-core` move the messages.
+//!
+//! # Concurrent read path
+//!
+//! Queries are the hot path ("numerous concurrent enquiries", §5), so
+//! [`Gris::search`] takes `&self` and every piece of state it touches is
+//! safe to share across threads:
+//!
+//! * hot counters are atomics ([`gis_proto::Counter`], `Relaxed` — they
+//!   carry no synchronization);
+//! * each provider slot guards its provider behind its own mutex and its
+//!   result cache behind its own reader-writer lock (striped by
+//!   provider), so cache hits on different providers never contend and a
+//!   hit never waits on a fetch in flight;
+//! * bind sessions live behind a reader-writer lock.
+//!
+//! [`Gris::query_path`] packages this shared state into a cloneable
+//! [`GrisQueryPath`] handle the live runtime hands to its query worker
+//! threads, while mutation (registration refresh, subscriptions, GRRP)
+//! stays with the engine's owner.
 
 use crate::provider::{namespace_intersects, InfoProvider, ProviderError};
 use gis_gsi::{Authenticator, PolicyMap, Requester};
 use gis_ldap::{Dn, Entry, LdapUrl, Schema, Scope, Strictness};
 use gis_netsim::{SimDuration, SimTime};
 use gis_proto::{
-    result_digest, GripReply, GripRequest, GrrpMessage, RegistrationAgent, RequestId, ResultCode,
-    SearchSpec, SubscriptionMode, SubscriptionTable,
+    result_digest, Counter, GripReply, GripRequest, GrrpMessage, RegistrationAgent, RequestId,
+    ResultCode, SearchSpec, SubscriptionMode, SubscriptionTable,
 };
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Identifies a client connection to this server (assigned by the
 /// runtime: a sim node id, a channel index, ...).
 pub type ClientId = u64;
 
-/// Operational counters (experiments report these).
+/// Operational counters (experiments report these). This is the plain
+/// snapshot type returned by [`Gris::stats`]; the live counters are
+/// atomics updated through shared references.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GrisStats {
     /// Search/lookup requests served.
@@ -54,9 +77,57 @@ pub struct GrisStats {
     pub provider_failures: u64,
 }
 
+/// The atomic counterpart of [`GrisStats`], shared between the owner and
+/// query workers.
+#[derive(Debug, Default)]
+struct GrisStatsAtomic {
+    queries: Counter,
+    provider_invocations: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    entries_returned: Counter,
+    binds_ok: Counter,
+    binds_failed: Counter,
+    updates_sent: Counter,
+    schema_violations: Counter,
+    stale_served: Counter,
+    provider_failures: Counter,
+}
+
+impl GrisStatsAtomic {
+    fn snapshot(&self) -> GrisStats {
+        GrisStats {
+            queries: self.queries.get(),
+            provider_invocations: self.provider_invocations.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            entries_returned: self.entries_returned.get(),
+            binds_ok: self.binds_ok.get(),
+            binds_failed: self.binds_failed.get(),
+            updates_sent: self.updates_sent.get(),
+            schema_violations: self.schema_violations.get(),
+            stale_served: self.stale_served.get(),
+            provider_failures: self.provider_failures.get(),
+        }
+    }
+}
+
+/// One configured provider and its private cache. The provider sits
+/// behind its own mutex (taken only to fetch) and the cache behind its
+/// own reader-writer lock, so the locking is striped per provider:
+/// concurrent cache hits share read locks, and a fetch for one provider
+/// never blocks hits on another.
 struct Slot {
-    provider: Box<dyn InfoProvider>,
-    cached: Option<(SimTime, Vec<Entry>)>,
+    /// Copied from the provider at registration so the read path can
+    /// prune and probe caches without locking the provider.
+    name: String,
+    namespace: Dn,
+    cacheable: bool,
+    cache_ttl: SimDuration,
+    provider: Mutex<Box<dyn InfoProvider>>,
+    /// Last successful fetch. Kept past its TTL to back the serve-stale
+    /// degraded mode.
+    cached: RwLock<Option<(SimTime, Arc<Vec<Entry>>)>>,
 }
 
 /// GRIS configuration.
@@ -88,6 +159,13 @@ pub struct GrisConfig {
     /// inconsistent information as is available", §2.2). `None` disables
     /// the degraded mode: failures omit the provider's entries.
     pub stale_ttl: Option<SimDuration>,
+    /// When true, a multi-provider search resolves its cache misses on
+    /// scoped threads instead of invoking providers sequentially, so one
+    /// slow provider does not add its latency to every other's. Results
+    /// are still merged in provider registration order, keeping output
+    /// identical to the sequential path. Off by default (the simulated
+    /// runtime keeps the deterministic sequential path).
+    pub parallel_fetch: bool,
 }
 
 impl GrisConfig {
@@ -101,23 +179,25 @@ impl GrisConfig {
             credential: None,
             schema: None,
             stale_ttl: None,
+            parallel_fetch: false,
         }
     }
 }
 
 /// A Grid Resource Information Service instance.
 pub struct Gris {
-    /// Configuration (public for inspection).
+    /// Configuration (public for inspection). Frozen once a
+    /// [`GrisQueryPath`] has been created: the handle captures the
+    /// query-relevant parts at creation time.
     pub config: GrisConfig,
-    slots: Vec<Slot>,
+    slots: Arc<Vec<Slot>>,
     /// The GRRP refresh agent; add directory targets to join VOs.
     pub agent: RegistrationAgent,
-    sessions: BTreeMap<ClientId, Requester>,
+    sessions: Arc<RwLock<BTreeMap<ClientId, Requester>>>,
     subs: SubscriptionTable<ClientId>,
     sub_requester: BTreeMap<(ClientId, RequestId), Requester>,
     sub_next_due: BTreeMap<(ClientId, RequestId), SimTime>,
-    /// Operational counters.
-    pub stats: GrisStats,
+    stats: Arc<GrisStatsAtomic>,
 }
 
 /// What a `tick` produced: messages for the runtime to transmit.
@@ -127,6 +207,321 @@ pub struct TickOutput {
     pub registrations: Vec<(LdapUrl, GrrpMessage)>,
     /// Subscription updates to deliver, as `(client, reply)`.
     pub updates: Vec<(ClientId, GripReply)>,
+}
+
+/// What one provider slot contributed to a search.
+enum SlotData {
+    /// Fresh entries, shared with the slot cache (no copy).
+    Fresh(Arc<Vec<Entry>>),
+    /// Last-known-good entries stamped `stale`/`staleage` (degraded).
+    Stale(Vec<Entry>),
+    /// Provider unavailable with nothing to fall back on (partial).
+    Failed,
+    /// Provider refused the scope.
+    TooWide,
+}
+
+/// Borrowed view of everything the query path needs. [`Gris::search`]
+/// builds it from `&self`; [`GrisQueryPath::search`] from its captured
+/// clones — both run the same code.
+struct ReadPathRef<'a> {
+    suffix: &'a Dn,
+    policy: &'a PolicyMap,
+    schema: Option<&'a (Schema, Strictness)>,
+    stale_ttl: Option<SimDuration>,
+    parallel_fetch: bool,
+    slots: &'a [Slot],
+    stats: &'a GrisStatsAtomic,
+}
+
+impl ReadPathRef<'_> {
+    /// Probe a slot's cache without touching the provider. `Some` is a
+    /// countable cache hit.
+    fn probe_cache(&self, slot: &Slot, now: SimTime) -> Option<Arc<Vec<Entry>>> {
+        if !slot.cacheable {
+            return None;
+        }
+        let guard = slot.cached.read();
+        let (at, entries) = guard.as_ref()?;
+        (now.since(*at) < slot.cache_ttl).then(|| Arc::clone(entries))
+    }
+
+    /// Produce a slot's contribution, consulting cache, provider, and the
+    /// serve-stale fallback.
+    fn resolve_slot(&self, slot: &Slot, spec: &SearchSpec, now: SimTime) -> SlotData {
+        if let Some(entries) = self.probe_cache(slot, now) {
+            self.stats.cache_hits.bump();
+            return SlotData::Fresh(entries);
+        }
+        let mut provider = slot.provider.lock();
+        // Double-check under the provider lock: a concurrent worker may
+        // have completed the same fetch while we waited. (Single-threaded
+        // callers never hit this branch, keeping their counters exactly
+        // as before.)
+        if let Some(entries) = self.probe_cache(slot, now) {
+            self.stats.cache_hits.bump();
+            return SlotData::Fresh(entries);
+        }
+        self.stats.cache_misses.bump();
+        match provider.fetch(spec, now) {
+            Ok(entries) => {
+                self.stats.provider_invocations.bump();
+                let entries = Arc::new(entries);
+                if slot.cacheable {
+                    *slot.cached.write() = Some((now, Arc::clone(&entries)));
+                }
+                SlotData::Fresh(entries)
+            }
+            Err(ProviderError::Unavailable(_)) => {
+                // Degraded serve-stale mode: fall back to the
+                // last-known-good fetch when it is still inside the stale
+                // window, stamping each entry so consumers can see (and
+                // filter on) its age.
+                let stale = self.stale_ttl.and_then(|window| {
+                    let guard = slot.cached.read();
+                    guard
+                        .as_ref()
+                        .filter(|(at, _)| now.since(*at) <= window)
+                        .map(|(at, entries)| (*at, Arc::clone(entries)))
+                });
+                match stale {
+                    Some((at, entries)) => {
+                        self.stats.stale_served.bump();
+                        let age_secs = now.since(at).micros() / 1_000_000;
+                        SlotData::Stale(
+                            entries
+                                .iter()
+                                .map(|e| {
+                                    let mut e = e.clone();
+                                    e.add("stale", "TRUE");
+                                    e.add("staleage", age_secs);
+                                    e
+                                })
+                                .collect(),
+                        )
+                    }
+                    None => {
+                        self.stats.provider_failures.bump();
+                        SlotData::Failed
+                    }
+                }
+            }
+            Err(ProviderError::TooWide(_)) => SlotData::TooWide,
+        }
+    }
+
+    /// The core search path: prune providers by namespace, consult
+    /// caches, merge, redact, filter, project.
+    fn search(
+        &self,
+        spec: &SearchSpec,
+        requester: &Requester,
+        now: SimTime,
+    ) -> (ResultCode, Vec<Entry>) {
+        self.stats.queries.bump();
+
+        // A search rooted entirely outside this server's namespace names
+        // nothing we serve.
+        if !namespace_intersects(self.suffix, &spec.base) && !self.suffix.is_root() {
+            return (ResultCode::NoSuchObject, Vec::new());
+        }
+
+        let eligible: Vec<&Slot> = self
+            .slots
+            .iter()
+            .filter(|s| namespace_intersects(&s.namespace, &spec.base))
+            .collect();
+
+        // Resolve every eligible slot. Cache hits are answered inline;
+        // with `parallel_fetch`, two or more outstanding provider calls
+        // fan out across scoped threads instead of queueing behind each
+        // other. Contributions are merged in slot order either way, so
+        // both paths produce identical output.
+        let mut data: Vec<Option<SlotData>> = Vec::with_capacity(eligible.len());
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, slot) in eligible.iter().enumerate() {
+            match self.probe_cache(slot, now) {
+                Some(entries) => {
+                    self.stats.cache_hits.bump();
+                    data.push(Some(SlotData::Fresh(entries)));
+                }
+                None => {
+                    data.push(None);
+                    missing.push(i);
+                }
+            }
+        }
+        if self.parallel_fetch && missing.len() >= 2 {
+            let resolved = std::thread::scope(|sc| {
+                let handles: Vec<_> = missing
+                    .iter()
+                    .map(|&i| {
+                        let slot = eligible[i];
+                        sc.spawn(move || self.resolve_slot(slot, spec, now))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("provider fetch thread"))
+                    .collect::<Vec<_>>()
+            });
+            for (&i, d) in missing.iter().zip(resolved) {
+                data[i] = Some(d);
+            }
+        } else {
+            for &i in &missing {
+                data[i] = Some(self.resolve_slot(eligible[i], spec, now));
+            }
+        }
+
+        let mut partial = false;
+        let mut degraded = false;
+        let mut too_wide = false;
+        let mut merged: BTreeMap<String, Entry> = BTreeMap::new();
+        let mut merge_entry = |e: &Entry| {
+            if let Some((schema, strictness)) = self.schema {
+                if schema.validate(e, *strictness).is_err() {
+                    self.stats.schema_violations.bump();
+                    return;
+                }
+            }
+            match merged.get_mut(&e.dn().to_string()) {
+                Some(existing) => existing.merge_from(e),
+                None => {
+                    merged.insert(e.dn().to_string(), e.clone());
+                }
+            }
+        };
+        for d in data.into_iter().flatten() {
+            match d {
+                SlotData::Fresh(entries) => entries.iter().for_each(&mut merge_entry),
+                SlotData::Stale(entries) => {
+                    degraded = true;
+                    entries.iter().for_each(&mut merge_entry);
+                }
+                SlotData::Failed => partial = true,
+                SlotData::TooWide => too_wide = true,
+            }
+        }
+
+        // Mandatory final filtering (§10.3): scope and filter semantics
+        // are enforced here, not in providers — and ACL redaction happens
+        // *before* filter evaluation so filters cannot probe hidden
+        // attributes.
+        let mut results = Vec::new();
+        let mut truncated = false;
+        for entry in merged.into_values() {
+            let dn = entry.dn();
+            let in_scope = match spec.scope {
+                Scope::Base => dn == &spec.base,
+                Scope::One => dn.is_child_of(&spec.base),
+                Scope::Sub => dn.is_under(&spec.base),
+            };
+            if !in_scope {
+                continue;
+            }
+            let Some(redacted) = self.policy.redact(&entry, requester) else {
+                continue;
+            };
+            if !spec.filter.matches(&redacted) {
+                continue;
+            }
+            results.push(redacted.project(&spec.attrs));
+            if spec.size_limit != 0 && results.len() >= spec.size_limit as usize {
+                truncated = true;
+                break;
+            }
+        }
+
+        let code = if truncated {
+            ResultCode::SizeLimitExceeded
+        } else if too_wide && results.is_empty() {
+            ResultCode::UnwillingToPerform
+        } else if partial {
+            // Entries are genuinely missing (a failed provider had no
+            // usable last-known-good data). Dominates StaleResults.
+            ResultCode::PartialResults
+        } else if degraded {
+            ResultCode::StaleResults
+        } else {
+            ResultCode::Success
+        };
+        (code, results)
+    }
+}
+
+/// A cloneable handle over a GRIS's concurrent query state: everything a
+/// worker thread needs to answer `Search` requests without the engine's
+/// owner. Created by [`Gris::query_path`]; the configuration slice it
+/// captures (suffix, policy, schema, stale window) is frozen at creation.
+#[derive(Clone)]
+pub struct GrisQueryPath {
+    suffix: Dn,
+    policy: PolicyMap,
+    schema: Option<(Schema, Strictness)>,
+    stale_ttl: Option<SimDuration>,
+    parallel_fetch: bool,
+    slots: Arc<Vec<Slot>>,
+    sessions: Arc<RwLock<BTreeMap<ClientId, Requester>>>,
+    stats: Arc<GrisStatsAtomic>,
+}
+
+impl GrisQueryPath {
+    fn read_path(&self) -> ReadPathRef<'_> {
+        ReadPathRef {
+            suffix: &self.suffix,
+            policy: &self.policy,
+            schema: self.schema.as_ref(),
+            stale_ttl: self.stale_ttl,
+            parallel_fetch: self.parallel_fetch,
+            slots: &self.slots,
+            stats: &self.stats,
+        }
+    }
+
+    /// Run a search against the shared read path.
+    pub fn search(
+        &self,
+        spec: &SearchSpec,
+        requester: &Requester,
+        now: SimTime,
+    ) -> (ResultCode, Vec<Entry>) {
+        self.read_path().search(spec, requester, now)
+    }
+
+    /// Handle a request if it is query-path work (`Search`); every other
+    /// request is returned to the caller for the engine's owner
+    /// (mutations: bind, subscriptions).
+    // Err carries the request back unboxed: the worker forwards it to
+    // the owner channel by value, so boxing would be an extra
+    // allocation on a path taken for every non-Search message.
+    #[allow(clippy::result_large_err)]
+    pub fn handle_query(
+        &self,
+        client: ClientId,
+        req: GripRequest,
+        now: SimTime,
+    ) -> Result<Vec<GripReply>, GripRequest> {
+        match req {
+            GripRequest::Search { id, spec } => {
+                let requester = self
+                    .sessions
+                    .read()
+                    .get(&client)
+                    .cloned()
+                    .unwrap_or_else(Requester::anonymous);
+                let (code, entries) = self.search(&spec, &requester, now);
+                self.stats.entries_returned.add(entries.len() as u64);
+                Ok(vec![GripReply::SearchResult {
+                    id,
+                    code,
+                    entries,
+                    referrals: Vec::new(),
+                }])
+            }
+            other => Err(other),
+        }
+    }
 }
 
 impl Gris {
@@ -142,22 +537,31 @@ impl Gris {
         );
         Gris {
             config,
-            slots: Vec::new(),
+            slots: Arc::new(Vec::new()),
             agent,
-            sessions: BTreeMap::new(),
+            sessions: Arc::new(RwLock::new(BTreeMap::new())),
             subs: SubscriptionTable::new(),
             sub_requester: BTreeMap::new(),
             sub_next_due: BTreeMap::new(),
-            stats: GrisStats::default(),
+            stats: Arc::new(GrisStatsAtomic::default()),
         }
     }
 
-    /// Plug in an information provider.
+    /// Plug in an information provider. Providers are configured before
+    /// the engine starts serving; this panics if a [`GrisQueryPath`]
+    /// handle already exists.
     pub fn add_provider(&mut self, provider: Box<dyn InfoProvider>) {
-        self.slots.push(Slot {
-            provider,
-            cached: None,
-        });
+        let slot = Slot {
+            name: provider.name().to_owned(),
+            namespace: provider.namespace().clone(),
+            cacheable: provider.cacheable(),
+            cache_ttl: provider.cache_ttl(),
+            provider: Mutex::new(provider),
+            cached: RwLock::new(None),
+        };
+        Arc::get_mut(&mut self.slots)
+            .expect("providers are configured before query handles are created")
+            .push(slot);
     }
 
     /// Number of configured providers.
@@ -165,34 +569,50 @@ impl Gris {
         self.slots.len()
     }
 
-    /// Mutable access to a provider by name, downcast to its concrete
-    /// type (experiments use this for failure injection and counter
-    /// reads).
-    pub fn provider_mut<T: InfoProvider>(&mut self, name: &str) -> Option<&mut T> {
-        self.slots
-            .iter_mut()
-            .find(|s| s.provider.name() == name)
-            .and_then(|s| {
-                let any: &mut dyn std::any::Any = s.provider.as_mut();
-                any.downcast_mut::<T>()
-            })
+    /// Snapshot of the operational counters.
+    pub fn stats(&self) -> GrisStats {
+        self.stats.snapshot()
     }
 
-    /// Shared access to a provider by name, downcast to its concrete type.
-    pub fn provider<T: InfoProvider>(&self, name: &str) -> Option<&T> {
-        self.slots
-            .iter()
-            .find(|s| s.provider.name() == name)
-            .and_then(|s| {
-                let any: &dyn std::any::Any = s.provider.as_ref();
-                any.downcast_ref::<T>()
-            })
+    /// A cloneable concurrent-query handle sharing this engine's slots,
+    /// sessions and counters. The config slice it captures is frozen at
+    /// this point.
+    pub fn query_path(&self) -> GrisQueryPath {
+        GrisQueryPath {
+            suffix: self.config.suffix.clone(),
+            policy: self.config.policy.clone(),
+            schema: self.config.schema.clone(),
+            stale_ttl: self.config.stale_ttl,
+            parallel_fetch: self.config.parallel_fetch,
+            slots: Arc::clone(&self.slots),
+            sessions: Arc::clone(&self.sessions),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// Mutable access to a provider by name, downcast to its concrete
+    /// type (experiments use this for failure injection and counter
+    /// reads). `None` once query handles exist.
+    pub fn provider_mut<T: InfoProvider>(&mut self, name: &str) -> Option<&mut T> {
+        let slots = Arc::get_mut(&mut self.slots)?;
+        slots.iter_mut().find(|s| s.name == name).and_then(|s| {
+            let any: &mut dyn std::any::Any = s.provider.get_mut().as_mut();
+            any.downcast_mut::<T>()
+        })
+    }
+
+    /// Shared access to a provider by name, downcast to its concrete
+    /// type. Takes `&mut self` because the provider sits behind the
+    /// slot's lock, which is bypassed through exclusive access.
+    pub fn provider<T: InfoProvider>(&mut self, name: &str) -> Option<&T> {
+        self.provider_mut::<T>(name).map(|p| &*p)
     }
 
     /// The requester identity associated with a client (anonymous until a
     /// successful bind).
     pub fn requester_of(&self, client: ClientId) -> Requester {
         self.sessions
+            .read()
             .get(&client)
             .cloned()
             .unwrap_or_else(Requester::anonymous)
@@ -219,8 +639,9 @@ impl Gris {
                     .and_then(|auth| auth.authenticate(&token));
                 match outcome {
                     Some(subject) => {
-                        self.stats.binds_ok += 1;
+                        self.stats.binds_ok.bump();
                         self.sessions
+                            .write()
                             .insert(client, Requester::subject(subject.clone()));
                         vec![GripReply::BindResult {
                             id,
@@ -229,7 +650,7 @@ impl Gris {
                         }]
                     }
                     None => {
-                        self.stats.binds_failed += 1;
+                        self.stats.binds_failed.bump();
                         vec![GripReply::BindResult {
                             id,
                             ok: false,
@@ -241,7 +662,7 @@ impl Gris {
             GripRequest::Search { id, spec } => {
                 let requester = self.requester_of(client);
                 let (code, entries) = self.search(&spec, &requester, now);
-                self.stats.entries_returned += entries.len() as u64;
+                self.stats.entries_returned.add(entries.len() as u64);
                 vec![GripReply::SearchResult {
                     id,
                     code,
@@ -259,7 +680,7 @@ impl Gris {
                 // Initial snapshot is delivered immediately.
                 let (_, entries) = self.search(&spec, &requester, now);
                 self.note_delivery(client, id, &entries);
-                self.stats.updates_sent += 1;
+                self.stats.updates_sent.bump();
                 vec![GripReply::Update { id, entries }]
             }
             GripRequest::Unsubscribe { id } => {
@@ -286,7 +707,7 @@ impl Gris {
 
     /// Forget all session/subscription state for a disconnected client.
     pub fn drop_client(&mut self, client: ClientId) {
-        self.sessions.remove(&client);
+        self.sessions.write().remove(&client);
         self.subs.drop_subscriber(client);
         self.sub_requester.retain(|(c, _), _| *c != client);
         self.sub_next_due.retain(|(c, _), _| *c != client);
@@ -341,7 +762,7 @@ impl Gris {
                     let (_, entries) = self.search(&spec, &requester, now);
                     self.note_delivery(client, id, &entries);
                     self.sub_next_due.insert((client, id), due_at + period);
-                    self.stats.updates_sent += 1;
+                    self.stats.updates_sent.bump();
                     out.updates
                         .push((client, GripReply::Update { id, entries }));
                 }
@@ -357,7 +778,7 @@ impl Gris {
                         continue;
                     }
                     self.note_delivery(client, id, &entries);
-                    self.stats.updates_sent += 1;
+                    self.stats.updates_sent.bump();
                     out.updates
                         .push((client, GripReply::Update { id, entries }));
                 }
@@ -375,150 +796,28 @@ impl Gris {
         }
     }
 
+    fn read_path(&self) -> ReadPathRef<'_> {
+        ReadPathRef {
+            suffix: &self.config.suffix,
+            policy: &self.config.policy,
+            schema: self.config.schema.as_ref(),
+            stale_ttl: self.config.stale_ttl,
+            parallel_fetch: self.config.parallel_fetch,
+            slots: &self.slots,
+            stats: &self.stats,
+        }
+    }
+
     /// The core search path: prune providers by namespace, consult caches,
-    /// merge, redact, filter, project.
+    /// merge, redact, filter, project. Takes `&self` — searches never
+    /// require exclusive access and run concurrently from worker threads.
     pub fn search(
-        &mut self,
+        &self,
         spec: &SearchSpec,
         requester: &Requester,
         now: SimTime,
     ) -> (ResultCode, Vec<Entry>) {
-        self.stats.queries += 1;
-
-        // A search rooted entirely outside this server's namespace names
-        // nothing we serve.
-        if !namespace_intersects(&self.config.suffix, &spec.base) && !self.config.suffix.is_root() {
-            return (ResultCode::NoSuchObject, Vec::new());
-        }
-
-        let mut partial = false;
-        let mut degraded = false;
-        let mut too_wide = false;
-        let mut merged: BTreeMap<String, Entry> = BTreeMap::new();
-
-        let stale_ttl = self.config.stale_ttl;
-        for slot in &mut self.slots {
-            if !namespace_intersects(slot.provider.namespace(), &spec.base) {
-                continue;
-            }
-            let use_cache = slot.provider.cacheable()
-                && slot
-                    .cached
-                    .as_ref()
-                    .is_some_and(|(at, _)| now.since(*at) < slot.provider.cache_ttl());
-            let entries: Vec<Entry> = if use_cache {
-                self.stats.cache_hits += 1;
-                match &slot.cached {
-                    Some((_, entries)) => entries.clone(),
-                    None => Vec::new(),
-                }
-            } else {
-                self.stats.cache_misses += 1;
-                match slot.provider.fetch(spec, now) {
-                    Ok(entries) => {
-                        self.stats.provider_invocations += 1;
-                        if slot.provider.cacheable() {
-                            slot.cached = Some((now, entries.clone()));
-                        }
-                        entries
-                    }
-                    Err(ProviderError::Unavailable(_)) => {
-                        // Degraded serve-stale mode: fall back to the
-                        // last-known-good fetch when it is still inside
-                        // the stale window, stamping each entry so
-                        // consumers can see (and filter on) its age.
-                        let stale = stale_ttl.and_then(|window| {
-                            slot.cached
-                                .as_ref()
-                                .filter(|(at, _)| now.since(*at) <= window)
-                        });
-                        match stale {
-                            Some((at, entries)) => {
-                                self.stats.stale_served += 1;
-                                degraded = true;
-                                let age_secs = now.since(*at).micros() / 1_000_000;
-                                entries
-                                    .iter()
-                                    .map(|e| {
-                                        let mut e = e.clone();
-                                        e.add("stale", "TRUE");
-                                        e.add("staleage", age_secs);
-                                        e
-                                    })
-                                    .collect()
-                            }
-                            None => {
-                                self.stats.provider_failures += 1;
-                                partial = true;
-                                continue;
-                            }
-                        }
-                    }
-                    Err(ProviderError::TooWide(_)) => {
-                        too_wide = true;
-                        continue;
-                    }
-                }
-            };
-            for e in entries {
-                if let Some((schema, strictness)) = &self.config.schema {
-                    if schema.validate(&e, *strictness).is_err() {
-                        self.stats.schema_violations += 1;
-                        continue;
-                    }
-                }
-                match merged.get_mut(&e.dn().to_string()) {
-                    Some(existing) => existing.merge_from(&e),
-                    None => {
-                        merged.insert(e.dn().to_string(), e);
-                    }
-                }
-            }
-        }
-
-        // Mandatory final filtering (§10.3): scope and filter semantics
-        // are enforced here, not in providers — and ACL redaction happens
-        // *before* filter evaluation so filters cannot probe hidden
-        // attributes.
-        let mut results = Vec::new();
-        let mut truncated = false;
-        for entry in merged.into_values() {
-            let dn = entry.dn();
-            let in_scope = match spec.scope {
-                Scope::Base => dn == &spec.base,
-                Scope::One => dn.is_child_of(&spec.base),
-                Scope::Sub => dn.is_under(&spec.base),
-            };
-            if !in_scope {
-                continue;
-            }
-            let Some(redacted) = self.config.policy.redact(&entry, requester) else {
-                continue;
-            };
-            if !spec.filter.matches(&redacted) {
-                continue;
-            }
-            results.push(redacted.project(&spec.attrs));
-            if spec.size_limit != 0 && results.len() >= spec.size_limit as usize {
-                truncated = true;
-                break;
-            }
-        }
-
-        let code = if truncated {
-            ResultCode::SizeLimitExceeded
-        } else if too_wide && results.is_empty() {
-            ResultCode::UnwillingToPerform
-        } else if partial {
-            // Entries are genuinely missing (a failed provider had no
-            // usable last-known-good data). Dominates StaleResults.
-            ResultCode::PartialResults
-        } else if degraded {
-            ResultCode::StaleResults
-        } else {
-            ResultCode::Success
-        };
-        (code, results)
+        self.read_path().search(spec, requester, now)
     }
 
     /// Number of active subscriptions.
@@ -634,7 +933,8 @@ mod tests {
         );
         assert_eq!(entries.len(), 1);
         assert_eq!(
-            gris.stats.provider_invocations, 2,
+            gris.stats().provider_invocations,
+            2,
             "fs + static-host run; perf and queue are pruned"
         );
     }
@@ -647,13 +947,13 @@ mod tests {
         // (TTL 1h).
         let spec = SearchSpec::lookup(Dn::parse("perf=load, hn=hostX").unwrap());
         search(&mut gris, spec.clone(), t(0));
-        assert_eq!(gris.stats.provider_invocations, 2);
+        assert_eq!(gris.stats().provider_invocations, 2);
         search(&mut gris, spec.clone(), t(5)); // both within TTL
-        assert_eq!(gris.stats.provider_invocations, 2);
-        assert_eq!(gris.stats.cache_hits, 2);
+        assert_eq!(gris.stats().provider_invocations, 2);
+        assert_eq!(gris.stats().cache_hits, 2);
         search(&mut gris, spec, t(31)); // dynamic TTL expired, static cached
-        assert_eq!(gris.stats.provider_invocations, 3);
-        assert_eq!(gris.stats.cache_hits, 3);
+        assert_eq!(gris.stats().provider_invocations, 3);
+        assert_eq!(gris.stats().cache_hits, 3);
     }
 
     #[test]
@@ -698,7 +998,7 @@ mod tests {
             .expect("stale perf entry present");
         assert_eq!(perf.get_str("stale"), Some("TRUE"));
         assert_eq!(perf.get_str("staleage"), Some("40"));
-        assert_eq!(gris.stats.stale_served, 1);
+        assert_eq!(gris.stats().stale_served, 1);
 
         // Recovery: once the provider heals, answers are fresh again.
         gris.provider_mut::<DynamicHostProvider>("dynamic-host:hostX")
@@ -733,7 +1033,7 @@ mod tests {
         );
         assert_eq!(code, ResultCode::PartialResults);
         assert_eq!(entries.len(), 3);
-        assert_eq!(gris.stats.provider_failures, 1);
+        assert_eq!(gris.stats().provider_failures, 1);
     }
 
     #[test]
@@ -852,7 +1152,7 @@ mod tests {
             t(2),
         );
         assert_eq!(entries.len(), 1);
-        assert_eq!(gris.stats.binds_ok, 1);
+        assert_eq!(gris.stats().binds_ok, 1);
 
         // A different client is still anonymous.
         let replies = gris.handle_request(
@@ -885,7 +1185,7 @@ mod tests {
             replies[0],
             GripReply::BindResult { ok: false, .. }
         ));
-        assert_eq!(gris.stats.binds_failed, 1);
+        assert_eq!(gris.stats().binds_failed, 1);
     }
 
     #[test]
@@ -1026,7 +1326,7 @@ mod tests {
         );
         assert_eq!(code, ResultCode::Success);
         assert_eq!(entries.len(), 1, "invalid entry dropped");
-        assert_eq!(gris.stats.schema_violations, 1);
+        assert_eq!(gris.stats().schema_violations, 1);
     }
 
     #[test]

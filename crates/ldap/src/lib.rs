@@ -23,6 +23,7 @@ pub mod error;
 pub mod filter;
 pub mod ldif;
 pub mod schema;
+pub mod shared;
 pub mod url;
 
 pub use codec::{Wire, WireReader};
@@ -33,4 +34,5 @@ pub use error::{LdapError, Result};
 pub use filter::Filter;
 pub use ldif::{entry_to_ldif, parse_ldif, to_ldif};
 pub use schema::{ObjectClassDef, Schema, Strictness};
+pub use shared::SharedDit;
 pub use url::LdapUrl;

@@ -21,6 +21,7 @@
 
 pub mod grip;
 pub mod grrp;
+pub mod stats;
 pub mod wire;
 
 pub use grip::{
@@ -30,4 +31,5 @@ pub use grip::{
 pub use grrp::{
     FailureDetector, GrrpMessage, Notification, Registration, RegistrationAgent, SoftStateRegistry,
 };
+pub use stats::Counter;
 pub use wire::ProtocolMessage;

@@ -1,0 +1,56 @@
+//! Lock-free operational counters shared by the server engines.
+//!
+//! The GRIS/GIIS read paths run concurrently on live-runtime worker
+//! threads, so their hot counters are atomics rather than fields behind
+//! `&mut self`. All operations use `Relaxed` ordering: the counters are
+//! monotonic event counts with no synchronizing role — readers that want
+//! a consistent *cross-counter* view take a snapshot after quiescing the
+//! workload (which every test and experiment does).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically-increasing operational counter, updatable through a
+/// shared reference.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_across_threads() {
+        let c = Counter::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.bump();
+                    }
+                    c.add(10);
+                });
+            }
+        });
+        assert_eq!(c.get(), 4 * 1010);
+    }
+}

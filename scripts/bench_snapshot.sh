@@ -1,19 +1,27 @@
 #!/usr/bin/env bash
 # Runs the query-path benchmarks and collects their criterion estimates
-# into a single JSON snapshot (BENCH_PR1.json) for before/after
-# comparison. Mean estimates are in nanoseconds.
+# plus the live-runtime throughput sweep into a single JSON snapshot
+# (BENCH_PR3.json by default) for before/after comparison. Criterion
+# mean estimates are in nanoseconds; live-runtime rows carry qps and
+# p50/p99 latency in microseconds per worker count.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR1.json}"
+OUT="${1:-BENCH_PR3.json}"
+LIVE_JSON="$(mktemp)"
+trap 'rm -f "$LIVE_JSON"' EXIT
 
 for bench in bench_dit bench_filter bench_softstate; do
     echo "==> cargo bench --bench $bench"
     cargo bench --offline -p gis-bench --bench "$bench"
 done
 
+echo "==> exp_live_throughput (worker sweep)"
+cargo build --release --offline -p gis-bench --bin exp_live_throughput
+./target/release/exp_live_throughput --json "$LIVE_JSON" >/dev/null
+
 echo "==> harvesting estimates into $OUT"
-python3 - "$OUT" <<'EOF'
+python3 - "$OUT" "$LIVE_JSON" <<'EOF'
 import json, os, sys
 
 root = "target/criterion"
@@ -50,9 +58,34 @@ s10k = mean("softstate/sweep_none_expired_10000")
 if s100 and s10k:
     derived["sweep_noop_10k_over_100"] = round(s10k / s100, 1)
 
+with open(sys.argv[2]) as f:
+    live = json.load(f)
+
+# Worker-scaling headlines: pooled throughput relative to one worker,
+# and 1-worker tail latency relative to the single-threaded owner loop.
+by_workers = {
+    row["workers"]: row
+    for row in live["runs"]
+    if row["workload"] == "worker_sweep"
+}
+if 1 in by_workers and 4 in by_workers:
+    derived["live_qps_4_workers_over_1"] = round(
+        by_workers[4]["qps"] / by_workers[1]["qps"], 2
+    )
+if 0 in by_workers and 1 in by_workers:
+    derived["live_p99_1_worker_over_owner_loop"] = round(
+        by_workers[1]["p99_us"] / by_workers[0]["p99_us"], 2
+    )
+
 out = sys.argv[1]
 with open(out, "w") as f:
-    json.dump({"benchmarks": snapshot, "derived": derived}, f, indent=2, sort_keys=True)
+    json.dump(
+        {"benchmarks": snapshot, "derived": derived, "live_runtime": live},
+        f,
+        indent=2,
+        sort_keys=True,
+    )
     f.write("\n")
-print(f"wrote {out} ({len(snapshot)} benchmarks)")
+print(f"wrote {out} ({len(snapshot)} benchmarks, "
+      f"{len(live['runs'])} live-runtime rows)")
 EOF

@@ -4,6 +4,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> checking no build artifacts are git-tracked"
+if git ls-files -- 'target/' '*/target/' | grep -q .; then
+    echo "error: build artifacts under target/ are git-tracked:" >&2
+    git ls-files -- 'target/' '*/target/' | head >&2
+    exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
 

@@ -141,7 +141,7 @@ fn membership_policy_controls_vo_composition() {
     dep.run_for(secs(2));
 
     assert_eq!(dep.giis(vo).active_children(dep.now()).len(), 1);
-    assert_eq!(dep.giis(vo).stats.grrp_rejected, 1);
+    assert_eq!(dep.giis(vo).stats().grrp_rejected, 1);
 }
 
 #[test]
@@ -291,7 +291,7 @@ fn signed_registration_end_to_end() {
         1,
         "only the community-signed host is admitted"
     );
-    assert!(dep.giis(vo).stats.grrp_rejected >= 2);
+    assert!(dep.giis(vo).stats().grrp_rejected >= 2);
 
     let (_, entries, _) = dep
         .search_and_wait(
@@ -349,7 +349,7 @@ fn partitioned_child_yields_marked_partial_within_deadline() {
         "answer within the 2s chaining deadline, not the 10s client budget"
     );
     assert!(
-        dep.giis(vo).stats.chain_retries >= 1,
+        dep.giis(vo).stats().chain_retries >= 1,
         "in-deadline retry was attempted before giving up"
     );
 
@@ -357,7 +357,7 @@ fn partitioned_child_yields_marked_partial_within_deadline() {
     // answered fast because the dead child is skipped instantly.
     dep.search_and_wait(client, &vo_url, q.clone(), secs(10))
         .expect("second partial answer");
-    assert_eq!(dep.giis(vo).stats.breaker_opens, 1);
+    assert_eq!(dep.giis(vo).stats().breaker_opens, 1);
     let before = dep.now();
     let (code, entries, _) = dep
         .search_and_wait(client, &vo_url, q.clone(), secs(10))
@@ -368,7 +368,7 @@ fn partitioned_child_yields_marked_partial_within_deadline() {
         dep.now().since(before) < secs(1),
         "open circuit avoids waiting out the chaining deadline"
     );
-    assert!(dep.giis(vo).stats.breaker_skips >= 1);
+    assert!(dep.giis(vo).stats().breaker_skips >= 1);
 
     // Heal; once the cooldown lapses, the next query doubles as the
     // half-open probe and the full view returns.
@@ -379,8 +379,8 @@ fn partitioned_child_yields_marked_partial_within_deadline() {
         .expect("post-heal answer");
     assert_eq!(code, ResultCode::Success, "probe re-admitted the child");
     assert_eq!(entries.len(), 3, "complete view restored");
-    assert!(dep.giis(vo).stats.breaker_probes >= 1);
-    assert_eq!(dep.giis(vo).stats.breaker_closes, 1);
+    assert!(dep.giis(vo).stats().breaker_probes >= 1);
+    assert_eq!(dep.giis(vo).stats().breaker_closes, 1);
 }
 
 #[test]
