@@ -105,10 +105,14 @@ impl Actor<ProtocolMessage> for GrisActor {
         from: NodeId,
         msg: ProtocolMessage,
     ) {
+        let (trace, msg) = msg.untraced();
         match msg {
             ProtocolMessage::Request(req) => {
                 let now = ctx.now();
-                for reply in self.gris.handle_request(u64::from(from.0), req, now) {
+                for reply in self
+                    .gris
+                    .handle_request_traced(u64::from(from.0), req, trace, now)
+                {
                     ctx.send(from, ProtocolMessage::Reply(reply));
                 }
             }
@@ -116,6 +120,7 @@ impl Actor<ProtocolMessage> for GrisActor {
                 self.gris.handle_grrp(&msg);
             }
             ProtocolMessage::Reply(_) => { /* a GRIS issues no requests */ }
+            ProtocolMessage::Traced { .. } => { /* nested envelopes are rejected on decode */ }
         }
     }
 
@@ -146,9 +151,14 @@ impl GiisActor {
     fn perform(&mut self, ctx: &mut Ctx<'_, ProtocolMessage>, actions: Vec<GiisAction>) {
         for action in actions {
             match action {
-                GiisAction::SendRequest { to, request } => {
+                GiisAction::SendRequest { to, request, trace } => {
                     if let Some(node) = self.names.resolve(&to) {
-                        ctx.send(node, ProtocolMessage::Request(request));
+                        let msg = ProtocolMessage::Request(request);
+                        let msg = match trace {
+                            Some(tctx) => msg.traced(tctx),
+                            None => msg,
+                        };
+                        ctx.send(node, msg);
                     }
                     // Unresolvable children simply never answer; the
                     // pending-query deadline converts that into partial
@@ -183,8 +193,12 @@ impl Actor<ProtocolMessage> for GiisActor {
         msg: ProtocolMessage,
     ) {
         let now = ctx.now();
+        let (trace, msg) = msg.untraced();
         let actions = match msg {
-            ProtocolMessage::Request(req) => self.giis.handle_request(u64::from(from.0), req, now),
+            ProtocolMessage::Request(req) => {
+                self.giis
+                    .handle_request_traced(u64::from(from.0), req, trace, now)
+            }
             ProtocolMessage::Reply(reply) => {
                 let from_url = self
                     .names
@@ -193,6 +207,7 @@ impl Actor<ProtocolMessage> for GiisActor {
                 self.giis.handle_reply(&from_url, reply, now)
             }
             ProtocolMessage::Grrp(msg) => self.giis.handle_grrp(msg, now),
+            ProtocolMessage::Traced { .. } => Vec::new(), // nested: rejected on decode
         };
         self.perform(ctx, actions);
     }
@@ -291,6 +306,7 @@ impl Actor<ProtocolMessage> for ClientActor {
         _from: NodeId,
         msg: ProtocolMessage,
     ) {
+        let (_, msg) = msg.untraced();
         if let ProtocolMessage::Reply(reply) = msg {
             self.replies
                 .entry(reply.id())

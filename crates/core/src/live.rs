@@ -29,7 +29,10 @@ use gis_giis::{Giis, GiisAction, GiisQueryPath};
 use gis_gris::Gris;
 use gis_ldap::{Entry, LdapUrl};
 use gis_netsim::{SimRng, SimTime};
-use gis_proto::{GripReply, GripRequest, GrrpMessage, RequestId, ResultCode, SearchSpec};
+use gis_proto::{
+    GripReply, GripRequest, GrrpMessage, RequestId, ResultCode, SearchSpec, SpanRecord,
+    TraceContext, TraceId, TraceSink,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,6 +58,13 @@ pub enum LiveMsg {
         from: Address,
         /// The request.
         request: GripRequest,
+        /// Trace context, when the request is part of a traced query
+        /// (the live analogue of the `ProtocolMessage::Traced` envelope).
+        trace: Option<TraceContext>,
+        /// When the message entered the queue it currently waits in
+        /// (input to the `inbox-wait-us` histogram; reset on forward to
+        /// the owner so each reading measures one queue).
+        enqueued: Instant,
     },
     /// A GRIP reply delivered to a *service* (chained-query responses).
     ReplyToService {
@@ -289,11 +299,13 @@ fn perform_giis_actions(
 ) {
     for action in actions {
         match action {
-            GiisAction::SendRequest { to, request } => router.send_to_service(
+            GiisAction::SendRequest { to, request, trace } => router.send_to_service(
                 &to.to_string(),
                 LiveMsg::Request {
                     from: Address::Service(url.to_owned()),
                     request,
+                    trace,
+                    enqueued: Instant::now(),
                 },
             ),
             GiisAction::SendGrrp { to, message } => {
@@ -315,6 +327,7 @@ pub struct LiveRuntime {
     handles: Vec<(Sender<LiveMsg>, JoinHandle<()>)>,
     next_client: AtomicU64,
     tick: Duration,
+    sink: Arc<TraceSink>,
 }
 
 impl LiveRuntime {
@@ -326,12 +339,19 @@ impl LiveRuntime {
             handles: Vec::new(),
             next_client: AtomicU64::new(1),
             tick,
+            sink: Arc::new(TraceSink::new()),
         }
     }
 
     /// Wall time mapped onto the simulation clock type.
     pub fn now(&self) -> SimTime {
-        SimTime(self.epoch.elapsed().as_micros() as u64)
+        SimTime::wall(self.epoch)
+    }
+
+    /// The shared span sink every spawned service records into. Traces
+    /// started by [`LiveClient::search_traced`] assemble here.
+    pub fn trace_sink(&self) -> Arc<TraceSink> {
+        Arc::clone(&self.sink)
     }
 
     /// Run a GRIS on its own thread (no query workers).
@@ -350,6 +370,11 @@ impl LiveRuntime {
         let interner = ClientInterner::new();
         let epoch = self.epoch;
         let tick = self.tick;
+        gris.set_trace_sink(Arc::clone(&self.sink));
+        let obs_on = gris.config.observability;
+        let registry = gris.metrics();
+        let inbox_wait = registry.histogram("inbox-wait-us");
+        let inbox_depth = registry.gauge("inbox-depth");
 
         let inbox_tx = if workers == 0 {
             owner_tx.clone()
@@ -364,13 +389,24 @@ impl LiveRuntime {
                 let interner = interner.clone();
                 let router = Arc::clone(&self.router);
                 let url = url.clone();
+                let inbox_wait = Arc::clone(&inbox_wait);
+                let inbox_depth = Arc::clone(&inbox_depth);
                 let handle = std::thread::spawn(move || {
-                    let now = || SimTime(epoch.elapsed().as_micros() as u64);
+                    let now = || SimTime::wall(epoch);
                     loop {
                         match in_rx.recv() {
-                            Ok(LiveMsg::Request { from, request }) => {
+                            Ok(LiveMsg::Request {
+                                from,
+                                request,
+                                trace,
+                                enqueued,
+                            }) => {
+                                if obs_on {
+                                    inbox_wait.record(enqueued.elapsed().as_micros() as u64);
+                                    inbox_depth.set(in_rx.len() as u64);
+                                }
                                 let cid = interner.intern(&from);
-                                match query.handle_query(cid, request, now()) {
+                                match query.handle_query_traced(cid, request, trace, now()) {
                                     Ok(replies) => {
                                         for reply in replies {
                                             router.send_back(&from, &url, reply);
@@ -378,7 +414,12 @@ impl LiveRuntime {
                                     }
                                     // Mutation-path request: the owner's.
                                     Err(request) => {
-                                        let _ = owner_tx.send(LiveMsg::Request { from, request });
+                                        let _ = owner_tx.send(LiveMsg::Request {
+                                            from,
+                                            request,
+                                            trace,
+                                            enqueued: Instant::now(),
+                                        });
                                     }
                                 }
                             }
@@ -407,13 +448,22 @@ impl LiveRuntime {
             .insert(url.clone(), inbox_tx.clone());
         let router = Arc::clone(&self.router);
         let handle = std::thread::spawn(move || {
-            let now = || SimTime(epoch.elapsed().as_micros() as u64);
+            let now = || SimTime::wall(epoch);
             loop {
                 match owner_rx.recv_timeout(tick) {
                     Ok(LiveMsg::Shutdown) => break,
-                    Ok(LiveMsg::Request { from, request }) => {
+                    Ok(LiveMsg::Request {
+                        from,
+                        request,
+                        trace,
+                        enqueued,
+                    }) => {
+                        if obs_on {
+                            inbox_wait.record(enqueued.elapsed().as_micros() as u64);
+                            inbox_depth.set(owner_rx.len() as u64);
+                        }
                         let cid = interner.intern(&from);
-                        for reply in gris.handle_request(cid, request, now()) {
+                        for reply in gris.handle_request_traced(cid, request, trace, now()) {
                             router.send_back(&from, &url, reply);
                         }
                     }
@@ -456,6 +506,11 @@ impl LiveRuntime {
         let interner = ClientInterner::new();
         let epoch = self.epoch;
         let tick = self.tick;
+        giis.set_trace_sink(Arc::clone(&self.sink));
+        let obs_on = giis.config.observability;
+        let registry = giis.metrics();
+        let inbox_wait = registry.histogram("inbox-wait-us");
+        let inbox_depth = registry.gauge("inbox-depth");
 
         let inbox_tx = if workers == 0 {
             owner_tx.clone()
@@ -470,18 +525,34 @@ impl LiveRuntime {
                 let interner = interner.clone();
                 let router = Arc::clone(&self.router);
                 let url = url.clone();
+                let inbox_wait = Arc::clone(&inbox_wait);
+                let inbox_depth = Arc::clone(&inbox_depth);
                 let handle = std::thread::spawn(move || {
-                    let now = || SimTime(epoch.elapsed().as_micros() as u64);
+                    let now = || SimTime::wall(epoch);
                     loop {
                         match in_rx.recv() {
-                            Ok(LiveMsg::Request { from, request }) => {
+                            Ok(LiveMsg::Request {
+                                from,
+                                request,
+                                trace,
+                                enqueued,
+                            }) => {
+                                if obs_on {
+                                    inbox_wait.record(enqueued.elapsed().as_micros() as u64);
+                                    inbox_depth.set(in_rx.len() as u64);
+                                }
                                 let cid = interner.intern(&from);
-                                match query.handle_query(cid, request, now()) {
+                                match query.handle_query_traced(cid, request, trace, now()) {
                                     Ok(actions) => {
                                         perform_giis_actions(actions, &router, &interner, &url)
                                     }
                                     Err(request) => {
-                                        let _ = owner_tx.send(LiveMsg::Request { from, request });
+                                        let _ = owner_tx.send(LiveMsg::Request {
+                                            from,
+                                            request,
+                                            trace,
+                                            enqueued: Instant::now(),
+                                        });
                                     }
                                 }
                             }
@@ -508,13 +579,22 @@ impl LiveRuntime {
             .insert(url.clone(), inbox_tx.clone());
         let router = Arc::clone(&self.router);
         let handle = std::thread::spawn(move || {
-            let now = || SimTime(epoch.elapsed().as_micros() as u64);
+            let now = || SimTime::wall(epoch);
             loop {
                 match owner_rx.recv_timeout(tick) {
                     Ok(LiveMsg::Shutdown) => break,
-                    Ok(LiveMsg::Request { from, request }) => {
+                    Ok(LiveMsg::Request {
+                        from,
+                        request,
+                        trace,
+                        enqueued,
+                    }) => {
+                        if obs_on {
+                            inbox_wait.record(enqueued.elapsed().as_micros() as u64);
+                            inbox_depth.set(owner_rx.len() as u64);
+                        }
                         let cid = interner.intern(&from);
-                        let actions = giis.handle_request(cid, request, now());
+                        let actions = giis.handle_request_traced(cid, request, trace, now());
                         perform_giis_actions(actions, &router, &interner, &url);
                     }
                     Ok(LiveMsg::ReplyToService { from_url, reply }) => {
@@ -553,6 +633,8 @@ impl LiveRuntime {
             router: Arc::clone(&self.router),
             next_req: 1,
             rng: SimRng::new(id),
+            epoch: self.epoch,
+            sink: Arc::clone(&self.sink),
         }
     }
 
@@ -663,9 +745,18 @@ pub struct LiveClient {
     /// Jitter source for retry backoff, seeded from the client id so a
     /// fleet of clients desynchronizes deterministically.
     rng: SimRng,
+    epoch: Instant,
+    sink: Arc<TraceSink>,
 }
 
+/// Terminal result of one client search: code, entries, referrals.
+pub type SearchOutcome = (ResultCode, Vec<Entry>, Vec<LdapUrl>);
+
 impl LiveClient {
+    fn now(&self) -> SimTime {
+        SimTime::wall(self.epoch)
+    }
+
     /// Send a raw request.
     pub fn send(
         &mut self,
@@ -679,6 +770,8 @@ impl LiveClient {
             LiveMsg::Request {
                 from: Address::Client(self.id),
                 request: build(id),
+                trace: None,
+                enqueued: Instant::now(),
             },
         );
         id
@@ -690,7 +783,7 @@ impl LiveClient {
         target: &LdapUrl,
         spec: SearchSpec,
         timeout: Duration,
-    ) -> Option<(ResultCode, Vec<Entry>, Vec<LdapUrl>)> {
+    ) -> Option<SearchOutcome> {
         let id = self.send(target, |id| GripRequest::Search { id, spec });
         let deadline = Instant::now() + timeout;
         loop {
@@ -708,6 +801,66 @@ impl LiveClient {
         }
     }
 
+    /// Issue a traced search: mints a fresh trace id, propagates the
+    /// context through every hop (GIIS fan-out included), and records the
+    /// client's root span when the reply arrives or the deadline passes.
+    /// The returned [`TraceId`] keys the assembled span tree in the
+    /// runtime's [`TraceSink`] (see [`LiveRuntime::trace_sink`]).
+    pub fn search_traced(
+        &mut self,
+        target: &LdapUrl,
+        spec: SearchSpec,
+        timeout: Duration,
+    ) -> (TraceId, Option<SearchOutcome>) {
+        let root = self.sink.next_span();
+        let trace = TraceId(root);
+        let id = self.next_req;
+        self.next_req += 1;
+        let start = self.now();
+        self.router.send_to_service(
+            &target.to_string(),
+            LiveMsg::Request {
+                from: Address::Client(self.id),
+                request: GripRequest::Search { id, spec },
+                trace: Some(TraceContext {
+                    trace,
+                    parent: root,
+                }),
+                enqueued: Instant::now(),
+            },
+        );
+        let deadline = Instant::now() + timeout;
+        let result = loop {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break None;
+            };
+            match self.rx.recv_timeout(remaining) {
+                Ok(GripReply::SearchResult {
+                    id: rid,
+                    code,
+                    entries,
+                    referrals,
+                }) if rid == id => break Some((code, entries, referrals)),
+                Ok(_) => continue,
+                Err(_) => break None,
+            }
+        };
+        self.sink.record(SpanRecord {
+            trace,
+            span: root,
+            parent: None,
+            service: format!("client:{}", self.id),
+            name: "client.search".into(),
+            start,
+            end: self.now(),
+            outcome: match &result {
+                Some((code, ..)) => code.label().to_string(),
+                None => "timeout".to_string(),
+            },
+        });
+        (trace, result)
+    }
+
     /// Issue a search with per-attempt deadlines and jittered exponential
     /// backoff between attempts. Each attempt is a fresh request id, so a
     /// late reply to an abandoned attempt is discarded, not mistaken for
@@ -717,7 +870,7 @@ impl LiveClient {
         target: &LdapUrl,
         spec: &SearchSpec,
         policy: RetryPolicy,
-    ) -> Option<(ResultCode, Vec<Entry>, Vec<LdapUrl>)> {
+    ) -> Option<SearchOutcome> {
         for attempt in 0..policy.max_attempts.max(1) {
             if let Some(result) = self.search(target, spec.clone(), policy.attempt_timeout) {
                 return Some(result);

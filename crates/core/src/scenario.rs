@@ -126,6 +126,8 @@ pub fn two_vos(seed: u64, hosts_per_group: usize) -> TwoVoScenario {
                     grrp_trust: None,
                     result_cache_ttl: None,
                     breaker: None,
+                    observability: true,
+                    monitoring_refresh: secs(5),
                 },
                 secs(10),
                 secs(30),

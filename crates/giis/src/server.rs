@@ -23,15 +23,18 @@
 
 use crate::bloom::{attr_token, BloomFilter};
 use gis_gsi::{Authenticator, PolicyMap, Requester};
-use gis_ldap::{Dn, Entry, Filter, LdapUrl, Scope, SharedDit};
-use gis_netsim::{SimDuration, SimTime};
+use gis_ldap::{Dn, Entry, Filter, LdapUrl, Rdn, Scope, SharedDit};
+use gis_netsim::{secs, SimDuration, SimTime};
 use gis_proto::{
-    result_digest, Counter, GripReply, GripRequest, GrrpMessage, Notification, RegistrationAgent,
-    RequestId, ResultCode, SearchSpec, SoftStateRegistry, SubscriptionMode, SubscriptionTable,
+    metrics, result_digest, Counter, GripReply, GripRequest, GrrpMessage, Histogram,
+    MetricsRegistry, Notification, PackedPair, RegistrationAgent, RequestId, ResultCode,
+    SearchSpec, SoftStateRegistry, SpanRecord, SubscriptionMode, SubscriptionTable, TraceContext,
+    TraceSink,
 };
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Identifies a client connection (assigned by the runtime).
 pub type ClientId = u64;
@@ -109,6 +112,10 @@ pub enum GiisAction {
         to: LdapUrl,
         /// The request (its id is GIIS-generated and unique).
         request: GripRequest,
+        /// When present, the request belongs to a traced query: the
+        /// runtime wraps it in [`gis_proto::ProtocolMessage::Traced`] so
+        /// the child's spans join the same causal tree.
+        trace: Option<TraceContext>,
     },
     /// Send a GRRP message (parent registration or invitation).
     SendGrrp {
@@ -127,6 +134,23 @@ pub enum GiisAction {
 }
 
 /// Operational counters.
+///
+/// # Snapshot semantics
+///
+/// Like [`gis_gris::GrisStats`]'s, a snapshot taken while queries are in
+/// flight is *per-counter* atomic, not globally consistent. Two
+/// mitigations keep live reads usable:
+///
+/// * `searches` and `local_answers` share one packed word
+///   ([`PackedPair`]), so `local_answers <= searches` holds on **every**
+///   snapshot, however concurrent;
+/// * a result-cache hit bumps the `searches` half *before*
+///   `result_cache_hits`, and the snapshot reads `result_cache_hits`
+///   before the packed word, so `result_cache_hits <= searches` also
+///   holds on every live read.
+///
+/// Exact identities (e.g. `local_answers + result_cache_hits + chained
+/// fan-outs == searches`) hold once the engine is quiescent.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GiisStats {
     /// GRRP messages received.
@@ -165,6 +189,8 @@ pub struct GiisStats {
     pub breaker_closes: u64,
     /// Chained requests re-sent once inside the fan-out deadline.
     pub chain_retries: u64,
+    /// Searches against the `Mds-Vo-name=monitoring` namespace.
+    pub monitoring_queries: u64,
 }
 
 /// The atomic counterpart of [`GiisStats`], shared between the owner and
@@ -174,8 +200,11 @@ struct GiisStatsAtomic {
     grrp_received: Counter,
     grrp_rejected: Counter,
     expirations: Counter,
-    searches: Counter,
-    local_answers: Counter,
+    /// `searches` (first) and `local_answers` (second) packed into one
+    /// word: a locally-answered search bumps both halves in a single
+    /// atomic op, so `local_answers <= searches` can never be observed
+    /// violated.
+    work: PackedPair,
     chained_requests: Counter,
     bloom_pruned: Counter,
     harvests: Counter,
@@ -189,29 +218,37 @@ struct GiisStatsAtomic {
     breaker_reopens: Counter,
     breaker_closes: Counter,
     chain_retries: Counter,
+    monitoring_queries: Counter,
 }
 
 impl GiisStatsAtomic {
     fn snapshot(&self) -> GiisStats {
+        // Read-order discipline: every `result_cache_hits` bump is
+        // preceded by its search's bump of the packed word, so reading
+        // the hits *before* the packed word guarantees
+        // `result_cache_hits <= searches` on every live snapshot.
+        let result_cache_hits = self.result_cache_hits.get();
+        let (searches, local_answers) = self.work.get();
         GiisStats {
             grrp_received: self.grrp_received.get(),
             grrp_rejected: self.grrp_rejected.get(),
             expirations: self.expirations.get(),
-            searches: self.searches.get(),
-            local_answers: self.local_answers.get(),
+            searches,
+            local_answers,
             chained_requests: self.chained_requests.get(),
             bloom_pruned: self.bloom_pruned.get(),
             harvests: self.harvests.get(),
             timeouts: self.timeouts.get(),
             referrals_issued: self.referrals_issued.get(),
             entries_returned: self.entries_returned.get(),
-            result_cache_hits: self.result_cache_hits.get(),
+            result_cache_hits,
             breaker_skips: self.breaker_skips.get(),
             breaker_opens: self.breaker_opens.get(),
             breaker_probes: self.breaker_probes.get(),
             breaker_reopens: self.breaker_reopens.get(),
             breaker_closes: self.breaker_closes.get(),
             chain_retries: self.chain_retries.get(),
+            monitoring_queries: self.monitoring_queries.get(),
         }
     }
 }
@@ -259,6 +296,13 @@ pub struct GiisConfig {
     /// marked partial); after a cooldown, one live query doubles as a
     /// half-open probe that re-admits the child if it answers.
     pub breaker: Option<BreakerConfig>,
+    /// When true (the default), the engine records latency histograms
+    /// and serves its self-description under `Mds-Vo-name=monitoring`.
+    /// Turned off to measure instrumentation overhead.
+    pub observability: bool,
+    /// Age at which the monitoring-namespace snapshot is rebuilt — the
+    /// soft-state timer of the self-description.
+    pub monitoring_refresh: SimDuration,
 }
 
 /// Circuit-breaker tuning for chained queries (health-aware routing, the
@@ -315,6 +359,8 @@ impl GiisConfig {
             grrp_trust: None,
             result_cache_ttl: None,
             breaker: None,
+            observability: true,
+            monitoring_refresh: secs(5),
         }
     }
 }
@@ -330,7 +376,41 @@ struct ChildState {
     consec_failures: u32,
     /// Chained-query circuit state.
     circuit: Circuit,
+    /// Chained-request round-trip latency (registry handle, resolved
+    /// when the child first registers).
+    rtt: Arc<Histogram>,
 }
+
+/// Observability state shared by the owner and every query handle:
+/// whether instrumentation is on, the engine's metrics registry, the
+/// pre-resolved hot-path histogram, and the optional trace sink.
+#[derive(Clone)]
+struct Obs {
+    enabled: bool,
+    registry: Arc<MetricsRegistry>,
+    search_us: Arc<Histogram>,
+    sink: Option<Arc<TraceSink>>,
+}
+
+impl Obs {
+    fn new(enabled: bool) -> Obs {
+        let registry = Arc::new(MetricsRegistry::new());
+        let search_us = registry.histogram("search-us");
+        Obs {
+            enabled,
+            registry,
+            search_us,
+            sink: None,
+        }
+    }
+}
+
+/// The monitoring-namespace snapshot: entries under
+/// `service=<url>, Mds-Vo-name=monitoring` plus the sim time they were
+/// built at. Rebuilt when older than the monitoring refresh interval
+/// (soft-state), by the owner — tick or monitoring search — whichever
+/// notices first.
+type MonitorCell = Arc<RwLock<Option<(SimTime, Arc<Vec<Entry>>)>>>;
 
 struct PendingQuery {
     client: ClientId,
@@ -348,6 +428,17 @@ struct PendingQuery {
     retry_at: Option<SimTime>,
     spec: SearchSpec,
     requester: Requester,
+    /// Whether a successful answer may enter the result cache
+    /// (monitoring fan-outs bypass it: metrics must not be frozen for a
+    /// TTL).
+    cacheable: bool,
+    /// When the fan-out started (span start / `search-us` input).
+    started_at: SimTime,
+    /// The trace context the query arrived with, if any.
+    trace: Option<TraceContext>,
+    /// This query's own `giis.search` span id (allocated at fan-out
+    /// when traced; children parent onto it).
+    span: Option<u64>,
 }
 
 struct CachedResult {
@@ -383,8 +474,9 @@ fn snapshot_answer(
     out
 }
 
-/// Probe the chained-result cache. On a fresh hit, counts it and returns
-/// the ready-to-send reply. Shared by the engine and query workers.
+/// Probe the chained-result cache. On a fresh hit, counts the search and
+/// the hit and returns the ready-to-send reply. Shared by the engine and
+/// query workers; the caller must NOT count the search again on a hit.
 fn result_cache_probe(
     result_cache: &RwLock<BTreeMap<String, CachedResult>>,
     stats: &GiisStatsAtomic,
@@ -398,6 +490,10 @@ fn result_cache_probe(
     if now.since(hit.at) >= ttl {
         return None;
     }
+    // The search is accounted *before* the hit so a concurrent stats
+    // snapshot (which reads hits before searches) can never observe
+    // `result_cache_hits > searches`.
+    stats.work.bump_first();
     stats.result_cache_hits.bump();
     stats.entries_returned.add(hit.entries.len() as u64);
     Some(GripReply::SearchResult {
@@ -406,6 +502,14 @@ fn result_cache_probe(
         entries: hit.entries.clone(),
         referrals: hit.referrals.clone(),
     })
+}
+
+/// Span outcome label for a chained reply.
+fn reply_outcome(reply: &GripReply) -> &'static str {
+    match reply {
+        GripReply::SearchResult { code, .. } => code.label(),
+        _ => "reply",
+    }
 }
 
 /// Cache key: the full query shape plus the requester identity.
@@ -417,9 +521,21 @@ fn cache_key(spec: &SearchSpec, requester: &Requester) -> String {
 }
 
 enum OutboundKind {
-    Chained { query: u64, child: LdapUrl },
-    Harvest { child: LdapUrl },
-    HarvestBind { child: LdapUrl },
+    Chained {
+        query: u64,
+        child: LdapUrl,
+        /// When the request was sent (RTT histogram input; span start).
+        sent: SimTime,
+        /// The `chain:<child>` span id when the query is traced — the
+        /// context the child received has this as its parent.
+        span: Option<u64>,
+    },
+    Harvest {
+        child: LdapUrl,
+    },
+    HarvestBind {
+        child: LdapUrl,
+    },
 }
 
 /// A cloneable handle over a GIIS's concurrent query state: what a
@@ -429,6 +545,7 @@ enum OutboundKind {
 /// fan-out machinery). Created by [`Giis::query_path`].
 #[derive(Clone)]
 pub struct GiisQueryPath {
+    url: LdapUrl,
     mode: GiisMode,
     policy: PolicyMap,
     result_cache_ttl: Option<SimDuration>,
@@ -436,12 +553,20 @@ pub struct GiisQueryPath {
     result_cache: Arc<RwLock<BTreeMap<String, CachedResult>>>,
     sessions: Arc<RwLock<BTreeMap<ClientId, Requester>>>,
     stats: Arc<GiisStatsAtomic>,
+    obs: Obs,
 }
 
 impl GiisQueryPath {
+    /// Snapshot of the shared operational counters (for assertions and
+    /// monitoring after the engine has moved into a runtime).
+    pub fn stats(&self) -> GiisStats {
+        self.stats.snapshot()
+    }
+
     /// Handle a request if it is query-path work; everything else —
     /// binds, subscriptions, Name-mode answering, chain-mode cache
-    /// misses — is returned to the caller for the engine's owner.
+    /// misses, monitoring searches — is returned to the caller for the
+    /// engine's owner.
     // Err carries the request back unboxed: the worker forwards it to
     // the owner channel by value, so boxing would be an extra
     // allocation on a path taken for every non-Search message.
@@ -452,17 +577,37 @@ impl GiisQueryPath {
         req: GripRequest,
         now: SimTime,
     ) -> Result<Vec<GiisAction>, GripRequest> {
+        self.handle_query_traced(client, req, None, now)
+    }
+
+    /// [`handle_query`](Self::handle_query) with a trace context: a
+    /// worker-answered `Search` records a `giis.search` span parented on
+    /// `trace.parent`.
+    #[allow(clippy::result_large_err)]
+    pub fn handle_query_traced(
+        &self,
+        client: ClientId,
+        req: GripRequest,
+        trace: Option<TraceContext>,
+        now: SimTime,
+    ) -> Result<Vec<GiisAction>, GripRequest> {
         let GripRequest::Search { id, spec } = req else {
             return Err(req);
         };
+        // The monitoring namespace needs the owner's registry/child
+        // state (and, in chain modes, its fan-out machinery).
+        if metrics::is_monitoring_dn(&spec.base) {
+            return Err(GripRequest::Search { id, spec });
+        }
+        let started = Instant::now();
         match self.mode {
             GiisMode::Harvest { .. } => {
-                self.stats.searches.bump();
-                self.stats.local_answers.bump();
+                self.stats.work.bump_both();
                 let requester = self.requester_of(client);
                 let entries =
                     snapshot_answer(&self.cache.snapshot(), &self.policy, &spec, &requester);
                 self.stats.entries_returned.add(entries.len() as u64);
+                self.note_search(trace, now, started, "local");
                 Ok(vec![GiisAction::Reply {
                     client,
                     reply: GripReply::SearchResult {
@@ -481,9 +626,7 @@ impl GiisQueryPath {
                 let key = cache_key(&spec, &requester);
                 match result_cache_probe(&self.result_cache, &self.stats, &key, ttl, id, now) {
                     Some(reply) => {
-                        // Counted here (not by the owner) because the
-                        // request never reaches `start_search`.
-                        self.stats.searches.bump();
+                        self.note_search(trace, now, started, "cache-hit");
                         Ok(vec![GiisAction::Reply { client, reply }])
                     }
                     None => Err(GripRequest::Search { id, spec }),
@@ -493,6 +636,28 @@ impl GiisQueryPath {
             // which the owner mutates freely.
             GiisMode::Name => Err(GripRequest::Search { id, spec }),
         }
+    }
+
+    /// Record the `search-us` histogram and, when traced, a `giis.search`
+    /// span for a worker-answered search.
+    fn note_search(&self, trace: Option<TraceContext>, now: SimTime, started: Instant, how: &str) {
+        let elapsed = started.elapsed().as_micros() as u64;
+        if self.obs.enabled {
+            self.obs.search_us.record(elapsed);
+        }
+        let (Some(sink), Some(ctx)) = (self.obs.sink.as_deref(), trace) else {
+            return;
+        };
+        sink.record(SpanRecord {
+            trace: ctx.trace,
+            span: sink.next_span(),
+            parent: Some(ctx.parent),
+            service: self.url.to_string(),
+            name: "giis.search".into(),
+            start: now,
+            end: now + SimDuration::from_micros(elapsed),
+            outcome: how.to_string(),
+        });
     }
 
     fn requester_of(&self, client: ClientId) -> Requester {
@@ -526,6 +691,8 @@ pub struct Giis {
     outbound: BTreeMap<u64, OutboundKind>,
     next_outbound: u64,
     next_query: u64,
+    obs: Obs,
+    monitor: MonitorCell,
 }
 
 impl Giis {
@@ -538,6 +705,7 @@ impl Giis {
             reg_interval,
             reg_ttl,
         );
+        let obs = Obs::new(config.observability);
         Giis {
             config,
             registry: SoftStateRegistry::new(),
@@ -554,7 +722,22 @@ impl Giis {
             outbound: BTreeMap::new(),
             next_outbound: 1,
             next_query: 1,
+            obs,
+            monitor: Arc::new(RwLock::new(None)),
         }
+    }
+
+    /// Install a shared trace sink: traced searches record spans here.
+    /// Call before creating query-path handles (they capture the sink).
+    pub fn set_trace_sink(&mut self, sink: Arc<TraceSink>) {
+        self.obs.sink = Some(sink);
+    }
+
+    /// This engine's metrics registry (exported under the monitoring
+    /// namespace; the live runtime adds its worker-pool instruments
+    /// here).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.obs.registry)
     }
 
     /// The children (service URLs) currently fresh in the registry.
@@ -582,6 +765,7 @@ impl Giis {
     /// stay with the engine's owner.
     pub fn query_path(&self) -> GiisQueryPath {
         GiisQueryPath {
+            url: self.config.url.clone(),
             mode: self.config.mode,
             policy: self.config.policy.clone(),
             result_cache_ttl: self.config.result_cache_ttl,
@@ -589,6 +773,7 @@ impl Giis {
             result_cache: Arc::clone(&self.result_cache),
             sessions: Arc::clone(&self.sessions),
             stats: Arc::clone(&self.stats),
+            obs: self.obs.clone(),
         }
     }
 
@@ -636,13 +821,20 @@ impl Giis {
                 let is_new = self.registry.observe(msg, now);
                 let harvesting = self.harvest_refresh().is_some();
                 let key = url.to_string();
-                let state = self.children.entry(key).or_insert(ChildState {
+                // Resolved on every registration, but get-or-create in
+                // the registry makes repeats cheap (one map lookup).
+                let rtt = self
+                    .obs
+                    .registry
+                    .labeled_histogram("chain-rtt-us", Some(&key));
+                let state = self.children.entry(key).or_insert_with(|| ChildState {
                     harvested: Vec::new(),
                     last_harvest: None,
                     bloom: None,
                     bound: false,
                     consec_failures: 0,
                     circuit: Circuit::Closed,
+                    rtt,
                 });
                 // New children are harvested immediately in harvesting
                 // modes ("follows up each registration of a new entity
@@ -689,6 +881,7 @@ impl Giis {
                         subject: cred.subject().to_owned(),
                         token,
                     },
+                    trace: None,
                 }];
             }
         }
@@ -712,6 +905,7 @@ impl Giis {
                 id,
                 spec: SearchSpec::subtree(namespace, Filter::always()),
             },
+            trace: None,
         }]
     }
 
@@ -720,6 +914,19 @@ impl Giis {
         &mut self,
         client: ClientId,
         req: GripRequest,
+        now: SimTime,
+    ) -> Vec<GiisAction> {
+        self.handle_request_traced(client, req, None, now)
+    }
+
+    /// [`handle_request`](Self::handle_request) with a trace context: a
+    /// traced `Search` records a `giis.search` span, chained children
+    /// receive derived contexts and record `chain:<child>` child spans.
+    pub fn handle_request_traced(
+        &mut self,
+        client: ClientId,
+        req: GripRequest,
+        trace: Option<TraceContext>,
         now: SimTime,
     ) -> Vec<GiisAction> {
         match req {
@@ -747,7 +954,7 @@ impl Giis {
                     reply: GripReply::BindResult { id, ok, subject },
                 }]
             }
-            GripRequest::Search { id, spec } => self.start_search(client, id, spec, now),
+            GripRequest::Search { id, spec } => self.start_search(client, id, spec, trace, now),
             GripRequest::Subscribe { id, spec, mode } => {
                 // MDS-2.1 shipped "with the exception of push operations"
                 // (§10); §12 lists subscription push as future work. We
@@ -812,16 +1019,24 @@ impl Giis {
         client: ClientId,
         id: RequestId,
         spec: SearchSpec,
+        trace: Option<TraceContext>,
         now: SimTime,
     ) -> Vec<GiisAction> {
-        self.stats.searches.bump();
         let requester = self.requester_of(client);
+        // The monitoring namespace is served ahead of the mode dispatch:
+        // self-description answers the same way whatever the index mode,
+        // except that the chaining modes also fan it out to the children.
+        if metrics::is_monitoring_dn(&spec.base) {
+            return self.monitoring_search(client, id, spec, requester, trace, now);
+        }
+        let started = Instant::now();
         match self.config.mode {
             GiisMode::Name => {
-                self.stats.local_answers.bump();
+                self.stats.work.bump_both();
                 let (entries, referrals) = self.name_answer(&spec, &requester, now);
                 self.stats.entries_returned.add(entries.len() as u64);
                 self.stats.referrals_issued.add(referrals.len() as u64);
+                self.note_local_search(trace, now, started, "local");
                 vec![GiisAction::Reply {
                     client,
                     reply: GripReply::SearchResult {
@@ -833,9 +1048,10 @@ impl Giis {
                 }]
             }
             GiisMode::Harvest { .. } => {
-                self.stats.local_answers.bump();
+                self.stats.work.bump_both();
                 let entries = self.local_answer(&spec, &requester);
                 self.stats.entries_returned.add(entries.len() as u64);
+                self.note_local_search(trace, now, started, "local");
                 vec![GiisAction::Reply {
                     client,
                     reply: GripReply::SearchResult {
@@ -847,12 +1063,104 @@ impl Giis {
                 }]
             }
             GiisMode::Chain { timeout } => {
-                self.chain(client, id, spec, requester, now, timeout, false)
+                self.chain(client, id, spec, requester, now, timeout, false, trace)
             }
             GiisMode::BloomChain { timeout, .. } => {
-                self.chain(client, id, spec, requester, now, timeout, true)
+                self.chain(client, id, spec, requester, now, timeout, true, trace)
             }
         }
+    }
+
+    /// Record `search-us` and, when traced, a `giis.search` span for a
+    /// search answered without fan-out.
+    fn note_local_search(
+        &self,
+        trace: Option<TraceContext>,
+        now: SimTime,
+        started: Instant,
+        how: &str,
+    ) {
+        let elapsed = started.elapsed().as_micros() as u64;
+        if self.obs.enabled {
+            self.obs.search_us.record(elapsed);
+        }
+        let (Some(sink), Some(ctx)) = (self.obs.sink.as_deref(), trace) else {
+            return;
+        };
+        sink.record(SpanRecord {
+            trace: ctx.trace,
+            span: sink.next_span(),
+            parent: Some(ctx.parent),
+            service: self.config.url.to_string(),
+            name: "giis.search".into(),
+            start: now,
+            end: now + SimDuration::from_micros(elapsed),
+            outcome: how.to_string(),
+        });
+    }
+
+    /// Answer a search against `Mds-Vo-name=monitoring`. The directory's
+    /// own self-description always contributes; in the chaining modes the
+    /// query additionally fans out to every active child — namespace
+    /// scoping and Bloom pruning are skipped (children's monitoring
+    /// entries live outside their registered namespaces) but the circuit
+    /// breaker still applies. Successful answers bypass the result cache
+    /// so metrics are never frozen for a TTL.
+    fn monitoring_search(
+        &mut self,
+        client: ClientId,
+        id: RequestId,
+        spec: SearchSpec,
+        requester: Requester,
+        trace: Option<TraceContext>,
+        now: SimTime,
+    ) -> Vec<GiisAction> {
+        if !self.obs.enabled {
+            return vec![GiisAction::Reply {
+                client,
+                reply: GripReply::SearchResult {
+                    id,
+                    code: ResultCode::NoSuchObject,
+                    entries: Vec::new(),
+                    referrals: Vec::new(),
+                },
+            }];
+        }
+        self.stats.work.bump_first();
+        self.stats.monitoring_queries.bump();
+        let own = self.monitoring_entries(now);
+        let merged: BTreeMap<String, Entry> = own
+            .iter()
+            .map(|e| (e.dn().to_string(), e.clone()))
+            .collect();
+        let timeout = match self.config.mode {
+            GiisMode::Chain { timeout } | GiisMode::BloomChain { timeout, .. } => Some(timeout),
+            GiisMode::Name | GiisMode::Harvest { .. } => None,
+        };
+        let mut targets: Vec<LdapUrl> = Vec::new();
+        let mut skipped_by_breaker = false;
+        if timeout.is_some() {
+            for child in self.active_children(now) {
+                if self.breaker_admits(&child, now) {
+                    targets.push(child);
+                } else {
+                    skipped_by_breaker = true;
+                }
+            }
+        }
+        self.fan_out(
+            client,
+            id,
+            spec,
+            requester,
+            now,
+            timeout.unwrap_or(SimDuration::from_micros(0)),
+            targets,
+            merged,
+            skipped_by_breaker,
+            false,
+            trace,
+        )
     }
 
     /// Name-serving answer: one entry per fresh registration, carrying
@@ -904,6 +1212,76 @@ impl Giis {
         snapshot_answer(&self.cache.snapshot(), &self.config.policy, spec, requester)
     }
 
+    /// Serve the monitoring snapshot, rebuilding it when it has aged past
+    /// the refresh interval (soft-state semantics).
+    fn monitoring_entries(&self, now: SimTime) -> Arc<Vec<Entry>> {
+        if let Some((at, entries)) = self.monitor.read().as_ref() {
+            if now.since(*at) < self.config.monitoring_refresh {
+                return Arc::clone(entries);
+            }
+        }
+        let built = Arc::new(self.build_monitoring(now));
+        *self.monitor.write() = Some((now, Arc::clone(&built)));
+        built
+    }
+
+    /// Build this directory's self-description: one `mds-service` entry,
+    /// one `mds-child` entry per registered child (circuit state, RTT
+    /// quantiles), and one `mds-metric` entry per registry instrument,
+    /// all under `service=<url>, Mds-Vo-name=monitoring`.
+    fn build_monitoring(&self, now: SimTime) -> Vec<Entry> {
+        let base =
+            metrics::monitoring_base().child(Rdn::new("service", self.config.url.to_string()));
+        let s = self.stats.snapshot();
+        let mode = match self.config.mode {
+            GiisMode::Name => "name",
+            GiisMode::Chain { .. } => "chain",
+            GiisMode::Harvest { .. } => "harvest",
+            GiisMode::BloomChain { .. } => "bloom-chain",
+        };
+        let mut entries = vec![Entry::new(base.clone())
+            .with_class("mds-service")
+            .with("service-type", "giis")
+            .with("mode", mode)
+            .with("namespace", self.config.namespace.to_string())
+            .with("searches", s.searches)
+            .with("local-answers", s.local_answers)
+            .with("monitoring-queries", s.monitoring_queries)
+            .with("chained-requests", s.chained_requests)
+            .with("result-cache-hits", s.result_cache_hits)
+            .with("harvests", s.harvests)
+            .with("timeouts", s.timeouts)
+            .with("breaker-opens", s.breaker_opens)
+            .with("breaker-closes", s.breaker_closes)
+            .with("breaker-skips", s.breaker_skips)
+            .with("entries-returned", s.entries_returned)
+            .with("children", self.registry.active(now).count() as u64)
+            .with("subscriptions", self.subs.len() as u64)];
+        for (url, state) in &self.children {
+            let circuit = match state.circuit {
+                Circuit::Closed => "closed",
+                Circuit::Open { .. } => "open",
+                Circuit::HalfOpen => "half-open",
+            };
+            let r = state.rtt.snapshot();
+            entries.push(
+                Entry::new(base.child(Rdn::new("child", url.clone())))
+                    .with_class("mds-child")
+                    .with("circuit", circuit)
+                    .with("consec-failures", u64::from(state.consec_failures))
+                    .with("bound", if state.bound { "TRUE" } else { "FALSE" })
+                    .with("harvested-entries", state.harvested.len() as u64)
+                    .with("rtt-count", r.count)
+                    .with("rtt-p50-us", r.quantile(0.50))
+                    .with("rtt-p95-us", r.quantile(0.95))
+                    .with("rtt-p99-us", r.quantile(0.99))
+                    .with("rtt-max-us", r.max),
+            );
+        }
+        entries.extend(self.obs.registry.export_entries(&base));
+        entries
+    }
+
     /// The equality tokens a child must contain for this filter to
     /// possibly match there: conservative — only top-level `Eq` terms of
     /// the filter (or of a top-level `And`) are usable for pruning.
@@ -921,6 +1299,31 @@ impl Giis {
         }
     }
 
+    /// Circuit-breaker gate for one child of a fan-out. Flips a
+    /// cooled-down open circuit to half-open (this query doubles as the
+    /// probe); returns whether the child may be consulted.
+    fn breaker_admits(&mut self, child: &LdapUrl, now: SimTime) -> bool {
+        if self.config.breaker.is_none() {
+            return true;
+        }
+        let Some(state) = self.children.get_mut(&child.to_string()) else {
+            return true;
+        };
+        match state.circuit {
+            Circuit::Closed => true,
+            Circuit::Open { until } if now >= until => {
+                state.circuit = Circuit::HalfOpen;
+                self.stats.breaker_probes.bump();
+                true
+            }
+            Circuit::Open { .. } | Circuit::HalfOpen => {
+                // At most one in-flight probe per child.
+                self.stats.breaker_skips.bump();
+                false
+            }
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn chain(
         &mut self,
@@ -931,17 +1334,22 @@ impl Giis {
         now: SimTime,
         timeout: SimDuration,
         bloom_route: bool,
+        trace: Option<TraceContext>,
     ) -> Vec<GiisAction> {
         // Result cache (§10.4): a fresh identical query from the same
-        // requester is answered locally.
+        // requester is answered locally. A hit accounts for the search
+        // itself (see `result_cache_probe`); every other path below is
+        // accounted by `fan_out`.
         let key = cache_key(&spec, &requester);
         if let Some(ttl) = self.config.result_cache_ttl {
             if let Some(reply) =
                 result_cache_probe(&self.result_cache, &self.stats, &key, ttl, id, now)
             {
+                self.note_local_search(trace, now, Instant::now(), "cache-hit");
                 return vec![GiisAction::Reply { client, reply }];
             }
         }
+        self.stats.work.bump_first();
 
         // Namespace scoping (Figure 5): only children whose registered
         // namespace intersects the search base are consulted.
@@ -952,13 +1360,18 @@ impl Giis {
         } else {
             Vec::new()
         };
-        for reg in self.registry.active(now) {
-            let ns = &reg.message.namespace;
-            if !(ns.is_under(&spec.base) || spec.base.is_under(ns)) {
-                continue;
-            }
+        let candidates: Vec<LdapUrl> = self
+            .registry
+            .active(now)
+            .filter(|reg| {
+                let ns = &reg.message.namespace;
+                ns.is_under(&spec.base) || spec.base.is_under(ns)
+            })
+            .map(|reg| reg.message.service_url.clone())
+            .collect();
+        for child in candidates {
             if !tokens.is_empty() {
-                if let Some(state) = self.children.get(&reg.message.service_url.to_string()) {
+                if let Some(state) = self.children.get(&child.to_string()) {
                     if let Some(bloom) = &state.bloom {
                         if tokens.iter().any(|t| !bloom.may_contain(t)) {
                             self.stats.bloom_pruned.bump();
@@ -971,56 +1384,80 @@ impl Giis {
             // (answer marked partial) instead of burning the deadline;
             // once the cooldown lapses, this query doubles as the
             // half-open probe.
-            if self.config.breaker.is_some() {
-                if let Some(state) = self.children.get_mut(&reg.message.service_url.to_string()) {
-                    match state.circuit {
-                        Circuit::Closed => {}
-                        Circuit::Open { until } if now >= until => {
-                            state.circuit = Circuit::HalfOpen;
-                            self.stats.breaker_probes.bump();
-                        }
-                        Circuit::Open { .. } | Circuit::HalfOpen => {
-                            // At most one in-flight probe per child.
-                            self.stats.breaker_skips.bump();
-                            skipped_by_breaker = true;
-                            continue;
-                        }
-                    }
-                }
+            if self.breaker_admits(&child, now) {
+                targets.push(child);
+            } else {
+                skipped_by_breaker = true;
             }
-            targets.push(reg.message.service_url.clone());
         }
 
-        if targets.is_empty() {
-            return vec![GiisAction::Reply {
-                client,
-                reply: GripReply::SearchResult {
-                    id,
-                    // With every eligible child behind an open circuit
-                    // the instant empty answer is still a partial view.
-                    code: if skipped_by_breaker {
-                        ResultCode::PartialResults
-                    } else {
-                        ResultCode::Success
-                    },
-                    entries: Vec::new(),
-                    referrals: Vec::new(),
-                },
-            }];
-        }
+        self.fan_out(
+            client,
+            id,
+            spec,
+            requester,
+            now,
+            timeout,
+            targets,
+            BTreeMap::new(),
+            skipped_by_breaker,
+            true,
+            trace,
+        )
+    }
 
+    /// Shared fan-out tail of `chain` and `monitoring_search`: register
+    /// the pending query (pre-seeded with `merged`), send one chained
+    /// request per target — with derived trace contexts when traced —
+    /// and finalize immediately when there is nothing to wait for.
+    #[allow(clippy::too_many_arguments)]
+    fn fan_out(
+        &mut self,
+        client: ClientId,
+        id: RequestId,
+        spec: SearchSpec,
+        requester: Requester,
+        now: SimTime,
+        timeout: SimDuration,
+        targets: Vec<LdapUrl>,
+        merged: BTreeMap<String, Entry>,
+        skipped_by_breaker: bool,
+        cacheable: bool,
+        trace: Option<TraceContext>,
+    ) -> Vec<GiisAction> {
+        let key = cache_key(&spec, &requester);
         let query = self.next_query;
         self.next_query += 1;
-        let mut actions = Vec::with_capacity(targets.len());
+        // Allocate this query's own span up front: chained children
+        // parent onto it, and the context each child receives descends
+        // from it.
+        let own_span = match (self.obs.sink.as_deref(), trace) {
+            (Some(sink), Some(_)) => Some(sink.next_span()),
+            _ => None,
+        };
+        let mut actions = Vec::with_capacity(targets.len() + 1);
         let mut outstanding = Vec::with_capacity(targets.len());
         for child in targets {
             let out_id = self.next_outbound;
             self.next_outbound += 1;
+            let child_span = match (self.obs.sink.as_deref(), trace) {
+                (Some(sink), Some(_)) => Some(sink.next_span()),
+                _ => None,
+            };
+            let child_trace = match (trace, child_span) {
+                (Some(ctx), Some(span)) => Some(TraceContext {
+                    trace: ctx.trace,
+                    parent: span,
+                }),
+                _ => None,
+            };
             self.outbound.insert(
                 out_id,
                 OutboundKind::Chained {
                     query,
                     child: child.clone(),
+                    sent: now,
+                    span: child_span,
                 },
             );
             self.stats.chained_requests.bump();
@@ -1031,6 +1468,7 @@ impl Giis {
                     id: out_id,
                     spec: spec.clone(),
                 },
+                trace: child_trace,
             });
         }
         let retry_at = self
@@ -1038,6 +1476,7 @@ impl Giis {
             .breaker
             .filter(|b| b.retry)
             .map(|_| now + SimDuration::from_micros(timeout.micros() / 2));
+        let done = outstanding.is_empty();
         self.pending.insert(
             query,
             PendingQuery {
@@ -1045,7 +1484,7 @@ impl Giis {
                 client_req: id,
                 cache_key: key,
                 outstanding,
-                merged: BTreeMap::new(),
+                merged,
                 referrals: Vec::new(),
                 partial: skipped_by_breaker,
                 degraded: false,
@@ -1053,8 +1492,21 @@ impl Giis {
                 retry_at,
                 spec,
                 requester,
+                // An instant no-children answer is never cached: a child
+                // registering a moment later should become visible at
+                // the next query, not a TTL later.
+                cacheable: cacheable && !done,
+                started_at: now,
+                trace,
+                span: own_span,
             },
         );
+        if done {
+            // Nothing to wait for (no eligible children, or a
+            // local-mode monitoring search): answer immediately through
+            // the same finalize path.
+            actions.extend(self.finalize(query, now));
+        }
         actions
     }
 
@@ -1086,12 +1538,23 @@ impl Giis {
                 }
                 Vec::new()
             }
-            OutboundKind::Chained { query, child } => {
+            OutboundKind::Chained {
+                query,
+                child,
+                sent,
+                span,
+            } => {
                 debug_assert_eq!(&child, from, "reply source mismatch");
                 // Any reply — whatever its code — proves the child is
                 // reachable: reset its failure streak and close its
                 // circuit (a successful half-open probe re-admits it).
                 self.record_child_success(&child);
+                if self.obs.enabled {
+                    if let Some(state) = self.children.get(&child.to_string()) {
+                        state.rtt.record(now.since(sent).micros());
+                    }
+                }
+                self.note_chain_span(query, &child, sent, span, now, reply_outcome(&reply));
                 let Some(p) = self.pending.get_mut(&query) else {
                     return Vec::new();
                 };
@@ -1138,6 +1601,38 @@ impl Giis {
                 Vec::new()
             }
         }
+    }
+
+    /// Record a `chain:<child>` span for one leg of a traced fan-out
+    /// (reply arrival or timeout).
+    fn note_chain_span(
+        &self,
+        query: u64,
+        child: &LdapUrl,
+        sent: SimTime,
+        span: Option<u64>,
+        now: SimTime,
+        outcome: &str,
+    ) {
+        let (Some(sink), Some(span)) = (self.obs.sink.as_deref(), span) else {
+            return;
+        };
+        let Some(p) = self.pending.get(&query) else {
+            return;
+        };
+        let Some(ctx) = p.trace else {
+            return;
+        };
+        sink.record(SpanRecord {
+            trace: ctx.trace,
+            span,
+            parent: p.span,
+            service: self.config.url.to_string(),
+            name: format!("chain:{child}"),
+            start: sent,
+            end: now,
+            outcome: outcome.to_string(),
+        });
     }
 
     /// Breaker bookkeeping: a reply arrived from `child`.
@@ -1251,7 +1746,22 @@ impl Giis {
         };
         self.stats.entries_returned.add(entries.len() as u64);
         self.stats.referrals_issued.add(p.referrals.len() as u64);
-        if self.config.result_cache_ttl.is_some() && code == ResultCode::Success {
+        if self.obs.enabled {
+            self.obs.search_us.record(now.since(p.started_at).micros());
+        }
+        if let (Some(sink), Some(ctx), Some(span)) = (self.obs.sink.as_deref(), p.trace, p.span) {
+            sink.record(SpanRecord {
+                trace: ctx.trace,
+                span,
+                parent: Some(ctx.parent),
+                service: self.config.url.to_string(),
+                name: "giis.search".into(),
+                start: p.started_at,
+                end: now,
+                outcome: code.label().into(),
+            });
+        }
+        if p.cacheable && self.config.result_cache_ttl.is_some() && code == ResultCode::Success {
             // Partial answers are never cached: a healed partition should
             // become visible at the next query, not a TTL later.
             self.result_cache.write().insert(
@@ -1352,6 +1862,18 @@ impl Giis {
     pub fn tick(&mut self, now: SimTime) -> Vec<GiisAction> {
         let mut actions = Vec::new();
 
+        // Keep the monitoring snapshot warm (soft-state refresh).
+        if self.obs.enabled {
+            let due = match self.monitor.read().as_ref() {
+                Some((at, _)) => now.since(*at) >= self.config.monitoring_refresh,
+                None => true,
+            };
+            if due {
+                let built = Arc::new(self.build_monitoring(now));
+                *self.monitor.write() = Some((now, built));
+            }
+        }
+
         // Soft-state sweep: purge expired children and their cache rows
         // (one published snapshot for the whole sweep).
         let mut purged: Vec<Dn> = Vec::new();
@@ -1425,19 +1947,30 @@ impl Giis {
             };
             p.retry_at = None;
             let spec = p.spec.clone();
+            let tctx = p.trace;
             let old = std::mem::take(&mut p.outstanding);
             let mut fresh = Vec::with_capacity(old.len());
             let mut sends = Vec::with_capacity(old.len());
             for out_id in old {
                 match self.outbound.remove(&out_id) {
-                    Some(OutboundKind::Chained { query: q, child }) => {
+                    Some(OutboundKind::Chained {
+                        query: q,
+                        child,
+                        sent,
+                        span,
+                    }) => {
                         let new_id = self.next_outbound;
                         self.next_outbound += 1;
+                        // The retry reuses the leg's span (and keeps the
+                        // original send time), so its RTT and span cover
+                        // first-send to eventual reply.
                         self.outbound.insert(
                             new_id,
                             OutboundKind::Chained {
                                 query: q,
                                 child: child.clone(),
+                                sent,
+                                span,
                             },
                         );
                         self.stats.chain_retries.bump();
@@ -1447,6 +1980,13 @@ impl Giis {
                             request: GripRequest::Search {
                                 id: new_id,
                                 spec: spec.clone(),
+                            },
+                            trace: match (tctx, span) {
+                                (Some(ctx), Some(s)) => Some(TraceContext {
+                                    trace: ctx.trace,
+                                    parent: s,
+                                }),
+                                _ => None,
                             },
                         });
                     }
@@ -1471,17 +2011,20 @@ impl Giis {
             .collect();
         for query in expired {
             self.stats.timeouts.bump();
-            let mut unanswered: Vec<LdapUrl> = Vec::new();
+            let mut unanswered: Vec<(LdapUrl, SimTime, Option<u64>)> = Vec::new();
             if let Some(p) = self.pending.get_mut(&query) {
                 for out_id in std::mem::take(&mut p.outstanding) {
-                    if let Some(OutboundKind::Chained { child, .. }) = self.outbound.remove(&out_id)
+                    if let Some(OutboundKind::Chained {
+                        child, sent, span, ..
+                    }) = self.outbound.remove(&out_id)
                     {
-                        unanswered.push(child);
+                        unanswered.push((child, sent, span));
                     }
                 }
                 p.partial = true;
             }
-            for child in unanswered {
+            for (child, sent, span) in unanswered {
+                self.note_chain_span(query, &child, sent, span, now, "timeout");
                 self.record_child_failure(&child, now);
             }
             actions.extend(self.finalize(query, now));
@@ -1508,6 +2051,7 @@ impl Giis {
 mod tests {
     use super::*;
     use gis_netsim::{ms, secs};
+    use gis_proto::TraceId;
 
     fn t(s: u64) -> SimTime {
         SimTime::ZERO + secs(s)
@@ -1772,7 +2316,7 @@ mod tests {
         // Registration triggers an immediate harvest query.
         let actions = giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
         let out_id = match &actions[..] {
-            [GiisAction::SendRequest { to, request }] => {
+            [GiisAction::SendRequest { to, request, .. }] => {
                 assert_eq!(to, &url("gris.a"));
                 request.id()
             }
@@ -2025,6 +2569,7 @@ mod tests {
             [GiisAction::SendRequest {
                 to,
                 request: GripRequest::Bind { id, subject, .. },
+                ..
             }] => {
                 assert_eq!(to, &url("gris.a"));
                 assert_eq!(subject, "/O=Grid/CN=giis.trusted");
@@ -2288,7 +2833,7 @@ mod tests {
         actions
             .iter()
             .filter_map(|a| match a {
-                GiisAction::SendRequest { to, request } => Some((to.clone(), request.id())),
+                GiisAction::SendRequest { to, request, .. } => Some((to.clone(), request.id())),
                 _ => None,
             })
             .collect()
@@ -2476,5 +3021,293 @@ mod tests {
             }] => assert_eq!(*code, ResultCode::UnwillingToPerform),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn monitoring_namespace_answered_locally() {
+        let mut config = GiisConfig::chaining(url("giis.vo"), Dn::root());
+        config.mode = GiisMode::Harvest { refresh: secs(60) };
+        let mut giis = Giis::new(config, secs(30), secs(90));
+        giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+
+        let actions = search_actions(&mut giis, "mds-vo-name=monitoring", "(objectclass=*)", t(1));
+        match &actions[..] {
+            [GiisAction::Reply {
+                reply: GripReply::SearchResult { code, entries, .. },
+                ..
+            }] => {
+                assert_eq!(*code, ResultCode::Success);
+                let svc = entries
+                    .iter()
+                    .find(|e| e.get_str("service-type") == Some("giis"))
+                    .expect("self-describing mds-service entry");
+                assert!(svc.has_class("mds-service"));
+                assert_eq!(svc.get_str("mode"), Some("harvest"));
+                assert!(
+                    entries.iter().any(|e| e.has_class("mds-child")),
+                    "registered children appear as mds-child entries"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = giis.stats();
+        assert_eq!(stats.monitoring_queries, 1);
+        assert_eq!(stats.searches, 1);
+        assert_eq!(stats.local_answers, 0, "monitoring is not a cache answer");
+    }
+
+    #[test]
+    fn monitoring_search_fans_out_to_children() {
+        let mut giis = chaining_giis();
+        giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+        giis.handle_grrp(reg("gris.b", "hn=b", t(0)), t(0));
+
+        let actions = search_actions(&mut giis, "mds-vo-name=monitoring", "(objectclass=*)", t(1));
+        let mut out = Vec::new();
+        for a in &actions {
+            if let GiisAction::SendRequest { to, request, .. } = a {
+                if let GripRequest::Search { spec, .. } = request {
+                    assert!(
+                        metrics::is_monitoring_dn(&spec.base),
+                        "children are asked for their own monitoring view"
+                    );
+                }
+                out.push((to.clone(), request.id()));
+            }
+        }
+        assert_eq!(
+            out.len(),
+            2,
+            "monitoring fans out to every active child, ignoring namespace scoping"
+        );
+
+        // Each child reports its own self-description.
+        let mut last = Vec::new();
+        for (child, out_id) in &out {
+            let e = Entry::at(&format!("service={child}, mds-vo-name=monitoring"))
+                .unwrap()
+                .with_class("mds-service")
+                .with("service-type", "gris");
+            last = giis.handle_reply(
+                child,
+                GripReply::SearchResult {
+                    id: *out_id,
+                    code: ResultCode::Success,
+                    entries: vec![e],
+                    referrals: vec![],
+                },
+                t(1),
+            );
+        }
+        match &last[..] {
+            [GiisAction::Reply {
+                reply: GripReply::SearchResult { code, entries, .. },
+                ..
+            }] => {
+                assert_eq!(*code, ResultCode::Success);
+                assert!(
+                    entries
+                        .iter()
+                        .any(|e| e.get_str("service-type") == Some("giis")),
+                    "merged view keeps the index's own entry"
+                );
+                let grises = entries
+                    .iter()
+                    .filter(|e| e.get_str("service-type") == Some("gris"))
+                    .count();
+                assert_eq!(grises, 2, "both children's entries are merged in");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(giis.stats().monitoring_queries, 1);
+    }
+
+    #[test]
+    fn monitoring_disabled_is_no_such_object() {
+        let mut config = GiisConfig::chaining(url("giis.dark"), Dn::root());
+        config.observability = false;
+        let mut giis = Giis::new(config, secs(30), secs(90));
+        giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+
+        let actions = search_actions(&mut giis, "mds-vo-name=monitoring", "(objectclass=*)", t(1));
+        match &actions[..] {
+            [GiisAction::Reply {
+                reply: GripReply::SearchResult { code, entries, .. },
+                ..
+            }] => {
+                assert_eq!(*code, ResultCode::NoSuchObject);
+                assert!(entries.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(giis.stats().monitoring_queries, 0);
+    }
+
+    #[test]
+    fn traced_chain_records_complete_span_tree() {
+        let mut giis = chaining_giis();
+        let sink = Arc::new(TraceSink::new());
+        giis.set_trace_sink(Arc::clone(&sink));
+        giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+        giis.handle_grrp(reg("gris.b", "hn=b", t(0)), t(0));
+
+        // Mint a root span the way a client hop would.
+        let root = sink.next_span();
+        let trace = TraceId(root);
+        let ctx = TraceContext {
+            trace,
+            parent: root,
+        };
+        let actions = giis.handle_request_traced(
+            1,
+            GripRequest::Search {
+                id: 7,
+                spec: SearchSpec::subtree(Dn::root(), Filter::always()),
+            },
+            Some(ctx),
+            t(1),
+        );
+
+        // Every outgoing leg forwards a context parented on its own
+        // chain span (not on the client root).
+        let mut out = Vec::new();
+        for a in &actions {
+            if let GiisAction::SendRequest {
+                to,
+                request,
+                trace: leg,
+            } = a
+            {
+                let leg = leg.expect("traced fan-out forwards a context");
+                assert_eq!(leg.trace, trace);
+                assert_ne!(leg.parent, root);
+                out.push((to.clone(), request.id()));
+            }
+        }
+        assert_eq!(out.len(), 2);
+        for (child, out_id) in &out {
+            giis.handle_reply(
+                child,
+                GripReply::SearchResult {
+                    id: *out_id,
+                    code: ResultCode::Success,
+                    entries: vec![],
+                    referrals: vec![],
+                },
+                t(2),
+            );
+        }
+        // Close the client root span, as a runtime client does.
+        sink.record(SpanRecord {
+            trace,
+            span: root,
+            parent: None,
+            service: "client:1".into(),
+            name: "client.search".into(),
+            start: t(1),
+            end: t(2),
+            outcome: "success".into(),
+        });
+
+        let tree = sink.tree(trace);
+        assert_eq!(tree.len(), 4, "client + giis.search + two chain legs");
+        assert_eq!(tree.depth(), 3, "chain legs parent on the giis.search span");
+        let rendered = tree.render();
+        assert!(rendered.contains("giis.search"));
+        assert!(rendered.contains("chain:ldap://gris.a"));
+        assert!(rendered.contains("chain:ldap://gris.b"));
+    }
+
+    /// Regression: hammer `stats()` while workers answer from the result
+    /// cache. The bump order (packed searches half before
+    /// `result_cache_hits`) plus the snapshot read order (hits before the
+    /// packed word) must keep every live snapshot coherent.
+    #[test]
+    fn stats_snapshot_never_tears_under_concurrent_queries() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let mut config = GiisConfig::chaining(url("giis.hammer"), Dn::root());
+        config.result_cache_ttl = Some(secs(1000));
+        let mut giis = Giis::new(config, secs(30), secs(300));
+        giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+
+        // Warm the result cache through the owner's fan-out.
+        let actions = search_actions(&mut giis, "", "(objectclass=*)", t(1));
+        let out_id = match &actions[0] {
+            GiisAction::SendRequest { request, .. } => request.id(),
+            other => panic!("unexpected {other:?}"),
+        };
+        giis.handle_reply(
+            &url("gris.a"),
+            GripReply::SearchResult {
+                id: out_id,
+                code: ResultCode::Success,
+                entries: vec![Entry::at("hn=a").unwrap().with_class("computer")],
+                referrals: vec![],
+            },
+            t(1),
+        );
+
+        let path = giis.query_path();
+        let spec = SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=*)").unwrap());
+        let done = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let path = path.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let s = path.stats();
+                    assert!(
+                        s.result_cache_hits <= s.searches,
+                        "torn snapshot: {} hits > {} searches",
+                        s.result_cache_hits,
+                        s.searches
+                    );
+                    assert!(s.local_answers <= s.searches);
+                    reads += 1;
+                }
+                reads
+            })
+        };
+
+        const WORKERS: usize = 4;
+        const PER_WORKER: u64 = 500;
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let path = path.clone();
+                let spec = spec.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_WORKER {
+                        let ok = path
+                            .handle_query(
+                                1,
+                                GripRequest::Search {
+                                    id: i,
+                                    spec: spec.clone(),
+                                },
+                                t(2),
+                            )
+                            .expect("warm cache answers on the query path");
+                        assert_eq!(ok.len(), 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        let reads = reader.join().unwrap();
+        assert!(reads > 0, "reader observed at least one live snapshot");
+
+        // Quiesced, the counts are exact: the warm-up miss plus every
+        // worker hit.
+        let s = giis.stats();
+        let hits = (WORKERS as u64) * PER_WORKER;
+        assert_eq!(s.result_cache_hits, hits);
+        assert_eq!(s.searches, hits + 1);
+        assert_eq!(s.chained_requests, 1);
     }
 }

@@ -124,6 +124,8 @@ proptest! {
                 grrp_trust: None,
                 result_cache_ttl: None,
                 breaker: None,
+                observability: true,
+                monitoring_refresh: SimDuration::from_secs(5),
             },
             SimDuration::from_secs(30),
             SimDuration::from_secs(90),

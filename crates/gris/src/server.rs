@@ -32,8 +32,10 @@
 
 use crate::provider::{namespace_intersects, InfoProvider, ProviderError};
 use gis_gsi::{Authenticator, PolicyMap, Requester};
-use gis_ldap::{Dn, Entry, LdapUrl, Schema, Scope, Strictness};
-use gis_netsim::{SimDuration, SimTime};
+use gis_ldap::{Dn, Entry, LdapUrl, Rdn, Schema, Scope, Strictness};
+use gis_netsim::{secs, SimDuration, SimTime};
+use gis_proto::metrics::{self, Histogram, MetricsRegistry, PackedPair};
+use gis_proto::trace::{SpanRecord, TraceContext, TraceSink};
 use gis_proto::{
     result_digest, Counter, GripReply, GripRequest, GrrpMessage, RegistrationAgent, RequestId,
     ResultCode, SearchSpec, SubscriptionMode, SubscriptionTable,
@@ -41,6 +43,7 @@ use gis_proto::{
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Identifies a client connection to this server (assigned by the
 /// runtime: a sim node id, a channel index, ...).
@@ -49,15 +52,27 @@ pub type ClientId = u64;
 /// Operational counters (experiments report these). This is the plain
 /// snapshot type returned by [`Gris::stats`]; the live counters are
 /// atomics updated through shared references.
+///
+/// Snapshot semantics (see `gis_proto::stats`): each field is loaded
+/// atomically, but the snapshot as a whole is not one consistent cut —
+/// except `cache_hits`/`cache_misses`, which live in a single packed
+/// word so their sum (total slot resolutions) never tears, even under
+/// live concurrent load. Full cross-field identities (e.g.
+/// `provider_invocations + stale_served + provider_failures ==
+/// cache_misses`) hold after the workload quiesces.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GrisStats {
     /// Search/lookup requests served.
     pub queries: u64,
+    /// Searches answered out of the `Mds-Vo-name=monitoring` namespace
+    /// (self-description; also counted in `queries`).
+    pub monitoring_queries: u64,
     /// Provider `fetch` calls actually made.
     pub provider_invocations: u64,
     /// Queries (per provider touched) answered from the result cache.
+    /// Read coherently with `cache_misses` (one packed word).
     pub cache_hits: u64,
-    /// Cache misses (fetch required).
+    /// Cache misses (fetch required). Read coherently with `cache_hits`.
     pub cache_misses: u64,
     /// Entries returned to clients.
     pub entries_returned: u64,
@@ -82,9 +97,11 @@ pub struct GrisStats {
 #[derive(Debug, Default)]
 struct GrisStatsAtomic {
     queries: Counter,
+    monitoring_queries: Counter,
     provider_invocations: Counter,
-    cache_hits: Counter,
-    cache_misses: Counter,
+    /// Cache hits (first) and misses (second) in one word: their sum is
+    /// the slot-resolution total, an invariant readers check live.
+    cache: PackedPair,
     entries_returned: Counter,
     binds_ok: Counter,
     binds_failed: Counter,
@@ -96,18 +113,29 @@ struct GrisStatsAtomic {
 
 impl GrisStatsAtomic {
     fn snapshot(&self) -> GrisStats {
+        // Read the per-miss *outcome* counters before the packed cache
+        // word: every miss is counted in the packed word before its
+        // outcome is recorded, so this order keeps
+        // `provider_invocations + stale_served + provider_failures <=
+        // cache_misses` true on every live read (exact equality after
+        // quiescing).
+        let provider_invocations = self.provider_invocations.get();
+        let stale_served = self.stale_served.get();
+        let provider_failures = self.provider_failures.get();
+        let (cache_hits, cache_misses) = self.cache.get();
         GrisStats {
             queries: self.queries.get(),
-            provider_invocations: self.provider_invocations.get(),
-            cache_hits: self.cache_hits.get(),
-            cache_misses: self.cache_misses.get(),
+            monitoring_queries: self.monitoring_queries.get(),
+            provider_invocations,
+            cache_hits,
+            cache_misses,
             entries_returned: self.entries_returned.get(),
             binds_ok: self.binds_ok.get(),
             binds_failed: self.binds_failed.get(),
             updates_sent: self.updates_sent.get(),
             schema_violations: self.schema_violations.get(),
-            stale_served: self.stale_served.get(),
-            provider_failures: self.provider_failures.get(),
+            stale_served,
+            provider_failures,
         }
     }
 }
@@ -128,7 +156,42 @@ struct Slot {
     /// Last successful fetch. Kept past its TTL to back the serve-stale
     /// degraded mode.
     cached: RwLock<Option<(SimTime, Arc<Vec<Entry>>)>>,
+    /// Wall-clock latency of this provider's `fetch` calls (registry
+    /// handle, resolved once at registration).
+    fetch_us: Arc<Histogram>,
 }
+
+/// Observability state shared by the owner and every query handle:
+/// whether instrumentation is on, the engine's metrics registry, the
+/// pre-resolved hot-path histograms, and the optional trace sink.
+#[derive(Clone)]
+struct Obs {
+    enabled: bool,
+    registry: Arc<MetricsRegistry>,
+    search_us: Arc<Histogram>,
+    sink: Option<Arc<TraceSink>>,
+}
+
+impl Obs {
+    fn new(enabled: bool) -> Obs {
+        let registry = Arc::new(MetricsRegistry::new());
+        let search_us = registry.histogram("search-us");
+        Obs {
+            enabled,
+            registry,
+            search_us,
+            sink: None,
+        }
+    }
+}
+
+/// The monitoring-namespace snapshot: entries under
+/// `service=<url>, Mds-Vo-name=monitoring` plus the sim time they were
+/// built at. Rebuilt when older than the monitoring refresh interval
+/// (soft-state), by whichever path — owner tick or query worker —
+/// notices first.
+type MonitorState = RwLock<Option<(SimTime, Arc<Vec<Entry>>)>>;
+type MonitorCell = Arc<MonitorState>;
 
 /// GRIS configuration.
 pub struct GrisConfig {
@@ -166,6 +229,15 @@ pub struct GrisConfig {
     /// identical to the sequential path. Off by default (the simulated
     /// runtime keeps the deterministic sequential path).
     pub parallel_fetch: bool,
+    /// When true (the default), the engine records latency histograms
+    /// and serves its self-description under `Mds-Vo-name=monitoring`.
+    /// Turned off to measure instrumentation overhead (exp_observability
+    /// A/Bs this flag).
+    pub observability: bool,
+    /// Age at which the monitoring-namespace snapshot is rebuilt — the
+    /// soft-state timer of the self-description (§4.3 applied to the
+    /// system itself).
+    pub monitoring_refresh: SimDuration,
 }
 
 impl GrisConfig {
@@ -180,6 +252,8 @@ impl GrisConfig {
             schema: None,
             stale_ttl: None,
             parallel_fetch: false,
+            observability: true,
+            monitoring_refresh: secs(5),
         }
     }
 }
@@ -198,6 +272,8 @@ pub struct Gris {
     sub_requester: BTreeMap<(ClientId, RequestId), Requester>,
     sub_next_due: BTreeMap<(ClientId, RequestId), SimTime>,
     stats: Arc<GrisStatsAtomic>,
+    obs: Obs,
+    monitor: MonitorCell,
 }
 
 /// What a `tick` produced: messages for the runtime to transmit.
@@ -225,6 +301,7 @@ enum SlotData {
 /// builds it from `&self`; [`GrisQueryPath::search`] from its captured
 /// clones — both run the same code.
 struct ReadPathRef<'a> {
+    url: &'a LdapUrl,
     suffix: &'a Dn,
     policy: &'a PolicyMap,
     schema: Option<&'a (Schema, Strictness)>,
@@ -232,6 +309,9 @@ struct ReadPathRef<'a> {
     parallel_fetch: bool,
     slots: &'a [Slot],
     stats: &'a GrisStatsAtomic,
+    obs: &'a Obs,
+    monitor: &'a MonitorState,
+    monitoring_refresh: SimDuration,
 }
 
 impl ReadPathRef<'_> {
@@ -246,11 +326,47 @@ impl ReadPathRef<'_> {
         (now.since(*at) < slot.cache_ttl).then(|| Arc::clone(entries))
     }
 
+    /// Record a provider-level span on the shared trace sink, if this
+    /// search is traced.
+    fn note_provider_span(
+        &self,
+        slot: &Slot,
+        trace: Option<TraceContext>,
+        now: SimTime,
+        started: Instant,
+        outcome: &str,
+    ) {
+        let (Some(sink), Some(ctx)) = (self.obs.sink.as_deref(), trace) else {
+            return;
+        };
+        let elapsed = SimDuration::from_micros(started.elapsed().as_micros() as u64);
+        sink.record(SpanRecord {
+            trace: ctx.trace,
+            span: sink.next_span(),
+            parent: Some(ctx.parent),
+            service: self.url.to_string(),
+            name: format!("provider:{}", slot.name),
+            start: now,
+            end: now + elapsed,
+            outcome: outcome.to_string(),
+        });
+    }
+
     /// Produce a slot's contribution, consulting cache, provider, and the
-    /// serve-stale fallback.
-    fn resolve_slot(&self, slot: &Slot, spec: &SearchSpec, now: SimTime) -> SlotData {
+    /// serve-stale fallback. `trace`, when present, is the context of the
+    /// enclosing `gris.search` span: each provider resolution records a
+    /// child span with its outcome.
+    fn resolve_slot(
+        &self,
+        slot: &Slot,
+        spec: &SearchSpec,
+        now: SimTime,
+        trace: Option<TraceContext>,
+    ) -> SlotData {
+        let started = Instant::now();
         if let Some(entries) = self.probe_cache(slot, now) {
-            self.stats.cache_hits.bump();
+            self.stats.cache.bump_first();
+            self.note_provider_span(slot, trace, now, started, "cache-hit");
             return SlotData::Fresh(entries);
         }
         let mut provider = slot.provider.lock();
@@ -259,13 +375,21 @@ impl ReadPathRef<'_> {
         // callers never hit this branch, keeping their counters exactly
         // as before.)
         if let Some(entries) = self.probe_cache(slot, now) {
-            self.stats.cache_hits.bump();
+            self.stats.cache.bump_first();
+            self.note_provider_span(slot, trace, now, started, "cache-hit");
             return SlotData::Fresh(entries);
         }
-        self.stats.cache_misses.bump();
-        match provider.fetch(spec, now) {
+        self.stats.cache.bump_second();
+        let fetch_started = Instant::now();
+        let fetched = provider.fetch(spec, now);
+        if self.obs.enabled {
+            slot.fetch_us
+                .record(fetch_started.elapsed().as_micros() as u64);
+        }
+        match fetched {
             Ok(entries) => {
                 self.stats.provider_invocations.bump();
+                self.note_provider_span(slot, trace, now, started, "fresh");
                 let entries = Arc::new(entries);
                 if slot.cacheable {
                     *slot.cached.write() = Some((now, Arc::clone(&entries)));
@@ -287,6 +411,7 @@ impl ReadPathRef<'_> {
                 match stale {
                     Some((at, entries)) => {
                         self.stats.stale_served.bump();
+                        self.note_provider_span(slot, trace, now, started, "stale");
                         let age_secs = now.since(at).micros() / 1_000_000;
                         SlotData::Stale(
                             entries
@@ -302,23 +427,85 @@ impl ReadPathRef<'_> {
                     }
                     None => {
                         self.stats.provider_failures.bump();
+                        self.note_provider_span(slot, trace, now, started, "failed");
                         SlotData::Failed
                     }
                 }
             }
-            Err(ProviderError::TooWide(_)) => SlotData::TooWide,
+            Err(ProviderError::TooWide(_)) => {
+                self.note_provider_span(slot, trace, now, started, "too-wide");
+                SlotData::TooWide
+            }
         }
     }
 
     /// The core search path: prune providers by namespace, consult
-    /// caches, merge, redact, filter, project.
+    /// caches, merge, redact, filter, project. When `trace` is present
+    /// (and a sink is installed) the search records a `gris.search` span
+    /// with one child span per provider resolution.
     fn search(
         &self,
         spec: &SearchSpec,
         requester: &Requester,
         now: SimTime,
+        trace: Option<TraceContext>,
+    ) -> (ResultCode, Vec<Entry>) {
+        let started = Instant::now();
+        // Open this hop's span up front so provider resolutions can
+        // parent onto it.
+        let own = match (self.obs.sink.as_deref(), trace) {
+            (Some(sink), Some(ctx)) => Some((sink, ctx, sink.next_span())),
+            _ => None,
+        };
+        let child_ctx = own.map(|(_, ctx, span)| TraceContext {
+            trace: ctx.trace,
+            parent: span,
+        });
+        let (code, results) = self.search_body(spec, requester, now, child_ctx);
+        if self.obs.enabled {
+            self.obs
+                .search_us
+                .record(started.elapsed().as_micros() as u64);
+        }
+        if let Some((sink, ctx, span)) = own {
+            sink.record(SpanRecord {
+                trace: ctx.trace,
+                span,
+                parent: Some(ctx.parent),
+                service: self.url.to_string(),
+                name: "gris.search".into(),
+                start: now,
+                end: now + SimDuration::from_micros(started.elapsed().as_micros() as u64),
+                outcome: code.label().into(),
+            });
+        }
+        (code, results)
+    }
+
+    fn search_body(
+        &self,
+        spec: &SearchSpec,
+        requester: &Requester,
+        now: SimTime,
+        trace: Option<TraceContext>,
     ) -> (ResultCode, Vec<Entry>) {
         self.stats.queries.bump();
+
+        // The monitoring namespace is served ahead of the suffix check:
+        // self-description lives under `Mds-Vo-name=monitoring`
+        // regardless of the suffix this server answers for.
+        if metrics::is_monitoring_dn(&spec.base) {
+            if !self.obs.enabled {
+                return (ResultCode::NoSuchObject, Vec::new());
+            }
+            self.stats.monitoring_queries.bump();
+            let entries = self.monitoring_entries(now);
+            let merged: BTreeMap<String, Entry> = entries
+                .iter()
+                .map(|e| (e.dn().to_string(), e.clone()))
+                .collect();
+            return self.finish(merged, spec, requester, false, false, false);
+        }
 
         // A search rooted entirely outside this server's namespace names
         // nothing we serve.
@@ -342,7 +529,8 @@ impl ReadPathRef<'_> {
         for (i, slot) in eligible.iter().enumerate() {
             match self.probe_cache(slot, now) {
                 Some(entries) => {
-                    self.stats.cache_hits.bump();
+                    self.stats.cache.bump_first();
+                    self.note_provider_span(slot, trace, now, Instant::now(), "cache-hit");
                     data.push(Some(SlotData::Fresh(entries)));
                 }
                 None => {
@@ -357,7 +545,7 @@ impl ReadPathRef<'_> {
                     .iter()
                     .map(|&i| {
                         let slot = eligible[i];
-                        sc.spawn(move || self.resolve_slot(slot, spec, now))
+                        sc.spawn(move || self.resolve_slot(slot, spec, now, trace))
                     })
                     .collect();
                 handles
@@ -370,7 +558,7 @@ impl ReadPathRef<'_> {
             }
         } else {
             for &i in &missing {
-                data[i] = Some(self.resolve_slot(eligible[i], spec, now));
+                data[i] = Some(self.resolve_slot(eligible[i], spec, now, trace));
             }
         }
 
@@ -403,7 +591,79 @@ impl ReadPathRef<'_> {
                 SlotData::TooWide => too_wide = true,
             }
         }
+        self.finish(merged, spec, requester, partial, degraded, too_wide)
+    }
 
+    /// Serve the monitoring snapshot, rebuilding it when it has aged past
+    /// the refresh interval (soft-state semantics).
+    fn monitoring_entries(&self, now: SimTime) -> Arc<Vec<Entry>> {
+        if let Some((at, entries)) = self.monitor.read().as_ref() {
+            if now.since(*at) < self.monitoring_refresh {
+                return Arc::clone(entries);
+            }
+        }
+        let built = Arc::new(self.build_monitoring());
+        *self.monitor.write() = Some((now, Arc::clone(&built)));
+        built
+    }
+
+    /// Build this server's self-description: one `mds-service` entry,
+    /// one `mds-provider` entry per slot, and one `mds-metric` entry per
+    /// registry instrument, all under
+    /// `service=<url>, Mds-Vo-name=monitoring`.
+    fn build_monitoring(&self) -> Vec<Entry> {
+        let base = metrics::monitoring_base().child(Rdn::new("service", self.url.to_string()));
+        let s = self.stats.snapshot();
+        let resolutions = s.cache_hits + s.cache_misses;
+        let ratio = if resolutions == 0 {
+            0.0
+        } else {
+            s.cache_hits as f64 / resolutions as f64
+        };
+        let mut entries = vec![Entry::new(base.clone())
+            .with_class("mds-service")
+            .with("service-type", "gris")
+            .with("suffix", self.suffix.to_string())
+            .with("queries", s.queries)
+            .with("monitoring-queries", s.monitoring_queries)
+            .with("cache-hits", s.cache_hits)
+            .with("cache-misses", s.cache_misses)
+            .with("cache-hit-ratio", format!("{ratio:.3}"))
+            .with("provider-invocations", s.provider_invocations)
+            .with("stale-served", s.stale_served)
+            .with("provider-failures", s.provider_failures)
+            .with("entries-returned", s.entries_returned)
+            .with("updates-sent", s.updates_sent)
+            .with("providers", self.slots.len() as u64)];
+        for slot in self.slots {
+            let f = slot.fetch_us.snapshot();
+            entries.push(
+                Entry::new(base.child(Rdn::new("provider", slot.name.clone())))
+                    .with_class("mds-provider")
+                    .with("namespace", slot.namespace.to_string())
+                    .with("cacheable", if slot.cacheable { "TRUE" } else { "FALSE" })
+                    .with("fetch-count", f.count)
+                    .with("fetch-p50-us", f.quantile(0.50))
+                    .with("fetch-p95-us", f.quantile(0.95))
+                    .with("fetch-p99-us", f.quantile(0.99))
+                    .with("fetch-max-us", f.max),
+            );
+        }
+        entries.extend(self.obs.registry.export_entries(&base));
+        entries
+    }
+
+    /// The mandatory tail of every search: scope, redact, filter,
+    /// project, pick the result code.
+    fn finish(
+        &self,
+        merged: BTreeMap<String, Entry>,
+        spec: &SearchSpec,
+        requester: &Requester,
+        partial: bool,
+        degraded: bool,
+        too_wide: bool,
+    ) -> (ResultCode, Vec<Entry>) {
         // Mandatory final filtering (§10.3): scope and filter semantics
         // are enforced here, not in providers — and ACL redaction happens
         // *before* filter evaluation so filters cannot probe hidden
@@ -456,19 +716,24 @@ impl ReadPathRef<'_> {
 /// captures (suffix, policy, schema, stale window) is frozen at creation.
 #[derive(Clone)]
 pub struct GrisQueryPath {
+    url: LdapUrl,
     suffix: Dn,
     policy: PolicyMap,
     schema: Option<(Schema, Strictness)>,
     stale_ttl: Option<SimDuration>,
     parallel_fetch: bool,
+    monitoring_refresh: SimDuration,
     slots: Arc<Vec<Slot>>,
     sessions: Arc<RwLock<BTreeMap<ClientId, Requester>>>,
     stats: Arc<GrisStatsAtomic>,
+    obs: Obs,
+    monitor: MonitorCell,
 }
 
 impl GrisQueryPath {
     fn read_path(&self) -> ReadPathRef<'_> {
         ReadPathRef {
+            url: &self.url,
             suffix: &self.suffix,
             policy: &self.policy,
             schema: self.schema.as_ref(),
@@ -476,6 +741,9 @@ impl GrisQueryPath {
             parallel_fetch: self.parallel_fetch,
             slots: &self.slots,
             stats: &self.stats,
+            obs: &self.obs,
+            monitor: &self.monitor,
+            monitoring_refresh: self.monitoring_refresh,
         }
     }
 
@@ -486,7 +754,13 @@ impl GrisQueryPath {
         requester: &Requester,
         now: SimTime,
     ) -> (ResultCode, Vec<Entry>) {
-        self.read_path().search(spec, requester, now)
+        self.read_path().search(spec, requester, now, None)
+    }
+
+    /// Snapshot of the shared operational counters (for assertions and
+    /// monitoring after the engine has moved into a runtime).
+    pub fn stats(&self) -> GrisStats {
+        self.stats.snapshot()
     }
 
     /// Handle a request if it is query-path work (`Search`); every other
@@ -502,6 +776,20 @@ impl GrisQueryPath {
         req: GripRequest,
         now: SimTime,
     ) -> Result<Vec<GripReply>, GripRequest> {
+        self.handle_query_traced(client, req, None, now)
+    }
+
+    /// [`handle_query`](Self::handle_query) with a trace context: a
+    /// traced `Search` records a `gris.search` span (with per-provider
+    /// children) parented on `trace.parent`.
+    #[allow(clippy::result_large_err)]
+    pub fn handle_query_traced(
+        &self,
+        client: ClientId,
+        req: GripRequest,
+        trace: Option<TraceContext>,
+        now: SimTime,
+    ) -> Result<Vec<GripReply>, GripRequest> {
         match req {
             GripRequest::Search { id, spec } => {
                 let requester = self
@@ -510,7 +798,7 @@ impl GrisQueryPath {
                     .get(&client)
                     .cloned()
                     .unwrap_or_else(Requester::anonymous);
-                let (code, entries) = self.search(&spec, &requester, now);
+                let (code, entries) = self.read_path().search(&spec, &requester, now, trace);
                 self.stats.entries_returned.add(entries.len() as u64);
                 Ok(vec![GripReply::SearchResult {
                     id,
@@ -535,6 +823,7 @@ impl Gris {
             reg_interval,
             reg_ttl,
         );
+        let obs = Obs::new(config.observability);
         Gris {
             config,
             slots: Arc::new(Vec::new()),
@@ -544,13 +833,33 @@ impl Gris {
             sub_requester: BTreeMap::new(),
             sub_next_due: BTreeMap::new(),
             stats: Arc::new(GrisStatsAtomic::default()),
+            obs,
+            monitor: Arc::new(RwLock::new(None)),
         }
+    }
+
+    /// Install a shared trace sink: spans for traced requests are
+    /// recorded here. Configure before creating query handles (like
+    /// providers — handles capture the sink at creation).
+    pub fn set_trace_sink(&mut self, sink: Arc<TraceSink>) {
+        self.obs.sink = Some(sink);
+    }
+
+    /// This engine's metrics registry (exported under the monitoring
+    /// namespace; the live runtime adds its worker-pool instruments
+    /// here).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.obs.registry)
     }
 
     /// Plug in an information provider. Providers are configured before
     /// the engine starts serving; this panics if a [`GrisQueryPath`]
     /// handle already exists.
     pub fn add_provider(&mut self, provider: Box<dyn InfoProvider>) {
+        let fetch_us = self
+            .obs
+            .registry
+            .labeled_histogram("provider-fetch-us", Some(provider.name()));
         let slot = Slot {
             name: provider.name().to_owned(),
             namespace: provider.namespace().clone(),
@@ -558,6 +867,7 @@ impl Gris {
             cache_ttl: provider.cache_ttl(),
             provider: Mutex::new(provider),
             cached: RwLock::new(None),
+            fetch_us,
         };
         Arc::get_mut(&mut self.slots)
             .expect("providers are configured before query handles are created")
@@ -579,14 +889,18 @@ impl Gris {
     /// this point.
     pub fn query_path(&self) -> GrisQueryPath {
         GrisQueryPath {
+            url: self.config.url.clone(),
             suffix: self.config.suffix.clone(),
             policy: self.config.policy.clone(),
             schema: self.config.schema.clone(),
             stale_ttl: self.config.stale_ttl,
             parallel_fetch: self.config.parallel_fetch,
+            monitoring_refresh: self.config.monitoring_refresh,
             slots: Arc::clone(&self.slots),
             sessions: Arc::clone(&self.sessions),
             stats: Arc::clone(&self.stats),
+            obs: self.obs.clone(),
+            monitor: Arc::clone(&self.monitor),
         }
     }
 
@@ -626,6 +940,19 @@ impl Gris {
         req: GripRequest,
         now: SimTime,
     ) -> Vec<GripReply> {
+        self.handle_request_traced(client, req, None, now)
+    }
+
+    /// [`handle_request`](Self::handle_request) with a trace context
+    /// (from a [`ProtocolMessage::Traced`](gis_proto::ProtocolMessage)
+    /// envelope): a traced `Search` records its span tree.
+    pub fn handle_request_traced(
+        &mut self,
+        client: ClientId,
+        req: GripRequest,
+        trace: Option<TraceContext>,
+        now: SimTime,
+    ) -> Vec<GripReply> {
         match req {
             GripRequest::Bind {
                 id,
@@ -661,7 +988,7 @@ impl Gris {
             }
             GripRequest::Search { id, spec } => {
                 let requester = self.requester_of(client);
-                let (code, entries) = self.search(&spec, &requester, now);
+                let (code, entries) = self.search_traced(&spec, &requester, now, trace);
                 self.stats.entries_returned.add(entries.len() as u64);
                 vec![GripReply::SearchResult {
                     id,
@@ -714,8 +1041,18 @@ impl Gris {
     }
 
     /// Advance timers: emit due GRRP registrations and subscription
-    /// deliveries.
+    /// deliveries, and keep the monitoring-namespace snapshot warm.
     pub fn tick(&mut self, now: SimTime) -> TickOutput {
+        if self.obs.enabled {
+            let due = match self.monitor.read().as_ref() {
+                Some((at, _)) => now.since(*at) >= self.config.monitoring_refresh,
+                None => true,
+            };
+            if due {
+                let built = Arc::new(self.read_path().build_monitoring());
+                *self.monitor.write() = Some((now, built));
+            }
+        }
         let mut registrations = self.agent.due_messages(now);
         if let Some(cred) = &self.config.credential {
             for (_, msg) in &mut registrations {
@@ -798,6 +1135,7 @@ impl Gris {
 
     fn read_path(&self) -> ReadPathRef<'_> {
         ReadPathRef {
+            url: &self.config.url,
             suffix: &self.config.suffix,
             policy: &self.config.policy,
             schema: self.config.schema.as_ref(),
@@ -805,6 +1143,9 @@ impl Gris {
             parallel_fetch: self.config.parallel_fetch,
             slots: &self.slots,
             stats: &self.stats,
+            obs: &self.obs,
+            monitor: &self.monitor,
+            monitoring_refresh: self.config.monitoring_refresh,
         }
     }
 
@@ -817,7 +1158,20 @@ impl Gris {
         requester: &Requester,
         now: SimTime,
     ) -> (ResultCode, Vec<Entry>) {
-        self.read_path().search(spec, requester, now)
+        self.read_path().search(spec, requester, now, None)
+    }
+
+    /// [`search`](Self::search) under a trace context: records a
+    /// `gris.search` span (with per-provider children) parented on
+    /// `trace.parent` when a sink is installed.
+    pub fn search_traced(
+        &self,
+        spec: &SearchSpec,
+        requester: &Requester,
+        now: SimTime,
+        trace: Option<TraceContext>,
+    ) -> (ResultCode, Vec<Entry>) {
+        self.read_path().search(spec, requester, now, trace)
     }
 
     /// Number of active subscriptions.
@@ -1327,6 +1681,235 @@ mod tests {
         assert_eq!(code, ResultCode::Success);
         assert_eq!(entries.len(), 1, "invalid entry dropped");
         assert_eq!(gris.stats().schema_violations, 1);
+    }
+
+    #[test]
+    fn monitoring_namespace_search() {
+        let mut gris = host_gris();
+        // Generate some traffic so the self-description has data.
+        let spec = SearchSpec::subtree(Dn::parse("hn=hostX").unwrap(), Filter::always());
+        search(&mut gris, spec.clone(), t(0));
+        search(&mut gris, spec, t(5));
+
+        // A plain GRIP search of the monitoring namespace answers with
+        // the service entry, per-provider entries, and metric entries.
+        let (code, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(
+                Dn::parse("Mds-Vo-name=monitoring").unwrap(),
+                Filter::always(),
+            ),
+            t(10),
+        );
+        assert_eq!(code, ResultCode::Success);
+        let svc = entries
+            .iter()
+            .find(|e| e.has_class("mds-service"))
+            .expect("service entry");
+        assert_eq!(svc.get_str("service-type"), Some("gris"));
+        // 2 data queries plus the monitoring query itself (counted
+        // before the snapshot was built).
+        assert_eq!(svc.get_str("queries"), Some("3"));
+        assert_eq!(svc.get_str("providers"), Some("4"));
+        // 8 resolutions: 4 misses at t=0, 4 hits at t=5.
+        assert_eq!(svc.get_str("cache-hits"), Some("4"));
+        assert_eq!(svc.get_str("cache-misses"), Some("4"));
+        assert_eq!(svc.get_str("cache-hit-ratio"), Some("0.500"));
+        assert_eq!(
+            entries
+                .iter()
+                .filter(|e| e.has_class("mds-provider"))
+                .count(),
+            4
+        );
+        // Histograms export live percentiles.
+        let hist = entries
+            .iter()
+            .find(|e| e.get_str("metric-kind") == Some("histogram") && e.has("p50-us"))
+            .expect("histogram metric entry");
+        assert!(hist.get_str("p95-us").is_some());
+        assert!(hist.get_str("p99-us").is_some());
+
+        // Ordinary filters work against the namespace.
+        let (_, filtered) = search(
+            &mut gris,
+            SearchSpec::subtree(
+                Dn::parse("Mds-Vo-name=monitoring").unwrap(),
+                Filter::parse("(objectclass=mds-provider)").unwrap(),
+            ),
+            t(11),
+        );
+        assert_eq!(filtered.len(), 4);
+        assert_eq!(gris.stats().monitoring_queries, 2);
+    }
+
+    #[test]
+    fn monitoring_snapshot_refreshes_on_soft_state_timer() {
+        let mut gris = host_gris();
+        let mon = SearchSpec::subtree(
+            Dn::parse("Mds-Vo-name=monitoring").unwrap(),
+            Filter::parse("(objectclass=mds-service)").unwrap(),
+        );
+        // The first monitoring query builds the snapshot (and is itself
+        // already counted).
+        let (_, before) = search(&mut gris, mon.clone(), t(0));
+        assert_eq!(before[0].get_str("queries"), Some("1"));
+        // Traffic arrives; within the refresh window the snapshot is
+        // unchanged, after it the new counters appear.
+        let spec = SearchSpec::lookup(Dn::parse("hn=hostX").unwrap());
+        search(&mut gris, spec, t(1));
+        let (_, during) = search(&mut gris, mon.clone(), t(2));
+        assert_eq!(during[0].get_str("queries"), Some("1"), "within TTL");
+        let (_, after) = search(&mut gris, mon, t(10));
+        let q: i64 = after[0].get_str("queries").unwrap().parse().unwrap();
+        assert!(q >= 2, "snapshot rebuilt after refresh interval");
+    }
+
+    #[test]
+    fn observability_off_hides_monitoring_namespace() {
+        let host = HostSpec::linux("h", 2);
+        let mut config = GrisConfig::open(LdapUrl::server("gris.h"), host.dn());
+        config.observability = false;
+        let mut gris = Gris::new(config, secs(30), secs(90));
+        gris.add_provider(Box::new(StaticHostProvider::new(host)));
+        let (code, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(
+                Dn::parse("Mds-Vo-name=monitoring").unwrap(),
+                Filter::always(),
+            ),
+            t(0),
+        );
+        assert_eq!(code, ResultCode::NoSuchObject);
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn traced_search_records_span_tree() {
+        use gis_proto::trace::{TraceContext, TraceId, TraceSink};
+        let mut gris = host_gris();
+        let sink = Arc::new(TraceSink::new());
+        gris.set_trace_sink(Arc::clone(&sink));
+        let trace = TraceId(sink.next_span());
+        let ctx = TraceContext {
+            trace,
+            parent: trace.0,
+        };
+        let replies = gris.handle_request_traced(
+            1,
+            GripRequest::Search {
+                id: 1,
+                spec: SearchSpec::subtree(Dn::parse("hn=hostX").unwrap(), Filter::always()),
+            },
+            Some(ctx),
+            t(0),
+        );
+        assert!(matches!(
+            replies[0],
+            GripReply::SearchResult {
+                code: ResultCode::Success,
+                ..
+            }
+        ));
+        let spans = sink.spans(trace);
+        let search_span = spans
+            .iter()
+            .find(|s| s.name == "gris.search")
+            .expect("search span");
+        assert_eq!(search_span.parent, Some(trace.0));
+        assert_eq!(search_span.outcome, "success");
+        // All four providers fetched, each a child of the search span.
+        let provider_spans: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name.starts_with("provider:"))
+            .collect();
+        assert_eq!(provider_spans.len(), 4);
+        assert!(provider_spans
+            .iter()
+            .all(|s| s.parent == Some(search_span.span) && s.outcome == "fresh"));
+        // A repeat query's provider spans are cache hits.
+        gris.handle_request_traced(
+            1,
+            GripRequest::Search {
+                id: 2,
+                spec: SearchSpec::subtree(Dn::parse("hn=hostX").unwrap(), Filter::always()),
+            },
+            Some(ctx),
+            t(1),
+        );
+        assert!(sink.spans(trace).iter().any(|s| s.outcome == "cache-hit"));
+        // Untraced searches record nothing new.
+        let before = sink.len();
+        gris.search(
+            &SearchSpec::lookup(Dn::parse("hn=hostX").unwrap()),
+            &Requester::anonymous(),
+            t(2),
+        );
+        assert_eq!(sink.len(), before);
+    }
+
+    #[test]
+    fn stats_snapshot_holds_invariants_under_concurrent_hammer() {
+        let gris = {
+            let mut g = host_gris();
+            g.config.stale_ttl = Some(secs(300));
+            g
+        };
+        let path = gris.query_path();
+        let spec = SearchSpec::subtree(Dn::parse("hn=hostX").unwrap(), Filter::always());
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            // Reader thread: every live snapshot must satisfy the
+            // documented invariants — the packed cache word never tears,
+            // and per-miss outcomes never exceed counted misses.
+            let stats = &path;
+            let done = &done;
+            s.spawn(move || {
+                while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                    let s = stats.stats();
+                    assert!(
+                        s.provider_invocations + s.stale_served + s.provider_failures
+                            <= s.cache_misses,
+                        "outcomes exceed misses: {s:?}"
+                    );
+                    std::hint::spin_loop();
+                }
+            });
+            let searchers: Vec<_> = (0..4)
+                .map(|w| {
+                    let path = path.clone();
+                    let spec = spec.clone();
+                    s.spawn(move || {
+                        for i in 0..300u64 {
+                            // Advancing sim time expires cache TTLs,
+                            // mixing hits and misses.
+                            let now = SimTime::ZERO + secs(i * 7 + w);
+                            let _ = path.handle_query(
+                                w,
+                                GripRequest::Search {
+                                    id: i,
+                                    spec: spec.clone(),
+                                },
+                                now,
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for h in searchers {
+                h.join().unwrap();
+            }
+            done.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        // Quiesced: the identities are exact. Every search resolves all
+        // four slots (all cacheable, all eligible).
+        let s = path.stats();
+        assert_eq!(s.queries, 4 * 300);
+        assert_eq!(s.cache_hits + s.cache_misses, 4 * 300 * 4);
+        assert_eq!(
+            s.provider_invocations + s.stale_served + s.provider_failures,
+            s.cache_misses
+        );
     }
 
     #[test]

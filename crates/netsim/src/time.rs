@@ -29,6 +29,13 @@ impl SimTime {
     pub fn since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
+
+    /// Wall time elapsed since `epoch`, mapped onto the simulation clock.
+    /// The live runtime uses this so the same engines, TTLs and trace
+    /// timestamps work identically under real threads and the simulator.
+    pub fn wall(epoch: std::time::Instant) -> SimTime {
+        SimTime(epoch.elapsed().as_micros() as u64)
+    }
 }
 
 impl SimDuration {

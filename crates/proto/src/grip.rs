@@ -51,6 +51,22 @@ pub enum ResultCode {
     StaleResults,
 }
 
+impl ResultCode {
+    /// Short lowercase label for span outcomes, metrics labels and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResultCode::Success => "success",
+            ResultCode::NoSuchObject => "no-such-object",
+            ResultCode::SizeLimitExceeded => "size-limit",
+            ResultCode::InsufficientAccess => "insufficient-access",
+            ResultCode::Unavailable => "unavailable",
+            ResultCode::PartialResults => "partial",
+            ResultCode::UnwillingToPerform => "unwilling",
+            ResultCode::StaleResults => "stale",
+        }
+    }
+}
+
 /// How subscription updates are produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SubscriptionMode {

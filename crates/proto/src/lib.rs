@@ -21,7 +21,9 @@
 
 pub mod grip;
 pub mod grrp;
+pub mod metrics;
 pub mod stats;
+pub mod trace;
 pub mod wire;
 
 pub use grip::{
@@ -31,5 +33,7 @@ pub use grip::{
 pub use grrp::{
     FailureDetector, GrrpMessage, Notification, Registration, RegistrationAgent, SoftStateRegistry,
 };
+pub use metrics::{Gauge, Histogram, MetricsRegistry, PackedPair};
 pub use stats::Counter;
+pub use trace::{SpanRecord, TraceContext, TraceId, TraceSink};
 pub use wire::ProtocolMessage;

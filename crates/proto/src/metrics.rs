@@ -1,0 +1,461 @@
+//! Lock-free metrics: log-bucketed latency histograms, labeled counters
+//! and gauges, and a registry that exports everything as DIT entries.
+//!
+//! The paper's architecture is *self-describing*: services register and
+//! describe themselves through the same GRIP/GRRP machinery they serve
+//! (§5, §10.4). This module applies that principle to the system itself —
+//! every engine owns a [`MetricsRegistry`], records latencies and event
+//! counts into it from the hot paths (Relaxed atomics, no locks on the
+//! record side), and periodically exports the registry as ordinary
+//! directory entries under the `Mds-Vo-name=monitoring` namespace, where
+//! operators discover them with plain GRIP searches.
+//!
+//! Three instrument kinds:
+//!
+//! * [`Histogram`] — log2-bucketed latency distribution over microsecond
+//!   values; snapshots answer p50/p95/p99/max.
+//! * [`Counter`](crate::stats::Counter) — the PR 3 monotonic counter,
+//!   re-used here for labeled event counts.
+//! * [`Gauge`] — a last-write-wins level (queue depth, breaker state).
+//!
+//! [`PackedPair`] packs two related u32 counters into one `AtomicU64` so
+//! a single load observes a *coherent* pair — the fix for torn derived
+//! totals in `stats()` snapshots (see `stats.rs` for the tearing
+//! semantics of independent counters).
+
+use crate::stats::Counter;
+use gis_ldap::{Dn, Entry, Rdn};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i` holds
+/// values in `[2^(i-1), 2^i)`. 64 buckets cover the full `u64` range.
+const BUCKETS: usize = 65;
+
+/// A lock-free log2-bucketed histogram of microsecond latencies.
+///
+/// `record` is wait-free: one `fetch_add` on the bucket, count and sum,
+/// plus a `fetch_max` on the max — all Relaxed, mirroring the PR 3
+/// counter discipline. Quantiles are approximate to within a factor of
+/// two (the bucket width); the maximum is exact.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a recorded value: 0 for 0, else the bit width of the
+/// value (so `v` lands in bucket `floor(log2 v) + 1`).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation (microseconds).
+    #[inline]
+    pub fn record(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(us, Ordering::Relaxed);
+        self.max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Take a point-in-time snapshot. Under concurrent recording the
+    /// snapshot may straddle in-flight observations (bucket totals can
+    /// lag `count` by the writers currently between their two
+    /// `fetch_add`s); quantile math tolerates this by clamping.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`] at one instant.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`Histogram`] for the scheme).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (microseconds).
+    pub sum: u64,
+    /// Largest observed value (exact).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Approximate quantile `p` in `[0, 1]`: the midpoint of the bucket
+    /// containing the `ceil(p * count)`-th observation, clamped to the
+    /// observed maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, p: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let mid = if i == 0 {
+                    0
+                } else {
+                    let lo = 1u64 << (i - 1);
+                    let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                    lo + (hi - lo) / 2
+                };
+                return mid.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observed value, 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A last-write-wins level metric (queue depth, breaker state).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the current level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Read the current level.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Raise the level to at least `v`.
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// Two related u32 counters packed into one `AtomicU64` so that a single
+/// load observes a coherent pair.
+///
+/// Independent Relaxed counters can *tear*: a reader between a writer's
+/// two bumps sees `hits` already incremented but `misses` not yet, so
+/// derived totals (`hits + misses == lookups`) transiently fail. Packing
+/// both halves into one word makes every read a consistent cut: each
+/// update is a single `fetch_add`, so any load sees a pair produced by a
+/// prefix of the updates.
+///
+/// Each half wraps at `2^32` — ample for operational counters (the
+/// largest experiment records ~10^5 events).
+#[derive(Debug, Default)]
+pub struct PackedPair(AtomicU64);
+
+impl PackedPair {
+    /// Increment the first (low) counter.
+    #[inline]
+    pub fn bump_first(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment the second (high) counter.
+    #[inline]
+    pub fn bump_second(&self) {
+        self.0.fetch_add(1 << 32, Ordering::Relaxed);
+    }
+
+    /// Increment both counters in one atomic update.
+    #[inline]
+    pub fn bump_both(&self) {
+        self.0.fetch_add(1 | (1 << 32), Ordering::Relaxed);
+    }
+
+    /// Read both counters from a single load: `(first, second)`.
+    #[inline]
+    pub fn get(&self) -> (u64, u64) {
+        let v = self.0.load(Ordering::Relaxed);
+        (v & 0xffff_ffff, v >> 32)
+    }
+}
+
+/// One named instrument in a registry.
+#[derive(Debug)]
+enum Instrument {
+    Histogram(Arc<Histogram>),
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+}
+
+/// A registry of named (optionally labeled) instruments.
+///
+/// Engines resolve their handles once at setup (`histogram`, `counter`,
+/// `gauge` are get-or-create and return `Arc`s), so the hot path never
+/// touches the registry lock — it only bumps atomics through the
+/// pre-resolved handles. Labeled instruments use a `name:label` key,
+/// e.g. `provider-fetch-us:cpu-load`.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    instruments: RwLock<BTreeMap<String, Instrument>>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn key(name: &str, label: Option<&str>) -> String {
+        match label {
+            Some(l) => format!("{name}:{l}"),
+            None => name.to_string(),
+        }
+    }
+
+    /// Get or create the histogram `name` (no label).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.labeled_histogram(name, None)
+    }
+
+    /// Get or create the histogram `name` with an optional label.
+    pub fn labeled_histogram(&self, name: &str, label: Option<&str>) -> Arc<Histogram> {
+        let key = Self::key(name, label);
+        if let Some(Instrument::Histogram(h)) = self.instruments.read().get(&key) {
+            return Arc::clone(h);
+        }
+        let mut w = self.instruments.write();
+        match w
+            .entry(key)
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new())))
+        {
+            Instrument::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric registered with a different kind"),
+        }
+    }
+
+    /// Get or create the counter `name` (no label).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.labeled_counter(name, None)
+    }
+
+    /// Get or create the counter `name` with an optional label.
+    pub fn labeled_counter(&self, name: &str, label: Option<&str>) -> Arc<Counter> {
+        let key = Self::key(name, label);
+        if let Some(Instrument::Counter(c)) = self.instruments.read().get(&key) {
+            return Arc::clone(c);
+        }
+        let mut w = self.instruments.write();
+        match w
+            .entry(key)
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::default())))
+        {
+            Instrument::Counter(c) => Arc::clone(c),
+            _ => panic!("metric registered with a different kind"),
+        }
+    }
+
+    /// Get or create the gauge `name` (no label).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.labeled_gauge(name, None)
+    }
+
+    /// Get or create the gauge `name` with an optional label.
+    pub fn labeled_gauge(&self, name: &str, label: Option<&str>) -> Arc<Gauge> {
+        let key = Self::key(name, label);
+        if let Some(Instrument::Gauge(g)) = self.instruments.read().get(&key) {
+            return Arc::clone(g);
+        }
+        let mut w = self.instruments.write();
+        match w
+            .entry(key)
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::default())))
+        {
+            Instrument::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric registered with a different kind"),
+        }
+    }
+
+    /// Export every instrument as a DIT entry `metric=<key>` under
+    /// `base`, in the monitoring-namespace schema (§9 of DESIGN.md):
+    /// histograms carry `count`/`sum-us`/`p50-us`/`p95-us`/`p99-us`/
+    /// `max-us`/`mean-us`, counters and gauges carry `value`.
+    pub fn export_entries(&self, base: &Dn) -> Vec<Entry> {
+        let instruments = self.instruments.read();
+        let mut out = Vec::with_capacity(instruments.len());
+        for (key, inst) in instruments.iter() {
+            let dn = base.child(Rdn::new("metric", key.clone()));
+            let entry = match inst {
+                Instrument::Histogram(h) => {
+                    let s = h.snapshot();
+                    Entry::new(dn)
+                        .with_class("mds-metric")
+                        .with("metric-kind", "histogram")
+                        .with("count", s.count.to_string())
+                        .with("sum-us", s.sum.to_string())
+                        .with("mean-us", format!("{:.1}", s.mean()))
+                        .with("p50-us", s.quantile(0.50).to_string())
+                        .with("p95-us", s.quantile(0.95).to_string())
+                        .with("p99-us", s.quantile(0.99).to_string())
+                        .with("max-us", s.max.to_string())
+                }
+                Instrument::Counter(c) => Entry::new(dn)
+                    .with_class("mds-metric")
+                    .with("metric-kind", "counter")
+                    .with("value", c.get().to_string()),
+                Instrument::Gauge(g) => Entry::new(dn)
+                    .with_class("mds-metric")
+                    .with("metric-kind", "gauge")
+                    .with("value", g.get().to_string()),
+            };
+            out.push(entry);
+        }
+        out
+    }
+}
+
+/// The distinguished base of the monitoring namespace:
+/// `Mds-Vo-name=monitoring`. Every service exports its self-description
+/// under `service=<url>, Mds-Vo-name=monitoring`.
+pub fn monitoring_base() -> Dn {
+    Dn::from_rdns(vec![Rdn::new("mds-vo-name", "monitoring")])
+}
+
+/// True if `dn` falls inside the monitoring namespace.
+pub fn is_monitoring_dn(dn: &Dn) -> bool {
+    dn.is_under(&monitoring_base())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_bracket_observations() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        let p50 = s.quantile(0.50);
+        // true median 500; log2 bucket [512,1024) or [256,512) midpoint
+        assert!((256..=1000).contains(&p50), "p50 = {p50}");
+        assert!(s.quantile(0.99) <= 1000);
+        // p100 lands in the max's bucket [512, 1024), clamped to max
+        assert!((512..=1000).contains(&s.quantile(1.0)));
+        assert_eq!(s.quantile(0.0), 1); // first observation's bucket, clamped
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_concurrent_record() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4000);
+        assert_eq!(s.max, 3999);
+    }
+
+    #[test]
+    fn packed_pair_is_coherent() {
+        let p = PackedPair::default();
+        p.bump_first();
+        p.bump_both();
+        p.bump_second();
+        assert_eq!(p.get(), (2, 2));
+    }
+
+    #[test]
+    fn registry_returns_same_handle() {
+        let r = MetricsRegistry::new();
+        let a = r.labeled_histogram("fetch-us", Some("cpu"));
+        let b = r.labeled_histogram("fetch-us", Some("cpu"));
+        a.record(7);
+        assert_eq!(b.count(), 1);
+        assert_eq!(r.counter("hits").get(), 0);
+        r.counter("hits").bump();
+        assert_eq!(r.counter("hits").get(), 1);
+        r.gauge("depth").set(42);
+        assert_eq!(r.gauge("depth").get(), 42);
+    }
+
+    #[test]
+    fn export_shape() {
+        let r = MetricsRegistry::new();
+        r.histogram("search-us").record(100);
+        r.counter("hits").add(3);
+        r.gauge("depth").set(2);
+        let base = monitoring_base().child(Rdn::new("service", "ldap://g1"));
+        let entries = r.export_entries(&base);
+        assert_eq!(entries.len(), 3);
+        for e in &entries {
+            assert!(e.has_class("mds-metric"));
+            assert!(is_monitoring_dn(e.dn()));
+        }
+        let hist = entries
+            .iter()
+            .find(|e| e.get_str("metric-kind") == Some("histogram"))
+            .unwrap();
+        assert_eq!(hist.get_str("count"), Some("1"));
+        assert_eq!(hist.get_str("max-us"), Some("100"));
+    }
+}

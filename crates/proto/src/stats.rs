@@ -3,9 +3,28 @@
 //! The GRIS/GIIS read paths run concurrently on live-runtime worker
 //! threads, so their hot counters are atomics rather than fields behind
 //! `&mut self`. All operations use `Relaxed` ordering: the counters are
-//! monotonic event counts with no synchronizing role — readers that want
-//! a consistent *cross-counter* view take a snapshot after quiescing the
-//! workload (which every test and experiment does).
+//! monotonic event counts with no synchronizing role.
+//!
+//! # Snapshot semantics
+//!
+//! A `stats()` snapshot loads each counter independently, so a snapshot
+//! taken *while workers are running* is a consistent cut only per
+//! counter, not across counters: a reader can land between a writer's
+//! two bumps and see, say, `cache_hits` incremented but a companion
+//! counter not yet — derived totals computed across independently-loaded
+//! counters can tear by the number of in-flight operations.
+//!
+//! Two disciplines keep snapshots meaningful:
+//!
+//! * **Packed pairs** — counters coupled by an invariant the reader may
+//!   check live (e.g. GRIS `cache_hits`/`cache_misses`, GIIS
+//!   `searches`/`local_answers`) are packed into one
+//!   [`PackedPair`](crate::metrics::PackedPair) word, so one load yields
+//!   a coherent pair and the invariant holds on *every* read.
+//! * **Quiescence** — for full cross-counter identities (e.g.
+//!   `provider_invocations + stale_served + provider_failures ==
+//!   cache_misses`), take the snapshot after the workload quiesces,
+//!   which every test and experiment does.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

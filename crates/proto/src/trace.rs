@@ -1,0 +1,290 @@
+//! Request-scoped trace propagation.
+//!
+//! A query entering the system is stamped with a [`TraceId`]; every hop
+//! (client send, GIIS fan-out, chained child, GRIS provider fetch)
+//! records a [`SpanRecord`] into a shared [`TraceSink`] and forwards the
+//! context on the wire envelope ([`ProtocolMessage::Traced`]
+//! (crate::wire::ProtocolMessage)). After the fact, the sink's records
+//! for one trace assemble into a causal [`TraceTree`] — the full
+//! client → GIIS → children → GRIS → provider fan-out of a single query.
+//!
+//! Span timestamps are [`SimTime`] values, so the same machinery works
+//! under the deterministic simulator and the live runtime (which maps
+//! wall-clock onto `SimTime` from its epoch). Recording is cheap — one
+//! atomic for span-id allocation and a short mutex push per span — and
+//! entirely skipped when no sink is installed.
+
+use gis_netsim::SimTime;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Globally-unique identifier of one traced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08x}", self.0)
+    }
+}
+
+/// The trace context carried on the wire with a request: which trace the
+/// request belongs to, and the span id of the sender's hop (the parent
+/// of whatever span the receiver opens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The request's trace.
+    pub trace: TraceId,
+    /// Span id of the sending hop.
+    pub parent: u64,
+}
+
+/// One completed hop of a traced request.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id (unique within the sink).
+    pub span: u64,
+    /// Parent span id, `None` for the root (client) span.
+    pub parent: Option<u64>,
+    /// Service that executed the hop (a URL, or `client:<id>`).
+    pub service: String,
+    /// Operation name, e.g. `gris.search` or `provider:cpu-load`.
+    pub name: String,
+    /// When the hop started.
+    pub start: SimTime,
+    /// When the hop finished.
+    pub end: SimTime,
+    /// Outcome label, e.g. `success`, `partial`, `timeout`, `cache-hit`.
+    pub outcome: String,
+}
+
+/// A shared collector of span records plus the span-id allocator.
+///
+/// One sink is shared across every service of a deployment (and its
+/// clients), so span ids are globally unique and a whole cross-service
+/// trace can be assembled from one place.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    next: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl TraceSink {
+    /// Create an empty sink.
+    pub fn new() -> TraceSink {
+        TraceSink::default()
+    }
+
+    /// Allocate a fresh span id (also used to mint trace ids: the root
+    /// span's id doubles as the trace id).
+    pub fn next_span(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Record a completed span.
+    pub fn record(&self, span: SpanRecord) {
+        self.spans.lock().push(span);
+    }
+
+    /// Copy out every span recorded for `trace`.
+    pub fn spans(&self, trace: TraceId) -> Vec<SpanRecord> {
+        self.spans
+            .lock()
+            .iter()
+            .filter(|s| s.trace == trace)
+            .cloned()
+            .collect()
+    }
+
+    /// Total spans recorded (all traces).
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// True if no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.lock().is_empty()
+    }
+
+    /// Assemble the causal tree for `trace`. Spans whose parent is
+    /// missing from the sink are attached to the root level, so partial
+    /// traces still render.
+    pub fn tree(&self, trace: TraceId) -> TraceTree {
+        TraceTree::build(self.spans(trace))
+    }
+}
+
+/// A causal tree of spans for one trace.
+#[derive(Debug)]
+pub struct TraceTree {
+    /// Top-level spans (roots, plus orphans whose parent was not seen).
+    pub roots: Vec<TraceNode>,
+}
+
+/// One span plus its causal children.
+#[derive(Debug)]
+pub struct TraceNode {
+    /// The span at this node.
+    pub span: SpanRecord,
+    /// Spans whose parent is this span, ordered by start time.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceTree {
+    fn build(mut spans: Vec<SpanRecord>) -> TraceTree {
+        spans.sort_by_key(|s| (s.start, s.span));
+        let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.span).collect();
+        // children[parent] = spans listing that parent
+        let mut children: BTreeMap<u64, Vec<SpanRecord>> = BTreeMap::new();
+        let mut roots = Vec::new();
+        for s in spans {
+            match s.parent {
+                Some(p) if ids.contains(&p) => children.entry(p).or_default().push(s),
+                _ => roots.push(s),
+            }
+        }
+        fn attach(span: SpanRecord, children: &mut BTreeMap<u64, Vec<SpanRecord>>) -> TraceNode {
+            let kids = children.remove(&span.span).unwrap_or_default();
+            TraceNode {
+                span,
+                children: kids.into_iter().map(|k| attach(k, children)).collect(),
+            }
+        }
+        TraceTree {
+            roots: roots
+                .into_iter()
+                .map(|r| attach(r, &mut children))
+                .collect(),
+        }
+    }
+
+    /// Total number of spans in the tree.
+    pub fn len(&self) -> usize {
+        fn count(n: &TraceNode) -> usize {
+            1 + n.children.iter().map(count).sum::<usize>()
+        }
+        self.roots.iter().map(count).sum()
+    }
+
+    /// True if the tree holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Maximum depth of the tree (0 when empty; a lone root is 1).
+    pub fn depth(&self) -> usize {
+        fn d(n: &TraceNode) -> usize {
+            1 + n.children.iter().map(d).max().unwrap_or(0)
+        }
+        self.roots.iter().map(d).max().unwrap_or(0)
+    }
+
+    /// Render the tree as an indented text listing, one span per line:
+    /// `name [service] outcome=... dur=...us`.
+    pub fn render(&self) -> String {
+        fn line(out: &mut String, n: &TraceNode, depth: usize) {
+            let s = &n.span;
+            let dur = s.end.since(s.start).micros();
+            out.push_str(&format!(
+                "{:indent$}{} [{}] outcome={} dur={}us\n",
+                "",
+                s.name,
+                s.service,
+                s.outcome,
+                dur,
+                indent = depth * 2
+            ));
+            for c in &n.children {
+                line(out, c, depth + 1);
+            }
+        }
+        let mut out = String::new();
+        for r in &self.roots {
+            line(&mut out, r, 0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        sink: &TraceSink,
+        trace: TraceId,
+        span: u64,
+        parent: Option<u64>,
+        name: &str,
+        start: u64,
+        end: u64,
+    ) {
+        sink.record(SpanRecord {
+            trace,
+            span,
+            parent,
+            service: "svc".into(),
+            name: name.into(),
+            start: SimTime(start),
+            end: SimTime(end),
+            outcome: "success".into(),
+        });
+    }
+
+    #[test]
+    fn tree_assembly() {
+        let sink = TraceSink::new();
+        let t = TraceId(sink.next_span());
+        let root = t.0;
+        span(&sink, t, root, None, "client.search", 0, 100);
+        let giis = sink.next_span();
+        span(&sink, t, giis, Some(root), "giis.chain", 10, 90);
+        let gris = sink.next_span();
+        span(&sink, t, gris, Some(giis), "gris.search", 20, 80);
+        let prov = sink.next_span();
+        span(&sink, t, prov, Some(gris), "provider:cpu", 30, 70);
+        // unrelated trace is excluded
+        let other = TraceId(sink.next_span());
+        span(&sink, other, other.0, None, "client.search", 0, 5);
+
+        let tree = sink.tree(t);
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.depth(), 4);
+        assert_eq!(tree.roots.len(), 1);
+        let rendered = tree.render();
+        assert!(rendered.contains("client.search"));
+        assert!(rendered.contains("provider:cpu"));
+        assert!(rendered.starts_with("client.search"));
+    }
+
+    #[test]
+    fn orphan_spans_surface_at_root() {
+        let sink = TraceSink::new();
+        let t = TraceId(1);
+        span(&sink, t, 5, Some(99), "gris.search", 0, 10);
+        let tree = sink.tree(t);
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn span_ids_unique_across_threads() {
+        let sink = TraceSink::new();
+        let mut ids: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| (0..100).map(|_| sink.next_span()).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400);
+    }
+}

@@ -7,6 +7,7 @@
 
 use crate::grip::{GripReply, GripRequest, ResultCode, SearchSpec, SubscriptionMode};
 use crate::grrp::{GrrpMessage, Notification};
+use crate::trace::{TraceContext, TraceId};
 use bytes::{BufMut, BytesMut};
 use gis_ldap::codec::{put_str, put_varint, Wire, WireReader};
 use gis_ldap::{Dn, Entry, Filter, LdapError, LdapUrl, Result, Scope};
@@ -22,6 +23,38 @@ pub enum ProtocolMessage {
     Reply(GripReply),
     /// A GRRP notification (provider to directory, or directory inviting).
     Grrp(GrrpMessage),
+    /// A traced frame: any other frame wrapped with the request-scoped
+    /// trace context it travels under. Receivers unwrap the envelope,
+    /// open a span parented on `ctx.parent`, and propagate the context on
+    /// any frames the request fans out into.
+    Traced {
+        /// The trace context accompanying the inner frame.
+        ctx: TraceContext,
+        /// The wrapped frame.
+        inner: Box<ProtocolMessage>,
+    },
+}
+
+impl ProtocolMessage {
+    /// Wrap `self` in a traced envelope (flattening is intentional: a
+    /// re-wrap replaces the context rather than nesting).
+    pub fn traced(self, ctx: TraceContext) -> ProtocolMessage {
+        match self {
+            ProtocolMessage::Traced { inner, .. } => ProtocolMessage::Traced { ctx, inner },
+            other => ProtocolMessage::Traced {
+                ctx,
+                inner: Box::new(other),
+            },
+        }
+    }
+
+    /// Split a frame into its optional trace context and inner message.
+    pub fn untraced(self) -> (Option<TraceContext>, ProtocolMessage) {
+        match self {
+            ProtocolMessage::Traced { ctx, inner } => (Some(ctx), *inner),
+            other => (None, other),
+        }
+    }
 }
 
 // `SimTime`/`SimDuration` are foreign to both this crate and the codec
@@ -270,6 +303,19 @@ impl Wire for GripReply {
     }
 }
 
+impl Wire for TraceContext {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.trace.0);
+        put_varint(buf, self.parent);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<TraceContext> {
+        Ok(TraceContext {
+            trace: TraceId(r.read_varint()?),
+            parent: r.read_varint()?,
+        })
+    }
+}
+
 impl Wire for ProtocolMessage {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
@@ -285,6 +331,11 @@ impl Wire for ProtocolMessage {
                 buf.put_u8(2);
                 m.encode(buf);
             }
+            ProtocolMessage::Traced { ctx, inner } => {
+                buf.put_u8(3);
+                ctx.encode(buf);
+                inner.encode(buf);
+            }
         }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<ProtocolMessage> {
@@ -292,6 +343,17 @@ impl Wire for ProtocolMessage {
             0 => Ok(ProtocolMessage::Request(GripRequest::decode(r)?)),
             1 => Ok(ProtocolMessage::Reply(GripReply::decode(r)?)),
             2 => Ok(ProtocolMessage::Grrp(GrrpMessage::decode(r)?)),
+            3 => {
+                let ctx = TraceContext::decode(r)?;
+                let inner = ProtocolMessage::decode(r)?;
+                if matches!(inner, ProtocolMessage::Traced { .. }) {
+                    return Err(LdapError::Codec("nested traced frame".into()));
+                }
+                Ok(ProtocolMessage::Traced {
+                    ctx,
+                    inner: Box::new(inner),
+                })
+            }
             b => Err(LdapError::Codec(format!("bad frame tag {b}"))),
         }
     }
@@ -407,6 +469,52 @@ mod tests {
         ] {
             roundtrip(code);
         }
+    }
+
+    #[test]
+    fn traced_frame_roundtrips() {
+        let ctx = TraceContext {
+            trace: TraceId(0xdead_beef),
+            parent: 17,
+        };
+        let inner = ProtocolMessage::Request(GripRequest::Search {
+            id: 7,
+            spec: SearchSpec::lookup(Dn::parse("hn=h").unwrap()),
+        });
+        let traced = inner.clone().traced(ctx);
+        roundtrip(traced.clone());
+        // untraced splits back out
+        let (got_ctx, got_inner) = traced.clone().untraced();
+        assert_eq!(got_ctx, Some(ctx));
+        assert_eq!(got_inner, inner);
+        // re-wrapping replaces rather than nests
+        let ctx2 = TraceContext {
+            trace: TraceId(1),
+            parent: 2,
+        };
+        match traced.traced(ctx2) {
+            ProtocolMessage::Traced { ctx, inner } => {
+                assert_eq!(ctx, ctx2);
+                assert!(!matches!(*inner, ProtocolMessage::Traced { .. }));
+            }
+            other => panic!("expected traced frame, got {other:?}"),
+        }
+        // truncations of the traced frame are rejected
+        let bytes = ProtocolMessage::Reply(GripReply::Update {
+            id: 1,
+            entries: vec![],
+        })
+        .traced(ctx)
+        .to_wire();
+        for cut in 0..bytes.len() {
+            assert!(ProtocolMessage::from_wire(&bytes[..cut]).is_err());
+        }
+        // nested traced frames rejected on decode
+        let mut nested = BytesMut::new();
+        nested.put_u8(3);
+        ctx.encode(&mut nested);
+        nested.put_slice(&bytes); // bytes is itself a tag-3 frame
+        assert!(ProtocolMessage::from_wire(&nested).is_err());
     }
 
     #[test]

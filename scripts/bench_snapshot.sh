@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Runs the query-path benchmarks and collects their criterion estimates
-# plus the live-runtime throughput sweep into a single JSON snapshot
-# (BENCH_PR3.json by default) for before/after comparison. Criterion
-# mean estimates are in nanoseconds; live-runtime rows carry qps and
-# p50/p99 latency in microseconds per worker count.
+# plus the live-runtime throughput sweep and the observability-overhead
+# A/B into a single JSON snapshot (BENCH_PR4.json by default) for
+# before/after comparison. Criterion mean estimates are in nanoseconds;
+# live-runtime rows carry qps and p50/p99 latency in microseconds per
+# worker count; the observability block carries the instrumented vs
+# baseline throughput and overhead percentage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
 LIVE_JSON="$(mktemp)"
-trap 'rm -f "$LIVE_JSON"' EXIT
+OBS_JSON="$(mktemp)"
+trap 'rm -f "$LIVE_JSON" "$OBS_JSON"' EXIT
 
 for bench in bench_dit bench_filter bench_softstate; do
     echo "==> cargo bench --bench $bench"
@@ -20,8 +23,12 @@ echo "==> exp_live_throughput (worker sweep)"
 cargo build --release --offline -p gis-bench --bin exp_live_throughput
 ./target/release/exp_live_throughput --json "$LIVE_JSON" >/dev/null
 
+echo "==> exp_observability (instrumentation overhead A/B)"
+cargo build --release --offline -p gis-bench --bin exp_observability
+./target/release/exp_observability --json "$OBS_JSON" >/dev/null
+
 echo "==> harvesting estimates into $OUT"
-python3 - "$OUT" "$LIVE_JSON" <<'EOF'
+python3 - "$OUT" "$LIVE_JSON" "$OBS_JSON" <<'EOF'
 import json, os, sys
 
 root = "target/criterion"
@@ -60,6 +67,8 @@ if s100 and s10k:
 
 with open(sys.argv[2]) as f:
     live = json.load(f)
+with open(sys.argv[3]) as f:
+    obs = json.load(f)
 
 # Worker-scaling headlines: pooled throughput relative to one worker,
 # and 1-worker tail latency relative to the single-threaded owner loop.
@@ -76,11 +85,17 @@ if 0 in by_workers and 1 in by_workers:
     derived["live_p99_1_worker_over_owner_loop"] = round(
         by_workers[1]["p99_us"] / by_workers[0]["p99_us"], 2
     )
+derived["observability_overhead_pct"] = obs["overhead_pct"]
 
 out = sys.argv[1]
 with open(out, "w") as f:
     json.dump(
-        {"benchmarks": snapshot, "derived": derived, "live_runtime": live},
+        {
+            "benchmarks": snapshot,
+            "derived": derived,
+            "live_runtime": live,
+            "observability": obs,
+        },
         f,
         indent=2,
         sort_keys=True,

@@ -17,6 +17,10 @@ cargo build --release --offline --workspace
 echo "==> cargo test (workspace)"
 cargo test -q --offline --workspace
 
+echo "==> exp_observability --smoke (instrumentation overhead gate)"
+cargo build --release --offline -p gis-bench --bin exp_observability
+./target/release/exp_observability --smoke
+
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --offline --workspace -- -D warnings
 

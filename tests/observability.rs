@@ -1,0 +1,369 @@
+//! PR 4 integration coverage: end-to-end subscriptions under churn with a
+//! serialized oracle replay, pooled-runtime metrics invariants under
+//! seeded faults, and the observability acceptance criteria (a plain GRIP
+//! search of the monitoring namespace, and a traced query's causal tree).
+
+use grid_info_services::core::actors::ClientActor;
+use grid_info_services::core::{LiveRuntime, ServiceFault, SimDeployment};
+use grid_info_services::giis::{BreakerConfig, Giis, GiisConfig, GiisMode};
+use grid_info_services::gris::{DynamicHostProvider, HostSpec};
+use grid_info_services::ldap::{Dn, Filter, LdapUrl};
+use grid_info_services::netsim::{secs, SimDuration};
+use grid_info_services::proto::metrics::monitoring_base;
+use grid_info_services::proto::{GripRequest, ResultCode, SearchSpec, SubscriptionMode};
+use std::time::Duration;
+
+fn computers() -> SearchSpec {
+    SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap())
+}
+
+/// One full run of the churn scenario: a subscriber watches a host GRIS
+/// while the deployment goes through provider failure, a partition that
+/// expires soft state and opens the VO directory's circuit breaker, and a
+/// heal that closes it again. Returns the subscriber's complete reply
+/// stream, serialized, so two same-seed runs can be compared byte for
+/// byte (the "oracle replay" of the update channel).
+fn churn_scenario(seed: u64) -> Vec<String> {
+    let mut dep = SimDeployment::new(seed);
+
+    let vo_url = LdapUrl::server("giis.vo");
+    let mut config = GiisConfig::chaining(vo_url.clone(), Dn::root());
+    config.mode = GiisMode::Chain { timeout: secs(2) };
+    config.breaker = Some(BreakerConfig {
+        failure_threshold: 2,
+        cooldown: secs(20),
+        retry: true,
+    });
+    let vo = dep.add_giis(Giis::new(config, secs(30), secs(90)));
+
+    // s0 keeps the default slow agent (TTL 90s): it survives the
+    // partition registered, so the breaker gets a full open -> half-open
+    // -> closed cycle against it. s1 refreshes fast (TTL 30s) and is the
+    // soft-state-expiry victim.
+    let (g0, g0_url) = dep.add_standard_host(
+        &HostSpec::linux("s0", 2),
+        seed.wrapping_add(1),
+        std::slice::from_ref(&vo_url),
+    );
+    let (g1, _) = dep.add_standard_host(
+        &HostSpec::linux("s1", 4),
+        seed.wrapping_add(2),
+        std::slice::from_ref(&vo_url),
+    );
+    dep.gris_mut(g1).agent.interval = secs(10);
+    dep.gris_mut(g1).agent.ttl = secs(30);
+
+    let subscriber = dep.add_client("subscriber");
+    let prober = dep.add_client("prober");
+    dep.run_for(secs(3));
+
+    // Subscribe to everything under s0, delivered every 5 seconds.
+    let spec = SearchSpec::subtree(Dn::parse("hn=s0").unwrap(), Filter::always());
+    let sub_id = dep.sim.invoke::<ClientActor, _>(subscriber, |c, ctx| {
+        c.request(ctx, &g0_url, |id| GripRequest::Subscribe {
+            id,
+            spec,
+            mode: SubscriptionMode::Periodic(secs(5)),
+        })
+    });
+    let updates = |dep: &SimDeployment| dep.client(subscriber).updates(sub_id).len();
+
+    // Phase 1: steady state. A few periodic deliveries arrive.
+    dep.run_for(secs(12));
+    let after_steady = updates(&dep);
+    assert!(after_steady >= 2, "periodic updates flow: {after_steady}");
+
+    // Phase 2: provider churn. The dynamic-load provider on s0 starts
+    // failing; deliveries must keep coming regardless.
+    dep.gris_mut(g0)
+        .provider_mut::<DynamicHostProvider>("dynamic-host:s0")
+        .expect("standard host carries the dynamic provider")
+        .fail = true;
+    // Long enough for the provider's 30s cache TTL to lapse, forcing
+    // fresh (failing) fetches while deliveries continue.
+    dep.run_for(secs(35));
+    let during_churn = updates(&dep);
+    assert!(
+        during_churn > after_steady,
+        "subscription survives provider failure: {during_churn} vs {after_steady}"
+    );
+    assert!(
+        dep.gris(g0).stats().provider_failures > 0,
+        "the failing provider was actually consulted"
+    );
+    dep.gris_mut(g0)
+        .provider_mut::<DynamicHostProvider>("dynamic-host:s0")
+        .unwrap()
+        .fail = false;
+    dep.run_for(secs(6));
+
+    // Phase 3: partition both hosts away from the VO directory. Two
+    // chained probes time out per child, opening the breaker; s1's
+    // registration then expires (TTL 30s with refreshes unable to cross).
+    dep.sim.partition_between(&[g0, g1], &[vo]);
+    for _ in 0..2 {
+        let (code, _, _) = dep
+            .search_and_wait(prober, &vo_url, computers(), secs(10))
+            .expect("partial result within the chain deadline");
+        assert_eq!(code, ResultCode::PartialResults, "children unreachable");
+    }
+    assert!(dep.giis(vo).stats().breaker_opens >= 1, "circuit opened");
+    dep.run_for(secs(35));
+    assert!(
+        dep.giis(vo).stats().expirations >= 1,
+        "s1 soft state expired"
+    );
+    let during_partition = updates(&dep);
+    assert!(
+        during_partition > during_churn,
+        "subscriber and GRIS are on the same side: updates continue"
+    );
+
+    // Phase 4: heal. s1 re-registers, the cooldown has passed, and the
+    // next searches drive the half-open probe that closes s0's circuit.
+    dep.sim.heal_all();
+    dep.run_for(secs(12));
+    let _ = dep.search_and_wait(prober, &vo_url, computers(), secs(10));
+    dep.run_for(secs(2));
+    let (code, entries, _) = dep
+        .search_and_wait(prober, &vo_url, computers(), secs(10))
+        .expect("post-heal search completes");
+    assert_eq!(code, ResultCode::Success);
+    assert_eq!(entries.len(), 2, "both hosts visible again");
+    let stats = dep.giis(vo).stats();
+    assert!(stats.breaker_probes >= 1, "half-open probe issued");
+    assert!(stats.breaker_closes >= 1, "circuit closed after the probe");
+    dep.run_for(secs(6));
+
+    // The oracle: every reply the subscriber ever received, serialized
+    // with its arrival time.
+    dep.client(subscriber)
+        .replies
+        .get(&sub_id)
+        .expect("subscription produced replies")
+        .iter()
+        .map(|(at, reply)| format!("{at:?} {reply:?}"))
+        .collect()
+}
+
+#[test]
+fn subscription_survives_churn_and_matches_oracle_replay() {
+    let first = churn_scenario(42);
+    let second = churn_scenario(42);
+    assert!(!first.is_empty());
+    assert_eq!(
+        first, second,
+        "same seed replays the identical update stream"
+    );
+    // Different seeds shift latencies, so the streams' timestamps differ;
+    // only same-seed equality is the oracle.
+}
+
+fn fast_host_gris(name: &str, seed: u64, dir: &LdapUrl) -> grid_info_services::gris::Gris {
+    let host = HostSpec::linux(name, 2);
+    let mut gris = SimDeployment::standard_host_gris(&host, seed);
+    gris.agent.interval = SimDuration::from_millis(100);
+    gris.agent.ttl = SimDuration::from_millis(600);
+    gris.agent.add_target(dir.clone());
+    gris
+}
+
+/// PR 3's concurrency oracle, extended to the pooled runtime with metrics:
+/// four query workers answer from the harvest cache while seeded drop
+/// faults chew on the provider links; every search must still succeed and
+/// the quiesced counters must satisfy the accounting identities that the
+/// coherent-snapshot discipline guarantees.
+#[test]
+fn pooled_giis_under_faults_holds_metrics_invariants() {
+    let mut rt = LiveRuntime::new(Duration::from_millis(10));
+    let giis_url = LdapUrl::server("giis.vo");
+    let mut giis = Giis::new(
+        GiisConfig::chaining(giis_url.clone(), Dn::root()),
+        SimDuration::from_millis(100),
+        SimDuration::from_millis(400),
+    );
+    giis.config.mode = GiisMode::Harvest {
+        refresh: SimDuration::from_millis(150),
+    };
+    // Grab the shared query path BEFORE spawning: its stats Arc stays
+    // readable after the runtime shuts down.
+    let path = giis.query_path();
+    rt.spawn_giis_pooled(giis, 4);
+
+    let mut gris_urls = Vec::new();
+    for (i, name) in ["n1", "n2"].iter().enumerate() {
+        let gris = fast_host_gris(name, i as u64, &giis_url);
+        gris_urls.push(gris.config.url.clone());
+        rt.spawn_gris(gris);
+    }
+    rt.set_fault_seed(7);
+    for url in &gris_urls {
+        rt.set_fault(
+            url,
+            ServiceFault {
+                drop: 0.35,
+                latency: Duration::ZERO,
+                paused: false,
+            },
+        );
+    }
+    std::thread::sleep(Duration::from_millis(800));
+
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let mut client = rt.client();
+        let target = giis_url.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut ok = 0u64;
+            for _ in 0..25 {
+                if let Some((code, _, _)) =
+                    client.search(&target, computers(), Duration::from_secs(5))
+                {
+                    if code == ResultCode::Success {
+                        ok += 1;
+                    }
+                }
+            }
+            ok
+        }));
+    }
+    let ok: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(
+        ok, 100,
+        "harvest-mode reads never fail, even with lossy provider links"
+    );
+
+    // One monitoring query through the same pooled path.
+    let mut client = rt.client();
+    let (code, entries, _) = client
+        .search(
+            &giis_url,
+            SearchSpec::subtree(monitoring_base(), Filter::always()),
+            Duration::from_secs(5),
+        )
+        .expect("monitoring reply");
+    assert_eq!(code, ResultCode::Success);
+    assert!(
+        entries
+            .iter()
+            .any(|e| e.get_str("service-type") == Some("giis")),
+        "the service exports itself under the monitoring namespace"
+    );
+    rt.shutdown();
+
+    // Quiesced accounting identities over the shared stats.
+    let s = path.stats();
+    assert_eq!(s.searches, 101, "every issued search counted exactly once");
+    assert_eq!(
+        s.local_answers + s.monitoring_queries,
+        s.searches,
+        "harvest mode answers everything locally or as monitoring"
+    );
+    assert_eq!(s.monitoring_queries, 1);
+    assert_eq!(
+        s.result_cache_hits, 0,
+        "harvest mode never uses the chain cache"
+    );
+    assert!(s.harvests >= 1, "the refresh timer kept harvesting");
+}
+
+/// The PR's acceptance criteria, live: a traced query yields a complete
+/// causal span tree across a GIIS -> GRIS chained hop, and a plain GRIP
+/// search of `Mds-Vo-name=monitoring` returns live histograms, breaker
+/// states and cache ratios from every service in the deployment.
+#[test]
+fn live_trace_and_monitoring_acceptance() {
+    let mut rt = LiveRuntime::new(Duration::from_millis(10));
+    let giis_url = LdapUrl::server("giis.vo");
+    let mut giis = Giis::new(
+        GiisConfig::chaining(giis_url.clone(), Dn::root()),
+        SimDuration::from_millis(100),
+        SimDuration::from_millis(600),
+    );
+    giis.config.mode = GiisMode::Chain {
+        timeout: SimDuration::from_millis(500),
+    };
+    giis.config.monitoring_refresh = SimDuration::from_millis(50);
+    rt.spawn_giis_pooled(giis, 2);
+    for (i, name) in ["n1", "n2"].iter().enumerate() {
+        let mut gris = fast_host_gris(name, i as u64, &giis_url);
+        gris.config.monitoring_refresh = SimDuration::from_millis(50);
+        rt.spawn_gris_pooled(gris, 2);
+    }
+    std::thread::sleep(Duration::from_millis(400));
+
+    // A traced chained search: client -> giis.search -> chain leg ->
+    // gris.search, all under one trace id.
+    let mut client = rt.client();
+    let (trace, result) = client.search_traced(&giis_url, computers(), Duration::from_secs(5));
+    let (code, entries, _) = result.expect("traced search completes");
+    assert_eq!(code, ResultCode::Success);
+    assert_eq!(entries.len(), 2);
+    let tree = rt.trace_sink().tree(trace);
+    let rendered = tree.render();
+    assert!(
+        tree.depth() >= 4,
+        "client -> giis -> chain leg -> gris spans:\n{rendered}"
+    );
+    for expected in [
+        "client.search",
+        "giis.search",
+        "chain:ldap://",
+        "gris.search",
+    ] {
+        assert!(
+            rendered.contains(expected),
+            "missing {expected}:\n{rendered}"
+        );
+    }
+
+    // Give the soft-state monitoring cells a beat to absorb the traffic
+    // above, then discover the whole deployment's health with one plain
+    // GRIP search — no bespoke metrics endpoint.
+    std::thread::sleep(Duration::from_millis(150));
+    let (code, entries, _) = client
+        .search(
+            &giis_url,
+            SearchSpec::subtree(monitoring_base(), Filter::always()),
+            Duration::from_secs(5),
+        )
+        .expect("monitoring search completes");
+    assert_eq!(code, ResultCode::Success);
+    let giis_service = entries
+        .iter()
+        .find(|e| e.get_str("service-type") == Some("giis"))
+        .expect("GIIS exports an mds-service entry");
+    assert!(giis_service.has("searches"), "query counters exported");
+    let gris_services: Vec<_> = entries
+        .iter()
+        .filter(|e| e.get_str("service-type") == Some("gris"))
+        .collect();
+    assert_eq!(
+        gris_services.len(),
+        2,
+        "chained GRIS monitoring is merged in"
+    );
+    assert!(
+        gris_services.iter().all(|e| e.has("cache-hit-ratio")),
+        "cache ratios visible for every GRIS"
+    );
+    assert!(
+        entries
+            .iter()
+            .any(|e| e.has_class("mds-child") && e.get_str("circuit") == Some("closed")),
+        "breaker state per child is visible"
+    );
+    assert!(
+        entries
+            .iter()
+            .any(|e| e.has_class("mds-provider") && e.has("fetch-p50-us")),
+        "per-provider fetch latency histograms are visible"
+    );
+    assert!(
+        entries
+            .iter()
+            .any(|e| e.has_class("mds-metric") && e.has("p99-us")),
+        "registry histograms export tail quantiles"
+    );
+    rt.shutdown();
+}

@@ -167,6 +167,23 @@ pub mod channel {
             }
         }
 
+        /// Number of messages currently queued (crossbeam's
+        /// `Receiver::len`; a point-in-time reading, instantly stale
+        /// under concurrent senders).
+        pub fn len(&self) -> usize {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .len()
+        }
+
+        /// True when no messages are queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
