@@ -24,7 +24,7 @@
 //!     return to complete.
 
 use gis_bench::{banner, f2, section, Table};
-use gis_core::{LiveRuntime, RetryPolicy, ServiceFault};
+use gis_core::{LiveRuntime, RetryPolicy, ServeOptions, ServiceFault};
 use gis_giis::{BreakerConfig, Giis, GiisConfig, GiisMode};
 use gis_gris::{Gris, GrisConfig, InfoProvider, ProviderError};
 use gis_ldap::{Dn, Entry, Filter, LdapUrl};
@@ -111,11 +111,15 @@ fn deploy(hardened: bool) -> Deployment {
             retry: true,
         });
     }
-    rt.spawn_giis(Giis::new(
-        config,
-        SimDuration::from_millis(200),
-        SimDuration::from_millis(800),
-    ));
+    rt.spawn_giis(
+        Giis::new(
+            config,
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(800),
+        ),
+        ServeOptions::default(),
+    )
+    .unwrap();
 
     let provider_fail = Arc::new(AtomicBool::new(false));
     let mut host_urls = Vec::new();
@@ -139,7 +143,7 @@ fn deploy(hardened: bool) -> Deployment {
         };
         gris.add_provider(Box::new(FlakyHostProvider::new(&host, fail)));
         gris.agent.add_target(vo_url.clone());
-        rt.spawn_gris(gris);
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
         host_urls.push(url);
     }
     // Host 0 is the crash victim.
@@ -214,18 +218,22 @@ fn measure(dep: &Deployment, hardened: bool) -> Phase {
     for _ in 0..QUERIES_PER_PHASE {
         let t0 = Instant::now();
         let result = if hardened {
-            client.search_with_retry(
-                &dep.vo_url,
-                &spec,
-                RetryPolicy {
+            client
+                .request(&dep.vo_url, spec.clone())
+                .retry(RetryPolicy {
                     attempt_timeout: Duration::from_millis(700),
                     max_attempts: 4,
                     base_backoff: Duration::from_millis(30),
                     max_backoff: Duration::from_millis(250),
-                },
-            )
+                })
+                .send()
+                .outcome
         } else {
-            client.search(&dep.vo_url, spec.clone(), Duration::from_millis(700))
+            client
+                .request(&dep.vo_url, spec.clone())
+                .timeout(Duration::from_millis(700))
+                .send()
+                .outcome
         };
         if let Some((code, entries, _)) = result {
             phase.answered += 1;

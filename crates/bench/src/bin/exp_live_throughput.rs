@@ -26,7 +26,7 @@
 //! benchmark snapshot script.
 
 use gis_bench::{banner, f2, section, Table};
-use gis_core::{LiveRuntime, SimDeployment};
+use gis_core::{LiveRuntime, ServeOptions, SimDeployment};
 use gis_giis::{Giis, GiisConfig, GiisMode};
 use gis_gris::{Gris, GrisConfig, HostSpec, InfoProvider, ProviderError};
 use gis_ldap::{Dn, Entry, Filter, LdapUrl};
@@ -137,7 +137,10 @@ fn drive(rt: &LiveRuntime, target: &LdapUrl, threads: usize, specs: &[SearchSpec
             for _ in 0..QUERIES_PER_CLIENT {
                 let t0 = Instant::now();
                 if client
-                    .search(&target, spec.clone(), Duration::from_secs(10))
+                    .request(&target, spec.clone())
+                    .timeout(Duration::from_secs(10))
+                    .send()
+                    .outcome
                     .is_some()
                 {
                     ok += 1;
@@ -184,7 +187,8 @@ fn run_worker_config(workers: usize) -> Run {
             Duration::from_millis(PROBE_MS),
         )));
     }
-    rt.spawn_gris_pooled(gris, workers);
+    rt.spawn_gris(gris, ServeOptions::default().with_workers(workers))
+        .unwrap();
     let specs: Vec<SearchSpec> = (0..PROBE_COUNT)
         .map(|site| {
             SearchSpec::subtree(
@@ -196,7 +200,10 @@ fn run_worker_config(workers: usize) -> Run {
     // One query outside the measured window so the service thread (and
     // any workers) are demonstrably up before timing starts.
     let mut warm = rt.client();
-    warm.search(&url, specs[0].clone(), Duration::from_secs(10))
+    warm.request(&url, specs[0].clone())
+        .timeout(Duration::from_secs(10))
+        .send()
+        .outcome
         .expect("warmup query");
     let run = drive(&rt, &url, SWEEP_CLIENTS, &specs);
     rt.shutdown();
@@ -261,7 +268,7 @@ fn main() {
     giis.config.mode = GiisMode::Chain {
         timeout: SimDuration::from_millis(1000),
     };
-    rt.spawn_giis(giis);
+    rt.spawn_giis(giis, ServeOptions::default()).unwrap();
     let mut gris0_url = None;
     for i in 0..4 {
         let host = HostSpec::linux(&format!("live{i}"), 2);
@@ -272,7 +279,7 @@ fn main() {
         if i == 0 {
             gris0_url = Some(gris.config.url.clone());
         }
-        rt.spawn_gris(gris);
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
     }
     let gris0_url = gris0_url.expect("gris0");
     std::thread::sleep(Duration::from_millis(600));
@@ -332,8 +339,9 @@ fn main() {
         "\nWorker-pool sweep: one GRIS over {PROBE_COUNT} non-cacheable probe\n\
          providers ({PROBE_ENTRIES} entries each, {PROBE_MS} ms per invocation —\n\
          the external information-provider program), {SWEEP_CLIENTS} client\n\
-         threads each querying its own site subtree, spawn_gris_pooled with\n\
-         N query workers (0 = the single-threaded owner loop).\n"
+         threads each querying its own site subtree, spawn_gris with a\n\
+         ServeOptions pool of N query workers (0 = the single-threaded\n\
+         owner loop).\n"
     );
     let mut wtable = Table::new(&[
         "query workers",

@@ -22,7 +22,7 @@
 //! the benchmark snapshot script.
 
 use gis_bench::{banner, f2, section, Table};
-use gis_core::{LiveRuntime, SimDeployment};
+use gis_core::{LiveRuntime, ServeOptions, SimDeployment};
 use gis_giis::{Giis, GiisConfig, GiisMode};
 use gis_gris::{Gris, GrisConfig, InfoProvider, ProviderError};
 use gis_ldap::{Dn, Entry, Filter, LdapUrl};
@@ -110,7 +110,8 @@ fn measure(observability: bool) -> f64 {
     for site in 0..PROBE_COUNT {
         gris.add_provider(Box::new(ProbeProvider::new(site)));
     }
-    rt.spawn_gris_pooled(gris, WORKERS);
+    rt.spawn_gris(gris, ServeOptions::default().with_workers(WORKERS))
+        .unwrap();
 
     let specs: Vec<SearchSpec> = (0..PROBE_COUNT)
         .map(|site| {
@@ -121,7 +122,10 @@ fn measure(observability: bool) -> f64 {
         })
         .collect();
     let mut warm = rt.client();
-    warm.search(&url, specs[0].clone(), Duration::from_secs(10))
+    warm.request(&url, specs[0].clone())
+        .timeout(Duration::from_secs(10))
+        .send()
+        .outcome
         .expect("warmup query");
 
     let start = Instant::now();
@@ -134,7 +138,10 @@ fn measure(observability: bool) -> f64 {
             let mut ok = 0usize;
             for _ in 0..QUERIES_PER_CLIENT {
                 if client
-                    .search(&target, spec.clone(), Duration::from_secs(10))
+                    .request(&target, spec.clone())
+                    .timeout(Duration::from_secs(10))
+                    .send()
+                    .outcome
                     .is_some()
                 {
                     ok += 1;
@@ -173,7 +180,8 @@ fn demo() -> (String, Vec<Entry>) {
         timeout: SimDuration::from_millis(500),
     };
     giis.config.monitoring_refresh = SimDuration::from_millis(50);
-    rt.spawn_giis_pooled(giis, 2);
+    rt.spawn_giis(giis, ServeOptions::default().with_workers(2))
+        .unwrap();
     for (i, name) in ["obs1", "obs2"].iter().enumerate() {
         let host = gis_gris::HostSpec::linux(name, 2);
         let mut gris = SimDeployment::standard_host_gris(&host, i as u64);
@@ -181,7 +189,8 @@ fn demo() -> (String, Vec<Entry>) {
         gris.agent.ttl = SimDuration::from_millis(600);
         gris.agent.add_target(giis_url.clone());
         gris.config.monitoring_refresh = SimDuration::from_millis(50);
-        rt.spawn_gris_pooled(gris, 2);
+        rt.spawn_gris(gris, ServeOptions::default().with_workers(2))
+            .unwrap();
     }
     std::thread::sleep(Duration::from_millis(400));
 
@@ -190,17 +199,24 @@ fn demo() -> (String, Vec<Entry>) {
         Dn::root(),
         Filter::parse("(objectclass=computer)").expect("filter"),
     );
-    let (trace, result) = client.search_traced(&giis_url, spec, Duration::from_secs(5));
-    result.expect("traced query completes");
+    let response = client
+        .request(&giis_url, spec)
+        .traced()
+        .timeout(Duration::from_secs(5))
+        .send();
+    let trace = response.trace.expect("traced request mints a trace id");
+    response.outcome.expect("traced query completes");
     std::thread::sleep(Duration::from_millis(150));
     let rendered = rt.trace_sink().tree(trace).render();
 
     let (_, entries, _) = client
-        .search(
+        .request(
             &giis_url,
             SearchSpec::subtree(monitoring_base(), Filter::always()),
-            Duration::from_secs(5),
         )
+        .timeout(Duration::from_secs(5))
+        .send()
+        .outcome
         .expect("monitoring search completes");
     rt.shutdown();
     (rendered, entries)

@@ -1,0 +1,316 @@
+//! TCP — in-process channels vs the real TCP wire on loopback.
+//!
+//! PR 5's transport abstraction claims the socket front-end changes
+//! *where* frames travel, not *what* the services do: the same GRIS and
+//! GIIS engines answer the same queries whether the client shares their
+//! process or sits across a socket. This experiment quantifies the
+//! price of the wire on one machine, with no simulated network in the
+//! way:
+//!
+//! * **channel** — the PR 2 shape: clients reach services over the
+//!   in-process router (crossbeam channels), zero serialization.
+//! * **tcp loopback** — the same topology fronted by TCP listeners on
+//!   `127.0.0.1`; every request and reply is a length-prefixed
+//!   `ProtocolMessage` frame through the kernel's loopback stack, and
+//!   each client holds one persistent connection.
+//!
+//! Two workloads per transport: direct GRIS lookups (one hop, smallest
+//! frames) and chained VO discovery through the GIIS (the GIIS↔GRIS
+//! legs also ride the measured transport, pooled outbound connections).
+//!
+//! `--json PATH` dumps the rows for `scripts/bench_snapshot.sh`;
+//! `--smoke` shrinks the run for CI.
+
+use gis_bench::{banner, f2, section, Table};
+use gis_core::{LiveClient, LiveRuntime, ServeOptions, SimDeployment};
+use gis_giis::{Giis, GiisConfig, GiisMode};
+use gis_ldap::{Dn, Filter, LdapUrl};
+use gis_netsim::SimDuration;
+use gis_proto::SearchSpec;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// Loopback hops per measured configuration.
+const QUERIES_PER_CLIENT: usize = 400;
+const SMOKE_QUERIES: usize = 40;
+const CLIENTS: usize = 4;
+const GRIS_COUNT: usize = 2;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct Run {
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    ok: usize,
+    total: usize,
+}
+
+struct JsonRow {
+    transport: &'static str,
+    workload: &'static str,
+    run: Run,
+}
+
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+/// A chaining GIIS plus `GRIS_COUNT` static-host GRIS. `ports` empty =
+/// channel transport; otherwise one port per service (GIIS first).
+fn build(ports: &[u16]) -> (LiveRuntime, LdapUrl, LdapUrl) {
+    let tcp = !ports.is_empty();
+    let mut rt = LiveRuntime::new(Duration::from_millis(5));
+    let vo_url = if tcp {
+        LdapUrl::tcp("127.0.0.1", ports[0])
+    } else {
+        LdapUrl::server("giis.loopback")
+    };
+    let opts = if tcp {
+        ServeOptions::tcp()
+    } else {
+        ServeOptions::channel()
+    };
+    let mut giis = Giis::new(
+        GiisConfig::chaining(vo_url.clone(), Dn::root()),
+        SimDuration::from_millis(200),
+        SimDuration::from_secs(5),
+    );
+    giis.config.mode = GiisMode::Chain {
+        timeout: SimDuration::from_millis(1000),
+    };
+    rt.spawn_giis(giis, opts).expect("spawn giis");
+    let mut gris0_url = None;
+    for i in 0..GRIS_COUNT {
+        let host = gis_gris::HostSpec::linux(&format!("lb{i}"), 2);
+        let mut gris = SimDeployment::standard_host_gris(&host, i as u64);
+        if tcp {
+            // Rebind both the serving URL and the URL the registration
+            // agent advertises: the agent snapshots config.url at
+            // construction, and a stale ldap:// advert would make the
+            // GIIS chain into the void.
+            gris.config.url = LdapUrl::tcp("127.0.0.1", ports[i + 1]);
+            gris.agent.service_url = gris.config.url.clone();
+        }
+        gris.agent.interval = SimDuration::from_millis(200);
+        gris.agent.ttl = SimDuration::from_secs(5);
+        gris.agent.add_target(vo_url.clone());
+        if i == 0 {
+            gris0_url = Some(gris.config.url.clone());
+        }
+        rt.spawn_gris(gris, opts).expect("spawn gris");
+    }
+    (rt, vo_url, gris0_url.expect("gris0"))
+}
+
+/// Wait until the VO view has every host (registrations done).
+fn warm(client: &mut LiveClient, vo: &LdapUrl) {
+    let spec = SearchSpec::subtree(
+        Dn::root(),
+        Filter::parse("(objectclass=computer)").expect("filter"),
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let outcome = client
+            .request(vo, spec.clone())
+            .timeout(Duration::from_secs(2))
+            .send()
+            .outcome;
+        if let Some((_, entries, _)) = &outcome {
+            if entries.len() >= GRIS_COUNT {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "topology never converged; last outcome: {outcome:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// One thread per pre-minted client (its own TCP connection when
+/// remote), hammering `target` with `spec`.
+fn drive(clients: Vec<LiveClient>, target: &LdapUrl, spec: &SearchSpec, queries: usize) -> Run {
+    let total = clients.len() * queries;
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for mut client in clients {
+        let target = target.clone();
+        let spec = spec.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut lats = Vec::with_capacity(queries);
+            let mut ok = 0;
+            for _ in 0..queries {
+                let t0 = Instant::now();
+                let outcome = client
+                    .request(&target, spec.clone())
+                    .timeout(Duration::from_secs(10))
+                    .send()
+                    .outcome;
+                if outcome.is_some() {
+                    ok += 1;
+                    lats.push(t0.elapsed().as_secs_f64() * 1e6);
+                }
+            }
+            (ok, lats)
+        }));
+    }
+    let mut lats = Vec::new();
+    let mut ok = 0;
+    for h in handles {
+        let (o, l) = h.join().expect("client thread");
+        ok += o;
+        lats.extend(l);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Run {
+        qps: ok as f64 / elapsed,
+        p50_us: percentile(&lats, 0.50),
+        p99_us: percentile(&lats, 0.99),
+        ok,
+        total,
+    }
+}
+
+fn measure(
+    transport: &'static str,
+    queries: usize,
+    table: &mut Table,
+    json_rows: &mut Vec<JsonRow>,
+) {
+    let tcp = transport == "tcp";
+    let ports: Vec<u16> = if tcp {
+        (0..=GRIS_COUNT).map(|_| free_port()).collect()
+    } else {
+        Vec::new()
+    };
+    let (rt, vo_url, gris0_url) = build(&ports);
+
+    let lookup_spec = SearchSpec::lookup(Dn::parse("hn=lb0").expect("dn"));
+    let chained_spec = SearchSpec::subtree(
+        Dn::root(),
+        Filter::parse("(objectclass=computer)").expect("filter"),
+    );
+    // A TCP client is pinned to its connected endpoint, so each
+    // workload dials the service it measures.
+    let mint = |url: &LdapUrl| -> LiveClient {
+        if tcp {
+            LiveClient::connect_tcp(url).expect("connect")
+        } else {
+            rt.client()
+        }
+    };
+    let mut warm_client = mint(&vo_url);
+    warm(&mut warm_client, &vo_url);
+    for (workload, target, spec) in [
+        ("direct_lookup", &gris0_url, &lookup_spec),
+        ("chained_discovery", &vo_url, &chained_spec),
+    ] {
+        let clients: Vec<LiveClient> = (0..CLIENTS).map(|_| mint(target)).collect();
+        let r = drive(clients, target, spec, queries);
+        table.row(vec![
+            transport.into(),
+            workload.into(),
+            f2(r.qps),
+            f2(r.p50_us),
+            f2(r.p99_us),
+            format!("{}/{}", r.ok, r.total),
+        ]);
+        json_rows.push(JsonRow {
+            transport,
+            workload,
+            run: r,
+        });
+    }
+    rt.shutdown();
+}
+
+fn write_json(path: &str, queries: usize, rows: &[JsonRow]) {
+    let mut body = String::from("{\n  \"clients\": ");
+    body.push_str(&CLIENTS.to_string());
+    body.push_str(",\n  \"queries_per_client\": ");
+    body.push_str(&queries.to_string());
+    body.push_str(",\n  \"gris_count\": ");
+    body.push_str(&GRIS_COUNT.to_string());
+    body.push_str(",\n  \"runs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"workload\": \"{}\", \"qps\": {:.2}, \
+             \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"ok\": {}, \"total\": {}}}{}\n",
+            row.transport,
+            row.workload,
+            row.run.qps,
+            row.run.p50_us,
+            row.run.p99_us,
+            row.run.ok,
+            row.run.total,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body).expect("write json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let queries = if smoke {
+        SMOKE_QUERIES
+    } else {
+        QUERIES_PER_CLIENT
+    };
+
+    banner(
+        "TCP",
+        "in-process channels vs the real TCP wire on loopback",
+        "the transport abstraction's cost: same engines, frames through the kernel",
+    );
+    println!(
+        "{GRIS_COUNT} GRIS + 1 chaining GIIS; {CLIENTS} client threads x {queries} queries\n\
+         per configuration. tcp rows: every hop (client->service and\n\
+         GIIS->GRIS chaining) is a framed ProtocolMessage over 127.0.0.1.\n"
+    );
+
+    let mut table = Table::new(&[
+        "transport",
+        "workload",
+        "throughput (q/s)",
+        "p50 (us)",
+        "p99 (us)",
+        "ok",
+    ]);
+    let mut json_rows = Vec::new();
+    measure("channel", queries, &mut table, &mut json_rows);
+    measure("tcp", queries, &mut table, &mut json_rows);
+
+    section("results: loopback wire tax (wall-clock, this machine)");
+    table.print();
+    println!(
+        "\nexpected shape: tcp rows trail channel rows by the serialization +\n\
+         syscall cost per hop — a constant tax visible in p50, amplified for\n\
+         chained discovery where the GIIS pays it once more per child. All\n\
+         queries complete on both transports."
+    );
+
+    if let Some(path) = json_path {
+        write_json(&path, queries, &json_rows);
+        println!("\njson written to {path}");
+    }
+}

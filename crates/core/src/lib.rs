@@ -9,7 +9,10 @@
 //! * [`scenario`] — prebuilt topologies matching the paper's figures;
 //! * [`live`] — a multi-threaded in-process runtime (crossbeam channels,
 //!   one thread per service) demonstrating that the same engines run
-//!   over real concurrency.
+//!   over real concurrency;
+//! * [`transport`] — the TCP boundary under [`live`]: length-prefixed
+//!   `ProtocolMessage` frames on real sockets, so services spawned with
+//!   `Transport::Tcp` serve GRIP/GRRP to other OS processes.
 
 #![warn(missing_docs)]
 
@@ -19,12 +22,17 @@ pub mod deploy;
 pub mod live;
 pub mod naming;
 pub mod scenario;
+pub mod transport;
 
 pub use actors::{ClientActor, GiisActor, GrisActor, NameService};
 pub use bootstrap::{
     discover_directories, join_via_hierarchy, local_default_directory, manual_join,
 };
 pub use deploy::{org, SimDeployment, DEFAULT_TICK};
-pub use live::{LiveClient, LiveNetMetrics, LiveRuntime, RetryPolicy, ServiceFault};
+pub use live::{
+    LiveClient, LiveNetMetrics, LiveRuntime, RetryPolicy, SearchRequest, SearchResponse,
+    ServeOptions, ServiceFault, Transport,
+};
 pub use naming::{Guid, GuidGenerator, NamingAuthority};
 pub use scenario::{figure5, two_vos, HierarchyScenario, TwoVoScenario};
+pub use transport::TcpTuning;

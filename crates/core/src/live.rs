@@ -12,26 +12,35 @@
 //! Each service has one *owner* thread that holds the engine (`&mut`) and
 //! performs every mutation: GRRP soft-state, harvest integration, chained
 //! fan-out correlation, subscriptions, and the periodic `tick`. With
-//! [`LiveRuntime::spawn_gris_pooled`] / [`spawn_giis_pooled`], N extra
-//! *query worker* threads pull from the service's shared inbox and answer
-//! the read path concurrently through the engine's cloneable query handle
+//! [`ServeOptions`]` { workers: N, .. }`, N extra *query worker* threads
+//! pull from the service's shared inbox and answer the read path
+//! concurrently through the engine's cloneable query handle
 //! ([`gis_gris::GrisQueryPath`] / [`gis_giis::GiisQueryPath`]); anything a
 //! worker cannot handle (binds, subscriptions, GRRP, cache-missing
-//! chained searches) is forwarded to the owner's private channel. The
-//! plain `spawn_gris`/`spawn_giis` are the `workers = 0` special case:
-//! the owner consumes the inbox directly, exactly the old single-thread
-//! loop.
+//! chained searches) is forwarded to the owner's private channel.
+//! `workers = 0` (the default) keeps the owner consuming the inbox
+//! directly — the single-thread loop.
 //!
-//! [`spawn_giis_pooled`]: LiveRuntime::spawn_giis_pooled
+//! # Transports
+//!
+//! The default [`Transport::Channel`] keeps everything in-process.
+//! [`Transport::Tcp`] (for services with `tcp://host:port` URLs) adds a
+//! real listener in front of the same inbox: framed GRIP/GRRP from other
+//! OS processes flows through identical worker pools, tracing envelopes
+//! and monitoring namespaces (see [`crate::transport`]). Messages the
+//! router sees *for* a `tcp://` URL go out over pooled real connections,
+//! so a parent GIIS chains to networked children transparently.
 
+pub use crate::transport::TcpTuning;
+use crate::transport::{ClientConn, ConnTable, RecvFail, TcpEndpoint, TcpOutbound};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use gis_giis::{Giis, GiisAction, GiisQueryPath};
 use gis_gris::Gris;
 use gis_ldap::{Entry, LdapUrl};
 use gis_netsim::{SimRng, SimTime};
 use gis_proto::{
-    GripReply, GripRequest, GrrpMessage, RequestId, ResultCode, SearchSpec, SpanRecord,
-    TraceContext, TraceId, TraceSink,
+    GripReply, GripRequest, GrrpMessage, ProtocolMessage, RequestId, ResultCode, SearchSpec,
+    SpanRecord, TraceContext, TraceId, TraceSink,
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -47,6 +56,10 @@ pub enum Address {
     Client(u64),
     /// A service, by URL string (chained requests).
     Service(String),
+    /// A remote peer on an accepted TCP connection (the id indexes the
+    /// runtime's connection table); replies are framed back over the
+    /// socket the request arrived on.
+    Tcp(u64),
 }
 
 /// Messages carried between live threads.
@@ -198,6 +211,9 @@ pub struct LiveNetMetrics {
     pub dropped_paused: u64,
     /// Deliveries that had injected latency applied.
     pub delayed: u64,
+    /// Messages routed to a `tcp://` URL over a real connection (framed
+    /// requests and GRRP notifications; replies are not counted again).
+    pub remote: u64,
 }
 
 #[derive(Default)]
@@ -208,21 +224,35 @@ struct RouterCounters {
     dropped_fault: AtomicU64,
     dropped_paused: AtomicU64,
     delayed: AtomicU64,
+    remote: AtomicU64,
 }
 
 /// The shared "network": routes messages to service inboxes and client
-/// reply channels, applying the [`FaultPlan`] on the way.
+/// reply channels, applying the [`FaultPlan`] on the way. Messages for
+/// `tcp://` URLs leave the process instead: they are framed onto pooled
+/// real connections ([`TcpOutbound`]), and replies arriving on accepted
+/// connections flow back through the [`ConnTable`].
 #[derive(Default)]
 pub struct Router {
     services: RwLock<HashMap<String, Sender<LiveMsg>>>,
     clients: RwLock<HashMap<u64, Sender<GripReply>>>,
     faults: Mutex<FaultPlan>,
     counters: RouterCounters,
+    tcp_conns: Arc<ConnTable>,
+    outbound: TcpOutbound,
 }
 
 impl Router {
     fn send_to_service(self: &Arc<Self>, url: &str, msg: LiveMsg) {
         self.counters.sent.fetch_add(1, Ordering::Relaxed);
+        if url.starts_with("tcp://") {
+            // Real-socket path, even when the target service happens to
+            // live in this process: a tcp:// URL means the wire. The
+            // fault plan does not apply — TCP peers fail like real ones
+            // (refused connects, deadlines, dropped connections).
+            self.send_remote(url, msg);
+            return;
+        }
         match self.faults.lock().verdict(url) {
             Verdict::Deliver => self.deliver(url, msg),
             Verdict::DropFault => {
@@ -240,6 +270,63 @@ impl Router {
                     router.deliver(&url, msg);
                 });
             }
+        }
+    }
+
+    /// Route a message addressed to a `tcp://` URL over the outbound
+    /// connection pool. Requests carry a completion sink that feeds the
+    /// reply back to the in-process requester; a transport failure posts
+    /// *nothing*, so the requester's own deadline machinery (client
+    /// retry, GIIS fan-out timeout + circuit breaker) observes exactly
+    /// what it would observe from a silent real network.
+    fn send_remote(self: &Arc<Self>, url: &str, msg: LiveMsg) {
+        let Ok(peer) = LdapUrl::parse(url).map(|u| u.authority()) else {
+            self.counters
+                .dropped_unknown
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        match msg {
+            LiveMsg::Request {
+                from,
+                request,
+                trace,
+                ..
+            } => {
+                let frame = match trace {
+                    Some(ctx) => ProtocolMessage::Request(request).traced(ctx),
+                    None => ProtocolMessage::Request(request),
+                };
+                self.counters.remote.fetch_add(1, Ordering::Relaxed);
+                let router = Arc::clone(self);
+                let from_url = url.to_owned();
+                self.outbound.request(
+                    &peer,
+                    frame,
+                    Box::new(move |result| {
+                        let Ok(reply) = result else { return };
+                        match &from {
+                            Address::Client(id) => router.send_to_client(*id, reply),
+                            Address::Service(parent) => {
+                                router.deliver(parent, LiveMsg::ReplyToService { from_url, reply })
+                            }
+                            Address::Tcp(conn) => {
+                                router.tcp_conns.send(*conn, &ProtocolMessage::Reply(reply));
+                            }
+                        }
+                    }),
+                );
+            }
+            LiveMsg::Grrp(m) => {
+                // Fire-and-forget: a lost registration is re-sent at the
+                // next soft-state refresh.
+                self.counters.remote.fetch_add(1, Ordering::Relaxed);
+                self.outbound.oneway(&peer, ProtocolMessage::Grrp(m));
+            }
+            // Control messages (Reannounce, Shutdown, service replies)
+            // are process-local: deliver to the service if it lives
+            // here, else count the drop.
+            other => self.deliver(url, other),
         }
     }
 
@@ -274,6 +361,9 @@ impl Router {
                     reply,
                 },
             ),
+            Address::Tcp(conn) => {
+                self.tcp_conns.send(*conn, &ProtocolMessage::Reply(reply));
+            }
         }
     }
 
@@ -285,6 +375,7 @@ impl Router {
             dropped_fault: self.counters.dropped_fault.load(Ordering::Relaxed),
             dropped_paused: self.counters.dropped_paused.load(Ordering::Relaxed),
             delayed: self.counters.delayed.load(Ordering::Relaxed),
+            remote: self.counters.remote.load(Ordering::Relaxed),
         }
     }
 }
@@ -320,11 +411,71 @@ fn perform_giis_actions(
     }
 }
 
+/// Which transport fronts a spawned service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// In-process crossbeam channels (the default; what every
+    /// deterministic test and experiment runs on).
+    #[default]
+    Channel,
+    /// A real TCP listener bound to the service URL's authority. The
+    /// service URL must use the `tcp://host:port` form; clients and
+    /// peers in other OS processes reach it with length-prefixed
+    /// [`ProtocolMessage`] frames.
+    Tcp,
+}
+
+/// How to run a spawned service: worker-pool width and transport.
+///
+/// `workers: 0` (the default) is the owner-thread-only loop; `workers:
+/// N` adds N query-worker threads on the shared inbox, exactly as the
+/// former `spawn_*_pooled` entry points did. The transport selects
+/// whether the inbox is fed only by in-process channels or also by a
+/// TCP front-end.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Query-worker threads sharing the service inbox (0 = owner only).
+    pub workers: usize,
+    /// Channel-only or channel + TCP listener.
+    pub transport: Transport,
+    /// Socket knobs, used only when `transport` is [`Transport::Tcp`].
+    pub tcp: TcpTuning,
+}
+
+impl ServeOptions {
+    /// Channel transport, owner thread only (the old `spawn_gris`).
+    pub fn channel() -> ServeOptions {
+        ServeOptions::default()
+    }
+
+    /// TCP transport with default tuning.
+    pub fn tcp() -> ServeOptions {
+        ServeOptions {
+            transport: Transport::Tcp,
+            ..ServeOptions::default()
+        }
+    }
+
+    /// Set the query-worker pool width.
+    pub fn with_workers(mut self, workers: usize) -> ServeOptions {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the socket knobs (implies nothing about the transport; pair
+    /// with [`ServeOptions::tcp`]).
+    pub fn with_tuning(mut self, tcp: TcpTuning) -> ServeOptions {
+        self.tcp = tcp;
+        self
+    }
+}
+
 /// The live runtime: spawns service threads, hands out client handles.
 pub struct LiveRuntime {
     router: Arc<Router>,
     epoch: Instant,
     handles: Vec<(Sender<LiveMsg>, JoinHandle<()>)>,
+    endpoints: HashMap<String, TcpEndpoint>,
     next_client: AtomicU64,
     tick: Duration,
     sink: Arc<TraceSink>,
@@ -337,9 +488,59 @@ impl LiveRuntime {
             router: Arc::new(Router::default()),
             epoch: Instant::now(),
             handles: Vec::new(),
+            endpoints: HashMap::new(),
             next_client: AtomicU64::new(1),
             tick,
             sink: Arc::new(TraceSink::new()),
+        }
+    }
+
+    /// The URL's scheme and the requested transport must agree: binding
+    /// a listener needs an authority, and a `tcp://` URL *is* the
+    /// instruction to use the wire.
+    fn check_transport(url: &LdapUrl, transport: Transport) -> std::io::Result<()> {
+        if url.is_tcp() != (transport == Transport::Tcp) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "service URL {url} does not match transport {transport:?}: \
+                     tcp:// URLs require Transport::Tcp, ldap:// URLs Transport::Channel"
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Bind and attach a TCP front-end for `url`, feeding `inbox`. On
+    /// bind failure the already-registered service is torn down so the
+    /// caller sees a clean error.
+    fn attach_endpoint(
+        &mut self,
+        url: &str,
+        inbox: &Sender<LiveMsg>,
+        opts: &ServeOptions,
+    ) -> std::io::Result<()> {
+        if opts.transport != Transport::Tcp {
+            return Ok(());
+        }
+        let authority = LdapUrl::parse(url)
+            .map(|u| u.authority())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        match TcpEndpoint::spawn(
+            &authority,
+            inbox.clone(),
+            Arc::clone(&self.router.tcp_conns),
+            opts.tcp,
+        ) {
+            Ok(ep) => {
+                self.endpoints.insert(url.to_owned(), ep);
+                Ok(())
+            }
+            Err(e) => {
+                self.router.services.write().remove(url);
+                let _ = inbox.send(LiveMsg::Shutdown);
+                Err(e)
+            }
         }
     }
 
@@ -354,17 +555,22 @@ impl LiveRuntime {
         Arc::clone(&self.sink)
     }
 
-    /// Run a GRIS on its own thread (no query workers).
-    pub fn spawn_gris(&mut self, gris: Gris) {
-        self.spawn_gris_pooled(gris, 0);
-    }
-
-    /// Run a GRIS with `workers` query threads sharing its inbox. Workers
-    /// answer `Search` requests concurrently through the engine's
-    /// [`gis_gris::GrisQueryPath`]; binds, subscriptions, GRRP traffic
-    /// and the periodic tick stay on the owner thread. `workers = 0`
-    /// degenerates to the single-threaded loop.
-    pub fn spawn_gris_pooled(&mut self, mut gris: Gris, workers: usize) {
+    /// Run a GRIS under `opts`. `opts.workers` query threads share its
+    /// inbox and answer `Search` requests concurrently through the
+    /// engine's [`gis_gris::GrisQueryPath`] (0 = the owner consumes the
+    /// inbox directly — the old single-threaded loop); binds,
+    /// subscriptions, GRRP traffic and the periodic tick always stay on
+    /// the owner thread. With [`Transport::Tcp`] a listener on the
+    /// URL's authority feeds the same inbox from other OS processes;
+    /// the only possible error is a failed bind.
+    ///
+    /// When rebinding an already-constructed engine to a `tcp://` URL,
+    /// set `gris.agent.service_url` along with `gris.config.url`: the
+    /// registration agent snapshots the URL at [`Gris::new`] time, and
+    /// a stale advert makes parents chain to an address nobody serves.
+    pub fn spawn_gris(&mut self, mut gris: Gris, opts: ServeOptions) -> std::io::Result<()> {
+        Self::check_transport(&gris.config.url, opts.transport)?;
+        let workers = opts.workers;
         let url = gris.config.url.to_string();
         let (owner_tx, owner_rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
         let interner = ClientInterner::new();
@@ -446,6 +652,7 @@ impl LiveRuntime {
             .services
             .write()
             .insert(url.clone(), inbox_tx.clone());
+        self.attach_endpoint(&url, &inbox_tx, &opts)?;
         let router = Arc::clone(&self.router);
         let handle = std::thread::spawn(move || {
             let now = || SimTime::wall(epoch);
@@ -487,20 +694,26 @@ impl LiveRuntime {
             }
         });
         self.handles.push((inbox_tx, handle));
+        Ok(())
     }
 
-    /// Run a GIIS on its own thread (no query workers).
-    pub fn spawn_giis(&mut self, giis: Giis) {
-        self.spawn_giis_pooled(giis, 0);
+    /// Run a GRIS with `workers` query threads sharing its inbox.
+    #[deprecated(note = "use `spawn_gris` with `ServeOptions::channel().with_workers(n)`")]
+    pub fn spawn_gris_pooled(&mut self, gris: Gris, workers: usize) {
+        let _ = self.spawn_gris(gris, ServeOptions::channel().with_workers(workers));
     }
 
-    /// Run a GIIS with `workers` query threads sharing its inbox. Workers
-    /// answer what the engine's [`GiisQueryPath`] can serve without the
-    /// owner — harvested-cache searches, chained-result-cache hits — and
-    /// forward everything else (registrations, fan-out replies, cache
-    /// misses) to the owner thread. `workers = 0` degenerates to the
-    /// single-threaded loop.
-    pub fn spawn_giis_pooled(&mut self, mut giis: Giis, workers: usize) {
+    /// Run a GIIS under `opts`. `opts.workers` query threads share its
+    /// inbox and answer what the engine's [`GiisQueryPath`] can serve
+    /// without the owner — harvested-cache searches, chained-result-cache
+    /// hits — forwarding everything else (registrations, fan-out
+    /// replies, cache misses) to the owner thread; 0 degenerates to the
+    /// single-threaded loop. With [`Transport::Tcp`] a listener on the
+    /// URL's authority feeds the same inbox from other OS processes; the
+    /// only possible error is a failed bind.
+    pub fn spawn_giis(&mut self, mut giis: Giis, opts: ServeOptions) -> std::io::Result<()> {
+        Self::check_transport(&giis.config.url, opts.transport)?;
+        let workers = opts.workers;
         let url = giis.config.url.to_string();
         let (owner_tx, owner_rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
         let interner = ClientInterner::new();
@@ -577,6 +790,7 @@ impl LiveRuntime {
             .services
             .write()
             .insert(url.clone(), inbox_tx.clone());
+        self.attach_endpoint(&url, &inbox_tx, &opts)?;
         let router = Arc::clone(&self.router);
         let handle = std::thread::spawn(move || {
             let now = || SimTime::wall(epoch);
@@ -619,6 +833,13 @@ impl LiveRuntime {
             }
         });
         self.handles.push((inbox_tx, handle));
+        Ok(())
+    }
+
+    /// Run a GIIS with `workers` query threads sharing its inbox.
+    #[deprecated(note = "use `spawn_giis` with `ServeOptions::channel().with_workers(n)`")]
+    pub fn spawn_giis_pooled(&mut self, giis: Giis, workers: usize) {
+        let _ = self.spawn_giis(giis, ServeOptions::channel().with_workers(workers));
     }
 
     /// Create a synchronous client handle. Handles are `Send`: spread
@@ -629,8 +850,10 @@ impl LiveRuntime {
         self.router.clients.write().insert(id, tx);
         LiveClient {
             id,
-            rx,
-            router: Arc::clone(&self.router),
+            link: ClientLink::Channel {
+                rx,
+                router: Arc::clone(&self.router),
+            },
             next_req: 1,
             rng: SimRng::new(id),
             epoch: self.epoch,
@@ -638,11 +861,15 @@ impl LiveRuntime {
         }
     }
 
-    /// Simulate a service failure: unregister its inbox and stop the
+    /// Simulate a service failure: unregister its inbox (and close its
+    /// TCP listener and accepted connections, if any) and stop the
     /// thread. Soft state at directories will expire naturally. A
     /// crash+restart is this followed by `spawn_gris`/`spawn_giis` with a
     /// fresh engine; the new agent re-announces on its first tick.
     pub fn kill_service(&mut self, url: &LdapUrl) {
+        if let Some(ep) = self.endpoints.remove(&url.to_string()) {
+            ep.shutdown(&self.router.tcp_conns);
+        }
         if let Some(tx) = self.router.services.write().remove(&url.to_string()) {
             let _ = tx.send(LiveMsg::Shutdown);
         }
@@ -697,8 +924,14 @@ impl LiveRuntime {
         self.router.metrics()
     }
 
-    /// Shut down every service thread and join them.
+    /// Shut down every service thread and join them. TCP endpoints stop
+    /// accepting and close their connections first, so no new work
+    /// arrives while the threads drain.
     pub fn shutdown(mut self) {
+        for (_, ep) in self.endpoints.drain() {
+            ep.shutdown(&self.router.tcp_conns);
+        }
+        self.router.outbound.close();
         self.router.services.write().clear();
         for (tx, _) in &self.handles {
             let _ = tx.send(LiveMsg::Shutdown);
@@ -736,11 +969,26 @@ impl Default for RetryPolicy {
     }
 }
 
+/// How a [`LiveClient`] reaches services: the in-process router, or one
+/// persistent TCP connection to a single endpoint in (possibly) another
+/// OS process.
+enum ClientLink {
+    Channel {
+        rx: Receiver<GripReply>,
+        router: Arc<Router>,
+    },
+    Tcp {
+        peer: String,
+        tuning: TcpTuning,
+        /// `None` between a detected drop and the next (re)connect.
+        conn: Option<ClientConn>,
+    },
+}
+
 /// A synchronous client of the live runtime.
 pub struct LiveClient {
     id: u64,
-    rx: Receiver<GripReply>,
-    router: Arc<Router>,
+    link: ClientLink,
     next_req: RequestId,
     /// Jitter source for retry backoff, seeded from the client id so a
     /// fleet of clients desynchronizes deterministically.
@@ -752,12 +1000,261 @@ pub struct LiveClient {
 /// Terminal result of one client search: code, entries, referrals.
 pub type SearchOutcome = (ResultCode, Vec<Entry>, Vec<LdapUrl>);
 
+/// Why one search attempt produced no result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttemptFail {
+    /// No reply within the deadline.
+    Timeout,
+    /// The transport failed outright (connect refused, connection
+    /// dropped mid-reply) — a *definite* failure, unlike a timeout.
+    Transport,
+}
+
+/// Default deadline for [`SearchRequest`]s that set none.
+const DEFAULT_SEARCH_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A search being assembled: target, spec, and the optional tracing /
+/// retry / deadline decorations, finished with [`send`](Self::send).
+///
+/// ```no_run
+/// # use gis_core::live::{LiveRuntime, RetryPolicy};
+/// # use gis_proto::SearchSpec;
+/// # use gis_ldap::{Dn, Filter, LdapUrl};
+/// # use std::time::Duration;
+/// # let rt = LiveRuntime::new(Duration::from_millis(10));
+/// # let mut client = rt.client();
+/// # let url = LdapUrl::server("giis.vo");
+/// let spec = SearchSpec::subtree(Dn::root(), Filter::always());
+/// let response = client
+///     .request(&url, spec)
+///     .traced()
+///     .retry(RetryPolicy::default())
+///     .send();
+/// ```
+#[must_use = "a SearchRequest does nothing until .send()"]
+pub struct SearchRequest<'c> {
+    client: &'c mut LiveClient,
+    target: LdapUrl,
+    spec: SearchSpec,
+    timeout: Duration,
+    traced: bool,
+    retry: Option<RetryPolicy>,
+}
+
+impl SearchRequest<'_> {
+    /// Overall deadline when no retry policy is set (with one, each
+    /// attempt uses the policy's `attempt_timeout` instead).
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Mint a fresh trace id and propagate the context through every
+    /// hop; the client's root span is recorded into its
+    /// [`TraceSink`] when the search concludes.
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+
+    /// Retry under `policy`: per-attempt deadlines with jittered
+    /// exponential backoff between attempts. Each attempt is a fresh
+    /// request id, so a late reply to an abandoned attempt is
+    /// discarded, not mistaken for the current one.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Execute the search, blocking until a result or the deadline.
+    pub fn send(self) -> SearchResponse {
+        let SearchRequest {
+            client,
+            target,
+            spec,
+            timeout,
+            traced,
+            retry,
+        } = self;
+        let (attempts, attempt_timeout) = match &retry {
+            Some(p) => (p.max_attempts.max(1), p.attempt_timeout),
+            None => (1, timeout),
+        };
+        let (trace, root) = if traced {
+            let root = client.sink.next_span();
+            (Some(TraceId(root)), root)
+        } else {
+            (None, 0)
+        };
+        let ctx = trace.map(|t| TraceContext {
+            trace: t,
+            parent: root,
+        });
+        let start = client.now();
+
+        let mut outcome = None;
+        let mut last_fail = AttemptFail::Timeout;
+        for attempt in 0..attempts {
+            match client.attempt_search(&target, spec.clone(), attempt_timeout, ctx) {
+                Ok(result) => {
+                    outcome = Some(result);
+                    break;
+                }
+                Err(fail) => last_fail = fail,
+            }
+            if attempt + 1 < attempts {
+                if let Some(p) = &retry {
+                    let exp = p
+                        .base_backoff
+                        .saturating_mul(1u32 << attempt.min(16))
+                        .min(p.max_backoff);
+                    // Full-jitter half-spread: sleep in [exp/2, exp).
+                    let frac = 0.5 + client.rng.next_f64() / 2.0;
+                    std::thread::sleep(exp.mul_f64(frac));
+                }
+            }
+        }
+        // A transport-dead endpoint is a definite answer, not a missing
+        // one: surface it as Unavailable so callers can distinguish a
+        // refusing/dropping peer from a silent deadline.
+        if outcome.is_none() && last_fail == AttemptFail::Transport {
+            outcome = Some((ResultCode::Unavailable, Vec::new(), Vec::new()));
+        }
+        if let Some(t) = trace {
+            client.sink.record(SpanRecord {
+                trace: t,
+                span: root,
+                parent: None,
+                service: format!("client:{}", client.id),
+                name: "client.search".into(),
+                start,
+                end: client.now(),
+                outcome: match &outcome {
+                    Some((code, ..)) => code.label().to_string(),
+                    None => "timeout".to_string(),
+                },
+            });
+        }
+        SearchResponse { trace, outcome }
+    }
+}
+
+/// What a [`SearchRequest`] produced.
+#[derive(Debug)]
+pub struct SearchResponse {
+    /// The minted trace id, when the request was [`traced`]
+    /// (SearchRequest::traced).
+    pub trace: Option<TraceId>,
+    /// The search result; `None` means every attempt timed out.
+    pub outcome: Option<SearchOutcome>,
+}
+
+impl SearchResponse {
+    /// The outcome, discarding the trace id.
+    pub fn into_outcome(self) -> Option<SearchOutcome> {
+        self.outcome
+    }
+}
+
 impl LiveClient {
     fn now(&self) -> SimTime {
         SimTime::wall(self.epoch)
     }
 
-    /// Send a raw request.
+    /// Connect to a `tcp://` service endpoint, with default
+    /// [`TcpTuning`] — the cross-process counterpart of
+    /// [`LiveRuntime::client`]. The returned client speaks GRIP over
+    /// one persistent framed connection: searches, subscriptions and
+    /// their update streams all ride it. A dropped connection is
+    /// re-dialed on the next request.
+    pub fn connect_tcp(url: &LdapUrl) -> std::io::Result<LiveClient> {
+        LiveClient::connect_tcp_tuned(url, TcpTuning::default())
+    }
+
+    /// [`connect_tcp`](Self::connect_tcp) with explicit socket knobs.
+    pub fn connect_tcp_tuned(url: &LdapUrl, tuning: TcpTuning) -> std::io::Result<LiveClient> {
+        if !url.is_tcp() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("connect_tcp needs a tcp:// URL, got {url}"),
+            ));
+        }
+        let peer = url.authority();
+        let conn = ClientConn::connect(&peer, tuning)?;
+        // Seed identity from the pid: requests are correlated per
+        // connection so the id only needs to be process-unique, and the
+        // span-id base keeps this process's spans disjoint from the
+        // server process's sink (base 0) in stitched-together traces.
+        let pid = u64::from(std::process::id());
+        Ok(LiveClient {
+            id: pid,
+            link: ClientLink::Tcp {
+                peer,
+                tuning,
+                conn: Some(conn),
+            },
+            next_req: 1,
+            rng: SimRng::new(pid),
+            epoch: Instant::now(),
+            sink: Arc::new(TraceSink::with_base(pid << 32)),
+        })
+    }
+
+    /// The sink this client's root spans land in. For channel clients
+    /// this is the runtime's shared sink; for TCP clients it is the
+    /// client process's own (the server process keeps its own half of
+    /// the trace).
+    pub fn trace_sink(&self) -> Arc<TraceSink> {
+        Arc::clone(&self.sink)
+    }
+
+    /// Push one request out the link. Returns `false` on a definite
+    /// transport failure (TCP link only; the channel router's silent
+    /// drops stay silent, exactly as a lossy network would be).
+    fn dispatch(
+        &mut self,
+        target: &LdapUrl,
+        request: GripRequest,
+        trace: Option<TraceContext>,
+    ) -> bool {
+        let from_id = self.id;
+        match &mut self.link {
+            ClientLink::Channel { router, .. } => {
+                router.send_to_service(
+                    &target.to_string(),
+                    LiveMsg::Request {
+                        from: Address::Client(from_id),
+                        request,
+                        trace,
+                        enqueued: Instant::now(),
+                    },
+                );
+                true
+            }
+            ClientLink::Tcp { peer, tuning, conn } => {
+                let msg = ProtocolMessage::Request(request);
+                let frame = match trace {
+                    Some(ctx) => msg.traced(ctx),
+                    None => msg,
+                };
+                if conn.is_none() {
+                    *conn = ClientConn::connect(peer, *tuning).ok();
+                }
+                let Some(c) = conn.as_mut() else {
+                    return false;
+                };
+                if c.send(&frame, tuning.max_frame) {
+                    true
+                } else {
+                    *conn = None;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Send a raw request. TCP clients are bound to their connected
+    /// endpoint; `target` selects the service only for channel clients.
     pub fn send(
         &mut self,
         target: &LdapUrl,
@@ -765,132 +1262,140 @@ impl LiveClient {
     ) -> RequestId {
         let id = self.next_req;
         self.next_req += 1;
-        self.router.send_to_service(
-            &target.to_string(),
-            LiveMsg::Request {
-                from: Address::Client(self.id),
-                request: build(id),
-                trace: None,
-                enqueued: Instant::now(),
-            },
-        );
+        self.dispatch(target, build(id), None);
         id
     }
 
+    /// Start building a search against `target`; finish with
+    /// [`SearchRequest::send`].
+    pub fn request(&mut self, target: &LdapUrl, spec: SearchSpec) -> SearchRequest<'_> {
+        SearchRequest {
+            client: self,
+            target: target.clone(),
+            spec,
+            timeout: DEFAULT_SEARCH_TIMEOUT,
+            traced: false,
+            retry: None,
+        }
+    }
+
+    /// One send-and-wait round: fresh request id, dispatch, then block
+    /// for the matching `SearchResult` until `timeout`.
+    fn attempt_search(
+        &mut self,
+        target: &LdapUrl,
+        spec: SearchSpec,
+        timeout: Duration,
+        trace: Option<TraceContext>,
+    ) -> Result<SearchOutcome, AttemptFail> {
+        let id = self.next_req;
+        self.next_req += 1;
+        if !self.dispatch(target, GripRequest::Search { id, spec }, trace) {
+            return Err(AttemptFail::Transport);
+        }
+        let deadline = Instant::now() + timeout;
+        match &mut self.link {
+            ClientLink::Channel { rx, .. } => loop {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    return Err(AttemptFail::Timeout);
+                };
+                match rx.recv_timeout(remaining) {
+                    Ok(GripReply::SearchResult {
+                        id: rid,
+                        code,
+                        entries,
+                        referrals,
+                    }) if rid == id => return Ok((code, entries, referrals)),
+                    Ok(_) => continue, // stale reply from an earlier timeout
+                    Err(_) => return Err(AttemptFail::Timeout),
+                }
+            },
+            ClientLink::Tcp { conn, .. } => loop {
+                let Some(c) = conn.as_mut() else {
+                    return Err(AttemptFail::Transport);
+                };
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    return Err(AttemptFail::Timeout);
+                };
+                match c.recv(remaining) {
+                    Ok(ProtocolMessage::Reply(GripReply::SearchResult {
+                        id: rid,
+                        code,
+                        entries,
+                        referrals,
+                    })) if rid == id => return Ok((code, entries, referrals)),
+                    Ok(_) => continue, // updates / stale replies
+                    Err(RecvFail::Timeout) => return Err(AttemptFail::Timeout),
+                    Err(RecvFail::Closed) => {
+                        *conn = None;
+                        return Err(AttemptFail::Transport);
+                    }
+                }
+            },
+        }
+    }
+
     /// Issue a search and block (up to `timeout`) for its result.
+    #[deprecated(note = "use `client.request(target, spec).timeout(t).send()`")]
     pub fn search(
         &mut self,
         target: &LdapUrl,
         spec: SearchSpec,
         timeout: Duration,
     ) -> Option<SearchOutcome> {
-        let id = self.send(target, |id| GripRequest::Search { id, spec });
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.checked_duration_since(Instant::now())?;
-            match self.rx.recv_timeout(remaining) {
-                Ok(GripReply::SearchResult {
-                    id: rid,
-                    code,
-                    entries,
-                    referrals,
-                }) if rid == id => return Some((code, entries, referrals)),
-                Ok(_) => continue, // stale reply from an earlier timeout
-                Err(_) => return None,
-            }
-        }
+        self.request(target, spec).timeout(timeout).send().outcome
     }
 
-    /// Issue a traced search: mints a fresh trace id, propagates the
-    /// context through every hop (GIIS fan-out included), and records the
-    /// client's root span when the reply arrives or the deadline passes.
-    /// The returned [`TraceId`] keys the assembled span tree in the
-    /// runtime's [`TraceSink`] (see [`LiveRuntime::trace_sink`]).
+    /// Issue a traced search; see [`SearchRequest::traced`].
+    #[deprecated(note = "use `client.request(target, spec).traced().timeout(t).send()`")]
     pub fn search_traced(
         &mut self,
         target: &LdapUrl,
         spec: SearchSpec,
         timeout: Duration,
     ) -> (TraceId, Option<SearchOutcome>) {
-        let root = self.sink.next_span();
-        let trace = TraceId(root);
-        let id = self.next_req;
-        self.next_req += 1;
-        let start = self.now();
-        self.router.send_to_service(
-            &target.to_string(),
-            LiveMsg::Request {
-                from: Address::Client(self.id),
-                request: GripRequest::Search { id, spec },
-                trace: Some(TraceContext {
-                    trace,
-                    parent: root,
-                }),
-                enqueued: Instant::now(),
-            },
-        );
-        let deadline = Instant::now() + timeout;
-        let result = loop {
-            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
-                break None;
-            };
-            match self.rx.recv_timeout(remaining) {
-                Ok(GripReply::SearchResult {
-                    id: rid,
-                    code,
-                    entries,
-                    referrals,
-                }) if rid == id => break Some((code, entries, referrals)),
-                Ok(_) => continue,
-                Err(_) => break None,
-            }
-        };
-        self.sink.record(SpanRecord {
-            trace,
-            span: root,
-            parent: None,
-            service: format!("client:{}", self.id),
-            name: "client.search".into(),
-            start,
-            end: self.now(),
-            outcome: match &result {
-                Some((code, ..)) => code.label().to_string(),
-                None => "timeout".to_string(),
-            },
-        });
-        (trace, result)
+        let response = self.request(target, spec).traced().timeout(timeout).send();
+        (
+            response.trace.expect("traced request mints a trace id"),
+            response.outcome,
+        )
     }
 
-    /// Issue a search with per-attempt deadlines and jittered exponential
-    /// backoff between attempts. Each attempt is a fresh request id, so a
-    /// late reply to an abandoned attempt is discarded, not mistaken for
-    /// the current one.
+    /// Issue a search with retries; see [`SearchRequest::retry`].
+    #[deprecated(note = "use `client.request(target, spec).retry(policy).send()`")]
     pub fn search_with_retry(
         &mut self,
         target: &LdapUrl,
         spec: &SearchSpec,
         policy: RetryPolicy,
     ) -> Option<SearchOutcome> {
-        for attempt in 0..policy.max_attempts.max(1) {
-            if let Some(result) = self.search(target, spec.clone(), policy.attempt_timeout) {
-                return Some(result);
-            }
-            if attempt + 1 < policy.max_attempts {
-                let exp = policy
-                    .base_backoff
-                    .saturating_mul(1u32 << attempt.min(16))
-                    .min(policy.max_backoff);
-                // Full-jitter half-spread: sleep in [exp/2, exp).
-                let frac = 0.5 + self.rng.next_f64() / 2.0;
-                std::thread::sleep(exp.mul_f64(frac));
-            }
-        }
-        None
+        self.request(target, spec.clone())
+            .retry(policy)
+            .send()
+            .outcome
     }
 
     /// Receive the next asynchronous reply (subscription updates).
     pub fn recv(&mut self, timeout: Duration) -> Option<GripReply> {
-        self.rx.recv_timeout(timeout).ok()
+        match &mut self.link {
+            ClientLink::Channel { rx, .. } => rx.recv_timeout(timeout).ok(),
+            ClientLink::Tcp { conn, .. } => {
+                let deadline = Instant::now() + timeout;
+                loop {
+                    let c = conn.as_mut()?;
+                    let remaining = deadline.checked_duration_since(Instant::now())?;
+                    match c.recv(remaining) {
+                        Ok(ProtocolMessage::Reply(reply)) => return Some(reply),
+                        Ok(_) => continue,
+                        Err(RecvFail::Timeout) => return None,
+                        Err(RecvFail::Closed) => {
+                            *conn = None;
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -919,13 +1424,16 @@ mod tests {
         let mut rt = LiveRuntime::new(Duration::from_millis(10));
         let gris = fast_host_gris("n1", 1, &[]);
         let url = gris.config.url.clone();
-        rt.spawn_gris(gris);
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
         let mut client = rt.client();
-        let result = client.search(
-            &url,
-            SearchSpec::subtree(Dn::parse("hn=n1").unwrap(), Filter::always()),
-            Duration::from_secs(5),
-        );
+        let result = client
+            .request(
+                &url,
+                SearchSpec::subtree(Dn::parse("hn=n1").unwrap(), Filter::always()),
+            )
+            .timeout(Duration::from_secs(5))
+            .send()
+            .outcome;
         let (code, entries, _) = result.expect("live reply");
         assert_eq!(code, ResultCode::Success);
         assert_eq!(entries.len(), 4);
@@ -945,23 +1453,25 @@ mod tests {
         giis.config.mode = gis_giis::GiisMode::Chain {
             timeout: SimDuration::from_millis(500),
         };
-        rt.spawn_giis(giis);
+        rt.spawn_giis(giis, ServeOptions::default()).unwrap();
         for (i, name) in ["n1", "n2"].iter().enumerate() {
-            rt.spawn_gris(fast_host_gris(
-                name,
-                i as u64,
-                std::slice::from_ref(&giis_url),
-            ));
+            rt.spawn_gris(
+                fast_host_gris(name, i as u64, std::slice::from_ref(&giis_url)),
+                ServeOptions::default(),
+            )
+            .unwrap();
         }
         // Let registrations propagate.
         std::thread::sleep(Duration::from_millis(400));
         let mut client = rt.client();
         let (code, entries, _) = client
-            .search(
+            .request(
                 &giis_url,
                 SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
-                Duration::from_secs(5),
             )
+            .timeout(Duration::from_secs(5))
+            .send()
+            .outcome
             .expect("chained reply");
         assert_eq!(code, ResultCode::Success);
         assert_eq!(entries.len(), 2);
@@ -980,19 +1490,21 @@ mod tests {
         giis.config.mode = gis_giis::GiisMode::Chain {
             timeout: SimDuration::from_millis(300),
         };
-        rt.spawn_giis(giis);
+        rt.spawn_giis(giis, ServeOptions::default()).unwrap();
         let gris = fast_host_gris("n1", 1, std::slice::from_ref(&giis_url));
         let gris_url = gris.config.url.clone();
-        rt.spawn_gris(gris);
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
         std::thread::sleep(Duration::from_millis(400));
 
         let mut client = rt.client();
         let (_, entries, _) = client
-            .search(
+            .request(
                 &giis_url,
                 SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
-                Duration::from_secs(5),
             )
+            .timeout(Duration::from_secs(5))
+            .send()
+            .outcome
             .expect("host visible");
         assert_eq!(entries.len(), 1);
 
@@ -1000,11 +1512,13 @@ mod tests {
         // TTL 400ms: after ~1s the registration is swept.
         std::thread::sleep(Duration::from_millis(1200));
         let (code, entries, _) = client
-            .search(
+            .request(
                 &giis_url,
                 SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
-                Duration::from_secs(5),
             )
+            .timeout(Duration::from_secs(5))
+            .send()
+            .outcome
             .expect("directory still answers");
         assert_eq!(code, ResultCode::Success);
         assert!(entries.is_empty(), "dead host no longer listed");
@@ -1017,7 +1531,7 @@ mod tests {
         let mut rt = LiveRuntime::new(Duration::from_millis(10));
         let gris = fast_host_gris("n1", 1, &[]);
         let url = gris.config.url.clone();
-        rt.spawn_gris(gris);
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
         let mut client = rt.client();
         let sub_id = client.send(&url, |id| GripRequest::Subscribe {
             id,
@@ -1057,14 +1571,17 @@ mod tests {
         let mut rt = LiveRuntime::new(Duration::from_millis(10));
         let gris = fast_host_gris("n1", 1, &[]);
         let url = gris.config.url.clone();
-        rt.spawn_gris(gris);
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
         let mut client = rt.client();
         let spec = SearchSpec::lookup(Dn::parse("hn=n1").unwrap());
 
         rt.pause_service(&url);
         assert!(
             client
-                .search(&url, spec.clone(), Duration::from_millis(300))
+                .request(&url, spec.clone())
+                .timeout(Duration::from_millis(300))
+                .send()
+                .outcome
                 .is_none(),
             "paused service is unreachable"
         );
@@ -1073,7 +1590,12 @@ mod tests {
 
         rt.resume_service(&url);
         assert!(
-            client.search(&url, spec, Duration::from_secs(5)).is_some(),
+            client
+                .request(&url, spec)
+                .timeout(Duration::from_secs(5))
+                .send()
+                .outcome
+                .is_some(),
             "resumed service answers again"
         );
         rt.shutdown();
@@ -1084,7 +1606,7 @@ mod tests {
         let mut rt = LiveRuntime::new(Duration::from_millis(10));
         let gris = fast_host_gris("n1", 1, &[]);
         let url = gris.config.url.clone();
-        rt.spawn_gris(gris);
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
         rt.set_fault(
             &url,
             ServiceFault {
@@ -1095,11 +1617,11 @@ mod tests {
         );
         let mut client = rt.client();
         let started = Instant::now();
-        let result = client.search(
-            &url,
-            SearchSpec::lookup(Dn::parse("hn=n1").unwrap()),
-            Duration::from_secs(5),
-        );
+        let result = client
+            .request(&url, SearchSpec::lookup(Dn::parse("hn=n1").unwrap()))
+            .timeout(Duration::from_secs(5))
+            .send()
+            .outcome;
         assert!(result.is_some(), "delayed message still delivered");
         assert!(
             started.elapsed() >= Duration::from_millis(200),
@@ -1114,7 +1636,7 @@ mod tests {
         let mut rt = LiveRuntime::new(Duration::from_millis(10));
         let gris = fast_host_gris("n1", 1, &[]);
         let url = gris.config.url.clone();
-        rt.spawn_gris(gris);
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
         rt.set_fault_seed(42);
         rt.set_fault(
             &url,
@@ -1127,11 +1649,10 @@ mod tests {
         let mut client = rt.client();
         assert!(
             client
-                .search(
-                    &url,
-                    SearchSpec::lookup(Dn::parse("hn=n1").unwrap()),
-                    Duration::from_millis(300),
-                )
+                .request(&url, SearchSpec::lookup(Dn::parse("hn=n1").unwrap()))
+                .timeout(Duration::from_millis(300))
+                .send()
+                .outcome
                 .is_none(),
             "total loss yields no answer"
         );
@@ -1140,11 +1661,10 @@ mod tests {
         rt.heal_all();
         assert!(
             client
-                .search(
-                    &url,
-                    SearchSpec::lookup(Dn::parse("hn=n1").unwrap()),
-                    Duration::from_secs(5),
-                )
+                .request(&url, SearchSpec::lookup(Dn::parse("hn=n1").unwrap()))
+                .timeout(Duration::from_secs(5))
+                .send()
+                .outcome
                 .is_some(),
             "healed link delivers"
         );
@@ -1156,7 +1676,7 @@ mod tests {
         let mut rt = LiveRuntime::new(Duration::from_millis(10));
         let gris = fast_host_gris("n1", 1, &[]);
         let url = gris.config.url.clone();
-        rt.spawn_gris(gris);
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
         rt.pause_service(&url);
 
         // Heal the outage from another thread while the client is mid-retry.
@@ -1168,16 +1688,16 @@ mod tests {
                 rt_ref.resume_service(&heal_url);
             });
             let mut client = rt_ref.client();
-            client.search_with_retry(
-                &url,
-                &SearchSpec::lookup(Dn::parse("hn=n1").unwrap()),
-                RetryPolicy {
+            client
+                .request(&url, SearchSpec::lookup(Dn::parse("hn=n1").unwrap()))
+                .retry(RetryPolicy {
                     attempt_timeout: Duration::from_millis(200),
                     max_attempts: 8,
                     base_backoff: Duration::from_millis(40),
                     max_backoff: Duration::from_millis(200),
-                },
-            )
+                })
+                .send()
+                .outcome
         });
         let (code, entries, _) = result.expect("a later attempt lands after the heal");
         assert_eq!(code, ResultCode::Success);
@@ -1190,7 +1710,8 @@ mod tests {
         let mut rt = LiveRuntime::new(Duration::from_millis(5));
         let gris = fast_host_gris("n1", 1, &[]);
         let url = gris.config.url.clone();
-        rt.spawn_gris_pooled(gris, 4);
+        rt.spawn_gris(gris, ServeOptions::default().with_workers(4))
+            .unwrap();
 
         let mut threads = Vec::new();
         for _ in 0..8 {
@@ -1200,11 +1721,10 @@ mod tests {
                 let mut ok = 0;
                 for _ in 0..20 {
                     if client
-                        .search(
-                            &url,
-                            SearchSpec::lookup(Dn::parse("hn=n1").unwrap()),
-                            Duration::from_secs(5),
-                        )
+                        .request(&url, SearchSpec::lookup(Dn::parse("hn=n1").unwrap()))
+                        .timeout(Duration::from_secs(5))
+                        .send()
+                        .outcome
                         .is_some()
                     {
                         ok += 1;
@@ -1224,7 +1744,8 @@ mod tests {
         let mut rt = LiveRuntime::new(Duration::from_millis(10));
         let gris = fast_host_gris("n1", 1, &[]);
         let url = gris.config.url.clone();
-        rt.spawn_gris_pooled(gris, 2);
+        rt.spawn_gris(gris, ServeOptions::default().with_workers(2))
+            .unwrap();
         let mut client = rt.client();
         // Subscriptions are owner-thread work: a worker must forward the
         // request, and updates must still reach the client.
@@ -1261,13 +1782,14 @@ mod tests {
         giis.config.mode = gis_giis::GiisMode::Harvest {
             refresh: SimDuration::from_millis(200),
         };
-        rt.spawn_giis_pooled(giis, 4);
+        rt.spawn_giis(giis, ServeOptions::default().with_workers(4))
+            .unwrap();
         for (i, name) in ["n1", "n2"].iter().enumerate() {
-            rt.spawn_gris(fast_host_gris(
-                name,
-                i as u64,
-                std::slice::from_ref(&giis_url),
-            ));
+            rt.spawn_gris(
+                fast_host_gris(name, i as u64, std::slice::from_ref(&giis_url)),
+                ServeOptions::default(),
+            )
+            .unwrap();
         }
         // Registration + first harvest round-trip.
         std::thread::sleep(Duration::from_millis(600));
@@ -1278,14 +1800,18 @@ mod tests {
             threads.push(std::thread::spawn(move || {
                 let mut ok = 0;
                 for _ in 0..10 {
-                    if let Some((code, entries, _)) = client.search(
-                        &giis_url,
-                        SearchSpec::subtree(
-                            Dn::root(),
-                            Filter::parse("(objectclass=computer)").unwrap(),
-                        ),
-                        Duration::from_secs(5),
-                    ) {
+                    if let Some((code, entries, _)) = client
+                        .request(
+                            &giis_url,
+                            SearchSpec::subtree(
+                                Dn::root(),
+                                Filter::parse("(objectclass=computer)").unwrap(),
+                            ),
+                        )
+                        .timeout(Duration::from_secs(5))
+                        .send()
+                        .outcome
+                    {
                         if code == ResultCode::Success && entries.len() == 2 {
                             ok += 1;
                         }
@@ -1311,22 +1837,25 @@ mod tests {
         giis.config.mode = gis_giis::GiisMode::Chain {
             timeout: SimDuration::from_millis(500),
         };
-        rt.spawn_giis_pooled(giis, 2);
+        rt.spawn_giis(giis, ServeOptions::default().with_workers(2))
+            .unwrap();
         for (i, name) in ["n1", "n2"].iter().enumerate() {
-            rt.spawn_gris(fast_host_gris(
-                name,
-                i as u64,
-                std::slice::from_ref(&giis_url),
-            ));
+            rt.spawn_gris(
+                fast_host_gris(name, i as u64, std::slice::from_ref(&giis_url)),
+                ServeOptions::default(),
+            )
+            .unwrap();
         }
         std::thread::sleep(Duration::from_millis(400));
         let mut client = rt.client();
         let (code, entries, _) = client
-            .search(
+            .request(
                 &giis_url,
                 SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
-                Duration::from_secs(5),
             )
+            .timeout(Duration::from_secs(5))
+            .send()
+            .outcome
             .expect("worker forwards the miss; owner fans out");
         assert_eq!(code, ResultCode::Success);
         assert_eq!(entries.len(), 2);
@@ -1338,7 +1867,7 @@ mod tests {
         let mut rt = LiveRuntime::new(Duration::from_millis(5));
         let gris = fast_host_gris("n1", 1, &[]);
         let url = gris.config.url.clone();
-        rt.spawn_gris(gris);
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
 
         let mut threads = Vec::new();
         for _ in 0..8 {
@@ -1348,11 +1877,10 @@ mod tests {
                 let mut ok = 0;
                 for _ in 0..20 {
                     if client
-                        .search(
-                            &url,
-                            SearchSpec::lookup(Dn::parse("hn=n1").unwrap()),
-                            Duration::from_secs(5),
-                        )
+                        .request(&url, SearchSpec::lookup(Dn::parse("hn=n1").unwrap()))
+                        .timeout(Duration::from_secs(5))
+                        .send()
+                        .outcome
                         .is_some()
                     {
                         ok += 1;

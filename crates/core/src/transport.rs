@@ -1,0 +1,660 @@
+//! TCP transport: real sockets under the live runtime.
+//!
+//! The engines are sans-IO and the live runtime's [`Router`](crate::live)
+//! moves [`LiveMsg`](crate::live::LiveMsg) values between threads; this
+//! module is the boundary where those values become length-prefixed
+//! [`ProtocolMessage`] frames ([`gis_proto::frame`]) on real connections,
+//! so a GRIS/GIIS can serve GRIP and accept GRRP registrations from
+//! clients and peers in **other OS processes**.
+//!
+//! Three pieces:
+//!
+//! * [`TcpEndpoint`] — a server front-end: an accept loop plus one reader
+//!   thread per connection, decoding frames into the service's existing
+//!   MPMC inbox. Pooled query workers, tracing envelopes and the
+//!   monitoring namespace all work unchanged: by the time a frame reaches
+//!   the inbox it is the same `LiveMsg::Request` the channel transport
+//!   would have delivered, with [`Address::Tcp`](crate::live::Address)
+//!   naming the connection to reply on.
+//! * [`ConnTable`] — the reply path: accepted connections registered by
+//!   id, written to by whichever thread (owner or query worker) produces
+//!   the reply.
+//! * [`TcpOutbound`] — a connection-pooling client used for chained
+//!   GIIS→child requests and GRRP registration streams to `tcp://` URLs.
+//!   Each pooled connection is a small worker thread: write a frame,
+//!   optionally wait (bounded by the read deadline) for the single reply
+//!   frame, hand it to a completion sink, then return itself to the idle
+//!   pool.
+//!
+//! # Deadlines and backpressure
+//!
+//! * **Connect deadline** — outbound dials use `connect_timeout`; an
+//!   unreachable peer fails the request quickly instead of hanging a
+//!   fan-out.
+//! * **Read deadline, server side** — an *idle* connection between
+//!   frames is legitimate (a subscriber waiting for updates); a
+//!   connection stalled **mid-frame** for longer than `read_deadline` is
+//!   a slow or wedged peer and is dropped, freeing its connection slot.
+//! * **Read deadline, outbound** — a reply not fully received within
+//!   `read_deadline` abandons the connection (it can no longer be
+//!   trusted to be frame-aligned with the request/reply rhythm); the
+//!   completion sink fires with an error and upper layers (client retry,
+//!   GIIS fan-out deadline + circuit breaker) take over.
+//! * **Write deadline** — a peer that stops draining its socket while we
+//!   reply (slow consumer) trips `write_deadline`; the connection is
+//!   dropped rather than blocking a query worker indefinitely.
+//! * **Connection slots** — at most `max_conns` accepted connections per
+//!   endpoint; beyond that, new connections are closed on accept. With
+//!   the stall rule above, a slot held by a wedged peer frees within one
+//!   read deadline.
+
+use crate::live::{Address, LiveMsg};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use gis_proto::frame::{encode_frame_limited, FrameDecoder};
+use gis_proto::{GripReply, ProtocolMessage};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Socket-level knobs for both endpoint (server) and outbound (client)
+/// sides. One set of defaults fits tests and production-ish loopback use;
+/// experiments and robustness tests tighten individual fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpTuning {
+    /// Outbound dial deadline.
+    pub connect_timeout: Duration,
+    /// Server: maximum mid-frame stall before a connection is dropped.
+    /// Outbound: maximum wait for a reply frame.
+    pub read_deadline: Duration,
+    /// Maximum blocking write before a slow-consumer connection is
+    /// dropped.
+    pub write_deadline: Duration,
+    /// Per-frame body ceiling (both directions).
+    pub max_frame: usize,
+    /// Server: maximum concurrently accepted connections.
+    pub max_conns: usize,
+    /// Outbound: idle pooled connections kept per peer.
+    pub pool_idle: usize,
+}
+
+impl Default for TcpTuning {
+    fn default() -> TcpTuning {
+        TcpTuning {
+            connect_timeout: Duration::from_secs(1),
+            read_deadline: Duration::from_secs(5),
+            write_deadline: Duration::from_secs(5),
+            max_frame: gis_proto::MAX_FRAME,
+            max_conns: 256,
+            pool_idle: 4,
+        }
+    }
+}
+
+/// Reader-loop buffer size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// How often blocked threads re-check shutdown flags.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// One accepted connection's write half, shared between the reply path
+/// and the endpoint's shutdown path.
+struct ConnHandle {
+    stream: Mutex<TcpStream>,
+    max_frame: usize,
+}
+
+/// Registry of accepted connections, keyed by the id carried in
+/// [`Address::Tcp`]. Shared by every endpoint of a runtime so the router
+/// can write a reply without knowing which endpoint accepted the
+/// connection.
+#[derive(Default)]
+pub(crate) struct ConnTable {
+    conns: RwLock<HashMap<u64, Arc<ConnHandle>>>,
+    next: AtomicU64,
+}
+
+impl ConnTable {
+    fn register(&self, stream: TcpStream, max_frame: usize) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conns.write().insert(
+            id,
+            Arc::new(ConnHandle {
+                stream: Mutex::new(stream),
+                max_frame,
+            }),
+        );
+        id
+    }
+
+    fn remove(&self, id: u64) {
+        if let Some(conn) = self.conns.write().remove(&id) {
+            let _ = conn.stream.lock().shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Encode and write one frame to connection `id`. Returns `false`
+    /// (and drops the connection) when the peer is gone or too slow —
+    /// exactly the silent-drop semantics the in-process router has for
+    /// vanished clients.
+    pub(crate) fn send(&self, id: u64, msg: &ProtocolMessage) -> bool {
+        let Some(conn) = self.conns.read().get(&id).map(Arc::clone) else {
+            return false;
+        };
+        let mut buf = bytes::BytesMut::new();
+        if encode_frame_limited(msg, &mut buf, conn.max_frame).is_err() {
+            return false;
+        }
+        let mut stream = conn.stream.lock();
+        if stream.write_all(&buf).is_ok() && stream.flush().is_ok() {
+            true
+        } else {
+            drop(stream);
+            self.remove(id);
+            false
+        }
+    }
+}
+
+/// A served TCP listener: the socket front-end of one spawned service.
+pub(crate) struct TcpEndpoint {
+    stop: Arc<AtomicBool>,
+    conn_ids: Arc<Mutex<Vec<u64>>>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpEndpoint {
+    /// Bind `authority` and start serving frames into `inbox`.
+    pub(crate) fn spawn(
+        authority: &str,
+        inbox: Sender<LiveMsg>,
+        conns: Arc<ConnTable>,
+        tuning: TcpTuning,
+    ) -> std::io::Result<TcpEndpoint> {
+        let listener = TcpListener::bind(authority)?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conn_ids = Arc::new(Mutex::new(Vec::new()));
+        let active = Arc::new(AtomicUsize::new(0));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_conn_ids = Arc::clone(&conn_ids);
+        let accept_thread = std::thread::spawn(move || loop {
+            if accept_stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if active.load(Ordering::Relaxed) >= tuning.max_conns {
+                        // Slot-limited: refuse by closing immediately.
+                        drop(stream);
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::Relaxed);
+                    spawn_conn_reader(
+                        stream,
+                        inbox.clone(),
+                        Arc::clone(&conns),
+                        tuning,
+                        Arc::clone(&accept_stop),
+                        Arc::clone(&accept_conn_ids),
+                        Arc::clone(&active),
+                    );
+                }
+                Err(e) if is_timeout(&e) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => break,
+            }
+        });
+
+        Ok(TcpEndpoint {
+            stop,
+            conn_ids,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Stop accepting, close every live connection, join the accept loop.
+    pub(crate) fn shutdown(mut self, conns: &ConnTable) {
+        self.stop.store(true, Ordering::Relaxed);
+        for id in self.conn_ids.lock().drain(..) {
+            conns.remove(id);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_conn_reader(
+    stream: TcpStream,
+    inbox: Sender<LiveMsg>,
+    conns: Arc<ConnTable>,
+    tuning: TcpTuning,
+    stop: Arc<AtomicBool>,
+    conn_ids: Arc<Mutex<Vec<u64>>>,
+    active: Arc<AtomicUsize>,
+) {
+    std::thread::spawn(move || {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(tuning.write_deadline));
+        let Ok(read_half) = stream.try_clone() else {
+            active.fetch_sub(1, Ordering::Relaxed);
+            return;
+        };
+        let conn_id = conns.register(stream, tuning.max_frame);
+        conn_ids.lock().push(conn_id);
+        read_loop(read_half, conn_id, &inbox, &tuning, &stop);
+        conns.remove(conn_id);
+        conn_ids.lock().retain(|&id| id != conn_id);
+        active.fetch_sub(1, Ordering::Relaxed);
+    });
+}
+
+/// Decode frames from one accepted connection into the service inbox
+/// until EOF, a protocol error, a mid-frame stall, or shutdown.
+fn read_loop(
+    mut stream: TcpStream,
+    conn_id: u64,
+    inbox: &Sender<LiveMsg>,
+    tuning: &TcpTuning,
+    stop: &AtomicBool,
+) {
+    // Short socket timeout so both the shutdown flag and the mid-frame
+    // deadline are checked promptly; `stall_since` tracks the wall-clock
+    // start of the current incomplete frame.
+    let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL.min(tuning.read_deadline)));
+    let mut dec = FrameDecoder::with_max_frame(tuning.max_frame);
+    let mut buf = vec![0u8; READ_CHUNK];
+    let mut stall_since: Option<Instant> = None;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                dec.feed(&buf[..n]);
+                loop {
+                    match dec.next() {
+                        Ok(Some(msg)) => {
+                            if !dispatch_inbound(msg, conn_id, inbox) {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        // Oversized or malformed frame: drop the
+                        // connection cleanly; the sender sees EOF.
+                        Err(_) => return,
+                    }
+                }
+                stall_since = if dec.mid_frame() {
+                    Some(stall_since.unwrap_or_else(Instant::now))
+                } else {
+                    None
+                };
+            }
+            Err(e) if is_timeout(&e) => {
+                if let Some(since) = stall_since {
+                    if since.elapsed() >= tuning.read_deadline {
+                        // Half a frame, then silence: slow-peer deadline
+                        // trips and the connection slot is freed.
+                        return;
+                    }
+                } else if dec.mid_frame() {
+                    stall_since = Some(Instant::now());
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Translate one decoded frame into the same `LiveMsg` the in-process
+/// transport would deliver. Returns `false` when the connection must be
+/// dropped (service gone, or the peer sent a frame a server never
+/// accepts).
+fn dispatch_inbound(msg: ProtocolMessage, conn_id: u64, inbox: &Sender<LiveMsg>) -> bool {
+    let (trace, inner) = msg.untraced();
+    let live = match inner {
+        ProtocolMessage::Request(request) => LiveMsg::Request {
+            from: Address::Tcp(conn_id),
+            request,
+            trace,
+            enqueued: Instant::now(),
+        },
+        ProtocolMessage::Grrp(m) => LiveMsg::Grrp(m),
+        // A server-side connection carries requests and registrations;
+        // an unsolicited Reply is a protocol violation.
+        ProtocolMessage::Reply(_) | ProtocolMessage::Traced { .. } => return false,
+    };
+    inbox.send(live).is_ok()
+}
+
+/// What one outbound request produced.
+pub(crate) type OutboundResult = Result<GripReply, TransportError>;
+
+/// Why an outbound request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TransportError {
+    /// Could not dial the peer.
+    Connect,
+    /// The connection dropped (or desynced) before a full reply arrived.
+    Dropped,
+    /// No full reply within the read deadline.
+    Timeout,
+}
+
+/// Completion callback for one outbound request.
+pub(crate) type ReplySink = Box<dyn FnOnce(OutboundResult) + Send + 'static>;
+
+/// One unit of outbound work: a frame, plus (for requests) the sink the
+/// single reply frame is handed to. GRRP notifications are one-way.
+struct Job {
+    frame: ProtocolMessage,
+    reply: Option<ReplySink>,
+}
+
+/// Connection-pooling TCP client shared by a runtime (GIIS chaining,
+/// GRRP registration streams) and by standalone [`LiveClient`]
+/// (crate::live::LiveClient) handles in client-only processes.
+pub(crate) struct TcpOutbound {
+    /// Idle pooled connections per `host:port` peer. Behind an `Arc` so
+    /// connection workers can re-register themselves without borrowing
+    /// the pool.
+    idle: Arc<Mutex<HashMap<String, Vec<Sender<Job>>>>>,
+    tuning: TcpTuning,
+    closed: Arc<AtomicBool>,
+}
+
+impl Default for TcpOutbound {
+    fn default() -> TcpOutbound {
+        TcpOutbound::new(TcpTuning::default())
+    }
+}
+
+impl TcpOutbound {
+    pub(crate) fn new(tuning: TcpTuning) -> TcpOutbound {
+        TcpOutbound {
+            idle: Arc::new(Mutex::new(HashMap::new())),
+            tuning,
+            closed: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Fire-and-forget a frame (GRRP notifications). Connection errors
+    /// are the soft-state protocol's problem: a lost registration is
+    /// re-sent at the next refresh interval.
+    pub(crate) fn oneway(&self, peer: &str, frame: ProtocolMessage) {
+        self.submit(peer, Job { frame, reply: None });
+    }
+
+    /// Send a request frame and hand the single reply frame (or the
+    /// failure) to `sink`, asynchronously.
+    pub(crate) fn request(&self, peer: &str, frame: ProtocolMessage, sink: ReplySink) {
+        self.submit(
+            peer,
+            Job {
+                frame,
+                reply: Some(sink),
+            },
+        );
+    }
+
+    /// Stop all pooled connection workers (checked at their next poll).
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Relaxed);
+        self.idle.lock().clear();
+    }
+
+    fn submit(&self, peer: &str, mut job: Job) {
+        if self.closed.load(Ordering::Relaxed) {
+            if let Some(sink) = job.reply.take() {
+                sink(Err(TransportError::Dropped));
+            }
+            return;
+        }
+        // Reuse an idle pooled connection when one exists.
+        loop {
+            let Some(tx) = self.idle.lock().get_mut(peer).and_then(Vec::pop) else {
+                break;
+            };
+            match tx.send(job) {
+                Ok(()) => return,
+                // That worker died since going idle; try the next.
+                Err(crossbeam::channel::SendError(j)) => job = j,
+            }
+        }
+        self.spawn_conn(peer, job);
+    }
+
+    fn spawn_conn(&self, peer: &str, job: Job) {
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(1);
+        let peer_key = peer.to_owned();
+        let tuning = self.tuning;
+        let closed = Arc::clone(&self.closed);
+        let idle = IdleHook {
+            closed: Arc::clone(&self.closed),
+            map: Arc::clone(&self.idle),
+        };
+        std::thread::spawn(move || {
+            conn_worker(&peer_key, job, rx, tx, tuning, closed, idle);
+        });
+    }
+}
+
+/// A cloneable handle through which a connection worker re-registers
+/// itself as idle. Holds the pool's idle map behind an `Arc`, detached
+/// from the pool's lifetime (workers outlive `TcpOutbound::close`
+/// briefly; the `closed` flag keeps them from re-registering).
+struct IdleHook {
+    closed: Arc<AtomicBool>,
+    map: Arc<Mutex<HashMap<String, Vec<Sender<Job>>>>>,
+}
+
+impl IdleHook {
+    fn park(&self, peer: &str, tx: Sender<Job>, cap: usize) -> bool {
+        if self.closed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut map = self.map.lock();
+        let slot = map.entry(peer.to_owned()).or_default();
+        if slot.len() >= cap {
+            return false;
+        }
+        slot.push(tx);
+        true
+    }
+}
+
+fn conn_worker(
+    peer: &str,
+    first: Job,
+    rx: Receiver<Job>,
+    self_tx: Sender<Job>,
+    tuning: TcpTuning,
+    closed: Arc<AtomicBool>,
+    idle: IdleHook,
+) {
+    // Dial with the connect deadline.
+    let stream = resolve(peer)
+        .and_then(|addr| TcpStream::connect_timeout(&addr, tuning.connect_timeout).ok());
+    let Some(mut stream) = stream else {
+        if let Some(sink) = first.reply {
+            sink(Err(TransportError::Connect));
+        }
+        return;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(tuning.write_deadline));
+    let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL.min(tuning.read_deadline)));
+    let mut dec = FrameDecoder::with_max_frame(tuning.max_frame);
+
+    let mut job = Some(first);
+    loop {
+        let Some(j) = job.take() else {
+            // Wait parked-idle for the next job.
+            match rx.recv_timeout(SHUTDOWN_POLL * 5) {
+                Ok(j) => job = Some(j),
+                Err(RecvTimeoutError::Timeout) => {
+                    if closed.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+            continue;
+        };
+        if !run_job(j, &mut stream, &mut dec, &tuning) {
+            return; // connection no longer trustworthy
+        }
+        if !idle.park(peer, self_tx.clone(), tuning.pool_idle) {
+            return; // pool full or closed: retire this connection
+        }
+    }
+}
+
+/// Execute one job on the live connection. Returns `false` when the
+/// connection must be retired.
+fn run_job(job: Job, stream: &mut TcpStream, dec: &mut FrameDecoder, tuning: &TcpTuning) -> bool {
+    let mut buf = bytes::BytesMut::new();
+    if encode_frame_limited(&job.frame, &mut buf, tuning.max_frame).is_err()
+        || stream.write_all(&buf).is_err()
+        || stream.flush().is_err()
+    {
+        if let Some(sink) = job.reply {
+            sink(Err(TransportError::Dropped));
+        }
+        return false;
+    }
+    let Some(sink) = job.reply else {
+        return true; // one-way: done
+    };
+    // Wait for exactly one reply frame within the read deadline.
+    let deadline = Instant::now() + tuning.read_deadline;
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        match dec.next() {
+            Ok(Some(ProtocolMessage::Reply(reply))) => {
+                sink(Ok(reply));
+                // Any residual bytes mean the peer broke the one-reply
+                // rhythm; keep the connection only when clean.
+                return !dec.mid_frame();
+            }
+            Ok(Some(_)) => {
+                sink(Err(TransportError::Dropped));
+                return false;
+            }
+            Ok(None) => {}
+            Err(_) => {
+                sink(Err(TransportError::Dropped));
+                return false;
+            }
+        }
+        if Instant::now() >= deadline {
+            sink(Err(TransportError::Timeout));
+            return false;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                sink(Err(TransportError::Dropped));
+                return false;
+            }
+            Ok(n) => dec.feed(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {}
+            Err(_) => {
+                sink(Err(TransportError::Dropped));
+                return false;
+            }
+        }
+    }
+}
+
+/// Resolve `host:port` to the first socket address.
+pub(crate) fn resolve(peer: &str) -> Option<SocketAddr> {
+    peer.to_socket_addrs().ok()?.next()
+}
+
+/// Why [`ClientConn::recv`] returned no message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecvFail {
+    /// Deadline passed with no complete frame.
+    Timeout,
+    /// Connection closed or desynced; the caller must reconnect.
+    Closed,
+}
+
+/// A client's single persistent connection to one endpoint. Unlike the
+/// pooled [`TcpOutbound`] connections (strict request/reply rhythm),
+/// this carries a full client session: requests out, any number of
+/// replies and subscription updates back, in whatever order the service
+/// produces them — the socket analogue of a [`LiveClient`]
+/// (crate::live::LiveClient) reply channel.
+pub(crate) struct ClientConn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+}
+
+impl ClientConn {
+    /// Dial `peer` (`host:port`) under `tuning`'s connect deadline.
+    pub(crate) fn connect(peer: &str, tuning: TcpTuning) -> std::io::Result<ClientConn> {
+        let addr = resolve(peer).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("bad peer {peer:?}"),
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&addr, tuning.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(tuning.write_deadline))?;
+        stream.set_read_timeout(Some(SHUTDOWN_POLL))?;
+        Ok(ClientConn {
+            stream,
+            dec: FrameDecoder::with_max_frame(tuning.max_frame),
+        })
+    }
+
+    /// Encode and send one frame. `false` means the connection is dead.
+    pub(crate) fn send(&mut self, msg: &ProtocolMessage, max_frame: usize) -> bool {
+        let mut buf = bytes::BytesMut::new();
+        encode_frame_limited(msg, &mut buf, max_frame).is_ok()
+            && self.stream.write_all(&buf).is_ok()
+            && self.stream.flush().is_ok()
+    }
+
+    /// Receive the next frame, waiting up to `timeout`.
+    pub(crate) fn recv(&mut self, timeout: Duration) -> Result<ProtocolMessage, RecvFail> {
+        let deadline = Instant::now() + timeout;
+        let mut chunk = vec![0u8; READ_CHUNK];
+        loop {
+            match self.dec.next() {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => {}
+                Err(_) => return Err(RecvFail::Closed),
+            }
+            if Instant::now() >= deadline {
+                return Err(RecvFail::Timeout);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(RecvFail::Closed),
+                Ok(n) => self.dec.feed(&chunk[..n]),
+                Err(e) if is_timeout(&e) => {}
+                Err(_) => return Err(RecvFail::Closed),
+            }
+        }
+    }
+}

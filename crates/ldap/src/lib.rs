@@ -35,4 +35,4 @@ pub use filter::Filter;
 pub use ldif::{entry_to_ldif, parse_ldif, to_ldif};
 pub use schema::{ObjectClassDef, Schema, Strictness};
 pub use shared::SharedDit;
-pub use url::LdapUrl;
+pub use url::{LdapUrl, UrlScheme};

@@ -1,4 +1,5 @@
-//! LDAP URLs: `ldap://host:port/dn`.
+//! LDAP URLs: `ldap://host:port/dn`, plus the transport-addressed
+//! `tcp://host:port/dn` form.
 //!
 //! The paper uses LDAP URLs in two roles: as the *globally unique name* of
 //! information ("combination of name of information within the scope of the
@@ -6,6 +7,12 @@
 //! target a GIIS returns when it may not cache restricted data (§10.4).
 //! GRRP messages also carry "a URL to which GRIP messages can be directed"
 //! (§4.3).
+//!
+//! The `tcp://` scheme names an endpoint reachable over a real socket:
+//! `host:port` is a dialable TCP address (the live runtime's transport
+//! layer serves GRIP/GRRP frames there), where an `ldap://` URL is a
+//! logical name routed by whatever substrate hosts the service (the
+//! simulator's name service or the live runtime's in-process router).
 
 use crate::dn::Dn;
 use crate::error::{LdapError, Result};
@@ -16,12 +23,37 @@ use std::str::FromStr;
 /// Default LDAP port, used when a URL omits one.
 pub const DEFAULT_PORT: u16 = 389;
 
-/// A parsed `ldap://host:port/dn` URL.
+/// URL scheme: which substrate the endpoint is addressed on.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum UrlScheme {
+    /// Logical service name (`ldap://`): routed in-process or in-sim.
+    #[default]
+    Ldap,
+    /// Socket address (`tcp://`): `host:port` is dialed over real TCP.
+    Tcp,
+}
+
+impl UrlScheme {
+    /// The scheme prefix including `://`.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            UrlScheme::Ldap => "ldap://",
+            UrlScheme::Tcp => "tcp://",
+        }
+    }
+}
+
+/// A parsed `ldap://host:port/dn` (or `tcp://host:port/dn`) URL.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LdapUrl {
+    /// Addressing scheme (`ldap://` logical name vs `tcp://` socket).
+    pub scheme: UrlScheme,
     /// Host name of the serving provider or directory.
     pub host: String,
-    /// TCP port (conceptually; the simulator maps this to actor addresses).
+    /// TCP port (conceptually for `ldap://`; a real dialable port for
+    /// `tcp://`).
     pub port: u16,
     /// Base DN within the server's namespace.
     pub dn: Dn,
@@ -31,6 +63,7 @@ impl LdapUrl {
     /// Construct a URL.
     pub fn new(host: impl Into<String>, port: u16, dn: Dn) -> LdapUrl {
         LdapUrl {
+            scheme: UrlScheme::Ldap,
             host: host.into(),
             port,
             dn,
@@ -42,11 +75,37 @@ impl LdapUrl {
         LdapUrl::new(host, DEFAULT_PORT, Dn::root())
     }
 
+    /// Construct a `tcp://host:port` endpoint URL (server root).
+    pub fn tcp(host: impl Into<String>, port: u16) -> LdapUrl {
+        LdapUrl {
+            scheme: UrlScheme::Tcp,
+            host: host.into(),
+            port,
+            dn: Dn::root(),
+        }
+    }
+
+    /// True when this URL names a dialable TCP endpoint.
+    pub fn is_tcp(&self) -> bool {
+        self.scheme == UrlScheme::Tcp
+    }
+
+    /// The `host:port` authority — what a TCP transport dials.
+    pub fn authority(&self) -> String {
+        format!("{}:{}", self.host, self.port)
+    }
+
     /// Parse from string form.
     pub fn parse(s: &str) -> Result<LdapUrl> {
-        let rest = s
-            .strip_prefix("ldap://")
-            .ok_or_else(|| LdapError::InvalidUrl(format!("missing ldap:// scheme in {s:?}")))?;
+        let (scheme, rest) = if let Some(rest) = s.strip_prefix("ldap://") {
+            (UrlScheme::Ldap, rest)
+        } else if let Some(rest) = s.strip_prefix("tcp://") {
+            (UrlScheme::Tcp, rest)
+        } else {
+            return Err(LdapError::InvalidUrl(format!(
+                "missing ldap:// or tcp:// scheme in {s:?}"
+            )));
+        };
         let (authority, path) = match rest.find('/') {
             Some(idx) => (&rest[..idx], &rest[idx + 1..]),
             None => (rest, ""),
@@ -68,6 +127,7 @@ impl LdapUrl {
         }
         let dn = Dn::parse(&path.replace("%20", " "))?;
         Ok(LdapUrl {
+            scheme,
             host: host.to_owned(),
             port,
             dn,
@@ -75,9 +135,10 @@ impl LdapUrl {
     }
 
     /// The globally unique name for `local_dn` served by this endpoint:
-    /// same host/port, with the DN replaced.
+    /// same scheme/host/port, with the DN replaced.
     pub fn naming(&self, dn: Dn) -> LdapUrl {
         LdapUrl {
+            scheme: self.scheme,
             host: self.host.clone(),
             port: self.port,
             dn,
@@ -87,7 +148,7 @@ impl LdapUrl {
 
 impl fmt::Display for LdapUrl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ldap://{}:{}", self.host, self.port)?;
+        write!(f, "{}{}:{}", self.scheme.prefix(), self.host, self.port)?;
         if !self.dn.is_root() {
             write!(f, "/{}", self.dn.to_string().replace(' ', "%20"))?;
         }
@@ -109,6 +170,7 @@ mod tests {
     #[test]
     fn parse_full_form() {
         let u = LdapUrl::parse("ldap://giis.vo-a.org:2135/hn=hostX,%20o=O1").unwrap();
+        assert_eq!(u.scheme, UrlScheme::Ldap);
         assert_eq!(u.host, "giis.vo-a.org");
         assert_eq!(u.port, 2135);
         assert_eq!(u.dn, Dn::parse("hn=hostX, o=O1").unwrap());
@@ -129,6 +191,8 @@ mod tests {
             "ldap://a.example:389",
             "ldap://a.example:2135/hn=h",
             "ldap://b:1/perf=load5,%20hn=h,%20o=O1",
+            "tcp://127.0.0.1:5389",
+            "tcp://127.0.0.1:5389/ou=site0,%20o=fleet",
         ] {
             let u = LdapUrl::parse(s).unwrap();
             assert_eq!(LdapUrl::parse(&u.to_string()).unwrap(), u);
@@ -136,9 +200,21 @@ mod tests {
     }
 
     #[test]
+    fn tcp_scheme_parses_and_displays() {
+        let u = LdapUrl::parse("tcp://127.0.0.1:5389").unwrap();
+        assert!(u.is_tcp());
+        assert_eq!(u.authority(), "127.0.0.1:5389");
+        assert_eq!(u.to_string(), "tcp://127.0.0.1:5389");
+        assert_eq!(LdapUrl::tcp("127.0.0.1", 5389), u);
+        // Distinct from the ldap:// URL with the same authority.
+        assert_ne!(u, LdapUrl::new("127.0.0.1", 5389, Dn::root()));
+    }
+
+    #[test]
     fn rejects_malformed() {
         assert!(LdapUrl::parse("http://x").is_err());
         assert!(LdapUrl::parse("ldap://").is_err());
+        assert!(LdapUrl::parse("tcp://").is_err());
         assert!(LdapUrl::parse("ldap://host:notaport/").is_err());
     }
 
@@ -150,5 +226,7 @@ mod tests {
             name.to_string(),
             "ldap://gris.site.edu:389/perf=load5,%20hn=hostX"
         );
+        let tcp = LdapUrl::tcp("10.0.0.1", 5389).naming(Dn::parse("hn=h").unwrap());
+        assert_eq!(tcp.to_string(), "tcp://10.0.0.1:5389/hn=h");
     }
 }

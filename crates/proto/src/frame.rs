@@ -1,0 +1,359 @@
+//! Length-prefixed framing for [`ProtocolMessage`] on byte streams.
+//!
+//! The simulator and the in-process live router move `ProtocolMessage`
+//! *values*; a real transport moves *bytes*. This module defines the one
+//! frame format both ends of a socket agree on:
+//!
+//! ```text
+//! +----------------+----------------------------------------+
+//! | len: u32 (BE)  | body: ProtocolMessage (Wire encoding)  |
+//! +----------------+----------------------------------------+
+//!      4 bytes            exactly `len` bytes
+//! ```
+//!
+//! The body reuses the existing [`Wire`] codec from [`crate::wire`], so a
+//! frame's payload is byte-identical to what the codec tests already
+//! cover; framing adds only the delimiter. Design points:
+//!
+//! * **Max frame.** A peer that announces a length above the decoder's
+//!   limit is rejected *before* any buffering of the body — a 4-byte
+//!   header cannot make the receiver allocate gigabytes. Encoding checks
+//!   the same limit so a local oversized message fails fast.
+//! * **Partial reads.** [`FrameDecoder`] is incremental: feed it whatever
+//!   byte windows the socket yields (`feed`), pull zero or more complete
+//!   frames (`next`). Frames split at arbitrary boundaries — including
+//!   mid-header — reassemble exactly.
+//! * **Trailing bytes.** A body that decodes short of its declared
+//!   length is a protocol error, not silently ignored: the encoder and
+//!   decoder must agree on every byte.
+
+use crate::wire::ProtocolMessage;
+use bytes::{BufMut, BytesMut};
+use gis_ldap::codec::Wire;
+use gis_ldap::{LdapError, Result};
+
+/// Default ceiling on one frame's body length. Generous for directory
+/// result sets (tens of thousands of entries) while bounding what a
+/// malicious or corrupted peer can make the receiver buffer.
+pub const MAX_FRAME: usize = 8 << 20; // 8 MiB
+
+/// Length of the frame header.
+pub const FRAME_HEADER: usize = 4;
+
+/// Encode `msg` as one length-prefixed frame, appending to `buf`.
+/// Fails (rather than emitting an undecodable frame) if the body would
+/// exceed `max_frame`.
+pub fn encode_frame_limited(
+    msg: &ProtocolMessage,
+    buf: &mut BytesMut,
+    max_frame: usize,
+) -> Result<()> {
+    let start = buf.len();
+    buf.put_u32(0); // patched below
+    msg.encode(buf);
+    let body = buf.len() - start - FRAME_HEADER;
+    if body > max_frame {
+        buf.truncate(start);
+        return Err(LdapError::Codec(format!(
+            "frame body {body} bytes exceeds max frame {max_frame}"
+        )));
+    }
+    let len = (body as u32).to_be_bytes();
+    buf[start..start + FRAME_HEADER].copy_from_slice(&len);
+    Ok(())
+}
+
+/// [`encode_frame_limited`] with the default [`MAX_FRAME`] ceiling.
+pub fn encode_frame(msg: &ProtocolMessage, buf: &mut BytesMut) -> Result<()> {
+    encode_frame_limited(msg, buf, MAX_FRAME)
+}
+
+/// Encode `msg` as one framed byte vector (default ceiling).
+pub fn frame_bytes(msg: &ProtocolMessage) -> Result<Vec<u8>> {
+    let mut buf = BytesMut::new();
+    encode_frame(msg, &mut buf)?;
+    Ok(buf.to_vec())
+}
+
+/// Incremental frame reassembler for one byte stream.
+///
+/// Feed raw socket reads in with [`feed`](FrameDecoder::feed); drain
+/// complete messages with [`next`](FrameDecoder::next). Any error is
+/// terminal for the stream: framing has lost sync, so the connection
+/// should be dropped.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Body length parsed from the current header, once 4 bytes arrived.
+    pending: Option<usize>,
+    max_frame: usize,
+    poisoned: bool,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> FrameDecoder {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// Decoder with the default [`MAX_FRAME`] ceiling.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::with_max_frame(MAX_FRAME)
+    }
+
+    /// Decoder with an explicit per-frame body ceiling.
+    pub fn with_max_frame(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            pending: None,
+            max_frame,
+            poisoned: false,
+        }
+    }
+
+    /// Append raw bytes read from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when a partial frame (header or body) sits in the buffer —
+    /// the peer owes us bytes. Used by read-deadline logic: an idle
+    /// connection between frames is fine, a stalled half-frame is not.
+    pub fn mid_frame(&self) -> bool {
+        self.pending.is_some() || !self.buf.is_empty()
+    }
+
+    /// Buffered bytes not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to decode the next complete frame. `Ok(None)` means more
+    /// bytes are needed. An `Err` poisons the decoder: the stream can no
+    /// longer be trusted to be frame-aligned, and every later call
+    /// returns an error too.
+    ///
+    /// Not `Iterator::next`: `Ok(None)` means "feed me more", not "done".
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<ProtocolMessage>> {
+        if self.poisoned {
+            return Err(LdapError::Codec("frame stream poisoned".into()));
+        }
+        // Parse the header once 4 bytes are available.
+        if self.pending.is_none() {
+            if self.buf.len() < FRAME_HEADER {
+                return Ok(None);
+            }
+            let len =
+                u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+            if len > self.max_frame {
+                self.poisoned = true;
+                return Err(LdapError::Codec(format!(
+                    "frame body {len} bytes exceeds max frame {}",
+                    self.max_frame
+                )));
+            }
+            self.buf.drain(..FRAME_HEADER);
+            self.pending = Some(len);
+        }
+        let len = self.pending.unwrap_or(0);
+        if self.buf.len() < len {
+            return Ok(None);
+        }
+        let msg = (|| {
+            let mut r = gis_ldap::codec::WireReader::new(&self.buf[..len]);
+            let msg = ProtocolMessage::decode(&mut r)?;
+            if !r.is_done() {
+                return Err(LdapError::Codec(format!(
+                    "frame body has {} trailing bytes",
+                    r.remaining()
+                )));
+            }
+            Ok(msg)
+        })();
+        match msg {
+            Ok(msg) => {
+                self.buf.drain(..len);
+                self.pending = None;
+                Ok(Some(msg))
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grip::{GripReply, GripRequest, ResultCode, SearchSpec};
+    use crate::grrp::GrrpMessage;
+    use crate::trace::{TraceContext, TraceId};
+    use gis_ldap::{Dn, Entry, LdapUrl};
+    use gis_netsim::{secs, SimTime};
+
+    fn sample() -> Vec<ProtocolMessage> {
+        vec![
+            ProtocolMessage::Request(GripRequest::Search {
+                id: 7,
+                spec: SearchSpec::lookup(Dn::parse("hn=h").unwrap()),
+            }),
+            ProtocolMessage::Reply(GripReply::SearchResult {
+                id: 7,
+                code: ResultCode::Success,
+                entries: vec![Entry::at("hn=h").unwrap().with("load5", 0.25f64)],
+                referrals: vec![LdapUrl::tcp("127.0.0.1", 5389)],
+            }),
+            ProtocolMessage::Grrp(GrrpMessage::register(
+                LdapUrl::tcp("10.1.2.3", 2135),
+                Dn::parse("hn=h, o=O1").unwrap(),
+                SimTime::ZERO,
+                secs(30),
+            )),
+            ProtocolMessage::Request(GripRequest::Unsubscribe { id: 1 }).traced(TraceContext {
+                trace: TraceId(99),
+                parent: 98,
+            }),
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut buf = BytesMut::new();
+        for m in sample() {
+            encode_frame(&m, &mut buf).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        for want in sample() {
+            assert_eq!(dec.next().unwrap().unwrap(), want);
+        }
+        assert!(dec.next().unwrap().is_none());
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn frames_roundtrip_byte_at_a_time() {
+        let mut buf = BytesMut::new();
+        for m in sample() {
+            encode_frame(&m, &mut buf).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in buf.iter() {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(m) = dec.next().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, sample());
+    }
+
+    #[test]
+    fn mid_frame_reports_partial_state() {
+        let bytes = frame_bytes(&sample()[0]).unwrap();
+        let mut dec = FrameDecoder::new();
+        assert!(!dec.mid_frame());
+        dec.feed(&bytes[..2]); // half a header is still a partial frame
+        assert!(dec.next().unwrap().is_none());
+        assert!(dec.mid_frame());
+        dec.feed(&bytes[2..bytes.len() - 1]);
+        assert!(dec.next().unwrap().is_none());
+        assert!(dec.mid_frame());
+        dec.feed(&bytes[bytes.len() - 1..]);
+        assert!(dec.next().unwrap().is_some());
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn oversized_header_rejected_before_buffering() {
+        let mut dec = FrameDecoder::with_max_frame(1024);
+        dec.feed(&(2048u32).to_be_bytes());
+        let err = dec.next().unwrap_err();
+        assert!(err.to_string().contains("max frame"), "{err}");
+        // Poisoned: even valid bytes afterwards are refused.
+        dec.feed(&frame_bytes(&sample()[0]).unwrap());
+        assert!(dec.next().is_err());
+    }
+
+    #[test]
+    fn encode_refuses_oversized_body() {
+        let big = ProtocolMessage::Reply(GripReply::SearchResult {
+            id: 1,
+            code: ResultCode::Success,
+            entries: vec![Entry::at("hn=h").unwrap().with("blob", "x".repeat(4096))],
+            referrals: vec![],
+        });
+        let mut buf = BytesMut::new();
+        assert!(encode_frame_limited(&big, &mut buf, 256).is_err());
+        assert!(buf.is_empty(), "failed encode leaves no partial frame");
+        assert!(encode_frame_limited(&big, &mut buf, MAX_FRAME).is_ok());
+    }
+
+    #[test]
+    fn max_size_frame_roundtrips_and_one_over_fails() {
+        // Find the exact body size of a message, then frame it with a
+        // ceiling exactly at and one byte below that size.
+        let msg = ProtocolMessage::Reply(GripReply::SearchResult {
+            id: 1,
+            code: ResultCode::Success,
+            entries: vec![Entry::at("hn=h").unwrap().with("blob", "y".repeat(1000))],
+            referrals: vec![],
+        });
+        let body = msg.to_wire().len();
+        let mut buf = BytesMut::new();
+        encode_frame_limited(&msg, &mut buf, body).unwrap();
+        let mut dec = FrameDecoder::with_max_frame(body);
+        dec.feed(&buf);
+        assert_eq!(dec.next().unwrap().unwrap(), msg);
+
+        let mut buf = BytesMut::new();
+        assert!(encode_frame_limited(&msg, &mut buf, body - 1).is_err());
+        let mut dec = FrameDecoder::with_max_frame(body - 1);
+        let mut framed = BytesMut::new();
+        encode_frame(&msg, &mut framed).unwrap();
+        dec.feed(&framed);
+        assert!(dec.next().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_in_body_rejected() {
+        let bytes = frame_bytes(&sample()[0]).unwrap();
+        // Lie about the length: declare one extra byte and pad it.
+        let mut bad = Vec::new();
+        let body = (bytes.len() - FRAME_HEADER + 1) as u32;
+        bad.extend_from_slice(&body.to_be_bytes());
+        bad.extend_from_slice(&bytes[FRAME_HEADER..]);
+        bad.push(0xAA);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bad);
+        let err = dec.next().unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn nested_traced_frame_rejected() {
+        // Hand-build tag-3(ctx, tag-3(ctx, request)) — the codec refuses
+        // it, and the frame decoder surfaces that as a stream error.
+        let ctx = TraceContext {
+            trace: TraceId(1),
+            parent: 2,
+        };
+        let inner = ProtocolMessage::Request(GripRequest::Unsubscribe { id: 1 }).traced(ctx);
+        let mut body = BytesMut::new();
+        body.put_u8(3);
+        gis_ldap::codec::put_varint(&mut body, ctx.trace.0);
+        gis_ldap::codec::put_varint(&mut body, ctx.parent);
+        inner.encode(&mut body);
+        let mut framed = BytesMut::new();
+        framed.put_u32(body.len() as u32);
+        framed.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&framed);
+        let err = dec.next().unwrap_err();
+        assert!(err.to_string().contains("nested traced"), "{err}");
+    }
+}

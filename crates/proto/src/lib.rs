@@ -11,7 +11,9 @@
 //! * [`grrp`] — the registration protocol: soft-state registry, refresh
 //!   agent, failure detector;
 //! * [`wire`] — binary encodings and the top-level [`ProtocolMessage`]
-//!   frame moved by the runtimes.
+//!   frame moved by the runtimes;
+//! * [`frame`] — length-prefixed framing of [`ProtocolMessage`] for byte
+//!   streams (the TCP transport's wire format).
 //!
 //! Everything here is sans-IO: state machines take messages and clock
 //! readings in and yield messages out, so the same code runs over the
@@ -19,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod frame;
 pub mod grip;
 pub mod grrp;
 pub mod metrics;
@@ -26,6 +29,9 @@ pub mod stats;
 pub mod trace;
 pub mod wire;
 
+pub use frame::{
+    encode_frame, encode_frame_limited, frame_bytes, FrameDecoder, FRAME_HEADER, MAX_FRAME,
+};
 pub use grip::{
     result_digest, GripReply, GripRequest, RequestId, ResultCode, SearchSpec, Subscription,
     SubscriptionMode, SubscriptionTable,

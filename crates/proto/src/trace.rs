@@ -79,6 +79,21 @@ impl TraceSink {
         TraceSink::default()
     }
 
+    /// Create an empty sink whose span ids start above `base`.
+    ///
+    /// Span ids are only unique *within* one sink; when traces cross OS
+    /// processes (the TCP transport), each process allocates from its
+    /// own sink, so the processes must carve out disjoint id spaces for
+    /// a stitched-together trace tree to link correctly. A client
+    /// process typically uses `with_base(id << 32)` for some small
+    /// process-unique `id`, leaving the server's sink at base 0.
+    pub fn with_base(base: u64) -> TraceSink {
+        TraceSink {
+            next: AtomicU64::new(base),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
     /// Allocate a fresh span id (also used to mint trace ids: the root
     /// span's id doubles as the trace id).
     pub fn next_span(&self) -> u64 {

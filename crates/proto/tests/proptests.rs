@@ -178,3 +178,170 @@ proptest! {
         let _ = ProtocolMessage::from_wire(&bytes);
     }
 }
+
+// ---------------------------------------------------------------------
+// Frame-format properties: the length-prefixed wire framing used by the
+// TCP transport, exercised over a real socket with arbitrary
+// fragmentation.
+
+use bytes::{BufMut, BytesMut};
+use gis_ldap::Entry;
+use gis_proto::{
+    encode_frame_limited, frame_bytes, FrameDecoder, TraceContext, TraceId, FRAME_HEADER,
+};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+fn entry() -> impl Strategy<Value = Entry> {
+    (
+        dn(),
+        prop::collection::vec(("[a-z]{1,6}", "[ -~]{0,12}"), 0..4),
+    )
+        .prop_map(|(dn, attrs)| {
+            let mut e = Entry::new(dn);
+            for (a, v) in attrs {
+                e = e.with(&a, v.as_str());
+            }
+            e
+        })
+}
+
+/// Any protocol message, optionally wrapped in one trace envelope (the
+/// codec forbids nesting them, covered separately below).
+fn message() -> impl Strategy<Value = ProtocolMessage> {
+    let request = (any::<u64>(), dn(), 0u32..50).prop_map(|(id, ns, limit)| {
+        ProtocolMessage::Request(GripRequest::Search {
+            id,
+            spec: SearchSpec::subtree(ns, gis_ldap::Filter::always()).limit(limit),
+        })
+    });
+    let reply = (
+        any::<u64>(),
+        prop::collection::vec(entry(), 0..4),
+        prop::collection::vec(url(), 0..3),
+    )
+        .prop_map(|(id, entries, referrals)| {
+            ProtocolMessage::Reply(GripReply::SearchResult {
+                id,
+                code: ResultCode::PartialResults,
+                entries,
+                referrals,
+            })
+        });
+    let register = grrp().prop_map(ProtocolMessage::Grrp);
+    (
+        prop_oneof![request, reply, register],
+        prop::option::of((any::<u64>(), any::<u64>())),
+    )
+        .prop_map(|(m, ctx)| match ctx {
+            Some((trace, parent)) => m.traced(TraceContext {
+                trace: TraceId(trace),
+                parent,
+            }),
+            None => m,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Encode a batch of messages, push the bytes through a real TCP
+    /// loopback socket in arbitrary-size chunks, reassemble with
+    /// [`FrameDecoder`]: the decoded sequence is identical, regardless
+    /// of where the kernel or the writer split the stream.
+    #[test]
+    fn frames_survive_arbitrary_fragmentation_over_a_socket(
+        msgs in prop::collection::vec(message(), 1..6),
+        cuts in prop::collection::vec(1usize..64, 0..24),
+    ) {
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            bytes.extend_from_slice(&frame_bytes(m).unwrap());
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut sock = TcpStream::connect(addr).unwrap();
+            sock.set_nodelay(true).unwrap();
+            let mut off = 0;
+            for cut in cuts {
+                if off >= bytes.len() {
+                    break;
+                }
+                let end = (off + cut).min(bytes.len());
+                sock.write_all(&bytes[off..end]).unwrap();
+                off = end;
+            }
+            sock.write_all(&bytes[off..]).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        conn.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut buf = [0u8; 37]; // deliberately odd read window
+        while got.len() < msgs.len() {
+            let n = conn.read(&mut buf).unwrap();
+            prop_assert!(n > 0, "stream ended before all frames arrived");
+            dec.feed(&buf[..n]);
+            while let Some(m) = dec.next().unwrap() {
+                got.push(m);
+            }
+        }
+        writer.join().unwrap();
+        prop_assert_eq!(got, msgs);
+        prop_assert!(!dec.mid_frame(), "no stray bytes after the last frame");
+    }
+
+    /// The decoder's ceiling is exact: a frame whose body is exactly the
+    /// limit decodes, one byte lower is rejected, and rejection poisons
+    /// the stream.
+    #[test]
+    fn decoder_ceiling_is_exact(m in message()) {
+        let framed = frame_bytes(&m).unwrap();
+        let body = framed.len() - FRAME_HEADER;
+        let mut dec = FrameDecoder::with_max_frame(body);
+        dec.feed(&framed);
+        prop_assert_eq!(dec.next().unwrap().unwrap(), m);
+        prop_assert!(!dec.mid_frame());
+
+        let mut dec = FrameDecoder::with_max_frame(body - 1);
+        dec.feed(&framed);
+        prop_assert!(dec.next().is_err());
+        prop_assert!(dec.next().is_err(), "a poisoned decoder stays poisoned");
+    }
+
+    /// The encoder refuses to emit a frame above the ceiling and leaves
+    /// the output buffer untouched when it does.
+    #[test]
+    fn encoder_ceiling_is_exact(m in message()) {
+        let body = m.to_wire().len();
+        let mut buf = BytesMut::new();
+        prop_assert!(encode_frame_limited(&m, &mut buf, body).is_ok());
+        prop_assert_eq!(buf.len(), FRAME_HEADER + body);
+        let mut small = BytesMut::new();
+        prop_assert!(encode_frame_limited(&m, &mut small, body - 1).is_err());
+        prop_assert!(small.is_empty(), "failed encode leaves no partial frame");
+    }
+
+    /// A hand-built frame nesting one trace envelope inside another is
+    /// rejected by the decoder for any payload.
+    #[test]
+    fn nested_trace_envelope_rejected(m in message(), t in any::<u64>(), p in any::<u64>()) {
+        let ctx = TraceContext { trace: TraceId(t), parent: p };
+        let inner = match m {
+            traced @ ProtocolMessage::Traced { .. } => traced,
+            plain => plain.traced(ctx),
+        };
+        let mut body = BytesMut::new();
+        body.put_u8(3); // outer Traced tag
+        gis_ldap::codec::put_varint(&mut body, t);
+        gis_ldap::codec::put_varint(&mut body, p);
+        inner.encode(&mut body);
+        let mut framed = BytesMut::new();
+        framed.put_u32(body.len() as u32);
+        framed.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&framed);
+        prop_assert!(dec.next().is_err(), "nested trace envelopes must not decode");
+    }
+}

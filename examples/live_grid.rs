@@ -6,7 +6,7 @@
 //! cargo run --example live_grid
 //! ```
 
-use grid_info_services::core::{LiveRuntime, SimDeployment};
+use grid_info_services::core::{LiveRuntime, ServeOptions, SimDeployment};
 use grid_info_services::giis::{Giis, GiisConfig, GiisMode};
 use grid_info_services::gris::HostSpec;
 use grid_info_services::ldap::{Dn, Filter, LdapUrl};
@@ -27,7 +27,7 @@ fn main() {
     giis.config.mode = GiisMode::Chain {
         timeout: SimDuration::from_millis(500),
     };
-    rt.spawn_giis(giis);
+    rt.spawn_giis(giis, ServeOptions::default()).unwrap();
 
     // Four hosts, each a GRIS on its own thread.
     let mut kill_url = None;
@@ -40,7 +40,7 @@ fn main() {
         if i == 3 {
             kill_url = Some(gris.config.url.clone());
         }
-        rt.spawn_gris(gris);
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
     }
 
     std::thread::sleep(Duration::from_millis(600));
@@ -49,7 +49,10 @@ fn main() {
 
     let t0 = Instant::now();
     let (code, entries, _) = client
-        .search(&vo_url, q.clone(), Duration::from_secs(5))
+        .request(&vo_url, q.clone())
+        .timeout(Duration::from_secs(5))
+        .send()
+        .outcome
         .expect("live chained search");
     println!(
         "discovered {} hosts ({code:?}) in {:.1} ms over real threads",
@@ -65,7 +68,10 @@ fn main() {
     rt.kill_service(&kill_url.unwrap());
     std::thread::sleep(Duration::from_millis(1500));
     let (_, entries, _) = client
-        .search(&vo_url, q, Duration::from_secs(5))
+        .request(&vo_url, q)
+        .timeout(Duration::from_secs(5))
+        .send()
+        .outcome
         .expect("post-failure search");
     println!("after expiry: {} hosts remain registered", entries.len());
 
@@ -83,7 +89,12 @@ fn main() {
                     Dn::root(),
                     Filter::parse("(objectclass=computer)").unwrap(),
                 );
-                if c.search(&vo, q, Duration::from_secs(5)).is_some() {
+                if c.request(&vo, q)
+                    .timeout(Duration::from_secs(5))
+                    .send()
+                    .outcome
+                    .is_some()
+                {
                     ok += 1;
                 }
             }

@@ -1,0 +1,67 @@
+//! TCP quickstart, client half: connect to the `tcp_server` example
+//! from a separate OS process and run a traced VO-wide discovery query
+//! over GRIP.
+//!
+//! ```text
+//! cargo run --example tcp_server            # terminal 1
+//! cargo run --example tcp_client            # terminal 2
+//! ```
+//!
+//! `--port N` must match the server's GIIS port (default 2135).
+
+use grid_info_services::core::LiveClient;
+use grid_info_services::ldap::{Dn, Filter, LdapUrl};
+use grid_info_services::proto::SearchSpec;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let port: u16 = args
+        .iter()
+        .position(|a| a == "--port")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| p.parse().expect("--port N"))
+        .unwrap_or(2135);
+
+    let vo_url = LdapUrl::tcp("127.0.0.1", port);
+    let mut client = match LiveClient::connect_tcp(&vo_url) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot reach {vo_url}: {e}");
+            eprintln!("start the server first: cargo run --example tcp_server");
+            std::process::exit(1);
+        }
+    };
+    println!("connected to {vo_url} (pid {})", std::process::id());
+
+    let spec = SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap());
+    let t0 = Instant::now();
+    let response = client
+        .request(&vo_url, spec)
+        .timeout(Duration::from_secs(5))
+        .traced()
+        .send();
+    let elapsed = t0.elapsed();
+    let trace = response.trace.expect("traced request mints a trace id");
+    match response.outcome {
+        Some((code, entries, referrals)) => {
+            println!(
+                "{code:?}: {} entries, {} referrals in {:.1} ms (trace {trace})",
+                entries.len(),
+                referrals.len(),
+                elapsed.as_secs_f64() * 1e3
+            );
+            for e in &entries {
+                println!("  {}", e.dn());
+            }
+            println!(
+                "\n(the server process holds the GIIS/GRIS spans for trace {trace};\n\
+                 this client's own root span lives in its per-process sink)"
+            );
+        }
+        None => {
+            println!("no answer within 5 s (registrations may still be warming)");
+            std::process::exit(1);
+        }
+    }
+}

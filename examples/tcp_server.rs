@@ -1,0 +1,67 @@
+//! TCP quickstart, server half: a VO GIIS and two host GRIS serving
+//! GRIP/GRRP on real loopback sockets. Run this in one terminal, then
+//! `tcp_client` in another:
+//!
+//! ```text
+//! cargo run --example tcp_server            # terminal 1
+//! cargo run --example tcp_client            # terminal 2
+//! ```
+//!
+//! Ports default to 2135 (GIIS, the historical MDS port) and 2136/2137
+//! (GRIS); override with `--port N` for the GIIS. The process serves
+//! until killed.
+
+use grid_info_services::core::{LiveRuntime, ServeOptions, SimDeployment};
+use grid_info_services::giis::{Giis, GiisConfig, GiisMode};
+use grid_info_services::gris::HostSpec;
+use grid_info_services::ldap::{Dn, LdapUrl};
+use grid_info_services::netsim::SimDuration;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let base: u16 = args
+        .iter()
+        .position(|a| a == "--port")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| p.parse().expect("--port N"))
+        .unwrap_or(2135);
+
+    let mut rt = LiveRuntime::new(Duration::from_millis(10));
+
+    let vo_url = LdapUrl::tcp("127.0.0.1", base);
+    let mut giis = Giis::new(
+        GiisConfig::chaining(vo_url.clone(), Dn::root()),
+        SimDuration::from_millis(200),
+        SimDuration::from_secs(5),
+    );
+    giis.config.mode = GiisMode::Chain {
+        timeout: SimDuration::from_millis(500),
+    };
+    rt.spawn_giis(giis, ServeOptions::tcp())
+        .expect("bind GIIS listener");
+    println!("GIIS serving on {vo_url}");
+
+    for i in 0..2u64 {
+        let host = HostSpec::linux(&format!("host{i}"), 2);
+        let mut gris = SimDeployment::standard_host_gris(&host, i);
+        // Rebind the serving URL *and* the registration agent's advert
+        // to the TCP address (the agent snapshots the URL at
+        // construction).
+        gris.config.url = LdapUrl::tcp("127.0.0.1", base + 1 + i as u16);
+        gris.agent.service_url = gris.config.url.clone();
+        gris.agent.interval = SimDuration::from_millis(200);
+        gris.agent.ttl = SimDuration::from_secs(5);
+        gris.agent.add_target(vo_url.clone());
+        let url = gris.config.url.clone();
+        rt.spawn_gris(gris, ServeOptions::tcp())
+            .expect("bind GRIS listener");
+        println!("GRIS serving on {url} (registers with the GIIS over GRRP)");
+    }
+
+    println!("\nquery from another process:  cargo run --example tcp_client");
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

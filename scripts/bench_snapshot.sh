@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
 # Runs the query-path benchmarks and collects their criterion estimates
-# plus the live-runtime throughput sweep and the observability-overhead
-# A/B into a single JSON snapshot (BENCH_PR4.json by default) for
-# before/after comparison. Criterion mean estimates are in nanoseconds;
-# live-runtime rows carry qps and p50/p99 latency in microseconds per
-# worker count; the observability block carries the instrumented vs
-# baseline throughput and overhead percentage.
+# plus the live-runtime throughput sweep, the observability-overhead
+# A/B, and the channel-vs-TCP loopback comparison into a single JSON
+# snapshot (BENCH_PR5.json by default) for before/after comparison.
+# Criterion mean estimates are in nanoseconds; live-runtime and
+# tcp-loopback rows carry qps and p50/p99 latency in microseconds; the
+# observability block carries the instrumented vs baseline throughput
+# and overhead percentage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR4.json}"
+OUT="${1:-BENCH_PR5.json}"
 LIVE_JSON="$(mktemp)"
 OBS_JSON="$(mktemp)"
-trap 'rm -f "$LIVE_JSON" "$OBS_JSON"' EXIT
+TCP_JSON="$(mktemp)"
+trap 'rm -f "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON"' EXIT
 
 for bench in bench_dit bench_filter bench_softstate; do
     echo "==> cargo bench --bench $bench"
@@ -27,8 +29,12 @@ echo "==> exp_observability (instrumentation overhead A/B)"
 cargo build --release --offline -p gis-bench --bin exp_observability
 ./target/release/exp_observability --json "$OBS_JSON" >/dev/null
 
+echo "==> exp_tcp_loopback (channel vs TCP wire on 127.0.0.1)"
+cargo build --release --offline -p gis-bench --bin exp_tcp_loopback
+./target/release/exp_tcp_loopback --json "$TCP_JSON" >/dev/null
+
 echo "==> harvesting estimates into $OUT"
-python3 - "$OUT" "$LIVE_JSON" "$OBS_JSON" <<'EOF'
+python3 - "$OUT" "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" <<'EOF'
 import json, os, sys
 
 root = "target/criterion"
@@ -69,6 +75,8 @@ with open(sys.argv[2]) as f:
     live = json.load(f)
 with open(sys.argv[3]) as f:
     obs = json.load(f)
+with open(sys.argv[4]) as f:
+    tcp = json.load(f)
 
 # Worker-scaling headlines: pooled throughput relative to one worker,
 # and 1-worker tail latency relative to the single-threaded owner loop.
@@ -87,6 +95,19 @@ if 0 in by_workers and 1 in by_workers:
     )
 derived["observability_overhead_pct"] = obs["overhead_pct"]
 
+# Wire tax: channel throughput over TCP-loopback throughput, per
+# workload — how much the real socket path costs on one machine.
+by_wire = {
+    (row["transport"], row["workload"]): row for row in tcp["runs"]
+}
+for workload in ("direct_lookup", "chained_discovery"):
+    chan = by_wire.get(("channel", workload))
+    sock = by_wire.get(("tcp", workload))
+    if chan and sock and sock["qps"]:
+        derived[f"tcp_wire_tax_{workload}"] = round(
+            chan["qps"] / sock["qps"], 2
+        )
+
 out = sys.argv[1]
 with open(out, "w") as f:
     json.dump(
@@ -95,6 +116,7 @@ with open(out, "w") as f:
             "derived": derived,
             "live_runtime": live,
             "observability": obs,
+            "tcp_loopback": tcp,
         },
         f,
         indent=2,

@@ -21,6 +21,10 @@ echo "==> exp_observability --smoke (instrumentation overhead gate)"
 cargo build --release --offline -p gis-bench --bin exp_observability
 ./target/release/exp_observability --smoke
 
+echo "==> exp_tcp_loopback --smoke (TCP wire gate: framed GRIP over 127.0.0.1)"
+cargo build --release --offline -p gis-bench --bin exp_tcp_loopback
+./target/release/exp_tcp_loopback --smoke
+
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --offline --workspace -- -D warnings
 

@@ -4,7 +4,7 @@
 //! search of the monitoring namespace, and a traced query's causal tree).
 
 use grid_info_services::core::actors::ClientActor;
-use grid_info_services::core::{LiveRuntime, ServiceFault, SimDeployment};
+use grid_info_services::core::{LiveRuntime, ServeOptions, ServiceFault, SimDeployment};
 use grid_info_services::giis::{BreakerConfig, Giis, GiisConfig, GiisMode};
 use grid_info_services::gris::{DynamicHostProvider, HostSpec};
 use grid_info_services::ldap::{Dn, Filter, LdapUrl};
@@ -188,13 +188,14 @@ fn pooled_giis_under_faults_holds_metrics_invariants() {
     // Grab the shared query path BEFORE spawning: its stats Arc stays
     // readable after the runtime shuts down.
     let path = giis.query_path();
-    rt.spawn_giis_pooled(giis, 4);
+    rt.spawn_giis(giis, ServeOptions::default().with_workers(4))
+        .unwrap();
 
     let mut gris_urls = Vec::new();
     for (i, name) in ["n1", "n2"].iter().enumerate() {
         let gris = fast_host_gris(name, i as u64, &giis_url);
         gris_urls.push(gris.config.url.clone());
-        rt.spawn_gris(gris);
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
     }
     rt.set_fault_seed(7);
     for url in &gris_urls {
@@ -216,8 +217,11 @@ fn pooled_giis_under_faults_holds_metrics_invariants() {
         handles.push(std::thread::spawn(move || {
             let mut ok = 0u64;
             for _ in 0..25 {
-                if let Some((code, _, _)) =
-                    client.search(&target, computers(), Duration::from_secs(5))
+                if let Some((code, _, _)) = client
+                    .request(&target, computers())
+                    .timeout(Duration::from_secs(5))
+                    .send()
+                    .outcome
                 {
                     if code == ResultCode::Success {
                         ok += 1;
@@ -236,11 +240,13 @@ fn pooled_giis_under_faults_holds_metrics_invariants() {
     // One monitoring query through the same pooled path.
     let mut client = rt.client();
     let (code, entries, _) = client
-        .search(
+        .request(
             &giis_url,
             SearchSpec::subtree(monitoring_base(), Filter::always()),
-            Duration::from_secs(5),
         )
+        .timeout(Duration::from_secs(5))
+        .send()
+        .outcome
         .expect("monitoring reply");
     assert_eq!(code, ResultCode::Success);
     assert!(
@@ -284,19 +290,26 @@ fn live_trace_and_monitoring_acceptance() {
         timeout: SimDuration::from_millis(500),
     };
     giis.config.monitoring_refresh = SimDuration::from_millis(50);
-    rt.spawn_giis_pooled(giis, 2);
+    rt.spawn_giis(giis, ServeOptions::default().with_workers(2))
+        .unwrap();
     for (i, name) in ["n1", "n2"].iter().enumerate() {
         let mut gris = fast_host_gris(name, i as u64, &giis_url);
         gris.config.monitoring_refresh = SimDuration::from_millis(50);
-        rt.spawn_gris_pooled(gris, 2);
+        rt.spawn_gris(gris, ServeOptions::default().with_workers(2))
+            .unwrap();
     }
     std::thread::sleep(Duration::from_millis(400));
 
     // A traced chained search: client -> giis.search -> chain leg ->
     // gris.search, all under one trace id.
     let mut client = rt.client();
-    let (trace, result) = client.search_traced(&giis_url, computers(), Duration::from_secs(5));
-    let (code, entries, _) = result.expect("traced search completes");
+    let response = client
+        .request(&giis_url, computers())
+        .traced()
+        .timeout(Duration::from_secs(5))
+        .send();
+    let trace = response.trace.expect("traced request mints a trace id");
+    let (code, entries, _) = response.outcome.expect("traced search completes");
     assert_eq!(code, ResultCode::Success);
     assert_eq!(entries.len(), 2);
     let tree = rt.trace_sink().tree(trace);
@@ -322,11 +335,13 @@ fn live_trace_and_monitoring_acceptance() {
     // GRIP search — no bespoke metrics endpoint.
     std::thread::sleep(Duration::from_millis(150));
     let (code, entries, _) = client
-        .search(
+        .request(
             &giis_url,
             SearchSpec::subtree(monitoring_base(), Filter::always()),
-            Duration::from_secs(5),
         )
+        .timeout(Duration::from_secs(5))
+        .send()
+        .outcome
         .expect("monitoring search completes");
     assert_eq!(code, ResultCode::Success);
     let giis_service = entries

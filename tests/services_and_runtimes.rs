@@ -2,7 +2,7 @@
 //! live threaded runtime, and whole-deployment determinism.
 
 use grid_info_services::core::scenario::{figure5, two_vos};
-use grid_info_services::core::{LiveRuntime, SimDeployment};
+use grid_info_services::core::{LiveRuntime, ServeOptions, SimDeployment};
 use grid_info_services::giis::{Giis, GiisConfig, GiisMode};
 use grid_info_services::gris::HostSpec;
 use grid_info_services::ldap::{Dn, Filter, LdapUrl};
@@ -182,23 +182,25 @@ fn live_runtime_matches_simulated_semantics() {
     giis.config.mode = GiisMode::Chain {
         timeout: SimDuration::from_millis(500),
     };
-    rt.spawn_giis(giis);
+    rt.spawn_giis(giis, ServeOptions::default()).unwrap();
     for (i, n) in host_names.iter().enumerate() {
         let host = HostSpec::linux(n, 2);
         let mut gris = SimDeployment::standard_host_gris(&host, i as u64);
         gris.agent.interval = SimDuration::from_millis(100);
         gris.agent.ttl = SimDuration::from_millis(400);
         gris.agent.add_target(vo_live.clone());
-        rt.spawn_gris(gris);
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
     }
     std::thread::sleep(Duration::from_millis(400));
     let mut live_client = rt.client();
     let (_, live_entries, _) = live_client
-        .search(
+        .request(
             &vo_live,
             SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
-            Duration::from_secs(5),
         )
+        .timeout(Duration::from_secs(5))
+        .send()
+        .outcome
         .expect("live search completes");
     let mut live_dns: Vec<String> = live_entries.iter().map(|e| e.dn().to_string()).collect();
     live_dns.sort();
@@ -259,4 +261,36 @@ fn matchmaker_over_directory_contents() {
         !bio.machine.is_under(&grid_info_services::core::org("O2")),
         "biology excluded from O2 by machine-side requirements"
     );
+}
+
+/// The pre-transport entry points (`spawn_*_pooled`, `search`,
+/// `search_traced`, `search_with_retry`) survive as thin deprecated
+/// shims over `ServeOptions` and the `SearchRequest` builder; existing
+/// callers keep working unchanged.
+#[test]
+#[allow(deprecated)]
+fn deprecated_entry_points_still_answer() {
+    use grid_info_services::core::RetryPolicy;
+    use grid_info_services::gris::HostSpec as Hs;
+
+    let mut rt = LiveRuntime::new(Duration::from_millis(10));
+    let host = Hs::linux("shim", 2);
+    let gris = SimDeployment::standard_host_gris(&host, 1);
+    let url = gris.config.url.clone();
+    rt.spawn_gris_pooled(gris, 2);
+
+    let mut client = rt.client();
+    let spec = || SearchSpec::subtree(host.dn(), Filter::always());
+    let (code, entries, _) = client
+        .search(&url, spec(), Duration::from_secs(5))
+        .expect("shim search answers");
+    assert!(!entries.is_empty(), "{code:?}");
+
+    let (trace, outcome) = client.search_traced(&url, spec(), Duration::from_secs(5));
+    assert!(outcome.is_some());
+    assert!(!rt.trace_sink().spans(trace).is_empty(), "trace recorded");
+
+    let outcome = client.search_with_retry(&url, &spec(), RetryPolicy::default());
+    assert!(outcome.is_some());
+    rt.shutdown();
 }

@@ -1,0 +1,433 @@
+//! End-to-end tests for the TCP transport: GRIP/GRRP over real
+//! sockets, including a client in a separate OS process.
+//!
+//! The cross-process test re-executes this test binary with
+//! `GIS_TCP_E2E_PORT` set; the child run skips every test except
+//! [`tcp_e2e_child_entry`], which acts as the remote client and prints
+//! machine-parsable `E2E-*` lines the parent asserts on.
+
+use grid_info_services::core::{LiveClient, LiveRuntime, ServeOptions, TcpTuning};
+use grid_info_services::giis::{BreakerConfig, Giis, GiisConfig, GiisMode};
+use grid_info_services::gris::{Gris, GrisConfig, HostSpec, StaticHostProvider};
+use grid_info_services::ldap::{Dn, Filter, LdapUrl, Wire};
+use grid_info_services::netsim::SimDuration;
+use grid_info_services::proto::{ResultCode, SearchSpec, TraceId};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Reserve a fresh loopback port: bind to port 0, read the assignment,
+/// drop the listener. The tiny race with other processes is acceptable
+/// in tests.
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+fn computers() -> SearchSpec {
+    SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap())
+}
+
+/// A GRIS whose entries are fully static (no dynamic providers), so the
+/// same host spec yields byte-identical entries in any topology.
+fn static_gris(name: &str, url: LdapUrl, register_with: &LdapUrl) -> Gris {
+    let host = HostSpec::linux(name, 2);
+    let config = GrisConfig::open(url, host.dn());
+    let mut gris = Gris::new(
+        config,
+        SimDuration::from_millis(100),
+        SimDuration::from_secs(10),
+    );
+    gris.add_provider(Box::new(StaticHostProvider::new(host)));
+    gris.agent.add_target(register_with.clone());
+    gris
+}
+
+fn chaining_giis(url: LdapUrl) -> Giis {
+    let mut giis = Giis::new(
+        GiisConfig::chaining(url, Dn::root()),
+        SimDuration::from_millis(100),
+        SimDuration::from_secs(10),
+    );
+    giis.config.mode = GiisMode::Chain {
+        timeout: SimDuration::from_millis(800),
+    };
+    giis
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Poll `client` until the VO search returns `want` entries with
+/// `Success` (registrations and harvests are asynchronous), then return
+/// the sorted wire encodings.
+fn await_entries(client: &mut LiveClient, target: &LdapUrl, want: usize) -> Vec<String> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let outcome = client
+            .request(target, computers())
+            .timeout(Duration::from_secs(2))
+            .send()
+            .outcome;
+        if let Some((ResultCode::Success, entries, _)) = &outcome {
+            if entries.len() == want {
+                let mut encs: Vec<String> = entries.iter().map(|e| hex(&e.to_wire())).collect();
+                encs.sort();
+                return encs;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "topology never converged to {want} entries; last outcome: {outcome:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// GIIS and two GRIS all fronted by TCP listeners on loopback,
+/// chained/registered through `tcp://` service URLs.
+fn tcp_topology(giis_port: u16, gris_ports: &[u16]) -> (LiveRuntime, LdapUrl) {
+    let mut rt = LiveRuntime::new(Duration::from_millis(10));
+    let vo = LdapUrl::tcp("127.0.0.1", giis_port);
+    rt.spawn_giis(chaining_giis(vo.clone()), ServeOptions::tcp())
+        .expect("giis listener binds");
+    for (i, port) in gris_ports.iter().enumerate() {
+        let gris = static_gris(
+            &format!("x{}", i + 1),
+            LdapUrl::tcp("127.0.0.1", *port),
+            &vo,
+        );
+        rt.spawn_gris(gris, ServeOptions::tcp())
+            .expect("gris listener binds");
+    }
+    (rt, vo)
+}
+
+/// The same logical topology over in-process channels only.
+fn channel_topology(n_gris: usize) -> (LiveRuntime, LdapUrl) {
+    let mut rt = LiveRuntime::new(Duration::from_millis(10));
+    let vo = LdapUrl::server("giis.vo");
+    rt.spawn_giis(chaining_giis(vo.clone()), ServeOptions::channel())
+        .expect("channel giis");
+    for i in 0..n_gris {
+        let name = format!("x{}", i + 1);
+        let gris = static_gris(&name, LdapUrl::server(format!("gris.{name}")), &vo);
+        rt.spawn_gris(gris, ServeOptions::channel())
+            .expect("channel gris");
+    }
+    (rt, vo)
+}
+
+/// Child half of the cross-process test. A no-op unless the parent set
+/// `GIS_TCP_E2E_PORT`; then it connects to the parent's GIIS over TCP,
+/// runs one traced search, and prints the outcome for the parent.
+#[test]
+fn tcp_e2e_child_entry() {
+    let Ok(port) = std::env::var("GIS_TCP_E2E_PORT") else {
+        return;
+    };
+    let url = LdapUrl::tcp("127.0.0.1", port.parse::<u16>().expect("port"));
+    let mut client = LiveClient::connect_tcp(&url).expect("child connects to parent GIIS");
+    // Poll for convergence like any client would; the parent already
+    // waited, so the first answer is normally complete.
+    let encs = await_entries(&mut client, &url, 2);
+    let response = client
+        .request(&url, computers())
+        .timeout(Duration::from_secs(5))
+        .traced()
+        .send();
+    let trace = response.trace.expect("traced request mints a trace id");
+    let (code, entries, _) = response.outcome.expect("child search answered");
+    println!("E2E-CODE: {code:?}");
+    println!("E2E-TRACE: {trace}");
+    let mut traced_encs: Vec<String> = entries.iter().map(|e| hex(&e.to_wire())).collect();
+    traced_encs.sort();
+    assert_eq!(traced_encs, encs, "traced rerun sees the same entries");
+    for e in &traced_encs {
+        println!("E2E-ENTRY: {e}");
+    }
+}
+
+/// The PR's headline acceptance: a GIIS chained to two GRIS over
+/// `tcp://127.0.0.1`, queried by a `LiveClient` in a *separate OS
+/// process*, returns an entry set byte-identical to the pure in-process
+/// topology, and the parent's trace sink shows the full GIIS→GRIS tree
+/// for the child's trace id.
+#[test]
+fn cross_process_client_matches_in_process_topology() {
+    if std::env::var("GIS_TCP_E2E_PORT").is_ok() {
+        return; // we *are* the child; only tcp_e2e_child_entry runs
+    }
+    let ports = [free_port(), free_port(), free_port()];
+    let (rt, vo) = tcp_topology(ports[0], &ports[1..]);
+
+    // Expected result set from the identical channel-only topology.
+    let (chan_rt, chan_vo) = channel_topology(2);
+    let mut chan_client = chan_rt.client();
+    let expected = await_entries(&mut chan_client, &chan_vo, 2);
+    chan_rt.shutdown();
+
+    // Warm the TCP topology from this process first so the child's view
+    // is already converged.
+    let mut probe = LiveClient::connect_tcp(&vo).expect("parent probe connects");
+    let local = await_entries(&mut probe, &vo, 2);
+    assert_eq!(
+        local, expected,
+        "tcp and channel topologies agree in-process"
+    );
+
+    let out = std::process::Command::new(std::env::current_exe().expect("current_exe"))
+        .args([
+            "tcp_e2e_child_entry",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("GIS_TCP_E2E_PORT", ports[0].to_string())
+        .output()
+        .expect("spawn child test process");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "child process failed\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // libtest prints `test name ... ` without a newline, so the child's
+    // first marker can share a line with it: match by substring.
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        line.find(key).map(|i| line[i + key.len()..].trim())
+    }
+    let mut code = None;
+    let mut trace = None;
+    let mut entries = Vec::new();
+    for line in stdout.lines() {
+        if let Some(v) = field(line, "E2E-CODE: ") {
+            code = Some(v.to_owned());
+        } else if let Some(v) = field(line, "E2E-TRACE: ") {
+            trace = Some(u64::from_str_radix(v, 16).expect("trace id hex"));
+        } else if let Some(v) = field(line, "E2E-ENTRY: ") {
+            entries.push(v.to_owned());
+        }
+    }
+    assert_eq!(code.as_deref(), Some("Success"), "child outcome\n{stdout}");
+    assert_eq!(
+        entries, expected,
+        "child's entry set is byte-identical to the in-process topology"
+    );
+
+    // The request was traced in the child's span-id space (pid << 32);
+    // the server-side spans all landed in this process's sink.
+    let trace = TraceId(trace.expect("child printed its trace id"));
+    let spans = rt.trace_sink().spans(trace);
+    assert!(
+        spans.iter().any(|s| s.name == "giis.search"),
+        "GIIS recorded its span for the child's trace: {spans:?}"
+    );
+    let gris_spans = spans.iter().filter(|s| s.name == "gris.search").count();
+    assert!(
+        gris_spans >= 2,
+        "both chained GRIS recorded spans for the child's trace: {spans:?}"
+    );
+    rt.shutdown();
+}
+
+/// Direct TCP loopback query against a single GRIS, plus the runtime's
+/// remote-send counter observing GRRP registrations leaving over TCP.
+#[test]
+fn tcp_loopback_direct_query() {
+    if std::env::var("GIS_TCP_E2E_PORT").is_ok() {
+        return;
+    }
+    let (rt, vo) = tcp_topology(free_port(), &[free_port(), free_port()]);
+    let mut client = LiveClient::connect_tcp(&vo).expect("connect");
+    let encs = await_entries(&mut client, &vo, 2);
+    assert_eq!(encs.len(), 2);
+    assert!(
+        rt.net_metrics().remote > 0,
+        "GRRP registrations travelled over real sockets"
+    );
+    rt.shutdown();
+}
+
+/// A frame whose header announces a body above the ceiling is rejected
+/// before buffering: the connection drops cleanly (no panic, no giant
+/// allocation) and the service keeps serving other clients.
+#[test]
+fn oversized_frame_drops_connection_not_service() {
+    if std::env::var("GIS_TCP_E2E_PORT").is_ok() {
+        return;
+    }
+    let port = free_port();
+    let mut rt = LiveRuntime::new(Duration::from_millis(10));
+    let url = LdapUrl::tcp("127.0.0.1", port);
+    let gris = static_gris("solo", url.clone(), &LdapUrl::server("giis.nowhere"));
+    rt.spawn_gris(gris, ServeOptions::tcp()).unwrap();
+
+    let mut rogue = TcpStream::connect(("127.0.0.1", port)).expect("rogue connects");
+    rogue
+        .write_all(&(64u32 << 20).to_be_bytes()) // 64 MiB >> MAX_FRAME
+        .expect("header write");
+    rogue
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    assert_eq!(
+        rogue.read(&mut buf).expect("server closes, not hangs"),
+        0,
+        "oversized frame must end the connection"
+    );
+
+    let mut client = LiveClient::connect_tcp(&url).expect("healthy client connects");
+    let outcome = client
+        .request(&url, SearchSpec::subtree(Dn::root(), Filter::always()))
+        .timeout(Duration::from_secs(5))
+        .send()
+        .outcome;
+    let (code, entries, _) = outcome.expect("service still answers");
+    assert_eq!(code, ResultCode::Success);
+    assert!(!entries.is_empty());
+    rt.shutdown();
+}
+
+/// A peer that stalls mid-frame trips the read deadline: the connection
+/// is dropped and — with `max_conns: 1` — its slot is freed for the
+/// next client.
+#[test]
+fn half_frame_stall_trips_read_deadline_and_frees_slot() {
+    if std::env::var("GIS_TCP_E2E_PORT").is_ok() {
+        return;
+    }
+    let port = free_port();
+    let mut rt = LiveRuntime::new(Duration::from_millis(10));
+    let url = LdapUrl::tcp("127.0.0.1", port);
+    let gris = static_gris("solo", url.clone(), &LdapUrl::server("giis.nowhere"));
+    let tuning = TcpTuning {
+        read_deadline: Duration::from_millis(200),
+        max_conns: 1,
+        ..TcpTuning::default()
+    };
+    rt.spawn_gris(gris, ServeOptions::tcp().with_tuning(tuning))
+        .unwrap();
+
+    // Occupy the only slot with half a header, then stall.
+    let mut staller = TcpStream::connect(("127.0.0.1", port)).expect("staller connects");
+    staller.write_all(&[0x00, 0x00]).expect("half a header");
+    staller
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 8];
+    assert_eq!(
+        staller.read(&mut buf).expect("deadline closes the conn"),
+        0,
+        "mid-frame stall past the read deadline drops the connection"
+    );
+
+    // The slot is free again: a real client connects and is answered.
+    let mut client = LiveClient::connect_tcp(&url).expect("slot was freed");
+    let outcome = client
+        .request(&url, SearchSpec::subtree(Dn::root(), Filter::always()))
+        .timeout(Duration::from_secs(5))
+        .send()
+        .outcome;
+    assert!(
+        matches!(outcome, Some((ResultCode::Success, _, _))),
+        "post-stall client is served: {outcome:?}"
+    );
+    rt.shutdown();
+}
+
+/// A connection dropped mid-reply surfaces as a definite
+/// `Unavailable` answer (transport failure), not an indefinite timeout.
+#[test]
+fn connection_drop_mid_reply_surfaces_unavailable() {
+    if std::env::var("GIS_TCP_E2E_PORT").is_ok() {
+        return;
+    }
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let port = listener.local_addr().unwrap().port();
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("accept");
+        let mut buf = [0u8; 64];
+        let _ = conn.read(&mut buf); // consume (some of) the request
+                                     // Promise a 64-byte reply body, deliver 8 bytes, hang up.
+        let mut partial = Vec::from(64u32.to_be_bytes());
+        partial.extend_from_slice(&[0u8; 8]);
+        conn.write_all(&partial).expect("partial reply");
+        // Drop: the client sees EOF mid-frame.
+    });
+
+    let url = LdapUrl::tcp("127.0.0.1", port);
+    let tuning = TcpTuning {
+        read_deadline: Duration::from_millis(500),
+        ..TcpTuning::default()
+    };
+    let mut client = LiveClient::connect_tcp_tuned(&url, tuning).expect("connect");
+    let outcome = client
+        .request(&url, SearchSpec::subtree(Dn::root(), Filter::always()))
+        .timeout(Duration::from_secs(3))
+        .send()
+        .outcome;
+    assert_eq!(
+        outcome,
+        Some((ResultCode::Unavailable, Vec::new(), Vec::new())),
+        "mid-reply drop is a definite transport failure"
+    );
+    server.join().unwrap();
+}
+
+/// A registered-but-dead TCP child looks to the GIIS exactly like the
+/// failures the PR 2 circuit breaker was built for: chained requests go
+/// unanswered, consecutive fan-out timeouts accumulate, the circuit
+/// opens.
+#[test]
+fn dead_tcp_child_trips_giis_breaker() {
+    if std::env::var("GIS_TCP_E2E_PORT").is_ok() {
+        return;
+    }
+    let gris_port = free_port();
+    let mut rt = LiveRuntime::new(Duration::from_millis(10));
+    let vo = LdapUrl::server("giis.vo");
+    let mut giis = chaining_giis(vo.clone());
+    giis.config.mode = GiisMode::Chain {
+        timeout: SimDuration::from_millis(300),
+    };
+    giis.config.breaker = Some(BreakerConfig {
+        failure_threshold: 2,
+        cooldown: SimDuration::from_secs(60),
+        retry: false,
+    });
+    let stats = giis.query_path();
+    rt.spawn_giis(giis, ServeOptions::channel()).unwrap();
+
+    let gris_url = LdapUrl::tcp("127.0.0.1", gris_port);
+    let gris = static_gris("victim", gris_url.clone(), &vo);
+    rt.spawn_gris(gris, ServeOptions::tcp()).unwrap();
+
+    // Healthy first: the child registers (soft state, 10 s TTL) and
+    // answers a chained search over TCP.
+    let mut client = rt.client();
+    await_entries(&mut client, &vo, 1);
+
+    // Kill the child. Its registration outlives it, so the GIIS keeps
+    // chaining to a dead tcp:// endpoint: connect refused, no reply,
+    // fan-out deadline, breaker strike.
+    rt.kill_service(&gris_url);
+    for _ in 0..3 {
+        let _ = client
+            .request(&vo, computers())
+            .timeout(Duration::from_secs(2))
+            .send()
+            .outcome;
+    }
+    let s = stats.stats();
+    assert!(
+        s.breaker_opens >= 1,
+        "dead TCP child opens its circuit: {s:?}"
+    );
+    rt.shutdown();
+}

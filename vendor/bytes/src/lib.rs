@@ -41,6 +41,16 @@ impl BytesMut {
     pub fn clear(&mut self) {
         self.inner.clear();
     }
+
+    /// Shortens the buffer to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
+    /// Appends a slice of bytes.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.inner.extend_from_slice(s);
+    }
 }
 
 impl Deref for BytesMut {
@@ -74,6 +84,10 @@ pub trait BufMut {
     fn put_u8(&mut self, b: u8);
     /// Appends a slice of bytes.
     fn put_slice(&mut self, s: &[u8]);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
 }
 
 impl BufMut for BytesMut {
