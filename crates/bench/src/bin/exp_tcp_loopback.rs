@@ -17,6 +17,13 @@
 //! Two workloads per transport: direct GRIS lookups (one hop, smallest
 //! frames) and chained VO discovery through the GIIS (the GIIS↔GRIS
 //! legs also ride the measured transport, pooled outbound connections).
+//! Clients issue queries the way the PR 6 multiplexed transport is
+//! meant to be driven: pipelined batches of [`DEPTH`] in-flight
+//! requests per connection ([`LiveClient::search_pipelined`]), so a
+//! burst of small frames coalesces into one write and replies match by
+//! request id. Latency columns are therefore *amortized per query
+//! within a batch*; the lock-step depth-1 shape is measured separately
+//! by `exp_tcp_saturation`.
 //!
 //! `--json PATH` dumps the rows for `scripts/bench_snapshot.sh`;
 //! `--smoke` shrinks the run for CI.
@@ -31,10 +38,13 @@ use std::net::TcpListener;
 use std::time::{Duration, Instant};
 
 /// Loopback hops per measured configuration.
-const QUERIES_PER_CLIENT: usize = 400;
+const QUERIES_PER_CLIENT: usize = 800;
 const SMOKE_QUERIES: usize = 40;
 const CLIENTS: usize = 4;
 const GRIS_COUNT: usize = 2;
+/// In-flight pipelining depth per connection; both transports use the
+/// same driver, the channel side simply has nothing to overlap.
+const DEPTH: usize = 8;
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -140,27 +150,28 @@ fn warm(client: &mut LiveClient, vo: &LdapUrl) {
 }
 
 /// One thread per pre-minted client (its own TCP connection when
-/// remote), hammering `target` with `spec`.
+/// remote), hammering `target` with `spec` in depth-[`DEPTH`] pipelined
+/// batches. Latency samples are amortized per query within a batch.
 fn drive(clients: Vec<LiveClient>, target: &LdapUrl, spec: &SearchSpec, queries: usize) -> Run {
     let total = clients.len() * queries;
     let start = Instant::now();
     let mut handles = Vec::new();
     for mut client in clients {
         let target = target.clone();
-        let spec = spec.clone();
+        let specs: Vec<SearchSpec> = (0..queries).map(|_| spec.clone()).collect();
         handles.push(std::thread::spawn(move || {
             let mut lats = Vec::with_capacity(queries);
             let mut ok = 0;
-            for _ in 0..queries {
+            for batch in specs.chunks(DEPTH) {
                 let t0 = Instant::now();
-                let outcome = client
-                    .request(&target, spec.clone())
-                    .timeout(Duration::from_secs(10))
-                    .send()
-                    .outcome;
-                if outcome.is_some() {
-                    ok += 1;
-                    lats.push(t0.elapsed().as_secs_f64() * 1e6);
+                let outcomes =
+                    client.search_pipelined(&target, batch, DEPTH, Duration::from_secs(10));
+                let per_query = t0.elapsed().as_secs_f64() * 1e6 / batch.len() as f64;
+                for outcome in &outcomes {
+                    if outcome.is_some() {
+                        ok += 1;
+                        lats.push(per_query);
+                    }
                 }
             }
             (ok, lats)

@@ -1,0 +1,364 @@
+//! TCP SATURATION — connections × in-flight depth on the multiplexed wire.
+//!
+//! PR 6 replaced the one-shot pooled TCP pump with a multiplexed,
+//! pipelined persistent-connection transport: every frame carries a
+//! correlation id, one connection holds many GRIP exchanges in flight,
+//! and replies match out of order. This experiment measures what that
+//! buys, in two campaigns against one GRIS:
+//!
+//! * **loopback** — sweep client connections × pipelining depth
+//!   ([`LiveClient::search_pipelined`]) on raw `127.0.0.1`. A
+//!   channel-transport baseline (same engine, zero serialization) turns
+//!   each row into a *wire tax*: kernel loopback + framing cost as a
+//!   multiple of the in-process floor. On one machine the round trip is
+//!   microseconds, so this isolates the syscall/framing overhead that
+//!   coalescing amortizes.
+//! * **emulated WAN** — the same single connection routed through an
+//!   in-process netem-style relay that delays every chunk by a fixed
+//!   one-way latency. This is the regime the paper's VO hierarchies
+//!   live in (GRIS and GIIS on different sites): at depth 1 every query
+//!   pays the full round trip; at depth 8 the coalesced burst of small
+//!   GRIP frames crosses the link in one segment and the round trip is
+//!   paid once per batch. The depth-8 : depth-1 ratio is the headline
+//!   `mux_speedup_depth8` figure.
+//!
+//! `--json PATH` dumps both campaigns for `scripts/bench_snapshot.sh`;
+//! `--smoke` shrinks the sweep for CI and *gates*: every query must
+//! complete, the best single-connection loopback wire tax must stay
+//! under `GIS_SAT_TAX_CEILING` (default 2.2), and the WAN speedup at
+//! depth 8 must stay above `GIS_SAT_MIN_SPEEDUP` (default 2.0).
+
+use gis_bench::{banner, f2, section, Table};
+use gis_core::{LiveClient, LiveRuntime, ServeOptions, SimDeployment};
+use gis_ldap::{Dn, LdapUrl};
+use gis_netsim::SimDuration;
+use gis_proto::SearchSpec;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+const CONNS: [usize; 3] = [1, 2, 4];
+const DEPTHS: [usize; 2] = [1, 8];
+const WAN_DEPTHS: [usize; 4] = [1, 2, 8, 32];
+const QUERIES_PER_CONN: usize = 800;
+const SMOKE_QUERIES: usize = 80;
+/// One-way latency of the emulated WAN link — a conservative
+/// metro-to-metro figure; real inter-site Grid links are slower.
+const WAN_ONE_WAY: Duration = Duration::from_micros(200);
+const DEFAULT_TAX_CEILING: f64 = 2.2;
+const DEFAULT_MIN_SPEEDUP: f64 = 2.0;
+
+struct Row {
+    conns: usize,
+    depth: usize,
+    qps: f64,
+    ok: usize,
+    total: usize,
+}
+
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+/// One static-host GRIS on the given transport; returns its URL.
+fn build(tcp: bool) -> (LiveRuntime, LdapUrl) {
+    let mut rt = LiveRuntime::new(Duration::from_millis(5));
+    let host = gis_gris::HostSpec::linux("sat0", 2);
+    let mut gris = SimDeployment::standard_host_gris(&host, 0);
+    if tcp {
+        gris.config.url = LdapUrl::tcp("127.0.0.1", free_port());
+        gris.agent.service_url = gris.config.url.clone();
+    }
+    gris.agent.interval = SimDuration::from_millis(500);
+    gris.agent.ttl = SimDuration::from_secs(5);
+    let url = gris.config.url.clone();
+    let opts = if tcp {
+        ServeOptions::tcp()
+    } else {
+        ServeOptions::channel()
+    };
+    rt.spawn_gris(gris, opts).expect("spawn gris");
+    (rt, url)
+}
+
+/// Netem-style WAN emulator on loopback: a relay that forwards each
+/// chunk a fixed one-way delay after reading it, in both directions.
+/// Sleeping relay threads burn no CPU, so frames from many in-flight
+/// requests traverse the link concurrently — and a coalesced burst of
+/// small GRIP frames crosses as one chunk paying one delay, exactly
+/// like small requests sharing a TCP segment on a real long-haul link.
+fn spawn_wan_link(upstream: SocketAddr, delay: Duration) -> u16 {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind wan link");
+    let port = listener.local_addr().unwrap().port();
+    std::thread::spawn(move || {
+        for inbound in listener.incoming() {
+            let Ok(near) = inbound else { return };
+            let Ok(far) = TcpStream::connect(upstream) else {
+                return;
+            };
+            let legs = [
+                (
+                    near.try_clone().expect("clone"),
+                    far.try_clone().expect("clone"),
+                ),
+                (far, near),
+            ];
+            for (mut from, mut to) in legs {
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 16384];
+                    loop {
+                        match from.read(&mut buf) {
+                            Ok(0) | Err(_) => {
+                                let _ = to.shutdown(Shutdown::Write);
+                                return;
+                            }
+                            Ok(n) => {
+                                std::thread::sleep(delay);
+                                if to.write_all(&buf[..n]).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    });
+    port
+}
+
+/// `conns` threads, each with its own client (its own TCP connection
+/// when remote), each pushing `queries` lookups at `depth` in flight.
+fn drive(clients: Vec<LiveClient>, target: &LdapUrl, depth: usize, queries: usize) -> Row {
+    let conns = clients.len();
+    let spec = SearchSpec::lookup(Dn::parse("hn=sat0").expect("dn"));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for mut client in clients {
+        let target = target.clone();
+        let specs: Vec<SearchSpec> = (0..queries).map(|_| spec.clone()).collect();
+        handles.push(std::thread::spawn(move || {
+            let outcomes = client.search_pipelined(&target, &specs, depth, Duration::from_secs(60));
+            // Complete = a definite reply arrived for the lookup.
+            outcomes.iter().filter(|o| o.is_some()).count()
+        }));
+    }
+    let ok: usize = handles.into_iter().map(|h| h.join().expect("conn")).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    Row {
+        conns,
+        depth,
+        qps: ok as f64 / elapsed,
+        ok,
+        total: conns * queries,
+    }
+}
+
+fn find_qps(rows: &[Row], conns: usize, depth: usize) -> f64 {
+    rows.iter()
+        .find(|r| r.conns == conns && r.depth == depth)
+        .map(|r| r.qps)
+        .unwrap_or(0.0)
+}
+
+fn write_json(path: &str, queries: usize, channel_qps: f64, loopback: &[Row], wan: &[Row]) {
+    let speedup = |depth: usize| -> f64 {
+        let base = find_qps(wan, 1, 1);
+        if base > 0.0 {
+            find_qps(wan, 1, depth) / base
+        } else {
+            0.0
+        }
+    };
+    let row_json = |r: &Row, last: bool| -> String {
+        format!(
+            "    {{\"conns\": {}, \"depth\": {}, \"qps\": {:.2}, \"ok\": {}, \"total\": {}}}{}\n",
+            r.conns,
+            r.depth,
+            r.qps,
+            r.ok,
+            r.total,
+            if last { "" } else { "," },
+        )
+    };
+    let mut body = String::from("{\n  \"queries_per_conn\": ");
+    body.push_str(&queries.to_string());
+    body.push_str(&format!(",\n  \"channel_qps\": {channel_qps:.2}"));
+    body.push_str(&format!(
+        ",\n  \"wan_one_way_us\": {}",
+        WAN_ONE_WAY.as_micros()
+    ));
+    body.push_str(",\n  \"loopback_runs\": [\n");
+    for (i, r) in loopback.iter().enumerate() {
+        body.push_str(&row_json(r, i + 1 == loopback.len()));
+    }
+    body.push_str("  ],\n  \"wan_runs\": [\n");
+    for (i, r) in wan.iter().enumerate() {
+        body.push_str(&row_json(r, i + 1 == wan.len()));
+    }
+    let best_tax = loopback
+        .iter()
+        .filter(|r| r.conns == 1 && r.qps > 0.0)
+        .map(|r| channel_qps / r.qps)
+        .fold(f64::INFINITY, f64::min);
+    body.push_str(&format!(
+        "  ],\n  \"derived\": {{\"mux_speedup_depth8\": {:.3}, \"mux_speedup_depth32\": {:.3}, \
+         \"best_single_conn_wire_tax\": {:.3}}}\n}}\n",
+        speedup(8),
+        speedup(32),
+        best_tax,
+    ));
+    std::fs::write(path, body).expect("write json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let queries = if smoke {
+        SMOKE_QUERIES
+    } else {
+        QUERIES_PER_CONN
+    };
+
+    banner(
+        "TCP SATURATION",
+        "connections x in-flight depth on the multiplexed wire",
+        "pipelining reclaims the round-trip tax the old lock-step transport paid",
+    );
+    println!(
+        "one GRIS; loopback sweep {CONNS:?} conns x depth {DEPTHS:?}, then a\n\
+         single connection through an emulated WAN link ({}us one-way) at\n\
+         depth {WAN_DEPTHS:?}; {queries} lookups per connection. depth 1 =\n\
+         the pre-multiplexing lock-step shape.\n",
+        WAN_ONE_WAY.as_micros()
+    );
+
+    // In-process floor: one client, sequential, zero serialization.
+    let (chan_rt, chan_url) = build(false);
+    let chan = drive(vec![chan_rt.client()], &chan_url, 1, queries);
+    chan_rt.shutdown();
+    let channel_qps = chan.qps;
+    println!(
+        "channel floor: {} q/s (sequential, in-process)\n",
+        f2(channel_qps)
+    );
+
+    let (rt, url) = build(true);
+
+    let mut loopback_table = Table::new(&["conns", "depth", "throughput (q/s)", "wire tax", "ok"]);
+    let mut loopback_rows = Vec::new();
+    for conns in CONNS {
+        for depth in DEPTHS {
+            let clients: Vec<LiveClient> = (0..conns)
+                .map(|_| LiveClient::connect_tcp(&url).expect("connect"))
+                .collect();
+            let r = drive(clients, &url, depth, queries);
+            loopback_table.row(vec![
+                r.conns.to_string(),
+                r.depth.to_string(),
+                f2(r.qps),
+                f2(channel_qps / r.qps),
+                format!("{}/{}", r.ok, r.total),
+            ]);
+            loopback_rows.push(r);
+        }
+    }
+
+    let upstream: SocketAddr = format!("127.0.0.1:{}", url.port).parse().expect("addr");
+    let wan_port = spawn_wan_link(upstream, WAN_ONE_WAY);
+    let wan_url = LdapUrl::tcp("127.0.0.1", wan_port);
+    let mut wan_table = Table::new(&["depth", "throughput (q/s)", "us/query", "ok"]);
+    let mut wan_rows = Vec::new();
+    for depth in WAN_DEPTHS {
+        let client = LiveClient::connect_tcp(&wan_url).expect("connect wan");
+        let r = drive(vec![client], &wan_url, depth, queries);
+        wan_table.row(vec![
+            r.depth.to_string(),
+            f2(r.qps),
+            f2(if r.qps > 0.0 { 1e6 / r.qps } else { 0.0 }),
+            format!("{}/{}", r.ok, r.total),
+        ]);
+        wan_rows.push(r);
+    }
+    rt.shutdown();
+
+    section("results: loopback sweep (wall-clock, this machine)");
+    loopback_table.print();
+    println!(
+        "\nloopback round trips are microseconds, so depth amortizes the\n\
+         syscall + wake cost per frame; the tax left at depth 8 is framing\n\
+         plus the kernel's loopback stack."
+    );
+
+    section("results: emulated WAN, single connection");
+    wan_table.print();
+    let wan_base = find_qps(&wan_rows, 1, 1);
+    let wan_d8 = find_qps(&wan_rows, 1, 8);
+    let speedup8 = if wan_base > 0.0 {
+        wan_d8 / wan_base
+    } else {
+        0.0
+    };
+    println!(
+        "\ndepth 1 pays the full {}us round trip per query; a depth-8\n\
+         pipeline coalesces requests into one segment and pays it per\n\
+         batch. speedup at depth 8: {:.2}x",
+        2 * WAN_ONE_WAY.as_micros(),
+        speedup8
+    );
+
+    if let Some(path) = &json_path {
+        write_json(path, queries, channel_qps, &loopback_rows, &wan_rows);
+        println!("\njson written to {path}");
+    }
+
+    if smoke {
+        let incomplete: Vec<String> = loopback_rows
+            .iter()
+            .chain(wan_rows.iter())
+            .filter(|r| r.ok != r.total)
+            .map(|r| format!("conns={} depth={}: {}/{}", r.conns, r.depth, r.ok, r.total))
+            .collect();
+        assert!(
+            incomplete.is_empty(),
+            "saturation smoke: queries went unanswered: {incomplete:?}"
+        );
+        let ceiling: f64 = std::env::var("GIS_SAT_TAX_CEILING")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_TAX_CEILING);
+        let best_tax = loopback_rows
+            .iter()
+            .filter(|r| r.conns == 1 && r.qps > 0.0)
+            .map(|r| channel_qps / r.qps)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_tax <= ceiling,
+            "saturation smoke: best single-connection wire tax is {best_tax:.2}, \
+             above the {ceiling:.2} ceiling"
+        );
+        let min_speedup: f64 = std::env::var("GIS_SAT_MIN_SPEEDUP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_MIN_SPEEDUP);
+        assert!(
+            speedup8 >= min_speedup,
+            "saturation smoke: WAN speedup at depth 8 is {speedup8:.2}x, \
+             below the {min_speedup:.2}x floor"
+        );
+        println!(
+            "\nsmoke gate: all queries complete; wire tax {:.2} <= {:.2}; \
+             WAN depth-8 speedup {:.2}x >= {:.2}x",
+            best_tax, ceiling, speedup8, min_speedup
+        );
+    }
+}

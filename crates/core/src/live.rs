@@ -32,7 +32,10 @@
 //! so a parent GIIS chains to networked children transparently.
 
 pub use crate::transport::TcpTuning;
-use crate::transport::{ClientConn, ConnTable, RecvFail, TcpEndpoint, TcpOutbound};
+use crate::transport::{
+    BoundEndpoint, ClientConn, ConnTable, InlineHandler, OutboundCork, RecvFail, ReplyCork,
+    TcpEndpoint, TcpOutbound,
+};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use gis_giis::{Giis, GiisAction, GiisQueryPath};
 use gis_gris::Gris;
@@ -367,6 +370,16 @@ impl Router {
         }
     }
 
+    /// Cork both TCP write paths — the outbound request pool and the
+    /// accepted-connection reply handles — until the returned guards
+    /// drop. An owner thread wraps an inbox batch in this so the
+    /// batch's burst of fan-out sub-queries and completed replies
+    /// leaves as one write per connection instead of one per message.
+    /// Channel-routed messages are unaffected.
+    fn cork_tcp_writes(&self) -> (OutboundCork, ReplyCork) {
+        (self.outbound.cork_all(), self.tcp_conns.cork_all())
+    }
+
     fn metrics(&self) -> LiveNetMetrics {
         LiveNetMetrics {
             sent: self.counters.sent.load(Ordering::Relaxed),
@@ -511,37 +524,51 @@ impl LiveRuntime {
         Ok(())
     }
 
-    /// Bind and attach a TCP front-end for `url`, feeding `inbox`. On
-    /// bind failure the already-registered service is torn down so the
-    /// caller sees a clean error.
+    /// Bind the TCP listener for a service URL *before* anything is
+    /// spawned or advertised, and resolve an ephemeral port
+    /// (`tcp://host:0`) into the kernel-assigned one: `url` (and, when
+    /// it still advertises the same address, `advert`) are rewritten in
+    /// place so the registration agent announces the port that is
+    /// actually served. Returns `None` for channel transport.
+    fn bind_endpoint(
+        transport: Transport,
+        url: &mut LdapUrl,
+        advert: &mut LdapUrl,
+    ) -> std::io::Result<Option<BoundEndpoint>> {
+        if transport != Transport::Tcp {
+            return Ok(None);
+        }
+        let bound = BoundEndpoint::bind(&url.authority())?;
+        if url.port == 0 {
+            let requested = url.clone();
+            url.port = bound.local_addr().port();
+            // The agent snapshotted the URL at engine construction;
+            // keep its advert in step unless the caller deliberately
+            // pointed it somewhere else.
+            if *advert == requested {
+                advert.port = url.port;
+            }
+        }
+        Ok(Some(bound))
+    }
+
+    /// Start serving a bound listener into `inbox`, with read-path
+    /// requests answered inline on the reader threads.
     fn attach_endpoint(
         &mut self,
         url: &str,
+        bound: BoundEndpoint,
         inbox: &Sender<LiveMsg>,
-        opts: &ServeOptions,
-    ) -> std::io::Result<()> {
-        if opts.transport != Transport::Tcp {
-            return Ok(());
-        }
-        let authority = LdapUrl::parse(url)
-            .map(|u| u.authority())
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-        match TcpEndpoint::spawn(
-            &authority,
+        tcp: TcpTuning,
+        inline: InlineHandler,
+    ) {
+        let ep = bound.serve(
             inbox.clone(),
             Arc::clone(&self.router.tcp_conns),
-            opts.tcp,
-        ) {
-            Ok(ep) => {
-                self.endpoints.insert(url.to_owned(), ep);
-                Ok(())
-            }
-            Err(e) => {
-                self.router.services.write().remove(url);
-                let _ = inbox.send(LiveMsg::Shutdown);
-                Err(e)
-            }
-        }
+            tcp,
+            Some(inline),
+        );
+        self.endpoints.insert(url.to_owned(), ep);
     }
 
     /// Wall time mapped onto the simulation clock type.
@@ -561,16 +588,29 @@ impl LiveRuntime {
     /// inbox directly — the old single-threaded loop); binds,
     /// subscriptions, GRRP traffic and the periodic tick always stay on
     /// the owner thread. With [`Transport::Tcp`] a listener on the
-    /// URL's authority feeds the same inbox from other OS processes;
-    /// the only possible error is a failed bind.
+    /// URL's authority feeds the same inbox from other OS processes,
+    /// answering read-path queries inline on its reader threads; the
+    /// only possible error is a failed bind. Binding happens before
+    /// anything is advertised, and an ephemeral port (`tcp://host:0`)
+    /// is resolved into the real one — both in `gris.config.url` and in
+    /// the registration agent's advert (unless the caller deliberately
+    /// pointed `gris.agent.service_url` elsewhere). The served URL is
+    /// returned.
     ///
-    /// When rebinding an already-constructed engine to a `tcp://` URL,
-    /// set `gris.agent.service_url` along with `gris.config.url`: the
-    /// registration agent snapshots the URL at [`Gris::new`] time, and
-    /// a stale advert makes parents chain to an address nobody serves.
-    pub fn spawn_gris(&mut self, mut gris: Gris, opts: ServeOptions) -> std::io::Result<()> {
+    /// When rebinding an already-constructed engine to a different
+    /// `tcp://` URL, set `gris.agent.service_url` along with
+    /// `gris.config.url`: the registration agent snapshots the URL at
+    /// [`Gris::new`] time, and a stale advert makes parents chain to an
+    /// address nobody serves.
+    pub fn spawn_gris(&mut self, mut gris: Gris, opts: ServeOptions) -> std::io::Result<LdapUrl> {
         Self::check_transport(&gris.config.url, opts.transport)?;
+        let bound = Self::bind_endpoint(
+            opts.transport,
+            &mut gris.config.url,
+            &mut gris.agent.service_url,
+        )?;
         let workers = opts.workers;
+        let served_url = gris.config.url.clone();
         let url = gris.config.url.to_string();
         let (owner_tx, owner_rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
         let interner = ClientInterner::new();
@@ -652,7 +692,30 @@ impl LiveRuntime {
             .services
             .write()
             .insert(url.clone(), inbox_tx.clone());
-        self.attach_endpoint(&url, &inbox_tx, &opts)?;
+        if let Some(bound) = bound {
+            // Read-path queries are answered on the connection's reader
+            // thread through the same concurrent query path the worker
+            // pool uses — no inbox hop, no worker wakeup; owner-only
+            // work (binds, subscriptions) still flows to the inbox.
+            let query = gris.query_path();
+            let inline_interner = interner.clone();
+            let inline_router = Arc::clone(&self.router);
+            let inline_url = url.clone();
+            let inline: InlineHandler = Arc::new(move |conn_id, request, trace| {
+                let from = Address::Tcp(conn_id);
+                let cid = inline_interner.intern(&from);
+                match query.handle_query_traced(cid, request, trace, SimTime::wall(epoch)) {
+                    Ok(replies) => {
+                        for reply in replies {
+                            inline_router.send_back(&from, &inline_url, reply);
+                        }
+                        None
+                    }
+                    Err(request) => Some(request),
+                }
+            });
+            self.attach_endpoint(&url, bound, &inbox_tx, opts.tcp, inline);
+        }
         let router = Arc::clone(&self.router);
         let handle = std::thread::spawn(move || {
             let now = || SimTime::wall(epoch);
@@ -694,7 +757,7 @@ impl LiveRuntime {
             }
         });
         self.handles.push((inbox_tx, handle));
-        Ok(())
+        Ok(served_url)
     }
 
     /// Run a GRIS with `workers` query threads sharing its inbox.
@@ -709,11 +772,21 @@ impl LiveRuntime {
     /// hits — forwarding everything else (registrations, fan-out
     /// replies, cache misses) to the owner thread; 0 degenerates to the
     /// single-threaded loop. With [`Transport::Tcp`] a listener on the
-    /// URL's authority feeds the same inbox from other OS processes; the
-    /// only possible error is a failed bind.
-    pub fn spawn_giis(&mut self, mut giis: Giis, opts: ServeOptions) -> std::io::Result<()> {
+    /// URL's authority feeds the same inbox from other OS processes,
+    /// answering what the query path can serve inline on its reader
+    /// threads; the only possible error is a failed bind. As with
+    /// [`spawn_gris`](Self::spawn_gris), binding happens first, an
+    /// ephemeral port is resolved into the advertised URLs, and the
+    /// served URL is returned.
+    pub fn spawn_giis(&mut self, mut giis: Giis, opts: ServeOptions) -> std::io::Result<LdapUrl> {
         Self::check_transport(&giis.config.url, opts.transport)?;
+        let bound = Self::bind_endpoint(
+            opts.transport,
+            &mut giis.config.url,
+            &mut giis.agent.service_url,
+        )?;
         let workers = opts.workers;
+        let served_url = giis.config.url.clone();
         let url = giis.config.url.to_string();
         let (owner_tx, owner_rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
         let interner = ClientInterner::new();
@@ -790,50 +863,101 @@ impl LiveRuntime {
             .services
             .write()
             .insert(url.clone(), inbox_tx.clone());
-        self.attach_endpoint(&url, &inbox_tx, &opts)?;
+        if let Some(bound) = bound {
+            let query: GiisQueryPath = giis.query_path();
+            let inline_interner = interner.clone();
+            let inline_router = Arc::clone(&self.router);
+            let inline_url = url.clone();
+            let inline: InlineHandler = Arc::new(move |conn_id, request, trace| {
+                let from = Address::Tcp(conn_id);
+                let cid = inline_interner.intern(&from);
+                match query.handle_query_traced(cid, request, trace, SimTime::wall(epoch)) {
+                    Ok(actions) => {
+                        perform_giis_actions(
+                            actions,
+                            &inline_router,
+                            &inline_interner,
+                            &inline_url,
+                        );
+                        None
+                    }
+                    Err(request) => Some(request),
+                }
+            });
+            self.attach_endpoint(&url, bound, &inbox_tx, opts.tcp, inline);
+        }
         let router = Arc::clone(&self.router);
         let handle = std::thread::spawn(move || {
             let now = || SimTime::wall(epoch);
             loop {
-                match owner_rx.recv_timeout(tick) {
-                    Ok(LiveMsg::Shutdown) => break,
-                    Ok(LiveMsg::Request {
-                        from,
-                        request,
-                        trace,
-                        enqueued,
-                    }) => {
-                        if obs_on {
-                            inbox_wait.record(enqueued.elapsed().as_micros() as u64);
-                            inbox_depth.set(owner_rx.len() as u64);
-                        }
-                        let cid = interner.intern(&from);
-                        let actions = giis.handle_request_traced(cid, request, trace, now());
-                        perform_giis_actions(actions, &router, &interner, &url);
-                    }
-                    Ok(LiveMsg::ReplyToService { from_url, reply }) => {
-                        // A malformed source URL cannot be correlated to
-                        // a child; drop the reply instead of attributing
-                        // it to a placeholder server.
-                        if let Ok(from) = LdapUrl::parse(&from_url) {
-                            let actions = giis.handle_reply(&from, reply, now());
-                            perform_giis_actions(actions, &router, &interner, &url);
-                        }
-                    }
-                    Ok(LiveMsg::Grrp(msg)) => {
-                        let actions = giis.handle_grrp(msg, now());
-                        perform_giis_actions(actions, &router, &interner, &url);
-                    }
-                    Ok(LiveMsg::Reannounce) => giis.agent.reannounce(),
-                    Err(RecvTimeoutError::Timeout) => {}
+                let first = match owner_rx.recv_timeout(tick) {
+                    Ok(msg) => Some(msg),
+                    Err(RecvTimeoutError::Timeout) => None,
                     Err(RecvTimeoutError::Disconnected) => break,
+                };
+                let mut shutdown = false;
+                if let Some(first) = first {
+                    // Drain a bounded batch under a write cork: the
+                    // batch's chain fan-outs and completed replies leave
+                    // as one write per connection (pipelined requesters
+                    // and mux'd child replies arrive many-per-read, so
+                    // the inbox genuinely batches under load).
+                    let _cork = router.cork_tcp_writes();
+                    let mut msg = first;
+                    let mut drained = 0usize;
+                    loop {
+                        match msg {
+                            LiveMsg::Shutdown => shutdown = true,
+                            LiveMsg::Request {
+                                from,
+                                request,
+                                trace,
+                                enqueued,
+                            } => {
+                                if obs_on {
+                                    inbox_wait.record(enqueued.elapsed().as_micros() as u64);
+                                    inbox_depth.set(owner_rx.len() as u64);
+                                }
+                                let cid = interner.intern(&from);
+                                let actions =
+                                    giis.handle_request_traced(cid, request, trace, now());
+                                perform_giis_actions(actions, &router, &interner, &url);
+                            }
+                            LiveMsg::ReplyToService { from_url, reply } => {
+                                // A malformed source URL cannot be
+                                // correlated to a child; drop the reply
+                                // instead of attributing it to a
+                                // placeholder server.
+                                if let Ok(from) = LdapUrl::parse(&from_url) {
+                                    let actions = giis.handle_reply(&from, reply, now());
+                                    perform_giis_actions(actions, &router, &interner, &url);
+                                }
+                            }
+                            LiveMsg::Grrp(msg) => {
+                                let actions = giis.handle_grrp(msg, now());
+                                perform_giis_actions(actions, &router, &interner, &url);
+                            }
+                            LiveMsg::Reannounce => giis.agent.reannounce(),
+                        }
+                        drained += 1;
+                        if shutdown || drained >= OWNER_BATCH {
+                            break;
+                        }
+                        match owner_rx.try_recv() {
+                            Ok(next) => msg = next,
+                            Err(_) => break,
+                        }
+                    }
+                }
+                if shutdown {
+                    break;
                 }
                 let actions = giis.tick(now());
                 perform_giis_actions(actions, &router, &interner, &url);
             }
         });
         self.handles.push((inbox_tx, handle));
-        Ok(())
+        Ok(served_url)
     }
 
     /// Run a GIIS with `workers` query threads sharing its inbox.
@@ -1012,6 +1136,11 @@ enum AttemptFail {
 
 /// Default deadline for [`SearchRequest`]s that set none.
 const DEFAULT_SEARCH_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Most inbox messages an owner thread drains under one write cork
+/// before ticking: bounds how long soft-state upkeep can be deferred
+/// while still letting a loaded inbox amortize its writes.
+const OWNER_BATCH: usize = 64;
 
 /// A search being assembled: target, spec, and the optional tracing /
 /// retry / deadline decorations, finished with [`send`](Self::send).
@@ -1294,37 +1423,41 @@ impl LiveClient {
             return Err(AttemptFail::Transport);
         }
         let deadline = Instant::now() + timeout;
+        loop {
+            match self.recv_grip_reply(deadline)? {
+                GripReply::SearchResult {
+                    id: rid,
+                    code,
+                    entries,
+                    referrals,
+                } if rid == id => return Ok((code, entries, referrals)),
+                _ => continue, // stale replies from earlier timeouts, updates
+            }
+        }
+    }
+
+    /// Block for the next GRIP reply on the link, whatever it answers —
+    /// the one receive loop every synchronous path shares. The channel
+    /// and TCP links differ only in where the bytes come from; a closed
+    /// TCP session clears the connection so the next dispatch re-dials.
+    fn recv_grip_reply(&mut self, deadline: Instant) -> Result<GripReply, AttemptFail> {
+        // An already-passed deadline still drains buffered replies (the
+        // decoder and the channel queue are checked before the clock),
+        // which is how pipelined receivers pull a whole batch without a
+        // syscall per reply.
         match &mut self.link {
-            ClientLink::Channel { rx, .. } => loop {
-                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
-                    return Err(AttemptFail::Timeout);
-                };
-                match rx.recv_timeout(remaining) {
-                    Ok(GripReply::SearchResult {
-                        id: rid,
-                        code,
-                        entries,
-                        referrals,
-                    }) if rid == id => return Ok((code, entries, referrals)),
-                    Ok(_) => continue, // stale reply from an earlier timeout
-                    Err(_) => return Err(AttemptFail::Timeout),
-                }
-            },
+            ClientLink::Channel { rx, .. } => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                rx.recv_timeout(remaining).map_err(|_| AttemptFail::Timeout)
+            }
             ClientLink::Tcp { conn, .. } => loop {
                 let Some(c) = conn.as_mut() else {
                     return Err(AttemptFail::Transport);
                 };
-                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
-                    return Err(AttemptFail::Timeout);
-                };
+                let remaining = deadline.saturating_duration_since(Instant::now());
                 match c.recv(remaining) {
-                    Ok(ProtocolMessage::Reply(GripReply::SearchResult {
-                        id: rid,
-                        code,
-                        entries,
-                        referrals,
-                    })) if rid == id => return Ok((code, entries, referrals)),
-                    Ok(_) => continue, // updates / stale replies
+                    Ok(ProtocolMessage::Reply(reply)) => return Ok(reply),
+                    Ok(_) => continue, // a service session only pushes replies
                     Err(RecvFail::Timeout) => return Err(AttemptFail::Timeout),
                     Err(RecvFail::Closed) => {
                         *conn = None;
@@ -1332,6 +1465,114 @@ impl LiveClient {
                     }
                 }
             },
+        }
+    }
+
+    /// Issue `specs` as a pipelined batch with up to `depth` requests in
+    /// flight, collecting each search's outcome (`None` = no reply
+    /// within `timeout`). Replies match by request id, so they may
+    /// return in any order. On a TCP link this is what saturates one
+    /// multiplexed connection — the next requests are already on the
+    /// wire while earlier replies are in flight — instead of paying a
+    /// full round trip per query.
+    pub fn search_pipelined(
+        &mut self,
+        target: &LdapUrl,
+        specs: &[SearchSpec],
+        depth: usize,
+        timeout: Duration,
+    ) -> Vec<Option<SearchOutcome>> {
+        let depth = depth.max(1);
+        let mut results: Vec<Option<SearchOutcome>> = vec![None; specs.len()];
+        let mut slot_of: HashMap<RequestId, usize> = HashMap::new();
+        let deadline = Instant::now() + timeout;
+        let mut next = 0usize;
+        let mut in_flight = 0usize;
+        let mut done = 0usize;
+        // Refill once at least half the window is free (and always when
+        // it empties): large corked bursts are what keep the wire on
+        // one-write-per-batch footing. Refilling one request per reply
+        // would lock the pipeline into per-frame writes the first time
+        // the kernel fragments a burst.
+        let refill_at = depth / 2;
+        'pump: while done < specs.len() {
+            if next < specs.len() && in_flight <= refill_at {
+                self.cork_link();
+                while next < specs.len() && in_flight < depth {
+                    let id = self.next_req;
+                    self.next_req += 1;
+                    let sent = self.dispatch(
+                        target,
+                        GripRequest::Search {
+                            id,
+                            spec: specs[next].clone(),
+                        },
+                        None,
+                    );
+                    if sent {
+                        slot_of.insert(id, next);
+                        in_flight += 1;
+                    } else {
+                        done += 1; // definite transport failure: stays None
+                    }
+                    next += 1;
+                }
+                self.uncork_link();
+            }
+            if in_flight == 0 {
+                if next >= specs.len() {
+                    break;
+                }
+                continue; // every dispatch so far failed; keep going
+            }
+            // Block for one reply, then drain whatever else is already
+            // buffered (no syscalls) before considering a refill.
+            let mut draining = false;
+            loop {
+                let recv_by = if draining { Instant::now() } else { deadline };
+                match self.recv_grip_reply(recv_by) {
+                    Ok(GripReply::SearchResult {
+                        id,
+                        code,
+                        entries,
+                        referrals,
+                    }) => {
+                        if let Some(slot) = slot_of.remove(&id) {
+                            results[slot] = Some((code, entries, referrals));
+                            in_flight -= 1;
+                            done += 1;
+                        }
+                        draining = true;
+                    }
+                    Ok(_) => {}                  // unrelated push (subscription update)
+                    Err(_) if draining => break, // buffer dry
+                    Err(_) => break 'pump,       // deadline or dead link
+                }
+                if in_flight == 0 {
+                    break;
+                }
+            }
+        }
+        results
+    }
+
+    /// Stage outgoing frames instead of writing each (TCP link only);
+    /// [`uncork_link`](Self::uncork_link) writes the burst at once.
+    fn cork_link(&mut self) {
+        if let ClientLink::Tcp { conn: Some(c), .. } = &mut self.link {
+            c.cork();
+        }
+    }
+
+    /// Flush a corked burst in one write; a dead connection is cleared
+    /// so the next dispatch re-dials.
+    fn uncork_link(&mut self) {
+        if let ClientLink::Tcp { conn, .. } = &mut self.link {
+            if let Some(c) = conn.as_mut() {
+                if !c.uncork() {
+                    *conn = None;
+                }
+            }
         }
     }
 
@@ -1377,25 +1618,7 @@ impl LiveClient {
 
     /// Receive the next asynchronous reply (subscription updates).
     pub fn recv(&mut self, timeout: Duration) -> Option<GripReply> {
-        match &mut self.link {
-            ClientLink::Channel { rx, .. } => rx.recv_timeout(timeout).ok(),
-            ClientLink::Tcp { conn, .. } => {
-                let deadline = Instant::now() + timeout;
-                loop {
-                    let c = conn.as_mut()?;
-                    let remaining = deadline.checked_duration_since(Instant::now())?;
-                    match c.recv(remaining) {
-                        Ok(ProtocolMessage::Reply(reply)) => return Some(reply),
-                        Ok(_) => continue,
-                        Err(RecvFail::Timeout) => return None,
-                        Err(RecvFail::Closed) => {
-                            *conn = None;
-                            return None;
-                        }
-                    }
-                }
-            }
-        }
+        self.recv_grip_reply(Instant::now() + timeout).ok()
     }
 }
 

@@ -7,59 +7,91 @@
 //! so a GRIS/GIIS can serve GRIP and accept GRRP registrations from
 //! clients and peers in **other OS processes**.
 //!
-//! Three pieces:
+//! # Multiplexed persistent connections
+//!
+//! Every connection is **multiplexed**: frames carry a correlation id in
+//! the [`MUX_TAG`](gis_proto::MUX_TAG) envelope, so one connection holds
+//! many in-flight GRIP exchanges and replies return in whatever order
+//! the service produces them. The pieces:
 //!
 //! * [`TcpEndpoint`] — a server front-end: an accept loop plus one reader
 //!   thread per connection, decoding frames into the service's existing
-//!   MPMC inbox. Pooled query workers, tracing envelopes and the
-//!   monitoring namespace all work unchanged: by the time a frame reaches
-//!   the inbox it is the same `LiveMsg::Request` the channel transport
-//!   would have delivered, with [`Address::Tcp`](crate::live::Address)
-//!   naming the connection to reply on.
+//!   MPMC inbox — or, for read-path queries, answering **inline** on the
+//!   reader thread via an [`InlineHandler`] without waking a worker.
+//!   By the time a frame reaches the inbox it is the same
+//!   `LiveMsg::Request` the channel transport would have delivered, with
+//!   [`Address::Tcp`](crate::live::Address) naming the connection to
+//!   reply on.
 //! * [`ConnTable`] — the reply path: accepted connections registered by
-//!   id, written to by whichever thread (owner or query worker) produces
-//!   the reply.
-//! * [`TcpOutbound`] — a connection-pooling client used for chained
-//!   GIIS→child requests and GRRP registration streams to `tcp://` URLs.
-//!   Each pooled connection is a small worker thread: write a frame,
-//!   optionally wait (bounded by the read deadline) for the single reply
-//!   frame, hand it to a completion sink, then return itself to the idle
-//!   pool.
+//!   id, written to by whichever thread (reader, owner or query worker)
+//!   produces the reply. Writers append to a per-connection staging
+//!   buffer and the thread holding the socket drains it, so small frames
+//!   produced concurrently **coalesce** into one `write` syscall.
+//! * [`TcpOutbound`] — the client side for chained GIIS→child requests
+//!   and GRRP registration streams to `tcp://` URLs. Each peer gets a
+//!   small fixed set of persistent connections (`conns_per_peer`), each
+//!   driven by **one pump thread** that dials, flushes queued frames,
+//!   then reads replies and matches them to callers by correlation id —
+//!   out of order, up to `mux_depth` in flight.
+//!
+//! # Correlation-id space
+//!
+//! Outbound rewrites each request's GRIP id into a per-connection
+//! correlation counter before framing (and restores the original on the
+//! matching reply), so independent engines sharing one connection cannot
+//! collide. Servers echo request ids verbatim, which makes the reply's
+//! id *be* the correlation id; the envelope additionally carries it so
+//! receivers can drop mislabeled frames. A connection starts in plain
+//! framing and a server marks it mux-speaking only after **receiving**
+//! an enveloped frame, so an old peer is never sent an envelope it
+//! cannot decode.
 //!
 //! # Deadlines and backpressure
 //!
 //! * **Connect deadline** — outbound dials use `connect_timeout`; an
-//!   unreachable peer fails the request quickly instead of hanging a
-//!   fan-out.
+//!   unreachable peer fails its queued requests quickly instead of
+//!   hanging a fan-out.
 //! * **Read deadline, server side** — an *idle* connection between
 //!   frames is legitimate (a subscriber waiting for updates); a
 //!   connection stalled **mid-frame** for longer than `read_deadline` is
 //!   a slow or wedged peer and is dropped, freeing its connection slot.
-//! * **Read deadline, outbound** — a reply not fully received within
-//!   `read_deadline` abandons the connection (it can no longer be
-//!   trusted to be frame-aligned with the request/reply rhythm); the
-//!   completion sink fires with an error and upper layers (client retry,
-//!   GIIS fan-out deadline + circuit breaker) take over.
+//! * **Read deadline, outbound** — each in-flight request has its own
+//!   deadline; expiry fires that request's sink with a timeout while the
+//!   connection (still frame-aligned — framing is self-describing)
+//!   stays up, and the late reply is dropped as unknown. Upper layers
+//!   (client retry, GIIS fan-out deadline + circuit breaker) take over.
 //! * **Write deadline** — a peer that stops draining its socket while we
 //!   reply (slow consumer) trips `write_deadline`; the connection is
-//!   dropped rather than blocking a query worker indefinitely.
+//!   dropped rather than blocking a writer indefinitely.
+//! * **In-flight depth** — a submitter finding `mux_depth` requests
+//!   already in flight blocks (bounded by `write_deadline`) until a slot
+//!   frees: backpressure, not unbounded queueing.
 //! * **Connection slots** — at most `max_conns` accepted connections per
 //!   endpoint; beyond that, new connections are closed on accept. With
 //!   the stall rule above, a slot held by a wedged peer frees within one
 //!   read deadline.
+//!
+//! A poisoned decoder (oversized header, undecodable body, trailing
+//! bytes) still drops the connection on either side — framing has lost
+//! sync and is never resynchronized; the peer sees EOF, the silent
+//! network the upper layers already handle.
 
 use crate::live::{Address, LiveMsg};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use gis_proto::frame::{encode_frame_limited, FrameDecoder};
-use gis_proto::{GripReply, ProtocolMessage};
+use gis_proto::frame::{encode_frame_limited, encode_mux_frame_limited, Frame, FrameDecoder};
+use gis_proto::{GripReply, GripRequest, ProtocolMessage, TraceContext};
 use parking_lot::{Mutex, RwLock};
+// The vendored parking_lot is a shim over std primitives, so its guards
+// interoperate with the std condition variable.
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::sync::Condvar;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use crossbeam::channel::Sender;
 
 /// Socket-level knobs for both endpoint (server) and outbound (client)
 /// sides. One set of defaults fits tests and production-ish loopback use;
@@ -69,17 +101,21 @@ pub struct TcpTuning {
     /// Outbound dial deadline.
     pub connect_timeout: Duration,
     /// Server: maximum mid-frame stall before a connection is dropped.
-    /// Outbound: maximum wait for a reply frame.
+    /// Outbound: maximum wait for each in-flight request's reply.
     pub read_deadline: Duration,
     /// Maximum blocking write before a slow-consumer connection is
-    /// dropped.
+    /// dropped; also bounds how long a submitter waits for an in-flight
+    /// slot when the connection is at `mux_depth`.
     pub write_deadline: Duration,
     /// Per-frame body ceiling (both directions).
     pub max_frame: usize,
     /// Server: maximum concurrently accepted connections.
     pub max_conns: usize,
-    /// Outbound: idle pooled connections kept per peer.
-    pub pool_idle: usize,
+    /// Outbound: in-flight requests allowed per connection before
+    /// submitters block for a free slot.
+    pub mux_depth: usize,
+    /// Outbound: persistent connections kept per peer, used round-robin.
+    pub conns_per_peer: usize,
 }
 
 impl Default for TcpTuning {
@@ -90,7 +126,8 @@ impl Default for TcpTuning {
             write_deadline: Duration::from_secs(5),
             max_frame: gis_proto::MAX_FRAME,
             max_conns: 256,
-            pool_idle: 4,
+            mux_depth: 32,
+            conns_per_peer: 1,
         }
     }
 }
@@ -108,11 +145,75 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
-/// One accepted connection's write half, shared between the reply path
-/// and the endpoint's shutdown path.
+/// Correlation id to echo on a reply frame's envelope: the reply's GRIP
+/// id (servers echo request ids, which outbound rewrote to the
+/// correlation value).
+fn reply_corr(msg: &ProtocolMessage) -> Option<u64> {
+    match msg {
+        ProtocolMessage::Reply(r) => Some(r.id()),
+        ProtocolMessage::Traced { inner, .. } => reply_corr(inner),
+        _ => None,
+    }
+}
+
+/// Rewrite the GRIP request id inside `msg` (through a trace envelope)
+/// to `new`, returning the original id. `None` when `msg` carries no
+/// request.
+fn rewrite_request_id(msg: &mut ProtocolMessage, new: u64) -> Option<u64> {
+    match msg {
+        ProtocolMessage::Request(r) => {
+            let old = r.id();
+            r.set_id(new);
+            Some(old)
+        }
+        ProtocolMessage::Traced { inner, .. } => rewrite_request_id(inner, new),
+        _ => None,
+    }
+}
+
+/// One accepted connection: the write half plus its coalescing staging
+/// buffer, shared between the reply path (reader, owner and query-worker
+/// threads) and the endpoint's shutdown path.
 struct ConnHandle {
     stream: Mutex<TcpStream>,
+    /// Frames encoded but not yet written; whichever thread holds the
+    /// stream drains it, so concurrent repliers coalesce into one write.
+    queued: Mutex<bytes::BytesMut>,
+    /// Set once the peer sends an enveloped frame; replies then carry
+    /// the envelope too. Plain peers never see a tag they can't decode.
+    mux: AtomicBool,
+    /// Cork count; while non-zero, [`flush`](Self::flush) stages without
+    /// writing. The reader thread corks around each decoded batch so the
+    /// inline replies to a pipelined burst leave as one `write(2)`; an
+    /// owner thread corks every handle around an inbox batch
+    /// ([`ConnTable::cork_all`]) for the same effect on its reply burst.
+    /// Corks nest, hence a count rather than a flag; whoever drops the
+    /// count to zero flushes what everyone staged.
+    corked: AtomicUsize,
     max_frame: usize,
+}
+
+impl ConnHandle {
+    /// Drain `queued` to the socket. `false` drops the connection (peer
+    /// gone or too slow).
+    fn flush(&self) -> bool {
+        if self.corked.load(Ordering::Acquire) > 0 {
+            return true;
+        }
+        let mut stream = self.stream.lock();
+        loop {
+            let batch = {
+                let mut q = self.queued.lock();
+                if q.is_empty() {
+                    return true;
+                }
+                q.split()
+            };
+            if stream.write_all(&batch).is_err() || stream.flush().is_err() {
+                return false;
+            }
+        }
+    }
 }
 
 /// Registry of accepted connections, keyed by the id carried in
@@ -126,16 +227,17 @@ pub(crate) struct ConnTable {
 }
 
 impl ConnTable {
-    fn register(&self, stream: TcpStream, max_frame: usize) -> u64 {
+    fn register(&self, stream: TcpStream, max_frame: usize) -> (u64, Arc<ConnHandle>) {
         let id = self.next.fetch_add(1, Ordering::Relaxed) + 1;
-        self.conns.write().insert(
-            id,
-            Arc::new(ConnHandle {
-                stream: Mutex::new(stream),
-                max_frame,
-            }),
-        );
-        id
+        let handle = Arc::new(ConnHandle {
+            stream: Mutex::new(stream),
+            queued: Mutex::new(bytes::BytesMut::new()),
+            mux: AtomicBool::new(false),
+            corked: AtomicUsize::new(0),
+            max_frame,
+        });
+        self.conns.write().insert(id, Arc::clone(&handle));
+        (id, handle)
     }
 
     fn remove(&self, id: u64) {
@@ -144,46 +246,111 @@ impl ConnTable {
         }
     }
 
-    /// Encode and write one frame to connection `id`. Returns `false`
-    /// (and drops the connection) when the peer is gone or too slow —
-    /// exactly the silent-drop semantics the in-process router has for
-    /// vanished clients.
+    /// Encode and write one frame to connection `id`, enveloped with the
+    /// reply's correlation id when the peer speaks the mux envelope.
+    /// Returns `false` (and drops the connection) when the peer is gone
+    /// or too slow — exactly the silent-drop semantics the in-process
+    /// router has for vanished clients.
     pub(crate) fn send(&self, id: u64, msg: &ProtocolMessage) -> bool {
         let Some(conn) = self.conns.read().get(&id).map(Arc::clone) else {
             return false;
         };
-        let mut buf = bytes::BytesMut::new();
-        if encode_frame_limited(msg, &mut buf, conn.max_frame).is_err() {
-            return false;
-        }
-        let mut stream = conn.stream.lock();
-        if stream.write_all(&buf).is_ok() && stream.flush().is_ok() {
+        let encoded = {
+            let mut q = conn.queued.lock();
+            match reply_corr(msg).filter(|_| conn.mux.load(Ordering::Relaxed)) {
+                Some(corr) => encode_mux_frame_limited(corr, msg, &mut q, conn.max_frame).is_ok(),
+                None => encode_frame_limited(msg, &mut q, conn.max_frame).is_ok(),
+            }
+        };
+        if encoded && conn.flush() {
             true
         } else {
-            drop(stream);
             self.remove(id);
             false
         }
     }
+
+    /// Cork every accepted connection until the returned guard drops:
+    /// replies written in between stage in their handles and leave as
+    /// one write per connection. Used by owner threads draining an inbox
+    /// batch whose messages each produce a reply.
+    pub(crate) fn cork_all(self: &Arc<Self>) -> ReplyCork {
+        let conns: Vec<(u64, Arc<ConnHandle>)> = self
+            .conns
+            .read()
+            .iter()
+            .map(|(id, conn)| (*id, Arc::clone(conn)))
+            .collect();
+        for (_, conn) in &conns {
+            conn.corked.fetch_add(1, Ordering::AcqRel);
+        }
+        ReplyCork {
+            table: Arc::clone(self),
+            conns,
+        }
+    }
 }
 
-/// A served TCP listener: the socket front-end of one spawned service.
-pub(crate) struct TcpEndpoint {
-    stop: Arc<AtomicBool>,
-    conn_ids: Arc<Mutex<Vec<u64>>>,
-    accept_thread: Option<JoinHandle<()>>,
+/// RAII cork over the accepted connections that existed when
+/// [`ConnTable::cork_all`] ran (later arrivals write directly, which is
+/// merely unbatched). Dropping uncorks and flushes; a connection whose
+/// flush fails is dropped exactly as a failed direct write would be.
+pub(crate) struct ReplyCork {
+    table: Arc<ConnTable>,
+    conns: Vec<(u64, Arc<ConnHandle>)>,
 }
 
-impl TcpEndpoint {
-    /// Bind `authority` and start serving frames into `inbox`.
-    pub(crate) fn spawn(
-        authority: &str,
+impl Drop for ReplyCork {
+    fn drop(&mut self) {
+        for (id, conn) in &self.conns {
+            conn.corked.fetch_sub(1, Ordering::AcqRel);
+            if !conn.flush() {
+                self.table.remove(*id);
+            }
+        }
+    }
+}
+
+/// Fast-path hook a service installs on its endpoint: called on the
+/// connection's reader thread for every inbound GRIP request. Returning
+/// `None` means the request was fully handled (replies already written
+/// via [`ConnTable::send`]); returning the request forwards it to the
+/// service inbox for the owner thread, exactly as if no hook existed.
+pub(crate) type InlineHandler =
+    Arc<dyn Fn(u64, GripRequest, Option<TraceContext>) -> Option<GripRequest> + Send + Sync>;
+
+/// A bound-but-not-yet-serving listener. Splitting bind from serve lets
+/// the runtime read the kernel-assigned port (`tcp://host:0`) and fix up
+/// registration URLs *before* any traffic arrives.
+pub(crate) struct BoundEndpoint {
+    listener: TcpListener,
+    local: SocketAddr,
+}
+
+impl BoundEndpoint {
+    /// Bind `authority` (`host:port`, port may be 0 for ephemeral).
+    pub(crate) fn bind(authority: &str) -> std::io::Result<BoundEndpoint> {
+        let listener = TcpListener::bind(authority)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        Ok(BoundEndpoint { listener, local })
+    }
+
+    /// The actual bound address (real port even when 0 was requested).
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Start serving frames into `inbox`, with read-path requests
+    /// optionally short-circuited by `inline` on the reader threads.
+    pub(crate) fn serve(
+        self,
         inbox: Sender<LiveMsg>,
         conns: Arc<ConnTable>,
         tuning: TcpTuning,
-    ) -> std::io::Result<TcpEndpoint> {
-        let listener = TcpListener::bind(authority)?;
-        listener.set_nonblocking(true)?;
+        inline: Option<InlineHandler>,
+    ) -> TcpEndpoint {
+        let listener = self.listener;
         let stop = Arc::new(AtomicBool::new(false));
         let conn_ids = Arc::new(Mutex::new(Vec::new()));
         let active = Arc::new(AtomicUsize::new(0));
@@ -210,6 +377,7 @@ impl TcpEndpoint {
                         Arc::clone(&accept_stop),
                         Arc::clone(&accept_conn_ids),
                         Arc::clone(&active),
+                        inline.clone(),
                     );
                 }
                 Err(e) if is_timeout(&e) => {
@@ -219,13 +387,22 @@ impl TcpEndpoint {
             }
         });
 
-        Ok(TcpEndpoint {
+        TcpEndpoint {
             stop,
             conn_ids,
             accept_thread: Some(accept_thread),
-        })
+        }
     }
+}
 
+/// A served TCP listener: the socket front-end of one spawned service.
+pub(crate) struct TcpEndpoint {
+    stop: Arc<AtomicBool>,
+    conn_ids: Arc<Mutex<Vec<u64>>>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpEndpoint {
     /// Stop accepting, close every live connection, join the accept loop.
     pub(crate) fn shutdown(mut self, conns: &ConnTable) {
         self.stop.store(true, Ordering::Relaxed);
@@ -247,6 +424,7 @@ fn spawn_conn_reader(
     stop: Arc<AtomicBool>,
     conn_ids: Arc<Mutex<Vec<u64>>>,
     active: Arc<AtomicUsize>,
+    inline: Option<InlineHandler>,
 ) {
     std::thread::spawn(move || {
         let _ = stream.set_nodelay(true);
@@ -255,9 +433,17 @@ fn spawn_conn_reader(
             active.fetch_sub(1, Ordering::Relaxed);
             return;
         };
-        let conn_id = conns.register(stream, tuning.max_frame);
+        let (conn_id, handle) = conns.register(stream, tuning.max_frame);
         conn_ids.lock().push(conn_id);
-        read_loop(read_half, conn_id, &inbox, &tuning, &stop);
+        read_loop(
+            read_half,
+            conn_id,
+            &handle,
+            &inbox,
+            &tuning,
+            &stop,
+            inline.as_ref(),
+        );
         conns.remove(conn_id);
         conn_ids.lock().retain(|&id| id != conn_id);
         active.fetch_sub(1, Ordering::Relaxed);
@@ -265,13 +451,16 @@ fn spawn_conn_reader(
 }
 
 /// Decode frames from one accepted connection into the service inbox
-/// until EOF, a protocol error, a mid-frame stall, or shutdown.
+/// (or the inline handler) until EOF, a protocol error, a mid-frame
+/// stall, or shutdown.
 fn read_loop(
     mut stream: TcpStream,
     conn_id: u64,
+    handle: &ConnHandle,
     inbox: &Sender<LiveMsg>,
     tuning: &TcpTuning,
     stop: &AtomicBool,
+    inline: Option<&InlineHandler>,
 ) {
     // Short socket timeout so both the shutdown flag and the mid-frame
     // deadline are checked promptly; `stall_since` tracks the wall-clock
@@ -288,18 +477,36 @@ fn read_loop(
             Ok(0) => return, // peer closed
             Ok(n) => {
                 dec.feed(&buf[..n]);
+                // Cork while draining the batch: inline replies to every
+                // frame in this read coalesce into a single write below.
+                handle.corked.fetch_add(1, Ordering::AcqRel);
+                let mut keep = true;
                 loop {
-                    match dec.next() {
-                        Ok(Some(msg)) => {
-                            if !dispatch_inbound(msg, conn_id, inbox) {
-                                return;
+                    match dec.next_frame() {
+                        Ok(Some(frame)) => {
+                            if frame.corr.is_some() {
+                                // The peer speaks the envelope; echo it
+                                // on replies from now on.
+                                handle.mux.store(true, Ordering::Relaxed);
+                            }
+                            if !dispatch_inbound(frame, conn_id, inbox, inline) {
+                                keep = false;
+                                break;
                             }
                         }
                         Ok(None) => break,
                         // Oversized or malformed frame: drop the
                         // connection cleanly; the sender sees EOF.
-                        Err(_) => return,
+                        Err(_) => {
+                            keep = false;
+                            break;
+                        }
                     }
+                }
+                handle.corked.fetch_sub(1, Ordering::AcqRel);
+                let flushed = handle.flush();
+                if !flushed || !keep {
+                    return;
                 }
                 stall_since = if dec.mid_frame() {
                     Some(stall_since.unwrap_or_else(Instant::now))
@@ -324,18 +531,39 @@ fn read_loop(
 }
 
 /// Translate one decoded frame into the same `LiveMsg` the in-process
-/// transport would deliver. Returns `false` when the connection must be
-/// dropped (service gone, or the peer sent a frame a server never
-/// accepts).
-fn dispatch_inbound(msg: ProtocolMessage, conn_id: u64, inbox: &Sender<LiveMsg>) -> bool {
-    let (trace, inner) = msg.untraced();
+/// transport would deliver — unless the inline handler answers it on
+/// this thread. Returns `false` when the connection must be dropped
+/// (service gone, or the peer sent a frame a server never accepts).
+fn dispatch_inbound(
+    frame: Frame,
+    conn_id: u64,
+    inbox: &Sender<LiveMsg>,
+    inline: Option<&InlineHandler>,
+) -> bool {
+    let corr = frame.corr;
+    let (trace, inner) = frame.msg.untraced();
     let live = match inner {
-        ProtocolMessage::Request(request) => LiveMsg::Request {
-            from: Address::Tcp(conn_id),
-            request,
-            trace,
-            enqueued: Instant::now(),
-        },
+        ProtocolMessage::Request(request) => {
+            // A mislabeled envelope (corr disagreeing with the id the
+            // reply would echo) can never be answered correctly; drop
+            // the frame, keep the connection.
+            if corr.is_some_and(|c| c != request.id()) {
+                return true;
+            }
+            let request = match inline {
+                Some(handler) => match handler(conn_id, request, trace) {
+                    None => return true, // answered on this thread
+                    Some(owner_work) => owner_work,
+                },
+                None => request,
+            };
+            LiveMsg::Request {
+                from: Address::Tcp(conn_id),
+                request,
+                trace,
+                enqueued: Instant::now(),
+            }
+        }
         ProtocolMessage::Grrp(m) => LiveMsg::Grrp(m),
         // A server-side connection carries requests and registrations;
         // an unsolicited Reply is a protocol violation.
@@ -354,28 +582,325 @@ pub(crate) enum TransportError {
     Connect,
     /// The connection dropped (or desynced) before a full reply arrived.
     Dropped,
-    /// No full reply within the read deadline.
+    /// No full reply within the read deadline (or no in-flight slot
+    /// within the write deadline).
     Timeout,
 }
 
 /// Completion callback for one outbound request.
 pub(crate) type ReplySink = Box<dyn FnOnce(OutboundResult) + Send + 'static>;
 
-/// One unit of outbound work: a frame, plus (for requests) the sink the
-/// single reply frame is handed to. GRRP notifications are one-way.
-struct Job {
-    frame: ProtocolMessage,
-    reply: Option<ReplySink>,
+/// One in-flight request on a multiplexed connection.
+struct MuxPending {
+    sink: ReplySink,
+    /// The GRIP id the caller used, restored onto the reply.
+    original: u64,
+    deadline: Instant,
 }
 
-/// Connection-pooling TCP client shared by a runtime (GIIS chaining,
-/// GRRP registration streams) and by standalone [`LiveClient`]
-/// (crate::live::LiveClient) handles in client-only processes.
+/// Writer-half lifecycle of a multiplexed connection.
+enum WireState {
+    /// Pump thread is dialing; submitted frames stage in `queued`.
+    Dialing,
+    /// Connected: whoever flushes writes through this half.
+    Up(TcpStream),
+    /// Killed; every submit fails fast.
+    Dead,
+}
+
+/// Shared state of one multiplexed persistent connection: many
+/// submitting threads, one pump thread that dials then reads replies.
+struct MuxConn {
+    peer: String,
+    tuning: TcpTuning,
+    state: Mutex<WireState>,
+    /// Staged frames: pre-connect backlog and the coalescing buffer.
+    queued: Mutex<bytes::BytesMut>,
+    /// In-flight requests keyed by correlation id; its lock also guards
+    /// the depth gate (`gate` waits on it).
+    pending: Mutex<HashMap<u64, MuxPending>>,
+    gate: Condvar,
+    alive: AtomicBool,
+    next_corr: AtomicU64,
+    /// Cork count (see [`TcpOutbound::cork_all`]): while non-zero,
+    /// [`flush`](Self::flush) stages submitted frames instead of
+    /// writing, so a burst of requests coalesces into one write.
+    corked: AtomicUsize,
+}
+
+impl MuxConn {
+    /// Create the connection state and start its pump thread.
+    fn spawn(peer: &str, tuning: TcpTuning, closed: Arc<AtomicBool>) -> Arc<MuxConn> {
+        let conn = Arc::new(MuxConn {
+            peer: peer.to_owned(),
+            tuning,
+            state: Mutex::new(WireState::Dialing),
+            queued: Mutex::new(bytes::BytesMut::new()),
+            pending: Mutex::new(HashMap::new()),
+            gate: Condvar::new(),
+            alive: AtomicBool::new(true),
+            next_corr: AtomicU64::new(0),
+            corked: AtomicUsize::new(0),
+        });
+        let pump = Arc::clone(&conn);
+        std::thread::spawn(move || pump.run(closed));
+        conn
+    }
+
+    /// Pump thread: dial, flush the backlog, then read replies until the
+    /// connection dies or the pool closes.
+    fn run(self: Arc<MuxConn>, closed: Arc<AtomicBool>) {
+        let stream = resolve(&self.peer)
+            .and_then(|addr| TcpStream::connect_timeout(&addr, self.tuning.connect_timeout).ok());
+        let Some(stream) = stream else {
+            self.kill(TransportError::Connect);
+            return;
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(self.tuning.write_deadline));
+        let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL.min(self.tuning.read_deadline)));
+        let Ok(write_half) = stream.try_clone() else {
+            self.kill(TransportError::Connect);
+            return;
+        };
+        {
+            let mut st = self.state.lock();
+            if matches!(*st, WireState::Dead) {
+                return; // closed while dialing
+            }
+            *st = WireState::Up(write_half);
+        }
+        if !self.flush() {
+            self.kill(TransportError::Dropped);
+            return;
+        }
+        let mut dec = FrameDecoder::with_max_frame(self.tuning.max_frame);
+        let mut chunk = vec![0u8; READ_CHUNK];
+        let mut reader = stream;
+        loop {
+            if closed.load(Ordering::Relaxed) || !self.alive.load(Ordering::Relaxed) {
+                self.kill(TransportError::Dropped);
+                return;
+            }
+            match reader.read(&mut chunk) {
+                Ok(0) => {
+                    self.kill(TransportError::Dropped);
+                    return;
+                }
+                Ok(n) => {
+                    dec.feed(&chunk[..n]);
+                    loop {
+                        match dec.next_frame() {
+                            Ok(Some(frame)) => {
+                                if !self.on_frame(frame) {
+                                    self.kill(TransportError::Dropped);
+                                    return;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                // Poisoned decoder: the stream is out of
+                                // sync; drop it, never resynchronize.
+                                self.kill(TransportError::Dropped);
+                                return;
+                            }
+                        }
+                    }
+                    self.reap_expired();
+                }
+                Err(e) if is_timeout(&e) => self.reap_expired(),
+                Err(_) => {
+                    self.kill(TransportError::Dropped);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Match one inbound frame to its caller. `false` means protocol
+    /// violation (drop the connection); mismatched, duplicate and
+    /// unknown correlation ids drop the *frame* only.
+    fn on_frame(&self, frame: Frame) -> bool {
+        let ProtocolMessage::Reply(mut reply) = frame.msg else {
+            return false;
+        };
+        let key = reply.id();
+        if frame.corr.is_some_and(|c| c != key) {
+            return true; // mislabeled envelope: not answerable, drop it
+        }
+        // An unknown or duplicate id is a late reply: drop the frame.
+        if let Some(p) = self.pending.lock().remove(&key) {
+            self.gate.notify_all();
+            reply.set_id(p.original);
+            (p.sink)(Ok(reply));
+        }
+        true
+    }
+
+    /// Fire timed-out in-flight requests. The connection stays up:
+    /// framing is self-describing, so a late reply is simply dropped as
+    /// unknown when it eventually lands.
+    fn reap_expired(&self) {
+        let now = Instant::now();
+        let fired: Vec<MuxPending> = {
+            let mut pending = self.pending.lock();
+            let expired: Vec<u64> = pending
+                .iter()
+                .filter(|(_, p)| now >= p.deadline)
+                .map(|(k, _)| *k)
+                .collect();
+            expired
+                .into_iter()
+                .filter_map(|k| pending.remove(&k))
+                .collect()
+        };
+        if !fired.is_empty() {
+            self.gate.notify_all();
+            for p in fired {
+                (p.sink)(Err(TransportError::Timeout));
+            }
+        }
+    }
+
+    /// Register `frame` as an in-flight request (rewriting its GRIP id
+    /// into the correlation space) and stage its bytes for writing.
+    fn submit(&self, mut frame: ProtocolMessage, sink: ReplySink) {
+        let deadline = Instant::now() + self.tuning.read_deadline;
+        let corr = {
+            let mut pending = self.pending.lock();
+            while pending.len() >= self.tuning.mux_depth {
+                if !self.alive.load(Ordering::Relaxed) {
+                    drop(pending);
+                    sink(Err(TransportError::Dropped));
+                    return;
+                }
+                let (guard, wait) = self
+                    .gate
+                    .wait_timeout(pending, self.tuning.write_deadline)
+                    .unwrap_or_else(|e| e.into_inner());
+                pending = guard;
+                if wait.timed_out() && pending.len() >= self.tuning.mux_depth {
+                    drop(pending);
+                    sink(Err(TransportError::Timeout));
+                    return;
+                }
+            }
+            if !self.alive.load(Ordering::Relaxed) {
+                drop(pending);
+                sink(Err(TransportError::Dropped));
+                return;
+            }
+            let corr = self.next_corr.fetch_add(1, Ordering::Relaxed) + 1;
+            let Some(original) = rewrite_request_id(&mut frame, corr) else {
+                drop(pending);
+                sink(Err(TransportError::Dropped));
+                return;
+            };
+            pending.insert(
+                corr,
+                MuxPending {
+                    sink,
+                    original,
+                    deadline,
+                },
+            );
+            corr
+        };
+        let encoded = {
+            let mut q = self.queued.lock();
+            encode_mux_frame_limited(corr, &frame, &mut q, self.tuning.max_frame).is_ok()
+        };
+        if !encoded || !self.flush() {
+            // Fire our own sink (unless a concurrent kill already did)
+            // and retire the connection.
+            if let Some(p) = self.pending.lock().remove(&corr) {
+                (p.sink)(Err(TransportError::Dropped));
+            }
+            self.kill(TransportError::Dropped);
+        }
+    }
+
+    /// Stage a one-way frame (GRRP notification) — plain framing, no
+    /// envelope, no reply expected.
+    fn submit_oneway(&self, frame: &ProtocolMessage) {
+        let encoded = {
+            let mut q = self.queued.lock();
+            encode_frame_limited(frame, &mut q, self.tuning.max_frame).is_ok()
+        };
+        if !encoded || !self.flush() {
+            self.kill(TransportError::Dropped);
+        }
+    }
+
+    /// Drain `queued` through the writer half. `true` while the
+    /// connection is usable (including still-dialing, when the pump
+    /// flushes after connecting).
+    fn flush(&self) -> bool {
+        let mut st = self.state.lock();
+        match &mut *st {
+            WireState::Dialing => true,
+            WireState::Dead => false,
+            WireState::Up(stream) => {
+                if self.corked.load(Ordering::Acquire) > 0 {
+                    return true; // staged; the uncork writes the burst
+                }
+                loop {
+                    let batch = {
+                        let mut q = self.queued.lock();
+                        if q.is_empty() {
+                            return true;
+                        }
+                        q.split()
+                    };
+                    if stream.write_all(&batch).is_err() || stream.flush().is_err() {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tear the connection down: every in-flight and future request
+    /// fails with `err`. Idempotent.
+    fn kill(&self, err: TransportError) {
+        if !self.alive.swap(false, Ordering::Relaxed) {
+            return;
+        }
+        {
+            let mut st = self.state.lock();
+            if let WireState::Up(stream) = &*st {
+                // Unblock the pump's reader half.
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+            *st = WireState::Dead;
+        }
+        self.queued.lock().clear();
+        let fired: Vec<MuxPending> = {
+            let mut pending = self.pending.lock();
+            pending.drain().map(|(_, p)| p).collect()
+        };
+        self.gate.notify_all();
+        for p in fired {
+            (p.sink)(Err(err.clone()));
+        }
+    }
+}
+
+/// Round-robin ring of persistent connections to one peer.
+struct PeerRing {
+    conns: Vec<Option<Arc<MuxConn>>>,
+    rr: usize,
+}
+
+/// Multiplexing TCP client shared by a runtime (GIIS chaining, GRRP
+/// registration streams) and by standalone [`LiveClient`]
+/// (crate::live::LiveClient) handles in client-only processes. Keeps
+/// `conns_per_peer` persistent connections per `host:port` peer, each
+/// carrying up to `mux_depth` concurrent requests; a dead connection is
+/// replaced on the next submit (so a failed dial stays cheap to retry
+/// and the circuit breaker sees every failure).
 pub(crate) struct TcpOutbound {
-    /// Idle pooled connections per `host:port` peer. Behind an `Arc` so
-    /// connection workers can re-register themselves without borrowing
-    /// the pool.
-    idle: Arc<Mutex<HashMap<String, Vec<Sender<Job>>>>>,
+    peers: Mutex<HashMap<String, PeerRing>>,
     tuning: TcpTuning,
     closed: Arc<AtomicBool>,
 }
@@ -389,7 +914,7 @@ impl Default for TcpOutbound {
 impl TcpOutbound {
     pub(crate) fn new(tuning: TcpTuning) -> TcpOutbound {
         TcpOutbound {
-            idle: Arc::new(Mutex::new(HashMap::new())),
+            peers: Mutex::new(HashMap::new()),
             tuning,
             closed: Arc::new(AtomicBool::new(false)),
         }
@@ -399,186 +924,92 @@ impl TcpOutbound {
     /// are the soft-state protocol's problem: a lost registration is
     /// re-sent at the next refresh interval.
     pub(crate) fn oneway(&self, peer: &str, frame: ProtocolMessage) {
-        self.submit(peer, Job { frame, reply: None });
+        if self.closed.load(Ordering::Relaxed) {
+            return;
+        }
+        self.conn_for(peer).submit_oneway(&frame);
     }
 
     /// Send a request frame and hand the single reply frame (or the
     /// failure) to `sink`, asynchronously.
     pub(crate) fn request(&self, peer: &str, frame: ProtocolMessage, sink: ReplySink) {
-        self.submit(
-            peer,
-            Job {
-                frame,
-                reply: Some(sink),
-            },
-        );
-    }
-
-    /// Stop all pooled connection workers (checked at their next poll).
-    pub(crate) fn close(&self) {
-        self.closed.store(true, Ordering::Relaxed);
-        self.idle.lock().clear();
-    }
-
-    fn submit(&self, peer: &str, mut job: Job) {
         if self.closed.load(Ordering::Relaxed) {
-            if let Some(sink) = job.reply.take() {
-                sink(Err(TransportError::Dropped));
-            }
+            sink(Err(TransportError::Dropped));
             return;
         }
-        // Reuse an idle pooled connection when one exists.
-        loop {
-            let Some(tx) = self.idle.lock().get_mut(peer).and_then(Vec::pop) else {
-                break;
-            };
-            match tx.send(job) {
-                Ok(()) => return,
-                // That worker died since going idle; try the next.
-                Err(crossbeam::channel::SendError(j)) => job = j,
-            }
-        }
-        self.spawn_conn(peer, job);
+        self.conn_for(peer).submit(frame, sink);
     }
 
-    fn spawn_conn(&self, peer: &str, job: Job) {
-        let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(1);
-        let peer_key = peer.to_owned();
-        let tuning = self.tuning;
-        let closed = Arc::clone(&self.closed);
-        let idle = IdleHook {
-            closed: Arc::clone(&self.closed),
-            map: Arc::clone(&self.idle),
+    /// Stop all pump threads and fail every in-flight request.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Relaxed);
+        let rings: Vec<PeerRing> = {
+            let mut peers = self.peers.lock();
+            peers.drain().map(|(_, ring)| ring).collect()
         };
-        std::thread::spawn(move || {
-            conn_worker(&peer_key, job, rx, tx, tuning, closed, idle);
+        for ring in rings {
+            for conn in ring.conns.into_iter().flatten() {
+                conn.kill(TransportError::Dropped);
+            }
+        }
+    }
+
+    /// Cork every live connection until the returned guard drops:
+    /// requests submitted in between stage their frames, and the uncork
+    /// writes each connection's burst in one go. Lets an owner thread
+    /// draining an inbox batch (GIIS chain fan-out) pay one write per
+    /// child connection instead of one per sub-query.
+    pub(crate) fn cork_all(&self) -> OutboundCork {
+        let conns: Vec<Arc<MuxConn>> = {
+            let peers = self.peers.lock();
+            peers
+                .values()
+                .flat_map(|ring| ring.conns.iter().flatten().cloned())
+                .collect()
+        };
+        for conn in &conns {
+            conn.corked.fetch_add(1, Ordering::AcqRel);
+        }
+        OutboundCork { conns }
+    }
+
+    /// The live connection for `peer` this request should ride — round
+    /// robin across the ring, replacing dead slots.
+    fn conn_for(&self, peer: &str) -> Arc<MuxConn> {
+        let mut peers = self.peers.lock();
+        let width = self.tuning.conns_per_peer.max(1);
+        let ring = peers.entry(peer.to_owned()).or_insert_with(|| PeerRing {
+            conns: vec![None; width],
+            rr: 0,
         });
-    }
-}
-
-/// A cloneable handle through which a connection worker re-registers
-/// itself as idle. Holds the pool's idle map behind an `Arc`, detached
-/// from the pool's lifetime (workers outlive `TcpOutbound::close`
-/// briefly; the `closed` flag keeps them from re-registering).
-struct IdleHook {
-    closed: Arc<AtomicBool>,
-    map: Arc<Mutex<HashMap<String, Vec<Sender<Job>>>>>,
-}
-
-impl IdleHook {
-    fn park(&self, peer: &str, tx: Sender<Job>, cap: usize) -> bool {
-        if self.closed.load(Ordering::Relaxed) {
-            return false;
-        }
-        let mut map = self.map.lock();
-        let slot = map.entry(peer.to_owned()).or_default();
-        if slot.len() >= cap {
-            return false;
-        }
-        slot.push(tx);
-        true
-    }
-}
-
-fn conn_worker(
-    peer: &str,
-    first: Job,
-    rx: Receiver<Job>,
-    self_tx: Sender<Job>,
-    tuning: TcpTuning,
-    closed: Arc<AtomicBool>,
-    idle: IdleHook,
-) {
-    // Dial with the connect deadline.
-    let stream = resolve(peer)
-        .and_then(|addr| TcpStream::connect_timeout(&addr, tuning.connect_timeout).ok());
-    let Some(mut stream) = stream else {
-        if let Some(sink) = first.reply {
-            sink(Err(TransportError::Connect));
-        }
-        return;
-    };
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(Some(tuning.write_deadline));
-    let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL.min(tuning.read_deadline)));
-    let mut dec = FrameDecoder::with_max_frame(tuning.max_frame);
-
-    let mut job = Some(first);
-    loop {
-        let Some(j) = job.take() else {
-            // Wait parked-idle for the next job.
-            match rx.recv_timeout(SHUTDOWN_POLL * 5) {
-                Ok(j) => job = Some(j),
-                Err(RecvTimeoutError::Timeout) => {
-                    if closed.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    continue;
-                }
-                Err(RecvTimeoutError::Disconnected) => return,
+        ring.rr = (ring.rr + 1) % ring.conns.len();
+        let slot = ring.rr;
+        match &ring.conns[slot] {
+            Some(conn) if conn.alive.load(Ordering::Relaxed) => Arc::clone(conn),
+            _ => {
+                let conn = MuxConn::spawn(peer, self.tuning, Arc::clone(&self.closed));
+                ring.conns[slot] = Some(Arc::clone(&conn));
+                conn
             }
-            continue;
-        };
-        if !run_job(j, &mut stream, &mut dec, &tuning) {
-            return; // connection no longer trustworthy
-        }
-        if !idle.park(peer, self_tx.clone(), tuning.pool_idle) {
-            return; // pool full or closed: retire this connection
         }
     }
 }
 
-/// Execute one job on the live connection. Returns `false` when the
-/// connection must be retired.
-fn run_job(job: Job, stream: &mut TcpStream, dec: &mut FrameDecoder, tuning: &TcpTuning) -> bool {
-    let mut buf = bytes::BytesMut::new();
-    if encode_frame_limited(&job.frame, &mut buf, tuning.max_frame).is_err()
-        || stream.write_all(&buf).is_err()
-        || stream.flush().is_err()
-    {
-        if let Some(sink) = job.reply {
-            sink(Err(TransportError::Dropped));
-        }
-        return false;
-    }
-    let Some(sink) = job.reply else {
-        return true; // one-way: done
-    };
-    // Wait for exactly one reply frame within the read deadline.
-    let deadline = Instant::now() + tuning.read_deadline;
-    let mut chunk = vec![0u8; READ_CHUNK];
-    loop {
-        match dec.next() {
-            Ok(Some(ProtocolMessage::Reply(reply))) => {
-                sink(Ok(reply));
-                // Any residual bytes mean the peer broke the one-reply
-                // rhythm; keep the connection only when clean.
-                return !dec.mid_frame();
-            }
-            Ok(Some(_)) => {
-                sink(Err(TransportError::Dropped));
-                return false;
-            }
-            Ok(None) => {}
-            Err(_) => {
-                sink(Err(TransportError::Dropped));
-                return false;
-            }
-        }
-        if Instant::now() >= deadline {
-            sink(Err(TransportError::Timeout));
-            return false;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                sink(Err(TransportError::Dropped));
-                return false;
-            }
-            Ok(n) => dec.feed(&chunk[..n]),
-            Err(e) if is_timeout(&e) => {}
-            Err(_) => {
-                sink(Err(TransportError::Dropped));
-                return false;
+/// RAII cork over the pooled connections that existed when
+/// [`TcpOutbound::cork_all`] ran (a connection dialed mid-cork writes
+/// directly, which is merely unbatched). Dropping uncorks and flushes;
+/// a connection whose flush fails is torn down exactly as a failed
+/// direct write would be.
+pub(crate) struct OutboundCork {
+    conns: Vec<Arc<MuxConn>>,
+}
+
+impl Drop for OutboundCork {
+    fn drop(&mut self) {
+        for conn in &self.conns {
+            conn.corked.fetch_sub(1, Ordering::AcqRel);
+            if !conn.flush() {
+                conn.kill(TransportError::Dropped);
             }
         }
     }
@@ -598,15 +1029,24 @@ pub(crate) enum RecvFail {
     Closed,
 }
 
-/// A client's single persistent connection to one endpoint. Unlike the
-/// pooled [`TcpOutbound`] connections (strict request/reply rhythm),
-/// this carries a full client session: requests out, any number of
-/// replies and subscription updates back, in whatever order the service
-/// produces them — the socket analogue of a [`LiveClient`]
-/// (crate::live::LiveClient) reply channel.
+/// A client's single persistent connection to one endpoint. Carries a
+/// full client session: pipelined requests out, any number of replies
+/// and subscription updates back, in whatever order the service produces
+/// them — the socket analogue of a [`LiveClient`]
+/// (crate::live::LiveClient) reply channel. Requests go out in the mux
+/// envelope (correlation id = the request's own GRIP id, which is
+/// already unique per session); inbound frames tolerate both enveloped
+/// and plain framing, dropping any whose envelope disagrees with the
+/// reply id it carries.
 pub(crate) struct ClientConn {
     stream: TcpStream,
     dec: FrameDecoder,
+    /// Reused read buffer: one allocation per connection, not per recv.
+    chunk: Vec<u8>,
+    /// Reused encode buffer for outgoing frames; while corked it
+    /// accumulates a burst that [`uncork`](Self::uncork) writes at once.
+    ebuf: bytes::BytesMut,
+    corked: bool,
 }
 
 impl ClientConn {
@@ -625,36 +1065,327 @@ impl ClientConn {
         Ok(ClientConn {
             stream,
             dec: FrameDecoder::with_max_frame(tuning.max_frame),
+            chunk: vec![0u8; READ_CHUNK],
+            ebuf: bytes::BytesMut::new(),
+            corked: false,
         })
     }
 
-    /// Encode and send one frame. `false` means the connection is dead.
-    pub(crate) fn send(&mut self, msg: &ProtocolMessage, max_frame: usize) -> bool {
-        let mut buf = bytes::BytesMut::new();
-        encode_frame_limited(msg, &mut buf, max_frame).is_ok()
-            && self.stream.write_all(&buf).is_ok()
-            && self.stream.flush().is_ok()
+    /// Start staging outgoing frames instead of writing each one: a
+    /// pipelined burst becomes a single `write(2)` at
+    /// [`uncork`](Self::uncork).
+    pub(crate) fn cork(&mut self) {
+        self.corked = true;
     }
 
-    /// Receive the next frame, waiting up to `timeout`.
+    /// Write everything staged since [`cork`](Self::cork) in one go.
+    /// `false` means the connection is dead. No-op when not corked (a
+    /// mid-burst redial hands out a fresh, uncorked connection).
+    pub(crate) fn uncork(&mut self) -> bool {
+        if !self.corked {
+            return true;
+        }
+        self.corked = false;
+        if self.ebuf.is_empty() {
+            return true;
+        }
+        let ok = self.stream.write_all(&self.ebuf).is_ok() && self.stream.flush().is_ok();
+        self.ebuf.clear();
+        ok
+    }
+
+    /// Encode and send one frame (staged while corked). `false` means
+    /// the connection is dead.
+    pub(crate) fn send(&mut self, msg: &ProtocolMessage, max_frame: usize) -> bool {
+        if !self.corked {
+            self.ebuf.clear();
+        }
+        let encoded = match request_corr(msg) {
+            Some(corr) => encode_mux_frame_limited(corr, msg, &mut self.ebuf, max_frame).is_ok(),
+            None => encode_frame_limited(msg, &mut self.ebuf, max_frame).is_ok(),
+        };
+        if !encoded {
+            return false;
+        }
+        if self.corked {
+            return true;
+        }
+        self.stream.write_all(&self.ebuf).is_ok() && self.stream.flush().is_ok()
+    }
+
+    /// Receive the next frame, waiting up to `timeout`. Frames whose
+    /// envelope contradicts the reply they carry are dropped without
+    /// closing the session.
     pub(crate) fn recv(&mut self, timeout: Duration) -> Result<ProtocolMessage, RecvFail> {
         let deadline = Instant::now() + timeout;
-        let mut chunk = vec![0u8; READ_CHUNK];
         loop {
-            match self.dec.next() {
-                Ok(Some(msg)) => return Ok(msg),
+            match self.dec.next_frame() {
+                Ok(Some(frame)) => {
+                    match frame.corr {
+                        Some(c) if reply_corr(&frame.msg) != Some(c) => {
+                            continue; // mislabeled envelope: drop frame
+                        }
+                        _ => return Ok(frame.msg),
+                    }
+                }
                 Ok(None) => {}
                 Err(_) => return Err(RecvFail::Closed),
             }
             if Instant::now() >= deadline {
                 return Err(RecvFail::Timeout);
             }
-            match self.stream.read(&mut chunk) {
+            match self.stream.read(&mut self.chunk) {
                 Ok(0) => return Err(RecvFail::Closed),
-                Ok(n) => self.dec.feed(&chunk[..n]),
+                Ok(n) => self.dec.feed(&self.chunk[..n]),
                 Err(e) if is_timeout(&e) => {}
                 Err(_) => return Err(RecvFail::Closed),
             }
+        }
+    }
+}
+
+/// Correlation id for an outgoing client-session request: its own GRIP
+/// id (unique per session).
+fn request_corr(msg: &ProtocolMessage) -> Option<u64> {
+    match msg {
+        ProtocolMessage::Request(r) => Some(r.id()),
+        ProtocolMessage::Traced { inner, .. } => request_corr(inner),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_ldap::{Dn, Entry};
+    use gis_proto::grip::{ResultCode, SearchSpec};
+    use gis_proto::MAX_FRAME;
+    use std::sync::mpsc;
+
+    /// A scripted loopback server: accepts one connection, reads `n`
+    /// requests, then answers them in the order `plan` dictates
+    /// (indices into arrival order), optionally preceded by junk frames
+    /// that a correct client must drop without failing real callers.
+    fn scripted_server(
+        n: usize,
+        plan: Vec<usize>,
+        inject_junk: bool,
+    ) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut dec = FrameDecoder::new();
+            let mut got: Vec<(u64, Dn)> = Vec::new();
+            let mut chunk = [0u8; 4096];
+            while got.len() < n {
+                let read = stream.read(&mut chunk).unwrap();
+                assert_ne!(read, 0, "client hung up early");
+                dec.feed(&chunk[..read]);
+                while let Some(frame) = dec.next_frame().unwrap() {
+                    let corr = frame.corr.expect("outbound requests are enveloped");
+                    let ProtocolMessage::Request(GripRequest::Search { id, spec }) = frame.msg
+                    else {
+                        panic!("expected a search request");
+                    };
+                    assert_eq!(corr, id, "correlation id is the rewritten GRIP id");
+                    got.push((id, spec.base.clone()));
+                }
+            }
+            let mut out = bytes::BytesMut::new();
+            if inject_junk {
+                // Unknown correlation id: must be dropped.
+                let stray = ProtocolMessage::Reply(GripReply::SearchResult {
+                    id: 0xDEAD_BEEF,
+                    code: ResultCode::Success,
+                    entries: vec![],
+                    referrals: vec![],
+                });
+                encode_mux_frame_limited(0xDEAD_BEEF, &stray, &mut out, MAX_FRAME).unwrap();
+                // Envelope contradicting the reply id: must be dropped.
+                let (first_id, first_dn) = got[0].clone();
+                let mislabeled = ProtocolMessage::Reply(GripReply::SearchResult {
+                    id: 0xBAD,
+                    code: ResultCode::Success,
+                    entries: vec![Entry::at(&first_dn.to_string()).unwrap()],
+                    referrals: vec![],
+                });
+                encode_mux_frame_limited(first_id, &mislabeled, &mut out, MAX_FRAME).unwrap();
+            }
+            for &slot in &plan {
+                let (id, dn) = got[slot].clone();
+                let reply = ProtocolMessage::Reply(GripReply::SearchResult {
+                    id,
+                    code: ResultCode::Success,
+                    entries: vec![Entry::at(&dn.to_string()).unwrap()],
+                    referrals: vec![],
+                });
+                encode_mux_frame_limited(id, &reply, &mut out, MAX_FRAME).unwrap();
+                if inject_junk && slot == plan[0] {
+                    // Duplicate of an already-consumed id: must be
+                    // dropped, not double-delivered.
+                    encode_mux_frame_limited(id, &reply, &mut out, MAX_FRAME).unwrap();
+                }
+            }
+            stream.write_all(&out).unwrap();
+            // Hold the socket open until the client is done reading.
+            let _ = stream.read(&mut chunk);
+        });
+        (addr, handle)
+    }
+
+    /// Drive `n` concurrent requests through one multiplexed connection
+    /// against a server replying in `plan` order; assert every caller
+    /// gets exactly its own reply.
+    fn run_mux_exchange(n: usize, plan: Vec<usize>, inject_junk: bool) {
+        let (addr, server) = scripted_server(n, plan, inject_junk);
+        let out = TcpOutbound::new(TcpTuning {
+            mux_depth: n.max(1),
+            ..TcpTuning::default()
+        });
+        let (tx, rx) = mpsc::channel::<(u64, OutboundResult)>();
+        for i in 0..n {
+            let req = ProtocolMessage::Request(GripRequest::Search {
+                // Deliberately colliding GRIP ids across callers: the
+                // correlation space must keep them apart.
+                id: 100 + (i as u64 % 3),
+                spec: SearchSpec::lookup(Dn::parse(&format!("hn=h{i}")).unwrap()),
+            });
+            let tx = tx.clone();
+            let marker = i as u64;
+            out.request(
+                &addr,
+                req,
+                Box::new(move |res| {
+                    let _ = tx.send((marker, res));
+                }),
+            );
+        }
+        drop(tx);
+        let mut seen = 0;
+        while let Ok((marker, res)) = rx.recv() {
+            let reply = res.expect("caller must get its reply");
+            let GripReply::SearchResult { id, entries, .. } = reply else {
+                panic!("expected a search result");
+            };
+            assert_eq!(id, 100 + (marker % 3), "original GRIP id restored");
+            assert_eq!(
+                entries[0].dn().to_string(),
+                format!("hn=h{marker}"),
+                "caller {marker} got someone else's reply"
+            );
+            seen += 1;
+        }
+        assert_eq!(seen, n);
+        out.close();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_requests_match_out_of_order_replies() {
+        run_mux_exchange(6, vec![5, 0, 3, 1, 4, 2], false);
+    }
+
+    #[test]
+    fn junk_frames_dropped_without_poisoning_callers() {
+        run_mux_exchange(4, vec![1, 0, 3, 2], true);
+    }
+
+    #[test]
+    fn per_request_timeout_keeps_the_connection_alive() {
+        // The server never answers request A but answers B and a later
+        // C: A's timeout must fire its sink without tearing down the
+        // connection the others ride.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut dec = FrameDecoder::new();
+            let mut answered = 0;
+            let mut chunk = [0u8; 4096];
+            while answered < 2 {
+                let read = stream.read(&mut chunk).unwrap();
+                assert_ne!(read, 0, "client dropped the connection");
+                dec.feed(&chunk[..read]);
+                while let Some(f) = dec.next_frame().unwrap() {
+                    let corr = f.corr.unwrap();
+                    if corr == 1 {
+                        continue; // request A: never answered
+                    }
+                    let reply = ProtocolMessage::Reply(GripReply::SearchResult {
+                        id: corr,
+                        code: ResultCode::Success,
+                        entries: vec![],
+                        referrals: vec![],
+                    });
+                    let mut out = bytes::BytesMut::new();
+                    encode_mux_frame_limited(corr, &reply, &mut out, MAX_FRAME).unwrap();
+                    stream.write_all(&out).unwrap();
+                    answered += 1;
+                }
+            }
+            let _ = stream.read(&mut chunk);
+        });
+        let out = TcpOutbound::new(TcpTuning {
+            read_deadline: Duration::from_millis(300),
+            ..TcpTuning::default()
+        });
+        let send = |out: &TcpOutbound, tag: u8| {
+            let (tx, rx) = mpsc::channel::<OutboundResult>();
+            let req = ProtocolMessage::Request(GripRequest::Search {
+                id: tag as u64,
+                spec: SearchSpec::lookup(Dn::parse("hn=x").unwrap()),
+            });
+            out.request(
+                &addr,
+                req,
+                Box::new(move |res| {
+                    let _ = tx.send(res);
+                }),
+            );
+            rx
+        };
+        let rx_a = send(&out, b'a'); // corr 1: the server ignores it
+        let rx_b = send(&out, b'b'); // corr 2: answered promptly
+        assert!(rx_b.recv().unwrap().is_ok(), "B answered while A pends");
+        assert_eq!(
+            rx_a.recv().unwrap(),
+            Err(TransportError::Timeout),
+            "A's own deadline fires"
+        );
+        let rx_c = send(&out, b'c'); // corr 3: rides the same connection
+        assert!(
+            rx_c.recv().unwrap().is_ok(),
+            "the connection outlives an unrelated per-request timeout"
+        );
+        out.close();
+        server.join().unwrap();
+    }
+
+    // Satellite: multiplexing correctness as a property — arbitrary
+    // shuffles of reply order over one real loopback connection, every
+    // caller gets exactly its own reply. Case count kept low: each case
+    // spins up a real listener.
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 12, ..Default::default()
+        })]
+
+        #[test]
+        fn shuffled_replies_always_reach_their_callers(
+            n in 2usize..10,
+            seed in proptest::prelude::any::<u64>(),
+            junk in proptest::prelude::any::<bool>(),
+        ) {
+            // Fisher–Yates with a deterministic LCG over the seed.
+            let mut plan: Vec<usize> = (0..n).collect();
+            let mut s = seed | 1;
+            for i in (1..n).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (s >> 33) as usize % (i + 1);
+                plan.swap(i, j);
+            }
+            run_mux_exchange(n, plan, junk);
         }
     }
 }

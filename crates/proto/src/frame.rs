@@ -21,15 +21,39 @@
 //!   the same limit so a local oversized message fails fast.
 //! * **Partial reads.** [`FrameDecoder`] is incremental: feed it whatever
 //!   byte windows the socket yields (`feed`), pull zero or more complete
-//!   frames (`next`). Frames split at arbitrary boundaries — including
-//!   mid-header — reassemble exactly.
+//!   frames (`next_frame`). Frames split at arbitrary boundaries —
+//!   including mid-header — reassemble exactly.
+//! * **No-copy completion.** The decoder buffers into a [`BytesMut`] and
+//!   *splits off* each completed body ([`BytesMut::split_to`]): the body
+//!   bytes are handed out as a refcounted slice of the receive buffer,
+//!   never copied into a fresh allocation and never memmoved past.
 //! * **Trailing bytes.** A body that decodes short of its declared
 //!   length is a protocol error, not silently ignored: the encoder and
 //!   decoder must agree on every byte.
+//!
+//! # Multiplexing envelope (body tag 4)
+//!
+//! A pipelined transport carries many in-flight exchanges on one
+//! connection and needs each frame tagged with the request id it answers.
+//! Body tag `4` is that envelope:
+//!
+//! ```text
+//! body = 4 | corr: varint | inner ProtocolMessage (tags 0..=3)
+//! ```
+//!
+//! The envelope is **version-gated by construction**: tags 0..=3 are the
+//! pre-multiplexing frame bodies, still encoded and decoded byte-for-byte
+//! identically, so a new decoder reads an old peer's frames and an old
+//! peer never receives tag 4 unless it first spoke it (transports mark a
+//! connection mux-speaking only after *receiving* an enveloped frame, and
+//! clients that open with the envelope accept un-enveloped replies from
+//! old servers). A tag-4 body nested inside another tag-4 body is
+//! undecodable (`ProtocolMessage` knows only tags 0..=3), so the envelope
+//! cannot recurse.
 
 use crate::wire::ProtocolMessage;
-use bytes::{BufMut, BytesMut};
-use gis_ldap::codec::Wire;
+use bytes::{BufMut, Bytes, BytesMut};
+use gis_ldap::codec::{put_varint, Wire, WireReader};
 use gis_ldap::{LdapError, Result};
 
 /// Default ceiling on one frame's body length. Generous for directory
@@ -39,6 +63,25 @@ pub const MAX_FRAME: usize = 8 << 20; // 8 MiB
 
 /// Length of the frame header.
 pub const FRAME_HEADER: usize = 4;
+
+/// Body tag of the multiplexing envelope (`corr` + inner message).
+/// Tags 0..=3 are the plain [`ProtocolMessage`] wire tags.
+pub const MUX_TAG: u8 = 4;
+
+/// One decoded frame: the message, the correlation id when the frame
+/// travelled in a [`MUX_TAG`] envelope, and the raw body slice (split
+/// off the decoder's receive buffer without copying).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Correlation id from the multiplexing envelope; `None` for plain
+    /// (pre-multiplexing) frames.
+    pub corr: Option<u64>,
+    /// The decoded message.
+    pub msg: ProtocolMessage,
+    /// The frame body exactly as received — a refcounted slice of the
+    /// decoder's buffer, not a copy.
+    pub body: Bytes,
+}
 
 /// Encode `msg` as one length-prefixed frame, appending to `buf`.
 /// Fails (rather than emitting an undecodable frame) if the body would
@@ -51,6 +94,28 @@ pub fn encode_frame_limited(
     let start = buf.len();
     buf.put_u32(0); // patched below
     msg.encode(buf);
+    finish_frame(buf, start, max_frame)
+}
+
+/// Encode `msg` inside a [`MUX_TAG`] envelope carrying `corr`, as one
+/// length-prefixed frame appended to `buf`. Same ceiling behavior as
+/// [`encode_frame_limited`].
+pub fn encode_mux_frame_limited(
+    corr: u64,
+    msg: &ProtocolMessage,
+    buf: &mut BytesMut,
+    max_frame: usize,
+) -> Result<()> {
+    let start = buf.len();
+    buf.put_u32(0); // patched below
+    buf.put_u8(MUX_TAG);
+    put_varint(buf, corr);
+    msg.encode(buf);
+    finish_frame(buf, start, max_frame)
+}
+
+/// Patch the length header at `start`, enforcing the body ceiling.
+fn finish_frame(buf: &mut BytesMut, start: usize, max_frame: usize) -> Result<()> {
     let body = buf.len() - start - FRAME_HEADER;
     if body > max_frame {
         buf.truncate(start);
@@ -78,12 +143,12 @@ pub fn frame_bytes(msg: &ProtocolMessage) -> Result<Vec<u8>> {
 /// Incremental frame reassembler for one byte stream.
 ///
 /// Feed raw socket reads in with [`feed`](FrameDecoder::feed); drain
-/// complete messages with [`next`](FrameDecoder::next). Any error is
-/// terminal for the stream: framing has lost sync, so the connection
-/// should be dropped.
+/// complete frames with [`next_frame`](FrameDecoder::next_frame). Any
+/// error is terminal for the stream: framing has lost sync, so the
+/// connection should be dropped, never resynchronized.
 #[derive(Debug)]
 pub struct FrameDecoder {
-    buf: Vec<u8>,
+    buf: BytesMut,
     /// Body length parsed from the current header, once 4 bytes arrived.
     pending: Option<usize>,
     max_frame: usize,
@@ -105,7 +170,7 @@ impl FrameDecoder {
     /// Decoder with an explicit per-frame body ceiling.
     pub fn with_max_frame(max_frame: usize) -> FrameDecoder {
         FrameDecoder {
-            buf: Vec::new(),
+            buf: BytesMut::new(),
             pending: None,
             max_frame,
             poisoned: false,
@@ -133,10 +198,7 @@ impl FrameDecoder {
     /// bytes are needed. An `Err` poisons the decoder: the stream can no
     /// longer be trusted to be frame-aligned, and every later call
     /// returns an error too.
-    ///
-    /// Not `Iterator::next`: `Ok(None)` means "feed me more", not "done".
-    #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Result<Option<ProtocolMessage>> {
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
         if self.poisoned {
             return Err(LdapError::Codec("frame stream poisoned".into()));
         }
@@ -154,36 +216,55 @@ impl FrameDecoder {
                     self.max_frame
                 )));
             }
-            self.buf.drain(..FRAME_HEADER);
+            self.buf.advance(FRAME_HEADER);
             self.pending = Some(len);
         }
         let len = self.pending.unwrap_or(0);
         if self.buf.len() < len {
             return Ok(None);
         }
-        let msg = (|| {
-            let mut r = gis_ldap::codec::WireReader::new(&self.buf[..len]);
-            let msg = ProtocolMessage::decode(&mut r)?;
-            if !r.is_done() {
-                return Err(LdapError::Codec(format!(
-                    "frame body has {} trailing bytes",
-                    r.remaining()
-                )));
-            }
-            Ok(msg)
-        })();
-        match msg {
-            Ok(msg) => {
-                self.buf.drain(..len);
-                self.pending = None;
-                Ok(Some(msg))
-            }
+        // Split the body off the receive buffer: the frame's bytes are
+        // shared out, not copied, and the remainder is not moved.
+        let body = self.buf.split_to(len).freeze();
+        self.pending = None;
+        match decode_body(&body) {
+            Ok((corr, msg)) => Ok(Some(Frame { corr, msg, body })),
             Err(e) => {
                 self.poisoned = true;
                 Err(e)
             }
         }
     }
+
+    /// [`next_frame`](Self::next_frame), discarding the envelope: just
+    /// the message. Call sites that predate multiplexing (and tests of
+    /// the plain framing) keep working unchanged.
+    ///
+    /// Not `Iterator::next`: `Ok(None)` means "feed me more", not "done".
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<ProtocolMessage>> {
+        Ok(self.next_frame()?.map(|f| f.msg))
+    }
+}
+
+/// Decode one frame body: an optional [`MUX_TAG`] envelope, then the
+/// inner message, which must consume the body exactly.
+fn decode_body(body: &[u8]) -> Result<(Option<u64>, ProtocolMessage)> {
+    let mut r = WireReader::new(body);
+    let corr = if body.first() == Some(&MUX_TAG) {
+        r.read_u8()?;
+        Some(r.read_varint()?)
+    } else {
+        None
+    };
+    let msg = ProtocolMessage::decode(&mut r)?;
+    if !r.is_done() {
+        return Err(LdapError::Codec(format!(
+            "frame body has {} trailing bytes",
+            r.remaining()
+        )));
+    }
+    Ok((corr, msg))
 }
 
 #[cfg(test)]
@@ -253,6 +334,88 @@ mod tests {
     }
 
     #[test]
+    fn mux_envelope_roundtrips_with_corr() {
+        let mut buf = BytesMut::new();
+        for (i, m) in sample().into_iter().enumerate() {
+            encode_mux_frame_limited(0xABC0 + i as u64, &m, &mut buf, MAX_FRAME).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        for (i, want) in sample().into_iter().enumerate() {
+            let frame = dec.next_frame().unwrap().unwrap();
+            assert_eq!(frame.corr, Some(0xABC0 + i as u64));
+            assert_eq!(frame.msg, want);
+        }
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn plain_and_mux_frames_interleave_on_one_stream() {
+        // Version gating: a decoder serves old (plain) and new
+        // (enveloped) senders on the same connection.
+        let msgs = sample();
+        let mut buf = BytesMut::new();
+        encode_frame(&msgs[0], &mut buf).unwrap();
+        encode_mux_frame_limited(42, &msgs[1], &mut buf, MAX_FRAME).unwrap();
+        encode_frame(&msgs[2], &mut buf).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        let f0 = dec.next_frame().unwrap().unwrap();
+        assert_eq!((f0.corr, f0.msg), (None, msgs[0].clone()));
+        let f1 = dec.next_frame().unwrap().unwrap();
+        assert_eq!((f1.corr, f1.msg), (Some(42), msgs[1].clone()));
+        let f2 = dec.next_frame().unwrap().unwrap();
+        assert_eq!((f2.corr, f2.msg), (None, msgs[2].clone()));
+    }
+
+    #[test]
+    fn nested_mux_envelope_rejected() {
+        // tag-4(corr, tag-4(corr, ...)) cannot decode: the inner message
+        // must be a plain tag 0..=3. The stream poisons.
+        let mut inner = BytesMut::new();
+        inner.put_u8(MUX_TAG);
+        put_varint(&mut inner, 7);
+        sample()[0].encode(&mut inner);
+        let mut body = BytesMut::new();
+        body.put_u8(MUX_TAG);
+        put_varint(&mut body, 8);
+        body.extend_from_slice(&inner);
+        let mut framed = BytesMut::new();
+        framed.put_u32(body.len() as u32);
+        framed.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&framed);
+        assert!(dec.next_frame().is_err());
+        assert!(dec.next_frame().is_err(), "poisoned after nested envelope");
+    }
+
+    #[test]
+    fn split_bodies_share_the_receive_buffer() {
+        // No-copy completion: when all bytes are fed at once, every
+        // decoded body is a sub-slice of the same buffer, so consecutive
+        // bodies are contiguous (separated only by the next header).
+        let mut buf = BytesMut::new();
+        for m in sample() {
+            encode_frame(&m, &mut buf).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        let mut bodies = Vec::new();
+        while let Some(f) = dec.next_frame().unwrap() {
+            bodies.push(f.body);
+        }
+        assert_eq!(bodies.len(), sample().len());
+        for pair in bodies.windows(2) {
+            let end = pair[0].as_ptr() as usize + pair[0].len();
+            assert_eq!(
+                end + FRAME_HEADER,
+                pair[1].as_ptr() as usize,
+                "bodies split off one allocation, not copied out"
+            );
+        }
+    }
+
+    #[test]
     fn mid_frame_reports_partial_state() {
         let bytes = frame_bytes(&sample()[0]).unwrap();
         let mut dec = FrameDecoder::new();
@@ -290,6 +453,8 @@ mod tests {
         let mut buf = BytesMut::new();
         assert!(encode_frame_limited(&big, &mut buf, 256).is_err());
         assert!(buf.is_empty(), "failed encode leaves no partial frame");
+        assert!(encode_mux_frame_limited(9, &big, &mut buf, 256).is_err());
+        assert!(buf.is_empty(), "failed mux encode leaves no partial frame");
         assert!(encode_frame_limited(&big, &mut buf, MAX_FRAME).is_ok());
     }
 

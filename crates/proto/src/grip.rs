@@ -174,6 +174,19 @@ impl GripRequest {
             | GripRequest::Unsubscribe { id } => *id,
         }
     }
+
+    /// Rewrite the request id in place. Multiplexed transports renumber
+    /// requests into a per-connection correlation space before framing
+    /// (and restore the original on the matching reply), so independent
+    /// engines sharing one connection cannot collide.
+    pub fn set_id(&mut self, new: RequestId) {
+        match self {
+            GripRequest::Bind { id, .. }
+            | GripRequest::Search { id, .. }
+            | GripRequest::Subscribe { id, .. }
+            | GripRequest::Unsubscribe { id } => *id = new,
+        }
+    }
 }
 
 /// Server-to-client GRIP replies.
@@ -225,6 +238,17 @@ impl GripReply {
             | GripReply::SearchResult { id, .. }
             | GripReply::Update { id, .. }
             | GripReply::SubscriptionDone { id, .. } => *id,
+        }
+    }
+
+    /// Rewrite the reply id in place (the inverse of
+    /// [`GripRequest::set_id`] on the reply path).
+    pub fn set_id(&mut self, new: RequestId) {
+        match self {
+            GripReply::BindResult { id, .. }
+            | GripReply::SearchResult { id, .. }
+            | GripReply::Update { id, .. }
+            | GripReply::SubscriptionDone { id, .. } => *id = new,
         }
     }
 }

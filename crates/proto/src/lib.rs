@@ -30,7 +30,8 @@ pub mod trace;
 pub mod wire;
 
 pub use frame::{
-    encode_frame, encode_frame_limited, frame_bytes, FrameDecoder, FRAME_HEADER, MAX_FRAME,
+    encode_frame, encode_frame_limited, encode_mux_frame_limited, frame_bytes, Frame, FrameDecoder,
+    FRAME_HEADER, MAX_FRAME, MUX_TAG,
 };
 pub use grip::{
     result_digest, GripReply, GripRequest, RequestId, ResultCode, SearchSpec, Subscription,

@@ -323,6 +323,65 @@ proptest! {
         prop_assert!(small.is_empty(), "failed encode leaves no partial frame");
     }
 
+    /// Zero-copy framing under arbitrary fragmentation: mix plain and
+    /// multiplexing-enveloped frames, cut the byte stream anywhere, and
+    /// feed the pieces to one [`FrameDecoder`]. Every frame decodes with
+    /// its correlation id intact, and all frames completed by the *same*
+    /// `feed` call hand out bodies that are consecutive slices of one
+    /// receive buffer — `prev.body` ends exactly [`FRAME_HEADER`] bytes
+    /// before `next.body` begins, proving no per-frame copy happened.
+    #[test]
+    fn fragmented_mux_frames_decode_without_copying(
+        msgs in prop::collection::vec((message(), prop::option::of(any::<u64>())), 1..6),
+        cuts in prop::collection::vec(1usize..48, 0..24),
+    ) {
+        let mut bytes = BytesMut::new();
+        for (m, corr) in &msgs {
+            match corr {
+                Some(c) => gis_proto::encode_mux_frame_limited(*c, m, &mut bytes, usize::MAX)
+                    .unwrap(),
+                None => encode_frame_limited(m, &mut bytes, usize::MAX).unwrap(),
+            }
+        }
+        let bytes = bytes.to_vec();
+        let mut dec = FrameDecoder::new();
+        let mut got: Vec<gis_proto::Frame> = Vec::new();
+        let mut off = 0;
+        let mut feed_batch = |dec: &mut FrameDecoder, got: &mut Vec<gis_proto::Frame>,
+                              chunk: &[u8]| -> Result<(), TestCaseError> {
+            dec.feed(chunk);
+            let mut batch: Vec<gis_proto::Frame> = Vec::new();
+            while let Some(f) = dec.next_frame().unwrap() {
+                batch.push(f);
+            }
+            for pair in batch.windows(2) {
+                let prev_end = pair[0].body.as_ptr() as usize + pair[0].body.len();
+                prop_assert_eq!(
+                    prev_end + FRAME_HEADER,
+                    pair[1].body.as_ptr() as usize,
+                    "bodies completed by one feed are adjacent slices of one buffer"
+                );
+            }
+            got.extend(batch);
+            Ok(())
+        };
+        for cut in cuts {
+            if off >= bytes.len() {
+                break;
+            }
+            let end = (off + cut).min(bytes.len());
+            feed_batch(&mut dec, &mut got, &bytes[off..end])?;
+            off = end;
+        }
+        feed_batch(&mut dec, &mut got, &bytes[off..])?;
+        prop_assert_eq!(got.len(), msgs.len());
+        for (frame, (m, corr)) in got.iter().zip(&msgs) {
+            prop_assert_eq!(&frame.msg, m);
+            prop_assert_eq!(&frame.corr, corr, "correlation id survives refragmentation");
+        }
+        prop_assert!(!dec.mid_frame(), "no stray bytes after the last frame");
+    }
+
     /// A hand-built frame nesting one trace envelope inside another is
     /// rejected by the decoder for any payload.
     #[test]

@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
 # Runs the query-path benchmarks and collects their criterion estimates
 # plus the live-runtime throughput sweep, the observability-overhead
-# A/B, and the channel-vs-TCP loopback comparison into a single JSON
-# snapshot (BENCH_PR5.json by default) for before/after comparison.
-# Criterion mean estimates are in nanoseconds; live-runtime and
-# tcp-loopback rows carry qps and p50/p99 latency in microseconds; the
-# observability block carries the instrumented vs baseline throughput
-# and overhead percentage.
+# A/B, the channel-vs-TCP loopback comparison, and the multiplexed
+# saturation sweep into a single JSON snapshot (BENCH_PR6.json by
+# default) for before/after comparison. Criterion mean estimates are in
+# nanoseconds; live-runtime and tcp-loopback rows carry qps and p50/p99
+# latency in microseconds; the observability block carries the
+# instrumented vs baseline throughput and overhead percentage; the
+# saturation block carries conns x depth throughput on loopback and
+# through the emulated WAN link.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR5.json}"
+OUT="${1:-BENCH_PR6.json}"
 LIVE_JSON="$(mktemp)"
 OBS_JSON="$(mktemp)"
 TCP_JSON="$(mktemp)"
-trap 'rm -f "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON"' EXIT
+SAT_JSON="$(mktemp)"
+trap 'rm -f "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON"' EXIT
 
 for bench in bench_dit bench_filter bench_softstate; do
     echo "==> cargo bench --bench $bench"
@@ -33,8 +36,12 @@ echo "==> exp_tcp_loopback (channel vs TCP wire on 127.0.0.1)"
 cargo build --release --offline -p gis-bench --bin exp_tcp_loopback
 ./target/release/exp_tcp_loopback --json "$TCP_JSON" >/dev/null
 
+echo "==> exp_tcp_saturation (conns x in-flight depth on the multiplexed wire)"
+cargo build --release --offline -p gis-bench --bin exp_tcp_saturation
+./target/release/exp_tcp_saturation --json "$SAT_JSON" >/dev/null
+
 echo "==> harvesting estimates into $OUT"
-python3 - "$OUT" "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" <<'EOF'
+python3 - "$OUT" "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" <<'EOF'
 import json, os, sys
 
 root = "target/criterion"
@@ -77,6 +84,8 @@ with open(sys.argv[3]) as f:
     obs = json.load(f)
 with open(sys.argv[4]) as f:
     tcp = json.load(f)
+with open(sys.argv[5]) as f:
+    sat = json.load(f)
 
 # Worker-scaling headlines: pooled throughput relative to one worker,
 # and 1-worker tail latency relative to the single-threaded owner loop.
@@ -108,6 +117,14 @@ for workload in ("direct_lookup", "chained_discovery"):
             chan["qps"] / sock["qps"], 2
         )
 
+# Multiplexing headlines: depth-8 vs depth-1 on one connection through
+# the emulated WAN link, and the best loopback wire tax a single
+# pipelined connection achieves.
+for key in ("mux_speedup_depth8", "mux_speedup_depth32",
+            "best_single_conn_wire_tax"):
+    if key in sat.get("derived", {}):
+        derived[key] = round(sat["derived"][key], 2)
+
 out = sys.argv[1]
 with open(out, "w") as f:
     json.dump(
@@ -117,6 +134,7 @@ with open(out, "w") as f:
             "live_runtime": live,
             "observability": obs,
             "tcp_loopback": tcp,
+            "tcp_saturation": sat,
         },
         f,
         indent=2,

@@ -25,6 +25,10 @@ echo "==> exp_tcp_loopback --smoke (TCP wire gate: framed GRIP over 127.0.0.1)"
 cargo build --release --offline -p gis-bench --bin exp_tcp_loopback
 ./target/release/exp_tcp_loopback --smoke
 
+echo "==> exp_tcp_saturation --smoke (multiplexing gate: completeness, wire tax, WAN speedup)"
+cargo build --release --offline -p gis-bench --bin exp_tcp_saturation
+./target/release/exp_tcp_saturation --smoke
+
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --offline --workspace -- -D warnings
 

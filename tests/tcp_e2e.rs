@@ -380,6 +380,40 @@ fn connection_drop_mid_reply_surfaces_unavailable() {
     server.join().unwrap();
 }
 
+/// A GRIS spawned on `tcp://127.0.0.1:0` binds an ephemeral port, and
+/// the *real* port — not the zero it was configured with — is what its
+/// registration agent advertises: a channel GIIS chains to it over TCP
+/// and gets its entry, and a direct client can dial the URL that
+/// `spawn_gris` returned.
+#[test]
+fn ephemeral_port_zero_registers_the_bound_port() {
+    if std::env::var("GIS_TCP_E2E_PORT").is_ok() {
+        return;
+    }
+    let mut rt = LiveRuntime::new(Duration::from_millis(10));
+    let vo = LdapUrl::server("giis.vo");
+    rt.spawn_giis(chaining_giis(vo.clone()), ServeOptions::channel())
+        .unwrap();
+
+    let gris = static_gris("eph", LdapUrl::tcp("127.0.0.1", 0), &vo);
+    let served = rt
+        .spawn_gris(gris, ServeOptions::tcp())
+        .expect("port 0 binds an ephemeral listener");
+    assert_ne!(served.port, 0, "served URL carries the bound port");
+
+    // The registration advertised the rebound URL: the GIIS can chain
+    // to the GRIS over TCP and return its entry.
+    let mut client = rt.client();
+    let encs = await_entries(&mut client, &vo, 1);
+    assert_eq!(encs.len(), 1);
+
+    // And the returned URL is directly dialable.
+    let mut direct = LiveClient::connect_tcp(&served).expect("dial the served URL");
+    let direct_encs = await_entries(&mut direct, &served, 1);
+    assert_eq!(direct_encs, encs, "direct and chained views agree");
+    rt.shutdown();
+}
+
 /// A registered-but-dead TCP child looks to the GIIS exactly like the
 /// failures the PR 2 circuit breaker was built for: chained requests go
 /// unanswered, consecutive fan-out timeouts accumulate, the circuit

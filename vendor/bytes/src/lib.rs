@@ -1,80 +1,301 @@
-//! Offline stand-in for the `bytes` crate: exactly the `BytesMut` /
-//! `BufMut` surface the workspace's TLV codecs use, backed by `Vec<u8>`.
+//! Offline stand-in for the `bytes` crate: the `Bytes` / `BytesMut` /
+//! `BufMut` surface the workspace's TLV codecs and frame decoder use.
+//!
+//! `BytesMut` is a readable window onto a refcounted allocation:
+//!
+//! * [`split_to`](BytesMut::split_to) / [`freeze`](BytesMut::freeze)
+//!   hand out [`Bytes`] views that **share** the allocation — no copy,
+//!   no memmove of the remainder;
+//! * [`advance`](BytesMut::advance) consumes from the front by moving
+//!   the window start;
+//! * appending ([`extend_from_slice`](BytesMut::extend_from_slice))
+//!   mutates in place while the allocation is uniquely owned, and
+//!   copies only the *remaining* window (typically a partial frame, not
+//!   everything ever received) into a fresh allocation when split-off
+//!   slices still hold the old one alive.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
-/// Growable byte buffer backed by a `Vec<u8>`.
-#[derive(Debug, Default, Clone, PartialEq, Eq, Hash)]
+/// Growable byte buffer: a uniquely-writable window over a refcounted
+/// allocation that [`Bytes`] views may share.
+#[derive(Debug, Clone)]
 pub struct BytesMut {
-    inner: Vec<u8>,
+    data: Arc<Vec<u8>>,
+    /// Start of the readable window within `data`; bytes before it have
+    /// been consumed (`advance`) or split off (`split_to`).
+    start: usize,
+    /// End of the readable window. Equal to `data.len()` for an "open"
+    /// buffer that can append in place; less for a bounded split-off
+    /// front, which reallocates on its first append.
+    end: usize,
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut {
+            data: Arc::new(Vec::new()),
+            start: 0,
+            end: 0,
+        }
+    }
 }
 
 impl BytesMut {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Self { inner: Vec::new() }
+        Self::default()
     }
 
     /// Creates an empty buffer with room for `cap` bytes.
     pub fn with_capacity(cap: usize) -> Self {
         Self {
-            inner: Vec::with_capacity(cap),
+            data: Arc::new(Vec::with_capacity(cap)),
+            start: 0,
+            end: 0,
         }
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.inner.clone()
+        self[..].to_vec()
     }
 
-    /// Number of bytes written so far.
+    /// Number of readable bytes.
     pub fn len(&self) -> usize {
-        self.inner.len()
+        self.end - self.start
     }
 
-    /// True when no bytes have been written.
+    /// True when no bytes are readable.
     pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
+        self.len() == 0
     }
 
-    /// Clears the buffer, retaining capacity.
+    /// Clears the buffer. Retains capacity when the allocation is not
+    /// shared with split-off [`Bytes`].
     pub fn clear(&mut self) {
-        self.inner.clear();
+        self.start = 0;
+        self.end = 0;
+        if let Some(v) = Arc::get_mut(&mut self.data) {
+            v.clear();
+        } else {
+            self.data = Arc::new(Vec::new());
+        }
     }
 
-    /// Shortens the buffer to `len` bytes (no-op if already shorter).
+    /// Shortens the readable window to `len` bytes (no-op if already
+    /// shorter).
     pub fn truncate(&mut self, len: usize) {
-        self.inner.truncate(len);
+        if len >= self.len() {
+            return;
+        }
+        self.end = self.start + len;
+        if self.end == 0 || Arc::strong_count(&self.data) == 1 {
+            if let Some(v) = Arc::get_mut(&mut self.data) {
+                v.truncate(self.end);
+            }
+        }
     }
 
-    /// Appends a slice of bytes.
+    /// Appends a slice of bytes. In place while the allocation is
+    /// uniquely owned and the window reaches its end; otherwise the
+    /// remaining window (only) is copied into a fresh allocation first.
     pub fn extend_from_slice(&mut self, s: &[u8]) {
-        self.inner.extend_from_slice(s);
+        if self.end == self.data.len() {
+            if let Some(v) = Arc::get_mut(&mut self.data) {
+                v.extend_from_slice(s);
+                self.end = v.len();
+                return;
+            }
+        }
+        let mut fresh = Vec::with_capacity(self.len() + s.len());
+        fresh.extend_from_slice(&self.data[self.start..self.end]);
+        fresh.extend_from_slice(s);
+        self.start = 0;
+        self.end = fresh.len();
+        self.data = Arc::new(fresh);
+    }
+
+    /// Consume `n` bytes from the front of the window without moving or
+    /// copying anything.
+    ///
+    /// # Panics
+    /// If `n` exceeds the readable length.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.start += n;
+    }
+
+    /// Split off the first `n` bytes as a [`BytesMut`] sharing this
+    /// allocation; `self` keeps the remainder without copying it.
+    ///
+    /// # Panics
+    /// If `n` exceeds the readable length.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to past end of buffer");
+        let front = BytesMut {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        front
+    }
+
+    /// Split off the entire readable window (equivalent to
+    /// `split_to(self.len())`).
+    pub fn split(&mut self) -> BytesMut {
+        self.split_to(self.len())
+    }
+
+    /// Freeze into an immutable [`Bytes`] view of the readable window,
+    /// sharing the allocation.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            start: self.start,
+            len: self.end - self.start,
+        }
     }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.inner
+        &self.data[self.start..self.end]
     }
 }
 
 impl DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.inner
+        // Writable access requires unique ownership; clone the window
+        // out when split-off views still share the allocation.
+        if Arc::get_mut(&mut self.data).is_none() {
+            let window = self.data[self.start..self.end].to_vec();
+            self.start = 0;
+            self.end = window.len();
+            self.data = Arc::new(window);
+        }
+        let (start, end) = (self.start, self.end);
+        let v = Arc::get_mut(&mut self.data).expect("just made unique");
+        &mut v[start..end]
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
-        &self.inner
+        self
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &BytesMut) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for BytesMut {}
+
+impl std::hash::Hash for BytesMut {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
     }
 }
 
 impl From<BytesMut> for Vec<u8> {
     fn from(b: BytesMut) -> Vec<u8> {
-        b.inner
+        if b.start == 0 && b.end == b.data.len() {
+            match Arc::try_unwrap(b.data) {
+                Ok(v) => return v,
+                Err(shared) => return shared[..].to_vec(),
+            }
+        }
+        b.data[b.start..b.end].to_vec()
+    }
+}
+
+/// Immutable, cheaply cloneable view of a refcounted byte allocation.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// Empty view.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copy a slice into a fresh allocation.
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::new(s.to_vec()),
+            start: 0,
+            len: s.len(),
+        }
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Narrow to a sub-range of this view (sharing the allocation).
+    ///
+    /// # Panics
+    /// If the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            len: range.end - range.start,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            len,
+        }
     }
 }
 
@@ -92,10 +313,69 @@ pub trait BufMut {
 
 impl BufMut for BytesMut {
     fn put_u8(&mut self, b: u8) {
-        self.inner.push(b);
+        self.extend_from_slice(&[b]);
     }
 
     fn put_slice(&mut self, s: &[u8]) {
-        self.inner.extend_from_slice(s);
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_to_shares_the_allocation() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello world");
+        let front = b.split_to(5).freeze();
+        assert_eq!(&front[..], b"hello");
+        assert_eq!(&b[..], b" world");
+        // Front and remainder come from the same allocation.
+        let end = front.as_ptr() as usize + front.len();
+        assert_eq!(end, b.as_ptr() as usize);
+    }
+
+    #[test]
+    fn advance_consumes_without_copying() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"abcdef");
+        let before = b.as_ptr() as usize;
+        b.advance(2);
+        assert_eq!(&b[..], b"cdef");
+        assert_eq!(b.as_ptr() as usize, before + 2);
+    }
+
+    #[test]
+    fn extend_while_shared_copies_only_the_window() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"0123456789");
+        let kept = b.split_to(8).freeze(); // allocation now shared
+        b.extend_from_slice(b"AB");
+        assert_eq!(&b[..], b"89AB");
+        assert_eq!(&kept[..], b"01234567", "split-off view unaffected");
+    }
+
+    #[test]
+    fn freeze_and_slice() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"abcdef");
+        let all = b.freeze();
+        let mid = all.slice(2..5);
+        assert_eq!(&mid[..], b"cde");
+        assert_eq!(mid.as_ptr() as usize, all.as_ptr() as usize + 2);
+    }
+
+    #[test]
+    fn truncate_and_deref_mut_respect_sharing() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"abcdef");
+        let frozen = b.clone().freeze();
+        b.truncate(3);
+        assert_eq!(&b[..], b"abc");
+        b[0] = b'X';
+        assert_eq!(&b[..], b"Xbc");
+        assert_eq!(&frozen[..], b"abcdef", "shared view never mutated");
     }
 }
