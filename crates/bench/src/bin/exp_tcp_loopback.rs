@@ -99,7 +99,7 @@ fn build(ports: &[u16]) -> (LiveRuntime, LdapUrl, LdapUrl) {
     giis.config.mode = GiisMode::Chain {
         timeout: SimDuration::from_millis(1000),
     };
-    rt.spawn_giis(giis, opts).expect("spawn giis");
+    rt.spawn_giis(giis, opts.clone()).expect("spawn giis");
     let mut gris0_url = None;
     for i in 0..GRIS_COUNT {
         let host = gis_gris::HostSpec::linux(&format!("lb{i}"), 2);
@@ -118,7 +118,7 @@ fn build(ports: &[u16]) -> (LiveRuntime, LdapUrl, LdapUrl) {
         if i == 0 {
             gris0_url = Some(gris.config.url.clone());
         }
-        rt.spawn_gris(gris, opts).expect("spawn gris");
+        rt.spawn_gris(gris, opts.clone()).expect("spawn gris");
     }
     (rt, vo_url, gris0_url.expect("gris0"))
 }

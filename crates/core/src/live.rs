@@ -445,7 +445,7 @@ pub enum Transport {
 /// former `spawn_*_pooled` entry points did. The transport selects
 /// whether the inbox is fed only by in-process channels or also by a
 /// TCP front-end.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ServeOptions {
     /// Query-worker threads sharing the service inbox (0 = owner only).
     pub workers: usize,
@@ -453,6 +453,11 @@ pub struct ServeOptions {
     pub transport: Transport,
     /// Socket knobs, used only when `transport` is [`Transport::Tcp`].
     pub tcp: TcpTuning,
+    /// Durable storage directory: when set, the engine recovers its
+    /// state from here before serving and journals every mutation. A
+    /// directory that cannot be opened degrades to serving from empty
+    /// (with a warning on stderr) — persistence never blocks startup.
+    pub persist: Option<std::path::PathBuf>,
 }
 
 impl ServeOptions {
@@ -480,6 +485,39 @@ impl ServeOptions {
     pub fn with_tuning(mut self, tcp: TcpTuning) -> ServeOptions {
         self.tcp = tcp;
         self
+    }
+
+    /// Persist the engine's state under `dir` (snapshot + WAL): it
+    /// recovers from whatever a previous incarnation left there, and a
+    /// respawn pointed at the same directory continues where a killed
+    /// service stopped.
+    pub fn persist(mut self, dir: impl Into<std::path::PathBuf>) -> ServeOptions {
+        self.persist = Some(dir.into());
+        self
+    }
+}
+
+/// Journal policy for live services: fsync every record, checkpoint
+/// every 512 WAL records, and rebase recovered clocks against wall time
+/// so soft-state deadlines survive a process restart (the anchor file
+/// maps the previous incarnation's clock onto this one's).
+fn live_journal_options() -> gis_store::JournalOptions {
+    gis_store::JournalOptions {
+        snapshot_every: 512,
+        base: gis_store::TimeBase::Absolute,
+        ..Default::default()
+    }
+}
+
+/// Open `dir` as journal storage, or degrade to `None` (serve from
+/// empty, warn on stderr) if the directory cannot be used.
+fn open_persist_dir(dir: &std::path::Path) -> Option<Arc<dyn gis_store::Storage>> {
+    match gis_store::FileStorage::open(dir) {
+        Ok(fs) => Some(Arc::new(fs)),
+        Err(e) => {
+            eprintln!("warning: persistence disabled, cannot open {dir:?}: {e}");
+            None
+        }
     }
 }
 
@@ -539,15 +577,19 @@ impl LiveRuntime {
             return Ok(None);
         }
         let bound = BoundEndpoint::bind(&url.authority())?;
+        let requested = url.clone();
         if url.port == 0 {
-            let requested = url.clone();
             url.port = bound.local_addr().port();
-            // The agent snapshotted the URL at engine construction;
-            // keep its advert in step unless the caller deliberately
-            // pointed it somewhere else.
-            if *advert == requested {
-                advert.port = url.port;
-            }
+        }
+        // The agent snapshotted the URL at engine construction; keep
+        // its advert in step unless the caller deliberately pointed it
+        // somewhere else. A non-tcp advert on a tcp service is always
+        // such a stale snapshot (the engine was constructed before the
+        // caller switched `config.url` to `tcp://...`): announcing it
+        // would register an address nobody serves, so rebuild it from
+        // the URL actually bound.
+        if *advert == requested || !advert.is_tcp() {
+            *advert = url.clone();
         }
         Ok(Some(bound))
     }
@@ -617,6 +659,12 @@ impl LiveRuntime {
         let epoch = self.epoch;
         let tick = self.tick;
         gris.set_trace_sink(Arc::clone(&self.sink));
+        if let Some(storage) = opts.persist.as_deref().and_then(open_persist_dir) {
+            let report = gris.set_persistence(storage, live_journal_options(), self.now());
+            for w in &report.warnings {
+                eprintln!("warning: {url}: persistence recovery: {w}");
+            }
+        }
         let obs_on = gris.config.observability;
         let registry = gris.metrics();
         let inbox_wait = registry.histogram("inbox-wait-us");
@@ -793,6 +841,12 @@ impl LiveRuntime {
         let epoch = self.epoch;
         let tick = self.tick;
         giis.set_trace_sink(Arc::clone(&self.sink));
+        if let Some(storage) = opts.persist.as_deref().and_then(open_persist_dir) {
+            let report = giis.set_persistence(storage, live_journal_options(), self.now());
+            for w in &report.warnings {
+                eprintln!("warning: {url}: persistence recovery: {w}");
+            }
+        }
         let obs_on = giis.config.observability;
         let registry = giis.metrics();
         let inbox_wait = registry.histogram("inbox-wait-us");
@@ -1746,6 +1800,130 @@ mod tests {
         assert_eq!(code, ResultCode::Success);
         assert!(entries.is_empty(), "dead host no longer listed");
         rt.shutdown();
+    }
+
+    #[test]
+    fn ephemeral_bind_rewrites_stale_advert() {
+        // Regression: an engine constructed with an ldap:// URL and then
+        // pointed at `tcp://...:0` keeps its construction-time advert in
+        // the registration agent; binding must rebuild it, or the GRIS
+        // announces an address nobody serves.
+        let mut url = LdapUrl::tcp("127.0.0.1", 0);
+        let mut advert = LdapUrl::server("gris.n1");
+        let bound = LiveRuntime::bind_endpoint(Transport::Tcp, &mut url, &mut advert)
+            .unwrap()
+            .unwrap();
+        assert_ne!(url.port, 0, "ephemeral port resolved");
+        assert_eq!(advert, url, "stale ldap:// advert rebuilt");
+        drop(bound);
+
+        // A deliberately different tcp:// advert (e.g. a NATed public
+        // address) is the caller's choice and stays untouched.
+        let mut url = LdapUrl::tcp("127.0.0.1", 0);
+        let mut advert = LdapUrl::tcp("public.example", 7000);
+        let _bound = LiveRuntime::bind_endpoint(Transport::Tcp, &mut url, &mut advert)
+            .unwrap()
+            .unwrap();
+        assert_eq!(advert, LdapUrl::tcp("public.example", 7000));
+    }
+
+    #[test]
+    fn live_stale_advert_still_reachable_through_directory() {
+        // End-to-end version of the advert fix: the GRIS below was
+        // constructed with an ldap:// URL (the agent snapshotted it) and
+        // only `config.url` was switched to tcp://:0 before spawning.
+        let mut rt = LiveRuntime::new(Duration::from_millis(10));
+        let giis_url = LdapUrl::server("giis.vo");
+        let mut giis = Giis::new(
+            GiisConfig::chaining(giis_url.clone(), Dn::root()),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+        );
+        giis.config.mode = gis_giis::GiisMode::Chain {
+            timeout: SimDuration::from_millis(500),
+        };
+        rt.spawn_giis(giis, ServeOptions::default()).unwrap();
+        let mut gris = fast_host_gris("n1", 1, std::slice::from_ref(&giis_url));
+        gris.config.url = LdapUrl::tcp("127.0.0.1", 0);
+        // Deliberately NOT updating gris.agent.service_url.
+        rt.spawn_gris(gris, ServeOptions::tcp()).unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+        let mut client = rt.client();
+        let (code, entries, _) = client
+            .request(
+                &giis_url,
+                SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap()),
+            )
+            .timeout(Duration::from_secs(5))
+            .send()
+            .outcome
+            .expect("chained reply");
+        assert_eq!(code, ResultCode::Success);
+        assert_eq!(entries.len(), 1, "host reachable via rebuilt advert");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_giis_recovers_state_after_kill() {
+        let dir = std::env::temp_dir().join(format!(
+            "gis-live-recover-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut rt = LiveRuntime::new(Duration::from_millis(10));
+        let giis_url = LdapUrl::server("giis.vo");
+        let harvest_giis = || {
+            let mut giis = Giis::new(
+                GiisConfig::chaining(giis_url.clone(), Dn::root()),
+                SimDuration::from_millis(100),
+                SimDuration::from_secs(60),
+            );
+            giis.config.mode = gis_giis::GiisMode::Harvest {
+                refresh: SimDuration::from_secs(60),
+            };
+            giis
+        };
+        rt.spawn_giis(harvest_giis(), ServeOptions::default().persist(&dir))
+            .unwrap();
+        // A child with a long TTL, so its soft state outlives the kill.
+        let host = HostSpec::linux("n1", 2);
+        let mut gris = SimDeployment::standard_host_gris(&host, 1);
+        gris.agent.interval = SimDuration::from_millis(100);
+        gris.agent.ttl = SimDuration::from_secs(60);
+        gris.agent.add_target(giis_url.clone());
+        let gris_url = gris.config.url.clone();
+        rt.spawn_gris(gris, ServeOptions::default()).unwrap();
+        std::thread::sleep(Duration::from_millis(500));
+
+        let mut client = rt.client();
+        let search = |client: &mut LiveClient| {
+            client
+                .request(&giis_url, SearchSpec::subtree(Dn::root(), Filter::always()))
+                .timeout(Duration::from_secs(5))
+                .send()
+                .outcome
+        };
+        let (_, before, _) = search(&mut client).expect("harvested reply");
+        assert!(!before.is_empty(), "harvest populated the cache");
+
+        // Crash both: the respawned GIIS has no live child to rebuild
+        // from — whatever it serves must come from the journal.
+        rt.kill_service(&gris_url);
+        rt.kill_service(&giis_url);
+        std::thread::sleep(Duration::from_millis(300));
+        rt.spawn_giis(harvest_giis(), ServeOptions::default().persist(&dir))
+            .unwrap();
+        let (code, after, _) = search(&mut client).expect("recovered reply");
+        assert_eq!(code, ResultCode::Success);
+        assert_eq!(
+            after.len(),
+            before.len(),
+            "recovered cache serves the pre-crash rows"
+        );
+        rt.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

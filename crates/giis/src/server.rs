@@ -31,6 +31,9 @@ use gis_proto::{
     SearchSpec, SoftStateRegistry, SpanRecord, SubscriptionMode, SubscriptionTable, TraceContext,
     TraceSink,
 };
+use gis_store::{
+    GroupSnap, Journal, JournalOptions, RecoveryReport, RegSnap, SnapshotContent, Storage, WalOp,
+};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -693,6 +696,8 @@ pub struct Giis {
     next_query: u64,
     obs: Obs,
     monitor: MonitorCell,
+    /// Write-ahead journal: present once [`Giis::set_persistence`] ran.
+    persist: Option<Journal>,
 }
 
 impl Giis {
@@ -724,6 +729,104 @@ impl Giis {
             next_query: 1,
             obs,
             monitor: Arc::new(RwLock::new(None)),
+            persist: None,
+        }
+    }
+
+    /// Attach durable storage: recover the harvested cache, the
+    /// soft-state registry (with its original expiry deadlines), harvest
+    /// attribution and agent targets from `storage`, and journal every
+    /// subsequent mutation there.
+    ///
+    /// Must be called before [`Giis::query_path`] — recovery replaces
+    /// the shared cache the query handles capture. Recovery never fails:
+    /// damaged or missing state degrades toward empty, with one warning
+    /// per degradation in the returned report (also surfaced as the
+    /// `persist-warnings` gauge).
+    pub fn set_persistence(
+        &mut self,
+        storage: Arc<dyn Storage>,
+        opts: JournalOptions,
+        now: SimTime,
+    ) -> RecoveryReport {
+        let (journal, state, report) = Journal::open(storage, opts, now);
+        self.cache = Arc::new(SharedDit::from_dit(state.dit));
+        self.registry = state.registry;
+        self.children.clear();
+        for (key, g) in state.groups {
+            let rtt = self
+                .obs
+                .registry
+                .labeled_histogram("chain-rtt-us", Some(&key));
+            self.children.insert(
+                key,
+                ChildState {
+                    harvested: g.dns,
+                    last_harvest: g.at,
+                    // Bloom summaries are not persisted; they rebuild on
+                    // the next harvest of each child.
+                    bloom: None,
+                    bound: false,
+                    consec_failures: 0,
+                    circuit: Circuit::Closed,
+                    rtt,
+                },
+            );
+        }
+        for t in state.targets {
+            self.agent.add_target(t);
+        }
+        let r = &self.obs.registry;
+        r.gauge("persist-recovered-entries")
+            .set(self.cache.len() as u64);
+        r.gauge("persist-recovered-regs")
+            .set(self.registry.len() as u64);
+        r.gauge("persist-wal-replayed")
+            .set(report.wal_records as u64);
+        r.gauge("persist-warnings")
+            .set(report.warnings.len() as u64);
+        self.persist = Some(journal);
+        report
+    }
+
+    /// Journal one mutation ahead of applying it. I/O trouble degrades
+    /// to "keep serving, count the error" — persistence is an
+    /// availability optimization for soft state, never worth a panic.
+    fn wal_log(&mut self, op: &WalOp) {
+        if let Some(journal) = self.persist.as_mut() {
+            if journal.log(op).is_err() {
+                self.obs.registry.counter("persist-errors").bump();
+            }
+        }
+    }
+
+    /// Write a snapshot of the current state and compact the WAL into
+    /// it. Called by the owner on cadence (never on the query path).
+    fn snapshot_persist(&mut self) {
+        let Some(journal) = self.persist.as_mut() else {
+            return;
+        };
+        let published = self.cache.snapshot();
+        let regs: Vec<RegSnap> = self.registry.registrations().map(RegSnap::of).collect();
+        let groups: Vec<GroupSnap> = self
+            .children
+            .iter()
+            .map(|(name, st)| GroupSnap {
+                name: name.clone(),
+                at: st.last_harvest,
+                dns: st.harvested.clone(),
+                entries: Vec::new(),
+            })
+            .collect();
+        let mut entries = published.iter();
+        let content = SnapshotContent {
+            regs,
+            groups,
+            targets: self.agent.targets().to_vec(),
+            entries: &mut entries,
+        };
+        if journal.snapshot(content).is_err() {
+            self.obs.registry.counter("persist-errors").bump();
         }
     }
 
@@ -793,7 +896,11 @@ impl Giis {
         match msg.notification {
             Notification::Invite => {
                 // This directory was itself invited to join a parent.
-                self.agent.accept_invite(&msg);
+                if self.agent.accept_invite(&msg) {
+                    if let Some(directory) = msg.reply_to.clone() {
+                        self.wal_log(&WalOp::Target { directory });
+                    }
+                }
                 Vec::new()
             }
             Notification::Register => {
@@ -818,6 +925,14 @@ impl Giis {
                     return Vec::new();
                 }
                 let url = msg.service_url.clone();
+                if self.persist.is_some() {
+                    // Journal the *verified* message (subject attached)
+                    // so replay re-runs exactly the observation below.
+                    self.wal_log(&WalOp::Observe {
+                        msg: msg.clone(),
+                        now,
+                    });
+                }
                 let is_new = self.registry.observe(msg, now);
                 let harvesting = self.harvest_refresh().is_some();
                 let key = url.to_string();
@@ -1685,7 +1800,18 @@ impl Giis {
             } => Some(bits_per_element),
             _ => None,
         };
-        let Some(state) = self.children.get_mut(&child.to_string()) else {
+        let key = child.to_string();
+        if !self.children.contains_key(&key) {
+            return;
+        }
+        if self.persist.is_some() {
+            self.wal_log(&WalOp::Harvest {
+                child: child.clone(),
+                entries: entries.clone(),
+                now,
+            });
+        }
+        let Some(state) = self.children.get_mut(&key) else {
             return;
         };
         let stale: Vec<Dn> = state.harvested.drain(..).collect();
@@ -1875,7 +2001,17 @@ impl Giis {
         }
 
         // Soft-state sweep: purge expired children and their cache rows
-        // (one published snapshot for the whole sweep).
+        // (one published snapshot for the whole sweep). Journaled only
+        // when something *can* expire — sweeps are idempotent on replay,
+        // but an unconditional record per tick would bloat the WAL.
+        if self.persist.is_some()
+            && self
+                .registry
+                .next_possible_expiry()
+                .is_some_and(|t| t <= now)
+        {
+            self.wal_log(&WalOp::Sweep { now });
+        }
         let mut purged: Vec<Dn> = Vec::new();
         for url in self.registry.sweep(now) {
             self.stats.expirations.bump();
@@ -2028,6 +2164,11 @@ impl Giis {
                 self.record_child_failure(&child, now);
             }
             actions.extend(self.finalize(query, now));
+        }
+
+        // Snapshot on cadence: compact the WAL into a fresh checkpoint.
+        if self.persist.as_ref().is_some_and(Journal::wants_snapshot) {
+            self.snapshot_persist();
         }
 
         actions
@@ -3309,5 +3450,71 @@ mod tests {
         assert_eq!(s.result_cache_hits, hits);
         assert_eq!(s.searches, hits + 1);
         assert_eq!(s.chained_requests, 1);
+    }
+
+    fn harvest_giis_with(storage: Arc<dyn gis_store::Storage>, now: SimTime) -> Giis {
+        let mut config = GiisConfig::chaining(url("giis.h"), Dn::root());
+        config.mode = GiisMode::Harvest { refresh: secs(60) };
+        let mut giis = Giis::new(config, secs(30), secs(90));
+        giis.set_persistence(storage, JournalOptions::default(), now);
+        giis
+    }
+
+    #[test]
+    fn persistence_recovers_cache_and_clocks() {
+        let storage: Arc<dyn gis_store::Storage> = Arc::new(gis_store::MemStorage::new());
+        let mut giis = harvest_giis_with(storage.clone(), t(0));
+
+        // Register → immediate harvest → cache populated.
+        let actions = giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+        let out_id = match &actions[..] {
+            [GiisAction::SendRequest { request, .. }] => request.id(),
+            other => panic!("expected harvest, got {other:?}"),
+        };
+        giis.handle_reply(
+            &url("gris.a"),
+            GripReply::SearchResult {
+                id: out_id,
+                code: ResultCode::Success,
+                entries: vec![Entry::at("hn=a").unwrap().with_class("computer")],
+                referrals: vec![],
+            },
+            t(0),
+        );
+        assert_eq!(giis.cached_entries(), 1);
+        drop(giis);
+
+        // "Crash": reopen from the same storage mid-lifetime.
+        let mut giis = harvest_giis_with(storage, t(10));
+        assert_eq!(giis.cached_entries(), 1, "harvested cache recovered");
+        assert_eq!(giis.active_children(t(10)).len(), 1, "registration alive");
+
+        // Re-registration after recovery is a refresh, not a new child:
+        // no second harvest storm (last_harvest was recovered).
+        let actions = giis.handle_grrp(reg("gris.a", "hn=a", t(10)), t(10));
+        assert!(actions.is_empty(), "refresh must not re-harvest");
+        assert_eq!(giis.stats().harvests, 0);
+
+        // The original expiry deadline survives: registered at t=0 with
+        // ttl 90s, refreshed at t=10 → alive at t=99, gone at t=101.
+        assert_eq!(giis.active_children(t(99)).len(), 1);
+        giis.tick(t(101));
+        assert_eq!(giis.active_children(t(101)).len(), 0);
+        assert_eq!(giis.cached_entries(), 0, "expired rows purged");
+    }
+
+    #[test]
+    fn persistence_journals_expiry_sweep() {
+        let storage: Arc<dyn gis_store::Storage> = Arc::new(gis_store::MemStorage::new());
+        let mut giis = harvest_giis_with(storage.clone(), t(0));
+        giis.handle_grrp(reg("gris.a", "hn=a", t(0)), t(0));
+        // Expire the child while the first incarnation is still up...
+        giis.tick(t(100));
+        assert_eq!(giis.active_children(t(100)).len(), 0);
+        drop(giis);
+        // ...and the expiry is durable: recovery does not resurrect it.
+        let giis = harvest_giis_with(storage, t(100));
+        assert_eq!(giis.active_children(t(100)).len(), 0);
+        assert_eq!(giis.cached_entries(), 0);
     }
 }

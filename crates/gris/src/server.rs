@@ -40,6 +40,9 @@ use gis_proto::{
     result_digest, Counter, GripReply, GripRequest, GrrpMessage, RegistrationAgent, RequestId,
     ResultCode, SearchSpec, SubscriptionMode, SubscriptionTable,
 };
+use gis_store::{
+    GroupSnap, Journal, JournalOptions, RecoveryReport, SnapshotContent, Storage, WalOp,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -274,6 +277,11 @@ pub struct Gris {
     stats: Arc<GrisStatsAtomic>,
     obs: Obs,
     monitor: MonitorCell,
+    /// Write-ahead journal: present once [`Gris::set_persistence`] ran.
+    persist: Option<Journal>,
+    /// Fingerprint (per-slot fetch stamps + target count) of the last
+    /// snapshot written, to skip no-change snapshots on tick.
+    persist_mark: Option<(Vec<Option<SimTime>>, usize)>,
 }
 
 /// What a `tick` produced: messages for the runtime to transmit.
@@ -835,7 +843,111 @@ impl Gris {
             stats: Arc::new(GrisStatsAtomic::default()),
             obs,
             monitor: Arc::new(RwLock::new(None)),
+            persist: None,
+            persist_mark: None,
         }
+    }
+
+    /// Attach durable storage: warm every provider slot's cache from the
+    /// newest snapshot (a restarted GRIS serves its last-known-good
+    /// rows immediately instead of stampeding its providers), restore
+    /// registration targets, and journal target changes + slot caches
+    /// from here on.
+    ///
+    /// Call after [`Gris::add_provider`] (slots are matched by provider
+    /// name) and before serving. Recovery never fails: damaged state
+    /// degrades toward cold caches, with warnings in the report.
+    pub fn set_persistence(
+        &mut self,
+        storage: Arc<dyn Storage>,
+        opts: JournalOptions,
+        now: SimTime,
+    ) -> RecoveryReport {
+        let (journal, state, report) = Journal::open(storage, opts, now);
+        let mut restored = 0usize;
+        for slot in self.slots.iter() {
+            let Some(g) = state.groups.get(&slot.name) else {
+                continue;
+            };
+            let Some(at) = g.at else {
+                continue;
+            };
+            if g.entries.is_empty() {
+                continue;
+            }
+            restored += g.entries.len();
+            *slot.cached.write() = Some((at, Arc::new(g.entries.clone())));
+        }
+        for t in state.targets {
+            self.agent.add_target(t);
+        }
+        let r = &self.obs.registry;
+        r.gauge("persist-recovered-entries").set(restored as u64);
+        r.gauge("persist-wal-replayed")
+            .set(report.wal_records as u64);
+        r.gauge("persist-warnings")
+            .set(report.warnings.len() as u64);
+        self.persist = Some(journal);
+        report
+    }
+
+    /// Journal one mutation; I/O trouble degrades to a counted error,
+    /// never a panic (slot caches can always be refetched).
+    fn wal_log(&mut self, op: &WalOp) {
+        if let Some(journal) = self.persist.as_mut() {
+            if journal.log(op).is_err() {
+                self.obs.registry.counter("persist-errors").bump();
+            }
+        }
+    }
+
+    /// Current persistence fingerprint: which slot fetched when, plus
+    /// how many directory targets are configured.
+    fn persist_fingerprint(&self) -> (Vec<Option<SimTime>>, usize) {
+        let stamps = self
+            .slots
+            .iter()
+            .map(|s| s.cached.read().as_ref().map(|(at, _)| *at))
+            .collect();
+        (stamps, self.agent.targets().len())
+    }
+
+    /// Snapshot the slot caches + targets and compact the WAL. Skipped
+    /// when nothing changed since the last snapshot.
+    fn snapshot_persist(&mut self) {
+        let mark = self.persist_fingerprint();
+        if self.persist_mark.as_ref() == Some(&mark) {
+            return;
+        }
+        let Some(journal) = self.persist.as_mut() else {
+            return;
+        };
+        let groups: Vec<GroupSnap> = self
+            .slots
+            .iter()
+            .filter_map(|slot| {
+                let guard = slot.cached.read();
+                let (at, entries) = guard.as_ref()?;
+                Some(GroupSnap {
+                    name: slot.name.clone(),
+                    at: Some(*at),
+                    dns: Vec::new(),
+                    entries: (**entries).clone(),
+                })
+            })
+            .collect();
+        let mut entries = std::iter::empty::<&Entry>();
+        let content = SnapshotContent {
+            regs: Vec::new(),
+            groups,
+            targets: self.agent.targets().to_vec(),
+            entries: &mut entries,
+        };
+        if journal.snapshot(content).is_err() {
+            self.obs.registry.counter("persist-errors").bump();
+            return;
+        }
+        self.persist_mark = Some(mark);
     }
 
     /// Install a shared trace sink: spans for traced requests are
@@ -1029,7 +1141,13 @@ impl Gris {
     /// Handle an incoming GRRP message (a GRIS receives invitations).
     /// Returns true if the invitation added a new registration target.
     pub fn handle_grrp(&mut self, msg: &GrrpMessage) -> bool {
-        self.agent.accept_invite(msg)
+        let added = self.agent.accept_invite(msg);
+        if added {
+            if let Some(directory) = msg.reply_to.clone() {
+                self.wal_log(&WalOp::Target { directory });
+            }
+        }
+        added
     }
 
     /// Forget all session/subscription state for a disconnected client.
@@ -1120,6 +1238,13 @@ impl Gris {
                         .push((client, GripReply::Update { id, entries }));
                 }
             }
+        }
+        // Checkpoint the slot caches when they changed since the last
+        // snapshot (fetch stamps or targets moved) — GRIS state is
+        // snapshot-shaped, so the WAL stays nearly empty and each
+        // checkpoint compacts it.
+        if self.persist.is_some() {
+            self.snapshot_persist();
         }
         out
     }
@@ -1928,5 +2053,71 @@ mod tests {
         gris.drop_client(3);
         assert_eq!(gris.subscription_count(), 0);
         assert!(gris.tick(t(10)).updates.is_empty());
+    }
+
+    #[test]
+    fn persistence_warms_slot_caches_across_restart() {
+        let storage: Arc<dyn gis_store::Storage> = Arc::new(gis_store::MemStorage::new());
+        let mut gris = host_gris();
+        gris.set_persistence(storage.clone(), JournalOptions::default(), t(0));
+        // Invitation target must also survive the restart.
+        assert!(gris.handle_grrp(&GrrpMessage::invite(
+            LdapUrl::server("gris.hostX"),
+            LdapUrl::server("giis.vo"),
+            t(0),
+            secs(90),
+        )));
+        // Populate every slot cache, then tick to checkpoint it.
+        let (_, entries) = search(
+            &mut gris,
+            SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=*)").unwrap()),
+            t(0),
+        );
+        assert!(!entries.is_empty());
+        let fetched = gris.stats().provider_invocations;
+        assert_eq!(fetched, 4, "all four providers fetched cold");
+        gris.tick(t(1));
+        drop(gris);
+
+        // Restart within every provider's cache TTL: the first search is
+        // answered entirely from the recovered caches.
+        let mut gris = host_gris();
+        let report = gris.set_persistence(storage, JournalOptions::default(), t(5));
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+        assert!(report.snapshot.is_some(), "tick wrote a checkpoint");
+        let (_, warm) = search(
+            &mut gris,
+            SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=*)").unwrap()),
+            t(5),
+        );
+        assert_eq!(warm.len(), entries.len());
+        assert_eq!(
+            gris.stats().provider_invocations,
+            0,
+            "served from warm cache"
+        );
+        assert_eq!(
+            gris.agent.targets(),
+            &[LdapUrl::server("giis.vo")],
+            "invitation target recovered"
+        );
+    }
+
+    #[test]
+    fn persistence_skips_unchanged_snapshots() {
+        let storage: Arc<dyn gis_store::Storage> = Arc::new(gis_store::MemStorage::new());
+        let mut gris = host_gris();
+        gris.set_persistence(storage.clone(), JournalOptions::default(), t(0));
+        search(
+            &mut gris,
+            SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=*)").unwrap()),
+            t(0),
+        );
+        gris.tick(t(1));
+        let after_first = storage.list().unwrap();
+        // Nothing re-fetched between ticks → no new snapshot files.
+        gris.tick(t(2));
+        gris.tick(t(3));
+        assert_eq!(storage.list().unwrap(), after_first);
     }
 }

@@ -116,6 +116,79 @@ fn norm_value(value: &str) -> String {
     value.trim().to_ascii_lowercase()
 }
 
+/// Bulk-build the suffix index for [`Dit::bulk_load`]. `FromIterator`
+/// sorts and packs B-tree nodes directly, so there is no per-entry
+/// tree descent.
+fn build_suffix(keyed: &[(String, Arc<Entry>)]) -> BTreeMap<String, String> {
+    keyed
+        .iter()
+        .map(|(k, e)| (rev_key(e.dn()), k.clone()))
+        .collect()
+}
+
+/// Bulk-build the parent index for [`Dit::bulk_load`]: sort
+/// (parent, child) pairs once, then turn each run of equal parents into
+/// a child set built from an already-sorted sequence.
+fn build_children(keyed: &[(String, Arc<Entry>)]) -> BTreeMap<String, BTreeSet<String>> {
+    let mut pairs: Vec<(String, &str)> = keyed
+        .iter()
+        .filter_map(|(k, e)| parent_key(e.dn()).map(|p| (p, k.as_str())))
+        .collect();
+    pairs.sort();
+    let mut groups: Vec<(String, BTreeSet<String>)> = Vec::new();
+    let mut run: Vec<String> = Vec::new();
+    let mut cur: Option<String> = None;
+    for (p, k) in pairs {
+        if cur.as_deref() != Some(p.as_str()) {
+            if let Some(done) = cur.take() {
+                groups.push((done, std::mem::take(&mut run).into_iter().collect()));
+            }
+            cur = Some(p);
+        }
+        run.push(k.to_owned());
+    }
+    if let Some(done) = cur {
+        groups.push((done, run.into_iter().collect()));
+    }
+    groups.into_iter().collect()
+}
+
+/// Bulk-build the equality attribute index for [`Dit::bulk_load`]: one
+/// flat sort of (attr, value, key) triples, then nested grouping. Equal
+/// triples (an entry carrying two values that normalize identically)
+/// collapse in the set build, matching the incremental path.
+fn build_attr_index(
+    keyed: &[(String, Arc<Entry>)],
+    indexed: &BTreeSet<String>,
+) -> BTreeMap<String, BTreeMap<String, BTreeSet<String>>> {
+    let mut triples: Vec<(&str, String, &str)> = Vec::new();
+    for (k, e) in keyed {
+        for a in indexed {
+            for v in e.get(a) {
+                triples.push((a.as_str(), norm_value(v.as_str()), k.as_str()));
+            }
+        }
+    }
+    triples.sort();
+    let mut attr_groups: Vec<(String, BTreeMap<String, BTreeSet<String>>)> = Vec::new();
+    let mut i = 0;
+    while i < triples.len() {
+        let attr = triples[i].0;
+        let mut val_groups: Vec<(String, BTreeSet<String>)> = Vec::new();
+        while i < triples.len() && triples[i].0 == attr {
+            let val = triples[i].1.clone();
+            let mut keys: Vec<String> = Vec::new();
+            while i < triples.len() && triples[i].0 == attr && triples[i].1 == val {
+                keys.push(triples[i].2.to_owned());
+                i += 1;
+            }
+            val_groups.push((val, keys.into_iter().collect()));
+        }
+        attr_groups.push((attr.to_owned(), val_groups.into_iter().collect()));
+    }
+    attr_groups.into_iter().collect()
+}
+
 /// Append `entry` to `out` (shared when no selection, projected otherwise)
 /// if the filter matches. Returns `true` once the size limit is reached.
 fn push_if_match(
@@ -282,6 +355,78 @@ impl Dit {
         entry.normalize_naming_attr();
         let k = key(entry.dn());
         self.insert_at(k, entry);
+    }
+
+    /// Build a tree from a batch of entries in one pass.
+    ///
+    /// Produces exactly the state `upsert`ing each entry in order would
+    /// (later entries win on duplicate DNs), but assembles each index as
+    /// one sorted run handed to the B-tree bulk builder instead of paying
+    /// a tree descent and index fix-up per entry. Snapshot recovery feeds
+    /// this entries already in key order, so the sorts degenerate to
+    /// near-linear scans; when the host has more than one core the
+    /// independent indexes are built on separate threads.
+    pub fn bulk_load(batch: Vec<Entry>) -> Dit {
+        let mut keyed: Vec<(String, Arc<Entry>)> = batch
+            .into_iter()
+            .map(|mut e| {
+                e.normalize_naming_attr();
+                (key(e.dn()), Arc::new(e))
+            })
+            .collect();
+        // Stable sort + keep-last dedup reproduces upsert's
+        // last-writer-wins semantics for duplicate DNs.
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        keyed.dedup_by(|later, kept| {
+            if later.0 == kept.0 {
+                std::mem::swap(later, kept);
+                true
+            } else {
+                false
+            }
+        });
+
+        // The final indexed set under incremental insertion is
+        // `objectclass` plus every naming attribute seen (each arrival
+        // backfills over prior entries), so it can be computed up front.
+        let mut indexed_attrs = BTreeSet::new();
+        indexed_attrs.insert("objectclass".to_owned());
+        for (_, e) in &keyed {
+            if let Some(rdn) = e.dn().rdn() {
+                let a = rdn.attr().trim().to_ascii_lowercase();
+                if !a.is_empty() {
+                    indexed_attrs.insert(a);
+                }
+            }
+        }
+
+        let parallel = std::thread::available_parallelism().map_or(1, usize::from) > 1;
+        let (suffix_index, children, attr_index) = if parallel {
+            std::thread::scope(|s| {
+                let sfx = s.spawn(|| build_suffix(&keyed));
+                let ch = s.spawn(|| build_children(&keyed));
+                let ai = build_attr_index(&keyed, &indexed_attrs);
+                (
+                    sfx.join().expect("suffix index builder panicked"),
+                    ch.join().expect("parent index builder panicked"),
+                    ai,
+                )
+            })
+        } else {
+            (
+                build_suffix(&keyed),
+                build_children(&keyed),
+                build_attr_index(&keyed, &indexed_attrs),
+            )
+        };
+
+        Dit {
+            entries: keyed.into_iter().collect(),
+            children,
+            suffix_index,
+            attr_index,
+            indexed_attrs,
+        }
     }
 
     /// Remove the entry at `dn`. Returns it if present.
@@ -581,6 +726,90 @@ mod tests {
         )
         .unwrap();
         dit
+    }
+
+    /// Structural equality across every field (entries and all three
+    /// indexes): `Debug` renders the private BTree maps deterministically.
+    fn assert_same_dit(a: &Dit, b: &Dit) {
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn bulk_load_matches_sequential_upsert() {
+        let batch = vec![
+            Entry::at("hn=hostB").unwrap().with_class("computer"),
+            Entry::at("queue=Default, hn=hostB")
+                .unwrap()
+                .with_class("service")
+                .with("dispatchtype", "  Immediate "),
+            Entry::at("hn=hostA")
+                .unwrap()
+                .with_class("computer")
+                .with("system", "linux"),
+            Entry::at("perf=load5, hn=hostA")
+                .unwrap()
+                .with_class("perf")
+                .with("load5", 1.5f64),
+            // Duplicate DN: the later entry must win, as with upsert.
+            Entry::at("hn=hostA")
+                .unwrap()
+                .with_class("computer")
+                .with("system", "irix"),
+            // Second naming attribute exercises the indexed-attr backfill.
+            Entry::at("vo=alpha").unwrap().with_class("organization"),
+        ];
+        let mut sequential = Dit::new();
+        for e in batch.clone() {
+            sequential.upsert(e);
+        }
+        let bulk = Dit::bulk_load(batch);
+        assert_same_dit(&bulk, &sequential);
+        assert_eq!(
+            bulk.indexed_attrs().collect::<Vec<_>>(),
+            ["hn", "objectclass", "perf", "queue", "vo"]
+        );
+    }
+
+    #[test]
+    fn bulk_load_of_empty_batch_is_new() {
+        assert_same_dit(&Dit::bulk_load(Vec::new()), &Dit::new());
+    }
+
+    #[test]
+    fn bulk_load_serves_indexed_searches() {
+        let mut batch = Vec::new();
+        for i in 0..50 {
+            batch.push(
+                Entry::at(&format!("hn=host{i}"))
+                    .unwrap()
+                    .with_class("computer")
+                    .with("system", if i % 2 == 0 { "linux" } else { "irix" }),
+            );
+            batch.push(
+                Entry::at(&format!("queue=default, hn=host{i}"))
+                    .unwrap()
+                    .with_class("service"),
+            );
+        }
+        let dit = Dit::bulk_load(batch);
+        assert_eq!(dit.len(), 100);
+        let hits = dit.search(
+            &Dn::root(),
+            Scope::Sub,
+            &Filter::parse("(objectclass=service)").unwrap(),
+            &[],
+            0,
+        );
+        assert_eq!(hits.len(), 50);
+        let one = dit.search(
+            &Dn::parse("hn=host7").unwrap(),
+            Scope::One,
+            &Filter::always(),
+            &[],
+            0,
+        );
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].dn().to_string(), "queue=default, hn=host7");
     }
 
     #[test]

@@ -303,6 +303,33 @@ impl SoftStateRegistry {
     pub fn is_fresh(&self, url: &LdapUrl, now: SimTime) -> bool {
         self.get(url).is_some_and(|r| now < r.expires_at())
     }
+
+    /// Iterate every registration in the table, fresh or not, in URL
+    /// order (snapshot capture).
+    pub fn registrations(&self) -> impl Iterator<Item = &Registration> {
+        self.regs.values()
+    }
+
+    /// Rebuild the table from persisted registrations, preserving each
+    /// one's exact expiry deadline and receipt clocks — restart recovery
+    /// must not extend (or shorten) soft-state lifetimes.
+    pub fn restore(&mut self, regs: impl IntoIterator<Item = Registration>) {
+        self.regs.clear();
+        self.expiry_heap.clear();
+        for reg in regs {
+            let key = reg.message.service_url.to_string();
+            self.expiry_heap
+                .push(Reverse((reg.expires_at(), key.clone())));
+            self.regs.insert(key, reg);
+        }
+    }
+
+    /// Earliest instant at which any registration *might* expire (a
+    /// lower bound: stale epochs may report earlier than the truth).
+    /// `None` means the table is empty and a sweep cannot purge anything.
+    pub fn next_possible_expiry(&self) -> Option<SimTime> {
+        self.expiry_heap.peek().map(|Reverse((t, _))| *t)
+    }
 }
 
 /// Sender-side refresh schedule: "the provider then sustains a stream of

@@ -1,0 +1,83 @@
+//! Seeded crash injection for the durability machinery.
+//!
+//! A [`CrashPlan`] arms exactly one kill-point: when the journal's
+//! mutation counter reaches `at_op` and execution passes the named
+//! [`KillPoint`], the operation returns [`StoreError::Crashed`]
+//! (carrying whether the in-flight record made it to durable storage)
+//! instead of completing. Paired with [`MemStorage::crash`] this gives a
+//! deterministic model of "the process died right *there*" for every
+//! interesting *there* in the append → apply → snapshot-rename pipeline.
+//!
+//! [`StoreError::Crashed`]: crate::StoreError::Crashed
+//! [`MemStorage::crash`]: crate::MemStorage::crash
+
+/// Where in the durability pipeline the injected crash fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPoint {
+    /// Before the WAL frame is appended: the op is lost entirely.
+    BeforeWalAppend,
+    /// Mid-append: a durable *prefix* of the frame lands (a torn write).
+    /// Recovery must detect the tear via CRC and truncate it.
+    MidWalAppend,
+    /// After append+sync, before the in-memory apply: the op is durable
+    /// but the crashed process never acted on it. Recovery replays it.
+    AfterWalAppend,
+    /// After the in-memory apply: durable and applied; the op survives.
+    AfterApply,
+    /// At snapshot time, before anything is written.
+    BeforeSnapshotWrite,
+    /// A truncated snapshot image becomes visible under the *final* name
+    /// (models a lying disk / non-atomic rename). Recovery must reject
+    /// it by CRC and fall back to the previous snapshot + WAL.
+    TornSnapshotVisible,
+    /// The temp image is written but the rename never happens.
+    BeforeSnapshotRename,
+    /// The rename landed but the WAL was not yet compacted: the WAL
+    /// still holds records the snapshot already covers. Recovery must
+    /// skip them by sequence number, not re-apply them.
+    AfterSnapshotRename,
+}
+
+/// All kill-points, in pipeline order (test matrices iterate this).
+pub const ALL_KILL_POINTS: [KillPoint; 8] = [
+    KillPoint::BeforeWalAppend,
+    KillPoint::MidWalAppend,
+    KillPoint::AfterWalAppend,
+    KillPoint::AfterApply,
+    KillPoint::BeforeSnapshotWrite,
+    KillPoint::TornSnapshotVisible,
+    KillPoint::BeforeSnapshotRename,
+    KillPoint::AfterSnapshotRename,
+];
+
+/// One armed crash: fire at `point` while processing mutation number
+/// `at_op` (1-based; snapshot points use the count of ops logged so
+/// far). `torn_keep` bounds how many bytes of the in-flight frame or
+/// image survive at the tearing kill-points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// 1-based mutation index at which to fire.
+    pub at_op: u64,
+    /// The pipeline location.
+    pub point: KillPoint,
+    /// Bytes of the frame/image kept by `MidWalAppend` /
+    /// `TornSnapshotVisible` (clamped to strictly less than the whole).
+    pub torn_keep: usize,
+}
+
+impl CrashPlan {
+    /// Arm `point` at mutation `at_op` with a default half-frame tear.
+    pub fn at(at_op: u64, point: KillPoint) -> CrashPlan {
+        CrashPlan {
+            at_op,
+            point,
+            torn_keep: usize::MAX,
+        }
+    }
+
+    /// Set the torn-write length.
+    pub fn keeping(mut self, torn_keep: usize) -> CrashPlan {
+        self.torn_keep = torn_keep;
+        self
+    }
+}

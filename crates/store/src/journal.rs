@@ -1,0 +1,590 @@
+//! The journal: WAL appends, periodic snapshots, and crash recovery,
+//! glued to a [`Storage`] backend.
+//!
+//! Write path (per mutation): frame the record, append to `wal.log`,
+//! fsync per [`FsyncPolicy`], *then* the caller applies the op in
+//! memory. Snapshot path (every [`JournalOptions::snapshot_every`]
+//! records): encode the full state, `write_atomic` it under a
+//! sequence-stamped name, reset the WAL to bare magic (compaction), and
+//! prune all but the newest two snapshots.
+//!
+//! Recovery ([`Journal::open`]) never fails: every damaged artifact
+//! degrades — a corrupt newest snapshot falls back to the previous one,
+//! a torn WAL tail is truncated at the last intact record, a missing
+//! directory starts empty — and each degradation lands in
+//! [`RecoveryReport::warnings`] so services can surface it as a metric
+//! instead of a panic.
+
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use gis_netsim::SimTime;
+
+use crate::crash::{CrashPlan, KillPoint};
+use crate::replay::RecoveredState;
+use crate::snapshot::{
+    decode_snapshot, encode_snapshot, parse_snap_name, snap_name, SnapshotContent,
+};
+use crate::storage::{Storage, StoreError, StoreResult};
+use crate::wal::{frame_record, scan_wal, WalOp, WalRecord, WAL_FILE, WAL_MAGIC};
+
+/// Name of the timeline-anchor file: 8 LE bytes holding the unix-epoch
+/// microsecond instant at which this journal's sim timeline began.
+pub const ANCHOR_FILE: &str = "anchor";
+
+/// When WAL appends become durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every record: a crash loses at most the op in flight.
+    #[default]
+    Always,
+    /// fsync every `n` records: bounded loss window, amortized cost.
+    EveryN(u32),
+    /// Never fsync explicitly (the OS flushes eventually): fastest, and
+    /// recovery still lands on *some* intact prefix thanks to framing.
+    Never,
+}
+
+/// How recovered timestamps relate to the restarted process's clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeBase {
+    /// The new timeline continues the old one (same epoch): recovered
+    /// clocks are already correct. Right for deterministic sims and for
+    /// live restarts within one runtime.
+    #[default]
+    Continue,
+    /// The new timeline has its own origin: shift every recovered clock
+    /// by the wall-time delta between the two origins (held in the
+    /// [`ANCHOR_FILE`]), so a registration 10s from expiry at the crash
+    /// is still ~10s from expiry after a 5s-later restart.
+    Absolute,
+}
+
+/// Journal tuning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JournalOptions {
+    /// Durability of individual WAL appends.
+    pub fsync: FsyncPolicy,
+    /// Take a snapshot after this many WAL records (0 = never, caller
+    /// snapshots explicitly).
+    pub snapshot_every: u64,
+    /// Clock-rebasing behaviour on recovery.
+    pub base: TimeBase,
+    /// Armed crash injection (tests only).
+    pub crash: Option<CrashPlan>,
+}
+
+/// What recovery found and did — one warning per degradation, so a
+/// service can count them without parsing logs.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Snapshot file the state was loaded from, if any.
+    pub snapshot: Option<String>,
+    /// Sequence covered by that snapshot (0 if none).
+    pub snapshot_seq: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub wal_records: usize,
+    /// Why the WAL tail was truncated, if it was.
+    pub torn_tail: Option<String>,
+    /// Microseconds every recovered clock was shifted by.
+    pub rebase_delta_us: i64,
+    /// Human-readable degradations (corrupt snapshot skipped, WAL
+    /// damage, anchor trouble, ...).
+    pub warnings: Vec<String>,
+}
+
+fn unix_now_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}
+
+/// The write-side handle: owns the WAL cursor and snapshot cadence.
+pub struct Journal {
+    storage: Arc<dyn Storage>,
+    opts: JournalOptions,
+    /// Sequence number the next logged record gets.
+    next_seq: u64,
+    /// Records logged since the last snapshot (compaction debt).
+    records_since_snapshot: u64,
+    /// Appends since the last explicit sync (for `FsyncPolicy::EveryN`).
+    unsynced: u32,
+    /// 1-based count of mutations this instance has processed — the
+    /// clock crash plans are armed against.
+    ops_counter: u64,
+}
+
+impl Journal {
+    /// Recover state from `storage` and open a write handle positioned
+    /// after the last durable record. Infallible by policy: damage
+    /// degrades toward empty state, with a warning per degradation.
+    pub fn open(
+        storage: Arc<dyn Storage>,
+        opts: JournalOptions,
+        now: SimTime,
+    ) -> (Journal, RecoveredState, RecoveryReport) {
+        let mut report = RecoveryReport::default();
+
+        // Clear leftovers from interrupted atomic writes.
+        match storage.list() {
+            Ok(names) => {
+                for name in names.iter().filter(|n| n.ends_with(".tmp")) {
+                    if storage.remove(name).is_ok() {
+                        report
+                            .warnings
+                            .push(format!("removed interrupted temp file {name}"));
+                    }
+                }
+            }
+            Err(e) => report.warnings.push(format!("cannot list store: {e}")),
+        }
+
+        let delta_us = Self::anchor_delta(&storage, opts.base, now, &mut report);
+        report.rebase_delta_us = delta_us;
+
+        // Newest intact snapshot wins; corrupt ones are skipped (never
+        // replayed), not fatal.
+        let mut snap_names: Vec<(u64, String)> = storage
+            .list()
+            .unwrap_or_default()
+            .into_iter()
+            .filter_map(|n| parse_snap_name(&n).map(|seq| (seq, n)))
+            .collect();
+        snap_names.sort();
+        let mut state = RecoveredState::empty();
+        for (seq, name) in snap_names.iter().rev() {
+            let image = match storage.read(name) {
+                Ok(b) => b,
+                Err(e) => {
+                    report
+                        .warnings
+                        .push(format!("cannot read snapshot {name}: {e}"));
+                    continue;
+                }
+            };
+            match decode_snapshot(&image) {
+                Ok(mut snap) => {
+                    if delta_us != 0 {
+                        for r in &mut snap.regs {
+                            r.rebase(delta_us);
+                        }
+                        for g in &mut snap.groups {
+                            g.rebase(delta_us);
+                        }
+                    }
+                    state = RecoveredState::from_snapshot(snap);
+                    report.snapshot = Some(name.clone());
+                    report.snapshot_seq = *seq;
+                    break;
+                }
+                Err(e) => {
+                    report
+                        .warnings
+                        .push(format!("snapshot {name} invalid, skipping: {e}"));
+                }
+            }
+        }
+
+        // Replay the WAL tail: records above the snapshot's sequence, in
+        // order, through the same apply path the live engine uses.
+        let mut last_seq = state.seq;
+        match storage.len(WAL_FILE) {
+            Ok(Some(_)) => match storage.read(WAL_FILE) {
+                Ok(bytes) => {
+                    let scan = scan_wal(&bytes);
+                    if let Some(reason) = &scan.torn {
+                        report.warnings.push(format!(
+                            "wal damaged after {} records: {reason}; truncating",
+                            scan.records.len()
+                        ));
+                        report.torn_tail = Some(reason.clone());
+                        if scan.valid_len < WAL_MAGIC.len() as u64 {
+                            if let Err(e) = storage.write_atomic(WAL_FILE, WAL_MAGIC) {
+                                report.warnings.push(format!("cannot reset wal: {e}"));
+                            }
+                        } else if let Err(e) = storage.truncate(WAL_FILE, scan.valid_len) {
+                            report.warnings.push(format!("cannot truncate wal: {e}"));
+                        }
+                    }
+                    for mut rec in scan.records {
+                        if rec.seq <= state.seq {
+                            continue; // already covered by the snapshot
+                        }
+                        if delta_us != 0 {
+                            rec.op.rebase(delta_us);
+                        }
+                        state.apply(&rec.op);
+                        state.seq = rec.seq;
+                        last_seq = rec.seq;
+                        report.wal_records += 1;
+                    }
+                }
+                Err(e) => report.warnings.push(format!("cannot read wal: {e}")),
+            },
+            Ok(None) => {
+                if let Err(e) = storage.write_atomic(WAL_FILE, WAL_MAGIC) {
+                    report.warnings.push(format!("cannot create wal: {e}"));
+                }
+            }
+            Err(e) => report.warnings.push(format!("cannot stat wal: {e}")),
+        }
+
+        let journal = Journal {
+            storage,
+            opts,
+            next_seq: last_seq + 1,
+            records_since_snapshot: report.wal_records as u64,
+            unsynced: 0,
+            ops_counter: 0,
+        };
+        (journal, state, report)
+    }
+
+    /// Read (or establish) the timeline anchor and compute the clock
+    /// shift recovery must apply.
+    fn anchor_delta(
+        storage: &Arc<dyn Storage>,
+        base: TimeBase,
+        now: SimTime,
+        report: &mut RecoveryReport,
+    ) -> i64 {
+        let new_origin = unix_now_us().saturating_sub(now.0);
+        let old_origin = match storage.len(ANCHOR_FILE) {
+            Ok(Some(8)) => match storage.read(ANCHOR_FILE) {
+                Ok(b) => {
+                    let mut raw = [0u8; 8];
+                    raw.copy_from_slice(&b[..8]);
+                    Some(u64::from_le_bytes(raw))
+                }
+                Err(e) => {
+                    report.warnings.push(format!("cannot read anchor: {e}"));
+                    None
+                }
+            },
+            Ok(Some(n)) => {
+                report
+                    .warnings
+                    .push(format!("anchor has {n} bytes, expected 8; ignoring"));
+                None
+            }
+            Ok(None) => None,
+            Err(e) => {
+                report.warnings.push(format!("cannot stat anchor: {e}"));
+                None
+            }
+        };
+        match base {
+            TimeBase::Continue => {
+                // Same timeline: no shift. Establish the anchor on first
+                // open so a later Absolute restart has a reference.
+                if old_origin.is_none() {
+                    if let Err(e) = storage.write_atomic(ANCHOR_FILE, &new_origin.to_le_bytes()) {
+                        report.warnings.push(format!("cannot write anchor: {e}"));
+                    }
+                }
+                0
+            }
+            TimeBase::Absolute => {
+                let delta = match old_origin {
+                    Some(old) => {
+                        let d = i128::from(old) - i128::from(new_origin);
+                        d.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64
+                    }
+                    None => 0,
+                };
+                if let Err(e) = storage.write_atomic(ANCHOR_FILE, &new_origin.to_le_bytes()) {
+                    report.warnings.push(format!("cannot write anchor: {e}"));
+                }
+                delta
+            }
+        }
+    }
+
+    fn armed(&self, point: KillPoint) -> Option<CrashPlan> {
+        self.opts
+            .crash
+            .filter(|p| p.point == point && p.at_op == self.ops_counter)
+    }
+
+    /// Log one op ahead of applying it. Returns the record's sequence
+    /// number; on injected crash, [`StoreError::Crashed`] reports whether
+    /// the record reached durable storage.
+    pub fn log(&mut self, op: &WalOp) -> StoreResult<u64> {
+        self.ops_counter += 1;
+        if self.armed(KillPoint::BeforeWalAppend).is_some() {
+            return Err(StoreError::Crashed { durable: false });
+        }
+        let rec = WalRecord {
+            seq: self.next_seq,
+            op: op.clone(),
+        };
+        let frame = frame_record(&rec);
+        if let Some(plan) = self.armed(KillPoint::MidWalAppend) {
+            // A torn write: a strict prefix of the frame lands and is
+            // even synced — recovery must cut it off by CRC.
+            let keep = plan.torn_keep.min(frame.len().saturating_sub(1));
+            self.storage.append(WAL_FILE, &frame[..keep])?;
+            self.storage.sync(WAL_FILE)?;
+            return Err(StoreError::Crashed { durable: false });
+        }
+        self.storage.append(WAL_FILE, &frame)?;
+        let synced = match self.opts.fsync {
+            FsyncPolicy::Always => {
+                self.storage.sync(WAL_FILE)?;
+                true
+            }
+            FsyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.storage.sync(WAL_FILE)?;
+                    self.unsynced = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            FsyncPolicy::Never => false,
+        };
+        if self.armed(KillPoint::AfterWalAppend).is_some() {
+            return Err(StoreError::Crashed { durable: synced });
+        }
+        self.next_seq += 1;
+        self.records_since_snapshot += 1;
+        Ok(rec.seq)
+    }
+
+    /// Mark the just-logged op as applied in memory (the second half of
+    /// the log → apply pair; only here for the AfterApply kill-point).
+    pub fn applied(&mut self) -> StoreResult<()> {
+        if self.armed(KillPoint::AfterApply).is_some() {
+            return Err(StoreError::Crashed { durable: true });
+        }
+        Ok(())
+    }
+
+    /// True when enough records have accumulated to warrant a snapshot.
+    pub fn wants_snapshot(&self) -> bool {
+        self.opts.snapshot_every > 0 && self.records_since_snapshot >= self.opts.snapshot_every
+    }
+
+    /// Sequence number that a snapshot taken right now would cover.
+    pub fn covered_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Records logged since the last compaction.
+    pub fn wal_backlog(&self) -> u64 {
+        self.records_since_snapshot
+    }
+
+    /// Write a snapshot of `content`, compact the WAL into it, and prune
+    /// old snapshots (the newest two are kept: the one just written plus
+    /// one fallback in case it is later found damaged).
+    pub fn snapshot(&mut self, content: SnapshotContent<'_, '_>) -> StoreResult<u64> {
+        if self.armed(KillPoint::BeforeSnapshotWrite).is_some() {
+            return Err(StoreError::Crashed { durable: true });
+        }
+        let seq = self.covered_seq();
+        let name = snap_name(seq);
+        let image = encode_snapshot(seq, content);
+        if let Some(plan) = self.armed(KillPoint::TornSnapshotVisible) {
+            // Model a non-atomic rename / lying disk: a truncated image
+            // appears under the final name. Recovery must reject it.
+            let keep = plan.torn_keep.min(image.len().saturating_sub(1));
+            self.storage.write_atomic(&name, &image[..keep])?;
+            return Err(StoreError::Crashed { durable: true });
+        }
+        if self.armed(KillPoint::BeforeSnapshotRename).is_some() {
+            // The temp image landed but the rename never happened.
+            self.storage.write_atomic(&format!("{name}.tmp"), &image)?;
+            return Err(StoreError::Crashed { durable: true });
+        }
+        self.storage.write_atomic(&name, &image)?;
+        if self.armed(KillPoint::AfterSnapshotRename).is_some() {
+            // Snapshot landed, WAL not yet compacted: replay must skip
+            // the covered records by sequence, not re-apply them.
+            return Err(StoreError::Crashed { durable: true });
+        }
+        self.storage.write_atomic(WAL_FILE, WAL_MAGIC)?;
+        self.records_since_snapshot = 0;
+        self.unsynced = 0;
+        let mut snaps: Vec<(u64, String)> = self
+            .storage
+            .list()?
+            .into_iter()
+            .filter_map(|n| parse_snap_name(&n).map(|s| (s, n)))
+            .collect();
+        snaps.sort();
+        while snaps.len() > 2 {
+            let (_, old) = snaps.remove(0);
+            self.storage.remove(&old)?;
+        }
+        Ok(seq)
+    }
+
+    /// The backing store.
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use gis_ldap::Entry;
+    use gis_netsim::secs;
+
+    fn upsert(i: u64) -> WalOp {
+        WalOp::Upsert(
+            Entry::at(&format!("hn=h{i}"))
+                .unwrap()
+                .with_class("computer")
+                .with("idx", i),
+        )
+    }
+
+    fn opts() -> JournalOptions {
+        JournalOptions {
+            fsync: FsyncPolicy::Always,
+            ..JournalOptions::default()
+        }
+    }
+
+    #[test]
+    fn log_then_recover() {
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let (mut j, state, report) = Journal::open(storage.clone(), opts(), SimTime::ZERO);
+        assert_eq!(state.dit.len(), 0);
+        assert!(report.snapshot.is_none());
+        for i in 0..5 {
+            j.log(&upsert(i)).unwrap();
+            j.applied().unwrap();
+        }
+        let (_, state, report) = Journal::open(storage, opts(), SimTime::ZERO + secs(1));
+        assert_eq!(state.dit.len(), 5);
+        assert_eq!(state.seq, 5);
+        assert_eq!(report.wal_records, 5);
+        assert!(report.torn_tail.is_none());
+    }
+
+    #[test]
+    fn snapshot_compacts_and_recovers() {
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let (mut j, mut state, _) = Journal::open(storage.clone(), opts(), SimTime::ZERO);
+        for i in 0..10 {
+            j.log(&upsert(i)).unwrap();
+            state.apply(&upsert(i));
+        }
+        let published = state.dit.clone();
+        let mut it = published.iter();
+        let seq = j
+            .snapshot(SnapshotContent {
+                regs: Vec::new(),
+                groups: state.group_snaps(),
+                targets: state.targets.clone(),
+                entries: &mut it,
+            })
+            .unwrap();
+        assert_eq!(seq, 10);
+        // Two more after the snapshot.
+        for i in 10..12 {
+            j.log(&upsert(i)).unwrap();
+        }
+        let (_, rec, report) = Journal::open(storage, opts(), SimTime::ZERO);
+        assert_eq!(report.snapshot_seq, 10);
+        assert_eq!(report.wal_records, 2);
+        assert_eq!(rec.dit.len(), 12);
+        assert_eq!(rec.seq, 12);
+    }
+
+    #[test]
+    fn unsynced_tail_is_lost_cleanly() {
+        let storage = Arc::new(MemStorage::new());
+        let dyn_storage: Arc<dyn Storage> = storage.clone();
+        let o = JournalOptions {
+            fsync: FsyncPolicy::Never,
+            ..JournalOptions::default()
+        };
+        let (mut j, _, _) = Journal::open(dyn_storage.clone(), o, SimTime::ZERO);
+        for i in 0..4 {
+            j.log(&upsert(i)).unwrap();
+        }
+        storage.crash();
+        let (_, state, _) = Journal::open(dyn_storage, o, SimTime::ZERO);
+        // Nothing was synced; the WAL file itself (created atomically)
+        // survives but all appended records were volatile.
+        assert_eq!(state.dit.len(), 0);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back() {
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let (mut j, mut state, _) = Journal::open(storage.clone(), opts(), SimTime::ZERO);
+        for i in 0..3 {
+            j.log(&upsert(i)).unwrap();
+            state.apply(&upsert(i));
+        }
+        let snap1 = state.dit.clone();
+        let mut it = snap1.iter();
+        j.snapshot(SnapshotContent {
+            regs: Vec::new(),
+            groups: Vec::new(),
+            targets: Vec::new(),
+            entries: &mut it,
+        })
+        .unwrap();
+        // Plant a corrupt newer snapshot.
+        storage
+            .write_atomic(&snap_name(99), b"GISSNAP1garbage")
+            .unwrap();
+        let (_, rec, report) = Journal::open(storage, opts(), SimTime::ZERO);
+        assert_eq!(report.snapshot_seq, 3);
+        assert_eq!(rec.dit.len(), 3);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.contains("invalid, skipping")));
+    }
+
+    #[test]
+    fn absolute_rebase_shifts_clocks() {
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let o = JournalOptions {
+            base: TimeBase::Absolute,
+            ..opts()
+        };
+        // First open at sim time 100s establishes the anchor.
+        let (mut j, _, _) = Journal::open(storage.clone(), o, SimTime::ZERO + secs(100));
+        let msg = gis_proto::GrrpMessage::register(
+            gis_ldap::LdapUrl::server("h1"),
+            gis_ldap::Dn::parse("hn=h1").unwrap(),
+            SimTime::ZERO + secs(100),
+            secs(60),
+        );
+        j.log(&WalOp::Observe {
+            msg,
+            now: SimTime::ZERO + secs(100),
+        })
+        .unwrap();
+        // Reopen on a timeline whose origin is (wall-identically) 80s
+        // later in sim coordinates: sim clock restarts at 20s.
+        let (_, state, report) = Journal::open(storage, o, SimTime::ZERO + secs(20));
+        // delta ≈ old_origin - new_origin = (wall-100s) - (wall-20s) = -80s
+        // (within a small tolerance for wall time passing between opens).
+        let tol = 2_000_000i64;
+        assert!(
+            (report.rebase_delta_us + 80_000_000).abs() < tol,
+            "delta {} not ≈ -80s",
+            report.rebase_delta_us
+        );
+        let reg = state.registry.registrations().next().unwrap();
+        let expires = reg.expires_at().0 as i64;
+        // Originally expired at 160s; on the new timeline ≈ 80s.
+        assert!(
+            (expires - 80_000_000).abs() < tol,
+            "expiry {expires} not ≈ 80s"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Durable DIT storage: checksummed snapshots + a mutation WAL, with
+//! crash recovery — the persistence layer under GRIS and GIIS.
+//!
+//! MDS-2's information is *soft state*: it can always be reconstructed
+//! from the providers, given enough re-registration and harvest traffic.
+//! Persistence is therefore an availability optimization, not a
+//! correctness requirement — which sets the design's priorities:
+//!
+//! 1. **Never serve corrupt state.** Every on-disk frame carries a
+//!    CRC32; a torn write is detected and *truncated*, a damaged
+//!    snapshot is *skipped*. The fallback is always a smaller intact
+//!    prefix, at worst the empty tree the system could start from
+//!    anyway.
+//! 2. **Never panic on bad storage.** Recovery is infallible by policy;
+//!    every degradation becomes a [`RecoveryReport`] warning that
+//!    services surface as metrics.
+//! 3. **Preserve the soft-state clocks.** A provider registered before
+//!    a crash is still registered after recovery *with its original
+//!    expiry deadline*, so restart does not silently extend (or cut
+//!    short) anyone's lifetime, and re-registration becomes a cheap
+//!    refresh instead of a stampede.
+//!
+//! The layering, bottom-up: [`crc`] and [`frame`] define the record
+//! format shared by both files; [`storage`] abstracts the disk (with an
+//! in-memory model that has real fsync semantics for crash tests);
+//! [`wal`] and [`snapshot`] define the two file formats; [`replay`]
+//! reconstructs state; [`journal`] orchestrates append → fsync →
+//! snapshot → compact; [`durable`] packages it with a
+//! [`SharedDit`](gis_ldap::SharedDit); [`crash`] provides the seeded
+//! kill-points the recovery oracle is tested against.
+
+pub mod crash;
+pub mod crc;
+pub mod durable;
+pub mod frame;
+pub mod journal;
+#[cfg(unix)]
+pub mod mmap;
+pub mod replay;
+pub mod snapshot;
+pub mod storage;
+pub mod wal;
+
+pub use crash::{CrashPlan, KillPoint, ALL_KILL_POINTS};
+pub use durable::DurableDit;
+pub use journal::{FsyncPolicy, Journal, JournalOptions, RecoveryReport, TimeBase, ANCHOR_FILE};
+pub use replay::{apply_op, GroupState, RecoveredState};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, parse_snap_name, snap_name, GroupSnap, LoadedSnapshot,
+    RegSnap, SnapshotContent,
+};
+pub use storage::{Blob, FileStorage, MemStorage, Storage, StoreError, StoreResult};
+pub use wal::{scan_wal, WalOp, WalRecord, WalScan, WAL_FILE, WAL_MAGIC};

@@ -1,0 +1,140 @@
+//! Read-only memory mapping for snapshot loading (unix only).
+//!
+//! Million-entry snapshots are read once, sequentially, at startup;
+//! mapping the file avoids a second copy of the whole image through a
+//! heap buffer and lets the page cache feed the decoder directly. No
+//! external crate is available offline, so this is a thin, safe wrapper
+//! over the two raw syscalls (`mmap`/`munmap`); the mapping is private
+//! and read-only, and unmapped on drop.
+
+#![cfg(unix)]
+
+use std::fs::File;
+use std::io;
+use std::os::unix::io::AsRawFd;
+
+mod ffi {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only, privately mapped view of a file. Derefs to `[u8]`.
+pub struct Mmap {
+    ptr: *mut std::os::raw::c_void,
+    len: usize,
+}
+
+// The mapping is PROT_READ/MAP_PRIVATE: no aliasing writers through this
+// handle, so sharing the view across threads is sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only. Empty files yield an empty (unmapped) view:
+    /// `mmap` rejects zero-length mappings.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "file exceeds address space")
+        })?;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: fd is valid for the duration of the call; we request a
+        // fresh read-only private mapping and check for MAP_FAILED.
+        let ptr = unsafe {
+            ffi::mmap(
+                std::ptr::null_mut(),
+                len,
+                ffi::PROT_READ,
+                ffi::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == ffi::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr/len describe a live PROT_READ mapping owned by self.
+        unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: exactly the region returned by mmap in map().
+            unsafe {
+                ffi::munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mmap({} bytes)", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir().join(format!("gis-mmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(b"hello mapping")
+            .unwrap();
+        let f = File::open(&path).unwrap();
+        let m = Mmap::map(&f).unwrap();
+        assert_eq!(&*m, b"hello mapping");
+        drop(m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_file_is_empty_view() {
+        let dir = std::env::temp_dir().join(format!("gis-mmap-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty");
+        std::fs::File::create(&path).unwrap();
+        let f = File::open(&path).unwrap();
+        let m = Mmap::map(&f).unwrap();
+        assert!(m.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,572 @@
+//! Checksummed full-state snapshots.
+//!
+//! A snapshot file `snap-<seq>.snap` is the 8-byte magic `GISSNAP1`
+//! followed by CRC-framed, tagged sections:
+//!
+//! | tag | section | payload |
+//! |-----|---------|---------|
+//! | 1   | meta    | version, covered seq, section counts |
+//! | 2   | entries | a chunk of DIT entries (≤ [`ENTRY_CHUNK`]) |
+//! | 3   | regs    | soft-state registrations with their clocks |
+//! | 4   | groups  | per-source attribution (harvested DNs / cached rows) |
+//! | 5   | targets | registration-agent target directories |
+//! | 255 | end     | total frame count (completeness proof) |
+//!
+//! The meta frame must come first and the end frame last; section
+//! counts and the frame count are cross-checked, and every frame
+//! carries its own CRC32 — so a torn write, a lying rename, or bit rot
+//! is *detected* (the loader reports the file invalid and recovery
+//! falls back to the previous snapshot) rather than replayed into a
+//! half-tree.
+//!
+//! Entries are chunked so the loader touches bounded buffers; with the
+//! mmap read path the image is decoded straight out of the page cache.
+
+use bytes::{BufMut, BytesMut};
+use gis_ldap::{Dn, Entry, LdapUrl, Wire, WireReader};
+use gis_netsim::SimTime;
+use gis_proto::{GrrpMessage, Registration};
+
+use crate::frame::{put_frame, FrameReader, FrameStep};
+use crate::storage::{StoreError, StoreResult};
+use crate::wal::rebase_time;
+
+/// Snapshot file magic.
+pub const SNAP_MAGIC: &[u8; 8] = b"GISSNAP1";
+/// Current format version.
+pub const SNAP_VERSION: u32 = 1;
+/// Entries per entry frame.
+pub const ENTRY_CHUNK: usize = 4096;
+
+const TAG_META: u8 = 1;
+const TAG_ENTRIES: u8 = 2;
+const TAG_REGS: u8 = 3;
+const TAG_GROUPS: u8 = 4;
+const TAG_TARGETS: u8 = 5;
+const TAG_END: u8 = 255;
+
+/// The on-disk name for a snapshot covering `seq`.
+pub fn snap_name(seq: u64) -> String {
+    format!("snap-{seq:020}.snap")
+}
+
+/// Parse a snapshot file name back to its covered sequence number.
+pub fn parse_snap_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}
+
+/// A persisted soft-state registration: the message plus the receiver
+/// clocks, so restart preserves both the expiry deadline and the
+/// registration's age/refresh history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegSnap {
+    /// The most recent registration message (carries `valid_until`).
+    pub message: GrrpMessage,
+    /// First receipt time.
+    pub first_seen: SimTime,
+    /// Most recent receipt time.
+    pub last_seen: SimTime,
+    /// Number of messages received.
+    pub refresh_count: u64,
+}
+
+impl RegSnap {
+    /// Capture a live registration.
+    pub fn of(reg: &Registration) -> RegSnap {
+        RegSnap {
+            message: reg.message.clone(),
+            first_seen: reg.first_seen,
+            last_seen: reg.last_seen,
+            refresh_count: reg.refresh_count,
+        }
+    }
+
+    /// Rebuild the live registration.
+    pub fn into_registration(self) -> Registration {
+        Registration {
+            message: self.message,
+            first_seen: self.first_seen,
+            last_seen: self.last_seen,
+            refresh_count: self.refresh_count,
+        }
+    }
+
+    /// Shift embedded clocks onto a restarted timeline.
+    pub fn rebase(&mut self, delta_us: i64) {
+        self.message.valid_from = rebase_time(self.message.valid_from, delta_us);
+        self.message.valid_until = rebase_time(self.message.valid_until, delta_us);
+        self.first_seen = rebase_time(self.first_seen, delta_us);
+        self.last_seen = rebase_time(self.last_seen, delta_us);
+    }
+}
+
+impl Wire for RegSnap {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.message.encode(buf);
+        gis_ldap::codec::put_varint(buf, self.first_seen.0);
+        gis_ldap::codec::put_varint(buf, self.last_seen.0);
+        gis_ldap::codec::put_varint(buf, self.refresh_count);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> gis_ldap::Result<RegSnap> {
+        Ok(RegSnap {
+            message: GrrpMessage::decode(r)?,
+            first_seen: SimTime(r.read_varint()?),
+            last_seen: SimTime(r.read_varint()?),
+            refresh_count: r.read_varint()?,
+        })
+    }
+}
+
+/// Per-source attribution: which DNs (GIIS harvest cache) or cached
+/// rows (GRIS provider slots) a named source contributed, and when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSnap {
+    /// Source name: a child service URL (GIIS) or provider slot (GRIS).
+    pub name: String,
+    /// The source's refresh clock (last harvest / last fetch), if it
+    /// has ever refreshed.
+    pub at: Option<SimTime>,
+    /// DNs attributed to this source in the shared tree (GIIS).
+    pub dns: Vec<Dn>,
+    /// Rows cached for this source outside the shared tree (GRIS slot
+    /// caches, where per-slot sets may overlap by DN).
+    pub entries: Vec<Entry>,
+}
+
+impl GroupSnap {
+    /// Shift the refresh clock onto a restarted timeline.
+    pub fn rebase(&mut self, delta_us: i64) {
+        self.at = self.at.map(|t| rebase_time(t, delta_us));
+    }
+}
+
+impl Wire for GroupSnap {
+    fn encode(&self, buf: &mut BytesMut) {
+        gis_ldap::codec::put_str(buf, &self.name);
+        match self.at {
+            None => buf.put_u8(0),
+            Some(t) => {
+                buf.put_u8(1);
+                gis_ldap::codec::put_varint(buf, t.0);
+            }
+        }
+        self.dns.encode(buf);
+        self.entries.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> gis_ldap::Result<GroupSnap> {
+        Ok(GroupSnap {
+            name: r.read_str()?,
+            at: match r.read_u8()? {
+                0 => None,
+                _ => Some(SimTime(r.read_varint()?)),
+            },
+            dns: Vec::<Dn>::decode(r)?,
+            entries: Vec::<Entry>::decode(r)?,
+        })
+    }
+}
+
+/// Everything a snapshot persists, ready to encode.
+pub struct SnapshotContent<'i, 'e> {
+    /// Soft-state registrations with clocks.
+    pub regs: Vec<RegSnap>,
+    /// Per-source attribution state.
+    pub groups: Vec<GroupSnap>,
+    /// Registration-agent targets.
+    pub targets: Vec<LdapUrl>,
+    /// The DIT entries (borrowed; typically an `Arc<Dit>` iterator).
+    pub entries: &'i mut dyn Iterator<Item = &'e Entry>,
+}
+
+/// A decoded, validated snapshot.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// The WAL sequence this image covers (replay records above this).
+    pub seq: u64,
+    /// All DIT entries.
+    pub entries: Vec<Entry>,
+    /// Registrations with clocks.
+    pub regs: Vec<RegSnap>,
+    /// Attribution state.
+    pub groups: Vec<GroupSnap>,
+    /// Agent targets.
+    pub targets: Vec<LdapUrl>,
+}
+
+struct Meta {
+    version: u32,
+    seq: u64,
+    entry_count: u64,
+    reg_count: u64,
+    group_count: u64,
+    target_count: u64,
+}
+
+impl Wire for Meta {
+    fn encode(&self, buf: &mut BytesMut) {
+        gis_ldap::codec::put_varint(buf, u64::from(self.version));
+        gis_ldap::codec::put_varint(buf, self.seq);
+        gis_ldap::codec::put_varint(buf, self.entry_count);
+        gis_ldap::codec::put_varint(buf, self.reg_count);
+        gis_ldap::codec::put_varint(buf, self.group_count);
+        gis_ldap::codec::put_varint(buf, self.target_count);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> gis_ldap::Result<Meta> {
+        Ok(Meta {
+            version: u32::try_from(r.read_varint()?)
+                .map_err(|_| gis_ldap::LdapError::Codec("version overflow".into()))?,
+            seq: r.read_varint()?,
+            entry_count: r.read_varint()?,
+            reg_count: r.read_varint()?,
+            group_count: r.read_varint()?,
+            target_count: r.read_varint()?,
+        })
+    }
+}
+
+fn tagged(tag: u8, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(body.len() + 1);
+    payload.push(tag);
+    payload.extend_from_slice(body);
+    payload
+}
+
+/// Encode a complete snapshot image (magic + all frames). The caller
+/// hands it to [`Storage::write_atomic`] under [`snap_name`].
+///
+/// [`Storage::write_atomic`]: crate::Storage::write_atomic
+pub fn encode_snapshot(seq: u64, content: SnapshotContent<'_, '_>) -> Vec<u8> {
+    let mut entry_frames: Vec<Vec<u8>> = Vec::new();
+    let mut entry_count: u64 = 0;
+    let mut chunk = BytesMut::new();
+    let mut in_chunk: usize = 0;
+    let mut chunk_header = BytesMut::new();
+    for e in content.entries {
+        e.encode(&mut chunk);
+        in_chunk += 1;
+        entry_count += 1;
+        if in_chunk == ENTRY_CHUNK {
+            chunk_header.clear();
+            gis_ldap::codec::put_varint(&mut chunk_header, in_chunk as u64);
+            let mut body = Vec::with_capacity(chunk_header.len() + chunk.len());
+            body.extend_from_slice(&chunk_header);
+            body.extend_from_slice(&chunk);
+            entry_frames.push(tagged(TAG_ENTRIES, &body));
+            chunk.clear();
+            in_chunk = 0;
+        }
+    }
+    if in_chunk > 0 {
+        chunk_header.clear();
+        gis_ldap::codec::put_varint(&mut chunk_header, in_chunk as u64);
+        let mut body = Vec::with_capacity(chunk_header.len() + chunk.len());
+        body.extend_from_slice(&chunk_header);
+        body.extend_from_slice(&chunk);
+        entry_frames.push(tagged(TAG_ENTRIES, &body));
+    }
+
+    let meta = Meta {
+        version: SNAP_VERSION,
+        seq,
+        entry_count,
+        reg_count: content.regs.len() as u64,
+        group_count: content.groups.len() as u64,
+        target_count: content.targets.len() as u64,
+    };
+
+    let mut image = SNAP_MAGIC.to_vec();
+    put_frame(&mut image, &tagged(TAG_META, &meta.to_wire()));
+    let mut frames: u64 = 1;
+    for f in &entry_frames {
+        put_frame(&mut image, f);
+        frames += 1;
+    }
+    put_frame(&mut image, &tagged(TAG_REGS, &content.regs.to_wire()));
+    put_frame(&mut image, &tagged(TAG_GROUPS, &content.groups.to_wire()));
+    put_frame(&mut image, &tagged(TAG_TARGETS, &content.targets.to_wire()));
+    frames += 3;
+    let mut end = BytesMut::new();
+    gis_ldap::codec::put_varint(&mut end, frames);
+    put_frame(&mut image, &tagged(TAG_END, &end));
+    image
+}
+
+fn corrupt(msg: impl Into<String>) -> StoreError {
+    StoreError::Corrupt(msg.into())
+}
+
+/// Decode one `TAG_ENTRIES` payload: a count-prefixed run of entries.
+fn decode_entry_chunk(body: &[u8]) -> StoreResult<Vec<Entry>> {
+    let mut r = WireReader::new(body);
+    let n = r
+        .read_len()
+        .map_err(|e| corrupt(format!("entry chunk: {e}")))?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Entry::decode(&mut r).map_err(|e| corrupt(format!("entry: {e}")))?);
+    }
+    if !r.is_done() {
+        return Err(corrupt("trailing bytes in entry chunk"));
+    }
+    Ok(out)
+}
+
+/// Decode every entry chunk, in chunk order. Chunks are self-contained,
+/// so on a multi-core host they are fanned out over scoped threads; a
+/// single-core host (or a single chunk) decodes inline. Either path
+/// yields byte-identical results and errors on the first bad chunk.
+fn decode_entry_chunks(chunks: &[&[u8]]) -> StoreResult<Vec<Entry>> {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let workers = cores.min(chunks.len());
+    let decoded: Vec<StoreResult<Vec<Entry>>> = if workers > 1 {
+        // Contiguous shards keep output assembly a simple in-order append.
+        let per = chunks.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .chunks(per)
+                .map(|shard| {
+                    s.spawn(move || {
+                        shard
+                            .iter()
+                            .map(|c| decode_entry_chunk(c))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("snapshot decode worker panicked"))
+                .collect()
+        })
+    } else {
+        chunks.iter().map(|c| decode_entry_chunk(c)).collect()
+    };
+    let mut entries = Vec::new();
+    for part in decoded {
+        entries.extend(part?);
+    }
+    Ok(entries)
+}
+
+/// Decode and validate a snapshot image. Any framing, checksum, count
+/// or ordering violation fails the whole image (the caller falls back
+/// to an older snapshot or starts empty).
+pub fn decode_snapshot(bytes: &[u8]) -> StoreResult<LoadedSnapshot> {
+    if bytes.len() < SNAP_MAGIC.len() || &bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        return Err(corrupt("bad snapshot magic"));
+    }
+    let mut reader = FrameReader::new(bytes, SNAP_MAGIC.len());
+    let mut meta: Option<Meta> = None;
+    let mut entry_chunks: Vec<&[u8]> = Vec::new();
+    let mut regs: Vec<RegSnap> = Vec::new();
+    let mut groups: Vec<GroupSnap> = Vec::new();
+    let mut targets: Vec<LdapUrl> = Vec::new();
+    let mut frames: u64 = 0;
+    let mut ended = false;
+
+    loop {
+        match reader.step() {
+            FrameStep::End => break,
+            FrameStep::Bad { offset, reason } => {
+                return Err(corrupt(format!("frame at {offset}: {reason}")));
+            }
+            FrameStep::Frame(payload) => {
+                if ended {
+                    return Err(corrupt("frames after end marker"));
+                }
+                let (&tag, body) = payload
+                    .split_first()
+                    .ok_or_else(|| corrupt("empty frame"))?;
+                match tag {
+                    TAG_META => {
+                        if meta.is_some() || frames != 0 {
+                            return Err(corrupt("duplicate or misplaced meta frame"));
+                        }
+                        let m = Meta::from_wire(body).map_err(|e| corrupt(format!("meta: {e}")))?;
+                        if m.version != SNAP_VERSION {
+                            return Err(corrupt(format!(
+                                "unsupported snapshot version {}",
+                                m.version
+                            )));
+                        }
+                        meta = Some(m);
+                    }
+                    TAG_ENTRIES => {
+                        if meta.is_none() {
+                            return Err(corrupt("entries before meta"));
+                        }
+                        // Defer decoding: chunks are validated (CRC) by the
+                        // frame walk and decoded together afterwards, in
+                        // parallel when cores allow.
+                        entry_chunks.push(body);
+                    }
+                    TAG_REGS => {
+                        regs = Vec::<RegSnap>::from_wire(body)
+                            .map_err(|e| corrupt(format!("regs: {e}")))?;
+                    }
+                    TAG_GROUPS => {
+                        groups = Vec::<GroupSnap>::from_wire(body)
+                            .map_err(|e| corrupt(format!("groups: {e}")))?;
+                    }
+                    TAG_TARGETS => {
+                        targets = Vec::<LdapUrl>::from_wire(body)
+                            .map_err(|e| corrupt(format!("targets: {e}")))?;
+                    }
+                    TAG_END => {
+                        let mut r = WireReader::new(body);
+                        let want = r.read_varint().map_err(|e| corrupt(format!("end: {e}")))?;
+                        if want != frames {
+                            return Err(corrupt(format!(
+                                "frame count mismatch: end says {want}, saw {frames}"
+                            )));
+                        }
+                        ended = true;
+                    }
+                    other => return Err(corrupt(format!("unknown section tag {other}"))),
+                }
+                if tag != TAG_END {
+                    frames += 1;
+                }
+            }
+        }
+    }
+
+    let meta = meta.ok_or_else(|| corrupt("missing meta frame"))?;
+    if !ended {
+        return Err(corrupt("missing end marker (torn snapshot)"));
+    }
+    let entries = decode_entry_chunks(&entry_chunks)?;
+    if entries.len() as u64 != meta.entry_count
+        || regs.len() as u64 != meta.reg_count
+        || groups.len() as u64 != meta.group_count
+        || targets.len() as u64 != meta.target_count
+    {
+        return Err(corrupt("section counts disagree with meta"));
+    }
+    Ok(LoadedSnapshot {
+        seq: meta.seq,
+        entries,
+        regs,
+        groups,
+        targets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_netsim::secs;
+
+    fn sample_content() -> (Vec<Entry>, Vec<RegSnap>, Vec<GroupSnap>, Vec<LdapUrl>) {
+        let entries: Vec<Entry> = (0..3)
+            .map(|i| {
+                Entry::at(&format!("hn=h{i}"))
+                    .unwrap()
+                    .with_class("computer")
+                    .with("idx", i as u64)
+            })
+            .collect();
+        let regs = vec![RegSnap {
+            message: GrrpMessage::register(
+                LdapUrl::server("gris.h0"),
+                Dn::parse("hn=h0").unwrap(),
+                SimTime::ZERO + secs(1),
+                secs(30),
+            ),
+            first_seen: SimTime::ZERO + secs(1),
+            last_seen: SimTime::ZERO + secs(21),
+            refresh_count: 3,
+        }];
+        let groups = vec![GroupSnap {
+            name: "ldap://gris.h0".into(),
+            at: Some(SimTime::ZERO + secs(2)),
+            dns: vec![Dn::parse("hn=h0").unwrap()],
+            entries: Vec::new(),
+        }];
+        (entries, regs, groups, vec![LdapUrl::server("giis.vo")])
+    }
+
+    fn encode_sample(seq: u64) -> Vec<u8> {
+        let (entries, regs, groups, targets) = sample_content();
+        let mut it = entries.iter();
+        encode_snapshot(
+            seq,
+            SnapshotContent {
+                regs,
+                groups,
+                targets,
+                entries: &mut it,
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let image = encode_sample(42);
+        let loaded = decode_snapshot(&image).unwrap();
+        let (entries, regs, groups, targets) = sample_content();
+        assert_eq!(loaded.seq, 42);
+        assert_eq!(loaded.entries, entries);
+        assert_eq!(loaded.regs, regs);
+        assert_eq!(loaded.groups, groups);
+        assert_eq!(loaded.targets, targets);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_not_misread() {
+        let image = encode_sample(7);
+        for cut in 0..image.len() {
+            assert!(
+                decode_snapshot(&image[..cut]).is_err(),
+                "truncation to {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected() {
+        let image = encode_sample(7);
+        // Flip one bit in every 97th byte (full sweep is slow in debug).
+        for byte in (0..image.len()).step_by(97) {
+            let mut bad = image.clone();
+            bad[byte] ^= 0x10;
+            assert!(
+                decode_snapshot(&bad).is_err(),
+                "bit flip at byte {byte} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        assert_eq!(parse_snap_name(&snap_name(0)), Some(0));
+        assert_eq!(parse_snap_name(&snap_name(123456)), Some(123456));
+        assert_eq!(parse_snap_name("wal.log"), None);
+        assert_eq!(parse_snap_name("snap-xyz.snap"), None);
+    }
+
+    #[test]
+    fn chunking_survives_many_entries() {
+        let entries: Vec<Entry> = (0..ENTRY_CHUNK + 10)
+            .map(|i| Entry::at(&format!("hn=h{i}")).unwrap().with_class("c"))
+            .collect();
+        let mut it = entries.iter();
+        let image = encode_snapshot(
+            1,
+            SnapshotContent {
+                regs: Vec::new(),
+                groups: Vec::new(),
+                targets: Vec::new(),
+                entries: &mut it,
+            },
+        );
+        let loaded = decode_snapshot(&image).unwrap();
+        assert_eq!(loaded.entries.len(), ENTRY_CHUNK + 10);
+    }
+}

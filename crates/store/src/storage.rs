@@ -1,0 +1,390 @@
+//! The pluggable storage layer: a small named-file abstraction with an
+//! in-memory backend (tests, crash modelling), a real filesystem backend
+//! (fsync + atomic rename), and mmap-backed reads for snapshot loading.
+//!
+//! The durability model is explicit: `append` may land in a volatile
+//! cache until `sync` is called, while `write_atomic` is all-or-nothing
+//! *and* durable on return (write temp → fsync → rename → fsync dir).
+//! [`MemStorage`] mirrors exactly that model — appended bytes past the
+//! last `sync` are discarded by [`MemStorage::crash`] — so recovery
+//! tests exercise the same lose-the-tail semantics a real power cut has.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use parking_lot::Mutex;
+
+/// Errors from the storage layer. Everything is recoverable by policy:
+/// callers degrade to "start empty + warn", never panic.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O error from the backing store.
+    Io(std::io::Error),
+    /// A frame or file failed validation (bad magic, CRC mismatch,
+    /// truncated header, decode error). The payload names the problem.
+    Corrupt(String),
+    /// An injected crash fired (test machinery only). `durable` reports
+    /// whether the record being written survived to durable storage —
+    /// the recovery oracle's ground truth.
+    Crashed { durable: bool },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage i/o: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::Crashed { durable } => {
+                write!(f, "injected crash (record durable: {durable})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for the storage layer.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Bytes read back from a backend: either an owned buffer or a mapped
+/// file view. Derefs to `[u8]` either way.
+#[derive(Debug)]
+pub enum Blob {
+    /// Heap-owned bytes.
+    Owned(Vec<u8>),
+    /// An mmap'd read-only view (file backend with mmap enabled).
+    #[cfg(unix)]
+    Mapped(crate::mmap::Mmap),
+}
+
+impl std::ops::Deref for Blob {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            Blob::Owned(v) => v,
+            #[cfg(unix)]
+            Blob::Mapped(m) => m,
+        }
+    }
+}
+
+/// A flat namespace of named byte files — everything the WAL and
+/// snapshot machinery needs from a disk, small enough that an in-memory
+/// model can implement it bit-for-bit (including fsync semantics).
+pub trait Storage: Send + Sync {
+    /// Names present, sorted.
+    fn list(&self) -> StoreResult<Vec<String>>;
+    /// Current length of `name`, or `None` if absent.
+    fn len(&self, name: &str) -> StoreResult<Option<u64>>;
+    /// Read the whole file.
+    fn read(&self, name: &str) -> StoreResult<Blob>;
+    /// Append bytes to `name`, creating it if absent. Durable only after
+    /// [`Storage::sync`].
+    fn append(&self, name: &str, data: &[u8]) -> StoreResult<()>;
+    /// Make all appended bytes of `name` durable.
+    fn sync(&self, name: &str) -> StoreResult<()>;
+    /// Truncate `name` to `len` bytes (drops a torn tail).
+    fn truncate(&self, name: &str, len: u64) -> StoreResult<()>;
+    /// Replace `name` with `data`, atomically and durably: a crash at
+    /// any point leaves either the old content or the new, never a mix.
+    fn write_atomic(&self, name: &str, data: &[u8]) -> StoreResult<()>;
+    /// Delete `name` (ok if absent).
+    fn remove(&self, name: &str) -> StoreResult<()>;
+}
+
+#[derive(Default)]
+struct MemFile {
+    data: Vec<u8>,
+    /// Bytes below this offset survive a crash; the tail is volatile.
+    durable_len: usize,
+}
+
+/// In-memory backend with an explicit crash model: [`MemStorage::crash`]
+/// discards every byte appended since the last `sync`, exactly as a
+/// power cut discards an unsynced page cache.
+#[derive(Default)]
+pub struct MemStorage {
+    files: Mutex<BTreeMap<String, MemFile>>,
+}
+
+impl MemStorage {
+    /// Empty store.
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+
+    /// Simulate a process/machine crash: volatile tails vanish. The
+    /// store can then be "reopened" by recovering from it again.
+    pub fn crash(&self) {
+        let mut files = self.files.lock();
+        for f in files.values_mut() {
+            f.data.truncate(f.durable_len);
+        }
+    }
+
+    /// Total durable bytes across all files (diagnostics).
+    pub fn durable_bytes(&self) -> usize {
+        self.files.lock().values().map(|f| f.durable_len).sum()
+    }
+}
+
+impl Storage for MemStorage {
+    fn list(&self) -> StoreResult<Vec<String>> {
+        Ok(self.files.lock().keys().cloned().collect())
+    }
+
+    fn len(&self, name: &str) -> StoreResult<Option<u64>> {
+        Ok(self.files.lock().get(name).map(|f| f.data.len() as u64))
+    }
+
+    fn read(&self, name: &str) -> StoreResult<Blob> {
+        self.files
+            .lock()
+            .get(name)
+            .map(|f| Blob::Owned(f.data.clone()))
+            .ok_or_else(|| {
+                StoreError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("no such mem file: {name}"),
+                ))
+            })
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> StoreResult<()> {
+        self.files
+            .lock()
+            .entry(name.to_owned())
+            .or_default()
+            .data
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> StoreResult<()> {
+        if let Some(f) = self.files.lock().get_mut(name) {
+            f.durable_len = f.data.len();
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> StoreResult<()> {
+        if let Some(f) = self.files.lock().get_mut(name) {
+            let len = len as usize;
+            f.data.truncate(len);
+            f.durable_len = f.durable_len.min(len);
+        }
+        Ok(())
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> StoreResult<()> {
+        let mut files = self.files.lock();
+        files.insert(
+            name.to_owned(),
+            MemFile {
+                data: data.to_vec(),
+                durable_len: data.len(),
+            },
+        );
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> StoreResult<()> {
+        self.files.lock().remove(name);
+        Ok(())
+    }
+}
+
+/// Filesystem backend rooted at one directory. Append handles are cached
+/// so the WAL hot path is one `write(2)` (plus `fdatasync` per the
+/// journal's fsync policy); snapshots go through write-temp → fsync →
+/// rename → fsync-dir so a crash never exposes a half-written file under
+/// the final name.
+pub struct FileStorage {
+    root: PathBuf,
+    handles: Mutex<HashMap<String, File>>,
+    use_mmap: bool,
+}
+
+impl FileStorage {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> StoreResult<FileStorage> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(FileStorage {
+            root,
+            handles: Mutex::new(HashMap::new()),
+            use_mmap: cfg!(unix),
+        })
+    }
+
+    /// Disable mmap reads (reads copy through a heap buffer instead).
+    pub fn without_mmap(mut self) -> FileStorage {
+        self.use_mmap = false;
+        self
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    fn with_handle<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut File) -> std::io::Result<R>,
+    ) -> StoreResult<R> {
+        let mut handles = self.handles.lock();
+        if !handles.contains_key(name) {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .read(true)
+                .open(self.path(name))?;
+            handles.insert(name.to_owned(), file);
+        }
+        let file = handles
+            .get_mut(name)
+            .ok_or_else(|| StoreError::Io(std::io::Error::other("handle vanished under lock")))?;
+        Ok(f(file)?)
+    }
+
+    fn sync_dir(&self) {
+        // Directory fsync makes the rename itself durable; failure here
+        // (some filesystems refuse) only weakens durability, never
+        // correctness, so it is deliberately non-fatal.
+        if let Ok(dir) = File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+impl Storage for FileStorage {
+    fn list(&self) -> StoreResult<Vec<String>> {
+        let mut names = Vec::new();
+        for dent in std::fs::read_dir(&self.root)? {
+            let dent = dent?;
+            if dent.file_type()?.is_file() {
+                if let Ok(name) = dent.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn len(&self, name: &str) -> StoreResult<Option<u64>> {
+        match std::fs::metadata(self.path(name)) {
+            Ok(m) => Ok(Some(m.len())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn read(&self, name: &str) -> StoreResult<Blob> {
+        #[cfg(unix)]
+        if self.use_mmap {
+            let file = File::open(self.path(name))?;
+            return Ok(Blob::Mapped(crate::mmap::Mmap::map(&file)?));
+        }
+        let mut buf = Vec::new();
+        File::open(self.path(name))?.read_to_end(&mut buf)?;
+        Ok(Blob::Owned(buf))
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> StoreResult<()> {
+        self.with_handle(name, |f| f.write_all(data))
+    }
+
+    fn sync(&self, name: &str) -> StoreResult<()> {
+        self.with_handle(name, |f| f.sync_data())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> StoreResult<()> {
+        self.with_handle(name, |f| {
+            f.set_len(len)?;
+            // The cached handle is in append mode; reposition defensively
+            // for platforms that honor the cursor.
+            f.seek(SeekFrom::End(0)).map(|_| ())
+        })
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> StoreResult<()> {
+        let tmp = self.path(&format!("{name}.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, self.path(name))?;
+        self.sync_dir();
+        // Any cached append handle now points at the unlinked old inode.
+        self.handles.lock().remove(name);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> StoreResult<()> {
+        self.handles.lock().remove(name);
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_crash_discards_unsynced_tail() {
+        let s = MemStorage::new();
+        s.append("wal", b"durable").unwrap();
+        s.sync("wal").unwrap();
+        s.append("wal", b"-volatile").unwrap();
+        s.crash();
+        assert_eq!(&*s.read("wal").unwrap(), b"durable");
+    }
+
+    #[test]
+    fn mem_write_atomic_is_durable() {
+        let s = MemStorage::new();
+        s.write_atomic("snap", b"image").unwrap();
+        s.crash();
+        assert_eq!(&*s.read("snap").unwrap(), b"image");
+    }
+
+    #[test]
+    fn file_roundtrip_append_truncate() {
+        let root = std::env::temp_dir().join(format!("gis-store-fs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let s = FileStorage::open(&root).unwrap();
+        s.append("wal", b"hello ").unwrap();
+        s.append("wal", b"world").unwrap();
+        s.sync("wal").unwrap();
+        assert_eq!(&*s.read("wal").unwrap(), b"hello world");
+        s.truncate("wal", 5).unwrap();
+        assert_eq!(&*s.read("wal").unwrap(), b"hello");
+        s.append("wal", b"!").unwrap();
+        assert_eq!(&*s.read("wal").unwrap(), b"hello!");
+        s.write_atomic("snap", b"image-v1").unwrap();
+        assert_eq!(&*s.read("snap").unwrap(), b"image-v1");
+        assert_eq!(s.list().unwrap(), vec!["snap".to_owned(), "wal".to_owned()]);
+        s.remove("wal").unwrap();
+        assert_eq!(s.len("wal").unwrap(), None);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

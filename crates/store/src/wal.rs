@@ -1,0 +1,359 @@
+//! The append-only mutation log.
+//!
+//! `wal.log` is an 8-byte magic (`GISWAL01`) followed by CRC-framed
+//! records (see [`crate::frame`]). Each record is a sequence number plus
+//! one [`WalOp`] — every DIT mutation and soft-state clock event a
+//! directory engine performs, logged *before* it is applied. Payloads
+//! reuse the `gis-ldap` wire codec, so entries, DNs and GRRP messages
+//! persist in exactly the encoding they travel in.
+//!
+//! Reading is tolerant by design: the first damaged frame ends the
+//! valid prefix (torn final record → truncate, don't replay), and a
+//! record that fails wire decode inside a CRC-valid frame is treated
+//! the same way (version skew is indistinguishable from corruption at
+//! this layer).
+
+use bytes::{BufMut, BytesMut};
+use gis_ldap::{Dn, Entry, LdapUrl, Wire, WireReader};
+use gis_netsim::SimTime;
+use gis_proto::GrrpMessage;
+
+use crate::frame::{put_frame, FrameReader, FrameStep};
+
+/// The WAL's on-disk name.
+pub const WAL_FILE: &str = "wal.log";
+/// Magic + format version.
+pub const WAL_MAGIC: &[u8; 8] = b"GISWAL01";
+
+/// One logged mutation or soft-state clock event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Insert-or-replace one entry in the DIT.
+    Upsert(Entry),
+    /// Delete one entry.
+    Delete(Dn),
+    /// Delete an entry and everything below it.
+    DeleteSubtree(Dn),
+    /// A GRRP registration/refresh was accepted at `now` — the clock
+    /// event that sets a soft-state expiry deadline.
+    Observe {
+        /// The registration message (carries the validity interval).
+        msg: GrrpMessage,
+        /// Receipt time.
+        now: SimTime,
+    },
+    /// A registry sweep ran at `now`: expired registrations (and their
+    /// attributed cache rows) were purged.
+    Sweep {
+        /// Sweep time.
+        now: SimTime,
+    },
+    /// A harvest batch from `child` replaced that child's rows.
+    Harvest {
+        /// The child whose rows are replaced.
+        child: LdapUrl,
+        /// The fresh entry set.
+        entries: Vec<Entry>,
+        /// Integration time (refresh clock).
+        now: SimTime,
+    },
+    /// The registration agent accepted an invitation to register with
+    /// `directory`.
+    Target {
+        /// The directory to keep registered with.
+        directory: LdapUrl,
+    },
+    /// A service was explicitly forgotten (policy, not expiry).
+    Forget {
+        /// The forgotten service.
+        url: LdapUrl,
+    },
+}
+
+fn put_time(buf: &mut BytesMut, t: SimTime) {
+    gis_ldap::codec::put_varint(buf, t.0);
+}
+
+fn read_time(r: &mut WireReader<'_>) -> gis_ldap::Result<SimTime> {
+    Ok(SimTime(r.read_varint()?))
+}
+
+impl Wire for WalOp {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            WalOp::Upsert(e) => {
+                buf.put_u8(1);
+                e.encode(buf);
+            }
+            WalOp::Delete(dn) => {
+                buf.put_u8(2);
+                dn.encode(buf);
+            }
+            WalOp::DeleteSubtree(dn) => {
+                buf.put_u8(3);
+                dn.encode(buf);
+            }
+            WalOp::Observe { msg, now } => {
+                buf.put_u8(4);
+                msg.encode(buf);
+                put_time(buf, *now);
+            }
+            WalOp::Sweep { now } => {
+                buf.put_u8(5);
+                put_time(buf, *now);
+            }
+            WalOp::Harvest {
+                child,
+                entries,
+                now,
+            } => {
+                buf.put_u8(6);
+                child.encode(buf);
+                entries.encode(buf);
+                put_time(buf, *now);
+            }
+            WalOp::Target { directory } => {
+                buf.put_u8(7);
+                directory.encode(buf);
+            }
+            WalOp::Forget { url } => {
+                buf.put_u8(8);
+                url.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> gis_ldap::Result<WalOp> {
+        Ok(match r.read_u8()? {
+            1 => WalOp::Upsert(Entry::decode(r)?),
+            2 => WalOp::Delete(Dn::decode(r)?),
+            3 => WalOp::DeleteSubtree(Dn::decode(r)?),
+            4 => WalOp::Observe {
+                msg: GrrpMessage::decode(r)?,
+                now: read_time(r)?,
+            },
+            5 => WalOp::Sweep { now: read_time(r)? },
+            6 => WalOp::Harvest {
+                child: LdapUrl::decode(r)?,
+                entries: Vec::<Entry>::decode(r)?,
+                now: read_time(r)?,
+            },
+            7 => WalOp::Target {
+                directory: LdapUrl::decode(r)?,
+            },
+            8 => WalOp::Forget {
+                url: LdapUrl::decode(r)?,
+            },
+            tag => {
+                return Err(gis_ldap::LdapError::Codec(format!(
+                    "unknown wal op tag {tag}"
+                )))
+            }
+        })
+    }
+}
+
+impl WalOp {
+    /// Shift every embedded timestamp by `delta_us` (saturating at the
+    /// timeline's origin) — recovery's clock-rebasing hook.
+    pub fn rebase(&mut self, delta_us: i64) {
+        match self {
+            WalOp::Observe { msg, now } => {
+                msg.valid_from = rebase_time(msg.valid_from, delta_us);
+                msg.valid_until = rebase_time(msg.valid_until, delta_us);
+                *now = rebase_time(*now, delta_us);
+            }
+            WalOp::Sweep { now } | WalOp::Harvest { now, .. } => {
+                *now = rebase_time(*now, delta_us);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Shift one timestamp by `delta_us` microseconds, clamping at zero
+/// (instants before the new timeline's origin are simply "long ago").
+pub fn rebase_time(t: SimTime, delta_us: i64) -> SimTime {
+    let v = (t.0 as i128) + i128::from(delta_us);
+    SimTime(v.clamp(0, u64::MAX as i128) as u64)
+}
+
+/// One WAL record: a monotonically increasing sequence number and the
+/// op it logs. Records at or below a snapshot's covered sequence are
+/// skipped on replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Position in the mutation sequence (1-based, never reused).
+    pub seq: u64,
+    /// The logged mutation.
+    pub op: WalOp,
+}
+
+impl Wire for WalRecord {
+    fn encode(&self, buf: &mut BytesMut) {
+        gis_ldap::codec::put_varint(buf, self.seq);
+        self.op.encode(buf);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> gis_ldap::Result<WalRecord> {
+        Ok(WalRecord {
+            seq: r.read_varint()?,
+            op: WalOp::decode(r)?,
+        })
+    }
+}
+
+/// Encode one record as a framed WAL segment (header + CRC + payload).
+pub fn frame_record(rec: &WalRecord) -> Vec<u8> {
+    let payload = rec.to_wire();
+    let mut out = Vec::with_capacity(payload.len() + crate::frame::FRAME_HEADER);
+    put_frame(&mut out, &payload);
+    out
+}
+
+/// The outcome of scanning a WAL image.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Records in the valid prefix, in order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (magic + intact frames). The
+    /// file should be truncated to this length if `torn` is set.
+    pub valid_len: u64,
+    /// Why scanning stopped early, if it did.
+    pub torn: Option<String>,
+}
+
+/// Scan a WAL image: verify the magic, then walk frames until the first
+/// damaged one. Never fails — damage shortens the valid prefix.
+pub fn scan_wal(bytes: &[u8]) -> WalScan {
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+            torn: Some(if bytes.is_empty() {
+                "empty wal file".to_owned()
+            } else {
+                "bad wal magic".to_owned()
+            }),
+        };
+    }
+    let mut records = Vec::new();
+    let mut reader = FrameReader::new(bytes, WAL_MAGIC.len());
+    loop {
+        let frame_start = reader.pos();
+        match reader.step() {
+            FrameStep::End => {
+                return WalScan {
+                    records,
+                    valid_len: frame_start as u64,
+                    torn: None,
+                }
+            }
+            FrameStep::Bad { offset, reason } => {
+                return WalScan {
+                    records,
+                    valid_len: offset as u64,
+                    torn: Some(reason),
+                }
+            }
+            FrameStep::Frame(payload) => match WalRecord::from_wire(payload) {
+                Ok(rec) => records.push(rec),
+                Err(e) => {
+                    return WalScan {
+                        records,
+                        valid_len: frame_start as u64,
+                        torn: Some(format!("undecodable record: {e}")),
+                    }
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_netsim::secs;
+
+    fn sample_ops() -> Vec<WalOp> {
+        let e = Entry::at("hn=host1").unwrap().with_class("computer");
+        vec![
+            WalOp::Upsert(e.clone()),
+            WalOp::Observe {
+                msg: GrrpMessage::register(
+                    LdapUrl::server("gris.host1"),
+                    Dn::parse("hn=host1").unwrap(),
+                    SimTime::ZERO + secs(1),
+                    secs(30),
+                ),
+                now: SimTime::ZERO + secs(1),
+            },
+            WalOp::Harvest {
+                child: LdapUrl::server("gris.host1"),
+                entries: vec![e],
+                now: SimTime::ZERO + secs(2),
+            },
+            WalOp::Sweep {
+                now: SimTime::ZERO + secs(40),
+            },
+            WalOp::Delete(Dn::parse("hn=host1").unwrap()),
+            WalOp::DeleteSubtree(Dn::root()),
+            WalOp::Target {
+                directory: LdapUrl::server("giis.vo"),
+            },
+            WalOp::Forget {
+                url: LdapUrl::server("gris.host1"),
+            },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        for (i, op) in sample_ops().into_iter().enumerate() {
+            let rec = WalRecord {
+                seq: i as u64 + 1,
+                op,
+            };
+            let framed = frame_record(&rec);
+            let mut img = WAL_MAGIC.to_vec();
+            img.extend_from_slice(&framed);
+            let scan = scan_wal(&img);
+            assert!(scan.torn.is_none());
+            assert_eq!(scan.records, vec![rec]);
+            assert_eq!(scan.valid_len, img.len() as u64);
+        }
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_good_record() {
+        let mut img = WAL_MAGIC.to_vec();
+        let ops = sample_ops();
+        for (i, op) in ops.iter().enumerate() {
+            img.extend_from_slice(&frame_record(&WalRecord {
+                seq: i as u64 + 1,
+                op: op.clone(),
+            }));
+        }
+        let full = img.len();
+        img.truncate(full - 3);
+        let scan = scan_wal(&img);
+        assert!(scan.torn.is_some());
+        assert_eq!(scan.records.len(), ops.len() - 1);
+        assert!(scan.valid_len < img.len() as u64);
+    }
+
+    #[test]
+    fn bad_magic_is_empty_scan() {
+        let scan = scan_wal(b"NOTAWAL0rest");
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.records.is_empty());
+        assert!(scan.torn.is_some());
+    }
+
+    #[test]
+    fn rebase_clamps_at_origin() {
+        assert_eq!(rebase_time(SimTime(5), -10), SimTime(0));
+        assert_eq!(rebase_time(SimTime(5), 10), SimTime(15));
+        assert_eq!(rebase_time(SimTime(u64::MAX), 1), SimTime(u64::MAX));
+    }
+}

@@ -1,0 +1,388 @@
+//! The crash-recovery oracle.
+//!
+//! Property: for ANY mutation sequence and ANY seeded kill-point, the
+//! state recovered after the crash equals a replay of exactly the
+//! durably-logged prefix of that sequence. With `FsyncPolicy::Always`
+//! the durable prefix is known precisely — every `Ok` apply plus the
+//! in-flight op iff the injected error says it reached disk — so the
+//! oracle asserts *equality*, not just plausibility.
+//!
+//! This is what makes the WAL design trustworthy: the recovery path is
+//! exercised against every pipeline interleaving (op lost, torn frame,
+//! logged-not-applied, torn snapshot visible, snapshot renamed but WAL
+//! not compacted, ...) with the tree, the soft-state registry (and its
+//! expiry clocks), harvest attribution, and agent targets all compared.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gis_ldap::{Dn, Entry, LdapUrl};
+use gis_netsim::{secs, SimTime};
+use gis_proto::{GrrpMessage, Registration};
+use gis_store::{
+    CrashPlan, DurableDit, FsyncPolicy, GroupState, JournalOptions, MemStorage, RecoveredState,
+    Storage, StoreError, WalOp, ALL_KILL_POINTS,
+};
+use proptest::prelude::*;
+
+const HOSTS: [&str; 4] = ["h0", "h1", "h2", "h3"];
+
+/// Abstract mutation choices; materialized with a deterministic clock
+/// (op `i` happens at `secs(i + 1)`).
+#[derive(Debug, Clone)]
+enum OpSpec {
+    Upsert { host: usize, val: u8 },
+    Delete { host: usize },
+    Observe { host: usize, ttl_s: u8 },
+    Sweep,
+    Harvest { host: usize, rows: u8 },
+    Target { host: usize },
+    Forget { host: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    // The vendored proptest's `prop_oneof!` is unweighted; mutation-heavy
+    // variants are simply listed twice to bias the mix toward them.
+    prop_oneof![
+        (0..HOSTS.len(), any::<u8>()).prop_map(|(host, val)| OpSpec::Upsert { host, val }),
+        (0..HOSTS.len(), any::<u8>()).prop_map(|(host, val)| OpSpec::Upsert { host, val }),
+        (0..HOSTS.len()).prop_map(|host| OpSpec::Delete { host }),
+        (0..HOSTS.len(), 1u8..20).prop_map(|(host, ttl_s)| OpSpec::Observe { host, ttl_s }),
+        (0..HOSTS.len(), 1u8..20).prop_map(|(host, ttl_s)| OpSpec::Observe { host, ttl_s }),
+        Just(OpSpec::Sweep),
+        (0..HOSTS.len(), 0u8..4).prop_map(|(host, rows)| OpSpec::Harvest { host, rows }),
+        (0..HOSTS.len(), 0u8..4).prop_map(|(host, rows)| OpSpec::Harvest { host, rows }),
+        (0..HOSTS.len()).prop_map(|host| OpSpec::Target { host }),
+        (0..HOSTS.len()).prop_map(|host| OpSpec::Forget { host }),
+    ]
+}
+
+fn materialize(specs: &[OpSpec]) -> Vec<WalOp> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let now = SimTime::ZERO + secs(i as u64 + 1);
+            match spec {
+                OpSpec::Upsert { host, val } => WalOp::Upsert(
+                    Entry::at(&format!("hn={}", HOSTS[*host]))
+                        .unwrap()
+                        .with_class("computer")
+                        .with("v", u64::from(*val)),
+                ),
+                OpSpec::Delete { host } => {
+                    WalOp::Delete(Dn::parse(&format!("hn={}", HOSTS[*host])).unwrap())
+                }
+                OpSpec::Observe { host, ttl_s } => WalOp::Observe {
+                    msg: GrrpMessage::register(
+                        LdapUrl::server(HOSTS[*host]),
+                        Dn::parse(&format!("hn={}", HOSTS[*host])).unwrap(),
+                        now,
+                        secs(u64::from(*ttl_s)),
+                    ),
+                    now,
+                },
+                OpSpec::Sweep => WalOp::Sweep { now },
+                OpSpec::Harvest { host, rows } => WalOp::Harvest {
+                    child: LdapUrl::server(HOSTS[*host]),
+                    entries: (0..*rows)
+                        .map(|r| {
+                            Entry::at(&format!("sn=s{r},hn={}", HOSTS[*host]))
+                                .unwrap()
+                                .with_class("service")
+                        })
+                        .collect(),
+                    now,
+                },
+                OpSpec::Target { host } => WalOp::Target {
+                    directory: LdapUrl::server(HOSTS[*host]),
+                },
+                OpSpec::Forget { host } => WalOp::Forget {
+                    url: LdapUrl::server(HOSTS[*host]),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Everything recovery must reproduce, in comparable form.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    entries: Vec<Entry>,
+    regs: Vec<Registration>,
+    groups: BTreeMap<String, GroupState>,
+    targets: Vec<LdapUrl>,
+}
+
+fn fingerprint_of(
+    entries: Vec<Entry>,
+    regs: Vec<Registration>,
+    groups: BTreeMap<String, GroupState>,
+    targets: Vec<LdapUrl>,
+) -> Fingerprint {
+    let mut entries = entries;
+    entries.sort_by_cached_key(|e| e.dn().to_string());
+    Fingerprint {
+        entries,
+        regs,
+        groups,
+        targets,
+    }
+}
+
+fn durable_fingerprint(d: &DurableDit) -> Fingerprint {
+    fingerprint_of(
+        d.shared().snapshot().iter().cloned().collect(),
+        d.registry().registrations().cloned().collect(),
+        d.groups().clone(),
+        d.targets().to_vec(),
+    )
+}
+
+fn expected_fingerprint(ops: &[WalOp]) -> Fingerprint {
+    let mut st = RecoveredState::empty();
+    for op in ops {
+        st.apply(op);
+    }
+    fingerprint_of(
+        st.dit.iter().cloned().collect(),
+        st.registry.registrations().cloned().collect(),
+        st.groups,
+        st.targets,
+    )
+}
+
+/// Run `ops` against a journaled state with `plan` armed, crash the
+/// storage, recover, and assert recovered == replay(durable prefix).
+fn check_crash_recovery(ops: &[WalOp], plan: CrashPlan, snapshot_every: u64) {
+    let storage = Arc::new(MemStorage::new());
+    let dyn_storage: Arc<dyn Storage> = storage.clone();
+    let armed = JournalOptions {
+        fsync: FsyncPolicy::Always,
+        snapshot_every,
+        crash: Some(plan),
+        ..JournalOptions::default()
+    };
+    let (mut d, _) = DurableDit::open(dyn_storage.clone(), armed, SimTime::ZERO);
+
+    // Apply until the injected crash; track the durable prefix length.
+    let mut durable_prefix = 0usize;
+    for op in ops {
+        match d.apply(op) {
+            Ok(()) => durable_prefix += 1,
+            Err(StoreError::Crashed { durable }) => {
+                if durable {
+                    durable_prefix += 1;
+                }
+                break;
+            }
+            Err(e) => panic!("unexpected storage error: {e}"),
+        }
+    }
+    drop(d);
+    storage.crash();
+
+    let clean = JournalOptions {
+        fsync: FsyncPolicy::Always,
+        snapshot_every,
+        ..JournalOptions::default()
+    };
+    let (recovered, report) = DurableDit::open(dyn_storage, clean, SimTime::ZERO);
+    let got = durable_fingerprint(&recovered);
+    let want = expected_fingerprint(&ops[..durable_prefix]);
+    assert_eq!(
+        got, want,
+        "recovered state != durable prefix replay\nplan: {plan:?}\nreport: {report:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole property: every kill-point × every crash position ×
+    /// arbitrary mutation sequences.
+    #[test]
+    fn recovery_equals_durable_prefix(
+        specs in proptest::collection::vec(op_strategy(), 1..12),
+        at_op_frac in 0.0f64..1.0,
+        point_idx in 0..ALL_KILL_POINTS.len(),
+        torn_keep in 0usize..64,
+    ) {
+        let ops = materialize(&specs);
+        let at_op = 1 + (at_op_frac * ops.len() as f64) as u64;
+        let plan = CrashPlan::at(at_op, ALL_KILL_POINTS[point_idx]).keeping(torn_keep);
+        // snapshot_every=3 exercises snapshot + compaction mid-sequence,
+        // so snapshot kill-points actually fire.
+        check_crash_recovery(&ops, plan, 3);
+    }
+
+    /// Without snapshots, recovery is pure WAL replay; same oracle.
+    #[test]
+    fn recovery_without_snapshots(
+        specs in proptest::collection::vec(op_strategy(), 1..10),
+        at_op in 1u64..10,
+        point_idx in 0..4usize, // WAL-side kill points only
+    ) {
+        let ops = materialize(&specs);
+        let plan = CrashPlan::at(at_op, ALL_KILL_POINTS[point_idx]);
+        check_crash_recovery(&ops, plan, 0);
+    }
+
+    /// A stale snapshot plus a longer WAL tail recovers to the same
+    /// state as snapshot-after-compaction (satellite: replay ≡ compact).
+    #[test]
+    fn stale_snapshot_plus_wal_equals_compacted(
+        specs in proptest::collection::vec(op_strategy(), 2..14),
+    ) {
+        let ops = materialize(&specs);
+        let mid = ops.len() / 2;
+
+        // Store A: snapshot forced mid-sequence, WAL holds the tail.
+        let sa = Arc::new(MemStorage::new());
+        let da: Arc<dyn Storage> = sa.clone();
+        let (mut a, _) = DurableDit::open(da.clone(), JournalOptions::default(), SimTime::ZERO);
+        for (i, op) in ops.iter().enumerate() {
+            a.apply(op).unwrap();
+            if i + 1 == mid {
+                a.snapshot_now().unwrap();
+            }
+        }
+        drop(a);
+
+        // Store B: snapshot after every op was applied (full compaction).
+        let sb = Arc::new(MemStorage::new());
+        let db: Arc<dyn Storage> = sb.clone();
+        let (mut b, _) = DurableDit::open(db.clone(), JournalOptions::default(), SimTime::ZERO);
+        for op in &ops {
+            b.apply(op).unwrap();
+        }
+        b.snapshot_now().unwrap();
+        drop(b);
+
+        let (ra, rep_a) = DurableDit::open(da, JournalOptions::default(), SimTime::ZERO);
+        let (rb, rep_b) = DurableDit::open(db, JournalOptions::default(), SimTime::ZERO);
+        prop_assert!(rep_a.wal_records > 0 || ops.len() == mid);
+        prop_assert_eq!(rep_b.wal_records, 0);
+        prop_assert_eq!(durable_fingerprint(&ra), durable_fingerprint(&rb));
+    }
+}
+
+/// Soft-state expiry clocks survive restart: a provider registered
+/// before the crash expires at its *original* deadline afterwards, and
+/// a pre-deadline sweep does not purge it (satellite: clock persistence).
+#[test]
+fn expiry_clocks_survive_restart() {
+    let storage = Arc::new(MemStorage::new());
+    let dyn_storage: Arc<dyn Storage> = storage.clone();
+    let (mut d, _) = DurableDit::open(
+        dyn_storage.clone(),
+        JournalOptions::default(),
+        SimTime::ZERO,
+    );
+    let registered_at = SimTime::ZERO + secs(5);
+    let ttl = secs(30);
+    d.apply(&WalOp::Observe {
+        msg: GrrpMessage::register(
+            LdapUrl::server("h0"),
+            Dn::parse("hn=h0").unwrap(),
+            registered_at,
+            ttl,
+        ),
+        now: registered_at,
+    })
+    .unwrap();
+    let deadline = d.registry().registrations().next().unwrap().expires_at();
+    assert_eq!(deadline, registered_at + ttl);
+    drop(d);
+    storage.crash();
+
+    // Recover "later" on the same timeline (TimeBase::Continue).
+    let (d2, _) = DurableDit::open(
+        dyn_storage,
+        JournalOptions::default(),
+        SimTime::ZERO + secs(20),
+    );
+    let reg = d2.registry().registrations().next().expect("survived");
+    assert_eq!(reg.expires_at(), deadline, "expiry deadline drifted");
+    assert_eq!(reg.first_seen, registered_at, "registration age lost");
+
+    // Original deadline still governs: fresh just before, purged after.
+    let mut st = RecoveredState {
+        registry: d2.registry().clone(),
+        ..RecoveredState::empty()
+    };
+    assert!(st
+        .registry
+        .is_fresh(&LdapUrl::server("h0"), SimTime(deadline.0 - secs(1).0)));
+    let purged = st.registry.sweep(deadline + secs(1));
+    assert_eq!(purged, vec![LdapUrl::server("h0")]);
+}
+
+/// Re-registration after recovery is a refresh, not a new registration:
+/// the provider was never forgotten.
+#[test]
+fn reregistration_after_recovery_is_refresh() {
+    let storage = Arc::new(MemStorage::new());
+    let dyn_storage: Arc<dyn Storage> = storage.clone();
+    let (mut d, _) = DurableDit::open(
+        dyn_storage.clone(),
+        JournalOptions::default(),
+        SimTime::ZERO,
+    );
+    d.apply(&WalOp::Observe {
+        msg: GrrpMessage::register(
+            LdapUrl::server("h0"),
+            Dn::parse("hn=h0").unwrap(),
+            SimTime::ZERO + secs(1),
+            secs(60),
+        ),
+        now: SimTime::ZERO + secs(1),
+    })
+    .unwrap();
+    drop(d);
+    storage.crash();
+
+    let (d2, _) = DurableDit::open(
+        dyn_storage,
+        JournalOptions::default(),
+        SimTime::ZERO + secs(10),
+    );
+    let mut registry = d2.registry().clone();
+    let is_new = registry.observe(
+        GrrpMessage::register(
+            LdapUrl::server("h0"),
+            Dn::parse("hn=h0").unwrap(),
+            SimTime::ZERO + secs(10),
+            secs(60),
+        ),
+        SimTime::ZERO + secs(10),
+    );
+    assert!(!is_new, "pre-crash provider treated as brand new");
+    let reg = registry.registrations().next().unwrap();
+    assert_eq!(reg.refresh_count, 2);
+    assert_eq!(reg.first_seen, SimTime::ZERO + secs(1));
+}
+
+/// Deterministic spot-check of every kill-point at every position for
+/// one representative sequence (fast, non-random complement to the
+/// proptest sweep; also what `exp_persistence --smoke` re-runs).
+#[test]
+fn kill_matrix_spot_check() {
+    let specs = vec![
+        OpSpec::Observe { host: 0, ttl_s: 10 },
+        OpSpec::Harvest { host: 0, rows: 2 },
+        OpSpec::Upsert { host: 1, val: 7 },
+        OpSpec::Observe { host: 1, ttl_s: 3 },
+        OpSpec::Sweep,
+        OpSpec::Target { host: 2 },
+        OpSpec::Forget { host: 0 },
+    ];
+    let ops = materialize(&specs);
+    for point in ALL_KILL_POINTS {
+        for at_op in 1..=ops.len() as u64 {
+            for torn_keep in [0, 3, 11] {
+                check_crash_recovery(&ops, CrashPlan::at(at_op, point).keeping(torn_keep), 3);
+            }
+        }
+    }
+}

@@ -1,23 +1,27 @@
 #!/usr/bin/env bash
 # Runs the query-path benchmarks and collects their criterion estimates
 # plus the live-runtime throughput sweep, the observability-overhead
-# A/B, the channel-vs-TCP loopback comparison, and the multiplexed
-# saturation sweep into a single JSON snapshot (BENCH_PR6.json by
-# default) for before/after comparison. Criterion mean estimates are in
-# nanoseconds; live-runtime and tcp-loopback rows carry qps and p50/p99
-# latency in microseconds; the observability block carries the
-# instrumented vs baseline throughput and overhead percentage; the
-# saturation block carries conns x depth throughput on loopback and
-# through the emulated WAN link.
+# A/B, the channel-vs-TCP loopback comparison, the multiplexed
+# saturation sweep, and the persistence restart timings into a single
+# JSON snapshot (BENCH_PR7.json by default) for before/after
+# comparison. Criterion mean estimates are in nanoseconds; live-runtime
+# and tcp-loopback rows carry qps and p50/p99 latency in microseconds;
+# the observability block carries the instrumented vs baseline
+# throughput and overhead percentage; the saturation block carries
+# conns x depth throughput on loopback and through the emulated WAN
+# link; the persistence block carries million-entry snapshot-load and
+# WAL-replay wall times plus the journal-recovery vs
+# re-registration-storm comparison.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR7.json}"
 LIVE_JSON="$(mktemp)"
 OBS_JSON="$(mktemp)"
 TCP_JSON="$(mktemp)"
 SAT_JSON="$(mktemp)"
-trap 'rm -f "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON"' EXIT
+PERSIST_JSON="$(mktemp)"
+trap 'rm -f "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON"' EXIT
 
 for bench in bench_dit bench_filter bench_softstate; do
     echo "==> cargo bench --bench $bench"
@@ -40,8 +44,12 @@ echo "==> exp_tcp_saturation (conns x in-flight depth on the multiplexed wire)"
 cargo build --release --offline -p gis-bench --bin exp_tcp_saturation
 ./target/release/exp_tcp_saturation --json "$SAT_JSON" >/dev/null
 
+echo "==> exp_persistence (snapshot load + WAL replay at paper scale)"
+cargo build --release --offline -p gis-bench --bin exp_persistence
+./target/release/exp_persistence --json "$PERSIST_JSON" >/dev/null
+
 echo "==> harvesting estimates into $OUT"
-python3 - "$OUT" "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" <<'EOF'
+python3 - "$OUT" "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON" <<'EOF'
 import json, os, sys
 
 root = "target/criterion"
@@ -86,6 +94,8 @@ with open(sys.argv[4]) as f:
     tcp = json.load(f)
 with open(sys.argv[5]) as f:
     sat = json.load(f)
+with open(sys.argv[6]) as f:
+    persist = json.load(f)
 
 # Worker-scaling headlines: pooled throughput relative to one worker,
 # and 1-worker tail latency relative to the single-threaded owner loop.
@@ -125,6 +135,16 @@ for key in ("mux_speedup_depth8", "mux_speedup_depth32",
     if key in sat.get("derived", {}):
         derived[key] = round(sat["derived"][key], 2)
 
+# Persistence headlines: restart wall times at paper scale, and how
+# many times cheaper journal recovery is than the (zero-network,
+# flattered) re-registration storm rebuilding the same state.
+derived["snapshot_load_s_1m_entries"] = persist["snapshot_load_s"]
+derived["wal_replay_s_20k_records"] = persist["wal_replay_s"]
+if persist.get("journal_recover_ms"):
+    derived["storm_over_journal_recovery"] = round(
+        persist["storm_rebuild_ms"] / persist["journal_recover_ms"], 1
+    )
+
 out = sys.argv[1]
 with open(out, "w") as f:
     json.dump(
@@ -135,6 +155,7 @@ with open(out, "w") as f:
             "observability": obs,
             "tcp_loopback": tcp,
             "tcp_saturation": sat,
+            "persistence": persist,
         },
         f,
         indent=2,

@@ -29,6 +29,10 @@ echo "==> exp_tcp_saturation --smoke (multiplexing gate: completeness, wire tax,
 cargo build --release --offline -p gis-bench --bin exp_tcp_saturation
 ./target/release/exp_tcp_saturation --smoke
 
+echo "==> exp_persistence --smoke (durability gate: kill matrix, crash recovery, restart budget)"
+cargo build --release --offline -p gis-bench --bin exp_persistence
+./target/release/exp_persistence --smoke
+
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --offline --workspace -- -D warnings
 
