@@ -21,6 +21,7 @@ pub mod bootstrap;
 pub mod deploy;
 pub mod live;
 pub mod naming;
+pub mod reactor;
 pub mod scenario;
 pub mod transport;
 

@@ -595,7 +595,9 @@ impl LiveRuntime {
     }
 
     /// Start serving a bound listener into `inbox`, with read-path
-    /// requests answered inline on the reader threads.
+    /// requests answered inline on the reactor shard threads. The
+    /// service's metrics registry receives the endpoint's accept/conn
+    /// instruments plus the process-wide reactor shard gauges.
     fn attach_endpoint(
         &mut self,
         url: &str,
@@ -603,13 +605,16 @@ impl LiveRuntime {
         inbox: &Sender<LiveMsg>,
         tcp: TcpTuning,
         inline: InlineHandler,
+        registry: &gis_proto::metrics::MetricsRegistry,
     ) {
         let ep = bound.serve(
             inbox.clone(),
             Arc::clone(&self.router.tcp_conns),
             tcp,
             Some(inline),
+            registry,
         );
+        crate::reactor::Reactor::global().publish_into(registry);
         self.endpoints.insert(url.to_owned(), ep);
     }
 
@@ -762,7 +767,7 @@ impl LiveRuntime {
                     Err(request) => Some(request),
                 }
             });
-            self.attach_endpoint(&url, bound, &inbox_tx, opts.tcp, inline);
+            self.attach_endpoint(&url, bound, &inbox_tx, opts.tcp, inline, &registry);
         }
         let router = Arc::clone(&self.router);
         let handle = std::thread::spawn(move || {
@@ -938,7 +943,7 @@ impl LiveRuntime {
                     Err(request) => Some(request),
                 }
             });
-            self.attach_endpoint(&url, bound, &inbox_tx, opts.tcp, inline);
+            self.attach_endpoint(&url, bound, &inbox_tx, opts.tcp, inline, &registry);
         }
         let router = Arc::clone(&self.router);
         let handle = std::thread::spawn(move || {

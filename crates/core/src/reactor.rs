@@ -1,0 +1,1433 @@
+//! Readiness-driven event loop: raw `epoll`/`kqueue` under the TCP
+//! transport.
+//!
+//! PR 6 made connections persistent and multiplexed but kept **one
+//! blocked thread per connection** (a reader per accepted socket, a pump
+//! per outbound socket). That caps concurrency at "how many 8 MiB stacks
+//! fit", not "how many sockets the kernel can hold" — the C10k problem.
+//! This module inverts the model: a **few sharded reactor threads** own
+//! *all* nonblocking sockets, the kernel tells each shard which are
+//! ready (`epoll_wait` on Linux, `kevent` on macOS — level-triggered,
+//! wrapped directly over the raw syscalls so nothing new is vendored),
+//! and per-connection state machines ([`EventSource`] implementations in
+//! `transport.rs`) run only when there is work.
+//!
+//! # Architecture
+//!
+//! * [`Poller`] — a thin, public, level-triggered wrapper over one
+//!   `epoll`/`kqueue` instance: `add`/`modify`/`delete` interest,
+//!   `wait` for [`Event`]s. Usable on its own (the C10k experiment's
+//!   client fleet drives ten thousand sockets off one `Poller`).
+//! * [`Reactor`] — the process-global shard set. Each shard is one
+//!   thread owning a `Poller`, a wakeup fd, a command queue, a timer
+//!   wheel and a scratch read buffer. Sources are distributed over
+//!   shards round-robin at registration.
+//! * [`EventSource`] — the per-fd state machine: `on_ready` (readable /
+//!   writable), `on_timer` (armed deadline passed), `on_attend` (another
+//!   thread asked the shard to re-evaluate — used after staging bytes or
+//!   killing a connection). Each callback returns [`Keep`]; dropping a
+//!   source deregisters its fd and runs its `Drop` impl on the shard
+//!   thread.
+//!
+//! # Ownership rules
+//!
+//! The shard thread **exclusively** owns its sources map, timer wheel
+//! and scratch buffer — no locks around any of them. Cross-thread
+//! interaction happens only through:
+//!
+//! * the command queue (`register` / [`Nudge::attend`] / [`Nudge::close`]),
+//!   a mutexed vec drained at the top of every loop iteration, paired
+//!   with a wakeup-fd write so a sleeping shard notices immediately;
+//! * whatever synchronization the sources themselves carry (the
+//!   transport's staging buffers are mutexed; any thread may append and
+//!   attempt a nonblocking drain, and the shard drains the remainder on
+//!   write-ready).
+//!
+//! # Timers
+//!
+//! Deadlines (mid-frame stalls, connect timeouts, per-request reply
+//! deadlines, write stalls) ride a single-level timer wheel per shard:
+//! 256 slots of 16 ms (~4 s horizon; longer deadlines re-insert on
+//! scan). Each source has at most one armed deadline — sources with
+//! several logical deadlines arm the minimum and re-derive the rest in
+//! `on_timer`. The wheel never removes entries eagerly: `clear_timer`
+//! just changes the authoritative per-source deadline, and stale wheel
+//! entries are discarded when their slot is scanned.
+//!
+//! # Metrics
+//!
+//! The reactor owns a [`MetricsRegistry`] with per-shard gauges
+//! (`reactor-fds`, `reactor-conns`), and per-shard histograms of ready
+//! events per wake (`reactor-ready-per-wake`) and per-event dispatch
+//! latency (`reactor-dispatch-us`). Services that front a TCP endpoint
+//! adopt these instruments into their own registry, so they are
+//! published into the `Mds-Vo-name=monitoring` namespace like every
+//! other hot path.
+
+use gis_proto::metrics::{Gauge, Histogram, MetricsRegistry};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Raw syscall surface, Linux flavor: `epoll` + `eventfd`.
+#[cfg(target_os = "linux")]
+mod sys {
+    #![allow(non_camel_case_types)]
+
+    /// One `epoll` event. On x86-64 the kernel ABI packs the struct
+    /// (no padding between the 32-bit mask and the 64-bit payload).
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+    pub const AF_INET: i32 = 2;
+    pub const AF_INET6: i32 = 10;
+    pub const SOCK_STREAM: i32 = 1;
+    pub const SOCK_NONBLOCK: i32 = 0o4000;
+    pub const SOCK_CLOEXEC: i32 = 0o2000000;
+    pub const SOL_SOCKET: i32 = 1;
+    pub const SO_ERROR: i32 = 4;
+    pub const EINPROGRESS: i32 = 115;
+
+    /// IPv4 socket address, kernel layout.
+    #[repr(C)]
+    pub struct sockaddr_in {
+        pub sin_family: u16,
+        pub sin_port: u16, // network byte order
+        pub sin_addr: [u8; 4],
+        pub sin_zero: [u8; 8],
+    }
+
+    /// IPv6 socket address, kernel layout.
+    #[repr(C)]
+    pub struct sockaddr_in6 {
+        pub sin6_family: u16,
+        pub sin6_port: u16, // network byte order
+        pub sin6_flowinfo: u32,
+        pub sin6_addr: [u8; 16],
+        pub sin6_scope_id: u32,
+    }
+
+    // libc symbols; std already links libc, so no new dependency.
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut epoll_event) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut epoll_event, maxevents: i32, timeout: i32)
+            -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        pub fn connect(fd: i32, addr: *const u8, len: u32) -> i32;
+        pub fn getsockopt(fd: i32, level: i32, name: i32, val: *mut u8, len: *mut u32) -> i32;
+    }
+}
+
+/// Raw syscall surface, macOS flavor: `kqueue` + a nonblocking pipe.
+#[cfg(target_os = "macos")]
+mod sys {
+    #![allow(non_camel_case_types)]
+
+    /// One `kqueue` change/event record (64-bit macOS layout).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct kevent {
+        pub ident: usize,
+        pub filter: i16,
+        pub flags: u16,
+        pub fflags: u32,
+        pub data: isize,
+        pub udata: *mut core::ffi::c_void,
+    }
+
+    #[repr(C)]
+    pub struct timespec {
+        pub tv_sec: i64,
+        pub tv_nsec: i64,
+    }
+
+    pub const EVFILT_READ: i16 = -1;
+    pub const EVFILT_WRITE: i16 = -2;
+    pub const EV_ADD: u16 = 0x0001;
+    pub const EV_DELETE: u16 = 0x0002;
+    pub const EV_ENABLE: u16 = 0x0004;
+    pub const EV_DISABLE: u16 = 0x0008;
+    pub const EV_EOF: u16 = 0x8000;
+    pub const EV_ERROR: u16 = 0x4000;
+    pub const AF_INET: i32 = 2;
+    pub const AF_INET6: i32 = 30;
+    pub const SOCK_STREAM: i32 = 1;
+    pub const SOL_SOCKET: i32 = 0xffff;
+    pub const SO_ERROR: i32 = 0x1007;
+    pub const EINPROGRESS: i32 = 36;
+    pub const F_SETFL: i32 = 4;
+    pub const F_GETFL: i32 = 3;
+    pub const O_NONBLOCK: i32 = 0x0004;
+
+    /// BSD socket addresses carry a length byte before the family.
+    #[repr(C)]
+    pub struct sockaddr_in {
+        pub sin_len: u8,
+        pub sin_family: u8,
+        pub sin_port: u16, // network byte order
+        pub sin_addr: [u8; 4],
+        pub sin_zero: [u8; 8],
+    }
+
+    #[repr(C)]
+    pub struct sockaddr_in6 {
+        pub sin6_len: u8,
+        pub sin6_family: u8,
+        pub sin6_port: u16, // network byte order
+        pub sin6_flowinfo: u32,
+        pub sin6_addr: [u8; 16],
+        pub sin6_scope_id: u32,
+    }
+
+    extern "C" {
+        pub fn kqueue() -> i32;
+        #[allow(clippy::too_many_arguments)]
+        pub fn kevent(
+            kq: i32,
+            changelist: *const kevent,
+            nchanges: i32,
+            eventlist: *mut kevent,
+            nevents: i32,
+            timeout: *const timespec,
+        ) -> i32;
+        pub fn close(fd: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn pipe(fds: *mut i32) -> i32;
+        pub fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        pub fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        pub fn connect(fd: i32, addr: *const u8, len: u32) -> i32;
+        pub fn getsockopt(fd: i32, level: i32, name: i32, val: *mut u8, len: *mut u32) -> i32;
+    }
+}
+
+#[cfg(not(any(target_os = "linux", target_os = "macos")))]
+compile_error!(
+    "gis-core's reactor transport wraps raw epoll (Linux) or kqueue (macOS) \
+     syscalls; no readiness backend exists for this target"
+);
+
+/// Readiness of one registered fd, as reported by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Reading will not block (data, EOF, or a pending error).
+    pub readable: bool,
+    /// Writing will not block (or a pending error will surface).
+    pub writable: bool,
+    /// The peer closed its half (informational; a read still drains
+    /// whatever arrived before the close).
+    pub hangup: bool,
+}
+
+/// Up to this many kernel events are harvested per `wait` call; a busier
+/// instance simply reports the rest on the next call (level-triggered).
+const MAX_EVENTS: usize = 1024;
+
+/// A thin, level-triggered wrapper over one `epoll` (Linux) or `kqueue`
+/// (macOS) instance.
+///
+/// Register nonblocking fds with a caller-chosen `token`, then `wait`
+/// for [`Event`]s. The wrapper is deliberately minimal — no ownership of
+/// the fds, no dispatch — so it can back both the transport's sharded
+/// [`Reactor`] and standalone users like the C10k experiment's
+/// ten-thousand-socket client fleet.
+#[derive(Debug)]
+pub struct Poller {
+    fd: RawFd,
+}
+
+// An epoll/kqueue fd is a kernel object; syscalls on it are thread-safe.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+#[cfg(target_os = "linux")]
+impl Poller {
+    /// Create a new poller instance.
+    pub fn new() -> io::Result<Poller> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        let mut events = 0u32;
+        if read {
+            events |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if write {
+            events |= sys::EPOLLOUT;
+        }
+        let mut ev = sys::epoll_event {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` under `token` with the given interest set.
+    pub fn add(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, read, write)
+    }
+
+    /// Change the interest set of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, read, write)
+    }
+
+    /// Remove `fd` from the interest set.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, false, false)
+    }
+
+    /// Wait up to `timeout` (`None` = forever) for readiness, appending
+    /// to `out`. Returns the number of events harvested.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let mut buf = [sys::epoll_event { events: 0, data: 0 }; MAX_EVENTS];
+        let ms = match timeout {
+            None => -1,
+            Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+        };
+        let n = unsafe { sys::epoll_wait(self.fd, buf.as_mut_ptr(), MAX_EVENTS as i32, ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for ev in buf.iter().take(n as usize) {
+            let bits = ev.events;
+            let err = bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+            out.push(Event {
+                token: ev.data,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 || err,
+                writable: bits & sys::EPOLLOUT != 0 || err,
+                hangup: bits & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+#[cfg(target_os = "macos")]
+impl Poller {
+    /// Create a new poller instance.
+    pub fn new() -> io::Result<Poller> {
+        let fd = unsafe { sys::kqueue() };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { fd })
+    }
+
+    fn filter(&self, fd: RawFd, token: u64, filter: i16, flags: u16) -> io::Result<()> {
+        let change = sys::kevent {
+            ident: fd as usize,
+            filter,
+            flags,
+            fflags: 0,
+            data: 0,
+            udata: token as *mut core::ffi::c_void,
+        };
+        let rc = unsafe {
+            sys::kevent(
+                self.fd,
+                &change,
+                1,
+                std::ptr::null_mut(),
+                0,
+                std::ptr::null(),
+            )
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn set(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        // Both filters always registered; interest toggles enable state.
+        // Level-triggered (no EV_CLEAR), matching the epoll backend.
+        let on = sys::EV_ADD | sys::EV_ENABLE;
+        let off = sys::EV_ADD | sys::EV_DISABLE;
+        self.filter(fd, token, sys::EVFILT_READ, if read { on } else { off })?;
+        self.filter(fd, token, sys::EVFILT_WRITE, if write { on } else { off })
+    }
+
+    /// Register `fd` under `token` with the given interest set.
+    pub fn add(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        self.set(fd, token, read, write)
+    }
+
+    /// Change the interest set of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        self.set(fd, token, read, write)
+    }
+
+    /// Remove `fd` from the interest set.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // Either filter may be absent; ignore ENOENT-style failures.
+        let _ = self.filter(fd, 0, sys::EVFILT_READ, sys::EV_DELETE);
+        let _ = self.filter(fd, 0, sys::EVFILT_WRITE, sys::EV_DELETE);
+        Ok(())
+    }
+
+    /// Wait up to `timeout` (`None` = forever) for readiness, appending
+    /// to `out`. Returns the number of events harvested.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let mut buf = [sys::kevent {
+            ident: 0,
+            filter: 0,
+            flags: 0,
+            fflags: 0,
+            data: 0,
+            udata: std::ptr::null_mut(),
+        }; MAX_EVENTS];
+        let ts = timeout.map(|t| sys::timespec {
+            tv_sec: t.as_secs() as i64,
+            tv_nsec: t.subsec_nanos() as i64,
+        });
+        let ts_ptr = ts
+            .as_ref()
+            .map(|t| t as *const sys::timespec)
+            .unwrap_or(std::ptr::null());
+        let n = unsafe {
+            sys::kevent(
+                self.fd,
+                std::ptr::null(),
+                0,
+                buf.as_mut_ptr(),
+                MAX_EVENTS as i32,
+                ts_ptr,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for ev in buf.iter().take(n as usize) {
+            let eof = ev.flags & (sys::EV_EOF | sys::EV_ERROR) != 0;
+            out.push(Event {
+                token: ev.udata as u64,
+                readable: ev.filter == sys::EVFILT_READ || eof,
+                writable: ev.filter == sys::EVFILT_WRITE || eof,
+                hangup: ev.flags & sys::EV_EOF != 0,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.fd);
+        }
+    }
+}
+
+/// Number of reactor shard threads this process uses for its TCP
+/// transport, starting the process-global reactor if it is not yet
+/// running. Tunable via `GIS_REACTOR_SHARDS`.
+pub fn reactor_shards() -> usize {
+    Reactor::global().shard_count()
+}
+
+/// Begin a nonblocking TCP connect to `addr`. Returns the socket
+/// (already `O_NONBLOCK`) and whether the connect completed immediately
+/// (loopback often does). When it did not, wait for **writability** and
+/// then check [`take_socket_error`] — the standard nonblocking-connect
+/// completion protocol.
+pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<(TcpStream, bool)> {
+    let domain = match addr {
+        SocketAddr::V4(_) => sys::AF_INET,
+        SocketAddr::V6(_) => sys::AF_INET6,
+    };
+    #[cfg(target_os = "linux")]
+    let fd = unsafe {
+        sys::socket(
+            domain,
+            sys::SOCK_STREAM | sys::SOCK_NONBLOCK | sys::SOCK_CLOEXEC,
+            0,
+        )
+    };
+    #[cfg(target_os = "macos")]
+    let fd = unsafe {
+        let fd = sys::socket(domain, sys::SOCK_STREAM, 0);
+        if fd >= 0 {
+            let flags = sys::fcntl(fd, sys::F_GETFL, 0);
+            sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK);
+        }
+        fd
+    };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // From here the fd is owned: any early return drops the TcpStream.
+    let stream = unsafe { TcpStream::from_raw_fd(fd) };
+    let rc = match addr {
+        SocketAddr::V4(v4) => {
+            #[cfg(target_os = "linux")]
+            let sa = sys::sockaddr_in {
+                sin_family: sys::AF_INET as u16,
+                sin_port: v4.port().to_be(),
+                sin_addr: v4.ip().octets(),
+                sin_zero: [0; 8],
+            };
+            #[cfg(target_os = "macos")]
+            let sa = sys::sockaddr_in {
+                sin_len: std::mem::size_of::<sys::sockaddr_in>() as u8,
+                sin_family: sys::AF_INET as u8,
+                sin_port: v4.port().to_be(),
+                sin_addr: v4.ip().octets(),
+                sin_zero: [0; 8],
+            };
+            unsafe {
+                sys::connect(
+                    fd,
+                    &sa as *const _ as *const u8,
+                    std::mem::size_of::<sys::sockaddr_in>() as u32,
+                )
+            }
+        }
+        SocketAddr::V6(v6) => {
+            #[cfg(target_os = "linux")]
+            let sa = sys::sockaddr_in6 {
+                sin6_family: sys::AF_INET6 as u16,
+                sin6_port: v6.port().to_be(),
+                sin6_flowinfo: v6.flowinfo(),
+                sin6_addr: v6.ip().octets(),
+                sin6_scope_id: v6.scope_id(),
+            };
+            #[cfg(target_os = "macos")]
+            let sa = sys::sockaddr_in6 {
+                sin6_len: std::mem::size_of::<sys::sockaddr_in6>() as u8,
+                sin6_family: sys::AF_INET6 as u8,
+                sin6_port: v6.port().to_be(),
+                sin6_flowinfo: v6.flowinfo(),
+                sin6_addr: v6.ip().octets(),
+                sin6_scope_id: v6.scope_id(),
+            };
+            unsafe {
+                sys::connect(
+                    fd,
+                    &sa as *const _ as *const u8,
+                    std::mem::size_of::<sys::sockaddr_in6>() as u32,
+                )
+            }
+        }
+    };
+    if rc == 0 {
+        return Ok((stream, true));
+    }
+    let err = io::Error::last_os_error();
+    if err.raw_os_error() == Some(sys::EINPROGRESS) {
+        return Ok((stream, false));
+    }
+    Err(err)
+}
+
+/// Read and clear the pending socket error (`SO_ERROR`) — the result of
+/// a nonblocking connect once the socket reports writable.
+pub fn take_socket_error(stream: &TcpStream) -> io::Result<()> {
+    let mut val: i32 = 0;
+    let mut len = std::mem::size_of::<i32>() as u32;
+    let rc = unsafe {
+        sys::getsockopt(
+            stream.as_raw_fd(),
+            sys::SOL_SOCKET,
+            sys::SO_ERROR,
+            &mut val as *mut _ as *mut u8,
+            &mut len,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if val != 0 {
+        return Err(io::Error::from_raw_os_error(val));
+    }
+    Ok(())
+}
+
+/// Cross-thread wakeup for one shard: an `eventfd` on Linux, a
+/// nonblocking pipe on macOS. Registered in the shard's poller under
+/// [`WAKE_TOKEN`]; `wake` makes a sleeping `wait` return immediately.
+#[derive(Debug)]
+struct Waker {
+    read_fd: RawFd,
+    /// Same fd as `read_fd` for eventfd; the pipe's write end otherwise.
+    write_fd: RawFd,
+    /// Whether `write_fd` is a distinct fd that needs closing.
+    piped: bool,
+}
+
+impl Waker {
+    #[cfg(target_os = "linux")]
+    fn new() -> io::Result<Waker> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Waker {
+            read_fd: fd,
+            write_fd: fd,
+            piped: false,
+        })
+    }
+
+    #[cfg(target_os = "macos")]
+    fn new() -> io::Result<Waker> {
+        let mut fds = [0i32; 2];
+        if unsafe { sys::pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for fd in fds {
+            unsafe {
+                let flags = sys::fcntl(fd, sys::F_GETFL, 0);
+                sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK);
+            }
+        }
+        Ok(Waker {
+            read_fd: fds[0],
+            write_fd: fds[1],
+            piped: true,
+        })
+    }
+
+    fn wake(&self) {
+        let one: u64 = 1;
+        unsafe {
+            sys::write(self.write_fd, &one as *const u64 as *const u8, 8);
+        }
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.read_fd);
+            if self.piped {
+                sys::close(self.write_fd);
+            }
+        }
+    }
+}
+
+/// Token reserved for each shard's wakeup fd.
+const WAKE_TOKEN: u64 = 0;
+
+/// Whether a source stays registered after a callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Keep {
+    /// Stay registered.
+    Keep,
+    /// Deregister: the shard removes the fd from its poller and drops
+    /// the source (running its `Drop` impl on the shard thread).
+    Drop,
+}
+
+/// A per-fd state machine owned by one shard. All callbacks run on the
+/// shard thread, which exclusively owns the source between registration
+/// and drop; cross-thread signalling goes through [`Nudge`].
+pub(crate) trait EventSource: Send {
+    /// The fd to register. Must stay valid (and nonblocking) for the
+    /// source's registered lifetime.
+    fn fd(&self) -> RawFd;
+    /// The fd reported readable and/or writable.
+    fn on_ready(&mut self, readable: bool, writable: bool, ctl: &mut Ctl<'_>) -> Keep;
+    /// The armed deadline passed.
+    fn on_timer(&mut self, ctl: &mut Ctl<'_>) -> Keep;
+    /// Another thread asked this source to re-evaluate (staged bytes to
+    /// drain, deadlines to arm, a kill to collect).
+    fn on_attend(&mut self, ctl: &mut Ctl<'_>) -> Keep;
+}
+
+/// Shard-side controls handed to every [`EventSource`] callback:
+/// interest changes, deadline arming, and the shard's shared scratch
+/// read buffer (one 16 KiB buffer per shard, not per connection — this
+/// is what keeps 10k idle connections at O(frames-in-progress) memory).
+pub(crate) struct Ctl<'a> {
+    poller: &'a Poller,
+    wheel: &'a mut TimerWheel,
+    token: u64,
+    fd: RawFd,
+    interest: &'a mut (bool, bool),
+    deadline: &'a mut Option<Instant>,
+    /// Shared per-shard read buffer, valid for the duration of the
+    /// callback.
+    pub(crate) scratch: &'a mut [u8],
+}
+
+impl Ctl<'_> {
+    /// Set the fd's interest set (idempotent: no syscall when unchanged).
+    pub(crate) fn set_interest(&mut self, read: bool, write: bool) {
+        if *self.interest != (read, write) {
+            let _ = self.poller.modify(self.fd, self.token, read, write);
+            *self.interest = (read, write);
+        }
+    }
+
+    /// Arm (or move) this source's single deadline.
+    pub(crate) fn arm_timer(&mut self, at: Instant) {
+        if *self.deadline != Some(at) {
+            *self.deadline = Some(at);
+            self.wheel.arm(self.token, at);
+        }
+    }
+
+    /// Clear the armed deadline (stale wheel entries are skipped).
+    pub(crate) fn clear_timer(&mut self) {
+        *self.deadline = None;
+    }
+}
+
+/// Commands other threads enqueue for a shard.
+enum Cmd {
+    Register {
+        token: u64,
+        source: Box<dyn EventSource>,
+        read: bool,
+        write: bool,
+        deadline: Option<Instant>,
+        is_conn: bool,
+    },
+    Attend(u64),
+    Close(u64),
+}
+
+/// One registered source plus the shard-side state the dispatcher and
+/// timer wheel consult.
+struct Entry {
+    source: Box<dyn EventSource>,
+    fd: RawFd,
+    interest: (bool, bool),
+    deadline: Option<Instant>,
+    is_conn: bool,
+}
+
+/// Timer wheel granularity. Deadline callbacks fire up to one
+/// granularity late — fine for the transport's 100 ms+ deadlines.
+const WHEEL_GRANULARITY: Duration = Duration::from_millis(16);
+/// Wheel size: 256 slots x 16 ms ≈ 4 s horizon; longer deadlines park in
+/// the furthest slot and re-insert when scanned.
+const WHEEL_SLOTS: usize = 256;
+/// An idle shard (no armed timers) re-checks its command queue at least
+/// this often even if the wakeup write is lost (defensive bound).
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Single-level timer wheel: slot = deadline tick mod [`WHEEL_SLOTS`].
+/// Entries are lazily discarded — a cleared or re-armed deadline leaves
+/// its old wheel entry behind, and the scan drops entries that no longer
+/// match their source's authoritative deadline.
+pub(crate) struct TimerWheel {
+    slots: Vec<Vec<(u64, Instant)>>,
+    /// Next tick to scan (absolute, since `epoch`).
+    tick: u64,
+    epoch: Instant,
+    /// Live wheel entries (including stale ones).
+    armed: usize,
+}
+
+impl TimerWheel {
+    fn new(now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            tick: 0,
+            epoch: now,
+            armed: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        (at.saturating_duration_since(self.epoch).as_millis() as u64)
+            / (WHEEL_GRANULARITY.as_millis() as u64)
+    }
+
+    fn arm(&mut self, token: u64, at: Instant) {
+        // Never behind the scan cursor; beyond-horizon entries park in
+        // the furthest slot and re-insert when scanned.
+        let t = self.tick_of(at).max(self.tick);
+        let t = t.min(self.tick + WHEEL_SLOTS as u64 - 1);
+        self.slots[(t % WHEEL_SLOTS as u64) as usize].push((token, at));
+        self.armed += 1;
+    }
+
+    /// Advance the scan cursor to `now`, collecting due entries into
+    /// `fired` as `(token, deadline)` pairs (the caller validates each
+    /// against the source's authoritative deadline).
+    fn due(&mut self, now: Instant, fired: &mut Vec<(u64, Instant)>) {
+        if self.armed == 0 {
+            self.tick = self.tick_of(now) + 1;
+            return;
+        }
+        let target = self.tick_of(now);
+        let mut rearm: Vec<(u64, Instant)> = Vec::new();
+        while self.tick <= target {
+            let slot = (self.tick % WHEEL_SLOTS as u64) as usize;
+            for (token, at) in std::mem::take(&mut self.slots[slot]) {
+                self.armed -= 1;
+                if at <= now {
+                    fired.push((token, at));
+                } else {
+                    rearm.push((token, at));
+                }
+            }
+            self.tick += 1;
+        }
+        // Re-inserted after the cursor moved, so each lands in a slot
+        // the next scan will reach.
+        for (token, at) in rearm {
+            self.arm(token, at);
+        }
+    }
+
+    /// Earliest armed deadline (may be stale — a spurious early wake is
+    /// harmless, the scan discards it). Linear over live entries.
+    fn next_deadline(&self) -> Option<Instant> {
+        if self.armed == 0 {
+            return None;
+        }
+        self.slots
+            .iter()
+            .flat_map(|s| s.iter().map(|&(_, at)| at))
+            .min()
+    }
+}
+
+thread_local! {
+    /// True on reactor shard threads; lets the transport relax blocking
+    /// backpressure that would otherwise stall a whole shard.
+    static ON_REACTOR_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+/// One reactor shard: the cross-thread half (command queue, wakeup,
+/// instruments). The sources map, wheel and scratch buffer live on the
+/// shard thread's stack, unshared.
+pub(crate) struct Shard {
+    idx: usize,
+    poller: Poller,
+    waker: Waker,
+    cmds: Mutex<Vec<Cmd>>,
+    fds: Arc<Gauge>,
+    conns: Arc<Gauge>,
+    ready_per_wake: Arc<Histogram>,
+    dispatch_us: Arc<Histogram>,
+}
+
+impl Shard {
+    fn push(&self, cmd: Cmd) {
+        self.cmds.lock().push(cmd);
+        self.waker.wake();
+    }
+
+    fn run(self: Arc<Shard>) {
+        ON_REACTOR_THREAD.with(|f| f.set(true));
+        let mut sources: HashMap<u64, Entry> = HashMap::new();
+        let mut wheel = TimerWheel::new(Instant::now());
+        let mut scratch = vec![0u8; 16 * 1024];
+        let mut events: Vec<Event> = Vec::with_capacity(MAX_EVENTS);
+        let mut inbound: Vec<Cmd> = Vec::new();
+        let mut fired: Vec<(u64, Instant)> = Vec::new();
+        loop {
+            let timeout = match wheel.next_deadline() {
+                Some(at) => at
+                    .saturating_duration_since(Instant::now())
+                    .min(IDLE_POLL)
+                    .max(Duration::from_millis(1)),
+                None => IDLE_POLL,
+            };
+            events.clear();
+            let n = self.poller.wait(&mut events, Some(timeout)).unwrap_or(0);
+            self.ready_per_wake.record(n as u64);
+
+            // Commands first: registrations precede any event their fd
+            // can produce, and attend/close for dead tokens no-op.
+            {
+                let mut q = self.cmds.lock();
+                std::mem::swap(&mut *q, &mut inbound);
+            }
+            for cmd in inbound.drain(..) {
+                match cmd {
+                    Cmd::Register {
+                        token,
+                        source,
+                        read,
+                        write,
+                        deadline,
+                        is_conn,
+                    } => {
+                        let fd = source.fd();
+                        if self.poller.add(fd, token, read, write).is_err() {
+                            // Registration failed (fd limit on the epoll
+                            // set, stale fd): drop the source, running
+                            // its cleanup.
+                            continue;
+                        }
+                        if let Some(at) = deadline {
+                            wheel.arm(token, at);
+                        }
+                        sources.insert(
+                            token,
+                            Entry {
+                                source,
+                                fd,
+                                interest: (read, write),
+                                deadline,
+                                is_conn,
+                            },
+                        );
+                    }
+                    Cmd::Attend(token) => {
+                        self.dispatch(token, &mut sources, &mut wheel, &mut scratch, |s, ctl| {
+                            s.on_attend(ctl)
+                        });
+                    }
+                    Cmd::Close(token) => {
+                        if let Some(entry) = sources.remove(&token) {
+                            let _ = self.poller.delete(entry.fd);
+                        }
+                    }
+                }
+            }
+
+            for &ev in &events {
+                if ev.token == WAKE_TOKEN {
+                    self.waker.drain();
+                    continue;
+                }
+                let t0 = Instant::now();
+                self.dispatch(
+                    ev.token,
+                    &mut sources,
+                    &mut wheel,
+                    &mut scratch,
+                    |s, ctl| s.on_ready(ev.readable, ev.writable, ctl),
+                );
+                self.dispatch_us.record(t0.elapsed().as_micros() as u64);
+            }
+
+            fired.clear();
+            wheel.due(Instant::now(), &mut fired);
+            for &(token, at) in fired.iter() {
+                // Only fire if this wheel entry still matches the
+                // source's authoritative deadline; cleared or re-armed
+                // deadlines leave stale entries behind by design.
+                let live = sources.get(&token).is_some_and(|e| e.deadline == Some(at));
+                if live {
+                    self.dispatch(token, &mut sources, &mut wheel, &mut scratch, |s, ctl| {
+                        ctl.clear_timer();
+                        s.on_timer(ctl)
+                    });
+                }
+            }
+
+            self.fds.set(sources.len() as u64 + 1); // +1: the wakeup fd
+            self.conns
+                .set(sources.values().filter(|e| e.is_conn).count() as u64);
+        }
+    }
+
+    /// Run one callback against the source registered under `token`
+    /// (no-op for dead tokens), deregistering it on [`Keep::Drop`].
+    fn dispatch<F>(
+        &self,
+        token: u64,
+        sources: &mut HashMap<u64, Entry>,
+        wheel: &mut TimerWheel,
+        scratch: &mut [u8],
+        f: F,
+    ) where
+        F: FnOnce(&mut Box<dyn EventSource>, &mut Ctl<'_>) -> Keep,
+    {
+        let Some(entry) = sources.get_mut(&token) else {
+            return;
+        };
+        let keep = {
+            let mut ctl = Ctl {
+                poller: &self.poller,
+                wheel,
+                token,
+                fd: entry.fd,
+                interest: &mut entry.interest,
+                deadline: &mut entry.deadline,
+                scratch,
+            };
+            f(&mut entry.source, &mut ctl)
+        };
+        if keep == Keep::Drop {
+            let entry = sources.remove(&token).expect("entry present");
+            let _ = self.poller.delete(entry.fd);
+            // `entry.source` drops here, on the shard thread.
+        }
+    }
+}
+
+/// Cross-thread handle to one registered source: ask its shard to
+/// re-evaluate it (`attend`) or to deregister it (`close`). Cheap to
+/// clone; safe to use after the source is gone (dead tokens no-op).
+#[derive(Clone)]
+pub(crate) struct Nudge {
+    shard: Arc<Shard>,
+    token: u64,
+}
+
+impl Nudge {
+    /// Schedule an `on_attend` callback on the shard thread.
+    pub(crate) fn attend(&self) {
+        self.shard.push(Cmd::Attend(self.token));
+    }
+
+    /// Deregister the source (its `Drop` impl runs on the shard thread).
+    pub(crate) fn close(&self) {
+        self.shard.push(Cmd::Close(self.token));
+    }
+}
+
+/// A reserved registration slot: shard chosen, token allocated, but the
+/// source not yet installed. Splitting reservation from activation lets
+/// the caller hand the [`Nudge`] to the source's shared state *before*
+/// the first event can fire.
+pub(crate) struct Registration {
+    shard: Arc<Shard>,
+    token: u64,
+    is_conn: bool,
+}
+
+impl Registration {
+    /// The cross-thread handle for this slot.
+    pub(crate) fn nudge(&self) -> Nudge {
+        Nudge {
+            shard: Arc::clone(&self.shard),
+            token: self.token,
+        }
+    }
+
+    /// Install `source` on the shard with an initial interest set and
+    /// optional deadline. The source's fd must already be nonblocking.
+    pub(crate) fn activate(
+        self,
+        source: Box<dyn EventSource>,
+        read: bool,
+        write: bool,
+        deadline: Option<Instant>,
+    ) {
+        self.shard.push(Cmd::Register {
+            token: self.token,
+            source,
+            read,
+            write,
+            deadline,
+            is_conn: self.is_conn,
+        });
+    }
+}
+
+/// The process-global sharded reactor. Shard threads start on first use
+/// and live for the process (sources come and go; an empty shard is just
+/// a sleeping thread).
+pub(crate) struct Reactor {
+    shards: Vec<Arc<Shard>>,
+    next_token: AtomicU64,
+    rr: AtomicUsize,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl Reactor {
+    /// The global reactor, started on first call. Shard count comes from
+    /// `GIS_REACTOR_SHARDS` (clamped to 1..=64) or defaults to
+    /// `min(4, available_parallelism)`.
+    pub(crate) fn global() -> &'static Arc<Reactor> {
+        static GLOBAL: OnceLock<Arc<Reactor>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let shards = std::env::var("GIS_REACTOR_SHARDS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .map(|n| n.clamp(1, 64))
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get().min(4))
+                        .unwrap_or(1)
+                });
+            Reactor::start(shards)
+        })
+    }
+
+    /// Start a reactor with `shard_count` shard threads.
+    fn start(shard_count: usize) -> Arc<Reactor> {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut shards = Vec::with_capacity(shard_count);
+        for idx in 0..shard_count {
+            let label = format!("shard{idx}");
+            let poller = Poller::new().expect("reactor: poller");
+            let waker = Waker::new().expect("reactor: wakeup fd");
+            poller
+                .add(waker.read_fd, WAKE_TOKEN, true, false)
+                .expect("reactor: register wakeup fd");
+            let shard = Arc::new(Shard {
+                idx,
+                poller,
+                waker,
+                cmds: Mutex::new(Vec::new()),
+                fds: registry.labeled_gauge("reactor-fds", Some(&label)),
+                conns: registry.labeled_gauge("reactor-conns", Some(&label)),
+                ready_per_wake: registry.labeled_histogram("reactor-ready-per-wake", Some(&label)),
+                dispatch_us: registry.labeled_histogram("reactor-dispatch-us", Some(&label)),
+            });
+            let runner = Arc::clone(&shard);
+            std::thread::Builder::new()
+                .name(format!("gis-reactor-{idx}"))
+                .spawn(move || runner.run())
+                .expect("reactor: spawn shard thread");
+            shards.push(shard);
+        }
+        Arc::new(Reactor {
+            shards,
+            next_token: AtomicU64::new(WAKE_TOKEN),
+            rr: AtomicUsize::new(0),
+            registry,
+        })
+    }
+
+    /// Number of shard threads.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Reserve a registration slot on the next shard (round-robin).
+    /// `is_conn` marks the source as a live connection for the per-shard
+    /// `reactor-conns` gauge (listeners pass `false`).
+    pub(crate) fn bind(&self, is_conn: bool) -> Registration {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed) + 1;
+        let idx = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        Registration {
+            shard: Arc::clone(&self.shards[idx]),
+            token,
+            is_conn,
+        }
+    }
+
+    /// Alias the reactor's instruments (per-shard gauges and histograms)
+    /// into `target`, so a service's periodic metrics export publishes
+    /// them under its own `Mds-Vo-name=monitoring` subtree.
+    pub(crate) fn publish_into(&self, target: &MetricsRegistry) {
+        target.adopt_all(&self.registry);
+    }
+
+    /// True when called from a reactor shard thread. Blocking on another
+    /// shard-managed resource from here risks stalling every connection
+    /// the shard owns, so backpressure waits are relaxed.
+    pub(crate) fn on_reactor_thread() -> bool {
+        ON_REACTOR_THREAD.with(|f| f.get())
+    }
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard").field("idx", &self.idx).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+    use std::sync::mpsc;
+
+    #[test]
+    fn poller_reports_read_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 7, true, false).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing to read yet.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != 7 || !e.readable));
+
+        client.write_all(b"ping").unwrap();
+        events.clear();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while events.is_empty() && Instant::now() < deadline {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+        }
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        let mut buf = [0u8; 8];
+        let n = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+        poller.delete(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_via_writability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (stream, done) = connect_nonblocking(&addr).unwrap();
+        if !done {
+            let poller = Poller::new().unwrap();
+            poller.add(stream.as_raw_fd(), 1, false, true).unwrap();
+            let mut events = Vec::new();
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while events.is_empty() && Instant::now() < deadline {
+                poller
+                    .wait(&mut events, Some(Duration::from_millis(50)))
+                    .unwrap();
+            }
+            assert!(events.iter().any(|e| e.token == 1 && e.writable));
+        }
+        take_socket_error(&stream).unwrap();
+        // The accept side sees the connection.
+        let (_conn, _) = listener.accept().unwrap();
+    }
+
+    #[test]
+    fn nonblocking_connect_to_dead_port_surfaces_error() {
+        // Bind then drop to get a port that refuses connections.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        match connect_nonblocking(&addr) {
+            Err(_) => {} // refused immediately
+            Ok((stream, _)) => {
+                let poller = Poller::new().unwrap();
+                poller.add(stream.as_raw_fd(), 1, false, true).unwrap();
+                let mut events = Vec::new();
+                let deadline = Instant::now() + Duration::from_secs(2);
+                while events.is_empty() && Instant::now() < deadline {
+                    poller
+                        .wait(&mut events, Some(Duration::from_millis(50)))
+                        .unwrap();
+                }
+                assert!(take_socket_error(&stream).is_err(), "connect must fail");
+            }
+        }
+    }
+
+    #[test]
+    fn timer_wheel_fires_in_order_and_discards_nothing_due() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.arm(1, t0 + Duration::from_millis(20));
+        wheel.arm(2, t0 + Duration::from_millis(200));
+        wheel.arm(3, t0 + Duration::from_secs(30)); // beyond horizon
+
+        let mut fired = Vec::new();
+        wheel.due(t0 + Duration::from_millis(50), &mut fired);
+        assert_eq!(fired.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![1]);
+
+        fired.clear();
+        wheel.due(t0 + Duration::from_millis(400), &mut fired);
+        assert_eq!(fired.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![2]);
+
+        // The far deadline survives repeated scans (re-inserted, not
+        // dropped and not fired early).
+        for step in 1..6u64 {
+            fired.clear();
+            wheel.due(t0 + Duration::from_secs(step * 4), &mut fired);
+            assert!(fired.is_empty(), "far timer fired early at step {step}");
+        }
+        fired.clear();
+        wheel.due(t0 + Duration::from_secs(31), &mut fired);
+        assert_eq!(fired.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(wheel.armed, 0);
+    }
+
+    /// Echo source: reads whatever is ready, writes it straight back.
+    struct Echo {
+        sock: TcpStream,
+        done: mpsc::Sender<Vec<u8>>,
+        got: Vec<u8>,
+        expect: usize,
+    }
+
+    impl EventSource for Echo {
+        fn fd(&self) -> RawFd {
+            self.sock.as_raw_fd()
+        }
+        fn on_ready(&mut self, readable: bool, _w: bool, ctl: &mut Ctl<'_>) -> Keep {
+            if !readable {
+                return Keep::Keep;
+            }
+            loop {
+                match (&self.sock).read(ctl.scratch) {
+                    Ok(0) => return Keep::Drop,
+                    Ok(n) => {
+                        self.got.extend_from_slice(&ctl.scratch[..n]);
+                        let _ = (&self.sock).write_all(&ctl.scratch[..n]);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => return Keep::Drop,
+                }
+            }
+            if self.got.len() >= self.expect {
+                let _ = self.done.send(std::mem::take(&mut self.got));
+                return Keep::Drop;
+            }
+            Keep::Keep
+        }
+        fn on_timer(&mut self, _ctl: &mut Ctl<'_>) -> Keep {
+            Keep::Keep
+        }
+        fn on_attend(&mut self, _ctl: &mut Ctl<'_>) -> Keep {
+            Keep::Keep
+        }
+    }
+
+    #[test]
+    fn reactor_drives_a_registered_connection() {
+        let reactor = Reactor::start(2);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let (tx, rx) = mpsc::channel();
+        let reg = reactor.bind(true);
+        reg.activate(
+            Box::new(Echo {
+                sock: server,
+                done: tx,
+                got: Vec::new(),
+                expect: 5,
+            }),
+            true,
+            false,
+            None,
+        );
+
+        client.write_all(b"hello").unwrap();
+        let echoed = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(echoed, b"hello");
+        let mut back = [0u8; 5];
+        client.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"hello");
+    }
+
+    /// Deadline source: never reads; reports when its timer fires.
+    struct Alarm {
+        sock: TcpStream,
+        fired: mpsc::Sender<Instant>,
+    }
+
+    impl EventSource for Alarm {
+        fn fd(&self) -> RawFd {
+            self.sock.as_raw_fd()
+        }
+        fn on_ready(&mut self, _r: bool, _w: bool, _ctl: &mut Ctl<'_>) -> Keep {
+            Keep::Keep
+        }
+        fn on_timer(&mut self, _ctl: &mut Ctl<'_>) -> Keep {
+            let _ = self.fired.send(Instant::now());
+            Keep::Drop
+        }
+        fn on_attend(&mut self, _ctl: &mut Ctl<'_>) -> Keep {
+            Keep::Keep
+        }
+    }
+
+    #[test]
+    fn reactor_fires_armed_deadline() {
+        let reactor = Reactor::start(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let (tx, rx) = mpsc::channel();
+        let armed_at = Instant::now();
+        let reg = reactor.bind(true);
+        reg.activate(
+            Box::new(Alarm {
+                sock: server,
+                fired: tx,
+            }),
+            false,
+            false,
+            Some(armed_at + Duration::from_millis(80)),
+        );
+        let fired_at = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let waited = fired_at - armed_at;
+        assert!(
+            waited >= Duration::from_millis(60),
+            "fired too early: {waited:?}"
+        );
+    }
+}

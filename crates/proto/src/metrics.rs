@@ -312,6 +312,26 @@ impl MetricsRegistry {
         }
     }
 
+    /// Adopt every instrument of `source` into this registry by
+    /// reference: the `Arc` handles are shared, not copied, so the
+    /// source's live values appear in this registry's exports. Names
+    /// already present here keep their existing instrument (the same
+    /// first-registration-wins rule as get-or-create). Used to surface
+    /// process-wide instruments — the transport reactor's per-shard
+    /// gauges and histograms — through each service's own `monitoring`
+    /// export.
+    pub fn adopt_all(&self, source: &MetricsRegistry) {
+        let from = source.instruments.read();
+        let mut into = self.instruments.write();
+        for (key, inst) in from.iter() {
+            into.entry(key.clone()).or_insert_with(|| match inst {
+                Instrument::Histogram(h) => Instrument::Histogram(Arc::clone(h)),
+                Instrument::Counter(c) => Instrument::Counter(Arc::clone(c)),
+                Instrument::Gauge(g) => Instrument::Gauge(Arc::clone(g)),
+            });
+        }
+    }
+
     /// Export every instrument as a DIT entry `metric=<key>` under
     /// `base`, in the monitoring-namespace schema (§9 of DESIGN.md):
     /// histograms carry `count`/`sum-us`/`p50-us`/`p95-us`/`p99-us`/

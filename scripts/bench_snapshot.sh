@@ -11,17 +11,19 @@
 # conns x depth throughput on loopback and through the emulated WAN
 # link; the persistence block carries million-entry snapshot-load and
 # WAL-replay wall times plus the journal-recovery vs
-# re-registration-storm comparison.
+# re-registration-storm comparison; the c10k block carries the
+# held-connections sweep with server thread/RSS samples per row.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR8.json}"
 LIVE_JSON="$(mktemp)"
 OBS_JSON="$(mktemp)"
 TCP_JSON="$(mktemp)"
 SAT_JSON="$(mktemp)"
 PERSIST_JSON="$(mktemp)"
-trap 'rm -f "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON"' EXIT
+C10K_JSON="$(mktemp)"
+trap 'rm -f "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON" "$C10K_JSON"' EXIT
 
 for bench in bench_dit bench_filter bench_softstate; do
     echo "==> cargo bench --bench $bench"
@@ -48,8 +50,14 @@ echo "==> exp_persistence (snapshot load + WAL replay at paper scale)"
 cargo build --release --offline -p gis-bench --bin exp_persistence
 ./target/release/exp_persistence --json "$PERSIST_JSON" >/dev/null
 
+echo "==> exp_c10k (held connections vs reactor transport threads)"
+cargo build --release --offline -p gis-bench --bin exp_c10k
+./target/release/exp_c10k --json "$C10K_JSON" >/dev/null
+# On fd-constrained runners exp_c10k skips (exit 0) without writing json.
+[ -s "$C10K_JSON" ] || echo '{"rows": [], "derived": {}}' > "$C10K_JSON"
+
 echo "==> harvesting estimates into $OUT"
-python3 - "$OUT" "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON" <<'EOF'
+python3 - "$OUT" "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON" "$C10K_JSON" <<'EOF'
 import json, os, sys
 
 root = "target/criterion"
@@ -96,6 +104,8 @@ with open(sys.argv[5]) as f:
     sat = json.load(f)
 with open(sys.argv[6]) as f:
     persist = json.load(f)
+with open(sys.argv[7]) as f:
+    c10k = json.load(f)
 
 # Worker-scaling headlines: pooled throughput relative to one worker,
 # and 1-worker tail latency relative to the single-threaded owner loop.
@@ -145,6 +155,12 @@ if persist.get("journal_recover_ms"):
         persist["storm_rebuild_ms"] / persist["journal_recover_ms"], 1
     )
 
+# Reactor headlines: the largest fully-answered held-connection row and
+# the server's OS thread count while holding it — the O(shards) claim.
+for key in ("c10k_max_conns", "threads_at_10k"):
+    if key in c10k.get("derived", {}):
+        derived[key] = c10k["derived"][key]
+
 out = sys.argv[1]
 with open(out, "w") as f:
     json.dump(
@@ -156,6 +172,7 @@ with open(out, "w") as f:
             "tcp_loopback": tcp,
             "tcp_saturation": sat,
             "persistence": persist,
+            "c10k": c10k,
         },
         f,
         indent=2,

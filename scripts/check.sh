@@ -33,6 +33,12 @@ echo "==> exp_persistence --smoke (durability gate: kill matrix, crash recovery,
 cargo build --release --offline -p gis-bench --bin exp_persistence
 ./target/release/exp_persistence --smoke
 
+echo "==> exp_c10k --smoke (reactor gate: held connections vs transport threads)"
+# The binary raises RLIMIT_NOFILE to the hard cap itself and skips with
+# a warning (exit 0) on runners whose cap cannot hold the smallest row.
+cargo build --release --offline -p gis-bench --bin exp_c10k
+./target/release/exp_c10k --smoke
+
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --offline --workspace -- -D warnings
 
