@@ -31,8 +31,8 @@ pub use bootstrap::{
 };
 pub use deploy::{org, SimDeployment, DEFAULT_TICK};
 pub use live::{
-    LiveClient, LiveNetMetrics, LiveRuntime, RetryPolicy, SearchRequest, SearchResponse,
-    ServeOptions, ServiceFault, Transport,
+    LiveClient, LiveNetMetrics, LiveRuntime, ReplicaBalancer, RetryPolicy, SearchRequest,
+    SearchResponse, ServeOptions, ServiceFault, Transport,
 };
 pub use naming::{Guid, GuidGenerator, NamingAuthority};
 pub use scenario::{figure5, two_vos, HierarchyScenario, TwoVoScenario};

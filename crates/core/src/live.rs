@@ -1344,6 +1344,96 @@ impl SearchResponse {
     }
 }
 
+/// Client-side balancer over a replica group of federated GIIS roots
+/// serving the same children: reads spread round-robin, a replica that
+/// times out or answers `Unavailable` is failed over within the same
+/// call, and — because replicas sync independently — an answer whose
+/// entries carry an `mds-sync-version` *below* what this balancer
+/// already served for the same DN is refused (monotone reads across
+/// failover; the lagging replica is skipped like a dead one).
+pub struct ReplicaBalancer {
+    replicas: Vec<LdapUrl>,
+    next: usize,
+    /// Highest sync version served per DN — the monotone-read floor.
+    high_water: std::collections::BTreeMap<String, u64>,
+    /// Replicas skipped within a call because they produced no answer.
+    pub failovers: u64,
+    /// Replica answers refused because an entry's stamp regressed.
+    pub regressions_refused: u64,
+}
+
+impl ReplicaBalancer {
+    /// A balancer over `replicas` (at least one).
+    pub fn new(replicas: Vec<LdapUrl>) -> ReplicaBalancer {
+        assert!(!replicas.is_empty(), "a replica group needs members");
+        ReplicaBalancer {
+            replicas,
+            next: 0,
+            high_water: std::collections::BTreeMap::new(),
+            failovers: 0,
+            regressions_refused: 0,
+        }
+    }
+
+    /// Would serving `entries` regress any DN below the high-water mark?
+    fn regresses(&self, entries: &[Entry]) -> bool {
+        entries.iter().any(|e| {
+            gis_ldap::sync_version(e).is_some_and(|v| {
+                self.high_water
+                    .get(&e.dn().to_string())
+                    .is_some_and(|&hw| v < hw)
+            })
+        })
+    }
+
+    /// Absorb a served answer's stamps into the high-water map.
+    fn absorb(&mut self, entries: &[Entry]) {
+        for e in entries {
+            if let Some(v) = gis_ldap::sync_version(e) {
+                let hw = self.high_water.entry(e.dn().to_string()).or_insert(0);
+                *hw = (*hw).max(v);
+            }
+        }
+    }
+
+    /// Search the replica group through `client`, trying each member at
+    /// most once starting from the round-robin cursor. Returns `None`
+    /// only when every replica failed or would have served regressed
+    /// data — the caller retries later rather than reading backwards.
+    pub fn search(
+        &mut self,
+        client: &mut LiveClient,
+        spec: &SearchSpec,
+        timeout: Duration,
+    ) -> Option<SearchOutcome> {
+        let n = self.replicas.len();
+        let start = self.next;
+        self.next = (self.next + 1) % n;
+        for i in 0..n {
+            let url = self.replicas[(start + i) % n].clone();
+            let outcome = client
+                .request(&url, spec.clone())
+                .timeout(timeout)
+                .send()
+                .into_outcome();
+            match outcome {
+                Some((ResultCode::Unavailable, ..)) | None => {
+                    self.failovers += 1;
+                }
+                Some((code, entries, referrals)) => {
+                    if self.regresses(&entries) {
+                        self.regressions_refused += 1;
+                        continue;
+                    }
+                    self.absorb(&entries);
+                    return Some((code, entries, referrals));
+                }
+            }
+        }
+        None
+    }
+}
+
 impl LiveClient {
     fn now(&self) -> SimTime {
         SimTime::wall(self.epoch)

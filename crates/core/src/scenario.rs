@@ -128,6 +128,7 @@ pub fn two_vos(seed: u64, hosts_per_group: usize) -> TwoVoScenario {
                     breaker: None,
                     observability: true,
                     monitoring_refresh: secs(5),
+                    shards: Vec::new(),
                 },
                 secs(10),
                 secs(30),

@@ -23,19 +23,19 @@
 
 use crate::bloom::{attr_token, BloomFilter};
 use gis_gsi::{Authenticator, PolicyMap, Requester};
-use gis_ldap::{Dn, Entry, Filter, LdapUrl, Rdn, Scope, SharedDit};
+use gis_ldap::{Dit, Dn, Entry, Filter, LdapUrl, Rdn, Scope, SharedDit, SnapshotLineage, Wire};
 use gis_netsim::{secs, SimDuration, SimTime};
 use gis_proto::{
     metrics, result_digest, Counter, GripReply, GripRequest, GrrpMessage, Histogram,
     MetricsRegistry, Notification, PackedPair, RegistrationAgent, RequestId, ResultCode,
-    SearchSpec, SoftStateRegistry, SpanRecord, SubscriptionMode, SubscriptionTable, TraceContext,
-    TraceSink,
+    SearchSpec, SoftStateRegistry, SpanRecord, SubscriptionMode, SubscriptionTable, SyncCookie,
+    TraceContext, TraceSink,
 };
 use gis_store::{
     GroupSnap, Journal, JournalOptions, RecoveryReport, RegSnap, SnapshotContent, Storage, WalOp,
 };
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -75,6 +75,21 @@ pub enum GiisMode {
         refresh: SimDuration,
         /// Bloom sizing: bits per indexed token.
         bits_per_element: usize,
+    },
+    /// Federated scale-out: the directory periodically *pulls* each
+    /// registered child's tree through the bulk delta-sync protocol
+    /// ([`GripRequest::SyncPull`]) instead of chaining queries down or
+    /// re-harvesting whole subtrees. Incremental deltas ride snapshot
+    /// lineage cookies; searches are answered from the local replica at
+    /// local-read speed, every entry carrying the child-stamped
+    /// freshness attributes.
+    Federated {
+        /// Pull cadence per child (the staleness knob: served data is
+        /// at most `interval + deadline` old).
+        interval: SimDuration,
+        /// How long an unanswered pull counts as in flight before it is
+        /// abandoned and scored against the child's circuit.
+        deadline: SimDuration,
     },
 }
 
@@ -194,6 +209,14 @@ pub struct GiisStats {
     pub chain_retries: u64,
     /// Searches against the `Mds-Vo-name=monitoring` namespace.
     pub monitoring_queries: u64,
+    /// Federation sync pulls issued to children.
+    pub sync_pulls: u64,
+    /// Sync replies integrated as full tree replacements.
+    pub full_syncs: u64,
+    /// Sync replies integrated as incremental deltas.
+    pub delta_syncs: u64,
+    /// Sync pulls that timed out or were declined by the child.
+    pub sync_failures: u64,
 }
 
 /// The atomic counterpart of [`GiisStats`], shared between the owner and
@@ -222,6 +245,10 @@ struct GiisStatsAtomic {
     breaker_closes: Counter,
     chain_retries: Counter,
     monitoring_queries: Counter,
+    sync_pulls: Counter,
+    full_syncs: Counter,
+    delta_syncs: Counter,
+    sync_failures: Counter,
 }
 
 impl GiisStatsAtomic {
@@ -252,6 +279,10 @@ impl GiisStatsAtomic {
             breaker_closes: self.breaker_closes.get(),
             chain_retries: self.chain_retries.get(),
             monitoring_queries: self.monitoring_queries.get(),
+            sync_pulls: self.sync_pulls.get(),
+            full_syncs: self.full_syncs.get(),
+            delta_syncs: self.delta_syncs.get(),
+            sync_failures: self.sync_failures.get(),
         }
     }
 }
@@ -306,6 +337,13 @@ pub struct GiisConfig {
     /// Age at which the monitoring-namespace snapshot is rebuilt — the
     /// soft-state timer of the self-description.
     pub monitoring_refresh: SimDuration,
+    /// VO/suffix shards for [`GiisMode::Federated`]: when non-empty,
+    /// only children whose registered namespace intersects one of these
+    /// subtrees are pulled, and each pull asks for just the
+    /// intersecting subtrees — a replicated root can own a slice of the
+    /// VO namespace instead of the whole tree. Empty means unsharded
+    /// (pull everything).
+    pub shards: Vec<Dn>,
 }
 
 /// Circuit-breaker tuning for chained queries (health-aware routing, the
@@ -364,7 +402,21 @@ impl GiisConfig {
             breaker: None,
             observability: true,
             monitoring_refresh: secs(5),
+            shards: Vec::new(),
         }
+    }
+
+    /// A federated directory: pulls children on `interval`, abandons
+    /// unanswered pulls after `deadline`, answers queries locally.
+    pub fn federated(
+        url: LdapUrl,
+        namespace: Dn,
+        interval: SimDuration,
+        deadline: SimDuration,
+    ) -> GiisConfig {
+        let mut config = GiisConfig::chaining(url, namespace);
+        config.mode = GiisMode::Federated { interval, deadline };
+        config
     }
 }
 
@@ -372,6 +424,16 @@ struct ChildState {
     /// DNs currently held in the harvested cache for this child.
     harvested: Vec<Dn>,
     last_harvest: Option<SimTime>,
+    /// Lineage cookie from the child's last sync reply: presenting it
+    /// on the next pull yields an incremental delta when still inside
+    /// the child's change window.
+    sync_cookie: Option<SyncCookie>,
+    /// The child-asserted "state as of" time of the last integrated
+    /// sync reply (staleness-gauge input).
+    sync_asof: Option<SimTime>,
+    /// When the last sync reply was integrated (distinct from
+    /// `last_harvest`, which is marked eagerly at *issue* time).
+    last_sync: Option<SimTime>,
     bloom: Option<BloomFilter>,
     /// Whether this directory has authenticated to the child.
     bound: bool,
@@ -539,6 +601,12 @@ enum OutboundKind {
     HarvestBind {
         child: LdapUrl,
     },
+    /// A federation sync pull awaiting its [`GripReply::SyncDelta`].
+    SyncPull {
+        child: LdapUrl,
+        /// When the pull was issued (deadline scan + RTT input).
+        sent: SimTime,
+    },
 }
 
 /// A cloneable handle over a GIIS's concurrent query state: what a
@@ -604,7 +672,7 @@ impl GiisQueryPath {
         }
         let started = Instant::now();
         match self.mode {
-            GiisMode::Harvest { .. } => {
+            GiisMode::Harvest { .. } | GiisMode::Federated { .. } => {
                 self.stats.work.bump_both();
                 let requester = self.requester_of(client);
                 let entries =
@@ -698,6 +766,11 @@ pub struct Giis {
     monitor: MonitorCell,
     /// Write-ahead journal: present once [`Giis::set_persistence`] ran.
     persist: Option<Journal>,
+    /// Versioned change tracking over the published cache snapshots —
+    /// what lets this directory answer [`GripRequest::SyncPull`] with
+    /// incremental deltas. Observed lazily at serve time (the `Arc`
+    /// pointer fast path makes a no-change observation O(1)).
+    lineage: SnapshotLineage,
 }
 
 impl Giis {
@@ -730,6 +803,7 @@ impl Giis {
             obs,
             monitor: Arc::new(RwLock::new(None)),
             persist: None,
+            lineage: SnapshotLineage::default(),
         }
     }
 
@@ -763,6 +837,12 @@ impl Giis {
                 ChildState {
                     harvested: g.dns,
                     last_harvest: g.at,
+                    // Sync cookies are not persisted: the first pull
+                    // after recovery is a full sync, which re-converges
+                    // whatever the WAL tail missed.
+                    sync_cookie: None,
+                    sync_asof: g.at,
+                    last_sync: g.at,
                     // Bloom summaries are not persisted; they rebuild on
                     // the next harvest of each child.
                     bloom: None,
@@ -856,6 +936,27 @@ impl Giis {
         self.cache.len()
     }
 
+    /// The current published cache snapshot (tests and experiments
+    /// compare federated replicas against ground truth through this).
+    pub fn cache_snapshot(&self) -> Arc<Dit> {
+        self.cache.snapshot()
+    }
+
+    /// The lineage cookie recorded from `child`'s last sync reply.
+    pub fn sync_cookie_of(&self, child: &LdapUrl) -> Option<SyncCookie> {
+        self.children
+            .get(&child.to_string())
+            .and_then(|s| s.sync_cookie)
+    }
+
+    /// The child-reported "as of" time of `child`'s last integrated sync
+    /// — the serve-time staleness bound is `now - sync_asof_of(child)`.
+    pub fn sync_asof_of(&self, child: &LdapUrl) -> Option<SimTime> {
+        self.children
+            .get(&child.to_string())
+            .and_then(|s| s.sync_asof)
+    }
+
     /// Snapshot of the operational counters.
     pub fn stats(&self) -> GiisStats {
         self.stats.snapshot()
@@ -945,6 +1046,9 @@ impl Giis {
                 let state = self.children.entry(key).or_insert_with(|| ChildState {
                     harvested: Vec::new(),
                     last_harvest: None,
+                    sync_cookie: None,
+                    sync_asof: None,
+                    last_sync: None,
                     bloom: None,
                     bound: false,
                     consec_failures: 0,
@@ -953,11 +1057,17 @@ impl Giis {
                 });
                 // New children are harvested immediately in harvesting
                 // modes ("follows up each registration of a new entity
-                // with a GRIP query", §3).
-                let needs_harvest = is_new && harvesting && state.last_harvest.is_none();
-                if needs_harvest {
-                    state.last_harvest = Some(now);
-                    return self.issue_harvest(url);
+                // with a GRIP query", §3); a federated directory issues
+                // its first sync pull the same way.
+                if is_new && state.last_harvest.is_none() {
+                    if harvesting {
+                        state.last_harvest = Some(now);
+                        return self.issue_harvest(url);
+                    }
+                    if matches!(self.config.mode, GiisMode::Federated { .. }) {
+                        state.last_harvest = Some(now);
+                        return self.issue_sync_pull(url, now);
+                    }
                 }
                 Vec::new()
             }
@@ -1024,6 +1134,210 @@ impl Giis {
         }]
     }
 
+    /// The shard subtrees a pull of `child` should request: `Some(vec![])`
+    /// when unsharded, the intersecting shards when sharded, `None` when
+    /// the child's registered namespace misses every shard (it is not
+    /// pulled at all).
+    fn shard_scope(&self, child: &LdapUrl) -> Option<Vec<Dn>> {
+        if self.config.shards.is_empty() {
+            return Some(Vec::new());
+        }
+        let ns = self
+            .registry
+            .get(child)
+            .map(|r| r.message.namespace.clone())
+            .unwrap_or_else(Dn::root);
+        let hit: Vec<Dn> = self
+            .config
+            .shards
+            .iter()
+            .filter(|s| ns.is_under(s) || s.is_under(&ns))
+            .cloned()
+            .collect();
+        if hit.is_empty() {
+            None
+        } else {
+            Some(hit)
+        }
+    }
+
+    /// Is a sync pull to `child` already awaiting its reply?
+    fn sync_inflight(&self, child: &LdapUrl) -> bool {
+        self.outbound
+            .values()
+            .any(|k| matches!(k, OutboundKind::SyncPull { child: c, .. } if c == child))
+    }
+
+    /// Issue one federation sync pull, presenting the child's last
+    /// cookie so it can answer with an incremental delta.
+    fn issue_sync_pull(&mut self, child: LdapUrl, now: SimTime) -> Vec<GiisAction> {
+        let Some(subtrees) = self.shard_scope(&child) else {
+            return Vec::new();
+        };
+        let cookie = self
+            .children
+            .get(&child.to_string())
+            .and_then(|s| s.sync_cookie);
+        let id = self.next_outbound;
+        self.next_outbound += 1;
+        self.outbound.insert(
+            id,
+            OutboundKind::SyncPull {
+                child: child.clone(),
+                sent: now,
+            },
+        );
+        self.stats.sync_pulls.bump();
+        vec![GiisAction::SendRequest {
+            to: child,
+            request: GripRequest::SyncPull {
+                id,
+                cookie,
+                subtrees,
+            },
+            trace: None,
+        }]
+    }
+
+    /// Answer a sync pull from the lineage over the local cache. Only
+    /// the cache-backed modes can serve deltas; the others decline, and
+    /// the puller scores the decline like a timeout.
+    fn sync_reply(
+        &mut self,
+        id: RequestId,
+        cookie: Option<SyncCookie>,
+        subtrees: &[Dn],
+        now: SimTime,
+    ) -> GripReply {
+        let serves = matches!(
+            self.config.mode,
+            GiisMode::Harvest { .. } | GiisMode::BloomChain { .. } | GiisMode::Federated { .. }
+        );
+        if !serves {
+            return GripReply::SubscriptionDone {
+                id,
+                code: ResultCode::UnwillingToPerform,
+            };
+        }
+        // Catch the lineage up with whatever the cache published since
+        // the last serve; a republished unchanged snapshot is an `Arc`
+        // pointer comparison.
+        self.lineage.observe(self.cache.snapshot(), now);
+        // A cookie from a different lineage incarnation (pre-restart
+        // epoch) can collide numerically with this one's version; only
+        // same-epoch cookies are eligible for an incremental answer.
+        if let Some(cookie) = cookie {
+            if cookie.epoch == self.lineage.epoch() {
+                if let Some(delta) = self.lineage.delta_since(cookie.version, subtrees) {
+                    return GripReply::SyncDelta {
+                        id,
+                        full: false,
+                        epoch: self.lineage.epoch(),
+                        version: self.lineage.version(),
+                        at: self.lineage.as_of(),
+                        entries: delta.upserts,
+                        deletes: delta.deletes,
+                    };
+                }
+            }
+        }
+        GripReply::SyncDelta {
+            id,
+            full: true,
+            epoch: self.lineage.epoch(),
+            version: self.lineage.version(),
+            at: self.lineage.as_of(),
+            entries: self.lineage.full(subtrees),
+            deletes: Vec::new(),
+        }
+    }
+
+    /// Integrate one sync reply: a full payload rebuilds this child's
+    /// slice of the cache through the sorted bulk build (other
+    /// children's rows are retained by shared handle); an incremental
+    /// payload lands as one publish-once mutation batch.
+    #[allow(clippy::too_many_arguments)]
+    fn integrate_sync(
+        &mut self,
+        child: &LdapUrl,
+        full: bool,
+        epoch: u64,
+        version: u64,
+        at: SimTime,
+        entries: Vec<Entry>,
+        deletes: Vec<Dn>,
+        now: SimTime,
+    ) {
+        let key = child.to_string();
+        if !self.children.contains_key(&key) {
+            return; // registration expired between pull and reply
+        }
+        if self.obs.enabled {
+            let bytes: usize = entries.iter().map(|e| e.to_wire().len()).sum();
+            self.obs
+                .registry
+                .gauge("sync-delta-bytes")
+                .set(bytes as u64);
+        }
+        if full {
+            self.stats.full_syncs.bump();
+            if self.persist.is_some() {
+                self.wal_log(&WalOp::Harvest {
+                    child: child.clone(),
+                    entries: entries.clone(),
+                    now,
+                });
+            }
+            let state = self.children.get_mut(&key).expect("checked above");
+            let old: BTreeSet<Dn> = state.harvested.drain(..).collect();
+            state.harvested = entries.iter().map(|e| e.dn().clone()).collect();
+            state.sync_cookie = Some(SyncCookie { epoch, version });
+            state.sync_asof = Some(at);
+            state.last_sync = Some(now);
+            let snap = self.cache.snapshot();
+            let mut batch: Vec<Arc<Entry>> = snap
+                .iter_shared()
+                .filter(|(_, e)| !old.contains(e.dn()))
+                .map(|(_, e)| Arc::clone(e))
+                .collect();
+            // New rows come after retained ones: bulk_load keeps the
+            // last occurrence of a duplicate key, so the fresh payload
+            // wins if the child re-announced a DN another child owns.
+            batch.extend(entries.into_iter().map(Arc::new));
+            self.cache.replace(Dit::bulk_load_shared(batch));
+        } else {
+            self.stats.delta_syncs.bump();
+            if self.persist.is_some() {
+                self.wal_log(&WalOp::Delta {
+                    child: child.clone(),
+                    upserts: entries.clone(),
+                    deletes: deletes.clone(),
+                    now,
+                });
+            }
+            let state = self.children.get_mut(&key).expect("checked above");
+            state.sync_cookie = Some(SyncCookie { epoch, version });
+            state.sync_asof = Some(at);
+            state.last_sync = Some(now);
+            for dn in &deletes {
+                state.harvested.retain(|d| d != dn);
+            }
+            for e in &entries {
+                if !state.harvested.contains(e.dn()) {
+                    state.harvested.push(e.dn().clone());
+                }
+            }
+            self.cache.mutate(|dit| {
+                for dn in &deletes {
+                    dit.delete(dn);
+                }
+                for e in entries {
+                    dit.upsert(e);
+                }
+            });
+        }
+    }
+
     /// Handle one GRIP request from a client.
     pub fn handle_request(
         &mut self,
@@ -1070,6 +1384,14 @@ impl Giis {
                 }]
             }
             GripRequest::Search { id, spec } => self.start_search(client, id, spec, trace, now),
+            GripRequest::SyncPull {
+                id,
+                cookie,
+                subtrees,
+            } => {
+                let reply = self.sync_reply(id, cookie, &subtrees, now);
+                vec![GiisAction::Reply { client, reply }]
+            }
             GripRequest::Subscribe { id, spec, mode } => {
                 // MDS-2.1 shipped "with the exception of push operations"
                 // (§10); §12 lists subscription push as future work. We
@@ -1079,7 +1401,7 @@ impl Giis {
                 // watches belong at the authoritative GRIS, so they are
                 // declined.
                 match self.config.mode {
-                    GiisMode::Name | GiisMode::Harvest { .. } => {
+                    GiisMode::Name | GiisMode::Harvest { .. } | GiisMode::Federated { .. } => {
                         let requester = self.requester_of(client);
                         self.subs.subscribe(client, id, spec.clone(), mode);
                         self.sub_requester.insert((client, id), requester.clone());
@@ -1162,7 +1484,7 @@ impl Giis {
                     },
                 }]
             }
-            GiisMode::Harvest { .. } => {
+            GiisMode::Harvest { .. } | GiisMode::Federated { .. } => {
                 self.stats.work.bump_both();
                 let entries = self.local_answer(&spec, &requester);
                 self.stats.entries_returned.add(entries.len() as u64);
@@ -1250,7 +1572,7 @@ impl Giis {
             .collect();
         let timeout = match self.config.mode {
             GiisMode::Chain { timeout } | GiisMode::BloomChain { timeout, .. } => Some(timeout),
-            GiisMode::Name | GiisMode::Harvest { .. } => None,
+            GiisMode::Name | GiisMode::Harvest { .. } | GiisMode::Federated { .. } => None,
         };
         let mut targets: Vec<LdapUrl> = Vec::new();
         let mut skipped_by_breaker = false;
@@ -1353,6 +1675,7 @@ impl Giis {
             GiisMode::Chain { .. } => "chain",
             GiisMode::Harvest { .. } => "harvest",
             GiisMode::BloomChain { .. } => "bloom-chain",
+            GiisMode::Federated { .. } => "federated",
         };
         let mut entries = vec![Entry::new(base.clone())
             .with_class("mds-service")
@@ -1370,8 +1693,29 @@ impl Giis {
             .with("breaker-closes", s.breaker_closes)
             .with("breaker-skips", s.breaker_skips)
             .with("entries-returned", s.entries_returned)
+            .with("sync-pulls", s.sync_pulls)
+            .with("full-syncs", s.full_syncs)
+            .with("delta-syncs", s.delta_syncs)
+            .with("sync-failures", s.sync_failures)
             .with("children", self.registry.active(now).count() as u64)
             .with("subscriptions", self.subs.len() as u64)];
+        // Fleet-worst federation gauges: the laggiest child defines the
+        // directory's staleness. Both recover once a sick child is
+        // re-admitted and resyncs.
+        if self.obs.enabled {
+            if let Some(oldest) = self.children.values().filter_map(|s| s.sync_asof).min() {
+                self.obs
+                    .registry
+                    .gauge("sync-lag-us")
+                    .set(now.since(oldest).micros());
+            }
+            if let Some(oldest) = self.children.values().filter_map(|s| s.last_sync).min() {
+                self.obs
+                    .registry
+                    .gauge("last-sync-age-us")
+                    .set(now.since(oldest).micros());
+            }
+        }
         for (url, state) in &self.children {
             let circuit = match state.circuit {
                 Circuit::Closed => "closed",
@@ -1379,19 +1723,31 @@ impl Giis {
                 Circuit::HalfOpen => "half-open",
             };
             let r = state.rtt.snapshot();
-            entries.push(
-                Entry::new(base.child(Rdn::new("child", url.clone())))
-                    .with_class("mds-child")
-                    .with("circuit", circuit)
-                    .with("consec-failures", u64::from(state.consec_failures))
-                    .with("bound", if state.bound { "TRUE" } else { "FALSE" })
-                    .with("harvested-entries", state.harvested.len() as u64)
-                    .with("rtt-count", r.count)
-                    .with("rtt-p50-us", r.quantile(0.50))
-                    .with("rtt-p95-us", r.quantile(0.95))
-                    .with("rtt-p99-us", r.quantile(0.99))
-                    .with("rtt-max-us", r.max),
-            );
+            let mut ce = Entry::new(base.child(Rdn::new("child", url.clone())))
+                .with_class("mds-child")
+                .with("circuit", circuit)
+                .with("consec-failures", u64::from(state.consec_failures))
+                .with("bound", if state.bound { "TRUE" } else { "FALSE" })
+                .with("harvested-entries", state.harvested.len() as u64)
+                .with("rtt-count", r.count)
+                .with("rtt-p50-us", r.quantile(0.50))
+                .with("rtt-p95-us", r.quantile(0.95))
+                .with("rtt-p99-us", r.quantile(0.99))
+                .with("rtt-max-us", r.max);
+            if let Some(cookie) = state.sync_cookie {
+                ce = ce
+                    .with("sync-epoch", cookie.epoch)
+                    .with("sync-cookie", cookie.version);
+            }
+            if let Some(asof) = state.sync_asof {
+                ce = ce
+                    .with("sync-asof-us", asof.micros())
+                    .with("sync-lag-us", now.since(asof).micros());
+            }
+            if let Some(at) = state.last_sync {
+                ce = ce.with("last-sync-age-us", now.since(at).micros());
+            }
+            entries.push(ce);
         }
         entries.extend(self.obs.registry.export_entries(&base));
         entries
@@ -1650,6 +2006,36 @@ impl Giis {
             OutboundKind::Harvest { child } => {
                 if let GripReply::SearchResult { entries, .. } = reply {
                     self.integrate_harvest(&child, entries, now);
+                }
+                Vec::new()
+            }
+            OutboundKind::SyncPull { child, sent } => {
+                match reply {
+                    GripReply::SyncDelta {
+                        full,
+                        epoch,
+                        version,
+                        at,
+                        entries,
+                        deletes,
+                        ..
+                    } => {
+                        self.record_child_success(&child);
+                        if self.obs.enabled {
+                            if let Some(state) = self.children.get(&child.to_string()) {
+                                state.rtt.record(now.since(sent).micros());
+                            }
+                        }
+                        self.integrate_sync(
+                            &child, full, epoch, version, at, entries, deletes, now,
+                        );
+                    }
+                    _ => {
+                        // Declined (or nonsense): scored against the
+                        // child's circuit like an unanswered pull.
+                        self.stats.sync_failures.bump();
+                        self.record_child_failure(&child, now);
+                    }
                 }
                 Vec::new()
             }
@@ -2061,6 +2447,47 @@ impl Giis {
                     state.last_harvest = Some(now);
                 }
                 actions.extend(self.issue_harvest(child));
+            }
+        }
+
+        // Federation sync pulls: abandon overdue pulls (scored against
+        // the child's circuit), then pull every due child the breaker
+        // admits — a cooled-down open circuit flips to half-open and
+        // this pull doubles as the probe.
+        if let GiisMode::Federated { interval, deadline } = self.config.mode {
+            let overdue: Vec<(u64, LdapUrl)> = self
+                .outbound
+                .iter()
+                .filter_map(|(&id, kind)| match kind {
+                    OutboundKind::SyncPull { child, sent } if now.since(*sent) >= deadline => {
+                        Some((id, child.clone()))
+                    }
+                    _ => None,
+                })
+                .collect();
+            for (id, child) in overdue {
+                self.outbound.remove(&id);
+                self.stats.sync_failures.bump();
+                self.record_child_failure(&child, now);
+            }
+            let due: Vec<LdapUrl> = self
+                .registry
+                .active(now)
+                .filter(|reg| {
+                    self.children
+                        .get(&reg.message.service_url.to_string())
+                        .is_none_or(|s| s.last_harvest.is_none_or(|at| now.since(at) >= interval))
+                })
+                .map(|reg| reg.message.service_url.clone())
+                .collect();
+            for child in due {
+                if self.sync_inflight(&child) || !self.breaker_admits(&child, now) {
+                    continue;
+                }
+                if let Some(state) = self.children.get_mut(&child.to_string()) {
+                    state.last_harvest = Some(now);
+                }
+                actions.extend(self.issue_sync_pull(child, now));
             }
         }
 

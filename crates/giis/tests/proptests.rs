@@ -126,6 +126,7 @@ proptest! {
                 breaker: None,
                 observability: true,
                 monitoring_refresh: SimDuration::from_secs(5),
+                shards: Vec::new(),
             },
             SimDuration::from_secs(30),
             SimDuration::from_secs(90),

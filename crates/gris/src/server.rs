@@ -1135,6 +1135,13 @@ impl Gris {
                     },
                 }]
             }
+            // Bulk delta sync is a directory-to-directory protocol; a
+            // provider's whole tree is already one harvest query wide,
+            // so a GIIS pulls it via plain Search instead.
+            GripRequest::SyncPull { id, .. } => vec![GripReply::SubscriptionDone {
+                id,
+                code: ResultCode::UnwillingToPerform,
+            }],
         }
     }
 

@@ -35,7 +35,6 @@ use crate::filter::Filter;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
-use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// LDAP search scope.
@@ -75,23 +74,37 @@ pub struct Dit {
 }
 
 fn key(dn: &Dn) -> String {
-    dn.to_string()
-}
-
-/// Primary key of `dn`'s parent, without materializing a `Dn`.
-fn parent_key(dn: &Dn) -> Option<String> {
+    // Matches `Dn`'s `Display` exactly, built with direct pushes — this
+    // renders on every insert, remove and bulk build.
     let rdns = dn.rdns();
-    if rdns.is_empty() {
-        return None;
-    }
-    let mut out = String::new();
-    for (i, rdn) in rdns[1..].iter().enumerate() {
+    let cap = rdns
+        .iter()
+        .map(|r| r.attr().len() + r.value().len() + 3)
+        .sum();
+    let mut out = String::with_capacity(cap);
+    for (i, rdn) in rdns.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
-        let _ = write!(out, "{rdn}");
+        out.push_str(rdn.attr());
+        out.push('=');
+        out.push_str(rdn.value());
     }
-    Some(out)
+    out
+}
+
+/// Primary key of the parent, sliced out of an already-rendered key: a
+/// rendered DN is by construction `"<rdn>, " + rendered(parent)`. (Like
+/// the rendered primary key itself, this assumes RDN values do not embed
+/// `", "` — the whole rendered-key scheme is ambiguous otherwise.)
+/// A single-RDN key's parent is the root (rendered as the empty key);
+/// only the root itself has no parent.
+fn parent_of(k: &str) -> Option<&str> {
+    if k.is_empty() {
+        None
+    } else {
+        Some(k.split_once(", ").map_or("", |(_, parent)| parent))
+    }
 }
 
 /// Suffix-major rendering: RDNs root-first, joined with `\x00`. Because
@@ -99,12 +112,34 @@ fn parent_key(dn: &Dn) -> Option<String> {
 /// of a subtree rooted at `d` are exactly those in `[rev_key(d),
 /// rev_key(d) + "\x01")`.
 fn rev_key(dn: &Dn) -> String {
-    let mut out = String::new();
-    for (i, rdn) in dn.rdns().iter().rev().enumerate() {
+    let rdns = dn.rdns();
+    let cap = rdns
+        .iter()
+        .map(|r| r.attr().len() + r.value().len() + 2)
+        .sum();
+    let mut out = String::with_capacity(cap);
+    for (i, rdn) in rdns.iter().rev().enumerate() {
         if i > 0 {
             out.push('\u{0}');
         }
-        let _ = write!(out, "{rdn}");
+        out.push_str(rdn.attr());
+        out.push('=');
+        out.push_str(rdn.value());
+    }
+    out
+}
+
+/// [`rev_key`] derived from an already-rendered primary key by reversing
+/// its `", "`-separated components (same embedded-separator caveat as
+/// [`parent_of`]), skipping the per-RDN re-render on the bulk-build and
+/// mutation hot paths.
+fn rev_key_of(k: &str) -> String {
+    let mut out = String::with_capacity(k.len());
+    for (i, rdn) in k.rsplit(", ").enumerate() {
+        if i > 0 {
+            out.push('\u{0}');
+        }
+        out.push_str(rdn);
     }
     out
 }
@@ -116,13 +151,26 @@ fn norm_value(value: &str) -> String {
     value.trim().to_ascii_lowercase()
 }
 
+/// [`norm_value`] without the allocation when the value is already
+/// normalized — the common case for machine-generated directory content
+/// (hostnames, object classes, stringified numbers), and the bulk
+/// builders touch every value of every entry.
+fn norm_value_cow(value: &str) -> Cow<'_, str> {
+    let t = value.trim();
+    if t.len() == value.len() && !t.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Borrowed(t)
+    } else {
+        Cow::Owned(t.to_ascii_lowercase())
+    }
+}
+
 /// Bulk-build the suffix index for [`Dit::bulk_load`]. `FromIterator`
 /// sorts and packs B-tree nodes directly, so there is no per-entry
 /// tree descent.
 fn build_suffix(keyed: &[(String, Arc<Entry>)]) -> BTreeMap<String, String> {
     keyed
         .iter()
-        .map(|(k, e)| (rev_key(e.dn()), k.clone()))
+        .map(|(k, _)| (rev_key_of(k), k.clone()))
         .collect()
 }
 
@@ -130,25 +178,22 @@ fn build_suffix(keyed: &[(String, Arc<Entry>)]) -> BTreeMap<String, String> {
 /// (parent, child) pairs once, then turn each run of equal parents into
 /// a child set built from an already-sorted sequence.
 fn build_children(keyed: &[(String, Arc<Entry>)]) -> BTreeMap<String, BTreeSet<String>> {
-    let mut pairs: Vec<(String, &str)> = keyed
+    let mut pairs: Vec<(&str, &str)> = keyed
         .iter()
-        .filter_map(|(k, e)| parent_key(e.dn()).map(|p| (p, k.as_str())))
+        .filter_map(|(k, _)| parent_of(k).map(|p| (p, k.as_str())))
         .collect();
-    pairs.sort();
+    // Keys are unique, so equal pairs cannot exist and an unstable sort
+    // (no merge buffer) is safe.
+    pairs.sort_unstable();
     let mut groups: Vec<(String, BTreeSet<String>)> = Vec::new();
-    let mut run: Vec<String> = Vec::new();
-    let mut cur: Option<String> = None;
-    for (p, k) in pairs {
-        if cur.as_deref() != Some(p.as_str()) {
-            if let Some(done) = cur.take() {
-                groups.push((done, std::mem::take(&mut run).into_iter().collect()));
-            }
-            cur = Some(p);
+    let mut i = 0;
+    while i < pairs.len() {
+        let start = i;
+        while i < pairs.len() && pairs[i].0 == pairs[start].0 {
+            i += 1;
         }
-        run.push(k.to_owned());
-    }
-    if let Some(done) = cur {
-        groups.push((done, run.into_iter().collect()));
+        let kids: BTreeSet<String> = pairs[start..i].iter().map(|p| p.1.to_owned()).collect();
+        groups.push((pairs[start].0.to_owned(), kids));
     }
     groups.into_iter().collect()
 }
@@ -161,32 +206,37 @@ fn build_attr_index(
     keyed: &[(String, Arc<Entry>)],
     indexed: &BTreeSet<String>,
 ) -> BTreeMap<String, BTreeMap<String, BTreeSet<String>>> {
-    let mut triples: Vec<(&str, String, &str)> = Vec::new();
-    for (k, e) in keyed {
-        for a in indexed {
-            for v in e.get(a) {
-                triples.push((a.as_str(), norm_value(v.as_str()), k.as_str()));
+    // One pass per indexed attribute (the set is small) so the sort only
+    // ever compares values, never attribute names.
+    indexed
+        .iter()
+        .filter_map(|a| {
+            let mut pairs: Vec<(Cow<'_, str>, &str)> = Vec::new();
+            for (k, e) in keyed {
+                for v in e.get(a) {
+                    pairs.push((norm_value_cow(v.as_str()), k.as_str()));
+                }
             }
-        }
-    }
-    triples.sort();
-    let mut attr_groups: Vec<(String, BTreeMap<String, BTreeSet<String>>)> = Vec::new();
-    let mut i = 0;
-    while i < triples.len() {
-        let attr = triples[i].0;
-        let mut val_groups: Vec<(String, BTreeSet<String>)> = Vec::new();
-        while i < triples.len() && triples[i].0 == attr {
-            let val = triples[i].1.clone();
-            let mut keys: Vec<String> = Vec::new();
-            while i < triples.len() && triples[i].0 == attr && triples[i].1 == val {
-                keys.push(triples[i].2.to_owned());
-                i += 1;
+            if pairs.is_empty() {
+                return None;
             }
-            val_groups.push((val, keys.into_iter().collect()));
-        }
-        attr_groups.push((attr.to_owned(), val_groups.into_iter().collect()));
-    }
-    attr_groups.into_iter().collect()
+            // `keyed` is in key order, so the stable sort leaves each
+            // value group's keys pre-sorted for the set build.
+            pairs.sort_by(|x, y| x.0.cmp(&y.0));
+            let mut val_groups: Vec<(String, BTreeSet<String>)> = Vec::new();
+            let mut i = 0;
+            while i < pairs.len() {
+                let start = i;
+                while i < pairs.len() && pairs[i].0 == pairs[start].0 {
+                    i += 1;
+                }
+                let keys: BTreeSet<String> =
+                    pairs[start..i].iter().map(|p| p.1.to_owned()).collect();
+                val_groups.push((pairs[start].0.to_string(), keys));
+            }
+            Some((a.clone(), val_groups.into_iter().collect()))
+        })
+        .collect()
 }
 
 /// Append `entry` to `out` (shared when no selection, projected otherwise)
@@ -313,12 +363,12 @@ impl Dit {
     /// Remove the entry at `k` from the primary map and every index.
     fn remove_key(&mut self, k: &str) -> Option<Arc<Entry>> {
         let arc = self.entries.remove(k)?;
-        self.suffix_index.remove(&rev_key(arc.dn()));
-        if let Some(pk) = parent_key(arc.dn()) {
-            if let Some(set) = self.children.get_mut(&pk) {
+        self.suffix_index.remove(&rev_key_of(k));
+        if let Some(pk) = parent_of(k) {
+            if let Some(set) = self.children.get_mut(pk) {
                 set.remove(k);
                 if set.is_empty() {
-                    self.children.remove(&pk);
+                    self.children.remove(pk);
                 }
             }
         }
@@ -331,9 +381,14 @@ impl Dit {
     fn insert_at(&mut self, k: String, entry: Entry) {
         self.remove_key(&k);
         self.ensure_naming_indexed(&entry);
-        self.suffix_index.insert(rev_key(entry.dn()), k.clone());
-        if let Some(pk) = parent_key(entry.dn()) {
-            self.children.entry(pk).or_default().insert(k.clone());
+        self.suffix_index.insert(rev_key_of(&k), k.clone());
+        if let Some(pk) = parent_of(&k) {
+            if let Some(set) = self.children.get_mut(pk) {
+                set.insert(k.clone());
+            } else {
+                self.children
+                    .insert(pk.to_owned(), BTreeSet::from([k.clone()]));
+            }
         }
         self.index_insert(&k, &entry);
         self.entries.insert(k, Arc::new(entry));
@@ -367,13 +422,41 @@ impl Dit {
     /// near-linear scans; when the host has more than one core the
     /// independent indexes are built on separate threads.
     pub fn bulk_load(batch: Vec<Entry>) -> Dit {
-        let mut keyed: Vec<(String, Arc<Entry>)> = batch
-            .into_iter()
-            .map(|mut e| {
-                e.normalize_naming_attr();
-                (key(e.dn()), Arc::new(e))
-            })
-            .collect();
+        Dit::from_keyed(
+            batch
+                .into_iter()
+                .map(|mut e| {
+                    e.normalize_naming_attr();
+                    (key(e.dn()), Arc::new(e))
+                })
+                .collect(),
+        )
+    }
+
+    /// [`bulk_load`](Dit::bulk_load) over already-shared entries: handles
+    /// that still reference another tree's storage (a federation parent
+    /// rebuilding its cache keeps every unaffected child's entries
+    /// shared) are indexed without deep-copying attribute data. An entry
+    /// missing its naming attribute is normalized copy-on-write.
+    pub fn bulk_load_shared(batch: Vec<Arc<Entry>>) -> Dit {
+        Dit::from_keyed(
+            batch
+                .into_iter()
+                .map(|mut e| {
+                    let needs_norm = e.dn().rdn().is_some_and(|rdn| {
+                        !e.get(rdn.attr()).iter().any(|v| v.as_str() == rdn.value())
+                    });
+                    if needs_norm {
+                        Arc::make_mut(&mut e).normalize_naming_attr();
+                    }
+                    (key(e.dn()), e)
+                })
+                .collect(),
+        )
+    }
+
+    /// Shared core of the bulk builders: normalized, keyed entries in.
+    fn from_keyed(mut keyed: Vec<(String, Arc<Entry>)>) -> Dit {
         // Stable sort + keep-last dedup reproduces upsert's
         // last-writer-wins semantics for duplicate DNs.
         keyed.sort_by(|a, b| a.0.cmp(&b.0));
@@ -393,9 +476,12 @@ impl Dit {
         indexed_attrs.insert("objectclass".to_owned());
         for (_, e) in &keyed {
             if let Some(rdn) = e.dn().rdn() {
-                let a = rdn.attr().trim().to_ascii_lowercase();
-                if !a.is_empty() {
-                    indexed_attrs.insert(a);
+                // Parsed DNs already carry lowercase attribute names, so
+                // the membership probe almost never needs the owned
+                // lowercase copy.
+                let a = rdn.attr().trim();
+                if !a.is_empty() && !indexed_attrs.contains(a) {
+                    indexed_attrs.insert(a.to_ascii_lowercase());
                 }
             }
         }
@@ -474,6 +560,19 @@ impl Dit {
     /// Iterate all entries in deterministic (DN string) order.
     pub fn iter(&self) -> impl Iterator<Item = &Entry> {
         self.entries.values().map(Arc::as_ref)
+    }
+
+    /// Iterate (primary key, shared handle) pairs in key order. Delta
+    /// extraction merge-joins two snapshots with this: `Arc::ptr_eq` on
+    /// the handles detects unchanged entries without comparing content.
+    pub fn iter_shared(&self) -> impl Iterator<Item = (&str, &Arc<Entry>)> {
+        self.entries.iter().map(|(k, e)| (k.as_str(), e))
+    }
+
+    /// Fetch the shared handle at primary key `k` (a normalized DN
+    /// rendering, as yielded by [`iter_shared`](Dit::iter_shared)).
+    pub fn get_shared(&self, k: &str) -> Option<&Arc<Entry>> {
+        self.entries.get(k)
     }
 
     /// Keys of entries that could satisfy `filter`, from the equality

@@ -146,10 +146,15 @@ impl Entry {
 
     /// All values bound to `attr` (empty slice if absent).
     pub fn get(&self, attr: &str) -> &[AttrValue] {
-        self.attrs
-            .get(&attr.to_ascii_lowercase())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        // Stored names are lowercase; only allocate the folded copy when
+        // the caller's spelling actually needs folding — `get` sits on
+        // the filter-evaluation and index-build hot paths.
+        let vals = if attr.bytes().any(|b| b.is_ascii_uppercase()) {
+            self.attrs.get(&attr.to_ascii_lowercase())
+        } else {
+            self.attrs.get(attr)
+        };
+        vals.map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// First value of `attr` as a string, if present.

@@ -22,6 +22,7 @@ pub mod entry;
 pub mod error;
 pub mod filter;
 pub mod ldif;
+pub mod lineage;
 pub mod schema;
 pub mod shared;
 pub mod url;
@@ -33,6 +34,9 @@ pub use entry::{AttrValue, Entry, OBJECT_CLASS};
 pub use error::{LdapError, Result};
 pub use filter::Filter;
 pub use ldif::{entry_to_ldif, parse_ldif, to_ldif};
+pub use lineage::{
+    fresh_at, sync_version, DeltaSet, SnapshotLineage, FRESH_AT_ATTR, SYNC_VERSION_ATTR,
+};
 pub use schema::{ObjectClassDef, Schema, Strictness};
 pub use shared::SharedDit;
 pub use url::{LdapUrl, UrlScheme};

@@ -13,7 +13,7 @@
 //! simulated or threaded network.
 
 use gis_ldap::{Dn, Entry, Filter, LdapUrl, Scope};
-use gis_netsim::SimDuration;
+use gis_netsim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// Correlates a reply with its request within one client connection.
@@ -162,6 +162,35 @@ pub enum GripRequest {
         /// The subscription's request id.
         id: RequestId,
     },
+    /// Federation bulk pull (directory-to-directory): ask a child GIIS
+    /// for everything that changed since `cookie`, restricted to
+    /// `subtrees` (empty = the child's whole index). A `None` cookie —
+    /// or one from another epoch, or one the child no longer covers —
+    /// is answered with a full sync. Answered by
+    /// [`GripReply::SyncDelta`].
+    SyncPull {
+        /// Request id.
+        id: RequestId,
+        /// Where the puller already is in the child's lineage, if
+        /// anywhere.
+        cookie: Option<SyncCookie>,
+        /// Shard scope: only entries under these DNs are wanted.
+        subtrees: Vec<Dn>,
+    },
+}
+
+/// Where a federation puller stands in one child's snapshot lineage.
+/// Versions are only meaningful within an epoch (one incarnation of the
+/// child's lineage); a restarted child mints a fresh epoch, and a
+/// mismatched epoch always forces a full sync — without it, a version
+/// from the previous incarnation could collide with a numerically equal
+/// new one and the puller would silently keep divergent rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncCookie {
+    /// The child lineage incarnation this cookie was minted in.
+    pub epoch: u64,
+    /// Last lineage version the puller has applied.
+    pub version: u64,
 }
 
 impl GripRequest {
@@ -171,7 +200,8 @@ impl GripRequest {
             GripRequest::Bind { id, .. }
             | GripRequest::Search { id, .. }
             | GripRequest::Subscribe { id, .. }
-            | GripRequest::Unsubscribe { id } => *id,
+            | GripRequest::Unsubscribe { id }
+            | GripRequest::SyncPull { id, .. } => *id,
         }
     }
 
@@ -184,7 +214,8 @@ impl GripRequest {
             GripRequest::Bind { id, .. }
             | GripRequest::Search { id, .. }
             | GripRequest::Subscribe { id, .. }
-            | GripRequest::Unsubscribe { id } => *id = new,
+            | GripRequest::Unsubscribe { id }
+            | GripRequest::SyncPull { id, .. } => *id = new,
         }
     }
 }
@@ -228,6 +259,28 @@ pub enum GripReply {
         /// Final status.
         code: ResultCode,
     },
+    /// Answer to a [`GripRequest::SyncPull`]: the child's changes since
+    /// the presented cookie (`full = false`), or its entire sharded
+    /// index (`full = true`, after which the puller must discard what it
+    /// held for this child). Entries carry the lineage freshness stamps
+    /// (`mds-fresh-at`, `mds-sync-version`); `epoch`/`version` form the
+    /// cookie for the next pull and `at` is the child's "as of" clock.
+    SyncDelta {
+        /// Request id.
+        id: RequestId,
+        /// True when this is a full sync, not an increment.
+        full: bool,
+        /// The child lineage incarnation the versions belong to.
+        epoch: u64,
+        /// Lineage version this delta brings the puller up to.
+        version: u64,
+        /// The child's observation clock at serve time.
+        at: SimTime,
+        /// Created/modified entries (full sync: every entry).
+        entries: Vec<Entry>,
+        /// DNs deleted since the cookie (always empty on a full sync).
+        deletes: Vec<Dn>,
+    },
 }
 
 impl GripReply {
@@ -237,7 +290,8 @@ impl GripReply {
             GripReply::BindResult { id, .. }
             | GripReply::SearchResult { id, .. }
             | GripReply::Update { id, .. }
-            | GripReply::SubscriptionDone { id, .. } => *id,
+            | GripReply::SubscriptionDone { id, .. }
+            | GripReply::SyncDelta { id, .. } => *id,
         }
     }
 
@@ -248,7 +302,8 @@ impl GripReply {
             GripReply::BindResult { id, .. }
             | GripReply::SearchResult { id, .. }
             | GripReply::Update { id, .. }
-            | GripReply::SubscriptionDone { id, .. } => *id = new,
+            | GripReply::SubscriptionDone { id, .. }
+            | GripReply::SyncDelta { id, .. } => *id = new,
         }
     }
 }

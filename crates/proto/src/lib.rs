@@ -35,7 +35,7 @@ pub use frame::{
 };
 pub use grip::{
     result_digest, GripReply, GripRequest, RequestId, ResultCode, SearchSpec, Subscription,
-    SubscriptionMode, SubscriptionTable,
+    SubscriptionMode, SubscriptionTable, SyncCookie,
 };
 pub use grrp::{
     FailureDetector, GrrpMessage, Notification, Registration, RegistrationAgent, SoftStateRegistry,

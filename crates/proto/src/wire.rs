@@ -5,7 +5,7 @@
 //! both protocols share one frame format. [`ProtocolMessage`] is the
 //! top-level frame carried by the runtimes.
 
-use crate::grip::{GripReply, GripRequest, ResultCode, SearchSpec, SubscriptionMode};
+use crate::grip::{GripReply, GripRequest, ResultCode, SearchSpec, SubscriptionMode, SyncCookie};
 use crate::grrp::{GrrpMessage, Notification};
 use crate::trace::{TraceContext, TraceId};
 use bytes::{BufMut, BytesMut};
@@ -218,6 +218,23 @@ impl Wire for GripRequest {
                 buf.put_u8(3);
                 put_varint(buf, *id);
             }
+            GripRequest::SyncPull {
+                id,
+                cookie,
+                subtrees,
+            } => {
+                buf.put_u8(4);
+                put_varint(buf, *id);
+                match cookie {
+                    None => buf.put_u8(0),
+                    Some(c) => {
+                        buf.put_u8(1);
+                        put_varint(buf, c.epoch);
+                        put_varint(buf, c.version);
+                    }
+                }
+                subtrees.encode(buf);
+            }
         }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<GripRequest> {
@@ -238,6 +255,18 @@ impl Wire for GripRequest {
             }),
             3 => Ok(GripRequest::Unsubscribe {
                 id: r.read_varint()?,
+            }),
+            4 => Ok(GripRequest::SyncPull {
+                id: r.read_varint()?,
+                cookie: match r.read_u8()? {
+                    0 => None,
+                    1 => Some(SyncCookie {
+                        epoch: r.read_varint()?,
+                        version: r.read_varint()?,
+                    }),
+                    b => return Err(LdapError::Codec(format!("bad cookie tag {b}"))),
+                },
+                subtrees: Vec::<Dn>::decode(r)?,
             }),
             b => Err(LdapError::Codec(format!("bad request tag {b}"))),
         }
@@ -275,6 +304,24 @@ impl Wire for GripReply {
                 put_varint(buf, *id);
                 code.encode(buf);
             }
+            GripReply::SyncDelta {
+                id,
+                full,
+                epoch,
+                version,
+                at,
+                entries,
+                deletes,
+            } => {
+                buf.put_u8(4);
+                put_varint(buf, *id);
+                full.encode(buf);
+                put_varint(buf, *epoch);
+                put_varint(buf, *version);
+                put_time(buf, *at);
+                entries.encode(buf);
+                deletes.encode(buf);
+            }
         }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<GripReply> {
@@ -297,6 +344,15 @@ impl Wire for GripReply {
             3 => Ok(GripReply::SubscriptionDone {
                 id: r.read_varint()?,
                 code: ResultCode::decode(r)?,
+            }),
+            4 => Ok(GripReply::SyncDelta {
+                id: r.read_varint()?,
+                full: bool::decode(r)?,
+                epoch: r.read_varint()?,
+                version: r.read_varint()?,
+                at: read_time(r)?,
+                entries: Vec::<Entry>::decode(r)?,
+                deletes: Vec::<Dn>::decode(r)?,
             }),
             b => Err(LdapError::Codec(format!("bad reply tag {b}"))),
         }
@@ -415,6 +471,19 @@ mod tests {
             mode: SubscriptionMode::OnChange,
         });
         roundtrip(GripRequest::Unsubscribe { id: 5 });
+        roundtrip(GripRequest::SyncPull {
+            id: 6,
+            cookie: None,
+            subtrees: vec![],
+        });
+        roundtrip(GripRequest::SyncPull {
+            id: 7,
+            cookie: Some(SyncCookie {
+                epoch: 1_000_000,
+                version: 41,
+            }),
+            subtrees: vec![Dn::parse("o=O1").unwrap(), Dn::parse("vo=alpha").unwrap()],
+        });
     }
 
     #[test]
@@ -438,6 +507,60 @@ mod tests {
             id: 4,
             code: ResultCode::Unavailable,
         });
+        roundtrip(GripReply::SyncDelta {
+            id: 5,
+            full: true,
+            epoch: 7,
+            version: 12,
+            at: SimTime::ZERO + secs(3),
+            entries: vec![Entry::at("hn=h").unwrap().with("mds-sync-version", 12i64)],
+            deletes: vec![],
+        });
+        roundtrip(GripReply::SyncDelta {
+            id: 6,
+            full: false,
+            epoch: 7,
+            version: 13,
+            at: SimTime::ZERO + secs(4),
+            entries: vec![],
+            deletes: vec![Dn::parse("hn=gone, o=O1").unwrap()],
+        });
+    }
+
+    #[test]
+    fn sync_frames_reject_truncation_and_bad_tags() {
+        let msg = ProtocolMessage::Request(GripRequest::SyncPull {
+            id: 3,
+            cookie: Some(SyncCookie {
+                epoch: 5,
+                version: 9,
+            }),
+            subtrees: vec![Dn::parse("o=O1").unwrap()],
+        });
+        let bytes = msg.to_wire();
+        for cut in 0..bytes.len() {
+            assert!(ProtocolMessage::from_wire(&bytes[..cut]).is_err());
+        }
+        let reply = ProtocolMessage::Reply(GripReply::SyncDelta {
+            id: 4,
+            full: false,
+            epoch: 5,
+            version: 2,
+            at: SimTime(77),
+            entries: vec![Entry::at("hn=h").unwrap().with("x", "1")],
+            deletes: vec![Dn::parse("hn=d").unwrap()],
+        });
+        let bytes = reply.to_wire();
+        for cut in 0..bytes.len() {
+            assert!(ProtocolMessage::from_wire(&bytes[..cut]).is_err());
+        }
+        // A bad cookie-presence tag must not decode.
+        let mut bad = BytesMut::new();
+        bad.put_u8(0); // Request
+        bad.put_u8(4); // SyncPull
+        put_varint(&mut bad, 1); // id
+        bad.put_u8(7); // bogus cookie tag
+        assert!(ProtocolMessage::from_wire(&bad).is_err());
     }
 
     #[test]

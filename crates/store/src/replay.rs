@@ -171,6 +171,25 @@ pub fn apply_op(
                 }
             }
         }
+        WalOp::Delta {
+            child,
+            upserts,
+            deletes,
+            now,
+        } => {
+            let g = groups.entry(child.to_string()).or_default();
+            for dn in deletes {
+                dit.delete(dn);
+                g.dns.retain(|d| d != dn);
+            }
+            for e in upserts {
+                if !g.dns.contains(e.dn()) {
+                    g.dns.push(e.dn().clone());
+                }
+                dit.upsert(e.clone());
+            }
+            g.at = Some(*now);
+        }
     }
 }
 
@@ -236,6 +255,35 @@ mod tests {
         assert_eq!(st.dit.len(), 1);
         assert!(st.dit.get(&Dn::parse("hn=new").unwrap()).is_some());
         assert!(st.dit.get(&Dn::parse("hn=old").unwrap()).is_none());
+    }
+
+    #[test]
+    fn delta_applies_incremental_changes() {
+        let mut st = RecoveredState::empty();
+        let child = LdapUrl::server("giis.child");
+        st.apply(&WalOp::Harvest {
+            child: child.clone(),
+            entries: vec![
+                Entry::at("hn=a").unwrap().with_class("c"),
+                Entry::at("hn=b").unwrap().with_class("c"),
+            ],
+            now: SimTime::ZERO + secs(1),
+        });
+        st.apply(&WalOp::Delta {
+            child: child.clone(),
+            upserts: vec![Entry::at("hn=c").unwrap().with_class("c")],
+            deletes: vec![Dn::parse("hn=a").unwrap()],
+            now: SimTime::ZERO + secs(2),
+        });
+        assert_eq!(st.dit.len(), 2);
+        assert!(st.dit.get(&Dn::parse("hn=a").unwrap()).is_none());
+        assert!(st.dit.get(&Dn::parse("hn=c").unwrap()).is_some());
+        let g = &st.groups[&child.to_string()];
+        assert_eq!(g.at, Some(SimTime::ZERO + secs(2)));
+        assert_eq!(g.dns.len(), 2);
+        // A later sweep that expires the child purges delta-applied rows.
+        st.apply(&WalOp::Forget { url: child });
+        assert_eq!(st.dit.len(), 0);
     }
 
     #[test]

@@ -68,6 +68,19 @@ pub enum WalOp {
         /// The forgotten service.
         url: LdapUrl,
     },
+    /// An incremental federation delta from `child` was applied: some
+    /// of that child's rows replaced, some deleted. (A full sync is
+    /// logged as [`WalOp::Harvest`] — same replace-all semantics.)
+    Delta {
+        /// The child the delta came from.
+        child: LdapUrl,
+        /// Created/modified entries.
+        upserts: Vec<Entry>,
+        /// Deleted DNs.
+        deletes: Vec<Dn>,
+        /// Integration time (sync clock).
+        now: SimTime,
+    },
 }
 
 fn put_time(buf: &mut BytesMut, t: SimTime) {
@@ -120,6 +133,18 @@ impl Wire for WalOp {
                 buf.put_u8(8);
                 url.encode(buf);
             }
+            WalOp::Delta {
+                child,
+                upserts,
+                deletes,
+                now,
+            } => {
+                buf.put_u8(9);
+                child.encode(buf);
+                upserts.encode(buf);
+                deletes.encode(buf);
+                put_time(buf, *now);
+            }
         }
     }
 
@@ -144,6 +169,12 @@ impl Wire for WalOp {
             8 => WalOp::Forget {
                 url: LdapUrl::decode(r)?,
             },
+            9 => WalOp::Delta {
+                child: LdapUrl::decode(r)?,
+                upserts: Vec::<Entry>::decode(r)?,
+                deletes: Vec::<Dn>::decode(r)?,
+                now: read_time(r)?,
+            },
             tag => {
                 return Err(gis_ldap::LdapError::Codec(format!(
                     "unknown wal op tag {tag}"
@@ -163,7 +194,7 @@ impl WalOp {
                 msg.valid_until = rebase_time(msg.valid_until, delta_us);
                 *now = rebase_time(*now, delta_us);
             }
-            WalOp::Sweep { now } | WalOp::Harvest { now, .. } => {
+            WalOp::Sweep { now } | WalOp::Harvest { now, .. } | WalOp::Delta { now, .. } => {
                 *now = rebase_time(*now, delta_us);
             }
             _ => {}
@@ -303,6 +334,14 @@ mod tests {
             },
             WalOp::Forget {
                 url: LdapUrl::server("gris.host1"),
+            },
+            WalOp::Delta {
+                child: LdapUrl::server("giis.child"),
+                upserts: vec![Entry::at("hn=host2")
+                    .unwrap()
+                    .with("mds-sync-version", 3i64)],
+                deletes: vec![Dn::parse("hn=host3").unwrap()],
+                now: SimTime::ZERO + secs(3),
             },
         ]
     }

@@ -3,7 +3,7 @@
 # plus the live-runtime throughput sweep, the observability-overhead
 # A/B, the channel-vs-TCP loopback comparison, the multiplexed
 # saturation sweep, and the persistence restart timings into a single
-# JSON snapshot (BENCH_PR7.json by default) for before/after
+# JSON snapshot (BENCH_PR9.json by default) for before/after
 # comparison. Criterion mean estimates are in nanoseconds; live-runtime
 # and tcp-loopback rows carry qps and p50/p99 latency in microseconds;
 # the observability block carries the instrumented vs baseline
@@ -12,18 +12,21 @@
 # link; the persistence block carries million-entry snapshot-load and
 # WAL-replay wall times plus the journal-recovery vs
 # re-registration-storm comparison; the c10k block carries the
-# held-connections sweep with server thread/RSS samples per row.
+# held-connections sweep with server thread/RSS samples per row; the
+# federation block carries the replicated-root local-read, staleness
+# and chaining-speedup measurements from the 3-level netsim topology.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR8.json}"
+OUT="${1:-BENCH_PR9.json}"
 LIVE_JSON="$(mktemp)"
 OBS_JSON="$(mktemp)"
 TCP_JSON="$(mktemp)"
 SAT_JSON="$(mktemp)"
 PERSIST_JSON="$(mktemp)"
 C10K_JSON="$(mktemp)"
-trap 'rm -f "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON" "$C10K_JSON"' EXIT
+FED_JSON="$(mktemp)"
+trap 'rm -f "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON" "$C10K_JSON" "$FED_JSON"' EXIT
 
 for bench in bench_dit bench_filter bench_softstate; do
     echo "==> cargo bench --bench $bench"
@@ -56,8 +59,12 @@ cargo build --release --offline -p gis-bench --bin exp_c10k
 # On fd-constrained runners exp_c10k skips (exit 0) without writing json.
 [ -s "$C10K_JSON" ] || echo '{"rows": [], "derived": {}}' > "$C10K_JSON"
 
+echo "==> exp_federation (replicated roots over the 3-level netsim topology)"
+cargo build --release --offline -p gis-bench --bin exp_federation
+./target/release/exp_federation --json "$FED_JSON" >/dev/null
+
 echo "==> harvesting estimates into $OUT"
-python3 - "$OUT" "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON" "$C10K_JSON" <<'EOF'
+python3 - "$OUT" "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON" "$C10K_JSON" "$FED_JSON" <<'EOF'
 import json, os, sys
 
 root = "target/criterion"
@@ -106,6 +113,8 @@ with open(sys.argv[6]) as f:
     persist = json.load(f)
 with open(sys.argv[7]) as f:
     c10k = json.load(f)
+with open(sys.argv[8]) as f:
+    fed = json.load(f)
 
 # Worker-scaling headlines: pooled throughput relative to one worker,
 # and 1-worker tail latency relative to the single-threaded owner loop.
@@ -161,6 +170,13 @@ for key in ("c10k_max_conns", "threads_at_10k"):
     if key in c10k.get("derived", {}):
         derived[key] = c10k["derived"][key]
 
+# Federation headlines: a replicated root answers from its own DIT
+# (local-read cost and end-to-end speedup over per-query chaining)
+# while the p99 replica age stays inside the pull budget.
+derived["fed_local_read_us"] = fed["fed_local_read_us"]
+derived["fed_staleness_p99_ms"] = fed["fed_staleness_p99_ms"]
+derived["fed_speedup_vs_chaining"] = fed["fed_speedup_vs_chaining"]
+
 out = sys.argv[1]
 with open(out, "w") as f:
     json.dump(
@@ -173,6 +189,7 @@ with open(out, "w") as f:
             "tcp_saturation": sat,
             "persistence": persist,
             "c10k": c10k,
+            "federation": fed,
         },
         f,
         indent=2,

@@ -39,6 +39,10 @@ echo "==> exp_c10k --smoke (reactor gate: held connections vs transport threads)
 cargo build --release --offline -p gis-bench --bin exp_c10k
 ./target/release/exp_c10k --smoke
 
+echo "==> exp_federation --smoke (federation gate: local reads, staleness, chaining speedup, bulk ingest)"
+cargo build --release --offline -p gis-bench --bin exp_federation
+./target/release/exp_federation --smoke
+
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --offline --workspace -- -D warnings
 

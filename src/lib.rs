@@ -14,3 +14,4 @@ pub use gis_netsim as netsim;
 pub use gis_nws as nws;
 pub use gis_proto as proto;
 pub use gis_services as services;
+pub use gis_store as store;
