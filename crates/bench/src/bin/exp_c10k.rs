@@ -331,7 +331,7 @@ fn build_topology(fd_budget: usize) -> (LiveRuntime, LdapUrl, LdapUrl) {
 /// Block until the GRIS has registered into the GIIS (chained searches
 /// would otherwise race the first soft-state refresh).
 fn await_registration(vo: &LdapUrl) {
-    let mut client = LiveClient::connect_tcp(vo).expect("connect giis");
+    let mut client = LiveClient::builder(vo).connect().expect("connect giis");
     let spec = SearchSpec::subtree(
         Dn::root(),
         Filter::parse("(objectclass=computer)").expect("filter"),

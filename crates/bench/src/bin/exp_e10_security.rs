@@ -20,7 +20,7 @@ use gis_bench::{banner, section, Table};
 use gis_core::{ClientActor, SimDeployment};
 use gis_giis::{Giis, GiisConfig, GiisMode};
 use gis_gris::HostSpec;
-use gis_gsi::{Acl, Authenticator, BindToken, CertAuthority, Grant, Principal, TrustStore};
+use gis_gsi::{Acl, BindToken, CertAuthority, Grant, Principal, SecurityPolicy, TrustStore};
 use gis_ldap::{Dn, Filter, LdapUrl};
 use gis_netsim::{secs, NodeId};
 use gis_proto::{GripRequest, SearchSpec};
@@ -58,7 +58,7 @@ fn run(model: Model) -> Outcome {
         _ => GiisMode::Harvest { refresh: secs(60) },
     };
     if model == Model::Trusted {
-        config.credential = Some(dir_cred);
+        config.security = SecurityPolicy::anonymous().with_credential(dir_cred);
     }
     dep.add_giis(Giis::new(config, secs(30), secs(90)));
 
@@ -71,7 +71,7 @@ fn run(model: Model) -> Outcome {
         let url = gris.config.url.clone();
         let mut trust = TrustStore::new();
         trust.add_ca(&ca);
-        gris.config.authenticator = Some(Authenticator::new(trust, url.to_string()));
+        gris.config.security = SecurityPolicy::authenticated(ca.issue(url.to_string()), trust);
         let acl = match model {
             Model::Open => Acl::public(),
             Model::Trusted => Acl::default()
@@ -98,7 +98,7 @@ fn run(model: Model) -> Outcome {
                 .with_rule(Principal::Anonymous, Grant::ExistenceOnly)
                 .with_rule(Principal::Subject(ALICE.into()), Grant::All),
         };
-        gris.config.policy.set(host.dn(), acl);
+        gris.config.security.policy_map.set(host.dn(), acl);
         host_dns.push(host.dn());
         gris_urls.push(url.clone());
         dep.add_gris(gris);

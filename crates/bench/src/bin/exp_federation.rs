@@ -132,14 +132,9 @@ fn build(p: &Params, seed: u64) -> FedScenario {
     for s in 0..p.sites {
         let suffix = Dn::parse(&format!("o=site{s}")).expect("site dn");
         let site_url = LdapUrl::server(format!("giis.site{s}"));
-        let mut site = Giis::new(
-            GiisConfig {
-                observability: false,
-                ..GiisConfig::chaining(site_url.clone(), suffix.clone())
-            },
-            secs(10),
-            secs(60),
-        );
+        let mut site_cfg = GiisConfig::chaining(site_url.clone(), suffix.clone());
+        site_cfg.observability = false;
+        let mut site = Giis::new(site_cfg, secs(10), secs(60));
         site.config.mode = GiisMode::Harvest {
             refresh: HARVEST_REFRESH,
         };

@@ -218,7 +218,7 @@ fn measure(
     // workload dials the service it measures.
     let mint = |url: &LdapUrl| -> LiveClient {
         if tcp {
-            LiveClient::connect_tcp(url).expect("connect")
+            LiveClient::builder(url).connect().expect("connect")
         } else {
             rt.client()
         }

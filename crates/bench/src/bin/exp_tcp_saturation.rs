@@ -259,7 +259,7 @@ fn main() {
     for conns in CONNS {
         for depth in DEPTHS {
             let clients: Vec<LiveClient> = (0..conns)
-                .map(|_| LiveClient::connect_tcp(&url).expect("connect"))
+                .map(|_| LiveClient::builder(&url).connect().expect("connect"))
                 .collect();
             let r = drive(clients, &url, depth, queries);
             loopback_table.row(vec![
@@ -279,7 +279,9 @@ fn main() {
     let mut wan_table = Table::new(&["depth", "throughput (q/s)", "us/query", "ok"]);
     let mut wan_rows = Vec::new();
     for depth in WAN_DEPTHS {
-        let client = LiveClient::connect_tcp(&wan_url).expect("connect wan");
+        let client = LiveClient::builder(&wan_url)
+            .connect()
+            .expect("connect wan");
         let r = drive(vec![client], &wan_url, depth, queries);
         wan_table.row(vec![
             r.depth.to_string(),

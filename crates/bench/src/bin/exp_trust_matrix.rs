@@ -1,0 +1,518 @@
+//! TRUST — the §7 trust matrix over real sockets.
+//!
+//! §7 names the postures an information service can take towards its
+//! peers: fully open access ("authenticated queries are not required"),
+//! GSI mutual authentication, and policies "based on identity
+//! credentials presented by the requesting entity". PR 10 threads those
+//! postures through the live TCP transport; this experiment runs one
+//! topology per §7 row — real listeners on 127.0.0.1, real handshake
+//! frames, real signed registrations — and measures what each tier
+//! costs:
+//!
+//! * **anonymous** — open GIIS + GRIS, anonymous client. The baseline.
+//! * **authenticated** — every hop (client→GIIS, GRIS→GIIS
+//!   registration, GIIS→GRIS chaining) completes the mutual-auth
+//!   handshake before any GRIP/GRRP traffic; registrations are signed
+//!   and verified. Reports the handshake RTT paid once per connection.
+//! * **identity** — as authenticated, plus a per-subtree ACL map on the
+//!   GIIS: an admin subject reads full entries, any other authenticated
+//!   subject sees existence only. The `acl_filter_tax` column is the
+//!   steady-state query cost of redaction, gated under 10% in CI.
+//! * **rejected** — the failure row: a credential from an untrusted CA
+//!   is refused at the handshake (wire code `AuthRejected`), and a
+//!   secured GRIS that an open GIIS cannot authenticate to looks like
+//!   any other dead child — chained fan-outs time out and the PR 2
+//!   circuit breaker opens.
+//!
+//! `--json PATH` dumps the rows for `scripts/bench_snapshot.sh`;
+//! `--smoke` shrinks the run for CI.
+
+use gis_bench::{banner, f2, section, Table};
+use gis_core::{LiveClient, LiveRuntime, ServeOptions};
+use gis_giis::{BreakerConfig, Giis, GiisConfig, GiisMode};
+use gis_gris::{Gris, GrisConfig, HostSpec, StaticHostProvider};
+use gis_gsi::{Acl, CertAuthority, Grant, PolicyMap, Principal, SecurityPolicy, TrustStore};
+use gis_ldap::{Dn, Filter, LdapUrl};
+use gis_netsim::SimDuration;
+use gis_proto::{ResultCode, SearchSpec};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+const QUERIES: usize = 400;
+const SMOKE_QUERIES: usize = 80;
+const GRIS_COUNT: usize = 2;
+/// The relative ACL-redaction overhead the CI gate tolerates.
+const ACL_TAX_CEILING: f64 = 0.10;
+/// Absolute-noise floor: loopback p50s this close together are within
+/// scheduler jitter, whatever the ratio says.
+const ACL_TAX_FLOOR_US: f64 = 150.0;
+
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn computers() -> SearchSpec {
+    SearchSpec::subtree(Dn::root(), Filter::parse("(objectclass=computer)").unwrap())
+}
+
+struct Run {
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    ok: usize,
+    total: usize,
+}
+
+/// A GRIS with fully static entries, carrying `security` as both its
+/// endpoint posture and its registration-signing credential.
+fn matrix_gris(name: &str, url: LdapUrl, vo: &LdapUrl, security: SecurityPolicy) -> Gris {
+    let host = HostSpec::linux(name, 2);
+    let mut config = GrisConfig::open(url, host.dn());
+    config.security = security;
+    let mut gris = Gris::new(
+        config,
+        SimDuration::from_millis(100),
+        SimDuration::from_secs(10),
+    );
+    gris.add_provider(Box::new(StaticHostProvider::new(host)));
+    gris.agent.add_target(vo.clone());
+    gris
+}
+
+fn matrix_giis(vo: LdapUrl) -> Giis {
+    let mut giis = Giis::new(
+        GiisConfig::chaining(vo, Dn::root()),
+        SimDuration::from_millis(100),
+        SimDuration::from_secs(10),
+    );
+    giis.config.mode = GiisMode::Chain {
+        timeout: SimDuration::from_millis(800),
+    };
+    giis
+}
+
+/// Poll until the VO search returns `want` entries with `Success`.
+fn warm(client: &mut LiveClient, vo: &LdapUrl, want: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let outcome = client
+            .request(vo, computers())
+            .timeout(Duration::from_secs(2))
+            .send()
+            .outcome;
+        if let Some((ResultCode::Success, entries, _)) = &outcome {
+            if entries.len() >= want {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "topology never converged to {want} entries; last outcome: {outcome:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Sequential timed queries — the steady-state per-request view, with
+/// the handshake already paid.
+fn drive(client: &mut LiveClient, target: &LdapUrl, queries: usize) -> Run {
+    let mut lats = Vec::with_capacity(queries);
+    let mut ok = 0;
+    let start = Instant::now();
+    for _ in 0..queries {
+        let t0 = Instant::now();
+        let outcome = client
+            .request(target, computers())
+            .timeout(Duration::from_secs(5))
+            .send()
+            .outcome;
+        if matches!(outcome, Some((ResultCode::Success, _, _))) {
+            ok += 1;
+            lats.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Run {
+        qps: ok as f64 / elapsed,
+        p50_us: percentile(&lats, 0.50),
+        p99_us: percentile(&lats, 0.99),
+        ok,
+        total: queries,
+    }
+}
+
+/// §7 row 1: no handshake anywhere, everyone anonymous.
+fn row_anonymous(queries: usize) -> Run {
+    let mut rt = LiveRuntime::new(Duration::from_millis(10));
+    let vo = LdapUrl::tcp("127.0.0.1", free_port());
+    rt.spawn_giis(matrix_giis(vo.clone()), ServeOptions::tcp())
+        .expect("open giis binds");
+    for i in 0..GRIS_COUNT {
+        let gris = matrix_gris(
+            &format!("open{i}"),
+            LdapUrl::tcp("127.0.0.1", free_port()),
+            &vo,
+            SecurityPolicy::anonymous(),
+        );
+        rt.spawn_gris(gris, ServeOptions::tcp()).expect("open gris");
+    }
+    let mut client = LiveClient::builder(&vo)
+        .connect()
+        .expect("anonymous connect");
+    assert!(
+        client.handshake_rtt().is_none(),
+        "anonymous connect performs no handshake"
+    );
+    warm(&mut client, &vo, GRIS_COUNT);
+    let run = drive(&mut client, &vo, queries);
+    rt.shutdown();
+    run
+}
+
+/// §7 rows 2 and 3 share a topology: every hop mutually authenticated,
+/// registrations signed and verified. `policy_map` is `None` for the
+/// authenticated tier and `Some` for the identity tier.
+fn secured_topology(
+    ca: &CertAuthority,
+    trust: &TrustStore,
+    policy_map: Option<PolicyMap>,
+) -> (LiveRuntime, LdapUrl) {
+    let mut rt = LiveRuntime::new(Duration::from_millis(10));
+    // One mesh identity for the runtime's own outbound hops: GRRP
+    // registrations to the GIIS and GIIS→GRIS chaining legs.
+    rt.set_outbound_security(&SecurityPolicy::authenticated(
+        ca.issue("/O=Grid/CN=mesh"),
+        trust.clone(),
+    ));
+    let vo = LdapUrl::tcp("127.0.0.1", free_port());
+    let identity = policy_map.is_some();
+    let mut giis_policy = SecurityPolicy::authenticated(ca.issue(vo.to_string()), trust.clone());
+    if let Some(map) = policy_map {
+        giis_policy =
+            SecurityPolicy::identity(ca.issue(vo.to_string()), trust.clone()).with_policy_map(map);
+    }
+    rt.spawn_giis(
+        matrix_giis(vo.clone()),
+        ServeOptions::tcp().security(giis_policy),
+    )
+    .expect("secured giis binds");
+    for i in 0..GRIS_COUNT {
+        let name = format!("{}{i}", if identity { "idn" } else { "sec" });
+        let gris = matrix_gris(
+            &name,
+            LdapUrl::tcp("127.0.0.1", free_port()),
+            &vo,
+            SecurityPolicy::authenticated(ca.issue(format!("/O=Grid/CN={name}")), trust.clone()),
+        );
+        rt.spawn_gris(gris, ServeOptions::tcp())
+            .expect("secured gris");
+    }
+    (rt, vo)
+}
+
+/// §7 row 2: mutual auth on every hop, open ACLs for whoever passes.
+fn row_authenticated(ca: &CertAuthority, trust: &TrustStore, queries: usize) -> (Run, f64) {
+    let (rt, vo) = secured_topology(ca, trust, None);
+    let mut client = LiveClient::builder(&vo)
+        .security(SecurityPolicy::authenticated(
+            ca.issue("/O=Grid/CN=client"),
+            trust.clone(),
+        ))
+        .connect()
+        .expect("authenticated client connects");
+    let rtt_us = client
+        .handshake_rtt()
+        .expect("handshake measured")
+        .as_secs_f64()
+        * 1e6;
+    warm(&mut client, &vo, GRIS_COUNT);
+    let run = drive(&mut client, &vo, queries);
+    assert_eq!(run.ok, run.total, "authenticated tier serves every query");
+    rt.shutdown();
+    (run, rtt_us)
+}
+
+/// §7 row 3: mutual auth plus identity ACLs on the GIIS — the admin
+/// subject reads everything, any other authenticated subject sees only
+/// that entries exist. Returns the admin's run plus the attribute count
+/// the restricted subject was shown (must be 0).
+fn row_identity(ca: &CertAuthority, trust: &TrustStore, queries: usize) -> (Run, usize, usize) {
+    let acl = Acl::default()
+        .with_rule(Principal::Authenticated, Grant::ExistenceOnly)
+        .with_rule(Principal::Subject("/O=Grid/CN=admin".into()), Grant::All);
+    let (rt, vo) = secured_topology(ca, trust, Some(PolicyMap::with_default(acl)));
+
+    let mut admin = LiveClient::builder(&vo)
+        .security(SecurityPolicy::authenticated(
+            ca.issue("/O=Grid/CN=admin"),
+            trust.clone(),
+        ))
+        .connect()
+        .expect("admin connects");
+    warm(&mut admin, &vo, GRIS_COUNT);
+    let run = drive(&mut admin, &vo, queries);
+    assert_eq!(run.ok, run.total, "admin is served every query");
+
+    // A different authenticated subject: same handshake, same wire,
+    // existence-only view. `(&)` is the absolute-true filter — the
+    // attribute filter `(objectclass=computer)` can no longer match
+    // what redaction leaves behind.
+    let mut guest = LiveClient::builder(&vo)
+        .security(SecurityPolicy::authenticated(
+            ca.issue("/O=Grid/CN=guest"),
+            trust.clone(),
+        ))
+        .connect()
+        .expect("guest connects");
+    let enumerate = SearchSpec::subtree(Dn::root(), Filter::And(Vec::new()));
+    let outcome = guest
+        .request(&vo, enumerate)
+        .timeout(Duration::from_secs(5))
+        .send()
+        .outcome;
+    let Some((ResultCode::Success, entries, _)) = outcome else {
+        panic!("guest enumeration failed: {outcome:?}");
+    };
+    let guest_entries = entries.len();
+    // Existence-only keeps the DN's naming attribute and objectclass so
+    // `(objectclass=*)` enumeration still works; everything descriptive
+    // must be gone.
+    let guest_attrs: usize = entries.iter().map(|e| e.attr_count()).sum();
+    for e in &entries {
+        assert!(
+            !e.has("cpucount") && e.attr_count() <= 2,
+            "existence-only view leaked descriptive attributes: {e:?}"
+        );
+    }
+    rt.shutdown();
+    (run, guest_entries, guest_attrs)
+}
+
+/// §7 failure row: untrusted credentials are refused at the handshake,
+/// and a peer that *requires* auth from a peer that cannot give it
+/// strikes the circuit breaker like any other dead child.
+fn row_rejected(ca: &CertAuthority, trust: &TrustStore) -> (String, u64) {
+    // (a) A credential from a CA outside the trust store: the secured
+    // GIIS answers the Hello with wire code AuthRejected and the
+    // connect fails — no GRIP frame is ever accepted.
+    let (rt, vo) = secured_topology(ca, trust, None);
+    let rogue_ca = CertAuthority::new("/O=Rogue/CN=CA", 99);
+    let mut rogue_trust = TrustStore::new();
+    rogue_trust.add_ca(ca);
+    let err = match LiveClient::builder(&vo)
+        .security(SecurityPolicy::authenticated(
+            rogue_ca.issue("/O=Rogue/CN=intruder"),
+            rogue_trust,
+        ))
+        .connect()
+    {
+        Ok(_) => panic!("untrusted credential must be refused at the handshake"),
+        Err(err) => err,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+    let reject = err.to_string();
+    rt.shutdown();
+
+    // (b) An open GIIS chaining to a GRIS that demands authentication:
+    // every chained enquiry is dropped at the GRIS door, fan-outs time
+    // out, and the breaker opens — auth rejection feeds the same
+    // failure machinery as a crashed child.
+    let mut rt = LiveRuntime::new(Duration::from_millis(10));
+    let vo = LdapUrl::server("giis.open");
+    let mut giis = matrix_giis(vo.clone());
+    giis.config.mode = GiisMode::Chain {
+        timeout: SimDuration::from_millis(300),
+    };
+    giis.config.breaker = Some(BreakerConfig {
+        failure_threshold: 2,
+        cooldown: SimDuration::from_secs(60),
+        retry: false,
+    });
+    let stats = giis.query_path();
+    rt.spawn_giis(giis, ServeOptions::channel())
+        .expect("open giis");
+    let gris = matrix_gris(
+        "fortress",
+        LdapUrl::tcp("127.0.0.1", free_port()),
+        &vo,
+        SecurityPolicy::authenticated(ca.issue("/O=Grid/CN=fortress"), trust.clone()),
+    );
+    rt.spawn_gris(gris, ServeOptions::tcp())
+        .expect("secured gris");
+
+    // Wait for the (channel-delivered, signed) registration to land,
+    // then chain into the wall.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stats.stats().grrp_received == 0 {
+        assert!(Instant::now() < deadline, "registration never arrived");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let mut client = rt.client();
+    for _ in 0..3 {
+        let _ = client
+            .request(&vo, computers())
+            .timeout(Duration::from_secs(2))
+            .send()
+            .outcome;
+    }
+    let opens = stats.stats().breaker_opens;
+    assert!(
+        opens >= 1,
+        "auth-gated child must trip the breaker: {:?}",
+        stats.stats()
+    );
+    rt.shutdown();
+    (reject, opens)
+}
+
+fn write_json(
+    path: &str,
+    queries: usize,
+    rows: &[(&str, &Run)],
+    handshake_rtt_us: f64,
+    acl_filter_tax: f64,
+    breaker_opens: u64,
+) {
+    let mut body = String::from("{\n  \"queries\": ");
+    body.push_str(&queries.to_string());
+    body.push_str(",\n  \"gris_count\": ");
+    body.push_str(&GRIS_COUNT.to_string());
+    body.push_str(&format!(
+        ",\n  \"handshake_rtt_us\": {handshake_rtt_us:.2},\n  \"acl_filter_tax\": {acl_filter_tax:.4},\n  \"breaker_opens\": {breaker_opens},\n  \"rows\": [\n"
+    ));
+    for (i, (tier, run)) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"tier\": \"{}\", \"qps\": {:.2}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
+             \"ok\": {}, \"total\": {}}}{}\n",
+            tier,
+            run.qps,
+            run.p50_us,
+            run.p99_us,
+            run.ok,
+            run.total,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body).expect("write json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let queries = if smoke { SMOKE_QUERIES } else { QUERIES };
+
+    banner(
+        "TRUST",
+        "the §7 trust matrix over real sockets",
+        "§7: anonymous access, GSI mutual authentication, identity-based policy",
+    );
+    println!(
+        "{GRIS_COUNT} GRIS + 1 chaining GIIS per row, all hops on 127.0.0.1;\n\
+         {queries} steady-state queries per measured tier.\n"
+    );
+
+    let ca = CertAuthority::new("/O=Grid/CN=MatrixCA", 17);
+    let mut trust = TrustStore::new();
+    trust.add_ca(&ca);
+
+    let anon = row_anonymous(queries);
+    let (auth, handshake_rtt_us) = row_authenticated(&ca, &trust, queries);
+    let (ident, guest_entries, guest_attrs) = row_identity(&ca, &trust, queries);
+    let (reject, breaker_opens) = row_rejected(&ca, &trust);
+
+    let acl_overhead_us = ident.p50_us - auth.p50_us;
+    let acl_filter_tax = (acl_overhead_us / auth.p50_us).max(0.0);
+
+    let mut table = Table::new(&[
+        "tier",
+        "throughput (q/s)",
+        "p50 (us)",
+        "p99 (us)",
+        "ok",
+        "notes",
+    ]);
+    for (tier, run, notes) in [
+        ("anonymous", &anon, "no handshake, full entries".to_string()),
+        (
+            "authenticated",
+            &auth,
+            format!("handshake rtt {handshake_rtt_us:.0}us, signed GRRP"),
+        ),
+        (
+            "identity",
+            &ident,
+            format!("guest saw {guest_entries} entries, {guest_attrs} attrs"),
+        ),
+    ] {
+        table.row(vec![
+            tier.into(),
+            f2(run.qps),
+            f2(run.p50_us),
+            f2(run.p99_us),
+            format!("{}/{}", run.ok, run.total),
+            notes,
+        ]);
+    }
+    table.row(vec![
+        "rejected".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "0/-".into(),
+        format!("\"{reject}\"; breaker opens: {breaker_opens}"),
+    ]);
+
+    section("results: what each §7 posture costs on this machine");
+    table.print();
+    println!(
+        "\nacl filter tax: identity p50 is {acl_overhead_us:+.0}us vs authenticated\n\
+         ({:.1}% — CI gate: <{:.0}% or within the {ACL_TAX_FLOOR_US:.0}us noise floor).\n\
+         The handshake is paid once per connection, not per query; the\n\
+         rejected row shows AuthRejected surfacing before any GRIP frame\n\
+         and auth-gated children feeding the ordinary breaker path.",
+        acl_filter_tax * 100.0,
+        ACL_TAX_CEILING * 100.0,
+    );
+
+    assert!(guest_entries > 0, "existence-only view still enumerates");
+    assert!(
+        acl_filter_tax < ACL_TAX_CEILING || acl_overhead_us < ACL_TAX_FLOOR_US,
+        "ACL filtering cost {:.1}% ({acl_overhead_us:.0}us) exceeds the gate",
+        acl_filter_tax * 100.0,
+    );
+
+    if let Some(path) = json_path {
+        write_json(
+            &path,
+            queries,
+            &[
+                ("anonymous", &anon),
+                ("authenticated", &auth),
+                ("identity", &ident),
+            ],
+            handshake_rtt_us,
+            acl_filter_tax,
+            breaker_opens,
+        );
+        println!("\njson written to {path}");
+    }
+}

@@ -121,6 +121,11 @@ impl Actor<ProtocolMessage> for GrisActor {
             }
             ProtocolMessage::Reply(_) => { /* a GRIS issues no requests */ }
             ProtocolMessage::Traced { .. } => { /* nested envelopes are rejected on decode */ }
+            ProtocolMessage::Handshake(_) => {
+                // The §7 handshake authenticates *connections*; the
+                // simulated fabric is connectionless, so binds stay
+                // in-band (GripRequest::Bind).
+            }
         }
     }
 
@@ -208,6 +213,7 @@ impl Actor<ProtocolMessage> for GiisActor {
             }
             ProtocolMessage::Grrp(msg) => self.giis.handle_grrp(msg, now),
             ProtocolMessage::Traced { .. } => Vec::new(), // nested: rejected on decode
+            ProtocolMessage::Handshake(_) => Vec::new(),  // connection-oriented; see GRIS note
         };
         self.perform(ctx, actions);
     }

@@ -33,12 +33,13 @@
 
 pub use crate::transport::TcpTuning;
 use crate::transport::{
-    BoundEndpoint, ClientConn, ConnTable, InlineHandler, OutboundCork, RecvFail, ReplyCork,
-    TcpEndpoint, TcpOutbound,
+    AuthCallback, BoundEndpoint, ClientConn, ConnCallback, ConnTable, InlineHandler, OutboundCork,
+    OutboundSecurity, RecvFail, ReplyCork, TcpEndpoint, TcpOutbound, WireSecurity,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use gis_giis::{Giis, GiisAction, GiisQueryPath};
 use gis_gris::Gris;
+use gis_gsi::{Requester, SecurityPolicy};
 use gis_ldap::{Entry, LdapUrl};
 use gis_netsim::{SimRng, SimTime};
 use gis_proto::{
@@ -89,8 +90,10 @@ pub enum LiveMsg {
         /// The reply.
         reply: GripReply,
     },
-    /// A GRRP notification.
-    Grrp(GrrpMessage),
+    /// A GRRP notification, with the connection it arrived on when it
+    /// came over TCP (`None` for in-process registrations). Directories
+    /// that verify signatures use the origin to answer rejections.
+    Grrp(GrrpMessage, Option<Address>),
     /// Control message: re-announce to registration targets immediately
     /// (sent by the runtime when a paused service is resumed).
     Reannounce,
@@ -137,6 +140,13 @@ impl ClientInterner {
 
     fn address_of(&self, id: u64) -> Option<Address> {
         self.inner.lock().addrs.get(&id).cloned()
+    }
+
+    /// The id already minted for `addr`, if any — unlike
+    /// [`intern`](Self::intern) this never allocates one (connection
+    /// teardown must not mint sessions for peers that never spoke).
+    fn lookup(&self, addr: &Address) -> Option<u64> {
+        self.inner.lock().ids.get(addr).copied()
     }
 }
 
@@ -320,7 +330,7 @@ impl Router {
                     }),
                 );
             }
-            LiveMsg::Grrp(m) => {
+            LiveMsg::Grrp(m, _) => {
                 // Fire-and-forget: a lost registration is re-sent at the
                 // next soft-state refresh.
                 self.counters.remote.fetch_add(1, Ordering::Relaxed);
@@ -413,7 +423,7 @@ fn perform_giis_actions(
                 },
             ),
             GiisAction::SendGrrp { to, message } => {
-                router.send_to_service(&to.to_string(), LiveMsg::Grrp(message))
+                router.send_to_service(&to.to_string(), LiveMsg::Grrp(message, None))
             }
             GiisAction::Reply { client, reply } => {
                 if let Some(addr) = interner.address_of(client) {
@@ -458,6 +468,12 @@ pub struct ServeOptions {
     /// directory that cannot be opened degrades to serving from empty
     /// (with a warning on stderr) — persistence never blocks startup.
     pub persist: Option<std::path::PathBuf>,
+    /// Security posture override: when set, replaces the engine's
+    /// `config.security` before anything binds or serves. The single
+    /// switch that turns a spawned service fully §7-secured: handshake
+    /// gate on the listener, signature checks on registrations, ACLs on
+    /// the query path.
+    pub security: Option<SecurityPolicy>,
 }
 
 impl ServeOptions {
@@ -493,6 +509,15 @@ impl ServeOptions {
     /// service stopped.
     pub fn persist(mut self, dir: impl Into<std::path::PathBuf>) -> ServeOptions {
         self.persist = Some(dir.into());
+        self
+    }
+
+    /// Serve under `policy` (overriding whatever the engine's config
+    /// carries): [`SecurityPolicy::authenticated`] /
+    /// [`SecurityPolicy::identity`] arm the §7 handshake gate,
+    /// registration signature checks and ACL redaction in one move.
+    pub fn security(mut self, policy: SecurityPolicy) -> ServeOptions {
+        self.security = Some(policy);
         self
     }
 }
@@ -564,32 +589,33 @@ impl LiveRuntime {
 
     /// Bind the TCP listener for a service URL *before* anything is
     /// spawned or advertised, and resolve an ephemeral port
-    /// (`tcp://host:0`) into the kernel-assigned one: `url` (and, when
-    /// it still advertises the same address, `advert`) are rewritten in
-    /// place so the registration agent announces the port that is
-    /// actually served. Returns `None` for channel transport.
+    /// (`tcp://host:0`) into the kernel-assigned one: `url` and the
+    /// registration agent's advert are rewritten in place so the agent
+    /// announces the port that is actually served. Returns `None` for
+    /// channel transport.
     fn bind_endpoint(
         transport: Transport,
         url: &mut LdapUrl,
-        advert: &mut LdapUrl,
+        agent: &mut gis_proto::RegistrationAgent,
     ) -> std::io::Result<Option<BoundEndpoint>> {
         if transport != Transport::Tcp {
             return Ok(None);
         }
         let bound = BoundEndpoint::bind(&url.authority())?;
-        let requested = url.clone();
         if url.port == 0 {
             url.port = bound.local_addr().port();
         }
-        // The agent snapshotted the URL at engine construction; keep
-        // its advert in step unless the caller deliberately pointed it
-        // somewhere else. A non-tcp advert on a tcp service is always
-        // such a stale snapshot (the engine was constructed before the
-        // caller switched `config.url` to `tcp://...`): announcing it
-        // would register an address nobody serves, so rebuild it from
-        // the URL actually bound.
-        if *advert == requested || !advert.is_tcp() {
-            *advert = url.clone();
+        // The agent snapshotted its advert at engine construction —
+        // possibly before the caller switched `config.url` to
+        // `tcp://...`, and certainly before an ephemeral `:0` port was
+        // resolved. Re-snapshot it from the URL actually bound so
+        // registrations never announce an address nobody serves —
+        // unless the caller pinned a deliberate advert
+        // ([`gis_proto::RegistrationAgent::advertise`]; the NAT /
+        // load-balancer case, where the dialable address differs from
+        // the local bind).
+        if !agent.advert_pinned() {
+            agent.service_url = url.clone();
         }
         Ok(Some(bound))
     }
@@ -598,6 +624,7 @@ impl LiveRuntime {
     /// requests answered inline on the reactor shard threads. The
     /// service's metrics registry receives the endpoint's accept/conn
     /// instruments plus the process-wide reactor shard gauges.
+    #[allow(clippy::too_many_arguments)]
     fn attach_endpoint(
         &mut self,
         url: &str,
@@ -605,6 +632,7 @@ impl LiveRuntime {
         inbox: &Sender<LiveMsg>,
         tcp: TcpTuning,
         inline: InlineHandler,
+        security: Arc<WireSecurity>,
         registry: &gis_proto::metrics::MetricsRegistry,
     ) {
         let ep = bound.serve(
@@ -612,10 +640,56 @@ impl LiveRuntime {
             Arc::clone(&self.router.tcp_conns),
             tcp,
             Some(inline),
+            security,
             registry,
         );
         crate::reactor::Reactor::global().publish_into(registry);
         self.endpoints.insert(url.to_owned(), ep);
+    }
+
+    /// Assemble the wire-facing view of a service's [`SecurityPolicy`]:
+    /// what the listener enforces per connection (handshake gate,
+    /// verifier, our own proof-of-identity) plus the engine hooks that
+    /// fire on auth events. Every rejected handshake records an
+    /// `auth.reject` span into the runtime's trace sink, so security
+    /// incidents show up in the same place as slow queries.
+    fn wire_security(
+        &self,
+        policy: &SecurityPolicy,
+        url: &str,
+        registry: &gis_proto::metrics::MetricsRegistry,
+        on_auth: AuthCallback,
+        on_close: ConnCallback,
+    ) -> Arc<WireSecurity> {
+        let sink = Arc::clone(&self.sink);
+        let span_url = url.to_owned();
+        let epoch = self.epoch;
+        let on_reject: ConnCallback = Arc::new(move |_conn| {
+            let span = sink.next_span();
+            let now = SimTime::wall(epoch);
+            sink.record(SpanRecord {
+                trace: TraceId(span),
+                span,
+                parent: None,
+                service: span_url.clone(),
+                name: "auth.reject".into(),
+                start: now,
+                end: now,
+                outcome: "auth-rejected".into(),
+            });
+        });
+        Arc::new(WireSecurity {
+            required: policy.requires_auth(),
+            authenticator: policy.authenticator(url),
+            credential: policy.credential.clone(),
+            service_name: url.to_owned(),
+            on_auth,
+            on_reject,
+            on_close,
+            auth_ok: registry.counter("auth-ok"),
+            auth_rejected: registry.counter("auth-rejected"),
+            auth_gated: registry.counter("auth-gated"),
+        })
     }
 
     /// Wall time mapped onto the simulation clock type.
@@ -651,11 +725,10 @@ impl LiveRuntime {
     /// address nobody serves.
     pub fn spawn_gris(&mut self, mut gris: Gris, opts: ServeOptions) -> std::io::Result<LdapUrl> {
         Self::check_transport(&gris.config.url, opts.transport)?;
-        let bound = Self::bind_endpoint(
-            opts.transport,
-            &mut gris.config.url,
-            &mut gris.agent.service_url,
-        )?;
+        if let Some(policy) = opts.security.clone() {
+            gris.config.security = policy;
+        }
+        let bound = Self::bind_endpoint(opts.transport, &mut gris.config.url, &mut gris.agent)?;
         let workers = opts.workers;
         let served_url = gris.config.url.clone();
         let url = gris.config.url.to_string();
@@ -767,7 +840,25 @@ impl LiveRuntime {
                     Err(request) => Some(request),
                 }
             });
-            self.attach_endpoint(&url, bound, &inbox_tx, opts.tcp, inline, &registry);
+            // Hook the §7 handshake outcomes into the engine's session
+            // table: an authenticated connection's queries run as the
+            // proven subject, and the session dies with the socket.
+            let auth_query = gris.query_path();
+            let auth_interner = interner.clone();
+            let on_auth: AuthCallback = Arc::new(move |conn, subject| {
+                let cid = auth_interner.intern(&Address::Tcp(conn));
+                auth_query.authenticate_session(cid, Requester::subject(subject));
+            });
+            let close_query = gris.query_path();
+            let close_interner = interner.clone();
+            let on_close: ConnCallback = Arc::new(move |conn| {
+                if let Some(cid) = close_interner.lookup(&Address::Tcp(conn)) {
+                    close_query.drop_session(cid);
+                }
+            });
+            let wire =
+                self.wire_security(&gris.config.security, &url, &registry, on_auth, on_close);
+            self.attach_endpoint(&url, bound, &inbox_tx, opts.tcp, inline, wire, &registry);
         }
         let router = Arc::clone(&self.router);
         let handle = std::thread::spawn(move || {
@@ -790,7 +881,7 @@ impl LiveRuntime {
                             router.send_back(&from, &url, reply);
                         }
                     }
-                    Ok(LiveMsg::Grrp(msg)) => {
+                    Ok(LiveMsg::Grrp(msg, _)) => {
                         gris.handle_grrp(&msg);
                     }
                     Ok(LiveMsg::Reannounce) => gris.agent.reannounce(),
@@ -800,7 +891,7 @@ impl LiveRuntime {
                 }
                 let out = gris.tick(now());
                 for (dir, msg) in out.registrations {
-                    router.send_to_service(&dir.to_string(), LiveMsg::Grrp(msg));
+                    router.send_to_service(&dir.to_string(), LiveMsg::Grrp(msg, None));
                 }
                 for (cid, reply) in out.updates {
                     if let Some(addr) = interner.address_of(cid) {
@@ -833,11 +924,10 @@ impl LiveRuntime {
     /// served URL is returned.
     pub fn spawn_giis(&mut self, mut giis: Giis, opts: ServeOptions) -> std::io::Result<LdapUrl> {
         Self::check_transport(&giis.config.url, opts.transport)?;
-        let bound = Self::bind_endpoint(
-            opts.transport,
-            &mut giis.config.url,
-            &mut giis.agent.service_url,
-        )?;
+        if let Some(policy) = opts.security.clone() {
+            giis.config.security = policy;
+        }
+        let bound = Self::bind_endpoint(opts.transport, &mut giis.config.url, &mut giis.agent)?;
         let workers = opts.workers;
         let served_url = giis.config.url.clone();
         let url = giis.config.url.to_string();
@@ -943,7 +1033,22 @@ impl LiveRuntime {
                     Err(request) => Some(request),
                 }
             });
-            self.attach_endpoint(&url, bound, &inbox_tx, opts.tcp, inline, &registry);
+            let auth_query = giis.query_path();
+            let auth_interner = interner.clone();
+            let on_auth: AuthCallback = Arc::new(move |conn, subject| {
+                let cid = auth_interner.intern(&Address::Tcp(conn));
+                auth_query.authenticate_session(cid, Requester::subject(subject));
+            });
+            let close_query = giis.query_path();
+            let close_interner = interner.clone();
+            let on_close: ConnCallback = Arc::new(move |conn| {
+                if let Some(cid) = close_interner.lookup(&Address::Tcp(conn)) {
+                    close_query.drop_session(cid);
+                }
+            });
+            let wire =
+                self.wire_security(&giis.config.security, &url, &registry, on_auth, on_close);
+            self.attach_endpoint(&url, bound, &inbox_tx, opts.tcp, inline, wire, &registry);
         }
         let router = Arc::clone(&self.router);
         let handle = std::thread::spawn(move || {
@@ -992,8 +1097,13 @@ impl LiveRuntime {
                                     perform_giis_actions(actions, &router, &interner, &url);
                                 }
                             }
-                            LiveMsg::Grrp(msg) => {
-                                let actions = giis.handle_grrp(msg, now());
+                            LiveMsg::Grrp(msg, origin) => {
+                                // A TCP-borne registration keeps its
+                                // connection as the reply address, so a
+                                // signature rejection reaches the
+                                // sender as a wire frame.
+                                let from = origin.as_ref().map(|a| interner.intern(a));
+                                let actions = giis.handle_grrp_from(from, msg, now());
                                 perform_giis_actions(actions, &router, &interner, &url);
                             }
                             LiveMsg::Reannounce => giis.agent.reannounce(),
@@ -1041,7 +1151,20 @@ impl LiveRuntime {
             rng: SimRng::new(id),
             epoch: self.epoch,
             sink: Arc::clone(&self.sink),
+            handshake_rtt: None,
         }
+    }
+
+    /// Install the client half of §7 for every *outbound* connection
+    /// the runtime's services dial — chained GIIS fan-out, federated
+    /// delta sync, GRRP registrations to remote directories. New dials
+    /// lead with a `Hello` bound to the dialed peer; servers that
+    /// demand authentication then serve this runtime's services instead
+    /// of dropping their connections.
+    pub fn set_outbound_security(&self, policy: &SecurityPolicy) {
+        self.router
+            .outbound
+            .set_security(OutboundSecurity::from_policy(policy));
     }
 
     /// Simulate a service failure: unregister its inbox (and close its
@@ -1155,6 +1278,9 @@ impl Default for RetryPolicy {
 /// How a [`LiveClient`] reaches services: the in-process router, or one
 /// persistent TCP connection to a single endpoint in (possibly) another
 /// OS process.
+// A process holds a handful of clients, not millions: the Tcp variant's
+// connection + tuning block dwarfing the Channel variant costs nothing.
+#[allow(clippy::large_enum_variant)]
 enum ClientLink {
     Channel {
         rx: Receiver<GripReply>,
@@ -1163,6 +1289,11 @@ enum ClientLink {
     Tcp {
         peer: String,
         tuning: TcpTuning,
+        /// Client half of the §7 posture, replayed on every re-dial so
+        /// a reconnected session holds the same authentication the
+        /// original did. Boxed: a policy carries cert chains and a
+        /// trust store, and the Channel variant shouldn't pay for them.
+        security: Box<SecurityPolicy>,
         /// `None` between a detected drop and the next (re)connect.
         conn: Option<ClientConn>,
     },
@@ -1178,6 +1309,9 @@ pub struct LiveClient {
     rng: SimRng,
     epoch: Instant,
     sink: Arc<TraceSink>,
+    /// Measured §7 handshake round-trip of the initial dial (`None` for
+    /// channel clients and anonymous connections).
+    handshake_rtt: Option<Duration>,
 }
 
 /// Terminal result of one client search: code, entries, referrals.
@@ -1434,31 +1568,47 @@ impl ReplicaBalancer {
     }
 }
 
-impl LiveClient {
-    fn now(&self) -> SimTime {
-        SimTime::wall(self.epoch)
+/// Configures a cross-process TCP client before it dials: endpoint,
+/// socket knobs, and the client half of the §7 security posture. Built
+/// by [`LiveClient::builder`].
+#[must_use = "a LiveClientBuilder does nothing until .connect()"]
+pub struct LiveClientBuilder {
+    url: LdapUrl,
+    tuning: TcpTuning,
+    security: SecurityPolicy,
+}
+
+impl LiveClientBuilder {
+    /// Present this posture when dialing: a credential leads the
+    /// connection with a bound `Hello`, and a trust store additionally
+    /// demands the server prove its own identity (mutual auth).
+    pub fn security(mut self, policy: SecurityPolicy) -> LiveClientBuilder {
+        self.security = policy;
+        self
     }
 
-    /// Connect to a `tcp://` service endpoint, with default
-    /// [`TcpTuning`] — the cross-process counterpart of
-    /// [`LiveRuntime::client`]. The returned client speaks GRIP over
-    /// one persistent framed connection: searches, subscriptions and
-    /// their update streams all ride it. A dropped connection is
-    /// re-dialed on the next request.
-    pub fn connect_tcp(url: &LdapUrl) -> std::io::Result<LiveClient> {
-        LiveClient::connect_tcp_tuned(url, TcpTuning::default())
+    /// Replace the socket knobs.
+    pub fn tuning(mut self, tuning: TcpTuning) -> LiveClientBuilder {
+        self.tuning = tuning;
+        self
     }
 
-    /// [`connect_tcp`](Self::connect_tcp) with explicit socket knobs.
-    pub fn connect_tcp_tuned(url: &LdapUrl, tuning: TcpTuning) -> std::io::Result<LiveClient> {
-        if !url.is_tcp() {
+    /// Dial the endpoint, running the §7 handshake first when the
+    /// posture carries a credential. The returned client speaks GRIP
+    /// over one persistent framed connection: searches, subscriptions
+    /// and their update streams all ride it. A dropped connection is
+    /// re-dialed (with the same posture) on the next request. A server
+    /// that rejects the handshake surfaces as `PermissionDenied`.
+    pub fn connect(self) -> std::io::Result<LiveClient> {
+        if !self.url.is_tcp() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
-                format!("connect_tcp needs a tcp:// URL, got {url}"),
+                format!("LiveClient::builder needs a tcp:// URL, got {}", self.url),
             ));
         }
-        let peer = url.authority();
-        let conn = ClientConn::connect(&peer, tuning)?;
+        let peer = self.url.authority();
+        let (conn, handshake_rtt) =
+            ClientConn::connect_secured(&peer, self.tuning, &self.security)?;
         // Seed identity from the pid: requests are correlated per
         // connection so the id only needs to be process-unique, and the
         // span-id base keeps this process's spans disjoint from the
@@ -1468,14 +1618,66 @@ impl LiveClient {
             id: pid,
             link: ClientLink::Tcp {
                 peer,
-                tuning,
+                tuning: self.tuning,
+                security: Box::new(self.security),
                 conn: Some(conn),
             },
             next_req: 1,
             rng: SimRng::new(pid),
             epoch: Instant::now(),
             sink: Arc::new(TraceSink::with_base(pid << 32)),
+            handshake_rtt,
         })
+    }
+}
+
+impl LiveClient {
+    fn now(&self) -> SimTime {
+        SimTime::wall(self.epoch)
+    }
+
+    /// Start configuring a TCP connection to `url` — the cross-process
+    /// counterpart of [`LiveRuntime::client`]. Chain
+    /// [`security`](LiveClientBuilder::security) and
+    /// [`tuning`](LiveClientBuilder::tuning), then
+    /// [`connect`](LiveClientBuilder::connect):
+    ///
+    /// ```no_run
+    /// # use gis_core::live::LiveClient;
+    /// # use gis_gsi::SecurityPolicy;
+    /// # use gis_ldap::LdapUrl;
+    /// # let url = LdapUrl::parse("tcp://127.0.0.1:5389").unwrap();
+    /// # let (cred, trust) = unimplemented!();
+    /// let client = LiveClient::builder(&url)
+    ///     .security(SecurityPolicy::authenticated(cred, trust))
+    ///     .connect()?;
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn builder(url: &LdapUrl) -> LiveClientBuilder {
+        LiveClientBuilder {
+            url: url.clone(),
+            tuning: TcpTuning::default(),
+            security: SecurityPolicy::anonymous(),
+        }
+    }
+
+    /// Connect to a `tcp://` service endpoint, with default
+    /// [`TcpTuning`] and no security.
+    #[deprecated(note = "use `LiveClient::builder(url).connect()`")]
+    pub fn connect_tcp(url: &LdapUrl) -> std::io::Result<LiveClient> {
+        LiveClient::builder(url).connect()
+    }
+
+    /// Connect with explicit socket knobs and no security.
+    #[deprecated(note = "use `LiveClient::builder(url).tuning(tuning).connect()`")]
+    pub fn connect_tcp_tuned(url: &LdapUrl, tuning: TcpTuning) -> std::io::Result<LiveClient> {
+        LiveClient::builder(url).tuning(tuning).connect()
+    }
+
+    /// The §7 handshake round-trip measured when this client connected:
+    /// `None` for channel clients and anonymous TCP connections.
+    pub fn handshake_rtt(&self) -> Option<Duration> {
+        self.handshake_rtt
     }
 
     /// The sink this client's root spans land in. For channel clients
@@ -1509,14 +1711,24 @@ impl LiveClient {
                 );
                 true
             }
-            ClientLink::Tcp { peer, tuning, conn } => {
+            ClientLink::Tcp {
+                peer,
+                tuning,
+                security,
+                conn,
+            } => {
                 let msg = ProtocolMessage::Request(request);
                 let frame = match trace {
                     Some(ctx) => msg.traced(ctx),
                     None => msg,
                 };
                 if conn.is_none() {
-                    *conn = ClientConn::connect(peer, *tuning).ok();
+                    // Re-dial with the same posture the original
+                    // connection held: an authenticated session must
+                    // not silently degrade to anonymous on reconnect.
+                    *conn = ClientConn::connect_secured(peer, *tuning, security)
+                        .ok()
+                        .map(|(c, _)| c);
                 }
                 let Some(c) = conn.as_mut() else {
                     return false;
@@ -1903,23 +2115,46 @@ mod tests {
         // pointed at `tcp://...:0` keeps its construction-time advert in
         // the registration agent; binding must rebuild it, or the GRIS
         // announces an address nobody serves.
+        let agent = |advert: LdapUrl| {
+            gis_proto::RegistrationAgent::new(
+                advert,
+                Dn::root(),
+                SimDuration::from_secs(30),
+                SimDuration::from_secs(90),
+            )
+        };
         let mut url = LdapUrl::tcp("127.0.0.1", 0);
-        let mut advert = LdapUrl::server("gris.n1");
-        let bound = LiveRuntime::bind_endpoint(Transport::Tcp, &mut url, &mut advert)
+        let mut ag = agent(LdapUrl::server("gris.n1"));
+        let bound = LiveRuntime::bind_endpoint(Transport::Tcp, &mut url, &mut ag)
             .unwrap()
             .unwrap();
         assert_ne!(url.port, 0, "ephemeral port resolved");
-        assert_eq!(advert, url, "stale ldap:// advert rebuilt");
+        assert_eq!(ag.service_url, url, "stale ldap:// advert rebuilt");
         drop(bound);
 
-        // A deliberately different tcp:// advert (e.g. a NATed public
-        // address) is the caller's choice and stays untouched.
-        let mut url = LdapUrl::tcp("127.0.0.1", 0);
-        let mut advert = LdapUrl::tcp("public.example", 7000);
-        let _bound = LiveRuntime::bind_endpoint(Transport::Tcp, &mut url, &mut advert)
+        // Regression for the rebind footgun: the engine was first bound
+        // to one tcp:// port (agent re-snapshotted it), then pointed at
+        // a *different* `tcp://...:0`. The old behaviour kept the now
+        // dead first port because it no longer textually matched the
+        // requested URL; an unpinned advert must always track the bind.
+        let mut url2 = LdapUrl::tcp("127.0.0.1", 0);
+        let mut ag2 = agent(url.clone());
+        let bound2 = LiveRuntime::bind_endpoint(Transport::Tcp, &mut url2, &mut ag2)
             .unwrap()
             .unwrap();
-        assert_eq!(advert, LdapUrl::tcp("public.example", 7000));
+        assert_ne!(url2.port, url.port, "fresh ephemeral port");
+        assert_eq!(ag2.service_url, url2, "stale tcp:// advert re-snapshotted");
+        drop(bound2);
+
+        // A deliberately pinned advert (e.g. a NATed public address) is
+        // the caller's choice and stays untouched.
+        let mut url = LdapUrl::tcp("127.0.0.1", 0);
+        let mut ag = agent(LdapUrl::server("gris.n1"));
+        ag.advertise(LdapUrl::tcp("public.example", 7000));
+        let _bound = LiveRuntime::bind_endpoint(Transport::Tcp, &mut url, &mut ag)
+            .unwrap()
+            .unwrap();
+        assert_eq!(ag.service_url, LdapUrl::tcp("public.example", 7000));
     }
 
     #[test]

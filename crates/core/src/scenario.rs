@@ -114,20 +114,14 @@ pub fn two_vos(seed: u64, hosts_per_group: usize) -> TwoVoScenario {
         (
             Giis::new(
                 GiisConfig {
-                    url: url.clone(),
+                    service: gis_gsi::ServiceConfig::open(url.clone()),
                     namespace: Dn::root(),
                     mode: GiisMode::Chain {
                         timeout: SimDuration::from_secs(2),
                     },
                     accept: gis_giis::AcceptPolicy::All,
-                    policy: gis_gsi::PolicyMap::open(),
-                    authenticator: None,
-                    credential: None,
-                    grrp_trust: None,
                     result_cache_ttl: None,
                     breaker: None,
-                    observability: true,
-                    monitoring_refresh: secs(5),
                     shards: Vec::new(),
                 },
                 secs(10),

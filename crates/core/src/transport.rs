@@ -91,9 +91,12 @@ use crate::live::{Address, LiveMsg};
 use crate::reactor::{
     connect_nonblocking, take_socket_error, Ctl, EventSource, Keep, Nudge, Reactor,
 };
+use gis_gsi::{Authenticator, BindToken, Credential, SecurityPolicy, TrustStore};
 use gis_proto::frame::{encode_frame_limited, encode_mux_frame_limited, Frame, FrameDecoder};
 use gis_proto::metrics::{Gauge, MetricsRegistry};
-use gis_proto::{Counter, GripReply, GripRequest, ProtocolMessage, TraceContext};
+use gis_proto::{
+    Counter, GripReply, GripRequest, Handshake, ProtocolMessage, ResultCode, TraceContext,
+};
 use parking_lot::{Mutex, RwLock};
 // The vendored parking_lot is a shim over std primitives, so its guards
 // interoperate with the std condition variable.
@@ -390,6 +393,114 @@ impl Drop for ReplyCork {
 pub(crate) type InlineHandler =
     Arc<dyn Fn(u64, GripRequest, Option<TraceContext>) -> Option<GripRequest> + Send + Sync>;
 
+/// Notification that connection `conn_id` proved `subject` (the runtime
+/// marks the engine session authenticated).
+pub(crate) type AuthCallback = Arc<dyn Fn(u64, &str) + Send + Sync>;
+
+/// Per-connection lifecycle notification (auth rejection, close).
+pub(crate) type ConnCallback = Arc<dyn Fn(u64) + Send + Sync>;
+
+/// One endpoint's §7 wire-security posture: how inbound `Hello` frames
+/// are verified, whether unauthenticated traffic is served at all, and
+/// what to tell the owning runtime when a connection's handshake
+/// settles. Built by the live runtime from the service's
+/// [`SecurityPolicy`]; the transport itself stays policy-free — it only
+/// executes the handshake state machine.
+pub(crate) struct WireSecurity {
+    /// When true, a non-handshake frame on a connection that has not
+    /// authenticated drops that *connection* (never the service). The
+    /// anonymous tier leaves this false, so legacy peers keep working.
+    pub(crate) required: bool,
+    /// Verifies inbound `Hello` tokens. `None` means this endpoint does
+    /// not speak the handshake: any `Hello` is answered with
+    /// `Reject(UnwillingToPerform)` and the connection is closed.
+    pub(crate) authenticator: Option<Authenticator>,
+    /// Credential signing the `Welcome` return token (the server half of
+    /// mutual authentication). The token binds to `service_name`, the
+    /// endpoint's own advertised URL — the name the client dialed — so
+    /// the client can verify it against its trust store.
+    pub(crate) credential: Option<Credential>,
+    /// The endpoint's advertised `tcp://host:port` URL string.
+    pub(crate) service_name: String,
+    /// Fired when a connection authenticates.
+    pub(crate) on_auth: AuthCallback,
+    /// Fired when a `Hello` fails verification (auth-failure span).
+    pub(crate) on_reject: ConnCallback,
+    /// Fired when an accepted connection closes (session cleanup).
+    pub(crate) on_close: ConnCallback,
+    /// Handshakes accepted.
+    pub(crate) auth_ok: Arc<Counter>,
+    /// `Hello` tokens that failed verification.
+    pub(crate) auth_rejected: Arc<Counter>,
+    /// Frames dropped (with their connection) for arriving before
+    /// authentication on a `required` endpoint.
+    pub(crate) auth_gated: Arc<Counter>,
+}
+
+impl WireSecurity {
+    /// An open endpoint: no handshake support, nothing required — the
+    /// pre-§7 wire behaviour. Counters register under `registry` so the
+    /// monitoring namespace shows zeros rather than missing series.
+    #[cfg(test)]
+    pub(crate) fn open(registry: &MetricsRegistry) -> Arc<WireSecurity> {
+        Arc::new(WireSecurity {
+            required: false,
+            authenticator: None,
+            credential: None,
+            service_name: String::new(),
+            on_auth: Arc::new(|_, _| {}),
+            on_reject: Arc::new(|_| {}),
+            on_close: Arc::new(|_| {}),
+            auth_ok: registry.counter("auth-ok"),
+            auth_rejected: registry.counter("auth-rejected"),
+            auth_gated: registry.counter("auth-gated"),
+        })
+    }
+}
+
+/// What an outbound connection presents when dialing: the client half of
+/// the §7 handshake. Snapshotted per peer at dial time by
+/// [`TcpOutbound::conn_for`].
+#[derive(Clone, Default)]
+pub(crate) struct OutboundSecurity {
+    /// When present, every new connection opens with a `Hello` carrying
+    /// a [`BindToken`] over the peer's `tcp://host:port` name.
+    pub(crate) credential: Option<Credential>,
+    /// When present, the server's `Welcome` token must verify against
+    /// this store (mutual authentication) or the connection dies.
+    pub(crate) trust: Option<TrustStore>,
+}
+
+impl OutboundSecurity {
+    /// Derive the wire-client posture from a service-level policy.
+    pub(crate) fn from_policy(policy: &SecurityPolicy) -> OutboundSecurity {
+        OutboundSecurity {
+            credential: policy.credential.clone(),
+            trust: policy.trust.clone(),
+        }
+    }
+
+    /// The staged `Hello` token and `Welcome` verifier for dialing
+    /// `peer` (`host:port`), or `None` when this side stays anonymous.
+    fn hello_for(&self, peer: &str) -> Option<ClientHello> {
+        let cred = self.credential.as_ref()?;
+        let target = format!("tcp://{peer}");
+        Some(ClientHello {
+            token: BindToken::create(cred, &target).to_bytes(),
+            verify: self
+                .trust
+                .as_ref()
+                .map(|t| Authenticator::new(t.clone(), target)),
+        })
+    }
+}
+
+/// The prepared client half of one connection's handshake.
+struct ClientHello {
+    token: Vec<u8>,
+    verify: Option<Authenticator>,
+}
+
 /// A bound-but-not-yet-serving listener. Splitting bind from serve lets
 /// the runtime read the kernel-assigned port (`tcp://host:0`) and fix up
 /// registration URLs *before* any traffic arrives.
@@ -414,14 +525,16 @@ impl BoundEndpoint {
 
     /// Register the listener with the reactor and start serving frames
     /// into `inbox`, with read-path requests optionally short-circuited
-    /// by `inline` on the shard threads. `registry` receives the
-    /// endpoint's `tcp-accept-errors` counter and `tcp-conns` gauge.
+    /// by `inline` on the shard threads and connections authenticated
+    /// under `security`. `registry` receives the endpoint's
+    /// `tcp-accept-errors` counter and `tcp-conns` gauge.
     pub(crate) fn serve(
         self,
         inbox: Sender<LiveMsg>,
         conns: Arc<ConnTable>,
         tuning: TcpTuning,
         inline: Option<InlineHandler>,
+        security: Arc<WireSecurity>,
         registry: &MetricsRegistry,
     ) -> TcpEndpoint {
         let conn_ids = Arc::new(Mutex::new(Vec::new()));
@@ -437,6 +550,7 @@ impl BoundEndpoint {
                 conns,
                 tuning,
                 inline,
+                security,
                 conn_ids,
                 active: Arc::new(AtomicUsize::new(0)),
                 accept_errors: registry.counter("tcp-accept-errors"),
@@ -478,6 +592,7 @@ struct ListenerSource {
     conns: Arc<ConnTable>,
     tuning: TcpTuning,
     inline: Option<InlineHandler>,
+    security: Arc<WireSecurity>,
     conn_ids: Arc<Mutex<Vec<u64>>>,
     active: Arc<AtomicUsize>,
     accept_errors: Arc<Counter>,
@@ -512,6 +627,8 @@ impl ListenerSource {
                 dec: FrameDecoder::with_max_frame(self.tuning.max_frame),
                 inbox: self.inbox.clone(),
                 inline: self.inline.clone(),
+                security: Arc::clone(&self.security),
+                authed: false,
                 tuning: self.tuning,
                 conn_ids: Arc::clone(&self.conn_ids),
                 active: Arc::clone(&self.active),
@@ -605,6 +722,9 @@ struct ServerConn {
     dec: FrameDecoder,
     inbox: Sender<LiveMsg>,
     inline: Option<InlineHandler>,
+    security: Arc<WireSecurity>,
+    /// Whether this connection completed the §7 handshake.
+    authed: bool,
     tuning: TcpTuning,
     conn_ids: Arc<Mutex<Vec<u64>>>,
     active: Arc<AtomicUsize>,
@@ -619,6 +739,7 @@ impl Drop for ServerConn {
     fn drop(&mut self) {
         // Runs on the shard thread whenever the source is dropped —
         // protocol error, EOF, deadline, or endpoint shutdown.
+        (self.security.on_close)(self.conn_id);
         self.conns.remove(self.conn_id);
         self.conn_ids.lock().retain(|&id| id != self.conn_id);
         let live = self
@@ -660,6 +781,66 @@ impl ServerConn {
             None => ctl.clear_timer(),
         }
     }
+
+    /// Run the server half of the §7 handshake for one inbound
+    /// handshake frame. `false` drops the connection — every failure
+    /// path stages an explanatory `Reject` first, so a well-behaved
+    /// client learns *why* before the EOF.
+    fn handle_handshake(&mut self, frame: Frame) -> bool {
+        let ProtocolMessage::Handshake(Handshake::Hello { token }) = frame.msg else {
+            // Welcome/Reject aimed at a server, or a second frame after
+            // one of those: out of protocol order.
+            return false;
+        };
+        if self.authed {
+            return false; // one handshake per connection
+        }
+        let Some(auth) = &self.security.authenticator else {
+            // This endpoint does not speak the handshake (anonymous
+            // tier with no trust store): refuse the *connection*, not
+            // the service — anonymous peers that never send a Hello are
+            // unaffected.
+            let _ = self.conns.send(
+                self.conn_id,
+                &ProtocolMessage::Handshake(Handshake::Reject {
+                    code: ResultCode::UnwillingToPerform,
+                }),
+            );
+            return false;
+        };
+        match auth.authenticate(&token) {
+            Some(subject) => {
+                self.authed = true;
+                self.security.auth_ok.bump();
+                (self.security.on_auth)(self.conn_id, &subject);
+                // Mutual auth: prove our own identity by binding a
+                // token to the name the client dialed. No credential
+                // (authenticator-only endpoint) sends an empty token;
+                // clients holding a trust store treat that as failure.
+                let token = self
+                    .security
+                    .credential
+                    .as_ref()
+                    .map(|c| BindToken::create(c, &self.security.service_name).to_bytes())
+                    .unwrap_or_default();
+                self.conns.send(
+                    self.conn_id,
+                    &ProtocolMessage::Handshake(Handshake::Welcome { subject, token }),
+                )
+            }
+            None => {
+                self.security.auth_rejected.bump();
+                (self.security.on_reject)(self.conn_id);
+                let _ = self.conns.send(
+                    self.conn_id,
+                    &ProtocolMessage::Handshake(Handshake::Reject {
+                        code: ResultCode::AuthRejected,
+                    }),
+                );
+                false
+            }
+        }
+    }
 }
 
 impl EventSource for ServerConn {
@@ -688,6 +869,23 @@ impl EventSource for ServerConn {
                                         // echo it on replies from now on.
                                         self.handle.mux.store(true, Ordering::Relaxed);
                                     }
+                                    if matches!(frame.msg, ProtocolMessage::Handshake(_)) {
+                                        if !self.handle_handshake(frame) {
+                                            keep = false;
+                                            break;
+                                        }
+                                        continue;
+                                    }
+                                    if self.security.required && !self.authed {
+                                        // §7: an authenticated-tier
+                                        // endpoint refuses GRIP/GRRP
+                                        // before the handshake. The
+                                        // *connection* dies; the
+                                        // service keeps serving.
+                                        self.security.auth_gated.bump();
+                                        keep = false;
+                                        break;
+                                    }
                                     if !dispatch_inbound(
                                         frame,
                                         self.conn_id,
@@ -709,6 +907,10 @@ impl EventSource for ServerConn {
                         }
                         self.handle.corked.fetch_sub(1, Ordering::AcqRel);
                         if !keep {
+                            // Best effort: flush any staged handshake
+                            // Reject so the peer learns why before the
+                            // EOF. A blocked socket just drops it.
+                            let _ = self.handle.drain();
                             return Keep::Drop;
                         }
                         rounds += 1;
@@ -795,10 +997,15 @@ fn dispatch_inbound(
                 enqueued: Instant::now(),
             }
         }
-        ProtocolMessage::Grrp(m) => LiveMsg::Grrp(m),
+        ProtocolMessage::Grrp(m) => LiveMsg::Grrp(m, Some(Address::Tcp(conn_id))),
         // A server-side connection carries requests and registrations;
-        // an unsolicited Reply is a protocol violation.
-        ProtocolMessage::Reply(_) | ProtocolMessage::Traced { .. } => return false,
+        // an unsolicited Reply is a protocol violation, and a
+        // handshake frame reaching dispatch (a second Hello after the
+        // connection authenticated, or a client-side Welcome/Reject
+        // aimed at a server) is out of protocol order.
+        ProtocolMessage::Reply(_)
+        | ProtocolMessage::Traced { .. }
+        | ProtocolMessage::Handshake(_) => return false,
     };
     inbox.send(live).is_ok()
 }
@@ -862,14 +1069,29 @@ struct MuxConn {
     /// Handle to the shard that owns this connection's socket, set
     /// before the source is activated.
     nudge: OnceLock<Nudge>,
+    /// When set, the server's `Welcome` token must verify against this
+    /// authenticator (mutual auth); an empty or forged token drops the
+    /// connection.
+    verify: Option<Authenticator>,
 }
 
 impl MuxConn {
     /// Create the connection state, begin a nonblocking dial, and
     /// register it with the reactor. A peer that cannot even be resolved
     /// or a socket that cannot be created kills the connection
-    /// immediately (callers see `Connect` failures fast).
-    fn spawn(peer: &str, tuning: TcpTuning, closed: Arc<AtomicBool>) -> Arc<MuxConn> {
+    /// immediately (callers see `Connect` failures fast). With `hello`
+    /// set, a §7 `Hello` frame is staged ahead of any traffic, so the
+    /// handshake rides the same initial burst as the first request.
+    fn spawn(
+        peer: &str,
+        tuning: TcpTuning,
+        closed: Arc<AtomicBool>,
+        hello: Option<ClientHello>,
+    ) -> Arc<MuxConn> {
+        let (hello_token, verify) = match hello {
+            Some(h) => (Some(h.token), h.verify),
+            None => (None, None),
+        };
         let conn = Arc::new(MuxConn {
             tuning,
             state: Mutex::new(WireState::Dialing),
@@ -880,7 +1102,18 @@ impl MuxConn {
             next_corr: AtomicU64::new(0),
             corked: AtomicUsize::new(0),
             nudge: OnceLock::new(),
+            verify,
         });
+        if let Some(token) = hello_token {
+            // Plain-framed: the handshake predates any envelope
+            // negotiation and expects no correlated reply.
+            let mut q = conn.queued.lock();
+            let _ = encode_frame_limited(
+                &ProtocolMessage::Handshake(Handshake::Hello { token }),
+                &mut q,
+                tuning.max_frame,
+            );
+        }
         let sock = resolve(peer).and_then(|addr| connect_nonblocking(&addr).ok());
         let Some((sock, _immediate)) = sock else {
             conn.kill(TransportError::Connect);
@@ -912,6 +1145,21 @@ impl MuxConn {
     /// violation (drop the connection); mismatched, duplicate and
     /// unknown correlation ids drop the *frame* only.
     fn on_frame(&self, frame: Frame) -> bool {
+        if let ProtocolMessage::Handshake(h) = &frame.msg {
+            return match h {
+                // Mutual auth: with a trust store configured, the
+                // server must prove its identity; without one we accept
+                // the Welcome on faith (authenticated-client-only).
+                Handshake::Welcome { token, .. } => match &self.verify {
+                    Some(auth) => auth.authenticate(token).is_some(),
+                    None => true,
+                },
+                // Reject (or a nonsensical client-bound Hello): the
+                // server will not serve us — kill the connection so
+                // every pending request fails and the breaker counts.
+                _ => false,
+            };
+        }
         let ProtocolMessage::Reply(mut reply) = frame.msg else {
             return false;
         };
@@ -1324,6 +1572,9 @@ pub(crate) struct TcpOutbound {
     peers: Mutex<HashMap<String, PeerRing>>,
     tuning: TcpTuning,
     closed: Arc<AtomicBool>,
+    /// Client-side §7 identity: when a credential is present every new
+    /// connection leads with a bound `Hello`.
+    security: Mutex<OutboundSecurity>,
 }
 
 impl Default for TcpOutbound {
@@ -1338,7 +1589,14 @@ impl TcpOutbound {
             peers: Mutex::new(HashMap::new()),
             tuning,
             closed: Arc::new(AtomicBool::new(false)),
+            security: Mutex::new(OutboundSecurity::default()),
         }
+    }
+
+    /// Install the outbound identity. Existing connections keep their
+    /// tier; new dials lead with a `Hello` bound to the dialed peer.
+    pub(crate) fn set_security(&self, sec: OutboundSecurity) {
+        *self.security.lock() = sec;
     }
 
     /// Fire-and-forget a frame (GRRP notifications). Connection errors
@@ -1408,7 +1666,8 @@ impl TcpOutbound {
         match &ring.conns[slot] {
             Some(conn) if conn.alive.load(Ordering::Relaxed) => Arc::clone(conn),
             _ => {
-                let conn = MuxConn::spawn(peer, self.tuning, Arc::clone(&self.closed));
+                let hello = self.security.lock().hello_for(peer);
+                let conn = MuxConn::spawn(peer, self.tuning, Arc::clone(&self.closed), hello);
                 ring.conns[slot] = Some(Arc::clone(&conn));
                 conn
             }
@@ -1493,6 +1752,61 @@ impl ClientConn {
             ebuf: bytes::BytesMut::new(),
             corked: false,
         })
+    }
+
+    /// Dial `peer` and, when `security` carries a credential, run the
+    /// §7 handshake before returning: send a bound `Hello`, block for
+    /// the server's verdict, and verify its `Welcome` token against the
+    /// trust store (when one is configured). Returns the connection and
+    /// the measured handshake round-trip (`None` for anonymous dials).
+    /// A `Reject` (or unverifiable server identity) surfaces as
+    /// `PermissionDenied`.
+    pub(crate) fn connect_secured(
+        peer: &str,
+        tuning: TcpTuning,
+        security: &SecurityPolicy,
+    ) -> std::io::Result<(ClientConn, Option<Duration>)> {
+        let mut conn = ClientConn::connect(peer, tuning)?;
+        let outbound = OutboundSecurity::from_policy(security);
+        let Some(hello) = outbound.hello_for(peer) else {
+            return Ok((conn, None));
+        };
+        let denied = |why: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                format!("handshake with {peer}: {why}"),
+            )
+        };
+        let started = Instant::now();
+        if !conn.send(
+            &ProtocolMessage::Handshake(Handshake::Hello { token: hello.token }),
+            tuning.max_frame,
+        ) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                format!("handshake with {peer}: connection closed"),
+            ));
+        }
+        match conn.recv(tuning.read_deadline) {
+            Ok(ProtocolMessage::Handshake(Handshake::Welcome { token, .. })) => {
+                if let Some(auth) = &hello.verify {
+                    if auth.authenticate(&token).is_none() {
+                        return Err(denied("server identity unverifiable"));
+                    }
+                }
+                Ok((conn, Some(started.elapsed())))
+            }
+            Ok(ProtocolMessage::Handshake(Handshake::Reject { code })) => Err(denied(code.label())),
+            Ok(_) => Err(denied("out-of-order reply before handshake")),
+            Err(RecvFail::Timeout) => Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("handshake with {peer}: no verdict"),
+            )),
+            Err(RecvFail::Closed) => Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                format!("handshake with {peer}: connection closed"),
+            )),
+        }
     }
 
     /// Start staging outgoing frames instead of writing each one: a
@@ -1802,7 +2116,8 @@ mod tests {
         let conns = Arc::new(ConnTable::default());
         let (tx, rx) = crossbeam::channel::unbounded();
         let registry = Arc::new(MetricsRegistry::new());
-        let ep = bound.serve(tx, Arc::clone(&conns), tuning, None, &registry);
+        let security = WireSecurity::open(&registry);
+        let ep = bound.serve(tx, Arc::clone(&conns), tuning, None, security, &registry);
         (ep, addr, rx, conns, registry)
     }
 
@@ -2022,6 +2337,214 @@ mod tests {
                 plan.swap(i, j);
             }
             run_mux_exchange(n, plan, junk);
+        }
+    }
+
+    /// A §7-secured endpoint requiring mutual auth. Returns the policy a
+    /// well-behaved client should present (a credential the server's
+    /// trust store vouches for, plus the same store for verifying the
+    /// server back).
+    fn spawn_secured_endpoint(
+        tuning: TcpTuning,
+    ) -> (
+        TcpEndpoint,
+        String,
+        crossbeam::channel::Receiver<LiveMsg>,
+        Arc<ConnTable>,
+        Arc<MetricsRegistry>,
+        SecurityPolicy,
+    ) {
+        let ca = gis_gsi::CertAuthority::new("/O=Grid/CN=CA", 42);
+        let mut trust = TrustStore::new();
+        trust.add_ca(&ca);
+        let bound = BoundEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = bound.local_addr().to_string();
+        let service_name = format!("tcp://{addr}");
+        let conns = Arc::new(ConnTable::default());
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = SecurityPolicy::authenticated(ca.issue(&service_name), trust.clone());
+        let security = Arc::new(WireSecurity {
+            required: true,
+            authenticator: server.authenticator(service_name.clone()),
+            credential: server.credential.clone(),
+            service_name,
+            on_auth: Arc::new(|_, _| {}),
+            on_reject: Arc::new(|_| {}),
+            on_close: Arc::new(|_| {}),
+            auth_ok: registry.counter("auth-ok"),
+            auth_rejected: registry.counter("auth-rejected"),
+            auth_gated: registry.counter("auth-gated"),
+        });
+        let ep = bound.serve(tx, Arc::clone(&conns), tuning, None, security, &registry);
+        let client = SecurityPolicy::authenticated(ca.issue("/O=Grid/CN=client"), trust);
+        (ep, addr, rx, conns, registry, client)
+    }
+
+    // Tentpole: GRIP before the handshake on an authenticated endpoint
+    // kills that *connection* — never the service. The next, properly
+    // authenticated dial is served.
+    #[test]
+    fn grip_before_auth_drops_connection_not_service() {
+        let tuning = TcpTuning::default();
+        let (ep, addr, rx, conns, registry, client_policy) = spawn_secured_endpoint(tuning);
+
+        let mut anon = ClientConn::connect(&addr, tuning).unwrap();
+        assert!(anon.send(&lookup_request(1, "hn=x"), tuning.max_frame));
+        assert!(
+            matches!(anon.recv(Duration::from_secs(5)), Err(RecvFail::Closed)),
+            "unauthenticated GRIP must drop the connection"
+        );
+        assert!(
+            rx.try_recv().is_err(),
+            "the gated request must never reach the inbox"
+        );
+        assert_eq!(registry.counter("auth-gated").get(), 1);
+
+        let (mut authed, rtt) = ClientConn::connect_secured(&addr, tuning, &client_policy).unwrap();
+        assert!(rtt.is_some(), "handshake round-trip measured");
+        assert!(authed.send(&lookup_request(2, "hn=y"), tuning.max_frame));
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            LiveMsg::Request { request, .. } => assert_eq!(request.id(), 2),
+            other => panic!("unexpected inbox message: {other:?}"),
+        }
+        assert_eq!(registry.counter("auth-ok").get(), 1);
+        ep.shutdown(&conns);
+    }
+
+    // An unverifiable token is answered with the `auth-rejected` wire
+    // code before the connection closes, so the peer learns *why*.
+    #[test]
+    fn forged_hello_gets_wire_reject_code() {
+        let tuning = TcpTuning::default();
+        let (ep, addr, _rx, conns, registry, _) = spawn_secured_endpoint(tuning);
+        let mut conn = ClientConn::connect(&addr, tuning).unwrap();
+        assert!(conn.send(
+            &ProtocolMessage::Handshake(Handshake::Hello {
+                token: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            }),
+            tuning.max_frame,
+        ));
+        match conn.recv(Duration::from_secs(5)) {
+            Ok(ProtocolMessage::Handshake(Handshake::Reject { code })) => {
+                assert_eq!(code, ResultCode::AuthRejected);
+            }
+            other => panic!("expected a Reject frame, got {other:?}"),
+        }
+        assert!(matches!(
+            conn.recv(Duration::from_secs(5)),
+            Err(RecvFail::Closed)
+        ));
+        assert_eq!(registry.counter("auth-rejected").get(), 1);
+        ep.shutdown(&conns);
+    }
+
+    // Satellite: a truncated handshake frame (half a length prefix,
+    // then silence) is reaped by the read-stall deadline and leaves the
+    // endpoint healthy for the next client.
+    #[test]
+    fn truncated_handshake_frame_leaves_service_healthy() {
+        let tuning = TcpTuning {
+            read_deadline: Duration::from_millis(200),
+            ..TcpTuning::default()
+        };
+        let (ep, addr, rx, conns, _registry, client_policy) = spawn_secured_endpoint(tuning);
+
+        let mut stall = TcpStream::connect(&addr).unwrap();
+        stall.write_all(&[0x00, 0x00, 0x01]).unwrap();
+        stall
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut byte = [0u8; 1];
+        assert!(
+            matches!(stall.read(&mut byte), Ok(0)),
+            "truncated handshake must be reaped by the deadline"
+        );
+
+        let (mut ok, _) = ClientConn::connect_secured(&addr, tuning, &client_policy).unwrap();
+        assert!(ok.send(&lookup_request(3, "hn=after-stall"), tuning.max_frame));
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            LiveMsg::Request { request, .. } => assert_eq!(request.id(), 3),
+            other => panic!("unexpected inbox message: {other:?}"),
+        }
+        ep.shutdown(&conns);
+    }
+
+    // Satellite: an absurd length prefix is a framing error — the
+    // connection dies immediately, the service does not.
+    #[test]
+    fn oversized_handshake_frame_drops_connection_cleanly() {
+        let tuning = TcpTuning::default();
+        let (ep, addr, rx, conns, _registry, client_policy) = spawn_secured_endpoint(tuning);
+
+        let mut big = TcpStream::connect(&addr).unwrap();
+        big.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        big.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut byte = [0u8; 1];
+        assert!(
+            matches!(big.read(&mut byte), Ok(0)),
+            "oversized frame must close the connection"
+        );
+
+        let (mut ok, _) = ClientConn::connect_secured(&addr, tuning, &client_policy).unwrap();
+        assert!(ok.send(&lookup_request(4, "hn=after-bomb"), tuning.max_frame));
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            LiveMsg::Request { request, .. } => assert_eq!(request.id(), 4),
+            other => panic!("unexpected inbox message: {other:?}"),
+        }
+        ep.shutdown(&conns);
+    }
+
+    // Satellite: the handshake survives arbitrary TCP fragmentation —
+    // a Hello and the first request sliced at arbitrary byte positions
+    // still authenticate and deliver. Case count kept low: each case
+    // binds a real listener.
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 8, ..Default::default()
+        })]
+
+        #[test]
+        fn fragmented_handshake_still_authenticates(
+            cuts in proptest::collection::vec(1usize..48, 0..6),
+        ) {
+            let tuning = TcpTuning::default();
+            let (ep, addr, rx, conns, _registry, client_policy) =
+                spawn_secured_endpoint(tuning);
+            let hello = OutboundSecurity::from_policy(&client_policy)
+                .hello_for(&addr)
+                .expect("client policy carries a credential");
+            let mut bytes = bytes::BytesMut::new();
+            encode_frame_limited(
+                &ProtocolMessage::Handshake(Handshake::Hello { token: hello.token }),
+                &mut bytes,
+                MAX_FRAME,
+            )
+            .unwrap();
+            encode_mux_frame_limited(
+                7,
+                &lookup_request(7, "hn=frag"),
+                &mut bytes,
+                MAX_FRAME,
+            )
+            .unwrap();
+            let mut stream = TcpStream::connect(&addr).unwrap();
+            let mut off = 0usize;
+            for cut in cuts {
+                let end = (off + cut).min(bytes.len());
+                if off < end {
+                    stream.write_all(&bytes[off..end]).unwrap();
+                    stream.flush().unwrap();
+                    std::thread::sleep(Duration::from_millis(2));
+                    off = end;
+                }
+            }
+            stream.write_all(&bytes[off..]).unwrap();
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                LiveMsg::Request { request, .. } => assert_eq!(request.id(), 7),
+                other => panic!("unexpected inbox message: {other:?}"),
+            }
+            ep.shutdown(&conns);
         }
     }
 }

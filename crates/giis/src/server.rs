@@ -22,9 +22,9 @@
 //! hangs when children are partitioned away (Figures 1 and 4).
 
 use crate::bloom::{attr_token, BloomFilter};
-use gis_gsi::{Authenticator, PolicyMap, Requester};
+use gis_gsi::{PolicyMap, Requester, SecurityPolicy, ServiceConfig};
 use gis_ldap::{Dit, Dn, Entry, Filter, LdapUrl, Rdn, Scope, SharedDit, SnapshotLineage, Wire};
-use gis_netsim::{secs, SimDuration, SimTime};
+use gis_netsim::{SimDuration, SimTime};
 use gis_proto::{
     metrics, result_digest, Counter, GripReply, GripRequest, GrrpMessage, Histogram,
     MetricsRegistry, Notification, PackedPair, RegistrationAgent, RequestId, ResultCode,
@@ -288,10 +288,26 @@ impl GiisStatsAtomic {
 }
 
 /// GIIS configuration.
+///
+/// The shared service knobs (endpoint URL, [`SecurityPolicy`],
+/// observability) live in the embedded [`ServiceConfig`]; `GiisConfig`
+/// derefs to it, so `config.url` / `config.security` /
+/// `config.observability` read and write naturally. The old separate
+/// `policy`/`authenticator`/`credential`/`grrp_trust` knobs are all
+/// derived from `service.security`: the trust store verifies both bind
+/// tokens and registration signatures, the credential signs harvest
+/// binds, and the policy map filters outgoing results.
 pub struct GiisConfig {
-    /// This directory's own endpoint (also its name when registering with
-    /// parents).
-    pub url: LdapUrl,
+    /// The knobs every GIS service shares, including the unified
+    /// security posture. With [`SecurityPolicy::verifies_registrations`]
+    /// true, incoming registrations must carry a valid signature
+    /// chaining to `service.security.trust`; the verified subject
+    /// *replaces* any claimed subject before the accept policy runs
+    /// ("(1) ensure that registration messages are authentic, and (2)
+    /// control which registration events are accepted", §7). When a
+    /// credential is present, the directory also authenticates to
+    /// children before harvesting (§7's trusted-directory model).
+    pub service: ServiceConfig,
     /// The namespace this directory aggregates (its registration
     /// namespace when joining parent directories; `root` for a whole-VO
     /// directory).
@@ -300,21 +316,6 @@ pub struct GiisConfig {
     pub mode: GiisMode,
     /// Membership policy for incoming registrations.
     pub accept: AcceptPolicy,
-    /// Access policy applied to outgoing results.
-    pub policy: PolicyMap,
-    /// Bind verification; `None` leaves all clients anonymous.
-    pub authenticator: Option<Authenticator>,
-    /// When present, the directory authenticates to children before
-    /// harvesting (§7's trusted-directory model: "the provider can
-    /// respond to any authenticated query from the directory, which it
-    /// trusts to apply its policy on its behalf").
-    pub credential: Option<gis_gsi::Credential>,
-    /// When present, incoming registrations must carry a valid signature
-    /// chaining to this trust store; the verified subject *replaces* any
-    /// claimed subject before the accept policy runs ("(1) ensure that
-    /// registration messages are authentic, and (2) control which
-    /// registration events are accepted", §7).
-    pub grrp_trust: Option<gis_gsi::TrustStore>,
     /// Result cache TTL for chaining modes ("performance concerns make
     /// caching data within the GIIS desirable, and this capability is
     /// provided as part of the basic GIIS framework", §10.4). Cached
@@ -330,13 +331,6 @@ pub struct GiisConfig {
     /// marked partial); after a cooldown, one live query doubles as a
     /// half-open probe that re-admits the child if it answers.
     pub breaker: Option<BreakerConfig>,
-    /// When true (the default), the engine records latency histograms
-    /// and serves its self-description under `Mds-Vo-name=monitoring`.
-    /// Turned off to measure instrumentation overhead.
-    pub observability: bool,
-    /// Age at which the monitoring-namespace snapshot is rebuilt — the
-    /// soft-state timer of the self-description.
-    pub monitoring_refresh: SimDuration,
     /// VO/suffix shards for [`GiisMode::Federated`]: when non-empty,
     /// only children whose registered namespace intersects one of these
     /// subtrees are pulled, and each pull asks for just the
@@ -388,22 +382,22 @@ impl GiisConfig {
     /// An open chaining directory with a 2-second fan-out deadline.
     pub fn chaining(url: LdapUrl, namespace: Dn) -> GiisConfig {
         GiisConfig {
-            url,
+            service: ServiceConfig::open(url),
             namespace,
             mode: GiisMode::Chain {
                 timeout: SimDuration::from_secs(2),
             },
             accept: AcceptPolicy::All,
-            policy: PolicyMap::open(),
-            authenticator: None,
-            credential: None,
-            grrp_trust: None,
             result_cache_ttl: None,
             breaker: None,
-            observability: true,
-            monitoring_refresh: secs(5),
             shards: Vec::new(),
         }
+    }
+
+    /// Replaces the security posture, builder-style.
+    pub fn with_security(mut self, security: SecurityPolicy) -> GiisConfig {
+        self.service.security = security;
+        self
     }
 
     /// A federated directory: pulls children on `interval`, abandons
@@ -417,6 +411,20 @@ impl GiisConfig {
         let mut config = GiisConfig::chaining(url, namespace);
         config.mode = GiisMode::Federated { interval, deadline };
         config
+    }
+}
+
+impl std::ops::Deref for GiisConfig {
+    type Target = ServiceConfig;
+
+    fn deref(&self) -> &ServiceConfig {
+        &self.service
+    }
+}
+
+impl std::ops::DerefMut for GiisConfig {
+    fn deref_mut(&mut self) -> &mut ServiceConfig {
+        &mut self.service
     }
 }
 
@@ -738,6 +746,21 @@ impl GiisQueryPath {
             .cloned()
             .unwrap_or_else(Requester::anonymous)
     }
+
+    /// Record that `client` authenticated as `requester`.
+    ///
+    /// The transport layer calls this when a connection completes the
+    /// §7 mutual-auth handshake, so every query on that connection is
+    /// redacted for the proven identity — the wire analog of a
+    /// successful in-band Bind.
+    pub fn authenticate_session(&self, client: ClientId, requester: Requester) {
+        self.sessions.write().insert(client, requester);
+    }
+
+    /// Forget `client`'s session (connection closed).
+    pub fn drop_session(&self, client: ClientId) {
+        self.sessions.write().remove(&client);
+    }
 }
 
 /// A Grid Index Information Service instance.
@@ -971,7 +994,7 @@ impl Giis {
         GiisQueryPath {
             url: self.config.url.clone(),
             mode: self.config.mode,
-            policy: self.config.policy.clone(),
+            policy: self.config.security.policy_map.clone(),
             result_cache_ttl: self.config.result_cache_ttl,
             cache: Arc::clone(&self.cache),
             result_cache: Arc::clone(&self.result_cache),
@@ -991,8 +1014,28 @@ impl Giis {
         }
     }
 
-    /// Handle an incoming GRRP message.
+    /// Handle an incoming GRRP message (no reply channel: datagram-style
+    /// delivery, as in the simulated fabric).
     pub fn handle_grrp(&mut self, msg: GrrpMessage, now: SimTime) -> Vec<GiisAction> {
+        self.handle_grrp_from(None, msg, now)
+    }
+
+    /// Handle an incoming GRRP message that arrived over a connection.
+    ///
+    /// GRRP is one-way — accepted registrations are deliberately never
+    /// acknowledged (soft-state refresh is the liveness signal) — but a
+    /// *rejected* registration from a connected peer gets an explicit
+    /// [`GripReply::GrrpResult`] with [`ResultCode::AuthRejected`] so a
+    /// misconfigured provider learns its signature does not chain to the
+    /// directory's trust store instead of silently timing out of
+    /// existence (§7: "ensure that registration messages are
+    /// authentic").
+    pub fn handle_grrp_from(
+        &mut self,
+        origin: Option<ClientId>,
+        msg: GrrpMessage,
+        now: SimTime,
+    ) -> Vec<GiisAction> {
         self.stats.grrp_received.bump();
         match msg.notification {
             Notification::Invite => {
@@ -1006,7 +1049,13 @@ impl Giis {
             }
             Notification::Register => {
                 let mut msg = msg;
-                if let Some(trust) = &self.config.grrp_trust {
+                if let Some(trust) = self
+                    .config
+                    .security
+                    .verifies_registrations()
+                    .then_some(self.config.security.trust.as_ref())
+                    .flatten()
+                {
                     // Authenticity gate: unsigned or badly-signed
                     // registrations are dropped, and the subject the
                     // policy sees is the *verified* one.
@@ -1017,13 +1066,13 @@ impl Giis {
                         Some(subject) => msg.subject = Some(subject),
                         None => {
                             self.stats.grrp_rejected.bump();
-                            return Vec::new();
+                            return Giis::grrp_rejection(origin);
                         }
                     }
                 }
                 if !self.config.accept.admits(&msg) {
                     self.stats.grrp_rejected.bump();
-                    return Vec::new();
+                    return Giis::grrp_rejection(origin);
                 }
                 let url = msg.service_url.clone();
                 if self.persist.is_some() {
@@ -1074,6 +1123,23 @@ impl Giis {
         }
     }
 
+    /// The action set for a rejected registration: empty for datagram
+    /// delivery, an explicit `GrrpResult` reply when the sender is a
+    /// live connection. GRRP carries no request id, so the reply uses
+    /// id 0 — the reserved "unsolicited" slot.
+    fn grrp_rejection(origin: Option<ClientId>) -> Vec<GiisAction> {
+        match origin {
+            Some(client) => vec![GiisAction::Reply {
+                client,
+                reply: GripReply::GrrpResult {
+                    id: 0,
+                    code: ResultCode::AuthRejected,
+                },
+            }],
+            None => Vec::new(),
+        }
+    }
+
     fn harvest_refresh(&self) -> Option<SimDuration> {
         match self.config.mode {
             GiisMode::Harvest { refresh } => Some(refresh),
@@ -1084,7 +1150,7 @@ impl Giis {
 
     fn issue_harvest(&mut self, child: LdapUrl) -> Vec<GiisAction> {
         // Authenticate first when operating as a trusted directory.
-        if let Some(cred) = &self.config.credential {
+        if let Some(cred) = &self.config.security.credential {
             let bound = self
                 .children
                 .get(&child.to_string())
@@ -1366,8 +1432,8 @@ impl Giis {
             } => {
                 let outcome = self
                     .config
-                    .authenticator
-                    .as_ref()
+                    .security
+                    .authenticator(self.config.url.to_string())
                     .and_then(|a| a.authenticate(&token));
                 let (ok, subject) = match outcome {
                     Some(s) => {
@@ -1626,7 +1692,7 @@ impl Giis {
                 .with("registeredsince", reg.first_seen.micros())
                 .with("refreshcount", reg.refresh_count);
             e.normalize_naming_attr();
-            let Some(redacted) = self.config.policy.redact(&e, requester) else {
+            let Some(redacted) = self.config.security.policy_map.redact(&e, requester) else {
                 continue;
             };
             if !spec.filter.matches(&redacted) {
@@ -1646,7 +1712,12 @@ impl Giis {
     /// and uses the shared-handle search so cached entries reach
     /// redaction without being deep-copied.
     fn local_answer(&self, spec: &SearchSpec, requester: &Requester) -> Vec<Entry> {
-        snapshot_answer(&self.cache.snapshot(), &self.config.policy, spec, requester)
+        snapshot_answer(
+            &self.cache.snapshot(),
+            &self.config.security.policy_map,
+            spec,
+            requester,
+        )
     }
 
     /// Serve the monitoring snapshot, rebuilding it when it has aged past
@@ -2237,7 +2308,7 @@ impl Giis {
         for e in p.merged.into_values() {
             // The GIIS applies its own policy on top of whatever the
             // children released to it.
-            let Some(redacted) = self.config.policy.redact(&e, &p.requester) else {
+            let Some(redacted) = self.config.security.policy_map.redact(&e, &p.requester) else {
                 continue;
             };
             if !p.spec.filter.matches(&redacted) {
@@ -3083,7 +3154,7 @@ mod tests {
         let mut trust = TrustStore::new();
         trust.add_ca(&ca);
         let mut config = GiisConfig::chaining(url("giis.secure"), Dn::root());
-        config.grrp_trust = Some(trust);
+        config.security = SecurityPolicy::authenticated(ca.issue("/O=Grid/CN=giis.secure"), trust);
         // Membership restricted to one signed identity.
         config.accept = AcceptPolicy::Subjects(vec!["/O=Grid/CN=gris.good".into()]);
         let mut giis = Giis::new(config, secs(30), secs(90));
@@ -3128,7 +3199,8 @@ mod tests {
         let ca = CertAuthority::new("/O=Grid/CN=CA", 77);
         let mut config = GiisConfig::chaining(url("giis.trusted"), Dn::root());
         config.mode = GiisMode::Harvest { refresh: secs(60) };
-        config.credential = Some(ca.issue("/O=Grid/CN=giis.trusted"));
+        config.security =
+            SecurityPolicy::anonymous().with_credential(ca.issue("/O=Grid/CN=giis.trusted"));
         let mut giis = Giis::new(config, secs(30), secs(90));
 
         // Registration triggers a Bind, not a Search.

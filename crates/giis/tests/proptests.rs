@@ -114,18 +114,12 @@ proptest! {
         let mut expected = 0;
         let mut giis = Giis::new(
             GiisConfig {
-                url: LdapUrl::server("giis"),
+                service: gis_gsi::ServiceConfig::open(LdapUrl::server("giis")),
                 namespace: suffix.clone(),
                 mode: GiisMode::Name,
                 accept: policy,
-                policy: gis_gsi::PolicyMap::open(),
-                authenticator: None,
-                credential: None,
-                grrp_trust: None,
                 result_cache_ttl: None,
                 breaker: None,
-                observability: true,
-                monitoring_refresh: SimDuration::from_secs(5),
                 shards: Vec::new(),
             },
             SimDuration::from_secs(30),

@@ -31,9 +31,9 @@
 //! stays with the engine's owner.
 
 use crate::provider::{namespace_intersects, InfoProvider, ProviderError};
-use gis_gsi::{Authenticator, PolicyMap, Requester};
+use gis_gsi::{PolicyMap, Requester, SecurityPolicy, ServiceConfig};
 use gis_ldap::{Dn, Entry, LdapUrl, Rdn, Schema, Scope, Strictness};
-use gis_netsim::{secs, SimDuration, SimTime};
+use gis_netsim::{SimDuration, SimTime};
 use gis_proto::metrics::{self, Histogram, MetricsRegistry, PackedPair};
 use gis_proto::trace::{SpanRecord, TraceContext, TraceSink};
 use gis_proto::{
@@ -197,20 +197,18 @@ type MonitorState = RwLock<Option<(SimTime, Arc<Vec<Entry>>)>>;
 type MonitorCell = Arc<MonitorState>;
 
 /// GRIS configuration.
+///
+/// The shared service knobs (endpoint URL, [`SecurityPolicy`],
+/// observability) live in the embedded [`ServiceConfig`]; `GrisConfig`
+/// derefs to it, so `config.url` / `config.security` /
+/// `config.observability` read and write naturally.
 pub struct GrisConfig {
-    /// This server's own GRIP endpoint (its global name, §4.1).
-    pub url: LdapUrl,
+    /// The knobs every GIS service shares, including where security
+    /// lives: the policy map, bind-token trust, and signing credential
+    /// are all in `service.security`.
+    pub service: ServiceConfig,
     /// The DN suffix this server serves (e.g. `hn=hostX`).
     pub suffix: Dn,
-    /// Per-subtree access control (§7).
-    pub policy: PolicyMap,
-    /// When present, binds are verified against this; when absent, all
-    /// clients remain anonymous (§7's open model).
-    pub authenticator: Option<Authenticator>,
-    /// When present, outgoing GRRP registrations are signed with this
-    /// credential ("we can cryptographically sign each GRRP message with
-    /// the credentials of the registering entity", §7).
-    pub credential: Option<gis_gsi::Credential>,
     /// When present, provider output is validated against this schema
     /// (§8's type authorities: "it can be desirable to be able to enforce
     /// standard formats for entity descriptions"). Invalid entries are
@@ -232,32 +230,37 @@ pub struct GrisConfig {
     /// identical to the sequential path. Off by default (the simulated
     /// runtime keeps the deterministic sequential path).
     pub parallel_fetch: bool,
-    /// When true (the default), the engine records latency histograms
-    /// and serves its self-description under `Mds-Vo-name=monitoring`.
-    /// Turned off to measure instrumentation overhead (exp_observability
-    /// A/Bs this flag).
-    pub observability: bool,
-    /// Age at which the monitoring-namespace snapshot is rebuilt — the
-    /// soft-state timer of the self-description (§4.3 applied to the
-    /// system itself).
-    pub monitoring_refresh: SimDuration,
+}
+
+impl std::ops::Deref for GrisConfig {
+    type Target = ServiceConfig;
+    fn deref(&self) -> &ServiceConfig {
+        &self.service
+    }
+}
+
+impl std::ops::DerefMut for GrisConfig {
+    fn deref_mut(&mut self) -> &mut ServiceConfig {
+        &mut self.service
+    }
 }
 
 impl GrisConfig {
     /// An open (no-security) GRIS at `url` serving `suffix`.
     pub fn open(url: LdapUrl, suffix: Dn) -> GrisConfig {
         GrisConfig {
-            url,
+            service: ServiceConfig::open(url),
             suffix,
-            policy: PolicyMap::open(),
-            authenticator: None,
-            credential: None,
             schema: None,
             stale_ttl: None,
             parallel_fetch: false,
-            observability: true,
-            monitoring_refresh: secs(5),
         }
+    }
+
+    /// Replace the security posture (builder style).
+    pub fn with_security(mut self, security: SecurityPolicy) -> GrisConfig {
+        self.service.security = security;
+        self
     }
 }
 
@@ -765,6 +768,21 @@ impl GrisQueryPath {
         self.read_path().search(spec, requester, now, None)
     }
 
+    /// Install an authenticated session identity for `client`. The
+    /// transport layer calls this when a connection completes the §7
+    /// mutual-auth handshake, so every query the connection later issues
+    /// is evaluated against the handshake-proven requester (the wire
+    /// analog of a successful in-band `Bind`).
+    pub fn authenticate_session(&self, client: ClientId, requester: Requester) {
+        self.sessions.write().insert(client, requester);
+    }
+
+    /// Forget `client`'s session (its connection closed). Soft-state
+    /// hygiene: a reused client id must start anonymous.
+    pub fn drop_session(&self, client: ClientId) {
+        self.sessions.write().remove(&client);
+    }
+
     /// Snapshot of the shared operational counters (for assertions and
     /// monitoring after the engine has moved into a runtime).
     pub fn stats(&self) -> GrisStats {
@@ -1003,7 +1021,7 @@ impl Gris {
         GrisQueryPath {
             url: self.config.url.clone(),
             suffix: self.config.suffix.clone(),
-            policy: self.config.policy.clone(),
+            policy: self.config.security.policy_map.clone(),
             schema: self.config.schema.clone(),
             stale_ttl: self.config.stale_ttl,
             parallel_fetch: self.config.parallel_fetch,
@@ -1073,8 +1091,8 @@ impl Gris {
             } => {
                 let outcome = self
                     .config
-                    .authenticator
-                    .as_ref()
+                    .security
+                    .authenticator(self.config.url.to_string())
                     .and_then(|auth| auth.authenticate(&token));
                 match outcome {
                     Some(subject) => {
@@ -1179,7 +1197,7 @@ impl Gris {
             }
         }
         let mut registrations = self.agent.due_messages(now);
-        if let Some(cred) = &self.config.credential {
+        if let Some(cred) = &self.config.security.credential {
             for (_, msg) in &mut registrations {
                 msg.subject = Some(cred.subject().to_owned());
                 let blob = gis_gsi::sign_registration(cred, &msg.signable_bytes());
@@ -1269,7 +1287,7 @@ impl Gris {
         ReadPathRef {
             url: &self.config.url,
             suffix: &self.config.suffix,
-            policy: &self.config.policy,
+            policy: &self.config.security.policy_map,
             schema: self.config.schema.as_ref(),
             stale_ttl: self.config.stale_ttl,
             parallel_fetch: self.config.parallel_fetch,
@@ -1563,7 +1581,7 @@ mod tests {
         let host = HostSpec::linux("h", 4);
         let mut config = GrisConfig::open(LdapUrl::server("gris.h"), host.dn());
         // Anonymous users may see the system type but not load averages.
-        config.policy.set(
+        config.security.policy_map.set(
             host.dn(),
             Acl::default()
                 .with_rule(
@@ -1606,8 +1624,8 @@ mod tests {
         let url = LdapUrl::server("gris.h");
         let host = HostSpec::linux("h", 2);
         let mut config = GrisConfig::open(url.clone(), host.dn());
-        config.authenticator = Some(Authenticator::new(trust, url.to_string()));
-        config.policy = PolicyMap::with_default(Acl::authenticated_only());
+        config.security = SecurityPolicy::authenticated(ca.issue("/O=Grid/CN=gris.svc"), trust)
+            .with_policy_map(PolicyMap::with_default(Acl::authenticated_only()));
         let mut gris = Gris::new(config, secs(30), secs(90));
         gris.add_provider(Box::new(StaticHostProvider::new(host.clone())));
 

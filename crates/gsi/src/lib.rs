@@ -13,7 +13,9 @@
 //! * [`cert`] — certificates, CAs, proxy chains, trust stores;
 //! * [`auth`] — bind tokens and registration signing;
 //! * [`acl`] — principals, capabilities, ACLs, policy maps, and the four
-//!   §7 provider/directory trust models.
+//!   §7 provider/directory trust models;
+//! * [`policy`] — the unified [`SecurityPolicy`]/[`ServiceConfig`]
+//!   builders consumed by every wire-facing entry point.
 
 #![warn(missing_docs)]
 
@@ -21,6 +23,7 @@ pub mod acl;
 pub mod auth;
 pub mod cert;
 pub mod keys;
+pub mod policy;
 
 pub use acl::{
     apply_capability, Acl, AclRule, Capability, CommunityAuthz, Grant, PolicyMap, Principal,
@@ -29,3 +32,4 @@ pub use acl::{
 pub use auth::{sign_registration, verify_signed_registration, Authenticator, BindToken};
 pub use cert::{CertAuthority, Certificate, Credential, Subject, TrustStore};
 pub use keys::{hash64, KeyPair, PublicKey, Signature};
+pub use policy::{SecurityPolicy, ServiceConfig, TrustTier};

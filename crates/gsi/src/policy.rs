@@ -1,0 +1,240 @@
+//! Unified security configuration: one [`SecurityPolicy`] value
+//! consumed by every entry point that touches the wire.
+//!
+//! §7 describes three postures a peer can take towards the information
+//! protocols: fully open ("authenticated queries are not required"),
+//! mutually authenticated ("GSI public-key security mechanisms are used
+//! to ... achieve mutual authentication"), and identity-based policy
+//! ("policies based on identity credentials presented by the requesting
+//! entity"). Before this module those postures were assembled ad hoc
+//! from up to four knobs (`policy`, `authenticator`, `credential`,
+//! `grrp_trust`) smeared across the GRIS and GIIS configs; a
+//! [`SecurityPolicy`] names the posture once and derives the pieces:
+//!
+//! * [`SecurityPolicy::anonymous`] — no handshake, no signing, open ACLs;
+//! * [`SecurityPolicy::authenticated`] — mutual-auth handshake required,
+//!   registrations signed and verified, open ACLs for anyone who
+//!   authenticates;
+//! * [`SecurityPolicy::identity`] — as authenticated, plus a
+//!   [`PolicyMap`] of per-subtree/per-attribute ACLs keyed on the
+//!   authenticated identity ([`SecurityPolicy::with_policy_map`]).
+//!
+//! [`ServiceConfig`] carries the policy together with the knobs every
+//! service shares (endpoint URL, observability), so GRIS and GIIS
+//! configs hold security in exactly one place.
+
+use crate::acl::PolicyMap;
+use crate::auth::Authenticator;
+use crate::cert::{Credential, TrustStore};
+use gis_ldap::LdapUrl;
+use gis_netsim::SimDuration;
+
+/// How much §7 security a peer demands of the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrustTier {
+    /// No handshake required or offered; everyone is anonymous
+    /// (§7's "no restriction on the information provided" model).
+    #[default]
+    Anonymous,
+    /// Mutual authentication required before any GRIP/GRRP traffic;
+    /// any subject chaining to the trust store is served in full.
+    Authenticated,
+    /// Mutual authentication plus identity-based ACLs: what an
+    /// authenticated subject sees is filtered through the policy map.
+    Identity,
+}
+
+/// One security posture for a service endpoint or client connection.
+///
+/// Construct with [`SecurityPolicy::anonymous`],
+/// [`SecurityPolicy::authenticated`], or [`SecurityPolicy::identity`];
+/// refine with [`SecurityPolicy::with_policy_map`]. Consumed uniformly
+/// by `ServeOptions::security(...)` and `LiveClient::builder(...)`.
+#[derive(Debug, Clone)]
+pub struct SecurityPolicy {
+    /// The posture.
+    pub tier: TrustTier,
+    /// This peer's own identity: signs registrations, mints handshake
+    /// bind tokens, and (server side) proves the service's identity
+    /// back to clients demanding mutual auth.
+    pub credential: Option<Credential>,
+    /// CAs this peer trusts when verifying the other side.
+    pub trust: Option<TrustStore>,
+    /// Per-subtree access control applied to outgoing results.
+    pub policy_map: PolicyMap,
+}
+
+impl Default for SecurityPolicy {
+    fn default() -> SecurityPolicy {
+        SecurityPolicy {
+            tier: TrustTier::Anonymous,
+            credential: None,
+            trust: None,
+            policy_map: PolicyMap::open(),
+        }
+    }
+}
+
+impl SecurityPolicy {
+    /// The open model: no handshake, no signing, everything public.
+    pub fn anonymous() -> SecurityPolicy {
+        SecurityPolicy::default()
+    }
+
+    /// Mutual authentication with `credential`, verifying the peer
+    /// against `trust`. ACLs stay open: any authenticated subject is
+    /// served in full.
+    pub fn authenticated(credential: Credential, trust: TrustStore) -> SecurityPolicy {
+        SecurityPolicy {
+            tier: TrustTier::Authenticated,
+            credential: Some(credential),
+            trust: Some(trust),
+            policy_map: PolicyMap::open(),
+        }
+    }
+
+    /// Mutual authentication plus identity-based ACLs; attach the map
+    /// with [`SecurityPolicy::with_policy_map`].
+    pub fn identity(credential: Credential, trust: TrustStore) -> SecurityPolicy {
+        SecurityPolicy {
+            tier: TrustTier::Identity,
+            ..SecurityPolicy::authenticated(credential, trust)
+        }
+    }
+
+    /// Replace the ACL policy map (builder style).
+    pub fn with_policy_map(mut self, map: PolicyMap) -> SecurityPolicy {
+        self.policy_map = map;
+        self
+    }
+
+    /// Attach or replace the signing credential (builder style). Useful
+    /// on the Anonymous tier to sign registrations without demanding
+    /// authentication from peers.
+    pub fn with_credential(mut self, credential: Credential) -> SecurityPolicy {
+        self.credential = Some(credential);
+        self
+    }
+
+    /// True when peers must complete the mutual-auth handshake before
+    /// any GRIP/GRRP traffic is served.
+    pub fn requires_auth(&self) -> bool {
+        self.tier != TrustTier::Anonymous
+    }
+
+    /// Build the bind-token verifier for a service answering to
+    /// `service_name` (its URL string), when a trust store is present.
+    /// Built lazily so an ephemeral `:0` port rewritten at bind time is
+    /// reflected in the verifier's target name.
+    pub fn authenticator(&self, service_name: impl Into<String>) -> Option<Authenticator> {
+        self.trust
+            .clone()
+            .map(|trust| Authenticator::new(trust, service_name))
+    }
+
+    /// True when incoming GRRP registrations must carry a signature
+    /// chaining to the trust store.
+    pub fn verifies_registrations(&self) -> bool {
+        self.requires_auth() && self.trust.is_some()
+    }
+}
+
+/// The knobs every GIS service shares, including where [`SecurityPolicy`]
+/// lives. `GrisConfig` and `GiisConfig` both deref to this, so existing
+/// `config.url` / `config.observability` field access keeps compiling.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The service's own endpoint (its global name, §4.1).
+    pub url: LdapUrl,
+    /// Security posture for the endpoint: handshake requirements,
+    /// signing credential, trust store, ACL policy map.
+    pub security: SecurityPolicy,
+    /// When true (the default), the engine records latency histograms
+    /// and serves its self-description under `Mds-Vo-name=monitoring`.
+    pub observability: bool,
+    /// Age at which the monitoring-namespace snapshot is rebuilt — the
+    /// soft-state timer of the self-description (§4.3 applied to the
+    /// system itself).
+    pub monitoring_refresh: SimDuration,
+}
+
+impl ServiceConfig {
+    /// An open service at `url`: anonymous security, observability on.
+    pub fn open(url: LdapUrl) -> ServiceConfig {
+        ServiceConfig {
+            url,
+            security: SecurityPolicy::anonymous(),
+            observability: true,
+            monitoring_refresh: SimDuration::from_secs(5),
+        }
+    }
+
+    /// Replace the security posture (builder style).
+    pub fn with_security(mut self, security: SecurityPolicy) -> ServiceConfig {
+        self.security = security;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::Acl;
+    use crate::cert::CertAuthority;
+    use gis_ldap::Dn;
+
+    fn ca_pair() -> (Credential, TrustStore) {
+        let ca = CertAuthority::new("/O=Grid/CN=CA", 7);
+        let mut trust = TrustStore::new();
+        trust.add_ca(&ca);
+        (ca.issue("/O=Grid/CN=svc"), trust)
+    }
+
+    #[test]
+    fn anonymous_demands_nothing() {
+        let p = SecurityPolicy::anonymous();
+        assert!(!p.requires_auth());
+        assert!(!p.verifies_registrations());
+        assert!(p.authenticator("svc").is_none());
+    }
+
+    #[test]
+    fn authenticated_builds_verifier_for_service_name() {
+        let (cred, trust) = ca_pair();
+        let p = SecurityPolicy::authenticated(cred.clone(), trust);
+        assert!(p.requires_auth());
+        assert!(p.verifies_registrations());
+        let auth = p
+            .authenticator("tcp://127.0.0.1:5389")
+            .expect("authenticator");
+        let token = crate::auth::BindToken::create(&cred, "tcp://127.0.0.1:5389");
+        assert_eq!(
+            auth.authenticate(&token.to_bytes()).as_deref(),
+            Some("/O=Grid/CN=svc")
+        );
+    }
+
+    #[test]
+    fn identity_carries_policy_map() {
+        let (cred, trust) = ca_pair();
+        let map = PolicyMap::with_default(Acl::existence_only());
+        let p = SecurityPolicy::identity(cred, trust).with_policy_map(map.clone());
+        assert_eq!(p.tier, TrustTier::Identity);
+        assert_eq!(p.policy_map.acl_for(&Dn::root()), map.acl_for(&Dn::root()));
+    }
+
+    #[test]
+    fn anonymous_with_credential_signs_without_demanding_auth() {
+        let (cred, _) = ca_pair();
+        let p = SecurityPolicy::anonymous().with_credential(cred);
+        assert!(!p.requires_auth());
+        assert!(p.credential.is_some());
+    }
+
+    #[test]
+    fn service_config_defaults_open() {
+        let cfg = ServiceConfig::open(LdapUrl::server("gris.site"));
+        assert!(cfg.observability);
+        assert!(!cfg.security.requires_auth());
+    }
+}

@@ -41,6 +41,10 @@
 //! body = 4 | corr: varint | inner ProtocolMessage (tags 0..=3)
 //! ```
 //!
+//! `ProtocolMessage` tag 5 (the §7 handshake) is deliberately *not*
+//! carried in envelopes: a handshake authenticates the connection, not a
+//! request, so an enveloped handshake body is a decode error.
+//!
 //! The envelope is **version-gated by construction**: tags 0..=3 are the
 //! pre-multiplexing frame bodies, still encoded and decoded byte-for-byte
 //! identically, so a new decoder reads an old peer's frames and an old
@@ -264,6 +268,13 @@ fn decode_body(body: &[u8]) -> Result<(Option<u64>, ProtocolMessage)> {
             r.remaining()
         )));
     }
+    // The handshake authenticates the connection, not a request: it has
+    // no correlation id, and letting it ride the envelope would let a
+    // peer smuggle auth frames past transports that route enveloped
+    // frames purely by corr.
+    if corr.is_some() && matches!(msg, ProtocolMessage::Handshake(_)) {
+        return Err(LdapError::Codec("mux-enveloped handshake frame".into()));
+    }
     Ok((corr, msg))
 }
 
@@ -366,6 +377,27 @@ mod tests {
         assert_eq!((f1.corr, f1.msg), (Some(42), msgs[1].clone()));
         let f2 = dec.next_frame().unwrap().unwrap();
         assert_eq!((f2.corr, f2.msg), (None, msgs[2].clone()));
+    }
+
+    #[test]
+    fn handshake_frames_plain_only() {
+        // A plain handshake frame decodes fine...
+        let hello = ProtocolMessage::Handshake(crate::wire::Handshake::Hello {
+            token: vec![1, 2, 3],
+        });
+        let mut buf = BytesMut::new();
+        encode_frame(&hello, &mut buf).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        let f = dec.next_frame().unwrap().unwrap();
+        assert_eq!((f.corr, f.msg), (None, hello.clone()));
+        // ...but a mux-enveloped one poisons the stream.
+        let mut buf = BytesMut::new();
+        encode_mux_frame_limited(5, &hello, &mut buf, MAX_FRAME).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        assert!(dec.next_frame().is_err());
+        assert!(dec.next_frame().is_err(), "poisoned");
     }
 
     #[test]

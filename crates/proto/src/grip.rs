@@ -49,6 +49,13 @@ pub enum ResultCode {
     /// carry a `stale: TRUE` attribute. Weaker than `Success`, stronger
     /// than `PartialResults`: nothing is *missing*, but some of it is old.
     StaleResults,
+    /// The peer's credentials failed verification: a handshake token or
+    /// a GRRP registration signature did not chain to the receiver's
+    /// trust store (§7: "ensure that registration messages are
+    /// authentic"). Distinct from `InsufficientAccess` (authenticated
+    /// but not authorized) and `UnwillingToPerform` (the receiver
+    /// cannot authenticate at all).
+    AuthRejected,
 }
 
 impl ResultCode {
@@ -63,6 +70,7 @@ impl ResultCode {
             ResultCode::PartialResults => "partial",
             ResultCode::UnwillingToPerform => "unwilling",
             ResultCode::StaleResults => "stale",
+            ResultCode::AuthRejected => "auth-rejected",
         }
     }
 }
@@ -281,6 +289,20 @@ pub enum GripReply {
         /// DNs deleted since the cookie (always empty on a full sync).
         deletes: Vec<Dn>,
     },
+    /// Outcome of a GRRP registration the receiver chose to answer —
+    /// today only the rejection path: a registration whose signature
+    /// could not be verified is bounced back to its sender with
+    /// [`ResultCode::AuthRejected`] so a mis-trusting provider learns it
+    /// is being dropped instead of watching its soft state silently
+    /// evaporate. (Accepted registrations stay unacknowledged; the
+    /// soft-state model makes success observable by the entry's
+    /// presence.)
+    GrrpResult {
+        /// Correlation id (0 when the registration carried none).
+        id: RequestId,
+        /// Why the registration was refused.
+        code: ResultCode,
+    },
 }
 
 impl GripReply {
@@ -291,7 +313,8 @@ impl GripReply {
             | GripReply::SearchResult { id, .. }
             | GripReply::Update { id, .. }
             | GripReply::SubscriptionDone { id, .. }
-            | GripReply::SyncDelta { id, .. } => *id,
+            | GripReply::SyncDelta { id, .. }
+            | GripReply::GrrpResult { id, .. } => *id,
         }
     }
 
@@ -303,7 +326,8 @@ impl GripReply {
             | GripReply::SearchResult { id, .. }
             | GripReply::Update { id, .. }
             | GripReply::SubscriptionDone { id, .. }
-            | GripReply::SyncDelta { id, .. } => *id = new,
+            | GripReply::SyncDelta { id, .. }
+            | GripReply::GrrpResult { id, .. } => *id = new,
         }
     }
 }

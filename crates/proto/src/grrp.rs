@@ -363,6 +363,12 @@ pub struct RegistrationAgent {
     /// Directories to keep registered with.
     targets: Vec<LdapUrl>,
     next_due: SimTime,
+    /// True once a caller pinned the advertised URL via
+    /// [`RegistrationAgent::advertise`]: runtimes must then stop
+    /// re-snapshotting `service_url` from the bound endpoint (the
+    /// deliberate-NAT case, where the dialable advert differs from the
+    /// local bind address).
+    advert_pinned: bool,
 }
 
 impl RegistrationAgent {
@@ -413,7 +419,24 @@ impl RegistrationAgent {
             rng: SimRng::new(seed),
             targets: Vec::new(),
             next_due: SimTime::ZERO,
+            advert_pinned: false,
         }
+    }
+
+    /// Pin the advertised URL: registrations will carry exactly `url`,
+    /// and runtimes that rewrite `:0` bind addresses will leave it
+    /// alone. Use when the dialable address peers should use differs
+    /// from the local bind address (NAT, load balancer). Without a pin,
+    /// the live runtime re-snapshots `service_url` from the bound
+    /// endpoint so registrations never advertise a stale port.
+    pub fn advertise(&mut self, url: LdapUrl) {
+        self.service_url = url;
+        self.advert_pinned = true;
+    }
+
+    /// True when [`RegistrationAgent::advertise`] pinned the advert.
+    pub fn advert_pinned(&self) -> bool {
+        self.advert_pinned
     }
 
     /// Enable jittered scheduling (builder style): each refresh fires up

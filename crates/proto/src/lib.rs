@@ -43,4 +43,4 @@ pub use grrp::{
 pub use metrics::{Gauge, Histogram, MetricsRegistry, PackedPair};
 pub use stats::Counter;
 pub use trace::{SpanRecord, TraceContext, TraceId, TraceSink};
-pub use wire::ProtocolMessage;
+pub use wire::{Handshake, ProtocolMessage};

@@ -33,6 +33,49 @@ pub enum ProtocolMessage {
         /// The wrapped frame.
         inner: Box<ProtocolMessage>,
     },
+    /// Connection-scoped mutual-auth handshake (§7). Exchanged before
+    /// any GRIP/GRRP traffic on a connection; never mux-enveloped and
+    /// never traced (it authenticates the *connection*, not a request).
+    /// Usage is policy-gated like the mux envelope is version-gated:
+    /// anonymous clients send no `Hello`, and a server never sends a
+    /// handshake frame unsolicited, so an all-anonymous deployment sees
+    /// no handshake bytes at all.
+    Handshake(Handshake),
+}
+
+/// The mutual-auth handshake frames (§7: "GSI public-key security
+/// mechanisms are used to verify credentials and to achieve mutual
+/// authentication between information consumers and information
+/// providers").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Handshake {
+    /// Client → server, first frame on the connection: the client's
+    /// bind token (`gis-gsi` `BindToken` bytes: cert chain +
+    /// proof-of-possession targeting the service's URL).
+    Hello {
+        /// Serialized bind token.
+        token: Vec<u8>,
+    },
+    /// Server → client on a verified `Hello`: the subject the server
+    /// authenticated, plus the server's own bind token targeting that
+    /// subject (mutual auth — the client verifies the service identity
+    /// it dialed is the one that answered). Empty when the server holds
+    /// no credential.
+    Welcome {
+        /// The client subject as the server verified it.
+        subject: String,
+        /// The server's bind token proving its own identity to the
+        /// client; empty when the server has no credential.
+        token: Vec<u8>,
+    },
+    /// Server → client: the handshake failed; the connection is closed
+    /// after this frame. `AuthRejected` means the token did not verify;
+    /// `UnwillingToPerform` means the server has no authenticator and
+    /// cannot satisfy a client that demands mutual auth.
+    Reject {
+        /// Why the handshake failed.
+        code: ResultCode,
+    },
 }
 
 impl ProtocolMessage {
@@ -138,6 +181,7 @@ impl Wire for ResultCode {
             ResultCode::PartialResults => 5,
             ResultCode::UnwillingToPerform => 6,
             ResultCode::StaleResults => 7,
+            ResultCode::AuthRejected => 8,
         });
     }
     fn decode(r: &mut WireReader<'_>) -> Result<ResultCode> {
@@ -150,6 +194,7 @@ impl Wire for ResultCode {
             5 => ResultCode::PartialResults,
             6 => ResultCode::UnwillingToPerform,
             7 => ResultCode::StaleResults,
+            8 => ResultCode::AuthRejected,
             b => return Err(LdapError::Codec(format!("bad result code {b}"))),
         })
     }
@@ -322,6 +367,11 @@ impl Wire for GripReply {
                 entries.encode(buf);
                 deletes.encode(buf);
             }
+            GripReply::GrrpResult { id, code } => {
+                buf.put_u8(5);
+                put_varint(buf, *id);
+                code.encode(buf);
+            }
         }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<GripReply> {
@@ -353,6 +403,10 @@ impl Wire for GripReply {
                 at: read_time(r)?,
                 entries: Vec::<Entry>::decode(r)?,
                 deletes: Vec::<Dn>::decode(r)?,
+            }),
+            5 => Ok(GripReply::GrrpResult {
+                id: r.read_varint()?,
+                code: ResultCode::decode(r)?,
             }),
             b => Err(LdapError::Codec(format!("bad reply tag {b}"))),
         }
@@ -392,6 +446,13 @@ impl Wire for ProtocolMessage {
                 ctx.encode(buf);
                 inner.encode(buf);
             }
+            // Tag 4 is reserved: at frame-body position 0 it is the mux
+            // envelope marker (`frame::MUX_TAG`), so no plain message may
+            // ever encode to it.
+            ProtocolMessage::Handshake(h) => {
+                buf.put_u8(5);
+                h.encode(buf);
+            }
         }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<ProtocolMessage> {
@@ -405,12 +466,51 @@ impl Wire for ProtocolMessage {
                 if matches!(inner, ProtocolMessage::Traced { .. }) {
                     return Err(LdapError::Codec("nested traced frame".into()));
                 }
+                if matches!(inner, ProtocolMessage::Handshake(_)) {
+                    return Err(LdapError::Codec("traced handshake frame".into()));
+                }
                 Ok(ProtocolMessage::Traced {
                     ctx,
                     inner: Box::new(inner),
                 })
             }
+            5 => Ok(ProtocolMessage::Handshake(Handshake::decode(r)?)),
             b => Err(LdapError::Codec(format!("bad frame tag {b}"))),
+        }
+    }
+}
+
+impl Wire for Handshake {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Handshake::Hello { token } => {
+                buf.put_u8(0);
+                gis_ldap::codec::put_bytes(buf, token);
+            }
+            Handshake::Welcome { subject, token } => {
+                buf.put_u8(1);
+                put_str(buf, subject);
+                gis_ldap::codec::put_bytes(buf, token);
+            }
+            Handshake::Reject { code } => {
+                buf.put_u8(2);
+                code.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Handshake> {
+        match r.read_u8()? {
+            0 => Ok(Handshake::Hello {
+                token: r.read_bytes()?.to_vec(),
+            }),
+            1 => Ok(Handshake::Welcome {
+                subject: r.read_str()?,
+                token: r.read_bytes()?.to_vec(),
+            }),
+            2 => Ok(Handshake::Reject {
+                code: ResultCode::decode(r)?,
+            }),
+            b => Err(LdapError::Codec(format!("bad handshake tag {b}"))),
         }
     }
 }
@@ -589,8 +689,85 @@ mod tests {
             ResultCode::PartialResults,
             ResultCode::UnwillingToPerform,
             ResultCode::StaleResults,
+            ResultCode::AuthRejected,
         ] {
             roundtrip(code);
+        }
+    }
+
+    #[test]
+    fn handshake_frames_roundtrip() {
+        for h in [
+            Handshake::Hello {
+                token: vec![9, 8, 7, 6],
+            },
+            Handshake::Hello { token: vec![] },
+            Handshake::Welcome {
+                subject: "/O=Grid/CN=alice".into(),
+                token: vec![1, 2, 3],
+            },
+            Handshake::Welcome {
+                subject: "/O=Grid/CN=bob".into(),
+                token: vec![],
+            },
+            Handshake::Reject {
+                code: ResultCode::AuthRejected,
+            },
+            Handshake::Reject {
+                code: ResultCode::UnwillingToPerform,
+            },
+        ] {
+            roundtrip(ProtocolMessage::Handshake(h));
+        }
+        // Truncations at every prefix are rejected.
+        let bytes = ProtocolMessage::Handshake(Handshake::Welcome {
+            subject: "/O=Grid/CN=alice".into(),
+            token: vec![1, 2, 3, 4, 5],
+        })
+        .to_wire();
+        for cut in 0..bytes.len() {
+            assert!(ProtocolMessage::from_wire(&bytes[..cut]).is_err());
+        }
+        // Bad inner tag rejected.
+        let mut bad = BytesMut::new();
+        bad.put_u8(5);
+        bad.put_u8(9);
+        assert!(ProtocolMessage::from_wire(&bad).is_err());
+    }
+
+    #[test]
+    fn traced_handshake_rejected_on_decode() {
+        let ctx = TraceContext {
+            trace: TraceId(4),
+            parent: 2,
+        };
+        let mut bytes = BytesMut::new();
+        bytes.put_u8(3); // Traced
+        ctx.encode(&mut bytes);
+        ProtocolMessage::Handshake(Handshake::Hello { token: vec![1] }).encode(&mut bytes);
+        assert!(ProtocolMessage::from_wire(&bytes).is_err());
+    }
+
+    #[test]
+    fn grrp_result_roundtrips() {
+        roundtrip(GripReply::GrrpResult {
+            id: 0,
+            code: ResultCode::AuthRejected,
+        });
+        let mut r = GripReply::GrrpResult {
+            id: 3,
+            code: ResultCode::AuthRejected,
+        };
+        assert_eq!(r.id(), 3);
+        r.set_id(11);
+        assert_eq!(r.id(), 11);
+        let bytes = ProtocolMessage::Reply(GripReply::GrrpResult {
+            id: 1,
+            code: ResultCode::AuthRejected,
+        })
+        .to_wire();
+        for cut in 0..bytes.len() {
+            assert!(ProtocolMessage::from_wire(&bytes[..cut]).is_err());
         }
     }
 

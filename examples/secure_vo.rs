@@ -14,7 +14,7 @@ use grid_info_services::gris::{
     DynamicHostProvider, Gris, GrisConfig, HostSpec, StaticHostProvider,
 };
 use grid_info_services::gsi::{
-    Acl, Authenticator, BindToken, CertAuthority, Grant, Principal, TrustStore,
+    Acl, BindToken, CertAuthority, Grant, Principal, SecurityPolicy, TrustStore,
 };
 use grid_info_services::ldap::{to_ldif, Filter, LdapUrl};
 use grid_info_services::netsim::secs;
@@ -32,8 +32,8 @@ fn main() {
     let host = HostSpec::irix("hostX", 8);
     let url = LdapUrl::server("gris.hostX");
     let mut config = GrisConfig::open(url.clone(), host.dn());
-    config.authenticator = Some(Authenticator::new(trust, url.to_string()));
-    config.policy.set(
+    config.security = SecurityPolicy::authenticated(ca.issue(&url.to_string()), trust);
+    config.security.policy_map.set(
         host.dn(),
         Acl::default()
             // Everyone may see what kind of machine this is...

@@ -24,7 +24,7 @@ fn main() {
         .unwrap_or(2135);
 
     let vo_url = LdapUrl::tcp("127.0.0.1", port);
-    let mut client = match LiveClient::connect_tcp(&vo_url) {
+    let mut client = match LiveClient::builder(&vo_url).connect() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("cannot reach {vo_url}: {e}");

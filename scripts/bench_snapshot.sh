@@ -3,7 +3,7 @@
 # plus the live-runtime throughput sweep, the observability-overhead
 # A/B, the channel-vs-TCP loopback comparison, the multiplexed
 # saturation sweep, and the persistence restart timings into a single
-# JSON snapshot (BENCH_PR9.json by default) for before/after
+# JSON snapshot (BENCH_PR10.json by default) for before/after
 # comparison. Criterion mean estimates are in nanoseconds; live-runtime
 # and tcp-loopback rows carry qps and p50/p99 latency in microseconds;
 # the observability block carries the instrumented vs baseline
@@ -14,11 +14,13 @@
 # re-registration-storm comparison; the c10k block carries the
 # held-connections sweep with server thread/RSS samples per row; the
 # federation block carries the replicated-root local-read, staleness
-# and chaining-speedup measurements from the 3-level netsim topology.
+# and chaining-speedup measurements from the 3-level netsim topology;
+# the trust_matrix block carries the §7 tier costs over real sockets
+# (per-connection handshake RTT and the identity-tier ACL filter tax).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 LIVE_JSON="$(mktemp)"
 OBS_JSON="$(mktemp)"
 TCP_JSON="$(mktemp)"
@@ -26,7 +28,8 @@ SAT_JSON="$(mktemp)"
 PERSIST_JSON="$(mktemp)"
 C10K_JSON="$(mktemp)"
 FED_JSON="$(mktemp)"
-trap 'rm -f "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON" "$C10K_JSON" "$FED_JSON"' EXIT
+TRUST_JSON="$(mktemp)"
+trap 'rm -f "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON" "$C10K_JSON" "$FED_JSON" "$TRUST_JSON"' EXIT
 
 for bench in bench_dit bench_filter bench_softstate; do
     echo "==> cargo bench --bench $bench"
@@ -63,8 +66,12 @@ echo "==> exp_federation (replicated roots over the 3-level netsim topology)"
 cargo build --release --offline -p gis-bench --bin exp_federation
 ./target/release/exp_federation --json "$FED_JSON" >/dev/null
 
+echo "==> exp_trust_matrix (the §7 trust tiers over real sockets)"
+cargo build --release --offline -p gis-bench --bin exp_trust_matrix
+./target/release/exp_trust_matrix --json "$TRUST_JSON" >/dev/null
+
 echo "==> harvesting estimates into $OUT"
-python3 - "$OUT" "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON" "$C10K_JSON" "$FED_JSON" <<'EOF'
+python3 - "$OUT" "$LIVE_JSON" "$OBS_JSON" "$TCP_JSON" "$SAT_JSON" "$PERSIST_JSON" "$C10K_JSON" "$FED_JSON" "$TRUST_JSON" <<'EOF'
 import json, os, sys
 
 root = "target/criterion"
@@ -115,6 +122,8 @@ with open(sys.argv[7]) as f:
     c10k = json.load(f)
 with open(sys.argv[8]) as f:
     fed = json.load(f)
+with open(sys.argv[9]) as f:
+    trust = json.load(f)
 
 # Worker-scaling headlines: pooled throughput relative to one worker,
 # and 1-worker tail latency relative to the single-threaded owner loop.
@@ -177,6 +186,12 @@ derived["fed_local_read_us"] = fed["fed_local_read_us"]
 derived["fed_staleness_p99_ms"] = fed["fed_staleness_p99_ms"]
 derived["fed_speedup_vs_chaining"] = fed["fed_speedup_vs_chaining"]
 
+# Wire-security headlines: the one-off mutual-auth handshake RTT and
+# the steady-state cost of identity-tier ACL redaction on the query
+# path (gated <10% or inside the loopback noise floor by check.sh).
+derived["handshake_rtt_us"] = trust["handshake_rtt_us"]
+derived["acl_filter_tax"] = trust["acl_filter_tax"]
+
 out = sys.argv[1]
 with open(out, "w") as f:
     json.dump(
@@ -190,6 +205,7 @@ with open(out, "w") as f:
             "persistence": persist,
             "c10k": c10k,
             "federation": fed,
+            "trust_matrix": trust,
         },
         f,
         indent=2,

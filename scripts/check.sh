@@ -43,6 +43,10 @@ echo "==> exp_federation --smoke (federation gate: local reads, staleness, chain
 cargo build --release --offline -p gis-bench --bin exp_federation
 ./target/release/exp_federation --smoke
 
+echo "==> exp_trust_matrix --smoke (wire security gate: §7 tiers, ACL tax, auth-fed breaker)"
+cargo build --release --offline -p gis-bench --bin exp_trust_matrix
+./target/release/exp_trust_matrix --smoke
+
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --offline --workspace -- -D warnings
 

@@ -5,7 +5,7 @@ use grid_info_services::core::{ClientActor, SimDeployment};
 use grid_info_services::giis::{AcceptPolicy, Giis, GiisConfig, GiisMode};
 use grid_info_services::gris::{Gris, GrisConfig, HostSpec, NwsGatewayProvider};
 use grid_info_services::gsi::{
-    Acl, Authenticator, BindToken, CertAuthority, Grant, Principal, TrustStore,
+    Acl, BindToken, CertAuthority, Grant, Principal, SecurityPolicy, TrustStore,
 };
 use grid_info_services::ldap::{Dn, Filter, LdapUrl, Schema, Strictness};
 use grid_info_services::netsim::secs;
@@ -155,8 +155,8 @@ fn authenticated_access_end_to_end() {
     let host = HostSpec::linux("sec", 2);
     let url = LdapUrl::server("gris.sec");
     let mut config = GrisConfig::open(url.clone(), host.dn());
-    config.authenticator = Some(Authenticator::new(trust, url.to_string()));
-    config.policy.set(
+    config.security = SecurityPolicy::authenticated(ca.issue(&url.to_string()), trust);
+    config.security.policy_map.set(
         host.dn(),
         Acl::default()
             .with_rule(Principal::Anonymous, Grant::ExistenceOnly)
@@ -257,20 +257,22 @@ fn signed_registration_end_to_end() {
     let mut dep = SimDeployment::new(108);
     let vo_url = LdapUrl::server("giis.secure-vo");
     let mut config = GiisConfig::chaining(vo_url.clone(), Dn::root());
-    config.grrp_trust = Some(trust);
+    config.security = SecurityPolicy::authenticated(ca.issue("/O=Grid/CN=giis.secure-vo"), trust);
     let vo = dep.add_giis(Giis::new(config, secs(10), secs(30)));
 
     // Member host: credential from the community CA.
     let good_host = HostSpec::linux("member", 2);
     let mut good = SimDeployment::standard_host_gris(&good_host, 1);
-    good.config.credential = Some(ca.issue("/O=Grid/CN=gris.member"));
+    good.config.security =
+        SecurityPolicy::anonymous().with_credential(ca.issue("/O=Grid/CN=gris.member"));
     good.agent.add_target(vo_url.clone());
     dep.add_gris(good);
 
     // Rogue host: valid-looking credential from an untrusted CA.
     let rogue_host = HostSpec::linux("rogue", 2);
     let mut rogue = SimDeployment::standard_host_gris(&rogue_host, 2);
-    rogue.config.credential = Some(rogue_ca.issue("/O=Grid/CN=gris.rogue"));
+    rogue.config.security =
+        SecurityPolicy::anonymous().with_credential(rogue_ca.issue("/O=Grid/CN=gris.rogue"));
     rogue.agent.add_target(vo_url.clone());
     dep.add_gris(rogue);
 

@@ -9,6 +9,7 @@
 use grid_info_services::core::{LiveClient, LiveRuntime, ServeOptions, TcpTuning};
 use grid_info_services::giis::{BreakerConfig, Giis, GiisConfig, GiisMode};
 use grid_info_services::gris::{Gris, GrisConfig, HostSpec, StaticHostProvider};
+use grid_info_services::gsi::{CertAuthority, SecurityPolicy, TrustStore};
 use grid_info_services::ldap::{Dn, Filter, LdapUrl, Wire};
 use grid_info_services::netsim::SimDuration;
 use grid_info_services::proto::{ResultCode, SearchSpec, TraceId};
@@ -131,7 +132,9 @@ fn tcp_e2e_child_entry() {
         return;
     };
     let url = LdapUrl::tcp("127.0.0.1", port.parse::<u16>().expect("port"));
-    let mut client = LiveClient::connect_tcp(&url).expect("child connects to parent GIIS");
+    let mut client = LiveClient::builder(&url)
+        .connect()
+        .expect("child connects to parent GIIS");
     // Poll for convergence like any client would; the parent already
     // waited, so the first answer is normally complete.
     let encs = await_entries(&mut client, &url, 2);
@@ -173,7 +176,9 @@ fn cross_process_client_matches_in_process_topology() {
 
     // Warm the TCP topology from this process first so the child's view
     // is already converged.
-    let mut probe = LiveClient::connect_tcp(&vo).expect("parent probe connects");
+    let mut probe = LiveClient::builder(&vo)
+        .connect()
+        .expect("parent probe connects");
     let local = await_entries(&mut probe, &vo, 2);
     assert_eq!(
         local, expected,
@@ -244,7 +249,7 @@ fn tcp_loopback_direct_query() {
         return;
     }
     let (rt, vo) = tcp_topology(free_port(), &[free_port(), free_port()]);
-    let mut client = LiveClient::connect_tcp(&vo).expect("connect");
+    let mut client = LiveClient::builder(&vo).connect().expect("connect");
     let encs = await_entries(&mut client, &vo, 2);
     assert_eq!(encs.len(), 2);
     assert!(
@@ -282,7 +287,9 @@ fn oversized_frame_drops_connection_not_service() {
         "oversized frame must end the connection"
     );
 
-    let mut client = LiveClient::connect_tcp(&url).expect("healthy client connects");
+    let mut client = LiveClient::builder(&url)
+        .connect()
+        .expect("healthy client connects");
     let outcome = client
         .request(&url, SearchSpec::subtree(Dn::root(), Filter::always()))
         .timeout(Duration::from_secs(5))
@@ -328,7 +335,7 @@ fn half_frame_stall_trips_read_deadline_and_frees_slot() {
     );
 
     // The slot is free again: a real client connects and is answered.
-    let mut client = LiveClient::connect_tcp(&url).expect("slot was freed");
+    let mut client = LiveClient::builder(&url).connect().expect("slot was freed");
     let outcome = client
         .request(&url, SearchSpec::subtree(Dn::root(), Filter::always()))
         .timeout(Duration::from_secs(5))
@@ -366,7 +373,10 @@ fn connection_drop_mid_reply_surfaces_unavailable() {
         read_deadline: Duration::from_millis(500),
         ..TcpTuning::default()
     };
-    let mut client = LiveClient::connect_tcp_tuned(&url, tuning).expect("connect");
+    let mut client = LiveClient::builder(&url)
+        .tuning(tuning)
+        .connect()
+        .expect("connect");
     let outcome = client
         .request(&url, SearchSpec::subtree(Dn::root(), Filter::always()))
         .timeout(Duration::from_secs(3))
@@ -408,9 +418,148 @@ fn ephemeral_port_zero_registers_the_bound_port() {
     assert_eq!(encs.len(), 1);
 
     // And the returned URL is directly dialable.
-    let mut direct = LiveClient::connect_tcp(&served).expect("dial the served URL");
+    let mut direct = LiveClient::builder(&served)
+        .connect()
+        .expect("dial the served URL");
     let direct_encs = await_entries(&mut direct, &served, 1);
     assert_eq!(direct_encs, encs, "direct and chained views agree");
+    rt.shutdown();
+}
+
+/// The §7 trust model end to end over real sockets: a GIIS demanding
+/// mutual authentication and signed registrations, a well-behaved GRIS
+/// that signs and authenticates, and a rogue GRIS that completes the
+/// wire handshake but never signs its registrations. The authenticated
+/// client sees exactly the signed host; the rogue's soft state is
+/// refused admission; an anonymous client's enquiry is dropped before
+/// it reaches the service.
+#[test]
+fn secured_topology_admits_signed_and_rejects_unsigned() {
+    if std::env::var("GIS_TCP_E2E_PORT").is_ok() {
+        return;
+    }
+    let ca = CertAuthority::new("/O=Grid/CN=E2E-CA", 11);
+    let mut trust = TrustStore::new();
+    trust.add_ca(&ca);
+
+    // Secured GIIS: handshake required, registrations verified.
+    let giis_port = free_port();
+    let vo = LdapUrl::tcp("127.0.0.1", giis_port);
+    let mut rt_srv = LiveRuntime::new(Duration::from_millis(10));
+    let giis = chaining_giis(vo.clone());
+    let stats = giis.query_path();
+    rt_srv
+        .spawn_giis(
+            giis,
+            ServeOptions::tcp().security(SecurityPolicy::authenticated(
+                ca.issue(&vo.to_string()),
+                trust.clone(),
+            )),
+        )
+        .expect("secured giis binds");
+
+    // Good GRIS in its own runtime: signs registrations with its
+    // credential and authenticates the outbound connection to the VO.
+    let good_cred = ca.issue("/O=Grid/CN=good");
+    let mut rt_good = LiveRuntime::new(Duration::from_millis(10));
+    rt_good.set_outbound_security(&SecurityPolicy::authenticated(
+        good_cred.clone(),
+        trust.clone(),
+    ));
+    let mut good = static_gris("good", LdapUrl::tcp("127.0.0.1", free_port()), &vo);
+    good.config.security = SecurityPolicy::anonymous().with_credential(good_cred);
+    rt_good.spawn_gris(good, ServeOptions::tcp()).unwrap();
+
+    // Rogue GRIS: holds a perfectly valid wire credential (the
+    // handshake succeeds) but registers without signatures.
+    let mut rt_rogue = LiveRuntime::new(Duration::from_millis(10));
+    rt_rogue.set_outbound_security(&SecurityPolicy::authenticated(
+        ca.issue("/O=Grid/CN=rogue"),
+        trust.clone(),
+    ));
+    let rogue = static_gris("rogue", LdapUrl::tcp("127.0.0.1", free_port()), &vo);
+    rt_rogue.spawn_gris(rogue, ServeOptions::tcp()).unwrap();
+
+    // The rogue's unsigned registrations are refused at the door.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stats.stats().grrp_rejected == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "rogue registration never reached the GIIS: {:?}",
+            stats.stats()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // An authenticated client converges on exactly the signed host.
+    let mut client = LiveClient::builder(&vo)
+        .security(SecurityPolicy::authenticated(
+            ca.issue("/O=Grid/CN=client"),
+            trust.clone(),
+        ))
+        .connect()
+        .expect("authenticated client connects");
+    assert!(
+        client.handshake_rtt().is_some(),
+        "mutual-auth handshake was measured"
+    );
+    let encs = await_entries(&mut client, &vo, 1);
+    assert!(
+        encs[0].contains(&hex(b"good")),
+        "the admitted entry is the signed GRIS"
+    );
+    assert!(
+        !encs.iter().any(|e| e.contains(&hex(b"rogue"))),
+        "the unsigned GRIS never entered the directory"
+    );
+
+    // An anonymous client's TCP connect succeeds, but its enquiry is
+    // dropped before dispatch: no Success, ever.
+    let mut anon = LiveClient::builder(&vo).connect().expect("tcp connects");
+    assert!(anon.handshake_rtt().is_none(), "no handshake attempted");
+    let outcome = anon
+        .request(&vo, computers())
+        .timeout(Duration::from_secs(2))
+        .send()
+        .outcome;
+    assert!(
+        !matches!(&outcome, Some((ResultCode::Success, _, _))),
+        "anonymous enquiry must not be served: {outcome:?}"
+    );
+
+    rt_rogue.shutdown();
+    rt_good.shutdown();
+    rt_srv.shutdown();
+}
+
+/// The deprecated `connect_tcp` / `connect_tcp_tuned` shims and the
+/// builder they forward to produce byte-identical results.
+#[test]
+#[allow(deprecated)]
+fn deprecated_connect_shims_match_builder() {
+    if std::env::var("GIS_TCP_E2E_PORT").is_ok() {
+        return;
+    }
+    let (rt, vo) = tcp_topology(free_port(), &[free_port()]);
+    let mut via_builder = LiveClient::builder(&vo)
+        .connect()
+        .expect("builder connects");
+    let expected = await_entries(&mut via_builder, &vo, 1);
+
+    let mut via_shim = LiveClient::connect_tcp(&vo).expect("shim connects");
+    assert_eq!(
+        await_entries(&mut via_shim, &vo, 1),
+        expected,
+        "connect_tcp sees what the builder sees"
+    );
+
+    let mut via_tuned =
+        LiveClient::connect_tcp_tuned(&vo, TcpTuning::default()).expect("tuned shim connects");
+    assert_eq!(
+        await_entries(&mut via_tuned, &vo, 1),
+        expected,
+        "connect_tcp_tuned sees what the builder sees"
+    );
     rt.shutdown();
 }
 
